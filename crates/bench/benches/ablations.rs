@@ -1,0 +1,253 @@
+//! Ablations of the design choices DESIGN.md §5 calls out:
+//!
+//! * `context_strategy` — the paper's screened-sentence pipeline vs. the
+//!   naive whole-policy prompt (time here; the *accuracy* side of the
+//!   ablation is printed once, using a degrading `NoisyModel`);
+//! * `minhash` — exact shingle Jaccard vs. MinHash sketches for
+//!   near-duplicate detection;
+//! * `exposure_hops` — 1-hop vs. 2-hop indirect-exposure computation;
+//! * `crawler_threads` — crawl throughput vs. worker-thread count;
+//! * `stemmer` — classification with and without Porter stemming of the
+//!   input (quantifies the NLP substrate's contribution).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gptx::crawler::Crawler;
+use gptx::graph::exposed_types;
+use gptx::llm::{KbModel, NoisyModel};
+use gptx::nlp::word_shingles;
+use gptx::policy::{ContextStrategy, PolicyAnalyzer};
+use gptx::stats::{jaccard, MinHash};
+use gptx::store::{EcosystemHandle, FaultConfig};
+use gptx::synth::{Ecosystem, SynthConfig, STORES};
+use gptx::taxonomy::KnowledgeBase;
+use gptx_bench::shared_run;
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// Accuracy side of the context-strategy ablation: run both strategies
+/// behind a length-degrading noisy model and report exact-match against
+/// planted labels. Printed once so `cargo bench` records it.
+fn print_context_strategy_accuracy() {
+    let run = shared_run();
+    let noisy = NoisyModel::with_degradation(KbModel::new(KnowledgeBase::full()), 0.02, 0.5, 17);
+    let mut results = Vec::new();
+    for strategy in [ContextStrategy::ScreenedSentences, ContextStrategy::WholePolicy] {
+        let analyzer = PolicyAnalyzer::new(&noisy).with_strategy(strategy);
+        let mut total = 0usize;
+        let mut exact = 0usize;
+        for (identity, doc) in run.archive.policies.iter().take(60) {
+            let (Some(body), Some(profile), Some(policy)) = (
+                &doc.body,
+                run.profiles.get(identity),
+                run.eco.policies.get(identity),
+            ) else {
+                continue;
+            };
+            let items = profile.data_items();
+            let Ok(report) = analyzer.analyze_action(identity, body, &items) else {
+                continue;
+            };
+            for (data_type, predicted) in report.per_type_labels() {
+                if let Some(&gold) = policy.truth.get(&data_type) {
+                    total += 1;
+                    if predicted == gold {
+                        exact += 1;
+                    }
+                }
+            }
+        }
+        results.push((strategy, exact as f64 / total.max(1) as f64, total));
+    }
+    println!("\n===== ablation: context strategy (noisy, degrading model) =====");
+    for (strategy, accuracy, n) in results {
+        println!("  {strategy:?}: exact-match {:.1}% over {n} labels", accuracy * 100.0);
+    }
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let run = shared_run();
+    print_context_strategy_accuracy();
+
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+
+    // --- context strategy: wall-clock of both pipelines. ---------------
+    let model = KbModel::new(KnowledgeBase::full());
+    let (identity, doc) = run
+        .archive
+        .policies
+        .iter()
+        .find(|(_, d)| d.body.as_deref().is_some_and(|b| b.len() > 300))
+        .expect("long policy");
+    let body = doc.body.clone().expect("body");
+    let items = run.profiles[identity].data_items();
+    for strategy in [ContextStrategy::ScreenedSentences, ContextStrategy::WholePolicy] {
+        group.bench_with_input(
+            BenchmarkId::new("context_strategy", format!("{strategy:?}")),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| {
+                    let analyzer = PolicyAnalyzer::new(&model).with_strategy(strategy);
+                    black_box(analyzer.analyze_action(identity, &body, &items).expect("analysis"))
+                })
+            },
+        );
+    }
+
+    // --- near-duplicate detection: exact Jaccard vs MinHash. -----------
+    let bodies: Vec<String> = run
+        .archive
+        .policies
+        .values()
+        .filter_map(|d| d.body.clone())
+        .filter(|b| !b.is_empty())
+        .take(60)
+        .collect();
+    group.bench_function("near_dup/exact_jaccard", |b| {
+        b.iter(|| {
+            let shingles: Vec<_> = bodies.iter().map(|t| word_shingles(t, 3)).collect();
+            let mut pairs = 0usize;
+            for i in 0..shingles.len() {
+                for j in (i + 1)..shingles.len() {
+                    if jaccard(&shingles[i], &shingles[j]) > 0.95 {
+                        pairs += 1;
+                    }
+                }
+            }
+            black_box(pairs)
+        })
+    });
+    group.bench_function("near_dup/minhash_128", |b| {
+        b.iter(|| {
+            let sketches: Vec<_> = bodies
+                .iter()
+                .map(|t| MinHash::sketch(word_shingles(t, 3), 128))
+                .collect();
+            let mut pairs = 0usize;
+            for i in 0..sketches.len() {
+                for j in (i + 1)..sketches.len() {
+                    if sketches[i].similarity(&sketches[j]) > 0.95 {
+                        pairs += 1;
+                    }
+                }
+            }
+            black_box(pairs)
+        })
+    });
+
+    // --- exposure hops. -------------------------------------------------
+    let collection_map = run.collection_map();
+    let identities: Vec<String> = collection_map.keys().take(40).cloned().collect();
+    for hops in [1usize, 2] {
+        group.bench_with_input(BenchmarkId::new("exposure_hops", hops), &hops, |b, &hops| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for id in &identities {
+                    total += exposed_types(&run.graph, &collection_map, id, hops).len();
+                }
+                black_box(total)
+            })
+        });
+    }
+
+    // --- crawler threads. ------------------------------------------------
+    let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(3)));
+    let server = EcosystemHandle::start(Arc::clone(&eco), FaultConfig::none()).expect("serve");
+    let store_names: Vec<&str> = STORES.iter().map(|(n, _)| *n).collect();
+    for threads in [1usize, 4, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("crawler_threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let crawler = Crawler::new(server.addr()).with_threads(threads);
+                    black_box(crawler.crawl_week(0, "2024-02-08", &store_names).expect("crawl"))
+                })
+            },
+        );
+    }
+
+    // --- stemming on/off in classification input. ------------------------
+    let descriptions: Vec<String> = run
+        .profiles
+        .values()
+        .flat_map(|p| p.fields.iter().map(|f| f.field.classification_text()))
+        .take(100)
+        .collect();
+    group.bench_function("stemmer/on", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for d in &descriptions {
+                hits += model.classify_description(d).data_type as usize;
+            }
+            black_box(hits)
+        })
+    });
+    group.bench_function("stemmer/off_raw_tokens", |b| {
+        // Baseline: raw lowercase token containment with no stemming —
+        // the substrate the Porter stemmer replaces.
+        b.iter(|| {
+            let mut hits = 0usize;
+            for d in &descriptions {
+                let tokens = gptx::nlp::words(d);
+                for data_type in gptx::taxonomy::DataType::ALL {
+                    for phrase in data_type.lexicon() {
+                        let pt = gptx::nlp::words(phrase);
+                        if pt.len() <= tokens.len()
+                            && tokens.windows(pt.len()).any(|w| w == pt.as_slice())
+                        {
+                            hits += 1;
+                        }
+                    }
+                }
+            }
+            black_box(hits)
+        })
+    });
+
+    // --- taxonomy knowledge-base coverage. --------------------------------
+    // How much does classification change when the knowledge base only
+    // covers half of the taxonomy? (Value-of-coverage ablation.)
+    let full_kb_model = KbModel::new(KnowledgeBase::full());
+    let half_types: Vec<gptx::taxonomy::DataType> = gptx::taxonomy::DataType::ALL
+        .iter()
+        .copied()
+        .step_by(2)
+        .collect();
+    let half_kb_model = KbModel::new(KnowledgeBase::with_types(&half_types));
+    let sample: Vec<&String> = descriptions.iter().take(60).collect();
+    let mut printed = false;
+    for (label, m) in [("full", &full_kb_model), ("half", &half_kb_model)] {
+        if !printed {
+            // Report coverage agreement once.
+            let agree = sample
+                .iter()
+                .filter(|d| {
+                    full_kb_model.classify_description(d).data_type
+                        == half_kb_model.classify_description(d).data_type
+                })
+                .count();
+            println!(
+                "\n===== ablation: kb coverage — half-taxonomy agrees with full on {}/{} descriptions =====",
+                agree,
+                sample.len()
+            );
+            printed = true;
+        }
+        group.bench_with_input(BenchmarkId::new("kb_coverage", label), &m, |b, m| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for d in &sample {
+                    acc += m.classify_description(d).data_type as usize;
+                }
+                black_box(acc)
+            })
+        });
+    }
+
+    group.finish();
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! One bench per figure of the paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gptx::census::growth_trend;
+use gptx::graph::graph_stats;
+use gptx::policy::{consistency_trend, disclosure_heatmap, per_action_fractions};
+use gptx::stats::Ecdf;
+use gptx_bench::{print_once, shared_run};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let run = shared_run();
+    let unique: Vec<gptx::model::Gpt> = run.archive.all_unique_gpts().into_values().collect();
+
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    print_once("f3");
+    group.bench_function("f3_growth", |b| {
+        b.iter(|| black_box(growth_trend(&run.archive.snapshots)))
+    });
+
+    print_once("f4");
+    group.bench_function("f4_datatype_cdf", |b| {
+        b.iter(|| {
+            let (raw, succinct) = run.collection.figure4_counts();
+            let r = Ecdf::new(&raw).map(|e| e.fraction_at_least(5.0));
+            let s = Ecdf::new(&succinct).map(|e| e.fraction_at_least(5.0));
+            black_box((r, s))
+        })
+    });
+
+    print_once("f5");
+    group.bench_function("f5_graph", |b| {
+        b.iter(|| {
+            let g = gptx::graph::build_cooccurrence(unique.iter());
+            black_box(graph_stats(&g, 8))
+        })
+    });
+
+    print_once("f6");
+    group.bench_function("f6_heatmap", |b| {
+        b.iter(|| black_box(disclosure_heatmap(&run.reports)))
+    });
+
+    print_once("f7");
+    group.bench_function("f7_disclosure_cdf", |b| {
+        b.iter(|| black_box(per_action_fractions(&run.reports)))
+    });
+
+    print_once("f8");
+    group.bench_function("f8_consistency_trend", |b| {
+        b.iter(|| black_box(consistency_trend(&run.reports)))
+    });
+
+    print_once("acc");
+    group.bench_function("acc_pilot", |b| {
+        b.iter(|| black_box(gptx::policy::evaluate(&run.accuracy_pairs())))
+    });
+
+    // §7 / §5.3 extensions.
+    print_once("iso");
+    let collection_map = run.collection_map();
+    group.bench_function("iso_regimes", |b| {
+        b.iter(|| {
+            black_box(gptx::graph::compare_regimes(
+                &run.graph,
+                &collection_map,
+                gptx::graph::DEFAULT_REGIMES,
+            ))
+        })
+    });
+
+    print_once("labels");
+    print_once("dyn");
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

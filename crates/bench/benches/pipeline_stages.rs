@@ -1,0 +1,77 @@
+//! Stage-level pipeline benchmarks: ecosystem generation, the HTTP
+//! crawl, LLM classification, and the policy pipeline — the costs a user
+//! pays when running the toolkit on a corpus.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gptx::classifier::Classifier;
+use gptx::crawler::Crawler;
+use gptx::llm::KbModel;
+use gptx::policy::PolicyAnalyzer;
+use gptx::store::{EcosystemHandle, FaultConfig};
+use gptx::synth::{Ecosystem, SynthConfig, STORES};
+use gptx::taxonomy::KnowledgeBase;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_stages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_stages");
+    group.sample_size(10);
+
+    group.bench_function("generate_ecosystem_400", |b| {
+        b.iter(|| black_box(Ecosystem::generate(SynthConfig::tiny(1))))
+    });
+
+    // Crawl one weekly snapshot over loopback HTTP.
+    let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(2)));
+    let server = EcosystemHandle::start(Arc::clone(&eco), FaultConfig::none()).expect("serve");
+    let store_names: Vec<&str> = STORES.iter().map(|(n, _)| *n).collect();
+    group.bench_function("crawl_week_http", |b| {
+        b.iter(|| {
+            let crawler = Crawler::new(server.addr()).with_threads(8);
+            black_box(crawler.crawl_week(0, "2024-02-08", &store_names).expect("crawl"))
+        })
+    });
+
+    // LLM classification of one realistic Action spec (cold cache).
+    let action = eco
+        .registry
+        .values()
+        .max_by_key(|a| a.template.raw_data_type_count())
+        .expect("actions exist")
+        .template
+        .clone();
+    let model = KbModel::new(KnowledgeBase::full());
+    group.bench_function("classify_action_cold", |b| {
+        b.iter(|| {
+            let classifier = Classifier::new(&model);
+            black_box(classifier.profile_action(&action).expect("profile"))
+        })
+    });
+
+    // The three-step policy pipeline on one bespoke policy.
+    let (identity, policy) = eco
+        .policies
+        .iter()
+        .find(|(_, p)| {
+            p.kind == gptx::synth::PolicyKind::Bespoke && p.body.is_some()
+        })
+        .expect("bespoke policy exists");
+    let body = policy.body.clone().expect("body");
+    let items: Vec<(String, gptx::taxonomy::DataType)> = eco.registry[identity]
+        .data_types
+        .iter()
+        .map(|&d| (d.description().to_string(), d))
+        .collect();
+    group.bench_function("policy_pipeline_one_action", |b| {
+        b.iter(|| {
+            let analyzer = PolicyAnalyzer::new(&model);
+            black_box(analyzer.analyze_action(identity, &body, &items).expect("analysis"))
+        })
+    });
+
+    group.finish();
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_stages);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! One bench per table of the paper: times the analysis that computes
+//! the table from crawled artifacts, and prints the regenerated table
+//! once per target.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gptx::census::{
+    action_multiplicity, change_breakdown, removal_breakdown, tool_usage,
+};
+use gptx::graph::{top_cooccurring_exposures, type_exposure_table};
+use gptx::policy::{corpus_stats, duplicate_content_breakdown, top_consistent_actions};
+use gptx_bench::{print_once, shared_run};
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let run = shared_run();
+    let unique: Vec<gptx::model::Gpt> = run.archive.all_unique_gpts().into_values().collect();
+    let bodies: std::collections::BTreeMap<String, Option<String>> = run
+        .archive
+        .policies
+        .iter()
+        .map(|(id, d)| (id.clone(), d.body.clone()))
+        .collect();
+    let collection_map = run.collection_map();
+    let removed = run.archive.removed_gpts();
+
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+
+    print_once("t1");
+    group.bench_function("t1_store_census", |b| {
+        b.iter(|| {
+            let total: usize = run
+                .archive
+                .store_listings
+                .values()
+                .map(|ids| ids.len())
+                .sum();
+            black_box(total)
+        })
+    });
+
+    print_once("t2");
+    group.bench_function("t2_changes", |b| {
+        b.iter(|| black_box(change_breakdown(&run.archive.snapshots)))
+    });
+
+    print_once("t3");
+    group.bench_function("t3_removals", |b| {
+        b.iter(|| black_box(removal_breakdown(&removed, &run.archive.probes)))
+    });
+
+    print_once("t4");
+    group.bench_function("t4_tools", |b| {
+        b.iter(|| {
+            black_box((tool_usage(unique.iter()), action_multiplicity(unique.iter())))
+        })
+    });
+
+    print_once("t5");
+    group.bench_function("t5_collection", |b| {
+        b.iter(|| black_box(run.collection.table5()))
+    });
+
+    print_once("t6");
+    group.bench_function("t6_prevalent", |b| {
+        b.iter(|| black_box(run.collection.table6(15, &|id| run.functionality_of(id))))
+    });
+
+    print_once("t7");
+    group.bench_function("t7_exposure", |b| {
+        b.iter(|| black_box(type_exposure_table(&run.graph, &collection_map)))
+    });
+
+    print_once("t8");
+    group.bench_function("t8_top_actions", |b| {
+        b.iter(|| black_box(top_cooccurring_exposures(&run.graph, &collection_map, 5)))
+    });
+
+    print_once("t9");
+    group.bench_function("t9_policy_stats", |b| {
+        b.iter(|| black_box(corpus_stats(&bodies, 0.95)))
+    });
+
+    print_once("t10");
+    group.bench_function("t10_dup_content", |b| {
+        b.iter(|| black_box(duplicate_content_breakdown(&bodies)))
+    });
+
+    print_once("t11");
+    group.bench_function("t11_archetypes", |b| {
+        b.iter(|| {
+            black_box(gptx::experiments::render("t11", run).expect("t11"))
+        })
+    });
+
+    print_once("t12");
+    group.bench_function("t12_consistent_actions", |b| {
+        b.iter(|| black_box(top_consistent_actions(&run.reports, 5)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

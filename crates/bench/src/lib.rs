@@ -1,0 +1,41 @@
+//! # gptx-bench
+//!
+//! Shared fixtures for the Criterion benchmarks. Each bench target
+//! regenerates one (or more) of the paper's tables/figures from a
+//! pre-built pipeline run, so `cargo bench` both times the analysis code
+//! and re-produces every artifact (the rendered outputs are printed once
+//! per target).
+
+use gptx::{AnalysisRun, Pipeline, SynthConfig};
+use std::sync::OnceLock;
+
+/// The shared pipeline run every table/figure bench analyzes.
+///
+/// Built once per process (generation + crawl + classification are the
+/// expensive parts; they are benchmarked separately in
+/// `pipeline_stages`).
+pub fn shared_run() -> &'static AnalysisRun {
+    static RUN: OnceLock<AnalysisRun> = OnceLock::new();
+    RUN.get_or_init(|| {
+        let mut config = SynthConfig::tiny(0xBE7C);
+        config.base_gpts = 2000;
+        Pipeline::new(config)
+            .without_faults()
+            .run()
+            .expect("bench pipeline")
+    })
+}
+
+/// Render an experiment once and print it, so `cargo bench` leaves the
+/// regenerated artifact in its log (the EXPERIMENTS.md workflow).
+pub fn print_once(id: &str) {
+    static PRINTED: OnceLock<std::sync::Mutex<std::collections::BTreeSet<String>>> =
+        OnceLock::new();
+    let printed = PRINTED.get_or_init(Default::default);
+    let mut guard = printed.lock().expect("print set");
+    if guard.insert(id.to_string()) {
+        if let Some(out) = gptx::experiments::render(id, shared_run()) {
+            println!("\n===== regenerated {id} =====\n{out}");
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-change breakdown across the crawl window (Table 2).
+
+use gptx_model::snapshot::{ChangedProperty, CrawlSnapshot};
+use gptx_model::GptId;
+use std::collections::BTreeMap;
+
+/// The Table 2 result: per-property counts plus the set of changed GPTs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ChangeBreakdown {
+    /// Property → number of GPTs that exhibited it at least once.
+    pub counts: BTreeMap<ChangedProperty, usize>,
+    /// Distinct changed GPTs.
+    pub changed_gpts: usize,
+}
+
+impl ChangeBreakdown {
+    /// Totals per Table 2 group ("Contact info.", "Metadata",
+    /// "Actions/Files").
+    pub fn group_totals(&self) -> BTreeMap<&'static str, usize> {
+        let mut out = BTreeMap::new();
+        for (prop, count) in &self.counts {
+            *out.entry(prop.group()).or_insert(0) += count;
+        }
+        out
+    }
+
+    /// Total change observations.
+    pub fn total(&self) -> usize {
+        self.counts.values().sum()
+    }
+}
+
+/// Diff consecutive snapshots and aggregate which properties changed.
+/// A GPT changing the same property in several weeks counts once per
+/// property (the paper counts GPTs per change type).
+pub fn change_breakdown(snapshots: &[CrawlSnapshot]) -> ChangeBreakdown {
+    let mut per_gpt: BTreeMap<GptId, std::collections::BTreeSet<ChangedProperty>> =
+        BTreeMap::new();
+    for pair in snapshots.windows(2) {
+        let diff = pair[0].diff(&pair[1]);
+        for change in diff.changed {
+            per_gpt
+                .entry(change.id)
+                .or_default()
+                .extend(change.properties);
+        }
+    }
+    let mut counts: BTreeMap<ChangedProperty, usize> = BTreeMap::new();
+    for props in per_gpt.values() {
+        for prop in props {
+            *counts.entry(*prop).or_insert(0) += 1;
+        }
+    }
+    ChangeBreakdown {
+        counts,
+        changed_gpts: per_gpt.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gptx_model::Gpt;
+
+    fn snap(week: u32, gpts: Vec<Gpt>) -> CrawlSnapshot {
+        let mut s = CrawlSnapshot::new(week, "2024-02-08");
+        for g in gpts {
+            s.insert(g);
+        }
+        s
+    }
+
+    #[test]
+    fn aggregates_changes_across_weeks() {
+        let mut g = Gpt::minimal("g-aaaaaaaaaa", "T");
+        let w0 = snap(0, vec![g.clone()]);
+        g.display.description = "v2".into();
+        let w1 = snap(1, vec![g.clone()]);
+        g.display.name = "T Pro".into();
+        let w2 = snap(2, vec![g.clone()]);
+        let b = change_breakdown(&[w0, w1, w2]);
+        assert_eq!(b.changed_gpts, 1);
+        assert_eq!(b.counts[&ChangedProperty::Description], 1);
+        assert_eq!(b.counts[&ChangedProperty::Name], 1);
+        assert_eq!(b.total(), 2);
+    }
+
+    #[test]
+    fn same_property_twice_counts_once() {
+        let mut g = Gpt::minimal("g-aaaaaaaaaa", "T");
+        let w0 = snap(0, vec![g.clone()]);
+        g.display.description = "v2".into();
+        let w1 = snap(1, vec![g.clone()]);
+        g.display.description = "v3".into();
+        let w2 = snap(2, vec![g.clone()]);
+        let b = change_breakdown(&[w0, w1, w2]);
+        assert_eq!(b.counts[&ChangedProperty::Description], 1);
+    }
+
+    #[test]
+    fn group_totals_follow_table2_groups() {
+        let mut g = Gpt::minimal("g-aaaaaaaaaa", "T");
+        g.author.social_media = vec!["x".into()];
+        let w0 = snap(0, vec![g.clone()]);
+        g.author.social_media = vec!["y".into()];
+        g.display.name = "T2".into();
+        let w1 = snap(1, vec![g]);
+        let b = change_breakdown(&[w0, w1]);
+        let groups = b.group_totals();
+        assert_eq!(groups["Contact info."], 1);
+        assert_eq!(groups["Metadata"], 1);
+    }
+
+    #[test]
+    fn unchanged_corpus_reports_nothing() {
+        let g = Gpt::minimal("g-aaaaaaaaaa", "T");
+        let b = change_breakdown(&[snap(0, vec![g.clone()]), snap(1, vec![g])]);
+        assert_eq!(b.changed_gpts, 0);
+        assert_eq!(b.total(), 0);
+    }
+}

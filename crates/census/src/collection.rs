@@ -1,0 +1,294 @@
+//! Corpus-level data-collection aggregation: Table 5 (per-type rates by
+//! party), Figure 4 (raw vs. succinct counts), and Table 6 (prevalent
+//! third-party Actions).
+
+use gptx_classifier::ActionProfile;
+use gptx_model::{classify_party, Gpt, Party};
+use gptx_taxonomy::DataType;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One Table 5 row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollectionRow {
+    pub data_type: DataType,
+    /// % of first-party Actions collecting the type.
+    pub first_party_pct: f64,
+    /// % of third-party Actions collecting the type.
+    pub third_party_pct: f64,
+    /// % of Action-embedding GPTs embedding an Action that collects it.
+    pub gpts_pct: f64,
+}
+
+/// The per-Action view the aggregations need: profile + party + the GPTs
+/// embedding it.
+#[derive(Debug, Clone)]
+pub struct CorpusCollection {
+    /// Action identity → profile.
+    pub profiles: BTreeMap<String, ActionProfile>,
+    /// Action identity → party (by first observed embedding).
+    pub parties: BTreeMap<String, Party>,
+    /// Action identity → count of embedding GPTs.
+    pub embed_counts: BTreeMap<String, usize>,
+    /// Number of Action-embedding GPTs.
+    pub action_gpts: usize,
+    /// GPT-level collected types (union over the GPT's Actions).
+    gpt_types: Vec<BTreeSet<DataType>>,
+}
+
+impl CorpusCollection {
+    /// Assemble from a GPT corpus and pre-computed per-Action profiles.
+    pub fn assemble<'a, I: IntoIterator<Item = &'a Gpt>>(
+        gpts: I,
+        profiles: BTreeMap<String, ActionProfile>,
+    ) -> CorpusCollection {
+        let mut parties: BTreeMap<String, Party> = BTreeMap::new();
+        let mut embed_counts: BTreeMap<String, usize> = BTreeMap::new();
+        let mut gpt_types = Vec::new();
+        let mut action_gpts = 0usize;
+        for gpt in gpts {
+            let actions = gpt.actions();
+            if actions.is_empty() {
+                continue;
+            }
+            action_gpts += 1;
+            let mut union: BTreeSet<DataType> = BTreeSet::new();
+            let mut seen_here: BTreeSet<String> = BTreeSet::new();
+            for action in actions {
+                let identity = action.identity();
+                parties
+                    .entry(identity.clone())
+                    .or_insert_with(|| classify_party(gpt, action));
+                if seen_here.insert(identity.clone()) {
+                    *embed_counts.entry(identity.clone()).or_insert(0) += 1;
+                }
+                if let Some(profile) = profiles.get(&identity) {
+                    union.extend(profile.succinct_types());
+                }
+            }
+            gpt_types.push(union);
+        }
+        CorpusCollection {
+            profiles,
+            parties,
+            embed_counts,
+            action_gpts,
+            gpt_types,
+        }
+    }
+
+    /// Table 5: per-type collection rates split by party, plus the GPT
+    /// column.
+    pub fn table5(&self) -> Vec<CollectionRow> {
+        let first_total = self
+            .parties
+            .values()
+            .filter(|&&p| p == Party::First)
+            .count()
+            .max(1) as f64;
+        let third_total = self
+            .parties
+            .values()
+            .filter(|&&p| p == Party::Third)
+            .count()
+            .max(1) as f64;
+        let gpt_total = self.gpt_types.len().max(1) as f64;
+        DataType::MEASURED_ROWS
+            .iter()
+            .map(|&d| {
+                let mut first = 0usize;
+                let mut third = 0usize;
+                for (identity, profile) in &self.profiles {
+                    if !profile.collects(d) {
+                        continue;
+                    }
+                    match self.parties.get(identity) {
+                        Some(Party::First) => first += 1,
+                        Some(Party::Third) => third += 1,
+                        None => {}
+                    }
+                }
+                let gpts = self.gpt_types.iter().filter(|t| t.contains(&d)).count();
+                CollectionRow {
+                    data_type: d,
+                    first_party_pct: first as f64 / first_total * 100.0,
+                    third_party_pct: third as f64 / third_total * 100.0,
+                    gpts_pct: gpts as f64 / gpt_total * 100.0,
+                }
+            })
+            .collect()
+    }
+
+    /// Figure 4's two series: per-Action raw and succinct type counts.
+    pub fn figure4_counts(&self) -> (Vec<f64>, Vec<f64>) {
+        let raw = self
+            .profiles
+            .values()
+            .map(|p| p.raw_count() as f64)
+            .collect();
+        let succinct = self
+            .profiles
+            .values()
+            .map(|p| p.succinct_count() as f64)
+            .collect();
+        (raw, succinct)
+    }
+
+    /// Table 6: the top-`k` third-party Actions by embedding prevalence.
+    /// `functionality` labels each identity (the paper assigned these
+    /// manually; the pipeline passes the registry's labels through).
+    pub fn table6(
+        &self,
+        k: usize,
+        functionality: &dyn Fn(&str) -> String,
+    ) -> Vec<PrevalentAction> {
+        let mut rows: Vec<PrevalentAction> = self
+            .embed_counts
+            .iter()
+            .filter(|(id, _)| self.parties.get(*id) == Some(&Party::Third))
+            .map(|(identity, &count)| {
+                let profile = self.profiles.get(identity);
+                PrevalentAction {
+                    identity: identity.clone(),
+                    functionality: functionality(identity),
+                    data_type_count: profile.map_or(0, ActionProfile::succinct_count),
+                    example_types: profile
+                        .map(|p| p.succinct_types().into_iter().take(4).collect())
+                        .unwrap_or_default(),
+                    gpt_fraction: count as f64 / self.action_gpts.max(1) as f64,
+                }
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            b.gpt_fraction
+                .partial_cmp(&a.gpt_fraction)
+                .expect("fractions are finite")
+                .then_with(|| a.identity.cmp(&b.identity))
+        });
+        rows.truncate(k);
+        rows
+    }
+
+    /// % of Action-embedding GPTs collecting a platform-prohibited type
+    /// (the paper: "at least 1% … collect user passwords").
+    pub fn prohibited_gpt_fraction(&self) -> f64 {
+        let n = self
+            .gpt_types
+            .iter()
+            .filter(|t| t.iter().any(DataType::prohibited_by_platform))
+            .count();
+        n as f64 / self.gpt_types.len().max(1) as f64
+    }
+}
+
+/// One Table 6 row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrevalentAction {
+    pub identity: String,
+    pub functionality: String,
+    pub data_type_count: usize,
+    pub example_types: Vec<DataType>,
+    /// Fraction of Action-embedding GPTs embedding this Action.
+    pub gpt_fraction: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gptx_classifier::ClassifiedField;
+    use gptx_model::openapi::DataField;
+    use gptx_model::{ActionSpec, Tool};
+
+    fn profile(name: &str, domain: &str, types: &[DataType]) -> (String, ActionProfile) {
+        let action = ActionSpec::minimal("t", name, &format!("https://api.{domain}"));
+        let fields = types
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| ClassifiedField {
+                field: DataField {
+                    name: format!("f{i}"),
+                    description: String::new(),
+                    endpoint: "post /x".into(),
+                },
+                data_type: d,
+                category: d.category(),
+            })
+            .collect();
+        (action.identity(), ActionProfile::new(&action, fields))
+    }
+
+    fn corpus() -> CorpusCollection {
+        let mut profiles = BTreeMap::new();
+        for (name, domain, types) in [
+            ("Hub", "hub.dev", vec![DataType::EmailAddress, DataType::Time]),
+            ("Solo", "solo.dev", vec![DataType::Passwords]),
+            ("Own", "own.dev", vec![DataType::Name]),
+        ] {
+            let (id, p) = profile(name, domain, &types);
+            profiles.insert(id, p);
+        }
+        let mk_action = |name: &str, domain: &str| {
+            Tool::Action(ActionSpec::minimal("t", name, &format!("https://api.{domain}")))
+        };
+        let mut g1 = Gpt::minimal("g-aaaaaaaaaa", "One");
+        g1.tools.push(mk_action("Hub", "hub.dev"));
+        let mut g2 = Gpt::minimal("g-bbbbbbbbbb", "Two");
+        g2.tools.push(mk_action("Hub", "hub.dev"));
+        g2.tools.push(mk_action("Solo", "solo.dev"));
+        let mut g3 = Gpt::minimal("g-cccccccccc", "Three");
+        g3.author.website = Some("https://www.own.dev".into());
+        g3.tools.push(mk_action("Own", "own.dev"));
+        let plain = Gpt::minimal("g-dddddddddd", "NoActions");
+        CorpusCollection::assemble(&[g1, g2, g3, plain], profiles)
+    }
+
+    #[test]
+    fn assemble_counts() {
+        let c = corpus();
+        assert_eq!(c.action_gpts, 3);
+        assert_eq!(c.embed_counts["Hub@hub.dev"], 2);
+        assert_eq!(c.parties["Own@own.dev"], Party::First);
+        assert_eq!(c.parties["Hub@hub.dev"], Party::Third);
+    }
+
+    #[test]
+    fn table5_rates() {
+        let c = corpus();
+        let rows = c.table5();
+        let email = rows
+            .iter()
+            .find(|r| r.data_type == DataType::EmailAddress)
+            .unwrap();
+        // 1 of 2 third-party actions collects email; 0 of 1 first-party.
+        assert!((email.third_party_pct - 50.0).abs() < 1e-9);
+        assert_eq!(email.first_party_pct, 0.0);
+        // 2 of 3 action-GPTs embed the Hub.
+        assert!((email.gpts_pct - 66.666).abs() < 0.1);
+        let name = rows.iter().find(|r| r.data_type == DataType::Name).unwrap();
+        assert!((name.first_party_pct - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure4_series() {
+        let c = corpus();
+        let (raw, succinct) = c.figure4_counts();
+        assert_eq!(raw.len(), 3);
+        assert_eq!(succinct.len(), 3);
+        assert!(raw.iter().zip(&succinct).all(|(r, s)| r >= s));
+    }
+
+    #[test]
+    fn table6_orders_by_prevalence_and_excludes_first_party() {
+        let c = corpus();
+        let rows = c.table6(10, &|_| "Productivity".to_string());
+        assert_eq!(rows[0].identity, "Hub@hub.dev");
+        assert!((rows[0].gpt_fraction - 2.0 / 3.0).abs() < 1e-9);
+        assert!(rows.iter().all(|r| r.identity != "Own@own.dev"));
+    }
+
+    #[test]
+    fn prohibited_fraction() {
+        let c = corpus();
+        // g2 embeds Solo which collects passwords: 1 of 3 action GPTs.
+        assert!((c.prohibited_gpt_fraction() - 1.0 / 3.0).abs() < 1e-9);
+    }
+}

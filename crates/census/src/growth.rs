@@ -1,0 +1,127 @@
+//! Longitudinal growth trends (Figure 3) and weekly dynamics rates.
+
+use gptx_model::snapshot::CrawlSnapshot;
+
+/// One point of the Figure 3 series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrowthPoint {
+    pub week: u32,
+    pub date: String,
+    pub listed: usize,
+    pub added: usize,
+    pub removed: usize,
+    pub changed: usize,
+}
+
+/// The growth series plus summary rates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrowthTrend {
+    pub points: Vec<GrowthPoint>,
+    /// Mean weekly growth rate (paper: 4.5%).
+    pub mean_growth_rate: f64,
+    /// Mean weekly change rate (paper: 0.02%).
+    pub mean_change_rate: f64,
+    /// Mean weekly removal rate (paper: 0.2%).
+    pub mean_removal_rate: f64,
+}
+
+/// Compute Figure 3 over consecutive weekly snapshots.
+pub fn growth_trend(snapshots: &[CrawlSnapshot]) -> GrowthTrend {
+    let mut points = Vec::with_capacity(snapshots.len());
+    let mut growth_rates = Vec::new();
+    let mut change_rates = Vec::new();
+    let mut removal_rates = Vec::new();
+    for (i, snapshot) in snapshots.iter().enumerate() {
+        let (added, removed, changed) = if i == 0 {
+            (snapshot.len(), 0, 0)
+        } else {
+            let diff = snapshots[i - 1].diff(snapshot);
+            (diff.added.len(), diff.removed.len(), diff.changed.len())
+        };
+        if i > 0 {
+            let prev = snapshots[i - 1].len().max(1) as f64;
+            growth_rates.push(added as f64 / prev);
+            change_rates.push(changed as f64 / prev);
+            removal_rates.push(removed as f64 / prev);
+        }
+        points.push(GrowthPoint {
+            week: snapshot.week,
+            date: snapshot.date.clone(),
+            listed: snapshot.len(),
+            added,
+            removed,
+            changed,
+        });
+    }
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    GrowthTrend {
+        points,
+        mean_growth_rate: mean(&growth_rates),
+        mean_change_rate: mean(&change_rates),
+        mean_removal_rate: mean(&removal_rates),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gptx_model::Gpt;
+
+    fn snapshot(week: u32, ids: &[&str]) -> CrawlSnapshot {
+        let mut s = CrawlSnapshot::new(week, &format!("2024-02-{:02}", 8 + week * 7));
+        for id in ids {
+            s.insert(Gpt::minimal(id, "T"));
+        }
+        s
+    }
+
+    #[test]
+    fn growth_and_removal_rates() {
+        let snapshots = vec![
+            snapshot(0, &["g-aaaaaaaaaa", "g-bbbbbbbbbb"]),
+            snapshot(1, &["g-aaaaaaaaaa", "g-bbbbbbbbbb", "g-cccccccccc"]),
+            snapshot(2, &["g-aaaaaaaaaa", "g-cccccccccc"]),
+        ];
+        let t = growth_trend(&snapshots);
+        assert_eq!(t.points.len(), 3);
+        assert_eq!(t.points[1].added, 1);
+        assert_eq!(t.points[2].removed, 1);
+        // growth: (1/2 + 0/3)/2 = 0.25; removal: (0/2 + 1/3)/2 = 1/6.
+        assert!((t.mean_growth_rate - 0.25).abs() < 1e-12);
+        assert!((t.mean_removal_rate - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn change_detection_counts() {
+        let s0 = snapshot(0, &["g-aaaaaaaaaa"]);
+        let mut s1 = snapshot(1, &["g-aaaaaaaaaa"]);
+        s1.gpts
+            .values_mut()
+            .next()
+            .unwrap()
+            .display
+            .description = "new description".into();
+        let t = growth_trend(&[s0, s1]);
+        assert_eq!(t.points[1].changed, 1);
+        assert!(t.mean_change_rate > 0.0);
+    }
+
+    #[test]
+    fn single_snapshot_has_no_rates() {
+        let t = growth_trend(&[snapshot(0, &["g-aaaaaaaaaa"])]);
+        assert_eq!(t.mean_growth_rate, 0.0);
+        assert_eq!(t.points[0].added, 1);
+    }
+
+    #[test]
+    fn empty_input_is_safe() {
+        let t = growth_trend(&[]);
+        assert!(t.points.is_empty());
+    }
+}

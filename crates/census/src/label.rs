@@ -1,0 +1,283 @@
+//! Per-GPT privacy labels — the paper's §7 user-facing proposal.
+//!
+//! "LLMs could be used to … [make recommendations] to users about
+//! whether the data to be collected is disclosed by the GPT (and its
+//! Actions) and for what purposes it will be used." A [`PrivacyLabel`]
+//! is the nutrition-label rendition of everything the toolkit measures
+//! about one GPT: what its Actions collect (by category), which
+//! collection is platform-prohibited, which Actions look like trackers,
+//! and which collected types its policies fail to disclose.
+
+use gptx_classifier::ActionProfile;
+use gptx_llm::DisclosureLabel;
+use gptx_model::{classify_party, Gpt, Party};
+use gptx_policy::ActionDisclosureReport;
+use gptx_taxonomy::{Category, DataType};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One Action's entry on the label.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActionLabelEntry {
+    pub identity: String,
+    pub name: String,
+    pub party: Party,
+    /// Collected succinct types.
+    pub collects: BTreeSet<DataType>,
+    /// Does the Action look like an advertising/analytics tracker?
+    pub is_tracker: bool,
+    /// Types collected but not consistently disclosed in its policy
+    /// (`None` when no policy analysis is available).
+    pub undisclosed: Option<BTreeSet<DataType>>,
+}
+
+/// The privacy label of one GPT.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrivacyLabel {
+    pub gpt_id: String,
+    pub gpt_name: String,
+    pub actions: Vec<ActionLabelEntry>,
+    /// Union of collection, grouped by category.
+    pub by_category: BTreeMap<Category, BTreeSet<DataType>>,
+    /// Platform-prohibited types collected (passwords — §5.1.2).
+    pub prohibited: BTreeSet<DataType>,
+    /// GDPR special-category data collected.
+    pub special_category: BTreeSet<DataType>,
+}
+
+impl PrivacyLabel {
+    /// Total distinct types collected across the GPT's Actions.
+    pub fn total_types(&self) -> usize {
+        self.by_category.values().map(BTreeSet::len).sum()
+    }
+
+    /// Any tracker-looking Action embedded?
+    pub fn has_trackers(&self) -> bool {
+        self.actions.iter().any(|a| a.is_tracker)
+    }
+
+    /// Union of undisclosed types across Actions with analyzed policies.
+    pub fn undisclosed(&self) -> BTreeSet<DataType> {
+        self.actions
+            .iter()
+            .filter_map(|a| a.undisclosed.as_ref())
+            .flatten()
+            .copied()
+            .collect()
+    }
+
+    /// Render the label as a text card.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "┌─ Privacy label — {} ({})\n",
+            self.gpt_name, self.gpt_id
+        );
+        if self.actions.is_empty() {
+            out.push_str("│ no Actions: conversations stay within the platform\n");
+            out.push_str("└─\n");
+            return out;
+        }
+        for (category, types) in &self.by_category {
+            let labels: Vec<&str> = types.iter().map(|d| d.label()).collect();
+            out.push_str(&format!("│ {}: {}\n", category.label(), labels.join(", ")));
+        }
+        if !self.prohibited.is_empty() {
+            let labels: Vec<&str> = self.prohibited.iter().map(|d| d.label()).collect();
+            out.push_str(&format!("│ !! platform-prohibited: {}\n", labels.join(", ")));
+        }
+        if !self.special_category.is_empty() {
+            let labels: Vec<&str> = self.special_category.iter().map(|d| d.label()).collect();
+            out.push_str(&format!("│ !! special-category data: {}\n", labels.join(", ")));
+        }
+        for action in &self.actions {
+            let party = match action.party {
+                Party::First => "first-party",
+                Party::Third => "third-party",
+            };
+            let tracker = if action.is_tracker { " [tracker]" } else { "" };
+            out.push_str(&format!(
+                "│ action {} ({party}){tracker}: {} types\n",
+                action.name,
+                action.collects.len()
+            ));
+        }
+        let undisclosed = self.undisclosed();
+        if undisclosed.is_empty() {
+            out.push_str("│ disclosures: all analyzed collection is disclosed\n");
+        } else {
+            let labels: Vec<&str> = undisclosed.iter().map(|d| d.label()).collect();
+            out.push_str(&format!(
+                "│ undisclosed collection: {}\n",
+                labels.join(", ")
+            ));
+        }
+        out.push_str("└─\n");
+        out
+    }
+}
+
+/// Does an Action look like an advertising/analytics tracker?
+pub fn is_tracker(name: &str, functionality: Option<&str>) -> bool {
+    let n = name.to_ascii_lowercase();
+    let f = functionality.map(str::to_ascii_lowercase).unwrap_or_default();
+    n.contains("adintelli")
+        || n.contains("analytics")
+        || n.contains("advert")
+        || f.contains("advertising")
+        || f.contains("analysis") && n.contains("assistant")
+}
+
+/// Build a privacy label for one GPT from per-Action profiles and
+/// (optionally) policy analysis reports, keyed by Action identity.
+pub fn privacy_label(
+    gpt: &Gpt,
+    profiles: &BTreeMap<String, ActionProfile>,
+    reports: &BTreeMap<String, &ActionDisclosureReport>,
+    functionality: &dyn Fn(&str) -> Option<String>,
+) -> PrivacyLabel {
+    let mut actions = Vec::new();
+    let mut by_category: BTreeMap<Category, BTreeSet<DataType>> = BTreeMap::new();
+    let mut prohibited = BTreeSet::new();
+    let mut special = BTreeSet::new();
+    for action in gpt.actions() {
+        let identity = action.identity();
+        let collects = profiles
+            .get(&identity)
+            .map(ActionProfile::succinct_types)
+            .unwrap_or_default();
+        for &d in &collects {
+            by_category.entry(d.category()).or_default().insert(d);
+            if d.prohibited_by_platform() {
+                prohibited.insert(d);
+            }
+            if d.is_special_category() {
+                special.insert(d);
+            }
+        }
+        let undisclosed = reports.get(&identity).map(|report| {
+            report
+                .per_type_labels()
+                .into_iter()
+                .filter(|(_, l)| !l.is_consistent() && *l != DisclosureLabel::Vague)
+                .map(|(d, _)| d)
+                .collect()
+        });
+        actions.push(ActionLabelEntry {
+            is_tracker: is_tracker(&action.name, functionality(&identity).as_deref()),
+            party: classify_party(gpt, action),
+            name: action.name.clone(),
+            identity,
+            collects,
+            undisclosed,
+        });
+    }
+    PrivacyLabel {
+        gpt_id: gpt.id.to_string(),
+        gpt_name: gpt.display.name.clone(),
+        actions,
+        by_category,
+        prohibited,
+        special_category: special,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gptx_classifier::ClassifiedField;
+    use gptx_model::openapi::DataField;
+    use gptx_model::{ActionSpec, Tool};
+
+    fn profile_for(action: &ActionSpec, types: &[DataType]) -> ActionProfile {
+        let fields = types
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| ClassifiedField {
+                field: DataField {
+                    name: format!("f{i}"),
+                    description: String::new(),
+                    endpoint: "post /x".into(),
+                },
+                data_type: d,
+                category: d.category(),
+            })
+            .collect();
+        ActionProfile::new(action, fields)
+    }
+
+    fn labeled_gpt() -> (Gpt, BTreeMap<String, ActionProfile>) {
+        let mut gpt = Gpt::minimal("g-aaaaaaaaaa", "Shop Helper");
+        let tracker = ActionSpec::minimal("t1", "AdIntelli", "https://api.adintelli.ai");
+        let service = ActionSpec::minimal("t2", "Login Svc", "https://api.login.dev");
+        let mut profiles = BTreeMap::new();
+        profiles.insert(
+            tracker.identity(),
+            profile_for(&tracker, &[DataType::InstalledApps, DataType::OtherUserGeneratedData]),
+        );
+        profiles.insert(
+            service.identity(),
+            profile_for(&service, &[DataType::Passwords, DataType::HealthInfo]),
+        );
+        gpt.tools.push(Tool::Action(tracker));
+        gpt.tools.push(Tool::Action(service));
+        (gpt, profiles)
+    }
+
+    #[test]
+    fn label_flags_trackers_and_prohibited_data() {
+        let (gpt, profiles) = labeled_gpt();
+        let label = privacy_label(&gpt, &profiles, &BTreeMap::new(), &|_| None);
+        assert!(label.has_trackers());
+        assert_eq!(label.prohibited, BTreeSet::from([DataType::Passwords]));
+        assert_eq!(label.special_category, BTreeSet::from([DataType::HealthInfo]));
+        assert_eq!(label.total_types(), 4);
+    }
+
+    #[test]
+    fn label_renders_card() {
+        let (gpt, profiles) = labeled_gpt();
+        let label = privacy_label(&gpt, &profiles, &BTreeMap::new(), &|_| None);
+        let card = label.render();
+        assert!(card.contains("Privacy label — Shop Helper"));
+        assert!(card.contains("[tracker]"));
+        assert!(card.contains("platform-prohibited: Passwords"));
+    }
+
+    #[test]
+    fn actionless_gpt_has_clean_label() {
+        let gpt = Gpt::minimal("g-bbbbbbbbbb", "Plain");
+        let label = privacy_label(&gpt, &BTreeMap::new(), &BTreeMap::new(), &|_| None);
+        assert_eq!(label.total_types(), 0);
+        assert!(!label.has_trackers());
+        assert!(label.render().contains("no Actions"));
+    }
+
+    #[test]
+    fn tracker_heuristic() {
+        assert!(is_tracker("AdIntelli", None));
+        assert!(is_tracker("Simple Analytics", None));
+        assert!(is_tracker("Promo", Some("Advertising & Marketing")));
+        assert!(!is_tracker("webPilot", Some("Productivity")));
+    }
+
+    #[test]
+    fn undisclosed_union_across_actions() {
+        use gptx_policy::{ActionDisclosureReport, ItemDisclosure};
+        let (gpt, profiles) = labeled_gpt();
+        let report = ActionDisclosureReport {
+            action_identity: "Login Svc@login.dev".into(),
+            collection_sentences: vec![],
+            items: vec![ItemDisclosure {
+                item: "password".into(),
+                data_type: DataType::Passwords,
+                label: DisclosureLabel::Omitted,
+                judgements: vec![],
+            }],
+        };
+        let mut reports: BTreeMap<String, &ActionDisclosureReport> = BTreeMap::new();
+        reports.insert(report.action_identity.clone(), &report);
+        let label = privacy_label(&gpt, &profiles, &reports, &|_| None);
+        assert_eq!(label.undisclosed(), BTreeSet::from([DataType::Passwords]));
+        assert!(label.render().contains("undisclosed collection: Passwords"));
+    }
+}

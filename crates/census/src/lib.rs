@@ -1,0 +1,25 @@
+//! # gptx-census
+//!
+//! The ecosystem census of Sections 4–5: longitudinal growth (Figure 3),
+//! property-change breakdown (Table 2), the removal code book (Table 3),
+//! tool usage and first-/third-party Action split (Table 4), Action
+//! multiplicity (§4.3), and the corpus-level data-collection aggregation
+//! behind Table 5, Figure 4, and Table 6.
+//!
+//! Everything here consumes *crawled* artifacts (snapshots, profiles,
+//! probes) — never the generator's ground truth — so the same code would
+//! run unchanged on a real crawl.
+
+pub mod changes;
+pub mod collection;
+pub mod growth;
+pub mod label;
+pub mod removal;
+pub mod tools;
+
+pub use changes::{change_breakdown, ChangeBreakdown};
+pub use collection::{CollectionRow, CorpusCollection, PrevalentAction};
+pub use growth::{growth_trend, GrowthPoint, GrowthTrend};
+pub use label::{is_tracker, privacy_label, ActionLabelEntry, PrivacyLabel};
+pub use removal::{classify_removal, removal_breakdown};
+pub use tools::{action_multiplicity, tool_usage, ActionMultiplicity, ToolUsage};

@@ -1,0 +1,183 @@
+//! Tool usage (Table 4) and Action-multiplicity statistics (§4.3).
+
+use gptx_model::{classify_party, Gpt, Party};
+use std::collections::BTreeMap;
+
+/// The Table 4 result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ToolUsage {
+    pub total_gpts: usize,
+    /// Tool label → fraction of GPTs enabling it.
+    pub tool_fractions: BTreeMap<&'static str, f64>,
+    /// Fraction of GPTs with any tool (paper: 97.5%).
+    pub any_tool_fraction: f64,
+    /// Among Action *embeddings*, the first-party fraction (paper: 17.1%).
+    pub first_party_fraction: f64,
+    /// Among Action *embeddings*, the third-party fraction (82.9%).
+    pub third_party_fraction: f64,
+}
+
+/// Compute Table 4 over a GPT corpus.
+pub fn tool_usage<'a, I: IntoIterator<Item = &'a Gpt>>(gpts: I) -> ToolUsage {
+    let labels = [
+        "Web Browser",
+        "DALLE",
+        "Code Interpreter",
+        "Knowledge (Files)",
+        "Actions",
+    ];
+    let mut counts: BTreeMap<&'static str, usize> = labels.iter().map(|&l| (l, 0)).collect();
+    let mut total = 0usize;
+    let mut any_tool = 0usize;
+    let mut first_party = 0usize;
+    let mut embeddings = 0usize;
+    for gpt in gpts {
+        total += 1;
+        if !gpt.tools.is_empty() {
+            any_tool += 1;
+        }
+        for label in labels {
+            if gpt.has_tool(label) {
+                *counts.get_mut(label).expect("fixed labels") += 1;
+            }
+        }
+        for action in gpt.actions() {
+            embeddings += 1;
+            if classify_party(gpt, action) == Party::First {
+                first_party += 1;
+            }
+        }
+    }
+    let denom = total.max(1) as f64;
+    let embed_denom = embeddings.max(1) as f64;
+    ToolUsage {
+        total_gpts: total,
+        tool_fractions: counts
+            .into_iter()
+            .map(|(l, c)| (l, c as f64 / denom))
+            .collect(),
+        any_tool_fraction: any_tool as f64 / denom,
+        first_party_fraction: first_party as f64 / embed_denom,
+        third_party_fraction: (embeddings - first_party) as f64 / embed_denom,
+    }
+}
+
+/// §4.3's Action-multiplicity statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActionMultiplicity {
+    /// Action-embedding GPTs.
+    pub action_gpts: usize,
+    /// GPT count per number of embedded Actions (1, 2, 3, 4+).
+    pub by_count: [usize; 4],
+    /// Among multi-Action GPTs: fraction whose Actions span >1
+    /// registrable domain (paper: 55.3%).
+    pub multi_domain_fraction: f64,
+}
+
+/// Compute the multiplicity stats.
+pub fn action_multiplicity<'a, I: IntoIterator<Item = &'a Gpt>>(gpts: I) -> ActionMultiplicity {
+    let mut by_count = [0usize; 4];
+    let mut action_gpts = 0usize;
+    let mut multi = 0usize;
+    let mut multi_domain = 0usize;
+    for gpt in gpts {
+        let n = gpt.actions().len();
+        if n == 0 {
+            continue;
+        }
+        action_gpts += 1;
+        by_count[(n - 1).min(3)] += 1;
+        if n >= 2 {
+            multi += 1;
+            if gpt.action_domains().len() > 1 {
+                multi_domain += 1;
+            }
+        }
+    }
+    ActionMultiplicity {
+        action_gpts,
+        by_count,
+        multi_domain_fraction: multi_domain as f64 / multi.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gptx_model::{ActionSpec, Tool};
+
+    fn gpt(id: &str, tools: Vec<Tool>) -> Gpt {
+        let mut g = Gpt::minimal(id, "T");
+        g.tools = tools;
+        g
+    }
+
+    fn action(name: &str, domain: &str) -> Tool {
+        Tool::Action(ActionSpec::minimal("t", name, &format!("https://api.{domain}")))
+    }
+
+    #[test]
+    fn tool_fractions() {
+        let gpts = vec![
+            gpt("g-aaaaaaaaaa", vec![Tool::Browser, Tool::Dalle]),
+            gpt("g-bbbbbbbbbb", vec![Tool::Browser]),
+            gpt("g-cccccccccc", vec![]),
+        ];
+        let t = tool_usage(&gpts);
+        assert_eq!(t.total_gpts, 3);
+        assert!((t.tool_fractions["Web Browser"] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((t.tool_fractions["DALLE"] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((t.any_tool_fraction - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn party_split_over_embeddings() {
+        let mut first = gpt("g-aaaaaaaaaa", vec![action("Own", "own.dev")]);
+        first.author.website = Some("https://www.own.dev".into());
+        let third = gpt("g-bbbbbbbbbb", vec![action("Ext", "ext.dev")]);
+        let t = tool_usage(&[first, third]);
+        assert!((t.first_party_fraction - 0.5).abs() < 1e-12);
+        assert!((t.third_party_fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiplicity_buckets() {
+        let gpts = vec![
+            gpt("g-aaaaaaaaaa", vec![action("A", "a.dev")]),
+            gpt("g-bbbbbbbbbb", vec![action("A", "a.dev"), action("B", "b.dev")]),
+            gpt(
+                "g-cccccccccc",
+                vec![
+                    action("A", "a.dev"),
+                    action("B", "b.dev"),
+                    action("C", "c.dev"),
+                    action("D", "d.dev"),
+                    action("E", "e.dev"),
+                ],
+            ),
+            gpt("g-dddddddddd", vec![Tool::Browser]),
+        ];
+        let m = action_multiplicity(&gpts);
+        assert_eq!(m.action_gpts, 3);
+        assert_eq!(m.by_count, [1, 1, 0, 1]);
+    }
+
+    #[test]
+    fn multi_domain_fraction() {
+        let cross = gpt("g-aaaaaaaaaa", vec![action("A", "a.dev"), action("B", "b.dev")]);
+        let same = gpt(
+            "g-bbbbbbbbbb",
+            vec![action("A Search", "svc.dev"), action("A Fetch", "svc.dev")],
+        );
+        let m = action_multiplicity(&[cross, same]);
+        assert!((m.multi_domain_fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let t = tool_usage(std::iter::empty());
+        assert_eq!(t.total_gpts, 0);
+        let m = action_multiplicity(std::iter::empty());
+        assert_eq!(m.action_gpts, 0);
+    }
+}

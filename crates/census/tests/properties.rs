@@ -1,0 +1,108 @@
+//! Property-based tests for the census analyses.
+
+use gptx_census::{action_multiplicity, classify_removal, growth_trend, tool_usage};
+use gptx_crawler::ApiProbe;
+use gptx_model::snapshot::CrawlSnapshot;
+use gptx_model::{ActionSpec, Gpt, RemovalReason, Tool};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn gpt_strategy() -> impl Strategy<Value = Gpt> {
+    (
+        "[a-zA-Z0-9]{10}",
+        "[a-zA-Z ]{1,24}",
+        "[a-zA-Z .,]{0,60}",
+        prop::collection::vec(("[A-Za-z ]{1,12}", "[a-z]{2,8}\\.[a-z]{2,3}"), 0..4),
+        prop::bool::ANY,
+        prop::bool::ANY,
+    )
+        .prop_map(|(code, name, description, actions, browser, dalle)| {
+            let mut gpt = Gpt::minimal(&format!("g-{code}"), &name);
+            gpt.display.description = description;
+            if browser {
+                gpt.tools.push(Tool::Browser);
+            }
+            if dalle {
+                gpt.tools.push(Tool::Dalle);
+            }
+            for (aname, domain) in actions {
+                gpt.tools.push(Tool::Action(ActionSpec::minimal(
+                    "t",
+                    &aname,
+                    &format!("https://api.{domain}"),
+                )));
+            }
+            gpt
+        })
+}
+
+proptest! {
+    #[test]
+    fn classify_removal_is_total(gpt in gpt_strategy()) {
+        // Arbitrary names/descriptions/domains never panic the codebook,
+        // and the result is always one of the Table 3 labels.
+        let reason = classify_removal(&gpt, &BTreeMap::new());
+        prop_assert!(RemovalReason::ALL.contains(&reason));
+    }
+
+    #[test]
+    fn dead_probe_only_escalates(gpt in gpt_strategy()) {
+        // Adding dead-API evidence can only move a GPT from the weaker
+        // rules (inconclusive / browsing) toward InactiveActionApis —
+        // it never changes stronger classifications.
+        let without = classify_removal(&gpt, &BTreeMap::new());
+        let mut probes = BTreeMap::new();
+        for action in gpt.actions() {
+            probes.insert(action.identity(), ApiProbe { status: 410, body: String::new() });
+        }
+        let with = classify_removal(&gpt, &probes);
+        match without {
+            RemovalReason::Inconclusive | RemovalReason::WebBrowsing => {
+                if gpt.has_actions() {
+                    prop_assert_eq!(with, RemovalReason::InactiveActionApis);
+                }
+            }
+            other => prop_assert_eq!(with, other),
+        }
+    }
+
+    #[test]
+    fn tool_usage_fractions_bounded(gpts in prop::collection::vec(gpt_strategy(), 0..20)) {
+        let usage = tool_usage(gpts.iter());
+        for fraction in usage.tool_fractions.values() {
+            prop_assert!((0.0..=1.0).contains(fraction));
+        }
+        prop_assert!((0.0..=1.0).contains(&usage.any_tool_fraction));
+        let party_sum = usage.first_party_fraction + usage.third_party_fraction;
+        // Sums to 1 when any embeddings exist; both zero-denominator
+        // conventions otherwise.
+        if gpts.iter().any(|g| g.has_actions()) {
+            prop_assert!((party_sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn multiplicity_counts_conserve(gpts in prop::collection::vec(gpt_strategy(), 0..20)) {
+        let m = action_multiplicity(gpts.iter());
+        prop_assert_eq!(m.by_count.iter().sum::<usize>(), m.action_gpts);
+        prop_assert!((0.0..=1.0).contains(&m.multi_domain_fraction));
+    }
+
+    #[test]
+    fn growth_trend_points_match_snapshots(weeks in 1usize..6, per_week in 1usize..12) {
+        let mut snapshots = Vec::new();
+        for w in 0..weeks {
+            let mut snap = CrawlSnapshot::new(w as u32, &format!("2024-02-{:02}", 8 + w));
+            for i in 0..(per_week + w) {
+                snap.insert(Gpt::minimal(&format!("g-{:010}", i), "T"));
+            }
+            snapshots.push(snap);
+        }
+        let trend = growth_trend(&snapshots);
+        prop_assert_eq!(trend.points.len(), weeks);
+        for (point, snap) in trend.points.iter().zip(&snapshots) {
+            prop_assert_eq!(point.listed, snap.len());
+        }
+        prop_assert!(trend.mean_growth_rate >= 0.0);
+    }
+}

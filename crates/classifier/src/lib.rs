@@ -1,0 +1,290 @@
+//! # gptx-classifier
+//!
+//! Static analysis of the natural-language "source code" of GPTs and
+//! their Actions (Section 5.1.1 of the paper).
+//!
+//! Actions describe the data each API endpoint collects in free-text
+//! OpenAPI descriptions. The classifier walks those specs, extracts every
+//! described data field (a *raw data type*), and asks the language model
+//! to map each onto a *succinct data type* from the Table 13 taxonomy —
+//! through the [`gptx_llm::LanguageModel`] trait, with prompt templates,
+//! malformed-response retries, and a classification cache (identical
+//! descriptions recur constantly across Actions; the paper's tooling
+//! would otherwise re-pay the LLM for each).
+//!
+//! The output is an [`ActionProfile`] per Action: raw fields, per-field
+//! classifications, and the deduplicated set of succinct types. Figure 4
+//! (raw vs. processed data-type counts) falls directly out of these
+//! profiles.
+
+pub mod profile;
+
+pub use profile::{ActionProfile, ClassifiedField};
+
+use gptx_llm::{ClassificationRequest, ClassificationResponse, LanguageModel, LlmError};
+use gptx_model::{ActionSpec, Gpt};
+use gptx_taxonomy::KnowledgeBase;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Errors from the classification pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClassifierError {
+    /// The model failed even after retries.
+    Llm(LlmError),
+}
+
+impl std::fmt::Display for ClassifierError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClassifierError::Llm(e) => write!(f, "language model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClassifierError {}
+
+/// Counters describing a classification run (exposed so experiments can
+/// report cache efficiency and model reliability).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassifierStats {
+    pub requests: usize,
+    pub cache_hits: usize,
+    pub retries: usize,
+    pub failures: usize,
+}
+
+/// The LLM-based data-type classification tool.
+pub struct Classifier<'m, M: LanguageModel> {
+    model: &'m M,
+    kb: KnowledgeBase,
+    max_retries: usize,
+    cache: RefCell<HashMap<String, ClassificationResponse>>,
+    stats: RefCell<ClassifierStats>,
+}
+
+impl<'m, M: LanguageModel> Classifier<'m, M> {
+    /// Build a classifier over `model` using the full taxonomy and two
+    /// retries on malformed responses.
+    pub fn new(model: &'m M) -> Classifier<'m, M> {
+        Classifier::with_knowledge_base(model, KnowledgeBase::full())
+    }
+
+    /// Build with an explicit knowledge base (ablation knob).
+    pub fn with_knowledge_base(model: &'m M, kb: KnowledgeBase) -> Classifier<'m, M> {
+        Classifier {
+            model,
+            kb,
+            max_retries: 2,
+            cache: RefCell::new(HashMap::new()),
+            stats: RefCell::new(ClassifierStats::default()),
+        }
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> ClassifierStats {
+        *self.stats.borrow()
+    }
+
+    /// Classify one free-text data description into a succinct data type.
+    ///
+    /// Responses that fail to parse are retried up to `max_retries`
+    /// times; persistent failures surface as [`ClassifierError::Llm`].
+    pub fn classify(&self, description: &str) -> Result<ClassificationResponse, ClassifierError> {
+        if let Some(hit) = self.cache.borrow().get(description) {
+            self.stats.borrow_mut().cache_hits += 1;
+            return Ok(*hit);
+        }
+        let prompt = ClassificationRequest {
+            description,
+            kb: &self.kb,
+        }
+        .to_prompt();
+        let mut last_err = None;
+        for attempt in 0..=self.max_retries {
+            self.stats.borrow_mut().requests += 1;
+            if attempt > 0 {
+                self.stats.borrow_mut().retries += 1;
+            }
+            match self.model.complete(&prompt) {
+                Ok(text) => match ClassificationResponse::parse(&text) {
+                    Ok(resp) => {
+                        self.cache
+                            .borrow_mut()
+                            .insert(description.to_string(), resp);
+                        return Ok(resp);
+                    }
+                    Err(e) => last_err = Some(e),
+                },
+                Err(e @ LlmError::ContextOverflow { .. }) => {
+                    // Retrying an overflowing prompt cannot help.
+                    self.stats.borrow_mut().failures += 1;
+                    return Err(ClassifierError::Llm(e));
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        self.stats.borrow_mut().failures += 1;
+        Err(ClassifierError::Llm(last_err.expect("loop ran at least once")))
+    }
+
+    /// Profile an Action: extract raw fields and classify each.
+    pub fn profile_action(&self, action: &ActionSpec) -> Result<ActionProfile, ClassifierError> {
+        let raw_fields = action.spec.data_fields();
+        let mut classified = Vec::with_capacity(raw_fields.len());
+        for field in &raw_fields {
+            let resp = self.classify(&field.classification_text())?;
+            classified.push(ClassifiedField {
+                field: field.clone(),
+                data_type: resp.data_type,
+                category: resp.category,
+            });
+        }
+        Ok(ActionProfile::new(action, classified))
+    }
+
+    /// Profile every Action embedded in a GPT.
+    pub fn profile_gpt(&self, gpt: &Gpt) -> Result<Vec<ActionProfile>, ClassifierError> {
+        gpt.actions()
+            .into_iter()
+            .map(|a| self.profile_action(a))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gptx_llm::KbModel;
+    use gptx_model::openapi::{Operation, Parameter, PathItem};
+    use gptx_taxonomy::DataType;
+
+    fn weather_action() -> ActionSpec {
+        let mut a = ActionSpec::minimal("t1", "Get weather data", "https://api.weather.test");
+        a.spec.paths.insert(
+            "/forecast".to_string(),
+            PathItem {
+                get: Some(Operation {
+                    parameters: vec![
+                        Parameter {
+                            name: "city".into(),
+                            location: "query".into(),
+                            description: "The city for which weather data is requested.".into(),
+                            required: true,
+                            schema: None,
+                        },
+                        Parameter {
+                            name: "units".into(),
+                            location: "query".into(),
+                            description: "Preferred units setting for the results.".into(),
+                            required: false,
+                            schema: None,
+                        },
+                    ],
+                    ..Default::default()
+                }),
+                ..Default::default()
+            },
+        );
+        a
+    }
+
+    #[test]
+    fn profiles_weather_action() {
+        let model = KbModel::new(KnowledgeBase::full());
+        let c = Classifier::new(&model);
+        let p = c.profile_action(&weather_action()).unwrap();
+        assert_eq!(p.raw_count(), 2);
+        assert!(p.collects(DataType::ApproximateLocation));
+        assert!(p.collects(DataType::SettingsOrParameters));
+        assert_eq!(p.succinct_count(), 2);
+    }
+
+    #[test]
+    fn cache_avoids_duplicate_model_calls() {
+        let model = KbModel::new(KnowledgeBase::full());
+        let c = Classifier::new(&model);
+        c.classify("The user's email address").unwrap();
+        c.classify("The user's email address").unwrap();
+        let s = c.stats();
+        assert_eq!(s.requests, 1);
+        assert_eq!(s.cache_hits, 1);
+    }
+
+    #[test]
+    fn retries_then_fails_on_persistent_malformed_output() {
+        struct Garbage;
+        impl LanguageModel for Garbage {
+            fn name(&self) -> &str {
+                "garbage"
+            }
+            fn context_window(&self) -> usize {
+                1_000_000
+            }
+            fn complete(&self, _prompt: &str) -> Result<String, LlmError> {
+                Ok("I'm not sure, maybe an email?".to_string())
+            }
+        }
+        let model = Garbage;
+        let c = Classifier::new(&model);
+        let err = c.classify("email").unwrap_err();
+        assert!(matches!(err, ClassifierError::Llm(LlmError::MalformedResponse(_))));
+        let s = c.stats();
+        assert_eq!(s.requests, 3); // 1 try + 2 retries
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.failures, 1);
+    }
+
+    #[test]
+    fn context_overflow_is_not_retried() {
+        struct Tiny;
+        impl LanguageModel for Tiny {
+            fn name(&self) -> &str {
+                "tiny"
+            }
+            fn context_window(&self) -> usize {
+                4
+            }
+            fn complete(&self, prompt: &str) -> Result<String, LlmError> {
+                self.check_context(prompt)?;
+                unreachable!("prompt always overflows in this test")
+            }
+        }
+        let model = Tiny;
+        let c = Classifier::new(&model);
+        let err = c.classify("The user's email address").unwrap_err();
+        assert!(matches!(
+            err,
+            ClassifierError::Llm(LlmError::ContextOverflow { .. })
+        ));
+        assert_eq!(c.stats().requests, 1);
+    }
+
+    #[test]
+    fn profile_gpt_covers_all_actions() {
+        let model = KbModel::new(KnowledgeBase::full());
+        let c = Classifier::new(&model);
+        let mut gpt = Gpt::minimal("g-aaaaaaaaaa", "Multi");
+        gpt.tools.push(gptx_model::Tool::Action(weather_action()));
+        gpt.tools.push(gptx_model::Tool::Browser);
+        gpt.tools.push(gptx_model::Tool::Action(ActionSpec::minimal(
+            "t2",
+            "Empty",
+            "https://e.test",
+        )));
+        let profiles = c.profile_gpt(&gpt).unwrap();
+        assert_eq!(profiles.len(), 2);
+        assert_eq!(profiles[1].raw_count(), 0);
+    }
+
+    #[test]
+    fn restricted_kb_changes_output_vocabulary() {
+        let model = KbModel::new(KnowledgeBase::full());
+        let kb = KnowledgeBase::with_types(&[DataType::Name]);
+        let c = Classifier::with_knowledge_base(&model, kb);
+        // The model still answers from its own grounding; the classifier's
+        // KB only shapes the prompt. Verify the prompt-driven path works.
+        let r = c.classify("The user's first and last name").unwrap();
+        assert_eq!(r.data_type, DataType::Name);
+    }
+}

@@ -1,0 +1,149 @@
+//! Per-Action data-collection profiles.
+
+use gptx_model::openapi::DataField;
+use gptx_model::ActionSpec;
+use gptx_taxonomy::{Category, DataType};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// One raw field together with its classification.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassifiedField {
+    pub field: DataField,
+    pub data_type: DataType,
+    pub category: Category,
+}
+
+/// The data-collection profile of a single Action.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActionProfile {
+    /// Cross-GPT Action identity (`name@etld+1`).
+    pub action_identity: String,
+    /// Display name of the Action.
+    pub action_name: String,
+    /// Registrable domain of the Action's API, when resolvable.
+    pub domain: Option<String>,
+    /// Every classified raw field, in spec order.
+    pub fields: Vec<ClassifiedField>,
+}
+
+impl ActionProfile {
+    pub fn new(action: &ActionSpec, fields: Vec<ClassifiedField>) -> ActionProfile {
+        ActionProfile {
+            action_identity: action.identity(),
+            action_name: action.name.clone(),
+            domain: action.server_etld_plus_one(),
+            fields,
+        }
+    }
+
+    /// Number of raw data types (Figure 4's "raw" series).
+    pub fn raw_count(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// The deduplicated succinct data types this Action collects.
+    pub fn succinct_types(&self) -> BTreeSet<DataType> {
+        self.fields.iter().map(|f| f.data_type).collect()
+    }
+
+    /// Number of distinct succinct data types (Figure 4's "processed"
+    /// series; Table 6's "# Data types" column).
+    pub fn succinct_count(&self) -> usize {
+        self.succinct_types().len()
+    }
+
+    /// Does the Action collect a given succinct type?
+    pub fn collects(&self, data_type: DataType) -> bool {
+        self.fields.iter().any(|f| f.data_type == data_type)
+    }
+
+    /// The categories spanned by this Action's collection.
+    pub fn categories(&self) -> BTreeSet<Category> {
+        self.fields.iter().map(|f| f.category).collect()
+    }
+
+    /// Succinct types whose collection the platform prohibits
+    /// (Section 5.1.2's passwords finding).
+    pub fn prohibited_types(&self) -> Vec<DataType> {
+        self.succinct_types()
+            .into_iter()
+            .filter(|d| d.prohibited_by_platform())
+            .collect()
+    }
+
+    /// Raw descriptions (classification text) for the policy-consistency
+    /// pipeline, paired with their succinct types.
+    pub fn data_items(&self) -> Vec<(String, DataType)> {
+        self.fields
+            .iter()
+            .map(|f| (f.field.classification_text(), f.data_type))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile_with(types: &[DataType]) -> ActionProfile {
+        let action = ActionSpec::minimal("t", "Test", "https://api.test.dev");
+        let fields = types
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| ClassifiedField {
+                field: DataField {
+                    name: format!("f{i}"),
+                    description: format!("field {i}"),
+                    endpoint: "post /x".into(),
+                },
+                data_type: d,
+                category: d.category(),
+            })
+            .collect();
+        ActionProfile::new(&action, fields)
+    }
+
+    #[test]
+    fn raw_vs_succinct_counts() {
+        let p = profile_with(&[
+            DataType::EmailAddress,
+            DataType::EmailAddress,
+            DataType::Name,
+        ]);
+        assert_eq!(p.raw_count(), 3);
+        assert_eq!(p.succinct_count(), 2);
+    }
+
+    #[test]
+    fn collects_and_categories() {
+        let p = profile_with(&[DataType::Passwords, DataType::WebsiteVisits]);
+        assert!(p.collects(DataType::Passwords));
+        assert!(!p.collects(DataType::Name));
+        assert!(p.categories().contains(&Category::WebBrowsing));
+    }
+
+    #[test]
+    fn prohibited_detection() {
+        let p = profile_with(&[DataType::Passwords, DataType::Name]);
+        assert_eq!(p.prohibited_types(), vec![DataType::Passwords]);
+        let clean = profile_with(&[DataType::Name]);
+        assert!(clean.prohibited_types().is_empty());
+    }
+
+    #[test]
+    fn data_items_pair_text_and_type() {
+        let p = profile_with(&[DataType::Name]);
+        let items = p.data_items();
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].1, DataType::Name);
+        assert!(items[0].0.contains("field 0"));
+    }
+
+    #[test]
+    fn identity_propagates_from_action() {
+        let p = profile_with(&[]);
+        assert_eq!(p.action_identity, "Test@test.dev");
+        assert_eq!(p.domain.as_deref(), Some("test.dev"));
+    }
+}

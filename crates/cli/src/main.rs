@@ -1,0 +1,477 @@
+//! `gptx` — the command-line interface of the audit toolkit.
+//!
+//! ```text
+//! gptx list                          list all experiments
+//! gptx reproduce all                 run the pipeline, print every table/figure
+//! gptx reproduce t5 f8 --seed 7      run specific experiments
+//! gptx generate --out eco.json       generate an ecosystem to JSON
+//! gptx serve --seed 7                serve an ecosystem over HTTP until EOF
+//! gptx crawl --out archive.json      crawl a served ecosystem into an archive
+//! ```
+
+use gptx::{experiments, FaultConfig, Pipeline, SynthConfig};
+use std::io::Read;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().map(String::as_str) else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    match command {
+        "list" => list(),
+        "reproduce" => reproduce(rest),
+        "generate" => generate(rest),
+        "serve" => serve(rest),
+        "crawl" => crawl(rest),
+        "label" => label(rest),
+        "analyze" => analyze(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command {other:?}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "gptx — audit toolkit for data collection in LLM app ecosystems
+
+USAGE:
+    gptx list
+    gptx reproduce <id>... | all   [--seed N] [--scale tiny|small|medium|paper] [--faults]
+    gptx generate                  [--seed N] [--scale ...] [--out FILE]
+    gptx serve                     [--seed N] [--scale ...]            (runs until stdin EOF)
+    gptx crawl                     [--seed N] [--scale ...] [--out FILE]
+    gptx label                     [--seed N] [--scale ...] [--gpt ID] [--max N]
+    gptx analyze <id>... | all     --archive FILE --eco FILE   (offline analysis)
+
+SCALES:
+    tiny    ~400 GPTs, 4 weeks      (seconds)
+    small   ~6,000 GPTs, 13 weeks   (default; tens of seconds)
+    medium  ~20,000 GPTs, 13 weeks
+    paper   ~70,000 GPTs, 13 weeks  (the paper's population scale)";
+
+/// Parse `--flag value` style options out of an argument list; returns
+/// the positional arguments.
+fn split_args(args: &[String]) -> (Vec<String>, std::collections::BTreeMap<String, String>) {
+    let mut positional = Vec::new();
+    let mut options = std::collections::BTreeMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            // Boolean flags take no value.
+            if name == "faults" {
+                options.insert(name.to_string(), "true".to_string());
+                i += 1;
+            } else if i + 1 < args.len() {
+                options.insert(name.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                options.insert(name.to_string(), String::new());
+                i += 1;
+            }
+        } else {
+            positional.push(a.clone());
+            i += 1;
+        }
+    }
+    (positional, options)
+}
+
+fn config_from(options: &std::collections::BTreeMap<String, String>) -> Result<SynthConfig, String> {
+    let seed: u64 = options
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| format!("bad --seed {s:?}")))
+        .transpose()?
+        .unwrap_or(2024);
+    let mut config = match options.get("scale").map(String::as_str) {
+        Some("tiny") => SynthConfig::tiny(seed),
+        None | Some("small") => SynthConfig {
+            seed,
+            ..SynthConfig::default()
+        },
+        Some("medium") => SynthConfig {
+            seed,
+            base_gpts: 20_000,
+            ..SynthConfig::default()
+        },
+        Some("paper") => SynthConfig::paper_scale(seed),
+        Some(other) => return Err(format!("unknown --scale {other:?}")),
+    };
+    if let Some(base) = options.get("base") {
+        config.base_gpts = base.parse().map_err(|_| format!("bad --base {base:?}"))?;
+    }
+    if let Some(weeks) = options.get("weeks") {
+        config.weeks = weeks.parse().map_err(|_| format!("bad --weeks {weeks:?}"))?;
+    }
+    Ok(config)
+}
+
+fn list() -> ExitCode {
+    println!("available experiments:");
+    for (id, description) in experiments::ALL {
+        println!("  {id:<8} {description}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn reproduce(args: &[String]) -> ExitCode {
+    let (positional, options) = split_args(args);
+    if positional.is_empty() {
+        eprintln!("reproduce needs experiment ids or 'all'\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    let config = match config_from(&options) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut pipeline = Pipeline::new(config);
+    if !options.contains_key("faults") {
+        pipeline = pipeline.without_faults();
+    }
+    eprintln!(
+        "running pipeline: {} GPTs, {} weeks, seed {} ...",
+        pipeline.config.base_gpts, pipeline.config.weeks, pipeline.config.seed
+    );
+    let run = match pipeline.run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pipeline failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if positional.iter().any(|p| p == "all") {
+        println!("{}", experiments::render_all(&run));
+    } else {
+        for id in &positional {
+            match experiments::render(id, &run) {
+                Some(out) => println!("{out}"),
+                None => {
+                    eprintln!("unknown experiment {id:?} — see `gptx list`");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    // Side artifact: Figure 5's DOT file.
+    if let Some(path) = options.get("dot") {
+        let largest = run.graph.largest_component();
+        let dot = run.graph.to_dot(Some(&largest), 4);
+        if let Err(e) = std::fs::write(path, dot) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote co-occurrence graph to {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn generate(args: &[String]) -> ExitCode {
+    let (_, options) = split_args(args);
+    let config = match config_from(&options) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let eco = gptx::Ecosystem::generate(config);
+    let json = match serde_json::to_string(&eco) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("serialization failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match options.get("out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "wrote ecosystem ({} unique GPTs, {} distinct Actions) to {path}",
+                eco.dynamics.total_unique,
+                eco.registry.len()
+            );
+        }
+        None => println!("{json}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn serve(args: &[String]) -> ExitCode {
+    let (_, options) = split_args(args);
+    let config = match config_from(&options) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let eco = Arc::new(gptx::Ecosystem::generate(config));
+    let handle = match gptx::store::EcosystemHandle::start(Arc::clone(&eco), FaultConfig::default())
+    {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("failed to bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("serving {} GPTs on http://{}", eco.final_week().snapshot.len(), handle.addr());
+    println!("example: curl -H 'Host: plugin.surf' http://{}/", handle.addr());
+    println!("reading stdin; EOF shuts down.");
+    let mut sink = String::new();
+    let _ = std::io::stdin().read_to_string(&mut sink);
+    handle.shutdown();
+    ExitCode::SUCCESS
+}
+
+/// Print privacy labels for GPTs of a generated ecosystem (the §7
+/// user-facing extension).
+/// Offline analysis of a saved crawl archive + ecosystem (the paper's
+/// crawl-then-analyze workflow; files come from `gptx crawl --out` and
+/// `gptx generate --out`).
+fn analyze(args: &[String]) -> ExitCode {
+    let (positional, options) = split_args(args);
+    let (Some(archive_path), Some(eco_path)) = (options.get("archive"), options.get("eco"))
+    else {
+        eprintln!("analyze needs --archive FILE and --eco FILE\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let archive_json = match std::fs::read_to_string(archive_path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("cannot read {archive_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let eco_json = match std::fs::read_to_string(eco_path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("cannot read {eco_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let archive = match gptx::crawler::CrawlArchive::from_json(&archive_json) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bad archive: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let eco: gptx::Ecosystem = match serde_json::from_str(&eco_json) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("bad ecosystem: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "analyzing archive ({} snapshots, {} policies) offline...",
+        archive.snapshots.len(),
+        archive.policies.len()
+    );
+    let run = match gptx::AnalysisRun::analyze(eco, archive, Default::default()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("analysis failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ids: Vec<String> = if positional.is_empty() || positional.iter().any(|p| p == "all") {
+        experiments::ALL.iter().map(|(id, _)| id.to_string()).collect()
+    } else {
+        positional
+    };
+    for id in &ids {
+        match experiments::render(id, &run) {
+            Some(out) => println!("{out}"),
+            None => {
+                eprintln!("unknown experiment {id:?} — see `gptx list`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn label(args: &[String]) -> ExitCode {
+    let (_, options) = split_args(args);
+    let config = match config_from(&options) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("running pipeline for labels (seed {}, {} GPTs)...", config.seed, config.base_gpts);
+    let run = match Pipeline::new(config).without_faults().run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pipeline failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let unique = run.archive.all_unique_gpts();
+    let reports: std::collections::BTreeMap<String, &gptx::policy::ActionDisclosureReport> = run
+        .reports
+        .iter()
+        .map(|r| (r.action_identity.clone(), r))
+        .collect();
+    let functionality = |id: &str| Some(run.functionality_of(id));
+    if let Some(wanted) = options.get("gpt") {
+        let key = gptx::model::GptId(wanted.clone());
+        match unique.get(&key) {
+            Some(gpt) => {
+                let card =
+                    gptx::census::privacy_label(gpt, &run.profiles, &reports, &functionality);
+                println!("{}", card.render());
+                return ExitCode::SUCCESS;
+            }
+            None => {
+                eprintln!("GPT {wanted} not found in the crawled corpus");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let max: usize = options
+        .get("max")
+        .and_then(|m| m.parse().ok())
+        .unwrap_or(5);
+    let mut shown = 0;
+    for gpt in unique.values().filter(|g| g.has_actions()) {
+        let card = gptx::census::privacy_label(gpt, &run.profiles, &reports, &functionality);
+        println!("{}", card.render());
+        shown += 1;
+        if shown >= max {
+            break;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn crawl(args: &[String]) -> ExitCode {
+    let (_, options) = split_args(args);
+    let config = match config_from(&options) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let eco = Arc::new(gptx::Ecosystem::generate(config));
+    let handle = match gptx::store::EcosystemHandle::start(Arc::clone(&eco), FaultConfig::default())
+    {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("failed to bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let crawler = gptx::crawler::Crawler::new(handle.addr()).with_threads(8);
+    let store_names: Vec<&str> = gptx::synth::STORES.iter().map(|(n, _)| *n).collect();
+    let weeks: Vec<(u32, String)> = eco.weeks.iter().map(|w| (w.week, w.date.clone())).collect();
+    let archive = match crawler.crawl_campaign(&weeks, &store_names, |w| handle.set_week(w)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("crawl failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stats = crawler.stats();
+    handle.shutdown();
+    eprintln!(
+        "crawled {} unique GPTs over {} weeks (gizmo success {:.1}%, policy success {:.1}%)",
+        archive.all_unique_gpts().len(),
+        archive.snapshots.len(),
+        stats.gizmo_success_rate() * 100.0,
+        stats.policy_success_rate() * 100.0,
+    );
+    let json = match archive.to_json() {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("serialization failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match options.get("out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote archive to {path}");
+        }
+        None => println!("{json}"),
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn split_args_separates_positional_and_options() {
+        let (pos, opts) = split_args(&args(&["t5", "f8", "--seed", "7", "--faults"]));
+        assert_eq!(pos, vec!["t5", "f8"]);
+        assert_eq!(opts.get("seed").map(String::as_str), Some("7"));
+        assert_eq!(opts.get("faults").map(String::as_str), Some("true"));
+    }
+
+    #[test]
+    fn split_args_handles_trailing_flag() {
+        let (_, opts) = split_args(&args(&["--out"]));
+        assert_eq!(opts.get("out").map(String::as_str), Some(""));
+    }
+
+    #[test]
+    fn config_from_defaults_to_small_scale() {
+        let (_, opts) = split_args(&args(&[]));
+        let config = config_from(&opts).unwrap();
+        assert_eq!(config.seed, 2024);
+        assert_eq!(config.base_gpts, 6_000);
+    }
+
+    #[test]
+    fn config_from_scales() {
+        for (scale, base) in [("tiny", 400usize), ("medium", 20_000), ("paper", 70_000)] {
+            let (_, opts) = split_args(&args(&["--scale", scale, "--seed", "9"]));
+            let config = config_from(&opts).unwrap();
+            assert_eq!(config.base_gpts, base, "{scale}");
+            assert_eq!(config.seed, 9);
+        }
+    }
+
+    #[test]
+    fn config_from_base_and_weeks_overrides() {
+        let (_, opts) = split_args(&args(&["--base", "1234", "--weeks", "5"]));
+        let config = config_from(&opts).unwrap();
+        assert_eq!(config.base_gpts, 1234);
+        assert_eq!(config.weeks, 5);
+    }
+
+    #[test]
+    fn config_from_rejects_bad_values() {
+        let (_, opts) = split_args(&args(&["--scale", "galactic"]));
+        assert!(config_from(&opts).is_err());
+        let (_, opts) = split_args(&args(&["--seed", "not-a-number"]));
+        assert!(config_from(&opts).is_err());
+    }
+}

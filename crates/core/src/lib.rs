@@ -1,0 +1,52 @@
+//! # gptx
+//!
+//! An audit toolkit for data collection in LLM app ecosystems — a
+//! from-scratch Rust reproduction of *"Data Exposure from LLM Apps: An
+//! In-depth Investigation of OpenAI's GPTs"* (IMC 2025).
+//!
+//! The crate is a facade: it re-exports every subsystem and adds the
+//! end-to-end [`Pipeline`] that wires them together —
+//!
+//! ```text
+//! gptx-synth ──▶ gptx-store ──▶ gptx-crawler ──▶ gptx-classifier ─┐
+//!  (corpus)      (HTTP/1.1)      (scrape+fetch)    (LLM static     │
+//!                                                   analysis)      ▼
+//!            gptx-census ◀── gptx-graph ◀── gptx-policy ◀── analyses
+//! ```
+//!
+//! — and the [`experiments`] registry that regenerates every table and
+//! figure of the paper from a pipeline run.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use gptx::{Pipeline, SynthConfig};
+//!
+//! let run = Pipeline::new(SynthConfig::tiny(7)).run().expect("pipeline");
+//! println!("{}", gptx::experiments::render("t4", &run).unwrap());
+//! ```
+
+pub mod experiments;
+pub mod pipeline;
+
+pub use pipeline::{AnalysisRun, Pipeline, RunError};
+
+// Re-export the subsystem crates under stable names.
+pub use gptx_census as census;
+pub use gptx_classifier as classifier;
+pub use gptx_crawler as crawler;
+pub use gptx_graph as graph;
+pub use gptx_llm as llm;
+pub use gptx_model as model;
+pub use gptx_nlp as nlp;
+pub use gptx_policy as policy;
+pub use gptx_report as report;
+pub use gptx_runtime as runtime;
+pub use gptx_stats as stats;
+pub use gptx_store as store;
+pub use gptx_synth as synth;
+pub use gptx_taxonomy as taxonomy;
+
+// The most-used types at the top level.
+pub use gptx_store::FaultConfig;
+pub use gptx_synth::{Ecosystem, SynthConfig};

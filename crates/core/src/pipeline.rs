@@ -1,0 +1,237 @@
+//! The end-to-end pipeline: generate → serve → crawl → classify →
+//! analyze. One [`AnalysisRun`] holds everything the experiment registry
+//! needs to regenerate the paper's tables and figures.
+
+use gptx_census::CorpusCollection;
+use gptx_classifier::{ActionProfile, Classifier};
+use gptx_crawler::{CrawlArchive, CrawlStats, Crawler};
+use gptx_graph::{build_cooccurrence, CollectionMap, Graph};
+use gptx_llm::{DisclosureLabel, KbModel};
+use gptx_policy::{ActionDisclosureReport, PolicyAnalyzer};
+use gptx_store::{ClientError, EcosystemHandle, FaultConfig};
+use gptx_synth::{Ecosystem, SynthConfig, STORES};
+use gptx_taxonomy::{DataType, KnowledgeBase};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Pipeline failures.
+#[derive(Debug)]
+pub enum RunError {
+    Io(std::io::Error),
+    Crawl(ClientError),
+    Classify(gptx_classifier::ClassifierError),
+    Policy(gptx_policy::PipelineError),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Io(e) => write!(f, "i/o error: {e}"),
+            RunError::Crawl(e) => write!(f, "crawl error: {e}"),
+            RunError::Classify(e) => write!(f, "classification error: {e}"),
+            RunError::Policy(e) => write!(f, "policy analysis error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Configuration of a full run.
+pub struct Pipeline {
+    pub config: SynthConfig,
+    pub faults: FaultConfig,
+    pub crawler_threads: usize,
+}
+
+impl Pipeline {
+    /// A pipeline with the paper-like default fault profile.
+    pub fn new(config: SynthConfig) -> Pipeline {
+        Pipeline {
+            config,
+            faults: FaultConfig::default(),
+            crawler_threads: 8,
+        }
+    }
+
+    /// Disable fault injection (exact-recovery integration tests).
+    pub fn without_faults(mut self) -> Pipeline {
+        self.faults = FaultConfig::none();
+        self
+    }
+
+    /// Execute the full pipeline.
+    pub fn run(&self) -> Result<AnalysisRun, RunError> {
+        // 1. Generate the ecosystem and serve it over loopback HTTP.
+        let eco = Arc::new(Ecosystem::generate(self.config.clone()));
+        let server = EcosystemHandle::start(Arc::clone(&eco), self.faults).map_err(RunError::Io)?;
+
+        // 2. Crawl the full campaign.
+        let crawler = Crawler::new(server.addr()).with_threads(self.crawler_threads);
+        let store_names: Vec<&str> = STORES.iter().map(|(n, _)| *n).collect();
+        let weeks: Vec<(u32, String)> = eco
+            .weeks
+            .iter()
+            .map(|w| (w.week, w.date.clone()))
+            .collect();
+        let archive = crawler
+            .crawl_campaign(&weeks, &store_names, |w| server.set_week(w))
+            .map_err(RunError::Crawl)?;
+        let crawl_stats = crawler.stats();
+        server.shutdown();
+
+        AnalysisRun::analyze(Arc::try_unwrap(eco).unwrap_or_else(|a| (*a).clone()), archive, crawl_stats)
+    }
+}
+
+/// Everything one run produced: crawl artifacts plus every derived
+/// analysis structure.
+pub struct AnalysisRun {
+    /// The generated ecosystem (ground truth — used only for scoring and
+    /// for the functionality labels the paper assigned manually).
+    pub eco: Ecosystem,
+    /// What the crawler actually saw.
+    pub archive: CrawlArchive,
+    pub crawl_stats: CrawlStats,
+    /// Per-Action data-collection profiles from the LLM static analysis.
+    pub profiles: BTreeMap<String, ActionProfile>,
+    /// Corpus-level collection aggregation (Table 5 / Figure 4 / Table 6).
+    pub collection: CorpusCollection,
+    /// The Action co-occurrence graph (Figure 5 / Tables 7–8).
+    pub graph: Graph,
+    /// Per-Action disclosure reports (Section 6).
+    pub reports: Vec<ActionDisclosureReport>,
+}
+
+impl AnalysisRun {
+    /// Run every analysis stage over a crawl archive.
+    pub fn analyze(
+        eco: Ecosystem,
+        archive: CrawlArchive,
+        crawl_stats: CrawlStats,
+    ) -> Result<AnalysisRun, RunError> {
+        // 3. LLM static analysis of every distinct Action.
+        let model = KbModel::new(KnowledgeBase::full());
+        let classifier = Classifier::new(&model);
+        let mut profiles: BTreeMap<String, ActionProfile> = BTreeMap::new();
+        for (identity, action) in archive.distinct_actions() {
+            let profile = classifier
+                .profile_action(&action)
+                .map_err(RunError::Classify)?;
+            profiles.insert(identity, profile);
+        }
+
+        // 4. Corpus aggregation over all unique GPTs.
+        let unique: Vec<gptx_model::Gpt> = archive.all_unique_gpts().into_values().collect();
+        let collection = CorpusCollection::assemble(unique.iter(), profiles.clone());
+
+        // 5. Co-occurrence graph.
+        let graph = build_cooccurrence(unique.iter());
+
+        // 6. Policy disclosure analysis for every Action whose policy was
+        //    crawled (unreachable policies are excluded, as in the paper;
+        //    they still count in the Table 9 corpus stats).
+        let analyzer = PolicyAnalyzer::new(&model);
+        let mut reports = Vec::new();
+        for (identity, doc) in &archive.policies {
+            let Some(body) = &doc.body else { continue };
+            let Some(profile) = profiles.get(identity) else {
+                continue;
+            };
+            // HTML policies (JS-rendered pages, HTML-served documents)
+            // are reduced to visible text before sentence tokenization.
+            let is_html = doc
+                .content_type
+                .as_deref()
+                .is_some_and(|ct| ct.contains("text/html"))
+                || gptx_nlp::looks_like_html(body);
+            let text = if is_html {
+                gptx_nlp::strip_html(body)
+            } else {
+                body.clone()
+            };
+            let items = profile.data_items();
+            let report = analyzer
+                .analyze_action(identity, &text, &items)
+                .map_err(RunError::Policy)?;
+            reports.push(report);
+        }
+
+        Ok(AnalysisRun {
+            eco,
+            archive,
+            crawl_stats,
+            profiles,
+            collection,
+            graph,
+            reports,
+        })
+    }
+
+    /// The exposure [`CollectionMap`] view of the profiles.
+    pub fn collection_map(&self) -> CollectionMap {
+        self.profiles
+            .iter()
+            .map(|(id, p)| (id.clone(), p.succinct_types()))
+            .collect()
+    }
+
+    /// Join predicted disclosure labels with the generator's planted
+    /// labels, for the §6.2.1-style accuracy evaluation. Returns
+    /// `(data type, predicted, gold)` triples.
+    pub fn accuracy_pairs(&self) -> Vec<(DataType, DisclosureLabel, DisclosureLabel)> {
+        let mut out = Vec::new();
+        for report in &self.reports {
+            let Some(policy) = self.eco.policies.get(&report.action_identity) else {
+                continue;
+            };
+            for (data_type, predicted) in report.per_type_labels() {
+                if let Some(&gold) = policy.truth.get(&data_type) {
+                    out.push((data_type, predicted, gold));
+                }
+            }
+        }
+        out
+    }
+
+    /// The functionality label of an Action (the paper assigned these
+    /// manually; we pass through the generator's registry labels).
+    pub fn functionality_of(&self, identity: &str) -> String {
+        self.eco
+            .registry
+            .get(identity)
+            .map(|a| a.functionality.clone())
+            .unwrap_or_else(|| "Unknown".to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_runs_end_to_end_on_tiny_corpus() {
+        let run = Pipeline::new(SynthConfig::tiny(31))
+            .without_faults()
+            .run()
+            .unwrap();
+        assert!(!run.archive.snapshots.is_empty());
+        assert!(!run.profiles.is_empty());
+        assert!(!run.reports.is_empty());
+        assert!(run.crawl_stats.gizmo_success_rate() > 0.99);
+        // Every crawled GPT matches the generated ecosystem exactly.
+        assert_eq!(
+            run.archive.snapshots.last().unwrap().gpts,
+            run.eco.final_week().snapshot.gpts
+        );
+    }
+
+    #[test]
+    fn accuracy_pairs_are_joined_on_truth() {
+        let run = Pipeline::new(SynthConfig::tiny(32))
+            .without_faults()
+            .run()
+            .unwrap();
+        let pairs = run.accuracy_pairs();
+        assert!(!pairs.is_empty());
+    }
+}

@@ -1,0 +1,193 @@
+//! The crawl archive: everything a crawl run collects, serializable so
+//! analyses can run offline (the paper's pipeline is likewise
+//! crawl-then-analyze).
+
+use gptx_model::snapshot::CrawlSnapshot;
+use gptx_model::{ActionSpec, GptId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A downloaded privacy policy (or the record of failing to download it).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolicyDocument {
+    pub url: String,
+    /// `None` when the URL was unreachable or kept erroring.
+    pub body: Option<String>,
+    /// Content type the server declared, when fetched.
+    pub content_type: Option<String>,
+}
+
+impl PolicyDocument {
+    /// Was the crawl successful?
+    pub fn crawled(&self) -> bool {
+        self.body.is_some()
+    }
+}
+
+/// The result of probing an Action's API endpoint (used by the removal
+/// investigation — Section 4.2's "Inactive Action APIs").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ApiProbe {
+    pub status: u16,
+    pub body: String,
+}
+
+impl ApiProbe {
+    /// Does the probe indicate a dead/discontinued API?
+    pub fn is_dead(&self) -> bool {
+        self.status >= 400 || self.body.to_ascii_lowercase().contains("discontinued")
+    }
+}
+
+/// Everything one crawl campaign produced.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CrawlArchive {
+    /// Weekly snapshots, in week order.
+    pub snapshots: Vec<CrawlSnapshot>,
+    /// Privacy policies by Action identity.
+    pub policies: BTreeMap<String, PolicyDocument>,
+    /// API probes by Action identity.
+    pub probes: BTreeMap<String, ApiProbe>,
+    /// Cumulative unique GPT ids seen on each store's listings across the
+    /// campaign (Table 1's per-store counts).
+    #[serde(default)]
+    pub store_listings: BTreeMap<String, BTreeSet<GptId>>,
+    /// Per-week gizmo crawl success rates (the paper reports their mean ±
+    /// band: 98.9 ± 1.7%).
+    #[serde(default)]
+    pub weekly_gizmo_success: Vec<f64>,
+}
+
+impl CrawlArchive {
+    /// Union of all GPTs ever observed (the "unique GPTs" universe).
+    pub fn all_unique_gpts(&self) -> BTreeMap<GptId, gptx_model::Gpt> {
+        let mut out = BTreeMap::new();
+        for snapshot in &self.snapshots {
+            for (id, gpt) in &snapshot.gpts {
+                out.entry(id.clone()).or_insert_with(|| gpt.clone());
+            }
+        }
+        out
+    }
+
+    /// Distinct Actions across every observed GPT, keyed by identity.
+    pub fn distinct_actions(&self) -> BTreeMap<String, ActionSpec> {
+        let mut out = BTreeMap::new();
+        for (_, gpt) in self.all_unique_gpts() {
+            for action in gpt.actions() {
+                out.entry(action.identity())
+                    .or_insert_with(|| action.clone());
+            }
+        }
+        out
+    }
+
+    /// The last snapshot.
+    pub fn final_snapshot(&self) -> Option<&CrawlSnapshot> {
+        self.snapshots.last()
+    }
+
+    /// GPTs present at some point but absent from the final snapshot.
+    pub fn removed_gpts(&self) -> Vec<(GptId, gptx_model::Gpt)> {
+        let Some(last) = self.final_snapshot() else {
+            return Vec::new();
+        };
+        self.all_unique_gpts()
+            .into_iter()
+            .filter(|(id, _)| !last.gpts.contains_key(id))
+            .collect()
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Load from JSON.
+    pub fn from_json(json: &str) -> serde_json::Result<CrawlArchive> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gptx_model::Gpt;
+
+    fn archive_with_two_weeks() -> CrawlArchive {
+        let mut s0 = CrawlSnapshot::new(0, "2024-02-08");
+        s0.insert(Gpt::minimal("g-aaaaaaaaaa", "A"));
+        s0.insert(Gpt::minimal("g-bbbbbbbbbb", "B"));
+        let mut s1 = CrawlSnapshot::new(1, "2024-02-15");
+        s1.insert(Gpt::minimal("g-aaaaaaaaaa", "A"));
+        s1.insert(Gpt::minimal("g-cccccccccc", "C"));
+        CrawlArchive {
+            snapshots: vec![s0, s1],
+            policies: BTreeMap::new(),
+            probes: BTreeMap::new(),
+            store_listings: BTreeMap::new(),
+            weekly_gizmo_success: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn unique_union_across_weeks() {
+        let a = archive_with_two_weeks();
+        assert_eq!(a.all_unique_gpts().len(), 3);
+    }
+
+    #[test]
+    fn removed_detection() {
+        let a = archive_with_two_weeks();
+        let removed = a.removed_gpts();
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].0.as_str(), "g-bbbbbbbbbb");
+    }
+
+    #[test]
+    fn distinct_actions_dedupe_by_identity() {
+        let mut a = archive_with_two_weeks();
+        let mut g1 = Gpt::minimal("g-dddddddddd", "D");
+        g1.tools.push(gptx_model::Tool::Action(ActionSpec::minimal(
+            "toolX",
+            "Svc",
+            "https://api.svc.dev",
+        )));
+        let mut g2 = Gpt::minimal("g-eeeeeeeeee", "E");
+        g2.tools.push(gptx_model::Tool::Action(ActionSpec::minimal(
+            "toolY",
+            "Svc",
+            "https://api.svc.dev",
+        )));
+        a.snapshots[1].insert(g1);
+        a.snapshots[1].insert(g2);
+        assert_eq!(a.distinct_actions().len(), 1);
+    }
+
+    #[test]
+    fn probe_death_detection() {
+        assert!(ApiProbe {
+            status: 410,
+            body: String::new()
+        }
+        .is_dead());
+        assert!(ApiProbe {
+            status: 200,
+            body: "Service was discontinued last month".into()
+        }
+        .is_dead());
+        assert!(!ApiProbe {
+            status: 200,
+            body: r#"{"ok":true}"#.into()
+        }
+        .is_dead());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let a = archive_with_two_weeks();
+        let json = a.to_json().unwrap();
+        let back = CrawlArchive::from_json(&json).unwrap();
+        assert_eq!(back.all_unique_gpts().len(), 3);
+    }
+}

@@ -1,0 +1,525 @@
+//! # gptx-crawler
+//!
+//! The crawl pipeline of Section 3.2, against the loopback ecosystem
+//! server (or, with a different resolver, the real thing):
+//!
+//! 1. scrape each marketplace's listing page and extract GPT ids;
+//! 2. fetch each gizmo's JSON spec from the backend API (404s mean the
+//!    GPT is gone; 5xx is retried with backoff, then recorded as
+//!    uncrawlable — the paper reports 98.9 ± 1.7% gizmo success);
+//! 3. download each Action's privacy policy from its `legal_info_url`
+//!    (91.5 ± 2.3% success in the paper);
+//! 4. probe the Action APIs of removed GPTs (the removal investigation).
+//!
+//! Gizmo fetching fans out over a configurable number of worker threads
+//! (the `ablate_crawler_threads` bench sweeps this).
+
+pub mod archive;
+pub mod scrape;
+
+pub use archive::{ApiProbe, CrawlArchive, PolicyDocument};
+pub use scrape::extract_gpt_ids;
+
+use gptx_model::snapshot::CrawlSnapshot;
+use gptx_model::{ActionSpec, Gpt, GptId};
+use gptx_store::{store_host, ClientError, HttpClient, Response};
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Counters for a crawl run (reported in EXPERIMENTS.md next to the
+/// paper's success rates).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CrawlStats {
+    pub listing_pages: usize,
+    pub gizmo_requests: usize,
+    pub gizmos_fetched: usize,
+    pub gizmo_not_found: usize,
+    pub gizmo_failures: usize,
+    pub policies_fetched: usize,
+    pub policy_failures: usize,
+    pub api_probes: usize,
+    pub retries: usize,
+}
+
+impl CrawlStats {
+    /// Gizmo crawl success rate (paper: 98.9 ± 1.7%). 404s are counted
+    /// as successes — the crawler learned the GPT is gone, which is an
+    /// answer, not a failure.
+    pub fn gizmo_success_rate(&self) -> f64 {
+        if self.gizmo_requests == 0 {
+            return 1.0;
+        }
+        (self.gizmos_fetched + self.gizmo_not_found) as f64 / self.gizmo_requests as f64
+    }
+
+    /// Policy crawl success rate (paper: 91.5 ± 2.3% of Actions).
+    pub fn policy_success_rate(&self) -> f64 {
+        let total = self.policies_fetched + self.policy_failures;
+        if total == 0 {
+            return 1.0;
+        }
+        self.policies_fetched as f64 / total as f64
+    }
+
+    /// Merge another run's counters into this one (multi-campaign
+    /// aggregation).
+    pub fn merge(&mut self, other: CrawlStats) {
+        self.listing_pages += other.listing_pages;
+        self.gizmo_requests += other.gizmo_requests;
+        self.gizmos_fetched += other.gizmos_fetched;
+        self.gizmo_not_found += other.gizmo_not_found;
+        self.gizmo_failures += other.gizmo_failures;
+        self.policies_fetched += other.policies_fetched;
+        self.policy_failures += other.policy_failures;
+        self.api_probes += other.api_probes;
+        self.retries += other.retries;
+    }
+}
+
+/// The crawler. Cheap to clone (clones share nothing; stats are
+/// per-instance and merged by the orchestration methods).
+pub struct Crawler {
+    client: HttpClient,
+    max_retries: usize,
+    backoff_base: Duration,
+    threads: usize,
+    stats: Mutex<CrawlStats>,
+}
+
+impl Crawler {
+    /// Crawl against the server at `upstream` with 2 retries, a 5 ms
+    /// backoff base (loopback-friendly), and 4 worker threads.
+    pub fn new(upstream: SocketAddr) -> Crawler {
+        Crawler {
+            client: HttpClient::new(upstream),
+            max_retries: 2,
+            backoff_base: Duration::from_millis(5),
+            threads: 4,
+            stats: Mutex::new(CrawlStats::default()),
+        }
+    }
+
+    /// Override the gizmo-fetch worker count (>= 1).
+    pub fn with_threads(mut self, threads: usize) -> Crawler {
+        assert!(threads >= 1);
+        self.threads = threads;
+        self
+    }
+
+    /// Override retry count.
+    pub fn with_retries(mut self, retries: usize) -> Crawler {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Stats accumulated so far.
+    pub fn stats(&self) -> CrawlStats {
+        *self.stats.lock().expect("stats mutex")
+    }
+
+    fn bump(&self, f: impl FnOnce(&mut CrawlStats)) {
+        f(&mut self.stats.lock().expect("stats mutex"));
+    }
+
+    /// GET with retry/backoff on transport errors and 5xx. Returns the
+    /// final response (which may still be an error status).
+    fn get_with_retries(&self, url: &str) -> Result<Response, ClientError> {
+        let mut attempt = 0;
+        loop {
+            match self.client.get(url) {
+                Ok(resp) if resp.status >= 500 && attempt < self.max_retries => {}
+                Ok(resp) => return Ok(resp),
+                Err(_e) if attempt < self.max_retries => {}
+                Err(e) => return Err(e),
+            }
+            attempt += 1;
+            self.bump(|s| s.retries += 1);
+            std::thread::sleep(self.backoff_base * attempt as u32);
+        }
+    }
+
+    /// Scrape one marketplace's listing page.
+    pub fn fetch_store_listing(&self, store_name: &str) -> Result<Vec<GptId>, ClientError> {
+        let url = format!("https://{}/", store_host(store_name));
+        let resp = self.get_with_retries(&url)?;
+        self.bump(|s| s.listing_pages += 1);
+        if !resp.is_success() {
+            return Ok(Vec::new());
+        }
+        Ok(extract_gpt_ids(&resp.text()))
+    }
+
+    /// Fetch a gizmo spec. `Ok(None)` means 404 (the GPT is gone).
+    pub fn fetch_gizmo(&self, id: &GptId) -> Result<Option<Gpt>, ClientError> {
+        self.bump(|s| s.gizmo_requests += 1);
+        let url = format!("https://chat.openai.com/backend-api/gizmos/{id}");
+        let resp = match self.get_with_retries(&url) {
+            Ok(r) => r,
+            Err(e) => {
+                self.bump(|s| s.gizmo_failures += 1);
+                return Err(e);
+            }
+        };
+        if resp.status == 404 {
+            self.bump(|s| s.gizmo_not_found += 1);
+            return Ok(None);
+        }
+        if !resp.is_success() {
+            self.bump(|s| s.gizmo_failures += 1);
+            return Ok(None);
+        }
+        match serde_json::from_slice::<Gpt>(&resp.body) {
+            Ok(gpt) => {
+                self.bump(|s| s.gizmos_fetched += 1);
+                Ok(Some(gpt))
+            }
+            Err(_) => {
+                self.bump(|s| s.gizmo_failures += 1);
+                Ok(None)
+            }
+        }
+    }
+
+    /// Crawl one weekly snapshot: scrape every store, dedupe ids, fetch
+    /// all gizmos over the worker pool.
+    pub fn crawl_week(
+        &self,
+        week: u32,
+        date: &str,
+        store_names: &[&str],
+    ) -> Result<CrawlSnapshot, ClientError> {
+        let mut ids: Vec<GptId> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for store in store_names {
+            for id in self.fetch_store_listing(store)? {
+                if seen.insert(id.clone()) {
+                    ids.push(id);
+                }
+            }
+        }
+        let gpts = self.fetch_gizmos_parallel(&ids);
+        let mut snapshot = CrawlSnapshot::new(week, date);
+        for gpt in gpts {
+            snapshot.insert(gpt);
+        }
+        Ok(snapshot)
+    }
+
+    /// Fan gizmo fetches out over `self.threads` workers.
+    fn fetch_gizmos_parallel(&self, ids: &[GptId]) -> Vec<Gpt> {
+        if ids.is_empty() {
+            return Vec::new();
+        }
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<Gpt>> = Mutex::new(Vec::with_capacity(ids.len()));
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(ids.len()) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= ids.len() {
+                        break;
+                    }
+                    if let Ok(Some(gpt)) = self.fetch_gizmo(&ids[i]) {
+                        results.lock().expect("results mutex").push(gpt);
+                    }
+                });
+            }
+        });
+        results.into_inner().expect("results mutex")
+    }
+
+    /// Download the privacy policy for an Action.
+    pub fn fetch_policy(&self, action: &ActionSpec) -> PolicyDocument {
+        let Some(url) = action.legal_info_url.clone() else {
+            self.bump(|s| s.policy_failures += 1);
+            return PolicyDocument {
+                url: String::new(),
+                body: None,
+                content_type: None,
+            };
+        };
+        match self.get_with_retries(&url) {
+            Ok(resp) if resp.is_success() => {
+                self.bump(|s| s.policies_fetched += 1);
+                PolicyDocument {
+                    url,
+                    content_type: resp.headers.get("content-type").cloned(),
+                    body: Some(resp.text()),
+                }
+            }
+            _ => {
+                self.bump(|s| s.policy_failures += 1);
+                PolicyDocument {
+                    url,
+                    body: None,
+                    content_type: None,
+                }
+            }
+        }
+    }
+
+    /// Probe an Action's API endpoint (GET its first server + /v1/run).
+    pub fn probe_action_api(&self, action: &ActionSpec) -> Option<ApiProbe> {
+        let server = action.spec.primary_server()?;
+        let url = format!("{}/v1/run", server.trim_end_matches('/'));
+        self.bump(|s| s.api_probes += 1);
+        match self.get_with_retries(&url) {
+            Ok(resp) => Some(ApiProbe {
+                status: resp.status,
+                body: resp.text(),
+            }),
+            Err(_) => Some(ApiProbe {
+                status: 0,
+                body: "connection failed".to_string(),
+            }),
+        }
+    }
+
+    /// Full campaign: crawl `weeks` snapshots (advancing the served week
+    /// via `set_week`), then fetch policies for all distinct Actions and
+    /// probe the APIs of Actions in removed GPTs.
+    pub fn crawl_campaign(
+        &self,
+        weeks: &[(u32, String)],
+        store_names: &[&str],
+        set_week: impl Fn(usize),
+    ) -> Result<CrawlArchive, ClientError> {
+        let mut archive = CrawlArchive::default();
+        for (week, date) in weeks {
+            set_week(*week as usize);
+            let stats_before = self.stats();
+            let mut ids: Vec<GptId> = Vec::new();
+            let mut seen = std::collections::HashSet::new();
+            for store in store_names {
+                for id in self.fetch_store_listing(store)? {
+                    archive
+                        .store_listings
+                        .entry(store.to_string())
+                        .or_default()
+                        .insert(id.clone());
+                    if seen.insert(id.clone()) {
+                        ids.push(id);
+                    }
+                }
+            }
+            let mut snapshot = CrawlSnapshot::new(*week, date);
+            for gpt in self.fetch_gizmos_parallel(&ids) {
+                snapshot.insert(gpt);
+            }
+            archive.snapshots.push(snapshot);
+            // This week's gizmo success, from the stats delta.
+            let after = self.stats();
+            let requests = after.gizmo_requests - stats_before.gizmo_requests;
+            if requests > 0 {
+                let ok = (after.gizmos_fetched + after.gizmo_not_found)
+                    - (stats_before.gizmos_fetched + stats_before.gizmo_not_found);
+                archive
+                    .weekly_gizmo_success
+                    .push(ok as f64 / requests as f64);
+            }
+        }
+        // Policies for every distinct Action.
+        let actions = archive.distinct_actions();
+        for (identity, action) in &actions {
+            archive
+                .policies
+                .insert(identity.clone(), self.fetch_policy(action));
+        }
+        // Probe the APIs of Actions embedded in removed GPTs.
+        let mut probed: BTreeMap<String, ApiProbe> = BTreeMap::new();
+        for (_, gpt) in archive.removed_gpts() {
+            for action in gpt.actions() {
+                let identity = action.identity();
+                if let std::collections::btree_map::Entry::Vacant(e) = probed.entry(identity) {
+                    if let Some(probe) = self.probe_action_api(action) {
+                        e.insert(probe);
+                    }
+                }
+            }
+        }
+        archive.probes = probed;
+        Ok(archive)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gptx_store::{EcosystemHandle, FaultConfig};
+    use gptx_synth::{Ecosystem, SynthConfig, STORES};
+    use std::sync::Arc;
+
+    fn store_names() -> Vec<&'static str> {
+        STORES.iter().map(|(n, _)| *n).collect()
+    }
+
+    fn start(seed: u64, faults: FaultConfig) -> (EcosystemHandle, Arc<Ecosystem>) {
+        let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(seed)));
+        let handle = EcosystemHandle::start(Arc::clone(&eco), faults).unwrap();
+        (handle, eco)
+    }
+
+    #[test]
+    fn crawl_week_recovers_snapshot_exactly() {
+        let (handle, eco) = start(21, FaultConfig::none());
+        let crawler = Crawler::new(handle.addr());
+        let snapshot = crawler.crawl_week(0, "2024-02-08", &store_names()).unwrap();
+        assert_eq!(snapshot.gpts, eco.weeks[0].snapshot.gpts);
+        assert_eq!(crawler.stats().gizmo_failures, 0);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn campaign_recovers_all_weeks() {
+        let (handle, eco) = start(22, FaultConfig::none());
+        let crawler = Crawler::new(handle.addr()).with_threads(8);
+        let weeks: Vec<(u32, String)> = eco
+            .weeks
+            .iter()
+            .map(|w| (w.week, w.date.clone()))
+            .collect();
+        let archive = crawler
+            .crawl_campaign(&weeks, &store_names(), |w| handle.set_week(w))
+            .unwrap();
+        assert_eq!(archive.snapshots.len(), eco.weeks.len());
+        for (crawled, truth) in archive.snapshots.iter().zip(&eco.weeks) {
+            assert_eq!(crawled.gpts, truth.snapshot.gpts, "week {}", truth.week);
+        }
+        // Every distinct action got a policy record.
+        assert_eq!(
+            archive.policies.len(),
+            archive.distinct_actions().len()
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn policy_fetch_records_unavailability() {
+        let (handle, eco) = start(23, FaultConfig::none());
+        let crawler = Crawler::new(handle.addr());
+        let mut fetched = 0;
+        let mut failed = 0;
+        for (identity, action) in eco.registry.iter().take(80) {
+            let mut spec = action.template.clone();
+            spec.legal_info_url = Some(eco.policies[identity].url.clone());
+            let doc = crawler.fetch_policy(&spec);
+            if eco.policies[identity].body.is_some() {
+                assert!(doc.crawled(), "{identity} should have crawled");
+                fetched += 1;
+            } else {
+                assert!(!doc.crawled(), "{identity} should be unavailable");
+                failed += 1;
+            }
+        }
+        assert!(fetched > 0);
+        assert!(failed > 0, "sample contained no unavailable policies");
+        let rate = crawler.stats().policy_success_rate();
+        assert!((0.5..1.0).contains(&rate));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn transient_failures_are_retried() {
+        let (handle, eco) = start(
+            24,
+            FaultConfig {
+                gizmo_failure_rate: 0.0,
+                transient_failure_every: Some(7),
+                response_delay_ms: 0,
+                malformed_gizmo_rate: 0.0,
+            },
+        );
+        let crawler = Crawler::new(handle.addr()).with_retries(3);
+        let snapshot = crawler.crawl_week(0, "2024-02-08", &store_names()).unwrap();
+        // With retries, the transient 503s must not lose GPTs.
+        assert_eq!(snapshot.gpts.len(), eco.weeks[0].snapshot.len());
+        assert!(crawler.stats().retries > 0);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn permanent_failures_reduce_success_rate() {
+        let (handle, eco) = start(
+            25,
+            FaultConfig {
+                gizmo_failure_rate: 0.10,
+                transient_failure_every: None,
+                response_delay_ms: 0,
+                malformed_gizmo_rate: 0.0,
+            },
+        );
+        let crawler = Crawler::new(handle.addr()).with_retries(1);
+        let snapshot = crawler.crawl_week(0, "2024-02-08", &store_names()).unwrap();
+        let truth = eco.weeks[0].snapshot.len();
+        assert!(snapshot.gpts.len() < truth);
+        assert!(snapshot.gpts.len() > truth / 2);
+        let rate = crawler.stats().gizmo_success_rate();
+        assert!((0.80..0.99).contains(&rate), "rate {rate}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn probe_distinguishes_dead_and_live_apis() {
+        let mut config = SynthConfig::tiny(26);
+        config.base_gpts = 3000;
+        config.weekly_removal_rate = 0.02;
+        let eco = Arc::new(Ecosystem::generate(config));
+        let handle = EcosystemHandle::start(Arc::clone(&eco), FaultConfig::none()).unwrap();
+        let crawler = Crawler::new(handle.addr());
+        if let Some(dead_id) = eco.dynamics.dead_apis.iter().next() {
+            let probe = crawler
+                .probe_action_api(&eco.registry[dead_id].template)
+                .unwrap();
+            assert!(probe.is_dead());
+        }
+        let live = eco
+            .registry
+            .keys()
+            .find(|id| !eco.api_is_dead(id))
+            .unwrap();
+        let probe = crawler
+            .probe_action_api(&eco.registry[live].template)
+            .unwrap();
+        assert!(!probe.is_dead());
+        handle.shutdown();
+    }
+
+    #[test]
+    fn malformed_json_counts_as_failure_not_crash() {
+        let (handle, eco) = start(
+            28,
+            FaultConfig {
+                gizmo_failure_rate: 0.0,
+                transient_failure_every: None,
+                response_delay_ms: 0,
+                malformed_gizmo_rate: 0.15,
+            },
+        );
+        let crawler = Crawler::new(handle.addr()).with_retries(0);
+        let snapshot = crawler.crawl_week(0, "2024-02-08", &store_names()).unwrap();
+        let truth = eco.weeks[0].snapshot.len();
+        let stats = crawler.stats();
+        // Truncated JSON bodies parse-fail and are recorded, never panic.
+        assert!(stats.gizmo_failures > 0, "expected parse failures");
+        assert_eq!(
+            snapshot.gpts.len() + stats.gizmo_failures,
+            truth,
+            "every gizmo either parsed or was counted as failed"
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn thread_counts_agree() {
+        let (handle, _eco) = start(27, FaultConfig::none());
+        let single = Crawler::new(handle.addr()).with_threads(1);
+        let s1 = single.crawl_week(0, "2024-02-08", &store_names()).unwrap();
+        let many = Crawler::new(handle.addr()).with_threads(12);
+        let s2 = many.crawl_week(0, "2024-02-08", &store_names()).unwrap();
+        assert_eq!(s1.gpts, s2.gpts);
+        handle.shutdown();
+    }
+}

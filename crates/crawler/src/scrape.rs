@@ -1,0 +1,90 @@
+//! Marketplace listing scrapers.
+//!
+//! The paper implemented Selenium-based crawlers per store to extract GPT
+//! links, then derived gizmo identifiers from them (Section 3.2). Our
+//! listings are plain HTML; the scraper extracts every
+//! `chat.openai.com/g/g-…` link and validates the 10-character shortcode,
+//! tolerating arbitrary surrounding markup (stores differ wildly in
+//! layout; the id pattern is the stable part).
+
+use gptx_model::GptId;
+
+/// Extract GPT ids from a listing page. Order of first appearance,
+/// deduplicated.
+pub fn extract_gpt_ids(html: &str) -> Vec<GptId> {
+    let mut out = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    let needle = "/g/g-";
+    let mut rest = html;
+    while let Some(pos) = rest.find(needle) {
+        let after = &rest[pos + needle.len()..];
+        let code: String = after
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric())
+            .take(10)
+            .collect();
+        if code.len() == 10 {
+            let id = format!("g-{code}");
+            if let Some(valid) = GptId::new(&id) {
+                if seen.insert(valid.clone()) {
+                    out.push(valid);
+                }
+            }
+        }
+        rest = &rest[pos + needle.len()..];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_anchor_links() {
+        let html = r#"<ul>
+            <li><a href="https://chat.openai.com/g/g-2DQzU5UZl1">Code Copilot</a></li>
+            <li><a href="https://chat.openai.com/g/g-NIGpQi8Rc9">Mortgage Calculator</a></li>
+        </ul>"#;
+        let ids = extract_gpt_ids(html);
+        assert_eq!(ids.len(), 2);
+        assert_eq!(ids[0].as_str(), "g-2DQzU5UZl1");
+        assert_eq!(ids[1].as_str(), "g-NIGpQi8Rc9");
+    }
+
+    #[test]
+    fn dedupes_repeated_links() {
+        let html = r#"<a href="/g/g-aaaaaaaaaa">x</a><a href="/g/g-aaaaaaaaaa">x again</a>"#;
+        assert_eq!(extract_gpt_ids(html).len(), 1);
+    }
+
+    #[test]
+    fn ignores_short_codes() {
+        let html = r#"<a href="/g/g-short">broken</a>"#;
+        assert!(extract_gpt_ids(html).is_empty());
+    }
+
+    #[test]
+    fn stops_code_at_non_alnum() {
+        // An 11-char run means the first 10 are taken — consistent with
+        // how shortlinks embed slugs after the code.
+        let html = r#"<a href="/g/g-abcdefghij-some-slug">x</a>"#;
+        let ids = extract_gpt_ids(html);
+        assert_eq!(ids.len(), 1);
+        assert_eq!(ids[0].as_str(), "g-abcdefghij");
+    }
+
+    #[test]
+    fn empty_page_yields_nothing() {
+        assert!(extract_gpt_ids("").is_empty());
+        assert!(extract_gpt_ids("<html><body>No GPTs here</body></html>").is_empty());
+    }
+
+    #[test]
+    fn preserves_first_seen_order() {
+        let html = r#"/g/g-bbbbbbbbbb ... /g/g-aaaaaaaaaa ... /g/g-bbbbbbbbbb"#;
+        let ids = extract_gpt_ids(html);
+        assert_eq!(ids[0].as_str(), "g-bbbbbbbbbb");
+        assert_eq!(ids[1].as_str(), "g-aaaaaaaaaa");
+    }
+}

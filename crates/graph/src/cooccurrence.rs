@@ -1,0 +1,134 @@
+//! Building the Action co-occurrence graph from a GPT corpus
+//! (Section 5.3.1 / Figure 5).
+
+use crate::graph::Graph;
+use gptx_model::Gpt;
+
+/// Build the co-occurrence graph: one node per distinct Action identity,
+/// one edge increment per unordered Action pair per GPT.
+///
+/// Actions appearing only alone still get nodes (they matter for the
+/// exposure denominator) but no edges.
+pub fn build_cooccurrence<'a, I: IntoIterator<Item = &'a Gpt>>(gpts: I) -> Graph {
+    let mut graph = Graph::new();
+    for gpt in gpts {
+        let identities: Vec<String> = {
+            let mut ids: Vec<String> = gpt.actions().iter().map(|a| a.identity()).collect();
+            ids.sort();
+            ids.dedup();
+            ids
+        };
+        let nodes: Vec<_> = identities.iter().map(|id| graph.add_node(id)).collect();
+        for i in 0..nodes.len() {
+            for j in (i + 1)..nodes.len() {
+                graph.add_edge(nodes[i], nodes[j], 1);
+            }
+        }
+    }
+    graph
+}
+
+/// Summary statistics of a co-occurrence graph, for Figure 5's caption
+/// and EXPERIMENTS.md.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    pub nodes: usize,
+    pub edges: usize,
+    pub largest_component_size: usize,
+    /// `(label, weighted_degree, degree)`, sorted by weighted degree
+    /// descending.
+    pub top_by_weighted_degree: Vec<(String, u64, usize)>,
+}
+
+/// Compute the summary stats, keeping the top `k` hubs.
+pub fn graph_stats(graph: &Graph, k: usize) -> GraphStats {
+    let mut ranked: Vec<(String, u64, usize)> = (0..graph.node_count())
+        .map(|v| (graph.label(v).to_string(), graph.weighted_degree(v), graph.degree(v)))
+        .collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    ranked.truncate(k);
+    GraphStats {
+        nodes: graph.node_count(),
+        edges: graph.edge_count(),
+        largest_component_size: graph.largest_component().len(),
+        top_by_weighted_degree: ranked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gptx_model::{ActionSpec, Tool};
+
+    fn gpt_with(id: &str, actions: &[(&str, &str)]) -> Gpt {
+        let mut g = Gpt::minimal(id, "T");
+        for (name, domain) in actions {
+            g.tools.push(Tool::Action(ActionSpec::minimal(
+                "t",
+                name,
+                &format!("https://api.{domain}"),
+            )));
+        }
+        g
+    }
+
+    #[test]
+    fn pairs_within_gpt_become_edges() {
+        let gpts = vec![
+            gpt_with("g-aaaaaaaaaa", &[("A", "a.dev"), ("B", "b.dev")]),
+            gpt_with("g-bbbbbbbbbb", &[("A", "a.dev"), ("B", "b.dev")]),
+            gpt_with("g-cccccccccc", &[("A", "a.dev"), ("C", "c.dev")]),
+        ];
+        let g = build_cooccurrence(&gpts);
+        assert_eq!(g.node_count(), 3);
+        let a = g.node("A@a.dev").unwrap();
+        let b = g.node("B@b.dev").unwrap();
+        let c = g.node("C@c.dev").unwrap();
+        assert_eq!(g.weight(a, b), 2); // co-occur in two GPTs
+        assert_eq!(g.weight(a, c), 1);
+        assert_eq!(g.weight(b, c), 0);
+    }
+
+    #[test]
+    fn single_action_gpts_contribute_isolated_nodes() {
+        let gpts = vec![gpt_with("g-aaaaaaaaaa", &[("Solo", "s.dev")])];
+        let g = build_cooccurrence(&gpts);
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn triple_action_gpt_creates_triangle() {
+        let gpts = vec![gpt_with(
+            "g-aaaaaaaaaa",
+            &[("A", "a.dev"), ("B", "b.dev"), ("C", "c.dev")],
+        )];
+        let g = build_cooccurrence(&gpts);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn duplicate_identities_in_one_gpt_do_not_self_loop() {
+        // Two tool entries of the same service count once.
+        let gpts = vec![gpt_with("g-aaaaaaaaaa", &[("A", "a.dev"), ("A", "a.dev")])];
+        let g = build_cooccurrence(&gpts);
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn stats_rank_by_weighted_degree() {
+        let gpts = vec![
+            gpt_with("g-aaaaaaaaaa", &[("Hub", "h.dev"), ("X", "x.dev")]),
+            gpt_with("g-bbbbbbbbbb", &[("Hub", "h.dev"), ("Y", "y.dev")]),
+            gpt_with("g-cccccccccc", &[("Hub", "h.dev"), ("X", "x.dev")]),
+        ];
+        let g = build_cooccurrence(&gpts);
+        let stats = graph_stats(&g, 2);
+        assert_eq!(stats.nodes, 3);
+        assert_eq!(stats.top_by_weighted_degree[0].0, "Hub@h.dev");
+        assert_eq!(stats.top_by_weighted_degree[0].1, 3);
+        assert_eq!(stats.top_by_weighted_degree[0].2, 2);
+        assert_eq!(stats.largest_component_size, 3);
+    }
+}

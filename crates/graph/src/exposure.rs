@@ -1,0 +1,235 @@
+//! Indirect data exposure through Action co-occurrence
+//! (Section 5.3.2, Tables 7 and 8).
+//!
+//! Actions embedded in the same GPT execute in a shared context without
+//! isolation, so each is exposed to everything its co-residents collect;
+//! transitively (an Action bridging two GPTs), data leaks along paths in
+//! the co-occurrence graph. We quantify:
+//!
+//! * per **data type**: how many more Actions are exposed to the type at
+//!   1 and 2 hops than collect it themselves (Table 7);
+//! * per **Action**: how many additional data types its co-occurrences
+//!   expose it to (Table 8 — AdIntelli collects 2 types itself but sees
+//!   19 more, the paper's headline 9.5×).
+
+use crate::graph::Graph;
+use gptx_taxonomy::DataType;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-Action collection profile: identity → succinct data types.
+pub type CollectionMap = BTreeMap<String, BTreeSet<DataType>>;
+
+/// The data types an Action is exposed to within `hops` hops
+/// (excluding its own collection).
+pub fn exposed_types(
+    graph: &Graph,
+    collections: &CollectionMap,
+    identity: &str,
+    hops: usize,
+) -> BTreeSet<DataType> {
+    let Some(node) = graph.node(identity) else {
+        return BTreeSet::new();
+    };
+    let own = collections.get(identity).cloned().unwrap_or_default();
+    let mut exposed = BTreeSet::new();
+    for neighbor in graph.within_hops(node, hops) {
+        if let Some(types) = collections.get(graph.label(neighbor)) {
+            exposed.extend(types.iter().copied());
+        }
+    }
+    exposed.difference(&own).copied().collect()
+}
+
+/// One Table 8 row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActionExposure {
+    pub identity: String,
+    /// Weighted degree (Table 8's "Occ.").
+    pub cooccurrences: u64,
+    /// Data types the Action collects itself ("# DT").
+    pub own_types: usize,
+    /// Additional types exposed at 1 hop ("# IE").
+    pub indirect_types: usize,
+    /// Example exposed types (for the table's last column).
+    pub examples: Vec<DataType>,
+}
+
+impl ActionExposure {
+    /// The "×more data" factor the paper headlines (19/2 = 9.5× for
+    /// AdIntelli). `None` when the Action collects nothing itself.
+    pub fn exposure_factor(&self) -> Option<f64> {
+        if self.own_types == 0 {
+            None
+        } else {
+            Some(self.indirect_types as f64 / self.own_types as f64)
+        }
+    }
+}
+
+/// Compute Table 8: the top-`k` Actions by co-occurrence count, with
+/// their 1-hop indirect exposure.
+pub fn top_cooccurring_exposures(
+    graph: &Graph,
+    collections: &CollectionMap,
+    k: usize,
+) -> Vec<ActionExposure> {
+    let mut ranked: Vec<(u64, String)> = (0..graph.node_count())
+        .map(|v| (graph.weighted_degree(v), graph.label(v).to_string()))
+        .collect();
+    ranked.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+    ranked
+        .into_iter()
+        .take(k)
+        .map(|(occ, identity)| {
+            let own = collections.get(&identity).map_or(0, BTreeSet::len);
+            let exposed = exposed_types(graph, collections, &identity, 1);
+            let examples: Vec<DataType> = exposed.iter().copied().take(8).collect();
+            ActionExposure {
+                identity,
+                cooccurrences: occ,
+                own_types: own,
+                indirect_types: exposed.len(),
+                examples,
+            }
+        })
+        .collect()
+}
+
+/// One Table 7 row: per data type, the increase (in percentage points of
+/// all Actions) of Actions exposed to the type at 1 and 2 hops over the
+/// Actions collecting it directly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TypeExposureRow {
+    pub data_type: DataType,
+    /// % of Actions collecting the type directly.
+    pub direct_pct: f64,
+    /// Percentage-point increase at 1 hop ("1-Hop IE").
+    pub one_hop_increase_pct: f64,
+    /// Percentage-point increase at 2 hops ("2-Hop IE").
+    pub two_hop_increase_pct: f64,
+}
+
+/// Compute Table 7 over all Actions in `collections`.
+pub fn type_exposure_table(graph: &Graph, collections: &CollectionMap) -> Vec<TypeExposureRow> {
+    let n = collections.len().max(1) as f64;
+    // Precompute per-action exposure sets at both hops.
+    let mut one_hop: BTreeMap<&str, BTreeSet<DataType>> = BTreeMap::new();
+    let mut two_hop: BTreeMap<&str, BTreeSet<DataType>> = BTreeMap::new();
+    for identity in collections.keys() {
+        one_hop.insert(identity, exposed_types(graph, collections, identity, 1));
+        two_hop.insert(identity, exposed_types(graph, collections, identity, 2));
+    }
+    DataType::MEASURED_ROWS
+        .iter()
+        .map(|&d| {
+            let direct = collections.values().filter(|t| t.contains(&d)).count();
+            let at_one = collections
+                .iter()
+                .filter(|(id, own)| own.contains(&d) || one_hop[id.as_str()].contains(&d))
+                .count();
+            let at_two = collections
+                .iter()
+                .filter(|(id, own)| own.contains(&d) || two_hop[id.as_str()].contains(&d))
+                .count();
+            TypeExposureRow {
+                data_type: d,
+                direct_pct: direct as f64 / n * 100.0,
+                one_hop_increase_pct: (at_one - direct) as f64 / n * 100.0,
+                two_hop_increase_pct: (at_two - direct) as f64 / n * 100.0,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use DataType::*;
+
+    /// Star: Hub co-occurs with A and B; A–B not directly linked.
+    fn star() -> (Graph, CollectionMap) {
+        let mut g = Graph::new();
+        let hub = g.add_node("hub");
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        g.add_edge(hub, a, 3);
+        g.add_edge(hub, b, 2);
+        let mut c = CollectionMap::new();
+        c.insert("hub".into(), BTreeSet::from([InstalledApps]));
+        c.insert("a".into(), BTreeSet::from([EmailAddress, Name]));
+        c.insert("b".into(), BTreeSet::from([WebsiteVisits, EmailAddress]));
+        (g, c)
+    }
+
+    #[test]
+    fn one_hop_exposure_is_neighbor_union_minus_own() {
+        let (g, c) = star();
+        let e = exposed_types(&g, &c, "hub", 1);
+        assert_eq!(e, BTreeSet::from([EmailAddress, Name, WebsiteVisits]));
+    }
+
+    #[test]
+    fn two_hop_reaches_across_the_hub() {
+        let (g, c) = star();
+        let e1 = exposed_types(&g, &c, "a", 1);
+        assert_eq!(e1, BTreeSet::from([InstalledApps]));
+        let e2 = exposed_types(&g, &c, "a", 2);
+        assert_eq!(e2, BTreeSet::from([InstalledApps, WebsiteVisits]));
+    }
+
+    #[test]
+    fn exposure_excludes_own_types() {
+        let (g, c) = star();
+        // b collects EmailAddress; a's email must not count as new for b.
+        let e = exposed_types(&g, &c, "b", 2);
+        assert!(!e.contains(&EmailAddress));
+        assert!(e.contains(&Name));
+    }
+
+    #[test]
+    fn exposure_monotone_in_hops() {
+        let (g, c) = star();
+        for id in ["hub", "a", "b"] {
+            let e1 = exposed_types(&g, &c, id, 1);
+            let e2 = exposed_types(&g, &c, id, 2);
+            assert!(e1.is_subset(&e2), "{id}");
+        }
+    }
+
+    #[test]
+    fn unknown_identity_has_no_exposure() {
+        let (g, c) = star();
+        assert!(exposed_types(&g, &c, "ghost", 2).is_empty());
+    }
+
+    #[test]
+    fn table8_ranks_by_occurrence_and_computes_factor() {
+        let (g, c) = star();
+        let rows = top_cooccurring_exposures(&g, &c, 3);
+        assert_eq!(rows[0].identity, "hub");
+        assert_eq!(rows[0].cooccurrences, 5);
+        assert_eq!(rows[0].own_types, 1);
+        assert_eq!(rows[0].indirect_types, 3);
+        assert_eq!(rows[0].exposure_factor(), Some(3.0));
+    }
+
+    #[test]
+    fn table7_direct_plus_increase_bounded_by_100() {
+        let (g, c) = star();
+        for row in type_exposure_table(&g, &c) {
+            let total = row.direct_pct + row.one_hop_increase_pct;
+            assert!(total <= 100.0 + 1e-9, "{:?}", row.data_type);
+            assert!(row.one_hop_increase_pct <= row.two_hop_increase_pct + 1e-9);
+        }
+    }
+
+    #[test]
+    fn table7_email_row() {
+        let (g, c) = star();
+        let rows = type_exposure_table(&g, &c);
+        let email = rows.iter().find(|r| r.data_type == EmailAddress).unwrap();
+        // 2 of 3 actions collect email; the third (hub) is exposed at 1 hop.
+        assert!((email.direct_pct - 66.666).abs() < 0.1);
+        assert!((email.one_hop_increase_pct - 33.333).abs() < 0.1);
+    }
+}

@@ -1,0 +1,312 @@
+//! An undirected weighted graph with string-keyed nodes.
+//!
+//! Exactly the representation of Section 5.3.1: "nodes represent Actions
+//! and the edges represent their appearance in a GPT… edges are
+//! undirected and weighted, such that the weight is incremented by one if
+//! the same Action pair co-occurs again in another GPT."
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// A node index.
+pub type NodeId = usize;
+
+/// The graph.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Graph {
+    labels: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, NodeId>,
+    /// Adjacency: node → (neighbor → weight). BTreeMap keeps neighbor
+    /// iteration deterministic.
+    adjacency: Vec<BTreeMap<NodeId, u32>>,
+}
+
+impl Graph {
+    pub fn new() -> Graph {
+        Graph::default()
+    }
+
+    /// Intern a node by label, returning its id.
+    pub fn add_node(&mut self, label: &str) -> NodeId {
+        if let Some(&id) = self.index.get(label) {
+            return id;
+        }
+        let id = self.labels.len();
+        self.labels.push(label.to_string());
+        self.adjacency.push(BTreeMap::new());
+        self.index.insert(label.to_string(), id);
+        id
+    }
+
+    /// Look up a node id by label.
+    pub fn node(&self, label: &str) -> Option<NodeId> {
+        self.index.get(label).copied()
+    }
+
+    /// The label of a node.
+    pub fn label(&self, id: NodeId) -> &str {
+        &self.labels[id]
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of distinct edges.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(BTreeMap::len).sum::<usize>() / 2
+    }
+
+    /// Add `weight` to the undirected edge `(a, b)`. Self-loops are
+    /// ignored (an Action co-occurring with itself is meaningless).
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId, weight: u32) {
+        if a == b {
+            return;
+        }
+        assert!(a < self.labels.len() && b < self.labels.len(), "unknown node");
+        *self.adjacency[a].entry(b).or_insert(0) += weight;
+        *self.adjacency[b].entry(a).or_insert(0) += weight;
+    }
+
+    /// Edge weight between two nodes (0 when absent).
+    pub fn weight(&self, a: NodeId, b: NodeId) -> u32 {
+        self.adjacency
+            .get(a)
+            .and_then(|adj| adj.get(&b))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Neighbors of a node with weights.
+    pub fn neighbors(&self, id: NodeId) -> impl Iterator<Item = (NodeId, u32)> + '_ {
+        self.adjacency[id].iter().map(|(&n, &w)| (n, w))
+    }
+
+    /// Unweighted degree (distinct co-occurring partners; Figure 5
+    /// reports webPilot at 63).
+    pub fn degree(&self, id: NodeId) -> usize {
+        self.adjacency[id].len()
+    }
+
+    /// Weighted degree (total co-occurrences; Figure 5: webPilot 93).
+    pub fn weighted_degree(&self, id: NodeId) -> u64 {
+        self.adjacency[id].values().map(|&w| w as u64).sum()
+    }
+
+    /// Connected components as sorted node-id lists, largest first.
+    pub fn connected_components(&self) -> Vec<Vec<NodeId>> {
+        let mut seen = vec![false; self.labels.len()];
+        let mut components = Vec::new();
+        for start in 0..self.labels.len() {
+            if seen[start] {
+                continue;
+            }
+            let mut component = Vec::new();
+            let mut queue = VecDeque::from([start]);
+            seen[start] = true;
+            while let Some(v) = queue.pop_front() {
+                component.push(v);
+                for (n, _) in self.neighbors(v) {
+                    if !seen[n] {
+                        seen[n] = true;
+                        queue.push_back(n);
+                    }
+                }
+            }
+            component.sort_unstable();
+            components.push(component);
+        }
+        components.sort_by_key(|c| std::cmp::Reverse(c.len()));
+        components
+    }
+
+    /// The largest connected component (Figure 5 plots this).
+    pub fn largest_component(&self) -> Vec<NodeId> {
+        self.connected_components().into_iter().next().unwrap_or_default()
+    }
+
+    /// Nodes within `hops` BFS hops of `start` (excluding `start`).
+    pub fn within_hops(&self, start: NodeId, hops: usize) -> Vec<NodeId> {
+        let mut dist: HashMap<NodeId, usize> = HashMap::from([(start, 0)]);
+        let mut queue = VecDeque::from([start]);
+        while let Some(v) = queue.pop_front() {
+            let d = dist[&v];
+            if d == hops {
+                continue;
+            }
+            for (n, _) in self.neighbors(v) {
+                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(n) {
+                    e.insert(d + 1);
+                    queue.push_back(n);
+                }
+            }
+        }
+        let mut out: Vec<NodeId> = dist.into_iter().filter(|&(n, d)| d > 0 && n != start).map(|(n, _)| n).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Rebuild the label index after deserialization.
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (l.clone(), i))
+            .collect();
+    }
+
+    /// Render the graph (or a node subset) as Graphviz DOT, with node
+    /// size proportional to weighted degree and edge darkness to weight —
+    /// the Figure 5 visual conventions.
+    pub fn to_dot(&self, nodes: Option<&[NodeId]>, label_min_degree: u64) -> String {
+        let selected: Vec<NodeId> = match nodes {
+            Some(ns) => ns.to_vec(),
+            None => (0..self.node_count()).collect(),
+        };
+        let in_selection: std::collections::HashSet<NodeId> = selected.iter().copied().collect();
+        let max_weight = selected
+            .iter()
+            .flat_map(|&v| self.neighbors(v).map(|(_, w)| w))
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let mut dot = String::from("graph actions {\n  layout=neato;\n  node [shape=circle];\n");
+        for &v in &selected {
+            let wd = self.weighted_degree(v);
+            let size = 0.2 + (wd as f64).sqrt() / 5.0;
+            let label = if wd > label_min_degree {
+                self.label(v).split('@').next().unwrap_or("").to_string()
+            } else {
+                String::new()
+            };
+            dot.push_str(&format!(
+                "  n{v} [width={size:.2}, label=\"{label}\"];\n"
+            ));
+        }
+        for &v in &selected {
+            for (n, w) in self.neighbors(v) {
+                if n > v && in_selection.contains(&n) {
+                    let shade = 30 + (60 * w / max_weight).min(60); // 30..90% gray
+                    dot.push_str(&format!(
+                        "  n{v} -- n{n} [penwidth={w}, color=\"gray{}\"];\n",
+                        90 - shade + 30
+                    ));
+                }
+            }
+        }
+        dot.push_str("}\n");
+        dot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        g.add_edge(a, b, 1);
+        g.add_edge(b, c, 2);
+        g.add_edge(a, c, 3);
+        g
+    }
+
+    #[test]
+    fn nodes_are_interned() {
+        let mut g = Graph::new();
+        assert_eq!(g.add_node("x"), g.add_node("x"));
+        assert_eq!(g.node_count(), 1);
+    }
+
+    #[test]
+    fn edge_weights_accumulate() {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        g.add_edge(a, b, 1);
+        g.add_edge(a, b, 1);
+        assert_eq!(g.weight(a, b), 2);
+        assert_eq!(g.weight(b, a), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        g.add_edge(a, a, 5);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.weighted_degree(a), 0);
+    }
+
+    #[test]
+    fn degrees() {
+        let g = triangle();
+        let a = g.node("a").unwrap();
+        assert_eq!(g.degree(a), 2);
+        assert_eq!(g.weighted_degree(a), 4); // 1 + 3
+    }
+
+    #[test]
+    fn degree_sum_is_twice_edge_weight_sum() {
+        let g = triangle();
+        let total: u64 = (0..g.node_count()).map(|v| g.weighted_degree(v)).sum();
+        assert_eq!(total, 2 * (1 + 2 + 3));
+    }
+
+    #[test]
+    fn components() {
+        let mut g = triangle();
+        let d = g.add_node("d");
+        let e = g.add_node("e");
+        g.add_edge(d, e, 1);
+        g.add_node("isolated");
+        let comps = g.connected_components();
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0].len(), 3);
+        assert_eq!(comps[1].len(), 2);
+        assert_eq!(comps[2].len(), 1);
+        assert_eq!(g.largest_component().len(), 3);
+    }
+
+    #[test]
+    fn within_hops_bfs() {
+        // path: a - b - c - d
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let d = g.add_node("d");
+        g.add_edge(a, b, 1);
+        g.add_edge(b, c, 1);
+        g.add_edge(c, d, 1);
+        assert_eq!(g.within_hops(a, 1), vec![b]);
+        assert_eq!(g.within_hops(a, 2), vec![b, c]);
+        assert_eq!(g.within_hops(a, 3), vec![b, c, d]);
+    }
+
+    #[test]
+    fn dot_export_mentions_heavy_nodes() {
+        let g = triangle();
+        let dot = g.to_dot(None, 3);
+        assert!(dot.starts_with("graph actions {"));
+        // "a" has weighted degree 4 > 3 → labeled; "b" has 3, not.
+        assert!(dot.contains("label=\"a\""));
+        assert!(dot.contains("n0 -- n1"));
+    }
+
+    #[test]
+    fn serde_round_trip_with_index_rebuild() {
+        let g = triangle();
+        let json = serde_json::to_string(&g).unwrap();
+        let mut back: Graph = serde_json::from_str(&json).unwrap();
+        back.rebuild_index();
+        assert_eq!(back.node("c"), g.node("c"));
+        assert_eq!(back.edge_count(), 3);
+    }
+}

@@ -1,0 +1,216 @@
+//! Execution-isolation regimes — the paper's §7 design discussion,
+//! quantified.
+//!
+//! Section 5.3 shows that the lack of isolation between co-resident
+//! Actions exposes them to each other's data; §7 argues platforms should
+//! "implement design interfaces for multiple Actions to securely
+//! collaborate" (the SecGPT architecture, reference \[25\]). This module
+//! evaluates how much each candidate isolation regime would reduce the
+//! measured exposure:
+//!
+//! * [`IsolationRegime::None`] — the worst case: Actions can relay data,
+//!   so exposure is the full reachability closure of the co-occurrence
+//!   graph;
+//! * [`IsolationRegime::Bounded`]`(k)` — exposure limited to `k` hops
+//!   (`k = 1` is today's ChatGPT: Actions inside one GPT share a
+//!   context, but nothing aggregates across GPTs beyond direct
+//!   co-residency; `k = 2` is the paper's measured indirect exposure);
+//! * [`IsolationRegime::Full`] — SecGPT-style: every Action executes in
+//!   its own sandbox; zero indirect exposure.
+
+use crate::exposure::{exposed_types, CollectionMap};
+use crate::graph::Graph;
+use gptx_taxonomy::DataType;
+use std::collections::BTreeSet;
+
+/// An isolation regime under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IsolationRegime {
+    /// No isolation and active relaying: reachability closure.
+    None,
+    /// Exposure bounded to `k` co-occurrence hops.
+    Bounded(usize),
+    /// Full per-Action sandboxing: no indirect exposure.
+    Full,
+}
+
+impl IsolationRegime {
+    pub fn label(&self) -> String {
+        match self {
+            IsolationRegime::None => "no isolation (transitive relay)".to_string(),
+            IsolationRegime::Bounded(1) => "per-GPT shared context (1 hop)".to_string(),
+            IsolationRegime::Bounded(k) => format!("bounded exposure ({k} hops)"),
+            IsolationRegime::Full => "full isolation (SecGPT)".to_string(),
+        }
+    }
+}
+
+/// The data types an Action is indirectly exposed to under a regime.
+pub fn exposure_under(
+    graph: &Graph,
+    collections: &CollectionMap,
+    identity: &str,
+    regime: IsolationRegime,
+) -> BTreeSet<DataType> {
+    match regime {
+        IsolationRegime::Full => BTreeSet::new(),
+        IsolationRegime::Bounded(k) => exposed_types(graph, collections, identity, k),
+        IsolationRegime::None => {
+            // Reachability closure: the graph diameter bounds the hop
+            // count; node_count is a safe upper bound.
+            exposed_types(graph, collections, identity, graph.node_count())
+        }
+    }
+}
+
+/// Corpus-level summary of one regime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegimeSummary {
+    pub regime_label: String,
+    /// Mean indirectly-exposed types per Action.
+    pub mean_exposed: f64,
+    /// Max indirectly-exposed types across Actions.
+    pub max_exposed: usize,
+    /// Fraction of Actions with any indirect exposure.
+    pub exposed_fraction: f64,
+    /// Fraction of Actions indirectly exposed to platform-prohibited
+    /// data (passwords) they do not collect themselves.
+    pub prohibited_exposed_fraction: f64,
+}
+
+/// Evaluate a set of regimes over the corpus — the "isolation dividend"
+/// table of the §7 extension.
+pub fn compare_regimes(
+    graph: &Graph,
+    collections: &CollectionMap,
+    regimes: &[IsolationRegime],
+) -> Vec<RegimeSummary> {
+    let n = collections.len().max(1) as f64;
+    regimes
+        .iter()
+        .map(|&regime| {
+            let mut total = 0usize;
+            let mut max_exposed = 0usize;
+            let mut any = 0usize;
+            let mut prohibited = 0usize;
+            for identity in collections.keys() {
+                let exposed = exposure_under(graph, collections, identity, regime);
+                total += exposed.len();
+                max_exposed = max_exposed.max(exposed.len());
+                if !exposed.is_empty() {
+                    any += 1;
+                }
+                if exposed.iter().any(DataType::prohibited_by_platform) {
+                    prohibited += 1;
+                }
+            }
+            RegimeSummary {
+                regime_label: regime.label(),
+                mean_exposed: total as f64 / n,
+                max_exposed,
+                exposed_fraction: any as f64 / n,
+                prohibited_exposed_fraction: prohibited as f64 / n,
+            }
+        })
+        .collect()
+}
+
+/// The default regime ladder the `iso` experiment reports.
+pub const DEFAULT_REGIMES: &[IsolationRegime] = &[
+    IsolationRegime::None,
+    IsolationRegime::Bounded(2),
+    IsolationRegime::Bounded(1),
+    IsolationRegime::Full,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use DataType::*;
+
+    /// Path graph a - b - c with distinct types.
+    fn path() -> (Graph, CollectionMap) {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        g.add_edge(a, b, 1);
+        g.add_edge(b, c, 1);
+        let mut m = CollectionMap::new();
+        m.insert("a".into(), BTreeSet::from([EmailAddress]));
+        m.insert("b".into(), BTreeSet::from([Name]));
+        m.insert("c".into(), BTreeSet::from([Passwords]));
+        (g, m)
+    }
+
+    #[test]
+    fn full_isolation_exposes_nothing() {
+        let (g, m) = path();
+        for id in ["a", "b", "c"] {
+            assert!(exposure_under(&g, &m, id, IsolationRegime::Full).is_empty());
+        }
+    }
+
+    #[test]
+    fn bounded_one_hop_is_direct_neighbors() {
+        let (g, m) = path();
+        let e = exposure_under(&g, &m, "a", IsolationRegime::Bounded(1));
+        assert_eq!(e, BTreeSet::from([Name]));
+    }
+
+    #[test]
+    fn no_isolation_reaches_everything() {
+        let (g, m) = path();
+        let e = exposure_under(&g, &m, "a", IsolationRegime::None);
+        assert_eq!(e, BTreeSet::from([Name, Passwords]));
+    }
+
+    #[test]
+    fn regimes_are_monotone() {
+        let (g, m) = path();
+        for id in ["a", "b", "c"] {
+            let full = exposure_under(&g, &m, id, IsolationRegime::Full);
+            let one = exposure_under(&g, &m, id, IsolationRegime::Bounded(1));
+            let two = exposure_under(&g, &m, id, IsolationRegime::Bounded(2));
+            let none = exposure_under(&g, &m, id, IsolationRegime::None);
+            assert!(full.is_subset(&one));
+            assert!(one.is_subset(&two));
+            assert!(two.is_subset(&none));
+        }
+    }
+
+    #[test]
+    fn summary_counts_prohibited_exposure() {
+        let (g, m) = path();
+        let summaries = compare_regimes(&g, &m, DEFAULT_REGIMES);
+        // Under "no isolation", a is exposed to c's passwords; b is
+        // exposed at 1 hop already.
+        let none = &summaries[0];
+        assert!(none.prohibited_exposed_fraction > 0.5);
+        let full = summaries.last().unwrap();
+        assert_eq!(full.mean_exposed, 0.0);
+        assert_eq!(full.exposed_fraction, 0.0);
+        assert_eq!(full.prohibited_exposed_fraction, 0.0);
+    }
+
+    #[test]
+    fn summary_mean_decreases_down_the_ladder() {
+        let (g, m) = path();
+        let summaries = compare_regimes(&g, &m, DEFAULT_REGIMES);
+        for pair in summaries.windows(2) {
+            assert!(
+                pair[0].mean_exposed >= pair[1].mean_exposed,
+                "{} < {}",
+                pair[0].regime_label,
+                pair[1].regime_label
+            );
+        }
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        assert!(IsolationRegime::Full.label().contains("SecGPT"));
+        assert!(IsolationRegime::Bounded(1).label().contains("per-GPT"));
+        assert!(IsolationRegime::Bounded(3).label().contains("3 hops"));
+    }
+}

@@ -1,0 +1,22 @@
+//! # gptx-graph
+//!
+//! The Action co-occurrence graph and indirect-exposure analysis of
+//! Section 5.3: a from-scratch undirected weighted [`Graph`] (nodes =
+//! Action identities, edge weight = number of GPTs a pair co-occurs in),
+//! construction from a GPT corpus, Figure 5's largest-component DOT
+//! export, and the 1-/2-hop exposure computations behind Tables 7 and 8.
+
+pub mod cooccurrence;
+pub mod exposure;
+pub mod graph;
+pub mod isolation;
+
+pub use cooccurrence::{build_cooccurrence, graph_stats, GraphStats};
+pub use exposure::{
+    exposed_types, top_cooccurring_exposures, type_exposure_table, ActionExposure,
+    CollectionMap, TypeExposureRow,
+};
+pub use graph::{Graph, NodeId};
+pub use isolation::{
+    compare_regimes, exposure_under, IsolationRegime, RegimeSummary, DEFAULT_REGIMES,
+};

@@ -1,0 +1,114 @@
+//! Property-based tests for the graph substrate.
+
+use gptx_graph::{exposed_types, CollectionMap, Graph};
+use gptx_taxonomy::DataType;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// A random small graph: up to 12 nodes, arbitrary weighted edges.
+fn graph_strategy() -> impl Strategy<Value = Graph> {
+    (2usize..12, prop::collection::vec((0usize..12, 0usize..12, 1u32..4), 0..30)).prop_map(
+        |(n, edges)| {
+            let mut g = Graph::new();
+            for i in 0..n {
+                g.add_node(&format!("n{i}"));
+            }
+            for (a, b, w) in edges {
+                let (a, b) = (a % n, b % n);
+                g.add_edge(a, b, w);
+            }
+            g
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn degree_sum_equals_twice_weight_sum(g in graph_strategy()) {
+        let degree_sum: u64 = (0..g.node_count()).map(|v| g.weighted_degree(v)).sum();
+        let weight_sum: u64 = (0..g.node_count())
+            .flat_map(|v| g.neighbors(v).map(|(_, w)| w as u64).collect::<Vec<_>>())
+            .sum();
+        prop_assert_eq!(degree_sum, weight_sum);
+        // weight_sum already counts each edge twice (both endpoints).
+    }
+
+    #[test]
+    fn weights_are_symmetric(g in graph_strategy()) {
+        for a in 0..g.node_count() {
+            for b in 0..g.node_count() {
+                prop_assert_eq!(g.weight(a, b), g.weight(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn components_partition_nodes(g in graph_strategy()) {
+        let comps = g.connected_components();
+        let mut seen = BTreeSet::new();
+        for comp in &comps {
+            for &v in comp {
+                prop_assert!(seen.insert(v), "node {v} in two components");
+            }
+        }
+        prop_assert_eq!(seen.len(), g.node_count());
+        // Largest first.
+        for pair in comps.windows(2) {
+            prop_assert!(pair[0].len() >= pair[1].len());
+        }
+    }
+
+    #[test]
+    fn within_hops_is_monotone(g in graph_strategy(), start in 0usize..12, h in 1usize..4) {
+        let start = start % g.node_count();
+        let near: BTreeSet<_> = g.within_hops(start, h).into_iter().collect();
+        let far: BTreeSet<_> = g.within_hops(start, h + 1).into_iter().collect();
+        prop_assert!(near.is_subset(&far));
+        prop_assert!(!far.contains(&start));
+    }
+
+    #[test]
+    fn one_hop_equals_neighbors(g in graph_strategy(), start in 0usize..12) {
+        let start = start % g.node_count();
+        let hop: BTreeSet<_> = g.within_hops(start, 1).into_iter().collect();
+        let neigh: BTreeSet<_> = g.neighbors(start).map(|(n, _)| n).collect();
+        prop_assert_eq!(hop, neigh);
+    }
+
+    #[test]
+    fn exposure_monotone_and_disjoint_from_own(
+        g in graph_strategy(),
+        type_assignment in prop::collection::vec(0usize..8, 12),
+    ) {
+        // Assign each node a couple of data types derived from the index.
+        let mut collections = CollectionMap::new();
+        for (v, &assignment) in type_assignment.iter().enumerate().take(g.node_count()) {
+            let t1 = DataType::ALL[assignment % DataType::ALL.len()];
+            let t2 = DataType::ALL[(assignment * 7 + 3) % DataType::ALL.len()];
+            collections.insert(
+                g.label(v).to_string(),
+                [t1, t2].into_iter().collect(),
+            );
+        }
+        for v in 0..g.node_count() {
+            let label = g.label(v);
+            let own = &collections[label];
+            let e1 = exposed_types(&g, &collections, label, 1);
+            let e2 = exposed_types(&g, &collections, label, 2);
+            prop_assert!(e1.is_subset(&e2), "exposure must grow with hops");
+            prop_assert!(e1.intersection(own).next().is_none());
+            prop_assert!(e2.intersection(own).next().is_none());
+        }
+    }
+
+    #[test]
+    fn dot_export_never_panics(g in graph_strategy()) {
+        let dot = g.to_dot(None, 2);
+        // prop_assert! stringifies its expression into a format string,
+        // so brace-containing literals must be bound first.
+        let starts = dot.starts_with("graph actions {");
+        let ends = dot.ends_with("}\n");
+        prop_assert!(starts);
+        prop_assert!(ends);
+    }
+}

@@ -1,0 +1,649 @@
+//! [`KbModel`]: the deterministic, knowledge-base-grounded language model.
+//!
+//! This is the reproduction's stand-in for the GPT-4 instance the paper
+//! configures "with a tailored prompt template and an expanded Android
+//! platform's data type taxonomy as a knowledge base" (Section 5.1.1).
+//! It follows the structured protocol of [`crate::protocol`]:
+//!
+//! * **classify_data_type** — lexicon matching after Porter stemming,
+//!   with a TF-IDF cosine fallback against the taxonomy descriptions;
+//! * **screen_sentence** — detects actionable data verbs ("collect",
+//!   "store", "share", …) or mentions of taxonomy phrases, mirroring the
+//!   paper's extraction criterion (Section 6.2.1);
+//! * **judge_disclosure** — per-sentence matching of a data item at two
+//!   strengths (exact phrase vs. category-level/generic) crossed with
+//!   negation detection, yielding the clear/vague/ambiguous/incorrect
+//!   labels of Table 11.
+//!
+//! Because the whole ecosystem is measured through this oracle, its
+//! determinism is what makes every number in EXPERIMENTS.md reproducible.
+
+use crate::model::{LanguageModel, LlmError};
+use crate::protocol::{
+    self, ClassificationResponse, DisclosureJudgement, DisclosureLabel,
+};
+use gptx_nlp::vector::SparseVec;
+use gptx_nlp::{analyze, cosine, TfIdf, TfIdfBuilder};
+use gptx_taxonomy::{Category, DataType, KnowledgeBase};
+
+/// Deterministic knowledge-base model. See module docs.
+pub struct KbModel {
+    kb: KnowledgeBase,
+    tfidf: TfIdf,
+    /// Per-entry embedding of description + lexicon text.
+    entry_vectors: Vec<(DataType, SparseVec)>,
+    /// Pre-stemmed lexicon phrases per entry (classification hot path).
+    entry_lexstems: Vec<(DataType, Vec<Vec<String>>)>,
+    /// Pre-stemmed category-level phrases per entry's category.
+    category_lexstems: Vec<Vec<Vec<String>>>,
+    /// Pre-stemmed collection verbs.
+    verb_stems: Vec<String>,
+    /// Pre-stemmed generic data nouns.
+    noun_stems: Vec<String>,
+    context_window: usize,
+}
+
+/// Verbs that signal data collection in policy text (stemmed at match
+/// time). The paper's criterion: "statements which contain actionable
+/// verbs pertaining to data (e.g., collection) or mention specific data
+/// types".
+const COLLECTION_VERBS: &[&str] = &[
+    "collect", "store", "gather", "process", "share", "obtain", "record", "receive", "transmit",
+    "retain", "access", "request", "use", "track", "log", "save", "sell", "disclose", "hold",
+    "capture",
+];
+
+/// Generic object nouns that, combined with a collection verb, mark a
+/// sentence as data-collection-related even without a specific type.
+const DATA_NOUNS: &[&str] = &[
+    "data", "information", "detail", "record", "content", "input",
+];
+
+/// Negation markers preceding/surrounding a collection verb.
+const NEGATIONS: &[&str] = &[
+    "do not", "don't", "does not", "doesn't", "never", "will not", "won't", "not collect",
+    "no personal", "none of", "not store", "not share", "not sell", "nor ",
+];
+
+/// Generic phrases that disclose *personal* data collection only in the
+/// broadest terms — these ground the *vague* label for personal types.
+const GENERIC_PERSONAL: &[&str] = &[
+    "personal data", "personal information", "information you provide",
+    "information about you", "personally identifiable",
+];
+
+/// Generic phrases that vaguely cover user *activity/content* ("User
+/// Data that includes data about how you use our website…", Table 11).
+const GENERIC_ACTIVITY: &[&str] = &[
+    "data about how you use", "data that you post", "content you post",
+    "usage data", "user generated content you share",
+];
+
+impl KbModel {
+    /// Build a model over a knowledge base with the default 16k-token
+    /// context window.
+    pub fn new(kb: KnowledgeBase) -> KbModel {
+        KbModel::with_context_window(kb, 16_384)
+    }
+
+    /// Build with an explicit context-window size (ablation knob).
+    pub fn with_context_window(kb: KnowledgeBase, context_window: usize) -> KbModel {
+        let mut builder = TfIdfBuilder::new();
+        for e in kb.entries() {
+            builder.add_text(&entry_document(e.data_type));
+        }
+        // Background documents stabilize IDF for common verbs.
+        builder.add_text("we collect use store share process your data information");
+        let tfidf = builder.build();
+        let entry_vectors = kb
+            .entries()
+            .iter()
+            .map(|e| (e.data_type, tfidf.embed_text(&entry_document(e.data_type))))
+            .collect();
+        let entry_lexstems = kb
+            .entries()
+            .iter()
+            .map(|e| {
+                let stems: Vec<Vec<String>> =
+                    e.lexicon().iter().map(|p| analyze(p)).collect();
+                (e.data_type, stems)
+            })
+            .collect();
+        let category_lexstems = kb
+            .entries()
+            .iter()
+            .map(|e| {
+                category_lexicon(e.data_type.category())
+                    .iter()
+                    .map(|p| analyze(p))
+                    .collect()
+            })
+            .collect();
+        KbModel {
+            kb,
+            tfidf,
+            entry_vectors,
+            entry_lexstems,
+            category_lexstems,
+            verb_stems: COLLECTION_VERBS
+                .iter()
+                .map(|v| gptx_nlp::porter_stem(v))
+                .collect(),
+            noun_stems: DATA_NOUNS
+                .iter()
+                .map(|n| gptx_nlp::porter_stem(n))
+                .collect(),
+            context_window,
+        }
+    }
+
+    /// The knowledge base this model is grounded in.
+    pub fn knowledge_base(&self) -> &KnowledgeBase {
+        &self.kb
+    }
+
+    // ------------------------------------------------------------------
+    // Task 1: classification
+    // ------------------------------------------------------------------
+
+    /// Classify a free-text data description to the best taxonomy entry.
+    pub fn classify_description(&self, description: &str) -> ClassificationResponse {
+        let stems = analyze(description);
+        // Phase 1: lexicon phrase matching. Longer phrase hits and more
+        // hits win; earlier taxonomy entries break ties (stable order).
+        let mut best: Option<(f64, DataType)> = None;
+        for (data_type, phrases) in &self.entry_lexstems {
+            let mut score = 0.0;
+            for pstems in phrases {
+                let plen = stem_match_len(&stems, pstems);
+                if plen > 0 {
+                    score += plen as f64 * 2.0;
+                }
+            }
+            if score > 0.0 && best.is_none_or(|(s, _)| score > s) {
+                best = Some((score, *data_type));
+            }
+        }
+        if let Some((_, d)) = best {
+            return ClassificationResponse {
+                data_type: d,
+                category: d.category(),
+            };
+        }
+
+        // Phase 2: TF-IDF cosine against entry documents.
+        let v = self.tfidf.embed(&stems);
+        let mut best: Option<(f64, DataType)> = None;
+        for (d, ev) in &self.entry_vectors {
+            let sim = cosine(&v, ev);
+            if sim > 0.12 && best.is_none_or(|(s, _)| sim > s) {
+                best = Some((sim, *d));
+            }
+        }
+        if let Some((_, d)) = best {
+            return ClassificationResponse {
+                data_type: d,
+                category: d.category(),
+            };
+        }
+
+        // Phase 3: catch-all — free text the taxonomy cannot place is
+        // "other user-generated data" (the taxonomy's own catch-all).
+        ClassificationResponse {
+            data_type: DataType::OtherUserGeneratedData,
+            category: Category::AppActivity,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Task 2: sentence screening
+    // ------------------------------------------------------------------
+
+    /// Is this sentence a data-collection statement?
+    pub fn screen_sentence(&self, sentence: &str) -> bool {
+        let stems = analyze(sentence);
+        let has_verb = self.verb_stems.iter().any(|v| stems.contains(v));
+        let has_noun = self.noun_stems.iter().any(|n| stems.contains(n));
+        if has_verb && has_noun {
+            return true;
+        }
+        // Mentions a specific taxonomy phrase? Single-word lexicon hits
+        // ("contact", "file") are too generic to flag a sentence on their
+        // own — they only count alongside a collection verb; multi-word
+        // phrases ("email address", "browsing history") count by
+        // themselves.
+        let best_phrase = self
+            .entry_lexstems
+            .iter()
+            .flat_map(|(_, phrases)| phrases.iter())
+            .map(|p| stem_match_len(&stems, p))
+            .max()
+            .unwrap_or(0);
+        best_phrase >= 2 || (has_verb && best_phrase >= 1)
+    }
+
+    // ------------------------------------------------------------------
+    // Task 3: disclosure judgement
+    // ------------------------------------------------------------------
+
+    /// Judge a data item against indexed data-collection sentences.
+    pub fn judge_disclosure(
+        &self,
+        data_item: &str,
+        data_type: Option<DataType>,
+        sentences: &[String],
+    ) -> Vec<DisclosureJudgement> {
+        let data_type = data_type.unwrap_or_else(|| self.classify_description(data_item).data_type);
+        let item_vec = self.tfidf.embed_text(data_item);
+        let mut out = Vec::new();
+        for (i, sentence) in sentences.iter().enumerate() {
+            if let Some(label) = self.judge_sentence(data_item, data_type, &item_vec, sentence) {
+                out.push(DisclosureJudgement {
+                    sentence_index: i,
+                    label,
+                });
+            }
+        }
+        out
+    }
+
+    /// Judge one sentence; `None` means the sentence is unrelated to the
+    /// data item.
+    fn judge_sentence(
+        &self,
+        _data_item: &str,
+        data_type: DataType,
+        item_vec: &SparseVec,
+        sentence: &str,
+    ) -> Option<DisclosureLabel> {
+        let stems = analyze(sentence);
+        let lower = sentence.to_ascii_lowercase();
+
+        let entry_idx = self
+            .entry_lexstems
+            .iter()
+            .position(|(d, _)| *d == data_type);
+
+        // Match strength.
+        let exact = entry_idx.is_some_and(|i| {
+            self.entry_lexstems[i]
+                .1
+                .iter()
+                .any(|p| stem_match_len(&stems, p) > 0)
+        }) || cosine(item_vec, &self.tfidf.embed(&stems)) > 0.5;
+        let generic = (data_type.is_personal()
+            && GENERIC_PERSONAL.iter().any(|p| lower.contains(p)))
+            || (data_type.category() == Category::AppActivity
+                && GENERIC_ACTIVITY.iter().any(|p| lower.contains(p)));
+        let categorical = entry_idx.is_some_and(|i| {
+            self.category_lexstems[i]
+                .iter()
+                .any(|p| stem_match_len(&stems, p) > 0)
+        });
+        let broad = generic || categorical;
+
+        if !exact && !broad {
+            return None;
+        }
+
+        let negated = NEGATIONS.iter().any(|n| lower.contains(n));
+        let affirmative = self.verb_stems.iter().any(|v| stems.contains(v));
+
+        // A single sentence that both denies and affirms collection is
+        // the paper's "ambiguous" archetype ("We do not actively collect
+        // and store any personal data… We use Your Personal data to
+        // provide and improve the Service").
+        if negated && affirmative && contains_affirmation_after_negation(&lower) {
+            return Some(DisclosureLabel::Ambiguous);
+        }
+        if negated {
+            return Some(DisclosureLabel::Incorrect);
+        }
+        if exact {
+            Some(DisclosureLabel::Clear)
+        } else {
+            Some(DisclosureLabel::Vague)
+        }
+    }
+}
+
+/// Number of tokens matched if the pre-stemmed phrase occurs
+/// contiguously in `stems`; 0 otherwise.
+fn stem_match_len(stems: &[String], pstems: &[String]) -> usize {
+    if pstems.is_empty() || pstems.len() > stems.len() {
+        return 0;
+    }
+    let hit = stems.windows(pstems.len()).any(|w| w == pstems);
+    if hit {
+        pstems.len()
+    } else {
+        0
+    }
+}
+
+/// The full matching document for a taxonomy entry.
+fn entry_document(d: DataType) -> String {
+    format!(
+        "{} {} {} {}",
+        d.label(),
+        d.category().label(),
+        d.description(),
+        d.lexicon().join(" ")
+    )
+}
+
+/// Category-level phrases grounding the "vague" label.
+fn category_lexicon(cat: Category) -> &'static [&'static str] {
+    match cat {
+        Category::AppActivity => &["app activity", "usage information", "interaction data", "activity data"],
+        Category::PersonalInfo => &["personal information", "personal data", "personally identifiable information", "contact information", "contact details"],
+        Category::WebBrowsing => &["browsing data", "browsing activity", "web activity"],
+        Category::Location => &["location", "location data", "geolocation"],
+        Category::Messages => &["message", "communication", "correspondence"],
+        Category::FinancialInfo => &["financial information", "financial data", "payment data"],
+        Category::FilesAndDocs => &["files", "documents", "uploads"],
+        Category::PhotosAndVideos => &["media", "photos and videos", "visual content"],
+        Category::Calendar => &["calendar", "schedule"],
+        Category::AppInfoAndPerformance => &["performance data", "diagnostic data", "technical data", "log data"],
+        Category::HealthAndFitness => &["health data", "fitness data", "wellness information"],
+        Category::DeviceOrOtherIds => &["device information", "identifiers", "device data"],
+        Category::AudioFiles => &["audio", "recordings"],
+        Category::Contacts => &["contacts", "address book"],
+    }
+}
+
+/// Detect the "deny, then use" pattern inside a single sentence/passage.
+fn contains_affirmation_after_negation(lower: &str) -> bool {
+    let neg_pos = NEGATIONS.iter().filter_map(|n| lower.find(n)).min();
+    let Some(neg) = neg_pos else { return false };
+    // An affirmative collection verb appearing well after the negation.
+    ["we use", "we collect", "we store", "we process", "we share", "use your", "collect your"]
+        .iter()
+        .filter_map(|a| lower.rfind(a))
+        .any(|pos| pos > neg + 8)
+}
+
+impl LanguageModel for KbModel {
+    fn name(&self) -> &str {
+        "kb-model/table13"
+    }
+
+    fn context_window(&self) -> usize {
+        self.context_window
+    }
+
+    fn complete(&self, prompt: &str) -> Result<String, LlmError> {
+        self.check_context(prompt)?;
+        let task = protocol::task_of(prompt)
+            .ok_or_else(|| LlmError::UnrecognizedTask("no ### TASK header".into()))?;
+        match task {
+            "classify_data_type" => {
+                let input = protocol::section(prompt, "INPUT")
+                    .ok_or_else(|| LlmError::UnrecognizedTask("missing INPUT".into()))?;
+                Ok(self.classify_description(input).to_response_text())
+            }
+            "screen_sentence" => {
+                let input = protocol::section(prompt, "INPUT")
+                    .ok_or_else(|| LlmError::UnrecognizedTask("missing INPUT".into()))?;
+                Ok(if self.screen_sentence(input) { "yes" } else { "no" }.to_string())
+            }
+            "judge_disclosure" => {
+                let item = protocol::section(prompt, "DATA_ITEM")
+                    .ok_or_else(|| LlmError::UnrecognizedTask("missing DATA_ITEM".into()))?;
+                let data_type = protocol::section(prompt, "DATA_TYPE")
+                    .and_then(DataType::from_label);
+                let sentences: Vec<String> = protocol::section(prompt, "SENTENCES")
+                    .map(|s| {
+                        s.lines()
+                            .filter_map(|l| l.split_once("] ").map(|(_, body)| body.to_string()))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                let judgements = self.judge_disclosure(item, data_type, &sentences);
+                if judgements.is_empty() {
+                    Ok("omitted".to_string())
+                } else {
+                    Ok(judgements
+                        .iter()
+                        .map(DisclosureJudgement::to_line)
+                        .collect::<Vec<_>>()
+                        .join("\n"))
+                }
+            }
+            other => Err(LlmError::UnrecognizedTask(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> KbModel {
+        KbModel::new(KnowledgeBase::full())
+    }
+
+    #[test]
+    fn classifies_email_description() {
+        let r = model().classify_description("Email address of the user");
+        assert_eq!(r.data_type, DataType::EmailAddress);
+        assert_eq!(r.category, Category::PersonalInfo);
+    }
+
+    #[test]
+    fn classifies_url_fetch_as_website_visits() {
+        let r = model()
+            .classify_description("urls: The raw URL of the web page to fetch, up to 6 per request");
+        assert_eq!(r.data_type, DataType::WebsiteVisits);
+    }
+
+    #[test]
+    fn classifies_timestamp_as_time() {
+        let r = model().classify_description(
+            "End time of the query as unix timestamp. If only count is given, defaults to now.",
+        );
+        assert_eq!(r.data_type, DataType::Time);
+    }
+
+    #[test]
+    fn classifies_city_as_approximate_location() {
+        let r = model().classify_description("The city for which weather data is requested");
+        assert_eq!(r.data_type, DataType::ApproximateLocation);
+    }
+
+    #[test]
+    fn classifies_password() {
+        let r = model().classify_description(
+            "The user's password for signing into the online service",
+        );
+        assert_eq!(r.data_type, DataType::Passwords);
+        assert!(r.data_type.prohibited_by_platform());
+    }
+
+    #[test]
+    fn classifies_loan_amount_as_financial() {
+        let r = model().classify_description("Desired loan amount for the mortgage calculation");
+        assert_eq!(r.data_type, DataType::OtherFinancialInfo);
+    }
+
+    #[test]
+    fn unknown_text_falls_back_to_user_generated() {
+        let r = model().classify_description("zzz qqq xyzzy frobnicate");
+        assert_eq!(r.data_type, DataType::OtherUserGeneratedData);
+    }
+
+    #[test]
+    fn inflection_robustness_via_stemming() {
+        let m = model();
+        let a = m.classify_description("search queries entered by the user");
+        let b = m.classify_description("the user's search query");
+        assert_eq!(a.data_type, DataType::InAppSearchHistory);
+        assert_eq!(b.data_type, a.data_type);
+    }
+
+    #[test]
+    fn screening_accepts_collection_statements() {
+        let m = model();
+        assert!(m.screen_sentence("We collect your email address when you register."));
+        assert!(m.screen_sentence("Usage data is stored for 30 days."));
+        assert!(m.screen_sentence("We may share your information with partners."));
+    }
+
+    #[test]
+    fn screening_rejects_boilerplate() {
+        let m = model();
+        assert!(!m.screen_sentence("This policy is effective as of January 2024."));
+        assert!(!m.screen_sentence("Contact us with questions."));
+    }
+
+    #[test]
+    fn judge_clear_disclosure() {
+        let m = model();
+        let sentences = vec!["We collect your email address when you sign up.".to_string()];
+        let j = m.judge_disclosure(
+            "Email address of the user",
+            Some(DataType::EmailAddress),
+            &sentences,
+        );
+        assert_eq!(j.len(), 1);
+        assert_eq!(j[0].label, DisclosureLabel::Clear);
+    }
+
+    #[test]
+    fn judge_vague_disclosure() {
+        let m = model();
+        // Table 11's vague archetype: generic "data you post / usage data".
+        let sentences = vec![
+            "User Data includes data about how you use our website and any data \
+             that you post for publication through our online services."
+                .to_string(),
+        ];
+        let j = m.judge_disclosure(
+            "Script to be produced",
+            Some(DataType::OtherUserGeneratedData),
+            &sentences,
+        );
+        assert_eq!(j.len(), 1);
+        assert_eq!(j[0].label, DisclosureLabel::Vague);
+    }
+
+    #[test]
+    fn judge_omitted_disclosure() {
+        let m = model();
+        // Table 11's omitted archetype: policy lists name+mailing address,
+        // Action collects email.
+        let sentences = vec!["We only collect user name and mailing address.".to_string()];
+        let j = m.judge_disclosure(
+            "Email address of the user",
+            Some(DataType::EmailAddress),
+            &sentences,
+        );
+        assert!(j.iter().all(|x| x.label != DisclosureLabel::Clear));
+    }
+
+    #[test]
+    fn judge_incorrect_disclosure() {
+        let m = model();
+        // Table 11's incorrect archetype.
+        let sentences = vec![
+            "We do not collect our customer's personal information or share it \
+             with unaffiliated third parties."
+                .to_string(),
+        ];
+        let j = m.judge_disclosure(
+            "User's level of fitness",
+            Some(DataType::HealthInfo),
+            &sentences,
+        );
+        assert_eq!(j.len(), 1);
+        assert_eq!(j[0].label, DisclosureLabel::Incorrect);
+    }
+
+    #[test]
+    fn judge_ambiguous_disclosure() {
+        let m = model();
+        // Table 11's ambiguous archetype: denial followed by "We use Your
+        // Personal data".
+        let sentences = vec![
+            "We do not actively collect and store any personal data from users \
+             but We use Your Personal data to provide and improve the Service."
+                .to_string(),
+        ];
+        let j = m.judge_disclosure(
+            "Shopping category data",
+            Some(DataType::OtherInfo),
+            &sentences,
+        );
+        assert_eq!(j.len(), 1);
+        assert_eq!(j[0].label, DisclosureLabel::Ambiguous);
+    }
+
+    #[test]
+    fn trait_dispatch_classification() {
+        let m = model();
+        let kb = KnowledgeBase::full();
+        let req = crate::protocol::ClassificationRequest {
+            description: "The user's phone number",
+            kb: &kb,
+        };
+        let resp = m.complete(&req.to_prompt()).unwrap();
+        let parsed = ClassificationResponse::parse(&resp).unwrap();
+        assert_eq!(parsed.data_type, DataType::PhoneNumber);
+    }
+
+    #[test]
+    fn trait_dispatch_screening() {
+        let m = model();
+        let req = crate::protocol::ScreeningRequest {
+            sentence: "We collect your name and email.",
+        };
+        let resp = m.complete(&req.to_prompt()).unwrap();
+        assert_eq!(crate::protocol::ScreeningRequest::parse(&resp), Ok(true));
+    }
+
+    #[test]
+    fn trait_dispatch_judgement() {
+        let m = model();
+        let sentences = vec!["We collect your email address.".to_string()];
+        let req = crate::protocol::JudgementRequest {
+            data_item: "Email address of the user",
+            data_type: Some(DataType::EmailAddress),
+            sentences: &sentences,
+        };
+        let resp = m.complete(&req.to_prompt()).unwrap();
+        let parsed = crate::protocol::JudgementRequest::parse(&resp).unwrap();
+        assert_eq!(parsed[0].label, DisclosureLabel::Clear);
+    }
+
+    #[test]
+    fn trait_rejects_unknown_task() {
+        let m = model();
+        assert!(matches!(
+            m.complete("### TASK: write_a_poem\n### END\n"),
+            Err(LlmError::UnrecognizedTask(_))
+        ));
+    }
+
+    #[test]
+    fn small_window_overflows() {
+        let m = KbModel::with_context_window(KnowledgeBase::full(), 64);
+        let kb = KnowledgeBase::full();
+        let req = crate::protocol::ClassificationRequest {
+            description: "email",
+            kb: &kb,
+        };
+        // The full-KB prompt is far larger than 64 tokens.
+        assert!(matches!(
+            m.complete(&req.to_prompt()),
+            Err(LlmError::ContextOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn determinism() {
+        let m = model();
+        let a = m.classify_description("The user's home address");
+        let b = m.classify_description("The user's home address");
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,48 @@
+//! # gptx-llm
+//!
+//! The language-model substrate behind the paper's two analysis
+//! frameworks: the data-type classifier (Section 5.1.1, "we configure a
+//! GPT-4 instance with a tailored prompt template and an expanded Android
+//! platform's data type taxonomy as a knowledge base") and the privacy-
+//! policy analyst (Section 6.2's three-step pipeline).
+//!
+//! ## Architecture
+//!
+//! Everything above this crate talks to an LLM through the
+//! [`LanguageModel`] trait — a synchronous `complete(prompt) -> response`
+//! interface plus a declared context-window size. Prompts follow the
+//! structured protocol in [`protocol`]; responses are parsed (and can
+//! fail to parse, which callers must handle, mirroring real LLM
+//! brittleness).
+//!
+//! Two implementations ship:
+//!
+//! * [`KbModel`] — a deterministic instruction-follower grounded in the
+//!   Table 13 taxonomy knowledge base. Semantic matching is lexicon
+//!   matching after Porter stemming, backed by TF-IDF cosine similarity
+//!   over the taxonomy descriptions. It is the oracle used for the
+//!   reproduction: same framework code paths, reproducible outputs.
+//! * [`NoisyModel`] — a fault-injection wrapper that corrupts a
+//!   configurable fraction of responses and degrades with prompt length,
+//!   reproducing the accuracy study of Section 6.2.1 and the paper's
+//!   motivation (reference \[29\]) for keeping LLM contexts small.
+//!
+//! Swapping in a real LLM API client is a matter of implementing
+//! [`LanguageModel`] for it; nothing above this crate would change.
+
+pub mod kb_model;
+pub mod model;
+pub mod noisy;
+pub mod protocol;
+pub mod template;
+pub mod token;
+
+pub use kb_model::KbModel;
+pub use model::{LanguageModel, LlmError};
+pub use noisy::NoisyModel;
+pub use template::{PromptTemplate, TemplateError};
+pub use protocol::{
+    ClassificationRequest, ClassificationResponse, DisclosureJudgement, DisclosureLabel,
+    JudgementRequest, ScreeningRequest,
+};
+pub use token::count_tokens;

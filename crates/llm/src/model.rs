@@ -1,0 +1,106 @@
+//! The [`LanguageModel`] trait: the seam between the analysis frameworks
+//! and whatever oracle answers their prompts.
+
+/// Errors a language-model backend can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LlmError {
+    /// The prompt exceeds the model's context window. Carries the prompt
+    /// size and the window size in (approximate) tokens.
+    ContextOverflow { prompt_tokens: usize, window: usize },
+    /// The model produced output the caller could not parse. Real LLM
+    /// integrations hit this constantly; the framework retries or skips.
+    MalformedResponse(String),
+    /// The prompt does not follow the structured protocol.
+    UnrecognizedTask(String),
+    /// Transport-level failure (rate limit, timeout) — injected by test
+    /// doubles to exercise retry paths.
+    Unavailable(String),
+}
+
+impl std::fmt::Display for LlmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LlmError::ContextOverflow { prompt_tokens, window } => write!(
+                f,
+                "prompt of ~{prompt_tokens} tokens exceeds context window of {window}"
+            ),
+            LlmError::MalformedResponse(s) => write!(f, "malformed response: {s}"),
+            LlmError::UnrecognizedTask(s) => write!(f, "unrecognized task: {s}"),
+            LlmError::Unavailable(s) => write!(f, "model unavailable: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for LlmError {}
+
+/// A synchronous completion-style language model.
+///
+/// The framework code in `gptx-classifier` and `gptx-policy` is written
+/// against this trait only; the shipped implementations are the
+/// deterministic [`crate::KbModel`] and the fault-injecting
+/// [`crate::NoisyModel`]. An HTTP client for a hosted LLM would implement
+/// the same trait.
+pub trait LanguageModel {
+    /// Model identifier for logs and reports (e.g. "kb-model/table13").
+    fn name(&self) -> &str;
+
+    /// Context-window size in approximate tokens (see
+    /// [`crate::count_tokens`]).
+    fn context_window(&self) -> usize;
+
+    /// Complete a prompt. Implementations must return
+    /// [`LlmError::ContextOverflow`] when the prompt does not fit.
+    fn complete(&self, prompt: &str) -> Result<String, LlmError>;
+
+    /// Guard helper: error out if `prompt` exceeds the window.
+    fn check_context(&self, prompt: &str) -> Result<(), LlmError> {
+        let prompt_tokens = crate::token::count_tokens(prompt);
+        if prompt_tokens > self.context_window() {
+            Err(LlmError::ContextOverflow {
+                prompt_tokens,
+                window: self.context_window(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo;
+    impl LanguageModel for Echo {
+        fn name(&self) -> &str {
+            "echo"
+        }
+        fn context_window(&self) -> usize {
+            8
+        }
+        fn complete(&self, prompt: &str) -> Result<String, LlmError> {
+            self.check_context(prompt)?;
+            Ok(prompt.to_string())
+        }
+    }
+
+    #[test]
+    fn check_context_allows_small_prompts() {
+        assert_eq!(Echo.complete("hi there"), Ok("hi there".to_string()));
+    }
+
+    #[test]
+    fn check_context_rejects_large_prompts() {
+        let err = Echo.complete("one two three four five six seven eight nine ten");
+        assert!(matches!(err, Err(LlmError::ContextOverflow { .. })));
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = LlmError::ContextOverflow {
+            prompt_tokens: 100,
+            window: 10,
+        };
+        assert!(e.to_string().contains("100"));
+    }
+}

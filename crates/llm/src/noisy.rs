@@ -1,0 +1,211 @@
+//! [`NoisyModel`]: fault injection over any [`LanguageModel`].
+//!
+//! The paper's framework design is motivated by two LLM failure modes:
+//! unreliability (hence the pilot accuracy study of Section 6.2.1, which
+//! found 85.7% accuracy / 89.2% recall / 96.4% precision) and degradation
+//! with long context (reference \[29\], the reason the policy pipeline
+//! builds small indexed contexts instead of prompting over whole
+//! policies). `NoisyModel` reproduces both: it corrupts a base error rate
+//! of responses, plus an additional rate that grows linearly with prompt
+//! length — so the `ablate_context_strategy` benchmark can show the
+//! three-step pipeline beating the naive whole-policy prompt.
+
+use crate::model::{LanguageModel, LlmError};
+use crate::protocol::{self, DisclosureJudgement, DisclosureLabel};
+use gptx_taxonomy::DataType;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Mutex;
+
+/// A wrapper that corrupts a fraction of the inner model's responses.
+pub struct NoisyModel<M> {
+    inner: M,
+    /// Probability of corrupting a response at zero prompt length.
+    base_error_rate: f64,
+    /// Additional error probability per 1,000 prompt tokens.
+    degradation_per_kilo_token: f64,
+    rng: Mutex<StdRng>,
+    name: String,
+}
+
+impl<M: LanguageModel> NoisyModel<M> {
+    /// Wrap `inner`, corrupting responses with probability
+    /// `base_error_rate` (plus length-dependent degradation), seeded for
+    /// reproducibility.
+    pub fn new(inner: M, base_error_rate: f64, seed: u64) -> NoisyModel<M> {
+        NoisyModel::with_degradation(inner, base_error_rate, 0.0, seed)
+    }
+
+    /// Wrap with an additional `degradation_per_kilo_token` error slope.
+    pub fn with_degradation(
+        inner: M,
+        base_error_rate: f64,
+        degradation_per_kilo_token: f64,
+        seed: u64,
+    ) -> NoisyModel<M> {
+        assert!((0.0..=1.0).contains(&base_error_rate));
+        assert!(degradation_per_kilo_token >= 0.0);
+        let name = format!("noisy({})@{base_error_rate}", inner.name());
+        NoisyModel {
+            inner,
+            base_error_rate,
+            degradation_per_kilo_token,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            name,
+        }
+    }
+
+    /// Effective error probability for a prompt of `tokens` tokens.
+    pub fn error_rate_at(&self, tokens: usize) -> f64 {
+        (self.base_error_rate + self.degradation_per_kilo_token * tokens as f64 / 1000.0).min(1.0)
+    }
+
+    /// Corrupt a well-formed response in a task-appropriate way, so the
+    /// corruption is a *plausible wrong answer* rather than garbage (a
+    /// real LLM's dominant failure mode).
+    fn corrupt(&self, task: &str, response: &str, rng: &mut StdRng) -> String {
+        match task {
+            "classify_data_type" => {
+                // Swap the answer for a uniformly random other type.
+                let wrong = DataType::ALL[rng.gen_range(0..DataType::ALL.len())];
+                format!("type: {}\ncategory: {}\n", wrong.label(), wrong.category().label())
+            }
+            "screen_sentence" => {
+                if response.trim().starts_with("yes") { "no" } else { "yes" }.to_string()
+            }
+            "judge_disclosure" => {
+                // Flip labels of parsed judgements, or invent an omission.
+                match protocol::JudgementRequest::parse(response) {
+                    Ok(judgements) if !judgements.is_empty() => judgements
+                        .iter()
+                        .map(|j| {
+                            let flipped = flip_label(j.label, rng);
+                            DisclosureJudgement {
+                                sentence_index: j.sentence_index,
+                                label: flipped,
+                            }
+                            .to_line()
+                        })
+                        .collect::<Vec<_>>()
+                        .join("\n"),
+                    _ => "(0, vague)".to_string(),
+                }
+            }
+            _ => response.to_string(),
+        }
+    }
+}
+
+fn flip_label(label: DisclosureLabel, rng: &mut StdRng) -> DisclosureLabel {
+    loop {
+        let candidate = DisclosureLabel::PRECEDENCE[rng.gen_range(0..DisclosureLabel::PRECEDENCE.len())];
+        if candidate != label {
+            return candidate;
+        }
+    }
+}
+
+impl<M: LanguageModel> LanguageModel for NoisyModel<M> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn context_window(&self) -> usize {
+        self.inner.context_window()
+    }
+
+    fn complete(&self, prompt: &str) -> Result<String, LlmError> {
+        let response = self.inner.complete(prompt)?;
+        let tokens = crate::token::count_tokens(prompt);
+        let p = self.error_rate_at(tokens);
+        let mut rng = self.rng.lock().expect("rng mutex poisoned");
+        if rng.gen_bool(p) {
+            let task = protocol::task_of(prompt).unwrap_or("");
+            Ok(self.corrupt(task, &response, &mut rng))
+        } else {
+            Ok(response)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kb_model::KbModel;
+    use crate::protocol::{ClassificationRequest, ClassificationResponse};
+    use gptx_taxonomy::KnowledgeBase;
+
+    fn kb() -> KnowledgeBase {
+        KnowledgeBase::full()
+    }
+
+    #[test]
+    fn zero_noise_is_transparent() {
+        let m = NoisyModel::new(KbModel::new(kb()), 0.0, 1);
+        let kb = kb();
+        let req = ClassificationRequest {
+            description: "The user's email address",
+            kb: &kb,
+        };
+        let r = ClassificationResponse::parse(&m.complete(&req.to_prompt()).unwrap()).unwrap();
+        assert_eq!(r.data_type, DataType::EmailAddress);
+    }
+
+    #[test]
+    fn full_noise_always_corrupts_screening() {
+        let m = NoisyModel::new(KbModel::new(kb()), 1.0, 7);
+        let req = crate::protocol::ScreeningRequest {
+            sentence: "We collect your email address.",
+        };
+        // Inner says yes; corruption must flip to no.
+        let resp = m.complete(&req.to_prompt()).unwrap();
+        assert_eq!(resp, "no");
+    }
+
+    #[test]
+    fn noise_rate_roughly_respected() {
+        let m = NoisyModel::new(KbModel::new(kb()), 0.3, 42);
+        let req = crate::protocol::ScreeningRequest {
+            sentence: "We collect your email address.",
+        };
+        let prompt = req.to_prompt();
+        let flips = (0..400)
+            .filter(|_| m.complete(&prompt).unwrap() == "no")
+            .count();
+        let rate = flips as f64 / 400.0;
+        assert!((0.2..0.4).contains(&rate), "observed flip rate {rate}");
+    }
+
+    #[test]
+    fn corrupted_classification_still_parses() {
+        let m = NoisyModel::new(KbModel::new(kb()), 1.0, 3);
+        let kb = kb();
+        let req = ClassificationRequest {
+            description: "The user's email address",
+            kb: &kb,
+        };
+        let resp = m.complete(&req.to_prompt()).unwrap();
+        // Plausible-wrong-answer corruption keeps the wire format valid.
+        assert!(ClassificationResponse::parse(&resp).is_ok());
+    }
+
+    #[test]
+    fn degradation_grows_with_length() {
+        let m = NoisyModel::with_degradation(KbModel::new(kb()), 0.05, 0.1, 9);
+        assert!(m.error_rate_at(10_000) > m.error_rate_at(100));
+        assert!(m.error_rate_at(1_000_000) <= 1.0);
+    }
+
+    #[test]
+    fn determinism_under_fixed_seed() {
+        let run = |seed| {
+            let m = NoisyModel::new(KbModel::new(kb()), 0.5, seed);
+            let req = crate::protocol::ScreeningRequest {
+                sentence: "We collect your email address.",
+            };
+            let prompt = req.to_prompt();
+            (0..20).map(|_| m.complete(&prompt).unwrap()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(11), run(11));
+    }
+}

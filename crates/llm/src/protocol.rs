@@ -1,0 +1,421 @@
+//! The structured prompt/response protocol between the analysis
+//! frameworks and the language model.
+//!
+//! The paper uses "tailored prompt template\[s\]" (references \[51\]) for
+//! both frameworks. We make the templates explicit, typed, and parseable:
+//! each request type renders to a tagged prompt block, and each response
+//! type parses the model's text back into data — with parse failures
+//! surfaced as [`crate::LlmError::MalformedResponse`] so callers exercise
+//! the same retry/skip logic a real LLM integration needs.
+
+use crate::model::LlmError;
+use gptx_taxonomy::{Category, DataType, KnowledgeBase};
+use serde::{Deserialize, Serialize};
+
+/// Task 1 (Section 5.1.1): map a free-text data description to a succinct
+/// data type from the taxonomy knowledge base.
+#[derive(Debug, Clone)]
+pub struct ClassificationRequest<'a> {
+    /// The natural-language data description ("The raw URL of the web
+    /// page to fetch…").
+    pub description: &'a str,
+    /// The taxonomy knowledge base to ground against.
+    pub kb: &'a KnowledgeBase,
+}
+
+impl ClassificationRequest<'_> {
+    /// Render the tailored prompt template.
+    pub fn to_prompt(&self) -> String {
+        format!(
+            "### TASK: classify_data_type\n\
+             You are given a natural-language description of a data item \
+             collected by an app. Assign it the single best-matching \
+             succinct data type from the taxonomy below, and that type's \
+             category. Answer with exactly two lines: 'type: <label>' and \
+             'category: <label>'.\n\
+             ### INPUT\n{}\n\
+             ### KNOWLEDGE_BASE\n{}### END\n",
+            self.description,
+            self.kb.as_prompt_block()
+        )
+    }
+}
+
+/// The parsed answer to a [`ClassificationRequest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassificationResponse {
+    pub data_type: DataType,
+    pub category: Category,
+}
+
+impl ClassificationResponse {
+    /// Render in the response wire format.
+    pub fn to_response_text(&self) -> String {
+        format!(
+            "type: {}\ncategory: {}\n",
+            self.data_type.label(),
+            self.category.label()
+        )
+    }
+
+    /// Parse a model response. Tolerates surrounding chatter but requires
+    /// both lines to be present and the labels to be in the taxonomy.
+    pub fn parse(text: &str) -> Result<ClassificationResponse, LlmError> {
+        let mut data_type = None;
+        let mut category = None;
+        for line in text.lines() {
+            let line = line.trim();
+            if let Some(rest) = line.strip_prefix("type:") {
+                data_type = DataType::from_label(rest.trim());
+            } else if let Some(rest) = line.strip_prefix("category:") {
+                category = Category::from_label(rest.trim());
+            }
+        }
+        match (data_type, category) {
+            (Some(d), Some(c)) => Ok(ClassificationResponse {
+                data_type: d,
+                category: c,
+            }),
+            _ => Err(LlmError::MalformedResponse(text.to_string())),
+        }
+    }
+}
+
+/// Task 2 (Section 6.2 step 1): does a sentence pertain to data
+/// collection?
+#[derive(Debug, Clone)]
+pub struct ScreeningRequest<'a> {
+    pub sentence: &'a str,
+}
+
+impl ScreeningRequest<'_> {
+    pub fn to_prompt(&self) -> String {
+        format!(
+            "### TASK: screen_sentence\n\
+             Does the following privacy-policy sentence pertain to data \
+             collection (mention collecting, using, storing, sharing, or \
+             specific data types)? Answer 'yes' or 'no'.\n\
+             ### INPUT\n{}\n### END\n",
+            self.sentence
+        )
+    }
+
+    /// Parse a yes/no answer.
+    pub fn parse(text: &str) -> Result<bool, LlmError> {
+        match text.trim().to_ascii_lowercase().as_str() {
+            s if s.starts_with("yes") => Ok(true),
+            s if s.starts_with("no") => Ok(false),
+            _ => Err(LlmError::MalformedResponse(text.to_string())),
+        }
+    }
+}
+
+/// The five disclosure-consistency labels of Section 6.2 (Table 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum DisclosureLabel {
+    /// The data type exactly matches a collection statement.
+    Clear,
+    /// The data type matches a collection statement in broader terms.
+    Vague,
+    /// Contradicting collection statements exist for the data type.
+    Ambiguous,
+    /// A statement claims the data is *not* collected.
+    Incorrect,
+    /// No collection statement corresponds to the data type.
+    Omitted,
+}
+
+impl DisclosureLabel {
+    /// All labels in the paper's precedence order (most precise first):
+    /// clear, vague, ambiguous, incorrect, omitted. Consistent labels
+    /// outrank inconsistent ones, as Section 6.2 specifies.
+    pub const PRECEDENCE: &'static [DisclosureLabel] = &[
+        DisclosureLabel::Clear,
+        DisclosureLabel::Vague,
+        DisclosureLabel::Ambiguous,
+        DisclosureLabel::Incorrect,
+        DisclosureLabel::Omitted,
+    ];
+
+    /// Is the disclosure consistent with collection (clear or vague)?
+    pub fn is_consistent(&self) -> bool {
+        matches!(self, DisclosureLabel::Clear | DisclosureLabel::Vague)
+    }
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            DisclosureLabel::Clear => "clear",
+            DisclosureLabel::Vague => "vague",
+            DisclosureLabel::Ambiguous => "ambiguous",
+            DisclosureLabel::Incorrect => "incorrect",
+            DisclosureLabel::Omitted => "omitted",
+        }
+    }
+
+    pub fn from_label(s: &str) -> Option<DisclosureLabel> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "clear" => Some(DisclosureLabel::Clear),
+            "vague" => Some(DisclosureLabel::Vague),
+            "ambiguous" => Some(DisclosureLabel::Ambiguous),
+            "incorrect" => Some(DisclosureLabel::Incorrect),
+            "omitted" => Some(DisclosureLabel::Omitted),
+            _ => None,
+        }
+    }
+
+    /// Reduce a set of per-sentence labels to the single most precise
+    /// label for the data type, per the paper's precedence rule. An empty
+    /// set means no relevant statement existed: omitted.
+    pub fn most_precise(labels: &[DisclosureLabel]) -> DisclosureLabel {
+        for &candidate in DisclosureLabel::PRECEDENCE {
+            if labels.contains(&candidate) {
+                return candidate;
+            }
+        }
+        DisclosureLabel::Omitted
+    }
+}
+
+impl std::fmt::Display for DisclosureLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Task 3 (Section 6.2 step 3): judge one data item against the indexed
+/// data-collection sentences, returning `(sentence index, label)` tuples.
+#[derive(Debug, Clone)]
+pub struct JudgementRequest<'a> {
+    /// The data description from the Action spec ("Email address of the
+    /// user").
+    pub data_item: &'a str,
+    /// The succinct data type assigned by the classifier, when known —
+    /// grounds the judgement.
+    pub data_type: Option<DataType>,
+    /// The (pre-screened) data-collection sentences, in index order.
+    pub sentences: &'a [String],
+}
+
+impl JudgementRequest<'_> {
+    pub fn to_prompt(&self) -> String {
+        let mut s = String::from(
+            "### TASK: judge_disclosure\n\
+             Given a data item an app collects and the indexed data-collection \
+             sentences from its privacy policy, output one '(index, label)' \
+             tuple per relevant sentence, where label is one of clear, vague, \
+             ambiguous, incorrect. Output 'omitted' alone if no sentence \
+             relates to the data item.\n### DATA_ITEM\n",
+        );
+        s.push_str(self.data_item);
+        s.push('\n');
+        if let Some(d) = self.data_type {
+            s.push_str("### DATA_TYPE\n");
+            s.push_str(d.label());
+            s.push('\n');
+        }
+        s.push_str("### SENTENCES\n");
+        for (i, sent) in self.sentences.iter().enumerate() {
+            s.push_str(&format!("[{i}] {sent}\n"));
+        }
+        s.push_str("### END\n");
+        s
+    }
+
+    /// Parse the tuple list. `omitted` (bare) parses to an empty list.
+    pub fn parse(text: &str) -> Result<Vec<DisclosureJudgement>, LlmError> {
+        let trimmed = text.trim();
+        if trimmed.eq_ignore_ascii_case("omitted") {
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::new();
+        for line in trimmed.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let inner = line
+                .strip_prefix('(')
+                .and_then(|l| l.strip_suffix(')'))
+                .ok_or_else(|| LlmError::MalformedResponse(line.to_string()))?;
+            let (idx, label) = inner
+                .split_once(',')
+                .ok_or_else(|| LlmError::MalformedResponse(line.to_string()))?;
+            let sentence_index: usize = idx
+                .trim()
+                .parse()
+                .map_err(|_| LlmError::MalformedResponse(line.to_string()))?;
+            let label = DisclosureLabel::from_label(label)
+                .ok_or_else(|| LlmError::MalformedResponse(line.to_string()))?;
+            out.push(DisclosureJudgement {
+                sentence_index,
+                label,
+            });
+        }
+        Ok(out)
+    }
+}
+
+/// One `(sentence index, label)` assessment — the two-item tuple of
+/// Section 6.2's step 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DisclosureJudgement {
+    pub sentence_index: usize,
+    pub label: DisclosureLabel,
+}
+
+impl DisclosureJudgement {
+    /// Wire format for one judgement line.
+    pub fn to_line(&self) -> String {
+        format!("({}, {})", self.sentence_index, self.label)
+    }
+}
+
+/// Extract the task name from a protocol prompt.
+pub fn task_of(prompt: &str) -> Option<&str> {
+    prompt
+        .lines()
+        .find_map(|l| l.strip_prefix("### TASK: "))
+        .map(str::trim)
+}
+
+/// Extract a named section's body from a protocol prompt (text between
+/// `### <name>` and the next `### ` marker).
+pub fn section<'a>(prompt: &'a str, name: &str) -> Option<&'a str> {
+    let marker = format!("### {name}\n");
+    let start = prompt.find(&marker)? + marker.len();
+    let rest = &prompt[start..];
+    let end = rest.find("\n### ").map(|i| i + 1).unwrap_or(rest.len());
+    Some(rest[..end].trim_end_matches('\n'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_round_trip() {
+        let resp = ClassificationResponse {
+            data_type: DataType::EmailAddress,
+            category: Category::PersonalInfo,
+        };
+        let parsed = ClassificationResponse::parse(&resp.to_response_text()).unwrap();
+        assert_eq!(parsed, resp);
+    }
+
+    #[test]
+    fn classification_parse_rejects_garbage() {
+        assert!(matches!(
+            ClassificationResponse::parse("I think it is probably an email"),
+            Err(LlmError::MalformedResponse(_))
+        ));
+    }
+
+    #[test]
+    fn classification_parse_rejects_unknown_label() {
+        assert!(ClassificationResponse::parse("type: Blood type\ncategory: Personal info").is_err());
+    }
+
+    #[test]
+    fn classification_prompt_contains_kb() {
+        let kb = KnowledgeBase::full();
+        let req = ClassificationRequest {
+            description: "The user's email",
+            kb: &kb,
+        };
+        let p = req.to_prompt();
+        assert!(p.contains("### TASK: classify_data_type"));
+        assert!(p.contains("Email address"));
+        assert!(p.contains("The user's email"));
+    }
+
+    #[test]
+    fn screening_parse() {
+        assert_eq!(ScreeningRequest::parse("yes"), Ok(true));
+        assert_eq!(ScreeningRequest::parse("No."), Ok(false));
+        assert!(ScreeningRequest::parse("maybe").is_err());
+    }
+
+    #[test]
+    fn judgement_round_trip() {
+        let j = DisclosureJudgement {
+            sentence_index: 3,
+            label: DisclosureLabel::Vague,
+        };
+        let parsed = JudgementRequest::parse(&j.to_line()).unwrap();
+        assert_eq!(parsed, vec![j]);
+    }
+
+    #[test]
+    fn judgement_parse_multiple_lines() {
+        let parsed = JudgementRequest::parse("(0, clear)\n(2, incorrect)\n").unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].label, DisclosureLabel::Clear);
+        assert_eq!(parsed[1].sentence_index, 2);
+    }
+
+    #[test]
+    fn judgement_parse_omitted() {
+        assert_eq!(JudgementRequest::parse("omitted").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn judgement_parse_rejects_bad_tuple() {
+        assert!(JudgementRequest::parse("(x, clear)").is_err());
+        assert!(JudgementRequest::parse("(1, great)").is_err());
+        assert!(JudgementRequest::parse("1, clear").is_err());
+    }
+
+    #[test]
+    fn precedence_prioritizes_consistent() {
+        use DisclosureLabel::*;
+        assert_eq!(most(&[Omitted, Incorrect, Clear]), Clear);
+        assert_eq!(most(&[Omitted, Vague, Incorrect]), Vague);
+        assert_eq!(most(&[Incorrect, Ambiguous]), Ambiguous);
+        assert_eq!(most(&[Omitted, Incorrect]), Incorrect);
+        assert_eq!(most(&[Omitted]), Omitted);
+        assert_eq!(most(&[]), Omitted);
+        fn most(l: &[DisclosureLabel]) -> DisclosureLabel {
+            DisclosureLabel::most_precise(l)
+        }
+    }
+
+    #[test]
+    fn consistency_grouping_matches_paper() {
+        use DisclosureLabel::*;
+        assert!(Clear.is_consistent());
+        assert!(Vague.is_consistent());
+        assert!(!Ambiguous.is_consistent());
+        assert!(!Incorrect.is_consistent());
+        assert!(!Omitted.is_consistent());
+    }
+
+    #[test]
+    fn judgement_prompt_indexes_sentences() {
+        let sentences = vec!["We collect emails.".to_string(), "We sell nothing.".to_string()];
+        let req = JudgementRequest {
+            data_item: "Email address of the user",
+            data_type: Some(DataType::EmailAddress),
+            sentences: &sentences,
+        };
+        let p = req.to_prompt();
+        assert!(p.contains("[0] We collect emails."));
+        assert!(p.contains("[1] We sell nothing."));
+        assert!(p.contains("### DATA_TYPE\nEmail address"));
+    }
+
+    #[test]
+    fn section_extraction() {
+        let prompt = "### TASK: t\nblah\n### INPUT\nline one\nline two\n### END\n";
+        assert_eq!(section(prompt, "INPUT"), Some("line one\nline two"));
+        assert_eq!(task_of(prompt), Some("t"));
+        assert_eq!(section(prompt, "MISSING"), None);
+    }
+
+    #[test]
+    fn label_round_trip() {
+        for l in DisclosureLabel::PRECEDENCE {
+            assert_eq!(DisclosureLabel::from_label(l.label()), Some(*l));
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! A small prompt-template engine.
+//!
+//! The paper configures its GPT-4 instances "with a tailored prompt
+//! template" (reference \[51\] — LangChain's prompt templates). This module
+//! provides the same ergonomics: a template with `{variable}`
+//! placeholders, validated fill-in, and escaping — so the protocol
+//! prompts in [`crate::protocol`] are data, not string concatenation
+//! scattered through the code.
+
+use std::collections::BTreeMap;
+
+/// A parsed template: literal chunks interleaved with variable slots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PromptTemplate {
+    segments: Vec<Segment>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Segment {
+    Literal(String),
+    Variable(String),
+}
+
+/// Template errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemplateError {
+    /// `{` without a matching `}`.
+    UnclosedBrace(usize),
+    /// Empty `{}` placeholder.
+    EmptyVariable(usize),
+    /// A fill call did not provide this variable.
+    MissingVariable(String),
+    /// A fill call provided a variable the template does not use.
+    UnusedVariable(String),
+}
+
+impl std::fmt::Display for TemplateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TemplateError::UnclosedBrace(pos) => write!(f, "unclosed '{{' at byte {pos}"),
+            TemplateError::EmptyVariable(pos) => write!(f, "empty '{{}}' at byte {pos}"),
+            TemplateError::MissingVariable(name) => write!(f, "missing variable {name:?}"),
+            TemplateError::UnusedVariable(name) => write!(f, "unused variable {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for TemplateError {}
+
+impl PromptTemplate {
+    /// Parse a template. `{{` and `}}` escape literal braces.
+    pub fn parse(source: &str) -> Result<PromptTemplate, TemplateError> {
+        let mut segments = Vec::new();
+        let mut literal = String::new();
+        let bytes: Vec<char> = source.chars().collect();
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                '{' if bytes.get(i + 1) == Some(&'{') => {
+                    literal.push('{');
+                    i += 2;
+                }
+                '}' if bytes.get(i + 1) == Some(&'}') => {
+                    literal.push('}');
+                    i += 2;
+                }
+                '{' => {
+                    let close = bytes[i + 1..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .ok_or(TemplateError::UnclosedBrace(i))?;
+                    let name: String = bytes[i + 1..i + 1 + close].iter().collect();
+                    if name.trim().is_empty() {
+                        return Err(TemplateError::EmptyVariable(i));
+                    }
+                    if !literal.is_empty() {
+                        segments.push(Segment::Literal(std::mem::take(&mut literal)));
+                    }
+                    segments.push(Segment::Variable(name.trim().to_string()));
+                    i += close + 2;
+                }
+                c => {
+                    literal.push(c);
+                    i += 1;
+                }
+            }
+        }
+        if !literal.is_empty() {
+            segments.push(Segment::Literal(literal));
+        }
+        Ok(PromptTemplate { segments })
+    }
+
+    /// The distinct variable names, in first-appearance order.
+    pub fn variables(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        for seg in &self.segments {
+            if let Segment::Variable(name) = seg {
+                if !out.contains(&name.as_str()) {
+                    out.push(name.as_str());
+                }
+            }
+        }
+        out
+    }
+
+    /// Fill the template. Every variable must be provided exactly; extra
+    /// values are rejected (catching typos in the caller).
+    pub fn fill(&self, values: &BTreeMap<&str, String>) -> Result<String, TemplateError> {
+        let vars = self.variables();
+        for name in values.keys() {
+            if !vars.contains(name) {
+                return Err(TemplateError::UnusedVariable(name.to_string()));
+            }
+        }
+        let mut out = String::new();
+        for seg in &self.segments {
+            match seg {
+                Segment::Literal(text) => out.push_str(text),
+                Segment::Variable(name) => {
+                    let value = values
+                        .get(name.as_str())
+                        .ok_or_else(|| TemplateError::MissingVariable(name.clone()))?;
+                    out.push_str(value);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Convenience: fill from `(name, value)` pairs.
+    pub fn fill_pairs(&self, pairs: &[(&str, &str)]) -> Result<String, TemplateError> {
+        let map: BTreeMap<&str, String> =
+            pairs.iter().map(|(k, v)| (*k, v.to_string())).collect();
+        self.fill(&map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_fill() {
+        let t = PromptTemplate::parse("Classify {item} against {kb}.").unwrap();
+        assert_eq!(t.variables(), vec!["item", "kb"]);
+        let out = t.fill_pairs(&[("item", "email"), ("kb", "taxonomy")]).unwrap();
+        assert_eq!(out, "Classify email against taxonomy.");
+    }
+
+    #[test]
+    fn escaped_braces() {
+        let t = PromptTemplate::parse("JSON: {{\"x\": {value}}}").unwrap();
+        let out = t.fill_pairs(&[("value", "1")]).unwrap();
+        assert_eq!(out, "JSON: {\"x\": 1}");
+    }
+
+    #[test]
+    fn repeated_variable_fills_everywhere() {
+        let t = PromptTemplate::parse("{name} is {name}").unwrap();
+        assert_eq!(t.variables(), vec!["name"]);
+        assert_eq!(t.fill_pairs(&[("name", "x")]).unwrap(), "x is x");
+    }
+
+    #[test]
+    fn missing_variable_is_error() {
+        let t = PromptTemplate::parse("{a} {b}").unwrap();
+        assert_eq!(
+            t.fill_pairs(&[("a", "1")]),
+            Err(TemplateError::MissingVariable("b".into()))
+        );
+    }
+
+    #[test]
+    fn unused_variable_is_error() {
+        let t = PromptTemplate::parse("{a}").unwrap();
+        assert_eq!(
+            t.fill_pairs(&[("a", "1"), ("typo", "2")]),
+            Err(TemplateError::UnusedVariable("typo".into()))
+        );
+    }
+
+    #[test]
+    fn unclosed_brace_is_error() {
+        assert!(matches!(
+            PromptTemplate::parse("broken {oops"),
+            Err(TemplateError::UnclosedBrace(7))
+        ));
+    }
+
+    #[test]
+    fn empty_variable_is_error() {
+        assert!(matches!(
+            PromptTemplate::parse("broken {} here"),
+            Err(TemplateError::EmptyVariable(_))
+        ));
+        assert!(matches!(
+            PromptTemplate::parse("broken {  } here"),
+            Err(TemplateError::EmptyVariable(_))
+        ));
+    }
+
+    #[test]
+    fn whitespace_in_names_is_trimmed() {
+        let t = PromptTemplate::parse("{ name }").unwrap();
+        assert_eq!(t.variables(), vec!["name"]);
+    }
+
+    #[test]
+    fn literal_only_template() {
+        let t = PromptTemplate::parse("no variables here").unwrap();
+        assert!(t.variables().is_empty());
+        assert_eq!(t.fill(&BTreeMap::new()).unwrap(), "no variables here");
+    }
+}

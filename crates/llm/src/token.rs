@@ -1,0 +1,68 @@
+//! Token accounting.
+//!
+//! The paper's framework must keep prompts inside the model's context
+//! window, and its design is motivated by LLM performance degrading with
+//! long contexts (reference \[29\]). We approximate tokenization with the
+//! standard "one token per word piece or punctuation run" heuristic —
+//! close enough to BPE counts for budget decisions, and deterministic.
+
+/// Approximate the number of tokens in `text`.
+///
+/// Counts maximal alphanumeric runs as ~1 token per 5 characters
+/// (rounded up, so "internationalization" is 4 tokens) and each
+/// punctuation character as one token. Whitespace is free.
+pub fn count_tokens(text: &str) -> usize {
+    let mut tokens = 0usize;
+    let mut run_len = 0usize;
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            run_len += 1;
+        } else {
+            if run_len > 0 {
+                tokens += run_len.div_ceil(5);
+                run_len = 0;
+            }
+            if !c.is_whitespace() {
+                tokens += 1;
+            }
+        }
+    }
+    if run_len > 0 {
+        tokens += run_len.div_ceil(5);
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(count_tokens(""), 0);
+        assert_eq!(count_tokens("   \n\t"), 0);
+    }
+
+    #[test]
+    fn short_words_are_one_token() {
+        assert_eq!(count_tokens("we"), 1);
+        assert_eq!(count_tokens("email"), 1);
+    }
+
+    #[test]
+    fn long_words_cost_more() {
+        assert_eq!(count_tokens("internationalization"), 4); // 20 chars
+    }
+
+    #[test]
+    fn punctuation_counts() {
+        assert_eq!(count_tokens("a, b."), 4); // a , b .
+    }
+
+    #[test]
+    fn tokens_scale_with_text() {
+        let short = count_tokens("We collect data.");
+        let long = count_tokens(&"We collect data. ".repeat(100));
+        assert!(long >= short * 99);
+    }
+}

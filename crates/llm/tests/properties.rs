@@ -1,0 +1,92 @@
+//! Property-based tests for the prompt protocol and label algebra.
+
+use gptx_llm::{
+    ClassificationResponse, DisclosureJudgement, DisclosureLabel, JudgementRequest,
+};
+use gptx_taxonomy::DataType;
+use proptest::prelude::*;
+
+fn label_strategy() -> impl Strategy<Value = DisclosureLabel> {
+    prop::sample::select(DisclosureLabel::PRECEDENCE.to_vec())
+}
+
+fn datatype_strategy() -> impl Strategy<Value = DataType> {
+    prop::sample::select(DataType::ALL.to_vec())
+}
+
+proptest! {
+    #[test]
+    fn classification_wire_round_trip(d in datatype_strategy()) {
+        let resp = ClassificationResponse {
+            data_type: d,
+            category: d.category(),
+        };
+        let parsed = ClassificationResponse::parse(&resp.to_response_text()).unwrap();
+        prop_assert_eq!(parsed, resp);
+    }
+
+    #[test]
+    fn judgement_wire_round_trip(
+        entries in prop::collection::vec((0usize..50, label_strategy()), 1..10)
+    ) {
+        let text = entries
+            .iter()
+            .map(|(i, l)| DisclosureJudgement { sentence_index: *i, label: *l }.to_line())
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = JudgementRequest::parse(&text).unwrap();
+        prop_assert_eq!(parsed.len(), entries.len());
+        for (p, (i, l)) in parsed.iter().zip(&entries) {
+            prop_assert_eq!(p.sentence_index, *i);
+            prop_assert_eq!(p.label, *l);
+        }
+    }
+
+    #[test]
+    fn most_precise_is_order_invariant(labels in prop::collection::vec(label_strategy(), 0..8)) {
+        let forward = DisclosureLabel::most_precise(&labels);
+        let mut reversed = labels.clone();
+        reversed.reverse();
+        prop_assert_eq!(DisclosureLabel::most_precise(&reversed), forward);
+    }
+
+    #[test]
+    fn most_precise_is_idempotent(labels in prop::collection::vec(label_strategy(), 1..8)) {
+        let reduced = DisclosureLabel::most_precise(&labels);
+        prop_assert_eq!(DisclosureLabel::most_precise(&[reduced]), reduced);
+    }
+
+    #[test]
+    fn most_precise_dominates_members(labels in prop::collection::vec(label_strategy(), 1..8)) {
+        // The reduced label is at least as precise (per PRECEDENCE order)
+        // as every member.
+        let reduced = DisclosureLabel::most_precise(&labels);
+        let rank = |l: DisclosureLabel| {
+            DisclosureLabel::PRECEDENCE.iter().position(|&x| x == l).unwrap()
+        };
+        for l in &labels {
+            prop_assert!(rank(reduced) <= rank(*l));
+        }
+    }
+
+    #[test]
+    fn consistent_labels_win_over_inconsistent(
+        consistent in prop::sample::select(vec![DisclosureLabel::Clear, DisclosureLabel::Vague]),
+        inconsistent in prop::sample::select(vec![
+            DisclosureLabel::Ambiguous, DisclosureLabel::Incorrect, DisclosureLabel::Omitted
+        ]),
+    ) {
+        let reduced = DisclosureLabel::most_precise(&[inconsistent, consistent]);
+        prop_assert!(reduced.is_consistent());
+    }
+
+    #[test]
+    fn judgement_parse_never_panics(text in ".{0,200}") {
+        let _ = JudgementRequest::parse(&text);
+    }
+
+    #[test]
+    fn classification_parse_never_panics(text in ".{0,200}") {
+        let _ = ClassificationResponse::parse(&text);
+    }
+}

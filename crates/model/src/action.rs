@@ -1,0 +1,122 @@
+//! GPT Actions — the custom tools that connect GPTs to external services.
+
+use crate::openapi::OpenApiSpec;
+use crate::url::{etld_plus_one, Url};
+use serde::{Deserialize, Serialize};
+
+/// How an Action authenticates to its backing API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+#[derive(Default)]
+pub enum AuthType {
+    #[default]
+    None,
+    ApiKey,
+    Oauth,
+}
+
+
+/// An Action specification as it appears inside a gizmo's `tools` array
+/// (Appendix A: `type: "action"` plus metadata and an OpenAPI spec).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActionSpec {
+    /// OpenAI-side tool id (e.g. "Ah9L5AnQ78HgjZQXJqkZdisL").
+    pub id: String,
+    /// Human-readable name ("webPilot", "AdIntelli", …). Identity of an
+    /// Action across GPTs is `(name, domain)` — see [`ActionSpec::identity`].
+    pub name: String,
+    /// URL of the Action's privacy policy — the paper crawls this
+    /// (`legal_info_url` field, Section 3.2).
+    pub legal_info_url: Option<String>,
+    #[serde(default)]
+    pub auth: AuthType,
+    /// The OpenAPI manifest (`json_spec`).
+    pub spec: OpenApiSpec,
+}
+
+impl ActionSpec {
+    /// A minimal Action with one server URL and an empty path set.
+    pub fn minimal(id: &str, name: &str, server_url: &str) -> ActionSpec {
+        ActionSpec {
+            id: id.into(),
+            name: name.into(),
+            legal_info_url: None,
+            auth: AuthType::None,
+            spec: OpenApiSpec::minimal(name, server_url),
+        }
+    }
+
+    /// The API domain this Action contacts (host of its first server).
+    pub fn server_host(&self) -> Option<String> {
+        self.spec
+            .primary_server()
+            .and_then(|s| Url::parse(s).ok())
+            .map(|u| u.host().to_string())
+    }
+
+    /// Registrable domain (eTLD+1) of the Action's API endpoint, used for
+    /// the first-/third-party classification of Table 4.
+    pub fn server_etld_plus_one(&self) -> Option<String> {
+        self.server_host().map(|h| etld_plus_one(&h))
+    }
+
+    /// The cross-GPT identity of an Action. The paper counts "unique
+    /// Actions" (2,596) by the service they represent, not by the
+    /// OpenAI-side tool id, which differs per embedding GPT.
+    pub fn identity(&self) -> String {
+        match self.server_etld_plus_one() {
+            Some(domain) => format!("{}@{}", self.name, domain),
+            None => self.name.clone(),
+        }
+    }
+
+    /// Number of raw (pre-classification) data fields the Action declares.
+    pub fn raw_data_type_count(&self) -> usize {
+        self.spec.raw_data_type_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_host_and_etld() {
+        let a = ActionSpec::minimal("t1", "webPilot", "https://gpt.webpilot.ai/v1");
+        assert_eq!(a.server_host().as_deref(), Some("gpt.webpilot.ai"));
+        assert_eq!(a.server_etld_plus_one().as_deref(), Some("webpilot.ai"));
+    }
+
+    #[test]
+    fn identity_combines_name_and_domain() {
+        let a = ActionSpec::minimal("t1", "webPilot", "https://gpt.webpilot.ai/v1");
+        assert_eq!(a.identity(), "webPilot@webpilot.ai");
+    }
+
+    #[test]
+    fn identity_is_stable_across_tool_ids() {
+        let a = ActionSpec::minimal("tool-aaa", "webPilot", "https://api.webpilot.ai");
+        let b = ActionSpec::minimal("tool-bbb", "webPilot", "https://www.webpilot.ai");
+        assert_eq!(a.identity(), b.identity());
+    }
+
+    #[test]
+    fn identity_without_server() {
+        let mut a = ActionSpec::minimal("t", "Orphan", "https://x.test");
+        a.spec.servers.clear();
+        assert_eq!(a.identity(), "Orphan");
+    }
+
+    #[test]
+    fn auth_serializes_snake_case() {
+        assert_eq!(serde_json::to_string(&AuthType::ApiKey).unwrap(), "\"api_key\"");
+    }
+
+    #[test]
+    fn action_json_round_trip() {
+        let a = ActionSpec::minimal("t1", "Test", "https://api.test.dev");
+        let json = serde_json::to_string(&a).unwrap();
+        let back: ActionSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+    }
+}

@@ -1,0 +1,295 @@
+//! GPT ("gizmo") specifications.
+//!
+//! Mirrors the crawled JSON of Appendix A: `id`, `author`, `display`,
+//! `tags`, `tools`, and `files`. The built-in tools (Web Browser, DALL-E,
+//! Code Interpreter, Knowledge) are unit variants; Actions carry a full
+//! [`ActionSpec`].
+
+use crate::action::ActionSpec;
+use serde::{Deserialize, Serialize};
+
+/// A GPT identifier: the `g-` prefixed 10-character alphanumeric
+/// shortcode used in share links and the gizmos API.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct GptId(pub String);
+
+impl GptId {
+    /// Validate and wrap a raw id. Accepts `g-` + 10 alphanumerics.
+    pub fn new(raw: &str) -> Option<GptId> {
+        let rest = raw.strip_prefix("g-")?;
+        if rest.len() == 10 && rest.chars().all(|c| c.is_ascii_alphanumeric()) {
+            Some(GptId(raw.to_string()))
+        } else {
+            None
+        }
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The shortcode without the `g-` prefix.
+    pub fn shortcode(&self) -> &str {
+        self.0.strip_prefix("g-").unwrap_or(&self.0)
+    }
+}
+
+impl std::fmt::Display for GptId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Platform tags observed on gizmos (Appendix A's enumeration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Tag {
+    FirstParty,
+    Public,
+    Private,
+    Reportable,
+    Unreviewable,
+    UsesFunctionCalls,
+}
+
+/// GPT author block.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Author {
+    pub display_name: String,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub website: Option<String>,
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub social_media: Vec<String>,
+    #[serde(default)]
+    pub accepts_feedback: bool,
+    #[serde(default)]
+    pub verified: bool,
+}
+
+/// GPT display metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Display {
+    pub name: String,
+    #[serde(default)]
+    pub description: String,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub welcome_message: Option<String>,
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub prompt_starters: Vec<String>,
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub categories: Vec<String>,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub profile_picture: Option<String>,
+}
+
+/// One entry of the gizmo `tools` array.
+///
+/// The `Action` variant is much larger than the unit variants; tools
+/// live in small per-GPT vectors where an indirection would cost more
+/// in ergonomics than the padding costs in memory.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum Tool {
+    /// The built-in Web Browser tool.
+    Browser,
+    /// DALL-E image generation.
+    Dalle,
+    /// The Code Interpreter sandbox.
+    CodeInterpreter,
+    /// File search over uploaded knowledge files.
+    Knowledge,
+    /// A custom tool connecting to an external API.
+    Action(ActionSpec),
+}
+
+impl Tool {
+    /// Is this the Actions custom-tool variant?
+    pub fn is_action(&self) -> bool {
+        matches!(self, Tool::Action(_))
+    }
+
+    /// The tool's display label (matches Table 4 rows).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Tool::Browser => "Web Browser",
+            Tool::Dalle => "DALLE",
+            Tool::CodeInterpreter => "Code Interpreter",
+            Tool::Knowledge => "Knowledge (Files)",
+            Tool::Action(_) => "Actions",
+        }
+    }
+}
+
+/// An uploaded knowledge file (only MIME type and an opaque id are
+/// visible in crawled specs — Appendix A notes content is not exposed).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UploadedFile {
+    pub id: String,
+    #[serde(rename = "type")]
+    pub mime_type: String,
+}
+
+/// A complete GPT specification.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Gpt {
+    pub id: GptId,
+    pub author: Author,
+    pub display: Display,
+    #[serde(default)]
+    pub tags: Vec<Tag>,
+    #[serde(default)]
+    pub tools: Vec<Tool>,
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub files: Vec<UploadedFile>,
+}
+
+impl Gpt {
+    /// A minimal public GPT with no tools.
+    pub fn minimal(id: &str, name: &str) -> Gpt {
+        Gpt {
+            id: GptId(id.to_string()),
+            author: Author::default(),
+            display: Display {
+                name: name.to_string(),
+                ..Default::default()
+            },
+            tags: vec![Tag::Public, Tag::Reportable],
+            tools: Vec::new(),
+            files: Vec::new(),
+        }
+    }
+
+    /// The Actions embedded in this GPT.
+    pub fn actions(&self) -> Vec<&ActionSpec> {
+        self.tools
+            .iter()
+            .filter_map(|t| match t {
+                Tool::Action(a) => Some(a),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Does the GPT embed at least one Action?
+    pub fn has_actions(&self) -> bool {
+        self.tools.iter().any(Tool::is_action)
+    }
+
+    /// Does the GPT enable a given built-in tool?
+    pub fn has_tool(&self, label: &str) -> bool {
+        self.tools.iter().any(|t| t.label() == label)
+    }
+
+    /// Distinct registrable domains contacted by this GPT's Actions —
+    /// used by Section 4.3's "55.3% of multi-Action GPTs connect to
+    /// additional domains" analysis.
+    pub fn action_domains(&self) -> Vec<String> {
+        let mut domains: Vec<String> = self
+            .actions()
+            .iter()
+            .filter_map(|a| a.server_etld_plus_one())
+            .collect();
+        domains.sort();
+        domains.dedup();
+        domains
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpt_id_validation() {
+        assert!(GptId::new("g-2DQzU5UZl1").is_some());
+        assert!(GptId::new("g-short").is_none());
+        assert!(GptId::new("x-2DQzU5UZl1").is_none());
+        assert!(GptId::new("g-2DQzU5UZl!").is_none());
+    }
+
+    #[test]
+    fn gpt_id_shortcode() {
+        let id = GptId::new("g-2DQzU5UZl1").unwrap();
+        assert_eq!(id.shortcode(), "2DQzU5UZl1");
+    }
+
+    #[test]
+    fn actions_accessor() {
+        let mut g = Gpt::minimal("g-aaaaaaaaaa", "Test");
+        assert!(!g.has_actions());
+        g.tools.push(Tool::Browser);
+        g.tools.push(Tool::Action(ActionSpec::minimal(
+            "t1",
+            "Act",
+            "https://api.x.dev",
+        )));
+        assert!(g.has_actions());
+        assert_eq!(g.actions().len(), 1);
+        assert!(g.has_tool("Web Browser"));
+        assert!(!g.has_tool("DALLE"));
+    }
+
+    #[test]
+    fn action_domains_dedupe() {
+        let mut g = Gpt::minimal("g-aaaaaaaaaa", "Test");
+        g.tools.push(Tool::Action(ActionSpec::minimal(
+            "t1",
+            "A",
+            "https://api.x.dev/v1",
+        )));
+        g.tools.push(Tool::Action(ActionSpec::minimal(
+            "t2",
+            "B",
+            "https://www.x.dev/v2",
+        )));
+        g.tools.push(Tool::Action(ActionSpec::minimal(
+            "t3",
+            "C",
+            "https://api.y.io",
+        )));
+        assert_eq!(g.action_domains(), vec!["x.dev".to_string(), "y.io".to_string()]);
+    }
+
+    #[test]
+    fn tool_tagged_serialization() {
+        let t = Tool::Browser;
+        assert_eq!(serde_json::to_string(&t).unwrap(), r#"{"type":"browser"}"#);
+        let a: Tool =
+            serde_json::from_str(r#"{"type":"code_interpreter"}"#).unwrap();
+        assert_eq!(a, Tool::CodeInterpreter);
+    }
+
+    #[test]
+    fn gpt_json_round_trip() {
+        let mut g = Gpt::minimal("g-2DQzU5UZl1", "Code Copilot");
+        g.author.display_name = "promptspellsmith.com".into();
+        g.display.description =
+            "Code Smarter, Build Faster With the Expertise of a 10x Programmer by Your Side."
+                .into();
+        g.display.prompt_starters = vec!["/start Python".into()];
+        g.display.categories = vec!["programming".into()];
+        g.tags = vec![Tag::Public, Tag::Reportable, Tag::UsesFunctionCalls];
+        g.tools = vec![
+            Tool::CodeInterpreter,
+            Tool::Action(ActionSpec::minimal("Ah9L5AnQ78Hg", "Read web page content", "https://r.1lm.io")),
+            Tool::Browser,
+        ];
+        g.files = vec![UploadedFile {
+            id: "12fArMjcPuhUggnDTkCPuQcy".into(),
+            mime_type: "text/markdown".into(),
+        }];
+        let json = serde_json::to_string_pretty(&g).unwrap();
+        let back: Gpt = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn tags_snake_case() {
+        assert_eq!(
+            serde_json::to_string(&Tag::UsesFunctionCalls).unwrap(),
+            "\"uses_function_calls\""
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! # gptx-model
+//!
+//! The domain model of the GPT app ecosystem, mirroring the JSON artifacts
+//! the paper crawls (Appendix A):
+//!
+//! * [`gpt::Gpt`] — a GPT ("gizmo") specification: author, display
+//!   metadata, tags, tools, and files;
+//! * [`action::ActionSpec`] — a custom tool (Action) with its OpenAPI
+//!   manifest and `legal_info_url`;
+//! * [`openapi`] — the OpenAPI 3.1 subset Actions are expressed in, with
+//!   extraction of the natural-language data descriptions that the
+//!   static-analysis tool classifies;
+//! * [`url`] — a from-scratch URL parser and eTLD+1 extraction over an
+//!   embedded public-suffix subset, used for the first-/third-party
+//!   Action classification of Table 4 (footnote 4 of the paper);
+//! * [`snapshot`] — weekly crawl snapshots, the unit of the longitudinal
+//!   census in Section 4.
+//!
+//! All types serialize with `serde`, matching the shape of the gizmo JSON
+//! in the paper's Appendix A closely enough that real crawled specs could
+//! be ingested with minor adaptation.
+
+pub mod action;
+pub mod gpt;
+pub mod openapi;
+pub mod removal;
+pub mod snapshot;
+pub mod url;
+
+pub use action::{ActionSpec, AuthType};
+pub use removal::RemovalReason;
+pub use gpt::{Author, Display, Gpt, GptId, Tag, Tool, UploadedFile};
+pub use openapi::{DataField, OpenApiSpec, Operation, Parameter, PathItem, SchemaObject};
+pub use snapshot::{CrawlSnapshot, SnapshotDiff};
+pub use url::{etld_plus_one, Url};
+
+/// Which party operates an Action relative to its hosting GPT.
+///
+/// The paper (footnote 4): "We classify an Action as a third-party if its
+/// eTLD+1 does not match the eTLD+1 of the hosting GPT — a standard
+/// process to detect third-parties on the web."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Party {
+    First,
+    Third,
+}
+
+/// Classify an Action against its hosting GPT's author website.
+///
+/// When the GPT declares no author website, the Action is conservatively
+/// treated as third-party (there is no first-party domain to match).
+pub fn classify_party(gpt: &Gpt, action: &ActionSpec) -> Party {
+    let action_domain = action.server_etld_plus_one();
+    let author_domain = gpt
+        .author
+        .website
+        .as_deref()
+        .and_then(|w| Url::parse(w).ok())
+        .map(|u| etld_plus_one(u.host()));
+    match (action_domain, author_domain) {
+        (Some(a), Some(g)) if a == g => Party::First,
+        _ => Party::Third,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn party_matching_etld() {
+        let mut gpt = Gpt::minimal("g-testtest01", "Test GPT");
+        gpt.author.website = Some("https://www.example.com/about".into());
+        let mut action = ActionSpec::minimal("a1", "Test Action", "https://api.example.com/v1");
+        assert_eq!(classify_party(&gpt, &action), Party::First);
+
+        action.spec.servers[0].url = "https://api.other.io/v1".into();
+        assert_eq!(classify_party(&gpt, &action), Party::Third);
+    }
+
+    #[test]
+    fn party_without_author_website_is_third() {
+        let gpt = Gpt::minimal("g-testtest02", "No Site");
+        let action = ActionSpec::minimal("a1", "Act", "https://api.example.com");
+        assert_eq!(classify_party(&gpt, &action), Party::Third);
+    }
+}

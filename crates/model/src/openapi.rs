@@ -1,0 +1,450 @@
+//! The OpenAPI 3.1 subset that GPT Actions are expressed in.
+//!
+//! Appendix A of the paper shows an Action manifest: `info`, `servers`,
+//! and `paths`, where each operation describes its parameters and request
+//! body with free-text `description` fields. Those descriptions are the
+//! "natural-language source code" the static-analysis tool classifies
+//! (Section 5.1.1): each described field is a *raw data type*, which the
+//! LLM tool maps to a *succinct data type* from the taxonomy.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// An OpenAPI manifest (the `json_spec` of an Action).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpenApiSpec {
+    /// Spec version, e.g. "3.1.0".
+    pub openapi: String,
+    pub info: Info,
+    pub servers: Vec<Server>,
+    /// Path template → operations on it. `BTreeMap` keeps serialization
+    /// deterministic, which the snapshot differ relies on.
+    pub paths: BTreeMap<String, PathItem>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Info {
+    pub title: String,
+    #[serde(default)]
+    pub description: String,
+    #[serde(default)]
+    pub version: String,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Server {
+    pub url: String,
+    #[serde(default)]
+    pub description: String,
+}
+
+/// Operations available on one path.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PathItem {
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub get: Option<Operation>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub post: Option<Operation>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub put: Option<Operation>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub delete: Option<Operation>,
+}
+
+impl PathItem {
+    /// All present operations with their HTTP method names.
+    pub fn operations(&self) -> Vec<(&'static str, &Operation)> {
+        let mut out = Vec::new();
+        if let Some(op) = &self.get {
+            out.push(("get", op));
+        }
+        if let Some(op) = &self.post {
+            out.push(("post", op));
+        }
+        if let Some(op) = &self.put {
+            out.push(("put", op));
+        }
+        if let Some(op) = &self.delete {
+            out.push(("delete", op));
+        }
+        out
+    }
+}
+
+/// One HTTP operation.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Operation {
+    #[serde(default)]
+    pub summary: String,
+    #[serde(default)]
+    pub description: String,
+    #[serde(default, rename = "operationId")]
+    pub operation_id: String,
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub parameters: Vec<Parameter>,
+    #[serde(default, rename = "requestBody", skip_serializing_if = "Option::is_none")]
+    pub request_body: Option<RequestBody>,
+}
+
+/// A query/path/header parameter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Parameter {
+    pub name: String,
+    /// "query" | "path" | "header".
+    #[serde(rename = "in", default)]
+    pub location: String,
+    #[serde(default)]
+    pub description: String,
+    #[serde(default)]
+    pub required: bool,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub schema: Option<SchemaObject>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestBody {
+    /// media type ("application/json") → schema.
+    pub content: BTreeMap<String, MediaType>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MediaType {
+    pub schema: SchemaObject,
+}
+
+/// A (recursive) JSON-schema object — only the parts Actions use.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SchemaObject {
+    #[serde(default, rename = "type")]
+    pub schema_type: String,
+    #[serde(default)]
+    pub description: String,
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    pub properties: BTreeMap<String, SchemaObject>,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub items: Option<Box<SchemaObject>>,
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub required: Vec<String>,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub example: Option<String>,
+}
+
+/// A raw data item extracted from a spec: the field name, its natural
+/// language description, and where it came from. This is the unit of
+/// classification for the LLM tool (one raw data type each).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DataField {
+    /// Field or parameter name ("urls", "email", "loan_amount").
+    pub name: String,
+    /// Free-text description from the spec.
+    pub description: String,
+    /// `"<method> <path>"` provenance, e.g. `"post /search"`.
+    pub endpoint: String,
+}
+
+impl DataField {
+    /// The text handed to the classifier: name and description combined,
+    /// because Action authors put signal in either place.
+    pub fn classification_text(&self) -> String {
+        if self.description.is_empty() {
+            self.name.replace(['_', '-'], " ")
+        } else {
+            format!("{}: {}", self.name.replace(['_', '-'], " "), self.description)
+        }
+    }
+}
+
+impl OpenApiSpec {
+    /// A minimal valid spec with one server and no paths.
+    pub fn minimal(title: &str, server_url: &str) -> OpenApiSpec {
+        OpenApiSpec {
+            openapi: "3.1.0".into(),
+            info: Info {
+                title: title.into(),
+                description: String::new(),
+                version: "v1".into(),
+            },
+            servers: vec![Server {
+                url: server_url.into(),
+                description: String::new(),
+            }],
+            paths: BTreeMap::new(),
+        }
+    }
+
+    /// Extract every described data field — parameters and request-body
+    /// properties (recursively) — across all paths and operations.
+    ///
+    /// This is the "static analysis of natural language-based source
+    /// code" entry point: each returned [`DataField`] is one *raw data
+    /// type* in the sense of Figure 4.
+    pub fn data_fields(&self) -> Vec<DataField> {
+        let mut out = Vec::new();
+        for (path, item) in &self.paths {
+            for (method, op) in item.operations() {
+                let endpoint = format!("{method} {path}");
+                for p in &op.parameters {
+                    out.push(DataField {
+                        name: p.name.clone(),
+                        description: p.description.clone(),
+                        endpoint: endpoint.clone(),
+                    });
+                }
+                if let Some(body) = &op.request_body {
+                    for media in body.content.values() {
+                        collect_schema_fields(&media.schema, &endpoint, None, &mut out);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of raw data fields (Figure 4's "raw data types" count).
+    pub fn raw_data_type_count(&self) -> usize {
+        self.data_fields().len()
+    }
+
+    /// The first server URL, if any.
+    pub fn primary_server(&self) -> Option<&str> {
+        self.servers.first().map(|s| s.url.as_str())
+    }
+}
+
+/// Walk a schema tree, emitting one [`DataField`] per described property.
+fn collect_schema_fields(
+    schema: &SchemaObject,
+    endpoint: &str,
+    name: Option<&str>,
+    out: &mut Vec<DataField>,
+) {
+    // A named node is a data field when it is a leaf or carries its own
+    // description — the field name alone is signal even undescribed.
+    let mut emitted = false;
+    if let Some(n) = name {
+        if schema.properties.is_empty() || !schema.description.is_empty() {
+            out.push(DataField {
+                name: n.to_string(),
+                description: schema.description.clone(),
+                endpoint: endpoint.to_string(),
+            });
+            emitted = true;
+        }
+    }
+    for (prop_name, prop) in &schema.properties {
+        collect_schema_fields(prop, endpoint, Some(prop_name), out);
+    }
+    // An array's element schema is the same field; only descend when the
+    // field itself was not already emitted (e.g. an undescribed array of
+    // described objects).
+    if let Some(items) = &schema.items {
+        if !emitted {
+            collect_schema_fields(items, endpoint, name, out);
+        } else if !items.properties.is_empty() {
+            // Array of objects: the element properties are fields too.
+            for (prop_name, prop) in &items.properties {
+                collect_schema_fields(prop, endpoint, Some(prop_name), out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Appendix A "Read web page content" Action, reconstructed.
+    fn webreader_spec() -> OpenApiSpec {
+        let mut spec = OpenApiSpec::minimal("Read web page content", "https://r.1lm.io");
+        spec.info.description =
+            "Pass links/URLs, retrieve cleaned web page content converted to markdown format."
+                .into();
+        let urls_schema = SchemaObject {
+            schema_type: "array".into(),
+            description: "The raw URL of the web page to fetch. If more than 6 URLs are \
+                          submitted, only the first 6 will be processed."
+                .into(),
+            items: Some(Box::new(SchemaObject {
+                schema_type: "string".into(),
+                description: "The raw URL of the web page to fetch.".into(),
+                ..Default::default()
+            })),
+            ..Default::default()
+        };
+        let mut properties = BTreeMap::new();
+        properties.insert("urls".to_string(), urls_schema);
+        let body_schema = SchemaObject {
+            schema_type: "object".into(),
+            properties,
+            ..Default::default()
+        };
+        let mut content = BTreeMap::new();
+        content.insert(
+            "application/json".to_string(),
+            MediaType { schema: body_schema },
+        );
+        spec.paths.insert(
+            "/".to_string(),
+            PathItem {
+                post: Some(Operation {
+                    summary: "Retrieve cleaned web page content.".into(),
+                    request_body: Some(RequestBody { content }),
+                    ..Default::default()
+                }),
+                ..Default::default()
+            },
+        );
+        spec
+    }
+
+    #[test]
+    fn extracts_request_body_fields() {
+        let fields = webreader_spec().data_fields();
+        assert_eq!(fields.len(), 1);
+        assert_eq!(fields[0].name, "urls");
+        assert!(fields[0].description.contains("URL of the web page"));
+        assert_eq!(fields[0].endpoint, "post /");
+    }
+
+    #[test]
+    fn extracts_parameters() {
+        let mut spec = OpenApiSpec::minimal("Weather", "https://api.weather.test");
+        spec.paths.insert(
+            "/forecast".to_string(),
+            PathItem {
+                get: Some(Operation {
+                    parameters: vec![
+                        Parameter {
+                            name: "city".into(),
+                            location: "query".into(),
+                            description: "The city for which data is requested.".into(),
+                            required: true,
+                            schema: None,
+                        },
+                        Parameter {
+                            name: "units".into(),
+                            location: "query".into(),
+                            description: "Preferred units setting.".into(),
+                            required: false,
+                            schema: None,
+                        },
+                    ],
+                    ..Default::default()
+                }),
+                ..Default::default()
+            },
+        );
+        let fields = spec.data_fields();
+        assert_eq!(fields.len(), 2);
+        assert_eq!(fields[0].name, "city");
+        assert_eq!(fields[1].endpoint, "get /forecast");
+    }
+
+    #[test]
+    fn classification_text_joins_name_and_description() {
+        let f = DataField {
+            name: "loan_amount".into(),
+            description: "Desired loan amount in dollars.".into(),
+            endpoint: "post /mortgage".into(),
+        };
+        assert_eq!(
+            f.classification_text(),
+            "loan amount: Desired loan amount in dollars."
+        );
+    }
+
+    #[test]
+    fn classification_text_of_bare_name() {
+        let f = DataField {
+            name: "email_address".into(),
+            description: String::new(),
+            endpoint: "post /signup".into(),
+        };
+        assert_eq!(f.classification_text(), "email address");
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let spec = webreader_spec();
+        let json = serde_json::to_string_pretty(&spec).unwrap();
+        let back: OpenApiSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn deserializes_appendix_style_json() {
+        let json = r#"{
+            "openapi": "3.1.0",
+            "info": {"title": "Read web page content", "description": "d", "version": "1"},
+            "servers": [{"url": "https://r.1lm.io", "description": "prod"}],
+            "paths": {
+                "/": {
+                    "post": {
+                        "summary": "s",
+                        "requestBody": {
+                            "content": {
+                                "application/json": {
+                                    "schema": {
+                                        "type": "object",
+                                        "properties": {
+                                            "urls": {"type": "array",
+                                                     "description": "The raw URL to fetch"}
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }"#;
+        let spec: OpenApiSpec = serde_json::from_str(json).unwrap();
+        assert_eq!(spec.primary_server(), Some("https://r.1lm.io"));
+        assert_eq!(spec.data_fields().len(), 1);
+    }
+
+    #[test]
+    fn nested_object_properties_are_recursed() {
+        let mut inner = BTreeMap::new();
+        inner.insert(
+            "email".to_string(),
+            SchemaObject {
+                schema_type: "string".into(),
+                description: "Email address of the user".into(),
+                ..Default::default()
+            },
+        );
+        inner.insert(
+            "name".to_string(),
+            SchemaObject {
+                schema_type: "string".into(),
+                description: "Full name".into(),
+                ..Default::default()
+            },
+        );
+        let mut outer = BTreeMap::new();
+        outer.insert(
+            "user".to_string(),
+            SchemaObject {
+                schema_type: "object".into(),
+                properties: inner,
+                ..Default::default()
+            },
+        );
+        let schema = SchemaObject {
+            schema_type: "object".into(),
+            properties: outer,
+            ..Default::default()
+        };
+        let mut out = Vec::new();
+        collect_schema_fields(&schema, "post /x", None, &mut out);
+        let names: Vec<&str> = out.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["email", "name"]);
+    }
+
+    #[test]
+    fn empty_spec_has_no_fields() {
+        let spec = OpenApiSpec::minimal("Empty", "https://e.test");
+        assert_eq!(spec.raw_data_type_count(), 0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Removal reasons for GPTs that disappear from stores (Table 3).
+//!
+//! The paper's two human coders built a code book characterizing why
+//! Action-embedding GPTs were removed. [`RemovalReason`] is that code
+//! book's label set; the census crate implements the rules that assign
+//! these labels from crawled features, and the synthetic generator plants
+//! ground-truth reasons so the codebook can be evaluated.
+
+use serde::{Deserialize, Serialize};
+
+/// The Table 3 removal-reason labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum RemovalReason {
+    /// The Action's API no longer responds (or announces discontinuation).
+    InactiveActionApis,
+    /// The GPT embedded advertising or analytics Actions.
+    AdvertisingAnalytics,
+    /// The GPT provided web-browsing functionality.
+    WebBrowsing,
+    /// The GPT used a prohibited API (the paper's example: YouTube).
+    ProhibitedApiUsage,
+    /// Prompt injection / redirection behaviour.
+    PromptInjection,
+    /// Impersonation of another service.
+    Impersonation,
+    /// Sexually explicit content.
+    SexuallyExplicit,
+    /// Gambling.
+    Gambling,
+    /// Stock trading.
+    StockTrading,
+    /// No conclusive signal.
+    Inconclusive,
+}
+
+impl RemovalReason {
+    /// All reasons in Table 3 row order.
+    pub const ALL: &'static [RemovalReason] = &[
+        RemovalReason::InactiveActionApis,
+        RemovalReason::AdvertisingAnalytics,
+        RemovalReason::WebBrowsing,
+        RemovalReason::ProhibitedApiUsage,
+        RemovalReason::PromptInjection,
+        RemovalReason::Impersonation,
+        RemovalReason::SexuallyExplicit,
+        RemovalReason::Gambling,
+        RemovalReason::StockTrading,
+        RemovalReason::Inconclusive,
+    ];
+
+    /// Table 3 row label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RemovalReason::InactiveActionApis => "Inactive Action APIs",
+            RemovalReason::AdvertisingAnalytics => "Advertising/Analytics",
+            RemovalReason::WebBrowsing => "Web Browsing",
+            RemovalReason::ProhibitedApiUsage => "Prohibited API usage (YouTube)",
+            RemovalReason::PromptInjection => "Prompt injection/redirection",
+            RemovalReason::Impersonation => "Impersonation",
+            RemovalReason::SexuallyExplicit => "Sexually explicit content",
+            RemovalReason::Gambling => "Gambling",
+            RemovalReason::StockTrading => "Stock trading",
+            RemovalReason::Inconclusive => "Inconclusive",
+        }
+    }
+}
+
+impl std::fmt::Display for RemovalReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_reasons_in_table3() {
+        assert_eq!(RemovalReason::ALL.len(), 10);
+    }
+
+    #[test]
+    fn labels_unique() {
+        let mut labels: Vec<&str> = RemovalReason::ALL.iter().map(|r| r.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), RemovalReason::ALL.len());
+    }
+
+    #[test]
+    fn serde_snake_case() {
+        assert_eq!(
+            serde_json::to_string(&RemovalReason::WebBrowsing).unwrap(),
+            "\"web_browsing\""
+        );
+    }
+}

@@ -1,0 +1,358 @@
+//! Weekly crawl snapshots and snapshot diffing.
+//!
+//! The paper crawls weekly from February 8 to May 3, 2024 and studies the
+//! evolution of the corpus: growth (Figure 3), property changes (Table 2),
+//! and removals (Table 3). A [`CrawlSnapshot`] is one weekly observation;
+//! [`SnapshotDiff`] computes the added/changed/removed sets between two
+//! snapshots, with per-property change classification feeding Table 2.
+
+use crate::gpt::{Gpt, GptId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One weekly crawl of the ecosystem.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrawlSnapshot {
+    /// Week index since the first crawl (0-based).
+    pub week: u32,
+    /// ISO date of the crawl ("2024-02-08").
+    pub date: String,
+    /// GPTs observed this week, keyed by id (BTreeMap for deterministic
+    /// serialization and diffing).
+    pub gpts: BTreeMap<GptId, Gpt>,
+}
+
+impl CrawlSnapshot {
+    pub fn new(week: u32, date: &str) -> CrawlSnapshot {
+        CrawlSnapshot {
+            week,
+            date: date.to_string(),
+            gpts: BTreeMap::new(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.gpts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.gpts.is_empty()
+    }
+
+    pub fn insert(&mut self, gpt: Gpt) {
+        self.gpts.insert(gpt.id.clone(), gpt);
+    }
+
+    /// Diff this snapshot (earlier) against `later`.
+    pub fn diff(&self, later: &CrawlSnapshot) -> SnapshotDiff {
+        let mut added = Vec::new();
+        let mut removed = Vec::new();
+        let mut changed = Vec::new();
+        for (id, gpt) in &later.gpts {
+            match self.gpts.get(id) {
+                None => added.push(id.clone()),
+                Some(old) if old != gpt => {
+                    changed.push(GptChange {
+                        id: id.clone(),
+                        properties: classify_changes(old, gpt),
+                    });
+                }
+                Some(_) => {}
+            }
+        }
+        for id in self.gpts.keys() {
+            if !later.gpts.contains_key(id) {
+                removed.push(id.clone());
+            }
+        }
+        SnapshotDiff {
+            from_week: self.week,
+            to_week: later.week,
+            added,
+            removed,
+            changed,
+        }
+    }
+}
+
+/// The property-level change types of Table 2, grouped the way the paper
+/// groups them (contact info / metadata / actions & files).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ChangedProperty {
+    // Contact info.
+    ModifiedSocialMedia,
+    RemovedSocialMedia,
+    AuthorWebsite,
+    ProfilePicture,
+    AllowFeedback,
+    // Metadata.
+    WelcomeMessage,
+    ReviewabilityStatus,
+    Description,
+    Categories,
+    Name,
+    PromptStarters,
+    DeveloperVerification,
+    // Actions/Files.
+    FileModification,
+    SpecFormatChange,
+    FileRemoval,
+    FileAddition,
+    ActionChange,
+}
+
+impl ChangedProperty {
+    /// The Table 2 group this property belongs to.
+    pub fn group(&self) -> &'static str {
+        use ChangedProperty::*;
+        match self {
+            ModifiedSocialMedia | RemovedSocialMedia | AuthorWebsite | ProfilePicture
+            | AllowFeedback => "Contact info.",
+            WelcomeMessage | ReviewabilityStatus | Description | Categories | Name
+            | PromptStarters | DeveloperVerification => "Metadata",
+            FileModification | SpecFormatChange | FileRemoval | FileAddition | ActionChange => {
+                "Actions/Files"
+            }
+        }
+    }
+
+    /// The Table 2 row label.
+    pub fn label(&self) -> &'static str {
+        use ChangedProperty::*;
+        match self {
+            ModifiedSocialMedia => "Modified social media",
+            RemovedSocialMedia => "Removed social media",
+            AuthorWebsite => "Author website",
+            ProfilePicture => "Profile picture",
+            AllowFeedback => "Allow feedback to author",
+            WelcomeMessage => "GPT welcome message",
+            ReviewabilityStatus => "Review-ability status",
+            Description => "GPT description",
+            Categories => "GPT categories",
+            Name => "GPT name",
+            PromptStarters => "Prompt starters",
+            DeveloperVerification => "Developer verification status",
+            FileModification => "File modification",
+            SpecFormatChange => "Spec. format change to JSON",
+            FileRemoval => "File removals",
+            FileAddition => "File Additions",
+            ActionChange => "Action modification",
+        }
+    }
+}
+
+/// The classified changes observed on a single GPT between two crawls.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GptChange {
+    pub id: GptId,
+    pub properties: Vec<ChangedProperty>,
+}
+
+/// The result of diffing two snapshots.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotDiff {
+    pub from_week: u32,
+    pub to_week: u32,
+    pub added: Vec<GptId>,
+    pub removed: Vec<GptId>,
+    pub changed: Vec<GptChange>,
+}
+
+/// Classify which Table 2 properties changed between two versions of a
+/// GPT. Returns an empty vector only if the difference is in fields the
+/// census does not track.
+pub fn classify_changes(old: &Gpt, new: &Gpt) -> Vec<ChangedProperty> {
+    use ChangedProperty::*;
+    let mut out = Vec::new();
+
+    // Contact info.
+    if old.author.social_media != new.author.social_media {
+        if new.author.social_media.len() < old.author.social_media.len() {
+            out.push(RemovedSocialMedia);
+        } else {
+            out.push(ModifiedSocialMedia);
+        }
+    }
+    if old.author.website != new.author.website {
+        out.push(AuthorWebsite);
+    }
+    if old.display.profile_picture != new.display.profile_picture {
+        out.push(ProfilePicture);
+    }
+    if old.author.accepts_feedback != new.author.accepts_feedback {
+        out.push(AllowFeedback);
+    }
+
+    // Metadata.
+    if old.display.welcome_message != new.display.welcome_message {
+        out.push(WelcomeMessage);
+    }
+    if old.tags.contains(&crate::gpt::Tag::Unreviewable)
+        != new.tags.contains(&crate::gpt::Tag::Unreviewable)
+    {
+        out.push(ReviewabilityStatus);
+    }
+    if old.display.description != new.display.description {
+        out.push(Description);
+    }
+    if old.display.categories != new.display.categories {
+        out.push(Categories);
+    }
+    if old.display.name != new.display.name {
+        out.push(Name);
+    }
+    if old.display.prompt_starters != new.display.prompt_starters {
+        out.push(PromptStarters);
+    }
+    if old.author.verified != new.author.verified {
+        out.push(DeveloperVerification);
+    }
+
+    // Actions/Files.
+    let old_files: Vec<&str> = old.files.iter().map(|f| f.id.as_str()).collect();
+    let new_files: Vec<&str> = new.files.iter().map(|f| f.id.as_str()).collect();
+    if old_files != new_files {
+        let removed = old_files.iter().any(|f| !new_files.contains(f));
+        let added = new_files.iter().any(|f| !old_files.contains(f));
+        match (removed, added) {
+            (true, true) => out.push(FileModification),
+            (true, false) => out.push(FileRemoval),
+            (false, true) => out.push(FileAddition),
+            (false, false) => {}
+        }
+    }
+    let old_actions = old.actions();
+    let new_actions = new.actions();
+    if old_actions.len() != new_actions.len()
+        || old_actions
+            .iter()
+            .zip(&new_actions)
+            .any(|(a, b)| a != b)
+    {
+        out.push(ActionChange);
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::ActionSpec;
+    use crate::gpt::{Tag, Tool, UploadedFile};
+
+    fn gpt(id: &str) -> Gpt {
+        Gpt::minimal(id, "Test GPT")
+    }
+
+    #[test]
+    fn diff_detects_additions_and_removals() {
+        let mut s0 = CrawlSnapshot::new(0, "2024-02-08");
+        s0.insert(gpt("g-aaaaaaaaaa"));
+        s0.insert(gpt("g-bbbbbbbbbb"));
+        let mut s1 = CrawlSnapshot::new(1, "2024-02-15");
+        s1.insert(gpt("g-aaaaaaaaaa"));
+        s1.insert(gpt("g-cccccccccc"));
+        let d = s0.diff(&s1);
+        assert_eq!(d.added, vec![GptId("g-cccccccccc".into())]);
+        assert_eq!(d.removed, vec![GptId("g-bbbbbbbbbb".into())]);
+        assert!(d.changed.is_empty());
+    }
+
+    #[test]
+    fn diff_classifies_description_change() {
+        let mut s0 = CrawlSnapshot::new(0, "2024-02-08");
+        let g = gpt("g-aaaaaaaaaa");
+        s0.insert(g.clone());
+        let mut s1 = CrawlSnapshot::new(1, "2024-02-15");
+        let mut g2 = g;
+        g2.display.description = "More precise description.".into();
+        s1.insert(g2);
+        let d = s0.diff(&s1);
+        assert_eq!(d.changed.len(), 1);
+        assert_eq!(d.changed[0].properties, vec![ChangedProperty::Description]);
+    }
+
+    #[test]
+    fn classify_social_media_removal_vs_modification() {
+        let mut old = gpt("g-aaaaaaaaaa");
+        old.author.social_media = vec!["x.com/dev".into(), "tiktok.com/dev".into()];
+        let mut removed = old.clone();
+        removed.author.social_media = vec!["x.com/dev".into()];
+        assert_eq!(
+            classify_changes(&old, &removed),
+            vec![ChangedProperty::RemovedSocialMedia]
+        );
+        let mut modified = old.clone();
+        modified.author.social_media = vec!["x.com/dev2".into(), "tiktok.com/dev".into()];
+        assert_eq!(
+            classify_changes(&old, &modified),
+            vec![ChangedProperty::ModifiedSocialMedia]
+        );
+    }
+
+    #[test]
+    fn classify_file_changes() {
+        let mut old = gpt("g-aaaaaaaaaa");
+        old.files.push(UploadedFile {
+            id: "f1".into(),
+            mime_type: "text/markdown".into(),
+        });
+        let mut added = old.clone();
+        added.files.push(UploadedFile {
+            id: "f2".into(),
+            mime_type: "application/pdf".into(),
+        });
+        assert_eq!(classify_changes(&old, &added), vec![ChangedProperty::FileAddition]);
+
+        let mut removed = old.clone();
+        removed.files.clear();
+        assert_eq!(classify_changes(&old, &removed), vec![ChangedProperty::FileRemoval]);
+
+        let mut swapped = old.clone();
+        swapped.files[0].id = "f9".into();
+        assert_eq!(
+            classify_changes(&old, &swapped),
+            vec![ChangedProperty::FileModification]
+        );
+    }
+
+    #[test]
+    fn classify_action_change() {
+        let mut old = gpt("g-aaaaaaaaaa");
+        old.tools
+            .push(Tool::Action(ActionSpec::minimal("t1", "A", "https://a.dev")));
+        let mut new = old.clone();
+        if let Tool::Action(a) = &mut new.tools[0] {
+            a.spec.info.version = "v2".into();
+        }
+        assert_eq!(classify_changes(&old, &new), vec![ChangedProperty::ActionChange]);
+    }
+
+    #[test]
+    fn classify_reviewability_change() {
+        let old = gpt("g-aaaaaaaaaa");
+        let mut new = old.clone();
+        new.tags.push(Tag::Unreviewable);
+        assert_eq!(
+            classify_changes(&old, &new),
+            vec![ChangedProperty::ReviewabilityStatus]
+        );
+    }
+
+    #[test]
+    fn property_groups_cover_table2() {
+        assert_eq!(ChangedProperty::AuthorWebsite.group(), "Contact info.");
+        assert_eq!(ChangedProperty::Name.group(), "Metadata");
+        assert_eq!(ChangedProperty::FileRemoval.group(), "Actions/Files");
+    }
+
+    #[test]
+    fn snapshot_json_round_trip() {
+        let mut s = CrawlSnapshot::new(3, "2024-02-29");
+        s.insert(gpt("g-aaaaaaaaaa"));
+        let json = serde_json::to_string(&s).unwrap();
+        let back: CrawlSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

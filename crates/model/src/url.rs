@@ -1,0 +1,289 @@
+//! A from-scratch URL parser and eTLD+1 ("registrable domain") extraction.
+//!
+//! The paper classifies an Action as third-party when its eTLD+1 differs
+//! from the GPT author's eTLD+1 (footnote 4) — "a standard process to
+//! detect third-parties on the web". Real deployments use the full Mozilla
+//! Public Suffix List; we embed the multi-label suffixes that actually
+//! occur in GPT Action endpoints plus the common country-code ones, which
+//! is sufficient because suffixes not in the table fall back to the
+//! "last label is the public suffix" rule.
+
+use serde::{Deserialize, Serialize};
+
+/// A parsed absolute URL (scheme, host, optional port, path, query).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Url {
+    scheme: String,
+    host: String,
+    port: Option<u16>,
+    path: String,
+    query: Option<String>,
+}
+
+/// URL parsing failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UrlError {
+    MissingScheme,
+    UnsupportedScheme(String),
+    EmptyHost,
+    BadPort,
+}
+
+impl std::fmt::Display for UrlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UrlError::MissingScheme => write!(f, "missing '://' scheme separator"),
+            UrlError::UnsupportedScheme(s) => write!(f, "unsupported scheme {s:?}"),
+            UrlError::EmptyHost => write!(f, "empty host"),
+            UrlError::BadPort => write!(f, "invalid port"),
+        }
+    }
+}
+
+impl std::error::Error for UrlError {}
+
+impl Url {
+    /// Parse an absolute `http`/`https` URL.
+    pub fn parse(input: &str) -> Result<Url, UrlError> {
+        let input = input.trim();
+        let (scheme, rest) = input.split_once("://").ok_or(UrlError::MissingScheme)?;
+        let scheme = scheme.to_ascii_lowercase();
+        if scheme != "http" && scheme != "https" {
+            return Err(UrlError::UnsupportedScheme(scheme));
+        }
+        // authority ends at the first '/', '?', or '#'
+        let auth_end = rest
+            .find(['/', '?', '#'])
+            .unwrap_or(rest.len());
+        let authority = &rest[..auth_end];
+        let tail = &rest[auth_end..];
+
+        // Strip userinfo if present.
+        let authority = authority.rsplit_once('@').map_or(authority, |(_, h)| h);
+
+        let (host, port) = match authority.rsplit_once(':') {
+            Some((h, p)) if p.chars().all(|c| c.is_ascii_digit()) && !p.is_empty() => {
+                (h, Some(p.parse::<u16>().map_err(|_| UrlError::BadPort)?))
+            }
+            _ => (authority, None),
+        };
+        if host.is_empty() {
+            return Err(UrlError::EmptyHost);
+        }
+
+        let (path, query) = match tail.split_once('?') {
+            Some((p, q)) => {
+                let q = q.split('#').next().unwrap_or("");
+                (p.to_string(), Some(q.to_string()))
+            }
+            None => (tail.split('#').next().unwrap_or("").to_string(), None),
+        };
+        let path = if path.is_empty() { "/".to_string() } else { path };
+
+        Ok(Url {
+            scheme,
+            host: host.to_ascii_lowercase(),
+            port,
+            path,
+            query,
+        })
+    }
+
+    pub fn scheme(&self) -> &str {
+        &self.scheme
+    }
+
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// The explicit port, or the scheme default.
+    pub fn port_or_default(&self) -> u16 {
+        self.port
+            .unwrap_or(if self.scheme == "https" { 443 } else { 80 })
+    }
+
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    pub fn query(&self) -> Option<&str> {
+        self.query.as_deref()
+    }
+
+    /// Path plus query string, as sent on an HTTP request line.
+    pub fn path_and_query(&self) -> String {
+        match &self.query {
+            Some(q) => format!("{}?{}", self.path, q),
+            None => self.path.clone(),
+        }
+    }
+
+    /// The registrable domain of this URL's host.
+    pub fn registrable_domain(&self) -> String {
+        etld_plus_one(&self.host)
+    }
+}
+
+impl std::fmt::Display for Url {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}://{}", self.scheme, self.host)?;
+        if let Some(p) = self.port {
+            write!(f, ":{p}")?;
+        }
+        write!(f, "{}", self.path)?;
+        if let Some(q) = &self.query {
+            write!(f, "?{q}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Multi-label public suffixes (a pragmatic subset of the PSL). Suffixes
+/// not listed here are assumed to be single-label ("com", "io", "ai", …).
+const MULTI_LABEL_SUFFIXES: &[&str] = &[
+    "co.uk", "org.uk", "ac.uk", "gov.uk", "me.uk", "co.jp", "ne.jp", "or.jp", "ac.jp", "com.au",
+    "net.au", "org.au", "com.br", "com.cn", "com.mx", "co.in", "co.kr", "co.nz", "com.sg",
+    "com.tr", "co.za", "com.ar", "com.hk", "com.tw", "github.io", "herokuapp.com", "vercel.app",
+    "netlify.app", "pages.dev", "web.app", "azurewebsites.net", "cloudfront.net", "appspot.com",
+    "repl.co", "onrender.com", "fly.dev", "workers.dev",
+];
+
+/// Compute the eTLD+1 (registrable domain) of a hostname.
+///
+/// IP literals and single-label hosts (e.g. `localhost`) are returned
+/// unchanged — they have no registrable domain, and for crawl analysis
+/// the host itself is the right identity for them.
+pub fn etld_plus_one(host: &str) -> String {
+    let host = host.trim_end_matches('.').to_ascii_lowercase();
+    // IPv4 literal?
+    if host.split('.').count() == 4 && host.split('.').all(|p| p.parse::<u8>().is_ok()) {
+        return host;
+    }
+    let labels: Vec<&str> = host.split('.').collect();
+    if labels.len() <= 1 {
+        return host;
+    }
+    // Longest matching multi-label suffix wins.
+    let mut suffix_len = 1;
+    for suffix in MULTI_LABEL_SUFFIXES {
+        let sl = suffix.split('.').count();
+        if labels.len() > sl && host.ends_with(suffix) {
+            // Ensure a label boundary before the suffix.
+            let boundary = host.len() - suffix.len();
+            if host.as_bytes()[boundary - 1] == b'.' {
+                suffix_len = suffix_len.max(sl);
+            }
+        }
+    }
+    let keep = (suffix_len + 1).min(labels.len());
+    labels[labels.len() - keep..].join(".")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_url() {
+        let u = Url::parse("https://api.example.com:8443/v1/items?limit=5#frag").unwrap();
+        assert_eq!(u.scheme(), "https");
+        assert_eq!(u.host(), "api.example.com");
+        assert_eq!(u.port_or_default(), 8443);
+        assert_eq!(u.path(), "/v1/items");
+        assert_eq!(u.query(), Some("limit=5"));
+    }
+
+    #[test]
+    fn parse_defaults() {
+        let u = Url::parse("http://example.com").unwrap();
+        assert_eq!(u.port_or_default(), 80);
+        assert_eq!(u.path(), "/");
+        assert_eq!(u.query(), None);
+    }
+
+    #[test]
+    fn https_default_port() {
+        let u = Url::parse("https://example.com/x").unwrap();
+        assert_eq!(u.port_or_default(), 443);
+    }
+
+    #[test]
+    fn parse_rejects_missing_scheme() {
+        assert_eq!(Url::parse("example.com"), Err(UrlError::MissingScheme));
+    }
+
+    #[test]
+    fn parse_rejects_odd_scheme() {
+        assert!(matches!(
+            Url::parse("ftp://example.com"),
+            Err(UrlError::UnsupportedScheme(_))
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_empty_host() {
+        assert_eq!(Url::parse("https:///path"), Err(UrlError::EmptyHost));
+    }
+
+    #[test]
+    fn parse_strips_userinfo() {
+        let u = Url::parse("https://user:pw@example.com/x").unwrap();
+        assert_eq!(u.host(), "example.com");
+    }
+
+    #[test]
+    fn host_is_lowercased() {
+        let u = Url::parse("https://API.Example.COM/").unwrap();
+        assert_eq!(u.host(), "api.example.com");
+    }
+
+    #[test]
+    fn display_round_trip() {
+        let s = "https://api.example.com:8443/v1/items?limit=5";
+        let u = Url::parse(s).unwrap();
+        assert_eq!(u.to_string(), s);
+        assert_eq!(Url::parse(&u.to_string()).unwrap(), u);
+    }
+
+    #[test]
+    fn path_and_query() {
+        let u = Url::parse("https://e.com/a/b?x=1").unwrap();
+        assert_eq!(u.path_and_query(), "/a/b?x=1");
+    }
+
+    #[test]
+    fn etld_simple_com() {
+        assert_eq!(etld_plus_one("api.example.com"), "example.com");
+        assert_eq!(etld_plus_one("example.com"), "example.com");
+        assert_eq!(etld_plus_one("a.b.c.example.com"), "example.com");
+    }
+
+    #[test]
+    fn etld_co_uk() {
+        assert_eq!(etld_plus_one("shop.example.co.uk"), "example.co.uk");
+        assert_eq!(etld_plus_one("example.co.uk"), "example.co.uk");
+    }
+
+    #[test]
+    fn etld_hosting_platforms() {
+        // Each tenant of a shared hosting platform is its own "site".
+        assert_eq!(etld_plus_one("myapp.herokuapp.com"), "myapp.herokuapp.com");
+        assert_eq!(etld_plus_one("user.github.io"), "user.github.io");
+    }
+
+    #[test]
+    fn etld_single_label_host() {
+        assert_eq!(etld_plus_one("localhost"), "localhost");
+    }
+
+    #[test]
+    fn etld_ip_literal() {
+        assert_eq!(etld_plus_one("127.0.0.1"), "127.0.0.1");
+    }
+
+    #[test]
+    fn etld_case_and_trailing_dot() {
+        assert_eq!(etld_plus_one("API.Example.COM."), "example.com");
+    }
+}

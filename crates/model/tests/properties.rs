@@ -1,0 +1,81 @@
+//! Property-based tests for the domain model.
+
+use gptx_model::url::{etld_plus_one, Url};
+use gptx_model::{Gpt, GptId};
+use proptest::prelude::*;
+
+fn host_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec("[a-z][a-z0-9]{0,8}", 1..4).prop_map(|labels| labels.join("."))
+}
+
+proptest! {
+    #[test]
+    fn url_display_parse_round_trip(
+        host in host_strategy(),
+        port in prop::option::of(1u16..),
+        path in "(/[a-z0-9]{1,6}){0,3}",
+        query in prop::option::of("[a-z]{1,5}=[a-z0-9]{1,5}"),
+        https in any::<bool>(),
+    ) {
+        let scheme = if https { "https" } else { "http" };
+        let mut s = format!("{scheme}://{host}");
+        if let Some(p) = port {
+            s.push_str(&format!(":{p}"));
+        }
+        let path = if path.is_empty() { "/".to_string() } else { path };
+        s.push_str(&path);
+        if let Some(q) = &query {
+            s.push('?');
+            s.push_str(q);
+        }
+        let parsed = Url::parse(&s).unwrap();
+        prop_assert_eq!(parsed.to_string(), s.clone());
+        let reparsed = Url::parse(&parsed.to_string()).unwrap();
+        prop_assert_eq!(parsed, reparsed);
+    }
+
+    #[test]
+    fn etld_plus_one_is_idempotent(host in host_strategy()) {
+        let once = etld_plus_one(&host);
+        prop_assert_eq!(etld_plus_one(&once), once.clone());
+        // The registrable domain is always a suffix of the host.
+        prop_assert!(host.ends_with(&once) || host == once);
+    }
+
+    #[test]
+    fn etld_has_at_most_host_labels(host in host_strategy()) {
+        let e = etld_plus_one(&host);
+        prop_assert!(e.split('.').count() <= host.split('.').count());
+    }
+
+    #[test]
+    fn gpt_id_accepts_exactly_ten_alnum(code in "[a-zA-Z0-9]{1,15}") {
+        let id = format!("g-{code}");
+        let parsed = GptId::new(&id);
+        prop_assert_eq!(parsed.is_some(), code.len() == 10);
+    }
+
+    #[test]
+    fn gpt_json_round_trip(
+        name in "[a-zA-Z ]{1,30}",
+        description in "[a-zA-Z0-9 .,]{0,100}",
+        starters in prop::collection::vec("[a-z ]{1,20}", 0..4),
+    ) {
+        let mut gpt = Gpt::minimal("g-aaaaaaaaaa", &name);
+        gpt.display.description = description;
+        gpt.display.prompt_starters = starters;
+        let json = serde_json::to_string(&gpt).unwrap();
+        let back: Gpt = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(gpt, back);
+    }
+
+    #[test]
+    fn url_parse_never_panics(input in ".{0,100}") {
+        let _ = Url::parse(&input);
+    }
+
+    #[test]
+    fn etld_never_panics(input in ".{0,60}") {
+        let _ = etld_plus_one(&input);
+    }
+}

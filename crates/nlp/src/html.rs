@@ -1,0 +1,165 @@
+//! Minimal HTML-to-text extraction.
+//!
+//! Crawled privacy policies are frequently HTML pages (Table 10's
+//! "JS code for dynamic rendering" class is served as `text/html`). The
+//! disclosure pipeline must not tokenize markup and script bodies as if
+//! they were policy sentences, so HTML content is reduced to its visible
+//! text first: tags dropped, `<script>`/`<style>` subtrees removed
+//! whole, common entities decoded, block elements becoming line breaks.
+
+/// Extract visible text from an HTML document.
+///
+/// This is a tag-level scanner, not a browser: it handles the policy
+/// pages the crawler meets (no CDATA, no conditional comments).
+pub fn strip_html(html: &str) -> String {
+    let mut out = String::with_capacity(html.len() / 2);
+    let chars: Vec<char> = html.chars().collect();
+    let mut i = 0;
+    let mut skip_until: Option<&'static str> = None;
+    while i < chars.len() {
+        if chars[i] == '<' {
+            // Find the end of the tag.
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '>')
+                .map(|p| i + p)
+                .unwrap_or(chars.len() - 1);
+            let tag: String = chars[i + 1..close.min(chars.len())]
+                .iter()
+                .collect::<String>()
+                .to_ascii_lowercase();
+            let tag_name: String = tag
+                .trim_start_matches('/')
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric())
+                .collect();
+
+            if let Some(end_tag) = skip_until {
+                if tag.starts_with('/') && tag_name == end_tag {
+                    skip_until = None;
+                }
+            } else if tag.starts_with("!--") {
+                // Comment: skip to -->.
+                if let Some(p) = html_find(&chars, i, "-->") {
+                    i = p + 3;
+                    continue;
+                }
+                break;
+            } else if tag_name == "script" || tag_name == "style" {
+                skip_until = if tag_name == "script" { Some("script") } else { Some("style") };
+            } else if matches!(
+                tag_name.as_str(),
+                "p" | "div" | "br" | "li" | "h1" | "h2" | "h3" | "h4" | "tr" | "section"
+            ) {
+                out.push('\n');
+            }
+            i = close + 1;
+            continue;
+        }
+        if skip_until.is_none() {
+            out.push(chars[i]);
+        }
+        i += 1;
+    }
+    decode_entities(&out)
+}
+
+/// Find a literal pattern in `chars` starting at `from`.
+fn html_find(chars: &[char], from: usize, pattern: &str) -> Option<usize> {
+    let pat: Vec<char> = pattern.chars().collect();
+    (from..chars.len().saturating_sub(pat.len() - 1))
+        .find(|&p| chars[p..p + pat.len()] == pat[..])
+}
+
+/// Decode the handful of entities policy pages actually use.
+fn decode_entities(text: &str) -> String {
+    text.replace("&amp;", "&")
+        .replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&#39;", "'")
+        .replace("&apos;", "'")
+        .replace("&nbsp;", " ")
+}
+
+/// Does this body look like an HTML document (vs. plain text)?
+pub fn looks_like_html(body: &str) -> bool {
+    let head = body.trim_start().to_ascii_lowercase();
+    head.starts_with("<!doctype") || head.starts_with("<html") || head.starts_with("<head")
+        || (head.starts_with('<') && head.contains("</"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_tags_keeps_text() {
+        let html = "<html><body><p>We collect your email.</p><p>We never sell it.</p></body></html>";
+        let text = strip_html(html);
+        assert!(text.contains("We collect your email."));
+        assert!(text.contains("We never sell it."));
+        assert!(!text.contains('<'));
+    }
+
+    #[test]
+    fn script_and_style_bodies_removed() {
+        let html = "<html><script>var collect = 'email address';</script>\
+                    <style>p { color: red }</style><p>Visible.</p></html>";
+        let text = strip_html(html);
+        assert!(text.contains("Visible."));
+        assert!(!text.contains("email address"));
+        assert!(!text.contains("color"));
+    }
+
+    #[test]
+    fn comments_removed() {
+        let text = strip_html("before<!-- secret email address -->after");
+        assert_eq!(text, "beforeafter");
+    }
+
+    #[test]
+    fn block_tags_become_newlines() {
+        let text = strip_html("<p>One.</p><p>Two.</p>");
+        assert!(text.contains('\n'));
+    }
+
+    #[test]
+    fn entities_decoded() {
+        assert_eq!(strip_html("Terms &amp; Privacy&nbsp;&#39;24"), "Terms & Privacy '24");
+    }
+
+    #[test]
+    fn plain_text_passes_through() {
+        let text = "We collect nothing. Contact us.";
+        assert_eq!(strip_html(text), text);
+    }
+
+    #[test]
+    fn unterminated_tag_is_safe() {
+        let text = strip_html("text <unclosed");
+        assert_eq!(text.trim(), "text");
+    }
+
+    #[test]
+    fn detection_heuristic() {
+        assert!(looks_like_html("<!DOCTYPE html><html>...</html>"));
+        assert!(looks_like_html("<html><body>x</body></html>"));
+        assert!(looks_like_html("<div id=\"root\"></div>"));
+        assert!(!looks_like_html("We collect your email."));
+        assert!(!looks_like_html("a < b and c > d"));
+    }
+
+    #[test]
+    fn js_rendered_policy_yields_no_collection_sentences() {
+        // The Table 10 JS-rendered class: after stripping, nothing
+        // data-collection-like remains.
+        let html = "<html><head><title>Privacy</title></head><body>\
+                    <div id=\"root\"></div>\
+                    <script>window.__POLICY__=fetch('/api/policy');</script>\
+                    </body></html>";
+        let text = strip_html(html);
+        assert!(!text.to_lowercase().contains("policy__"));
+        assert!(text.trim() == "Privacy" || text.trim().is_empty(), "{text:?}");
+    }
+}

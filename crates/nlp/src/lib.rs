@@ -1,0 +1,79 @@
+//! # gptx-nlp
+//!
+//! Natural-language processing substrate built from scratch.
+//!
+//! The paper leans on NLTK for sentence tokenization (the privacy-policy
+//! pipeline of Section 6.2 "tokenize\[s\] the sentences in privacy policies
+//! \[74\] and pass\[es\] individual sentences to an LLM") and on GPT-4 for
+//! semantic matching. This crate supplies the deterministic text machinery
+//! those components need:
+//!
+//! * [`tokenize`] — word and sentence tokenizers (abbreviation-aware,
+//!   decimal- and URL-safe sentence splitting);
+//! * [`stem`] — the Porter (1980) stemming algorithm, used to make lexicon
+//!   matching robust to inflection ("collected" / "collection" / "collects");
+//! * [`stopwords`] — an embedded English stopword list;
+//! * [`shingle`] — word/character n-gram shingles feeding the Jaccard
+//!   near-duplicate detection of Table 9;
+//! * [`vector`] — a TF-IDF vector space with cosine similarity, the
+//!   retrieval backbone of the knowledge-base language model in `gptx-llm`.
+
+pub mod html;
+pub mod shingle;
+pub mod stem;
+pub mod stopwords;
+pub mod tokenize;
+pub mod vector;
+
+pub use html::{looks_like_html, strip_html};
+pub use shingle::{char_shingles, word_shingles};
+pub use stem::porter_stem;
+pub use stopwords::is_stopword;
+pub use tokenize::{sentences, words};
+pub use vector::{cosine, TfIdf, TfIdfBuilder};
+
+/// Normalize a term for matching: lowercase, strip non-alphanumerics,
+/// Porter-stem. This is the canonical form used by lexicons and the
+/// knowledge-base model.
+pub fn normalize_term(term: &str) -> String {
+    let lowered: String = term
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .collect::<String>()
+        .to_ascii_lowercase();
+    porter_stem(&lowered)
+}
+
+/// Tokenize, lowercase, drop stopwords, and stem — the standard analysis
+/// chain applied to descriptions and policy sentences.
+pub fn analyze(text: &str) -> Vec<String> {
+    words(text)
+        .into_iter()
+        .filter(|w| !is_stopword(w))
+        .map(|w| porter_stem(&w))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_strips_and_stems() {
+        assert_eq!(normalize_term("Collected!"), "collect");
+        assert_eq!(normalize_term("e-mails"), "email");
+    }
+
+    #[test]
+    fn analyze_drops_stopwords_and_stems() {
+        let toks = analyze("We collect the email address of the user.");
+        assert!(toks.contains(&"collect".to_string()));
+        assert!(toks.contains(&"email".to_string()));
+        assert!(!toks.iter().any(|t| t == "the" || t == "of"));
+    }
+
+    #[test]
+    fn analyze_of_empty_is_empty() {
+        assert!(analyze("").is_empty());
+    }
+}

@@ -1,0 +1,406 @@
+//! The Porter stemming algorithm (M. F. Porter, 1980).
+//!
+//! A faithful from-scratch implementation of the classic five-step suffix
+//! stripper. Stemming lets lexicon matching in the taxonomy knowledge base
+//! treat "collects", "collected", and "collection" as the same term, which
+//! is essential for mapping free-text OpenAPI descriptions onto succinct
+//! data types (Section 5.1.1 of the paper).
+//!
+//! The implementation works on ASCII lowercase; the public entry point
+//! lowercases its input and passes non-alphabetic input through unchanged.
+
+/// Stem a single word with the Porter algorithm.
+///
+/// Words of length <= 2 are returned unchanged (per the original paper).
+pub fn porter_stem(word: &str) -> String {
+    let w = word.to_ascii_lowercase();
+    if w.len() <= 2 || !w.bytes().all(|b| b.is_ascii_alphabetic()) {
+        return w;
+    }
+    let mut b: Vec<u8> = w.into_bytes();
+    step1a(&mut b);
+    step1b(&mut b);
+    step1c(&mut b);
+    step2(&mut b);
+    step3(&mut b);
+    step4(&mut b);
+    step5a(&mut b);
+    step5b(&mut b);
+    String::from_utf8(b).expect("ascii in, ascii out")
+}
+
+/// Is `b[i]` a consonant under Porter's definition ('y' is a consonant
+/// when preceded by a vowel position... precisely: 'y' is a consonant iff
+/// it is the first letter or the previous letter is a vowel)?
+fn is_consonant(b: &[u8], i: usize) -> bool {
+    match b[i] {
+        b'a' | b'e' | b'i' | b'o' | b'u' => false,
+        b'y' => i == 0 || !is_consonant(b, i - 1),
+        _ => true,
+    }
+}
+
+/// Porter's measure m of `b[..len]`: the number of VC sequences in the
+/// form [C](VC){m}[V].
+fn measure(b: &[u8], len: usize) -> usize {
+    let mut m = 0;
+    let mut i = 0;
+    // Skip initial consonants.
+    while i < len && is_consonant(b, i) {
+        i += 1;
+    }
+    loop {
+        // Skip vowels.
+        while i < len && !is_consonant(b, i) {
+            i += 1;
+        }
+        if i >= len {
+            return m;
+        }
+        // Skip consonants — that completes one VC.
+        while i < len && is_consonant(b, i) {
+            i += 1;
+        }
+        m += 1;
+        if i >= len {
+            return m;
+        }
+    }
+}
+
+/// Does `b[..len]` contain a vowel?
+fn has_vowel(b: &[u8], len: usize) -> bool {
+    (0..len).any(|i| !is_consonant(b, i))
+}
+
+/// Does `b[..len]` end with a double consonant?
+fn ends_double_consonant(b: &[u8], len: usize) -> bool {
+    len >= 2 && b[len - 1] == b[len - 2] && is_consonant(b, len - 1)
+}
+
+/// Does `b[..len]` end consonant-vowel-consonant, where the final
+/// consonant is not w, x, or y? (The *o condition.)
+fn ends_cvc(b: &[u8], len: usize) -> bool {
+    if len < 3 {
+        return false;
+    }
+    let c = b[len - 1];
+    is_consonant(b, len - 3)
+        && !is_consonant(b, len - 2)
+        && is_consonant(b, len - 1)
+        && c != b'w'
+        && c != b'x'
+        && c != b'y'
+}
+
+fn ends_with(b: &[u8], suffix: &str) -> bool {
+    b.len() >= suffix.len() && &b[b.len() - suffix.len()..] == suffix.as_bytes()
+}
+
+/// If the word ends with `suffix` and the stem before it has measure
+/// greater than `min_m`, replace the suffix with `replacement` and return
+/// true.
+fn replace_if_m(b: &mut Vec<u8>, suffix: &str, replacement: &str, min_m: usize) -> bool {
+    if !ends_with(b, suffix) {
+        return false;
+    }
+    let stem_len = b.len() - suffix.len();
+    if measure(b, stem_len) > min_m {
+        b.truncate(stem_len);
+        b.extend_from_slice(replacement.as_bytes());
+        true
+    } else {
+        false
+    }
+}
+
+fn step1a(b: &mut Vec<u8>) {
+    if ends_with(b, "sses") {
+        b.truncate(b.len() - 2); // sses -> ss
+    } else if ends_with(b, "ies") {
+        b.truncate(b.len() - 2); // ies -> i
+    } else if ends_with(b, "ss") {
+        // ss -> ss
+    } else if ends_with(b, "s") {
+        b.truncate(b.len() - 1); // s ->
+    }
+}
+
+fn step1b(b: &mut Vec<u8>) {
+    if ends_with(b, "eed") {
+        // (m > 0) EED -> EE
+        if measure(b, b.len() - 3) > 0 {
+            b.truncate(b.len() - 1);
+        }
+        return;
+    }
+    let stripped = if ends_with(b, "ed") && has_vowel(b, b.len() - 2) {
+        b.truncate(b.len() - 2);
+        true
+    } else if ends_with(b, "ing") && has_vowel(b, b.len() - 3) {
+        b.truncate(b.len() - 3);
+        true
+    } else {
+        false
+    };
+    if !stripped {
+        return;
+    }
+    // Cleanup after a successful -ed / -ing removal.
+    if ends_with(b, "at") || ends_with(b, "bl") || ends_with(b, "iz") {
+        b.push(b'e');
+    } else if ends_double_consonant(b, b.len()) {
+        let last = b[b.len() - 1];
+        if last != b'l' && last != b's' && last != b'z' {
+            b.truncate(b.len() - 1);
+        }
+    } else if measure(b, b.len()) == 1 && ends_cvc(b, b.len()) {
+        b.push(b'e');
+    }
+}
+
+fn step1c(b: &mut [u8]) {
+    // (*v*) Y -> I
+    let n = b.len();
+    if n >= 2 && b[n - 1] == b'y' && has_vowel(b, n - 1) {
+        b[n - 1] = b'i';
+    }
+}
+
+fn step2(b: &mut Vec<u8>) {
+    const RULES: &[(&str, &str)] = &[
+        ("ational", "ate"),
+        ("tional", "tion"),
+        ("enci", "ence"),
+        ("anci", "ance"),
+        ("izer", "ize"),
+        ("abli", "able"),
+        ("alli", "al"),
+        ("entli", "ent"),
+        ("eli", "e"),
+        ("ousli", "ous"),
+        ("ization", "ize"),
+        ("ation", "ate"),
+        ("ator", "ate"),
+        ("alism", "al"),
+        ("iveness", "ive"),
+        ("fulness", "ful"),
+        ("ousness", "ous"),
+        ("aliti", "al"),
+        ("iviti", "ive"),
+        ("biliti", "ble"),
+    ];
+    for (suffix, repl) in RULES {
+        if ends_with(b, suffix) {
+            replace_if_m(b, suffix, repl, 0);
+            return;
+        }
+    }
+}
+
+fn step3(b: &mut Vec<u8>) {
+    const RULES: &[(&str, &str)] = &[
+        ("icate", "ic"),
+        ("ative", ""),
+        ("alize", "al"),
+        ("iciti", "ic"),
+        ("ical", "ic"),
+        ("ful", ""),
+        ("ness", ""),
+    ];
+    for (suffix, repl) in RULES {
+        if ends_with(b, suffix) {
+            replace_if_m(b, suffix, repl, 0);
+            return;
+        }
+    }
+}
+
+fn step4(b: &mut Vec<u8>) {
+    const SUFFIXES: &[&str] = &[
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent", "ou",
+        "ism", "ate", "iti", "ous", "ive", "ize",
+    ];
+    // "ion" requires the stem to end in 's' or 't'.
+    if ends_with(b, "ion") {
+        let stem_len = b.len() - 3;
+        if stem_len >= 1
+            && (b[stem_len - 1] == b's' || b[stem_len - 1] == b't')
+            && measure(b, stem_len) > 1
+        {
+            b.truncate(stem_len);
+        }
+        return;
+    }
+    // Longest-match-first ordering matters: check longer suffixes first.
+    let mut ordered: Vec<&str> = SUFFIXES.to_vec();
+    ordered.sort_by_key(|s| std::cmp::Reverse(s.len()));
+    for suffix in ordered {
+        if ends_with(b, suffix) {
+            replace_if_m(b, suffix, "", 1);
+            return;
+        }
+    }
+}
+
+fn step5a(b: &mut Vec<u8>) {
+    if !ends_with(b, "e") {
+        return;
+    }
+    let stem_len = b.len() - 1;
+    let m = measure(b, stem_len);
+    // (m > 1) E -> ; (m = 1 and not *o) E ->
+    if m > 1 || (m == 1 && !ends_cvc(b, stem_len)) {
+        b.truncate(stem_len);
+    }
+}
+
+fn step5b(b: &mut Vec<u8>) {
+    // (m > 1 and *d and *L) -> single letter (ll -> l)
+    let n = b.len();
+    if n >= 2 && b[n - 1] == b'l' && b[n - 2] == b'l' && measure(b, n) > 1 {
+        b.truncate(n - 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(pairs: &[(&str, &str)]) {
+        for (input, expected) in pairs {
+            assert_eq!(
+                porter_stem(input),
+                *expected,
+                "porter_stem({input:?}) should be {expected:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn step1a_examples_from_paper() {
+        check(&[
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+        ]);
+    }
+
+    #[test]
+    fn step1b_examples_from_paper() {
+        check(&[
+            ("feed", "feed"),
+            ("agreed", "agre"), // agreed -> agree (1b) -> agre (5a)
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+        ]);
+    }
+
+    #[test]
+    fn step1b_cleanup_rules() {
+        check(&[
+            ("conflated", "conflat"), // conflate -> 5a drops e (m=2)
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+        ]);
+    }
+
+    #[test]
+    fn inflections_of_collect_conflate() {
+        check(&[
+            ("collect", "collect"),
+            ("collects", "collect"),
+            ("collected", "collect"),
+            ("collecting", "collect"),
+            ("collection", "collect"),
+            ("collections", "collect"),
+        ]);
+    }
+
+    #[test]
+    fn domain_terms_conflate() {
+        check(&[
+            ("emails", "email"),
+            ("emailing", "email"),
+            ("passwords", "password"),
+            ("locations", "locat"),
+            ("location", "locat"),
+            ("browsing", "brows"),
+            ("browse", "brows"),
+            ("searches", "search"),
+            ("searching", "search"),
+        ]);
+    }
+
+    #[test]
+    fn classic_vocabulary_samples() {
+        check(&[
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("generalization", "gener"),
+            ("oscillators", "oscil"),
+            ("argument", "argument"),
+            ("arguing", "argu"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+        ]);
+    }
+
+    #[test]
+    fn short_words_unchanged() {
+        check(&[("a", "a"), ("is", "is"), ("be", "be")]);
+    }
+
+    #[test]
+    fn non_alphabetic_passes_through() {
+        assert_eq!(porter_stem("gpt-4"), "gpt-4");
+        assert_eq!(porter_stem("123"), "123");
+    }
+
+    #[test]
+    fn stemming_is_lowercasing() {
+        assert_eq!(porter_stem("Collected"), "collect");
+    }
+
+    #[test]
+    fn measure_known_values() {
+        // Examples from Porter's paper.
+        for (word, m) in [
+            ("tr", 0),
+            ("ee", 0),
+            ("tree", 0),
+            ("y", 0),
+            ("by", 0),
+            ("trouble", 1),
+            ("oats", 1),
+            ("trees", 1),
+            ("ivy", 1),
+            ("troubles", 2),
+            ("private", 2),
+            ("oaten", 2),
+            ("orrery", 2),
+        ] {
+            let b = word.as_bytes().to_vec();
+            assert_eq!(measure(&b, b.len()), m, "m({word})");
+        }
+    }
+
+    #[test]
+    fn stemming_is_idempotent_on_common_words() {
+        for w in [
+            "collect", "email", "locat", "password", "user", "address", "search",
+        ] {
+            assert_eq!(porter_stem(&porter_stem(w)), porter_stem(w));
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! An embedded English stopword list.
+//!
+//! Stopwords are removed before lexicon matching and TF-IDF weighting so
+//! that boilerplate ("the", "of", "your") does not dominate similarity
+//! between a data-type description and a policy sentence.
+
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+/// The standard English stopword inventory (a superset of the NLTK list's
+/// high-frequency core, plus policy boilerplate like "shall"/"herein").
+const STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any", "are",
+    "aren't", "as", "at", "be", "because", "been", "before", "being", "below", "between", "both",
+    "but", "by", "can", "cannot", "could", "couldn't", "did", "didn't", "do", "does", "doesn't",
+    "doing", "don't", "down", "during", "each", "few", "for", "from", "further", "had", "hadn't",
+    "has", "hasn't", "have", "haven't", "having", "he", "he'd", "he'll", "he's", "her", "here",
+    "here's", "hers", "herself", "him", "himself", "his", "how", "how's", "i", "i'd", "i'll",
+    "i'm", "i've", "if", "in", "into", "is", "isn't", "it", "it's", "its", "itself", "let's",
+    "me", "more", "most", "mustn't", "my", "myself", "no", "nor", "not", "of", "off", "on",
+    "once", "only", "or", "other", "ought", "our", "ours", "ourselves", "out", "over", "own",
+    "same", "shan't", "she", "she'd", "she'll", "she's", "should", "shouldn't", "so", "some",
+    "such", "than", "that", "that's", "the", "their", "theirs", "them", "themselves", "then",
+    "there", "there's", "these", "they", "they'd", "they'll", "they're", "they've", "this",
+    "those", "through", "to", "too", "under", "until", "up", "very", "was", "wasn't", "we",
+    "we'd", "we'll", "we're", "we've", "were", "weren't", "what", "what's", "when", "when's",
+    "us", "where", "where's", "which", "while", "who", "who's", "whom", "why", "why's", "with",
+    "won't", "would", "wouldn't", "you", "you'd", "you'll", "you're", "you've", "your", "yours",
+    "yourself", "yourselves",
+    // Legal/policy boilerplate that carries no signal for matching.
+    "shall", "herein", "hereby", "thereof", "pursuant", "may", "will", "also", "etc",
+];
+
+fn stopword_set() -> &'static HashSet<&'static str> {
+    static SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
+    SET.get_or_init(|| STOPWORDS.iter().copied().collect())
+}
+
+/// Is `word` (already lowercased) a stopword?
+pub fn is_stopword(word: &str) -> bool {
+    stopword_set().contains(word)
+}
+
+/// Filter stopwords out of a token stream.
+pub fn remove_stopwords(tokens: &[String]) -> Vec<String> {
+    tokens
+        .iter()
+        .filter(|t| !is_stopword(t))
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_words_are_stopwords() {
+        for w in ["the", "of", "and", "your", "we", "shall"] {
+            assert!(is_stopword(w), "{w} should be a stopword");
+        }
+    }
+
+    #[test]
+    fn content_words_are_not() {
+        for w in ["email", "collect", "password", "location", "data"] {
+            assert!(!is_stopword(w), "{w} should not be a stopword");
+        }
+    }
+
+    #[test]
+    fn filtering_preserves_order() {
+        let toks: Vec<String> = ["we", "collect", "the", "email"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(remove_stopwords(&toks), vec!["collect", "email"]);
+    }
+
+    #[test]
+    fn no_duplicates_in_list() {
+        let set: HashSet<&str> = STOPWORDS.iter().copied().collect();
+        assert_eq!(set.len(), STOPWORDS.len(), "duplicate stopword in list");
+    }
+}

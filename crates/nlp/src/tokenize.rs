@@ -1,0 +1,251 @@
+//! Word and sentence tokenization.
+//!
+//! The sentence tokenizer plays the role NLTK's punkt tokenizer plays in
+//! the paper's privacy-policy pipeline (Section 6.2 step 1): policies are
+//! split into sentences, each of which is independently screened for
+//! data-collection content. Privacy policies are messy — they contain
+//! abbreviations ("e.g.", "Inc."), URLs, section numbers ("3.1"), and
+//! ellipses — so the splitter protects those constructs.
+
+/// Lowercased word tokens: maximal runs of alphanumeric characters, with
+/// intra-word apostrophes preserved ("don't" → "don't") and everything
+/// else treated as a separator.
+pub fn words(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let chars: Vec<char> = text.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        if c.is_alphanumeric() {
+            cur.extend(c.to_lowercase());
+        } else if c == '\''
+            && !cur.is_empty()
+            && chars.get(i + 1).is_some_and(|n| n.is_alphanumeric())
+        {
+            cur.push('\'');
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Abbreviations that end with a period but do not end a sentence.
+const ABBREVIATIONS: &[&str] = &[
+    "e.g", "i.e", "etc", "mr", "mrs", "ms", "dr", "prof", "inc", "ltd", "co", "corp", "vs", "no",
+    "st", "jr", "sr", "fig", "sec", "dept", "approx", "est", "u.s", "u.k",
+];
+
+/// Split text into sentences.
+///
+/// A sentence boundary is a `.`, `!`, or `?` that is
+/// * not part of a protected abbreviation,
+/// * not between two digits (decimals, section numbers),
+/// * not inside a URL-looking token (no whitespace since `http`/`www.`),
+///   and is followed by whitespace-then-capital/digit/quote or end of input.
+///
+/// Newlines (one or more) also terminate sentences, which handles policy
+/// documents that rely on layout instead of punctuation.
+pub fn sentences(text: &str) -> Vec<String> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut out = Vec::new();
+    let mut start = 0usize;
+
+    let flush = |out: &mut Vec<String>, start: usize, end: usize| {
+        let s: String = chars[start..end].iter().collect();
+        let trimmed = s.trim();
+        if !trimmed.is_empty() {
+            out.push(trimmed.to_string());
+        }
+    };
+
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            flush(&mut out, start, i);
+            start = i + 1;
+            i += 1;
+            continue;
+        }
+        if c == '!' || c == '?' {
+            flush(&mut out, start, i + 1);
+            start = i + 1;
+            i += 1;
+            continue;
+        }
+        if c == '.' {
+            if is_sentence_period(&chars, i) {
+                flush(&mut out, start, i + 1);
+                start = i + 1;
+            }
+            i += 1;
+            continue;
+        }
+        i += 1;
+    }
+    flush(&mut out, start, chars.len());
+    out
+}
+
+/// Decide whether the period at `chars[i]` terminates a sentence.
+fn is_sentence_period(chars: &[char], i: usize) -> bool {
+    // Between digits: "3.1", "95.5%".
+    let prev_digit = i > 0 && chars[i - 1].is_ascii_digit();
+    let next_digit = chars.get(i + 1).is_some_and(|c| c.is_ascii_digit());
+    if prev_digit && next_digit {
+        return false;
+    }
+
+    // Ellipsis "..." — only the last period can terminate.
+    if chars.get(i + 1) == Some(&'.') {
+        return false;
+    }
+
+    // Gather the word immediately before the period (letters and periods,
+    // so "e.g." is captured whole).
+    let mut j = i;
+    while j > 0 && (chars[j - 1].is_alphanumeric() || chars[j - 1] == '.') {
+        j -= 1;
+    }
+    let prev_word: String = chars[j..i].iter().collect::<String>().to_ascii_lowercase();
+
+    if ABBREVIATIONS.contains(&prev_word.as_str()) {
+        return false;
+    }
+
+    // Single capital letter: middle initial "John D. Smith".
+    if prev_word.len() == 1 && chars[i - 1].is_alphabetic() && chars[i - 1].is_uppercase() {
+        return false;
+    }
+
+    // URL heuristic: previous word contains "www" or a known scheme, or
+    // the next char is not whitespace/end (e.g. "openai.com/policies").
+    if prev_word.contains("www") || prev_word.contains("http") {
+        return false;
+    }
+    match chars.get(i + 1) {
+        None => true,
+        Some(c) if c.is_whitespace() => {
+            // Require the next visible character to look like a sentence
+            // start (capital, digit, or quote) to avoid splitting at
+            // stray periods mid-sentence.
+            let mut k = i + 1;
+            while k < chars.len() && chars[k].is_whitespace() {
+                k += 1;
+            }
+            match chars.get(k) {
+                None => true,
+                Some(c2) => c2.is_uppercase() || c2.is_ascii_digit() || matches!(c2, '"' | '\'' | '(' | '[' | '•' | '-'),
+            }
+        }
+        Some('"') | Some('\'') | Some(')') => true,
+        Some(_) => false, // "openai.com", "file.txt"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_basic() {
+        assert_eq!(words("Hello, World!"), vec!["hello", "world"]);
+    }
+
+    #[test]
+    fn words_keep_apostrophes() {
+        assert_eq!(words("don't stop"), vec!["don't", "stop"]);
+    }
+
+    #[test]
+    fn words_trailing_apostrophe_dropped() {
+        assert_eq!(words("users' data"), vec!["users", "data"]);
+    }
+
+    #[test]
+    fn words_numbers_kept() {
+        assert_eq!(words("GPT-4 collects 12 items"), vec!["gpt", "4", "collects", "12", "items"]);
+    }
+
+    #[test]
+    fn words_empty() {
+        assert!(words("").is_empty());
+        assert!(words("...!?").is_empty());
+    }
+
+    #[test]
+    fn sentences_basic_split() {
+        let s = sentences("We collect data. We share it with partners.");
+        assert_eq!(
+            s,
+            vec!["We collect data.", "We share it with partners."]
+        );
+    }
+
+    #[test]
+    fn sentences_protect_eg() {
+        let s = sentences("We collect identifiers, e.g. your email. We never sell them.");
+        assert_eq!(s.len(), 2);
+        assert!(s[0].contains("e.g. your email"));
+    }
+
+    #[test]
+    fn sentences_protect_decimals() {
+        let s = sentences("Section 3.1 describes retention. Data is kept 2.5 years.");
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn sentences_protect_urls() {
+        let s = sentences("Visit https://www.example.com/privacy for details. Thank you.");
+        assert_eq!(s.len(), 2);
+        assert!(s[0].contains("example.com/privacy"));
+    }
+
+    #[test]
+    fn sentences_split_on_newlines() {
+        let s = sentences("Privacy Policy\nWe collect your name\nWe store it securely");
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn sentences_exclamation_and_question() {
+        let s = sentences("Your data is never for sale! Do we track you? No.");
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn sentences_empty_input() {
+        assert!(sentences("").is_empty());
+        assert!(sentences("   \n  \n").is_empty());
+    }
+
+    #[test]
+    fn sentences_no_terminal_period() {
+        let s = sentences("We do not collect any personal data");
+        assert_eq!(s, vec!["We do not collect any personal data"]);
+    }
+
+    #[test]
+    fn sentences_middle_initial() {
+        let s = sentences("Contact John D. Smith for questions. He will respond.");
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn sentences_inc_abbreviation() {
+        let s = sentences("Operated by Example Inc. in the United States. See below.");
+        // "Inc." followed by lowercase "in" is protected.
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn sentences_ellipsis_kept_together() {
+        let s = sentences("We may share data... with our partners. End.");
+        assert_eq!(s.len(), 2);
+        assert!(s[0].contains("..."));
+    }
+}

@@ -1,0 +1,222 @@
+//! A TF-IDF vector space with cosine similarity.
+//!
+//! This is the retrieval backbone of the knowledge-base language model in
+//! `gptx-llm`: taxonomy entries and policy sentences are embedded as
+//! sparse TF-IDF vectors over the stemmed, stopword-filtered vocabulary,
+//! and semantic relatedness is approximated by cosine similarity.
+
+use std::collections::HashMap;
+
+/// A sparse vector keyed by term id.
+pub type SparseVec = HashMap<u32, f64>;
+
+/// Cosine similarity between two sparse vectors. Returns 0.0 when either
+/// vector is empty or has zero norm.
+pub fn cosine(a: &SparseVec, b: &SparseVec) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    // Iterate over the smaller map.
+    let (small, big) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let dot: f64 = small
+        .iter()
+        .filter_map(|(k, va)| big.get(k).map(|vb| va * vb))
+        .sum();
+    let na: f64 = a.values().map(|v| v * v).sum::<f64>().sqrt();
+    let nb: f64 = b.values().map(|v| v * v).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot / (na * nb)
+}
+
+/// Accumulates documents, then freezes into a [`TfIdf`] model.
+#[derive(Debug, Default)]
+pub struct TfIdfBuilder {
+    vocab: HashMap<String, u32>,
+    /// Per-term document frequency.
+    doc_freq: HashMap<u32, u32>,
+    docs: usize,
+}
+
+impl TfIdfBuilder {
+    pub fn new() -> TfIdfBuilder {
+        TfIdfBuilder::default()
+    }
+
+    /// Register a document (pre-analyzed tokens) in the corpus statistics.
+    pub fn add_document(&mut self, tokens: &[String]) {
+        self.docs += 1;
+        let mut seen = std::collections::HashSet::new();
+        for t in tokens {
+            let next_id = self.vocab.len() as u32;
+            let id = *self.vocab.entry(t.clone()).or_insert(next_id);
+            if seen.insert(id) {
+                *self.doc_freq.entry(id).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Convenience: analyze raw text with [`crate::analyze`] and add it.
+    pub fn add_text(&mut self, text: &str) {
+        let tokens = crate::analyze(text);
+        self.add_document(&tokens);
+    }
+
+    /// Freeze the corpus statistics into a scoring model.
+    pub fn build(self) -> TfIdf {
+        let docs = self.docs.max(1) as f64;
+        let idf = self
+            .doc_freq
+            .iter()
+            .map(|(&id, &df)| (id, ((1.0 + docs) / (1.0 + df as f64)).ln() + 1.0))
+            .collect();
+        TfIdf {
+            vocab: self.vocab,
+            idf,
+        }
+    }
+}
+
+/// A frozen TF-IDF model: embeds token streams into [`SparseVec`]s.
+///
+/// Uses smoothed IDF `ln((1 + N) / (1 + df)) + 1` and L2-normalized
+/// vectors (the scikit-learn convention), so cosine similarity of two
+/// embeddings is just their dot product.
+#[derive(Debug, Clone)]
+pub struct TfIdf {
+    vocab: HashMap<String, u32>,
+    idf: HashMap<u32, f64>,
+}
+
+impl TfIdf {
+    /// Vocabulary size.
+    pub fn vocab_len(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Look up a term id.
+    pub fn term_id(&self, term: &str) -> Option<u32> {
+        self.vocab.get(term).copied()
+    }
+
+    /// Embed pre-analyzed tokens. Out-of-vocabulary tokens are ignored
+    /// (they carry no corpus statistics). The result is L2-normalized.
+    pub fn embed(&self, tokens: &[String]) -> SparseVec {
+        let mut tf: HashMap<u32, f64> = HashMap::new();
+        for t in tokens {
+            if let Some(&id) = self.vocab.get(t) {
+                *tf.entry(id).or_insert(0.0) += 1.0;
+            }
+        }
+        for (id, v) in tf.iter_mut() {
+            *v *= self.idf.get(id).copied().unwrap_or(1.0);
+        }
+        let norm: f64 = tf.values().map(|v| v * v).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for v in tf.values_mut() {
+                *v /= norm;
+            }
+        }
+        tf
+    }
+
+    /// Analyze raw text and embed it.
+    pub fn embed_text(&self, text: &str) -> SparseVec {
+        self.embed(&crate::analyze(text))
+    }
+
+    /// Cosine similarity of two raw texts under this model.
+    pub fn similarity(&self, a: &str, b: &str) -> f64 {
+        cosine(&self.embed_text(a), &self.embed_text(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_model() -> TfIdf {
+        let mut b = TfIdfBuilder::new();
+        b.add_text("we collect your email address");
+        b.add_text("we collect your name and phone number");
+        b.add_text("we track your location and browsing history");
+        b.add_text("the weather is sunny today");
+        b.build()
+    }
+
+    #[test]
+    fn identical_texts_have_similarity_one() {
+        let m = toy_model();
+        let s = m.similarity("collect email address", "collect email address");
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn related_beats_unrelated() {
+        let m = toy_model();
+        let related = m.similarity("we collect your email", "email address of the user");
+        let unrelated = m.similarity("we collect your email", "sunny weather today");
+        assert!(
+            related > unrelated,
+            "related {related} should beat unrelated {unrelated}"
+        );
+    }
+
+    #[test]
+    fn empty_text_has_zero_similarity() {
+        let m = toy_model();
+        assert_eq!(m.similarity("", "email"), 0.0);
+    }
+
+    #[test]
+    fn oov_only_text_has_zero_similarity() {
+        let m = toy_model();
+        assert_eq!(m.similarity("zxqj flurble", "email address"), 0.0);
+    }
+
+    #[test]
+    fn embeddings_are_l2_normalized() {
+        let m = toy_model();
+        let v = m.embed_text("collect email address name");
+        let norm: f64 = v.values().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cosine_of_empty_is_zero() {
+        assert_eq!(cosine(&SparseVec::new(), &SparseVec::new()), 0.0);
+    }
+
+    #[test]
+    fn cosine_orthogonal() {
+        let a: SparseVec = [(0u32, 1.0)].into_iter().collect();
+        let b: SparseVec = [(1u32, 1.0)].into_iter().collect();
+        assert_eq!(cosine(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn cosine_symmetric() {
+        let a: SparseVec = [(0u32, 1.0), (1, 2.0)].into_iter().collect();
+        let b: SparseVec = [(1u32, 1.0), (2, 3.0)].into_iter().collect();
+        assert!((cosine(&a, &b) - cosine(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rare_terms_weigh_more_than_common() {
+        // "collect" appears in 2 docs, "weather" in 1; IDF(weather) > IDF(collect).
+        let m = toy_model();
+        let collect_id = m.term_id("collect").unwrap();
+        let weather_id = m.term_id("weather").unwrap();
+        assert!(m.idf[&weather_id] > m.idf[&collect_id]);
+    }
+
+    #[test]
+    fn vocab_grows_with_documents() {
+        let mut b = TfIdfBuilder::new();
+        b.add_text("alpha beta");
+        b.add_text("gamma delta epsilon");
+        let m = b.build();
+        assert_eq!(m.vocab_len(), 5);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests for the NLP substrate.
+
+use gptx_nlp::*;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn stemmer_never_grows_words(w in "[a-z]{1,20}") {
+        prop_assert!(porter_stem(&w).len() <= w.len() + 1,
+            "stem of {w:?} grew unexpectedly");
+    }
+
+    #[test]
+    fn stemmer_output_is_ascii_lowercase(w in "[a-zA-Z]{1,20}") {
+        let s = porter_stem(&w);
+        prop_assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+    }
+
+    #[test]
+    fn stemmer_total_no_panic(w in ".*") {
+        let _ = porter_stem(&w);
+    }
+
+    #[test]
+    fn words_are_lowercase_alnum(text in ".{0,200}") {
+        for w in words(&text) {
+            prop_assert!(!w.is_empty());
+            prop_assert!(w.chars().all(|c| c.is_alphanumeric() || c == '\''),
+                "bad token {w:?}");
+            // Lowercasing is idempotent on tokens (some chars, e.g.
+            // mathematical capitals, have no lowercase mapping at all).
+            prop_assert_eq!(w.to_lowercase(), w.clone());
+        }
+    }
+
+    #[test]
+    fn sentences_cover_all_content_words(text in "[a-zA-Z0-9 .!?\n]{0,300}") {
+        // Every word token of the input must appear in some sentence:
+        // tokenization must not lose content.
+        let all_words = words(&text);
+        let sentence_words: Vec<String> = sentences(&text)
+            .iter()
+            .flat_map(|s| words(s))
+            .collect();
+        prop_assert_eq!(all_words, sentence_words);
+    }
+
+    #[test]
+    fn sentences_are_trimmed_nonempty(text in ".{0,300}") {
+        for s in sentences(&text) {
+            prop_assert!(!s.trim().is_empty());
+            prop_assert_eq!(s.trim(), s.as_str());
+        }
+    }
+
+    #[test]
+    fn shingles_count_bounded_by_tokens(text in "[a-z ]{0,200}", n in 1usize..5) {
+        let tokens = words(&text);
+        let sh = word_shingles(&text, n);
+        prop_assert!(sh.len() <= tokens.len().max(1));
+    }
+
+    #[test]
+    fn tfidf_similarity_bounded(a in "[a-z ]{0,80}", b in "[a-z ]{0,80}") {
+        let mut builder = TfIdfBuilder::new();
+        builder.add_text(&a);
+        builder.add_text(&b);
+        builder.add_text("background corpus text for idf weights");
+        let m = builder.build();
+        let s = m.similarity(&a, &b);
+        prop_assert!((-1e-9..=1.0 + 1e-9).contains(&s));
+    }
+
+    #[test]
+    fn analyze_tokens_are_nonempty_lowercase(text in "[a-zA-Z ,.]{0,200}") {
+        // Stopword filtering happens before stemming, so stems may collide
+        // with stopwords ("hes" -> "he"). Porter stemming is also not
+        // strictly idempotent (step 5a can strip an "e" from a prior
+        // stem's output, e.g. "aaabee" -> "aaabe" -> "aaab"), so the
+        // invariants are only non-emptiness and case.
+        for t in analyze(&text) {
+            prop_assert!(!t.is_empty());
+            prop_assert!(t.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Framework-accuracy evaluation (the Section 6.2.1 pilot study).
+//!
+//! The paper manually checked 20 Actions / 84 data types and reports
+//! 85.7% accuracy, 89.2% recall, 96.4% precision "on average across all
+//! disclosure types", using one-vs-rest counting per label. We score the
+//! pipeline the same way against the generator's planted labels.
+
+use gptx_llm::DisclosureLabel;
+use gptx_taxonomy::DataType;
+use std::collections::BTreeMap;
+
+/// One-vs-rest confusion counts for a single label.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Confusion {
+    pub tp: usize,
+    pub tn: usize,
+    pub fp: usize,
+    pub fn_: usize,
+}
+
+impl Confusion {
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.tn + self.fp + self.fn_;
+        if total == 0 {
+            return 1.0;
+        }
+        (self.tp + self.tn) as f64 / total as f64
+    }
+
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            return 1.0;
+        }
+        self.tp as f64 / (self.tp + self.fp) as f64
+    }
+
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            return 1.0;
+        }
+        self.tp as f64 / (self.tp + self.fn_) as f64
+    }
+}
+
+/// The evaluation result: per-label confusions plus macro averages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracyReport {
+    pub per_label: BTreeMap<DisclosureLabel, Confusion>,
+    pub samples: usize,
+    /// Exact-match fraction (predicted label == gold label).
+    pub exact_match: f64,
+}
+
+impl AccuracyReport {
+    /// Macro-averaged accuracy over labels that appear in the gold set
+    /// (the paper's "on average across all disclosure types").
+    pub fn macro_accuracy(&self) -> f64 {
+        macro_avg(&self.per_label, Confusion::accuracy)
+    }
+
+    pub fn macro_precision(&self) -> f64 {
+        macro_avg(&self.per_label, Confusion::precision)
+    }
+
+    pub fn macro_recall(&self) -> f64 {
+        macro_avg(&self.per_label, Confusion::recall)
+    }
+}
+
+fn macro_avg(
+    per_label: &BTreeMap<DisclosureLabel, Confusion>,
+    f: impl Fn(&Confusion) -> f64,
+) -> f64 {
+    if per_label.is_empty() {
+        return 1.0;
+    }
+    per_label.values().map(f).sum::<f64>() / per_label.len() as f64
+}
+
+/// Score predictions against gold labels. Each element pairs a data type
+/// (for bookkeeping) with `(predicted, gold)`.
+pub fn evaluate(
+    pairs: &[(DataType, DisclosureLabel, DisclosureLabel)],
+) -> AccuracyReport {
+    let mut per_label: BTreeMap<DisclosureLabel, Confusion> = BTreeMap::new();
+    // Only labels present in gold or predictions participate.
+    let labels: std::collections::BTreeSet<DisclosureLabel> = pairs
+        .iter()
+        .flat_map(|(_, p, g)| [*p, *g])
+        .collect();
+    for label in labels {
+        let c = per_label.entry(label).or_default();
+        for (_, predicted, gold) in pairs {
+            match (*predicted == label, *gold == label) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, true) => c.fn_ += 1,
+                (false, false) => c.tn += 1,
+            }
+        }
+    }
+    let exact = pairs.iter().filter(|(_, p, g)| p == g).count();
+    AccuracyReport {
+        per_label,
+        samples: pairs.len(),
+        exact_match: if pairs.is_empty() {
+            1.0
+        } else {
+            exact as f64 / pairs.len() as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use DisclosureLabel::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let pairs = vec![
+            (DataType::EmailAddress, Clear, Clear),
+            (DataType::Name, Omitted, Omitted),
+            (DataType::Time, Vague, Vague),
+        ];
+        let r = evaluate(&pairs);
+        assert_eq!(r.exact_match, 1.0);
+        assert_eq!(r.macro_accuracy(), 1.0);
+        assert_eq!(r.macro_precision(), 1.0);
+        assert_eq!(r.macro_recall(), 1.0);
+    }
+
+    #[test]
+    fn one_error_counted_against_both_labels() {
+        let pairs = vec![
+            (DataType::EmailAddress, Clear, Clear),
+            (DataType::Name, Clear, Omitted), // false positive for Clear
+        ];
+        let r = evaluate(&pairs);
+        assert_eq!(r.exact_match, 0.5);
+        let clear = r.per_label[&Clear];
+        assert_eq!(clear.tp, 1);
+        assert_eq!(clear.fp, 1);
+        let omitted = r.per_label[&Omitted];
+        assert_eq!(omitted.fn_, 1);
+        assert!(r.macro_precision() < 1.0);
+    }
+
+    #[test]
+    fn confusion_metrics() {
+        let c = Confusion {
+            tp: 8,
+            tn: 80,
+            fp: 2,
+            fn_: 10,
+        };
+        assert!((c.accuracy() - 0.88).abs() < 1e-12);
+        assert!((c.precision() - 0.8).abs() < 1e-12);
+        assert!((c.recall() - 8.0 / 18.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_evaluation_is_vacuous() {
+        let r = evaluate(&[]);
+        assert_eq!(r.exact_match, 1.0);
+        assert_eq!(r.samples, 0);
+        assert_eq!(r.macro_accuracy(), 1.0);
+    }
+
+    #[test]
+    fn degenerate_confusions_do_not_divide_by_zero() {
+        let c = Confusion::default();
+        assert_eq!(c.accuracy(), 1.0);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+    }
+}

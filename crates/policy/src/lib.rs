@@ -1,0 +1,36 @@
+//! # gptx-policy
+//!
+//! The privacy-policy analysis framework of Section 6:
+//!
+//! * [`corpus`] — availability, duplicate, and near-duplicate statistics
+//!   over the crawled policy corpus (Tables 9–10);
+//! * [`pipeline`] — the three-step LLM disclosure-consistency pipeline
+//!   (sentence screening → indexed context → per-item judgement with
+//!   label precedence), plus the whole-policy baseline it is ablated
+//!   against;
+//! * [`results`] — corpus-level aggregation: the Figure 6 heatmap, the
+//!   Figure 7 per-Action label fractions, the Figure 8 consistency trend
+//!   (Spearman ρ and polynomial fit), and Table 12's fully-consistent
+//!   Actions;
+//! * [`accuracy`] — the Section 6.2.1 pilot-study evaluation (one-vs-rest
+//!   accuracy/precision/recall per disclosure label against gold labels).
+
+pub mod accuracy;
+pub mod corpus;
+pub mod pipeline;
+pub mod remediate;
+pub mod results;
+
+pub use accuracy::{evaluate, AccuracyReport, Confusion};
+pub use corpus::{
+    classify_duplicate_content, corpus_stats, duplicate_content_breakdown, CorpusStats,
+    DupContent,
+};
+pub use pipeline::{
+    ActionDisclosureReport, ContextStrategy, ItemDisclosure, PipelineError, PolicyAnalyzer,
+};
+pub use remediate::{apply_plan, draft_policy, remediation_plan, RemediationItem, RemediationPlan};
+pub use results::{
+    consistency_trend, disclosure_heatmap, fully_consistent_fraction, per_action_fractions,
+    top_consistent_actions, ActionLabelFractions, ConsistencyTrend, ConsistentAction,
+};

@@ -1,0 +1,344 @@
+//! The three-step LLM disclosure-consistency pipeline of Section 6.2.
+//!
+//! "Considering that LLMs are not always reliable and that their
+//! performance degrades with large context, we do not simply pass the
+//! large and complicated privacy policies to an LLM…" — instead:
+//!
+//! 1. sentence-tokenize the policy and screen each sentence for
+//!    data-collection content;
+//! 2. build the model's context from the (indexed) collection
+//!    statements;
+//! 3. pass data items one-by-one, receiving `(sentence index, label)`
+//!    tuples, and reduce each item's labels with the precedence rule
+//!    (clear > vague > ambiguous > incorrect > omitted).
+//!
+//! A `naive` mode skips step 1 and judges against every sentence of the
+//! policy at once — the whole-policy baseline for the
+//! `ablate_context_strategy` benchmark.
+
+use gptx_llm::{
+    DisclosureJudgement, DisclosureLabel, JudgementRequest, LanguageModel, LlmError,
+    ScreeningRequest,
+};
+use gptx_taxonomy::DataType;
+use serde::{Deserialize, Serialize};
+
+/// How the judgement context is constructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContextStrategy {
+    /// The paper's pipeline: screen sentences first (small context).
+    ScreenedSentences,
+    /// Whole-policy baseline: judge against all sentences (large
+    /// context; degrades noisy models and can overflow windows).
+    WholePolicy,
+}
+
+/// The final assessment of one collected data item.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ItemDisclosure {
+    /// The data item description from the Action spec.
+    pub item: String,
+    pub data_type: DataType,
+    /// The reduced (most precise) label.
+    pub label: DisclosureLabel,
+    /// The raw per-sentence judgements behind it.
+    pub judgements: Vec<DisclosureJudgement>,
+}
+
+/// The per-Action disclosure report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActionDisclosureReport {
+    pub action_identity: String,
+    /// Indexed data-collection sentences the judgements refer to.
+    pub collection_sentences: Vec<String>,
+    pub items: Vec<ItemDisclosure>,
+}
+
+impl ActionDisclosureReport {
+    /// Reduce per-item labels to one label per *data type* (an Action may
+    /// collect several items of the same type; the type's label is the
+    /// most precise across them — the unit of Figure 6).
+    pub fn per_type_labels(&self) -> Vec<(DataType, DisclosureLabel)> {
+        let mut by_type: std::collections::BTreeMap<DataType, Vec<DisclosureLabel>> =
+            std::collections::BTreeMap::new();
+        for item in &self.items {
+            by_type.entry(item.data_type).or_default().push(item.label);
+        }
+        by_type
+            .into_iter()
+            .map(|(d, labels)| (d, DisclosureLabel::most_precise(&labels)))
+            .collect()
+    }
+
+    /// Fraction of data types with consistent (clear or vague)
+    /// disclosures — the x-axis of Figure 8.
+    pub fn consistent_fraction(&self) -> f64 {
+        let labels = self.per_type_labels();
+        if labels.is_empty() {
+            return 1.0;
+        }
+        labels.iter().filter(|(_, l)| l.is_consistent()).count() as f64 / labels.len() as f64
+    }
+
+    /// Count of clearly disclosed types (Table 12's "Clear" column).
+    pub fn clear_count(&self) -> usize {
+        self.per_type_labels()
+            .iter()
+            .filter(|(_, l)| *l == DisclosureLabel::Clear)
+            .count()
+    }
+}
+
+/// Errors from the pipeline.
+#[derive(Debug)]
+pub enum PipelineError {
+    Llm(LlmError),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Llm(e) => write!(f, "language model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// The analyzer, generic over the language model.
+pub struct PolicyAnalyzer<'m, M: LanguageModel> {
+    model: &'m M,
+    strategy: ContextStrategy,
+    max_retries: usize,
+}
+
+impl<'m, M: LanguageModel> PolicyAnalyzer<'m, M> {
+    /// The paper's pipeline (screened sentences, 2 retries).
+    pub fn new(model: &'m M) -> PolicyAnalyzer<'m, M> {
+        PolicyAnalyzer {
+            model,
+            strategy: ContextStrategy::ScreenedSentences,
+            max_retries: 2,
+        }
+    }
+
+    /// Select the context strategy (ablation knob).
+    pub fn with_strategy(mut self, strategy: ContextStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Step 1: extract data-collection sentences from a policy.
+    pub fn extract_collection_sentences(
+        &self,
+        policy_text: &str,
+    ) -> Result<Vec<String>, PipelineError> {
+        let sentences = gptx_nlp::sentences(policy_text);
+        match self.strategy {
+            ContextStrategy::WholePolicy => Ok(sentences),
+            ContextStrategy::ScreenedSentences => {
+                let mut kept = Vec::new();
+                for sentence in sentences {
+                    let prompt = ScreeningRequest { sentence: &sentence }.to_prompt();
+                    let keep = self
+                        .complete_with_retries(&prompt, ScreeningRequest::parse)?
+                        .unwrap_or(false);
+                    if keep {
+                        kept.push(sentence);
+                    }
+                }
+                Ok(kept)
+            }
+        }
+    }
+
+    /// Steps 2–3: judge every data item against the collection
+    /// sentences.
+    pub fn analyze_action(
+        &self,
+        action_identity: &str,
+        policy_text: &str,
+        data_items: &[(String, DataType)],
+    ) -> Result<ActionDisclosureReport, PipelineError> {
+        let collection_sentences = self.extract_collection_sentences(policy_text)?;
+        let mut items = Vec::with_capacity(data_items.len());
+        for (item, data_type) in data_items {
+            let prompt = JudgementRequest {
+                data_item: item,
+                data_type: Some(*data_type),
+                sentences: &collection_sentences,
+            }
+            .to_prompt();
+            let judgements = self
+                .complete_with_retries(&prompt, JudgementRequest::parse)?
+                .unwrap_or_default();
+            let labels: Vec<DisclosureLabel> = judgements.iter().map(|j| j.label).collect();
+            items.push(ItemDisclosure {
+                item: item.clone(),
+                data_type: *data_type,
+                label: DisclosureLabel::most_precise(&labels),
+                judgements,
+            });
+        }
+        Ok(ActionDisclosureReport {
+            action_identity: action_identity.to_string(),
+            collection_sentences,
+            items,
+        })
+    }
+
+    /// Complete + parse with retries on malformed output. Returns
+    /// `Ok(None)` when retries are exhausted on malformed responses
+    /// (the item is then treated conservatively), and `Err` only for
+    /// context overflow (a structural failure the caller must see).
+    fn complete_with_retries<T>(
+        &self,
+        prompt: &str,
+        parse: impl Fn(&str) -> Result<T, LlmError>,
+    ) -> Result<Option<T>, PipelineError> {
+        for _ in 0..=self.max_retries {
+            match self.model.complete(prompt) {
+                Ok(text) => match parse(&text) {
+                    Ok(v) => return Ok(Some(v)),
+                    Err(_) => continue,
+                },
+                Err(e @ LlmError::ContextOverflow { .. }) => {
+                    return Err(PipelineError::Llm(e));
+                }
+                Err(_) => continue,
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gptx_llm::KbModel;
+    use gptx_taxonomy::KnowledgeBase;
+
+    fn model() -> KbModel {
+        KbModel::new(KnowledgeBase::full())
+    }
+
+    const POLICY: &str = "Privacy Policy for TestService.\n\
+        This policy was last updated in March 2024.\n\
+        We collect your email address when you register.\n\
+        We do not collect your phone number.\n\
+        We retain information only as long as necessary.\n\
+        Contact our team with any questions.";
+
+    fn items() -> Vec<(String, DataType)> {
+        vec![
+            ("Email address of the user".to_string(), DataType::EmailAddress),
+            ("The phone number of the user".to_string(), DataType::PhoneNumber),
+            ("The city for the lookup".to_string(), DataType::ApproximateLocation),
+        ]
+    }
+
+    #[test]
+    fn screening_drops_boilerplate() {
+        let m = model();
+        let analyzer = PolicyAnalyzer::new(&m);
+        let kept = analyzer.extract_collection_sentences(POLICY).unwrap();
+        assert!(kept.iter().any(|s| s.contains("email address")));
+        assert!(!kept.iter().any(|s| s.contains("last updated")));
+        assert!(!kept.iter().any(|s| s.contains("Contact our team")));
+    }
+
+    #[test]
+    fn labels_match_planted_policy() {
+        let m = model();
+        let analyzer = PolicyAnalyzer::new(&m);
+        let report = analyzer.analyze_action("Test@t.dev", POLICY, &items()).unwrap();
+        let by_type: std::collections::BTreeMap<DataType, DisclosureLabel> =
+            report.per_type_labels().into_iter().collect();
+        assert_eq!(by_type[&DataType::EmailAddress], DisclosureLabel::Clear);
+        assert_eq!(by_type[&DataType::PhoneNumber], DisclosureLabel::Incorrect);
+        assert_eq!(by_type[&DataType::ApproximateLocation], DisclosureLabel::Omitted);
+    }
+
+    #[test]
+    fn consistent_fraction_counts_clear_and_vague() {
+        let m = model();
+        let analyzer = PolicyAnalyzer::new(&m);
+        let report = analyzer.analyze_action("Test@t.dev", POLICY, &items()).unwrap();
+        // 1 of 3 types (email) is consistent.
+        assert!((report.consistent_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(report.clear_count(), 1);
+    }
+
+    #[test]
+    fn empty_policy_omits_everything() {
+        let m = model();
+        let analyzer = PolicyAnalyzer::new(&m);
+        let report = analyzer.analyze_action("Test@t.dev", "", &items()).unwrap();
+        assert!(report
+            .per_type_labels()
+            .iter()
+            .all(|(_, l)| *l == DisclosureLabel::Omitted));
+        assert!(report.collection_sentences.is_empty());
+    }
+
+    #[test]
+    fn whole_policy_strategy_keeps_all_sentences() {
+        let m = model();
+        let analyzer = PolicyAnalyzer::new(&m).with_strategy(ContextStrategy::WholePolicy);
+        let kept = analyzer.extract_collection_sentences(POLICY).unwrap();
+        assert_eq!(kept.len(), gptx_nlp::sentences(POLICY).len());
+    }
+
+    #[test]
+    fn strategies_agree_on_a_clean_oracle() {
+        // With a deterministic (noise-free) model, screening only removes
+        // irrelevant sentences, so final labels agree.
+        let m = model();
+        let screened = PolicyAnalyzer::new(&m)
+            .analyze_action("T@t.dev", POLICY, &items())
+            .unwrap();
+        let whole = PolicyAnalyzer::new(&m)
+            .with_strategy(ContextStrategy::WholePolicy)
+            .analyze_action("T@t.dev", POLICY, &items())
+            .unwrap();
+        assert_eq!(screened.per_type_labels(), whole.per_type_labels());
+    }
+
+    #[test]
+    fn per_type_reduction_takes_most_precise() {
+        // Two items of the same type with different labels.
+        let report = ActionDisclosureReport {
+            action_identity: "x".into(),
+            collection_sentences: vec![],
+            items: vec![
+                ItemDisclosure {
+                    item: "email one".into(),
+                    data_type: DataType::EmailAddress,
+                    label: DisclosureLabel::Omitted,
+                    judgements: vec![],
+                },
+                ItemDisclosure {
+                    item: "email two".into(),
+                    data_type: DataType::EmailAddress,
+                    label: DisclosureLabel::Clear,
+                    judgements: vec![],
+                },
+            ],
+        };
+        assert_eq!(
+            report.per_type_labels(),
+            vec![(DataType::EmailAddress, DisclosureLabel::Clear)]
+        );
+    }
+
+    #[test]
+    fn ambiguous_policy_detected() {
+        let m = model();
+        let analyzer = PolicyAnalyzer::new(&m);
+        let policy = "We do not actively collect and store any personal data from users \
+                      but we use your personal data to provide and improve the Service.";
+        let items = vec![("Shopping category data".to_string(), DataType::OtherInfo)];
+        let report = analyzer.analyze_action("T@t.dev", policy, &items).unwrap();
+        assert_eq!(report.items[0].label, DisclosureLabel::Ambiguous);
+    }
+}

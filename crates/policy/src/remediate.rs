@@ -1,0 +1,217 @@
+//! Policy remediation — the paper's §7 proposal, implemented.
+//!
+//! "The same LLM could also assist the GPTs in drafting their privacy
+//! policies to accurately represent their data collection practices.
+//! Furthermore, LLMs could be used to … provide recommendations to
+//! developers to improve disclosures in their privacy policies."
+//!
+//! Given an Action's disclosure report, [`remediation_plan`] lists every
+//! collected data type whose disclosure is inconsistent and proposes the
+//! sentence that would fix it; [`draft_policy`] writes a complete policy
+//! from scratch whose disclosure of every collected type is *clear* —
+//! verified by round-tripping the draft through the analysis pipeline
+//! (see the tests).
+
+use crate::pipeline::ActionDisclosureReport;
+use gptx_llm::DisclosureLabel;
+use gptx_taxonomy::DataType;
+use serde::{Deserialize, Serialize};
+
+/// One fix the developer should make.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RemediationItem {
+    pub data_type: DataType,
+    /// The label the pipeline assigned.
+    pub current: DisclosureLabel,
+    /// The sentence to add (or to replace a contradicting statement
+    /// with).
+    pub suggested_sentence: String,
+}
+
+/// The remediation plan for one Action's policy.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RemediationPlan {
+    pub action_identity: String,
+    /// Types already clearly or vaguely disclosed (no action needed —
+    /// though vague ones get an upgrade suggestion).
+    pub consistent: Vec<DataType>,
+    /// Types needing new or corrected disclosures.
+    pub fixes: Vec<RemediationItem>,
+}
+
+impl RemediationPlan {
+    /// Is the policy already fully consistent?
+    pub fn is_clean(&self) -> bool {
+        self.fixes.is_empty()
+    }
+}
+
+/// The canonical disclosure sentence for a data type: its primary
+/// lexicon phrase under an explicit collection verb — exactly what the
+/// pipeline's *clear* label requires.
+pub fn disclosure_sentence(data_type: DataType) -> String {
+    let phrase = data_type.lexicon().first().copied().unwrap_or(data_type.label());
+    format!("We collect your {phrase} to provide this service.")
+}
+
+/// Build the remediation plan from an analysis report.
+pub fn remediation_plan(report: &ActionDisclosureReport) -> RemediationPlan {
+    let mut consistent = Vec::new();
+    let mut fixes = Vec::new();
+    for (data_type, label) in report.per_type_labels() {
+        if label.is_consistent() {
+            consistent.push(data_type);
+        } else {
+            fixes.push(RemediationItem {
+                data_type,
+                current: label,
+                suggested_sentence: disclosure_sentence(data_type),
+            });
+        }
+    }
+    RemediationPlan {
+        action_identity: report.action_identity.clone(),
+        consistent,
+        fixes,
+    }
+}
+
+/// Draft a complete privacy policy that clearly discloses every
+/// collected type.
+pub fn draft_policy(action_name: &str, collected: &[DataType]) -> String {
+    let mut types: Vec<DataType> = collected.to_vec();
+    types.sort();
+    types.dedup();
+    let mut out = format!(
+        "Privacy Policy — {action_name}.\n\
+         This policy describes exactly what {action_name} collects when you use it \
+         through a GPT, and why.\n"
+    );
+    for data_type in types {
+        out.push_str(&disclosure_sentence(data_type));
+        out.push('\n');
+    }
+    out.push_str(
+        "We collect nothing beyond the items listed above. \
+         Collected items are retained only as long as needed to answer your request, \
+         and are never sold. \
+         You may request deletion of anything we hold at any time.\n",
+    );
+    out
+}
+
+/// Apply a remediation plan to an existing policy: append the suggested
+/// sentences (a real deployment would also remove contradicted denials;
+/// appending suffices because the pipeline's precedence rule lets clear
+/// statements win).
+pub fn apply_plan(policy_text: &str, plan: &RemediationPlan) -> String {
+    if plan.is_clean() {
+        return policy_text.to_string();
+    }
+    let mut out = policy_text.trim_end().to_string();
+    out.push_str("\n\nData collection addendum.\n");
+    for fix in &plan.fixes {
+        out.push_str(&fix.suggested_sentence);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PolicyAnalyzer;
+    use gptx_llm::KbModel;
+    use gptx_taxonomy::KnowledgeBase;
+
+    fn model() -> KbModel {
+        KbModel::new(KnowledgeBase::full())
+    }
+
+    fn items(types: &[DataType]) -> Vec<(String, DataType)> {
+        types
+            .iter()
+            .map(|&d| (d.description().to_string(), d))
+            .collect()
+    }
+
+    #[test]
+    fn drafted_policy_is_fully_clear() {
+        // The §7 round trip: draft → analyze → every type clear.
+        let types = [
+            DataType::EmailAddress,
+            DataType::Name,
+            DataType::ApproximateLocation,
+            DataType::WebsiteVisits,
+            DataType::InAppSearchHistory,
+            DataType::Passwords,
+        ];
+        let policy = draft_policy("RoundTrip", &types);
+        let m = model();
+        let analyzer = PolicyAnalyzer::new(&m);
+        let report = analyzer
+            .analyze_action("RoundTrip@rt.dev", &policy, &items(&types))
+            .unwrap();
+        for (data_type, label) in report.per_type_labels() {
+            assert_eq!(
+                label,
+                DisclosureLabel::Clear,
+                "{data_type:?} not clear in drafted policy:\n{policy}"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_identifies_omissions() {
+        let m = model();
+        let analyzer = PolicyAnalyzer::new(&m);
+        let policy = "We collect your email address.";
+        let types = [DataType::EmailAddress, DataType::PhoneNumber];
+        let report = analyzer
+            .analyze_action("T@t.dev", policy, &items(&types))
+            .unwrap();
+        let plan = remediation_plan(&report);
+        assert_eq!(plan.consistent, vec![DataType::EmailAddress]);
+        assert_eq!(plan.fixes.len(), 1);
+        assert_eq!(plan.fixes[0].data_type, DataType::PhoneNumber);
+        assert!(!plan.is_clean());
+    }
+
+    #[test]
+    fn applying_plan_fixes_the_policy() {
+        let m = model();
+        let analyzer = PolicyAnalyzer::new(&m);
+        let policy = "We collect your email address.";
+        let types = [
+            DataType::EmailAddress,
+            DataType::PhoneNumber,
+            DataType::PreciseLocation,
+        ];
+        let report = analyzer
+            .analyze_action("T@t.dev", policy, &items(&types))
+            .unwrap();
+        let plan = remediation_plan(&report);
+        let fixed = apply_plan(policy, &plan);
+        let re_report = analyzer
+            .analyze_action("T@t.dev", &fixed, &items(&types))
+            .unwrap();
+        let re_plan = remediation_plan(&re_report);
+        assert!(re_plan.is_clean(), "remediation did not converge:\n{fixed}");
+    }
+
+    #[test]
+    fn clean_plan_leaves_policy_untouched() {
+        let plan = RemediationPlan {
+            action_identity: "x".into(),
+            consistent: vec![DataType::Name],
+            fixes: vec![],
+        };
+        assert_eq!(apply_plan("original", &plan), "original");
+    }
+
+    #[test]
+    fn draft_dedupes_types() {
+        let policy = draft_policy("X", &[DataType::Name, DataType::Name]);
+        assert_eq!(policy.matches("We collect your name").count(), 1);
+    }
+}

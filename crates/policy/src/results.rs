@@ -1,0 +1,267 @@
+//! Corpus-level disclosure results: Figure 6 (heatmap), Figure 7 (CDF),
+//! Figure 8 (consistency vs. collection breadth), and Table 12.
+
+use crate::pipeline::ActionDisclosureReport;
+use gptx_llm::DisclosureLabel;
+use gptx_stats::{polyfit, spearman, Polynomial};
+use gptx_taxonomy::DataType;
+use std::collections::BTreeMap;
+
+/// Figure 6: per data type, the percentage of Actions (that collect the
+/// type) whose disclosure got each label.
+pub fn disclosure_heatmap(
+    reports: &[ActionDisclosureReport],
+) -> BTreeMap<DataType, BTreeMap<DisclosureLabel, f64>> {
+    let mut counts: BTreeMap<DataType, BTreeMap<DisclosureLabel, usize>> = BTreeMap::new();
+    for report in reports {
+        for (data_type, label) in report.per_type_labels() {
+            *counts
+                .entry(data_type)
+                .or_default()
+                .entry(label)
+                .or_insert(0) += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .map(|(d, by_label)| {
+            let total: usize = by_label.values().sum();
+            let pct = by_label
+                .into_iter()
+                .map(|(l, c)| (l, c as f64 / total.max(1) as f64 * 100.0))
+                .collect();
+            (d, pct)
+        })
+        .collect()
+}
+
+/// One Action's label-fraction vector (Figure 7's per-Action series).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActionLabelFractions {
+    pub identity: String,
+    pub types: usize,
+    pub fractions: BTreeMap<DisclosureLabel, f64>,
+}
+
+/// Per-Action label fractions over its collected types.
+pub fn per_action_fractions(reports: &[ActionDisclosureReport]) -> Vec<ActionLabelFractions> {
+    reports
+        .iter()
+        .map(|report| {
+            let labels = report.per_type_labels();
+            let n = labels.len().max(1) as f64;
+            let mut fractions: BTreeMap<DisclosureLabel, f64> = DisclosureLabel::PRECEDENCE
+                .iter()
+                .map(|&l| (l, 0.0))
+                .collect();
+            for (_, l) in &labels {
+                *fractions.get_mut(l).expect("all labels present") += 1.0 / n;
+            }
+            ActionLabelFractions {
+                identity: report.action_identity.clone(),
+                types: labels.len(),
+                fractions,
+            }
+        })
+        .collect()
+}
+
+/// Figure 8's analysis: consistency fraction vs. number of collected
+/// types, with the Spearman correlation and a fitted trend polynomial.
+#[derive(Debug, Clone)]
+pub struct ConsistencyTrend {
+    /// `(collected types, consistent fraction)` per Action.
+    pub points: Vec<(f64, f64)>,
+    /// Spearman ρ (paper: 0.13 — weak).
+    pub spearman_rho: Option<f64>,
+    /// Degree-2 least-squares trend (the paper fits with numpy.polyfit).
+    pub trend: Option<Polynomial>,
+}
+
+/// Compute the Figure 8 trend over all Actions that collect anything.
+pub fn consistency_trend(reports: &[ActionDisclosureReport]) -> ConsistencyTrend {
+    let points: Vec<(f64, f64)> = reports
+        .iter()
+        .filter(|r| !r.items.is_empty())
+        .map(|r| (r.per_type_labels().len() as f64, r.consistent_fraction()))
+        .collect();
+    let xs: Vec<f64> = points.iter().map(|p| p.0).collect();
+    let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
+    ConsistencyTrend {
+        spearman_rho: spearman(&xs, &ys),
+        trend: polyfit(&xs, &ys, 2).ok(),
+        points,
+    }
+}
+
+/// Fraction of Actions whose data collection is fully consistent with
+/// their disclosures (every collected type clear or vague; paper: 5.8%).
+pub fn fully_consistent_fraction(reports: &[ActionDisclosureReport]) -> f64 {
+    let with_items: Vec<&ActionDisclosureReport> =
+        reports.iter().filter(|r| !r.items.is_empty()).collect();
+    if with_items.is_empty() {
+        return 0.0;
+    }
+    let consistent = with_items
+        .iter()
+        .filter(|r| {
+            r.per_type_labels()
+                .iter()
+                .all(|(_, l)| l.is_consistent())
+        })
+        .count();
+    consistent as f64 / with_items.len() as f64
+}
+
+/// One Table 12 row: a fully-consistent Action collecting at least
+/// `min_types` data types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConsistentAction {
+    pub identity: String,
+    pub clear: usize,
+    pub vague: usize,
+    pub total: usize,
+}
+
+/// Table 12: fully-consistent Actions with at least `min_types` collected
+/// types, sorted by total descending.
+pub fn top_consistent_actions(
+    reports: &[ActionDisclosureReport],
+    min_types: usize,
+) -> Vec<ConsistentAction> {
+    let mut out: Vec<ConsistentAction> = reports
+        .iter()
+        .filter_map(|r| {
+            let labels = r.per_type_labels();
+            if labels.len() < min_types || labels.is_empty() {
+                return None;
+            }
+            if !labels.iter().all(|(_, l)| l.is_consistent()) {
+                return None;
+            }
+            let clear = labels
+                .iter()
+                .filter(|(_, l)| *l == DisclosureLabel::Clear)
+                .count();
+            Some(ConsistentAction {
+                identity: r.action_identity.clone(),
+                clear,
+                vague: labels.len() - clear,
+                total: labels.len(),
+            })
+        })
+        .collect();
+    out.sort_by(|a, b| b.total.cmp(&a.total).then_with(|| a.identity.cmp(&b.identity)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::ItemDisclosure;
+    use DisclosureLabel::*;
+
+    fn report(identity: &str, labels: &[(DataType, DisclosureLabel)]) -> ActionDisclosureReport {
+        ActionDisclosureReport {
+            action_identity: identity.into(),
+            collection_sentences: vec![],
+            items: labels
+                .iter()
+                .map(|&(d, l)| ItemDisclosure {
+                    item: format!("{d:?}"),
+                    data_type: d,
+                    label: l,
+                    judgements: vec![],
+                })
+                .collect(),
+        }
+    }
+
+    fn sample() -> Vec<ActionDisclosureReport> {
+        vec![
+            report("a@a.dev", &[(DataType::EmailAddress, Clear), (DataType::Name, Vague)]),
+            report("b@b.dev", &[(DataType::EmailAddress, Omitted), (DataType::Time, Omitted)]),
+            report(
+                "c@c.dev",
+                &[
+                    (DataType::EmailAddress, Clear),
+                    (DataType::Time, Omitted),
+                    (DataType::Name, Incorrect),
+                ],
+            ),
+        ]
+    }
+
+    #[test]
+    fn heatmap_percentages() {
+        let h = disclosure_heatmap(&sample());
+        let email = &h[&DataType::EmailAddress];
+        // 3 actions collect email: 2 clear, 1 omitted.
+        assert!((email[&Clear] - 66.666).abs() < 0.1);
+        assert!((email[&Omitted] - 33.333).abs() < 0.1);
+    }
+
+    #[test]
+    fn per_action_fractions_sum_to_one() {
+        for f in per_action_fractions(&sample()) {
+            let sum: f64 = f.fractions.values().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{}: {sum}", f.identity);
+        }
+    }
+
+    #[test]
+    fn fully_consistent_counts_only_all_consistent() {
+        // a is fully consistent (clear+vague); b and c are not.
+        assert!((fully_consistent_fraction(&sample()) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table12_threshold() {
+        let rows = top_consistent_actions(&sample(), 2);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].identity, "a@a.dev");
+        assert_eq!(rows[0].clear, 1);
+        assert_eq!(rows[0].vague, 1);
+        let none = top_consistent_actions(&sample(), 3);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn trend_handles_small_corpus() {
+        let t = consistency_trend(&sample());
+        assert_eq!(t.points.len(), 3);
+        if let Some(rho) = t.spearman_rho {
+            assert!((-1.0..=1.0).contains(&rho));
+        }
+    }
+
+    #[test]
+    fn trend_detects_negative_relationship() {
+        // Construct: more types → lower consistency, strictly.
+        let types = [
+            DataType::EmailAddress,
+            DataType::Name,
+            DataType::Time,
+            DataType::Address,
+            DataType::PhoneNumber,
+            DataType::Languages,
+        ];
+        let mut reports = Vec::new();
+        for n in 1..=6usize {
+            let labels: Vec<(DataType, DisclosureLabel)> = (0..n)
+                .map(|i| (types[i], if i == 0 { Clear } else { Omitted }))
+                .collect();
+            reports.push(report(&format!("r{n}@x.dev"), &labels));
+        }
+        let t = consistency_trend(&reports);
+        assert!(t.spearman_rho.unwrap() < -0.9);
+    }
+
+    #[test]
+    fn empty_reports_are_safe() {
+        assert_eq!(fully_consistent_fraction(&[]), 0.0);
+        let t = consistency_trend(&[]);
+        assert!(t.points.is_empty());
+        assert!(t.spearman_rho.is_none());
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the policy-analysis substrate.
+
+use gptx_llm::DisclosureLabel;
+use gptx_policy::{corpus_stats, evaluate, fully_consistent_fraction};
+use gptx_policy::{ActionDisclosureReport, ItemDisclosure};
+use gptx_taxonomy::DataType;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn label_strategy() -> impl Strategy<Value = DisclosureLabel> {
+    prop::sample::select(DisclosureLabel::PRECEDENCE.to_vec())
+}
+
+fn datatype_strategy() -> impl Strategy<Value = DataType> {
+    prop::sample::select(DataType::ALL.to_vec())
+}
+
+fn report_strategy() -> impl Strategy<Value = ActionDisclosureReport> {
+    (
+        "[a-z]{3,8}",
+        prop::collection::vec((datatype_strategy(), label_strategy()), 0..8),
+    )
+        .prop_map(|(name, items)| ActionDisclosureReport {
+            action_identity: format!("{name}@{name}.dev"),
+            collection_sentences: vec![],
+            items: items
+                .into_iter()
+                .map(|(data_type, label)| ItemDisclosure {
+                    item: format!("{data_type:?}"),
+                    data_type,
+                    label,
+                    judgements: vec![],
+                })
+                .collect(),
+        })
+}
+
+proptest! {
+    #[test]
+    fn per_type_labels_dedupe_types(report in report_strategy()) {
+        let labels = report.per_type_labels();
+        let mut types: Vec<DataType> = labels.iter().map(|(d, _)| *d).collect();
+        let before = types.len();
+        types.dedup();
+        prop_assert_eq!(before, types.len(), "duplicate type rows");
+        // Every labeled type was collected.
+        for (d, _) in &labels {
+            prop_assert!(report.items.iter().any(|i| i.data_type == *d));
+        }
+    }
+
+    #[test]
+    fn consistent_fraction_bounded(report in report_strategy()) {
+        let f = report.consistent_fraction();
+        prop_assert!((0.0..=1.0).contains(&f));
+        prop_assert!(report.clear_count() <= report.per_type_labels().len());
+    }
+
+    #[test]
+    fn fully_consistent_fraction_bounded(reports in prop::collection::vec(report_strategy(), 0..12)) {
+        let f = fully_consistent_fraction(&reports);
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+
+    #[test]
+    fn corpus_stats_fractions_bounded(
+        bodies in prop::collection::vec(prop::option::of("[a-z ]{0,300}"), 0..20)
+    ) {
+        let corpus: BTreeMap<String, Option<String>> = bodies
+            .into_iter()
+            .enumerate()
+            .map(|(i, b)| (format!("a{i}"), b))
+            .collect();
+        let stats = corpus_stats(&corpus, 0.95);
+        for value in [
+            stats.crawled_fraction,
+            stats.duplicate_fraction,
+            stats.near_duplicate_fraction,
+            stats.short_fraction,
+        ] {
+            prop_assert!((0.0..=1.0).contains(&value), "{value}");
+        }
+        prop_assert_eq!(stats.total_actions, corpus.len());
+    }
+
+    #[test]
+    fn evaluate_metrics_bounded(
+        triples in prop::collection::vec(
+            (datatype_strategy(), label_strategy(), label_strategy()), 0..40)
+    ) {
+        let report = evaluate(&triples);
+        prop_assert!((0.0..=1.0).contains(&report.exact_match));
+        prop_assert!((0.0..=1.0).contains(&report.macro_accuracy()));
+        prop_assert!((0.0..=1.0).contains(&report.macro_precision()));
+        prop_assert!((0.0..=1.0).contains(&report.macro_recall()));
+        prop_assert_eq!(report.samples, triples.len());
+    }
+
+    #[test]
+    fn perfect_predictions_score_one(
+        golds in prop::collection::vec((datatype_strategy(), label_strategy()), 1..20)
+    ) {
+        let triples: Vec<_> = golds.iter().map(|&(d, l)| (d, l, l)).collect();
+        let report = evaluate(&triples);
+        prop_assert_eq!(report.exact_match, 1.0);
+        prop_assert_eq!(report.macro_accuracy(), 1.0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Text-mode charts: horizontal bars, CDF plots, and shaded heatmaps —
+//! the terminal renditions of the paper's Figures 3–8.
+
+/// Render a horizontal bar chart. `rows` are `(label, value)`; bars are
+/// scaled to `width` characters against the max value.
+pub fn bar_chart(title: &str, rows: &[(String, f64)], width: usize) -> String {
+    let max = rows.iter().map(|r| r.1).fold(f64::MIN, f64::max).max(1e-12);
+    let label_w = rows.iter().map(|r| r.0.chars().count()).max().unwrap_or(0);
+    let mut out = format!("{title}\n");
+    for (label, value) in rows {
+        let bar_len = ((value / max) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{label:<label_w$} | {} {value:.2}\n",
+            "#".repeat(bar_len)
+        ));
+    }
+    out
+}
+
+/// Render an ECDF as a fixed-grid text plot: y from 0..1 over `height`
+/// rows, x over `width` columns spanning the data range.
+pub fn cdf_plot(title: &str, steps: &[(f64, f64)], width: usize, height: usize) -> String {
+    if steps.is_empty() {
+        return format!("{title}\n(no data)\n");
+    }
+    let x_min = steps.first().expect("non-empty").0;
+    let x_max = steps.last().expect("non-empty").0.max(x_min + 1e-9);
+    let eval = |x: f64| -> f64 {
+        // Step function: greatest F at the last step <= x.
+        let mut y = 0.0;
+        for &(sx, sy) in steps {
+            if sx <= x {
+                y = sy;
+            } else {
+                break;
+            }
+        }
+        y
+    };
+    let mut grid = vec![vec![' '; width]; height];
+    let mut marks = Vec::with_capacity(width);
+    for col in 0..width {
+        let x = x_min + (x_max - x_min) * col as f64 / (width - 1).max(1) as f64;
+        let y = eval(x);
+        let row = ((1.0 - y) * (height - 1) as f64).round() as usize;
+        marks.push(row.min(height - 1));
+    }
+    for (col, &row) in marks.iter().enumerate() {
+        grid[row][col] = '*';
+    }
+    let mut out = format!("{title}\n");
+    for (i, row) in grid.iter().enumerate() {
+        let y_label = 1.0 - i as f64 / (height - 1).max(1) as f64;
+        out.push_str(&format!("{y_label:4.2} |{}\n", row.iter().collect::<String>()));
+    }
+    out.push_str(&format!(
+        "     +{}\n      {x_min:<8.1}{:>width$.1}\n",
+        "-".repeat(width),
+        x_max,
+        width = width.saturating_sub(8)
+    ));
+    out
+}
+
+/// Shade characters for heatmap cells, light → dark.
+const SHADES: &[char] = &[' ', '░', '▒', '▓', '█'];
+
+/// Render a heatmap: `rows` are `(label, values)`, all value vectors the
+/// arity of `columns`. Values are percentages (0–100); darker = higher,
+/// matching Figure 6's convention.
+pub fn heatmap(
+    title: &str,
+    columns: &[&str],
+    rows: &[(String, Vec<f64>)],
+    cell_width: usize,
+) -> String {
+    let label_w = rows.iter().map(|r| r.0.chars().count()).max().unwrap_or(0);
+    let mut out = format!("{title}\n");
+    out.push_str(&" ".repeat(label_w + 1));
+    for col in columns {
+        out.push_str(&format!("{col:>cell_width$}"));
+    }
+    out.push('\n');
+    for (label, values) in rows {
+        assert_eq!(values.len(), columns.len(), "heatmap arity");
+        out.push_str(&format!("{label:<label_w$} "));
+        for &v in values {
+            let shade = SHADES[(((v / 100.0) * (SHADES.len() - 1) as f64).round() as usize)
+                .min(SHADES.len() - 1)];
+            let text = if v == 0.0 {
+                "-".to_string()
+            } else {
+                format!("{v:.0}")
+            };
+            out.push_str(&format!("{:>w$}{shade}", text, w = cell_width - 1));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// A scatter plot with an optional overlaid trend series.
+pub fn scatter_plot(
+    title: &str,
+    points: &[(f64, f64)],
+    trend: Option<&[(f64, f64)]>,
+    width: usize,
+    height: usize,
+) -> String {
+    if points.is_empty() {
+        return format!("{title}\n(no data)\n");
+    }
+    let (mut x_min, mut x_max) = (f64::MAX, f64::MIN);
+    let (mut y_min, mut y_max) = (f64::MAX, f64::MIN);
+    for &(x, y) in points.iter().chain(trend.unwrap_or(&[])) {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    x_max = x_max.max(x_min + 1e-9);
+    y_max = y_max.max(y_min + 1e-9);
+    let mut grid = vec![vec![' '; width]; height];
+    let mut place = |x: f64, y: f64, c: char| {
+        let col = (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize;
+        let row = ((1.0 - (y - y_min) / (y_max - y_min)) * (height - 1) as f64).round() as usize;
+        let cell = &mut grid[row.min(height - 1)][col.min(width - 1)];
+        // Trend ('~') never overwrites data ('o').
+        if *cell != 'o' || c == 'o' {
+            *cell = c;
+        }
+    };
+    if let Some(t) = trend {
+        for &(x, y) in t {
+            place(x, y, '~');
+        }
+    }
+    for &(x, y) in points {
+        place(x, y, 'o');
+    }
+    let mut out = format!("{title}\n");
+    for row in grid {
+        out.push_str(&format!("|{}\n", row.into_iter().collect::<String>()));
+    }
+    out.push_str(&format!(
+        "+{}\n x: {x_min:.1}..{x_max:.1}  y: {y_min:.2}..{y_max:.2}\n",
+        "-".repeat(width)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_max() {
+        let s = bar_chart(
+            "growth",
+            &[("w1".to_string(), 10.0), ("w2".to_string(), 5.0)],
+            10,
+        );
+        assert!(s.contains("w1 | ########## 10.00"));
+        assert!(s.contains("w2 | ##### 5.00"));
+    }
+
+    #[test]
+    fn cdf_plot_contains_curve() {
+        let steps = vec![(1.0, 0.25), (2.0, 0.5), (3.0, 0.75), (4.0, 1.0)];
+        let s = cdf_plot("cdf", &steps, 20, 5);
+        assert!(s.contains('*'));
+        assert!(s.lines().count() >= 7);
+    }
+
+    #[test]
+    fn cdf_plot_empty() {
+        assert!(cdf_plot("cdf", &[], 20, 5).contains("no data"));
+    }
+
+    #[test]
+    fn heatmap_shades_by_value() {
+        let s = heatmap(
+            "h",
+            &["clear", "omitted"],
+            &[
+                ("Email".to_string(), vec![100.0, 0.0]),
+                ("Name".to_string(), vec![0.0, 50.0]),
+            ],
+            9,
+        );
+        assert!(s.contains('█'), "full shade for 100: {s}");
+        assert!(s.contains('▒') || s.contains('▓'), "mid shade for 50: {s}");
+        assert!(s.contains('-'), "zero cells dashed");
+    }
+
+    #[test]
+    #[should_panic(expected = "heatmap arity")]
+    fn heatmap_arity_checked() {
+        let _ = heatmap("h", &["a"], &[("r".to_string(), vec![1.0, 2.0])], 6);
+    }
+
+    #[test]
+    fn scatter_draws_points_over_trend() {
+        let points = vec![(1.0, 1.0), (2.0, 0.5), (3.0, 0.2)];
+        let trend = vec![(1.0, 0.9), (2.0, 0.6), (3.0, 0.3)];
+        let s = scatter_plot("fig8", &points, Some(&trend), 30, 10);
+        assert!(s.contains('o'));
+        assert!(s.contains('~'));
+    }
+}

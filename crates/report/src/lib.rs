@@ -1,0 +1,12 @@
+//! # gptx-report
+//!
+//! Terminal rendering for the reproduction's outputs: box/Markdown
+//! tables, bar charts, CDF plots, shaded heatmaps, and scatter plots —
+//! everything the experiment registry in the `gptx` facade prints when
+//! regenerating the paper's tables and figures.
+
+pub mod chart;
+pub mod table;
+
+pub use chart::{bar_chart, cdf_plot, heatmap, scatter_plot};
+pub use table::{num, pct, Align, Table};

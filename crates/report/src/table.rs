@@ -1,0 +1,203 @@
+//! Plain-text and Markdown table rendering.
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    Left,
+    Right,
+}
+
+/// A simple table builder.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: Option<String>,
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with column headers (all left-aligned by default).
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Table {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        let aligns = vec![Align::Left; headers.len()];
+        Table {
+            title: None,
+            headers,
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Set a title printed above the table.
+    pub fn with_title(mut self, title: &str) -> Table {
+        self.title = Some(title.to_string());
+        self
+    }
+
+    /// Set per-column alignment (length must match headers).
+    pub fn with_aligns(mut self, aligns: Vec<Align>) -> Table {
+        assert_eq!(aligns.len(), self.headers.len(), "alignment arity");
+        self.aligns = aligns;
+        self
+    }
+
+    /// Append a row (must match header arity).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Table {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row arity");
+        self.rows.push(cells);
+        self
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        widths
+    }
+
+    fn pad(cell: &str, width: usize, align: Align) -> String {
+        let len = cell.chars().count();
+        let fill = " ".repeat(width.saturating_sub(len));
+        match align {
+            Align::Left => format!("{cell}{fill}"),
+            Align::Right => format!("{fill}{cell}"),
+        }
+    }
+
+    /// Render as an ASCII box table.
+    pub fn to_ascii(&self) -> String {
+        let widths = self.widths();
+        let sep: String = {
+            let mut s = String::from("+");
+            for w in &widths {
+                s.push_str(&"-".repeat(w + 2));
+                s.push('+');
+            }
+            s
+        };
+        let render_row = |cells: &[String]| {
+            let mut s = String::from("|");
+            for ((cell, &w), &a) in cells.iter().zip(&widths).zip(&self.aligns) {
+                s.push(' ');
+                s.push_str(&Self::pad(cell, w, a));
+                s.push_str(" |");
+            }
+            s
+        };
+        let mut out = String::new();
+        if let Some(t) = &self.title {
+            out.push_str(t);
+            out.push('\n');
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        out.push_str(&render_row(&self.headers));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        out
+    }
+
+    /// Render as a GitHub-flavored Markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        if let Some(t) = &self.title {
+            out.push_str(&format!("**{t}**\n\n"));
+        }
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        let marks: Vec<&str> = self
+            .aligns
+            .iter()
+            .map(|a| match a {
+                Align::Left => "---",
+                Align::Right => "---:",
+            })
+            .collect();
+        out.push_str(&format!("| {} |\n", marks.join(" | ")));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+/// Format a fraction as a percentage with one decimal ("82.9%").
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+/// Format a float with `digits` decimals.
+pub fn num(value: f64, digits: usize) -> String {
+    format!("{value:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(vec!["Store", "GPTs"])
+            .with_aligns(vec![Align::Left, Align::Right])
+            .with_title("Table 1");
+        t.row(vec!["plugin.surf", "58546"]);
+        t.row(vec!["topgpts.co", "929"]);
+        t
+    }
+
+    #[test]
+    fn ascii_layout() {
+        let s = sample().to_ascii();
+        assert!(s.starts_with("Table 1\n+"));
+        // The numeric column is right-aligned, headers included.
+        assert!(s.contains("| Store       |  GPTs |"));
+        assert!(s.contains("| plugin.surf | 58546 |"));
+        assert!(s.contains("| topgpts.co  |   929 |")); // right-aligned
+    }
+
+    #[test]
+    fn markdown_layout() {
+        let s = sample().to_markdown();
+        assert!(s.contains("| Store | GPTs |"));
+        assert!(s.contains("| --- | ---: |"));
+        assert!(s.contains("| topgpts.co | 929 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.829), "82.9%");
+        assert_eq!(num(9.5, 1), "9.5");
+    }
+
+    #[test]
+    fn empty_table_renders() {
+        let t = Table::new(vec!["x"]);
+        assert!(t.is_empty());
+        assert!(t.to_ascii().contains("| x |"));
+    }
+}

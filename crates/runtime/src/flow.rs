@@ -1,0 +1,138 @@
+//! Data-flow events: the session's observable record of which Action
+//! received which user data, and through which channel.
+
+use gptx_taxonomy::DataType;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How a datum reached an Action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum FlowKind {
+    /// The datum filled a declared field of the invoked endpoint — the
+    /// flow the user plausibly expects.
+    DirectCall,
+    /// The datum was visible to a co-resident Action because the GPT's
+    /// execution context is shared (Section 5.3's indirect exposure).
+    SharedContext,
+    /// The datum was exfiltrated by an instruction embedded in a tool
+    /// description (prompt injection).
+    Injection,
+}
+
+impl FlowKind {
+    pub fn label(&self) -> &'static str {
+        match self {
+            FlowKind::DirectCall => "direct call",
+            FlowKind::SharedContext => "shared context",
+            FlowKind::Injection => "prompt injection",
+        }
+    }
+}
+
+/// One observed flow: a set of typed data reaching one Action at one
+/// turn.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowEvent {
+    pub turn: usize,
+    pub action_identity: String,
+    pub kind: FlowKind,
+    pub data_types: BTreeSet<DataType>,
+}
+
+/// Aggregated view: per Action, the union of types it observed through
+/// each channel.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExposureSummary {
+    pub per_action: BTreeMap<String, BTreeMap<FlowKind, BTreeSet<DataType>>>,
+}
+
+impl ExposureSummary {
+    /// Fold a flow log into the summary.
+    pub fn from_events(events: &[FlowEvent]) -> ExposureSummary {
+        let mut summary = ExposureSummary::default();
+        for event in events {
+            summary
+                .per_action
+                .entry(event.action_identity.clone())
+                .or_default()
+                .entry(event.kind)
+                .or_default()
+                .extend(event.data_types.iter().copied());
+        }
+        summary
+    }
+
+    /// Everything an Action observed, across channels.
+    pub fn observed(&self, identity: &str) -> BTreeSet<DataType> {
+        self.per_action
+            .get(identity)
+            .map(|by_kind| by_kind.values().flatten().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Types an Action observed *beyond* its direct calls — the dynamic
+    /// counterpart of Table 8's "# IE".
+    pub fn beyond_direct(&self, identity: &str) -> BTreeSet<DataType> {
+        let Some(by_kind) = self.per_action.get(identity) else {
+            return BTreeSet::new();
+        };
+        let direct = by_kind.get(&FlowKind::DirectCall).cloned().unwrap_or_default();
+        by_kind
+            .iter()
+            .filter(|(kind, _)| **kind != FlowKind::DirectCall)
+            .flat_map(|(_, types)| types.iter().copied())
+            .filter(|d| !direct.contains(d))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use DataType::*;
+
+    fn event(turn: usize, id: &str, kind: FlowKind, types: &[DataType]) -> FlowEvent {
+        FlowEvent {
+            turn,
+            action_identity: id.to_string(),
+            kind,
+            data_types: types.iter().copied().collect(),
+        }
+    }
+
+    #[test]
+    fn summary_unions_across_turns() {
+        let events = vec![
+            event(0, "a", FlowKind::DirectCall, &[EmailAddress]),
+            event(1, "a", FlowKind::DirectCall, &[Name]),
+        ];
+        let s = ExposureSummary::from_events(&events);
+        assert_eq!(s.observed("a"), [EmailAddress, Name].into_iter().collect());
+    }
+
+    #[test]
+    fn beyond_direct_excludes_direct_types() {
+        let events = vec![
+            event(0, "a", FlowKind::DirectCall, &[EmailAddress]),
+            event(0, "a", FlowKind::SharedContext, &[EmailAddress, PhoneNumber]),
+        ];
+        let s = ExposureSummary::from_events(&events);
+        assert_eq!(
+            s.beyond_direct("a"),
+            [PhoneNumber].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn unknown_action_is_empty() {
+        let s = ExposureSummary::default();
+        assert!(s.observed("ghost").is_empty());
+        assert!(s.beyond_direct("ghost").is_empty());
+    }
+
+    #[test]
+    fn kind_labels() {
+        assert_eq!(FlowKind::Injection.label(), "prompt injection");
+    }
+}

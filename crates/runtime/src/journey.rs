@@ -1,0 +1,213 @@
+//! Cross-GPT user journeys — the §5.3.1 tracking scenario, dynamically.
+//!
+//! "As Actions are embedded in multiple GPTs, they are in a position to
+//! connect user data collected across multiple GPTs, in different
+//! contexts … often referred to as cross-site tracking." A [`Journey`]
+//! is one user moving through several GPT sessions; any Action embedded
+//! in more than one of them accumulates the union of what it observed —
+//! the dynamic realization of Figure 5's co-occurrence edges.
+
+use crate::flow::ExposureSummary;
+use crate::session::{Session, SessionConfig};
+use gptx_model::Gpt;
+use gptx_taxonomy::DataType;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One user's sequence of GPT sessions.
+pub struct Journey<'g> {
+    config: SessionConfig,
+    sessions: Vec<(String, Session<'g>)>,
+}
+
+/// What one Action learned across the whole journey.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrossGptObservation {
+    pub action_identity: String,
+    /// GPTs (by display name) in which the Action observed anything.
+    pub seen_in: Vec<String>,
+    /// Union of observed data types across all sessions.
+    pub observed: BTreeSet<DataType>,
+}
+
+impl CrossGptObservation {
+    /// Is this Action positioned to link the user across GPTs?
+    pub fn tracks_across_gpts(&self) -> bool {
+        self.seen_in.len() > 1
+    }
+}
+
+impl<'g> Journey<'g> {
+    pub fn new(config: SessionConfig) -> Journey<'g> {
+        Journey {
+            config,
+            sessions: Vec::new(),
+        }
+    }
+
+    /// Start a session with a GPT; returns a handle for asking turns.
+    pub fn visit(&mut self, gpt: &'g Gpt) -> &mut Session<'g> {
+        let session = Session::open(gpt, self.config, None);
+        self.sessions.push((gpt.display.name.clone(), session));
+        &mut self.sessions.last_mut().expect("just pushed").1
+    }
+
+    pub fn sessions(&self) -> impl Iterator<Item = (&str, &Session<'g>)> {
+        self.sessions.iter().map(|(name, s)| (name.as_str(), s))
+    }
+
+    /// Per-Action accumulation across every session of the journey.
+    pub fn cross_gpt_observations(&self) -> Vec<CrossGptObservation> {
+        let mut acc: BTreeMap<String, (Vec<String>, BTreeSet<DataType>)> = BTreeMap::new();
+        for (gpt_name, session) in &self.sessions {
+            let summary: ExposureSummary = session.summary();
+            for (identity, by_kind) in &summary.per_action {
+                let observed: BTreeSet<DataType> =
+                    by_kind.values().flatten().copied().collect();
+                if observed.is_empty() {
+                    continue;
+                }
+                let entry = acc.entry(identity.clone()).or_default();
+                if !entry.0.contains(gpt_name) {
+                    entry.0.push(gpt_name.clone());
+                }
+                entry.1.extend(observed);
+            }
+        }
+        acc.into_iter()
+            .map(|(action_identity, (seen_in, observed))| CrossGptObservation {
+                action_identity,
+                seen_in,
+                observed,
+            })
+            .collect()
+    }
+
+    /// The Actions that linked this user across more than one GPT.
+    pub fn trackers(&self) -> Vec<CrossGptObservation> {
+        self.cross_gpt_observations()
+            .into_iter()
+            .filter(CrossGptObservation::tracks_across_gpts)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gptx_model::openapi::{Operation, Parameter, PathItem};
+    use gptx_model::{ActionSpec, Tool};
+
+    fn action(name: &str, domain: &str, field: (&str, &str)) -> ActionSpec {
+        let mut a = ActionSpec::minimal("t", name, &format!("https://api.{domain}"));
+        a.spec.paths.insert(
+            "/run".into(),
+            PathItem {
+                post: Some(Operation {
+                    parameters: vec![Parameter {
+                        name: field.0.into(),
+                        location: "query".into(),
+                        description: field.1.into(),
+                        required: true,
+                        schema: None,
+                    }],
+                    ..Default::default()
+                }),
+                ..Default::default()
+            },
+        );
+        a
+    }
+
+    /// Two themed GPTs, both embedding the same AdIntelli-like tracker.
+    fn two_gpts_with_shared_tracker() -> (Gpt, Gpt) {
+        let tracker = || {
+            action(
+                "AdIntelli",
+                "adintelli.ai",
+                ("ctx", "conversation context keywords"),
+            )
+        };
+        let mut travel = Gpt::minimal("g-aaaaaaaaaa", "Travel Planner");
+        travel.tools.push(Tool::Action(action(
+            "Weather",
+            "weather.dev",
+            ("city", "The city for which weather data is requested"),
+        )));
+        travel.tools.push(Tool::Action(tracker()));
+
+        let mut shop = Gpt::minimal("g-bbbbbbbbbb", "Shopping Helper");
+        shop.tools.push(Tool::Action(action(
+            "Mailer",
+            "mailer.dev",
+            ("email", "Email address of the user to send the receipt to"),
+        )));
+        shop.tools.push(Tool::Action(tracker()));
+        (travel, shop)
+    }
+
+    #[test]
+    fn shared_tracker_links_sessions_across_gpts() {
+        let (travel, shop) = two_gpts_with_shared_tracker();
+        let mut journey = Journey::new(SessionConfig::default());
+        journey
+            .visit(&travel)
+            .ask("Weather in the city of Rome?", &[DataType::ApproximateLocation]);
+        journey
+            .visit(&shop)
+            .ask("Email the receipt to my email address", &[DataType::EmailAddress]);
+
+        let trackers = journey.trackers();
+        assert_eq!(trackers.len(), 1, "{trackers:?}");
+        let t = &trackers[0];
+        assert_eq!(t.action_identity, "AdIntelli@adintelli.ai");
+        assert_eq!(t.seen_in, vec!["Travel Planner", "Shopping Helper"]);
+        // The tracker connected location (travel context) with email
+        // (shopping context) — data from different GPTs, one profile.
+        assert!(t.observed.contains(&DataType::ApproximateLocation));
+        assert!(t.observed.contains(&DataType::EmailAddress));
+    }
+
+    #[test]
+    fn single_gpt_actions_do_not_track() {
+        let (travel, shop) = two_gpts_with_shared_tracker();
+        let mut journey = Journey::new(SessionConfig::default());
+        journey
+            .visit(&travel)
+            .ask("Weather in the city of Rome?", &[DataType::ApproximateLocation]);
+        journey
+            .visit(&shop)
+            .ask("Email the receipt to my email address", &[DataType::EmailAddress]);
+        let all = journey.cross_gpt_observations();
+        let weather = all
+            .iter()
+            .find(|o| o.action_identity.starts_with("Weather"))
+            .expect("weather observed something");
+        assert!(!weather.tracks_across_gpts());
+    }
+
+    #[test]
+    fn isolation_breaks_cross_gpt_tracking() {
+        // With SecGPT-style isolation the tracker only sees data from
+        // turns routed *to it*; neither session routes to it, so it
+        // links nothing.
+        let (travel, shop) = two_gpts_with_shared_tracker();
+        let mut journey = Journey::new(SessionConfig {
+            isolate_actions: true,
+            obey_injections: false,
+        });
+        journey
+            .visit(&travel)
+            .ask("Weather in the city of Rome?", &[DataType::ApproximateLocation]);
+        journey
+            .visit(&shop)
+            .ask("Email the receipt to my email address", &[DataType::EmailAddress]);
+        assert!(journey.trackers().is_empty());
+    }
+
+    #[test]
+    fn empty_journey_has_no_observations() {
+        let journey = Journey::new(SessionConfig::default());
+        assert!(journey.cross_gpt_observations().is_empty());
+        assert!(journey.trackers().is_empty());
+    }
+}

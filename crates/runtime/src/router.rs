@@ -1,0 +1,145 @@
+//! Tool routing: which Action should answer a user turn?
+//!
+//! In production this decision is the LLM's function-calling step; here
+//! it is a deterministic retrieval model (TF-IDF over each Action's
+//! manifest text) — the same substitution pattern as `gptx_llm::KbModel`.
+
+use gptx_model::{ActionSpec, Gpt};
+use gptx_nlp::{cosine, TfIdf, TfIdfBuilder};
+
+/// The per-GPT routing model.
+pub struct ToolRouter {
+    tfidf: TfIdf,
+    /// `(action identity, embedded manifest text)` vectors.
+    actions: Vec<(String, gptx_nlp::vector::SparseVec)>,
+    /// Minimum cosine similarity for a route to fire.
+    threshold: f64,
+}
+
+fn manifest_text(action: &ActionSpec) -> String {
+    let mut text = format!("{} {}", action.name, action.spec.info.description);
+    for field in action.spec.data_fields() {
+        text.push(' ');
+        text.push_str(&field.classification_text());
+    }
+    text
+}
+
+impl ToolRouter {
+    /// Build the router over a GPT's embedded Actions.
+    pub fn for_gpt(gpt: &Gpt) -> ToolRouter {
+        let manifests: Vec<(String, String)> = gpt
+            .actions()
+            .iter()
+            .map(|a| (a.identity(), manifest_text(a)))
+            .collect();
+        let mut builder = TfIdfBuilder::new();
+        for (_, text) in &manifests {
+            builder.add_text(text);
+        }
+        // A background document keeps IDF finite for single-action GPTs.
+        builder.add_text("general conversation smalltalk greeting question");
+        let tfidf = builder.build();
+        let actions = manifests
+            .into_iter()
+            .map(|(id, text)| {
+                let v = tfidf.embed_text(&text);
+                (id, v)
+            })
+            .collect();
+        ToolRouter {
+            tfidf,
+            actions,
+            threshold: 0.05,
+        }
+    }
+
+    /// Route a user turn to the best-matching Action, if any clears the
+    /// threshold.
+    pub fn route(&self, user_text: &str) -> Option<&str> {
+        let query = self.tfidf.embed_text(user_text);
+        let mut best: Option<(f64, &str)> = None;
+        for (identity, vector) in &self.actions {
+            let sim = cosine(&query, vector);
+            if sim > self.threshold && best.is_none_or(|(s, _)| sim > s) {
+                best = Some((sim, identity));
+            }
+        }
+        best.map(|(_, id)| id)
+    }
+
+    /// Identities the router knows about.
+    pub fn known_actions(&self) -> Vec<&str> {
+        self.actions.iter().map(|(id, _)| id.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gptx_model::openapi::{Operation, Parameter, PathItem};
+    use gptx_model::Tool;
+
+    fn action(name: &str, domain: &str, field: (&str, &str)) -> ActionSpec {
+        let mut a = ActionSpec::minimal("t", name, &format!("https://api.{domain}"));
+        a.spec.paths.insert(
+            "/run".into(),
+            PathItem {
+                post: Some(Operation {
+                    parameters: vec![Parameter {
+                        name: field.0.into(),
+                        location: "query".into(),
+                        description: field.1.into(),
+                        required: true,
+                        schema: None,
+                    }],
+                    ..Default::default()
+                }),
+                ..Default::default()
+            },
+        );
+        a
+    }
+
+    fn gpt() -> Gpt {
+        let mut g = Gpt::minimal("g-aaaaaaaaaa", "Multi");
+        g.tools.push(Tool::Action(action(
+            "Weather",
+            "weather.dev",
+            ("city", "The city for which weather data is requested"),
+        )));
+        g.tools.push(Tool::Action(action(
+            "Mailer",
+            "mailer.dev",
+            ("email", "Email address of the user to send the report to"),
+        )));
+        g
+    }
+
+    #[test]
+    fn routes_by_topic() {
+        let router = ToolRouter::for_gpt(&gpt());
+        assert_eq!(
+            router.route("What's the weather in the city of Paris?"),
+            Some("Weather@weather.dev")
+        );
+        assert_eq!(
+            router.route("Send the report to my email address please"),
+            Some("Mailer@mailer.dev")
+        );
+    }
+
+    #[test]
+    fn smalltalk_routes_nowhere() {
+        let router = ToolRouter::for_gpt(&gpt());
+        assert_eq!(router.route("hello there, nice to meet you"), None);
+    }
+
+    #[test]
+    fn actionless_gpt_never_routes() {
+        let g = Gpt::minimal("g-bbbbbbbbbb", "Plain");
+        let router = ToolRouter::for_gpt(&g);
+        assert!(router.known_actions().is_empty());
+        assert_eq!(router.route("weather in Paris"), None);
+    }
+}

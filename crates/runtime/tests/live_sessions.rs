@@ -1,0 +1,119 @@
+//! Live-session integration: simulated conversations against a served
+//! synthetic ecosystem, with tool calls on the wire.
+
+use gptx_runtime::{Session, SessionConfig};
+use gptx_store::{EcosystemHandle, FaultConfig};
+use gptx_synth::{Ecosystem, SynthConfig};
+use gptx_taxonomy::DataType;
+use std::sync::Arc;
+
+#[test]
+fn tool_calls_reach_the_served_apis() {
+    let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(404)));
+    let handle = EcosystemHandle::start(Arc::clone(&eco), FaultConfig::none()).unwrap();
+
+    // Find a GPT whose Action declares a searchable field.
+    let snapshot = &eco.final_week().snapshot;
+    let gpt = snapshot
+        .gpts
+        .values()
+        .find(|g| g.has_actions())
+        .expect("action GPT exists");
+    let mut session = Session::open(gpt, SessionConfig::default(), Some(handle.addr()));
+
+    // Speak in the vocabulary of the Action's own manifest so the router
+    // fires.
+    let action = gpt.actions()[0].clone();
+    let field_text = action
+        .spec
+        .data_fields()
+        .first()
+        .map(|f| f.classification_text())
+        .unwrap_or_else(|| action.name.clone());
+    let turn = session.ask(&format!("please use {} for {field_text}", action.name), &[]);
+    if let Some(identity) = turn.routed_to.clone() {
+        assert_eq!(identity, action.identity());
+        assert_eq!(turn.call_status, Some(200), "tool call must hit the wire");
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn shared_context_sessions_match_static_exposure_direction() {
+    // Over many simulated sessions, co-resident Actions observe data
+    // they never declared — the dynamic confirmation of Table 7/8.
+    let mut config = SynthConfig::tiny(405);
+    config.base_gpts = 1500;
+    let eco = Ecosystem::generate(config);
+    let snapshot = &eco.final_week().snapshot;
+    let mut indirect_observations = 0usize;
+    let mut sessions = 0usize;
+    for gpt in snapshot.gpts.values().filter(|g| g.actions().len() >= 2) {
+        sessions += 1;
+        let mut session = Session::open(gpt, SessionConfig::default(), None);
+        // The user discloses one declared type per action, addressing
+        // each action in its own vocabulary.
+        let actions: Vec<_> = gpt.actions().into_iter().cloned().collect();
+        for action in &actions {
+            let Some(field) = action.spec.data_fields().into_iter().next() else {
+                continue;
+            };
+            let declared = session
+                .declared(&action.identity())
+                .and_then(|d| d.iter().next().copied())
+                .unwrap_or(DataType::OtherUserGeneratedData);
+            session.ask(
+                &format!("use {} with {}", action.name, field.classification_text()),
+                &[declared],
+            );
+        }
+        let summary = session.summary();
+        for action in &actions {
+            if !summary.beyond_direct(&action.identity()).is_empty() {
+                indirect_observations += 1;
+            }
+        }
+        if sessions >= 25 {
+            break;
+        }
+    }
+    assert!(sessions >= 5, "not enough multi-action GPTs generated");
+    assert!(
+        indirect_observations > 0,
+        "shared context never produced indirect observation over {sessions} sessions"
+    );
+}
+
+#[test]
+fn isolation_eliminates_indirect_observation() {
+    let mut config = SynthConfig::tiny(406);
+    config.base_gpts = 1000;
+    let eco = Ecosystem::generate(config);
+    let snapshot = &eco.final_week().snapshot;
+    for gpt in snapshot.gpts.values().filter(|g| g.actions().len() >= 2).take(10) {
+        let mut session = Session::open(
+            gpt,
+            SessionConfig {
+                isolate_actions: true,
+                obey_injections: false,
+            },
+            None,
+        );
+        let actions: Vec<_> = gpt.actions().into_iter().cloned().collect();
+        for action in &actions {
+            let declared = session
+                .declared(&action.identity())
+                .and_then(|d| d.iter().next().copied())
+                .unwrap_or(DataType::OtherUserGeneratedData);
+            session.ask(&format!("use {}", action.name), &[declared]);
+        }
+        let summary = session.summary();
+        for action in &actions {
+            assert!(
+                summary.beyond_direct(&action.identity()).is_empty(),
+                "isolated session leaked to {}",
+                action.identity()
+            );
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Descriptive statistics: mean, variance, percentiles, five-number summary.
+
+/// Arithmetic mean. Returns `None` for an empty slice.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Sample variance (Bessel-corrected, `n - 1` denominator).
+///
+/// Returns `None` when fewer than two observations are available.
+pub fn variance(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    let ss: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    Some(ss / (xs.len() - 1) as f64)
+}
+
+/// Sample standard deviation.
+pub fn stddev(xs: &[f64]) -> Option<f64> {
+    variance(xs).map(f64::sqrt)
+}
+
+/// Median via sorting a copy of the data. Returns `None` for empty input.
+pub fn median(xs: &[f64]) -> Option<f64> {
+    percentile(xs, 50.0)
+}
+
+/// Percentile with linear interpolation between closest ranks
+/// (the same convention as `numpy.percentile`'s default `linear` mode).
+///
+/// `p` is expressed in percent, i.e. `0.0..=100.0`. Values outside that
+/// range are clamped. Returns `None` for empty input or NaN in the data.
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    if xs.is_empty() || xs.iter().any(|x| x.is_nan()) {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        return Some(sorted[lo]);
+    }
+    let frac = rank - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// A five-number summary plus mean and standard deviation, used by the
+/// reporting layer to describe measured distributions next to the paper's.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    pub count: usize,
+    pub min: f64,
+    pub p25: f64,
+    pub median: f64,
+    pub p75: f64,
+    pub max: f64,
+    pub mean: f64,
+    pub stddev: f64,
+}
+
+impl Summary {
+    /// Compute a summary of `xs`. Returns `None` for empty input.
+    /// `stddev` is reported as `0.0` when only one observation exists.
+    pub fn of(xs: &[f64]) -> Option<Summary> {
+        if xs.is_empty() {
+            return None;
+        }
+        Some(Summary {
+            count: xs.len(),
+            min: percentile(xs, 0.0)?,
+            p25: percentile(xs, 25.0)?,
+            median: percentile(xs, 50.0)?,
+            p75: percentile(xs, 75.0)?,
+            max: percentile(xs, 100.0)?,
+            mean: mean(xs)?,
+            stddev: stddev(xs).unwrap_or(0.0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_none() {
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn mean_of_constants() {
+        assert_eq!(mean(&[3.0, 3.0, 3.0]), Some(3.0));
+    }
+
+    #[test]
+    fn mean_simple() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0, 4.0]), Some(2.5));
+    }
+
+    #[test]
+    fn variance_needs_two_points() {
+        assert_eq!(variance(&[1.0]), None);
+    }
+
+    #[test]
+    fn variance_known_value() {
+        // Var([2,4,4,4,5,5,7,9]) with n-1 denominator = 32/7.
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let v = variance(&xs).unwrap();
+        assert!((v - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stddev_is_sqrt_of_variance() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert!((stddev(&xs).unwrap().powi(2) - variance(&xs).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0), Some(10.0));
+        assert_eq!(percentile(&xs, 100.0), Some(40.0));
+        // rank = 0.25 * 3 = 0.75 -> 10 + 0.75*(20-10) = 17.5
+        assert_eq!(percentile(&xs, 25.0), Some(17.5));
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range() {
+        let xs = [1.0, 2.0];
+        assert_eq!(percentile(&xs, -5.0), Some(1.0));
+        assert_eq!(percentile(&xs, 250.0), Some(2.0));
+    }
+
+    #[test]
+    fn percentile_rejects_nan() {
+        assert_eq!(percentile(&[1.0, f64::NAN], 50.0), None);
+    }
+
+    #[test]
+    fn summary_of_single_point() {
+        let s = Summary::of(&[7.0]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.max, 7.0);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.stddev, 0.0);
+    }
+
+    #[test]
+    fn summary_orders_quartiles() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let s = Summary::of(&xs).unwrap();
+        assert!(s.min <= s.p25 && s.p25 <= s.median);
+        assert!(s.median <= s.p75 && s.p75 <= s.max);
+    }
+}

@@ -1,0 +1,147 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Figures 4 and 7 of the paper are CDF plots (data types collected per
+//! Action; per-Action fractions of clear/vague/omitted disclosures). The
+//! [`Ecdf`] type computes the step function once and supports evaluation,
+//! quantiles, and extraction of plot-ready `(x, F(x))` series.
+
+/// An empirical CDF over a finite sample.
+///
+/// Construction sorts a copy of the sample; evaluation is `O(log n)`.
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build an ECDF from a sample. NaN values are dropped; returns `None`
+    /// when no finite observations remain.
+    pub fn new(sample: &[f64]) -> Option<Ecdf> {
+        let mut sorted: Vec<f64> = sample.iter().copied().filter(|x| !x.is_nan()).collect();
+        if sorted.is_empty() {
+            return None;
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered"));
+        Some(Ecdf { sorted })
+    }
+
+    /// Number of observations retained.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when the ECDF holds no observations (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Evaluate `F(x) = P(X <= x)`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point gives the count of elements <= x.
+        let le = self.sorted.partition_point(|&v| v <= x);
+        le as f64 / self.sorted.len() as f64
+    }
+
+    /// Complementary CDF `P(X >= x)` — the form the paper quotes
+    /// ("25.57% of Actions collect 5 or more data types").
+    pub fn fraction_at_least(&self, x: f64) -> f64 {
+        let lt = self.sorted.partition_point(|&v| v < x);
+        (self.sorted.len() - lt) as f64 / self.sorted.len() as f64
+    }
+
+    /// Quantile (inverse CDF) at probability `p` in `[0, 1]`, using the
+    /// left-continuous generalized inverse. Out-of-range `p` is clamped.
+    pub fn quantile(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        if p <= 0.0 {
+            return self.sorted[0];
+        }
+        let idx = (p * self.sorted.len() as f64).ceil() as usize;
+        self.sorted[idx.saturating_sub(1).min(self.sorted.len() - 1)]
+    }
+
+    /// Plot-ready step points `(x_i, i/n)` over the distinct sample values.
+    pub fn steps(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        let mut out: Vec<(f64, f64)> = Vec::new();
+        for (i, &x) in self.sorted.iter().enumerate() {
+            let y = (i + 1) as f64 / n;
+            match out.last_mut() {
+                Some(last) if last.0 == x => last.1 = y,
+                _ => out.push((x, y)),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ecdf(xs: &[f64]) -> Ecdf {
+        Ecdf::new(xs).unwrap()
+    }
+
+    #[test]
+    fn empty_sample_is_none() {
+        assert!(Ecdf::new(&[]).is_none());
+        assert!(Ecdf::new(&[f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn eval_below_min_is_zero() {
+        let e = ecdf(&[1.0, 2.0, 3.0]);
+        assert_eq!(e.eval(0.5), 0.0);
+    }
+
+    #[test]
+    fn eval_at_max_is_one() {
+        let e = ecdf(&[1.0, 2.0, 3.0]);
+        assert_eq!(e.eval(3.0), 1.0);
+        assert_eq!(e.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn eval_counts_ties() {
+        let e = ecdf(&[1.0, 1.0, 2.0, 4.0]);
+        assert_eq!(e.eval(1.0), 0.5);
+        assert_eq!(e.eval(2.0), 0.75);
+    }
+
+    #[test]
+    fn fraction_at_least_matches_paper_phrasing() {
+        // 4 of 10 actions collect >= 5 data types.
+        let xs = [1.0, 2.0, 2.0, 3.0, 4.0, 4.0, 5.0, 6.0, 9.0, 12.0];
+        let e = ecdf(&xs);
+        assert!((e.fraction_at_least(5.0) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_endpoints() {
+        let e = ecdf(&[10.0, 20.0, 30.0]);
+        assert_eq!(e.quantile(0.0), 10.0);
+        assert_eq!(e.quantile(1.0), 30.0);
+    }
+
+    #[test]
+    fn quantile_median() {
+        let e = ecdf(&[10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(e.quantile(0.5), 20.0);
+    }
+
+    #[test]
+    fn steps_dedupe_and_reach_one() {
+        let e = ecdf(&[1.0, 1.0, 2.0]);
+        let s = e.steps();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0], (1.0, 2.0 / 3.0));
+        assert_eq!(s[1], (2.0, 1.0));
+    }
+
+    #[test]
+    fn nan_values_dropped() {
+        let e = Ecdf::new(&[1.0, f64::NAN, 2.0]).unwrap();
+        assert_eq!(e.len(), 2);
+    }
+}

@@ -1,0 +1,126 @@
+//! Fixed-width histograms for distribution reporting.
+
+/// A histogram over `[lo, hi)` with `bins` equal-width buckets plus
+/// explicit underflow/overflow counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Create a histogram. `lo < hi` and `bins >= 1` are required.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
+        assert!(lo < hi, "histogram range must be non-empty");
+        assert!(bins >= 1, "histogram needs at least one bin");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Record one observation. NaN is counted as overflow (it is data the
+    /// caller should notice, not silently drop).
+    pub fn record(&mut self, x: f64) {
+        if x.is_nan() || x >= self.hi {
+            self.overflow += 1;
+            return;
+        }
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        let idx = ((x - self.lo) / w) as usize;
+        // Guard against floating-point edge landing exactly on len().
+        let idx = idx.min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Record many observations.
+    pub fn record_all<I: IntoIterator<Item = f64>>(&mut self, xs: I) {
+        for x in xs {
+            self.record(x);
+        }
+    }
+
+    /// Per-bin counts (excluding under/overflow).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `hi` (and NaN).
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total recorded observations, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// `(bin_lo, bin_hi, count)` triples for rendering.
+    pub fn bins(&self) -> Vec<(f64, f64, u64)> {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + w * i as f64, self.lo + w * (i + 1) as f64, c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_correct_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.record_all([0.0, 1.9, 2.0, 9.99]);
+        assert_eq!(h.counts(), &[2, 1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn underflow_and_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.record(-0.1);
+        h.record(1.0);
+        h.record(5.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn nan_counts_as_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 1);
+        h.record(f64::NAN);
+        assert_eq!(h.overflow(), 1);
+    }
+
+    #[test]
+    fn bins_report_edges() {
+        let h = Histogram::new(0.0, 4.0, 2);
+        let b = h.bins();
+        assert_eq!(b[0], (0.0, 2.0, 0));
+        assert_eq!(b[1], (2.0, 4.0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_range_panics() {
+        let _ = Histogram::new(1.0, 1.0, 3);
+    }
+}

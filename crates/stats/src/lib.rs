@@ -1,0 +1,32 @@
+//! # gptx-stats
+//!
+//! Statistical primitives used throughout the `gptx` toolkit.
+//!
+//! The paper's analysis relies on a handful of numerical tools that the
+//! authors took from numpy/scipy: empirical CDFs (Figures 4 and 7),
+//! least-squares polynomial fitting (the trend line in Figure 8, via
+//! `numpy.polyfit`), Spearman's rank correlation (Section 6.3.3 reports
+//! ρ = 0.13), and Jaccard similarity over text shingles (near-duplicate
+//! privacy-policy detection in Table 9). This crate implements all of them
+//! from scratch so the toolkit has no numerical dependencies.
+//!
+//! All functions operate on `f64` slices and are deterministic. Functions
+//! that could fail on degenerate input (empty slices, singular systems)
+//! return `Option`/`Result` rather than panicking, so callers can surface
+//! data problems instead of crashing an hours-long analysis run.
+
+pub mod bootstrap;
+pub mod correlation;
+pub mod descriptive;
+pub mod ecdf;
+pub mod histogram;
+pub mod polyfit;
+pub mod similarity;
+
+pub use bootstrap::{bootstrap_ci, mean_ci, ConfidenceInterval};
+pub use correlation::{pearson, spearman};
+pub use descriptive::{mean, median, percentile, stddev, variance, Summary};
+pub use ecdf::Ecdf;
+pub use histogram::Histogram;
+pub use polyfit::{polyfit, Polynomial};
+pub use similarity::{jaccard, jaccard_f64, MinHash};

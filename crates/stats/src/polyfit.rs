@@ -1,0 +1,269 @@
+//! Least-squares polynomial fitting, equivalent to `numpy.polyfit`.
+//!
+//! The paper's Figure 8 overlays a polynomial trend line (fit with
+//! `numpy.polyfit` \[79\]) on the scatter of disclosure consistency versus
+//! the number of collected data types. We solve the normal equations of
+//! the Vandermonde system with Gaussian elimination and partial pivoting —
+//! adequate for the low degrees (1–3) used in the paper.
+
+/// A polynomial `c[0] + c[1] x + ... + c[d] x^d` (ascending coefficients).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polynomial {
+    coeffs: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Construct from ascending coefficients. Trailing zero coefficients
+    /// are retained as given (degree is positional, not mathematical).
+    pub fn new(coeffs: Vec<f64>) -> Polynomial {
+        assert!(!coeffs.is_empty(), "polynomial needs at least one coefficient");
+        Polynomial { coeffs }
+    }
+
+    /// Ascending coefficients `[c0, c1, ..., cd]`.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Positional degree (`coeffs.len() - 1`).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Evaluate at `x` via Horner's rule.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// Sample the polynomial at `n` evenly spaced points over `[lo, hi]`,
+    /// producing the series used to draw the Figure 8 trend line.
+    pub fn sample(&self, lo: f64, hi: f64, n: usize) -> Vec<(f64, f64)> {
+        assert!(n >= 2, "need at least two sample points");
+        (0..n)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+}
+
+/// Errors from [`polyfit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitError {
+    /// `xs` and `ys` have different lengths.
+    LengthMismatch,
+    /// Fewer data points than coefficients to estimate.
+    Underdetermined,
+    /// The normal-equation system is singular (e.g. all `x` identical
+    /// while fitting degree >= 1).
+    Singular,
+    /// NaN or infinite input.
+    NonFinite,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::LengthMismatch => write!(f, "x and y lengths differ"),
+            FitError::Underdetermined => write!(f, "fewer points than coefficients"),
+            FitError::Singular => write!(f, "singular system"),
+            FitError::NonFinite => write!(f, "non-finite input"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// Fit a degree-`degree` polynomial to `(xs, ys)` by least squares.
+pub fn polyfit(xs: &[f64], ys: &[f64], degree: usize) -> Result<Polynomial, FitError> {
+    if xs.len() != ys.len() {
+        return Err(FitError::LengthMismatch);
+    }
+    let m = degree + 1;
+    if xs.len() < m {
+        return Err(FitError::Underdetermined);
+    }
+    if xs.iter().chain(ys).any(|v| !v.is_finite()) {
+        return Err(FitError::NonFinite);
+    }
+
+    // Normal equations A^T A c = A^T y for the Vandermonde matrix A.
+    // ata[i][j] = sum_k x_k^(i+j); aty[i] = sum_k x_k^i y_k.
+    let mut power_sums = vec![0.0; 2 * m - 1];
+    for &x in xs {
+        let mut p = 1.0;
+        for s in power_sums.iter_mut() {
+            *s += p;
+            p *= x;
+        }
+    }
+    let mut ata = vec![vec![0.0; m]; m];
+    for (i, row) in ata.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            *cell = power_sums[i + j];
+        }
+    }
+    let mut aty = vec![0.0; m];
+    for (&x, &y) in xs.iter().zip(ys) {
+        let mut p = 1.0;
+        for t in aty.iter_mut() {
+            *t += p * y;
+            p *= x;
+        }
+    }
+
+    let coeffs = solve(ata, aty).ok_or(FitError::Singular)?;
+    Ok(Polynomial::new(coeffs))
+}
+
+/// Solve `A x = b` by Gaussian elimination with partial pivoting.
+/// Returns `None` for singular systems.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Partial pivot: pick the row with the largest magnitude in `col`.
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .expect("finite by construction")
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+
+        for row in (col + 1)..n {
+            let factor = a[row][col] / a[col][col];
+            let (pivot_rows, rest) = a.split_at_mut(col + 1);
+            let pivot = &pivot_rows[col];
+            let target = &mut rest[row - col - 1];
+            for (t, p) in target[col..].iter_mut().zip(&pivot[col..]) {
+                *t -= factor * p;
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+/// Coefficient of determination R^2 of a fitted polynomial on data.
+pub fn r_squared(poly: &Polynomial, xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.is_empty() {
+        return None;
+    }
+    let my = ys.iter().sum::<f64>() / ys.len() as f64;
+    let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    if ss_tot == 0.0 {
+        return None;
+    }
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(&x, &y)| {
+            let e = y - poly.eval(x);
+            e * e
+        })
+        .sum();
+    Some(1.0 - ss_res / ss_tot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_exact_line() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [1.0, 3.0, 5.0, 7.0]; // y = 1 + 2x
+        let p = polyfit(&xs, &ys, 1).unwrap();
+        assert!((p.coeffs()[0] - 1.0).abs() < 1e-9);
+        assert!((p.coeffs()[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fits_exact_quadratic() {
+        let xs: Vec<f64> = (0..6).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 - x + 0.5 * x * x).collect();
+        let p = polyfit(&xs, &ys, 2).unwrap();
+        assert!((p.coeffs()[0] - 2.0).abs() < 1e-8);
+        assert!((p.coeffs()[1] + 1.0).abs() < 1e-8);
+        assert!((p.coeffs()[2] - 0.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn degree_zero_fits_mean() {
+        let p = polyfit(&[1.0, 2.0, 3.0], &[4.0, 6.0, 8.0], 0).unwrap();
+        assert!((p.coeffs()[0] - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_line_recovers_slope_sign() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        // Decreasing trend with deterministic "noise".
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| 100.0 - 0.8 * x + if x as i64 % 2 == 0 { 3.0 } else { -3.0 })
+            .collect();
+        let p = polyfit(&xs, &ys, 1).unwrap();
+        assert!(p.coeffs()[1] < 0.0);
+    }
+
+    #[test]
+    fn underdetermined_is_error() {
+        assert_eq!(polyfit(&[1.0], &[1.0], 1), Err(FitError::Underdetermined));
+    }
+
+    #[test]
+    fn length_mismatch_is_error() {
+        assert_eq!(polyfit(&[1.0, 2.0], &[1.0], 0), Err(FitError::LengthMismatch));
+    }
+
+    #[test]
+    fn singular_when_xs_identical() {
+        let r = polyfit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0], 1);
+        assert_eq!(r, Err(FitError::Singular));
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        assert_eq!(
+            polyfit(&[1.0, f64::INFINITY], &[1.0, 2.0], 1),
+            Err(FitError::NonFinite)
+        );
+    }
+
+    #[test]
+    fn horner_eval() {
+        let p = Polynomial::new(vec![1.0, 0.0, 2.0]); // 1 + 2x^2
+        assert_eq!(p.eval(3.0), 19.0);
+    }
+
+    #[test]
+    fn sample_endpoints() {
+        let p = Polynomial::new(vec![0.0, 1.0]);
+        let s = p.sample(0.0, 10.0, 11);
+        assert_eq!(s.first(), Some(&(0.0, 0.0)));
+        assert_eq!(s.last(), Some(&(10.0, 10.0)));
+        assert_eq!(s.len(), 11);
+    }
+
+    #[test]
+    fn r_squared_perfect_fit_is_one() {
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [1.0, 2.0, 3.0];
+        let p = polyfit(&xs, &ys, 1).unwrap();
+        assert!((r_squared(&p, &xs, &ys).unwrap() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,215 @@
+//! Set similarity: exact Jaccard and MinHash sketches.
+//!
+//! Table 9 of the paper flags privacy policies as near-duplicates when
+//! their Jaccard similarity exceeds 95%. Exact Jaccard over shingle sets
+//! is the ground truth; [`MinHash`] provides the sublinear estimate used
+//! in the `ablate_minhash` benchmark (accuracy-versus-throughput ablation
+//! called out in DESIGN.md §5).
+
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+/// Exact Jaccard similarity of two sets: `|A ∩ B| / |A ∪ B|`.
+///
+/// Two empty sets are defined to have similarity 1.0 (they are identical),
+/// matching the behaviour needed for empty privacy policies, which the
+/// paper treats as exact duplicates of each other (Table 10).
+pub fn jaccard<T: Eq + Hash>(a: &HashSet<T>, b: &HashSet<T>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count();
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Jaccard over slices of hashable items (duplicates within a slice are
+/// collapsed first).
+pub fn jaccard_f64<T: Eq + Hash + Clone>(a: &[T], b: &[T]) -> f64 {
+    let sa: HashSet<T> = a.iter().cloned().collect();
+    let sb: HashSet<T> = b.iter().cloned().collect();
+    jaccard(&sa, &sb)
+}
+
+/// A MinHash sketch estimating Jaccard similarity with `k` permutations.
+///
+/// Permutations are simulated with the standard trick of hashing each
+/// element with `k` different seed mixes; the estimator is the fraction of
+/// matching minima. Deterministic across runs (uses FxHash-style mixing,
+/// not `RandomState`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinHash {
+    minima: Vec<u64>,
+}
+
+impl MinHash {
+    /// Sketch `items` with `k` hash functions. `k` must be nonzero.
+    pub fn sketch<T: Hash, I: IntoIterator<Item = T>>(items: I, k: usize) -> MinHash {
+        assert!(k > 0, "MinHash needs at least one hash function");
+        let mut minima = vec![u64::MAX; k];
+        for item in items {
+            let base = stable_hash(&item);
+            for (i, m) in minima.iter_mut().enumerate() {
+                let h = mix(base, i as u64);
+                if h < *m {
+                    *m = h;
+                }
+            }
+        }
+        MinHash { minima }
+    }
+
+    /// Number of hash functions in the sketch.
+    pub fn k(&self) -> usize {
+        self.minima.len()
+    }
+
+    /// Estimate Jaccard similarity against another sketch of the same `k`.
+    ///
+    /// # Panics
+    /// Panics if the sketches use different `k`.
+    pub fn similarity(&self, other: &MinHash) -> f64 {
+        assert_eq!(self.k(), other.k(), "sketch sizes must match");
+        let matches = self
+            .minima
+            .iter()
+            .zip(&other.minima)
+            .filter(|(a, b)| a == b)
+            .count();
+        matches as f64 / self.k() as f64
+    }
+}
+
+/// A deterministic 64-bit hash of any `Hash` value (stable across runs,
+/// unlike `std::collections::hash_map::RandomState`).
+pub fn stable_hash<T: Hash>(value: &T) -> u64 {
+    let mut h = Fnv1a::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+/// FNV-1a, a simple stable hasher adequate for sketching (not for
+/// adversarial inputs).
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+}
+
+/// splitmix64-style avalanche mix of a base hash with a lane index.
+fn mix(base: u64, lane: u64) -> u64 {
+    let mut z = base ^ lane.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[&str]) -> HashSet<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn jaccard_identical_sets() {
+        let a = set(&["a", "b", "c"]);
+        assert_eq!(jaccard(&a, &a.clone()), 1.0);
+    }
+
+    #[test]
+    fn jaccard_disjoint_sets() {
+        assert_eq!(jaccard(&set(&["a"]), &set(&["b"])), 0.0);
+    }
+
+    #[test]
+    fn jaccard_half_overlap() {
+        // |{a,b} ∩ {b,c}| / |{a,b,c}| = 1/3
+        let j = jaccard(&set(&["a", "b"]), &set(&["b", "c"]));
+        assert!((j - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_empty_sets_are_identical() {
+        let e: HashSet<String> = HashSet::new();
+        assert_eq!(jaccard(&e, &e.clone()), 1.0);
+    }
+
+    #[test]
+    fn jaccard_empty_vs_nonempty() {
+        let e: HashSet<String> = HashSet::new();
+        assert_eq!(jaccard(&e, &set(&["a"])), 0.0);
+    }
+
+    #[test]
+    fn jaccard_f64_collapses_duplicates() {
+        let j = jaccard_f64(&["a", "a", "b"], &["b", "b", "a"]);
+        assert_eq!(j, 1.0);
+    }
+
+    #[test]
+    fn minhash_identical_is_one() {
+        let items: Vec<String> = (0..100).map(|i| format!("tok{i}")).collect();
+        let a = MinHash::sketch(items.iter(), 64);
+        let b = MinHash::sketch(items.iter(), 64);
+        assert_eq!(a.similarity(&b), 1.0);
+    }
+
+    #[test]
+    fn minhash_disjoint_is_near_zero() {
+        let a = MinHash::sketch((0..200).map(|i| format!("a{i}")), 128);
+        let b = MinHash::sketch((0..200).map(|i| format!("b{i}")), 128);
+        assert!(a.similarity(&b) < 0.1);
+    }
+
+    #[test]
+    fn minhash_tracks_exact_jaccard() {
+        // Sets with true Jaccard 0.5: {0..100} vs {34..134} -> 66/134 ≈ 0.49
+        let sa: Vec<String> = (0..100).map(|i| format!("t{i}")).collect();
+        let sb: Vec<String> = (34..134).map(|i| format!("t{i}")).collect();
+        let exact = jaccard_f64(&sa, &sb);
+        let est = MinHash::sketch(sa.iter(), 256).similarity(&MinHash::sketch(sb.iter(), 256));
+        assert!(
+            (est - exact).abs() < 0.12,
+            "estimate {est} too far from exact {exact}"
+        );
+    }
+
+    #[test]
+    fn minhash_deterministic() {
+        let a1 = MinHash::sketch(["x", "y", "z"], 32);
+        let a2 = MinHash::sketch(["x", "y", "z"], 32);
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    #[should_panic(expected = "sketch sizes must match")]
+    fn minhash_mismatched_k_panics() {
+        let a = MinHash::sketch(["x"], 16);
+        let b = MinHash::sketch(["x"], 32);
+        let _ = a.similarity(&b);
+    }
+
+    #[test]
+    fn stable_hash_is_stable() {
+        assert_eq!(stable_hash(&"hello"), stable_hash(&"hello"));
+        assert_ne!(stable_hash(&"hello"), stable_hash(&"world"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for the statistical substrate.
+
+use gptx_stats::correlation::average_ranks;
+use gptx_stats::polyfit::r_squared;
+use gptx_stats::*;
+use proptest::prelude::*;
+
+fn finite_vec(min_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, min_len..64)
+}
+
+proptest! {
+    #[test]
+    fn ecdf_is_monotone(xs in finite_vec(1), probes in finite_vec(2)) {
+        let e = Ecdf::new(&xs).unwrap();
+        let mut sorted = probes.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = 0.0;
+        for p in sorted {
+            let v = e.eval(p);
+            prop_assert!(v >= prev - 1e-12);
+            prop_assert!((0.0..=1.0).contains(&v));
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn ecdf_quantile_round_trip(xs in finite_vec(1), p in 0.0f64..=1.0) {
+        let e = Ecdf::new(&xs).unwrap();
+        let q = e.quantile(p);
+        // F(quantile(p)) >= p by definition of the generalized inverse.
+        prop_assert!(e.eval(q) + 1e-12 >= p);
+    }
+
+    #[test]
+    fn spearman_within_bounds(pairs in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 3..40)) {
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        if let Some(rho) = spearman(&xs, &ys) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&rho));
+        }
+    }
+
+    #[test]
+    fn spearman_is_symmetric(pairs in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 3..30)) {
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        prop_assert_eq!(spearman(&xs, &ys), spearman(&ys, &xs));
+    }
+
+    #[test]
+    fn ranks_sum_to_triangular_number(xs in finite_vec(1)) {
+        let ranks = average_ranks(&xs).unwrap();
+        let n = xs.len() as f64;
+        let sum: f64 = ranks.iter().sum();
+        prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-6 * n.max(1.0));
+    }
+
+    #[test]
+    fn polyfit_recovers_exact_line(a in -100.0f64..100.0, b in -100.0f64..100.0,
+                                   xs in prop::collection::hash_set(-100i32..100, 2..20)) {
+        let xs: Vec<f64> = xs.into_iter().map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| a + b * x).collect();
+        let p = polyfit(&xs, &ys, 1).unwrap();
+        prop_assert!((p.coeffs()[0] - a).abs() < 1e-5 * (1.0 + a.abs()));
+        prop_assert!((p.coeffs()[1] - b).abs() < 1e-5 * (1.0 + b.abs()));
+    }
+
+    #[test]
+    fn polyfit_r_squared_at_most_one(pairs in prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 4..30)) {
+        let xs: Vec<f64> = pairs.iter().enumerate().map(|(i, p)| p.0 + i as f64 * 0.01).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        if let Ok(p) = polyfit(&xs, &ys, 1) {
+            if let Some(r2) = r_squared(&p, &xs, &ys) {
+                prop_assert!(r2 <= 1.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn jaccard_symmetric_and_bounded(a in prop::collection::vec(0u32..50, 0..30),
+                                     b in prop::collection::vec(0u32..50, 0..30)) {
+        let j1 = jaccard_f64(&a, &b);
+        let j2 = jaccard_f64(&b, &a);
+        prop_assert_eq!(j1, j2);
+        prop_assert!((0.0..=1.0).contains(&j1));
+    }
+
+    #[test]
+    fn jaccard_self_is_one(a in prop::collection::vec(0u32..50, 0..30)) {
+        prop_assert_eq!(jaccard_f64(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn minhash_similarity_bounded(a in prop::collection::vec(0u32..100, 1..50),
+                                  b in prop::collection::vec(0u32..100, 1..50)) {
+        let sa = MinHash::sketch(a.iter(), 64);
+        let sb = MinHash::sketch(b.iter(), 64);
+        let s = sa.similarity(&sb);
+        prop_assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn percentile_within_range(xs in finite_vec(1), p in 0.0f64..=100.0) {
+        let v = percentile(&xs, p).unwrap();
+        let mn = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let mx = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= mn - 1e-9 && v <= mx + 1e-9);
+    }
+
+    #[test]
+    fn summary_is_ordered(xs in finite_vec(1)) {
+        let s = Summary::of(&xs).unwrap();
+        prop_assert!(s.min <= s.p25 + 1e-9);
+        prop_assert!(s.p25 <= s.median + 1e-9);
+        prop_assert!(s.median <= s.p75 + 1e-9);
+        prop_assert!(s.p75 <= s.max + 1e-9);
+        prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+    }
+
+    #[test]
+    fn histogram_conserves_count(xs in finite_vec(0)) {
+        let mut h = Histogram::new(-1e6, 1e6, 16);
+        h.record_all(xs.iter().copied());
+        prop_assert_eq!(h.total(), xs.len() as u64);
+    }
+}

@@ -1,0 +1,122 @@
+//! An HTTP client that dials a fixed address and routes by `Host` header.
+//!
+//! The crawler fetches URLs like `https://chat.openai.com/backend-api/...`
+//! and `https://adintelli.ai/privacy`. In the loopback reproduction every
+//! such virtual host is served by one [`crate::server`] instance, so the
+//! client resolves *all* hosts to the configured socket address and
+//! carries the real host in the `Host` header — exactly how one points a
+//! crawler at a test environment with a resolver override.
+
+use crate::http::{configure_stream, HttpError, Request, Response};
+use gptx_model::url::Url;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Client errors (wraps HTTP and URL failures).
+#[derive(Debug)]
+pub enum ClientError {
+    BadUrl(String),
+    Http(HttpError),
+    Connect(std::io::Error),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::BadUrl(u) => write!(f, "bad url: {u}"),
+            ClientError::Http(e) => write!(f, "http error: {e}"),
+            ClientError::Connect(e) => write!(f, "connect error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<HttpError> for ClientError {
+    fn from(e: HttpError) -> Self {
+        ClientError::Http(e)
+    }
+}
+
+/// A blocking HTTP client pinned to one upstream address.
+#[derive(Debug, Clone)]
+pub struct HttpClient {
+    upstream: SocketAddr,
+    connect_timeout: Duration,
+}
+
+impl HttpClient {
+    /// Dial `upstream` for every URL.
+    pub fn new(upstream: SocketAddr) -> HttpClient {
+        HttpClient {
+            upstream,
+            connect_timeout: Duration::from_secs(5),
+        }
+    }
+
+    /// Override the connect timeout.
+    pub fn with_connect_timeout(mut self, timeout: Duration) -> HttpClient {
+        self.connect_timeout = timeout;
+        self
+    }
+
+    /// GET a URL (any scheme/host; resolved to the upstream address).
+    pub fn get(&self, url: &str) -> Result<Response, ClientError> {
+        let parsed = Url::parse(url).map_err(|e| ClientError::BadUrl(format!("{url}: {e}")))?;
+        let request = Request::get(parsed.host(), &parsed.path_and_query());
+        self.send(request)
+    }
+
+    /// Send an arbitrary request.
+    pub fn send(&self, request: Request) -> Result<Response, ClientError> {
+        let stream = TcpStream::connect_timeout(&self.upstream, self.connect_timeout)
+            .map_err(ClientError::Connect)?;
+        configure_stream(&stream)?;
+        let mut write_half = stream.try_clone().map_err(ClientError::Connect)?;
+        request.write_to(&mut write_half)?;
+        let mut reader = BufReader::new(stream);
+        Ok(Response::read_from(&mut reader)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::Response as Resp;
+    use crate::server::serve;
+
+    #[test]
+    fn get_resolves_any_host_to_upstream() {
+        let handle = serve(|req: &Request| {
+            Resp::ok_text(format!("host={}", req.host().unwrap_or("?")))
+        })
+        .unwrap();
+        let client = HttpClient::new(handle.addr());
+        let r1 = client.get("https://chat.openai.com/backend-api/x").unwrap();
+        assert_eq!(r1.text(), "host=chat.openai.com");
+        let r2 = client.get("http://adintelli.ai/privacy").unwrap();
+        assert_eq!(r2.text(), "host=adintelli.ai");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn bad_url_is_rejected() {
+        let client = HttpClient::new("127.0.0.1:1".parse().unwrap());
+        assert!(matches!(
+            client.get("not-a-url"),
+            Err(ClientError::BadUrl(_))
+        ));
+    }
+
+    #[test]
+    fn connect_failure_is_reported() {
+        // Port 1 on loopback is almost certainly closed.
+        let client = HttpClient::new("127.0.0.1:1".parse().unwrap())
+            .with_connect_timeout(Duration::from_millis(200));
+        assert!(matches!(
+            client.get("http://x.test/"),
+            Err(ClientError::Connect(_))
+        ));
+    }
+}

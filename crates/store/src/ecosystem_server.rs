@@ -1,0 +1,476 @@
+//! Serving a synthetic [`Ecosystem`] over HTTP.
+//!
+//! One server plays every remote party of the paper's crawl:
+//!
+//! * the 13 third-party marketplaces — each on its own virtual host,
+//!   serving an HTML listing page with links to GPTs;
+//! * OpenAI's backend (`chat.openai.com/backend-api/gizmos/g-…`) —
+//!   returning the gizmo JSON spec or 404, exactly as Section 3.2
+//!   describes;
+//! * every Action's own domain — serving `/privacy` (the
+//!   `legal_info_url` target) and the Action API endpoint the paper's
+//!   authors probed when investigating removals (dead APIs answer
+//!   410 "discontinued");
+//! * fault injection — a deterministic subset of gizmos fails with 500
+//!   (the paper could not crawl 1.1% of GPTs and 8.5% of policies), and
+//!   an optional every-Nth transient failure exercises crawler retries.
+
+use crate::http::{Request, Response};
+use crate::server::{serve, Router, ServerHandle};
+use gptx_synth::{Ecosystem, PolicyKind, STORES};
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Fault-injection knobs (deterministic per URL, plus a transient
+/// counter-based failure for retry testing).
+#[derive(Debug, Clone, Copy)]
+pub struct FaultConfig {
+    /// Fraction of gizmo ids that permanently 500 (paper: ~1.1%).
+    pub gizmo_failure_rate: f64,
+    /// Every Nth request fails transiently with 503 (None = off).
+    pub transient_failure_every: Option<u64>,
+    /// Artificial per-request latency in milliseconds (0 = off) — for
+    /// crawler timeout/throughput testing.
+    pub response_delay_ms: u64,
+    /// Fraction of gizmo ids whose JSON is served truncated (parse
+    /// failures on the crawler side; 0 = off).
+    pub malformed_gizmo_rate: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            gizmo_failure_rate: 0.011,
+            transient_failure_every: None,
+            response_delay_ms: 0,
+            malformed_gizmo_rate: 0.0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// No failures at all (for exact-recovery integration tests).
+    pub fn none() -> FaultConfig {
+        FaultConfig {
+            gizmo_failure_rate: 0.0,
+            transient_failure_every: None,
+            response_delay_ms: 0,
+            malformed_gizmo_rate: 0.0,
+        }
+    }
+}
+
+/// Virtual host for a marketplace.
+pub fn store_host(store_name: &str) -> String {
+    if store_name.contains('.') {
+        store_name.to_ascii_lowercase()
+    } else {
+        let slug: String = store_name
+            .to_ascii_lowercase()
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .collect();
+        format!("{slug}.store.test")
+    }
+}
+
+/// The router over an ecosystem.
+struct EcosystemRouter {
+    eco: Arc<Ecosystem>,
+    week: Arc<AtomicUsize>,
+    faults: FaultConfig,
+    request_counter: AtomicU64,
+    /// Marketplace virtual host → store name.
+    store_hosts: HashMap<String, String>,
+    /// Action API host → action identity.
+    api_hosts: HashMap<String, String>,
+    /// `legal_info_url` → action identity.
+    policy_urls: HashMap<String, String>,
+}
+
+impl EcosystemRouter {
+    fn new(eco: Arc<Ecosystem>, week: Arc<AtomicUsize>, faults: FaultConfig) -> EcosystemRouter {
+        let store_hosts = STORES
+            .iter()
+            .map(|(name, _)| (store_host(name), name.to_string()))
+            .collect();
+        let mut api_hosts = HashMap::new();
+        let mut policy_urls = HashMap::new();
+        for (identity, action) in &eco.registry {
+            if let Some(host) = action.template.server_host() {
+                api_hosts.insert(host, identity.clone());
+            }
+            if let Some(url) = &action.template.legal_info_url {
+                policy_urls.insert(url.clone(), identity.clone());
+            }
+        }
+        for (identity, policy) in &eco.policies {
+            policy_urls.insert(policy.url.clone(), identity.clone());
+        }
+        EcosystemRouter {
+            eco,
+            week,
+            faults,
+            request_counter: AtomicU64::new(0),
+            store_hosts,
+            api_hosts,
+            policy_urls,
+        }
+    }
+
+    fn current_week(&self) -> usize {
+        self.week
+            .load(Ordering::SeqCst)
+            .min(self.eco.weeks.len() - 1)
+    }
+
+    fn listing_page(&self, store_name: &str) -> Response {
+        let week = &self.eco.weeks[self.current_week()];
+        let Some(ids) = week.listings.get(store_name) else {
+            return Response::not_found();
+        };
+        let mut html = format!(
+            "<html><head><title>{store_name}</title></head><body>\n<h1>{store_name}</h1>\n<ul>\n"
+        );
+        for id in ids {
+            let name = week
+                .snapshot
+                .gpts
+                .get(id)
+                .map(|g| g.display.name.as_str())
+                .unwrap_or("GPT");
+            html.push_str(&format!(
+                "<li><a href=\"https://chat.openai.com/g/{id}\">{name}</a></li>\n"
+            ));
+        }
+        html.push_str("</ul>\n</body></html>\n");
+        Response::ok_html(html)
+    }
+
+    fn gizmo(&self, id_str: &str) -> Response {
+        // Deterministic permanent failures (the paper's uncrawlable 1.1%).
+        let h = gptx_stats_hash(id_str);
+        if (h % 10_000) as f64 / 10_000.0 < self.faults.gizmo_failure_rate {
+            return Response::server_error();
+        }
+        let week = &self.eco.weeks[self.current_week()];
+        let key = gptx_model::GptId(id_str.to_string());
+        match week.snapshot.gpts.get(&key) {
+            Some(gpt) => match serde_json::to_string(gpt) {
+                Ok(json) => {
+                    // Deterministic truncation faults: valid HTTP, broken
+                    // JSON — the crawler must survive parse failures.
+                    let hm = gptx_stats_hash(&format!("malformed:{id_str}"));
+                    if (hm % 10_000) as f64 / 10_000.0 < self.faults.malformed_gizmo_rate {
+                        return Response::ok_json(json[..json.len() / 2].to_string());
+                    }
+                    Response::ok_json(json)
+                }
+                Err(_) => Response::server_error(),
+            },
+            None => Response::not_found(),
+        }
+    }
+
+    fn policy(&self, url: &str) -> Response {
+        let Some(identity) = self.policy_urls.get(url) else {
+            return Response::not_found();
+        };
+        let policy = &self.eco.policies[identity];
+        match (&policy.body, policy.kind) {
+            (None, _) => Response::new(503, "text/plain", "service unavailable"),
+            (Some(body), PolicyKind::DupPixel) => {
+                Response::new(200, "image/gif", body.as_bytes().to_vec())
+            }
+            (Some(body), PolicyKind::DupJsRendered) => Response::ok_html(body.clone()),
+            (Some(body), _) => Response::ok_text(body.clone()),
+        }
+    }
+
+    fn api_probe(&self, identity: &str) -> Response {
+        if self.eco.api_is_dead(identity) {
+            Response::new(
+                410,
+                "text/plain",
+                "This Action was discontinued due to low usage.",
+            )
+        } else {
+            Response::ok_json(r#"{"ok":true}"#)
+        }
+    }
+}
+
+impl Router for EcosystemRouter {
+    fn route(&self, request: &Request) -> Response {
+        // Latency injection.
+        if self.faults.response_delay_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(
+                self.faults.response_delay_ms,
+            ));
+        }
+        // Transient failure injection.
+        if let Some(n) = self.faults.transient_failure_every {
+            let c = self.request_counter.fetch_add(1, Ordering::Relaxed);
+            if n > 0 && c % n == n - 1 {
+                return Response::new(503, "text/plain", "try again");
+            }
+        }
+
+        let host = request.host().unwrap_or("").to_ascii_lowercase();
+        let path = request.path().to_string();
+
+        // OpenAI backend.
+        if host == "chat.openai.com" {
+            if let Some(id) = path.strip_prefix("/backend-api/gizmos/") {
+                return self.gizmo(id);
+            }
+            if path.starts_with("/g/") {
+                return Response::ok_html("<html><body>ChatGPT</body></html>");
+            }
+            return Response::not_found();
+        }
+
+        // Marketplaces.
+        if let Some(store_name) = self.store_hosts.get(&host) {
+            if path == "/" || path == "/gpts" {
+                return self.listing_page(store_name);
+            }
+            return Response::not_found();
+        }
+
+        // Action privacy policies — any registered legal_info_url
+        // (https://{domain}/privacy, or per-endpoint /privacy/{k} paths).
+        if path.starts_with("/privacy") {
+            return self.policy(&format!("https://{host}{path}"));
+        }
+
+        // Action API probes.
+        if let Some(identity) = self.api_hosts.get(&host) {
+            return self.api_probe(identity);
+        }
+
+        Response::not_found()
+    }
+}
+
+/// FNV-1a over a string (stable across runs; used for deterministic
+/// fault assignment).
+fn gptx_stats_hash(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// A running ecosystem server.
+pub struct EcosystemHandle {
+    server: ServerHandle,
+    week: Arc<AtomicUsize>,
+}
+
+impl EcosystemHandle {
+    /// Serve an ecosystem; the "current week" starts at 0.
+    pub fn start(eco: Arc<Ecosystem>, faults: FaultConfig) -> std::io::Result<EcosystemHandle> {
+        let week = Arc::new(AtomicUsize::new(0));
+        let router = EcosystemRouter::new(eco, Arc::clone(&week), faults);
+        let server = serve(router)?;
+        Ok(EcosystemHandle { server, week })
+    }
+
+    pub fn addr(&self) -> SocketAddr {
+        self.server.addr()
+    }
+
+    /// Advance (or rewind) the served week — the test harness's clock.
+    pub fn set_week(&self, week: usize) {
+        self.week.store(week, Ordering::SeqCst);
+    }
+
+    pub fn requests_served(&self) -> u64 {
+        self.server.requests_served()
+    }
+
+    pub fn shutdown(self) {
+        self.server.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::HttpClient;
+    use gptx_synth::SynthConfig;
+
+    fn start() -> (EcosystemHandle, Arc<Ecosystem>, HttpClient) {
+        let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(7)));
+        let handle = EcosystemHandle::start(Arc::clone(&eco), FaultConfig::none()).unwrap();
+        let client = HttpClient::new(handle.addr());
+        (handle, eco, client)
+    }
+
+    #[test]
+    fn store_host_mapping() {
+        assert_eq!(store_host("plugin.surf"), "plugin.surf");
+        assert_eq!(
+            store_host("Casanpir GitHub GPT List"),
+            "casanpir-github-gpt-list.store.test"
+        );
+        assert_eq!(store_host("OpenAI Store"), "openai-store.store.test");
+    }
+
+    #[test]
+    fn listing_page_links_gpts() {
+        let (handle, eco, client) = start();
+        let url = format!("https://{}/", store_host(STORES[0].0));
+        let page = client.get(&url).unwrap();
+        assert!(page.is_success());
+        let body = page.text();
+        let expected = eco.weeks[0].listings[STORES[0].0].len();
+        let found = body.matches("https://chat.openai.com/g/").count();
+        assert_eq!(found, expected);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn gizmo_endpoint_serves_json_and_404() {
+        let (handle, eco, client) = start();
+        let id = eco.weeks[0].snapshot.gpts.keys().next().unwrap().clone();
+        let resp = client
+            .get(&format!("https://chat.openai.com/backend-api/gizmos/{id}"))
+            .unwrap();
+        assert!(resp.is_success());
+        let gpt: gptx_model::Gpt = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(gpt.id, id);
+
+        let missing = client
+            .get("https://chat.openai.com/backend-api/gizmos/g-zzzzzzzzzz")
+            .unwrap();
+        assert_eq!(missing.status, 404);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn week_advancing_changes_listings() {
+        let (handle, eco, client) = start();
+        let url = format!("https://{}/", store_host(STORES[0].0));
+        let week0 = client.get(&url).unwrap().text();
+        handle.set_week(eco.weeks.len() - 1);
+        let last = client.get(&url).unwrap().text();
+        // Growth means more links in the final week.
+        assert!(
+            last.matches("/g/").count() > week0.matches("/g/").count(),
+            "listings did not grow"
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn policy_endpoint_serves_bodies_and_503() {
+        let (handle, eco, client) = start();
+        let mut served = 0;
+        let mut unavailable = 0;
+        for (identity, policy) in eco.policies.iter().take(60) {
+            let resp = client.get(&policy.url).unwrap();
+            match &policy.body {
+                None => {
+                    assert_eq!(resp.status, 503, "{identity}");
+                    unavailable += 1;
+                }
+                Some(body) => {
+                    assert!(resp.is_success(), "{identity}");
+                    assert_eq!(resp.text(), *body);
+                    served += 1;
+                }
+            }
+        }
+        assert!(served > 0);
+        // With 13.32% unavailable, 60 policies nearly always include one.
+        assert!(unavailable > 0, "no unavailable policy in sample");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn dead_api_probe_returns_discontinued() {
+        // Generate with forced removals so dead APIs exist.
+        let mut config = SynthConfig::tiny(11);
+        config.base_gpts = 3000;
+        config.weekly_removal_rate = 0.02;
+        let eco = Arc::new(Ecosystem::generate(config));
+        let handle = EcosystemHandle::start(Arc::clone(&eco), FaultConfig::none()).unwrap();
+        let client = HttpClient::new(handle.addr());
+        let dead = eco.dynamics.dead_apis.iter().next();
+        if let Some(identity) = dead {
+            let host = eco.registry[identity].template.server_host().unwrap();
+            let resp = client.get(&format!("https://{host}/v1/run")).unwrap();
+            assert_eq!(resp.status, 410);
+            assert!(resp.text().contains("discontinued"));
+        }
+        // A live API answers 200.
+        let live = eco
+            .registry
+            .keys()
+            .find(|id| !eco.api_is_dead(id))
+            .unwrap();
+        let host = eco.registry[live].template.server_host().unwrap();
+        let resp = client.get(&format!("https://{host}/v1/run")).unwrap();
+        assert_eq!(resp.status, 200);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn transient_faults_fire_every_nth() {
+        let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(7)));
+        let handle = EcosystemHandle::start(
+            Arc::clone(&eco),
+            FaultConfig {
+                gizmo_failure_rate: 0.0,
+                transient_failure_every: Some(3),
+                response_delay_ms: 0,
+                malformed_gizmo_rate: 0.0,
+            },
+        )
+        .unwrap();
+        let client = HttpClient::new(handle.addr());
+        let url = format!("https://{}/", store_host(STORES[0].0));
+        let statuses: Vec<u16> = (0..6).map(|_| client.get(&url).unwrap().status).collect();
+        assert_eq!(statuses.iter().filter(|&&s| s == 503).count(), 2);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn latency_injection_slows_responses() {
+        let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(7)));
+        let handle = EcosystemHandle::start(
+            Arc::clone(&eco),
+            FaultConfig {
+                gizmo_failure_rate: 0.0,
+                transient_failure_every: None,
+                response_delay_ms: 80,
+                malformed_gizmo_rate: 0.0,
+            },
+        )
+        .unwrap();
+        let client = HttpClient::new(handle.addr());
+        let url = format!("https://{}/", store_host(STORES[0].0));
+        let start = std::time::Instant::now();
+        let resp = client.get(&url).unwrap();
+        assert!(resp.is_success());
+        assert!(
+            start.elapsed() >= std::time::Duration::from_millis(80),
+            "latency injection not applied"
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn unknown_host_is_404() {
+        let (handle, _eco, client) = start();
+        let resp = client.get("https://unknown.example/whatever").unwrap();
+        assert_eq!(resp.status, 404);
+        handle.shutdown();
+    }
+}

@@ -1,0 +1,486 @@
+//! A minimal HTTP/1.1 message implementation over `std::net`.
+//!
+//! Only what the crawler and marketplace server need: request-line and
+//! header parsing, `Content-Length` bodies, and `Connection: close`
+//! semantics. No chunked transfer, no keep-alive, no TLS — the loopback
+//! substitution (DESIGN.md §2) doesn't need them, and per the project's
+//! networking guides the simplest robust implementation wins.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Maximum accepted header block size (DoS guard).
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Maximum accepted body size (gizmo specs are tens of KB; policies
+/// hundreds of KB at most).
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// HTTP errors.
+#[derive(Debug)]
+pub enum HttpError {
+    Io(std::io::Error),
+    /// Malformed request/status line or headers.
+    Malformed(String),
+    /// Header block or body exceeded limits.
+    TooLarge,
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+            HttpError::Malformed(s) => write!(f, "malformed message: {s}"),
+            HttpError::TooLarge => write!(f, "message too large"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    pub method: String,
+    /// Path plus query string, exactly as on the request line.
+    pub target: String,
+    /// Lowercased header names → values.
+    pub headers: BTreeMap<String, String>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Build a GET request for `path` with a `Host` header.
+    pub fn get(host: &str, path: &str) -> Request {
+        let mut headers = BTreeMap::new();
+        headers.insert("host".to_string(), host.to_string());
+        headers.insert("connection".to_string(), "close".to_string());
+        Request {
+            method: "GET".to_string(),
+            target: path.to_string(),
+            headers,
+            body: Vec::new(),
+        }
+    }
+
+    /// The `Host` header, if present.
+    pub fn host(&self) -> Option<&str> {
+        self.headers.get("host").map(String::as_str)
+    }
+
+    /// Path without the query string.
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// Value of a query parameter, if present.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        let query = self.target.split_once('?')?.1;
+        query.split('&').find_map(|kv| {
+            let (k, v) = kv.split_once('=')?;
+            (k == name).then_some(v)
+        })
+    }
+
+    /// Serialize onto a stream.
+    pub fn write_to(&self, stream: &mut TcpStream) -> Result<(), HttpError> {
+        let mut head = format!("{} {} HTTP/1.1\r\n", self.method, self.target);
+        for (k, v) in &self.headers {
+            head.push_str(&format!("{k}: {v}\r\n"));
+        }
+        if !self.body.is_empty() {
+            head.push_str(&format!("content-length: {}\r\n", self.body.len()));
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()?;
+        Ok(())
+    }
+
+    /// Parse a request from a stream.
+    pub fn read_from(reader: &mut BufReader<TcpStream>) -> Result<Request, HttpError> {
+        let (start, headers) = read_head(reader)?;
+        let mut parts = start.split_whitespace();
+        let method = parts
+            .next()
+            .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
+            .to_string();
+        let target = parts
+            .next()
+            .ok_or_else(|| HttpError::Malformed("missing target".into()))?
+            .to_string();
+        let version = parts.next().unwrap_or("");
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::Malformed(format!("bad version {version:?}")));
+        }
+        let body = read_body(reader, &headers)?;
+        Ok(Request {
+            method,
+            target,
+            headers,
+            body,
+        })
+    }
+}
+
+/// A parsed HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    pub status: u16,
+    pub headers: BTreeMap<String, String>,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// Build a response with a body and content type.
+    pub fn new(status: u16, content_type: &str, body: impl Into<Vec<u8>>) -> Response {
+        let mut headers = BTreeMap::new();
+        headers.insert("content-type".to_string(), content_type.to_string());
+        headers.insert("connection".to_string(), "close".to_string());
+        Response {
+            status,
+            headers,
+            body: body.into(),
+        }
+    }
+
+    pub fn ok_json(body: impl Into<Vec<u8>>) -> Response {
+        Response::new(200, "application/json", body)
+    }
+
+    pub fn ok_html(body: impl Into<Vec<u8>>) -> Response {
+        Response::new(200, "text/html; charset=utf-8", body)
+    }
+
+    pub fn ok_text(body: impl Into<Vec<u8>>) -> Response {
+        Response::new(200, "text/plain; charset=utf-8", body)
+    }
+
+    pub fn not_found() -> Response {
+        Response::new(404, "text/plain", "not found")
+    }
+
+    pub fn server_error() -> Response {
+        Response::new(500, "text/plain", "internal server error")
+    }
+
+    /// Body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// Is this a 2xx status?
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            201 => "Created",
+            204 => "No Content",
+            400 => "Bad Request",
+            404 => "Not Found",
+            410 => "Gone",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serialize onto a stream.
+    pub fn write_to(&self, stream: &mut TcpStream) -> Result<(), HttpError> {
+        let mut head = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason());
+        for (k, v) in &self.headers {
+            if k != "content-length" {
+                head.push_str(&format!("{k}: {v}\r\n"));
+            }
+        }
+        head.push_str(&format!("content-length: {}\r\n\r\n", self.body.len()));
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()?;
+        Ok(())
+    }
+
+    /// Parse a response from a stream.
+    pub fn read_from(reader: &mut BufReader<TcpStream>) -> Result<Response, HttpError> {
+        let (start, headers) = read_head(reader)?;
+        let mut parts = start.split_whitespace();
+        let version = parts.next().unwrap_or("");
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::Malformed(format!("bad version {version:?}")));
+        }
+        let status: u16 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| HttpError::Malformed("bad status".into()))?;
+        let body = read_body(reader, &headers)?;
+        Ok(Response {
+            status,
+            headers,
+            body,
+        })
+    }
+}
+
+/// Read the start line and header block.
+fn read_head(
+    reader: &mut BufReader<TcpStream>,
+) -> Result<(String, BTreeMap<String, String>), HttpError> {
+    let mut start = String::new();
+    let mut total = 0usize;
+    reader.read_line(&mut start)?;
+    total += start.len();
+    let start = start.trim_end().to_string();
+    if start.is_empty() {
+        return Err(HttpError::Malformed("empty start line".into()));
+    }
+    let mut headers = BTreeMap::new();
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(HttpError::Malformed("eof in headers".into()));
+        }
+        total += n;
+        if total > MAX_HEADER_BYTES {
+            return Err(HttpError::TooLarge);
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = line.split_once(':') {
+            headers.insert(k.trim().to_ascii_lowercase(), v.trim().to_string());
+        }
+        // Lines without ':' are tolerated (robustness over strictness for
+        // a crawler that faces arbitrary servers).
+    }
+    Ok((start, headers))
+}
+
+/// Read a message body: `Transfer-Encoding: chunked` when declared
+/// (crawlers face real servers that stream policies chunked), otherwise
+/// `Content-Length` (0 when the header is absent).
+fn read_body(
+    reader: &mut BufReader<TcpStream>,
+    headers: &BTreeMap<String, String>,
+) -> Result<Vec<u8>, HttpError> {
+    if headers
+        .get("transfer-encoding")
+        .is_some_and(|v| v.to_ascii_lowercase().contains("chunked"))
+    {
+        return read_chunked_body(reader);
+    }
+    let len: usize = headers
+        .get("content-length")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    if len > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge);
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// Decode an RFC 9112 chunked body: hex-size line (extensions after ';'
+/// ignored), chunk bytes, CRLF — terminated by a zero-size chunk and
+/// optional trailers (which are read and discarded).
+fn read_chunked_body(reader: &mut BufReader<TcpStream>) -> Result<Vec<u8>, HttpError> {
+    let mut body = Vec::new();
+    loop {
+        let mut size_line = String::new();
+        if reader.read_line(&mut size_line)? == 0 {
+            return Err(HttpError::Malformed("eof in chunk size".into()));
+        }
+        let size_str = size_line.trim().split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_str, 16)
+            .map_err(|_| HttpError::Malformed(format!("bad chunk size {size_str:?}")))?;
+        if body.len() + size > MAX_BODY_BYTES {
+            return Err(HttpError::TooLarge);
+        }
+        if size == 0 {
+            // Trailers until the blank line.
+            loop {
+                let mut trailer = String::new();
+                if reader.read_line(&mut trailer)? == 0 || trailer.trim().is_empty() {
+                    break;
+                }
+            }
+            return Ok(body);
+        }
+        let start = body.len();
+        body.resize(start + size, 0);
+        reader.read_exact(&mut body[start..])?;
+        // The CRLF after the chunk data.
+        let mut crlf = [0u8; 2];
+        reader.read_exact(&mut crlf)?;
+        if &crlf != b"\r\n" {
+            return Err(HttpError::Malformed("missing CRLF after chunk".into()));
+        }
+    }
+}
+
+/// Default socket timeouts for both sides.
+pub fn configure_stream(stream: &TcpStream) -> Result<(), HttpError> {
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Round-trip a request and response over a real socket pair.
+    fn round_trip(req: Request, resp: Response) -> (Request, Response) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            configure_stream(&stream).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let got = Request::read_from(&mut reader).unwrap();
+            let mut stream = stream;
+            resp.write_to(&mut stream).unwrap();
+            got
+        });
+        let stream = TcpStream::connect(addr).unwrap();
+        configure_stream(&stream).unwrap();
+        let mut write_half = stream.try_clone().unwrap();
+        req.write_to(&mut write_half).unwrap();
+        let mut reader = BufReader::new(stream);
+        let got_resp = Response::read_from(&mut reader).unwrap();
+        let got_req = server.join().unwrap();
+        (got_req, got_resp)
+    }
+
+    #[test]
+    fn request_response_round_trip() {
+        let req = Request::get("example.com", "/path?x=1");
+        let resp = Response::ok_json(r#"{"ok":true}"#);
+        let (got_req, got_resp) = round_trip(req.clone(), resp.clone());
+        assert_eq!(got_req.method, "GET");
+        assert_eq!(got_req.target, "/path?x=1");
+        assert_eq!(got_req.host(), Some("example.com"));
+        assert_eq!(got_resp.status, 200);
+        assert_eq!(got_resp.text(), r#"{"ok":true}"#);
+    }
+
+    #[test]
+    fn body_round_trip() {
+        let mut req = Request::get("h", "/submit");
+        req.method = "POST".into();
+        req.body = b"hello body".to_vec();
+        let resp = Response::new(201, "text/plain", "created!");
+        let (got_req, got_resp) = round_trip(req, resp);
+        assert_eq!(got_req.body, b"hello body");
+        assert_eq!(got_resp.status, 201);
+        assert_eq!(got_resp.text(), "created!");
+    }
+
+    #[test]
+    fn query_param_parsing() {
+        let req = Request::get("h", "/x?week=3&store=2");
+        assert_eq!(req.query_param("week"), Some("3"));
+        assert_eq!(req.query_param("store"), Some("2"));
+        assert_eq!(req.query_param("missing"), None);
+        assert_eq!(req.path(), "/x");
+    }
+
+    #[test]
+    fn path_without_query() {
+        let req = Request::get("h", "/plain");
+        assert_eq!(req.path(), "/plain");
+        assert_eq!(req.query_param("x"), None);
+    }
+
+    #[test]
+    fn response_helpers() {
+        assert_eq!(Response::not_found().status, 404);
+        assert!(!Response::not_found().is_success());
+        assert!(Response::ok_text("x").is_success());
+        assert_eq!(Response::server_error().status, 500);
+    }
+
+    /// Serve a raw byte blob on an ephemeral port, once.
+    fn raw_server(payload: &'static [u8]) -> std::net::SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            // Drain the request head.
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let _ = Request::read_from(&mut reader);
+            stream.write_all(payload).unwrap();
+        });
+        addr
+    }
+
+    fn fetch_from(addr: std::net::SocketAddr) -> Response {
+        let stream = TcpStream::connect(addr).unwrap();
+        configure_stream(&stream).unwrap();
+        let mut write_half = stream.try_clone().unwrap();
+        Request::get("h", "/").write_to(&mut write_half).unwrap();
+        let mut reader = BufReader::new(stream);
+        Response::read_from(&mut reader).unwrap()
+    }
+
+    #[test]
+    fn chunked_body_is_decoded() {
+        let addr = raw_server(
+            b"HTTP/1.1 200 OK\r\ntransfer-encoding: chunked\r\n\r\n\
+              5\r\nhello\r\n7\r\n, world\r\n0\r\n\r\n",
+        );
+        let resp = fetch_from(addr);
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.text(), "hello, world");
+    }
+
+    #[test]
+    fn chunked_with_extensions_and_trailers() {
+        let addr = raw_server(
+            b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n\
+              4;ext=1\r\ndata\r\n0\r\nx-trailer: v\r\n\r\n",
+        );
+        let resp = fetch_from(addr);
+        assert_eq!(resp.text(), "data");
+    }
+
+    #[test]
+    fn bad_chunk_size_is_malformed() {
+        let addr = raw_server(
+            b"HTTP/1.1 200 OK\r\ntransfer-encoding: chunked\r\n\r\nzz\r\n",
+        );
+        let stream = TcpStream::connect(addr).unwrap();
+        configure_stream(&stream).unwrap();
+        let mut write_half = stream.try_clone().unwrap();
+        Request::get("h", "/").write_to(&mut write_half).unwrap();
+        let mut reader = BufReader::new(stream);
+        assert!(matches!(
+            Response::read_from(&mut reader),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn empty_body_when_no_content_length() {
+        let req = Request::get("h", "/");
+        let resp = Response::new(204, "text/plain", "");
+        let (got_req, got_resp) = round_trip(req, resp);
+        assert!(got_req.body.is_empty());
+        assert!(got_resp.body.is_empty());
+    }
+}

@@ -1,0 +1,21 @@
+//! # gptx-store
+//!
+//! The HTTP substrate of the reproduction: a from-scratch HTTP/1.1
+//! server and client over `std::net`, plus a virtual-host router that
+//! serves a synthetic [`gptx_synth::Ecosystem`] as if it were the live
+//! internet the paper crawled — 13 marketplaces, OpenAI's gizmo API,
+//! every Action's privacy-policy URL and probe-able API endpoint, with
+//! deterministic fault injection.
+//!
+//! The crawler in `gptx-crawler` talks to this over real loopback TCP;
+//! nothing in it knows the server is synthetic.
+
+pub mod client;
+pub mod ecosystem_server;
+pub mod http;
+pub mod server;
+
+pub use client::{ClientError, HttpClient};
+pub use ecosystem_server::{store_host, EcosystemHandle, FaultConfig};
+pub use http::{HttpError, Request, Response};
+pub use server::{serve, Router, ServerHandle};

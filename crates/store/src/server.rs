@@ -1,0 +1,205 @@
+//! A threaded HTTP server with graceful shutdown.
+//!
+//! One accept loop, one handler thread per connection (connections are
+//! short-lived `Connection: close` exchanges). Shutdown sets a flag and
+//! pokes the listener with a loopback connect so `accept` wakes up — the
+//! standard trick for interruptible blocking accept loops without async.
+
+use crate::http::{configure_stream, Request, Response};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Request handler: maps a request to a response. Implementations must
+/// be `Send + Sync`; the server shares one instance across connections.
+pub trait Router: Send + Sync + 'static {
+    fn route(&self, request: &Request) -> Response;
+}
+
+impl<F> Router for F
+where
+    F: Fn(&Request) -> Response + Send + Sync + 'static,
+{
+    fn route(&self, request: &Request) -> Response {
+        self(request)
+    }
+}
+
+/// A running server; dropping the handle shuts it down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    requests_served: Arc<AtomicU64>,
+}
+
+impl ServerHandle {
+    /// The bound address (`127.0.0.1:<ephemeral>`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Total requests served so far.
+    pub fn requests_served(&self) -> u64 {
+        self.requests_served.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting and join the accept loop.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Poke the listener so the blocking accept returns.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+/// Bind `127.0.0.1:0` and serve `router` until shutdown.
+pub fn serve<R: Router>(router: R) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let requests_served = Arc::new(AtomicU64::new(0));
+    let router = Arc::new(router);
+
+    let accept_shutdown = Arc::clone(&shutdown);
+    let accept_count = Arc::clone(&requests_served);
+    let accept_thread = std::thread::Builder::new()
+        .name("gptx-store-accept".into())
+        .spawn(move || {
+            let mut workers: Vec<JoinHandle<()>> = Vec::new();
+            for stream in listener.incoming() {
+                if accept_shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let router = Arc::clone(&router);
+                let count = Arc::clone(&accept_count);
+                let worker = std::thread::Builder::new()
+                    .name("gptx-store-conn".into())
+                    .spawn(move || handle_connection(stream, &*router, &count))
+                    .expect("spawn connection thread");
+                workers.push(worker);
+                // Reap finished workers so the vec doesn't grow unboundedly.
+                workers.retain(|w| !w.is_finished());
+            }
+            for w in workers {
+                let _ = w.join();
+            }
+        })?;
+
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        accept_thread: Some(accept_thread),
+        requests_served,
+    })
+}
+
+fn handle_connection(stream: TcpStream, router: &dyn Router, count: &AtomicU64) {
+    if configure_stream(&stream).is_err() {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let response = match Request::read_from(&mut reader) {
+        Ok(request) => {
+            count.fetch_add(1, Ordering::Relaxed);
+            router.route(&request)
+        }
+        Err(_) => Response::new(400, "text/plain", "bad request"),
+    };
+    let mut stream = stream;
+    let _ = response.write_to(&mut stream);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::HttpClient;
+
+    fn echo_router(req: &Request) -> Response {
+        Response::ok_text(format!("{} {}", req.method, req.target))
+    }
+
+    #[test]
+    fn serves_requests() {
+        let handle = serve(echo_router).unwrap();
+        let client = HttpClient::new(handle.addr());
+        let resp = client.get("http://test.local/hello?x=1").unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.text(), "GET /hello?x=1");
+        assert_eq!(handle.requests_served(), 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn serves_concurrent_requests() {
+        let handle = serve(echo_router).unwrap();
+        let addr = handle.addr();
+        let threads: Vec<_> = (0..16)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let client = HttpClient::new(addr);
+                    let resp = client.get(&format!("http://t.local/{i}")).unwrap();
+                    assert_eq!(resp.text(), format!("GET /{i}"));
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(handle.requests_served(), 16);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn shutdown_stops_serving() {
+        let handle = serve(echo_router).unwrap();
+        let addr = handle.addr();
+        handle.shutdown();
+        // After shutdown either the connect fails or the read does.
+        let client = HttpClient::new(addr);
+        assert!(client.get("http://t.local/after").is_err());
+    }
+
+    #[test]
+    fn drop_is_graceful() {
+        let addr;
+        {
+            let handle = serve(echo_router).unwrap();
+            addr = handle.addr();
+            let client = HttpClient::new(addr);
+            assert!(client.get("http://t.local/x").is_ok());
+        }
+        let client = HttpClient::new(addr);
+        assert!(client.get("http://t.local/y").is_err());
+    }
+
+    #[test]
+    fn router_sees_host_header() {
+        let handle = serve(|req: &Request| {
+            Response::ok_text(req.host().unwrap_or("none").to_string())
+        })
+        .unwrap();
+        let client = HttpClient::new(handle.addr());
+        let resp = client.get("https://api.example.dev/v1").unwrap();
+        assert_eq!(resp.text(), "api.example.dev");
+        handle.shutdown();
+    }
+}

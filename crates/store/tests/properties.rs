@@ -1,0 +1,64 @@
+//! Property-based tests for the HTTP substrate: arbitrary requests and
+//! responses survive a real socket round trip.
+
+use gptx_store::{serve, HttpClient, Request, Response};
+use proptest::prelude::*;
+
+fn token() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9_-]{1,12}"
+}
+
+proptest! {
+    // Socket setup per case is expensive; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn response_bodies_round_trip(body in prop::collection::vec(any::<u8>(), 0..4096),
+                                  status in prop::sample::select(vec![200u16, 201, 404, 410, 503])) {
+        let expected = body.clone();
+        let handle = serve(move |_req: &Request| {
+            Response::new(status, "application/octet-stream", body.clone())
+        })
+        .unwrap();
+        let client = HttpClient::new(handle.addr());
+        let resp = client.get("http://prop.test/x").unwrap();
+        prop_assert_eq!(resp.status, status);
+        prop_assert_eq!(resp.body, expected);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn paths_and_hosts_reach_router_verbatim(host in "[a-z]{1,8}(\\.[a-z]{1,8}){0,2}",
+                                             segments in prop::collection::vec(token(), 0..4),
+                                             query in prop::option::of((token(), token()))) {
+        let mut path = String::from("/");
+        path.push_str(&segments.join("/"));
+        if let Some((k, v)) = &query {
+            path.push_str(&format!("?{k}={v}"));
+        }
+        let handle = serve(|req: &Request| {
+            Response::ok_text(format!("{}|{}", req.host().unwrap_or(""), req.target))
+        })
+        .unwrap();
+        let client = HttpClient::new(handle.addr());
+        let url = format!("http://{host}{path}");
+        let resp = client.get(&url).unwrap();
+        prop_assert_eq!(resp.text(), format!("{host}|{path}"));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn request_bodies_round_trip(body in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let handle = serve(|req: &Request| {
+            Response::new(200, "application/octet-stream", req.body.clone())
+        })
+        .unwrap();
+        let client = HttpClient::new(handle.addr());
+        let mut request = Request::get("echo.test", "/post");
+        request.method = "POST".to_string();
+        request.body = body.clone();
+        let resp = client.send(request).unwrap();
+        prop_assert_eq!(resp.body, body);
+        handle.shutdown();
+    }
+}

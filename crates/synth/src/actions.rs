@@ -1,0 +1,434 @@
+//! Action synthesis: the Table 6 hub Actions plus a Zipf-weighted long
+//! tail of third-party services, and per-GPT first-party Actions.
+
+use crate::fields::field_templates;
+use gptx_model::openapi::{MediaType, Operation, Parameter, PathItem, RequestBody, SchemaObject};
+use gptx_model::{ActionSpec, AuthType};
+use gptx_taxonomy::DataType;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A prevalent third-party Action from the paper's Table 6.
+#[derive(Debug, Clone)]
+pub struct HubAction {
+    pub name: &'static str,
+    pub domain: &'static str,
+    pub functionality: &'static str,
+    /// Fraction of Action-embedding GPTs that embed this hub.
+    pub embed_rate: f64,
+    /// The succinct data types it collects.
+    pub data_types: &'static [DataType],
+    /// GPT categories this hub is drawn to (AdIntelli rides on shopping
+    /// and travel GPTs — Section 5.3.1).
+    pub affinity: &'static [&'static str],
+}
+
+use DataType::*;
+
+/// The Table 6 hub inventory (plus Link Reader, which Table 8 shows as a
+/// top-5 co-occurring Action).
+pub const HUBS: &[HubAction] = &[
+    HubAction {
+        name: "webPilot",
+        domain: "webpilot.ai",
+        functionality: "Productivity",
+        embed_rate: 0.0606,
+        data_types: &[
+            Languages, InAppSearchHistory, WebsiteVisits, Time, ReferenceInformation,
+            OtherUserGeneratedData, SettingsOrParameters,
+        ],
+        affinity: &[],
+    },
+    HubAction {
+        name: "Zapier AI Actions for GPT",
+        domain: "zapier.com",
+        functionality: "Productivity",
+        embed_rate: 0.0565,
+        data_types: &[
+            DataIdentifier, InstalledApps, OtherUserGeneratedData, UserIds,
+            SettingsOrParameters,
+        ],
+        affinity: &["productivity"],
+    },
+    HubAction {
+        name: "AdIntelli",
+        domain: "adintelli.ai",
+        functionality: "Advertising & Marketing",
+        embed_rate: 0.0350,
+        data_types: &[InstalledApps, OtherUserGeneratedData],
+        affinity: &["shopping", "travel"],
+    },
+    HubAction {
+        name: "OpenAI Profile",
+        domain: "openai.com",
+        functionality: "Communications",
+        embed_rate: 0.0193,
+        data_types: &[ModelNameOrVersion, OtherInAppMessages],
+        affinity: &[],
+    },
+    HubAction {
+        name: "Gapier",
+        domain: "gapier.com",
+        functionality: "Prompt Engineering",
+        embed_rate: 0.0160,
+        data_types: &[
+            EmailAddress, DataIdentifier, ApproximateLocation, UserIds, InstalledApps,
+            WebsiteVisits, ReferenceInformation, Name, InAppSearchHistory,
+            SettingsOrParameters, Time, OtherUserGeneratedData,
+        ],
+        affinity: &[],
+    },
+    HubAction {
+        name: "Wix GPT Integration",
+        domain: "wix.com",
+        functionality: "Web Hosting",
+        embed_rate: 0.0079,
+        data_types: &[EmailAddress, DataIdentifier, Name, OtherInfo],
+        affinity: &["business"],
+    },
+    HubAction {
+        name: "Abotify product information API",
+        domain: "abotify.com",
+        functionality: "Ecommerce & Shopping",
+        embed_rate: 0.0076,
+        data_types: &[OtherInfo],
+        affinity: &["shopping"],
+    },
+    HubAction {
+        name: "GPT functions/actions",
+        domain: "gptfunctions.dev",
+        functionality: "Prompt Engineering",
+        embed_rate: 0.0061,
+        data_types: &[
+            ModelNameOrVersion, ApproximateLocation, InAppSearchHistory,
+            OtherUserGeneratedData, SettingsOrParameters, DataIdentifier, Time,
+        ],
+        affinity: &[],
+    },
+    HubAction {
+        name: "Analytics to improve this assistant",
+        domain: "gptanalytics.io",
+        functionality: "Research & Analysis",
+        embed_rate: 0.0054,
+        data_types: &[OtherUserGeneratedData, CommandsPrompts],
+        affinity: &["shopping", "travel"],
+    },
+    HubAction {
+        name: "VoxScript",
+        domain: "voxscript.ai",
+        functionality: "Communications",
+        embed_rate: 0.0052,
+        data_types: &[
+            DataIdentifier, OtherInfo, InAppSearchHistory, WebsiteVisits, Videos, Time,
+            SettingsOrParameters,
+        ],
+        affinity: &["entertainment"],
+    },
+    HubAction {
+        name: "Link Reader",
+        domain: "linkreader.dev",
+        functionality: "Productivity",
+        embed_rate: 0.0050,
+        data_types: &[
+            WebsiteVisits, ReferenceInformation, FilesAndDocs, InAppSearchHistory,
+            OtherUserGeneratedData, Time, DataIdentifier,
+        ],
+        affinity: &[],
+    },
+    HubAction {
+        name: "Get weather data",
+        domain: "weather-gpt.dev",
+        functionality: "Weather",
+        embed_rate: 0.0047,
+        data_types: &[ApproximateLocation],
+        affinity: &["weather"],
+    },
+    HubAction {
+        name: "ChatPrompt product info. API",
+        domain: "chatprompt.app",
+        functionality: "Prompt Engineering",
+        embed_rate: 0.0043,
+        data_types: &[OtherInfo, Videos, Name, OtherUserGeneratedData],
+        affinity: &[],
+    },
+    HubAction {
+        name: "Relevance AI Tools",
+        domain: "relevanceai.com",
+        functionality: "Prompt Engineering",
+        embed_rate: 0.0038,
+        data_types: &[
+            FilesAndDocs, Videos, Name, ApproximateLocation, OtherUserGeneratedData,
+            DataIdentifier, UserIds,
+        ],
+        affinity: &[],
+    },
+    HubAction {
+        name: "SerpApi Search Service",
+        domain: "serpapi.com",
+        functionality: "Search Engines",
+        embed_rate: 0.0027,
+        data_types: &[
+            PreciseLocation, Languages, InAppSearchHistory, UserIds, ApproximateLocation,
+            SettingsOrParameters, Time, DataIdentifier,
+        ],
+        affinity: &["research"],
+    },
+    HubAction {
+        name: "Swagger Petstore",
+        domain: "petstore.swagger.io",
+        functionality: "Pets & Animals",
+        embed_rate: 0.0020,
+        data_types: &[UserIds, SettingsOrParameters],
+        affinity: &[],
+    },
+];
+
+/// Functionality categories assigned to long-tail Actions.
+pub const FUNCTIONALITIES: &[&str] = &[
+    "Productivity", "Communications", "Prompt Engineering", "Ecommerce & Shopping",
+    "Search Engines", "Research & Analysis", "Weather", "Web Hosting", "Travel",
+    "Finance", "Education", "Entertainment", "Developer Tools", "News",
+];
+
+const NAME_HEADS: &[&str] = &[
+    "Smart", "Quick", "Deep", "Omni", "Hyper", "Meta", "Neo", "Prime", "True", "Open",
+    "Bright", "Swift", "Clever", "Mega", "Ultra", "Pixel", "Cloud", "Data", "Astro", "Echo",
+];
+
+const NAME_TAILS: &[&str] = &[
+    "Search", "Reader", "Scraper", "Notes", "Mail", "Trips", "Shop", "Quote", "Chart",
+    "Lookup", "Fetch", "Feed", "Docs", "Translate", "Summary", "Recipe", "Market", "Stats",
+    "Wiki", "Planner",
+];
+
+/// Generate a deterministic long-tail Action name + domain from an index.
+pub fn long_tail_identity(index: usize) -> (String, String) {
+    let head = NAME_HEADS[index % NAME_HEADS.len()];
+    let tail = NAME_TAILS[(index / NAME_HEADS.len()) % NAME_TAILS.len()];
+    let serial = index / (NAME_HEADS.len() * NAME_TAILS.len());
+    let name = if serial == 0 {
+        format!("{head}{tail}")
+    } else {
+        format!("{head}{tail} {serial}")
+    };
+    let domain = format!(
+        "{}{}{}.{}",
+        head.to_ascii_lowercase(),
+        tail.to_ascii_lowercase(),
+        if serial == 0 { String::new() } else { serial.to_string() },
+        ["io", "ai", "dev", "com", "app"][index % 5],
+    );
+    (name, domain)
+}
+
+/// Build an Action's OpenAPI manifest from its intended data types.
+///
+/// Every data type contributes 1–2 raw fields drawn from its templates
+/// (so raw counts exceed succinct counts, as in Figure 4), spread across
+/// one or two endpoints.
+pub fn build_action_spec(
+    tool_id: &str,
+    name: &str,
+    domain: &str,
+    data_types: &[DataType],
+    rng: &mut StdRng,
+) -> ActionSpec {
+    let server = format!("https://api.{domain}");
+    let mut action = ActionSpec::minimal(tool_id, name, &server);
+    action.legal_info_url = Some(format!("https://{domain}/privacy"));
+    action.auth = match rng.gen_range(0..10) {
+        0..=5 => AuthType::None,
+        6..=8 => AuthType::ApiKey,
+        _ => AuthType::Oauth,
+    };
+    action.spec.info.description = format!("{name} API for GPT integration.");
+
+    // Partition the types over one endpoint per ~3 types: super Actions
+    // (Gapier, Zapier) expose "10s of APIs" (§5.2.2) and their raw field
+    // counts dwarf their succinct counts (Figure 4's heavy raw tail).
+    let endpoints = (1 + data_types.len() / 3).min(5);
+    let mut per_endpoint: Vec<Vec<DataType>> = vec![Vec::new(); endpoints];
+    for (i, &d) in data_types.iter().enumerate() {
+        per_endpoint[i % endpoints].push(d);
+    }
+
+    for (e, types) in per_endpoint.iter().enumerate() {
+        if types.is_empty() {
+            continue;
+        }
+        let path = if e == 0 { "/v1/run".to_string() } else { format!("/v1/extra{e}") };
+        let mut properties = BTreeMap::new();
+        let mut parameters = Vec::new();
+        for &d in types {
+            let templates = field_templates(d);
+            let n_fields =
+                1 + usize::from(rng.gen_bool(0.35)) + usize::from(rng.gen_bool(0.15));
+            for k in 0..n_fields.min(templates.len()) {
+                let (fname, fdesc) = templates[(rng.gen_range(0..templates.len()) + k) % templates.len()];
+                // Alternate between body properties and query parameters,
+                // as real specs mix both.
+                if rng.gen_bool(0.6) {
+                    properties.insert(
+                        fname.to_string(),
+                        SchemaObject {
+                            schema_type: "string".into(),
+                            description: fdesc.to_string(),
+                            ..Default::default()
+                        },
+                    );
+                } else {
+                    parameters.push(Parameter {
+                        name: fname.to_string(),
+                        location: "query".into(),
+                        description: fdesc.to_string(),
+                        required: rng.gen_bool(0.5),
+                        schema: None,
+                    });
+                }
+            }
+        }
+        let request_body = if properties.is_empty() {
+            None
+        } else {
+            let mut content = BTreeMap::new();
+            content.insert(
+                "application/json".to_string(),
+                MediaType {
+                    schema: SchemaObject {
+                        schema_type: "object".into(),
+                        properties,
+                        ..Default::default()
+                    },
+                },
+            );
+            Some(RequestBody { content })
+        };
+        let op = Operation {
+            summary: format!("{name} endpoint {e}"),
+            description: String::new(),
+            operation_id: format!("op{e}"),
+            parameters,
+            request_body,
+        };
+        action.spec.paths.insert(
+            path,
+            PathItem {
+                post: Some(op),
+                ..Default::default()
+            },
+        );
+    }
+    // Some services mirror their whole API under a second version
+    // prefix; the raw descriptions double while the succinct set stays
+    // fixed (a real driver of Figure 4's raw-vs-processed gap).
+    if rng.gen_bool(0.15) && !action.spec.paths.is_empty() {
+        let mirrored: Vec<(String, PathItem)> = action
+            .spec
+            .paths
+            .iter()
+            .map(|(path, item)| (format!("/v2{}", path.trim_start_matches("/v1")), item.clone()))
+            .collect();
+        for (path, item) in mirrored {
+            action.spec.paths.insert(path, item);
+        }
+    }
+    action
+}
+
+/// A distinct Action (service) in the ecosystem registry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DistinctAction {
+    /// Cross-GPT identity (`name@etld+1`).
+    pub identity: String,
+    /// The spec template stamped into embedding GPTs (tool ids vary per
+    /// embedding; everything else is shared).
+    pub template: ActionSpec,
+    pub functionality: String,
+    /// Vendor group (same-vendor Actions share privacy policies —
+    /// Table 10's 19.2%).
+    pub vendor: String,
+    /// The intended (ground-truth) data types.
+    pub data_types: Vec<DataType>,
+    /// Is this one of the Table 6 hubs?
+    pub is_hub: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sixteen_hubs() {
+        assert_eq!(HUBS.len(), 16);
+    }
+
+    #[test]
+    fn hub_rates_match_table6_ordering() {
+        // webPilot > Zapier > AdIntelli > everyone else.
+        assert!(HUBS[0].embed_rate > HUBS[1].embed_rate);
+        assert!(HUBS[1].embed_rate > HUBS[2].embed_rate);
+        for w in HUBS.windows(2) {
+            assert!(w[0].embed_rate >= w[1].embed_rate, "hubs must be rate-sorted");
+        }
+    }
+
+    #[test]
+    fn hub_type_counts_match_table6() {
+        let by_name: BTreeMap<&str, usize> = HUBS
+            .iter()
+            .map(|h| (h.name, h.data_types.len()))
+            .collect();
+        assert_eq!(by_name["webPilot"], 7);
+        assert_eq!(by_name["Gapier"], 12);
+        assert_eq!(by_name["AdIntelli"], 2);
+        assert_eq!(by_name["SerpApi Search Service"], 8);
+        assert_eq!(by_name["Swagger Petstore"], 2);
+    }
+
+    #[test]
+    fn long_tail_identities_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..2000 {
+            let (name, domain) = long_tail_identity(i);
+            assert!(seen.insert((name.clone(), domain.clone())), "dup at {i}: {name} {domain}");
+        }
+    }
+
+    #[test]
+    fn built_spec_covers_all_types() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let spec = build_action_spec(
+            "t1",
+            "TestAction",
+            "test.dev",
+            &[EmailAddress, Name, WebsiteVisits, Time, UserIds],
+            &mut rng,
+        );
+        // Raw fields must be at least one per intended type.
+        assert!(spec.raw_data_type_count() >= 5);
+        assert_eq!(spec.server_etld_plus_one().as_deref(), Some("test.dev"));
+        assert_eq!(
+            spec.legal_info_url.as_deref(),
+            Some("https://test.dev/privacy")
+        );
+    }
+
+    #[test]
+    fn built_spec_is_deterministic() {
+        let build = || {
+            let mut rng = StdRng::seed_from_u64(42);
+            build_action_spec("t", "A", "a.dev", &[EmailAddress, Time], &mut rng)
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn empty_type_list_gives_empty_spec() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let spec = build_action_spec("t", "Empty", "e.dev", &[], &mut rng);
+        assert_eq!(spec.raw_data_type_count(), 0);
+    }
+}

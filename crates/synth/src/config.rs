@@ -1,0 +1,252 @@
+//! Generator configuration, with defaults calibrated to the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// Third-party GPT marketplaces (Table 1) with relative sizes. The
+/// generator lists each GPT on one or more stores weighted by these
+/// shares, so the crawled per-store counts reproduce Table 1's ordering.
+pub const STORES: &[(&str, f64)] = &[
+    ("Casanpir GitHub GPT List", 85_377.0),
+    ("plugin.surf", 58_546.0),
+    ("assistanthunt.com", 2_024.0),
+    ("allgpts.co", 1_776.0),
+    ("topgpts.co", 929.0),
+    ("customgpts.info", 575.0),
+    ("gpt-collection.com", 485.0),
+    ("gptdirectory.co", 372.0),
+    ("meetups.ai", 276.0),
+    ("gptshunt.tech", 200.0),
+    ("OpenAI Store", 151.0),
+    ("botsbarn.com", 104.0),
+    ("cusomgptslist.com", 91.0),
+];
+
+/// Total unique GPTs in the paper's crawl, used to scale store shares.
+pub const PAPER_UNIQUE_GPTS: f64 = 119_543.0;
+
+/// All knobs of the synthetic ecosystem. `Default` reproduces the paper's
+/// published rates at a 1:20 population scale (fast enough for tests; the
+/// CLI can run larger scales).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynthConfig {
+    /// Master seed; every table in EXPERIMENTS.md is a pure function of
+    /// `(seed, config)`.
+    pub seed: u64,
+    /// GPT population at week 0.
+    pub base_gpts: usize,
+    /// Number of weekly snapshots (the paper: Feb 8 – May 3 2024 = 13).
+    pub weeks: u32,
+    /// ISO date of week 0.
+    pub start_date: String,
+    /// Mean weekly growth of listed GPTs (Figure 3: 4.5%).
+    pub weekly_growth: f64,
+    /// Mean weekly fraction of GPTs whose properties change (§4: 0.02%).
+    pub weekly_change_rate: f64,
+    /// Mean weekly fraction of GPTs removed (§4: 0.2%).
+    pub weekly_removal_rate: f64,
+    /// Fraction of GPTs embedding Actions (Table 4: 4.6%).
+    pub action_rate: f64,
+    /// Fraction of GPTs with the built-in Web Browser tool (92.3%).
+    pub browser_rate: f64,
+    /// Fraction with DALL-E (85.5%).
+    pub dalle_rate: f64,
+    /// Fraction with Code Interpreter (53.0%).
+    pub code_interpreter_rate: f64,
+    /// Fraction with Knowledge files (28.2%).
+    pub knowledge_rate: f64,
+    /// Among Action-embedding GPTs, P(1, 2, 3, 4..10 Actions)
+    /// (§4.3: 90.9 / 6.6 / 1.2 / 1.3).
+    pub action_count_dist: [f64; 4],
+    /// Fraction of Action *embeddings* that are first-party (Table 4:
+    /// 17.1%).
+    pub first_party_rate: f64,
+    /// Distinct long-tail third-party Actions per Action-embedding GPT
+    /// (the paper: 2,596 distinct Actions for ~5.5k Action GPTs ≈ 0.47).
+    pub long_tail_density: f64,
+    /// Fraction of Action policies that are unreachable (Table 9:
+    /// 13.32%).
+    pub policy_unavailable_rate: f64,
+    /// Fraction of Actions sharing a byte-identical policy (Table 9:
+    /// 38.56%).
+    pub policy_duplicate_rate: f64,
+    /// Fraction of Actions with near-duplicate boilerplate (Table 9:
+    /// 5.50%).
+    pub policy_near_dup_rate: f64,
+    /// Fraction of Actions with very short (<500 chars) generic policies
+    /// (§6.1: 12.45%).
+    pub policy_short_rate: f64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> SynthConfig {
+        SynthConfig {
+            seed: 0x6774_7873, // "gtxs"
+            base_gpts: 6_000,
+            weeks: 13,
+            start_date: "2024-02-08".to_string(),
+            weekly_growth: 0.045,
+            weekly_change_rate: 0.0002,
+            weekly_removal_rate: 0.002,
+            action_rate: 0.046,
+            browser_rate: 0.923,
+            dalle_rate: 0.855,
+            code_interpreter_rate: 0.530,
+            knowledge_rate: 0.282,
+            action_count_dist: [0.909, 0.066, 0.012, 0.013],
+            first_party_rate: 0.171,
+            long_tail_density: 0.47,
+            policy_unavailable_rate: 0.1332,
+            policy_duplicate_rate: 0.3856,
+            policy_near_dup_rate: 0.055,
+            policy_short_rate: 0.1245,
+        }
+    }
+}
+
+impl SynthConfig {
+    /// A small configuration for unit tests (hundreds of GPTs, 4 weeks).
+    pub fn tiny(seed: u64) -> SynthConfig {
+        SynthConfig {
+            seed,
+            base_gpts: 400,
+            weeks: 4,
+            // Exaggerate dynamics so small corpora still exhibit them.
+            weekly_change_rate: 0.01,
+            weekly_removal_rate: 0.01,
+            action_rate: 0.15,
+            ..SynthConfig::default()
+        }
+    }
+
+    /// The paper-scale configuration (slow; used by the CLI's `--full`).
+    pub fn paper_scale(seed: u64) -> SynthConfig {
+        SynthConfig {
+            seed,
+            base_gpts: 70_000,
+            ..SynthConfig::default()
+        }
+    }
+
+    /// Validate rate fields are probabilities; returns the offending
+    /// field name otherwise.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        let checks: [(&'static str, f64); 12] = [
+            ("weekly_growth", self.weekly_growth),
+            ("weekly_change_rate", self.weekly_change_rate),
+            ("weekly_removal_rate", self.weekly_removal_rate),
+            ("action_rate", self.action_rate),
+            ("browser_rate", self.browser_rate),
+            ("dalle_rate", self.dalle_rate),
+            ("code_interpreter_rate", self.code_interpreter_rate),
+            ("knowledge_rate", self.knowledge_rate),
+            ("first_party_rate", self.first_party_rate),
+            ("policy_unavailable_rate", self.policy_unavailable_rate),
+            ("policy_duplicate_rate", self.policy_duplicate_rate),
+            ("policy_short_rate", self.policy_short_rate),
+        ];
+        for (name, v) in checks {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(name);
+            }
+        }
+        if self.base_gpts == 0 {
+            return Err("base_gpts");
+        }
+        if self.weeks == 0 {
+            return Err("weeks");
+        }
+        let dist_sum: f64 = self.action_count_dist.iter().sum();
+        if (dist_sum - 1.0).abs() > 0.01 {
+            return Err("action_count_dist");
+        }
+        Ok(())
+    }
+}
+
+/// Add `days` to an ISO `YYYY-MM-DD` date (Gregorian, handles leap
+/// years). Used to stamp weekly snapshots without a date-time dependency.
+pub fn add_days(date: &str, days: u32) -> String {
+    let mut parts = date.splitn(3, '-');
+    let mut y: i32 = parts.next().unwrap_or("2024").parse().unwrap_or(2024);
+    let mut m: u32 = parts.next().unwrap_or("01").parse().unwrap_or(1);
+    let mut d: u32 = parts.next().unwrap_or("01").parse().unwrap_or(1);
+    let mut remaining = days;
+    while remaining > 0 {
+        let dim = days_in_month(y, m);
+        if d < dim {
+            let step = remaining.min(dim - d);
+            d += step;
+            remaining -= step;
+        } else {
+            d = 1;
+            remaining -= 1;
+            m += 1;
+            if m > 12 {
+                m = 1;
+                y += 1;
+            }
+        }
+    }
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn days_in_month(y: i32, m: u32) -> u32 {
+    match m {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if (y % 4 == 0 && y % 100 != 0) || y % 400 == 0 {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 30,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert_eq!(SynthConfig::default().validate(), Ok(()));
+        assert_eq!(SynthConfig::tiny(1).validate(), Ok(()));
+        assert_eq!(SynthConfig::paper_scale(1).validate(), Ok(()));
+    }
+
+    #[test]
+    fn invalid_rate_is_caught() {
+        let c = SynthConfig {
+            action_rate: 1.5,
+            ..SynthConfig::default()
+        };
+        assert_eq!(c.validate(), Err("action_rate"));
+    }
+
+    #[test]
+    fn thirteen_stores() {
+        assert_eq!(STORES.len(), 13);
+    }
+
+    #[test]
+    fn weekly_dates_match_paper_window() {
+        // Feb 8 + 12 weeks = May 2 (the paper's last crawl is May 3; the
+        // window is 13 snapshots).
+        assert_eq!(add_days("2024-02-08", 7), "2024-02-15");
+        assert_eq!(add_days("2024-02-08", 84), "2024-05-02");
+    }
+
+    #[test]
+    fn add_days_handles_leap_february() {
+        assert_eq!(add_days("2024-02-28", 1), "2024-02-29");
+        assert_eq!(add_days("2023-02-28", 1), "2023-03-01");
+        assert_eq!(add_days("2024-12-31", 1), "2025-01-01");
+    }
+
+    #[test]
+    fn add_days_zero_is_identity() {
+        assert_eq!(add_days("2024-02-08", 0), "2024-02-08");
+    }
+}

@@ -1,0 +1,478 @@
+//! The weekly evolution engine: growth, property changes, and removals
+//! (Sections 4.1–4.2 of the paper).
+
+use crate::config::{add_days, STORES};
+use crate::population::{Factory, GeneratedGpt};
+use gptx_model::gpt::{Tag, Tool, UploadedFile};
+use gptx_model::snapshot::{ChangedProperty, CrawlSnapshot};
+use gptx_model::{GptId, RemovalReason};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One week of ecosystem state: the full snapshot plus per-store
+/// listings (what each marketplace's index page shows that week).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WeekState {
+    pub week: u32,
+    pub date: String,
+    pub snapshot: CrawlSnapshot,
+    /// Store name → listed GPT ids.
+    pub listings: BTreeMap<String, Vec<GptId>>,
+}
+
+/// The planted dynamics, kept as ground truth for evaluating the census.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dynamics {
+    /// GPT id → planted removal reason (Action-embedding removals only).
+    pub removal_reasons: BTreeMap<GptId, RemovalReason>,
+    /// GPT id → properties changed over the crawl window.
+    pub planted_changes: BTreeMap<GptId, Vec<ChangedProperty>>,
+    /// Action identities whose APIs went dead (probe → discontinued).
+    pub dead_apis: BTreeSet<String>,
+    /// All GPTs ever observed (for unique-GPT counting).
+    pub total_unique: usize,
+}
+
+/// Table 3 removal-reason weights for doomed Action-embedding GPTs.
+const REMOVAL_WEIGHTS: &[(RemovalReason, f64)] = &[
+    (RemovalReason::AdvertisingAnalytics, 61.0),
+    (RemovalReason::InactiveActionApis, 59.0),
+    (RemovalReason::WebBrowsing, 23.0),
+    (RemovalReason::Inconclusive, 17.0),
+    (RemovalReason::ProhibitedApiUsage, 13.0),
+    (RemovalReason::PromptInjection, 9.0),
+    (RemovalReason::Impersonation, 2.0),
+    (RemovalReason::SexuallyExplicit, 1.0),
+    (RemovalReason::Gambling, 1.0),
+    (RemovalReason::StockTrading, 1.0),
+];
+
+/// Table 2 change-type weights.
+const CHANGE_WEIGHTS: &[(ChangedProperty, f64)] = &[
+    (ChangedProperty::WelcomeMessage, 121.0),
+    (ChangedProperty::ModifiedSocialMedia, 114.0),
+    (ChangedProperty::RemovedSocialMedia, 33.0),
+    (ChangedProperty::AuthorWebsite, 31.0),
+    (ChangedProperty::FileModification, 23.0),
+    (ChangedProperty::ProfilePicture, 12.0),
+    (ChangedProperty::ReviewabilityStatus, 10.0),
+    (ChangedProperty::AllowFeedback, 8.0),
+    (ChangedProperty::Description, 7.0),
+    (ChangedProperty::ActionChange, 7.0),
+    (ChangedProperty::Categories, 6.0),
+    (ChangedProperty::Name, 4.0),
+    (ChangedProperty::PromptStarters, 4.0),
+    (ChangedProperty::FileRemoval, 3.0),
+    (ChangedProperty::FileAddition, 2.0),
+    (ChangedProperty::DeveloperVerification, 2.0),
+];
+
+fn weighted_pick<T: Copy>(weights: &[(T, f64)], rng: &mut StdRng) -> T {
+    let total: f64 = weights.iter().map(|(_, w)| w).sum();
+    let mut x = rng.gen::<f64>() * total;
+    for (item, w) in weights {
+        if x < *w {
+            return *item;
+        }
+        x -= w;
+    }
+    weights[0].0
+}
+
+/// Run the full evolution: returns weekly states and planted dynamics.
+pub fn evolve(factory: &mut Factory, rng: &mut StdRng) -> (Vec<WeekState>, Dynamics) {
+    let config = factory.config().clone();
+    let mut dynamics = Dynamics::default();
+    let mut live: BTreeMap<GptId, GeneratedGpt> = BTreeMap::new();
+    // (removal week, id) schedule.
+    let mut doom_schedule: Vec<(u32, GptId)> = Vec::new();
+    // (change week, id, property) schedule.
+    let mut change_schedule: Vec<(u32, GptId, ChangedProperty)> = Vec::new();
+
+    // The share of removed GPTs that embed Actions and get a Table 3
+    // reason (the paper investigated 175 of 2,883 removals ≈ 6%).
+    const ACTION_REMOVAL_SHARE: f64 = 0.06;
+
+    let spawn = |n: usize,
+                     current_week: u32,
+                     factory: &mut Factory,
+                     rng: &mut StdRng,
+                     live: &mut BTreeMap<GptId, GeneratedGpt>,
+                     doom_schedule: &mut Vec<(u32, GptId)>,
+                     change_schedule: &mut Vec<(u32, GptId, ChangedProperty)>,
+                     dynamics: &mut Dynamics| {
+        for _ in 0..n {
+            let weeks_left = config.weeks.saturating_sub(current_week + 1);
+            let doom_p = (config.weekly_removal_rate * weeks_left as f64).min(1.0);
+            let doomed = weeks_left > 0 && rng.gen_bool(doom_p);
+            let planted = if doomed && rng.gen_bool(ACTION_REMOVAL_SHARE) {
+                Some(weighted_pick(REMOVAL_WEIGHTS, rng))
+            } else {
+                None
+            };
+            let generated = factory.new_gpt(rng, planted);
+            let id = generated.gpt.id.clone();
+            dynamics.total_unique += 1;
+            if let Some(reason) = planted {
+                dynamics.removal_reasons.insert(id.clone(), reason);
+                if reason == RemovalReason::InactiveActionApis {
+                    if let Some(action) = generated.gpt.actions().first() {
+                        dynamics.dead_apis.insert(action.identity());
+                    }
+                }
+            }
+            if doomed {
+                let week = current_week + 1 + rng.gen_range(0..weeks_left);
+                doom_schedule.push((week, id.clone()));
+            }
+            // Independently, a GPT may be changed mid-crawl.
+            let change_p = (config.weekly_change_rate * weeks_left as f64).min(1.0);
+            if weeks_left > 0 && rng.gen_bool(change_p) {
+                let prop = weighted_pick(CHANGE_WEIGHTS, rng);
+                let week = current_week + 1 + rng.gen_range(0..weeks_left);
+                change_schedule.push((week, id.clone(), prop));
+            }
+            live.insert(id, generated);
+        }
+    };
+
+    // Week 0.
+    spawn(
+        config.base_gpts,
+        0,
+        factory,
+        rng,
+        &mut live,
+        &mut doom_schedule,
+        &mut change_schedule,
+        &mut dynamics,
+    );
+
+    let mut weeks = Vec::with_capacity(config.weeks as usize);
+    weeks.push(make_week_state(0, &config.start_date, &live));
+
+    for w in 1..config.weeks {
+        // Removals scheduled for this week (doomed GPTs that are still
+        // live — a change never resurrects a removed GPT).
+        for (dw, id) in &doom_schedule {
+            if *dw == w {
+                live.remove(id);
+            }
+        }
+        // Property changes.
+        for (cw, id, prop) in &change_schedule {
+            if *cw == w {
+                if let Some(g) = live.get_mut(id) {
+                    if apply_change(&mut g.gpt, *prop, rng) {
+                        dynamics
+                            .planted_changes
+                            .entry(id.clone())
+                            .or_default()
+                            .push(*prop);
+                    }
+                }
+            }
+        }
+        // Growth.
+        let n_new = ((live.len() as f64) * config.weekly_growth).round() as usize;
+        spawn(
+            n_new,
+            w,
+            factory,
+            rng,
+            &mut live,
+            &mut doom_schedule,
+            &mut change_schedule,
+            &mut dynamics,
+        );
+
+        let date = add_days(&config.start_date, w * 7);
+        weeks.push(make_week_state(w, &date, &live));
+    }
+
+    (weeks, dynamics)
+}
+
+fn make_week_state(week: u32, date: &str, live: &BTreeMap<GptId, GeneratedGpt>) -> WeekState {
+    let mut snapshot = CrawlSnapshot::new(week, date);
+    let mut listings: BTreeMap<String, Vec<GptId>> = STORES
+        .iter()
+        .map(|(name, _)| (name.to_string(), Vec::new()))
+        .collect();
+    for (id, g) in live {
+        snapshot.insert(g.gpt.clone());
+        for &s in &g.stores {
+            listings
+                .get_mut(STORES[s].0)
+                .expect("store names fixed")
+                .push(id.clone());
+        }
+    }
+    WeekState {
+        week,
+        date: date.to_string(),
+        snapshot,
+        listings,
+    }
+}
+
+/// Mutate a GPT per the Table 2 change type. Returns false when the
+/// change is inapplicable (e.g. removing social media that isn't there).
+pub fn apply_change(gpt: &mut gptx_model::Gpt, prop: ChangedProperty, rng: &mut StdRng) -> bool {
+    use ChangedProperty::*;
+    match prop {
+        ModifiedSocialMedia => {
+            if gpt.author.social_media.is_empty() {
+                gpt.author.social_media.push("https://x.com/newhandle".into());
+            } else {
+                gpt.author.social_media[0] = format!("https://x.com/handle{}", rng.gen::<u16>());
+            }
+            true
+        }
+        RemovedSocialMedia => {
+            if gpt.author.social_media.is_empty() {
+                return false;
+            }
+            gpt.author.social_media.clear();
+            true
+        }
+        AuthorWebsite => {
+            gpt.author.website = Some(format!("https://www.site{}.com", rng.gen::<u16>()));
+            true
+        }
+        ProfilePicture => {
+            gpt.display.profile_picture =
+                Some(format!("https://cdn.gptstore.test/pfp/new{}.png", rng.gen::<u16>()));
+            true
+        }
+        AllowFeedback => {
+            gpt.author.accepts_feedback = !gpt.author.accepts_feedback;
+            true
+        }
+        WelcomeMessage => {
+            gpt.display.welcome_message = Some("Welcome back! How can I help today?".into());
+            true
+        }
+        ReviewabilityStatus => {
+            if let Some(pos) = gpt.tags.iter().position(|t| *t == Tag::Unreviewable) {
+                gpt.tags.remove(pos);
+            } else {
+                gpt.tags.push(Tag::Unreviewable);
+            }
+            true
+        }
+        Description => {
+            // §4.1: descriptions were changed "to make them more precise".
+            gpt.display.description = format!("{} Now with clearer guidance.", gpt.display.description);
+            true
+        }
+        Categories => {
+            gpt.display.categories.push("tools".into());
+            true
+        }
+        Name => {
+            gpt.display.name = format!("{} Pro", gpt.display.name);
+            true
+        }
+        PromptStarters => {
+            gpt.display.prompt_starters.push("Show me an example".into());
+            true
+        }
+        DeveloperVerification => {
+            gpt.author.verified = !gpt.author.verified;
+            true
+        }
+        FileModification => {
+            if gpt.files.is_empty() {
+                gpt.files.push(UploadedFile {
+                    id: "seeded".into(),
+                    mime_type: "text/plain".into(),
+                });
+            }
+            gpt.files[0].id = format!("modified{}", rng.gen::<u16>());
+            if gpt.files.len() == 1 {
+                // Make it read as modify (remove+add), not pure rename noise.
+                gpt.files.push(UploadedFile {
+                    id: format!("added{}", rng.gen::<u16>()),
+                    mime_type: "text/plain".into(),
+                });
+                gpt.files.remove(0);
+            }
+            true
+        }
+        SpecFormatChange | ActionChange => {
+            for tool in &mut gpt.tools {
+                if let Tool::Action(a) = tool {
+                    a.spec.info.version = format!("v{}", rng.gen_range(2..9));
+                    return true;
+                }
+            }
+            false
+        }
+        FileRemoval => {
+            if gpt.files.is_empty() {
+                return false;
+            }
+            gpt.files.pop();
+            true
+        }
+        FileAddition => {
+            gpt.files.push(UploadedFile {
+                id: format!("extra{}", rng.gen::<u16>()),
+                mime_type: "application/pdf".into(),
+            });
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SynthConfig;
+    use rand::SeedableRng;
+
+    fn run(seed: u64) -> (Vec<WeekState>, Dynamics) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut factory = Factory::new(SynthConfig::tiny(seed), &mut rng);
+        evolve(&mut factory, &mut rng)
+    }
+
+    #[test]
+    fn produces_one_state_per_week() {
+        let (weeks, _) = run(1);
+        assert_eq!(weeks.len(), 4);
+        assert_eq!(weeks[0].date, "2024-02-08");
+        assert_eq!(weeks[1].date, "2024-02-15");
+    }
+
+    #[test]
+    fn population_grows_week_over_week() {
+        let (weeks, _) = run(2);
+        // Growth (4.5%) dominates removals (1%).
+        assert!(weeks.last().unwrap().snapshot.len() > weeks[0].snapshot.len());
+    }
+
+    #[test]
+    fn removals_happen_and_have_reasons() {
+        // Use a larger corpus so doomed Action GPTs appear.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut config = SynthConfig::tiny(3);
+        config.base_gpts = 3000;
+        config.weekly_removal_rate = 0.02;
+        let mut factory = Factory::new(config, &mut rng);
+        let (weeks, dynamics) = evolve(&mut factory, &mut rng);
+        assert!(
+            !dynamics.removal_reasons.is_empty(),
+            "no planted removal reasons"
+        );
+        // Every GPT with a planted reason must be absent from the last
+        // snapshot (it was removed at some week).
+        let last = &weeks.last().unwrap().snapshot;
+        let removed_count = dynamics
+            .removal_reasons
+            .keys()
+            .filter(|id| !last.gpts.contains_key(*id))
+            .count();
+        assert!(removed_count * 10 >= dynamics.removal_reasons.len() * 9);
+    }
+
+    #[test]
+    fn changes_are_observable_in_snapshots() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut config = SynthConfig::tiny(4);
+        config.base_gpts = 2000;
+        config.weekly_change_rate = 0.05;
+        let mut factory = Factory::new(config, &mut rng);
+        let (weeks, dynamics) = evolve(&mut factory, &mut rng);
+        assert!(!dynamics.planted_changes.is_empty());
+        // At least one changed GPT differs between first and last week.
+        let first = &weeks[0].snapshot;
+        let last = &weeks.last().unwrap().snapshot;
+        let observed = dynamics.planted_changes.keys().any(|id| {
+            match (first.gpts.get(id), last.gpts.get(id)) {
+                (Some(a), Some(b)) => a != b,
+                _ => false,
+            }
+        });
+        assert!(observed, "no planted change visible in snapshots");
+    }
+
+    #[test]
+    fn listings_cover_live_population() {
+        let (weeks, _) = run(5);
+        for w in &weeks {
+            let mut listed: BTreeSet<&GptId> = BTreeSet::new();
+            for ids in w.listings.values() {
+                listed.extend(ids.iter());
+            }
+            // Every live GPT is on at least one store.
+            assert_eq!(listed.len(), w.snapshot.len());
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (w1, d1) = run(42);
+        let (w2, d2) = run(42);
+        assert_eq!(w1.len(), w2.len());
+        assert_eq!(d1.total_unique, d2.total_unique);
+        assert_eq!(
+            w1.last().unwrap().snapshot,
+            w2.last().unwrap().snapshot
+        );
+    }
+
+    #[test]
+    fn apply_change_description_alters_gpt() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut gpt = gptx_model::Gpt::minimal("g-aaaaaaaaaa", "T");
+        let before = gpt.clone();
+        assert!(apply_change(&mut gpt, ChangedProperty::Description, &mut rng));
+        assert_ne!(before, gpt);
+        let props = gptx_model::snapshot::classify_changes(&before, &gpt);
+        assert_eq!(props, vec![ChangedProperty::Description]);
+    }
+
+    #[test]
+    fn apply_change_round_trips_through_diff_classifier() {
+        // For each applicable change type, the snapshot differ must
+        // recover the planted property.
+        let mut rng = StdRng::seed_from_u64(7);
+        for (prop, _) in CHANGE_WEIGHTS {
+            let mut gpt = gptx_model::Gpt::minimal("g-aaaaaaaaaa", "T");
+            gpt.author.social_media = vec!["https://x.com/a".into()];
+            gpt.files.push(UploadedFile {
+                id: "f1".into(),
+                mime_type: "text/plain".into(),
+            });
+            gpt.tools.push(Tool::Action(gptx_model::ActionSpec::minimal(
+                "t",
+                "A",
+                "https://a.dev",
+            )));
+            let before = gpt.clone();
+            if !apply_change(&mut gpt, *prop, &mut rng) {
+                continue;
+            }
+            let detected = gptx_model::snapshot::classify_changes(&before, &gpt);
+            let expected = match prop {
+                ChangedProperty::SpecFormatChange => ChangedProperty::ActionChange,
+                p => *p,
+            };
+            assert!(
+                detected.contains(&expected),
+                "{prop:?} not detected; got {detected:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unique_total_counts_all_spawned() {
+        let (weeks, dynamics) = run(8);
+        // Unique >= final live population.
+        assert!(dynamics.total_unique >= weeks.last().unwrap().snapshot.len());
+    }
+}

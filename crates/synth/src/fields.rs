@@ -1,0 +1,255 @@
+//! Raw-field templates: the natural-language data descriptions the
+//! generator writes into Action OpenAPI specs.
+//!
+//! Each succinct data type has several field variants (name +
+//! description), phrased the way real Action manifests phrase them
+//! (Appendix A). Descriptions deliberately embed the taxonomy's own
+//! vocabulary so the classifier can recover the type — but with enough
+//! filler and paraphrase that recovery is non-trivial, matching the
+//! paper's observation that descriptions are "detailed and potentially
+//! vague".
+
+use gptx_taxonomy::DataType;
+
+/// `(field_name, description)` variants for one data type.
+pub fn field_templates(d: DataType) -> &'static [(&'static str, &'static str)] {
+    use DataType::*;
+    match d {
+        OtherUserGeneratedData => &[
+            ("content", "Free text content provided by the user, such as notes or open-ended responses."),
+            ("text", "The user generated content to process."),
+            ("script", "Script to be produced from the user's input."),
+            ("bio", "A short bio or note written by the user."),
+        ],
+        AppInteractions => &[
+            ("events", "Interaction events such as the number of times a page is visited."),
+            ("clicks", "Click event stream describing sections the user tapped on."),
+        ],
+        SettingsOrParameters => &[
+            ("options", "User-defined settings or parameters controlling the request."),
+            ("sort", "Preference for sorting search results."),
+            ("units", "Preferred units setting for the results."),
+            ("config", "Technical configuration options chosen by the user."),
+        ],
+        InAppSearchHistory => &[
+            ("query", "The search query entered by the user."),
+            ("q", "Search term to look up."),
+            ("keywords", "Keyword searched by the user in the app."),
+        ],
+        DataIdentifier => &[
+            ("record_id", "Identifier of the record id to operate on."),
+            ("document_id", "The document id for accessing the stored item."),
+            ("session", "Opaque session id for continuing an earlier request."),
+        ],
+        OtherActivities => &[
+            ("move", "The game move or gameplay action taken by the user."),
+            ("vote", "The like or vote the user cast."),
+        ],
+        Time => &[
+            ("start_time", "Start time of the query as unix timestamp."),
+            ("end_time", "End time of the query as unix timestamp. If only count is given, defaults to now."),
+            ("date", "Date specified for the lookup, as an ISO string."),
+        ],
+        ReferenceInformation => &[
+            ("source", "The referenced article or external resource supporting the answer."),
+            ("citation", "Citation for the reference link to include."),
+        ],
+        InstalledApps => &[
+            ("apps", "List of installed app names and other available integrations."),
+            ("tools", "The other plugin or installed tool identifiers present in the environment."),
+        ],
+        ModelNameOrVersion => &[
+            ("model", "The model name used to generate the answer."),
+            ("version", "The model version string of the calling LLM."),
+        ],
+        Reviews => &[
+            ("review", "The user feedback message or review text."),
+            ("rating", "A star rating and review left by the user."),
+        ],
+        CommandsPrompts => &[
+            ("prompt", "The user prompt to be engineered."),
+            ("command", "The command or instruction specified by the user."),
+        ],
+        OtherInfo => &[
+            ("profile", "Other personal detail such as gender or date of birth."),
+            ("dob", "Date of birth of the user."),
+            ("details", "Additional biographical information about the user."),
+        ],
+        Languages => &[
+            ("lang", "Preferred language setting of the user, as a language code."),
+            ("locale", "The locale or language used by the user."),
+        ],
+        UserIds => &[
+            ("user_id", "The account id identifying the user."),
+            ("username", "The username or account name of the caller."),
+            ("token", "User authentication token for the service."),
+        ],
+        Name => &[
+            ("name", "First name and last name of the user."),
+            ("nickname", "The nickname the user wants to be called."),
+            ("full_name", "Full name to put on the document."),
+        ],
+        EmailAddress => &[
+            ("email", "Email address of the user."),
+            ("contact_email", "The contact email to send the results to."),
+        ],
+        Address => &[
+            ("address", "The mailing address of the user."),
+            ("zip", "Zip code of the user's home address."),
+            ("shipping", "Shipping address for the order."),
+        ],
+        Passwords => &[
+            ("password", "The user's password for signing into the online service."),
+            ("api_key", "API key or secret key used to manage the service on the user's behalf."),
+        ],
+        Timezone => &[
+            ("tz", "The timezone setting of the user."),
+            ("utc_offset", "The time zone offset from UTC."),
+        ],
+        PhoneNumber => &[
+            ("phone", "The phone number of the user."),
+            ("mobile", "Mobile number for SMS delivery."),
+        ],
+        RaceAndEthnicity => &[("ethnicity", "The race or ethnicity of the user.")],
+        PoliticalOrReligiousBeliefs => &[
+            ("beliefs", "The political belief or religious belief of the user."),
+        ],
+        SexualOrientation => &[("orientation", "The sexual orientation of the user.")],
+        WebsiteVisits => &[
+            ("url", "The raw URL of the web page to fetch."),
+            ("urls", "URL to fetch content from; up to 6 links per request."),
+            ("link", "The link to read and convert to markdown, from the user's browsing."),
+        ],
+        ApproximateLocation => &[
+            ("city", "The city for which data is requested."),
+            ("region", "Region or country of the user, used as coarse location."),
+            ("location", "The approximate location to use for the lookup, such as the city name."),
+        ],
+        PreciseLocation => &[
+            ("lat", "Latitude of the exact coordinates of the user."),
+            ("lon", "Longitude of the exact location (GPS coordinates)."),
+        ],
+        OtherInAppMessages => &[
+            ("message", "The chat message content to relay."),
+            ("chat", "In-app message history between the user and the assistant."),
+        ],
+        SmsOrMms => &[("sms", "The text message (SMS) content and recipients.")],
+        Emails => &[
+            ("email_body", "The email content and subject line to send."),
+            ("recipients", "Email recipients and the email body to deliver."),
+        ],
+        OtherFinancialInfo => &[
+            ("loan_amount", "Desired loan amount for the mortgage calculation."),
+            ("home_value", "Value of the home used for the estimate."),
+            ("salary", "The salary or income of the user."),
+            ("portfolio", "The crypto balance or portfolio value of the user."),
+        ],
+        UserPaymentInfo => &[
+            ("card", "The credit card number used for payment."),
+            ("iban", "Bank account (IBAN) for the transfer."),
+        ],
+        PurchaseHistory => &[
+            ("orders", "The purchase history of the user's past orders."),
+            ("transactions", "Transaction history records to analyze."),
+        ],
+        CreditScore => &[("credit", "The credit score or credit history of the user.")],
+        FilesAndDocs => &[
+            ("file", "The uploaded file or document to process."),
+            ("filename", "The file name of the document to retrieve."),
+        ],
+        Videos => &[
+            ("video_url", "The video file or video URL to summarize."),
+            ("clip", "A video clip provided by the user."),
+        ],
+        Photos => &[
+            ("photo", "The photo uploaded by the user."),
+            ("image", "A picture to analyze, such as a profile picture."),
+        ],
+        CalendarEvents => &[
+            ("event", "The calendar event to create, including attendees."),
+            ("meeting", "Meeting or appointment details from the user's schedule."),
+        ],
+        OtherAppPerformanceData => &[
+            ("metrics", "Usage statistics and performance data of the assistant."),
+            ("telemetry", "Telemetry metric values reported by the app."),
+        ],
+        CrashLogs => &[("crash", "The crash report and stack trace to analyze.")],
+        Diagnostics => &[("diag", "Diagnostic data such as latency and loading time.")],
+        HealthInfo => &[
+            ("symptoms", "The symptom list or medical record details from the user."),
+            ("fitness_level", "User's level of fitness and health information."),
+        ],
+        FitnessInfo => &[
+            ("activity", "The physical activity or exercise performed, e.g. step count."),
+        ],
+        DeviceOrOtherIds => &[
+            ("device_id", "The device id or advertising identifier of the client."),
+            ("fingerprint", "Browser fingerprint or installation id for the session."),
+        ],
+        VoiceOrSoundRecordings => &[
+            ("audio", "A voice recording or sound recording from the user."),
+        ],
+        MusicFiles => &[("song", "The music file or audio track to identify.")],
+        OtherAudioFiles => &[("sound", "An audio file or audio clip provided by the user.")],
+        Contacts => &[
+            ("contacts", "The contact list entries from the user's address book."),
+            ("recipient", "Contact name and call history entry to look up."),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gptx_llm::KbModel;
+    use gptx_taxonomy::KnowledgeBase;
+
+    #[test]
+    fn every_type_has_templates() {
+        for d in DataType::ALL {
+            assert!(!field_templates(*d).is_empty(), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn templates_round_trip_through_classifier() {
+        // The classifier must recover the intended type for the large
+        // majority of templates — this is the generator/classifier
+        // calibration contract. (Not 100%: some paraphrases are genuinely
+        // ambiguous, as in the real corpus.)
+        let model = KbModel::new(KnowledgeBase::full());
+        let mut total = 0;
+        let mut correct = 0;
+        let mut misses = Vec::new();
+        for d in DataType::ALL {
+            for (name, desc) in field_templates(*d) {
+                total += 1;
+                let text = format!("{}: {desc}", name.replace('_', " "));
+                let got = model.classify_description(&text).data_type;
+                if got == *d {
+                    correct += 1;
+                } else {
+                    misses.push(format!("{d:?} -> {got:?} ({text})"));
+                }
+            }
+        }
+        let accuracy = correct as f64 / total as f64;
+        assert!(
+            accuracy >= 0.85,
+            "template recovery accuracy {accuracy:.2} too low; misses:\n{}",
+            misses.join("\n")
+        );
+    }
+
+    #[test]
+    fn field_names_are_snake_case_ascii() {
+        for d in DataType::ALL {
+            for (name, _) in field_templates(*d) {
+                assert!(
+                    name.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+                    "{name}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! # gptx-synth
+//!
+//! The synthetic GPT-store ecosystem generator — the reproduction's
+//! substitute for the authors' four-month crawl of OpenAI's platform and
+//! 13 third-party marketplaces (see DESIGN.md §2 for the substitution
+//! argument).
+//!
+//! For a given `(seed, SynthConfig)` the generator is bit-stable and
+//! produces an [`Ecosystem`]:
+//!
+//! * a registry of distinct Actions — the Table 6 hub services, a
+//!   Zipf-popularity long tail, per-GPT first-party Actions — each with
+//!   an OpenAPI manifest whose field descriptions encode the Action's
+//!   ground-truth data collection (Table 5 marginals);
+//! * privacy-policy artifacts per Action with planted disclosure labels
+//!   (Figure 6 marginals) and the duplicate/near-duplicate/short/
+//!   unavailable mix of Tables 9–10;
+//! * thirteen weekly [`WeekState`]s with per-store listings, growth
+//!   (Figure 3), planted property changes (Table 2), and planted
+//!   removals with ground-truth reasons (Table 3).
+//!
+//! Everything downstream — the crawler, classifier, graph, and policy
+//! pipelines — measures this corpus end-to-end and never reads the
+//! planted ground truth except to score itself.
+
+pub mod actions;
+pub mod config;
+pub mod evolution;
+pub mod fields;
+pub mod policy_gen;
+pub mod population;
+pub mod rates;
+
+pub use actions::{DistinctAction, HubAction, HUBS};
+pub use config::{SynthConfig, STORES};
+pub use evolution::{Dynamics, WeekState};
+pub use policy_gen::{PolicyArtifact, PolicyKind};
+pub use population::Factory;
+
+use gptx_model::{Gpt, GptId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A complete synthetic ecosystem: the unit every experiment runs on.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ecosystem {
+    pub config: SynthConfig,
+    /// Weekly states, index = week.
+    pub weeks: Vec<WeekState>,
+    /// Distinct Actions by identity.
+    pub registry: BTreeMap<String, DistinctAction>,
+    /// Policy artifacts by Action identity.
+    pub policies: BTreeMap<String, PolicyArtifact>,
+    /// Planted dynamics (ground truth for census evaluation).
+    pub dynamics: Dynamics,
+}
+
+impl Ecosystem {
+    /// Generate the ecosystem for a configuration. Deterministic in
+    /// `(config.seed, config)`.
+    pub fn generate(config: SynthConfig) -> Ecosystem {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut factory = Factory::new(config.clone(), &mut rng);
+        let (weeks, dynamics) = evolution::evolve(&mut factory, &mut rng);
+        Ecosystem {
+            config,
+            weeks,
+            registry: factory.registry,
+            policies: factory.policies,
+            dynamics,
+        }
+    }
+
+    /// The last weekly snapshot (the corpus most analyses run on).
+    pub fn final_week(&self) -> &WeekState {
+        self.weeks.last().expect("at least one week")
+    }
+
+    /// Every unique GPT observed across all weeks (the paper's "119,543
+    /// unique GPTs" notion: union over the crawl window).
+    pub fn all_unique_gpts(&self) -> BTreeMap<GptId, Gpt> {
+        let mut out = BTreeMap::new();
+        for w in &self.weeks {
+            for (id, gpt) in &w.snapshot.gpts {
+                out.entry(id.clone()).or_insert_with(|| gpt.clone());
+            }
+        }
+        out
+    }
+
+    /// GPT ids that were observed at some week but are gone by the last
+    /// (the removed set of Section 4.2).
+    pub fn removed_gpt_ids(&self) -> Vec<GptId> {
+        let last = &self.final_week().snapshot.gpts;
+        self.all_unique_gpts()
+            .into_keys()
+            .filter(|id| !last.contains_key(id))
+            .collect()
+    }
+
+    /// Look up the policy artifact for an Action identity.
+    pub fn policy_of(&self, identity: &str) -> Option<&PolicyArtifact> {
+        self.policies.get(identity)
+    }
+
+    /// Is an Action's API dead (probe returns "discontinued")?
+    pub fn api_is_dead(&self, identity: &str) -> bool {
+        self.dynamics.dead_apis.contains(identity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Ecosystem {
+        Ecosystem::generate(SynthConfig::tiny(2024))
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = tiny();
+        let b = tiny();
+        assert_eq!(a.dynamics.total_unique, b.dynamics.total_unique);
+        assert_eq!(a.final_week().snapshot, b.final_week().snapshot);
+        assert_eq!(a.registry.len(), b.registry.len());
+    }
+
+    #[test]
+    fn every_embedded_action_is_registered_with_policy() {
+        let eco = tiny();
+        for (_, gpt) in eco.all_unique_gpts() {
+            for action in gpt.actions() {
+                let id = action.identity();
+                assert!(eco.registry.contains_key(&id), "unregistered action {id}");
+                assert!(eco.policies.contains_key(&id), "missing policy for {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn unique_gpts_exceed_final_week() {
+        let eco = tiny();
+        assert!(eco.all_unique_gpts().len() >= eco.final_week().snapshot.len());
+        assert_eq!(eco.all_unique_gpts().len() , eco.dynamics.total_unique);
+    }
+
+    #[test]
+    fn removed_ids_are_not_in_final_week() {
+        let eco = tiny();
+        let last = &eco.final_week().snapshot.gpts;
+        for id in eco.removed_gpt_ids() {
+            assert!(!last.contains_key(&id));
+        }
+    }
+
+    #[test]
+    fn registry_actions_have_ground_truth_types() {
+        let eco = tiny();
+        for (id, action) in &eco.registry {
+            assert!(!action.data_types.is_empty(), "{id} collects nothing");
+            let policy = &eco.policies[id];
+            // The policy truth covers exactly the collected types.
+            assert_eq!(
+                policy.truth.keys().copied().collect::<Vec<_>>(),
+                {
+                    let mut t = action.data_types.clone();
+                    t.sort();
+                    t.dedup();
+                    t
+                },
+                "{id} truth/type mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let eco = tiny();
+        let json = serde_json::to_string(&eco).unwrap();
+        let back: Ecosystem = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.dynamics.total_unique, eco.dynamics.total_unique);
+        assert_eq!(back.registry.len(), eco.registry.len());
+    }
+}

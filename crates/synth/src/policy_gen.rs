@@ -1,0 +1,616 @@
+//! Privacy-policy generation with planted ground truth.
+//!
+//! Each distinct Action gets a policy artifact whose *kind* distribution
+//! reproduces Tables 9 and 10 (unreachable, byte-identical duplicates of
+//! several flavours, near-duplicate boilerplate, very short, bespoke),
+//! and whose *content* encodes a planted disclosure label per collected
+//! data type sampled from the Figure 6 distribution. The policy-analysis
+//! framework in `gptx-policy` is then evaluated against these planted
+//! labels (the reproduction of the paper's Section 6.2.1 pilot study).
+
+use crate::rates;
+use gptx_llm::DisclosureLabel;
+use gptx_taxonomy::{Category, DataType};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// What kind of artifact lives at an Action's `legal_info_url`
+/// (Tables 9–10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum PolicyKind {
+    /// The URL does not resolve (server error / unresponsive).
+    Unavailable,
+    /// Duplicate: the privacy policy of an embedded external service
+    /// (GitHub, Google, …).
+    DupEmbeddedService,
+    /// Duplicate: an empty document.
+    DupEmpty,
+    /// Duplicate: the shared policy of a multi-Action vendor.
+    DupSameVendor,
+    /// Duplicate: JS code that would render the policy client-side.
+    DupJsRendered,
+    /// Duplicate: OpenAI's own privacy policy.
+    DupOpenAi,
+    /// Duplicate: a 1×1 tracking pixel.
+    DupPixel,
+    /// Near-duplicate: boilerplate from a policy generator with only the
+    /// service name substituted.
+    NearDupBoilerplate,
+    /// A very short (<500 chars) generic policy.
+    Short,
+    /// A policy written for this Action, with per-type disclosures.
+    Bespoke,
+}
+
+impl PolicyKind {
+    /// Is the body byte-identical across Actions of this kind?
+    pub fn is_duplicate_class(&self) -> bool {
+        matches!(
+            self,
+            PolicyKind::DupEmbeddedService
+                | PolicyKind::DupEmpty
+                | PolicyKind::DupSameVendor
+                | PolicyKind::DupJsRendered
+                | PolicyKind::DupOpenAi
+                | PolicyKind::DupPixel
+        )
+    }
+}
+
+/// The generated policy for one distinct Action.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolicyArtifact {
+    pub url: String,
+    pub kind: PolicyKind,
+    /// Body served at the URL; `None` for [`PolicyKind::Unavailable`].
+    pub body: Option<String>,
+    /// Planted disclosure label per collected data type.
+    pub truth: BTreeMap<DataType, DisclosureLabel>,
+}
+
+/// Canonical texts for duplicate classes.
+pub mod canonical {
+    /// A GitHub-style embedded-service policy. Deliberately phrased in
+    /// broad terms (account/interaction/technical information) so its
+    /// disclosure of the Action's data types is *vague* at best.
+    pub const GITHUB_STYLE: &str = "GitHub Privacy Statement. Effective date: February 2024.\n\
+        We collect personal information directly from you for a variety of purposes. \
+        We collect account information when you create an account. \
+        We collect interaction information about how you work with our services. \
+        We collect technical details about your connection and operating system. \
+        We use this information to provide, maintain, and improve our services. \
+        We do not sell your personal information. \
+        You may reach our data protection officer with any questions. \
+        We retain records only as long as necessary, protect them with layered safeguards, \
+        and honor statutory requests regarding them within the required period.";
+
+    /// A Google-style embedded-service policy.
+    pub const GOOGLE_STYLE: &str = "Google Privacy Policy.\n\
+        We collect information to provide better services to all our users. \
+        This includes personal information you provide to us directly. \
+        We collect information about your activity in our services. \
+        We collect technical details from the apps and browsers you use. \
+        We use the information we collect to deliver our services and personalize content. \
+        You can manage, export, and delete your information at any time. \
+        We keep records only while needed, protect them with industry safeguards, \
+        and publish any revision of these practices on this page.";
+
+    /// OpenAI's own policy (Table 10: 5.3% of duplicate policies).
+    pub const OPENAI_STYLE: &str = "OpenAI Privacy Policy.\n\
+        We collect personal information that you provide when you use our services, \
+        including account details you register with. \
+        We collect content that you provide to our services. \
+        We collect technical information associated with your use of the services. \
+        We use personal information to provide and improve our services, to communicate \
+        with you, and to develop new programs and services. \
+        Records are retained only as long as operationally necessary, protected by layered \
+        safeguards, and subject to the statutory request rights of your jurisdiction.";
+
+    /// Client-side-rendered policy page (no extractable text).
+    pub const JS_RENDERED: &str = "<html><head><title>Privacy</title></head><body>\
+        <div id=\"root\"></div>\
+        <script>window.__POLICY__=fetch('/api/policy').then(r=>r.json());\
+        document.getElementById('root').innerHTML=renderPolicy(window.__POLICY__);</script>\
+        </body></html>";
+
+    /// A 1×1 pixel (binary GIF header) — Table 10's oddest duplicate.
+    pub const PIXEL: &str = "GIF89a\u{1}\u{0}\u{1}\u{0}\u{80}\u{0}\u{0}";
+
+    /// The freeprivacypolicy.com-style boilerplate, with `{NAME}`
+    /// substituted exactly once per Action — so two instances differ by a
+    /// single token and their shingle Jaccard exceeds the 0.95 threshold
+    /// of Table 9's near-duplicate detection.
+    pub const BOILERPLATE: &str = "Privacy Policy for {NAME}.\n\
+        One of our main priorities is the privacy of our visitors. \
+        This Privacy Policy document contains types of information that is collected and recorded by the service and how we use it. \
+        We collect your email address and name when you register or contact us through the site. \
+        Like any other website, the service uses log files. The information collected by log files is used for analyzing trends and administering the site. \
+        The log information is not linked to anything that identifies you beyond what you submit. \
+        Our Privacy Policy applies only to our online activities and is valid for visitors to our website with regards to the information that they shared. \
+        This policy is not applicable to any information collected offline or via channels other than this website. \
+        By using our website, you hereby consent to our Privacy Policy and agree to its terms. \
+        Should we update, amend or make any changes to this document, those changes will be prominently posted here. \
+        Children below thirteen are not permitted to use the service. \
+        If you have additional questions or require more information about our Privacy Policy, do not hesitate to contact us through the support channels listed on the site.";
+
+    /// Boilerplate closing sections appended to bespoke and vendor
+    /// policies (real policies carry pages of such text; the length also
+    /// keeps them out of the §6.1 short-policy bucket). Several variants
+    /// so appended text does not turn unrelated policies into
+    /// near-duplicates.
+    pub const FILLER_SECTIONS: &[&str] = &[
+        "Retention. We retain records only for as long as necessary to fulfil the purposes described in this policy, \
+         after which they are deleted or anonymized according to our internal schedules. \
+         Security. We apply industry-standard safeguards, including encryption in transit and at rest, \
+         access controls, and periodic reviews of our procedures. \
+         Your rights. Depending on your jurisdiction, you may have the right to request a copy of the records \
+         we hold about you, to ask for corrections, or to request deletion. \
+         Changes. We may revise this document from time to time; material revisions will be announced on this page.",
+        "How long we keep records. Records are kept only while your account remains active or as required by law, \
+         and are then scheduled for deletion. \
+         How we protect records. We rely on layered technical and organizational measures, \
+         regular audits, and least-privilege access for our staff. \
+         Exercising your rights. You may submit requests regarding your records through our support channels \
+         and we will respond within the statutory period. \
+         Updates. This page reflects the current version of our practices and supersedes all earlier versions.",
+        "Storage duration. Nothing is kept longer than operationally necessary; \
+         backup copies expire on a rolling schedule. \
+         Safeguards. Transport encryption, hardened infrastructure, and continuous monitoring protect our systems. \
+         Requests. To raise a question, objection, or request regarding this policy, \
+         reach us via the published support address; we answer promptly. \
+         Governing terms. Continued use of the service after an update to this page constitutes acceptance of the revised terms.",
+    ];
+
+    /// Short generic policies (§6.1: generic statements under 500 chars).
+    /// `{NAME}` is substituted per Action so short policies are distinct
+    /// documents (they are a *brevity* phenomenon, not a duplication one).
+    pub const SHORT_VARIANTS: &[&str] = &[
+        "We do not collect any personal data from users of {NAME}. Your data is never for sale.",
+        "{NAME} stores no user information. All requests are processed transiently and discarded.",
+        "Privacy matters at {NAME}. We do not collect personal information or share it with unaffiliated third parties.",
+    ];
+}
+
+/// Knobs for policy generation (fractions from Tables 9–10; see
+/// `SynthConfig` for the top-level rates).
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyRates {
+    pub unavailable: f64,
+    pub duplicate: f64,
+    pub near_dup: f64,
+    pub short: f64,
+}
+
+/// Relative weights of the randomly-assigned duplicate sub-kinds
+/// (Table 10, normalized). `DupSameVendor` is *not* assigned randomly —
+/// it arises structurally, from multi-endpoint service groups sharing a
+/// vendor policy (see `population::create_service_group`) — so the
+/// random share covers the other five classes.
+const DUP_WEIGHTS: &[(PolicyKind, f64)] = &[
+    (PolicyKind::DupEmbeddedService, 33.5),
+    (PolicyKind::DupEmpty, 27.0),
+    (PolicyKind::DupJsRendered, 17.8),
+    (PolicyKind::DupOpenAi, 5.3),
+    (PolicyKind::DupPixel, 3.8),
+];
+
+/// The Table 10 share of duplicates that are same-vendor (supplied
+/// structurally, subtracted from the random duplicate rate).
+pub const SAME_VENDOR_DUP_SHARE: f64 = 0.192;
+
+/// Boost applied to non-omitted disclosure probabilities for bespoke
+/// policies: Figure 6's marginals are over *all* Actions, and the
+/// duplicate/empty/JS classes disclose nothing, so bespoke policies must
+/// over-disclose for the corpus-level marginals to land near the paper's.
+const BESPOKE_BOOST: f64 = 1.6;
+
+/// Generate the policy artifact for a distinct Action.
+pub fn generate_policy(
+    action_name: &str,
+    domain: &str,
+    vendor: &str,
+    data_types: &[DataType],
+    rates: PolicyRates,
+    rng: &mut StdRng,
+) -> PolicyArtifact {
+    let url = format!("https://{domain}/privacy");
+    let roll: f64 = rng.gen();
+    let kind = if roll < rates.unavailable {
+        PolicyKind::Unavailable
+    } else if roll < rates.unavailable + rates.duplicate {
+        pick_dup_kind(rng)
+    } else if roll < rates.unavailable + rates.duplicate + rates.near_dup {
+        PolicyKind::NearDupBoilerplate
+    } else if roll < rates.unavailable + rates.duplicate + rates.near_dup + rates.short {
+        PolicyKind::Short
+    } else {
+        PolicyKind::Bespoke
+    };
+
+    let (body, truth) = match kind {
+        PolicyKind::Unavailable => (None, omit_all(data_types)),
+        PolicyKind::DupEmbeddedService => {
+            let text = if rng.gen_bool(0.5) {
+                canonical::GITHUB_STYLE
+            } else {
+                canonical::GOOGLE_STYLE
+            };
+            // These texts vaguely cover personal data; everything else the
+            // Action collects is undisclosed.
+            (Some(text.to_string()), vague_personal_truth(data_types))
+        }
+        PolicyKind::DupEmpty => (Some(String::new()), omit_all(data_types)),
+        PolicyKind::DupSameVendor => (
+            Some(vendor_policy(vendor)),
+            vague_personal_truth(data_types),
+        ),
+        PolicyKind::DupJsRendered => {
+            (Some(canonical::JS_RENDERED.to_string()), omit_all(data_types))
+        }
+        PolicyKind::DupOpenAi => (
+            Some(canonical::OPENAI_STYLE.to_string()),
+            vague_personal_truth(data_types),
+        ),
+        PolicyKind::DupPixel => (Some(canonical::PIXEL.to_string()), omit_all(data_types)),
+        PolicyKind::NearDupBoilerplate => {
+            let body = canonical::BOILERPLATE.replace("{NAME}", action_name);
+            let truth = boilerplate_truth(data_types);
+            (Some(body), truth)
+        }
+        PolicyKind::Short => {
+            let variant =
+                canonical::SHORT_VARIANTS[rng.gen_range(0..canonical::SHORT_VARIANTS.len())];
+            let body = variant.replace("{NAME}", action_name);
+            let truth = short_truth(variant, data_types);
+            (Some(body), truth)
+        }
+        PolicyKind::Bespoke => {
+            let truth = sample_bespoke_truth(data_types, rng);
+            (Some(render_bespoke(action_name, &truth, rng)), truth)
+        }
+    };
+
+    PolicyArtifact {
+        url,
+        kind,
+        body,
+        truth,
+    }
+}
+
+fn pick_dup_kind(rng: &mut StdRng) -> PolicyKind {
+    let total: f64 = DUP_WEIGHTS.iter().map(|(_, w)| w).sum();
+    let mut x = rng.gen::<f64>() * total;
+    for (kind, w) in DUP_WEIGHTS {
+        if x < *w {
+            return *kind;
+        }
+        x -= w;
+    }
+    PolicyKind::DupEmpty
+}
+
+/// The shared policy for every Action of one multi-Action vendor (same
+/// URL, same body — Table 10's "Actions belonging to the same vendor").
+pub fn generate_vendor_shared_policy(
+    domain: &str,
+    vendor: &str,
+    types: &[DataType],
+) -> PolicyArtifact {
+    PolicyArtifact {
+        url: format!("https://{domain}/privacy"),
+        kind: PolicyKind::DupSameVendor,
+        body: Some(vendor_policy(vendor)),
+        truth: vague_personal_truth(types),
+    }
+}
+
+fn omit_all(types: &[DataType]) -> BTreeMap<DataType, DisclosureLabel> {
+    types
+        .iter()
+        .map(|&d| (d, DisclosureLabel::Omitted))
+        .collect()
+}
+
+/// Same-vendor policies disclose personal info vaguely, omit the rest.
+fn vague_personal_truth(types: &[DataType]) -> BTreeMap<DataType, DisclosureLabel> {
+    types
+        .iter()
+        .map(|&d| {
+            let label = if d.is_personal() {
+                DisclosureLabel::Vague
+            } else {
+                DisclosureLabel::Omitted
+            };
+            (d, label)
+        })
+        .collect()
+}
+
+/// The boilerplate clearly discloses email and name and omits everything
+/// else (its log-files sentence names no taxonomy type precisely).
+fn boilerplate_truth(types: &[DataType]) -> BTreeMap<DataType, DisclosureLabel> {
+    types
+        .iter()
+        .map(|&d| {
+            let label = match d {
+                DataType::EmailAddress | DataType::Name => DisclosureLabel::Clear,
+                _ => DisclosureLabel::Omitted,
+            };
+            (d, label)
+        })
+        .collect()
+}
+
+/// Short "we do not collect" policies are *incorrect* for collected
+/// personal types and omitted for the rest (§6.1 / Table 11's incorrect
+/// archetype). Variants that merely claim transient processing disclose
+/// nothing at all.
+fn short_truth(variant: &str, types: &[DataType]) -> BTreeMap<DataType, DisclosureLabel> {
+    let denies = variant.contains("not collect");
+    types
+        .iter()
+        .map(|&d| {
+            let label = if denies && d.is_personal() {
+                DisclosureLabel::Incorrect
+            } else {
+                DisclosureLabel::Omitted
+            };
+            (d, label)
+        })
+        .collect()
+}
+
+/// Sample the planted label per type from the (boosted) Figure 6
+/// distribution.
+fn sample_bespoke_truth(
+    types: &[DataType],
+    rng: &mut StdRng,
+) -> BTreeMap<DataType, DisclosureLabel> {
+    types
+        .iter()
+        .map(|&d| {
+            let (c, v, i, a, _o) = rates::disclosure_percentages(d);
+            let (c, v, i, a) = (
+                c * BESPOKE_BOOST,
+                v * BESPOKE_BOOST,
+                i * BESPOKE_BOOST,
+                a * BESPOKE_BOOST,
+            );
+            let u: f64 = rng.gen::<f64>() * 100.0;
+            let label = if u < c {
+                DisclosureLabel::Clear
+            } else if u < c + v {
+                DisclosureLabel::Vague
+            } else if u < c + v + i {
+                DisclosureLabel::Incorrect
+            } else if u < c + v + i + a {
+                DisclosureLabel::Ambiguous
+            } else {
+                DisclosureLabel::Omitted
+            };
+            (d, label)
+        })
+        .collect()
+}
+
+/// Render a bespoke policy realizing the planted labels.
+fn render_bespoke(
+    action_name: &str,
+    truth: &BTreeMap<DataType, DisclosureLabel>,
+    rng: &mut StdRng,
+) -> String {
+    let mut s = format!(
+        "Privacy Policy — {action_name}.\n\
+         This policy describes how {action_name} handles information when you use it through a GPT.\n"
+    );
+    let mut wrote_generic_vague = false;
+    for (&d, &label) in truth {
+        let phrase = d.lexicon().first().copied().unwrap_or(d.label());
+        match label {
+            DisclosureLabel::Clear => {
+                let verb = ["collect", "store", "process"][rng.gen_range(0..3)];
+                s.push_str(&format!("We {verb} your {phrase} to provide the service.\n"));
+            }
+            DisclosureLabel::Vague => {
+                if !wrote_generic_vague {
+                    s.push_str(
+                        "We collect personal information and data about how you use our \
+                         website, together with any data that you post through our online \
+                         services.\n",
+                    );
+                    wrote_generic_vague = true;
+                }
+                // Category-level hint, not the exact type.
+                s.push_str(&format!(
+                    "We may process {} you share with the service.\n",
+                    category_phrase(d.category())
+                ));
+            }
+            DisclosureLabel::Incorrect => {
+                s.push_str(&format!("We do not collect your {phrase}.\n"));
+            }
+            DisclosureLabel::Ambiguous => {
+                s.push_str(
+                    "We do not actively collect and store any personal data from users \
+                     but we use your personal data to provide and improve the Service.\n",
+                );
+            }
+            DisclosureLabel::Omitted => {}
+        }
+    }
+    // Boilerplate filler that mentions no data types (and keeps real
+    // policies out of the <500-char short bucket).
+    s.push('\n');
+    s.push_str(canonical::FILLER_SECTIONS[rng.gen_range(0..canonical::FILLER_SECTIONS.len())]);
+    s.push('\n');
+    s
+}
+
+fn category_phrase(cat: Category) -> &'static str {
+    match cat {
+        Category::AppActivity => "usage information",
+        Category::PersonalInfo => "personal information",
+        Category::WebBrowsing => "browsing data",
+        Category::Location => "location data",
+        Category::Messages => "communications",
+        Category::FinancialInfo => "financial information",
+        Category::FilesAndDocs => "documents",
+        Category::PhotosAndVideos => "media",
+        Category::Calendar => "schedule information",
+        Category::AppInfoAndPerformance => "technical data",
+        Category::HealthAndFitness => "health data",
+        Category::DeviceOrOtherIds => "device information",
+        Category::AudioFiles => "audio",
+        Category::Contacts => "contact information",
+    }
+}
+
+/// The shared policy of a multi-Action vendor.
+fn vendor_policy(vendor: &str) -> String {
+    format!(
+        "Privacy Policy — {vendor}.\n\
+         This policy covers every product operated by {vendor}. \
+         We collect personal information you provide, such as account details, \
+         when you interact with our products. \
+         We use this data to operate and improve our services. \
+         We do not sell personal information.\n{}\n",
+        canonical::FILLER_SECTIONS[0]
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rates() -> PolicyRates {
+        PolicyRates {
+            unavailable: 0.1332,
+            duplicate: 0.3856,
+            near_dup: 0.055,
+            short: 0.1245,
+        }
+    }
+
+    fn gen_many(n: usize, seed: u64) -> Vec<PolicyArtifact> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                generate_policy(
+                    &format!("Action{i}"),
+                    &format!("a{i}.dev"),
+                    &format!("vendor{}", i % 40),
+                    &[DataType::EmailAddress, DataType::Time, DataType::WebsiteVisits],
+                    rates(),
+                    &mut rng,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn kind_distribution_matches_config() {
+        let arts = gen_many(4000, 1);
+        let frac = |pred: &dyn Fn(&PolicyArtifact) -> bool| {
+            arts.iter().filter(|a| pred(a)).count() as f64 / arts.len() as f64
+        };
+        let unavailable = frac(&|a| a.kind == PolicyKind::Unavailable);
+        assert!((unavailable - 0.1332).abs() < 0.02, "unavailable {unavailable}");
+        let dup = frac(&|a| a.kind.is_duplicate_class());
+        assert!((dup - 0.3856).abs() < 0.03, "dup {dup}");
+        let near = frac(&|a| a.kind == PolicyKind::NearDupBoilerplate);
+        assert!((near - 0.055).abs() < 0.015, "near {near}");
+        let short = frac(&|a| a.kind == PolicyKind::Short);
+        assert!((short - 0.1245).abs() < 0.02, "short {short}");
+    }
+
+    #[test]
+    fn unavailable_has_no_body() {
+        let arts = gen_many(500, 2);
+        for a in arts.iter().filter(|a| a.kind == PolicyKind::Unavailable) {
+            assert!(a.body.is_none());
+        }
+    }
+
+    #[test]
+    fn duplicate_bodies_are_identical_within_kind() {
+        let arts = gen_many(3000, 3);
+        let js: Vec<&String> = arts
+            .iter()
+            .filter(|a| a.kind == PolicyKind::DupJsRendered)
+            .filter_map(|a| a.body.as_ref())
+            .collect();
+        assert!(js.len() > 1, "need several JS policies");
+        assert!(js.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn near_dups_differ_only_by_name() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let r = PolicyRates {
+            unavailable: 0.0,
+            duplicate: 0.0,
+            near_dup: 1.0,
+            short: 0.0,
+        };
+        let a = generate_policy("Alpha", "a.dev", "v", &[DataType::EmailAddress], r, &mut rng);
+        let b = generate_policy("Beta", "b.dev", "v", &[DataType::EmailAddress], r, &mut rng);
+        let ba = a.body.unwrap();
+        let bb = b.body.unwrap();
+        assert_ne!(ba, bb);
+        assert_eq!(ba.replace("Alpha", "X"), bb.replace("Beta", "X"));
+    }
+
+    #[test]
+    fn bespoke_clear_truth_is_rendered() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let r = PolicyRates {
+            unavailable: 0.0,
+            duplicate: 0.0,
+            near_dup: 0.0,
+            short: 0.0,
+        };
+        // Email's clear rate is high; generate until a clear truth shows.
+        for _ in 0..200 {
+            let a = generate_policy(
+                "Mailer",
+                "m.dev",
+                "v",
+                &[DataType::EmailAddress],
+                r,
+                &mut rng,
+            );
+            if a.truth[&DataType::EmailAddress] == DisclosureLabel::Clear {
+                assert!(a.body.unwrap().contains("email address"));
+                return;
+            }
+        }
+        panic!("no clear email disclosure generated in 200 tries");
+    }
+
+    #[test]
+    fn short_policies_are_short() {
+        let arts = gen_many(2000, 6);
+        for a in arts.iter().filter(|a| a.kind == PolicyKind::Short) {
+            assert!(a.body.as_ref().unwrap().len() < 500);
+        }
+    }
+
+    #[test]
+    fn truth_covers_every_collected_type() {
+        for a in gen_many(200, 7) {
+            assert_eq!(a.truth.len(), 3);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = gen_many(50, 99);
+        let b = gen_many(50, 99);
+        assert_eq!(a, b);
+    }
+}

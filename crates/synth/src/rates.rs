@@ -1,0 +1,210 @@
+//! Paper-calibrated rate tables.
+//!
+//! The synthetic corpus is the substitution for the authors' four-month
+//! crawl (see DESIGN.md §2). Its ground-truth distributions are the
+//! paper's *published marginals*, encoded here verbatim:
+//!
+//! * [`collection_rate`] — Table 5: the fraction of first-/third-party
+//!   Actions that collect each data type;
+//! * [`disclosure_percentages`] — Figure 6: per data type, the probability that
+//!   a policy's disclosure of it is clear/vague/incorrect/ambiguous/
+//!   omitted.
+//!
+//! The analysis pipeline never reads these tables — it measures the
+//! generated corpus end-to-end — so agreement between EXPERIMENTS.md and
+//! the paper is a real round-trip through generation, crawling,
+//! classification, and policy analysis.
+
+use gptx_llm::DisclosureLabel;
+use gptx_model::Party;
+use gptx_taxonomy::DataType;
+
+/// Table 5: probability (0..1) that an Action of the given party collects
+/// the given data type. Types absent from Table 5 have rate 0.
+pub fn collection_rate(d: DataType, party: Party) -> f64 {
+    use DataType::*;
+    let (first, third) = match d {
+        OtherUserGeneratedData => (64.3, 59.2),
+        SettingsOrParameters => (39.9, 24.0),
+        InAppSearchHistory => (29.1, 16.1),
+        DataIdentifier => (21.2, 10.6),
+        OtherActivities => (14.7, 7.1),
+        Time => (11.2, 11.9),
+        ReferenceInformation => (8.8, 3.2),
+        InstalledApps => (8.1, 0.1),
+        ModelNameOrVersion => (5.1, 3.3),
+        Reviews => (2.2, 0.9),
+        CommandsPrompts => (1.7, 3.7),
+        OtherInfo => (43.9, 58.9),
+        Languages => (21.1, 7.8),
+        // The third-party cell for User IDs is unreadable in the paper's
+        // table; 12.0 interpolates between its neighbours.
+        UserIds => (19.5, 12.0),
+        Name => (8.8, 13.0),
+        EmailAddress => (7.2, 5.7),
+        Address => (6.0, 7.8),
+        Passwords => (0.9, 0.9),
+        Timezone => (0.8, 0.9),
+        PhoneNumber => (0.6, 1.5),
+        RaceAndEthnicity => (0.1, 0.0),
+        PoliticalOrReligiousBeliefs => (0.0, 0.1),
+        WebsiteVisits => (17.0, 6.6),
+        ApproximateLocation => (10.4, 11.7),
+        PreciseLocation => (2.3, 2.9),
+        OtherInAppMessages => (4.9, 2.9),
+        Emails => (2.9, 1.7),
+        OtherFinancialInfo => (3.1, 5.0),
+        PurchaseHistory => (0.3, 0.4),
+        UserPaymentInfo => (0.1, 0.1),
+        FilesAndDocs => (2.6, 5.7),
+        Videos => (2.5, 1.0),
+        Photos => (0.7, 1.3),
+        CalendarEvents => (0.4, 0.8),
+        OtherAppPerformanceData => (0.4, 0.6),
+        HealthInfo => (0.2, 0.6),
+        FitnessInfo => (0.0, 0.1),
+        DeviceOrOtherIds => (0.3, 0.6),
+        OtherAudioFiles => (0.3, 0.5),
+        VoiceOrSoundRecordings => (0.1, 0.4),
+        MusicFiles => (0.1, 0.0),
+        Contacts => (0.2, 0.3),
+        // Not rows of Table 5: never generated spontaneously.
+        AppInteractions | SexualOrientation | SmsOrMms | CreditScore | CrashLogs
+        | Diagnostics => (0.0, 0.0),
+    };
+    (match party {
+        Party::First => first,
+        Party::Third => third,
+    }) / 100.0
+}
+
+/// Figure 6: ground-truth disclosure-behaviour distribution per data
+/// type, as `(clear, vague, incorrect, ambiguous, omitted)` percentages.
+pub fn disclosure_percentages(d: DataType) -> (f64, f64, f64, f64, f64) {
+    use DataType::*;
+    match d {
+        OtherUserGeneratedData => (10.0, 8.0, 3.0, 0.2, 78.8),
+        SettingsOrParameters => (3.9, 2.6, 1.9, 0.0, 91.6),
+        InAppSearchHistory => (10.1, 10.8, 5.7, 0.0, 73.4),
+        DataIdentifier => (2.4, 1.1, 3.8, 0.3, 92.4),
+        OtherActivities => (0.9, 2.7, 0.9, 0.0, 95.5),
+        Time => (4.0, 3.8, 4.3, 0.2, 87.7),
+        ReferenceInformation => (6.1, 3.0, 0.0, 0.0, 90.9),
+        InstalledApps => (0.0, 0.0, 0.0, 0.0, 100.0),
+        ModelNameOrVersion => (4.2, 2.1, 2.1, 0.0, 91.6),
+        Reviews => (0.0, 7.1, 0.0, 0.0, 92.9),
+        CommandsPrompts => (0.0, 1.5, 1.5, 0.0, 97.0),
+        OtherInfo => (3.9, 3.3, 3.8, 0.0, 89.0),
+        Languages => (5.0, 3.6, 2.9, 0.0, 88.5),
+        UserIds => (7.4, 5.1, 7.9, 0.0, 79.6),
+        Name => (37.4, 13.7, 7.0, 0.0, 41.9),
+        EmailAddress => (48.3, 8.5, 5.1, 0.0, 38.1),
+        Address => (17.8, 3.0, 4.4, 0.0, 74.8),
+        Passwords => (12.5, 0.0, 4.2, 0.0, 83.3),
+        Timezone => (0.0, 0.0, 4.5, 0.0, 95.5),
+        PhoneNumber => (27.3, 9.1, 9.1, 0.0, 54.5),
+        RaceAndEthnicity => (0.0, 0.0, 0.0, 0.0, 100.0),
+        PoliticalOrReligiousBeliefs => (0.0, 0.0, 0.0, 0.0, 100.0),
+        WebsiteVisits => (12.0, 15.2, 8.7, 0.0, 64.1),
+        ApproximateLocation => (15.3, 18.8, 9.1, 0.7, 56.1),
+        PreciseLocation => (18.9, 8.4, 8.4, 0.0, 64.3),
+        OtherInAppMessages => (10.3, 33.3, 10.3, 0.0, 46.1),
+        Emails => (17.2, 17.2, 10.3, 0.0, 55.3),
+        OtherFinancialInfo => (11.5, 1.8, 5.5, 0.0, 81.2),
+        PurchaseHistory => (0.0, 0.0, 0.0, 0.0, 100.0),
+        UserPaymentInfo => (0.0, 0.0, 0.0, 0.0, 100.0),
+        FilesAndDocs => (23.1, 8.7, 1.0, 0.0, 67.2),
+        Videos => (11.1, 0.0, 0.0, 0.0, 88.9),
+        Photos => (28.6, 7.1, 0.0, 0.0, 64.3),
+        CalendarEvents => (0.0, 11.1, 33.3, 0.0, 55.6),
+        OtherAppPerformanceData => (6.2, 6.2, 0.0, 0.0, 87.6),
+        HealthInfo => (0.0, 0.0, 4.0, 0.0, 96.0),
+        FitnessInfo => (0.0, 0.0, 0.0, 0.0, 100.0),
+        DeviceOrOtherIds => (60.0, 0.0, 10.0, 0.0, 30.0),
+        OtherAudioFiles => (14.3, 0.0, 0.0, 0.0, 85.7),
+        VoiceOrSoundRecordings => (0.0, 0.0, 0.0, 0.0, 100.0),
+        MusicFiles => (0.0, 0.0, 0.0, 0.0, 100.0),
+        Contacts => (14.3, 14.3, 0.0, 0.0, 71.4),
+        AppInteractions | SexualOrientation | SmsOrMms | CreditScore | CrashLogs
+        | Diagnostics => (0.0, 0.0, 0.0, 0.0, 100.0),
+    }
+}
+
+/// Sample a ground-truth disclosure label for a data type from the
+/// Figure 6 distribution, given a uniform draw `u` in `[0, 1)`.
+pub fn sample_disclosure(d: DataType, u: f64) -> DisclosureLabel {
+    let (clear, vague, incorrect, ambiguous, _omitted) = disclosure_percentages(d);
+    let mut x = u * 100.0;
+    for (p, label) in [
+        (clear, DisclosureLabel::Clear),
+        (vague, DisclosureLabel::Vague),
+        (incorrect, DisclosureLabel::Incorrect),
+        (ambiguous, DisclosureLabel::Ambiguous),
+    ] {
+        if x < p {
+            return label;
+        }
+        x -= p;
+    }
+    DisclosureLabel::Omitted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_are_probabilities() {
+        for d in DataType::ALL {
+            for party in [Party::First, Party::Third] {
+                let r = collection_rate(*d, party);
+                assert!((0.0..=1.0).contains(&r), "{d:?} {party:?} rate {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn disclosure_rows_sum_to_100() {
+        for d in DataType::ALL {
+            let (c, v, i, a, o) = disclosure_percentages(*d);
+            let sum = c + v + i + a + o;
+            assert!(
+                (sum - 100.0).abs() < 0.35,
+                "{d:?} disclosure row sums to {sum}"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_disclosure_endpoints() {
+        // u = 0 lands in the first nonzero bucket; u near 1 is omitted for
+        // all types with nonzero omission.
+        assert_eq!(
+            sample_disclosure(DataType::EmailAddress, 0.0),
+            DisclosureLabel::Clear
+        );
+        assert_eq!(
+            sample_disclosure(DataType::EmailAddress, 0.999),
+            DisclosureLabel::Omitted
+        );
+        assert_eq!(
+            sample_disclosure(DataType::InstalledApps, 0.0),
+            DisclosureLabel::Omitted
+        );
+    }
+
+    #[test]
+    fn passwords_are_collected_but_rarely() {
+        let r = collection_rate(DataType::Passwords, Party::Third);
+        assert!(r > 0.0 && r < 0.02);
+    }
+
+    #[test]
+    fn average_types_per_action_is_a_few() {
+        let sum: f64 = DataType::ALL
+            .iter()
+            .map(|d| collection_rate(*d, Party::Third))
+            .sum();
+        assert!((2.0..6.0).contains(&sum), "mean third-party types {sum}");
+    }
+}

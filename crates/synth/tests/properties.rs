@@ -1,0 +1,106 @@
+//! Property-based invariants of the ecosystem generator: for any small
+//! seed/shape, the generated world is internally consistent.
+
+use gptx_synth::{Ecosystem, SynthConfig};
+use proptest::prelude::*;
+
+fn config_strategy() -> impl Strategy<Value = SynthConfig> {
+    (0u64..1000, 50usize..250, 2u32..5).prop_map(|(seed, base, weeks)| SynthConfig {
+        seed,
+        base_gpts: base,
+        weeks,
+        // Exaggerated dynamics so small corpora exercise them.
+        weekly_change_rate: 0.01,
+        weekly_removal_rate: 0.01,
+        action_rate: 0.2,
+        ..SynthConfig::default()
+    })
+}
+
+proptest! {
+    // Generation is the expensive step; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn ecosystem_is_internally_consistent(config in config_strategy()) {
+        let eco = Ecosystem::generate(config.clone());
+
+        // One state per week, dates strictly ordered.
+        prop_assert_eq!(eco.weeks.len(), config.weeks as usize);
+        for pair in eco.weeks.windows(2) {
+            prop_assert!(pair[0].date < pair[1].date);
+            prop_assert_eq!(pair[0].week + 1, pair[1].week);
+        }
+
+        // Every embedded Action is registered, with a policy whose truth
+        // covers exactly its data types.
+        for (_, gpt) in eco.all_unique_gpts() {
+            for action in gpt.actions() {
+                let id = action.identity();
+                let registered = eco.registry.get(&id);
+                prop_assert!(registered.is_some(), "unregistered {id}");
+                let policy = eco.policies.get(&id);
+                prop_assert!(policy.is_some(), "no policy for {id}");
+                let mut types = registered.unwrap().data_types.clone();
+                types.sort();
+                types.dedup();
+                let truth_types: Vec<_> =
+                    policy.unwrap().truth.keys().copied().collect();
+                prop_assert_eq!(truth_types, types);
+            }
+        }
+
+        // Store listings reference only live GPTs, and cover all of them.
+        for week in &eco.weeks {
+            let mut listed = std::collections::BTreeSet::new();
+            for ids in week.listings.values() {
+                for id in ids {
+                    prop_assert!(
+                        week.snapshot.gpts.contains_key(id),
+                        "listing references missing {id}"
+                    );
+                    listed.insert(id.clone());
+                }
+            }
+            prop_assert_eq!(listed.len(), week.snapshot.len());
+        }
+
+        // Dead APIs belong to registered Actions.
+        for id in &eco.dynamics.dead_apis {
+            prop_assert!(eco.registry.contains_key(id));
+        }
+
+        // Unique counting is exact.
+        prop_assert_eq!(eco.all_unique_gpts().len(), eco.dynamics.total_unique);
+    }
+
+    #[test]
+    fn same_seed_same_world(seed in 0u64..500) {
+        let config = SynthConfig {
+            seed,
+            base_gpts: 80,
+            weeks: 2,
+            ..SynthConfig::default()
+        };
+        let a = Ecosystem::generate(config.clone());
+        let b = Ecosystem::generate(config);
+        prop_assert_eq!(a.final_week().snapshot.clone(), b.final_week().snapshot.clone());
+        prop_assert_eq!(a.registry.len(), b.registry.len());
+    }
+
+    #[test]
+    fn different_seeds_differ(seed in 0u64..500) {
+        let mk = |s| Ecosystem::generate(SynthConfig {
+            seed: s,
+            base_gpts: 80,
+            weeks: 2,
+            ..SynthConfig::default()
+        });
+        let a = mk(seed);
+        let b = mk(seed + 1);
+        // The id sets should differ (ids are drawn from the seeded RNG).
+        let ids_a: Vec<_> = a.final_week().snapshot.gpts.keys().cloned().collect();
+        let ids_b: Vec<_> = b.final_week().snapshot.gpts.keys().cloned().collect();
+        prop_assert_ne!(ids_a, ids_b);
+    }
+}

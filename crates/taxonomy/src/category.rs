@@ -1,0 +1,106 @@
+//! The 14 top-level data categories of Table 13.
+
+/// A top-level data category, as listed in the left column of the paper's
+/// Tables 5, 7, and 13.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum Category {
+    AppActivity,
+    PersonalInfo,
+    WebBrowsing,
+    Location,
+    Messages,
+    FinancialInfo,
+    FilesAndDocs,
+    PhotosAndVideos,
+    Calendar,
+    AppInfoAndPerformance,
+    HealthAndFitness,
+    DeviceOrOtherIds,
+    AudioFiles,
+    Contacts,
+}
+
+impl Category {
+    /// All categories in the order the paper's tables list them.
+    pub const ALL: &'static [Category] = &[
+        Category::AppActivity,
+        Category::PersonalInfo,
+        Category::WebBrowsing,
+        Category::Location,
+        Category::Messages,
+        Category::FinancialInfo,
+        Category::FilesAndDocs,
+        Category::PhotosAndVideos,
+        Category::Calendar,
+        Category::AppInfoAndPerformance,
+        Category::HealthAndFitness,
+        Category::DeviceOrOtherIds,
+        Category::AudioFiles,
+        Category::Contacts,
+    ];
+
+    /// The display label used in the paper's tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Category::AppActivity => "App activity",
+            Category::PersonalInfo => "Personal info",
+            Category::WebBrowsing => "Web browsing",
+            Category::Location => "Location",
+            Category::Messages => "Messages",
+            Category::FinancialInfo => "Financial info",
+            Category::FilesAndDocs => "Files & docs",
+            Category::PhotosAndVideos => "Photos & videos",
+            Category::Calendar => "Calendar",
+            Category::AppInfoAndPerformance => "App info & perf.",
+            Category::HealthAndFitness => "Health & fitness",
+            Category::DeviceOrOtherIds => "Device/other IDs",
+            Category::AudioFiles => "Audio files",
+            Category::Contacts => "Contacts",
+        }
+    }
+
+    /// Parse a display label back into a category (case-insensitive).
+    pub fn from_label(label: &str) -> Option<Category> {
+        let needle = label.trim().to_ascii_lowercase();
+        Category::ALL
+            .iter()
+            .find(|c| c.label().to_ascii_lowercase() == needle)
+            .copied()
+    }
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for c in Category::ALL {
+            assert_eq!(Category::from_label(c.label()), Some(*c));
+        }
+    }
+
+    #[test]
+    fn from_label_is_case_insensitive() {
+        assert_eq!(Category::from_label("app ACTIVITY"), Some(Category::AppActivity));
+    }
+
+    #[test]
+    fn unknown_label_is_none() {
+        assert_eq!(Category::from_label("telemetry"), None);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<&str> = Category::ALL.iter().map(|c| c.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), Category::ALL.len());
+    }
+}

@@ -1,0 +1,712 @@
+//! The 48 succinct data types of Table 13, with labels, descriptions,
+//! lexicons, and sensitivity flags.
+
+use crate::category::Category;
+
+/// A succinct data type — the output vocabulary of the LLM-based
+/// static-analysis tool (Section 5.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum DataType {
+    // App activity
+    OtherUserGeneratedData,
+    AppInteractions,
+    SettingsOrParameters,
+    InAppSearchHistory,
+    DataIdentifier,
+    OtherActivities,
+    Time,
+    ReferenceInformation,
+    InstalledApps,
+    ModelNameOrVersion,
+    Reviews,
+    CommandsPrompts,
+    // Personal info
+    OtherInfo,
+    Languages,
+    UserIds,
+    Name,
+    EmailAddress,
+    Address,
+    Passwords,
+    Timezone,
+    PhoneNumber,
+    RaceAndEthnicity,
+    PoliticalOrReligiousBeliefs,
+    SexualOrientation,
+    // Web browsing
+    WebsiteVisits,
+    // Location
+    ApproximateLocation,
+    PreciseLocation,
+    // Messages
+    OtherInAppMessages,
+    SmsOrMms,
+    Emails,
+    // Financial info
+    OtherFinancialInfo,
+    UserPaymentInfo,
+    PurchaseHistory,
+    CreditScore,
+    // Files & docs
+    FilesAndDocs,
+    // Photos & videos
+    Videos,
+    Photos,
+    // Calendar
+    CalendarEvents,
+    // App info & performance
+    OtherAppPerformanceData,
+    CrashLogs,
+    Diagnostics,
+    // Health & fitness
+    HealthInfo,
+    FitnessInfo,
+    // Device or other IDs
+    DeviceOrOtherIds,
+    // Audio files
+    VoiceOrSoundRecordings,
+    MusicFiles,
+    OtherAudioFiles,
+    // Contacts
+    Contacts,
+}
+
+use DataType::*;
+
+impl DataType {
+    /// Every data type, in Table 13 order.
+    pub const ALL: &'static [DataType] = &[
+        OtherUserGeneratedData,
+        AppInteractions,
+        SettingsOrParameters,
+        InAppSearchHistory,
+        DataIdentifier,
+        OtherActivities,
+        Time,
+        ReferenceInformation,
+        InstalledApps,
+        ModelNameOrVersion,
+        Reviews,
+        CommandsPrompts,
+        OtherInfo,
+        Languages,
+        UserIds,
+        Name,
+        EmailAddress,
+        Address,
+        Passwords,
+        Timezone,
+        PhoneNumber,
+        RaceAndEthnicity,
+        PoliticalOrReligiousBeliefs,
+        SexualOrientation,
+        WebsiteVisits,
+        ApproximateLocation,
+        PreciseLocation,
+        OtherInAppMessages,
+        SmsOrMms,
+        Emails,
+        OtherFinancialInfo,
+        UserPaymentInfo,
+        PurchaseHistory,
+        CreditScore,
+        FilesAndDocs,
+        Videos,
+        Photos,
+        CalendarEvents,
+        OtherAppPerformanceData,
+        CrashLogs,
+        Diagnostics,
+        HealthInfo,
+        FitnessInfo,
+        DeviceOrOtherIds,
+        VoiceOrSoundRecordings,
+        MusicFiles,
+        OtherAudioFiles,
+        Contacts,
+    ];
+
+    /// The data types that appear as rows of the paper's Tables 5 and 7
+    /// (the subset of the taxonomy actually observed in the corpus),
+    /// in the papers' row order.
+    pub const MEASURED_ROWS: &'static [DataType] = &[
+        OtherUserGeneratedData,
+        SettingsOrParameters,
+        InAppSearchHistory,
+        DataIdentifier,
+        OtherActivities,
+        Time,
+        ReferenceInformation,
+        InstalledApps,
+        ModelNameOrVersion,
+        Reviews,
+        CommandsPrompts,
+        OtherInfo,
+        Languages,
+        UserIds,
+        Name,
+        EmailAddress,
+        Address,
+        Passwords,
+        Timezone,
+        PhoneNumber,
+        RaceAndEthnicity,
+        PoliticalOrReligiousBeliefs,
+        WebsiteVisits,
+        ApproximateLocation,
+        PreciseLocation,
+        OtherInAppMessages,
+        Emails,
+        OtherFinancialInfo,
+        PurchaseHistory,
+        UserPaymentInfo,
+        FilesAndDocs,
+        Videos,
+        Photos,
+        CalendarEvents,
+        OtherAppPerformanceData,
+        HealthInfo,
+        FitnessInfo,
+        DeviceOrOtherIds,
+        OtherAudioFiles,
+        VoiceOrSoundRecordings,
+        MusicFiles,
+        Contacts,
+    ];
+
+    /// The category this type belongs to.
+    pub fn category(&self) -> Category {
+        match self {
+            OtherUserGeneratedData | AppInteractions | SettingsOrParameters
+            | InAppSearchHistory | DataIdentifier | OtherActivities | Time
+            | ReferenceInformation | InstalledApps | ModelNameOrVersion | Reviews
+            | CommandsPrompts => Category::AppActivity,
+            OtherInfo | Languages | UserIds | Name | EmailAddress | Address | Passwords
+            | Timezone | PhoneNumber | RaceAndEthnicity | PoliticalOrReligiousBeliefs
+            | SexualOrientation => Category::PersonalInfo,
+            WebsiteVisits => Category::WebBrowsing,
+            ApproximateLocation | PreciseLocation => Category::Location,
+            OtherInAppMessages | SmsOrMms | Emails => Category::Messages,
+            OtherFinancialInfo | UserPaymentInfo | PurchaseHistory | CreditScore => {
+                Category::FinancialInfo
+            }
+            FilesAndDocs => Category::FilesAndDocs,
+            Videos | Photos => Category::PhotosAndVideos,
+            CalendarEvents => Category::Calendar,
+            OtherAppPerformanceData | CrashLogs | Diagnostics => {
+                Category::AppInfoAndPerformance
+            }
+            HealthInfo | FitnessInfo => Category::HealthAndFitness,
+            DeviceOrOtherIds => Category::DeviceOrOtherIds,
+            VoiceOrSoundRecordings | MusicFiles | OtherAudioFiles => Category::AudioFiles,
+            Contacts => Category::Contacts,
+        }
+    }
+
+    /// The display label used in the paper's tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OtherUserGeneratedData => "Other user-gen. data",
+            AppInteractions => "App interactions",
+            SettingsOrParameters => "Settings or parameters",
+            InAppSearchHistory => "In-app search history",
+            DataIdentifier => "Data identifier",
+            OtherActivities => "Other activities",
+            Time => "Time",
+            ReferenceInformation => "Reference information",
+            InstalledApps => "Installed apps",
+            ModelNameOrVersion => "Model name or version",
+            Reviews => "Reviews",
+            CommandsPrompts => "Command/prompt",
+            OtherInfo => "Other info",
+            Languages => "Languages",
+            UserIds => "User IDs",
+            Name => "Name",
+            EmailAddress => "Email address",
+            Address => "Address",
+            Passwords => "Passwords",
+            Timezone => "Timezone",
+            PhoneNumber => "Phone number",
+            RaceAndEthnicity => "Race and ethnicity",
+            PoliticalOrReligiousBeliefs => "Political/religious beliefs",
+            SexualOrientation => "Sexual orientation",
+            WebsiteVisits => "Websites visits",
+            ApproximateLocation => "Approximate location",
+            PreciseLocation => "Precise location",
+            OtherInAppMessages => "Other in-app messages",
+            SmsOrMms => "SMS or MMS",
+            Emails => "Emails",
+            OtherFinancialInfo => "Other financial info",
+            UserPaymentInfo => "User payment info",
+            PurchaseHistory => "Purchase history",
+            CreditScore => "Credit score",
+            FilesAndDocs => "Files and docs",
+            Videos => "Videos",
+            Photos => "Photos",
+            CalendarEvents => "Calendar events",
+            OtherAppPerformanceData => "Other app perf. data",
+            CrashLogs => "Crash logs",
+            Diagnostics => "Diagnostics",
+            HealthInfo => "Health info",
+            FitnessInfo => "Physical activity info",
+            DeviceOrOtherIds => "Device or other IDs",
+            VoiceOrSoundRecordings => "Voice or sound recordings",
+            MusicFiles => "Music files",
+            OtherAudioFiles => "Other audio files",
+            Contacts => "Contacts",
+        }
+    }
+
+    /// The Table 13 description: the knowledge-base text handed to the
+    /// language model when grounding free-text data descriptions.
+    pub fn description(&self) -> &'static str {
+        match self {
+            OtherUserGeneratedData => {
+                "Any other content the user generated that is not listed elsewhere, \
+                 for example bios, notes, or open-ended responses; all forms of \
+                 uncategorized text that are part of user interactions or settings \
+                 within an app."
+            }
+            AppInteractions => {
+                "Information about how the user interacts with the app, for example \
+                 the number of times they visit a page or sections they tap on."
+            }
+            SettingsOrParameters => {
+                "User-defined settings or parameters for using apps, such as settings \
+                 for visual customization, technical settings, and user-defined app \
+                 parameters like weather parameters or sorting preferences."
+            }
+            InAppSearchHistory => {
+                "Information about what the user has searched for in the app, \
+                 including search queries, prefixes used in search operations, and \
+                 the values of the last answers."
+            }
+            DataIdentifier => {
+                "Any identifiers used for accessing specific data or events within \
+                 apps, such as record ids, document ids, or session handles."
+            }
+            OtherActivities => {
+                "Any other activity or actions in-app not listed elsewhere, such as \
+                 gameplay, likes, and dialog options."
+            }
+            Time => "Time specified by the user when using apps, such as start or end \
+                 times, timestamps for a request, or date ranges.",
+            ReferenceInformation => {
+                "Information sourced from the internet or other external resources to \
+                 support apps, such as referenced articles, citations, or lookups."
+            }
+            InstalledApps => {
+                "Information about the apps installed on the device or the other \
+                 tools and actions available in the environment."
+            }
+            ModelNameOrVersion => {
+                "Information about models used by the user or the app, such as the \
+                 model name or version string."
+            }
+            Reviews => "User reviews or feedback messages for apps.",
+            CommandsPrompts => {
+                "Any commands, instructions, or prompts specified by the user."
+            }
+            OtherInfo => {
+                "Any other personal information such as date of birth, gender \
+                 identity, veteran status, or profile details."
+            }
+            Languages => "Preferred language settings used by the user.",
+            UserIds => {
+                "Identifiers that relate to an identifiable person, for example an \
+                 account id, account number, account name, username, or \
+                 authentication token."
+            }
+            Name => {
+                "How the user refers to themself, such as their first or last name \
+                 or nickname."
+            }
+            EmailAddress => "The user's email address.",
+            Address => "The user's address, such as a mailing or home address.",
+            Passwords => "User passwords used to access apps or services, including \
+                 API keys and other secrets.",
+            Timezone => "The user's preferred or device timezone settings.",
+            PhoneNumber => "The user's phone number.",
+            RaceAndEthnicity => "Information about the user's race or ethnicity.",
+            PoliticalOrReligiousBeliefs => {
+                "Information about the user's political or religious beliefs."
+            }
+            SexualOrientation => "Information about the user's sexual orientation.",
+            WebsiteVisits => "Information about the websites the user has visited, \
+                 such as URLs to fetch or browsing history.",
+            ApproximateLocation => {
+                "The user's or device's physical location to an area greater than or \
+                 equal to 3 square kilometers, such as the city they are in or the \
+                 region for which data is requested."
+            }
+            PreciseLocation => {
+                "The user's or device's physical location within an area less than 3 \
+                 square kilometers, such as exact coordinates."
+            }
+            OtherInAppMessages => {
+                "Any other types of messages, for example instant messages or chat \
+                 content."
+            }
+            SmsOrMms => {
+                "The user's text messages, including the sender, recipients, and the \
+                 content of the message."
+            }
+            Emails => {
+                "Emails of the user, including the email subject line, sender, \
+                 recipients, and the content of the email."
+            }
+            OtherFinancialInfo => {
+                "Any other financial information, such as the user's salary, debts, \
+                 loan amounts, or the value of their home."
+            }
+            UserPaymentInfo => {
+                "Information about the user's financial accounts, such as a credit \
+                 card number or bank account."
+            }
+            PurchaseHistory => {
+                "Information about purchases or transactions the user has made."
+            }
+            CreditScore => {
+                "Information about the user's credit, for example a credit history \
+                 or credit score."
+            }
+            FilesAndDocs => {
+                "The user's files, documents, or information about their files or \
+                 documents, such as file names."
+            }
+            Videos => "The user's videos.",
+            Photos => "The user's photos.",
+            CalendarEvents => {
+                "Information from the user's calendar, such as events, event notes, \
+                 and attendees."
+            }
+            OtherAppPerformanceData => {
+                "Any other app performance data not listed elsewhere."
+            }
+            CrashLogs => {
+                "Crash data from the app, for example the number of times the app \
+                 has crashed or other information directly related to a crash."
+            }
+            Diagnostics => {
+                "Information about the performance of the app, for example battery \
+                 life, loading time, latency, framerate, or technical diagnostics."
+            }
+            HealthInfo => {
+                "Information about the user's health, such as medical records or \
+                 symptoms."
+            }
+            FitnessInfo => {
+                "Information about the user's fitness, such as exercise or other \
+                 physical activity."
+            }
+            DeviceOrOtherIds => {
+                "Identifiers that relate to an individual device, browser, or app, \
+                 for example an IMEI number, MAC address, installation id, or \
+                 advertising identifier."
+            }
+            VoiceOrSoundRecordings => {
+                "The user's voice, such as a voicemail or a sound recording."
+            }
+            MusicFiles => "The user's music files.",
+            OtherAudioFiles => "Any other audio files the user created or provided.",
+            Contacts => {
+                "Information about the user's contacts, such as contact names, \
+                 message history, and social graph information like usernames, \
+                 contact recency, and call history."
+            }
+        }
+    }
+
+    /// Seed phrases for lexicon matching. Each phrase is matched after
+    /// stemming, so singular forms suffice.
+    pub fn lexicon(&self) -> &'static [&'static str] {
+        match self {
+            OtherUserGeneratedData => &[
+                "user generated content", "bio", "note", "open-ended response",
+                "free text", "user content", "conversation text", "text input",
+                "script to be produced", "user provided content",
+            ],
+            AppInteractions => &[
+                "page visit count", "section tapped", "click event", "interaction event",
+                "usage interaction", "button press",
+            ],
+            SettingsOrParameters => &[
+                "setting", "parameter", "preference", "configuration", "sort order",
+                "customization", "option", "filter criteria", "units preference",
+            ],
+            InAppSearchHistory => &[
+                "search query", "search term", "search history", "query string",
+                "keyword searched", "search request", "lookup query",
+            ],
+            DataIdentifier => &[
+                "record id", "document id", "item id", "session id", "event id",
+                "data identifier", "resource id", "object id", "entry id",
+            ],
+            OtherActivities => &[
+                "gameplay", "like", "dialog option", "activity", "action taken",
+                "game move", "vote",
+            ],
+            Time => &[
+                "timestamp", "start time", "end time", "date range", "unix timestamp",
+                "time of request", "date specified", "duration",
+            ],
+            ReferenceInformation => &[
+                "referenced article", "citation", "external resource", "reference link",
+                "source document", "lookup result",
+            ],
+            InstalledApps => &[
+                "installed app", "available action", "other plugin", "app list",
+                "installed tool", "available integration",
+            ],
+            ModelNameOrVersion => &[
+                "model name", "model version", "llm version", "engine version",
+                "gpt model", "version string",
+            ],
+            Reviews => &[
+                "review", "feedback message", "rating comment", "user feedback",
+                "star rating",
+            ],
+            CommandsPrompts => &[
+                "command", "prompt", "instruction", "system prompt", "user prompt",
+                "directive",
+            ],
+            OtherInfo => &[
+                "date of birth", "gender", "veteran status", "profile detail", "age",
+                "personal detail", "biographical information", "marital status",
+            ],
+            Languages => &[
+                "language", "preferred language", "locale", "language code",
+                "language setting",
+            ],
+            UserIds => &[
+                "user id", "account id", "account number", "account name", "username",
+                "authentication token", "auth token", "api user", "login id",
+                "subscriber id",
+            ],
+            Name => &[
+                "name", "first name", "last name", "nickname", "full name",
+                "display name",
+            ],
+            EmailAddress => &[
+                "email address", "e-mail address", "email of the user", "contact email",
+            ],
+            Address => &[
+                "mailing address", "home address", "street address", "postal address",
+                "shipping address", "billing address", "zip code", "postcode",
+            ],
+            Passwords => &[
+                "password", "passphrase", "api key", "secret key", "credential",
+                "login password", "access key",
+            ],
+            Timezone => &["timezone", "time zone", "utc offset"],
+            PhoneNumber => &[
+                "phone number", "telephone number", "mobile number", "cell number",
+            ],
+            RaceAndEthnicity => &["race", "ethnicity", "ethnic background"],
+            PoliticalOrReligiousBeliefs => &[
+                "political belief", "religious belief", "political affiliation",
+                "religion",
+            ],
+            SexualOrientation => &["sexual orientation"],
+            WebsiteVisits => &[
+                "website visited", "browsing history", "url to fetch", "web page url",
+                "link to read", "site visited", "webpage content requested",
+                "url of the web page",
+            ],
+            ApproximateLocation => &[
+                "approximate location", "city", "region", "country", "coarse location",
+                "area", "city name", "location for weather",
+            ],
+            PreciseLocation => &[
+                "precise location", "exact location", "gps coordinates", "latitude",
+                "longitude", "exact coordinates",
+            ],
+            OtherInAppMessages => &[
+                "chat message", "instant message", "chat content", "message content",
+                "in-app message", "conversation message",
+            ],
+            SmsOrMms => &["sms", "mms", "text message"],
+            Emails => &[
+                "email content", "email subject", "email body", "email recipient",
+                "email to send", "inbox message",
+            ],
+            OtherFinancialInfo => &[
+                "salary", "debt", "loan amount", "home value", "income",
+                "financial information", "net worth", "mortgage", "crypto balance",
+                "portfolio value",
+            ],
+            UserPaymentInfo => &[
+                "credit card number", "bank account", "payment information",
+                "card details", "iban", "payment method",
+            ],
+            PurchaseHistory => &[
+                "purchase history", "transaction history", "order history",
+                "past purchase", "transaction record",
+            ],
+            CreditScore => &["credit score", "credit history", "credit rating"],
+            FilesAndDocs => &[
+                "file", "document", "file name", "attachment", "uploaded file", "pdf",
+                "spreadsheet", "docs",
+            ],
+            Videos => &["video", "video file", "video clip", "video url"],
+            Photos => &["photo", "picture", "image of the user", "profile picture"],
+            CalendarEvents => &[
+                "calendar event", "meeting", "appointment", "event attendee",
+                "schedule entry",
+            ],
+            OtherAppPerformanceData => &[
+                "performance data", "usage statistics", "metric", "telemetry",
+            ],
+            CrashLogs => &["crash log", "crash report", "crash count", "stack trace"],
+            Diagnostics => &[
+                "diagnostic", "battery life", "loading time", "latency", "framerate",
+            ],
+            HealthInfo => &[
+                "health information", "medical record", "symptom", "diagnosis",
+                "medication", "level of fitness",
+            ],
+            FitnessInfo => &[
+                "physical activity", "exercise", "workout", "step count", "fitness",
+            ],
+            DeviceOrOtherIds => &[
+                "device id", "imei", "mac address", "installation id",
+                "advertising identifier", "browser fingerprint", "hardware id",
+            ],
+            VoiceOrSoundRecordings => &[
+                "voice recording", "sound recording", "voicemail", "audio recording",
+                "speech sample",
+            ],
+            MusicFiles => &["music file", "song file", "audio track"],
+            OtherAudioFiles => &["audio file", "audio clip", "sound file"],
+            Contacts => &[
+                "contact", "contact name", "address book", "social graph",
+                "call history", "contact list",
+            ],
+        }
+    }
+
+    /// Is the collection of this type prohibited by OpenAI's usage
+    /// policies (Section 5.1.2: "OpenAI prohibits the collection of
+    /// information such as passwords and API keys")?
+    pub fn prohibited_by_platform(&self) -> bool {
+        matches!(self, Passwords)
+    }
+
+    /// Is this personal data in the GDPR/CCPA sense (drives the paper's
+    /// "sensitive information" discussion)?
+    pub fn is_personal(&self) -> bool {
+        matches!(
+            self,
+            OtherInfo
+                | Languages
+                | UserIds
+                | Name
+                | EmailAddress
+                | Address
+                | Passwords
+                | Timezone
+                | PhoneNumber
+                | RaceAndEthnicity
+                | PoliticalOrReligiousBeliefs
+                | SexualOrientation
+                | PreciseLocation
+                | ApproximateLocation
+                | UserPaymentInfo
+                | CreditScore
+                | HealthInfo
+                | DeviceOrOtherIds
+                | Contacts
+        )
+    }
+
+    /// Special-category ("sensitive") personal data under GDPR Article 9.
+    pub fn is_special_category(&self) -> bool {
+        matches!(
+            self,
+            RaceAndEthnicity | PoliticalOrReligiousBeliefs | SexualOrientation | HealthInfo
+        )
+    }
+
+    /// Parse a display label back to a data type (case-insensitive).
+    pub fn from_label(label: &str) -> Option<DataType> {
+        let needle = label.trim().to_ascii_lowercase();
+        DataType::ALL
+            .iter()
+            .find(|d| d.label().to_ascii_lowercase() == needle)
+            .copied()
+    }
+}
+
+impl std::fmt::Display for DataType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for d in DataType::ALL {
+            assert_eq!(DataType::from_label(d.label()), Some(*d), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<&str> = DataType::ALL.iter().map(|d| d.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), DataType::ALL.len());
+    }
+
+    #[test]
+    fn every_type_has_description_and_lexicon() {
+        for d in DataType::ALL {
+            assert!(!d.description().is_empty(), "{d:?} missing description");
+            assert!(!d.lexicon().is_empty(), "{d:?} missing lexicon");
+        }
+    }
+
+    #[test]
+    fn passwords_are_prohibited() {
+        assert!(Passwords.prohibited_by_platform());
+        assert!(!EmailAddress.prohibited_by_platform());
+    }
+
+    #[test]
+    fn special_categories_are_personal() {
+        for d in DataType::ALL {
+            if d.is_special_category() {
+                assert!(d.is_personal(), "{d:?} special but not personal");
+            }
+        }
+    }
+
+    #[test]
+    fn measured_rows_are_a_subset() {
+        for d in DataType::MEASURED_ROWS {
+            assert!(DataType::ALL.contains(d));
+        }
+        assert_eq!(DataType::MEASURED_ROWS.len(), 42);
+    }
+
+    #[test]
+    fn category_assignment_matches_table13() {
+        assert_eq!(Passwords.category(), Category::PersonalInfo);
+        assert_eq!(WebsiteVisits.category(), Category::WebBrowsing);
+        assert_eq!(CrashLogs.category(), Category::AppInfoAndPerformance);
+        assert_eq!(Contacts.category(), Category::Contacts);
+    }
+
+    #[test]
+    fn lexicon_phrases_are_lowercase() {
+        for d in DataType::ALL {
+            for p in d.lexicon() {
+                assert_eq!(*p, p.to_ascii_lowercase(), "{d:?} phrase {p:?}");
+            }
+        }
+    }
+}

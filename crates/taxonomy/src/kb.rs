@@ -1,0 +1,156 @@
+//! The taxonomy knowledge base handed to the language model.
+//!
+//! Section 5.1.1: "we configure a GPT-4 instance with a tailored prompt
+//! template and an expanded Android platform's data type taxonomy as a
+//! knowledge base". [`KnowledgeBase`] is that artifact: the full set of
+//! taxonomy entries, renderable as prompt text and queryable by the
+//! deterministic model in `gptx-llm`.
+
+use crate::{Category, DataType};
+
+/// One knowledge-base entry: a data type plus its category, description,
+/// and lexicon, bundled for retrieval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaxonomyEntry {
+    pub data_type: DataType,
+    pub category: Category,
+}
+
+impl TaxonomyEntry {
+    pub fn description(&self) -> &'static str {
+        self.data_type.description()
+    }
+
+    pub fn lexicon(&self) -> &'static [&'static str] {
+        self.data_type.lexicon()
+    }
+
+    /// Render the entry as a knowledge-base line for a prompt.
+    pub fn as_prompt_line(&self) -> String {
+        format!(
+            "- [{}] {}: {}",
+            self.category.label(),
+            self.data_type.label(),
+            self.description()
+        )
+    }
+}
+
+/// The complete taxonomy knowledge base.
+#[derive(Debug, Clone)]
+pub struct KnowledgeBase {
+    entries: Vec<TaxonomyEntry>,
+}
+
+impl Default for KnowledgeBase {
+    fn default() -> Self {
+        KnowledgeBase::full()
+    }
+}
+
+impl KnowledgeBase {
+    /// The full Table 13 taxonomy.
+    pub fn full() -> KnowledgeBase {
+        KnowledgeBase {
+            entries: DataType::ALL
+                .iter()
+                .map(|&data_type| TaxonomyEntry {
+                    data_type,
+                    category: data_type.category(),
+                })
+                .collect(),
+        }
+    }
+
+    /// A restricted knowledge base (used in ablations to measure the value
+    /// of taxonomy coverage).
+    pub fn with_types(types: &[DataType]) -> KnowledgeBase {
+        KnowledgeBase {
+            entries: types
+                .iter()
+                .map(|&data_type| TaxonomyEntry {
+                    data_type,
+                    category: data_type.category(),
+                })
+                .collect(),
+        }
+    }
+
+    pub fn entries(&self) -> &[TaxonomyEntry] {
+        &self.entries
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up the entry for a data type.
+    pub fn entry(&self, data_type: DataType) -> Option<&TaxonomyEntry> {
+        self.entries.iter().find(|e| e.data_type == data_type)
+    }
+
+    /// Data types whose collection the platform prohibits.
+    pub fn prohibited_types(&self) -> Vec<DataType> {
+        self.entries
+            .iter()
+            .map(|e| e.data_type)
+            .filter(|d| d.prohibited_by_platform())
+            .collect()
+    }
+
+    /// Render the whole knowledge base as the prompt block inserted in the
+    /// classification prompt template.
+    pub fn as_prompt_block(&self) -> String {
+        let mut s = String::with_capacity(self.entries.len() * 96);
+        s.push_str("Data taxonomy (category, type, description):\n");
+        for e in &self.entries {
+            s.push_str(&e.as_prompt_line());
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_kb_covers_all_types() {
+        let kb = KnowledgeBase::full();
+        assert_eq!(kb.len(), DataType::ALL.len());
+    }
+
+    #[test]
+    fn entry_lookup() {
+        let kb = KnowledgeBase::full();
+        let e = kb.entry(DataType::Passwords).unwrap();
+        assert_eq!(e.category, Category::PersonalInfo);
+    }
+
+    #[test]
+    fn restricted_kb() {
+        let kb = KnowledgeBase::with_types(&[DataType::Name, DataType::EmailAddress]);
+        assert_eq!(kb.len(), 2);
+        assert!(kb.entry(DataType::Passwords).is_none());
+    }
+
+    #[test]
+    fn prompt_block_mentions_each_label() {
+        let kb = KnowledgeBase::full();
+        let block = kb.as_prompt_block();
+        for d in DataType::ALL {
+            assert!(block.contains(d.label()), "missing {}", d.label());
+        }
+    }
+
+    #[test]
+    fn prohibited_types_is_exactly_passwords() {
+        let kb = KnowledgeBase::full();
+        assert_eq!(kb.prohibited_types(), vec![DataType::Passwords]);
+    }
+}

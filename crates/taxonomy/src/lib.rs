@@ -1,0 +1,51 @@
+//! # gptx-taxonomy
+//!
+//! The data taxonomy of the paper's Appendix B (Table 13): an expanded
+//! version of the Android platform's Data-Safety taxonomy, used as the
+//! knowledge base for the LLM-based static-analysis tool of Section 5.1.1.
+//!
+//! The taxonomy is a closed world of 14 [`Category`]s and 48 [`DataType`]s.
+//! Every data type carries:
+//!
+//! * the **display label** used in the paper's tables ("In-app search
+//!   history", "Approximate location", …),
+//! * the **description** from Table 13 (the text given to the LLM as its
+//!   knowledge base),
+//! * a **lexicon** of seed phrases used by the deterministic
+//!   knowledge-base model in `gptx-llm` to ground free-text descriptions,
+//! * **sensitivity flags**: whether OpenAI's usage policies prohibit
+//!   collecting it (passwords, API keys) and whether it is personal data
+//!   under GDPR/CCPA-style regulations.
+
+pub mod category;
+pub mod datatype;
+pub mod kb;
+
+pub use category::Category;
+pub use datatype::DataType;
+pub use kb::{KnowledgeBase, TaxonomyEntry};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forty_eight_data_types() {
+        assert_eq!(DataType::ALL.len(), 48);
+    }
+
+    #[test]
+    fn fourteen_categories() {
+        assert_eq!(Category::ALL.len(), 14);
+    }
+
+    #[test]
+    fn every_category_has_at_least_one_type() {
+        for cat in Category::ALL {
+            assert!(
+                DataType::ALL.iter().any(|d| d.category() == *cat),
+                "category {cat:?} has no data types"
+            );
+        }
+    }
+}

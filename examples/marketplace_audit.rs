@@ -1,0 +1,70 @@
+//! Marketplace audit: drive the crawler by hand against the loopback
+//! marketplace server — the workflow a researcher would use against real
+//! stores — and audit what the Actions collect.
+//!
+//! ```sh
+//! cargo run --release -p gptx --example marketplace_audit
+//! ```
+
+use gptx::classifier::Classifier;
+use gptx::crawler::Crawler;
+use gptx::llm::KbModel;
+use gptx::store::{EcosystemHandle, FaultConfig};
+use gptx::synth::{Ecosystem, SynthConfig, STORES};
+use gptx::taxonomy::KnowledgeBase;
+use std::sync::Arc;
+
+fn main() {
+    // Stand up the synthetic internet: 13 marketplaces + the gizmo API.
+    let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(7)));
+    let server = EcosystemHandle::start(Arc::clone(&eco), FaultConfig::default())
+        .expect("start ecosystem server");
+    println!("ecosystem served on {}", server.addr());
+
+    // Scrape one store, then fetch every listed gizmo.
+    let crawler = Crawler::new(server.addr()).with_threads(8);
+    let store = STORES[1].0; // plugin.surf
+    let ids = crawler.fetch_store_listing(store).expect("listing");
+    println!("{store} lists {} GPTs", ids.len());
+
+    let snapshot = crawler
+        .crawl_week(0, "2024-02-08", &[store])
+        .expect("weekly crawl");
+    println!(
+        "crawled {} gizmos (success rate {:.1}%)",
+        snapshot.len(),
+        crawler.stats().gizmo_success_rate() * 100.0
+    );
+
+    // Static analysis: what do the embedded Actions collect?
+    let model = KbModel::new(KnowledgeBase::full());
+    let classifier = Classifier::new(&model);
+    let mut audited = 0;
+    for gpt in snapshot.gpts.values() {
+        for action in gpt.actions() {
+            let profile = classifier.profile_action(action).expect("profile");
+            if profile.raw_count() == 0 {
+                continue;
+            }
+            audited += 1;
+            if audited <= 8 {
+                let types: Vec<&str> = profile
+                    .succinct_types()
+                    .into_iter()
+                    .map(|d| d.label())
+                    .collect();
+                println!(
+                    "  {:<28} in {:<24} collects: {}",
+                    action.name,
+                    gpt.display.name,
+                    types.join(", ")
+                );
+                for prohibited in profile.prohibited_types() {
+                    println!("    !! platform-prohibited: {prohibited}");
+                }
+            }
+        }
+    }
+    println!("audited {audited} Action embeddings from one store");
+    server.shutdown();
+}

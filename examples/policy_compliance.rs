@@ -1,0 +1,69 @@
+//! Policy compliance: run the three-step LLM disclosure pipeline on a
+//! hand-written Action + privacy policy, then on the whole synthetic
+//! corpus — demonstrating both the single-service API and the
+//! corpus-scale measurement of the paper's Section 6.
+//!
+//! ```sh
+//! cargo run --release -p gptx --example policy_compliance
+//! ```
+
+use gptx::llm::KbModel;
+use gptx::policy::{
+    corpus_stats, fully_consistent_fraction, PolicyAnalyzer,
+};
+use gptx::taxonomy::{DataType, KnowledgeBase};
+use gptx::{experiments, Pipeline, SynthConfig};
+
+fn main() {
+    // --- Part 1: audit a single service. -------------------------------
+    let model = KbModel::new(KnowledgeBase::full());
+    let analyzer = PolicyAnalyzer::new(&model);
+
+    let policy = "Privacy Policy — MoonTrader.\n\
+        We collect your email address when you create an account.\n\
+        We do not collect your phone number.\n\
+        We do not actively collect and store any personal data from users \
+        but we use your personal data to provide and improve the Service.\n\
+        This policy may change at any time.";
+
+    let collected = vec![
+        ("Email address of the user".to_string(), DataType::EmailAddress),
+        ("The phone number of the user".to_string(), DataType::PhoneNumber),
+        ("The user's crypto portfolio value".to_string(), DataType::OtherFinancialInfo),
+        ("User authentication token".to_string(), DataType::UserIds),
+    ];
+
+    let report = analyzer
+        .analyze_action("MoonTrader@moontrader.dev", policy, &collected)
+        .expect("analysis");
+    println!("single-service audit of MoonTrader:");
+    println!("  {} data-collection sentences extracted", report.collection_sentences.len());
+    for item in &report.items {
+        println!("  {:<42} -> {}", item.item, item.label);
+    }
+    println!(
+        "  consistent disclosures: {:.0}% of collected types\n",
+        report.consistent_fraction() * 100.0
+    );
+
+    // --- Part 2: the corpus-scale measurement. -------------------------
+    let run = Pipeline::new(SynthConfig::tiny(99)).run().expect("pipeline");
+    let bodies = run
+        .archive
+        .policies
+        .iter()
+        .map(|(id, doc)| (id.clone(), doc.body.clone()))
+        .collect();
+    let stats = corpus_stats(&bodies, 0.95);
+    println!("corpus policy statistics (Table 9):");
+    println!("  actions:         {}", stats.total_actions);
+    println!("  crawled:         {:.1}% (paper 86.68%)", stats.crawled_fraction * 100.0);
+    println!("  duplicates:      {:.1}% (paper 38.56%)", stats.duplicate_fraction * 100.0);
+    println!("  near-duplicates: {:.2}% (paper 5.50%)", stats.near_duplicate_fraction * 100.0);
+    println!(
+        "  fully consistent actions: {:.1}% (paper 5.8%)\n",
+        fully_consistent_fraction(&run.reports) * 100.0
+    );
+
+    println!("{}", experiments::render("f6", &run).expect("f6"));
+}

@@ -1,0 +1,25 @@
+//! Quickstart: run the full audit pipeline on a small synthetic
+//! ecosystem and print the headline census.
+//!
+//! ```sh
+//! cargo run --release -p gptx --example quickstart
+//! ```
+
+use gptx::{experiments, Pipeline, SynthConfig};
+
+fn main() {
+    // A seeded, laptop-sized ecosystem: ~400 GPTs over 4 weekly crawls.
+    // Every number below is a pure function of this seed.
+    let config = SynthConfig::tiny(42);
+    println!("generating + serving + crawling + analyzing (seed {})...", config.seed);
+
+    let run = Pipeline::new(config).run().expect("pipeline run");
+
+    println!("{}", experiments::render("census", &run).expect("census"));
+    println!("{}", experiments::render("t4", &run).expect("t4"));
+    println!("{}", experiments::render("f4", &run).expect("f4"));
+
+    println!("next steps:");
+    println!("  cargo run --release -p gptx-cli -- reproduce all");
+    println!("  cargo run --release -p gptx --example tracking_graph");
+}

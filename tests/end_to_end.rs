@@ -1,0 +1,90 @@
+//! End-to-end integration: generate → serve → crawl → classify →
+//! analyze, over real loopback HTTP, verifying the crawler recovers the
+//! generated ecosystem and every analysis stage produces coherent
+//! results.
+
+use gptx::{FaultConfig, Pipeline, SynthConfig};
+
+fn run(seed: u64) -> gptx::AnalysisRun {
+    Pipeline::new(SynthConfig::tiny(seed))
+        .without_faults()
+        .run()
+        .expect("pipeline run")
+}
+
+#[test]
+fn crawl_recovers_generated_ecosystem_exactly() {
+    let run = run(101);
+    assert_eq!(run.archive.snapshots.len(), run.eco.weeks.len());
+    for (crawled, truth) in run.archive.snapshots.iter().zip(&run.eco.weeks) {
+        assert_eq!(crawled.gpts, truth.snapshot.gpts, "week {}", truth.week);
+    }
+}
+
+#[test]
+fn every_distinct_action_is_profiled() {
+    let run = run(102);
+    let actions = run.archive.distinct_actions();
+    assert!(!actions.is_empty());
+    assert_eq!(actions.len(), run.profiles.len());
+    for identity in actions.keys() {
+        assert!(run.profiles.contains_key(identity), "unprofiled {identity}");
+    }
+}
+
+#[test]
+fn policies_analyzed_for_every_crawled_policy() {
+    let run = run(103);
+    let crawled = run
+        .archive
+        .policies
+        .values()
+        .filter(|doc| doc.crawled())
+        .count();
+    assert_eq!(run.reports.len(), crawled);
+    assert!(crawled > 0);
+}
+
+#[test]
+fn graph_nodes_match_cooccurring_actions() {
+    let run = run(104);
+    // Every graph node is a profiled action.
+    for v in 0..run.graph.node_count() {
+        let label = run.graph.label(v);
+        assert!(run.profiles.contains_key(label), "unknown node {label}");
+    }
+}
+
+#[test]
+fn faulty_server_still_yields_mostly_complete_crawl() {
+    let pipeline = Pipeline {
+        config: SynthConfig::tiny(105),
+        faults: FaultConfig {
+            gizmo_failure_rate: 0.02,
+            transient_failure_every: Some(50),
+            response_delay_ms: 0,
+            malformed_gizmo_rate: 0.0,
+        },
+        crawler_threads: 8,
+    };
+    let run = pipeline.run().expect("pipeline with faults");
+    let rate = run.crawl_stats.gizmo_success_rate();
+    assert!(
+        (0.95..=1.0).contains(&rate),
+        "success rate {rate} out of the paper-like band"
+    );
+    // Analyses still run on the degraded corpus.
+    assert!(!run.profiles.is_empty());
+    assert!(!run.reports.is_empty());
+}
+
+#[test]
+fn runs_are_deterministic_given_seed() {
+    let a = run(106);
+    let b = run(106);
+    assert_eq!(a.archive.all_unique_gpts().len(), b.archive.all_unique_gpts().len());
+    assert_eq!(a.profiles.len(), b.profiles.len());
+    let ta: Vec<_> = a.collection.table5().iter().map(|r| r.gpts_pct).collect();
+    let tb: Vec<_> = b.collection.table5().iter().map(|r| r.gpts_pct).collect();
+    assert_eq!(ta, tb);
+}

@@ -1,0 +1,202 @@
+//! Every registered experiment renders on a real pipeline run, and each
+//! report carries the structure the paper's table/figure has.
+
+use gptx::{experiments, Pipeline, SynthConfig};
+use std::sync::OnceLock;
+
+fn shared_run() -> &'static gptx::AnalysisRun {
+    static RUN: OnceLock<gptx::AnalysisRun> = OnceLock::new();
+    RUN.get_or_init(|| {
+        // Large enough that the Table 9 / Table 4 rates have usable
+        // confidence intervals (a few hundred distinct Actions).
+        let mut config = SynthConfig::tiny(2025);
+        config.base_gpts = 2500;
+        Pipeline::new(config)
+            .without_faults()
+            .run()
+            .expect("pipeline")
+    })
+}
+
+#[test]
+fn every_registered_experiment_renders() {
+    let run = shared_run();
+    for (id, description) in experiments::ALL {
+        let out = experiments::render(id, run)
+            .unwrap_or_else(|| panic!("experiment {id} not registered"));
+        assert!(!out.trim().is_empty(), "{id} ({description}) rendered empty");
+    }
+}
+
+#[test]
+fn unknown_experiment_is_none() {
+    assert!(experiments::render("t99", shared_run()).is_none());
+}
+
+#[test]
+fn t1_lists_all_thirteen_stores() {
+    let out = experiments::render("t1", shared_run()).unwrap();
+    for (store, _) in gptx::synth::STORES {
+        assert!(out.contains(store), "missing store {store}");
+    }
+    assert!(out.contains("Total (unique)"));
+}
+
+#[test]
+fn f3_reports_growth_near_configured_rate() {
+    let out = experiments::render("f3", shared_run()).unwrap();
+    assert!(out.contains("mean weekly growth"));
+    // 4.5% configured; allow the stochastic band.
+    let line = out
+        .lines()
+        .find(|l| l.contains("mean weekly growth"))
+        .unwrap();
+    let value: f64 = line
+        .split_whitespace()
+        .find(|t| t.ends_with('%'))
+        .and_then(|t| t.trim_end_matches('%').parse().ok())
+        .unwrap();
+    assert!((2.0..8.0).contains(&value), "growth {value}%");
+}
+
+#[test]
+fn t4_reports_third_party_majority() {
+    let out = experiments::render("t4", shared_run()).unwrap();
+    let line = out
+        .lines()
+        .find(|l| l.contains("third-party"))
+        .expect("third-party line");
+    let value: f64 = line
+        .split("third-party ")
+        .nth(1)
+        .and_then(|s| s.split('%').next())
+        .and_then(|s| s.parse().ok())
+        .unwrap();
+    assert!(value > 60.0, "third-party share {value}% should dominate");
+}
+
+#[test]
+fn t5_has_a_row_per_measured_type() {
+    let out = experiments::render("t5", shared_run()).unwrap();
+    for d in gptx::taxonomy::DataType::MEASURED_ROWS {
+        assert!(out.contains(d.label()), "missing {d:?}");
+    }
+}
+
+#[test]
+fn t6_surfaces_hub_actions() {
+    let out = experiments::render("t6", shared_run()).unwrap();
+    assert!(out.contains("webPilot"), "webPilot should be prevalent:\n{out}");
+}
+
+#[test]
+fn f5_reports_webpilot_as_top_hub() {
+    let out = experiments::render("f5", shared_run()).unwrap();
+    assert!(out.contains("webPilot"), "graph hubs:\n{out}");
+    assert!(out.contains("graph actions {"));
+}
+
+#[test]
+fn t8_exposure_factor_exceeds_one() {
+    let out = experiments::render("t8", shared_run()).unwrap();
+    let line = out
+        .lines()
+        .find(|l| l.contains("max exposure factor"))
+        .unwrap();
+    let value: f64 = line
+        .split(':')
+        .nth(1)
+        .and_then(|s| s.trim().trim_end_matches(|c| c != 'x').trim_end_matches('x').parse().ok())
+        .unwrap();
+    assert!(value >= 1.0, "exposure factor {value}");
+}
+
+#[test]
+fn t9_rates_match_generator_configuration() {
+    let out = experiments::render("t9", shared_run()).unwrap();
+    let get = |marker: &str| -> f64 {
+        out.lines()
+            .find(|l| l.contains(marker))
+            .and_then(|l| {
+                l.split_whitespace()
+                    .find(|t| t.ends_with('%') && !t.contains('('))
+                    .and_then(|t| t.trim_end_matches('%').parse().ok())
+            })
+            .unwrap_or_else(|| panic!("no {marker} line in:\n{out}"))
+    };
+    let crawled = get("successfully crawled");
+    assert!((78.0..95.0).contains(&crawled), "crawled {crawled}%");
+    let dups = get("duplicates");
+    assert!((25.0..55.0).contains(&dups), "dups {dups}%");
+}
+
+#[test]
+fn t11_labels_all_five_archetypes_correctly() {
+    let out = experiments::render("t11", shared_run()).unwrap();
+    for (archetype, label) in [
+        ("Clear", "clear"),
+        ("Vague", "vague"),
+        ("Omitted", "omitted"),
+        ("Ambiguous", "ambiguous"),
+        ("Incorrect", "incorrect"),
+    ] {
+        let row = out
+            .lines()
+            .find(|l| l.contains(archetype) && l.starts_with("| "))
+            .unwrap_or_else(|| panic!("no row for {archetype}:\n{out}"));
+        assert!(
+            row.to_lowercase().contains(label),
+            "{archetype} row mislabeled: {row}"
+        );
+    }
+}
+
+#[test]
+fn f6_heatmap_shows_omission_dominance() {
+    let out = experiments::render("f6", shared_run()).unwrap();
+    assert!(out.contains("Omitted"));
+    assert!(out.contains('█') || out.contains('▓'), "heatmap should shade:\n{out}");
+}
+
+#[test]
+fn f8_reports_weak_correlation_and_low_full_consistency() {
+    let out = experiments::render("f8", shared_run()).unwrap();
+    let rho_line = out.lines().find(|l| l.contains("Spearman")).unwrap();
+    let rho: f64 = rho_line
+        .split(':')
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .and_then(|s| s.parse().ok())
+        .unwrap();
+    assert!(rho.abs() < 0.6, "correlation should be weak, got {rho}");
+    let fc_line = out
+        .lines()
+        .find(|l| l.contains("fully consistent"))
+        .unwrap();
+    let fc: f64 = fc_line
+        .split_whitespace()
+        .find(|t| t.ends_with('%') && !t.contains('('))
+        .and_then(|t| t.trim_end_matches('%').parse().ok())
+        .unwrap();
+    assert!(fc < 30.0, "full consistency should be rare, got {fc}%");
+}
+
+#[test]
+fn acc_reports_reasonable_framework_accuracy() {
+    let out = experiments::render("acc", shared_run()).unwrap();
+    let line = out.lines().find(|l| l.contains("exact-match")).unwrap();
+    let value: f64 = line
+        .split_whitespace()
+        .find(|t| t.ends_with('%'))
+        .and_then(|t| t.trim_end_matches('%').parse().ok())
+        .unwrap();
+    assert!(value > 55.0, "framework exact-match too low: {value}%");
+}
+
+#[test]
+fn render_all_concatenates_everything() {
+    let out = experiments::render_all(shared_run());
+    assert!(out.contains("Table 1"));
+    assert!(out.contains("Figure 8"));
+    assert!(out.len() > 4000);
+}

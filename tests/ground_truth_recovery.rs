@@ -1,0 +1,143 @@
+//! Measurement-fidelity tests: the analysis pipeline never reads the
+//! generator's ground truth, so these tests quantify how well each stage
+//! *recovers* it — the reproduction's analog of the paper's validation
+//! studies.
+
+use gptx::llm::DisclosureLabel;
+use gptx::{Pipeline, SynthConfig};
+use std::collections::BTreeSet;
+use std::sync::OnceLock;
+
+fn shared_run() -> &'static gptx::AnalysisRun {
+    static RUN: OnceLock<gptx::AnalysisRun> = OnceLock::new();
+    RUN.get_or_init(|| {
+        let mut config = SynthConfig::tiny(777);
+        config.base_gpts = 1200;
+        Pipeline::new(config).without_faults().run().expect("pipeline")
+    })
+}
+
+#[test]
+fn classifier_recovers_planted_data_types() {
+    let run = shared_run();
+    let mut jaccards = Vec::new();
+    for (identity, action) in &run.eco.registry {
+        let Some(profile) = run.profiles.get(identity) else {
+            continue; // never embedded in a crawled GPT
+        };
+        let truth: BTreeSet<_> = action.data_types.iter().copied().collect();
+        let measured = profile.succinct_types();
+        let inter = truth.intersection(&measured).count();
+        let union = truth.union(&measured).count().max(1);
+        jaccards.push(inter as f64 / union as f64);
+    }
+    assert!(!jaccards.is_empty());
+    let mean = jaccards.iter().sum::<f64>() / jaccards.len() as f64;
+    assert!(
+        mean >= 0.75,
+        "mean type-recovery Jaccard {mean:.3} below calibration contract"
+    );
+}
+
+#[test]
+fn removal_codebook_agrees_with_planted_reasons() {
+    let run = shared_run();
+    let removed = run.archive.removed_gpts();
+    let mut agree = 0usize;
+    let mut scored = 0usize;
+    for (id, gpt) in &removed {
+        if let Some(&gold) = run.eco.dynamics.removal_reasons.get(id) {
+            scored += 1;
+            let coded = gptx::census::classify_removal(gpt, &run.archive.probes);
+            if coded == gold {
+                agree += 1;
+            }
+        }
+    }
+    if scored >= 5 {
+        let accuracy = agree as f64 / scored as f64;
+        assert!(
+            accuracy >= 0.6,
+            "codebook accuracy {accuracy:.2} over {scored} planted removals"
+        );
+    }
+}
+
+#[test]
+fn disclosure_labels_track_planted_truth() {
+    let run = shared_run();
+    let pairs = run.accuracy_pairs();
+    assert!(pairs.len() > 50, "need a meaningful sample, got {}", pairs.len());
+    let exact = pairs.iter().filter(|(_, p, g)| p == g).count() as f64 / pairs.len() as f64;
+    assert!(
+        exact >= 0.55,
+        "planted-label exact match {exact:.2} too low"
+    );
+    // Consistency direction must be strongly preserved (clear/vague vs
+    // the rest), even when the exact label differs.
+    let direction = pairs
+        .iter()
+        .filter(|(_, p, g)| p.is_consistent() == g.is_consistent())
+        .count() as f64
+        / pairs.len() as f64;
+    assert!(
+        direction >= 0.7,
+        "consistency-direction agreement {direction:.2} too low"
+    );
+}
+
+#[test]
+fn omission_dominates_measured_disclosures() {
+    // The paper's central §6 finding must be recovered by measurement.
+    let run = shared_run();
+    let mut counts = std::collections::BTreeMap::new();
+    for report in &run.reports {
+        for (_, label) in report.per_type_labels() {
+            *counts.entry(label).or_insert(0usize) += 1;
+        }
+    }
+    let total: usize = counts.values().sum();
+    let omitted = counts.get(&DisclosureLabel::Omitted).copied().unwrap_or(0);
+    assert!(
+        omitted * 2 > total,
+        "omission should dominate: {omitted}/{total}"
+    );
+}
+
+#[test]
+fn hub_actions_have_highest_cooccurrence() {
+    let run = shared_run();
+    let stats = gptx::graph::graph_stats(&run.graph, 5);
+    let top: Vec<&str> = stats
+        .top_by_weighted_degree
+        .iter()
+        .map(|(label, _, _)| label.as_str())
+        .collect();
+    assert!(
+        top.iter().any(|l| l.contains("webPilot") || l.contains("Zapier") || l.contains("AdIntelli")),
+        "expected Table 6 hubs at the top of the graph, got {top:?}"
+    );
+}
+
+#[test]
+fn exposure_exceeds_individual_collection_for_hubs() {
+    let run = shared_run();
+    let rows = gptx::graph::top_cooccurring_exposures(&run.graph, &run.collection_map(), 5);
+    assert!(!rows.is_empty());
+    // At least one top co-occurring Action sees more data indirectly than
+    // it collects itself (the 9.5x phenomenon, scale-adjusted).
+    assert!(
+        rows.iter().any(|r| r.indirect_types > r.own_types),
+        "no amplified exposure among top actions: {rows:?}"
+    );
+}
+
+#[test]
+fn password_collection_is_measured_but_rare() {
+    let run = shared_run();
+    let fraction = run.collection.prohibited_gpt_fraction();
+    assert!(
+        (0.0..0.2).contains(&fraction),
+        "password-collecting GPT fraction {fraction}"
+    );
+}

@@ -1,0 +1,73 @@
+//! The crawl-then-analyze workflow: a campaign's archive survives a
+//! JSON round trip and yields the same analyses offline — the paper's
+//! own separation between data collection and measurement.
+
+use gptx::crawler::{CrawlArchive, Crawler};
+use gptx::store::{EcosystemHandle, FaultConfig};
+use gptx::synth::{Ecosystem, SynthConfig, STORES};
+use gptx::AnalysisRun;
+use std::sync::Arc;
+
+fn campaign(seed: u64) -> (Ecosystem, CrawlArchive) {
+    let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(seed)));
+    let handle = EcosystemHandle::start(Arc::clone(&eco), FaultConfig::none()).unwrap();
+    let crawler = Crawler::new(handle.addr()).with_threads(8);
+    let store_names: Vec<&str> = STORES.iter().map(|(n, _)| *n).collect();
+    let weeks: Vec<(u32, String)> = eco.weeks.iter().map(|w| (w.week, w.date.clone())).collect();
+    let archive = crawler
+        .crawl_campaign(&weeks, &store_names, |w| handle.set_week(w))
+        .unwrap();
+    handle.shutdown();
+    (
+        Arc::try_unwrap(eco).unwrap_or_else(|a| (*a).clone()),
+        archive,
+    )
+}
+
+#[test]
+fn archive_json_round_trip_preserves_analysis() {
+    let (eco, archive) = campaign(901);
+
+    // Round trip the archive through JSON (what `gptx crawl --out` +
+    // `gptx analyze --archive` do).
+    let json = archive.to_json().unwrap();
+    let reloaded = CrawlArchive::from_json(&json).unwrap();
+    assert_eq!(
+        archive.all_unique_gpts().len(),
+        reloaded.all_unique_gpts().len()
+    );
+    assert_eq!(archive.policies.len(), reloaded.policies.len());
+    assert_eq!(archive.store_listings, reloaded.store_listings);
+    assert_eq!(archive.weekly_gizmo_success, reloaded.weekly_gizmo_success);
+
+    // Analyses from the reloaded archive match the live ones.
+    let live = AnalysisRun::analyze(eco.clone(), archive, Default::default()).unwrap();
+    let offline = AnalysisRun::analyze(eco, reloaded, Default::default()).unwrap();
+    assert_eq!(live.profiles.len(), offline.profiles.len());
+    assert_eq!(live.reports.len(), offline.reports.len());
+    let t5_live: Vec<f64> = live.collection.table5().iter().map(|r| r.gpts_pct).collect();
+    let t5_offline: Vec<f64> = offline.collection.table5().iter().map(|r| r.gpts_pct).collect();
+    assert_eq!(t5_live, t5_offline);
+}
+
+#[test]
+fn ecosystem_json_round_trip_preserves_ground_truth() {
+    let eco = Ecosystem::generate(SynthConfig::tiny(902));
+    let json = serde_json::to_string(&eco).unwrap();
+    let back: Ecosystem = serde_json::from_str(&json).unwrap();
+    assert_eq!(eco.dynamics.removal_reasons, back.dynamics.removal_reasons);
+    assert_eq!(eco.dynamics.dead_apis, back.dynamics.dead_apis);
+    assert_eq!(eco.policies.len(), back.policies.len());
+    for (id, policy) in &eco.policies {
+        assert_eq!(back.policies[id].truth, policy.truth, "{id}");
+    }
+}
+
+#[test]
+fn weekly_success_rates_recorded_per_week() {
+    let (eco, archive) = campaign(903);
+    assert_eq!(archive.weekly_gizmo_success.len(), eco.weeks.len());
+    for rate in &archive.weekly_gizmo_success {
+        assert!((0.0..=1.0).contains(rate));
+    }
+}
