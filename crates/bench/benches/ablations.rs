@@ -6,13 +6,18 @@
 //! * `minhash` — exact shingle Jaccard vs. MinHash sketches for
 //!   near-duplicate detection;
 //! * `exposure_hops` — 1-hop vs. 2-hop indirect-exposure computation;
+//! * `exposure_algo` — per-node BFS vs. the bitmask frontier sweep
+//!   behind Table 7;
 //! * `crawler_threads` — crawl throughput vs. worker-thread count;
+//! * `analyze_threads` — the full analysis phase (classification +
+//!   policy disclosure + aggregation) vs. `analysis_threads`;
 //! * `stemmer` — classification with and without Porter stemming of the
 //!   input (quantifies the NLP substrate's contribution).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gptx::crawler::Crawler;
-use gptx::graph::exposed_types;
+use gptx::graph::{exposed_types, exposure_sweep};
+use gptx::AnalysisRun;
 use gptx::llm::{KbModel, NoisyModel};
 use gptx::nlp::word_shingles;
 use gptx::policy::{ContextStrategy, PolicyAnalyzer};
@@ -150,6 +155,27 @@ fn bench_ablations(c: &mut Criterion) {
         });
     }
 
+    // --- exposure algorithm: per-node BFS vs frontier sweep. -----------
+    group.bench_function("exposure_algo/per_node_bfs", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for id in collection_map.keys() {
+                total += exposed_types(&run.graph, &collection_map, id, 1).len();
+                total += exposed_types(&run.graph, &collection_map, id, 2).len();
+            }
+            black_box(total)
+        })
+    });
+    for threads in [1usize, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("exposure_algo/frontier_sweep", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| black_box(exposure_sweep(&run.graph, &collection_map, threads)))
+            },
+        );
+    }
+
     // --- crawler threads. ------------------------------------------------
     let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(3)));
     let server = EcosystemHandle::start(Arc::clone(&eco), FaultConfig::none()).expect("serve");
@@ -162,6 +188,34 @@ fn bench_ablations(c: &mut Criterion) {
                 b.iter(|| {
                     let crawler = Crawler::new(server.addr()).with_threads(threads);
                     black_box(crawler.crawl_week(0, "2024-02-08", &store_names).expect("crawl"))
+                })
+            },
+        );
+    }
+
+    // --- analysis worker count (the ablate_analyze_threads knob). --------
+    // Re-analyze a freshly crawled tiny corpus at several thread counts;
+    // the output is identical at every count, only wall-clock moves.
+    let weeks: Vec<(u32, String)> = eco.weeks.iter().map(|w| (w.week, w.date.clone())).collect();
+    let archive = Crawler::new(server.addr())
+        .with_threads(8)
+        .crawl_campaign(&weeks, &store_names, |w| server.set_week(w))
+        .expect("bench crawl");
+    for threads in [1usize, 2, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("analyze_threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    black_box(
+                        AnalysisRun::analyze_with_threads(
+                            (*eco).clone(),
+                            archive.clone(),
+                            Default::default(),
+                            threads,
+                        )
+                        .expect("analysis"),
+                    )
                 })
             },
         );

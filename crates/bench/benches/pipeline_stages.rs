@@ -1,8 +1,10 @@
 //! Stage-level pipeline benchmarks: ecosystem generation, the HTTP
 //! crawl, LLM classification, and the policy pipeline — the costs a user
-//! pays when running the toolkit on a corpus.
+//! pays when running the toolkit on a corpus. The `*_threads` entries
+//! time the two parallelized analysis stages (classification, policy
+//! disclosure) at 1 vs. 8 workers over a whole crawled corpus.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gptx::classifier::Classifier;
 use gptx::crawler::Crawler;
 use gptx::llm::KbModel;
@@ -10,6 +12,7 @@ use gptx::policy::PolicyAnalyzer;
 use gptx::store::{EcosystemHandle, FaultConfig};
 use gptx::synth::{Ecosystem, SynthConfig, STORES};
 use gptx::taxonomy::KnowledgeBase;
+use gptx::{analyze_policy_disclosures, profile_distinct_actions};
 use std::hint::black_box;
 use std::sync::Arc;
 
@@ -68,6 +71,52 @@ fn bench_stages(c: &mut Criterion) {
             black_box(analyzer.analyze_action(identity, &body, &items).expect("analysis"))
         })
     });
+
+    // Corpus-wide parallel stages: classify every distinct Action and
+    // analyze every crawled policy, at 1 vs. 8 workers. A fresh
+    // classifier/model per iteration keeps the memo caches cold so the
+    // bench measures real work, not cache hits.
+    let weeks: Vec<(u32, String)> = eco.weeks.iter().map(|w| (w.week, w.date.clone())).collect();
+    let archive = Crawler::new(server.addr())
+        .with_threads(8)
+        .crawl_campaign(&weeks, &store_names, |w| server.set_week(w))
+        .expect("bench crawl");
+    for threads in [1usize, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("classify_corpus_threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let model = KbModel::new(KnowledgeBase::full());
+                    let classifier = Classifier::new(&model);
+                    black_box(
+                        profile_distinct_actions(&classifier, &archive, threads)
+                            .expect("classification"),
+                    )
+                })
+            },
+        );
+    }
+    let profiles = {
+        let classifier = Classifier::new(&model);
+        profile_distinct_actions(&classifier, &archive, 8).expect("classification")
+    };
+    for threads in [1usize, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("policy_corpus_threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let model = KbModel::new(KnowledgeBase::full());
+                    let analyzer = PolicyAnalyzer::new(&model);
+                    black_box(
+                        analyze_policy_disclosures(&analyzer, &archive, &profiles, threads)
+                            .expect("policy analysis"),
+                    )
+                })
+            },
+        );
+    }
 
     group.finish();
     server.shutdown();

@@ -6,6 +6,7 @@ use gptx_classifier::ActionProfile;
 use gptx_model::{classify_party, Gpt, Party};
 use gptx_taxonomy::DataType;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// One Table 5 row.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -23,8 +24,10 @@ pub struct CollectionRow {
 /// embedding it.
 #[derive(Debug, Clone)]
 pub struct CorpusCollection {
-    /// Action identity → profile.
-    pub profiles: BTreeMap<String, ActionProfile>,
+    /// Action identity → profile. Shared with the producing analysis
+    /// run rather than cloned — profiles are large (every classified
+    /// field of every endpoint) and strictly read-only from here on.
+    pub profiles: Arc<BTreeMap<String, ActionProfile>>,
     /// Action identity → party (by first observed embedding).
     pub parties: BTreeMap<String, Party>,
     /// Action identity → count of embedding GPTs.
@@ -39,7 +42,7 @@ impl CorpusCollection {
     /// Assemble from a GPT corpus and pre-computed per-Action profiles.
     pub fn assemble<'a, I: IntoIterator<Item = &'a Gpt>>(
         gpts: I,
-        profiles: BTreeMap<String, ActionProfile>,
+        profiles: Arc<BTreeMap<String, ActionProfile>>,
     ) -> CorpusCollection {
         let mut parties: BTreeMap<String, Party> = BTreeMap::new();
         let mut embed_counts: BTreeMap<String, usize> = BTreeMap::new();
@@ -238,7 +241,7 @@ mod tests {
         g3.author.website = Some("https://www.own.dev".into());
         g3.tools.push(mk_action("Own", "own.dev"));
         let plain = Gpt::minimal("g-dddddddddd", "NoActions");
-        CorpusCollection::assemble(&[g1, g2, g3, plain], profiles)
+        CorpusCollection::assemble(&[g1, g2, g3, plain], Arc::new(profiles))
     }
 
     #[test]

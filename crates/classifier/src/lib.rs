@@ -24,8 +24,8 @@ pub use profile::{ActionProfile, ClassifiedField};
 use gptx_llm::{ClassificationRequest, ClassificationResponse, LanguageModel, LlmError};
 use gptx_model::{ActionSpec, Gpt};
 use gptx_taxonomy::KnowledgeBase;
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Errors from the classification pipeline.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,12 +55,19 @@ pub struct ClassifierStats {
 }
 
 /// The LLM-based data-type classification tool.
+///
+/// Caches and counters sit behind `Mutex`es (not `RefCell`s) so a
+/// `Classifier` over a `Sync` model is itself `Sync` — the parallel
+/// analysis stage shares one instance (and thus one cache) across all
+/// workers. Classification output is deterministic at any thread count;
+/// only the cache-hit/request *counters* depend on scheduling (two
+/// workers may classify the same fresh description concurrently).
 pub struct Classifier<'m, M: LanguageModel> {
     model: &'m M,
     kb: KnowledgeBase,
     max_retries: usize,
-    cache: RefCell<HashMap<String, ClassificationResponse>>,
-    stats: RefCell<ClassifierStats>,
+    cache: Mutex<HashMap<String, ClassificationResponse>>,
+    stats: Mutex<ClassifierStats>,
 }
 
 impl<'m, M: LanguageModel> Classifier<'m, M> {
@@ -76,14 +83,14 @@ impl<'m, M: LanguageModel> Classifier<'m, M> {
             model,
             kb,
             max_retries: 2,
-            cache: RefCell::new(HashMap::new()),
-            stats: RefCell::new(ClassifierStats::default()),
+            cache: Mutex::new(HashMap::new()),
+            stats: Mutex::new(ClassifierStats::default()),
         }
     }
 
     /// Run statistics so far.
     pub fn stats(&self) -> ClassifierStats {
-        *self.stats.borrow()
+        *self.stats.lock().expect("classifier stats")
     }
 
     /// Classify one free-text data description into a succinct data type.
@@ -91,8 +98,8 @@ impl<'m, M: LanguageModel> Classifier<'m, M> {
     /// Responses that fail to parse are retried up to `max_retries`
     /// times; persistent failures surface as [`ClassifierError::Llm`].
     pub fn classify(&self, description: &str) -> Result<ClassificationResponse, ClassifierError> {
-        if let Some(hit) = self.cache.borrow().get(description) {
-            self.stats.borrow_mut().cache_hits += 1;
+        if let Some(hit) = self.cache.lock().expect("classification cache").get(description) {
+            self.stats.lock().expect("classifier stats").cache_hits += 1;
             return Ok(*hit);
         }
         let prompt = ClassificationRequest {
@@ -102,15 +109,16 @@ impl<'m, M: LanguageModel> Classifier<'m, M> {
         .to_prompt();
         let mut last_err = None;
         for attempt in 0..=self.max_retries {
-            self.stats.borrow_mut().requests += 1;
+            self.stats.lock().expect("classifier stats").requests += 1;
             if attempt > 0 {
-                self.stats.borrow_mut().retries += 1;
+                self.stats.lock().expect("classifier stats").retries += 1;
             }
             match self.model.complete(&prompt) {
                 Ok(text) => match ClassificationResponse::parse(&text) {
                     Ok(resp) => {
                         self.cache
-                            .borrow_mut()
+                            .lock()
+                            .expect("classification cache")
                             .insert(description.to_string(), resp);
                         return Ok(resp);
                     }
@@ -118,13 +126,13 @@ impl<'m, M: LanguageModel> Classifier<'m, M> {
                 },
                 Err(e @ LlmError::ContextOverflow { .. }) => {
                     // Retrying an overflowing prompt cannot help.
-                    self.stats.borrow_mut().failures += 1;
+                    self.stats.lock().expect("classifier stats").failures += 1;
                     return Err(ClassifierError::Llm(e));
                 }
                 Err(e) => last_err = Some(e),
             }
         }
-        self.stats.borrow_mut().failures += 1;
+        self.stats.lock().expect("classifier stats").failures += 1;
         Err(ClassifierError::Llm(last_err.expect("loop ran at least once")))
     }
 

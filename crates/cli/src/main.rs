@@ -45,11 +45,17 @@ const USAGE: &str = "gptx — audit toolkit for data collection in LLM app ecosy
 USAGE:
     gptx list
     gptx reproduce <id>... | all   [--seed N] [--scale tiny|small|medium|paper] [--faults]
+                                   [--threads N]
     gptx generate                  [--seed N] [--scale ...] [--out FILE]
     gptx serve                     [--seed N] [--scale ...]            (runs until stdin EOF)
     gptx crawl                     [--seed N] [--scale ...] [--out FILE]
     gptx label                     [--seed N] [--scale ...] [--gpt ID] [--max N]
-    gptx analyze <id>... | all     --archive FILE --eco FILE   (offline analysis)
+    gptx analyze <id>... | all     --archive FILE --eco FILE [--threads N]   (offline analysis)
+
+OPTIONS:
+    --threads N   worker count for the analysis stages (classification,
+                  policy disclosure, exposure sweep; default 8). Output
+                  is identical at any thread count.
 
 SCALES:
     tiny    ~400 GPTs, 4 weeks      (seconds)
@@ -114,6 +120,19 @@ fn config_from(options: &std::collections::BTreeMap<String, String>) -> Result<S
     Ok(config)
 }
 
+/// Parse the optional `--threads` analysis worker count.
+fn threads_from(
+    options: &std::collections::BTreeMap<String, String>,
+) -> Result<Option<usize>, String> {
+    options
+        .get("threads")
+        .map(|t| match t.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!("bad --threads {t:?} (want an integer >= 1)")),
+        })
+        .transpose()
+}
+
 fn list() -> ExitCode {
     println!("available experiments:");
     for (id, description) in experiments::ALL {
@@ -138,6 +157,14 @@ fn reproduce(args: &[String]) -> ExitCode {
     let mut pipeline = Pipeline::new(config);
     if !options.contains_key("faults") {
         pipeline = pipeline.without_faults();
+    }
+    match threads_from(&options) {
+        Ok(Some(threads)) => pipeline = pipeline.with_analysis_threads(threads),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
     }
     eprintln!(
         "running pipeline: {} GPTs, {} weeks, seed {} ...",
@@ -278,12 +305,20 @@ fn analyze(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let threads = match threads_from(&options) {
+        Ok(t) => t.unwrap_or(8),
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     eprintln!(
-        "analyzing archive ({} snapshots, {} policies) offline...",
+        "analyzing archive ({} snapshots, {} policies) offline on {threads} threads...",
         archive.snapshots.len(),
         archive.policies.len()
     );
-    let run = match gptx::AnalysisRun::analyze(eco, archive, Default::default()) {
+    let run = match gptx::AnalysisRun::analyze_with_threads(eco, archive, Default::default(), threads)
+    {
         Ok(r) => r,
         Err(e) => {
             eprintln!("analysis failed: {e}");
@@ -465,6 +500,18 @@ mod tests {
         let config = config_from(&opts).unwrap();
         assert_eq!(config.base_gpts, 1234);
         assert_eq!(config.weeks, 5);
+    }
+
+    #[test]
+    fn threads_from_parses_and_rejects() {
+        let (_, opts) = split_args(&args(&["--threads", "4"]));
+        assert_eq!(threads_from(&opts).unwrap(), Some(4));
+        let (_, opts) = split_args(&args(&[]));
+        assert_eq!(threads_from(&opts).unwrap(), None);
+        for bad in [&["--threads", "0"][..], &["--threads", "lots"][..]] {
+            let (_, opts) = split_args(&args(bad));
+            assert!(threads_from(&opts).is_err());
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::pipeline::AnalysisRun;
 use gptx_census::{
     action_multiplicity, change_breakdown, growth_trend, removal_breakdown, tool_usage,
 };
-use gptx_graph::{graph_stats, top_cooccurring_exposures, type_exposure_table};
+use gptx_graph::{graph_stats, top_cooccurring_exposures, type_exposure_table_threads};
 use gptx_llm::{DisclosureLabel, JudgementRequest, KbModel, LanguageModel};
 use gptx_model::RemovalReason;
 use gptx_policy::{
@@ -361,7 +361,7 @@ fn f5(run: &AnalysisRun) -> String {
 }
 
 fn t7(run: &AnalysisRun) -> String {
-    let rows = type_exposure_table(&run.graph, &run.collection_map());
+    let rows = type_exposure_table_threads(&run.graph, &run.collection_map(), run.analysis_threads);
     let mut table = Table::new(vec!["Data type", "Direct %", "1-Hop IE", "2-Hop IE"])
         .with_title("Table 7 — increase in data exposure from co-occurrence (pct-points)")
         .with_aligns(vec![Align::Left, Align::Right, Align::Right, Align::Right]);

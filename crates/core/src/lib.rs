@@ -29,7 +29,9 @@
 pub mod experiments;
 pub mod pipeline;
 
-pub use pipeline::{AnalysisRun, Pipeline, RunError};
+pub use pipeline::{
+    analyze_policy_disclosures, profile_distinct_actions, AnalysisRun, Pipeline, RunError,
+};
 
 // Re-export the subsystem crates under stable names.
 pub use gptx_census as census;

@@ -1,12 +1,17 @@
 //! The end-to-end pipeline: generate → serve → crawl → classify →
 //! analyze. One [`AnalysisRun`] holds everything the experiment registry
 //! needs to regenerate the paper's tables and figures.
+//!
+//! The three analysis hot spots — per-Action classification, per-Action
+//! policy disclosure analysis, and the Table 7/8 exposure sweep — run on
+//! the deterministic [`gptx_par`] worker pool. Output is bit-identical
+//! at any thread count; parallelism only changes wall-clock time.
 
 use gptx_census::CorpusCollection;
 use gptx_classifier::{ActionProfile, Classifier};
 use gptx_crawler::{CrawlArchive, CrawlStats, Crawler};
 use gptx_graph::{build_cooccurrence, CollectionMap, Graph};
-use gptx_llm::{DisclosureLabel, KbModel};
+use gptx_llm::{DisclosureLabel, KbModel, LanguageModel};
 use gptx_policy::{ActionDisclosureReport, PolicyAnalyzer};
 use gptx_store::{ClientError, EcosystemHandle, FaultConfig};
 use gptx_synth::{Ecosystem, SynthConfig, STORES};
@@ -41,6 +46,10 @@ pub struct Pipeline {
     pub config: SynthConfig,
     pub faults: FaultConfig,
     pub crawler_threads: usize,
+    /// Worker count for the analysis stages (classification, policy
+    /// disclosure, exposure sweep). `1` forces fully sequential
+    /// execution; any value produces identical output.
+    pub analysis_threads: usize,
 }
 
 impl Pipeline {
@@ -50,12 +59,19 @@ impl Pipeline {
             config,
             faults: FaultConfig::default(),
             crawler_threads: 8,
+            analysis_threads: 8,
         }
     }
 
     /// Disable fault injection (exact-recovery integration tests).
     pub fn without_faults(mut self) -> Pipeline {
         self.faults = FaultConfig::none();
+        self
+    }
+
+    /// Set the analysis-stage worker count.
+    pub fn with_analysis_threads(mut self, threads: usize) -> Pipeline {
+        self.analysis_threads = threads.max(1);
         self
     }
 
@@ -79,8 +95,72 @@ impl Pipeline {
         let crawl_stats = crawler.stats();
         server.shutdown();
 
-        AnalysisRun::analyze(Arc::try_unwrap(eco).unwrap_or_else(|a| (*a).clone()), archive, crawl_stats)
+        // Shutdown joins the accept thread, which drops the server's
+        // clone of the ecosystem Arc — ours is the last one standing, so
+        // the multi-megabyte corpus is never deep-copied.
+        let eco = Arc::try_unwrap(eco).expect("server released its ecosystem Arc on shutdown");
+        AnalysisRun::analyze_with_threads(eco, archive, crawl_stats, self.analysis_threads)
     }
+}
+
+/// Stage 3: LLM static analysis of every distinct Action, fanned out
+/// over `threads` workers. Classification is a pure function of the
+/// description text, so the map is deterministic regardless of worker
+/// interleaving; on error the first failure in input order wins.
+pub fn profile_distinct_actions<M: LanguageModel + Sync>(
+    classifier: &Classifier<'_, M>,
+    archive: &CrawlArchive,
+    threads: usize,
+) -> Result<BTreeMap<String, ActionProfile>, RunError> {
+    let actions: Vec<_> = archive.distinct_actions().into_iter().collect();
+    let profiled = gptx_par::par_try_map(threads, &actions, |(identity, action)| {
+        classifier
+            .profile_action(action)
+            .map(|profile| (identity.clone(), profile))
+            .map_err(RunError::Classify)
+    })?;
+    Ok(profiled.into_iter().collect())
+}
+
+/// Stage 6: policy disclosure analysis for every Action whose policy
+/// was crawled (unreachable policies are excluded, as in the paper;
+/// they still count in the Table 9 corpus stats). HTML stripping and
+/// sentence tokenization happen inside the worker closure, so the
+/// expensive text processing parallelizes along with the NLI calls.
+/// Reports come back in the archive's (sorted) policy order.
+pub fn analyze_policy_disclosures<M: LanguageModel + Sync>(
+    analyzer: &PolicyAnalyzer<'_, M>,
+    archive: &CrawlArchive,
+    profiles: &BTreeMap<String, ActionProfile>,
+    threads: usize,
+) -> Result<Vec<ActionDisclosureReport>, RunError> {
+    let jobs: Vec<_> = archive
+        .policies
+        .iter()
+        .filter_map(|(identity, doc)| {
+            let body = doc.body.as_deref()?;
+            let profile = profiles.get(identity)?;
+            Some((identity, doc, body, profile))
+        })
+        .collect();
+    gptx_par::par_try_map(threads, &jobs, |&(identity, doc, body, profile)| {
+        // HTML policies (JS-rendered pages, HTML-served documents)
+        // are reduced to visible text before sentence tokenization.
+        let is_html = doc
+            .content_type
+            .as_deref()
+            .is_some_and(|ct| ct.contains("text/html"))
+            || gptx_nlp::looks_like_html(body);
+        let text = if is_html {
+            gptx_nlp::strip_html(body)
+        } else {
+            body.to_string()
+        };
+        let items = profile.data_items();
+        analyzer
+            .analyze_action(identity, &text, &items)
+            .map_err(RunError::Policy)
+    })
 }
 
 /// Everything one run produced: crawl artifacts plus every derived
@@ -93,68 +173,57 @@ pub struct AnalysisRun {
     pub archive: CrawlArchive,
     pub crawl_stats: CrawlStats,
     /// Per-Action data-collection profiles from the LLM static analysis.
-    pub profiles: BTreeMap<String, ActionProfile>,
+    /// Shared (not cloned) with [`CorpusCollection::profiles`].
+    pub profiles: Arc<BTreeMap<String, ActionProfile>>,
     /// Corpus-level collection aggregation (Table 5 / Figure 4 / Table 6).
     pub collection: CorpusCollection,
     /// The Action co-occurrence graph (Figure 5 / Tables 7–8).
     pub graph: Graph,
     /// Per-Action disclosure reports (Section 6).
     pub reports: Vec<ActionDisclosureReport>,
+    /// Worker count the analysis ran with; downstream experiments reuse
+    /// it for the exposure sweep.
+    pub analysis_threads: usize,
 }
 
 impl AnalysisRun {
-    /// Run every analysis stage over a crawl archive.
+    /// Run every analysis stage over a crawl archive with the default
+    /// worker count.
     pub fn analyze(
         eco: Ecosystem,
         archive: CrawlArchive,
         crawl_stats: CrawlStats,
     ) -> Result<AnalysisRun, RunError> {
+        AnalysisRun::analyze_with_threads(eco, archive, crawl_stats, 8)
+    }
+
+    /// Run every analysis stage over a crawl archive, fanning the hot
+    /// stages out over `threads` workers. Output is identical at any
+    /// thread count.
+    pub fn analyze_with_threads(
+        eco: Ecosystem,
+        archive: CrawlArchive,
+        crawl_stats: CrawlStats,
+        threads: usize,
+    ) -> Result<AnalysisRun, RunError> {
+        let threads = threads.max(1);
+
         // 3. LLM static analysis of every distinct Action.
         let model = KbModel::new(KnowledgeBase::full());
         let classifier = Classifier::new(&model);
-        let mut profiles: BTreeMap<String, ActionProfile> = BTreeMap::new();
-        for (identity, action) in archive.distinct_actions() {
-            let profile = classifier
-                .profile_action(&action)
-                .map_err(RunError::Classify)?;
-            profiles.insert(identity, profile);
-        }
+        let profiles = Arc::new(profile_distinct_actions(&classifier, &archive, threads)?);
 
-        // 4. Corpus aggregation over all unique GPTs.
+        // 4. Corpus aggregation over all unique GPTs. The collection
+        //    shares the profile map; nothing is deep-copied.
         let unique: Vec<gptx_model::Gpt> = archive.all_unique_gpts().into_values().collect();
-        let collection = CorpusCollection::assemble(unique.iter(), profiles.clone());
+        let collection = CorpusCollection::assemble(unique.iter(), Arc::clone(&profiles));
 
         // 5. Co-occurrence graph.
         let graph = build_cooccurrence(unique.iter());
 
-        // 6. Policy disclosure analysis for every Action whose policy was
-        //    crawled (unreachable policies are excluded, as in the paper;
-        //    they still count in the Table 9 corpus stats).
+        // 6. Policy disclosure analysis.
         let analyzer = PolicyAnalyzer::new(&model);
-        let mut reports = Vec::new();
-        for (identity, doc) in &archive.policies {
-            let Some(body) = &doc.body else { continue };
-            let Some(profile) = profiles.get(identity) else {
-                continue;
-            };
-            // HTML policies (JS-rendered pages, HTML-served documents)
-            // are reduced to visible text before sentence tokenization.
-            let is_html = doc
-                .content_type
-                .as_deref()
-                .is_some_and(|ct| ct.contains("text/html"))
-                || gptx_nlp::looks_like_html(body);
-            let text = if is_html {
-                gptx_nlp::strip_html(body)
-            } else {
-                body.clone()
-            };
-            let items = profile.data_items();
-            let report = analyzer
-                .analyze_action(identity, &text, &items)
-                .map_err(RunError::Policy)?;
-            reports.push(report);
-        }
+        let reports = analyze_policy_disclosures(&analyzer, &archive, &profiles, threads)?;
 
         Ok(AnalysisRun {
             eco,
@@ -164,6 +233,7 @@ impl AnalysisRun {
             collection,
             graph,
             reports,
+            analysis_threads: threads,
         })
     }
 
@@ -233,5 +303,19 @@ mod tests {
             .unwrap();
         let pairs = run.accuracy_pairs();
         assert!(!pairs.is_empty());
+    }
+
+    #[test]
+    fn single_threaded_analysis_matches_default() {
+        let run = |threads| {
+            Pipeline::new(SynthConfig::tiny(33))
+                .without_faults()
+                .with_analysis_threads(threads)
+                .run()
+                .unwrap()
+        };
+        let (seq, par) = (run(1), run(4));
+        assert_eq!(*seq.profiles, *par.profiles);
+        assert_eq!(seq.reports, par.reports);
     }
 }

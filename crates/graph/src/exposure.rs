@@ -95,6 +95,85 @@ pub fn top_cooccurring_exposures(
         .collect()
 }
 
+// ---------------------------------------------------------------------
+// Frontier-sweep exposure (the `ablate_exposure_algo` fast path)
+// ---------------------------------------------------------------------
+
+/// Data-type sets as 64-bit masks (the taxonomy has 48 types), the unit
+/// of the frontier sweep.
+type TypeMask = u64;
+
+const _: () = assert!(
+    DataType::ALL.len() <= TypeMask::BITS as usize,
+    "TypeMask must cover the whole taxonomy"
+);
+
+fn mask_of(types: &BTreeSet<DataType>) -> TypeMask {
+    types.iter().fold(0, |m, &d| m | (1 << d as usize))
+}
+
+fn mask_to_set(mask: TypeMask) -> BTreeSet<DataType> {
+    DataType::ALL
+        .iter()
+        .copied()
+        .filter(|&d| mask & (1 << d as usize) != 0)
+        .collect()
+}
+
+/// Per-Action 1- and 2-hop exposure for *every* identity in
+/// `collections`, computed by a frontier sweep instead of one BFS per
+/// node.
+///
+/// The sweep replaces O(nodes) independent BFS traversals with two
+/// union passes over the adjacency lists on bitmask type sets:
+///
+/// 1. `frontier1[v] = ⋃ own[n] for n ∈ N(v)` — types one hop away;
+/// 2. `frontier2[v] = ⋃ (own[n] ∪ frontier1[n]) for n ∈ N(v)` — types
+///    within two hops (a node's own types re-entering through a cycle
+///    are harmless: the caller's own-set subtraction removes them,
+///    exactly as the per-node BFS excludes the start node).
+///
+/// Both passes are embarrassingly parallel over nodes — each node's
+/// result depends only on the previous pass — and are fanned out over
+/// `threads` workers with [`gptx_par::par_map_indexed`]. Results are
+/// index-addressed, so the output is bit-identical at any thread count
+/// (the determinism proptest in `tests/properties.rs` pins sweep ≡ BFS).
+pub fn exposure_sweep(
+    graph: &Graph,
+    collections: &CollectionMap,
+    threads: usize,
+) -> BTreeMap<String, (BTreeSet<DataType>, BTreeSet<DataType>)> {
+    let n = graph.node_count();
+    let own: Vec<TypeMask> = (0..n)
+        .map(|v| collections.get(graph.label(v)).map_or(0, mask_of))
+        .collect();
+    let nodes: Vec<usize> = (0..n).collect();
+    let frontier1: Vec<TypeMask> = gptx_par::par_map_indexed(threads, &nodes, |_, &v| {
+        graph.neighbors(v).fold(0, |m, (nb, _)| m | own[nb])
+    });
+    let frontier2: Vec<TypeMask> = gptx_par::par_map_indexed(threads, &nodes, |_, &v| {
+        graph
+            .neighbors(v)
+            .fold(0, |m, (nb, _)| m | own[nb] | frontier1[nb])
+    });
+    collections
+        .iter()
+        .map(|(identity, own_types)| {
+            let Some(v) = graph.node(identity) else {
+                return (identity.clone(), (BTreeSet::new(), BTreeSet::new()));
+            };
+            let own_mask = mask_of(own_types);
+            (
+                identity.clone(),
+                (
+                    mask_to_set(frontier1[v] & !own_mask),
+                    mask_to_set(frontier2[v] & !own_mask),
+                ),
+            )
+        })
+        .collect()
+}
+
 /// One Table 7 row: per data type, the increase (in percentage points of
 /// all Actions) of Actions exposed to the type at 1 and 2 hops over the
 /// Actions collecting it directly.
@@ -109,27 +188,32 @@ pub struct TypeExposureRow {
     pub two_hop_increase_pct: f64,
 }
 
-/// Compute Table 7 over all Actions in `collections`.
+/// Compute Table 7 over all Actions in `collections` (single-threaded
+/// frontier sweep; see [`type_exposure_table_threads`]).
 pub fn type_exposure_table(graph: &Graph, collections: &CollectionMap) -> Vec<TypeExposureRow> {
+    type_exposure_table_threads(graph, collections, 1)
+}
+
+/// Compute Table 7 with the per-Action exposure sets produced by the
+/// parallel [`exposure_sweep`] over `threads` workers.
+pub fn type_exposure_table_threads(
+    graph: &Graph,
+    collections: &CollectionMap,
+    threads: usize,
+) -> Vec<TypeExposureRow> {
     let n = collections.len().max(1) as f64;
-    // Precompute per-action exposure sets at both hops.
-    let mut one_hop: BTreeMap<&str, BTreeSet<DataType>> = BTreeMap::new();
-    let mut two_hop: BTreeMap<&str, BTreeSet<DataType>> = BTreeMap::new();
-    for identity in collections.keys() {
-        one_hop.insert(identity, exposed_types(graph, collections, identity, 1));
-        two_hop.insert(identity, exposed_types(graph, collections, identity, 2));
-    }
+    let sweep = exposure_sweep(graph, collections, threads);
     DataType::MEASURED_ROWS
         .iter()
         .map(|&d| {
             let direct = collections.values().filter(|t| t.contains(&d)).count();
             let at_one = collections
                 .iter()
-                .filter(|(id, own)| own.contains(&d) || one_hop[id.as_str()].contains(&d))
+                .filter(|(id, own)| own.contains(&d) || sweep[id.as_str()].0.contains(&d))
                 .count();
             let at_two = collections
                 .iter()
-                .filter(|(id, own)| own.contains(&d) || two_hop[id.as_str()].contains(&d))
+                .filter(|(id, own)| own.contains(&d) || sweep[id.as_str()].1.contains(&d))
                 .count();
             TypeExposureRow {
                 data_type: d,
@@ -221,6 +305,36 @@ mod tests {
             assert!(total <= 100.0 + 1e-9, "{:?}", row.data_type);
             assert!(row.one_hop_increase_pct <= row.two_hop_increase_pct + 1e-9);
         }
+    }
+
+    #[test]
+    fn sweep_matches_bfs_on_star_at_any_thread_count() {
+        let (g, c) = star();
+        for threads in [1usize, 2, 8] {
+            let sweep = exposure_sweep(&g, &c, threads);
+            for id in ["hub", "a", "b"] {
+                let (one, two) = &sweep[id];
+                assert_eq!(*one, exposed_types(&g, &c, id, 1), "{id} 1-hop t={threads}");
+                assert_eq!(*two, exposed_types(&g, &c, id, 2), "{id} 2-hop t={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_handles_identities_missing_from_graph() {
+        let (g, mut c) = star();
+        c.insert("offgraph".into(), BTreeSet::from([Name]));
+        let sweep = exposure_sweep(&g, &c, 4);
+        assert_eq!(sweep["offgraph"], (BTreeSet::new(), BTreeSet::new()));
+    }
+
+    #[test]
+    fn table7_threads_agree() {
+        let (g, c) = star();
+        assert_eq!(
+            type_exposure_table_threads(&g, &c, 1),
+            type_exposure_table_threads(&g, &c, 8)
+        );
     }
 
     #[test]

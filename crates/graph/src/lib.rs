@@ -13,8 +13,8 @@ pub mod isolation;
 
 pub use cooccurrence::{build_cooccurrence, graph_stats, GraphStats};
 pub use exposure::{
-    exposed_types, top_cooccurring_exposures, type_exposure_table, ActionExposure,
-    CollectionMap, TypeExposureRow,
+    exposed_types, exposure_sweep, top_cooccurring_exposures, type_exposure_table,
+    type_exposure_table_threads, ActionExposure, CollectionMap, TypeExposureRow,
 };
 pub use graph::{Graph, NodeId};
 pub use isolation::{

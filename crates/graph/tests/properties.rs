@@ -102,6 +102,36 @@ proptest! {
     }
 
     #[test]
+    fn frontier_sweep_equals_per_node_bfs(
+        g in graph_strategy(),
+        type_assignment in prop::collection::vec(0usize..48, 12),
+        threads in 1usize..9,
+    ) {
+        // Random sparse collections: some nodes collect nothing at all.
+        let mut collections = CollectionMap::new();
+        for (v, &assignment) in type_assignment.iter().enumerate().take(g.node_count()) {
+            let mut types = BTreeSet::new();
+            if assignment % 3 != 0 {
+                types.insert(DataType::ALL[assignment % DataType::ALL.len()]);
+                types.insert(DataType::ALL[(assignment * 5 + 1) % DataType::ALL.len()]);
+            }
+            collections.insert(g.label(v).to_string(), types);
+        }
+        let sweep = gptx_graph::exposure_sweep(&g, &collections, threads);
+        prop_assert_eq!(sweep.len(), collections.len());
+        for (identity, (one, two)) in &sweep {
+            let bfs1 = exposed_types(&g, &collections, identity, 1);
+            let bfs2 = exposed_types(&g, &collections, identity, 2);
+            prop_assert_eq!(one, &bfs1, "1-hop mismatch for {} at {} threads", identity, threads);
+            prop_assert_eq!(two, &bfs2, "2-hop mismatch for {} at {} threads", identity, threads);
+        }
+        // And Table 7 built from the sweep matches the BFS-era output.
+        let t1 = gptx_graph::type_exposure_table_threads(&g, &collections, 1);
+        let tn = gptx_graph::type_exposure_table_threads(&g, &collections, threads);
+        prop_assert_eq!(t1, tn);
+    }
+
+    #[test]
     fn dot_export_never_panics(g in graph_strategy()) {
         let dot = g.to_dot(None, 2);
         // prop_assert! stringifies its expression into a format string,

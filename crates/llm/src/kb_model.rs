@@ -25,11 +25,20 @@ use crate::protocol::{
 use gptx_nlp::vector::SparseVec;
 use gptx_nlp::{analyze, cosine, TfIdf, TfIdfBuilder};
 use gptx_taxonomy::{Category, DataType, KnowledgeBase};
+use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Deterministic knowledge-base model. See module docs.
 pub struct KbModel {
     kb: KnowledgeBase,
     tfidf: TfIdf,
+    /// Memoized classifications keyed by *normalized* description text
+    /// (the post-stemming token stream — classification depends on
+    /// nothing else, so boilerplate descriptions repeated across Actions
+    /// classify once). Behind a `Mutex` so the model stays `Sync` for
+    /// the parallel analysis stages; determinism is unaffected because
+    /// the cached value is exactly what recomputation would produce.
+    classify_cache: Mutex<HashMap<String, ClassificationResponse>>,
     /// Per-entry embedding of description + lexicon text.
     entry_vectors: Vec<(DataType, SparseVec)>,
     /// Pre-stemmed lexicon phrases per entry (classification hot path).
@@ -122,6 +131,7 @@ impl KbModel {
         KbModel {
             kb,
             tfidf,
+            classify_cache: Mutex::new(HashMap::new()),
             entry_vectors,
             entry_lexstems,
             category_lexstems,
@@ -147,8 +157,27 @@ impl KbModel {
     // ------------------------------------------------------------------
 
     /// Classify a free-text data description to the best taxonomy entry.
+    ///
+    /// Classification is a pure function of the stemmed token stream, so
+    /// results are memoized under the normalized text; repeated
+    /// boilerplate descriptions (ubiquitous across Action specs) pay the
+    /// lexicon/TF-IDF matching once per process.
     pub fn classify_description(&self, description: &str) -> ClassificationResponse {
         let stems = analyze(description);
+        let key = stems.join(" ");
+        if let Some(&hit) = self.classify_cache.lock().expect("classify cache").get(&key) {
+            return hit;
+        }
+        let resp = self.classify_stems(&stems);
+        self.classify_cache
+            .lock()
+            .expect("classify cache")
+            .insert(key, resp);
+        resp
+    }
+
+    /// The uncached classification over pre-stemmed tokens.
+    fn classify_stems(&self, stems: &[String]) -> ClassificationResponse {
         // Phase 1: lexicon phrase matching. Longer phrase hits and more
         // hits win; earlier taxonomy entries break ties (stable order).
         let mut best: Option<(f64, DataType)> = None;

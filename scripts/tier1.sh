@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 verify loop: release build, full test suite, and bench
+# compilation (benches are part of the public surface — they must at
+# least build even when nobody has time to run them).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo bench --no-run

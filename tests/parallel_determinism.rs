@@ -1,0 +1,73 @@
+//! The `analysis_threads` knob must never change an output bit: the
+//! parallel analysis engine writes into index-addressed slots, so every
+//! profile, report, and exposure table is identical at any worker count.
+
+use gptx::crawler::CrawlArchive;
+use gptx::store::EcosystemHandle;
+use gptx::synth::STORES;
+use gptx::{AnalysisRun, Ecosystem, FaultConfig, SynthConfig};
+use std::sync::Arc;
+
+/// Generate + serve + crawl once, without the analysis stages, so both
+/// thread counts analyze the exact same archive.
+fn crawl(seed: u64) -> (Ecosystem, CrawlArchive) {
+    let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(seed)));
+    let server = EcosystemHandle::start(Arc::clone(&eco), FaultConfig::none()).expect("serve");
+    let store_names: Vec<&str> = STORES.iter().map(|(n, _)| *n).collect();
+    let weeks: Vec<(u32, String)> = eco.weeks.iter().map(|w| (w.week, w.date.clone())).collect();
+    let archive = gptx::crawler::Crawler::new(server.addr())
+        .with_threads(4)
+        .crawl_campaign(&weeks, &store_names, |w| server.set_week(w))
+        .expect("crawl");
+    server.shutdown();
+    let eco = Arc::try_unwrap(eco).expect("server releases its ecosystem Arc on shutdown");
+    (eco, archive)
+}
+
+#[test]
+fn eight_workers_match_sequential_bit_for_bit() {
+    let (eco, archive) = crawl(0xD007);
+    let seq = AnalysisRun::analyze_with_threads(eco.clone(), archive.clone(), Default::default(), 1)
+        .expect("sequential analysis");
+    let par = AnalysisRun::analyze_with_threads(eco, archive, Default::default(), 8)
+        .expect("parallel analysis");
+
+    // Stage 3: classification profiles.
+    assert_eq!(*seq.profiles, *par.profiles);
+    // Stage 6: policy disclosure reports, including order.
+    assert_eq!(seq.reports, par.reports);
+
+    // Tables 7 and 8 (exposure sweep at each run's thread count).
+    let (seq_map, par_map) = (seq.collection_map(), par.collection_map());
+    assert_eq!(
+        gptx::graph::type_exposure_table_threads(&seq.graph, &seq_map, 1),
+        gptx::graph::type_exposure_table_threads(&par.graph, &par_map, 8),
+    );
+    assert_eq!(
+        gptx::graph::top_cooccurring_exposures(&seq.graph, &seq_map, 5),
+        gptx::graph::top_cooccurring_exposures(&par.graph, &par_map, 5),
+    );
+
+    // Rendered experiment artifacts are byte-identical (t7 renders via
+    // the run's own analysis_threads: 1 vs. 8 here).
+    for id in ["t5", "t7", "t8"] {
+        assert_eq!(
+            gptx::experiments::render(id, &seq),
+            gptx::experiments::render(id, &par),
+            "experiment {id} differs between thread counts"
+        );
+    }
+}
+
+#[test]
+fn oversized_and_degenerate_thread_counts_are_safe() {
+    let (eco, archive) = crawl(0xD008);
+    // Far more workers than Actions, and a zero that clamps to one.
+    let wide = AnalysisRun::analyze_with_threads(eco.clone(), archive.clone(), Default::default(), 64)
+        .expect("wide analysis");
+    let clamped = AnalysisRun::analyze_with_threads(eco, archive, Default::default(), 0)
+        .expect("clamped analysis");
+    assert_eq!(*wide.profiles, *clamped.profiles);
+    assert_eq!(wide.reports, clamped.reports);
+    assert_eq!(clamped.analysis_threads, 1);
+}
