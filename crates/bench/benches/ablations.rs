@@ -17,7 +17,6 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gptx::crawler::Crawler;
 use gptx::graph::{exposed_types, exposure_sweep};
-use gptx::AnalysisRun;
 use gptx::llm::{KbModel, NoisyModel};
 use gptx::nlp::word_shingles;
 use gptx::policy::{ContextStrategy, PolicyAnalyzer};
@@ -25,6 +24,7 @@ use gptx::stats::{jaccard, MinHash};
 use gptx::store::{EcosystemHandle, FaultConfig};
 use gptx::synth::{Ecosystem, SynthConfig, STORES};
 use gptx::taxonomy::KnowledgeBase;
+use gptx::AnalysisRun;
 use gptx_bench::shared_run;
 use std::hint::black_box;
 use std::sync::Arc;
@@ -36,7 +36,10 @@ fn print_context_strategy_accuracy() {
     let run = shared_run();
     let noisy = NoisyModel::with_degradation(KbModel::new(KnowledgeBase::full()), 0.02, 0.5, 17);
     let mut results = Vec::new();
-    for strategy in [ContextStrategy::ScreenedSentences, ContextStrategy::WholePolicy] {
+    for strategy in [
+        ContextStrategy::ScreenedSentences,
+        ContextStrategy::WholePolicy,
+    ] {
         let analyzer = PolicyAnalyzer::new(&noisy).with_strategy(strategy);
         let mut total = 0usize;
         let mut exact = 0usize;
@@ -65,7 +68,10 @@ fn print_context_strategy_accuracy() {
     }
     println!("\n===== ablation: context strategy (noisy, degrading model) =====");
     for (strategy, accuracy, n) in results {
-        println!("  {strategy:?}: exact-match {:.1}% over {n} labels", accuracy * 100.0);
+        println!(
+            "  {strategy:?}: exact-match {:.1}% over {n} labels",
+            accuracy * 100.0
+        );
     }
 }
 
@@ -86,14 +92,21 @@ fn bench_ablations(c: &mut Criterion) {
         .expect("long policy");
     let body = doc.body.clone().expect("body");
     let items = run.profiles[identity].data_items();
-    for strategy in [ContextStrategy::ScreenedSentences, ContextStrategy::WholePolicy] {
+    for strategy in [
+        ContextStrategy::ScreenedSentences,
+        ContextStrategy::WholePolicy,
+    ] {
         group.bench_with_input(
             BenchmarkId::new("context_strategy", format!("{strategy:?}")),
             &strategy,
             |b, &strategy| {
                 b.iter(|| {
                     let analyzer = PolicyAnalyzer::new(&model).with_strategy(strategy);
-                    black_box(analyzer.analyze_action(identity, &body, &items).expect("analysis"))
+                    black_box(
+                        analyzer
+                            .analyze_action(identity, &body, &items)
+                            .expect("analysis"),
+                    )
                 })
             },
         );
@@ -144,15 +157,19 @@ fn bench_ablations(c: &mut Criterion) {
     let collection_map = run.collection_map();
     let identities: Vec<String> = collection_map.keys().take(40).cloned().collect();
     for hops in [1usize, 2] {
-        group.bench_with_input(BenchmarkId::new("exposure_hops", hops), &hops, |b, &hops| {
-            b.iter(|| {
-                let mut total = 0usize;
-                for id in &identities {
-                    total += exposed_types(&run.graph, &collection_map, id, hops).len();
-                }
-                black_box(total)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("exposure_hops", hops),
+            &hops,
+            |b, &hops| {
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for id in &identities {
+                        total += exposed_types(&run.graph, &collection_map, id, hops).len();
+                    }
+                    black_box(total)
+                })
+            },
+        );
     }
 
     // --- exposure algorithm: per-node BFS vs frontier sweep. -----------
@@ -187,7 +204,11 @@ fn bench_ablations(c: &mut Criterion) {
             |b, &threads| {
                 b.iter(|| {
                     let crawler = Crawler::new(server.addr()).with_threads(threads);
-                    black_box(crawler.crawl_week(0, "2024-02-08", &store_names).expect("crawl"))
+                    black_box(
+                        crawler
+                            .crawl_week(0, "2024-02-08", &store_names)
+                            .expect("crawl"),
+                    )
                 })
             },
         );

@@ -1,0 +1,103 @@
+//! Observability-overhead benchmark: the cost of `gptx-obs` on the
+//! analysis phase, in all three configurations —
+//!
+//! * `analyze_metrics_off` — a disabled registry (the default every
+//!   component starts with). This must be indistinguishable from the
+//!   pre-observability baseline: the disabled path is one branch on a
+//!   `bool`, with no clock reads and no allocation.
+//! * `analyze_metrics_on` — a live registry collecting span timings and
+//!   worker-pool stats.
+//! * micro-benches of the raw instrument operations (disabled counter
+//!   increment, enabled counter increment, histogram record, span), to
+//!   pin down per-call costs when the whole-phase numbers move.
+//!
+//! The acceptance bar: `analyze_metrics_off` within noise (<1%) of the
+//! seed's un-instrumented analysis time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gptx::crawler::Crawler;
+use gptx::obs::MetricsRegistry;
+use gptx::store::{EcosystemHandle, FaultConfig};
+use gptx::synth::{Ecosystem, SynthConfig, STORES};
+use gptx::AnalysisRun;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    // One crawl, shared by both whole-phase benches (metrics must not
+    // change the inputs, only possibly the timing).
+    let eco = Ecosystem::generate(SynthConfig::tiny(0x0B5));
+    let server = EcosystemHandle::start(Arc::new(eco.clone()), FaultConfig::none()).expect("serve");
+    let crawler = Crawler::new(server.addr()).with_threads(8);
+    let store_names: Vec<&str> = STORES.iter().map(|(n, _)| *n).collect();
+    let weeks: Vec<(u32, String)> = eco.weeks.iter().map(|w| (w.week, w.date.clone())).collect();
+    let archive = crawler
+        .crawl_campaign(&weeks, &store_names, |w| server.set_week(w))
+        .expect("crawl");
+    server.shutdown();
+
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+
+    group.bench_function("analyze_metrics_off", |b| {
+        b.iter(|| {
+            black_box(
+                AnalysisRun::analyze_with(
+                    eco.clone(),
+                    archive.clone(),
+                    Default::default(),
+                    8,
+                    MetricsRegistry::shared_disabled(),
+                )
+                .expect("analysis"),
+            )
+        })
+    });
+
+    group.bench_function("analyze_metrics_on", |b| {
+        b.iter(|| {
+            black_box(
+                AnalysisRun::analyze_with(
+                    eco.clone(),
+                    archive.clone(),
+                    Default::default(),
+                    8,
+                    MetricsRegistry::shared(),
+                )
+                .expect("analysis"),
+            )
+        })
+    });
+    group.finish();
+
+    // Instrument micro-costs.
+    let mut group = c.benchmark_group("obs_instruments");
+    let disabled = MetricsRegistry::disabled();
+    let enabled = MetricsRegistry::new();
+    let counter_off = disabled.counter("bench.counter");
+    let counter_on = enabled.counter("bench.counter");
+    let histogram_on = enabled.histogram("bench.histogram");
+
+    group.bench_function("counter_incr_disabled", |b| {
+        b.iter(|| black_box(&counter_off).incr())
+    });
+    group.bench_function("counter_incr_enabled", |b| {
+        b.iter(|| black_box(&counter_on).incr())
+    });
+    group.bench_function("histogram_record_enabled", |b| {
+        b.iter(|| black_box(&histogram_on).record_us(black_box(1234)))
+    });
+    group.bench_function("span_disabled", |b| {
+        b.iter(|| black_box(disabled.span("bench.span")))
+    });
+    group.bench_function("span_enabled", |b| {
+        b.iter(|| black_box(enabled.span("bench.span")))
+    });
+    group.bench_function("get_or_create_hit_enabled", |b| {
+        b.iter(|| black_box(enabled.counter("bench.counter")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

@@ -31,7 +31,11 @@ fn bench_stages(c: &mut Criterion) {
     group.bench_function("crawl_week_http", |b| {
         b.iter(|| {
             let crawler = Crawler::new(server.addr()).with_threads(8);
-            black_box(crawler.crawl_week(0, "2024-02-08", &store_names).expect("crawl"))
+            black_box(
+                crawler
+                    .crawl_week(0, "2024-02-08", &store_names)
+                    .expect("crawl"),
+            )
         })
     });
 
@@ -55,9 +59,7 @@ fn bench_stages(c: &mut Criterion) {
     let (identity, policy) = eco
         .policies
         .iter()
-        .find(|(_, p)| {
-            p.kind == gptx::synth::PolicyKind::Bespoke && p.body.is_some()
-        })
+        .find(|(_, p)| p.kind == gptx::synth::PolicyKind::Bespoke && p.body.is_some())
         .expect("bespoke policy exists");
     let body = policy.body.clone().expect("body");
     let items: Vec<(String, gptx::taxonomy::DataType)> = eco.registry[identity]
@@ -68,7 +70,11 @@ fn bench_stages(c: &mut Criterion) {
     group.bench_function("policy_pipeline_one_action", |b| {
         b.iter(|| {
             let analyzer = PolicyAnalyzer::new(&model);
-            black_box(analyzer.analyze_action(identity, &body, &items).expect("analysis"))
+            black_box(
+                analyzer
+                    .analyze_action(identity, &body, &items)
+                    .expect("analysis"),
+            )
         })
     });
 

@@ -3,9 +3,7 @@
 //! once per target.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gptx::census::{
-    action_multiplicity, change_breakdown, removal_breakdown, tool_usage,
-};
+use gptx::census::{action_multiplicity, change_breakdown, removal_breakdown, tool_usage};
 use gptx::graph::{top_cooccurring_exposures, type_exposure_table};
 use gptx::policy::{corpus_stats, duplicate_content_breakdown, top_consistent_actions};
 use gptx_bench::{print_once, shared_run};
@@ -52,7 +50,10 @@ fn bench_tables(c: &mut Criterion) {
     print_once("t4");
     group.bench_function("t4_tools", |b| {
         b.iter(|| {
-            black_box((tool_usage(unique.iter()), action_multiplicity(unique.iter())))
+            black_box((
+                tool_usage(unique.iter()),
+                action_multiplicity(unique.iter()),
+            ))
         })
     });
 
@@ -88,9 +89,7 @@ fn bench_tables(c: &mut Criterion) {
 
     print_once("t11");
     group.bench_function("t11_archetypes", |b| {
-        b.iter(|| {
-            black_box(gptx::experiments::render("t11", run).expect("t11"))
-        })
+        b.iter(|| black_box(gptx::experiments::render("t11", run).expect("t11")))
     });
 
     print_once("t12");

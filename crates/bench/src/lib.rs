@@ -6,7 +6,7 @@
 //! and re-produces every artifact (the rendered outputs are printed once
 //! per target).
 
-use gptx::{AnalysisRun, Pipeline, SynthConfig};
+use gptx::{AnalysisRun, FaultConfig, Pipeline, SynthConfig};
 use std::sync::OnceLock;
 
 /// The shared pipeline run every table/figure bench analyzes.
@@ -19,8 +19,9 @@ pub fn shared_run() -> &'static AnalysisRun {
     RUN.get_or_init(|| {
         let mut config = SynthConfig::tiny(0xBE7C);
         config.base_gpts = 2000;
-        Pipeline::new(config)
-            .without_faults()
+        Pipeline::builder(config)
+            .faults(FaultConfig::none())
+            .build()
             .run()
             .expect("bench pipeline")
     })

@@ -34,8 +34,7 @@ impl ChangeBreakdown {
 /// A GPT changing the same property in several weeks counts once per
 /// property (the paper counts GPTs per change type).
 pub fn change_breakdown(snapshots: &[CrawlSnapshot]) -> ChangeBreakdown {
-    let mut per_gpt: BTreeMap<GptId, std::collections::BTreeSet<ChangedProperty>> =
-        BTreeMap::new();
+    let mut per_gpt: BTreeMap<GptId, std::collections::BTreeSet<ChangedProperty>> = BTreeMap::new();
     for pair in snapshots.windows(2) {
         let diff = pair[0].diff(&pair[1]);
         for change in diff.changed {

@@ -139,11 +139,7 @@ impl CorpusCollection {
     /// Table 6: the top-`k` third-party Actions by embedding prevalence.
     /// `functionality` labels each identity (the paper assigned these
     /// manually; the pipeline passes the registry's labels through).
-    pub fn table6(
-        &self,
-        k: usize,
-        functionality: &dyn Fn(&str) -> String,
-    ) -> Vec<PrevalentAction> {
+    pub fn table6(&self, k: usize, functionality: &dyn Fn(&str) -> String) -> Vec<PrevalentAction> {
         let mut rows: Vec<PrevalentAction> = self
             .embed_counts
             .iter()
@@ -222,7 +218,11 @@ mod tests {
     fn corpus() -> CorpusCollection {
         let mut profiles = BTreeMap::new();
         for (name, domain, types) in [
-            ("Hub", "hub.dev", vec![DataType::EmailAddress, DataType::Time]),
+            (
+                "Hub",
+                "hub.dev",
+                vec![DataType::EmailAddress, DataType::Time],
+            ),
             ("Solo", "solo.dev", vec![DataType::Passwords]),
             ("Own", "own.dev", vec![DataType::Name]),
         ] {
@@ -230,7 +230,11 @@ mod tests {
             profiles.insert(id, p);
         }
         let mk_action = |name: &str, domain: &str| {
-            Tool::Action(ActionSpec::minimal("t", name, &format!("https://api.{domain}")))
+            Tool::Action(ActionSpec::minimal(
+                "t",
+                name,
+                &format!("https://api.{domain}"),
+            ))
         };
         let mut g1 = Gpt::minimal("g-aaaaaaaaaa", "One");
         g1.tools.push(mk_action("Hub", "hub.dev"));

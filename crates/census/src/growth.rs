@@ -101,12 +101,7 @@ mod tests {
     fn change_detection_counts() {
         let s0 = snapshot(0, &["g-aaaaaaaaaa"]);
         let mut s1 = snapshot(1, &["g-aaaaaaaaaa"]);
-        s1.gpts
-            .values_mut()
-            .next()
-            .unwrap()
-            .display
-            .description = "new description".into();
+        s1.gpts.values_mut().next().unwrap().display.description = "new description".into();
         let t = growth_trend(&[s0, s1]);
         assert_eq!(t.points[1].changed, 1);
         assert!(t.mean_change_rate > 0.0);

@@ -68,10 +68,7 @@ impl PrivacyLabel {
 
     /// Render the label as a text card.
     pub fn render(&self) -> String {
-        let mut out = format!(
-            "┌─ Privacy label — {} ({})\n",
-            self.gpt_name, self.gpt_id
-        );
+        let mut out = format!("┌─ Privacy label — {} ({})\n", self.gpt_name, self.gpt_id);
         if self.actions.is_empty() {
             out.push_str("│ no Actions: conversations stay within the platform\n");
             out.push_str("└─\n");
@@ -83,11 +80,17 @@ impl PrivacyLabel {
         }
         if !self.prohibited.is_empty() {
             let labels: Vec<&str> = self.prohibited.iter().map(|d| d.label()).collect();
-            out.push_str(&format!("│ !! platform-prohibited: {}\n", labels.join(", ")));
+            out.push_str(&format!(
+                "│ !! platform-prohibited: {}\n",
+                labels.join(", ")
+            ));
         }
         if !self.special_category.is_empty() {
             let labels: Vec<&str> = self.special_category.iter().map(|d| d.label()).collect();
-            out.push_str(&format!("│ !! special-category data: {}\n", labels.join(", ")));
+            out.push_str(&format!(
+                "│ !! special-category data: {}\n",
+                labels.join(", ")
+            ));
         }
         for action in &self.actions {
             let party = match action.party {
@@ -119,7 +122,9 @@ impl PrivacyLabel {
 /// Does an Action look like an advertising/analytics tracker?
 pub fn is_tracker(name: &str, functionality: Option<&str>) -> bool {
     let n = name.to_ascii_lowercase();
-    let f = functionality.map(str::to_ascii_lowercase).unwrap_or_default();
+    let f = functionality
+        .map(str::to_ascii_lowercase)
+        .unwrap_or_default();
     n.contains("adintelli")
         || n.contains("analytics")
         || n.contains("advert")
@@ -212,7 +217,10 @@ mod tests {
         let mut profiles = BTreeMap::new();
         profiles.insert(
             tracker.identity(),
-            profile_for(&tracker, &[DataType::InstalledApps, DataType::OtherUserGeneratedData]),
+            profile_for(
+                &tracker,
+                &[DataType::InstalledApps, DataType::OtherUserGeneratedData],
+            ),
         );
         profiles.insert(
             service.identity(),
@@ -229,7 +237,10 @@ mod tests {
         let label = privacy_label(&gpt, &profiles, &BTreeMap::new(), &|_| None);
         assert!(label.has_trackers());
         assert_eq!(label.prohibited, BTreeSet::from([DataType::Passwords]));
-        assert_eq!(label.special_category, BTreeSet::from([DataType::HealthInfo]));
+        assert_eq!(
+            label.special_category,
+            BTreeSet::from([DataType::HealthInfo])
+        );
         assert_eq!(label.total_types(), 4);
     }
 

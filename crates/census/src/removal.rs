@@ -16,7 +16,13 @@ use std::collections::BTreeMap;
 /// one of these while its Actions contact a different registrable domain
 /// is coded as impersonation (the paper's booking.com/amadeus.com case).
 const BRANDS: &[&str] = &[
-    "booking.com", "airbnb", "expedia", "paypal", "amazon", "netflix", "spotify",
+    "booking.com",
+    "airbnb",
+    "expedia",
+    "paypal",
+    "amazon",
+    "netflix",
+    "spotify",
 ];
 
 /// Classify one removed GPT given the API probes of its Actions
@@ -100,7 +106,8 @@ pub fn classify_removal(gpt: &Gpt, probes: &BTreeMap<String, ApiProbe>) -> Remov
     }
 
     // 9. Web browsing functionality.
-    let browsing = description.contains("browse") || description.contains("browsing")
+    let browsing = description.contains("browse")
+        || description.contains("browsing")
         || actions.iter().any(|a| {
             let n = a.name.to_ascii_lowercase();
             n.contains("webpilot") || n.contains("link reader") || n.contains("browser")
@@ -155,7 +162,10 @@ mod tests {
             "Travel API",
             "amadeus.com",
         );
-        assert_eq!(classify_removal(&g, &no_probes()), RemovalReason::Impersonation);
+        assert_eq!(
+            classify_removal(&g, &no_probes()),
+            RemovalReason::Impersonation
+        );
     }
 
     #[test]
@@ -166,7 +176,10 @@ mod tests {
             "Booking API",
             "booking.com",
         );
-        assert_ne!(classify_removal(&g, &no_probes()), RemovalReason::Impersonation);
+        assert_ne!(
+            classify_removal(&g, &no_probes()),
+            RemovalReason::Impersonation
+        );
     }
 
     #[test]
@@ -174,9 +187,15 @@ mod tests {
         let g = gpt_with_action("Casino Helper", "Casino betting odds.", "Odds", "odds.dev");
         assert_eq!(classify_removal(&g, &no_probes()), RemovalReason::Gambling);
         let s = gpt_with_action("Stories", "Adult-only explicit content.", "S", "s.dev");
-        assert_eq!(classify_removal(&s, &no_probes()), RemovalReason::SexuallyExplicit);
+        assert_eq!(
+            classify_removal(&s, &no_probes()),
+            RemovalReason::SexuallyExplicit
+        );
         let t = gpt_with_action("MetaTrader GPT", "Execute stock trades.", "T", "t.dev");
-        assert_eq!(classify_removal(&t, &no_probes()), RemovalReason::StockTrading);
+        assert_eq!(
+            classify_removal(&t, &no_probes()),
+            RemovalReason::StockTrading
+        );
     }
 
     #[test]
@@ -196,7 +215,10 @@ mod tests {
                 },
             );
         }
-        assert_eq!(classify_removal(&g, &no_probes()), RemovalReason::PromptInjection);
+        assert_eq!(
+            classify_removal(&g, &no_probes()),
+            RemovalReason::PromptInjection
+        );
     }
 
     #[test]
@@ -228,7 +250,10 @@ mod tests {
                 body: "discontinued".into(),
             },
         );
-        assert_eq!(classify_removal(&g, &probes), RemovalReason::InactiveActionApis);
+        assert_eq!(
+            classify_removal(&g, &probes),
+            RemovalReason::InactiveActionApis
+        );
     }
 
     #[test]
@@ -239,13 +264,19 @@ mod tests {
             "webPilot",
             "webpilot.ai",
         );
-        assert_eq!(classify_removal(&g, &no_probes()), RemovalReason::WebBrowsing);
+        assert_eq!(
+            classify_removal(&g, &no_probes()),
+            RemovalReason::WebBrowsing
+        );
     }
 
     #[test]
     fn fallthrough_is_inconclusive() {
         let g = gpt_with_action("Quiet GPT", "Just a helper", "Svc", "svc.dev");
-        assert_eq!(classify_removal(&g, &no_probes()), RemovalReason::Inconclusive);
+        assert_eq!(
+            classify_removal(&g, &no_probes()),
+            RemovalReason::Inconclusive
+        );
     }
 
     #[test]

@@ -113,7 +113,11 @@ mod tests {
     }
 
     fn action(name: &str, domain: &str) -> Tool {
-        Tool::Action(ActionSpec::minimal("t", name, &format!("https://api.{domain}")))
+        Tool::Action(ActionSpec::minimal(
+            "t",
+            name,
+            &format!("https://api.{domain}"),
+        ))
     }
 
     #[test]
@@ -144,7 +148,10 @@ mod tests {
     fn multiplicity_buckets() {
         let gpts = vec![
             gpt("g-aaaaaaaaaa", vec![action("A", "a.dev")]),
-            gpt("g-bbbbbbbbbb", vec![action("A", "a.dev"), action("B", "b.dev")]),
+            gpt(
+                "g-bbbbbbbbbb",
+                vec![action("A", "a.dev"), action("B", "b.dev")],
+            ),
             gpt(
                 "g-cccccccccc",
                 vec![
@@ -164,7 +171,10 @@ mod tests {
 
     #[test]
     fn multi_domain_fraction() {
-        let cross = gpt("g-aaaaaaaaaa", vec![action("A", "a.dev"), action("B", "b.dev")]);
+        let cross = gpt(
+            "g-aaaaaaaaaa",
+            vec![action("A", "a.dev"), action("B", "b.dev")],
+        );
         let same = gpt(
             "g-bbbbbbbbbb",
             vec![action("A Search", "svc.dev"), action("A Fetch", "svc.dev")],

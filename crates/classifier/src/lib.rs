@@ -98,7 +98,12 @@ impl<'m, M: LanguageModel> Classifier<'m, M> {
     /// Responses that fail to parse are retried up to `max_retries`
     /// times; persistent failures surface as [`ClassifierError::Llm`].
     pub fn classify(&self, description: &str) -> Result<ClassificationResponse, ClassifierError> {
-        if let Some(hit) = self.cache.lock().expect("classification cache").get(description) {
+        if let Some(hit) = self
+            .cache
+            .lock()
+            .expect("classification cache")
+            .get(description)
+        {
             self.stats.lock().expect("classifier stats").cache_hits += 1;
             return Ok(*hit);
         }
@@ -133,7 +138,9 @@ impl<'m, M: LanguageModel> Classifier<'m, M> {
             }
         }
         self.stats.lock().expect("classifier stats").failures += 1;
-        Err(ClassifierError::Llm(last_err.expect("loop ran at least once")))
+        Err(ClassifierError::Llm(
+            last_err.expect("loop ran at least once"),
+        ))
     }
 
     /// Profile an Action: extract raw fields and classify each.
@@ -236,7 +243,10 @@ mod tests {
         let model = Garbage;
         let c = Classifier::new(&model);
         let err = c.classify("email").unwrap_err();
-        assert!(matches!(err, ClassifierError::Llm(LlmError::MalformedResponse(_))));
+        assert!(matches!(
+            err,
+            ClassifierError::Llm(LlmError::MalformedResponse(_))
+        ));
         let s = c.stats();
         assert_eq!(s.requests, 3); // 1 try + 2 retries
         assert_eq!(s.retries, 2);

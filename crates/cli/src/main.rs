@@ -9,6 +9,8 @@
 //! gptx crawl --out archive.json      crawl a served ecosystem into an archive
 //! ```
 
+use gptx::obs::MetricsRegistry;
+use gptx::report::metrics_report;
 use gptx::{experiments, FaultConfig, Pipeline, SynthConfig};
 use std::io::Read;
 use std::process::ExitCode;
@@ -29,6 +31,7 @@ fn main() -> ExitCode {
         "crawl" => crawl(rest),
         "label" => label(rest),
         "analyze" => analyze(rest),
+        "report" => report(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             ExitCode::SUCCESS
@@ -45,17 +48,29 @@ const USAGE: &str = "gptx — audit toolkit for data collection in LLM app ecosy
 USAGE:
     gptx list
     gptx reproduce <id>... | all   [--seed N] [--scale tiny|small|medium|paper] [--faults]
-                                   [--threads N]
+                                   [--threads N] [--metrics] [--metrics-json FILE]
     gptx generate                  [--seed N] [--scale ...] [--out FILE]
     gptx serve                     [--seed N] [--scale ...]            (runs until stdin EOF)
     gptx crawl                     [--seed N] [--scale ...] [--out FILE]
+                                   [--metrics] [--metrics-json FILE]
     gptx label                     [--seed N] [--scale ...] [--gpt ID] [--max N]
-    gptx analyze <id>... | all     --archive FILE --eco FILE [--threads N]   (offline analysis)
+    gptx analyze <id>... | all     --archive FILE --eco FILE [--threads N]
+                                   [--metrics] [--metrics-json FILE]   (offline analysis)
+    gptx report                    [--seed N] [--scale ...] [--faults] [--threads N]
+                                   [--metrics-json FILE]   (run pipeline, print metrics only)
 
 OPTIONS:
     --threads N   worker count for the analysis stages (classification,
                   policy disclosure, exposure sweep; default 8). Output
                   is identical at any thread count.
+    --metrics     collect observability metrics during the run and print
+                  per-stage span timings, crawler request/retry/latency
+                  metrics, store per-route counters, and worker-pool
+                  stats after the results. Metrics never change results:
+                  artifacts are byte-identical with or without this flag.
+    --metrics-json FILE
+                  also write the raw metrics snapshot as JSON (implies
+                  --metrics).
 
 SCALES:
     tiny    ~400 GPTs, 4 weeks      (seconds)
@@ -73,7 +88,7 @@ fn split_args(args: &[String]) -> (Vec<String>, std::collections::BTreeMap<Strin
         let a = &args[i];
         if let Some(name) = a.strip_prefix("--") {
             // Boolean flags take no value.
-            if name == "faults" {
+            if name == "faults" || name == "metrics" {
                 options.insert(name.to_string(), "true".to_string());
                 i += 1;
             } else if i + 1 < args.len() {
@@ -91,7 +106,9 @@ fn split_args(args: &[String]) -> (Vec<String>, std::collections::BTreeMap<Strin
     (positional, options)
 }
 
-fn config_from(options: &std::collections::BTreeMap<String, String>) -> Result<SynthConfig, String> {
+fn config_from(
+    options: &std::collections::BTreeMap<String, String>,
+) -> Result<SynthConfig, String> {
     let seed: u64 = options
         .get("seed")
         .map(|s| s.parse().map_err(|_| format!("bad --seed {s:?}")))
@@ -115,7 +132,9 @@ fn config_from(options: &std::collections::BTreeMap<String, String>) -> Result<S
         config.base_gpts = base.parse().map_err(|_| format!("bad --base {base:?}"))?;
     }
     if let Some(weeks) = options.get("weeks") {
-        config.weeks = weeks.parse().map_err(|_| format!("bad --weeks {weeks:?}"))?;
+        config.weeks = weeks
+            .parse()
+            .map_err(|_| format!("bad --weeks {weeks:?}"))?;
     }
     Ok(config)
 }
@@ -131,6 +150,36 @@ fn threads_from(
             _ => Err(format!("bad --threads {t:?} (want an integer >= 1)")),
         })
         .transpose()
+}
+
+/// Resolve the `--metrics` / `--metrics-json FILE` pair: a registry
+/// (enabled iff either flag is present) and the optional JSON path.
+fn metrics_from(
+    options: &std::collections::BTreeMap<String, String>,
+) -> (Arc<MetricsRegistry>, Option<String>) {
+    let json_path = options.get("metrics-json").cloned();
+    let enabled = options.contains_key("metrics") || json_path.is_some();
+    let registry = if enabled {
+        MetricsRegistry::shared()
+    } else {
+        MetricsRegistry::shared_disabled()
+    };
+    (registry, json_path)
+}
+
+/// Print the metrics table and/or write the JSON dump, per flags.
+fn emit_metrics(metrics: &MetricsRegistry, json_path: Option<&String>) -> Result<(), String> {
+    if !metrics.enabled() {
+        return Ok(());
+    }
+    let snapshot = metrics.snapshot();
+    println!("{}", metrics_report(&snapshot));
+    if let Some(path) = json_path {
+        std::fs::write(path, snapshot.to_json())
+            .map_err(|e| format!("failed to write {path}: {e}"))?;
+        eprintln!("wrote metrics snapshot to {path}");
+    }
+    Ok(())
 }
 
 fn list() -> ExitCode {
@@ -154,21 +203,25 @@ fn reproduce(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let mut pipeline = Pipeline::new(config);
+    let mut builder = Pipeline::builder(config);
     if !options.contains_key("faults") {
-        pipeline = pipeline.without_faults();
+        builder = builder.faults(FaultConfig::none());
     }
     match threads_from(&options) {
-        Ok(Some(threads)) => pipeline = pipeline.with_analysis_threads(threads),
+        Ok(Some(threads)) => builder = builder.analysis_threads(threads),
         Ok(None) => {}
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     }
+    let (metrics, metrics_json) = metrics_from(&options);
+    let pipeline = builder.metrics(Arc::clone(&metrics)).build();
     eprintln!(
         "running pipeline: {} GPTs, {} weeks, seed {} ...",
-        pipeline.config.base_gpts, pipeline.config.weeks, pipeline.config.seed
+        pipeline.config().base_gpts,
+        pipeline.config().weeks,
+        pipeline.config().seed
     );
     let run = match pipeline.run() {
         Ok(r) => r,
@@ -200,6 +253,10 @@ fn reproduce(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("wrote co-occurrence graph to {path}");
+    }
+    if let Err(e) = emit_metrics(&metrics, metrics_json.as_ref()) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }
@@ -256,8 +313,15 @@ fn serve(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    println!("serving {} GPTs on http://{}", eco.final_week().snapshot.len(), handle.addr());
-    println!("example: curl -H 'Host: plugin.surf' http://{}/", handle.addr());
+    println!(
+        "serving {} GPTs on http://{}",
+        eco.final_week().snapshot.len(),
+        handle.addr()
+    );
+    println!(
+        "example: curl -H 'Host: plugin.surf' http://{}/",
+        handle.addr()
+    );
     println!("reading stdin; EOF shuts down.");
     let mut sink = String::new();
     let _ = std::io::stdin().read_to_string(&mut sink);
@@ -272,8 +336,7 @@ fn serve(args: &[String]) -> ExitCode {
 /// `gptx generate --out`).
 fn analyze(args: &[String]) -> ExitCode {
     let (positional, options) = split_args(args);
-    let (Some(archive_path), Some(eco_path)) = (options.get("archive"), options.get("eco"))
-    else {
+    let (Some(archive_path), Some(eco_path)) = (options.get("archive"), options.get("eco")) else {
         eprintln!("analyze needs --archive FILE and --eco FILE\n{USAGE}");
         return ExitCode::FAILURE;
     };
@@ -317,8 +380,14 @@ fn analyze(args: &[String]) -> ExitCode {
         archive.snapshots.len(),
         archive.policies.len()
     );
-    let run = match gptx::AnalysisRun::analyze_with_threads(eco, archive, Default::default(), threads)
-    {
+    let (metrics, metrics_json) = metrics_from(&options);
+    let run = match gptx::AnalysisRun::analyze_with(
+        eco,
+        archive,
+        Default::default(),
+        threads,
+        Arc::clone(&metrics),
+    ) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("analysis failed: {e}");
@@ -326,7 +395,10 @@ fn analyze(args: &[String]) -> ExitCode {
         }
     };
     let ids: Vec<String> = if positional.is_empty() || positional.iter().any(|p| p == "all") {
-        experiments::ALL.iter().map(|(id, _)| id.to_string()).collect()
+        experiments::ALL
+            .iter()
+            .map(|(id, _)| id.to_string())
+            .collect()
     } else {
         positional
     };
@@ -338,6 +410,55 @@ fn analyze(args: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if let Err(e) = emit_metrics(&metrics, metrics_json.as_ref()) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Run the pipeline and print *only* the metrics report — the
+/// observability-first entry point (`gptx report --metrics-json FILE`
+/// for the machine-readable dump).
+fn report(args: &[String]) -> ExitCode {
+    let (_, options) = split_args(args);
+    let config = match config_from(&options) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut builder = Pipeline::builder(config);
+    if !options.contains_key("faults") {
+        builder = builder.faults(FaultConfig::none());
+    }
+    match threads_from(&options) {
+        Ok(Some(threads)) => builder = builder.analysis_threads(threads),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    // Metrics are the whole point of this subcommand.
+    let metrics = MetricsRegistry::shared();
+    let metrics_json = options.get("metrics-json").cloned();
+    let pipeline = builder.metrics(Arc::clone(&metrics)).build();
+    eprintln!(
+        "running pipeline: {} GPTs, {} weeks, seed {} ...",
+        pipeline.config().base_gpts,
+        pipeline.config().weeks,
+        pipeline.config().seed
+    );
+    if let Err(e) = pipeline.run() {
+        eprintln!("pipeline failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = emit_metrics(&metrics, metrics_json.as_ref()) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }
@@ -351,8 +472,15 @@ fn label(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    eprintln!("running pipeline for labels (seed {}, {} GPTs)...", config.seed, config.base_gpts);
-    let run = match Pipeline::new(config).without_faults().run() {
+    eprintln!(
+        "running pipeline for labels (seed {}, {} GPTs)...",
+        config.seed, config.base_gpts
+    );
+    let run = match Pipeline::builder(config)
+        .faults(FaultConfig::none())
+        .build()
+        .run()
+    {
         Ok(r) => r,
         Err(e) => {
             eprintln!("pipeline failed: {e}");
@@ -381,10 +509,7 @@ fn label(args: &[String]) -> ExitCode {
             }
         }
     }
-    let max: usize = options
-        .get("max")
-        .and_then(|m| m.parse().ok())
-        .unwrap_or(5);
+    let max: usize = options.get("max").and_then(|m| m.parse().ok()).unwrap_or(5);
     let mut shown = 0;
     for gpt in unique.values().filter(|g| g.has_actions()) {
         let card = gptx::census::privacy_label(gpt, &run.profiles, &reports, &functionality);
@@ -406,16 +531,22 @@ fn crawl(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let (metrics, metrics_json) = metrics_from(&options);
     let eco = Arc::new(gptx::Ecosystem::generate(config));
-    let handle = match gptx::store::EcosystemHandle::start(Arc::clone(&eco), FaultConfig::default())
-    {
+    let handle = match gptx::store::EcosystemHandle::start_with_metrics(
+        Arc::clone(&eco),
+        FaultConfig::default(),
+        Arc::clone(&metrics),
+    ) {
         Ok(h) => h,
         Err(e) => {
             eprintln!("failed to bind: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let crawler = gptx::crawler::Crawler::new(handle.addr()).with_threads(8);
+    let crawler = gptx::crawler::Crawler::new(handle.addr())
+        .with_threads(8)
+        .with_metrics(Arc::clone(&metrics));
     let store_names: Vec<&str> = gptx::synth::STORES.iter().map(|(n, _)| *n).collect();
     let weeks: Vec<(u32, String)> = eco.weeks.iter().map(|w| (w.week, w.date.clone())).collect();
     let archive = match crawler.crawl_campaign(&weeks, &store_names, |w| handle.set_week(w)) {
@@ -450,6 +581,10 @@ fn crawl(args: &[String]) -> ExitCode {
             eprintln!("wrote archive to {path}");
         }
         None => println!("{json}"),
+    }
+    if let Err(e) = emit_metrics(&metrics, metrics_json.as_ref()) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }
@@ -512,6 +647,26 @@ mod tests {
             let (_, opts) = split_args(&args(bad));
             assert!(threads_from(&opts).is_err());
         }
+    }
+
+    #[test]
+    fn metrics_flag_is_boolean_and_json_implies_enabled() {
+        let (pos, opts) = split_args(&args(&["t5", "--metrics", "--seed", "7"]));
+        assert_eq!(pos, vec!["t5"]);
+        assert_eq!(opts.get("metrics").map(String::as_str), Some("true"));
+        let (registry, json) = metrics_from(&opts);
+        assert!(registry.enabled());
+        assert!(json.is_none());
+
+        let (_, opts) = split_args(&args(&["--metrics-json", "m.json"]));
+        let (registry, json) = metrics_from(&opts);
+        assert!(registry.enabled());
+        assert_eq!(json.as_deref(), Some("m.json"));
+
+        let (_, opts) = split_args(&args(&["t5"]));
+        let (registry, json) = metrics_from(&opts);
+        assert!(!registry.enabled());
+        assert!(json.is_none());
     }
 
     #[test]

@@ -30,12 +30,18 @@ pub const ALL: &[(&str, &str)] = &[
     ("t2", "Table 2 — breakdown of GPT property changes"),
     ("t3", "Table 3 — removal reasons of Action-embedding GPTs"),
     ("t4", "Table 4 — tool usage and first/third-party Actions"),
-    ("f4", "Figure 4 — raw vs. succinct data types per Action (CDF)"),
+    (
+        "f4",
+        "Figure 4 — raw vs. succinct data types per Action (CDF)",
+    ),
     ("t5", "Table 5 — data types collected, by party"),
     ("t6", "Table 6 — prevalent third-party Actions"),
     ("f5", "Figure 5 — Action co-occurrence graph"),
     ("t7", "Table 7 — indirect exposure per data type (1/2-hop)"),
-    ("t8", "Table 8 — indirect exposure of top co-occurring Actions"),
+    (
+        "t8",
+        "Table 8 — indirect exposure of top co-occurring Actions",
+    ),
     ("t9", "Table 9 — privacy-policy corpus statistics"),
     ("t10", "Table 10 — duplicate policy content"),
     ("t11", "Table 11 — disclosure label archetypes (live demo)"),
@@ -43,11 +49,23 @@ pub const ALL: &[(&str, &str)] = &[
     ("f7", "Figure 7 — CDF of disclosure labels per Action"),
     ("f8", "Figure 8 — consistency vs. collection breadth"),
     ("t12", "Table 12 — fully consistent Actions"),
-    ("acc", "§6.2.1 — framework accuracy vs. planted ground truth"),
-    ("iso", "§7 extension — exposure under execution-isolation regimes"),
+    (
+        "acc",
+        "§6.2.1 — framework accuracy vs. planted ground truth",
+    ),
+    (
+        "iso",
+        "§7 extension — exposure under execution-isolation regimes",
+    ),
     ("labels", "§7 extension — per-GPT privacy labels (samples)"),
-    ("dyn", "§5.3 extension — dynamic sessions confirm the static exposure"),
-    ("noise", "robustness — classification agreement vs. oracle noise"),
+    (
+        "dyn",
+        "§5.3 extension — dynamic sessions confirm the static exposure",
+    ),
+    (
+        "noise",
+        "robustness — classification agreement vs. oracle noise",
+    ),
 ];
 
 /// Render one experiment by id. `None` for unknown ids.
@@ -483,9 +501,11 @@ fn t11() -> String {
             "Vague",
             "Script to be produced",
             DataType::OtherUserGeneratedData,
-            vec!["User Data that includes data about how you use our website and any data \
+            vec![
+                "User Data that includes data about how you use our website and any data \
                   that you post for publication through other online services."
-                .into()],
+                    .into(),
+            ],
         ),
         (
             "Omitted",
@@ -497,17 +517,21 @@ fn t11() -> String {
             "Ambiguous",
             "Shopping category data",
             DataType::OtherInfo,
-            vec!["We do not actively collect and store any personal data from users but we \
+            vec![
+                "We do not actively collect and store any personal data from users but we \
                   use Your Personal data to provide and improve the Service."
-                .into()],
+                    .into(),
+            ],
         ),
         (
             "Incorrect",
             "User's level of fitness",
             DataType::HealthInfo,
-            vec!["We do not collect our customer's personal information or share it with \
+            vec![
+                "We do not collect our customer's personal information or share it with \
                   unaffiliated third parties."
-                .into()],
+                    .into(),
+            ],
         ),
     ];
     let mut table = Table::new(vec!["Archetype", "Data item", "Framework label"])
@@ -524,12 +548,15 @@ fn t11() -> String {
             .ok()
             .and_then(|resp| JudgementRequest::parse(&resp).ok())
             .map(|judgements| {
-                let labels: Vec<DisclosureLabel> =
-                    judgements.iter().map(|j| j.label).collect();
+                let labels: Vec<DisclosureLabel> = judgements.iter().map(|j| j.label).collect();
                 DisclosureLabel::most_precise(&labels)
             })
             .unwrap_or(DisclosureLabel::Omitted);
-        table.row(vec![archetype.to_string(), item.to_string(), label.to_string()]);
+        table.row(vec![
+            archetype.to_string(),
+            item.to_string(),
+            label.to_string(),
+        ]);
     }
     table.to_ascii()
 }
@@ -583,8 +610,8 @@ fn f7(run: &AnalysisRun) -> String {
         .iter()
         .map(|f| f.fractions[&DisclosureLabel::Clear] + f.fractions[&DisclosureLabel::Vague])
         .collect();
-    let over_half = consistent.iter().filter(|&&v| v > 0.5).count() as f64
-        / consistent.len().max(1) as f64;
+    let over_half =
+        consistent.iter().filter(|&&v| v > 0.5).count() as f64 / consistent.len().max(1) as f64;
     out.push_str(&format!(
         "Actions with consistent disclosures for >50% of their collection: {} (paper: ~50%)\n",
         pct(over_half)
@@ -595,11 +622,7 @@ fn f7(run: &AnalysisRun) -> String {
 fn f8(run: &AnalysisRun) -> String {
     let trend = consistency_trend(&run.reports);
     let trend_series = trend.trend.as_ref().map(|p| {
-        let x_max = trend
-            .points
-            .iter()
-            .map(|p| p.0)
-            .fold(1.0f64, f64::max);
+        let x_max = trend.points.iter().map(|p| p.0).fold(1.0f64, f64::max);
         p.sample(1.0, x_max, 40)
     });
     let plot = scatter_plot(
@@ -743,7 +766,12 @@ fn dynamic_sessions(run: &AnalysisRun) -> String {
     let mut indirect_actions = 0usize;
     let mut checked_actions = 0usize;
     let mut realized: Vec<f64> = Vec::new();
-    for gpt in snapshot.gpts.values().filter(|g| g.actions().len() >= 2).take(40) {
+    for gpt in snapshot
+        .gpts
+        .values()
+        .filter(|g| g.actions().len() >= 2)
+        .take(40)
+    {
         sessions += 1;
         let mut session = Session::open(gpt, SessionConfig::default(), None);
         let actions: Vec<_> = gpt.actions().into_iter().cloned().collect();
@@ -771,11 +799,10 @@ fn dynamic_sessions(run: &AnalysisRun) -> String {
             if !dynamic.is_empty() {
                 indirect_actions += 1;
             }
-            let static_pred =
-                gptx_graph::exposed_types(&run.graph, &collection_map, &identity, 1);
+            let static_pred = gptx_graph::exposed_types(&run.graph, &collection_map, &identity, 1);
             if !static_pred.is_empty() {
-                let realized_frac = dynamic.intersection(&static_pred).count() as f64
-                    / static_pred.len() as f64;
+                let realized_frac =
+                    dynamic.intersection(&static_pred).count() as f64 / static_pred.len() as f64;
                 realized.push(realized_frac);
             }
         }

@@ -22,7 +22,10 @@
 //! ```no_run
 //! use gptx::{Pipeline, SynthConfig};
 //!
-//! let run = Pipeline::new(SynthConfig::tiny(7)).run().expect("pipeline");
+//! let run = Pipeline::builder(SynthConfig::tiny(7))
+//!     .build()
+//!     .run()
+//!     .expect("pipeline");
 //! println!("{}", gptx::experiments::render("t4", &run).unwrap());
 //! ```
 
@@ -30,8 +33,13 @@ pub mod experiments;
 pub mod pipeline;
 
 pub use pipeline::{
-    analyze_policy_disclosures, profile_distinct_actions, AnalysisRun, Pipeline, RunError,
+    analyze_policy_disclosures, analyze_policy_disclosures_metered, profile_distinct_actions,
+    profile_distinct_actions_metered, AnalysisRun, Pipeline, PipelineBuilder, RunError,
 };
+
+/// The toolkit-wide error type ([`pipeline::RunError`] under its
+/// conventional alias).
+pub use pipeline::RunError as Error;
 
 // Re-export the subsystem crates under stable names.
 pub use gptx_census as census;
@@ -41,6 +49,7 @@ pub use gptx_graph as graph;
 pub use gptx_llm as llm;
 pub use gptx_model as model;
 pub use gptx_nlp as nlp;
+pub use gptx_obs as obs;
 pub use gptx_policy as policy;
 pub use gptx_report as report;
 pub use gptx_runtime as runtime;
@@ -50,5 +59,6 @@ pub use gptx_synth as synth;
 pub use gptx_taxonomy as taxonomy;
 
 // The most-used types at the top level.
+pub use gptx_obs::MetricsRegistry;
 pub use gptx_store::FaultConfig;
 pub use gptx_synth::{Ecosystem, SynthConfig};

@@ -12,6 +12,7 @@ use gptx_classifier::{ActionProfile, Classifier};
 use gptx_crawler::{CrawlArchive, CrawlStats, Crawler};
 use gptx_graph::{build_cooccurrence, CollectionMap, Graph};
 use gptx_llm::{DisclosureLabel, KbModel, LanguageModel};
+use gptx_obs::{Level, MetricsRegistry};
 use gptx_policy::{ActionDisclosureReport, PolicyAnalyzer};
 use gptx_store::{ClientError, EcosystemHandle, FaultConfig};
 use gptx_synth::{Ecosystem, SynthConfig, STORES};
@@ -19,7 +20,9 @@ use gptx_taxonomy::{DataType, KnowledgeBase};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-/// Pipeline failures.
+/// Pipeline failures. Every subsystem error converts via `From`, so
+/// pipeline code can use `?` directly, and [`std::error::Error::source`]
+/// exposes the underlying cause for error-chain printers.
 #[derive(Debug)]
 pub enum RunError {
     Io(std::io::Error),
@@ -39,59 +42,208 @@ impl std::fmt::Display for RunError {
     }
 }
 
-impl std::error::Error for RunError {}
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Io(e) => Some(e),
+            RunError::Crawl(e) => Some(e),
+            RunError::Classify(e) => Some(e),
+            RunError::Policy(e) => Some(e),
+        }
+    }
+}
 
-/// Configuration of a full run.
+impl From<std::io::Error> for RunError {
+    fn from(e: std::io::Error) -> RunError {
+        RunError::Io(e)
+    }
+}
+
+impl From<ClientError> for RunError {
+    fn from(e: ClientError) -> RunError {
+        RunError::Crawl(e)
+    }
+}
+
+impl From<gptx_classifier::ClassifierError> for RunError {
+    fn from(e: gptx_classifier::ClassifierError) -> RunError {
+        RunError::Classify(e)
+    }
+}
+
+impl From<gptx_policy::PipelineError> for RunError {
+    fn from(e: gptx_policy::PipelineError) -> RunError {
+        RunError::Policy(e)
+    }
+}
+
+/// Configuration of a full run. Built with [`Pipeline::builder`]:
+///
+/// ```no_run
+/// # use gptx::Pipeline;
+/// # use gptx_synth::SynthConfig;
+/// # use gptx_store::FaultConfig;
+/// let run = Pipeline::builder(SynthConfig::tiny(7))
+///     .faults(FaultConfig::none())
+///     .crawler_threads(8)
+///     .analysis_threads(4)
+///     .build()
+///     .run()
+///     .expect("pipeline");
+/// ```
 pub struct Pipeline {
-    pub config: SynthConfig,
-    pub faults: FaultConfig,
-    pub crawler_threads: usize,
-    /// Worker count for the analysis stages (classification, policy
-    /// disclosure, exposure sweep). `1` forces fully sequential
-    /// execution; any value produces identical output.
-    pub analysis_threads: usize,
+    config: SynthConfig,
+    faults: FaultConfig,
+    crawler_threads: usize,
+    analysis_threads: usize,
+    metrics: Arc<MetricsRegistry>,
+}
+
+/// Builder for [`Pipeline`] — the one place run configuration lives.
+#[derive(Clone)]
+pub struct PipelineBuilder {
+    config: SynthConfig,
+    faults: FaultConfig,
+    crawler_threads: usize,
+    analysis_threads: usize,
+    metrics: Arc<MetricsRegistry>,
+}
+
+impl PipelineBuilder {
+    /// Override the fault profile (default: the paper-like
+    /// [`FaultConfig::default`]; use [`FaultConfig::none`] for
+    /// exact-recovery tests).
+    pub fn faults(mut self, faults: FaultConfig) -> PipelineBuilder {
+        self.faults = faults;
+        self
+    }
+
+    /// Crawler worker count (default 8).
+    pub fn crawler_threads(mut self, threads: usize) -> PipelineBuilder {
+        self.crawler_threads = threads.max(1);
+        self
+    }
+
+    /// Analysis-stage worker count (default 8). `1` forces fully
+    /// sequential execution; any value produces identical output.
+    pub fn analysis_threads(mut self, threads: usize) -> PipelineBuilder {
+        self.analysis_threads = threads.max(1);
+        self
+    }
+
+    /// Attach a metrics registry: the run records per-stage span
+    /// timings (`stage.*`), and the registry is threaded through the
+    /// store server, crawler, HTTP client, and analysis worker pools.
+    /// Metrics never influence results — artifacts are byte-identical
+    /// with metrics on or off.
+    pub fn metrics(mut self, metrics: Arc<MetricsRegistry>) -> PipelineBuilder {
+        self.metrics = metrics;
+        self
+    }
+
+    pub fn build(self) -> Pipeline {
+        Pipeline {
+            config: self.config,
+            faults: self.faults,
+            crawler_threads: self.crawler_threads,
+            analysis_threads: self.analysis_threads,
+            metrics: self.metrics,
+        }
+    }
 }
 
 impl Pipeline {
-    /// A pipeline with the paper-like default fault profile.
-    pub fn new(config: SynthConfig) -> Pipeline {
-        Pipeline {
+    /// Start building a pipeline over `config` with the paper-like
+    /// default fault profile and 8 workers per stage.
+    pub fn builder(config: SynthConfig) -> PipelineBuilder {
+        PipelineBuilder {
             config,
             faults: FaultConfig::default(),
             crawler_threads: 8,
             analysis_threads: 8,
+            metrics: MetricsRegistry::shared_disabled(),
         }
     }
 
+    /// A pipeline with the paper-like default fault profile.
+    #[deprecated(since = "0.1.0", note = "use `Pipeline::builder(config).build()`")]
+    pub fn new(config: SynthConfig) -> Pipeline {
+        Pipeline::builder(config).build()
+    }
+
     /// Disable fault injection (exact-recovery integration tests).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Pipeline::builder(..).faults(FaultConfig::none())`"
+    )]
     pub fn without_faults(mut self) -> Pipeline {
         self.faults = FaultConfig::none();
         self
     }
 
     /// Set the analysis-stage worker count.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Pipeline::builder(..).analysis_threads(n)`"
+    )]
     pub fn with_analysis_threads(mut self, threads: usize) -> Pipeline {
         self.analysis_threads = threads.max(1);
         self
     }
 
+    /// The generator configuration this pipeline runs over.
+    pub fn config(&self) -> &SynthConfig {
+        &self.config
+    }
+
+    /// The fault profile injected by the ecosystem server.
+    pub fn faults(&self) -> FaultConfig {
+        self.faults
+    }
+
+    pub fn crawler_threads(&self) -> usize {
+        self.crawler_threads
+    }
+
+    pub fn analysis_threads(&self) -> usize {
+        self.analysis_threads
+    }
+
+    /// The metrics registry the run records into (the shared disabled
+    /// singleton unless one was attached via the builder).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
     /// Execute the full pipeline.
     pub fn run(&self) -> Result<AnalysisRun, RunError> {
+        let metrics = &self.metrics;
+
         // 1. Generate the ecosystem and serve it over loopback HTTP.
+        let span = metrics.span("stage.generate");
         let eco = Arc::new(Ecosystem::generate(self.config.clone()));
-        let server = EcosystemHandle::start(Arc::clone(&eco), self.faults).map_err(RunError::Io)?;
+        span.finish();
+        metrics.event(
+            Level::Info,
+            "pipeline",
+            format!("generated ecosystem: {} weeks", eco.weeks.len()),
+        );
+        let server = EcosystemHandle::start_with_metrics(
+            Arc::clone(&eco),
+            self.faults,
+            Arc::clone(metrics),
+        )?;
 
         // 2. Crawl the full campaign.
-        let crawler = Crawler::new(server.addr()).with_threads(self.crawler_threads);
+        let crawler = Crawler::new(server.addr())
+            .with_threads(self.crawler_threads)
+            .with_metrics(Arc::clone(metrics));
         let store_names: Vec<&str> = STORES.iter().map(|(n, _)| *n).collect();
-        let weeks: Vec<(u32, String)> = eco
-            .weeks
-            .iter()
-            .map(|w| (w.week, w.date.clone()))
-            .collect();
-        let archive = crawler
-            .crawl_campaign(&weeks, &store_names, |w| server.set_week(w))
-            .map_err(RunError::Crawl)?;
+        let weeks: Vec<(u32, String)> =
+            eco.weeks.iter().map(|w| (w.week, w.date.clone())).collect();
+        let span = metrics.span("stage.crawl");
+        let archive = crawler.crawl_campaign(&weeks, &store_names, |w| server.set_week(w))?;
+        span.finish();
         let crawl_stats = crawler.stats();
         server.shutdown();
 
@@ -99,7 +251,13 @@ impl Pipeline {
         // clone of the ecosystem Arc — ours is the last one standing, so
         // the multi-megabyte corpus is never deep-copied.
         let eco = Arc::try_unwrap(eco).expect("server released its ecosystem Arc on shutdown");
-        AnalysisRun::analyze_with_threads(eco, archive, crawl_stats, self.analysis_threads)
+        AnalysisRun::analyze_with(
+            eco,
+            archive,
+            crawl_stats,
+            self.analysis_threads,
+            Arc::clone(metrics),
+        )
     }
 }
 
@@ -112,13 +270,35 @@ pub fn profile_distinct_actions<M: LanguageModel + Sync>(
     archive: &CrawlArchive,
     threads: usize,
 ) -> Result<BTreeMap<String, ActionProfile>, RunError> {
+    profile_distinct_actions_metered(
+        classifier,
+        archive,
+        threads,
+        &MetricsRegistry::shared_disabled(),
+    )
+}
+
+/// [`profile_distinct_actions`] recording worker-pool stats under
+/// `par.classify.*` in `metrics`.
+pub fn profile_distinct_actions_metered<M: LanguageModel + Sync>(
+    classifier: &Classifier<'_, M>,
+    archive: &CrawlArchive,
+    threads: usize,
+    metrics: &MetricsRegistry,
+) -> Result<BTreeMap<String, ActionProfile>, RunError> {
     let actions: Vec<_> = archive.distinct_actions().into_iter().collect();
-    let profiled = gptx_par::par_try_map(threads, &actions, |(identity, action)| {
-        classifier
-            .profile_action(action)
-            .map(|profile| (identity.clone(), profile))
-            .map_err(RunError::Classify)
-    })?;
+    let profiled = gptx_par::par_try_map_metered(
+        threads,
+        &actions,
+        metrics,
+        "classify",
+        |(identity, action)| {
+            classifier
+                .profile_action(action)
+                .map(|profile| (identity.clone(), profile))
+                .map_err(RunError::Classify)
+        },
+    )?;
     Ok(profiled.into_iter().collect())
 }
 
@@ -134,6 +314,24 @@ pub fn analyze_policy_disclosures<M: LanguageModel + Sync>(
     profiles: &BTreeMap<String, ActionProfile>,
     threads: usize,
 ) -> Result<Vec<ActionDisclosureReport>, RunError> {
+    analyze_policy_disclosures_metered(
+        analyzer,
+        archive,
+        profiles,
+        threads,
+        &MetricsRegistry::shared_disabled(),
+    )
+}
+
+/// [`analyze_policy_disclosures`] recording worker-pool stats under
+/// `par.policy.*` in `metrics`.
+pub fn analyze_policy_disclosures_metered<M: LanguageModel + Sync>(
+    analyzer: &PolicyAnalyzer<'_, M>,
+    archive: &CrawlArchive,
+    profiles: &BTreeMap<String, ActionProfile>,
+    threads: usize,
+    metrics: &MetricsRegistry,
+) -> Result<Vec<ActionDisclosureReport>, RunError> {
     let jobs: Vec<_> = archive
         .policies
         .iter()
@@ -143,24 +341,30 @@ pub fn analyze_policy_disclosures<M: LanguageModel + Sync>(
             Some((identity, doc, body, profile))
         })
         .collect();
-    gptx_par::par_try_map(threads, &jobs, |&(identity, doc, body, profile)| {
-        // HTML policies (JS-rendered pages, HTML-served documents)
-        // are reduced to visible text before sentence tokenization.
-        let is_html = doc
-            .content_type
-            .as_deref()
-            .is_some_and(|ct| ct.contains("text/html"))
-            || gptx_nlp::looks_like_html(body);
-        let text = if is_html {
-            gptx_nlp::strip_html(body)
-        } else {
-            body.to_string()
-        };
-        let items = profile.data_items();
-        analyzer
-            .analyze_action(identity, &text, &items)
-            .map_err(RunError::Policy)
-    })
+    gptx_par::par_try_map_metered(
+        threads,
+        &jobs,
+        metrics,
+        "policy",
+        |&(identity, doc, body, profile)| {
+            // HTML policies (JS-rendered pages, HTML-served documents)
+            // are reduced to visible text before sentence tokenization.
+            let is_html = doc
+                .content_type
+                .as_deref()
+                .is_some_and(|ct| ct.contains("text/html"))
+                || gptx_nlp::looks_like_html(body);
+            let text = if is_html {
+                gptx_nlp::strip_html(body)
+            } else {
+                body.to_string()
+            };
+            let items = profile.data_items();
+            analyzer
+                .analyze_action(identity, &text, &items)
+                .map_err(RunError::Policy)
+        },
+    )
 }
 
 /// Everything one run produced: crawl artifacts plus every derived
@@ -206,24 +410,61 @@ impl AnalysisRun {
         crawl_stats: CrawlStats,
         threads: usize,
     ) -> Result<AnalysisRun, RunError> {
+        AnalysisRun::analyze_with(
+            eco,
+            archive,
+            crawl_stats,
+            threads,
+            MetricsRegistry::shared_disabled(),
+        )
+    }
+
+    /// [`AnalysisRun::analyze_with_threads`] recording per-stage span
+    /// timings (`stage.classify` / `stage.aggregate` / `stage.graph` /
+    /// `stage.policy`) and worker-pool stats into `metrics`. The
+    /// artifacts are byte-identical whether `metrics` is enabled or not.
+    pub fn analyze_with(
+        eco: Ecosystem,
+        archive: CrawlArchive,
+        crawl_stats: CrawlStats,
+        threads: usize,
+        metrics: Arc<MetricsRegistry>,
+    ) -> Result<AnalysisRun, RunError> {
         let threads = threads.max(1);
 
         // 3. LLM static analysis of every distinct Action.
         let model = KbModel::new(KnowledgeBase::full());
         let classifier = Classifier::new(&model);
-        let profiles = Arc::new(profile_distinct_actions(&classifier, &archive, threads)?);
+        let span = metrics.span("stage.classify");
+        let profiles = Arc::new(profile_distinct_actions_metered(
+            &classifier,
+            &archive,
+            threads,
+            &metrics,
+        )?);
+        span.finish();
+        metrics.add("pipeline.actions_profiled", profiles.len() as u64);
 
         // 4. Corpus aggregation over all unique GPTs. The collection
         //    shares the profile map; nothing is deep-copied.
+        let span = metrics.span("stage.aggregate");
         let unique: Vec<gptx_model::Gpt> = archive.all_unique_gpts().into_values().collect();
         let collection = CorpusCollection::assemble(unique.iter(), Arc::clone(&profiles));
+        span.finish();
+        metrics.add("pipeline.unique_gpts", unique.len() as u64);
 
         // 5. Co-occurrence graph.
+        let span = metrics.span("stage.graph");
         let graph = build_cooccurrence(unique.iter());
+        span.finish();
 
         // 6. Policy disclosure analysis.
+        let span = metrics.span("stage.policy");
         let analyzer = PolicyAnalyzer::new(&model);
-        let reports = analyze_policy_disclosures(&analyzer, &archive, &profiles, threads)?;
+        let reports =
+            analyze_policy_disclosures_metered(&analyzer, &archive, &profiles, threads, &metrics)?;
+        span.finish();
+        metrics.add("pipeline.disclosure_reports", reports.len() as u64);
 
         Ok(AnalysisRun {
             eco,
@@ -280,8 +521,9 @@ mod tests {
 
     #[test]
     fn pipeline_runs_end_to_end_on_tiny_corpus() {
-        let run = Pipeline::new(SynthConfig::tiny(31))
-            .without_faults()
+        let run = Pipeline::builder(SynthConfig::tiny(31))
+            .faults(FaultConfig::none())
+            .build()
             .run()
             .unwrap();
         assert!(!run.archive.snapshots.is_empty());
@@ -297,8 +539,9 @@ mod tests {
 
     #[test]
     fn accuracy_pairs_are_joined_on_truth() {
-        let run = Pipeline::new(SynthConfig::tiny(32))
-            .without_faults()
+        let run = Pipeline::builder(SynthConfig::tiny(32))
+            .faults(FaultConfig::none())
+            .build()
             .run()
             .unwrap();
         let pairs = run.accuracy_pairs();
@@ -308,14 +551,100 @@ mod tests {
     #[test]
     fn single_threaded_analysis_matches_default() {
         let run = |threads| {
-            Pipeline::new(SynthConfig::tiny(33))
-                .without_faults()
-                .with_analysis_threads(threads)
+            Pipeline::builder(SynthConfig::tiny(33))
+                .faults(FaultConfig::none())
+                .analysis_threads(threads)
+                .build()
                 .run()
                 .unwrap()
         };
         let (seq, par) = (run(1), run(4));
         assert_eq!(*seq.profiles, *par.profiles);
         assert_eq!(seq.reports, par.reports);
+    }
+
+    #[test]
+    fn builder_defaults_and_overrides() {
+        let p = Pipeline::builder(SynthConfig::tiny(1)).build();
+        assert_eq!(p.crawler_threads(), 8);
+        assert_eq!(p.analysis_threads(), 8);
+        assert!(!p.metrics().enabled());
+
+        let metrics = MetricsRegistry::shared();
+        let p = Pipeline::builder(SynthConfig::tiny(1))
+            .faults(FaultConfig::none())
+            .crawler_threads(0) // clamps to 1
+            .analysis_threads(3)
+            .metrics(Arc::clone(&metrics))
+            .build();
+        assert_eq!(p.crawler_threads(), 1);
+        assert_eq!(p.analysis_threads(), 3);
+        assert_eq!(p.faults().gizmo_failure_rate, 0.0);
+        assert!(p.metrics().enabled());
+        assert!(Arc::ptr_eq(p.metrics(), &metrics));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_configure_the_same_pipeline() {
+        let shimmed = Pipeline::new(SynthConfig::tiny(1))
+            .without_faults()
+            .with_analysis_threads(2);
+        let built = Pipeline::builder(SynthConfig::tiny(1))
+            .faults(FaultConfig::none())
+            .analysis_threads(2)
+            .build();
+        assert_eq!(shimmed.analysis_threads(), built.analysis_threads());
+        assert_eq!(
+            shimmed.faults().gizmo_failure_rate,
+            built.faults().gizmo_failure_rate
+        );
+        assert_eq!(shimmed.config().base_gpts, built.config().base_gpts);
+    }
+
+    #[test]
+    fn run_error_exposes_source_and_froms() {
+        use std::error::Error as _;
+        let io = std::io::Error::other("boom");
+        let err: RunError = io.into();
+        assert!(matches!(err, RunError::Io(_)));
+        assert!(err.source().is_some());
+        assert!(err.to_string().contains("boom"));
+
+        let err: RunError = ClientError::BadUrl("::".to_string()).into();
+        assert!(matches!(err, RunError::Crawl(_)));
+        assert!(err.source().unwrap().to_string().contains("::"));
+    }
+
+    #[test]
+    fn metered_pipeline_records_stage_spans() {
+        let metrics = MetricsRegistry::shared();
+        let run = Pipeline::builder(SynthConfig::tiny(34))
+            .faults(FaultConfig::none())
+            .metrics(Arc::clone(&metrics))
+            .build()
+            .run()
+            .unwrap();
+        assert!(!run.profiles.is_empty());
+        let snap = metrics.snapshot();
+        for stage in [
+            "stage.generate",
+            "stage.crawl",
+            "stage.classify",
+            "stage.aggregate",
+            "stage.graph",
+            "stage.policy",
+        ] {
+            assert_eq!(snap.histograms[stage].count, 1, "missing span {stage}");
+        }
+        // The crawler, store router, and worker pools all reported in.
+        assert!(snap.counters["crawler.requests.gizmo"] > 0);
+        assert!(snap.counters["store.route.gizmo"] > 0);
+        assert!(snap.counters["par.classify.items"] > 0);
+        assert!(snap.counters["par.policy.items"] > 0);
+        assert_eq!(
+            snap.counters["pipeline.actions_profiled"],
+            run.profiles.len() as u64
+        );
     }
 }

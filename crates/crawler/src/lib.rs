@@ -22,12 +22,13 @@ pub use scrape::extract_gpt_ids;
 
 use gptx_model::snapshot::CrawlSnapshot;
 use gptx_model::{ActionSpec, Gpt, GptId};
+use gptx_obs::{Level, MetricsRegistry};
 use gptx_store::{store_host, ClientError, HttpClient, Response};
 use std::collections::BTreeMap;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Counters for a crawl run (reported in EXPERIMENTS.md next to the
 /// paper's success rates).
@@ -79,14 +80,73 @@ impl CrawlStats {
     }
 }
 
+/// The endpoint classes the crawler talks to; each gets its own
+/// `crawler.*` metric names (static strings — no per-request
+/// allocation on the disabled path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Endpoint {
+    Listing,
+    Gizmo,
+    Policy,
+    Probe,
+}
+
+impl Endpoint {
+    fn requests(self) -> &'static str {
+        match self {
+            Endpoint::Listing => "crawler.requests.listing",
+            Endpoint::Gizmo => "crawler.requests.gizmo",
+            Endpoint::Policy => "crawler.requests.policy",
+            Endpoint::Probe => "crawler.requests.probe",
+        }
+    }
+
+    fn retries(self) -> &'static str {
+        match self {
+            Endpoint::Listing => "crawler.retries.listing",
+            Endpoint::Gizmo => "crawler.retries.gizmo",
+            Endpoint::Policy => "crawler.retries.policy",
+            Endpoint::Probe => "crawler.retries.probe",
+        }
+    }
+
+    fn latency(self) -> &'static str {
+        match self {
+            Endpoint::Listing => "crawler.latency.listing",
+            Endpoint::Gizmo => "crawler.latency.gizmo",
+            Endpoint::Policy => "crawler.latency.policy",
+            Endpoint::Probe => "crawler.latency.probe",
+        }
+    }
+}
+
 /// The crawler. Cheap to clone (clones share nothing; stats are
 /// per-instance and merged by the orchestration methods).
+///
+/// # Tuning knobs
+///
+/// All configuration is builder-style and mirrors
+/// [`HttpClient`]'s naming:
+///
+/// * [`Crawler::with_threads`] — gizmo-fetch worker count (default 4);
+/// * [`Crawler::with_retries`] — retry attempts on 5xx/transport errors
+///   (default 2);
+/// * [`Crawler::with_backoff`] — base retry backoff; attempt `n` sleeps
+///   `base × n` (default 5 ms, loopback-friendly);
+/// * [`Crawler::with_timeout`] — TCP connect timeout, forwarded to
+///   [`HttpClient::with_connect_timeout`] (default 5 s);
+/// * [`Crawler::with_metrics`] — attach a [`MetricsRegistry`]: records
+///   per-endpoint request/retry counts and latency histograms
+///   (`crawler.requests.*`, `crawler.retries.*`, `crawler.latency.*`),
+///   total backoff sleep (`crawler.backoff_sleep_us`), and a `Warn`
+///   event per retry.
 pub struct Crawler {
     client: HttpClient,
     max_retries: usize,
     backoff_base: Duration,
     threads: usize,
     stats: Mutex<CrawlStats>,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl Crawler {
@@ -99,6 +159,7 @@ impl Crawler {
             backoff_base: Duration::from_millis(5),
             threads: 4,
             stats: Mutex::new(CrawlStats::default()),
+            metrics: MetricsRegistry::shared_disabled(),
         }
     }
 
@@ -115,6 +176,26 @@ impl Crawler {
         self
     }
 
+    /// Override the base retry backoff (see the type docs).
+    pub fn with_backoff(mut self, base: Duration) -> Crawler {
+        self.backoff_base = base;
+        self
+    }
+
+    /// Override the TCP connect timeout (see the type docs).
+    pub fn with_timeout(mut self, timeout: Duration) -> Crawler {
+        self.client = self.client.with_connect_timeout(timeout);
+        self
+    }
+
+    /// Attach a metrics registry (see the type docs). The underlying
+    /// [`HttpClient`] shares it, so `http.client.*` metrics appear too.
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Crawler {
+        self.client = self.client.with_metrics(Arc::clone(&metrics));
+        self.metrics = metrics;
+        self
+    }
+
     /// Stats accumulated so far.
     pub fn stats(&self) -> CrawlStats {
         *self.stats.lock().expect("stats mutex")
@@ -126,10 +207,20 @@ impl Crawler {
 
     /// GET with retry/backoff on transport errors and 5xx. Returns the
     /// final response (which may still be an error status).
-    fn get_with_retries(&self, url: &str) -> Result<Response, ClientError> {
+    fn get_with_retries(&self, endpoint: Endpoint, url: &str) -> Result<Response, ClientError> {
+        let metered = self.metrics.enabled();
+        if metered {
+            self.metrics.incr(endpoint.requests());
+        }
         let mut attempt = 0;
         loop {
-            match self.client.get(url) {
+            let started = metered.then(Instant::now);
+            let outcome = self.client.get(url);
+            if let Some(started) = started {
+                self.metrics
+                    .observe_us(endpoint.latency(), started.elapsed().as_micros() as u64);
+            }
+            match outcome {
                 Ok(resp) if resp.status >= 500 && attempt < self.max_retries => {}
                 Ok(resp) => return Ok(resp),
                 Err(_e) if attempt < self.max_retries => {}
@@ -137,14 +228,25 @@ impl Crawler {
             }
             attempt += 1;
             self.bump(|s| s.retries += 1);
-            std::thread::sleep(self.backoff_base * attempt as u32);
+            let backoff = self.backoff_base * attempt as u32;
+            if metered {
+                self.metrics.incr(endpoint.retries());
+                self.metrics
+                    .add("crawler.backoff_sleep_us", backoff.as_micros() as u64);
+                self.metrics.event(
+                    Level::Warn,
+                    "crawler",
+                    format!("retrying {url} (attempt {attempt}/{})", self.max_retries),
+                );
+            }
+            std::thread::sleep(backoff);
         }
     }
 
     /// Scrape one marketplace's listing page.
     pub fn fetch_store_listing(&self, store_name: &str) -> Result<Vec<GptId>, ClientError> {
         let url = format!("https://{}/", store_host(store_name));
-        let resp = self.get_with_retries(&url)?;
+        let resp = self.get_with_retries(Endpoint::Listing, &url)?;
         self.bump(|s| s.listing_pages += 1);
         if !resp.is_success() {
             return Ok(Vec::new());
@@ -156,7 +258,7 @@ impl Crawler {
     pub fn fetch_gizmo(&self, id: &GptId) -> Result<Option<Gpt>, ClientError> {
         self.bump(|s| s.gizmo_requests += 1);
         let url = format!("https://chat.openai.com/backend-api/gizmos/{id}");
-        let resp = match self.get_with_retries(&url) {
+        let resp = match self.get_with_retries(Endpoint::Gizmo, &url) {
             Ok(r) => r,
             Err(e) => {
                 self.bump(|s| s.gizmo_failures += 1);
@@ -241,7 +343,7 @@ impl Crawler {
                 content_type: None,
             };
         };
-        match self.get_with_retries(&url) {
+        match self.get_with_retries(Endpoint::Policy, &url) {
             Ok(resp) if resp.is_success() => {
                 self.bump(|s| s.policies_fetched += 1);
                 PolicyDocument {
@@ -266,7 +368,7 @@ impl Crawler {
         let server = action.spec.primary_server()?;
         let url = format!("{}/v1/run", server.trim_end_matches('/'));
         self.bump(|s| s.api_probes += 1);
-        match self.get_with_retries(&url) {
+        match self.get_with_retries(Endpoint::Probe, &url) {
             Ok(resp) => Some(ApiProbe {
                 status: resp.status,
                 body: resp.text(),
@@ -376,11 +478,8 @@ mod tests {
     fn campaign_recovers_all_weeks() {
         let (handle, eco) = start(22, FaultConfig::none());
         let crawler = Crawler::new(handle.addr()).with_threads(8);
-        let weeks: Vec<(u32, String)> = eco
-            .weeks
-            .iter()
-            .map(|w| (w.week, w.date.clone()))
-            .collect();
+        let weeks: Vec<(u32, String)> =
+            eco.weeks.iter().map(|w| (w.week, w.date.clone())).collect();
         let archive = crawler
             .crawl_campaign(&weeks, &store_names(), |w| handle.set_week(w))
             .unwrap();
@@ -389,10 +488,7 @@ mod tests {
             assert_eq!(crawled.gpts, truth.snapshot.gpts, "week {}", truth.week);
         }
         // Every distinct action got a policy record.
-        assert_eq!(
-            archive.policies.len(),
-            archive.distinct_actions().len()
-        );
+        assert_eq!(archive.policies.len(), archive.distinct_actions().len());
         handle.shutdown();
     }
 
@@ -475,11 +571,7 @@ mod tests {
                 .unwrap();
             assert!(probe.is_dead());
         }
-        let live = eco
-            .registry
-            .keys()
-            .find(|id| !eco.api_is_dead(id))
-            .unwrap();
+        let live = eco.registry.keys().find(|id| !eco.api_is_dead(id)).unwrap();
         let probe = crawler
             .probe_action_api(&eco.registry[live].template)
             .unwrap();
@@ -508,6 +600,86 @@ mod tests {
             snapshot.gpts.len() + stats.gizmo_failures,
             truth,
             "every gizmo either parsed or was counted as failed"
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn injected_5xx_faults_show_in_retry_counters() {
+        let (handle, _eco) = start(
+            29,
+            FaultConfig {
+                gizmo_failure_rate: 0.0,
+                transient_failure_every: Some(5),
+                response_delay_ms: 0,
+                malformed_gizmo_rate: 0.0,
+            },
+        );
+        let metrics = MetricsRegistry::shared();
+        let crawler = Crawler::new(handle.addr())
+            .with_retries(3)
+            .with_metrics(Arc::clone(&metrics));
+        crawler.crawl_week(0, "2024-02-08", &store_names()).unwrap();
+        let snap = metrics.snapshot();
+        let retries: u64 = snap
+            .counters
+            .iter()
+            .filter(|(name, _)| name.starts_with("crawler.retries."))
+            .map(|(_, v)| v)
+            .sum();
+        assert!(retries > 0, "injected 503s produced no retry counts");
+        assert_eq!(retries, crawler.stats().retries as u64);
+        assert!(snap.counters["crawler.backoff_sleep_us"] > 0);
+        assert!(snap.counters["crawler.requests.gizmo"] > 0);
+        assert!(snap.histograms["crawler.latency.gizmo"].count > 0);
+        // Each retry logged a Warn event.
+        assert!(snap.events.iter().any(|e| e.level == Level::Warn));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn metrics_do_not_change_crawl_results() {
+        let (handle, _eco) = start(30, FaultConfig::none());
+        let plain = Crawler::new(handle.addr());
+        let s1 = plain.crawl_week(0, "2024-02-08", &store_names()).unwrap();
+        let metered = Crawler::new(handle.addr()).with_metrics(MetricsRegistry::shared());
+        let s2 = metered.crawl_week(0, "2024-02-08", &store_names()).unwrap();
+        assert_eq!(s1.gpts, s2.gpts);
+        assert_eq!(plain.stats(), metered.stats());
+        handle.shutdown();
+    }
+
+    #[test]
+    fn timeout_and_backoff_knobs_apply() {
+        // A connect to a closed port honors with_timeout rather than the
+        // 5 s default.
+        let crawler = Crawler::new("127.0.0.1:1".parse().unwrap())
+            .with_retries(0)
+            .with_timeout(Duration::from_millis(100));
+        let started = Instant::now();
+        assert!(crawler.fetch_gizmo(&GptId("g-x".into())).is_err());
+        assert!(started.elapsed() < Duration::from_secs(2));
+
+        // Backoff base scales retry sleeps: 2 retries at 40 ms base
+        // sleep 40 + 80 = 120 ms minimum.
+        let (handle, _eco) = start(
+            31,
+            FaultConfig {
+                gizmo_failure_rate: 1.0,
+                transient_failure_every: None,
+                response_delay_ms: 0,
+                malformed_gizmo_rate: 0.0,
+            },
+        );
+        let slow = Crawler::new(handle.addr())
+            .with_retries(2)
+            .with_backoff(Duration::from_millis(40));
+        let started = Instant::now();
+        assert_eq!(slow.fetch_gizmo(&GptId("g-y".into())).unwrap(), None);
+        assert!(
+            started.elapsed() >= Duration::from_millis(120),
+            "backoff not applied: {:?}",
+            started.elapsed()
         );
         handle.shutdown();
     }

@@ -43,7 +43,13 @@ pub struct GraphStats {
 /// Compute the summary stats, keeping the top `k` hubs.
 pub fn graph_stats(graph: &Graph, k: usize) -> GraphStats {
     let mut ranked: Vec<(String, u64, usize)> = (0..graph.node_count())
-        .map(|v| (graph.label(v).to_string(), graph.weighted_degree(v), graph.degree(v)))
+        .map(|v| {
+            (
+                graph.label(v).to_string(),
+                graph.weighted_degree(v),
+                graph.degree(v),
+            )
+        })
         .collect();
     ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     ranked.truncate(k);

@@ -64,7 +64,10 @@ impl Graph {
         if a == b {
             return;
         }
-        assert!(a < self.labels.len() && b < self.labels.len(), "unknown node");
+        assert!(
+            a < self.labels.len() && b < self.labels.len(),
+            "unknown node"
+        );
         *self.adjacency[a].entry(b).or_insert(0) += weight;
         *self.adjacency[b].entry(a).or_insert(0) += weight;
     }
@@ -123,7 +126,10 @@ impl Graph {
 
     /// The largest connected component (Figure 5 plots this).
     pub fn largest_component(&self) -> Vec<NodeId> {
-        self.connected_components().into_iter().next().unwrap_or_default()
+        self.connected_components()
+            .into_iter()
+            .next()
+            .unwrap_or_default()
     }
 
     /// Nodes within `hops` BFS hops of `start` (excluding `start`).
@@ -142,7 +148,11 @@ impl Graph {
                 }
             }
         }
-        let mut out: Vec<NodeId> = dist.into_iter().filter(|&(n, d)| d > 0 && n != start).map(|(n, _)| n).collect();
+        let mut out: Vec<NodeId> = dist
+            .into_iter()
+            .filter(|&(n, d)| d > 0 && n != start)
+            .map(|(n, _)| n)
+            .collect();
         out.sort_unstable();
         out
     }
@@ -181,9 +191,7 @@ impl Graph {
             } else {
                 String::new()
             };
-            dot.push_str(&format!(
-                "  n{v} [width={size:.2}, label=\"{label}\"];\n"
-            ));
+            dot.push_str(&format!("  n{v} [width={size:.2}, label=\"{label}\"];\n"));
         }
         for &v in &selected {
             for (n, w) in self.neighbors(v) {

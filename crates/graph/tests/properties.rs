@@ -7,8 +7,11 @@ use std::collections::BTreeSet;
 
 /// A random small graph: up to 12 nodes, arbitrary weighted edges.
 fn graph_strategy() -> impl Strategy<Value = Graph> {
-    (2usize..12, prop::collection::vec((0usize..12, 0usize..12, 1u32..4), 0..30)).prop_map(
-        |(n, edges)| {
+    (
+        2usize..12,
+        prop::collection::vec((0usize..12, 0usize..12, 1u32..4), 0..30),
+    )
+        .prop_map(|(n, edges)| {
             let mut g = Graph::new();
             for i in 0..n {
                 g.add_node(&format!("n{i}"));
@@ -18,8 +21,7 @@ fn graph_strategy() -> impl Strategy<Value = Graph> {
                 g.add_edge(a, b, w);
             }
             g
-        },
-    )
+        })
 }
 
 proptest! {

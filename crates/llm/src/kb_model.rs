@@ -19,9 +19,7 @@
 //! determinism is what makes every number in EXPERIMENTS.md reproducible.
 
 use crate::model::{LanguageModel, LlmError};
-use crate::protocol::{
-    self, ClassificationResponse, DisclosureJudgement, DisclosureLabel,
-};
+use crate::protocol::{self, ClassificationResponse, DisclosureJudgement, DisclosureLabel};
 use gptx_nlp::vector::SparseVec;
 use gptx_nlp::{analyze, cosine, TfIdf, TfIdfBuilder};
 use gptx_taxonomy::{Category, DataType, KnowledgeBase};
@@ -65,27 +63,50 @@ const COLLECTION_VERBS: &[&str] = &[
 /// Generic object nouns that, combined with a collection verb, mark a
 /// sentence as data-collection-related even without a specific type.
 const DATA_NOUNS: &[&str] = &[
-    "data", "information", "detail", "record", "content", "input",
+    "data",
+    "information",
+    "detail",
+    "record",
+    "content",
+    "input",
 ];
 
 /// Negation markers preceding/surrounding a collection verb.
 const NEGATIONS: &[&str] = &[
-    "do not", "don't", "does not", "doesn't", "never", "will not", "won't", "not collect",
-    "no personal", "none of", "not store", "not share", "not sell", "nor ",
+    "do not",
+    "don't",
+    "does not",
+    "doesn't",
+    "never",
+    "will not",
+    "won't",
+    "not collect",
+    "no personal",
+    "none of",
+    "not store",
+    "not share",
+    "not sell",
+    "nor ",
 ];
 
 /// Generic phrases that disclose *personal* data collection only in the
 /// broadest terms — these ground the *vague* label for personal types.
 const GENERIC_PERSONAL: &[&str] = &[
-    "personal data", "personal information", "information you provide",
-    "information about you", "personally identifiable",
+    "personal data",
+    "personal information",
+    "information you provide",
+    "information about you",
+    "personally identifiable",
 ];
 
 /// Generic phrases that vaguely cover user *activity/content* ("User
 /// Data that includes data about how you use our website…", Table 11).
 const GENERIC_ACTIVITY: &[&str] = &[
-    "data about how you use", "data that you post", "content you post",
-    "usage data", "user generated content you share",
+    "data about how you use",
+    "data that you post",
+    "content you post",
+    "usage data",
+    "user generated content you share",
 ];
 
 impl KbModel {
@@ -113,8 +134,7 @@ impl KbModel {
             .entries()
             .iter()
             .map(|e| {
-                let stems: Vec<Vec<String>> =
-                    e.lexicon().iter().map(|p| analyze(p)).collect();
+                let stems: Vec<Vec<String>> = e.lexicon().iter().map(|p| analyze(p)).collect();
                 (e.data_type, stems)
             })
             .collect();
@@ -165,7 +185,12 @@ impl KbModel {
     pub fn classify_description(&self, description: &str) -> ClassificationResponse {
         let stems = analyze(description);
         let key = stems.join(" ");
-        if let Some(&hit) = self.classify_cache.lock().expect("classify cache").get(&key) {
+        if let Some(&hit) = self
+            .classify_cache
+            .lock()
+            .expect("classify cache")
+            .get(&key)
+        {
             return hit;
         }
         let resp = self.classify_stems(&stems);
@@ -364,8 +389,19 @@ fn entry_document(d: DataType) -> String {
 /// Category-level phrases grounding the "vague" label.
 fn category_lexicon(cat: Category) -> &'static [&'static str] {
     match cat {
-        Category::AppActivity => &["app activity", "usage information", "interaction data", "activity data"],
-        Category::PersonalInfo => &["personal information", "personal data", "personally identifiable information", "contact information", "contact details"],
+        Category::AppActivity => &[
+            "app activity",
+            "usage information",
+            "interaction data",
+            "activity data",
+        ],
+        Category::PersonalInfo => &[
+            "personal information",
+            "personal data",
+            "personally identifiable information",
+            "contact information",
+            "contact details",
+        ],
         Category::WebBrowsing => &["browsing data", "browsing activity", "web activity"],
         Category::Location => &["location", "location data", "geolocation"],
         Category::Messages => &["message", "communication", "correspondence"],
@@ -373,7 +409,12 @@ fn category_lexicon(cat: Category) -> &'static [&'static str] {
         Category::FilesAndDocs => &["files", "documents", "uploads"],
         Category::PhotosAndVideos => &["media", "photos and videos", "visual content"],
         Category::Calendar => &["calendar", "schedule"],
-        Category::AppInfoAndPerformance => &["performance data", "diagnostic data", "technical data", "log data"],
+        Category::AppInfoAndPerformance => &[
+            "performance data",
+            "diagnostic data",
+            "technical data",
+            "log data",
+        ],
         Category::HealthAndFitness => &["health data", "fitness data", "wellness information"],
         Category::DeviceOrOtherIds => &["device information", "identifiers", "device data"],
         Category::AudioFiles => &["audio", "recordings"],
@@ -386,10 +427,18 @@ fn contains_affirmation_after_negation(lower: &str) -> bool {
     let neg_pos = NEGATIONS.iter().filter_map(|n| lower.find(n)).min();
     let Some(neg) = neg_pos else { return false };
     // An affirmative collection verb appearing well after the negation.
-    ["we use", "we collect", "we store", "we process", "we share", "use your", "collect your"]
-        .iter()
-        .filter_map(|a| lower.rfind(a))
-        .any(|pos| pos > neg + 8)
+    [
+        "we use",
+        "we collect",
+        "we store",
+        "we process",
+        "we share",
+        "use your",
+        "collect your",
+    ]
+    .iter()
+    .filter_map(|a| lower.rfind(a))
+    .any(|pos| pos > neg + 8)
 }
 
 impl LanguageModel for KbModel {
@@ -414,13 +463,18 @@ impl LanguageModel for KbModel {
             "screen_sentence" => {
                 let input = protocol::section(prompt, "INPUT")
                     .ok_or_else(|| LlmError::UnrecognizedTask("missing INPUT".into()))?;
-                Ok(if self.screen_sentence(input) { "yes" } else { "no" }.to_string())
+                Ok(if self.screen_sentence(input) {
+                    "yes"
+                } else {
+                    "no"
+                }
+                .to_string())
             }
             "judge_disclosure" => {
                 let item = protocol::section(prompt, "DATA_ITEM")
                     .ok_or_else(|| LlmError::UnrecognizedTask("missing DATA_ITEM".into()))?;
-                let data_type = protocol::section(prompt, "DATA_TYPE")
-                    .and_then(DataType::from_label);
+                let data_type =
+                    protocol::section(prompt, "DATA_TYPE").and_then(DataType::from_label);
                 let sentences: Vec<String> = protocol::section(prompt, "SENTENCES")
                     .map(|s| {
                         s.lines()
@@ -461,8 +515,9 @@ mod tests {
 
     #[test]
     fn classifies_url_fetch_as_website_visits() {
-        let r = model()
-            .classify_description("urls: The raw URL of the web page to fetch, up to 6 per request");
+        let r = model().classify_description(
+            "urls: The raw URL of the web page to fetch, up to 6 per request",
+        );
         assert_eq!(r.data_type, DataType::WebsiteVisits);
     }
 
@@ -482,9 +537,8 @@ mod tests {
 
     #[test]
     fn classifies_password() {
-        let r = model().classify_description(
-            "The user's password for signing into the online service",
-        );
+        let r =
+            model().classify_description("The user's password for signing into the online service");
         assert_eq!(r.data_type, DataType::Passwords);
         assert!(r.data_type.prohibited_by_platform());
     }

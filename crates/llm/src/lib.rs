@@ -40,9 +40,9 @@ pub mod token;
 pub use kb_model::KbModel;
 pub use model::{LanguageModel, LlmError};
 pub use noisy::NoisyModel;
-pub use template::{PromptTemplate, TemplateError};
 pub use protocol::{
     ClassificationRequest, ClassificationResponse, DisclosureJudgement, DisclosureLabel,
     JudgementRequest, ScreeningRequest,
 };
+pub use template::{PromptTemplate, TemplateError};
 pub use token::count_tokens;

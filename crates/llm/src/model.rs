@@ -20,7 +20,10 @@ pub enum LlmError {
 impl std::fmt::Display for LlmError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            LlmError::ContextOverflow { prompt_tokens, window } => write!(
+            LlmError::ContextOverflow {
+                prompt_tokens,
+                window,
+            } => write!(
                 f,
                 "prompt of ~{prompt_tokens} tokens exceeds context window of {window}"
             ),

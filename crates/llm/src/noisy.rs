@@ -68,11 +68,18 @@ impl<M: LanguageModel> NoisyModel<M> {
             "classify_data_type" => {
                 // Swap the answer for a uniformly random other type.
                 let wrong = DataType::ALL[rng.gen_range(0..DataType::ALL.len())];
-                format!("type: {}\ncategory: {}\n", wrong.label(), wrong.category().label())
+                format!(
+                    "type: {}\ncategory: {}\n",
+                    wrong.label(),
+                    wrong.category().label()
+                )
             }
-            "screen_sentence" => {
-                if response.trim().starts_with("yes") { "no" } else { "yes" }.to_string()
+            "screen_sentence" => if response.trim().starts_with("yes") {
+                "no"
+            } else {
+                "yes"
             }
+            .to_string(),
             "judge_disclosure" => {
                 // Flip labels of parsed judgements, or invent an omission.
                 match protocol::JudgementRequest::parse(response) {
@@ -98,7 +105,8 @@ impl<M: LanguageModel> NoisyModel<M> {
 
 fn flip_label(label: DisclosureLabel, rng: &mut StdRng) -> DisclosureLabel {
     loop {
-        let candidate = DisclosureLabel::PRECEDENCE[rng.gen_range(0..DisclosureLabel::PRECEDENCE.len())];
+        let candidate =
+            DisclosureLabel::PRECEDENCE[rng.gen_range(0..DisclosureLabel::PRECEDENCE.len())];
         if candidate != label {
             return candidate;
         }
@@ -204,7 +212,9 @@ mod tests {
                 sentence: "We collect your email address.",
             };
             let prompt = req.to_prompt();
-            (0..20).map(|_| m.complete(&prompt).unwrap()).collect::<Vec<_>>()
+            (0..20)
+                .map(|_| m.complete(&prompt).unwrap())
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(11), run(11));
     }

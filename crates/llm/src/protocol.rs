@@ -313,7 +313,9 @@ mod tests {
 
     #[test]
     fn classification_parse_rejects_unknown_label() {
-        assert!(ClassificationResponse::parse("type: Blood type\ncategory: Personal info").is_err());
+        assert!(
+            ClassificationResponse::parse("type: Blood type\ncategory: Personal info").is_err()
+        );
     }
 
     #[test]
@@ -392,7 +394,10 @@ mod tests {
 
     #[test]
     fn judgement_prompt_indexes_sentences() {
-        let sentences = vec!["We collect emails.".to_string(), "We sell nothing.".to_string()];
+        let sentences = vec![
+            "We collect emails.".to_string(),
+            "We sell nothing.".to_string(),
+        ];
         let req = JudgementRequest {
             data_item: "Email address of the user",
             data_type: Some(DataType::EmailAddress),

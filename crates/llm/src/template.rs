@@ -130,8 +130,7 @@ impl PromptTemplate {
 
     /// Convenience: fill from `(name, value)` pairs.
     pub fn fill_pairs(&self, pairs: &[(&str, &str)]) -> Result<String, TemplateError> {
-        let map: BTreeMap<&str, String> =
-            pairs.iter().map(|(k, v)| (*k, v.to_string())).collect();
+        let map: BTreeMap<&str, String> = pairs.iter().map(|(k, v)| (*k, v.to_string())).collect();
         self.fill(&map)
     }
 }
@@ -144,7 +143,9 @@ mod tests {
     fn parse_and_fill() {
         let t = PromptTemplate::parse("Classify {item} against {kb}.").unwrap();
         assert_eq!(t.variables(), vec!["item", "kb"]);
-        let out = t.fill_pairs(&[("item", "email"), ("kb", "taxonomy")]).unwrap();
+        let out = t
+            .fill_pairs(&[("item", "email"), ("kb", "taxonomy")])
+            .unwrap();
         assert_eq!(out, "Classify email against taxonomy.");
     }
 

@@ -1,8 +1,6 @@
 //! Property-based tests for the prompt protocol and label algebra.
 
-use gptx_llm::{
-    ClassificationResponse, DisclosureJudgement, DisclosureLabel, JudgementRequest,
-};
+use gptx_llm::{ClassificationResponse, DisclosureJudgement, DisclosureLabel, JudgementRequest};
 use gptx_taxonomy::DataType;
 use proptest::prelude::*;
 

@@ -15,7 +15,6 @@ pub enum AuthType {
     Oauth,
 }
 
-
 /// An Action specification as it appears inside a gizmo's `tools` array
 /// (Appendix A: `type: "action"` plus metadata and an OpenAPI spec).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -109,7 +108,10 @@ mod tests {
 
     #[test]
     fn auth_serializes_snake_case() {
-        assert_eq!(serde_json::to_string(&AuthType::ApiKey).unwrap(), "\"api_key\"");
+        assert_eq!(
+            serde_json::to_string(&AuthType::ApiKey).unwrap(),
+            "\"api_key\""
+        );
     }
 
     #[test]

@@ -249,15 +249,17 @@ mod tests {
             "C",
             "https://api.y.io",
         )));
-        assert_eq!(g.action_domains(), vec!["x.dev".to_string(), "y.io".to_string()]);
+        assert_eq!(
+            g.action_domains(),
+            vec!["x.dev".to_string(), "y.io".to_string()]
+        );
     }
 
     #[test]
     fn tool_tagged_serialization() {
         let t = Tool::Browser;
         assert_eq!(serde_json::to_string(&t).unwrap(), r#"{"type":"browser"}"#);
-        let a: Tool =
-            serde_json::from_str(r#"{"type":"code_interpreter"}"#).unwrap();
+        let a: Tool = serde_json::from_str(r#"{"type":"code_interpreter"}"#).unwrap();
         assert_eq!(a, Tool::CodeInterpreter);
     }
 
@@ -273,7 +275,11 @@ mod tests {
         g.tags = vec![Tag::Public, Tag::Reportable, Tag::UsesFunctionCalls];
         g.tools = vec![
             Tool::CodeInterpreter,
-            Tool::Action(ActionSpec::minimal("Ah9L5AnQ78Hg", "Read web page content", "https://r.1lm.io")),
+            Tool::Action(ActionSpec::minimal(
+                "Ah9L5AnQ78Hg",
+                "Read web page content",
+                "https://r.1lm.io",
+            )),
             Tool::Browser,
         ];
         g.files = vec![UploadedFile {

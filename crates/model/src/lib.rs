@@ -28,9 +28,9 @@ pub mod snapshot;
 pub mod url;
 
 pub use action::{ActionSpec, AuthType};
-pub use removal::RemovalReason;
 pub use gpt::{Author, Display, Gpt, GptId, Tag, Tool, UploadedFile};
 pub use openapi::{DataField, OpenApiSpec, Operation, Parameter, PathItem, SchemaObject};
+pub use removal::RemovalReason;
 pub use snapshot::{CrawlSnapshot, SnapshotDiff};
 pub use url::{etld_plus_one, Url};
 

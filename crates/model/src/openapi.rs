@@ -82,7 +82,11 @@ pub struct Operation {
     pub operation_id: String,
     #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub parameters: Vec<Parameter>,
-    #[serde(default, rename = "requestBody", skip_serializing_if = "Option::is_none")]
+    #[serde(
+        default,
+        rename = "requestBody",
+        skip_serializing_if = "Option::is_none"
+    )]
     pub request_body: Option<RequestBody>,
 }
 
@@ -149,7 +153,11 @@ impl DataField {
         if self.description.is_empty() {
             self.name.replace(['_', '-'], " ")
         } else {
-            format!("{}: {}", self.name.replace(['_', '-'], " "), self.description)
+            format!(
+                "{}: {}",
+                self.name.replace(['_', '-'], " "),
+                self.description
+            )
         }
     }
 }
@@ -281,7 +289,9 @@ mod tests {
         let mut content = BTreeMap::new();
         content.insert(
             "application/json".to_string(),
-            MediaType { schema: body_schema },
+            MediaType {
+                schema: body_schema,
+            },
         );
         spec.paths.insert(
             "/".to_string(),

@@ -108,8 +108,13 @@ impl ChangedProperty {
         match self {
             ModifiedSocialMedia | RemovedSocialMedia | AuthorWebsite | ProfilePicture
             | AllowFeedback => "Contact info.",
-            WelcomeMessage | ReviewabilityStatus | Description | Categories | Name
-            | PromptStarters | DeveloperVerification => "Metadata",
+            WelcomeMessage
+            | ReviewabilityStatus
+            | Description
+            | Categories
+            | Name
+            | PromptStarters
+            | DeveloperVerification => "Metadata",
             FileModification | SpecFormatChange | FileRemoval | FileAddition | ActionChange => {
                 "Actions/Files"
             }
@@ -224,10 +229,7 @@ pub fn classify_changes(old: &Gpt, new: &Gpt) -> Vec<ChangedProperty> {
     let old_actions = old.actions();
     let new_actions = new.actions();
     if old_actions.len() != new_actions.len()
-        || old_actions
-            .iter()
-            .zip(&new_actions)
-            .any(|(a, b)| a != b)
+        || old_actions.iter().zip(&new_actions).any(|(a, b)| a != b)
     {
         out.push(ActionChange);
     }
@@ -303,11 +305,17 @@ mod tests {
             id: "f2".into(),
             mime_type: "application/pdf".into(),
         });
-        assert_eq!(classify_changes(&old, &added), vec![ChangedProperty::FileAddition]);
+        assert_eq!(
+            classify_changes(&old, &added),
+            vec![ChangedProperty::FileAddition]
+        );
 
         let mut removed = old.clone();
         removed.files.clear();
-        assert_eq!(classify_changes(&old, &removed), vec![ChangedProperty::FileRemoval]);
+        assert_eq!(
+            classify_changes(&old, &removed),
+            vec![ChangedProperty::FileRemoval]
+        );
 
         let mut swapped = old.clone();
         swapped.files[0].id = "f9".into();
@@ -320,13 +328,19 @@ mod tests {
     #[test]
     fn classify_action_change() {
         let mut old = gpt("g-aaaaaaaaaa");
-        old.tools
-            .push(Tool::Action(ActionSpec::minimal("t1", "A", "https://a.dev")));
+        old.tools.push(Tool::Action(ActionSpec::minimal(
+            "t1",
+            "A",
+            "https://a.dev",
+        )));
         let mut new = old.clone();
         if let Tool::Action(a) = &mut new.tools[0] {
             a.spec.info.version = "v2".into();
         }
-        assert_eq!(classify_changes(&old, &new), vec![ChangedProperty::ActionChange]);
+        assert_eq!(
+            classify_changes(&old, &new),
+            vec![ChangedProperty::ActionChange]
+        );
     }
 
     #[test]

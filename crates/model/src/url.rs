@@ -52,9 +52,7 @@ impl Url {
             return Err(UrlError::UnsupportedScheme(scheme));
         }
         // authority ends at the first '/', '?', or '#'
-        let auth_end = rest
-            .find(['/', '?', '#'])
-            .unwrap_or(rest.len());
+        let auth_end = rest.find(['/', '?', '#']).unwrap_or(rest.len());
         let authority = &rest[..auth_end];
         let tail = &rest[auth_end..];
 
@@ -78,7 +76,11 @@ impl Url {
             }
             None => (tail.split('#').next().unwrap_or("").to_string(), None),
         };
-        let path = if path.is_empty() { "/".to_string() } else { path };
+        let path = if path.is_empty() {
+            "/".to_string()
+        } else {
+            path
+        };
 
         Ok(Url {
             scheme,
@@ -142,11 +144,43 @@ impl std::fmt::Display for Url {
 /// Multi-label public suffixes (a pragmatic subset of the PSL). Suffixes
 /// not listed here are assumed to be single-label ("com", "io", "ai", …).
 const MULTI_LABEL_SUFFIXES: &[&str] = &[
-    "co.uk", "org.uk", "ac.uk", "gov.uk", "me.uk", "co.jp", "ne.jp", "or.jp", "ac.jp", "com.au",
-    "net.au", "org.au", "com.br", "com.cn", "com.mx", "co.in", "co.kr", "co.nz", "com.sg",
-    "com.tr", "co.za", "com.ar", "com.hk", "com.tw", "github.io", "herokuapp.com", "vercel.app",
-    "netlify.app", "pages.dev", "web.app", "azurewebsites.net", "cloudfront.net", "appspot.com",
-    "repl.co", "onrender.com", "fly.dev", "workers.dev",
+    "co.uk",
+    "org.uk",
+    "ac.uk",
+    "gov.uk",
+    "me.uk",
+    "co.jp",
+    "ne.jp",
+    "or.jp",
+    "ac.jp",
+    "com.au",
+    "net.au",
+    "org.au",
+    "com.br",
+    "com.cn",
+    "com.mx",
+    "co.in",
+    "co.kr",
+    "co.nz",
+    "com.sg",
+    "com.tr",
+    "co.za",
+    "com.ar",
+    "com.hk",
+    "com.tw",
+    "github.io",
+    "herokuapp.com",
+    "vercel.app",
+    "netlify.app",
+    "pages.dev",
+    "web.app",
+    "azurewebsites.net",
+    "cloudfront.net",
+    "appspot.com",
+    "repl.co",
+    "onrender.com",
+    "fly.dev",
+    "workers.dev",
 ];
 
 /// Compute the eTLD+1 (registrable domain) of a hostname.

@@ -46,7 +46,11 @@ pub fn strip_html(html: &str) -> String {
                 }
                 break;
             } else if tag_name == "script" || tag_name == "style" {
-                skip_until = if tag_name == "script" { Some("script") } else { Some("style") };
+                skip_until = if tag_name == "script" {
+                    Some("script")
+                } else {
+                    Some("style")
+                };
             } else if matches!(
                 tag_name.as_str(),
                 "p" | "div" | "br" | "li" | "h1" | "h2" | "h3" | "h4" | "tr" | "section"
@@ -67,8 +71,7 @@ pub fn strip_html(html: &str) -> String {
 /// Find a literal pattern in `chars` starting at `from`.
 fn html_find(chars: &[char], from: usize, pattern: &str) -> Option<usize> {
     let pat: Vec<char> = pattern.chars().collect();
-    (from..chars.len().saturating_sub(pat.len() - 1))
-        .find(|&p| chars[p..p + pat.len()] == pat[..])
+    (from..chars.len().saturating_sub(pat.len() - 1)).find(|&p| chars[p..p + pat.len()] == pat[..])
 }
 
 /// Decode the handful of entities policy pages actually use.
@@ -85,7 +88,9 @@ fn decode_entities(text: &str) -> String {
 /// Does this body look like an HTML document (vs. plain text)?
 pub fn looks_like_html(body: &str) -> bool {
     let head = body.trim_start().to_ascii_lowercase();
-    head.starts_with("<!doctype") || head.starts_with("<html") || head.starts_with("<head")
+    head.starts_with("<!doctype")
+        || head.starts_with("<html")
+        || head.starts_with("<head")
         || (head.starts_with('<') && head.contains("</"))
 }
 
@@ -95,7 +100,8 @@ mod tests {
 
     #[test]
     fn strips_tags_keeps_text() {
-        let html = "<html><body><p>We collect your email.</p><p>We never sell it.</p></body></html>";
+        let html =
+            "<html><body><p>We collect your email.</p><p>We never sell it.</p></body></html>";
         let text = strip_html(html);
         assert!(text.contains("We collect your email."));
         assert!(text.contains("We never sell it."));
@@ -126,7 +132,10 @@ mod tests {
 
     #[test]
     fn entities_decoded() {
-        assert_eq!(strip_html("Terms &amp; Privacy&nbsp;&#39;24"), "Terms & Privacy '24");
+        assert_eq!(
+            strip_html("Terms &amp; Privacy&nbsp;&#39;24"),
+            "Terms & Privacy '24"
+        );
     }
 
     #[test]
@@ -160,6 +169,9 @@ mod tests {
                     </body></html>";
         let text = strip_html(html);
         assert!(!text.to_lowercase().contains("policy__"));
-        assert!(text.trim() == "Privacy" || text.trim().is_empty(), "{text:?}");
+        assert!(
+            text.trim() == "Privacy" || text.trim().is_empty(),
+            "{text:?}"
+        );
     }
 }

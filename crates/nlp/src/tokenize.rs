@@ -138,7 +138,11 @@ fn is_sentence_period(chars: &[char], i: usize) -> bool {
             }
             match chars.get(k) {
                 None => true,
-                Some(c2) => c2.is_uppercase() || c2.is_ascii_digit() || matches!(c2, '"' | '\'' | '(' | '[' | '•' | '-'),
+                Some(c2) => {
+                    c2.is_uppercase()
+                        || c2.is_ascii_digit()
+                        || matches!(c2, '"' | '\'' | '(' | '[' | '•' | '-')
+                }
             }
         }
         Some('"') | Some('\'') | Some(')') => true,
@@ -167,7 +171,10 @@ mod tests {
 
     #[test]
     fn words_numbers_kept() {
-        assert_eq!(words("GPT-4 collects 12 items"), vec!["gpt", "4", "collects", "12", "items"]);
+        assert_eq!(
+            words("GPT-4 collects 12 items"),
+            vec!["gpt", "4", "collects", "12", "items"]
+        );
     }
 
     #[test]
@@ -179,10 +186,7 @@ mod tests {
     #[test]
     fn sentences_basic_split() {
         let s = sentences("We collect data. We share it with partners.");
-        assert_eq!(
-            s,
-            vec!["We collect data.", "We share it with partners."]
-        );
+        assert_eq!(s, vec!["We collect data.", "We share it with partners."]);
     }
 
     #[test]

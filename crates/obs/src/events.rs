@@ -1,0 +1,132 @@
+//! The structured event log: leveled, bounded, cheap to append.
+//!
+//! Events complement the numeric instruments: a retry storm shows up as
+//! a counter *and* as `Warn` events naming the URL that misbehaved. The
+//! log is a fixed-capacity ring — old entries are dropped, never the
+//! process's memory budget — and appending takes one mutex acquisition,
+//! which only instrumented (non-hot) paths pay.
+
+use std::collections::VecDeque;
+
+/// Event severity, ordered: `Debug < Info < Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    Debug,
+    Info,
+    Warn,
+    Error,
+}
+
+impl Level {
+    /// Lowercase name, as rendered in text and JSON dumps.
+    pub fn label(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One logged event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Monotone sequence number (total events ever logged, including
+    /// ones the ring has since dropped).
+    pub seq: u64,
+    /// Microseconds since the registry was created.
+    pub elapsed_us: u64,
+    pub level: Level,
+    /// The subsystem that emitted the event ("crawler", "pipeline", …).
+    pub target: String,
+    pub message: String,
+}
+
+/// Fixed-capacity event ring (not `Sync` by itself; the registry wraps
+/// it in a `Mutex`).
+#[derive(Debug)]
+pub struct EventLog {
+    ring: VecDeque<Event>,
+    capacity: usize,
+    next_seq: u64,
+}
+
+impl EventLog {
+    pub fn new(capacity: usize) -> EventLog {
+        EventLog {
+            ring: VecDeque::with_capacity(capacity.min(1024)),
+            capacity: capacity.max(1),
+            next_seq: 0,
+        }
+    }
+
+    /// Append an event, evicting the oldest entry when full. Returns
+    /// the sequence number assigned.
+    pub fn push(&mut self, elapsed_us: u64, level: Level, target: &str, message: String) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(Event {
+            seq,
+            elapsed_us,
+            level,
+            target: target.to_string(),
+            message,
+        });
+        seq
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn to_vec(&self) -> Vec<Event> {
+        self.ring.iter().cloned().collect()
+    }
+
+    /// Total events ever logged (≥ retained count).
+    pub fn total_logged(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(Level::Debug < Level::Info);
+        assert!(Level::Info < Level::Warn);
+        assert!(Level::Warn < Level::Error);
+        assert_eq!(Level::Warn.to_string(), "warn");
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut log = EventLog::new(3);
+        for i in 0..5 {
+            log.push(i, Level::Info, "t", format!("event {i}"));
+        }
+        let events = log.to_vec();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].seq, 2, "oldest two evicted");
+        assert_eq!(events[2].message, "event 4");
+        assert_eq!(log.total_logged(), 5);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut log = EventLog::new(0);
+        log.push(0, Level::Error, "t", "a".into());
+        log.push(1, Level::Error, "t", "b".into());
+        assert_eq!(log.to_vec().len(), 1);
+        assert_eq!(log.to_vec()[0].message, "b");
+    }
+}

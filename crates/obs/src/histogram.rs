@@ -1,0 +1,206 @@
+//! Fixed-bucket latency histograms.
+//!
+//! Buckets are a fixed 1-2.5-5 decade ladder over microseconds (1 µs to
+//! 10 s, plus an overflow bucket), so recording is a branch-free index
+//! computation plus one relaxed atomic add — safe to call from every
+//! worker thread with no coordination. Quantiles are read off the
+//! cumulative bucket counts: exact count, bucket-resolution value, which
+//! is the standard trade for lock-free multi-writer histograms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Upper bounds (inclusive, microseconds) of every bucket except the
+/// overflow bucket. A 1-2.5-5 ladder: fine resolution where loopback
+/// latencies live, coarse where only order of magnitude matters.
+pub const BUCKET_BOUNDS_US: [u64; 22] = [
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000,
+    250_000, 500_000, 1_000_000, 2_500_000, 5_000_000, 10_000_000,
+];
+
+/// Bucket count including the overflow bucket.
+const BUCKETS: usize = BUCKET_BOUNDS_US.len() + 1;
+
+/// A lock-free fixed-bucket histogram over microsecond observations.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    /// `u64::MAX` until the first observation, so `fetch_min` is
+    /// race-free with no init flag.
+    min_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            min_us: AtomicU64::new(u64::MAX),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one observation (relaxed atomics throughout — totals are
+    /// exact after threads join, which is when snapshots are taken).
+    pub fn record_us(&self, us: u64) {
+        let idx = BUCKET_BOUNDS_US.partition_point(|&bound| bound < us);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+        self.min_us.fetch_min(us, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Summarize the current contents.
+    pub fn summary(&self) -> HistogramSummary {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = self.count.load(Ordering::Relaxed);
+        let sum_us = self.sum_us.load(Ordering::Relaxed);
+        let max_us = self.max_us.load(Ordering::Relaxed);
+        let min_us = if count == 0 {
+            0
+        } else {
+            self.min_us.load(Ordering::Relaxed).min(max_us)
+        };
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut cumulative = 0u64;
+            for (i, c) in counts.iter().enumerate() {
+                cumulative += c;
+                if cumulative >= target {
+                    // The bucket's upper bound, clamped into the observed
+                    // range so tiny samples don't report a whole decade.
+                    let bound = BUCKET_BOUNDS_US.get(i).copied().unwrap_or(max_us);
+                    return bound.clamp(min_us, max_us);
+                }
+            }
+            max_us
+        };
+        HistogramSummary {
+            count,
+            sum_us,
+            min_us,
+            max_us,
+            mean_us: if count == 0 {
+                0.0
+            } else {
+                sum_us as f64 / count as f64
+            },
+            p50_us: quantile(0.50),
+            p95_us: quantile(0.95),
+            p99_us: quantile(0.99),
+        }
+    }
+}
+
+/// Point-in-time summary of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    pub count: u64,
+    pub sum_us: u64,
+    pub min_us: u64,
+    pub max_us: u64,
+    pub mean_us: f64,
+    pub p50_us: u64,
+    pub p95_us: u64,
+    pub p99_us: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_summarizes_to_zero() {
+        let s = Histogram::new().summary();
+        assert_eq!(s.count, 0);
+        assert_eq!((s.min_us, s.max_us, s.p50_us, s.p99_us), (0, 0, 0, 0));
+        assert_eq!(s.mean_us, 0.0);
+    }
+
+    #[test]
+    fn records_track_count_sum_and_extremes() {
+        let h = Histogram::new();
+        for us in [10, 20, 30, 40] {
+            h.record_us(us);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum_us, 100);
+        assert_eq!(s.min_us, 10);
+        assert_eq!(s.max_us, 40);
+        assert_eq!(s.mean_us, 25.0);
+    }
+
+    #[test]
+    fn quantiles_land_in_the_right_bucket() {
+        let h = Histogram::new();
+        // 90 fast observations, 10 slow ones.
+        for _ in 0..90 {
+            h.record_us(40); // bucket bound 50
+        }
+        for _ in 0..10 {
+            h.record_us(9_000); // bucket bound 10_000
+        }
+        let s = h.summary();
+        assert_eq!(s.p50_us, 50);
+        // p95 and p99 fall in the slow bucket, clamped to observed max.
+        assert_eq!(s.p95_us, 9_000);
+        assert_eq!(s.p99_us, 9_000);
+    }
+
+    #[test]
+    fn overflow_bucket_catches_huge_values() {
+        let h = Histogram::new();
+        h.record_us(99_000_000);
+        let s = h.summary();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.p50_us, 99_000_000);
+        assert_eq!(s.max_us, 99_000_000);
+    }
+
+    #[test]
+    fn zero_observation_is_distinguished_from_empty() {
+        let h = Histogram::new();
+        h.record_us(0);
+        let s = h.summary();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min_us, 0);
+        assert_eq!(s.max_us, 0);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Histogram::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for i in 0..1_000u64 {
+                        h.record_us(i % 97);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.summary().count, 8_000);
+    }
+}

@@ -1,0 +1,38 @@
+//! # gptx-obs
+//!
+//! The toolkit's observability layer: a lock-cheap [`MetricsRegistry`]
+//! (atomic counters, gauges, fixed-bucket latency histograms with
+//! p50/p95/p99 summaries, and named span timers) plus a bounded,
+//! structured, leveled event log. Everything is `Sync`, dependency-free,
+//! and safe to thread through every subsystem as an
+//! `Arc<MetricsRegistry>`.
+//!
+//! Two design constraints drive the implementation:
+//!
+//! 1. **Determinism safety.** Metrics observe, they never steer: no
+//!    code path reads a counter to decide what to do next, so analysis
+//!    output is bit-identical with metrics enabled or disabled (see
+//!    `tests/parallel_determinism.rs`). Recording is allowed to cost
+//!    wall-clock, never answers.
+//! 2. **Near-zero disabled cost.** A registry built with
+//!    [`MetricsRegistry::disabled`] turns every record call into a
+//!    single branch on a `bool`: no clock reads, no allocation, no map
+//!    lookup (the `obs_overhead` bench holds this to <1% on the analyze
+//!    phase). Components default to the shared disabled singleton, so
+//!    observability is strictly opt-in.
+//!
+//! Hot paths pre-fetch a [`Counter`] / [`Gauge`] / [`HistogramHandle`]
+//! once and then touch only an atomic; convenience methods
+//! ([`MetricsRegistry::incr`], [`MetricsRegistry::observe_us`], …)
+//! get-or-create the instrument per call behind one `RwLock` read,
+//! which is still far below the cost of the I/O they instrument.
+
+pub mod events;
+pub mod histogram;
+pub mod registry;
+pub mod snapshot;
+
+pub use events::{Event, Level};
+pub use histogram::{Histogram, HistogramSummary};
+pub use registry::{Counter, Gauge, HistogramHandle, MetricsRegistry, Span};
+pub use snapshot::MetricsSnapshot;

@@ -1,0 +1,404 @@
+//! The metrics registry and its instrument handles.
+//!
+//! One registry instance is threaded (as an `Arc`) through every
+//! subsystem of a run. Instruments are named with dotted paths
+//! (`crawler.requests.gizmo`, `stage.classify`); the registry
+//! get-or-creates them behind a `RwLock` — a read-lock plus a map probe
+//! on the hit path, a short write-lock only on first use. Hot loops can
+//! hoist the returned handle out and pay just one relaxed atomic per
+//! record.
+//!
+//! A *disabled* registry short-circuits every operation on a plain
+//! `bool` before touching clocks, locks, or allocations — the mechanism
+//! behind the "near-zero cost when off" guarantee the `obs_overhead`
+//! bench enforces.
+
+use crate::events::{EventLog, Level};
+use crate::histogram::Histogram;
+use crate::snapshot::MetricsSnapshot;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Instant;
+
+/// Retained event capacity (older events are evicted, counters keep the
+/// true totals).
+const EVENT_CAPACITY: usize = 4096;
+
+/// A monotonically increasing counter handle. No-op when detached
+/// (obtained from a disabled registry).
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when detached).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A gauge handle: a signed value that can move both ways.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Option<Arc<AtomicI64>>);
+
+impl Gauge {
+    pub fn set(&self, value: i64) {
+        if let Some(cell) = &self.0 {
+            cell.store(value, Ordering::Relaxed);
+        }
+    }
+
+    pub fn add(&self, delta: i64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A histogram handle (latency distribution in microseconds).
+#[derive(Debug, Clone, Default)]
+pub struct HistogramHandle(Option<Arc<Histogram>>);
+
+impl HistogramHandle {
+    pub fn record_us(&self, us: u64) {
+        if let Some(h) = &self.0 {
+            h.record_us(us);
+        }
+    }
+
+    /// Start a span that records its elapsed time here when dropped.
+    pub fn start_span(&self) -> Span {
+        Span(self.0.as_ref().map(|h| (Arc::clone(h), Instant::now())))
+    }
+}
+
+/// A named span timer: records wall-clock from creation to drop into
+/// the histogram it was started from. Detached spans (from a disabled
+/// registry) never read the clock.
+#[derive(Debug)]
+pub struct Span(Option<(Arc<Histogram>, Instant)>);
+
+impl Span {
+    /// A span that records nothing — what disabled registries hand out.
+    pub fn detached() -> Span {
+        Span(None)
+    }
+
+    /// End the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((histogram, start)) = self.0.take() {
+            histogram.record_us(start.elapsed().as_micros() as u64);
+        }
+    }
+}
+
+/// The registry: every named instrument plus the event log of one run.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    enabled: bool,
+    start: Instant,
+    counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: RwLock<BTreeMap<String, Arc<AtomicI64>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    events: Mutex<EventLog>,
+    min_level: Level,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> MetricsRegistry {
+        MetricsRegistry::new()
+    }
+}
+
+impl MetricsRegistry {
+    fn build(enabled: bool) -> MetricsRegistry {
+        MetricsRegistry {
+            enabled,
+            start: Instant::now(),
+            counters: RwLock::new(BTreeMap::new()),
+            gauges: RwLock::new(BTreeMap::new()),
+            histograms: RwLock::new(BTreeMap::new()),
+            events: Mutex::new(EventLog::new(EVENT_CAPACITY)),
+            min_level: Level::Debug,
+        }
+    }
+
+    /// An enabled registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::build(true)
+    }
+
+    /// An enabled registry behind an `Arc`, ready to thread through a
+    /// pipeline.
+    pub fn shared() -> Arc<MetricsRegistry> {
+        Arc::new(MetricsRegistry::new())
+    }
+
+    /// A disabled registry: every operation is a no-op after one branch.
+    pub fn disabled() -> MetricsRegistry {
+        MetricsRegistry::build(false)
+    }
+
+    /// The process-wide disabled singleton — the default for every
+    /// component that was not handed a real registry, so "no metrics"
+    /// costs one shared allocation total.
+    pub fn shared_disabled() -> Arc<MetricsRegistry> {
+        static DISABLED: OnceLock<Arc<MetricsRegistry>> = OnceLock::new();
+        Arc::clone(DISABLED.get_or_init(|| Arc::new(MetricsRegistry::disabled())))
+    }
+
+    /// Raise the event-log threshold (instruments are unaffected).
+    pub fn with_min_level(mut self, level: Level) -> MetricsRegistry {
+        self.min_level = level;
+        self
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Get-or-create the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        if !self.enabled {
+            return Counter(None);
+        }
+        Counter(Some(get_or_create(&self.counters, name, Default::default)))
+    }
+
+    /// Get-or-create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if !self.enabled {
+            return Gauge(None);
+        }
+        Gauge(Some(get_or_create(&self.gauges, name, Default::default)))
+    }
+
+    /// Get-or-create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        if !self.enabled {
+            return HistogramHandle(None);
+        }
+        HistogramHandle(Some(get_or_create(
+            &self.histograms,
+            name,
+            Default::default,
+        )))
+    }
+
+    /// Increment counter `name` by 1.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Increment counter `name` by `n`.
+    pub fn add(&self, name: &str, n: u64) {
+        if self.enabled {
+            self.counter(name).add(n);
+        }
+    }
+
+    /// Record one observation into histogram `name`.
+    pub fn observe_us(&self, name: &str, us: u64) {
+        if self.enabled {
+            self.histogram(name).record_us(us);
+        }
+    }
+
+    /// Start a named span timer; elapsed time lands in histogram `name`
+    /// when the returned guard drops.
+    pub fn span(&self, name: &str) -> Span {
+        if !self.enabled {
+            return Span::detached();
+        }
+        self.histogram(name).start_span()
+    }
+
+    /// Append a structured event (dropped when below the registry's
+    /// minimum level, or when the registry is disabled).
+    pub fn event(&self, level: Level, target: &str, message: impl Into<String>) {
+        if !self.enabled || level < self.min_level {
+            return;
+        }
+        let elapsed_us = self.start.elapsed().as_micros() as u64;
+        self.events.lock().expect("event log mutex").push(
+            elapsed_us,
+            level,
+            target,
+            message.into(),
+        );
+    }
+
+    /// Microseconds since the registry was created.
+    pub fn elapsed_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    /// A point-in-time snapshot of every instrument and the retained
+    /// events. Cheap enough to call repeatedly (the `/metrics` endpoint
+    /// calls it per request).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .read()
+            .expect("counter map lock")
+            .iter()
+            .map(|(name, cell)| (name.clone(), cell.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = self
+            .gauges
+            .read()
+            .expect("gauge map lock")
+            .iter()
+            .map(|(name, cell)| (name.clone(), cell.load(Ordering::Relaxed)))
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .expect("histogram map lock")
+            .iter()
+            .map(|(name, h)| (name.clone(), h.summary()))
+            .collect();
+        let events = self.events.lock().expect("event log mutex").to_vec();
+        MetricsSnapshot {
+            enabled: self.enabled,
+            elapsed_us: self.elapsed_us(),
+            counters,
+            gauges,
+            histograms,
+            events,
+        }
+    }
+}
+
+/// Double-checked get-or-create over a `RwLock<BTreeMap>`: read-lock
+/// probe first (the steady-state path), write-lock insert only on miss.
+fn get_or_create<T>(
+    map: &RwLock<BTreeMap<String, Arc<T>>>,
+    name: &str,
+    make: impl FnOnce() -> T,
+) -> Arc<T> {
+    if let Some(existing) = map.read().expect("instrument map lock").get(name) {
+        return Arc::clone(existing);
+    }
+    let mut guard = map.write().expect("instrument map lock");
+    Arc::clone(
+        guard
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(make())),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share_by_name() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("crawler.requests.gizmo");
+        let b = registry.counter("crawler.requests.gizmo");
+        a.incr();
+        b.add(4);
+        registry.incr("crawler.requests.gizmo");
+        assert_eq!(a.get(), 6);
+        assert_eq!(registry.snapshot().counters["crawler.requests.gizmo"], 6);
+    }
+
+    #[test]
+    fn gauges_move_both_ways() {
+        let registry = MetricsRegistry::new();
+        let g = registry.gauge("pool.active_workers");
+        g.set(8);
+        g.add(-3);
+        assert_eq!(g.get(), 5);
+        assert_eq!(registry.snapshot().gauges["pool.active_workers"], 5);
+    }
+
+    #[test]
+    fn spans_record_into_their_histogram() {
+        let registry = MetricsRegistry::new();
+        {
+            let _span = registry.span("stage.classify");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        registry.span("stage.classify").finish();
+        let snap = registry.snapshot();
+        let summary = &snap.histograms["stage.classify"];
+        assert_eq!(summary.count, 2);
+        assert!(summary.max_us >= 2_000, "slept 2ms, saw {summary:?}");
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let registry = MetricsRegistry::disabled();
+        registry.incr("x");
+        registry.observe_us("y", 10);
+        registry.counter("x").add(100);
+        registry.gauge("g").set(5);
+        registry.span("z").finish();
+        registry.event(Level::Error, "t", "dropped");
+        let snap = registry.snapshot();
+        assert!(!snap.enabled);
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+        assert!(snap.events.is_empty());
+    }
+
+    #[test]
+    fn shared_disabled_is_a_singleton() {
+        let a = MetricsRegistry::shared_disabled();
+        let b = MetricsRegistry::shared_disabled();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!a.enabled());
+    }
+
+    #[test]
+    fn events_respect_min_level() {
+        let registry = MetricsRegistry::new().with_min_level(Level::Warn);
+        registry.event(Level::Info, "crawler", "ignored");
+        registry.event(Level::Warn, "crawler", "retrying gizmo fetch");
+        let events = registry.snapshot().events;
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].level, Level::Warn);
+        assert_eq!(events[0].target, "crawler");
+    }
+
+    #[test]
+    fn concurrent_mixed_recording_is_exact() {
+        let registry = Arc::new(MetricsRegistry::new());
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let registry = Arc::clone(&registry);
+                scope.spawn(move || {
+                    let c = registry.counter("par.items");
+                    for i in 0..500u64 {
+                        c.incr();
+                        registry.observe_us("lat", i);
+                    }
+                });
+            }
+        });
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["par.items"], 4_000);
+        assert_eq!(snap.histograms["lat"].count, 4_000);
+    }
+}

@@ -1,0 +1,211 @@
+//! Point-in-time snapshots of a registry, with text and JSON renderers.
+//!
+//! The snapshot is the only way metrics leave the process: the
+//! `/metrics` endpoint serves [`MetricsSnapshot::render_text`], and
+//! `--metrics-json` writes [`MetricsSnapshot::to_json`]. Both renderers
+//! iterate `BTreeMap`s, so output ordering is deterministic for a given
+//! set of instrument names.
+
+use crate::events::Event;
+use crate::histogram::HistogramSummary;
+use std::collections::BTreeMap;
+
+/// Everything a registry knew at one instant.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Whether the registry was recording at all.
+    pub enabled: bool,
+    /// Microseconds since the registry was created.
+    pub elapsed_us: u64,
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, i64>,
+    pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Retained events, oldest first.
+    pub events: Vec<Event>,
+}
+
+impl MetricsSnapshot {
+    /// Total instruments captured (counters + gauges + histograms).
+    pub fn instrument_count(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+
+    /// Prometheus-flavored plain text: one `name value` line per
+    /// counter/gauge, and per-histogram `_count`/`_sum_us`/quantile
+    /// lines. Served verbatim by the store server's `/metrics` route.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# gptx metrics snapshot (enabled={}, elapsed_us={})\n",
+            self.enabled, self.elapsed_us
+        ));
+        for (name, value) in &self.counters {
+            out.push_str(&format!("{} {}\n", sanitize(name), value));
+        }
+        for (name, value) in &self.gauges {
+            out.push_str(&format!("{} {}\n", sanitize(name), value));
+        }
+        for (name, h) in &self.histograms {
+            let name = sanitize(name);
+            out.push_str(&format!("{name}_count {}\n", h.count));
+            out.push_str(&format!("{name}_sum_us {}\n", h.sum_us));
+            out.push_str(&format!("{name}_min_us {}\n", h.min_us));
+            out.push_str(&format!("{name}_max_us {}\n", h.max_us));
+            out.push_str(&format!("{name}_mean_us {:.1}\n", h.mean_us));
+            out.push_str(&format!("{name}_p50_us {}\n", h.p50_us));
+            out.push_str(&format!("{name}_p95_us {}\n", h.p95_us));
+            out.push_str(&format!("{name}_p99_us {}\n", h.p99_us));
+        }
+        out
+    }
+
+    /// Machine-readable JSON dump (hand-rolled — this crate is
+    /// dependency-free by design).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"enabled\": {},\n", self.enabled));
+        out.push_str(&format!("  \"elapsed_us\": {},\n", self.elapsed_us));
+
+        out.push_str("  \"counters\": {");
+        push_entries(&mut out, self.counters.iter(), |out, (name, v)| {
+            out.push_str(&format!("    {}: {}", json_string(name), v));
+        });
+        out.push_str("},\n");
+
+        out.push_str("  \"gauges\": {");
+        push_entries(&mut out, self.gauges.iter(), |out, (name, v)| {
+            out.push_str(&format!("    {}: {}", json_string(name), v));
+        });
+        out.push_str("},\n");
+
+        out.push_str("  \"histograms\": {");
+        push_entries(&mut out, self.histograms.iter(), |out, (name, h)| {
+            out.push_str(&format!(
+                "    {}: {{\"count\": {}, \"sum_us\": {}, \"min_us\": {}, \"max_us\": {}, \
+                 \"mean_us\": {:.1}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}}}",
+                json_string(name),
+                h.count,
+                h.sum_us,
+                h.min_us,
+                h.max_us,
+                h.mean_us,
+                h.p50_us,
+                h.p95_us,
+                h.p99_us
+            ));
+        });
+        out.push_str("},\n");
+
+        out.push_str("  \"events\": [");
+        push_entries(&mut out, self.events.iter(), |out, event| {
+            out.push_str(&format!(
+                "    {{\"seq\": {}, \"elapsed_us\": {}, \"level\": {}, \"target\": {}, \
+                 \"message\": {}}}",
+                event.seq,
+                event.elapsed_us,
+                json_string(event.level.label()),
+                json_string(&event.target),
+                json_string(&event.message)
+            ));
+        });
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Write a `,\n`-separated block of entries, newline-framed when
+/// non-empty so `{}` / `[]` stay compact.
+fn push_entries<T>(
+    out: &mut String,
+    entries: impl Iterator<Item = T>,
+    mut write: impl FnMut(&mut String, T),
+) {
+    let mut any = false;
+    for entry in entries {
+        out.push_str(if any { ",\n" } else { "\n" });
+        any = true;
+        write(out, entry);
+    }
+    if any {
+        out.push_str("\n  ");
+    }
+}
+
+/// Metric names become prometheus-safe identifiers: dots (our namespace
+/// separator) and any other non-alphanumeric become underscores.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::Level;
+    use crate::registry::MetricsRegistry;
+
+    fn sample() -> MetricsSnapshot {
+        let registry = MetricsRegistry::new();
+        registry.add("crawler.requests.gizmo", 12);
+        registry.gauge("pool.workers").set(4);
+        registry.observe_us("http.latency", 120);
+        registry.observe_us("http.latency", 480);
+        registry.event(Level::Warn, "crawler", "retry \"g-1\"\n");
+        registry.snapshot()
+    }
+
+    #[test]
+    fn text_render_lists_every_instrument() {
+        let text = sample().render_text();
+        assert!(text.contains("crawler_requests_gizmo 12"));
+        assert!(text.contains("pool_workers 4"));
+        assert!(text.contains("http_latency_count 2"));
+        assert!(text.contains("http_latency_sum_us 600"));
+        assert!(text.contains("http_latency_p50_us"));
+    }
+
+    #[test]
+    fn json_is_escaped_and_structurally_balanced() {
+        let json = sample().to_json();
+        assert!(json.contains("\"crawler.requests.gizmo\": 12"));
+        assert!(json.contains("\\\"g-1\\\""));
+        assert!(json.contains("\\n"));
+        let opens = json.matches('{').count() + json.matches('[').count();
+        let closes = json.matches('}').count() + json.matches(']').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn empty_snapshot_renders_compact_containers() {
+        let json = MetricsRegistry::disabled().snapshot().to_json();
+        assert!(json.contains("\"counters\": {},"));
+        assert!(json.contains("\"events\": []"));
+    }
+
+    #[test]
+    fn json_string_escapes_control_chars() {
+        assert_eq!(json_string("a\u{1}b"), "\"a\\u0001b\"");
+        assert_eq!(json_string("q\"\\"), "\"q\\\"\\\\\"");
+    }
+}

@@ -17,8 +17,10 @@
 //! `AtomicUsize::fetch_add`, compute each chunk into a private `Vec`,
 //! and the chunks are reassembled in index order after the scope joins.
 
+use gptx_obs::MetricsRegistry;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Workers claim chunks of roughly `len / (workers * CHUNKS_PER_WORKER)`
 /// items — small enough to balance skewed per-item cost (one Action with
@@ -49,8 +51,90 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    run_pool(threads, items, None, f)
+}
+
+/// [`par_map`] with pool instrumentation: per-worker task counts, steal
+/// counts, and busy/idle wall-clock land in `metrics` under
+/// `par.<label>.*`. A disabled registry makes this identical to
+/// [`par_map`] — the observation hooks are skipped entirely, so the
+/// result (and its cost) cannot depend on whether metrics are on.
+pub fn par_map_metered<T, R, F>(
+    threads: usize,
+    items: &[T],
+    metrics: &MetricsRegistry,
+    label: &str,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let obs = metrics.enabled().then_some(PoolObs { metrics, label });
+    run_pool(threads, items, obs, |_, item| f(item))
+}
+
+/// Fallible [`par_map_metered`]: instrumentation of `par_map_metered`,
+/// error semantics of [`par_try_map`].
+pub fn par_try_map_metered<T, R, E, F>(
+    threads: usize,
+    items: &[T],
+    metrics: &MetricsRegistry,
+    label: &str,
+    f: F,
+) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(&T) -> Result<R, E> + Sync,
+{
+    par_map_metered(threads, items, metrics, label, &f)
+        .into_iter()
+        .collect()
+}
+
+/// Instrumentation target for one pool run.
+struct PoolObs<'a> {
+    metrics: &'a MetricsRegistry,
+    label: &'a str,
+}
+
+/// What one worker did during a pool run, recorded locally (no shared
+/// atomics on the hot path) and folded into the registry after joining.
+struct WorkerStats {
+    tasks: u64,
+    chunks: u64,
+    busy_us: u64,
+}
+
+/// The shared pool body. `obs: None` is the zero-overhead path every
+/// unmetered entry point takes — no clocks, no per-worker accounting.
+fn run_pool<T, R, F>(threads: usize, items: &[T], obs: Option<PoolObs<'_>>, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     if threads <= 1 || items.len() <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let started = obs.as_ref().map(|_| Instant::now());
+        let out: Vec<R> = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        if let (Some(obs), Some(started)) = (&obs, started) {
+            let busy_us = started.elapsed().as_micros() as u64;
+            record_pool_run(
+                obs,
+                items.len() as u64,
+                1,
+                &[WorkerStats {
+                    tasks: items.len() as u64,
+                    chunks: 1,
+                    busy_us,
+                }],
+                busy_us,
+            );
+        }
+        return out;
     }
     let workers = threads.min(items.len());
     let chunk = (items.len() / (workers * CHUNKS_PER_WORKER)).max(1);
@@ -58,23 +142,91 @@ where
     // Each worker pushes (chunk start, chunk results); the chunks are
     // index-addressed, so reassembly below is scheduling-independent.
     let filled: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
+    let worker_stats: Mutex<Vec<WorkerStats>> = Mutex::new(Vec::new());
+    let metered = obs.is_some();
+    let pool_start = obs.as_ref().map(|_| Instant::now());
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                if start >= items.len() {
-                    break;
+            scope.spawn(|| {
+                let mut stats = WorkerStats {
+                    tasks: 0,
+                    chunks: 0,
+                    busy_us: 0,
+                };
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= items.len() {
+                        break;
+                    }
+                    let end = (start + chunk).min(items.len());
+                    let chunk_start = metered.then(Instant::now);
+                    let out: Vec<R> = (start..end).map(|i| f(i, &items[i])).collect();
+                    if let Some(chunk_start) = chunk_start {
+                        stats.busy_us += chunk_start.elapsed().as_micros() as u64;
+                        stats.tasks += (end - start) as u64;
+                        stats.chunks += 1;
+                    }
+                    filled
+                        .lock()
+                        .expect("par_map results mutex")
+                        .push((start, out));
                 }
-                let end = (start + chunk).min(items.len());
-                let out: Vec<R> = (start..end).map(|i| f(i, &items[i])).collect();
-                filled.lock().expect("par_map results mutex").push((start, out));
+                if metered && stats.chunks > 0 {
+                    worker_stats
+                        .lock()
+                        .expect("par_map stats mutex")
+                        .push(stats);
+                }
             });
         }
     });
+    if let (Some(obs), Some(pool_start)) = (&obs, pool_start) {
+        let wall_us = pool_start.elapsed().as_micros() as u64;
+        let stats = worker_stats.into_inner().expect("par_map stats mutex");
+        record_pool_run(obs, items.len() as u64, workers as u64, &stats, wall_us);
+    }
     let mut chunks = filled.into_inner().expect("par_map results mutex");
     chunks.sort_unstable_by_key(|&(start, _)| start);
-    debug_assert_eq!(chunks.iter().map(|(_, c)| c.len()).sum::<usize>(), items.len());
+    debug_assert_eq!(
+        chunks.iter().map(|(_, c)| c.len()).sum::<usize>(),
+        items.len()
+    );
     chunks.into_iter().flat_map(|(_, c)| c).collect()
+}
+
+/// Fold one pool run's worker stats into the registry.
+///
+/// "Steals" are the chunks a worker claimed beyond its first: with a
+/// perfectly uniform workload every worker claims `total / workers`
+/// chunks, so a high steal count relative to chunk count means the
+/// cursor did real load balancing.
+fn record_pool_run(
+    obs: &PoolObs<'_>,
+    items: u64,
+    workers: u64,
+    stats: &[WorkerStats],
+    wall_us: u64,
+) {
+    let PoolObs { metrics, label } = obs;
+    metrics.incr(&format!("par.{label}.runs"));
+    metrics.add(&format!("par.{label}.items"), items);
+    metrics
+        .gauge(&format!("par.{label}.workers"))
+        .set(workers as i64);
+    let busy = metrics.histogram(&format!("par.{label}.worker_busy_us"));
+    let idle = metrics.histogram(&format!("par.{label}.worker_idle_us"));
+    let tasks = metrics.counter(&format!("par.{label}.worker_tasks"));
+    let steals = metrics.counter(&format!("par.{label}.steals"));
+    for ws in stats {
+        tasks.add(ws.tasks);
+        steals.add(ws.chunks.saturating_sub(1));
+        busy.record_us(ws.busy_us);
+        idle.record_us(wall_us.saturating_sub(ws.busy_us));
+    }
+    // Workers that never claimed a chunk were pure idle time.
+    for _ in stats.len() as u64..workers {
+        idle.record_us(wall_us);
+    }
 }
 
 /// Fallible [`par_map`]: maps a `Result`-returning `f` and returns the
@@ -145,14 +297,8 @@ mod tests {
     #[test]
     fn try_map_returns_first_error_by_input_order() {
         let items: Vec<usize> = (0..100).collect();
-        let err = par_try_map(8, &items, |&x| {
-            if x % 30 == 7 {
-                Err(x)
-            } else {
-                Ok(x)
-            }
-        })
-        .unwrap_err();
+        let err =
+            par_try_map(8, &items, |&x| if x % 30 == 7 { Err(x) } else { Ok(x) }).unwrap_err();
         assert_eq!(err, 7);
     }
 
@@ -161,6 +307,71 @@ mod tests {
         let items: Vec<usize> = (0..64).collect();
         let out: Vec<usize> = par_try_map::<_, _, (), _>(4, &items, |&x| Ok(x + 1)).unwrap();
         assert_eq!(out, (1..=64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn metered_map_matches_unmetered_output() {
+        let items: Vec<usize> = (0..257).collect();
+        let expected = par_map(8, &items, |&x| x * 3);
+        let enabled = MetricsRegistry::new();
+        assert_eq!(
+            par_map_metered(8, &items, &enabled, "t", |&x| x * 3),
+            expected
+        );
+        let disabled = MetricsRegistry::disabled();
+        assert_eq!(
+            par_map_metered(8, &items, &disabled, "t", |&x| x * 3),
+            expected
+        );
+    }
+
+    #[test]
+    fn metered_map_records_pool_stats() {
+        let metrics = MetricsRegistry::new();
+        let items: Vec<usize> = (0..500).collect();
+        par_map_metered(4, &items, &metrics, "classify", |&x| x + 1);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counters["par.classify.runs"], 1);
+        assert_eq!(snap.counters["par.classify.items"], 500);
+        assert_eq!(snap.counters["par.classify.worker_tasks"], 500);
+        assert_eq!(snap.gauges["par.classify.workers"], 4);
+        // Every worker gets an idle observation; busy ones also a busy one.
+        assert_eq!(snap.histograms["par.classify.worker_idle_us"].count, 4);
+        let busy = snap.histograms["par.classify.worker_busy_us"].count;
+        assert!((1..=4).contains(&busy), "busy workers: {busy}");
+    }
+
+    #[test]
+    fn metered_inline_path_still_counts() {
+        let metrics = MetricsRegistry::new();
+        par_map_metered(1, &[1u32, 2, 3], &metrics, "seq", |&x| x);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counters["par.seq.items"], 3);
+        assert_eq!(snap.counters["par.seq.worker_tasks"], 3);
+        assert_eq!(snap.counters["par.seq.steals"], 0);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing_from_pool() {
+        let metrics = MetricsRegistry::disabled();
+        par_map_metered(8, &(0..100).collect::<Vec<_>>(), &metrics, "t", |&x| x);
+        assert_eq!(metrics.snapshot().instrument_count(), 0);
+    }
+
+    #[test]
+    fn metered_try_map_keeps_error_order_and_counts() {
+        let metrics = MetricsRegistry::new();
+        let items: Vec<usize> = (0..80).collect();
+        let err = par_try_map_metered(8, &items, &metrics, "t", |&x| {
+            if x % 25 == 9 {
+                Err(x)
+            } else {
+                Ok(x)
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, 9);
+        assert_eq!(metrics.snapshot().counters["par.t.items"], 80);
     }
 
     #[test]

@@ -79,15 +79,11 @@ fn macro_avg(
 
 /// Score predictions against gold labels. Each element pairs a data type
 /// (for bookkeeping) with `(predicted, gold)`.
-pub fn evaluate(
-    pairs: &[(DataType, DisclosureLabel, DisclosureLabel)],
-) -> AccuracyReport {
+pub fn evaluate(pairs: &[(DataType, DisclosureLabel, DisclosureLabel)]) -> AccuracyReport {
     let mut per_label: BTreeMap<DisclosureLabel, Confusion> = BTreeMap::new();
     // Only labels present in gold or predictions participate.
-    let labels: std::collections::BTreeSet<DisclosureLabel> = pairs
-        .iter()
-        .flat_map(|(_, p, g)| [*p, *g])
-        .collect();
+    let labels: std::collections::BTreeSet<DisclosureLabel> =
+        pairs.iter().flat_map(|(_, p, g)| [*p, *g]).collect();
     for label in labels {
         let c = per_label.entry(label).or_default();
         for (_, predicted, gold) in pairs {

@@ -112,8 +112,7 @@ pub fn corpus_stats(
         crawled
             .iter()
             .filter(|(_, body)| {
-                hash_counts[&stable_hash(body)] == 1
-                    && seen.insert(stable_hash(body), ()).is_none()
+                hash_counts[&stable_hash(body)] == 1 && seen.insert(stable_hash(body), ()).is_none()
             })
             .map(|(_, body)| *body)
             .collect()
@@ -210,7 +209,11 @@ mod tests {
         let a = long("alpha");
         let b = long("alpha"); // wait — identical would be exact dup; vary:
         let b = b.replace("alpha", "beta");
-        let c = corpus(&[("a", Some(&a)), ("b", Some(&b)), ("x", Some("unrelated tiny"))]);
+        let c = corpus(&[
+            ("a", Some(&a)),
+            ("b", Some(&b)),
+            ("x", Some("unrelated tiny")),
+        ]);
         // Two in-text name substitutions invalidate ~6 of ~38 3-shingles,
         // so the template pair sits around J ≈ 0.7.
         let s = corpus_stats(&c, 0.6);
@@ -221,7 +224,10 @@ mod tests {
     fn near_dup_threshold_excludes_dissimilar() {
         let c = corpus(&[
             ("a", Some("we collect emails and names from our users")),
-            ("b", Some("the quick brown fox jumps over the lazy dog repeatedly")),
+            (
+                "b",
+                Some("the quick brown fox jumps over the lazy dog repeatedly"),
+            ),
         ]);
         let s = corpus_stats(&c, 0.95);
         assert_eq!(s.near_duplicate_fraction, 0.0);

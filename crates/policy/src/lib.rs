@@ -23,8 +23,7 @@ pub mod results;
 
 pub use accuracy::{evaluate, AccuracyReport, Confusion};
 pub use corpus::{
-    classify_duplicate_content, corpus_stats, duplicate_content_breakdown, CorpusStats,
-    DupContent,
+    classify_duplicate_content, corpus_stats, duplicate_content_breakdown, CorpusStats, DupContent,
 };
 pub use pipeline::{
     ActionDisclosureReport, ContextStrategy, ItemDisclosure, PipelineError, PolicyAnalyzer,

@@ -139,7 +139,10 @@ impl<'m, M: LanguageModel> PolicyAnalyzer<'m, M> {
             ContextStrategy::ScreenedSentences => {
                 let mut kept = Vec::new();
                 for sentence in sentences {
-                    let prompt = ScreeningRequest { sentence: &sentence }.to_prompt();
+                    let prompt = ScreeningRequest {
+                        sentence: &sentence,
+                    }
+                    .to_prompt();
                     let keep = self
                         .complete_with_retries(&prompt, ScreeningRequest::parse)?
                         .unwrap_or(false);
@@ -231,9 +234,18 @@ mod tests {
 
     fn items() -> Vec<(String, DataType)> {
         vec![
-            ("Email address of the user".to_string(), DataType::EmailAddress),
-            ("The phone number of the user".to_string(), DataType::PhoneNumber),
-            ("The city for the lookup".to_string(), DataType::ApproximateLocation),
+            (
+                "Email address of the user".to_string(),
+                DataType::EmailAddress,
+            ),
+            (
+                "The phone number of the user".to_string(),
+                DataType::PhoneNumber,
+            ),
+            (
+                "The city for the lookup".to_string(),
+                DataType::ApproximateLocation,
+            ),
         ]
     }
 
@@ -251,19 +263,26 @@ mod tests {
     fn labels_match_planted_policy() {
         let m = model();
         let analyzer = PolicyAnalyzer::new(&m);
-        let report = analyzer.analyze_action("Test@t.dev", POLICY, &items()).unwrap();
+        let report = analyzer
+            .analyze_action("Test@t.dev", POLICY, &items())
+            .unwrap();
         let by_type: std::collections::BTreeMap<DataType, DisclosureLabel> =
             report.per_type_labels().into_iter().collect();
         assert_eq!(by_type[&DataType::EmailAddress], DisclosureLabel::Clear);
         assert_eq!(by_type[&DataType::PhoneNumber], DisclosureLabel::Incorrect);
-        assert_eq!(by_type[&DataType::ApproximateLocation], DisclosureLabel::Omitted);
+        assert_eq!(
+            by_type[&DataType::ApproximateLocation],
+            DisclosureLabel::Omitted
+        );
     }
 
     #[test]
     fn consistent_fraction_counts_clear_and_vague() {
         let m = model();
         let analyzer = PolicyAnalyzer::new(&m);
-        let report = analyzer.analyze_action("Test@t.dev", POLICY, &items()).unwrap();
+        let report = analyzer
+            .analyze_action("Test@t.dev", POLICY, &items())
+            .unwrap();
         // 1 of 3 types (email) is consistent.
         assert!((report.consistent_fraction() - 1.0 / 3.0).abs() < 1e-12);
         assert_eq!(report.clear_count(), 1);

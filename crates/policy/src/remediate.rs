@@ -50,7 +50,11 @@ impl RemediationPlan {
 /// lexicon phrase under an explicit collection verb — exactly what the
 /// pipeline's *clear* label requires.
 pub fn disclosure_sentence(data_type: DataType) -> String {
-    let phrase = data_type.lexicon().first().copied().unwrap_or(data_type.label());
+    let phrase = data_type
+        .lexicon()
+        .first()
+        .copied()
+        .unwrap_or(data_type.label());
     format!("We collect your {phrase} to provide this service.")
 }
 

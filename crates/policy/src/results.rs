@@ -104,11 +104,7 @@ pub fn fully_consistent_fraction(reports: &[ActionDisclosureReport]) -> f64 {
     }
     let consistent = with_items
         .iter()
-        .filter(|r| {
-            r.per_type_labels()
-                .iter()
-                .all(|(_, l)| l.is_consistent())
-        })
+        .filter(|r| r.per_type_labels().iter().all(|(_, l)| l.is_consistent()))
         .count();
     consistent as f64 / with_items.len() as f64
 }
@@ -151,7 +147,11 @@ pub fn top_consistent_actions(
             })
         })
         .collect();
-    out.sort_by(|a, b| b.total.cmp(&a.total).then_with(|| a.identity.cmp(&b.identity)));
+    out.sort_by(|a, b| {
+        b.total
+            .cmp(&a.total)
+            .then_with(|| a.identity.cmp(&b.identity))
+    });
     out
 }
 
@@ -179,8 +179,14 @@ mod tests {
 
     fn sample() -> Vec<ActionDisclosureReport> {
         vec![
-            report("a@a.dev", &[(DataType::EmailAddress, Clear), (DataType::Name, Vague)]),
-            report("b@b.dev", &[(DataType::EmailAddress, Omitted), (DataType::Time, Omitted)]),
+            report(
+                "a@a.dev",
+                &[(DataType::EmailAddress, Clear), (DataType::Name, Vague)],
+            ),
+            report(
+                "b@b.dev",
+                &[(DataType::EmailAddress, Omitted), (DataType::Time, Omitted)],
+            ),
             report(
                 "c@c.dev",
                 &[

@@ -51,7 +51,10 @@ pub fn cdf_plot(title: &str, steps: &[(f64, f64)], width: usize, height: usize) 
     let mut out = format!("{title}\n");
     for (i, row) in grid.iter().enumerate() {
         let y_label = 1.0 - i as f64 / (height - 1).max(1) as f64;
-        out.push_str(&format!("{y_label:4.2} |{}\n", row.iter().collect::<String>()));
+        out.push_str(&format!(
+            "{y_label:4.2} |{}\n",
+            row.iter().collect::<String>()
+        ));
     }
     out.push_str(&format!(
         "     +{}\n      {x_min:<8.1}{:>width$.1}\n",

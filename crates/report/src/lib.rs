@@ -6,7 +6,9 @@
 //! regenerating the paper's tables and figures.
 
 pub mod chart;
+pub mod metrics;
 pub mod table;
 
 pub use chart::{bar_chart, cdf_plot, heatmap, scatter_plot};
+pub use metrics::{fmt_us, histogram_table, metrics_report};
 pub use table::{num, pct, Align, Table};

@@ -1,0 +1,159 @@
+//! Terminal rendering of a [`MetricsSnapshot`] — the `--metrics` view.
+//!
+//! Instruments are grouped by their first dotted name segment
+//! ("crawler", "par", "stage", "store", …) so the dump reads as one
+//! table per subsystem rather than one undifferentiated wall of names.
+
+use crate::table::{Align, Table};
+use gptx_obs::{HistogramSummary, MetricsSnapshot};
+use std::collections::BTreeMap;
+
+/// Render a full metrics report: counters and gauges grouped per
+/// subsystem, latency histograms with quantiles, and a trailing event
+/// tail when any events were retained.
+pub fn metrics_report(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Metrics ({} instruments, {:.2}s elapsed{})\n\n",
+        snapshot.instrument_count(),
+        snapshot.elapsed_us as f64 / 1e6,
+        if snapshot.enabled {
+            ""
+        } else {
+            ", collection disabled"
+        },
+    ));
+    if snapshot.instrument_count() == 0 {
+        out.push_str("No instruments recorded.\n");
+        return out;
+    }
+
+    // Counters and gauges, one table per top-level group.
+    let mut values: BTreeMap<&str, Vec<(String, String)>> = BTreeMap::new();
+    for (name, v) in &snapshot.counters {
+        values
+            .entry(group_of(name))
+            .or_default()
+            .push((name.clone(), v.to_string()));
+    }
+    for (name, v) in &snapshot.gauges {
+        values
+            .entry(group_of(name))
+            .or_default()
+            .push((name.clone(), v.to_string()));
+    }
+    for (group, mut entries) in values {
+        entries.sort();
+        let mut table = Table::new(vec!["Metric", "Value"])
+            .with_title(&format!("Counters: {group}"))
+            .with_aligns(vec![Align::Left, Align::Right]);
+        for (name, value) in entries {
+            table.row(vec![name, value]);
+        }
+        out.push_str(&table.to_ascii());
+        out.push('\n');
+    }
+
+    if !snapshot.histograms.is_empty() {
+        out.push_str(&histogram_table(&snapshot.histograms).to_ascii());
+        out.push('\n');
+    }
+
+    if !snapshot.events.is_empty() {
+        out.push_str(&format!("Events ({} retained):\n", snapshot.events.len()));
+        for event in &snapshot.events {
+            out.push_str(&format!(
+                "  [{:>10.3}s] {:5} {}: {}\n",
+                event.elapsed_us as f64 / 1e6,
+                event.level.label(),
+                event.target,
+                event.message,
+            ));
+        }
+    }
+    out
+}
+
+/// The latency table alone — shared by [`metrics_report`] and callers
+/// that only want timings.
+pub fn histogram_table(histograms: &BTreeMap<String, HistogramSummary>) -> Table {
+    let mut table = Table::new(vec![
+        "Latency", "count", "mean", "p50", "p95", "p99", "max", "total",
+    ])
+    .with_title("Latency histograms")
+    .with_aligns(vec![
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
+    for (name, h) in histograms {
+        table.row(vec![
+            name.clone(),
+            h.count.to_string(),
+            fmt_us(h.mean_us as u64),
+            fmt_us(h.p50_us),
+            fmt_us(h.p95_us),
+            fmt_us(h.p99_us),
+            fmt_us(h.max_us),
+            fmt_us(h.sum_us),
+        ]);
+    }
+    table
+}
+
+/// Human-scale duration: µs below 1 ms, ms below 1 s, seconds above.
+pub fn fmt_us(us: u64) -> String {
+    if us < 1_000 {
+        format!("{us}µs")
+    } else if us < 1_000_000 {
+        format!("{:.1}ms", us as f64 / 1e3)
+    } else {
+        format!("{:.2}s", us as f64 / 1e6)
+    }
+}
+
+fn group_of(name: &str) -> &str {
+    name.split('.').next().unwrap_or(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gptx_obs::{Level, MetricsRegistry};
+
+    #[test]
+    fn report_groups_by_subsystem_and_lists_histograms() {
+        let registry = MetricsRegistry::new();
+        registry.add("crawler.requests.gizmo", 7);
+        registry.add("store.route.listing", 3);
+        registry.observe_us("stage.crawl", 1_500);
+        registry.event(Level::Warn, "crawler", "retrying");
+        let report = metrics_report(&registry.snapshot());
+        assert!(report.contains("Counters: crawler"));
+        assert!(report.contains("Counters: store"));
+        assert!(report.contains("crawler.requests.gizmo"));
+        assert!(report.contains("Latency histograms"));
+        assert!(report.contains("stage.crawl"));
+        assert!(report.contains("warn"));
+        assert!(report.contains("retrying"));
+    }
+
+    #[test]
+    fn empty_snapshot_has_a_friendly_report() {
+        let report = metrics_report(&MetricsRegistry::disabled().snapshot());
+        assert!(report.contains("No instruments recorded."));
+        assert!(report.contains("collection disabled"));
+    }
+
+    #[test]
+    fn durations_scale_units() {
+        assert_eq!(fmt_us(999), "999µs");
+        assert_eq!(fmt_us(1_500), "1.5ms");
+        assert_eq!(fmt_us(2_340_000), "2.34s");
+    }
+}

@@ -77,7 +77,10 @@ impl ExposureSummary {
         let Some(by_kind) = self.per_action.get(identity) else {
             return BTreeSet::new();
         };
-        let direct = by_kind.get(&FlowKind::DirectCall).cloned().unwrap_or_default();
+        let direct = by_kind
+            .get(&FlowKind::DirectCall)
+            .cloned()
+            .unwrap_or_default();
         by_kind
             .iter()
             .filter(|(kind, _)| **kind != FlowKind::DirectCall)
@@ -115,13 +118,15 @@ mod tests {
     fn beyond_direct_excludes_direct_types() {
         let events = vec![
             event(0, "a", FlowKind::DirectCall, &[EmailAddress]),
-            event(0, "a", FlowKind::SharedContext, &[EmailAddress, PhoneNumber]),
+            event(
+                0,
+                "a",
+                FlowKind::SharedContext,
+                &[EmailAddress, PhoneNumber],
+            ),
         ];
         let s = ExposureSummary::from_events(&events);
-        assert_eq!(
-            s.beyond_direct("a"),
-            [PhoneNumber].into_iter().collect()
-        );
+        assert_eq!(s.beyond_direct("a"), [PhoneNumber].into_iter().collect());
     }
 
     #[test]

@@ -61,8 +61,7 @@ impl<'g> Journey<'g> {
         for (gpt_name, session) in &self.sessions {
             let summary: ExposureSummary = session.summary();
             for (identity, by_kind) in &summary.per_action {
-                let observed: BTreeSet<DataType> =
-                    by_kind.values().flatten().copied().collect();
+                let observed: BTreeSet<DataType> = by_kind.values().flatten().copied().collect();
                 if observed.is_empty() {
                     continue;
                 }
@@ -74,11 +73,13 @@ impl<'g> Journey<'g> {
             }
         }
         acc.into_iter()
-            .map(|(action_identity, (seen_in, observed))| CrossGptObservation {
-                action_identity,
-                seen_in,
-                observed,
-            })
+            .map(
+                |(action_identity, (seen_in, observed))| CrossGptObservation {
+                    action_identity,
+                    seen_in,
+                    observed,
+                },
+            )
             .collect()
     }
 
@@ -149,12 +150,14 @@ mod tests {
     fn shared_tracker_links_sessions_across_gpts() {
         let (travel, shop) = two_gpts_with_shared_tracker();
         let mut journey = Journey::new(SessionConfig::default());
-        journey
-            .visit(&travel)
-            .ask("Weather in the city of Rome?", &[DataType::ApproximateLocation]);
-        journey
-            .visit(&shop)
-            .ask("Email the receipt to my email address", &[DataType::EmailAddress]);
+        journey.visit(&travel).ask(
+            "Weather in the city of Rome?",
+            &[DataType::ApproximateLocation],
+        );
+        journey.visit(&shop).ask(
+            "Email the receipt to my email address",
+            &[DataType::EmailAddress],
+        );
 
         let trackers = journey.trackers();
         assert_eq!(trackers.len(), 1, "{trackers:?}");
@@ -171,12 +174,14 @@ mod tests {
     fn single_gpt_actions_do_not_track() {
         let (travel, shop) = two_gpts_with_shared_tracker();
         let mut journey = Journey::new(SessionConfig::default());
-        journey
-            .visit(&travel)
-            .ask("Weather in the city of Rome?", &[DataType::ApproximateLocation]);
-        journey
-            .visit(&shop)
-            .ask("Email the receipt to my email address", &[DataType::EmailAddress]);
+        journey.visit(&travel).ask(
+            "Weather in the city of Rome?",
+            &[DataType::ApproximateLocation],
+        );
+        journey.visit(&shop).ask(
+            "Email the receipt to my email address",
+            &[DataType::EmailAddress],
+        );
         let all = journey.cross_gpt_observations();
         let weather = all
             .iter()
@@ -195,12 +200,14 @@ mod tests {
             isolate_actions: true,
             obey_injections: false,
         });
-        journey
-            .visit(&travel)
-            .ask("Weather in the city of Rome?", &[DataType::ApproximateLocation]);
-        journey
-            .visit(&shop)
-            .ask("Email the receipt to my email address", &[DataType::EmailAddress]);
+        journey.visit(&travel).ask(
+            "Weather in the city of Rome?",
+            &[DataType::ApproximateLocation],
+        );
+        journey.visit(&shop).ask(
+            "Email the receipt to my email address",
+            &[DataType::EmailAddress],
+        );
         assert!(journey.trackers().is_empty());
     }
 

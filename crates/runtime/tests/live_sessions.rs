@@ -90,7 +90,12 @@ fn isolation_eliminates_indirect_observation() {
     config.base_gpts = 1000;
     let eco = Ecosystem::generate(config);
     let snapshot = &eco.final_week().snapshot;
-    for gpt in snapshot.gpts.values().filter(|g| g.actions().len() >= 2).take(10) {
+    for gpt in snapshot
+        .gpts
+        .values()
+        .filter(|g| g.actions().len() >= 2)
+        .take(10)
+    {
         let mut session = Session::open(
             gpt,
             SessionConfig {

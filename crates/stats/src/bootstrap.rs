@@ -26,11 +26,7 @@ impl ConfidenceInterval {
 
     /// Render as "point ± half-width".
     pub fn plus_minus(&self, digits: usize) -> String {
-        format!(
-            "{:.digits$} ± {:.digits$}",
-            self.point,
-            self.half_width(),
-        )
+        format!("{:.digits$} ± {:.digits$}", self.point, self.half_width(),)
     }
 }
 
@@ -60,9 +56,7 @@ pub fn bootstrap_ci(
     }
     stats.sort_by(|a, b| a.partial_cmp(b).expect("finite statistics"));
     let alpha = (1.0 - level) / 2.0;
-    let idx = |q: f64| -> usize {
-        ((q * resamples as f64) as usize).min(resamples - 1)
-    };
+    let idx = |q: f64| -> usize { ((q * resamples as f64) as usize).min(resamples - 1) };
     Some(ConfidenceInterval {
         point,
         lower: stats[idx(alpha)],

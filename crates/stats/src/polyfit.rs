@@ -16,7 +16,10 @@ impl Polynomial {
     /// Construct from ascending coefficients. Trailing zero coefficients
     /// are retained as given (degree is positional, not mathematical).
     pub fn new(coeffs: Vec<f64>) -> Polynomial {
-        assert!(!coeffs.is_empty(), "polynomial needs at least one coefficient");
+        assert!(
+            !coeffs.is_empty(),
+            "polynomial needs at least one coefficient"
+        );
         Polynomial { coeffs }
     }
 
@@ -227,7 +230,10 @@ mod tests {
 
     #[test]
     fn length_mismatch_is_error() {
-        assert_eq!(polyfit(&[1.0, 2.0], &[1.0], 0), Err(FitError::LengthMismatch));
+        assert_eq!(
+            polyfit(&[1.0, 2.0], &[1.0], 0),
+            Err(FitError::LengthMismatch)
+        );
     }
 
     #[test]

@@ -9,9 +9,11 @@
 
 use crate::http::{configure_stream, HttpError, Request, Response};
 use gptx_model::url::Url;
+use gptx_obs::MetricsRegistry;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Client errors (wraps HTTP and URL failures).
 #[derive(Debug)]
@@ -44,6 +46,7 @@ impl From<HttpError> for ClientError {
 pub struct HttpClient {
     upstream: SocketAddr,
     connect_timeout: Duration,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl HttpClient {
@@ -52,12 +55,21 @@ impl HttpClient {
         HttpClient {
             upstream,
             connect_timeout: Duration::from_secs(5),
+            metrics: MetricsRegistry::shared_disabled(),
         }
     }
 
     /// Override the connect timeout.
     pub fn with_connect_timeout(mut self, timeout: Duration) -> HttpClient {
         self.connect_timeout = timeout;
+        self
+    }
+
+    /// Attach a metrics registry: every request records a
+    /// `http.client.requests` count, a `http.client.latency_us`
+    /// observation, and on failure a `http.client.errors` count.
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> HttpClient {
+        self.metrics = metrics;
         self
     }
 
@@ -70,6 +82,22 @@ impl HttpClient {
 
     /// Send an arbitrary request.
     pub fn send(&self, request: Request) -> Result<Response, ClientError> {
+        let started = self.metrics.enabled().then(Instant::now);
+        let result = self.send_inner(request);
+        if let Some(started) = started {
+            self.metrics.incr("http.client.requests");
+            self.metrics.observe_us(
+                "http.client.latency_us",
+                started.elapsed().as_micros() as u64,
+            );
+            if result.is_err() {
+                self.metrics.incr("http.client.errors");
+            }
+        }
+        result
+    }
+
+    fn send_inner(&self, request: Request) -> Result<Response, ClientError> {
         let stream = TcpStream::connect_timeout(&self.upstream, self.connect_timeout)
             .map_err(ClientError::Connect)?;
         configure_stream(&stream)?;
@@ -88,10 +116,9 @@ mod tests {
 
     #[test]
     fn get_resolves_any_host_to_upstream() {
-        let handle = serve(|req: &Request| {
-            Resp::ok_text(format!("host={}", req.host().unwrap_or("?")))
-        })
-        .unwrap();
+        let handle =
+            serve(|req: &Request| Resp::ok_text(format!("host={}", req.host().unwrap_or("?"))))
+                .unwrap();
         let client = HttpClient::new(handle.addr());
         let r1 = client.get("https://chat.openai.com/backend-api/x").unwrap();
         assert_eq!(r1.text(), "host=chat.openai.com");
@@ -107,6 +134,27 @@ mod tests {
             client.get("not-a-url"),
             Err(ClientError::BadUrl(_))
         ));
+    }
+
+    #[test]
+    fn metrics_count_requests_and_errors() {
+        let handle = serve(|_: &Request| Resp::ok_text("ok")).unwrap();
+        let metrics = MetricsRegistry::shared();
+        let client = HttpClient::new(handle.addr()).with_metrics(Arc::clone(&metrics));
+        client.get("https://a.test/x").unwrap();
+        client.get("https://a.test/y").unwrap();
+        assert!(client.get("not-a-url").is_err()); // BadUrl: no request sent
+        handle.shutdown();
+
+        let failing = HttpClient::new("127.0.0.1:1".parse().unwrap())
+            .with_connect_timeout(Duration::from_millis(100))
+            .with_metrics(Arc::clone(&metrics));
+        assert!(failing.get("http://x.test/").is_err());
+
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counters["http.client.requests"], 3);
+        assert_eq!(snap.counters["http.client.errors"], 1);
+        assert_eq!(snap.histograms["http.client.latency_us"].count, 3);
     }
 
     #[test]

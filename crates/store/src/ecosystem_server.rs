@@ -17,6 +17,7 @@
 
 use crate::http::{Request, Response};
 use crate::server::{serve, Router, ServerHandle};
+use gptx_obs::MetricsRegistry;
 use gptx_synth::{Ecosystem, PolicyKind, STORES};
 use std::collections::HashMap;
 use std::net::SocketAddr;
@@ -88,10 +89,17 @@ struct EcosystemRouter {
     api_hosts: HashMap<String, String>,
     /// `legal_info_url` → action identity.
     policy_urls: HashMap<String, String>,
+    /// Per-route hit and fault counters; also serves `/metrics`.
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl EcosystemRouter {
-    fn new(eco: Arc<Ecosystem>, week: Arc<AtomicUsize>, faults: FaultConfig) -> EcosystemRouter {
+    fn new(
+        eco: Arc<Ecosystem>,
+        week: Arc<AtomicUsize>,
+        faults: FaultConfig,
+        metrics: Arc<MetricsRegistry>,
+    ) -> EcosystemRouter {
         let store_hosts = STORES
             .iter()
             .map(|(name, _)| (store_host(name), name.to_string()))
@@ -117,6 +125,7 @@ impl EcosystemRouter {
             store_hosts,
             api_hosts,
             policy_urls,
+            metrics,
         }
     }
 
@@ -153,6 +162,7 @@ impl EcosystemRouter {
         // Deterministic permanent failures (the paper's uncrawlable 1.1%).
         let h = gptx_stats_hash(id_str);
         if (h % 10_000) as f64 / 10_000.0 < self.faults.gizmo_failure_rate {
+            self.metrics.incr("store.fault.gizmo_500");
             return Response::server_error();
         }
         let week = &self.eco.weeks[self.current_week()];
@@ -164,6 +174,7 @@ impl EcosystemRouter {
                     // JSON — the crawler must survive parse failures.
                     let hm = gptx_stats_hash(&format!("malformed:{id_str}"));
                     if (hm % 10_000) as f64 / 10_000.0 < self.faults.malformed_gizmo_rate {
+                        self.metrics.incr("store.fault.malformed_json");
                         return Response::ok_json(json[..json.len() / 2].to_string());
                     }
                     Response::ok_json(json)
@@ -202,56 +213,88 @@ impl EcosystemRouter {
     }
 }
 
-impl Router for EcosystemRouter {
-    fn route(&self, request: &Request) -> Response {
-        // Latency injection.
-        if self.faults.response_delay_ms > 0 {
-            std::thread::sleep(std::time::Duration::from_millis(
-                self.faults.response_delay_ms,
-            ));
-        }
-        // Transient failure injection.
-        if let Some(n) = self.faults.transient_failure_every {
-            let c = self.request_counter.fetch_add(1, Ordering::Relaxed);
-            if n > 0 && c % n == n - 1 {
-                return Response::new(503, "text/plain", "try again");
-            }
-        }
-
+impl EcosystemRouter {
+    /// Route to a handler, returning the response plus the route label
+    /// counted under `store.route.<label>`.
+    fn dispatch(&self, request: &Request) -> (Response, &'static str) {
         let host = request.host().unwrap_or("").to_ascii_lowercase();
         let path = request.path().to_string();
 
         // OpenAI backend.
         if host == "chat.openai.com" {
             if let Some(id) = path.strip_prefix("/backend-api/gizmos/") {
-                return self.gizmo(id);
+                return (self.gizmo(id), "gizmo");
             }
             if path.starts_with("/g/") {
-                return Response::ok_html("<html><body>ChatGPT</body></html>");
+                return (
+                    Response::ok_html("<html><body>ChatGPT</body></html>"),
+                    "gpt_page",
+                );
             }
-            return Response::not_found();
+            return (Response::not_found(), "not_found");
         }
 
         // Marketplaces.
         if let Some(store_name) = self.store_hosts.get(&host) {
             if path == "/" || path == "/gpts" {
-                return self.listing_page(store_name);
+                return (self.listing_page(store_name), "listing");
             }
-            return Response::not_found();
+            return (Response::not_found(), "not_found");
         }
 
         // Action privacy policies — any registered legal_info_url
         // (https://{domain}/privacy, or per-endpoint /privacy/{k} paths).
         if path.starts_with("/privacy") {
-            return self.policy(&format!("https://{host}{path}"));
+            return (self.policy(&format!("https://{host}{path}")), "policy");
         }
 
         // Action API probes.
         if let Some(identity) = self.api_hosts.get(&host) {
-            return self.api_probe(identity);
+            return (self.api_probe(identity), "probe");
         }
 
-        Response::not_found()
+        (Response::not_found(), "not_found")
+    }
+}
+
+impl Router for EcosystemRouter {
+    fn route(&self, request: &Request) -> Response {
+        // The metrics endpoint answers on every virtual host, before
+        // fault injection — observability must survive a fault storm.
+        if request.path() == "/metrics" {
+            self.metrics.incr("store.route.metrics");
+            return Response::ok_text(self.metrics.snapshot().render_text());
+        }
+        // Latency injection.
+        if self.faults.response_delay_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(
+                self.faults.response_delay_ms,
+            ));
+            self.metrics.add(
+                "store.fault.delay_sleep_us",
+                self.faults.response_delay_ms * 1_000,
+            );
+        }
+        // Transient failure injection.
+        if let Some(n) = self.faults.transient_failure_every {
+            let c = self.request_counter.fetch_add(1, Ordering::Relaxed);
+            if n > 0 && c % n == n - 1 {
+                self.metrics.incr("store.fault.transient_503");
+                return Response::new(503, "text/plain", "try again");
+            }
+        }
+
+        let span = self.metrics.span("store.route_us");
+        let (response, label) = self.dispatch(request);
+        span.finish();
+        if self.metrics.enabled() {
+            self.metrics.add(&format!("store.route.{label}"), 1);
+            if !response.is_success() {
+                self.metrics
+                    .add(&format!("store.status.{}", response.status), 1);
+            }
+        }
+        response
     }
 }
 
@@ -270,15 +313,40 @@ fn gptx_stats_hash(s: &str) -> u64 {
 pub struct EcosystemHandle {
     server: ServerHandle,
     week: Arc<AtomicUsize>,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl EcosystemHandle {
-    /// Serve an ecosystem; the "current week" starts at 0.
+    /// Serve an ecosystem; the "current week" starts at 0. Metrics are
+    /// off — see [`EcosystemHandle::start_with_metrics`].
     pub fn start(eco: Arc<Ecosystem>, faults: FaultConfig) -> std::io::Result<EcosystemHandle> {
+        EcosystemHandle::start_with_metrics(eco, faults, MetricsRegistry::shared_disabled())
+    }
+
+    /// [`EcosystemHandle::start`] with a metrics registry attached: the
+    /// router counts hits per route (`store.route.*`), injected faults
+    /// (`store.fault.*`), and non-2xx statuses (`store.status.*`), and
+    /// serves the registry's text snapshot at `/metrics` on every
+    /// virtual host.
+    pub fn start_with_metrics(
+        eco: Arc<Ecosystem>,
+        faults: FaultConfig,
+        metrics: Arc<MetricsRegistry>,
+    ) -> std::io::Result<EcosystemHandle> {
         let week = Arc::new(AtomicUsize::new(0));
-        let router = EcosystemRouter::new(eco, Arc::clone(&week), faults);
+        let router = EcosystemRouter::new(eco, Arc::clone(&week), faults, Arc::clone(&metrics));
         let server = serve(router)?;
-        Ok(EcosystemHandle { server, week })
+        Ok(EcosystemHandle {
+            server,
+            week,
+            metrics,
+        })
+    }
+
+    /// The registry the router records into (the disabled singleton
+    /// unless the handle was started with metrics).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     pub fn addr(&self) -> SocketAddr {
@@ -410,11 +478,7 @@ mod tests {
             assert!(resp.text().contains("discontinued"));
         }
         // A live API answers 200.
-        let live = eco
-            .registry
-            .keys()
-            .find(|id| !eco.api_is_dead(id))
-            .unwrap();
+        let live = eco.registry.keys().find(|id| !eco.api_is_dead(id)).unwrap();
         let host = eco.registry[live].template.server_host().unwrap();
         let resp = client.get(&format!("https://{host}/v1/run")).unwrap();
         assert_eq!(resp.status, 200);
@@ -463,6 +527,65 @@ mod tests {
             start.elapsed() >= std::time::Duration::from_millis(80),
             "latency injection not applied"
         );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn route_counters_and_metrics_endpoint() {
+        let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(7)));
+        let metrics = MetricsRegistry::shared();
+        let handle =
+            EcosystemHandle::start_with_metrics(Arc::clone(&eco), FaultConfig::none(), metrics)
+                .unwrap();
+        let client = HttpClient::new(handle.addr());
+
+        let listing_url = format!("https://{}/", store_host(STORES[0].0));
+        client.get(&listing_url).unwrap();
+        client.get(&listing_url).unwrap();
+        let id = eco.weeks[0].snapshot.gpts.keys().next().unwrap().clone();
+        client
+            .get(&format!("https://chat.openai.com/backend-api/gizmos/{id}"))
+            .unwrap();
+        client.get("https://unknown.example/whatever").unwrap();
+
+        let snap = handle.metrics().snapshot();
+        assert_eq!(snap.counters["store.route.listing"], 2);
+        assert_eq!(snap.counters["store.route.gizmo"], 1);
+        assert_eq!(snap.counters["store.route.not_found"], 1);
+        assert_eq!(snap.counters["store.status.404"], 1);
+        assert_eq!(snap.histograms["store.route_us"].count, 4);
+
+        // The text endpoint serves the same counters on any host.
+        let text = client.get("https://chat.openai.com/metrics").unwrap();
+        assert!(text.is_success());
+        assert!(text.text().contains("store_route_listing 2"));
+        assert!(text.text().contains("store_route_metrics 1"));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn fault_injection_is_counted() {
+        let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(7)));
+        let metrics = MetricsRegistry::shared();
+        let handle = EcosystemHandle::start_with_metrics(
+            Arc::clone(&eco),
+            FaultConfig {
+                gizmo_failure_rate: 0.0,
+                transient_failure_every: Some(2),
+                response_delay_ms: 0,
+                malformed_gizmo_rate: 0.0,
+            },
+            metrics,
+        )
+        .unwrap();
+        let client = HttpClient::new(handle.addr());
+        let url = format!("https://{}/", store_host(STORES[0].0));
+        for _ in 0..6 {
+            client.get(&url).unwrap();
+        }
+        let snap = handle.metrics().snapshot();
+        assert_eq!(snap.counters["store.fault.transient_503"], 3);
+        assert_eq!(snap.counters["store.route.listing"], 3);
         handle.shutdown();
     }
 

@@ -461,9 +461,7 @@ mod tests {
 
     #[test]
     fn bad_chunk_size_is_malformed() {
-        let addr = raw_server(
-            b"HTTP/1.1 200 OK\r\ntransfer-encoding: chunked\r\n\r\nzz\r\n",
-        );
+        let addr = raw_server(b"HTTP/1.1 200 OK\r\ntransfer-encoding: chunked\r\n\r\nzz\r\n");
         let stream = TcpStream::connect(addr).unwrap();
         configure_stream(&stream).unwrap();
         let mut write_half = stream.try_clone().unwrap();

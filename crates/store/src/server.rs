@@ -193,10 +193,9 @@ mod tests {
 
     #[test]
     fn router_sees_host_header() {
-        let handle = serve(|req: &Request| {
-            Response::ok_text(req.host().unwrap_or("none").to_string())
-        })
-        .unwrap();
+        let handle =
+            serve(|req: &Request| Response::ok_text(req.host().unwrap_or("none").to_string()))
+                .unwrap();
         let client = HttpClient::new(handle.addr());
         let resp = client.get("https://api.example.dev/v1").unwrap();
         assert_eq!(resp.text(), "api.example.dev");

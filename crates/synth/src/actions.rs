@@ -36,8 +36,13 @@ pub const HUBS: &[HubAction] = &[
         functionality: "Productivity",
         embed_rate: 0.0606,
         data_types: &[
-            Languages, InAppSearchHistory, WebsiteVisits, Time, ReferenceInformation,
-            OtherUserGeneratedData, SettingsOrParameters,
+            Languages,
+            InAppSearchHistory,
+            WebsiteVisits,
+            Time,
+            ReferenceInformation,
+            OtherUserGeneratedData,
+            SettingsOrParameters,
         ],
         affinity: &[],
     },
@@ -47,7 +52,10 @@ pub const HUBS: &[HubAction] = &[
         functionality: "Productivity",
         embed_rate: 0.0565,
         data_types: &[
-            DataIdentifier, InstalledApps, OtherUserGeneratedData, UserIds,
+            DataIdentifier,
+            InstalledApps,
+            OtherUserGeneratedData,
+            UserIds,
             SettingsOrParameters,
         ],
         affinity: &["productivity"],
@@ -74,9 +82,18 @@ pub const HUBS: &[HubAction] = &[
         functionality: "Prompt Engineering",
         embed_rate: 0.0160,
         data_types: &[
-            EmailAddress, DataIdentifier, ApproximateLocation, UserIds, InstalledApps,
-            WebsiteVisits, ReferenceInformation, Name, InAppSearchHistory,
-            SettingsOrParameters, Time, OtherUserGeneratedData,
+            EmailAddress,
+            DataIdentifier,
+            ApproximateLocation,
+            UserIds,
+            InstalledApps,
+            WebsiteVisits,
+            ReferenceInformation,
+            Name,
+            InAppSearchHistory,
+            SettingsOrParameters,
+            Time,
+            OtherUserGeneratedData,
         ],
         affinity: &[],
     },
@@ -102,8 +119,13 @@ pub const HUBS: &[HubAction] = &[
         functionality: "Prompt Engineering",
         embed_rate: 0.0061,
         data_types: &[
-            ModelNameOrVersion, ApproximateLocation, InAppSearchHistory,
-            OtherUserGeneratedData, SettingsOrParameters, DataIdentifier, Time,
+            ModelNameOrVersion,
+            ApproximateLocation,
+            InAppSearchHistory,
+            OtherUserGeneratedData,
+            SettingsOrParameters,
+            DataIdentifier,
+            Time,
         ],
         affinity: &[],
     },
@@ -121,7 +143,12 @@ pub const HUBS: &[HubAction] = &[
         functionality: "Communications",
         embed_rate: 0.0052,
         data_types: &[
-            DataIdentifier, OtherInfo, InAppSearchHistory, WebsiteVisits, Videos, Time,
+            DataIdentifier,
+            OtherInfo,
+            InAppSearchHistory,
+            WebsiteVisits,
+            Videos,
+            Time,
             SettingsOrParameters,
         ],
         affinity: &["entertainment"],
@@ -132,8 +159,13 @@ pub const HUBS: &[HubAction] = &[
         functionality: "Productivity",
         embed_rate: 0.0050,
         data_types: &[
-            WebsiteVisits, ReferenceInformation, FilesAndDocs, InAppSearchHistory,
-            OtherUserGeneratedData, Time, DataIdentifier,
+            WebsiteVisits,
+            ReferenceInformation,
+            FilesAndDocs,
+            InAppSearchHistory,
+            OtherUserGeneratedData,
+            Time,
+            DataIdentifier,
         ],
         affinity: &[],
     },
@@ -159,8 +191,13 @@ pub const HUBS: &[HubAction] = &[
         functionality: "Prompt Engineering",
         embed_rate: 0.0038,
         data_types: &[
-            FilesAndDocs, Videos, Name, ApproximateLocation, OtherUserGeneratedData,
-            DataIdentifier, UserIds,
+            FilesAndDocs,
+            Videos,
+            Name,
+            ApproximateLocation,
+            OtherUserGeneratedData,
+            DataIdentifier,
+            UserIds,
         ],
         affinity: &[],
     },
@@ -170,8 +207,14 @@ pub const HUBS: &[HubAction] = &[
         functionality: "Search Engines",
         embed_rate: 0.0027,
         data_types: &[
-            PreciseLocation, Languages, InAppSearchHistory, UserIds, ApproximateLocation,
-            SettingsOrParameters, Time, DataIdentifier,
+            PreciseLocation,
+            Languages,
+            InAppSearchHistory,
+            UserIds,
+            ApproximateLocation,
+            SettingsOrParameters,
+            Time,
+            DataIdentifier,
         ],
         affinity: &["research"],
     },
@@ -187,20 +230,48 @@ pub const HUBS: &[HubAction] = &[
 
 /// Functionality categories assigned to long-tail Actions.
 pub const FUNCTIONALITIES: &[&str] = &[
-    "Productivity", "Communications", "Prompt Engineering", "Ecommerce & Shopping",
-    "Search Engines", "Research & Analysis", "Weather", "Web Hosting", "Travel",
-    "Finance", "Education", "Entertainment", "Developer Tools", "News",
+    "Productivity",
+    "Communications",
+    "Prompt Engineering",
+    "Ecommerce & Shopping",
+    "Search Engines",
+    "Research & Analysis",
+    "Weather",
+    "Web Hosting",
+    "Travel",
+    "Finance",
+    "Education",
+    "Entertainment",
+    "Developer Tools",
+    "News",
 ];
 
 const NAME_HEADS: &[&str] = &[
-    "Smart", "Quick", "Deep", "Omni", "Hyper", "Meta", "Neo", "Prime", "True", "Open",
-    "Bright", "Swift", "Clever", "Mega", "Ultra", "Pixel", "Cloud", "Data", "Astro", "Echo",
+    "Smart", "Quick", "Deep", "Omni", "Hyper", "Meta", "Neo", "Prime", "True", "Open", "Bright",
+    "Swift", "Clever", "Mega", "Ultra", "Pixel", "Cloud", "Data", "Astro", "Echo",
 ];
 
 const NAME_TAILS: &[&str] = &[
-    "Search", "Reader", "Scraper", "Notes", "Mail", "Trips", "Shop", "Quote", "Chart",
-    "Lookup", "Fetch", "Feed", "Docs", "Translate", "Summary", "Recipe", "Market", "Stats",
-    "Wiki", "Planner",
+    "Search",
+    "Reader",
+    "Scraper",
+    "Notes",
+    "Mail",
+    "Trips",
+    "Shop",
+    "Quote",
+    "Chart",
+    "Lookup",
+    "Fetch",
+    "Feed",
+    "Docs",
+    "Translate",
+    "Summary",
+    "Recipe",
+    "Market",
+    "Stats",
+    "Wiki",
+    "Planner",
 ];
 
 /// Generate a deterministic long-tail Action name + domain from an index.
@@ -217,7 +288,11 @@ pub fn long_tail_identity(index: usize) -> (String, String) {
         "{}{}{}.{}",
         head.to_ascii_lowercase(),
         tail.to_ascii_lowercase(),
-        if serial == 0 { String::new() } else { serial.to_string() },
+        if serial == 0 {
+            String::new()
+        } else {
+            serial.to_string()
+        },
         ["io", "ai", "dev", "com", "app"][index % 5],
     );
     (name, domain)
@@ -258,15 +333,19 @@ pub fn build_action_spec(
         if types.is_empty() {
             continue;
         }
-        let path = if e == 0 { "/v1/run".to_string() } else { format!("/v1/extra{e}") };
+        let path = if e == 0 {
+            "/v1/run".to_string()
+        } else {
+            format!("/v1/extra{e}")
+        };
         let mut properties = BTreeMap::new();
         let mut parameters = Vec::new();
         for &d in types {
             let templates = field_templates(d);
-            let n_fields =
-                1 + usize::from(rng.gen_bool(0.35)) + usize::from(rng.gen_bool(0.15));
+            let n_fields = 1 + usize::from(rng.gen_bool(0.35)) + usize::from(rng.gen_bool(0.15));
             for k in 0..n_fields.min(templates.len()) {
-                let (fname, fdesc) = templates[(rng.gen_range(0..templates.len()) + k) % templates.len()];
+                let (fname, fdesc) =
+                    templates[(rng.gen_range(0..templates.len()) + k) % templates.len()];
                 // Alternate between body properties and query parameters,
                 // as real specs mix both.
                 if rng.gen_bool(0.6) {
@@ -328,7 +407,12 @@ pub fn build_action_spec(
             .spec
             .paths
             .iter()
-            .map(|(path, item)| (format!("/v2{}", path.trim_start_matches("/v1")), item.clone()))
+            .map(|(path, item)| {
+                (
+                    format!("/v2{}", path.trim_start_matches("/v1")),
+                    item.clone(),
+                )
+            })
             .collect();
         for (path, item) in mirrored {
             action.spec.paths.insert(path, item);
@@ -371,16 +455,17 @@ mod tests {
         assert!(HUBS[0].embed_rate > HUBS[1].embed_rate);
         assert!(HUBS[1].embed_rate > HUBS[2].embed_rate);
         for w in HUBS.windows(2) {
-            assert!(w[0].embed_rate >= w[1].embed_rate, "hubs must be rate-sorted");
+            assert!(
+                w[0].embed_rate >= w[1].embed_rate,
+                "hubs must be rate-sorted"
+            );
         }
     }
 
     #[test]
     fn hub_type_counts_match_table6() {
-        let by_name: BTreeMap<&str, usize> = HUBS
-            .iter()
-            .map(|h| (h.name, h.data_types.len()))
-            .collect();
+        let by_name: BTreeMap<&str, usize> =
+            HUBS.iter().map(|h| (h.name, h.data_types.len())).collect();
         assert_eq!(by_name["webPilot"], 7);
         assert_eq!(by_name["Gapier"], 12);
         assert_eq!(by_name["AdIntelli"], 2);
@@ -393,7 +478,10 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for i in 0..2000 {
             let (name, domain) = long_tail_identity(i);
-            assert!(seen.insert((name.clone(), domain.clone())), "dup at {i}: {name} {domain}");
+            assert!(
+                seen.insert((name.clone(), domain.clone())),
+                "dup at {i}: {name} {domain}"
+            );
         }
     }
 

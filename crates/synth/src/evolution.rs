@@ -96,13 +96,13 @@ pub fn evolve(factory: &mut Factory, rng: &mut StdRng) -> (Vec<WeekState>, Dynam
     const ACTION_REMOVAL_SHARE: f64 = 0.06;
 
     let spawn = |n: usize,
-                     current_week: u32,
-                     factory: &mut Factory,
-                     rng: &mut StdRng,
-                     live: &mut BTreeMap<GptId, GeneratedGpt>,
-                     doom_schedule: &mut Vec<(u32, GptId)>,
-                     change_schedule: &mut Vec<(u32, GptId, ChangedProperty)>,
-                     dynamics: &mut Dynamics| {
+                 current_week: u32,
+                 factory: &mut Factory,
+                 rng: &mut StdRng,
+                 live: &mut BTreeMap<GptId, GeneratedGpt>,
+                 doom_schedule: &mut Vec<(u32, GptId)>,
+                 change_schedule: &mut Vec<(u32, GptId, ChangedProperty)>,
+                 dynamics: &mut Dynamics| {
         for _ in 0..n {
             let weeks_left = config.weeks.saturating_sub(current_week + 1);
             let doom_p = (config.weekly_removal_rate * weeks_left as f64).min(1.0);
@@ -225,7 +225,9 @@ pub fn apply_change(gpt: &mut gptx_model::Gpt, prop: ChangedProperty, rng: &mut 
     match prop {
         ModifiedSocialMedia => {
             if gpt.author.social_media.is_empty() {
-                gpt.author.social_media.push("https://x.com/newhandle".into());
+                gpt.author
+                    .social_media
+                    .push("https://x.com/newhandle".into());
             } else {
                 gpt.author.social_media[0] = format!("https://x.com/handle{}", rng.gen::<u16>());
             }
@@ -243,8 +245,10 @@ pub fn apply_change(gpt: &mut gptx_model::Gpt, prop: ChangedProperty, rng: &mut 
             true
         }
         ProfilePicture => {
-            gpt.display.profile_picture =
-                Some(format!("https://cdn.gptstore.test/pfp/new{}.png", rng.gen::<u16>()));
+            gpt.display.profile_picture = Some(format!(
+                "https://cdn.gptstore.test/pfp/new{}.png",
+                rng.gen::<u16>()
+            ));
             true
         }
         AllowFeedback => {
@@ -265,7 +269,8 @@ pub fn apply_change(gpt: &mut gptx_model::Gpt, prop: ChangedProperty, rng: &mut 
         }
         Description => {
             // §4.1: descriptions were changed "to make them more precise".
-            gpt.display.description = format!("{} Now with clearer guidance.", gpt.display.description);
+            gpt.display.description =
+                format!("{} Now with clearer guidance.", gpt.display.description);
             true
         }
         Categories => {
@@ -277,7 +282,9 @@ pub fn apply_change(gpt: &mut gptx_model::Gpt, prop: ChangedProperty, rng: &mut 
             true
         }
         PromptStarters => {
-            gpt.display.prompt_starters.push("Show me an example".into());
+            gpt.display
+                .prompt_starters
+                .push("Show me an example".into());
             true
         }
         DeveloperVerification => {
@@ -419,10 +426,7 @@ mod tests {
         let (w2, d2) = run(42);
         assert_eq!(w1.len(), w2.len());
         assert_eq!(d1.total_unique, d2.total_unique);
-        assert_eq!(
-            w1.last().unwrap().snapshot,
-            w2.last().unwrap().snapshot
-        );
+        assert_eq!(w1.last().unwrap().snapshot, w2.last().unwrap().snapshot);
     }
 
     #[test]
@@ -430,7 +434,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let mut gpt = gptx_model::Gpt::minimal("g-aaaaaaaaaa", "T");
         let before = gpt.clone();
-        assert!(apply_change(&mut gpt, ChangedProperty::Description, &mut rng));
+        assert!(apply_change(
+            &mut gpt,
+            ChangedProperty::Description,
+            &mut rng
+        ));
         assert_ne!(before, gpt);
         let props = gptx_model::snapshot::classify_changes(&before, &gpt);
         assert_eq!(props, vec![ChangedProperty::Description]);

@@ -16,20 +16,35 @@ pub fn field_templates(d: DataType) -> &'static [(&'static str, &'static str)] {
     use DataType::*;
     match d {
         OtherUserGeneratedData => &[
-            ("content", "Free text content provided by the user, such as notes or open-ended responses."),
+            (
+                "content",
+                "Free text content provided by the user, such as notes or open-ended responses.",
+            ),
             ("text", "The user generated content to process."),
             ("script", "Script to be produced from the user's input."),
             ("bio", "A short bio or note written by the user."),
         ],
         AppInteractions => &[
-            ("events", "Interaction events such as the number of times a page is visited."),
-            ("clicks", "Click event stream describing sections the user tapped on."),
+            (
+                "events",
+                "Interaction events such as the number of times a page is visited.",
+            ),
+            (
+                "clicks",
+                "Click event stream describing sections the user tapped on.",
+            ),
         ],
         SettingsOrParameters => &[
-            ("options", "User-defined settings or parameters controlling the request."),
+            (
+                "options",
+                "User-defined settings or parameters controlling the request.",
+            ),
             ("sort", "Preference for sorting search results."),
             ("units", "Preferred units setting for the results."),
-            ("config", "Technical configuration options chosen by the user."),
+            (
+                "config",
+                "Technical configuration options chosen by the user.",
+            ),
         ],
         InAppSearchHistory => &[
             ("query", "The search query entered by the user."),
@@ -38,25 +53,46 @@ pub fn field_templates(d: DataType) -> &'static [(&'static str, &'static str)] {
         ],
         DataIdentifier => &[
             ("record_id", "Identifier of the record id to operate on."),
-            ("document_id", "The document id for accessing the stored item."),
-            ("session", "Opaque session id for continuing an earlier request."),
+            (
+                "document_id",
+                "The document id for accessing the stored item.",
+            ),
+            (
+                "session",
+                "Opaque session id for continuing an earlier request.",
+            ),
         ],
         OtherActivities => &[
-            ("move", "The game move or gameplay action taken by the user."),
+            (
+                "move",
+                "The game move or gameplay action taken by the user.",
+            ),
             ("vote", "The like or vote the user cast."),
         ],
         Time => &[
             ("start_time", "Start time of the query as unix timestamp."),
-            ("end_time", "End time of the query as unix timestamp. If only count is given, defaults to now."),
+            (
+                "end_time",
+                "End time of the query as unix timestamp. If only count is given, defaults to now.",
+            ),
             ("date", "Date specified for the lookup, as an ISO string."),
         ],
         ReferenceInformation => &[
-            ("source", "The referenced article or external resource supporting the answer."),
+            (
+                "source",
+                "The referenced article or external resource supporting the answer.",
+            ),
             ("citation", "Citation for the reference link to include."),
         ],
         InstalledApps => &[
-            ("apps", "List of installed app names and other available integrations."),
-            ("tools", "The other plugin or installed tool identifiers present in the environment."),
+            (
+                "apps",
+                "List of installed app names and other available integrations.",
+            ),
+            (
+                "tools",
+                "The other plugin or installed tool identifiers present in the environment.",
+            ),
         ],
         ModelNameOrVersion => &[
             ("model", "The model name used to generate the answer."),
@@ -68,15 +104,27 @@ pub fn field_templates(d: DataType) -> &'static [(&'static str, &'static str)] {
         ],
         CommandsPrompts => &[
             ("prompt", "The user prompt to be engineered."),
-            ("command", "The command or instruction specified by the user."),
+            (
+                "command",
+                "The command or instruction specified by the user.",
+            ),
         ],
         OtherInfo => &[
-            ("profile", "Other personal detail such as gender or date of birth."),
+            (
+                "profile",
+                "Other personal detail such as gender or date of birth.",
+            ),
             ("dob", "Date of birth of the user."),
-            ("details", "Additional biographical information about the user."),
+            (
+                "details",
+                "Additional biographical information about the user.",
+            ),
         ],
         Languages => &[
-            ("lang", "Preferred language setting of the user, as a language code."),
+            (
+                "lang",
+                "Preferred language setting of the user, as a language code.",
+            ),
             ("locale", "The locale or language used by the user."),
         ],
         UserIds => &[
@@ -99,8 +147,14 @@ pub fn field_templates(d: DataType) -> &'static [(&'static str, &'static str)] {
             ("shipping", "Shipping address for the order."),
         ],
         Passwords => &[
-            ("password", "The user's password for signing into the online service."),
-            ("api_key", "API key or secret key used to manage the service on the user's behalf."),
+            (
+                "password",
+                "The user's password for signing into the online service.",
+            ),
+            (
+                "api_key",
+                "API key or secret key used to manage the service on the user's behalf.",
+            ),
         ],
         Timezone => &[
             ("tz", "The timezone setting of the user."),
@@ -111,19 +165,32 @@ pub fn field_templates(d: DataType) -> &'static [(&'static str, &'static str)] {
             ("mobile", "Mobile number for SMS delivery."),
         ],
         RaceAndEthnicity => &[("ethnicity", "The race or ethnicity of the user.")],
-        PoliticalOrReligiousBeliefs => &[
-            ("beliefs", "The political belief or religious belief of the user."),
-        ],
+        PoliticalOrReligiousBeliefs => &[(
+            "beliefs",
+            "The political belief or religious belief of the user.",
+        )],
         SexualOrientation => &[("orientation", "The sexual orientation of the user.")],
         WebsiteVisits => &[
             ("url", "The raw URL of the web page to fetch."),
-            ("urls", "URL to fetch content from; up to 6 links per request."),
-            ("link", "The link to read and convert to markdown, from the user's browsing."),
+            (
+                "urls",
+                "URL to fetch content from; up to 6 links per request.",
+            ),
+            (
+                "link",
+                "The link to read and convert to markdown, from the user's browsing.",
+            ),
         ],
         ApproximateLocation => &[
             ("city", "The city for which data is requested."),
-            ("region", "Region or country of the user, used as coarse location."),
-            ("location", "The approximate location to use for the lookup, such as the city name."),
+            (
+                "region",
+                "Region or country of the user, used as coarse location.",
+            ),
+            (
+                "location",
+                "The approximate location to use for the lookup, such as the city name.",
+            ),
         ],
         PreciseLocation => &[
             ("lat", "Latitude of the exact coordinates of the user."),
@@ -131,18 +198,30 @@ pub fn field_templates(d: DataType) -> &'static [(&'static str, &'static str)] {
         ],
         OtherInAppMessages => &[
             ("message", "The chat message content to relay."),
-            ("chat", "In-app message history between the user and the assistant."),
+            (
+                "chat",
+                "In-app message history between the user and the assistant.",
+            ),
         ],
         SmsOrMms => &[("sms", "The text message (SMS) content and recipients.")],
         Emails => &[
             ("email_body", "The email content and subject line to send."),
-            ("recipients", "Email recipients and the email body to deliver."),
+            (
+                "recipients",
+                "Email recipients and the email body to deliver.",
+            ),
         ],
         OtherFinancialInfo => &[
-            ("loan_amount", "Desired loan amount for the mortgage calculation."),
+            (
+                "loan_amount",
+                "Desired loan amount for the mortgage calculation.",
+            ),
             ("home_value", "Value of the home used for the estimate."),
             ("salary", "The salary or income of the user."),
-            ("portfolio", "The crypto balance or portfolio value of the user."),
+            (
+                "portfolio",
+                "The crypto balance or portfolio value of the user.",
+            ),
         ],
         UserPaymentInfo => &[
             ("card", "The credit card number used for payment."),
@@ -166,34 +245,63 @@ pub fn field_templates(d: DataType) -> &'static [(&'static str, &'static str)] {
             ("image", "A picture to analyze, such as a profile picture."),
         ],
         CalendarEvents => &[
-            ("event", "The calendar event to create, including attendees."),
-            ("meeting", "Meeting or appointment details from the user's schedule."),
+            (
+                "event",
+                "The calendar event to create, including attendees.",
+            ),
+            (
+                "meeting",
+                "Meeting or appointment details from the user's schedule.",
+            ),
         ],
         OtherAppPerformanceData => &[
-            ("metrics", "Usage statistics and performance data of the assistant."),
+            (
+                "metrics",
+                "Usage statistics and performance data of the assistant.",
+            ),
             ("telemetry", "Telemetry metric values reported by the app."),
         ],
         CrashLogs => &[("crash", "The crash report and stack trace to analyze.")],
         Diagnostics => &[("diag", "Diagnostic data such as latency and loading time.")],
         HealthInfo => &[
-            ("symptoms", "The symptom list or medical record details from the user."),
-            ("fitness_level", "User's level of fitness and health information."),
+            (
+                "symptoms",
+                "The symptom list or medical record details from the user.",
+            ),
+            (
+                "fitness_level",
+                "User's level of fitness and health information.",
+            ),
         ],
-        FitnessInfo => &[
-            ("activity", "The physical activity or exercise performed, e.g. step count."),
-        ],
+        FitnessInfo => &[(
+            "activity",
+            "The physical activity or exercise performed, e.g. step count.",
+        )],
         DeviceOrOtherIds => &[
-            ("device_id", "The device id or advertising identifier of the client."),
-            ("fingerprint", "Browser fingerprint or installation id for the session."),
+            (
+                "device_id",
+                "The device id or advertising identifier of the client.",
+            ),
+            (
+                "fingerprint",
+                "Browser fingerprint or installation id for the session.",
+            ),
         ],
-        VoiceOrSoundRecordings => &[
-            ("audio", "A voice recording or sound recording from the user."),
-        ],
+        VoiceOrSoundRecordings => &[(
+            "audio",
+            "A voice recording or sound recording from the user.",
+        )],
         MusicFiles => &[("song", "The music file or audio track to identify.")],
         OtherAudioFiles => &[("sound", "An audio file or audio clip provided by the user.")],
         Contacts => &[
-            ("contacts", "The contact list entries from the user's address book."),
-            ("recipient", "Contact name and call history entry to look up."),
+            (
+                "contacts",
+                "The contact list entries from the user's address book.",
+            ),
+            (
+                "recipient",
+                "Contact name and call history entry to look up.",
+            ),
         ],
     }
 }

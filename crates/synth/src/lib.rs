@@ -144,7 +144,7 @@ mod tests {
     fn unique_gpts_exceed_final_week() {
         let eco = tiny();
         assert!(eco.all_unique_gpts().len() >= eco.final_week().snapshot.len());
-        assert_eq!(eco.all_unique_gpts().len() , eco.dynamics.total_unique);
+        assert_eq!(eco.all_unique_gpts().len(), eco.dynamics.total_unique);
     }
 
     #[test]

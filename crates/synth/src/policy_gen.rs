@@ -247,9 +247,10 @@ pub fn generate_policy(
             Some(vendor_policy(vendor)),
             vague_personal_truth(data_types),
         ),
-        PolicyKind::DupJsRendered => {
-            (Some(canonical::JS_RENDERED.to_string()), omit_all(data_types))
-        }
+        PolicyKind::DupJsRendered => (
+            Some(canonical::JS_RENDERED.to_string()),
+            omit_all(data_types),
+        ),
         PolicyKind::DupOpenAi => (
             Some(canonical::OPENAI_STYLE.to_string()),
             vague_personal_truth(data_types),
@@ -413,7 +414,9 @@ fn render_bespoke(
         match label {
             DisclosureLabel::Clear => {
                 let verb = ["collect", "store", "process"][rng.gen_range(0..3)];
-                s.push_str(&format!("We {verb} your {phrase} to provide the service.\n"));
+                s.push_str(&format!(
+                    "We {verb} your {phrase} to provide the service.\n"
+                ));
             }
             DisclosureLabel::Vague => {
                 if !wrote_generic_vague {
@@ -504,7 +507,11 @@ mod tests {
                     &format!("Action{i}"),
                     &format!("a{i}.dev"),
                     &format!("vendor{}", i % 40),
-                    &[DataType::EmailAddress, DataType::Time, DataType::WebsiteVisits],
+                    &[
+                        DataType::EmailAddress,
+                        DataType::Time,
+                        DataType::WebsiteVisits,
+                    ],
                     rates(),
                     &mut rng,
                 )
@@ -519,7 +526,10 @@ mod tests {
             arts.iter().filter(|a| pred(a)).count() as f64 / arts.len() as f64
         };
         let unavailable = frac(&|a| a.kind == PolicyKind::Unavailable);
-        assert!((unavailable - 0.1332).abs() < 0.02, "unavailable {unavailable}");
+        assert!(
+            (unavailable - 0.1332).abs() < 0.02,
+            "unavailable {unavailable}"
+        );
         let dup = frac(&|a| a.kind.is_duplicate_class());
         assert!((dup - 0.3856).abs() < 0.03, "dup {dup}");
         let near = frac(&|a| a.kind == PolicyKind::NearDupBoilerplate);
@@ -557,7 +567,14 @@ mod tests {
             near_dup: 1.0,
             short: 0.0,
         };
-        let a = generate_policy("Alpha", "a.dev", "v", &[DataType::EmailAddress], r, &mut rng);
+        let a = generate_policy(
+            "Alpha",
+            "a.dev",
+            "v",
+            &[DataType::EmailAddress],
+            r,
+            &mut rng,
+        );
         let b = generate_policy("Beta", "b.dev", "v", &[DataType::EmailAddress], r, &mut rng);
         let ba = a.body.unwrap();
         let bb = b.body.unwrap();

@@ -2,8 +2,10 @@
 //! embedding with hub/long-tail/first-party structure, and store
 //! membership.
 
-use crate::actions::{build_action_spec, long_tail_identity, DistinctAction, FUNCTIONALITIES, HUBS};
-use crate::config::{SynthConfig, STORES, PAPER_UNIQUE_GPTS};
+use crate::actions::{
+    build_action_spec, long_tail_identity, DistinctAction, FUNCTIONALITIES, HUBS,
+};
+use crate::config::{SynthConfig, PAPER_UNIQUE_GPTS, STORES};
 use crate::policy_gen::{generate_policy, PolicyArtifact, PolicyRates};
 use crate::rates::collection_rate;
 use gptx_model::gpt::{Author, Display, Tag, Tool, UploadedFile};
@@ -15,13 +17,33 @@ use std::collections::BTreeMap;
 
 /// GPT themes; drive naming, categories, and hub affinities.
 pub const THEMES: &[&str] = &[
-    "programming", "shopping", "travel", "productivity", "education", "entertainment",
-    "finance", "health", "weather", "writing", "research", "lifestyle",
+    "programming",
+    "shopping",
+    "travel",
+    "productivity",
+    "education",
+    "entertainment",
+    "finance",
+    "health",
+    "weather",
+    "writing",
+    "research",
+    "lifestyle",
 ];
 
 const THEME_NOUNS: &[&str] = &[
-    "Copilot", "Assistant", "Guru", "Wizard", "Companion", "Expert", "Coach", "Buddy",
-    "Helper", "Genius", "Pro", "Mate",
+    "Copilot",
+    "Assistant",
+    "Guru",
+    "Wizard",
+    "Companion",
+    "Expert",
+    "Coach",
+    "Buddy",
+    "Helper",
+    "Genius",
+    "Pro",
+    "Mate",
 ];
 
 /// A generated GPT plus its metadata the evolution engine needs.
@@ -77,13 +99,7 @@ impl Factory {
 
         // Hubs.
         for hub in HUBS {
-            let spec = build_action_spec(
-                "template",
-                hub.name,
-                hub.domain,
-                hub.data_types,
-                rng,
-            );
+            let spec = build_action_spec("template", hub.name, hub.domain, hub.data_types, rng);
             let identity = spec.identity();
             let policy = factory.make_policy(hub.name, hub.domain, hub.domain, hub.data_types, rng);
             factory.policies.insert(identity.clone(), policy);
@@ -253,7 +269,9 @@ impl Factory {
         let display = Display {
             name,
             description,
-            welcome_message: rng.gen_bool(0.5).then(|| format!("Welcome! Let's talk {theme}.")),
+            welcome_message: rng
+                .gen_bool(0.5)
+                .then(|| format!("Welcome! Let's talk {theme}.")),
             prompt_starters: vec![format!("Help me with {theme}")],
             categories: vec![theme.to_string()],
             profile_picture: rng
@@ -263,7 +281,9 @@ impl Factory {
 
         // Built-in tools.
         let mut tools = Vec::new();
-        if rng.gen_bool(self.config.browser_rate) || planted_removal == Some(RemovalReason::WebBrowsing) {
+        if rng.gen_bool(self.config.browser_rate)
+            || planted_removal == Some(RemovalReason::WebBrowsing)
+        {
             tools.push(Tool::Browser);
         }
         if rng.gen_bool(self.config.dalle_rate) {
@@ -378,7 +398,11 @@ impl Factory {
                 chosen.push(self.ensure_special_action(
                     "Travel Booking API",
                     "amadeus.com",
-                    &[DataType::ApproximateLocation, DataType::Time, DataType::Name],
+                    &[
+                        DataType::ApproximateLocation,
+                        DataType::Time,
+                        DataType::Name,
+                    ],
                     rng,
                 ));
             }
@@ -407,7 +431,11 @@ impl Factory {
             if chosen.len() >= count {
                 break;
             }
-            let affinity = if hub.affinity.contains(&theme) { 3.0 } else { 1.0 };
+            let affinity = if hub.affinity.contains(&theme) {
+                3.0
+            } else {
+                1.0
+            };
             // The more Actions a GPT stacks, the likelier each popular
             // hub is among them (paper: super-GPTs embed Zapier/Gapier).
             let multi = if count >= 2 { 3.0 * count as f64 } else { 1.0 };
@@ -478,7 +506,10 @@ impl Factory {
         let identity = self.ensure_special_action(
             "Helpful Redirect",
             "redirect-helper.io",
-            &[DataType::OtherUserGeneratedData, DataType::OtherInAppMessages],
+            &[
+                DataType::OtherUserGeneratedData,
+                DataType::OtherInAppMessages,
+            ],
             rng,
         );
         let action = self.registry.get_mut(&identity).expect("just ensured");
@@ -530,8 +561,10 @@ impl Factory {
             let name = format!(
                 "{} {}",
                 capitalize(&vendor),
-                ["Core", "Search", "Fetch", "Sync", "Admin", "Export", "Import", "Stats",
-                 "Alerts", "Billing"][k % 10]
+                [
+                    "Core", "Search", "Fetch", "Sync", "Admin", "Export", "Import", "Stats",
+                    "Alerts", "Billing"
+                ][k % 10]
             );
             let types = sample_types(Party::Third, rng);
             let mut spec = build_action_spec("template", &name, &domain, &types, rng);
@@ -653,7 +686,10 @@ mod tests {
         }
         let browser_rate = browser as f64 / n as f64;
         let action_rate = actions as f64 / n as f64;
-        assert!((browser_rate - 0.923).abs() < 0.03, "browser {browser_rate}");
+        assert!(
+            (browser_rate - 0.923).abs() < 0.03,
+            "browser {browser_rate}"
+        );
         // tiny config uses action_rate 0.15
         assert!((action_rate - 0.15).abs() < 0.04, "actions {action_rate}");
     }
@@ -689,7 +725,9 @@ mod tests {
         let g = f.new_gpt(&mut rng, Some(RemovalReason::AdvertisingAnalytics));
         let names: Vec<&str> = g.gpt.actions().iter().map(|a| a.name.as_str()).collect();
         assert!(
-            names.iter().any(|n| n.contains("AdIntelli") || n.contains("Analytics")),
+            names
+                .iter()
+                .any(|n| n.contains("AdIntelli") || n.contains("Analytics")),
             "{names:?}"
         );
     }
@@ -699,22 +737,14 @@ mod tests {
         let (mut f, mut rng) = factory(6);
         let g = f.new_gpt(&mut rng, Some(RemovalReason::WebBrowsing));
         assert!(g.gpt.display.description.to_lowercase().contains("browse"));
-        assert!(g
-            .gpt
-            .actions()
-            .iter()
-            .any(|a| a.name == "webPilot"));
+        assert!(g.gpt.actions().iter().any(|a| a.name == "webPilot"));
     }
 
     #[test]
     fn planted_youtube_gpt_contacts_youtube() {
         let (mut f, mut rng) = factory(7);
         let g = f.new_gpt(&mut rng, Some(RemovalReason::ProhibitedApiUsage));
-        assert!(g
-            .gpt
-            .action_domains()
-            .iter()
-            .any(|d| d.contains("youtube")));
+        assert!(g.gpt.action_domains().iter().any(|d| d.contains("youtube")));
     }
 
     #[test]

@@ -69,8 +69,9 @@ pub fn collection_rate(d: DataType, party: Party) -> f64 {
         MusicFiles => (0.1, 0.0),
         Contacts => (0.2, 0.3),
         // Not rows of Table 5: never generated spontaneously.
-        AppInteractions | SexualOrientation | SmsOrMms | CreditScore | CrashLogs
-        | Diagnostics => (0.0, 0.0),
+        AppInteractions | SexualOrientation | SmsOrMms | CreditScore | CrashLogs | Diagnostics => {
+            (0.0, 0.0)
+        }
     };
     (match party {
         Party::First => first,
@@ -125,8 +126,9 @@ pub fn disclosure_percentages(d: DataType) -> (f64, f64, f64, f64, f64) {
         VoiceOrSoundRecordings => (0.0, 0.0, 0.0, 0.0, 100.0),
         MusicFiles => (0.0, 0.0, 0.0, 0.0, 100.0),
         Contacts => (14.3, 14.3, 0.0, 0.0, 71.4),
-        AppInteractions | SexualOrientation | SmsOrMms | CreditScore | CrashLogs
-        | Diagnostics => (0.0, 0.0, 0.0, 0.0, 100.0),
+        AppInteractions | SexualOrientation | SmsOrMms | CreditScore | CrashLogs | Diagnostics => {
+            (0.0, 0.0, 0.0, 0.0, 100.0)
+        }
     }
 }
 

@@ -2,7 +2,9 @@
 
 /// A top-level data category, as listed in the left column of the paper's
 /// Tables 5, 7, and 13.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum Category {
     AppActivity,
     PersonalInfo,
@@ -88,7 +90,10 @@ mod tests {
 
     #[test]
     fn from_label_is_case_insensitive() {
-        assert_eq!(Category::from_label("app ACTIVITY"), Some(Category::AppActivity));
+        assert_eq!(
+            Category::from_label("app ACTIVITY"),
+            Some(Category::AppActivity)
+        );
     }
 
     #[test]

@@ -5,7 +5,9 @@ use crate::category::Category;
 
 /// A succinct data type — the output vocabulary of the LLM-based
 /// static-analysis tool (Section 5.1.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum DataType {
     // App activity
     OtherUserGeneratedData,
@@ -177,12 +179,29 @@ impl DataType {
     /// The category this type belongs to.
     pub fn category(&self) -> Category {
         match self {
-            OtherUserGeneratedData | AppInteractions | SettingsOrParameters
-            | InAppSearchHistory | DataIdentifier | OtherActivities | Time
-            | ReferenceInformation | InstalledApps | ModelNameOrVersion | Reviews
+            OtherUserGeneratedData
+            | AppInteractions
+            | SettingsOrParameters
+            | InAppSearchHistory
+            | DataIdentifier
+            | OtherActivities
+            | Time
+            | ReferenceInformation
+            | InstalledApps
+            | ModelNameOrVersion
+            | Reviews
             | CommandsPrompts => Category::AppActivity,
-            OtherInfo | Languages | UserIds | Name | EmailAddress | Address | Passwords
-            | Timezone | PhoneNumber | RaceAndEthnicity | PoliticalOrReligiousBeliefs
+            OtherInfo
+            | Languages
+            | UserIds
+            | Name
+            | EmailAddress
+            | Address
+            | Passwords
+            | Timezone
+            | PhoneNumber
+            | RaceAndEthnicity
+            | PoliticalOrReligiousBeliefs
             | SexualOrientation => Category::PersonalInfo,
             WebsiteVisits => Category::WebBrowsing,
             ApproximateLocation | PreciseLocation => Category::Location,
@@ -193,9 +212,7 @@ impl DataType {
             FilesAndDocs => Category::FilesAndDocs,
             Videos | Photos => Category::PhotosAndVideos,
             CalendarEvents => Category::Calendar,
-            OtherAppPerformanceData | CrashLogs | Diagnostics => {
-                Category::AppInfoAndPerformance
-            }
+            OtherAppPerformanceData | CrashLogs | Diagnostics => Category::AppInfoAndPerformance,
             HealthInfo | FitnessInfo => Category::HealthAndFitness,
             DeviceOrOtherIds => Category::DeviceOrOtherIds,
             VoiceOrSoundRecordings | MusicFiles | OtherAudioFiles => Category::AudioFiles,
@@ -289,8 +306,10 @@ impl DataType {
                 "Any other activity or actions in-app not listed elsewhere, such as \
                  gameplay, likes, and dialog options."
             }
-            Time => "Time specified by the user when using apps, such as start or end \
-                 times, timestamps for a request, or date ranges.",
+            Time => {
+                "Time specified by the user when using apps, such as start or end \
+                 times, timestamps for a request, or date ranges."
+            }
             ReferenceInformation => {
                 "Information sourced from the internet or other external resources to \
                  support apps, such as referenced articles, citations, or lookups."
@@ -304,9 +323,7 @@ impl DataType {
                  model name or version string."
             }
             Reviews => "User reviews or feedback messages for apps.",
-            CommandsPrompts => {
-                "Any commands, instructions, or prompts specified by the user."
-            }
+            CommandsPrompts => "Any commands, instructions, or prompts specified by the user.",
             OtherInfo => {
                 "Any other personal information such as date of birth, gender \
                  identity, veteran status, or profile details."
@@ -323,8 +340,10 @@ impl DataType {
             }
             EmailAddress => "The user's email address.",
             Address => "The user's address, such as a mailing or home address.",
-            Passwords => "User passwords used to access apps or services, including \
-                 API keys and other secrets.",
+            Passwords => {
+                "User passwords used to access apps or services, including \
+                 API keys and other secrets."
+            }
             Timezone => "The user's preferred or device timezone settings.",
             PhoneNumber => "The user's phone number.",
             RaceAndEthnicity => "Information about the user's race or ethnicity.",
@@ -332,8 +351,10 @@ impl DataType {
                 "Information about the user's political or religious beliefs."
             }
             SexualOrientation => "Information about the user's sexual orientation.",
-            WebsiteVisits => "Information about the websites the user has visited, \
-                 such as URLs to fetch or browsing history.",
+            WebsiteVisits => {
+                "Information about the websites the user has visited, \
+                 such as URLs to fetch or browsing history."
+            }
             ApproximateLocation => {
                 "The user's or device's physical location to an area greater than or \
                  equal to 3 square kilometers, such as the city they are in or the \
@@ -363,9 +384,7 @@ impl DataType {
                 "Information about the user's financial accounts, such as a credit \
                  card number or bank account."
             }
-            PurchaseHistory => {
-                "Information about purchases or transactions the user has made."
-            }
+            PurchaseHistory => "Information about purchases or transactions the user has made.",
             CreditScore => {
                 "Information about the user's credit, for example a credit history \
                  or credit score."
@@ -380,9 +399,7 @@ impl DataType {
                 "Information from the user's calendar, such as events, event notes, \
                  and attendees."
             }
-            OtherAppPerformanceData => {
-                "Any other app performance data not listed elsewhere."
-            }
+            OtherAppPerformanceData => "Any other app performance data not listed elsewhere.",
             CrashLogs => {
                 "Crash data from the app, for example the number of times the app \
                  has crashed or other information directly related to a crash."
@@ -404,9 +421,7 @@ impl DataType {
                  for example an IMEI number, MAC address, installation id, or \
                  advertising identifier."
             }
-            VoiceOrSoundRecordings => {
-                "The user's voice, such as a voicemail or a sound recording."
-            }
+            VoiceOrSoundRecordings => "The user's voice, such as a voicemail or a sound recording.",
             MusicFiles => "The user's music files.",
             OtherAudioFiles => "Any other audio files the user created or provided.",
             Contacts => {
@@ -422,165 +437,337 @@ impl DataType {
     pub fn lexicon(&self) -> &'static [&'static str] {
         match self {
             OtherUserGeneratedData => &[
-                "user generated content", "bio", "note", "open-ended response",
-                "free text", "user content", "conversation text", "text input",
-                "script to be produced", "user provided content",
+                "user generated content",
+                "bio",
+                "note",
+                "open-ended response",
+                "free text",
+                "user content",
+                "conversation text",
+                "text input",
+                "script to be produced",
+                "user provided content",
             ],
             AppInteractions => &[
-                "page visit count", "section tapped", "click event", "interaction event",
-                "usage interaction", "button press",
+                "page visit count",
+                "section tapped",
+                "click event",
+                "interaction event",
+                "usage interaction",
+                "button press",
             ],
             SettingsOrParameters => &[
-                "setting", "parameter", "preference", "configuration", "sort order",
-                "customization", "option", "filter criteria", "units preference",
+                "setting",
+                "parameter",
+                "preference",
+                "configuration",
+                "sort order",
+                "customization",
+                "option",
+                "filter criteria",
+                "units preference",
             ],
             InAppSearchHistory => &[
-                "search query", "search term", "search history", "query string",
-                "keyword searched", "search request", "lookup query",
+                "search query",
+                "search term",
+                "search history",
+                "query string",
+                "keyword searched",
+                "search request",
+                "lookup query",
             ],
             DataIdentifier => &[
-                "record id", "document id", "item id", "session id", "event id",
-                "data identifier", "resource id", "object id", "entry id",
+                "record id",
+                "document id",
+                "item id",
+                "session id",
+                "event id",
+                "data identifier",
+                "resource id",
+                "object id",
+                "entry id",
             ],
             OtherActivities => &[
-                "gameplay", "like", "dialog option", "activity", "action taken",
-                "game move", "vote",
+                "gameplay",
+                "like",
+                "dialog option",
+                "activity",
+                "action taken",
+                "game move",
+                "vote",
             ],
             Time => &[
-                "timestamp", "start time", "end time", "date range", "unix timestamp",
-                "time of request", "date specified", "duration",
+                "timestamp",
+                "start time",
+                "end time",
+                "date range",
+                "unix timestamp",
+                "time of request",
+                "date specified",
+                "duration",
             ],
             ReferenceInformation => &[
-                "referenced article", "citation", "external resource", "reference link",
-                "source document", "lookup result",
+                "referenced article",
+                "citation",
+                "external resource",
+                "reference link",
+                "source document",
+                "lookup result",
             ],
             InstalledApps => &[
-                "installed app", "available action", "other plugin", "app list",
-                "installed tool", "available integration",
+                "installed app",
+                "available action",
+                "other plugin",
+                "app list",
+                "installed tool",
+                "available integration",
             ],
             ModelNameOrVersion => &[
-                "model name", "model version", "llm version", "engine version",
-                "gpt model", "version string",
+                "model name",
+                "model version",
+                "llm version",
+                "engine version",
+                "gpt model",
+                "version string",
             ],
             Reviews => &[
-                "review", "feedback message", "rating comment", "user feedback",
+                "review",
+                "feedback message",
+                "rating comment",
+                "user feedback",
                 "star rating",
             ],
             CommandsPrompts => &[
-                "command", "prompt", "instruction", "system prompt", "user prompt",
+                "command",
+                "prompt",
+                "instruction",
+                "system prompt",
+                "user prompt",
                 "directive",
             ],
             OtherInfo => &[
-                "date of birth", "gender", "veteran status", "profile detail", "age",
-                "personal detail", "biographical information", "marital status",
+                "date of birth",
+                "gender",
+                "veteran status",
+                "profile detail",
+                "age",
+                "personal detail",
+                "biographical information",
+                "marital status",
             ],
             Languages => &[
-                "language", "preferred language", "locale", "language code",
+                "language",
+                "preferred language",
+                "locale",
+                "language code",
                 "language setting",
             ],
             UserIds => &[
-                "user id", "account id", "account number", "account name", "username",
-                "authentication token", "auth token", "api user", "login id",
+                "user id",
+                "account id",
+                "account number",
+                "account name",
+                "username",
+                "authentication token",
+                "auth token",
+                "api user",
+                "login id",
                 "subscriber id",
             ],
             Name => &[
-                "name", "first name", "last name", "nickname", "full name",
+                "name",
+                "first name",
+                "last name",
+                "nickname",
+                "full name",
                 "display name",
             ],
             EmailAddress => &[
-                "email address", "e-mail address", "email of the user", "contact email",
+                "email address",
+                "e-mail address",
+                "email of the user",
+                "contact email",
             ],
             Address => &[
-                "mailing address", "home address", "street address", "postal address",
-                "shipping address", "billing address", "zip code", "postcode",
+                "mailing address",
+                "home address",
+                "street address",
+                "postal address",
+                "shipping address",
+                "billing address",
+                "zip code",
+                "postcode",
             ],
             Passwords => &[
-                "password", "passphrase", "api key", "secret key", "credential",
-                "login password", "access key",
+                "password",
+                "passphrase",
+                "api key",
+                "secret key",
+                "credential",
+                "login password",
+                "access key",
             ],
             Timezone => &["timezone", "time zone", "utc offset"],
             PhoneNumber => &[
-                "phone number", "telephone number", "mobile number", "cell number",
+                "phone number",
+                "telephone number",
+                "mobile number",
+                "cell number",
             ],
             RaceAndEthnicity => &["race", "ethnicity", "ethnic background"],
             PoliticalOrReligiousBeliefs => &[
-                "political belief", "religious belief", "political affiliation",
+                "political belief",
+                "religious belief",
+                "political affiliation",
                 "religion",
             ],
             SexualOrientation => &["sexual orientation"],
             WebsiteVisits => &[
-                "website visited", "browsing history", "url to fetch", "web page url",
-                "link to read", "site visited", "webpage content requested",
+                "website visited",
+                "browsing history",
+                "url to fetch",
+                "web page url",
+                "link to read",
+                "site visited",
+                "webpage content requested",
                 "url of the web page",
             ],
             ApproximateLocation => &[
-                "approximate location", "city", "region", "country", "coarse location",
-                "area", "city name", "location for weather",
+                "approximate location",
+                "city",
+                "region",
+                "country",
+                "coarse location",
+                "area",
+                "city name",
+                "location for weather",
             ],
             PreciseLocation => &[
-                "precise location", "exact location", "gps coordinates", "latitude",
-                "longitude", "exact coordinates",
+                "precise location",
+                "exact location",
+                "gps coordinates",
+                "latitude",
+                "longitude",
+                "exact coordinates",
             ],
             OtherInAppMessages => &[
-                "chat message", "instant message", "chat content", "message content",
-                "in-app message", "conversation message",
+                "chat message",
+                "instant message",
+                "chat content",
+                "message content",
+                "in-app message",
+                "conversation message",
             ],
             SmsOrMms => &["sms", "mms", "text message"],
             Emails => &[
-                "email content", "email subject", "email body", "email recipient",
-                "email to send", "inbox message",
+                "email content",
+                "email subject",
+                "email body",
+                "email recipient",
+                "email to send",
+                "inbox message",
             ],
             OtherFinancialInfo => &[
-                "salary", "debt", "loan amount", "home value", "income",
-                "financial information", "net worth", "mortgage", "crypto balance",
+                "salary",
+                "debt",
+                "loan amount",
+                "home value",
+                "income",
+                "financial information",
+                "net worth",
+                "mortgage",
+                "crypto balance",
                 "portfolio value",
             ],
             UserPaymentInfo => &[
-                "credit card number", "bank account", "payment information",
-                "card details", "iban", "payment method",
+                "credit card number",
+                "bank account",
+                "payment information",
+                "card details",
+                "iban",
+                "payment method",
             ],
             PurchaseHistory => &[
-                "purchase history", "transaction history", "order history",
-                "past purchase", "transaction record",
+                "purchase history",
+                "transaction history",
+                "order history",
+                "past purchase",
+                "transaction record",
             ],
             CreditScore => &["credit score", "credit history", "credit rating"],
             FilesAndDocs => &[
-                "file", "document", "file name", "attachment", "uploaded file", "pdf",
-                "spreadsheet", "docs",
+                "file",
+                "document",
+                "file name",
+                "attachment",
+                "uploaded file",
+                "pdf",
+                "spreadsheet",
+                "docs",
             ],
             Videos => &["video", "video file", "video clip", "video url"],
             Photos => &["photo", "picture", "image of the user", "profile picture"],
             CalendarEvents => &[
-                "calendar event", "meeting", "appointment", "event attendee",
+                "calendar event",
+                "meeting",
+                "appointment",
+                "event attendee",
                 "schedule entry",
             ],
             OtherAppPerformanceData => &[
-                "performance data", "usage statistics", "metric", "telemetry",
+                "performance data",
+                "usage statistics",
+                "metric",
+                "telemetry",
             ],
             CrashLogs => &["crash log", "crash report", "crash count", "stack trace"],
             Diagnostics => &[
-                "diagnostic", "battery life", "loading time", "latency", "framerate",
+                "diagnostic",
+                "battery life",
+                "loading time",
+                "latency",
+                "framerate",
             ],
             HealthInfo => &[
-                "health information", "medical record", "symptom", "diagnosis",
-                "medication", "level of fitness",
+                "health information",
+                "medical record",
+                "symptom",
+                "diagnosis",
+                "medication",
+                "level of fitness",
             ],
             FitnessInfo => &[
-                "physical activity", "exercise", "workout", "step count", "fitness",
+                "physical activity",
+                "exercise",
+                "workout",
+                "step count",
+                "fitness",
             ],
             DeviceOrOtherIds => &[
-                "device id", "imei", "mac address", "installation id",
-                "advertising identifier", "browser fingerprint", "hardware id",
+                "device id",
+                "imei",
+                "mac address",
+                "installation id",
+                "advertising identifier",
+                "browser fingerprint",
+                "hardware id",
             ],
             VoiceOrSoundRecordings => &[
-                "voice recording", "sound recording", "voicemail", "audio recording",
+                "voice recording",
+                "sound recording",
+                "voicemail",
+                "audio recording",
                 "speech sample",
             ],
             MusicFiles => &["music file", "song file", "audio track"],
             OtherAudioFiles => &["audio file", "audio clip", "sound file"],
             Contacts => &[
-                "contact", "contact name", "address book", "social graph",
-                "call history", "contact list",
+                "contact",
+                "contact name",
+                "address book",
+                "social graph",
+                "call history",
+                "contact list",
             ],
         }
     }

@@ -8,9 +8,7 @@
 //! ```
 
 use gptx::llm::KbModel;
-use gptx::policy::{
-    corpus_stats, fully_consistent_fraction, PolicyAnalyzer,
-};
+use gptx::policy::{corpus_stats, fully_consistent_fraction, PolicyAnalyzer};
 use gptx::taxonomy::{DataType, KnowledgeBase};
 use gptx::{experiments, Pipeline, SynthConfig};
 
@@ -27,9 +25,18 @@ fn main() {
         This policy may change at any time.";
 
     let collected = vec![
-        ("Email address of the user".to_string(), DataType::EmailAddress),
-        ("The phone number of the user".to_string(), DataType::PhoneNumber),
-        ("The user's crypto portfolio value".to_string(), DataType::OtherFinancialInfo),
+        (
+            "Email address of the user".to_string(),
+            DataType::EmailAddress,
+        ),
+        (
+            "The phone number of the user".to_string(),
+            DataType::PhoneNumber,
+        ),
+        (
+            "The user's crypto portfolio value".to_string(),
+            DataType::OtherFinancialInfo,
+        ),
         ("User authentication token".to_string(), DataType::UserIds),
     ];
 
@@ -37,7 +44,10 @@ fn main() {
         .analyze_action("MoonTrader@moontrader.dev", policy, &collected)
         .expect("analysis");
     println!("single-service audit of MoonTrader:");
-    println!("  {} data-collection sentences extracted", report.collection_sentences.len());
+    println!(
+        "  {} data-collection sentences extracted",
+        report.collection_sentences.len()
+    );
     for item in &report.items {
         println!("  {:<42} -> {}", item.item, item.label);
     }
@@ -47,7 +57,10 @@ fn main() {
     );
 
     // --- Part 2: the corpus-scale measurement. -------------------------
-    let run = Pipeline::new(SynthConfig::tiny(99)).run().expect("pipeline");
+    let run = Pipeline::builder(SynthConfig::tiny(99))
+        .build()
+        .run()
+        .expect("pipeline");
     let bodies = run
         .archive
         .policies
@@ -57,9 +70,18 @@ fn main() {
     let stats = corpus_stats(&bodies, 0.95);
     println!("corpus policy statistics (Table 9):");
     println!("  actions:         {}", stats.total_actions);
-    println!("  crawled:         {:.1}% (paper 86.68%)", stats.crawled_fraction * 100.0);
-    println!("  duplicates:      {:.1}% (paper 38.56%)", stats.duplicate_fraction * 100.0);
-    println!("  near-duplicates: {:.2}% (paper 5.50%)", stats.near_duplicate_fraction * 100.0);
+    println!(
+        "  crawled:         {:.1}% (paper 86.68%)",
+        stats.crawled_fraction * 100.0
+    );
+    println!(
+        "  duplicates:      {:.1}% (paper 38.56%)",
+        stats.duplicate_fraction * 100.0
+    );
+    println!(
+        "  near-duplicates: {:.2}% (paper 5.50%)",
+        stats.near_duplicate_fraction * 100.0
+    );
     println!(
         "  fully consistent actions: {:.1}% (paper 5.8%)\n",
         fully_consistent_fraction(&run.reports) * 100.0

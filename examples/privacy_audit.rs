@@ -15,7 +15,7 @@ use std::collections::BTreeMap;
 fn main() {
     let mut config = SynthConfig::tiny(31337);
     config.base_gpts = 1000;
-    let run = Pipeline::new(config).run().expect("pipeline");
+    let run = Pipeline::builder(config).build().run().expect("pipeline");
 
     // --- For users: privacy labels of tracker-embedding GPTs. ----------
     let unique = run.archive.all_unique_gpts();
@@ -58,7 +58,12 @@ fn main() {
         plan.fixes.len() + plan.consistent.len()
     );
     for fix in plan.fixes.iter().take(6) {
-        println!("  {:<28} ({}) -> add: {}", fix.data_type.label(), fix.current, fix.suggested_sentence);
+        println!(
+            "  {:<28} ({}) -> add: {}",
+            fix.data_type.label(),
+            fix.current,
+            fix.suggested_sentence
+        );
     }
     let body = run.archive.policies[&worst.action_identity]
         .body

@@ -11,9 +11,15 @@ fn main() {
     // A seeded, laptop-sized ecosystem: ~400 GPTs over 4 weekly crawls.
     // Every number below is a pure function of this seed.
     let config = SynthConfig::tiny(42);
-    println!("generating + serving + crawling + analyzing (seed {})...", config.seed);
+    println!(
+        "generating + serving + crawling + analyzing (seed {})...",
+        config.seed
+    );
 
-    let run = Pipeline::new(config).run().expect("pipeline run");
+    let run = Pipeline::builder(config)
+        .build()
+        .run()
+        .expect("pipeline run");
 
     println!("{}", experiments::render("census", &run).expect("census"));
     println!("{}", experiments::render("t4", &run).expect("t4"));

@@ -13,7 +13,7 @@ use gptx::{Pipeline, SynthConfig};
 fn main() {
     let mut config = SynthConfig::tiny(1234);
     config.base_gpts = 1500; // enough Action GPTs for a connected graph
-    let run = Pipeline::new(config).run().expect("pipeline");
+    let run = Pipeline::builder(config).build().run().expect("pipeline");
 
     let stats = graph_stats(&run.graph, 8);
     println!(
@@ -60,5 +60,8 @@ fn main() {
     let path = "target/action_graph.dot";
     std::fs::create_dir_all("target").ok();
     std::fs::write(path, &dot).expect("write dot file");
-    println!("\nwrote Figure 5 DOT ({} lines) to {path}", dot.lines().count());
+    println!(
+        "\nwrote Figure 5 DOT ({} lines) to {path}",
+        dot.lines().count()
+    );
 }

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
-# Tier-1 verify loop: release build, full test suite, and bench
-# compilation (benches are part of the public surface — they must at
-# least build even when nobody has time to run them).
+# Tier-1 verify loop: formatting, lints, release build, full test
+# suite, and bench compilation (benches are part of the public
+# surface — they must at least build even when nobody has time to run
+# them).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --check
+cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release
 cargo test -q
 cargo bench --no-run

@@ -6,8 +6,9 @@
 use gptx::{FaultConfig, Pipeline, SynthConfig};
 
 fn run(seed: u64) -> gptx::AnalysisRun {
-    Pipeline::new(SynthConfig::tiny(seed))
-        .without_faults()
+    Pipeline::builder(SynthConfig::tiny(seed))
+        .faults(FaultConfig::none())
+        .build()
         .run()
         .expect("pipeline run")
 }
@@ -57,16 +58,15 @@ fn graph_nodes_match_cooccurring_actions() {
 
 #[test]
 fn faulty_server_still_yields_mostly_complete_crawl() {
-    let pipeline = Pipeline {
-        config: SynthConfig::tiny(105),
-        faults: FaultConfig {
+    let pipeline = Pipeline::builder(SynthConfig::tiny(105))
+        .faults(FaultConfig {
             gizmo_failure_rate: 0.02,
             transient_failure_every: Some(50),
             response_delay_ms: 0,
             malformed_gizmo_rate: 0.0,
-        },
-        crawler_threads: 8,
-    };
+        })
+        .crawler_threads(8)
+        .build();
     let run = pipeline.run().expect("pipeline with faults");
     let rate = run.crawl_stats.gizmo_success_rate();
     assert!(
@@ -82,7 +82,10 @@ fn faulty_server_still_yields_mostly_complete_crawl() {
 fn runs_are_deterministic_given_seed() {
     let a = run(106);
     let b = run(106);
-    assert_eq!(a.archive.all_unique_gpts().len(), b.archive.all_unique_gpts().len());
+    assert_eq!(
+        a.archive.all_unique_gpts().len(),
+        b.archive.all_unique_gpts().len()
+    );
     assert_eq!(a.profiles.len(), b.profiles.len());
     let ta: Vec<_> = a.collection.table5().iter().map(|r| r.gpts_pct).collect();
     let tb: Vec<_> = b.collection.table5().iter().map(|r| r.gpts_pct).collect();

@@ -1,7 +1,7 @@
 //! Every registered experiment renders on a real pipeline run, and each
 //! report carries the structure the paper's table/figure has.
 
-use gptx::{experiments, Pipeline, SynthConfig};
+use gptx::{experiments, FaultConfig, Pipeline, SynthConfig};
 use std::sync::OnceLock;
 
 fn shared_run() -> &'static gptx::AnalysisRun {
@@ -11,8 +11,9 @@ fn shared_run() -> &'static gptx::AnalysisRun {
         // confidence intervals (a few hundred distinct Actions).
         let mut config = SynthConfig::tiny(2025);
         config.base_gpts = 2500;
-        Pipeline::new(config)
-            .without_faults()
+        Pipeline::builder(config)
+            .faults(FaultConfig::none())
+            .build()
             .run()
             .expect("pipeline")
     })
@@ -24,7 +25,10 @@ fn every_registered_experiment_renders() {
     for (id, description) in experiments::ALL {
         let out = experiments::render(id, run)
             .unwrap_or_else(|| panic!("experiment {id} not registered"));
-        assert!(!out.trim().is_empty(), "{id} ({description}) rendered empty");
+        assert!(
+            !out.trim().is_empty(),
+            "{id} ({description}) rendered empty"
+        );
     }
 }
 
@@ -86,7 +90,10 @@ fn t5_has_a_row_per_measured_type() {
 #[test]
 fn t6_surfaces_hub_actions() {
     let out = experiments::render("t6", shared_run()).unwrap();
-    assert!(out.contains("webPilot"), "webPilot should be prevalent:\n{out}");
+    assert!(
+        out.contains("webPilot"),
+        "webPilot should be prevalent:\n{out}"
+    );
 }
 
 #[test]
@@ -106,7 +113,13 @@ fn t8_exposure_factor_exceeds_one() {
     let value: f64 = line
         .split(':')
         .nth(1)
-        .and_then(|s| s.trim().trim_end_matches(|c| c != 'x').trim_end_matches('x').parse().ok())
+        .and_then(|s| {
+            s.trim()
+                .trim_end_matches(|c| c != 'x')
+                .trim_end_matches('x')
+                .parse()
+                .ok()
+        })
         .unwrap();
     assert!(value >= 1.0, "exposure factor {value}");
 }
@@ -155,7 +168,10 @@ fn t11_labels_all_five_archetypes_correctly() {
 fn f6_heatmap_shows_omission_dominance() {
     let out = experiments::render("f6", shared_run()).unwrap();
     assert!(out.contains("Omitted"));
-    assert!(out.contains('█') || out.contains('▓'), "heatmap should shade:\n{out}");
+    assert!(
+        out.contains('█') || out.contains('▓'),
+        "heatmap should shade:\n{out}"
+    );
 }
 
 #[test]

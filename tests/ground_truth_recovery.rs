@@ -4,7 +4,7 @@
 //! studies.
 
 use gptx::llm::DisclosureLabel;
-use gptx::{Pipeline, SynthConfig};
+use gptx::{FaultConfig, Pipeline, SynthConfig};
 use std::collections::BTreeSet;
 use std::sync::OnceLock;
 
@@ -13,7 +13,11 @@ fn shared_run() -> &'static gptx::AnalysisRun {
     RUN.get_or_init(|| {
         let mut config = SynthConfig::tiny(777);
         config.base_gpts = 1200;
-        Pipeline::new(config).without_faults().run().expect("pipeline")
+        Pipeline::builder(config)
+            .faults(FaultConfig::none())
+            .build()
+            .run()
+            .expect("pipeline")
     })
 }
 
@@ -67,7 +71,11 @@ fn removal_codebook_agrees_with_planted_reasons() {
 fn disclosure_labels_track_planted_truth() {
     let run = shared_run();
     let pairs = run.accuracy_pairs();
-    assert!(pairs.len() > 50, "need a meaningful sample, got {}", pairs.len());
+    assert!(
+        pairs.len() > 50,
+        "need a meaningful sample, got {}",
+        pairs.len()
+    );
     let exact = pairs.iter().filter(|(_, p, g)| p == g).count() as f64 / pairs.len() as f64;
     assert!(
         exact >= 0.55,
@@ -114,7 +122,8 @@ fn hub_actions_have_highest_cooccurrence() {
         .map(|(label, _, _)| label.as_str())
         .collect();
     assert!(
-        top.iter().any(|l| l.contains("webPilot") || l.contains("Zapier") || l.contains("AdIntelli")),
+        top.iter()
+            .any(|l| l.contains("webPilot") || l.contains("Zapier") || l.contains("AdIntelli")),
         "expected Table 6 hubs at the top of the graph, got {top:?}"
     );
 }

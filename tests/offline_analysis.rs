@@ -45,8 +45,18 @@ fn archive_json_round_trip_preserves_analysis() {
     let offline = AnalysisRun::analyze(eco, reloaded, Default::default()).unwrap();
     assert_eq!(live.profiles.len(), offline.profiles.len());
     assert_eq!(live.reports.len(), offline.reports.len());
-    let t5_live: Vec<f64> = live.collection.table5().iter().map(|r| r.gpts_pct).collect();
-    let t5_offline: Vec<f64> = offline.collection.table5().iter().map(|r| r.gpts_pct).collect();
+    let t5_live: Vec<f64> = live
+        .collection
+        .table5()
+        .iter()
+        .map(|r| r.gpts_pct)
+        .collect();
+    let t5_offline: Vec<f64> = offline
+        .collection
+        .table5()
+        .iter()
+        .map(|r| r.gpts_pct)
+        .collect();
     assert_eq!(t5_live, t5_offline);
 }
 

@@ -27,8 +27,9 @@ fn crawl(seed: u64) -> (Ecosystem, CrawlArchive) {
 #[test]
 fn eight_workers_match_sequential_bit_for_bit() {
     let (eco, archive) = crawl(0xD007);
-    let seq = AnalysisRun::analyze_with_threads(eco.clone(), archive.clone(), Default::default(), 1)
-        .expect("sequential analysis");
+    let seq =
+        AnalysisRun::analyze_with_threads(eco.clone(), archive.clone(), Default::default(), 1)
+            .expect("sequential analysis");
     let par = AnalysisRun::analyze_with_threads(eco, archive, Default::default(), 8)
         .expect("parallel analysis");
 
@@ -60,11 +61,47 @@ fn eight_workers_match_sequential_bit_for_bit() {
 }
 
 #[test]
+fn metrics_on_and_off_produce_byte_identical_analysis() {
+    use gptx::MetricsRegistry;
+
+    let (eco, archive) = crawl(0xD009);
+    let live = MetricsRegistry::shared();
+    let off = AnalysisRun::analyze_with(
+        eco.clone(),
+        archive.clone(),
+        Default::default(),
+        8,
+        MetricsRegistry::shared_disabled(),
+    )
+    .expect("analysis, metrics off");
+    let on = AnalysisRun::analyze_with(eco, archive, Default::default(), 8, Arc::clone(&live))
+        .expect("analysis, metrics on");
+
+    // The instrumented run actually measured something…
+    let snapshot = live.snapshot();
+    assert!(snapshot.histograms.contains_key("stage.classify"));
+    assert!(snapshot.counters["pipeline.actions_profiled"] > 0);
+
+    // …and every analysis artifact is still byte-identical: metrics
+    // observe, they never steer.
+    assert_eq!(*off.profiles, *on.profiles);
+    assert_eq!(off.reports, on.reports);
+    for id in ["t5", "t7", "t8"] {
+        assert_eq!(
+            gptx::experiments::render(id, &off),
+            gptx::experiments::render(id, &on),
+            "experiment {id} differs between metrics off/on"
+        );
+    }
+}
+
+#[test]
 fn oversized_and_degenerate_thread_counts_are_safe() {
     let (eco, archive) = crawl(0xD008);
     // Far more workers than Actions, and a zero that clamps to one.
-    let wide = AnalysisRun::analyze_with_threads(eco.clone(), archive.clone(), Default::default(), 64)
-        .expect("wide analysis");
+    let wide =
+        AnalysisRun::analyze_with_threads(eco.clone(), archive.clone(), Default::default(), 64)
+            .expect("wide analysis");
     let clamped = AnalysisRun::analyze_with_threads(eco, archive, Default::default(), 0)
         .expect("clamped analysis");
     assert_eq!(*wide.profiles, *clamped.profiles);
