@@ -9,6 +9,8 @@
 //! * `exposure_algo` — per-node BFS vs. the bitmask frontier sweep
 //!   behind Table 7;
 //! * `crawler_threads` — crawl throughput vs. worker-thread count;
+//! * `keepalive` — `crawl_week` with the HTTP connection pool on vs.
+//!   off (one `Connection: close` request per TCP connection);
 //! * `analyze_threads` — the full analysis phase (classification +
 //!   policy disclosure + aggregation) vs. `analysis_threads`;
 //! * `stemmer` — classification with and without Porter stemming of the
@@ -212,6 +214,22 @@ fn bench_ablations(c: &mut Criterion) {
                 })
             },
         );
+    }
+
+    // --- keep-alive: pooled connections vs connection-per-request. -------
+    // Same crawl, same results; only the transport differs. pool=0 is
+    // the pre-keep-alive behavior (connect + teardown per request).
+    for (label, pool) in [("off", 0usize), ("on", 8)] {
+        group.bench_with_input(BenchmarkId::new("keepalive", label), &pool, |b, &pool| {
+            b.iter(|| {
+                let crawler = Crawler::new(server.addr()).with_threads(4).with_pool(pool);
+                black_box(
+                    crawler
+                        .crawl_week(0, "2024-02-08", &store_names)
+                        .expect("crawl"),
+                )
+            })
+        });
     }
 
     // --- analysis worker count (the ablate_analyze_threads knob). --------

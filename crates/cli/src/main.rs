@@ -48,21 +48,27 @@ const USAGE: &str = "gptx — audit toolkit for data collection in LLM app ecosy
 USAGE:
     gptx list
     gptx reproduce <id>... | all   [--seed N] [--scale tiny|small|medium|paper] [--faults]
-                                   [--threads N] [--metrics] [--metrics-json FILE]
+                                   [--threads N] [--pool N] [--metrics] [--metrics-json FILE]
     gptx generate                  [--seed N] [--scale ...] [--out FILE]
     gptx serve                     [--seed N] [--scale ...]            (runs until stdin EOF)
     gptx crawl                     [--seed N] [--scale ...] [--out FILE]
-                                   [--metrics] [--metrics-json FILE]
+                                   [--pool N] [--metrics] [--metrics-json FILE]
     gptx label                     [--seed N] [--scale ...] [--gpt ID] [--max N]
     gptx analyze <id>... | all     --archive FILE --eco FILE [--threads N]
                                    [--metrics] [--metrics-json FILE]   (offline analysis)
     gptx report                    [--seed N] [--scale ...] [--faults] [--threads N]
-                                   [--metrics-json FILE]   (run pipeline, print metrics only)
+                                   [--pool N] [--metrics-json FILE]
+                                   (run pipeline, print metrics only)
 
 OPTIONS:
     --threads N   worker count for the analysis stages (classification,
                   policy disclosure, exposure sweep; default 8). Output
                   is identical at any thread count.
+    --pool N      HTTP connection-pool size for the crawl (default: the
+                  crawler worker count). Pooled connections are kept
+                  alive across requests; 0 disables pooling and sends
+                  `Connection: close` on every request. Results are
+                  byte-identical either way.
     --metrics     collect observability metrics during the run and print
                   per-stage span timings, crawler request/retry/latency
                   metrics, store per-route counters, and worker-pool
@@ -152,6 +158,19 @@ fn threads_from(
         .transpose()
 }
 
+/// Parse the optional `--pool` connection-pool size (0 = pooling off).
+fn pool_from(
+    options: &std::collections::BTreeMap<String, String>,
+) -> Result<Option<usize>, String> {
+    options
+        .get("pool")
+        .map(|p| {
+            p.parse::<usize>()
+                .map_err(|_| format!("bad --pool {p:?} (want an integer >= 0)"))
+        })
+        .transpose()
+}
+
 /// Resolve the `--metrics` / `--metrics-json FILE` pair: a registry
 /// (enabled iff either flag is present) and the optional JSON path.
 fn metrics_from(
@@ -209,6 +228,14 @@ fn reproduce(args: &[String]) -> ExitCode {
     }
     match threads_from(&options) {
         Ok(Some(threads)) => builder = builder.analysis_threads(threads),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match pool_from(&options) {
+        Ok(Some(pool)) => builder = builder.pool_size(pool),
         Ok(None) => {}
         Err(e) => {
             eprintln!("{e}");
@@ -442,6 +469,14 @@ fn report(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    match pool_from(&options) {
+        Ok(Some(pool)) => builder = builder.pool_size(pool),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
     // Metrics are the whole point of this subcommand.
     let metrics = MetricsRegistry::shared();
     let metrics_json = options.get("metrics-json").cloned();
@@ -544,9 +579,17 @@ fn crawl(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let crawler = gptx::crawler::Crawler::new(handle.addr())
+    let mut crawler = gptx::crawler::Crawler::new(handle.addr())
         .with_threads(8)
         .with_metrics(Arc::clone(&metrics));
+    match pool_from(&options) {
+        Ok(Some(pool)) => crawler = crawler.with_pool(pool),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
     let store_names: Vec<&str> = gptx::synth::STORES.iter().map(|(n, _)| *n).collect();
     let weeks: Vec<(u32, String)> = eco.weeks.iter().map(|w| (w.week, w.date.clone())).collect();
     let archive = match crawler.crawl_campaign(&weeks, &store_names, |w| handle.set_week(w)) {
@@ -647,6 +690,19 @@ mod tests {
             let (_, opts) = split_args(&args(bad));
             assert!(threads_from(&opts).is_err());
         }
+    }
+
+    #[test]
+    fn pool_from_parses_and_rejects() {
+        let (_, opts) = split_args(&args(&["--pool", "16"]));
+        assert_eq!(pool_from(&opts).unwrap(), Some(16));
+        // 0 is legal: it disables pooling.
+        let (_, opts) = split_args(&args(&["--pool", "0"]));
+        assert_eq!(pool_from(&opts).unwrap(), Some(0));
+        let (_, opts) = split_args(&args(&[]));
+        assert_eq!(pool_from(&opts).unwrap(), None);
+        let (_, opts) = split_args(&args(&["--pool", "many"]));
+        assert!(pool_from(&opts).is_err());
     }
 
     #[test]

@@ -117,7 +117,7 @@ fn census(run: &AnalysisRun) -> String {
         .archive
         .weekly_gizmo_success
         .iter()
-        .map(|r| r * 100.0)
+        .map(|(_, r)| r * 100.0)
         .collect();
     let gizmo_band = gptx_stats::mean_ci(&weekly_pct, 0.95, 42)
         .map(|ci| format!("{}%", ci.plus_minus(1)))

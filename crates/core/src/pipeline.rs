@@ -95,6 +95,7 @@ pub struct Pipeline {
     config: SynthConfig,
     faults: FaultConfig,
     crawler_threads: usize,
+    pool_size: usize,
     analysis_threads: usize,
     metrics: Arc<MetricsRegistry>,
 }
@@ -105,6 +106,7 @@ pub struct PipelineBuilder {
     config: SynthConfig,
     faults: FaultConfig,
     crawler_threads: usize,
+    pool_size: Option<usize>,
     analysis_threads: usize,
     metrics: Arc<MetricsRegistry>,
 }
@@ -121,6 +123,15 @@ impl PipelineBuilder {
     /// Crawler worker count (default 8).
     pub fn crawler_threads(mut self, threads: usize) -> PipelineBuilder {
         self.crawler_threads = threads.max(1);
+        self
+    }
+
+    /// HTTP connection-pool size for the crawl (default: the crawler
+    /// worker count, so every worker can keep a connection alive).
+    /// `0` disables pooling — one `Connection: close` request per
+    /// connection, the pre-keep-alive behavior.
+    pub fn pool_size(mut self, size: usize) -> PipelineBuilder {
+        self.pool_size = Some(size);
         self
     }
 
@@ -146,6 +157,7 @@ impl PipelineBuilder {
             config: self.config,
             faults: self.faults,
             crawler_threads: self.crawler_threads,
+            pool_size: self.pool_size.unwrap_or(self.crawler_threads),
             analysis_threads: self.analysis_threads,
             metrics: self.metrics,
         }
@@ -160,6 +172,7 @@ impl Pipeline {
             config,
             faults: FaultConfig::default(),
             crawler_threads: 8,
+            pool_size: None,
             analysis_threads: 8,
             metrics: MetricsRegistry::shared_disabled(),
         }
@@ -205,6 +218,12 @@ impl Pipeline {
         self.crawler_threads
     }
 
+    /// The HTTP connection-pool size the crawl runs with (0 = pooling
+    /// disabled).
+    pub fn pool_size(&self) -> usize {
+        self.pool_size
+    }
+
     pub fn analysis_threads(&self) -> usize {
         self.analysis_threads
     }
@@ -237,6 +256,7 @@ impl Pipeline {
         // 2. Crawl the full campaign.
         let crawler = Crawler::new(server.addr())
             .with_threads(self.crawler_threads)
+            .with_pool(self.pool_size)
             .with_metrics(Arc::clone(metrics));
         let store_names: Vec<&str> = STORES.iter().map(|(n, _)| *n).collect();
         let weeks: Vec<(u32, String)> =
@@ -567,6 +587,7 @@ mod tests {
     fn builder_defaults_and_overrides() {
         let p = Pipeline::builder(SynthConfig::tiny(1)).build();
         assert_eq!(p.crawler_threads(), 8);
+        assert_eq!(p.pool_size(), 8, "pool defaults to the worker count");
         assert_eq!(p.analysis_threads(), 8);
         assert!(!p.metrics().enabled());
 
@@ -574,10 +595,12 @@ mod tests {
         let p = Pipeline::builder(SynthConfig::tiny(1))
             .faults(FaultConfig::none())
             .crawler_threads(0) // clamps to 1
+            .pool_size(0) // pooling off is a legal explicit choice
             .analysis_threads(3)
             .metrics(Arc::clone(&metrics))
             .build();
         assert_eq!(p.crawler_threads(), 1);
+        assert_eq!(p.pool_size(), 0);
         assert_eq!(p.analysis_threads(), 3);
         assert_eq!(p.faults().gizmo_failure_rate, 0.0);
         assert!(p.metrics().enabled());
@@ -642,6 +665,11 @@ mod tests {
         assert!(snap.counters["store.route.gizmo"] > 0);
         assert!(snap.counters["par.classify.items"] > 0);
         assert!(snap.counters["par.policy.items"] > 0);
+        // Keep-alive is on by default: connections get reused and far
+        // fewer are opened than requests made.
+        assert!(snap.counters["http.client.conn_reused"] > 0);
+        assert!(snap.counters["http.client.conn_opened"] < snap.counters["http.client.requests"]);
+        assert!(snap.histograms["store.conn_requests"].count > 0);
         assert_eq!(
             snap.counters["pipeline.actions_profiled"],
             run.profiles.len() as u64

@@ -52,10 +52,13 @@ pub struct CrawlArchive {
     /// campaign (Table 1's per-store counts).
     #[serde(default)]
     pub store_listings: BTreeMap<String, BTreeSet<GptId>>,
-    /// Per-week gizmo crawl success rates (the paper reports their mean ±
-    /// band: 98.9 ± 1.7%).
+    /// Per-week gizmo crawl success rates as `(week, rate)` pairs — one
+    /// entry per crawled week, keyed by week number so the series stays
+    /// aligned with [`CrawlArchive::snapshots`] even when a week had no
+    /// gizmo requests (the paper reports the rates' mean ± band:
+    /// 98.9 ± 1.7%).
     #[serde(default)]
-    pub weekly_gizmo_success: Vec<f64>,
+    pub weekly_gizmo_success: Vec<(u32, f64)>,
 }
 
 impl CrawlArchive {

@@ -135,6 +135,10 @@ impl Endpoint {
 ///   `base × n` (default 5 ms, loopback-friendly);
 /// * [`Crawler::with_timeout`] — TCP connect timeout, forwarded to
 ///   [`HttpClient::with_connect_timeout`] (default 5 s);
+/// * [`Crawler::with_pool`] — idle connection-pool size, forwarded to
+///   [`HttpClient::with_pool`]; workers reuse pooled connections across
+///   the whole id list, and `0` restores one `Connection: close`
+///   request per connection;
 /// * [`Crawler::with_metrics`] — attach a [`MetricsRegistry`]: records
 ///   per-endpoint request/retry counts and latency histograms
 ///   (`crawler.requests.*`, `crawler.retries.*`, `crawler.latency.*`),
@@ -185,6 +189,12 @@ impl Crawler {
     /// Override the TCP connect timeout (see the type docs).
     pub fn with_timeout(mut self, timeout: Duration) -> Crawler {
         self.client = self.client.with_connect_timeout(timeout);
+        self
+    }
+
+    /// Override the idle connection-pool size (see the type docs).
+    pub fn with_pool(mut self, max_idle: usize) -> Crawler {
+        self.client = self.client.with_pool(max_idle);
         self
     }
 
@@ -412,16 +422,21 @@ impl Crawler {
                 snapshot.insert(gpt);
             }
             archive.snapshots.push(snapshot);
-            // This week's gizmo success, from the stats delta.
+            // This week's gizmo success, from the stats delta. Every
+            // week gets an entry, keyed by week number so the series
+            // can never misalign with `archive.snapshots` — a week with
+            // no requests records the vacuous success rate 1.0 (same
+            // convention as [`CrawlStats::gizmo_success_rate`]).
             let after = self.stats();
             let requests = after.gizmo_requests - stats_before.gizmo_requests;
-            if requests > 0 {
+            let rate = if requests > 0 {
                 let ok = (after.gizmos_fetched + after.gizmo_not_found)
                     - (stats_before.gizmos_fetched + stats_before.gizmo_not_found);
-                archive
-                    .weekly_gizmo_success
-                    .push(ok as f64 / requests as f64);
-            }
+                ok as f64 / requests as f64
+            } else {
+                1.0
+            };
+            archive.weekly_gizmo_success.push((*week, rate));
         }
         // Policies for every distinct Action.
         let actions = archive.distinct_actions();
@@ -522,10 +537,8 @@ mod tests {
         let (handle, eco) = start(
             24,
             FaultConfig {
-                gizmo_failure_rate: 0.0,
                 transient_failure_every: Some(7),
-                response_delay_ms: 0,
-                malformed_gizmo_rate: 0.0,
+                ..FaultConfig::none()
             },
         );
         let crawler = Crawler::new(handle.addr()).with_retries(3);
@@ -542,9 +555,7 @@ mod tests {
             25,
             FaultConfig {
                 gizmo_failure_rate: 0.10,
-                transient_failure_every: None,
-                response_delay_ms: 0,
-                malformed_gizmo_rate: 0.0,
+                ..FaultConfig::none()
             },
         );
         let crawler = Crawler::new(handle.addr()).with_retries(1);
@@ -584,10 +595,8 @@ mod tests {
         let (handle, eco) = start(
             28,
             FaultConfig {
-                gizmo_failure_rate: 0.0,
-                transient_failure_every: None,
-                response_delay_ms: 0,
                 malformed_gizmo_rate: 0.15,
+                ..FaultConfig::none()
             },
         );
         let crawler = Crawler::new(handle.addr()).with_retries(0);
@@ -609,10 +618,8 @@ mod tests {
         let (handle, _eco) = start(
             29,
             FaultConfig {
-                gizmo_failure_rate: 0.0,
                 transient_failure_every: Some(5),
-                response_delay_ms: 0,
-                malformed_gizmo_rate: 0.0,
+                ..FaultConfig::none()
             },
         );
         let metrics = MetricsRegistry::shared();
@@ -634,6 +641,21 @@ mod tests {
         assert!(snap.histograms["crawler.latency.gizmo"].count > 0);
         // Each retry logged a Warn event.
         assert!(snap.events.iter().any(|e| e.level == Level::Warn));
+        // The two counter families must not drift: every HTTP request
+        // the client made is either a crawler logical request or a
+        // crawler retry attempt (transparent pooled-connection retries
+        // are tracked separately as `http.client.conn_retries`).
+        let requests: u64 = snap
+            .counters
+            .iter()
+            .filter(|(name, _)| name.starts_with("crawler.requests."))
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(
+            snap.counters["http.client.requests"],
+            requests + retries,
+            "http.client.requests drifted from crawler request + retry counters"
+        );
         handle.shutdown();
     }
 
@@ -666,9 +688,7 @@ mod tests {
             31,
             FaultConfig {
                 gizmo_failure_rate: 1.0,
-                transient_failure_every: None,
-                response_delay_ms: 0,
-                malformed_gizmo_rate: 0.0,
+                ..FaultConfig::none()
             },
         );
         let slow = Crawler::new(handle.addr())
@@ -681,6 +701,35 @@ mod tests {
             "backoff not applied: {:?}",
             started.elapsed()
         );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn pooling_reuses_connections_without_changing_results() {
+        let (handle, _eco) = start(32, FaultConfig::none());
+        let unpooled = Crawler::new(handle.addr()).with_threads(4).with_pool(0);
+        let s1 = unpooled
+            .crawl_week(0, "2024-02-08", &store_names())
+            .unwrap();
+
+        let metrics = MetricsRegistry::shared();
+        let pooled = Crawler::new(handle.addr())
+            .with_threads(4)
+            .with_metrics(Arc::clone(&metrics));
+        let s2 = pooled.crawl_week(0, "2024-02-08", &store_names()).unwrap();
+
+        assert_eq!(s1.gpts, s2.gpts, "pooling changed crawl results");
+        assert_eq!(unpooled.stats(), pooled.stats());
+
+        let snap = metrics.snapshot();
+        assert!(snap.counters["http.client.conn_reused"] > 0);
+        let opened = snap.counters["http.client.conn_opened"];
+        let budget = (4 + store_names().len()) as u64; // threads + stores
+        assert!(
+            opened <= budget,
+            "opened {opened} connections, budget {budget}"
+        );
+        assert!(opened < snap.counters["http.client.requests"]);
         handle.shutdown();
     }
 

@@ -6,14 +6,29 @@
 //! client resolves *all* hosts to the configured socket address and
 //! carries the real host in the `Host` header — exactly how one points a
 //! crawler at a test environment with a resolver override.
+//!
+//! Connections are pooled per upstream address: after a successful
+//! exchange where neither side asked for `Connection: close`, the socket
+//! (with its read buffer, so no bytes are lost between responses) goes
+//! back to the pool for the next request. A pooled socket the server
+//! already closed is detected by the failed exchange and retried once,
+//! transparently, on a fresh connection; a connection that errored
+//! mid-exchange is poisoned — dropped, never checked back in — so a
+//! half-read body can't leak into the next response. [`HttpClient::with_pool`]
+//! sizes the idle pool; `with_pool(0)` restores the one-connection-per-
+//! request `Connection: close` behavior.
 
 use crate::http::{configure_stream, HttpError, Request, Response};
 use gptx_model::url::Url;
 use gptx_obs::MetricsRegistry;
+use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpStream};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Default maximum idle connections kept per upstream address.
+const DEFAULT_POOL_SIZE: usize = 8;
 
 /// Client errors (wraps HTTP and URL failures).
 #[derive(Debug)]
@@ -41,21 +56,65 @@ impl From<HttpError> for ClientError {
     }
 }
 
+/// One persistent connection: the write half plus a buffered reader
+/// over the read half. The reader travels with the socket through the
+/// pool — bytes it buffered past one response belong to the next one.
+#[derive(Debug)]
+struct PooledConn {
+    write: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+/// Idle connections keyed by upstream address, shared by every clone of
+/// an [`HttpClient`] (crawler workers hand sockets back and forth
+/// through it).
+#[derive(Debug, Default)]
+struct Pool {
+    idle: Mutex<HashMap<SocketAddr, Vec<PooledConn>>>,
+}
+
+impl Pool {
+    fn checkout(&self, upstream: SocketAddr) -> Option<PooledConn> {
+        self.idle
+            .lock()
+            .expect("pool lock")
+            .get_mut(&upstream)?
+            .pop()
+    }
+
+    /// Return a connection to the pool; `false` (an eviction) when the
+    /// pool for this upstream is already at `max_idle`.
+    fn checkin(&self, upstream: SocketAddr, conn: PooledConn, max_idle: usize) -> bool {
+        let mut idle = self.idle.lock().expect("pool lock");
+        let conns = idle.entry(upstream).or_default();
+        if conns.len() >= max_idle {
+            return false;
+        }
+        conns.push(conn);
+        true
+    }
+}
+
 /// A blocking HTTP client pinned to one upstream address.
 #[derive(Debug, Clone)]
 pub struct HttpClient {
     upstream: SocketAddr,
     connect_timeout: Duration,
     metrics: Arc<MetricsRegistry>,
+    pool: Arc<Pool>,
+    max_idle: usize,
 }
 
 impl HttpClient {
-    /// Dial `upstream` for every URL.
+    /// Dial `upstream` for every URL. Connection pooling is on by
+    /// default with an idle cap of [`DEFAULT_POOL_SIZE`].
     pub fn new(upstream: SocketAddr) -> HttpClient {
         HttpClient {
             upstream,
             connect_timeout: Duration::from_secs(5),
             metrics: MetricsRegistry::shared_disabled(),
+            pool: Arc::new(Pool::default()),
+            max_idle: DEFAULT_POOL_SIZE,
         }
     }
 
@@ -65,9 +124,20 @@ impl HttpClient {
         self
     }
 
+    /// Size the idle connection pool. `0` disables pooling entirely:
+    /// every request opens its own connection and sends
+    /// `Connection: close`, the pre-keep-alive behavior.
+    pub fn with_pool(mut self, max_idle: usize) -> HttpClient {
+        self.max_idle = max_idle;
+        self
+    }
+
     /// Attach a metrics registry: every request records a
     /// `http.client.requests` count, a `http.client.latency_us`
     /// observation, and on failure a `http.client.errors` count.
+    /// Connection lifecycle shows up as `http.client.conn_opened`,
+    /// `conn_reused`, `conn_retries` (transparent retries after a dead
+    /// pooled socket), and `pool_evictions`.
     pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> HttpClient {
         self.metrics = metrics;
         self
@@ -80,7 +150,9 @@ impl HttpClient {
         self.send(request)
     }
 
-    /// Send an arbitrary request.
+    /// Send an arbitrary request. `http.client.requests` counts one per
+    /// call — a transparent retry on a dead pooled connection is part of
+    /// the same logical request, visible only as `conn_retries`.
     pub fn send(&self, request: Request) -> Result<Response, ClientError> {
         let started = self.metrics.enabled().then(Instant::now);
         let result = self.send_inner(request);
@@ -97,14 +169,77 @@ impl HttpClient {
         result
     }
 
-    fn send_inner(&self, request: Request) -> Result<Response, ClientError> {
+    fn send_inner(&self, mut request: Request) -> Result<Response, ClientError> {
+        if self.max_idle == 0 {
+            request
+                .headers
+                .entry("connection".to_string())
+                .or_insert_with(|| "close".to_string());
+            let mut conn = self.open()?;
+            return Ok(self.exchange(&mut conn, &request)?);
+        }
+        request
+            .headers
+            .entry("connection".to_string())
+            .or_insert_with(|| "keep-alive".to_string());
+        if let Some(mut conn) = self.pool.checkout(self.upstream) {
+            if self.metrics.enabled() {
+                self.metrics.incr("http.client.conn_reused");
+            }
+            match self.exchange(&mut conn, &request) {
+                Ok(response) => {
+                    self.maybe_checkin(conn, &request, &response);
+                    return Ok(response);
+                }
+                Err(_) => {
+                    // A pooled socket the server closed (or broke) under
+                    // us: poison it by dropping, retry once on a fresh
+                    // connection — the caller never sees the stale socket.
+                    drop(conn);
+                    if self.metrics.enabled() {
+                        self.metrics.incr("http.client.conn_retries");
+                    }
+                }
+            }
+        }
+        let mut conn = self.open()?;
+        let response = self.exchange(&mut conn, &request)?;
+        self.maybe_checkin(conn, &request, &response);
+        Ok(response)
+    }
+
+    /// Open a fresh connection to the upstream.
+    fn open(&self) -> Result<PooledConn, ClientError> {
         let stream = TcpStream::connect_timeout(&self.upstream, self.connect_timeout)
             .map_err(ClientError::Connect)?;
         configure_stream(&stream)?;
-        let mut write_half = stream.try_clone().map_err(ClientError::Connect)?;
-        request.write_to(&mut write_half)?;
-        let mut reader = BufReader::new(stream);
-        Ok(Response::read_from(&mut reader)?)
+        let write = stream.try_clone().map_err(ClientError::Connect)?;
+        if self.metrics.enabled() {
+            self.metrics.incr("http.client.conn_opened");
+        }
+        Ok(PooledConn {
+            write,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// One request/response exchange on a connection. Any error here
+    /// leaves the connection in an unknown state — callers must drop
+    /// it, never pool it.
+    fn exchange(&self, conn: &mut PooledConn, request: &Request) -> Result<Response, HttpError> {
+        request.write_to(&mut conn.write)?;
+        Response::read_from(&mut conn.reader)
+    }
+
+    /// Pool the connection after a clean exchange, unless either side
+    /// announced `Connection: close` or the pool is full (an eviction).
+    fn maybe_checkin(&self, conn: PooledConn, request: &Request, response: &Response) {
+        if request.wants_close() || response.wants_close() {
+            return;
+        }
+        if !self.pool.checkin(self.upstream, conn, self.max_idle) && self.metrics.enabled() {
+            self.metrics.incr("http.client.pool_evictions");
+        }
     }
 }
 
@@ -166,5 +301,108 @@ mod tests {
             client.get("http://x.test/"),
             Err(ClientError::Connect(_))
         ));
+    }
+
+    #[test]
+    fn sequential_requests_reuse_one_connection() {
+        let handle = serve(|_: &Request| Resp::ok_text("ok")).unwrap();
+        let metrics = MetricsRegistry::shared();
+        let client = HttpClient::new(handle.addr()).with_metrics(Arc::clone(&metrics));
+        for i in 0..5 {
+            assert!(client.get(&format!("https://a.test/{i}")).is_ok());
+        }
+        handle.shutdown();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counters["http.client.conn_opened"], 1);
+        assert_eq!(snap.counters["http.client.conn_reused"], 4);
+        assert_eq!(snap.counters["http.client.requests"], 5);
+    }
+
+    #[test]
+    fn disabled_pool_opens_per_request_with_close() {
+        let handle = serve(|req: &Request| {
+            Resp::ok_text(format!(
+                "conn={}",
+                req.headers.get("connection").map_or("none", String::as_str)
+            ))
+        })
+        .unwrap();
+        let metrics = MetricsRegistry::shared();
+        let client = HttpClient::new(handle.addr())
+            .with_pool(0)
+            .with_metrics(Arc::clone(&metrics));
+        for _ in 0..3 {
+            assert_eq!(client.get("https://a.test/x").unwrap().text(), "conn=close");
+        }
+        handle.shutdown();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counters["http.client.conn_opened"], 3);
+        assert_eq!(snap.counters.get("http.client.conn_reused"), None);
+    }
+
+    #[test]
+    fn dead_pooled_connection_is_retried_transparently() {
+        // A hand-rolled server that promises keep-alive but serves
+        // exactly one request per connection, then hangs up: every
+        // pooled socket is stale by the time it's reused.
+        use std::io::BufReader;
+        use std::net::TcpListener;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            for _ in 0..2 {
+                let (stream, _) = listener.accept().unwrap();
+                configure_stream(&stream).unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let _ = Request::read_from(&mut reader).unwrap();
+                let mut response = Resp::ok_text("ok");
+                response
+                    .headers
+                    .insert("connection".to_string(), "keep-alive".to_string());
+                let mut stream = stream;
+                response.write_to(&mut stream).unwrap();
+                // Dropping the stream closes the "kept-alive" socket.
+            }
+        });
+
+        let metrics = MetricsRegistry::shared();
+        let client = HttpClient::new(addr).with_metrics(Arc::clone(&metrics));
+        assert_eq!(client.get("https://a.test/1").unwrap().text(), "ok");
+        // The pooled socket is dead; this must succeed via the
+        // transparent retry, invisible to the caller.
+        assert_eq!(client.get("https://a.test/2").unwrap().text(), "ok");
+        server.join().unwrap();
+
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counters["http.client.requests"], 2);
+        assert_eq!(snap.counters.get("http.client.errors"), None);
+        assert_eq!(snap.counters["http.client.conn_opened"], 2);
+        assert_eq!(snap.counters["http.client.conn_reused"], 1);
+        assert_eq!(snap.counters["http.client.conn_retries"], 1);
+    }
+
+    #[test]
+    fn pool_checkin_respects_the_idle_cap() {
+        // Exercise the pool directly: a socket pair gives us real
+        // connections without a full client round trip.
+        use std::net::TcpListener;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let make_conn = || {
+            let write = TcpStream::connect(addr).unwrap();
+            let _ = listener.accept().unwrap();
+            let read = write.try_clone().unwrap();
+            PooledConn {
+                write,
+                reader: BufReader::new(read),
+            }
+        };
+        let pool = Pool::default();
+        assert!(pool.checkin(addr, make_conn(), 1));
+        assert!(!pool.checkin(addr, make_conn(), 1), "cap of 1 must evict");
+        assert!(pool.checkout(addr).is_some());
+        assert!(pool.checkout(addr).is_none(), "evicted conn never pooled");
     }
 }

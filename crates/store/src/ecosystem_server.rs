@@ -16,7 +16,7 @@
 //!   an optional every-Nth transient failure exercises crawler retries.
 
 use crate::http::{Request, Response};
-use crate::server::{serve, Router, ServerHandle};
+use crate::server::{serve_with, Router, ServerConfig, ServerHandle, FAULT_DISCONNECT_HEADER};
 use gptx_obs::MetricsRegistry;
 use gptx_synth::{Ecosystem, PolicyKind, STORES};
 use std::collections::HashMap;
@@ -38,6 +38,10 @@ pub struct FaultConfig {
     /// Fraction of gizmo ids whose JSON is served truncated (parse
     /// failures on the crawler side; 0 = off).
     pub malformed_gizmo_rate: f64,
+    /// Fraction of gizmo ids whose response is cut off mid-body and
+    /// the connection dropped — the server dying mid-stream. Exercises
+    /// the client's poisoned-connection handling (0 = off).
+    pub disconnect_gizmo_rate: f64,
 }
 
 impl Default for FaultConfig {
@@ -47,6 +51,7 @@ impl Default for FaultConfig {
             transient_failure_every: None,
             response_delay_ms: 0,
             malformed_gizmo_rate: 0.0,
+            disconnect_gizmo_rate: 0.0,
         }
     }
 }
@@ -59,6 +64,7 @@ impl FaultConfig {
             transient_failure_every: None,
             response_delay_ms: 0,
             malformed_gizmo_rate: 0.0,
+            disconnect_gizmo_rate: 0.0,
         }
     }
 }
@@ -176,6 +182,18 @@ impl EcosystemRouter {
                     if (hm % 10_000) as f64 / 10_000.0 < self.faults.malformed_gizmo_rate {
                         self.metrics.incr("store.fault.malformed_json");
                         return Response::ok_json(json[..json.len() / 2].to_string());
+                    }
+                    // Mid-stream disconnect: the server loop sees this
+                    // marker, truncates the response on the wire, and
+                    // drops the connection.
+                    let hd = gptx_stats_hash(&format!("disconnect:{id_str}"));
+                    if (hd % 10_000) as f64 / 10_000.0 < self.faults.disconnect_gizmo_rate {
+                        self.metrics.incr("store.fault.disconnect");
+                        let mut response = Response::ok_json(json);
+                        response
+                            .headers
+                            .insert(FAULT_DISCONNECT_HEADER.to_string(), "1".to_string());
+                        return response;
                     }
                     Response::ok_json(json)
                 }
@@ -333,9 +351,26 @@ impl EcosystemHandle {
         faults: FaultConfig,
         metrics: Arc<MetricsRegistry>,
     ) -> std::io::Result<EcosystemHandle> {
+        EcosystemHandle::start_with_config(
+            eco,
+            faults,
+            ServerConfig::default().with_metrics(metrics),
+        )
+    }
+
+    /// [`EcosystemHandle::start_with_metrics`] with full control over
+    /// the connection-handling policy (keep-alive idle timeout and
+    /// per-connection request cap); the router records into
+    /// `config.metrics`.
+    pub fn start_with_config(
+        eco: Arc<Ecosystem>,
+        faults: FaultConfig,
+        config: ServerConfig,
+    ) -> std::io::Result<EcosystemHandle> {
+        let metrics = Arc::clone(&config.metrics);
         let week = Arc::new(AtomicUsize::new(0));
         let router = EcosystemRouter::new(eco, Arc::clone(&week), faults, Arc::clone(&metrics));
-        let server = serve(router)?;
+        let server = serve_with(router, config)?;
         Ok(EcosystemHandle {
             server,
             week,
@@ -491,10 +526,8 @@ mod tests {
         let handle = EcosystemHandle::start(
             Arc::clone(&eco),
             FaultConfig {
-                gizmo_failure_rate: 0.0,
                 transient_failure_every: Some(3),
-                response_delay_ms: 0,
-                malformed_gizmo_rate: 0.0,
+                ..FaultConfig::none()
             },
         )
         .unwrap();
@@ -511,10 +544,8 @@ mod tests {
         let handle = EcosystemHandle::start(
             Arc::clone(&eco),
             FaultConfig {
-                gizmo_failure_rate: 0.0,
-                transient_failure_every: None,
                 response_delay_ms: 80,
-                malformed_gizmo_rate: 0.0,
+                ..FaultConfig::none()
             },
         )
         .unwrap();
@@ -570,10 +601,8 @@ mod tests {
         let handle = EcosystemHandle::start_with_metrics(
             Arc::clone(&eco),
             FaultConfig {
-                gizmo_failure_rate: 0.0,
                 transient_failure_every: Some(2),
-                response_delay_ms: 0,
-                malformed_gizmo_rate: 0.0,
+                ..FaultConfig::none()
             },
             metrics,
         )

@@ -1,30 +1,44 @@
-//! A minimal HTTP/1.1 message implementation over `std::net`.
+//! A minimal HTTP/1.1 message implementation over `std::io`.
 //!
-//! Only what the crawler and marketplace server need: request-line and
-//! header parsing, `Content-Length` bodies, and `Connection: close`
-//! semantics. No chunked transfer, no keep-alive, no TLS — the loopback
-//! substitution (DESIGN.md §2) doesn't need them, and per the project's
-//! networking guides the simplest robust implementation wins.
+//! What the crawler and marketplace server need: request-line and
+//! header parsing, `Content-Length` and chunked bodies, and HTTP/1.1
+//! persistent-connection semantics (`Connection: keep-alive` is the
+//! default; either side opts out with `Connection: close`). No TLS —
+//! the loopback substitution (DESIGN.md §2) doesn't need it, and per
+//! the project's networking guides the simplest robust implementation
+//! wins. Every read from the peer is byte-bounded: a hostile or broken
+//! server streaming an endless header or chunk-size line hits
+//! [`HttpError::TooLarge`] instead of growing memory without limit.
 
 use std::collections::BTreeMap;
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
-use std::time::Duration;
+use std::io::{BufRead, Write};
 
-/// Maximum accepted header block size (DoS guard).
+/// Maximum accepted header block size (DoS guard). Also bounds the
+/// start line, each individual header line, and a chunked body's
+/// trailer block.
 const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Maximum accepted chunk-size line (a hex size plus extensions; real
+/// ones are under 20 bytes).
+const MAX_CHUNK_LINE_BYTES: usize = 256;
 /// Maximum accepted body size (gizmo specs are tens of KB; policies
 /// hundreds of KB at most).
 pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// The `Connection` header value request/response sides exchange.
+const CONNECTION: &str = "connection";
 
 /// HTTP errors.
 #[derive(Debug)]
 pub enum HttpError {
     Io(std::io::Error),
-    /// Malformed request/status line or headers.
+    /// Malformed request/status line, headers, or framing metadata
+    /// (including an unparseable `Content-Length`).
     Malformed(String),
-    /// Header block or body exceeded limits.
+    /// Header block, line, or body exceeded limits.
     TooLarge,
+    /// The peer closed the connection cleanly before a message started
+    /// — the normal end of a persistent connection, not a fault.
+    Closed,
 }
 
 impl std::fmt::Display for HttpError {
@@ -33,6 +47,7 @@ impl std::fmt::Display for HttpError {
             HttpError::Io(e) => write!(f, "i/o error: {e}"),
             HttpError::Malformed(s) => write!(f, "malformed message: {s}"),
             HttpError::TooLarge => write!(f, "message too large"),
+            HttpError::Closed => write!(f, "connection closed"),
         }
     }
 }
@@ -43,6 +58,17 @@ impl From<std::io::Error> for HttpError {
     fn from(e: std::io::Error) -> Self {
         HttpError::Io(e)
     }
+}
+
+/// Does a parsed header block ask for the connection to be torn down
+/// after this message? HTTP/1.1 defaults to keep-alive, so only an
+/// explicit `Connection: close` (possibly in a comma-separated list)
+/// answers true.
+pub fn wants_close(headers: &BTreeMap<String, String>) -> bool {
+    headers.get(CONNECTION).is_some_and(|v| {
+        v.split(',')
+            .any(|token| token.trim().eq_ignore_ascii_case("close"))
+    })
 }
 
 /// A parsed HTTP request.
@@ -57,11 +83,13 @@ pub struct Request {
 }
 
 impl Request {
-    /// Build a GET request for `path` with a `Host` header.
+    /// Build a GET request for `path` with a `Host` header. No
+    /// `Connection` header is set — HTTP/1.1 defaults to keep-alive,
+    /// and [`crate::client::HttpClient`] stamps the header explicitly
+    /// according to its pooling mode.
     pub fn get(host: &str, path: &str) -> Request {
         let mut headers = BTreeMap::new();
         headers.insert("host".to_string(), host.to_string());
-        headers.insert("connection".to_string(), "close".to_string());
         Request {
             method: "GET".to_string(),
             target: path.to_string(),
@@ -89,8 +117,13 @@ impl Request {
         })
     }
 
+    /// Does this request opt out of connection reuse?
+    pub fn wants_close(&self) -> bool {
+        wants_close(&self.headers)
+    }
+
     /// Serialize onto a stream.
-    pub fn write_to(&self, stream: &mut TcpStream) -> Result<(), HttpError> {
+    pub fn write_to<W: Write>(&self, stream: &mut W) -> Result<(), HttpError> {
         let mut head = format!("{} {} HTTP/1.1\r\n", self.method, self.target);
         for (k, v) in &self.headers {
             head.push_str(&format!("{k}: {v}\r\n"));
@@ -99,14 +132,17 @@ impl Request {
             head.push_str(&format!("content-length: {}\r\n", self.body.len()));
         }
         head.push_str("\r\n");
-        stream.write_all(head.as_bytes())?;
-        stream.write_all(&self.body)?;
+        // One write per message: head and body in the same segment.
+        let mut message = head.into_bytes();
+        message.extend_from_slice(&self.body);
+        stream.write_all(&message)?;
         stream.flush()?;
         Ok(())
     }
 
-    /// Parse a request from a stream.
-    pub fn read_from(reader: &mut BufReader<TcpStream>) -> Result<Request, HttpError> {
+    /// Parse a request from a stream. [`HttpError::Closed`] means the
+    /// peer hung up cleanly between requests.
+    pub fn read_from<R: BufRead>(reader: &mut R) -> Result<Request, HttpError> {
         let (start, headers) = read_head(reader)?;
         let mut parts = start.split_whitespace();
         let method = parts
@@ -140,11 +176,12 @@ pub struct Response {
 }
 
 impl Response {
-    /// Build a response with a body and content type.
+    /// Build a response with a body and content type. No `Connection`
+    /// header is set — the server loop stamps `keep-alive`/`close`
+    /// according to its per-connection decision.
     pub fn new(status: u16, content_type: &str, body: impl Into<Vec<u8>>) -> Response {
         let mut headers = BTreeMap::new();
         headers.insert("content-type".to_string(), content_type.to_string());
-        headers.insert("connection".to_string(), "close".to_string());
         Response {
             status,
             headers,
@@ -182,6 +219,11 @@ impl Response {
         (200..300).contains(&self.status)
     }
 
+    /// Does this response announce the connection will be torn down?
+    pub fn wants_close(&self) -> bool {
+        wants_close(&self.headers)
+    }
+
     fn reason(&self) -> &'static str {
         match self.status {
             200 => "OK",
@@ -197,8 +239,7 @@ impl Response {
         }
     }
 
-    /// Serialize onto a stream.
-    pub fn write_to(&self, stream: &mut TcpStream) -> Result<(), HttpError> {
+    fn head_string(&self) -> String {
         let mut head = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason());
         for (k, v) in &self.headers {
             if k != "content-length" {
@@ -206,14 +247,33 @@ impl Response {
             }
         }
         head.push_str(&format!("content-length: {}\r\n\r\n", self.body.len()));
-        stream.write_all(head.as_bytes())?;
-        stream.write_all(&self.body)?;
+        head
+    }
+
+    /// Serialize onto a stream.
+    pub fn write_to<W: Write>(&self, stream: &mut W) -> Result<(), HttpError> {
+        // One write per message: head and body in the same segment.
+        let mut message = self.head_string().into_bytes();
+        message.extend_from_slice(&self.body);
+        stream.write_all(&message)?;
         stream.flush()?;
         Ok(())
     }
 
-    /// Parse a response from a stream.
-    pub fn read_from(reader: &mut BufReader<TcpStream>) -> Result<Response, HttpError> {
+    /// Fault-injection hook: write the full head (declaring the full
+    /// `Content-Length`) but only the first half of the body, then
+    /// stop — a server dying mid-response. The reader sees an
+    /// unexpected EOF inside the body.
+    pub fn write_truncated_to<W: Write>(&self, stream: &mut W) -> Result<(), HttpError> {
+        stream.write_all(self.head_string().as_bytes())?;
+        stream.write_all(&self.body[..self.body.len() / 2])?;
+        stream.flush()?;
+        Ok(())
+    }
+
+    /// Parse a response from a stream. [`HttpError::Closed`] means the
+    /// peer hung up cleanly before sending a status line.
+    pub fn read_from<R: BufRead>(reader: &mut R) -> Result<Response, HttpError> {
         let (start, headers) = read_head(reader)?;
         let mut parts = start.split_whitespace();
         let version = parts.next().unwrap_or("");
@@ -233,30 +293,71 @@ impl Response {
     }
 }
 
-/// Read the start line and header block.
-fn read_head(
-    reader: &mut BufReader<TcpStream>,
-) -> Result<(String, BTreeMap<String, String>), HttpError> {
-    let mut start = String::new();
-    let mut total = 0usize;
-    reader.read_line(&mut start)?;
-    total += start.len();
-    let start = start.trim_end().to_string();
+/// Read one `\n`-terminated line without ever buffering more than
+/// `max` bytes — a peer streaming bytes with no newline must hit
+/// [`HttpError::TooLarge`], not grow our memory. Returns `None` on EOF
+/// before any byte; otherwise the line with its terminator stripped
+/// plus the raw byte count consumed (for header-block budgets). A line
+/// cut short by EOF is returned as-is; callers detect truncation
+/// through their own framing checks.
+fn read_line_bounded<R: BufRead>(
+    reader: &mut R,
+    max: usize,
+) -> Result<Option<(String, usize)>, HttpError> {
+    let mut raw: Vec<u8> = Vec::new();
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            if raw.is_empty() {
+                return Ok(None);
+            }
+            break;
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if raw.len() + pos + 1 > max {
+                    return Err(HttpError::TooLarge);
+                }
+                raw.extend_from_slice(&buf[..=pos]);
+                reader.consume(pos + 1);
+                break;
+            }
+            None => {
+                if raw.len() + buf.len() > max {
+                    return Err(HttpError::TooLarge);
+                }
+                let n = buf.len();
+                raw.extend_from_slice(buf);
+                reader.consume(n);
+            }
+        }
+    }
+    let consumed = raw.len();
+    while raw.last().is_some_and(|&b| b == b'\n' || b == b'\r') {
+        raw.pop();
+    }
+    Ok(Some((String::from_utf8_lossy(&raw).into_owned(), consumed)))
+}
+
+/// Read the start line and header block, all bounded by
+/// [`MAX_HEADER_BYTES`].
+fn read_head<R: BufRead>(reader: &mut R) -> Result<(String, BTreeMap<String, String>), HttpError> {
+    let Some((start, mut total)) = read_line_bounded(reader, MAX_HEADER_BYTES)? else {
+        return Err(HttpError::Closed);
+    };
     if start.is_empty() {
         return Err(HttpError::Malformed("empty start line".into()));
     }
     let mut headers = BTreeMap::new();
     loop {
-        let mut line = String::new();
-        let n = reader.read_line(&mut line)?;
-        if n == 0 {
+        let budget = MAX_HEADER_BYTES.saturating_sub(total).max(1);
+        let Some((line, n)) = read_line_bounded(reader, budget)? else {
             return Err(HttpError::Malformed("eof in headers".into()));
-        }
+        };
         total += n;
         if total > MAX_HEADER_BYTES {
             return Err(HttpError::TooLarge);
         }
-        let line = line.trim_end();
         if line.is_empty() {
             break;
         }
@@ -271,9 +372,12 @@ fn read_head(
 
 /// Read a message body: `Transfer-Encoding: chunked` when declared
 /// (crawlers face real servers that stream policies chunked), otherwise
-/// `Content-Length` (0 when the header is absent).
-fn read_body(
-    reader: &mut BufReader<TcpStream>,
+/// `Content-Length` (0 when the header is absent). A `Content-Length`
+/// that doesn't parse is a [`HttpError::Malformed`] error, never a
+/// silently-empty body — the crawler must record it as a failure, not
+/// a success with no content.
+fn read_body<R: BufRead>(
+    reader: &mut R,
     headers: &BTreeMap<String, String>,
 ) -> Result<Vec<u8>, HttpError> {
     if headers
@@ -282,10 +386,12 @@ fn read_body(
     {
         return read_chunked_body(reader);
     }
-    let len: usize = headers
-        .get("content-length")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0);
+    let len: usize = match headers.get("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse()
+            .map_err(|_| HttpError::Malformed(format!("bad content-length {v:?}")))?,
+    };
     if len > MAX_BODY_BYTES {
         return Err(HttpError::TooLarge);
     }
@@ -296,14 +402,15 @@ fn read_body(
 
 /// Decode an RFC 9112 chunked body: hex-size line (extensions after ';'
 /// ignored), chunk bytes, CRLF — terminated by a zero-size chunk and
-/// optional trailers (which are read and discarded).
-fn read_chunked_body(reader: &mut BufReader<TcpStream>) -> Result<Vec<u8>, HttpError> {
+/// optional trailers (which are read and discarded). Size lines are
+/// bounded by [`MAX_CHUNK_LINE_BYTES`] and the trailer block by
+/// [`MAX_HEADER_BYTES`].
+fn read_chunked_body<R: BufRead>(reader: &mut R) -> Result<Vec<u8>, HttpError> {
     let mut body = Vec::new();
     loop {
-        let mut size_line = String::new();
-        if reader.read_line(&mut size_line)? == 0 {
+        let Some((size_line, _)) = read_line_bounded(reader, MAX_CHUNK_LINE_BYTES)? else {
             return Err(HttpError::Malformed("eof in chunk size".into()));
-        }
+        };
         let size_str = size_line.trim().split(';').next().unwrap_or("").trim();
         let size = usize::from_str_radix(size_str, 16)
             .map_err(|_| HttpError::Malformed(format!("bad chunk size {size_str:?}")))?;
@@ -311,11 +418,21 @@ fn read_chunked_body(reader: &mut BufReader<TcpStream>) -> Result<Vec<u8>, HttpE
             return Err(HttpError::TooLarge);
         }
         if size == 0 {
-            // Trailers until the blank line.
+            // Trailers until the blank line, bounded like a header block.
+            let mut trailer_total = 0usize;
             loop {
-                let mut trailer = String::new();
-                if reader.read_line(&mut trailer)? == 0 || trailer.trim().is_empty() {
-                    break;
+                let budget = MAX_HEADER_BYTES.saturating_sub(trailer_total).max(1);
+                match read_line_bounded(reader, budget)? {
+                    None => break,
+                    Some((line, n)) => {
+                        trailer_total += n;
+                        if trailer_total > MAX_HEADER_BYTES {
+                            return Err(HttpError::TooLarge);
+                        }
+                        if line.is_empty() {
+                            break;
+                        }
+                    }
                 }
             }
             return Ok(body);
@@ -333,16 +450,23 @@ fn read_chunked_body(reader: &mut BufReader<TcpStream>) -> Result<Vec<u8>, HttpE
 }
 
 /// Default socket timeouts for both sides.
-pub fn configure_stream(stream: &TcpStream) -> Result<(), HttpError> {
-    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+pub fn configure_stream(stream: &std::net::TcpStream) -> Result<(), HttpError> {
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(10)))?;
+    stream.set_write_timeout(Some(std::time::Duration::from_secs(10)))?;
+    // Nagle + delayed ACK is fatal on a kept-alive connection: the
+    // second small write of an exchange sits behind the peer's ~40ms
+    // delayed-ACK timer, turning sub-100µs loopback round trips into
+    // 40ms ones. (Fresh `Connection: close` sockets dodge the stall —
+    // nothing is un-ACKed yet — which is how it stayed hidden.)
+    stream.set_nodelay(true)?;
     Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::net::TcpListener;
+    use std::io::{BufReader, Cursor};
+    use std::net::{TcpListener, TcpStream};
 
     /// Round-trip a request and response over a real socket pair.
     fn round_trip(req: Request, resp: Response) -> (Request, Response) {
@@ -415,6 +539,19 @@ mod tests {
         assert_eq!(Response::server_error().status, 500);
     }
 
+    #[test]
+    fn connection_close_detection() {
+        let mut req = Request::get("h", "/");
+        assert!(!req.wants_close(), "HTTP/1.1 defaults to keep-alive");
+        req.headers.insert("connection".into(), "close".into());
+        assert!(req.wants_close());
+        let mut resp = Response::ok_text("x");
+        assert!(!resp.wants_close());
+        resp.headers
+            .insert("connection".into(), "Keep-Alive, Close".into());
+        assert!(resp.wants_close(), "close in a token list counts");
+    }
+
     /// Serve a raw byte blob on an ephemeral port, once.
     fn raw_server(payload: &'static [u8]) -> std::net::SocketAddr {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
@@ -461,12 +598,8 @@ mod tests {
 
     #[test]
     fn bad_chunk_size_is_malformed() {
-        let addr = raw_server(b"HTTP/1.1 200 OK\r\ntransfer-encoding: chunked\r\n\r\nzz\r\n");
-        let stream = TcpStream::connect(addr).unwrap();
-        configure_stream(&stream).unwrap();
-        let mut write_half = stream.try_clone().unwrap();
-        Request::get("h", "/").write_to(&mut write_half).unwrap();
-        let mut reader = BufReader::new(stream);
+        let mut reader =
+            Cursor::new(&b"HTTP/1.1 200 OK\r\ntransfer-encoding: chunked\r\n\r\nzz\r\n"[..]);
         assert!(matches!(
             Response::read_from(&mut reader),
             Err(HttpError::Malformed(_))
@@ -480,5 +613,116 @@ mod tests {
         let (got_req, got_resp) = round_trip(req, resp);
         assert!(got_req.body.is_empty());
         assert!(got_resp.body.is_empty());
+    }
+
+    // ---- bounded-read and framing-error regression tests (no sockets:
+    // a hostile peer is just a Cursor full of bytes). ------------------
+
+    #[test]
+    fn malformed_content_length_is_an_error_not_empty_body() {
+        for bad in ["bananas", "-1", "9999999999999999999999", "12abc"] {
+            let payload = format!("HTTP/1.1 200 OK\r\ncontent-length: {bad}\r\n\r\nhello");
+            let mut reader = Cursor::new(payload.into_bytes());
+            assert!(
+                matches!(
+                    Response::read_from(&mut reader),
+                    Err(HttpError::Malformed(_))
+                ),
+                "content-length {bad:?} must be malformed"
+            );
+        }
+    }
+
+    #[test]
+    fn endless_start_line_is_bounded() {
+        let mut payload = vec![b'A'; MAX_HEADER_BYTES + 1024];
+        payload.extend_from_slice(b" / HTTP/1.1\r\n\r\n");
+        let mut reader = Cursor::new(payload);
+        assert!(matches!(
+            Request::read_from(&mut reader),
+            Err(HttpError::TooLarge)
+        ));
+    }
+
+    #[test]
+    fn endless_header_line_is_bounded() {
+        let mut payload = b"HTTP/1.1 200 OK\r\nx-evil: ".to_vec();
+        payload.extend(std::iter::repeat_n(b'x', MAX_HEADER_BYTES + 1024));
+        let mut reader = Cursor::new(payload);
+        assert!(matches!(
+            Response::read_from(&mut reader),
+            Err(HttpError::TooLarge)
+        ));
+    }
+
+    #[test]
+    fn endless_chunk_size_line_is_bounded() {
+        // A chunked body whose size line never terminates: the decoder
+        // must give up after MAX_CHUNK_LINE_BYTES, not buffer forever.
+        let mut payload = b"HTTP/1.1 200 OK\r\ntransfer-encoding: chunked\r\n\r\n".to_vec();
+        payload.extend(std::iter::repeat_n(b'f', MAX_CHUNK_LINE_BYTES + 64));
+        let mut reader = Cursor::new(payload);
+        assert!(matches!(
+            Response::read_from(&mut reader),
+            Err(HttpError::TooLarge)
+        ));
+    }
+
+    #[test]
+    fn endless_trailer_block_is_bounded() {
+        let mut payload = b"HTTP/1.1 200 OK\r\ntransfer-encoding: chunked\r\n\r\n0\r\n".to_vec();
+        while payload.len() < MAX_HEADER_BYTES * 2 {
+            payload.extend_from_slice(b"x-trailer: spam\r\n");
+        }
+        let mut reader = Cursor::new(payload);
+        assert!(matches!(
+            Response::read_from(&mut reader),
+            Err(HttpError::TooLarge)
+        ));
+    }
+
+    #[test]
+    fn clean_eof_before_message_is_closed() {
+        let mut reader = Cursor::new(Vec::new());
+        assert!(matches!(
+            Request::read_from(&mut reader),
+            Err(HttpError::Closed)
+        ));
+        let mut reader = Cursor::new(Vec::new());
+        assert!(matches!(
+            Response::read_from(&mut reader),
+            Err(HttpError::Closed)
+        ));
+    }
+
+    #[test]
+    fn truncated_write_stops_mid_body() {
+        let resp = Response::ok_text("0123456789");
+        let mut wire = Vec::new();
+        resp.write_truncated_to(&mut wire).unwrap();
+        // Full head, half the body — the reader hits EOF inside the body.
+        let mut reader = Cursor::new(wire);
+        match Response::read_from(&mut reader) {
+            Err(HttpError::Io(e)) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof)
+            }
+            other => panic!("expected unexpected-eof, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_messages_parse_back_to_back_from_one_stream() {
+        // Keep-alive framing: both responses come out of a single
+        // buffered stream with nothing lost between them.
+        let mut wire = Vec::new();
+        Response::ok_text("first").write_to(&mut wire).unwrap();
+        Response::ok_text("second").write_to(&mut wire).unwrap();
+        let mut reader = Cursor::new(wire);
+        assert_eq!(Response::read_from(&mut reader).unwrap().text(), "first");
+        assert_eq!(Response::read_from(&mut reader).unwrap().text(), "second");
+        assert!(matches!(
+            Response::read_from(&mut reader),
+            Err(HttpError::Closed)
+        ));
     }
 }

@@ -18,4 +18,4 @@ pub mod server;
 pub use client::{ClientError, HttpClient};
 pub use ecosystem_server::{store_host, EcosystemHandle, FaultConfig};
 pub use http::{HttpError, Request, Response};
-pub use server::{serve, Router, ServerHandle};
+pub use server::{serve, serve_with, Router, ServerConfig, ServerHandle, FAULT_DISCONNECT_HEADER};

@@ -1,16 +1,29 @@
-//! A threaded HTTP server with graceful shutdown.
+//! A threaded HTTP/1.1 server with keep-alive and graceful shutdown.
 //!
-//! One accept loop, one handler thread per connection (connections are
-//! short-lived `Connection: close` exchanges). Shutdown sets a flag and
-//! pokes the listener with a loopback connect so `accept` wakes up — the
-//! standard trick for interruptible blocking accept loops without async.
+//! One accept loop, one handler thread per connection. Each connection
+//! serves multiple requests (`Connection: keep-alive` is the HTTP/1.1
+//! default) until the client asks to close, the idle timeout expires,
+//! or the per-connection request cap is reached — the server always
+//! announces its decision in the response's `Connection` header, so
+//! old `Connection: close` clients keep working unchanged. Shutdown
+//! sets a flag, tears down every tracked connection socket (waking
+//! handler threads blocked in a keep-alive read), and pokes the
+//! listener with a loopback connect so `accept` wakes up.
 
-use crate::http::{configure_stream, Request, Response};
+use crate::http::{configure_stream, HttpError, Request, Response};
+use gptx_obs::MetricsRegistry;
 use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Response header a router sets to make the server write a truncated
+/// response and then drop the connection — the mid-stream-disconnect
+/// fault the crawler's pooled-connection retry path is tested against.
+/// Stripped before anything hits the wire.
+pub const FAULT_DISCONNECT_HEADER: &str = "x-gptx-fault-disconnect";
 
 /// Request handler: maps a request to a response. Implementations must
 /// be `Send + Sync`; the server shares one instance across connections.
@@ -27,12 +40,52 @@ where
     }
 }
 
+/// Connection-handling knobs (the keep-alive policy).
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// How long a kept-alive connection may sit idle between requests
+    /// before the server closes it.
+    pub idle_timeout: Duration,
+    /// Maximum requests served on one connection before the server
+    /// answers `Connection: close` (bounds per-connection state and
+    /// spreads load across sockets).
+    pub max_requests_per_conn: u64,
+    /// Registry for `store.conn_requests` (requests served per
+    /// connection, observed at connection close).
+    pub metrics: Arc<MetricsRegistry>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            idle_timeout: Duration::from_secs(5),
+            max_requests_per_conn: 1000,
+            metrics: MetricsRegistry::shared_disabled(),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Attach a metrics registry.
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> ServerConfig {
+        self.metrics = metrics;
+        self
+    }
+}
+
+/// Live connection sockets keyed by connection id, tracked so shutdown
+/// can interrupt handler threads blocked in a keep-alive read. Handlers
+/// remove their own entry on exit, so the map (and its duplicated file
+/// descriptors) stays bounded by the number of live connections.
+type ConnTracker = Arc<Mutex<std::collections::HashMap<u64, TcpStream>>>;
+
 /// A running server; dropping the handle shuts it down.
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     requests_served: Arc<AtomicU64>,
+    connections: ConnTracker,
 }
 
 impl ServerHandle {
@@ -53,6 +106,11 @@ impl ServerHandle {
 
     fn shutdown_impl(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        // Wake handler threads blocked waiting for the next request of a
+        // kept-alive connection.
+        for (_, stream) in self.connections.lock().expect("conn tracker").drain() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
         // Poke the listener so the blocking accept returns.
         let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
@@ -67,30 +125,53 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Bind `127.0.0.1:0` and serve `router` until shutdown.
+/// Bind `127.0.0.1:0` and serve `router` with the default keep-alive
+/// policy until shutdown.
 pub fn serve<R: Router>(router: R) -> std::io::Result<ServerHandle> {
+    serve_with(router, ServerConfig::default())
+}
+
+/// [`serve`] with an explicit [`ServerConfig`].
+pub fn serve_with<R: Router>(router: R, config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind("127.0.0.1:0")?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
     let requests_served = Arc::new(AtomicU64::new(0));
+    let connections: ConnTracker = Arc::new(Mutex::new(std::collections::HashMap::new()));
     let router = Arc::new(router);
 
     let accept_shutdown = Arc::clone(&shutdown);
     let accept_count = Arc::clone(&requests_served);
+    let accept_conns = Arc::clone(&connections);
     let accept_thread = std::thread::Builder::new()
         .name("gptx-store-accept".into())
         .spawn(move || {
             let mut workers: Vec<JoinHandle<()>> = Vec::new();
+            let mut next_conn_id: u64 = 0;
             for stream in listener.incoming() {
                 if accept_shutdown.load(Ordering::SeqCst) {
                     break;
                 }
                 let Ok(stream) = stream else { continue };
+                let conn_id = next_conn_id;
+                next_conn_id += 1;
+                if let Ok(clone) = stream.try_clone() {
+                    accept_conns
+                        .lock()
+                        .expect("conn tracker")
+                        .insert(conn_id, clone);
+                }
                 let router = Arc::clone(&router);
                 let count = Arc::clone(&accept_count);
+                let config = config.clone();
+                let worker_shutdown = Arc::clone(&accept_shutdown);
+                let worker_conns = Arc::clone(&accept_conns);
                 let worker = std::thread::Builder::new()
                     .name("gptx-store-conn".into())
-                    .spawn(move || handle_connection(stream, &*router, &count))
+                    .spawn(move || {
+                        handle_connection(stream, &*router, &count, &config, &worker_shutdown);
+                        worker_conns.lock().expect("conn tracker").remove(&conn_id);
+                    })
                     .expect("spawn connection thread");
                 workers.push(worker);
                 // Reap finished workers so the vec doesn't grow unboundedly.
@@ -106,26 +187,73 @@ pub fn serve<R: Router>(router: R) -> std::io::Result<ServerHandle> {
         shutdown,
         accept_thread: Some(accept_thread),
         requests_served,
+        connections,
     })
 }
 
-fn handle_connection(stream: TcpStream, router: &dyn Router, count: &AtomicU64) {
+/// Serve one connection until it closes: read a request, route it,
+/// write the response, repeat while both sides agree to keep the
+/// connection alive.
+fn handle_connection(
+    stream: TcpStream,
+    router: &dyn Router,
+    count: &AtomicU64,
+    config: &ServerConfig,
+    shutdown: &AtomicBool,
+) {
     if configure_stream(&stream).is_err() {
         return;
     }
+    // The read timeout doubles as the keep-alive idle timeout: a
+    // connection with no next request within it is torn down.
+    let _ = stream.set_read_timeout(Some(config.idle_timeout));
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
     let mut reader = BufReader::new(read_half);
-    let response = match Request::read_from(&mut reader) {
-        Ok(request) => {
-            count.fetch_add(1, Ordering::Relaxed);
-            router.route(&request)
-        }
-        Err(_) => Response::new(400, "text/plain", "bad request"),
-    };
     let mut stream = stream;
-    let _ = response.write_to(&mut stream);
+    let mut served = 0u64;
+    loop {
+        let request = match Request::read_from(&mut reader) {
+            Ok(request) => request,
+            // Clean close between requests, idle timeout, or a client
+            // that vanished: nothing left to answer.
+            Err(HttpError::Closed) | Err(HttpError::Io(_)) => break,
+            Err(_) => {
+                let mut response = Response::new(400, "text/plain", "bad request");
+                response
+                    .headers
+                    .insert("connection".to_string(), "close".to_string());
+                let _ = response.write_to(&mut stream);
+                break;
+            }
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        count.fetch_add(1, Ordering::Relaxed);
+        served += 1;
+        let mut response = router.route(&request);
+        let keep_alive = !request.wants_close()
+            && served < config.max_requests_per_conn
+            && !shutdown.load(Ordering::SeqCst);
+        response.headers.insert(
+            "connection".to_string(),
+            if keep_alive { "keep-alive" } else { "close" }.to_string(),
+        );
+        // Fault-injection hook: die mid-response (see the header docs).
+        if response.headers.remove(FAULT_DISCONNECT_HEADER).is_some() {
+            let _ = response.write_truncated_to(&mut stream);
+            let _ = stream.shutdown(Shutdown::Both);
+            break;
+        }
+        if response.write_to(&mut stream).is_err() || !keep_alive {
+            break;
+        }
+    }
+    if config.metrics.enabled() {
+        config.metrics.observe_us("store.conn_requests", served);
+    }
 }
 
 #[cfg(test)]
@@ -179,6 +307,29 @@ mod tests {
     }
 
     #[test]
+    fn shutdown_interrupts_idle_keepalive_connections() {
+        // A client parks an idle kept-alive connection; shutdown must
+        // not wait out the full idle timeout to join the handler.
+        let handle = serve_with(
+            echo_router,
+            ServerConfig {
+                idle_timeout: Duration::from_secs(30),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let client = HttpClient::new(handle.addr());
+        assert!(client.get("http://t.local/park").is_ok());
+        let started = std::time::Instant::now();
+        handle.shutdown();
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "shutdown stalled on an idle connection: {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
     fn drop_is_graceful() {
         let addr;
         {
@@ -199,6 +350,159 @@ mod tests {
         let client = HttpClient::new(handle.addr());
         let resp = client.get("https://api.example.dev/v1").unwrap();
         assert_eq!(resp.text(), "api.example.dev");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn connection_close_client_is_honored() {
+        // The pre-keep-alive client contract: send `Connection: close`,
+        // get one response with `Connection: close`, then EOF.
+        use crate::http::HttpError;
+
+        let handle = serve(echo_router).unwrap();
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        configure_stream(&stream).unwrap();
+        let mut write_half = stream.try_clone().unwrap();
+        let mut request = Request::get("old.client", "/one");
+        request
+            .headers
+            .insert("connection".to_string(), "close".to_string());
+        request.write_to(&mut write_half).unwrap();
+        let mut reader = BufReader::new(stream);
+        let response = Response::read_from(&mut reader).unwrap();
+        assert_eq!(response.text(), "GET /one");
+        assert_eq!(
+            response.headers.get("connection").map(String::as_str),
+            Some("close")
+        );
+        // The server must have torn the connection down: a second
+        // request yields no response, only EOF.
+        let mut second = Request::get("old.client", "/two");
+        second
+            .headers
+            .insert("connection".to_string(), "close".to_string());
+        let _ = second.write_to(&mut write_half);
+        assert!(matches!(
+            Response::read_from(&mut reader),
+            Err(HttpError::Closed) | Err(HttpError::Io(_))
+        ));
+        assert_eq!(handle.requests_served(), 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn keepalive_serves_sequential_requests_on_one_socket() {
+        let handle = serve(echo_router).unwrap();
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        configure_stream(&stream).unwrap();
+        let mut write_half = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        for i in 0..5 {
+            Request::get("ka.client", &format!("/{i}"))
+                .write_to(&mut write_half)
+                .unwrap();
+            let response = Response::read_from(&mut reader).unwrap();
+            assert_eq!(response.text(), format!("GET /{i}"));
+            assert_eq!(
+                response.headers.get("connection").map(String::as_str),
+                Some("keep-alive")
+            );
+        }
+        assert_eq!(handle.requests_served(), 5);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn request_cap_closes_the_connection() {
+        let metrics = MetricsRegistry::shared();
+        let handle = serve_with(
+            echo_router,
+            ServerConfig {
+                max_requests_per_conn: 2,
+                ..ServerConfig::default()
+            }
+            .with_metrics(Arc::clone(&metrics)),
+        )
+        .unwrap();
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        configure_stream(&stream).unwrap();
+        let mut write_half = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        Request::get("cap.client", "/1")
+            .write_to(&mut write_half)
+            .unwrap();
+        let first = Response::read_from(&mut reader).unwrap();
+        assert_eq!(
+            first.headers.get("connection").map(String::as_str),
+            Some("keep-alive")
+        );
+        Request::get("cap.client", "/2")
+            .write_to(&mut write_half)
+            .unwrap();
+        let second = Response::read_from(&mut reader).unwrap();
+        assert_eq!(
+            second.headers.get("connection").map(String::as_str),
+            Some("close"),
+            "the capped request must announce close"
+        );
+        // And the socket really is closed.
+        let _ = Request::get("cap.client", "/3").write_to(&mut write_half);
+        assert!(Response::read_from(&mut reader).is_err());
+        handle.shutdown();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.histograms["store.conn_requests"].count, 1);
+    }
+
+    #[test]
+    fn idle_timeout_closes_the_connection() {
+        let handle = serve_with(
+            echo_router,
+            ServerConfig {
+                idle_timeout: Duration::from_millis(60),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        configure_stream(&stream).unwrap();
+        let mut write_half = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        Request::get("idle.client", "/1")
+            .write_to(&mut write_half)
+            .unwrap();
+        assert!(Response::read_from(&mut reader).is_ok());
+        // Sit idle past the timeout: the server hangs up.
+        std::thread::sleep(Duration::from_millis(250));
+        let _ = Request::get("idle.client", "/2").write_to(&mut write_half);
+        assert!(
+            Response::read_from(&mut reader).is_err(),
+            "idle connection should have been closed"
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn disconnect_fault_header_truncates_the_response() {
+        use crate::http::HttpError;
+        let handle = serve(|_req: &Request| {
+            let mut response = Response::ok_text("full body that never arrives");
+            response
+                .headers
+                .insert(FAULT_DISCONNECT_HEADER.to_string(), "1".to_string());
+            response
+        })
+        .unwrap();
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        configure_stream(&stream).unwrap();
+        let mut write_half = stream.try_clone().unwrap();
+        Request::get("fault.client", "/")
+            .write_to(&mut write_half)
+            .unwrap();
+        let mut reader = BufReader::new(stream);
+        match Response::read_from(&mut reader) {
+            Err(HttpError::Io(e)) => assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof),
+            other => panic!("expected truncated body, got {other:?}"),
+        }
         handle.shutdown();
     }
 }

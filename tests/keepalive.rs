@@ -1,0 +1,178 @@
+//! Keep-alive interop: the pooled HTTP client and the multi-request
+//! server loop against each other and against the old
+//! one-request-per-connection behavior. Crawl results must be
+//! byte-identical whichever transport is used — pooling is a pure
+//! performance change.
+
+use gptx::crawler::Crawler;
+use gptx::obs::MetricsRegistry;
+use gptx::store::{store_host, EcosystemHandle, FaultConfig, HttpClient, ServerConfig};
+use gptx::synth::{Ecosystem, SynthConfig, STORES};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn store_names() -> Vec<&'static str> {
+    STORES.iter().map(|(n, _)| *n).collect()
+}
+
+fn tiny_eco(seed: u64) -> Arc<Ecosystem> {
+    Arc::new(Ecosystem::generate(SynthConfig::tiny(seed)))
+}
+
+/// An old `Connection: close` client (pooling disabled) against the
+/// keep-alive server: every request gets its own connection, the
+/// server honors the close on each, and the data is the same as a
+/// pooled client sees.
+#[test]
+fn connection_close_client_interops_with_keepalive_server() {
+    let eco = tiny_eco(41);
+    let metrics = MetricsRegistry::shared();
+    let handle = EcosystemHandle::start_with_metrics(
+        Arc::clone(&eco),
+        FaultConfig::none(),
+        Arc::clone(&metrics),
+    )
+    .unwrap();
+    let url = format!("https://{}/", store_host(STORES[0].0));
+
+    let old_client = HttpClient::new(handle.addr()).with_pool(0);
+    let new_client = HttpClient::new(handle.addr());
+    let old_body = old_client.get(&url).unwrap().text();
+    let old_body2 = old_client.get(&url).unwrap().text();
+    let new_body = new_client.get(&url).unwrap().text();
+    assert_eq!(old_body, new_body);
+    assert_eq!(old_body, old_body2);
+
+    assert_eq!(handle.requests_served(), 3);
+    handle.shutdown();
+    // The close-mode connections each served exactly one request; the
+    // keep-alive histogram records one observation per connection.
+    let snap = metrics.snapshot();
+    let conns = &snap.histograms["store.conn_requests"];
+    assert_eq!(conns.count, 3);
+    assert_eq!(conns.min_us, 1, "close-mode connections serve one request");
+}
+
+/// N sequential requests through the pooled client ride one socket.
+#[test]
+fn sequential_requests_open_one_connection() {
+    let eco = tiny_eco(42);
+    let handle = EcosystemHandle::start(Arc::clone(&eco), FaultConfig::none()).unwrap();
+    let metrics = MetricsRegistry::shared();
+    let client = HttpClient::new(handle.addr()).with_metrics(Arc::clone(&metrics));
+    let url = format!("https://{}/", store_host(STORES[0].0));
+    for _ in 0..8 {
+        assert!(client.get(&url).unwrap().is_success());
+    }
+    handle.shutdown();
+    let snap = metrics.snapshot();
+    assert_eq!(snap.counters["http.client.conn_opened"], 1);
+    assert_eq!(snap.counters["http.client.conn_reused"], 7);
+}
+
+/// The server closes an idle pooled connection; the client's next
+/// request detects the dead socket and transparently retries on a
+/// fresh one — the caller never sees an error.
+#[test]
+fn idle_timeout_close_is_survived_by_transparent_retry() {
+    let eco = tiny_eco(43);
+    let handle = EcosystemHandle::start_with_config(
+        Arc::clone(&eco),
+        FaultConfig::none(),
+        ServerConfig {
+            idle_timeout: Duration::from_millis(80),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let metrics = MetricsRegistry::shared();
+    let client = HttpClient::new(handle.addr()).with_metrics(Arc::clone(&metrics));
+    let url = format!("https://{}/", store_host(STORES[0].0));
+
+    assert!(client.get(&url).unwrap().is_success());
+    // Outlive the server's idle timeout: the pooled socket is now dead.
+    std::thread::sleep(Duration::from_millis(300));
+    assert!(
+        client.get(&url).unwrap().is_success(),
+        "retry must be transparent"
+    );
+    handle.shutdown();
+
+    let snap = metrics.snapshot();
+    assert_eq!(snap.counters["http.client.conn_retries"], 1);
+    assert_eq!(snap.counters["http.client.conn_opened"], 2);
+    assert_eq!(snap.counters.get("http.client.errors"), None);
+}
+
+/// A mid-stream disconnect fault leaves the pooled connection in an
+/// unknown state: the client must poison it (never check it back in)
+/// and keep working on fresh connections.
+#[test]
+fn midstream_disconnect_poisons_the_pooled_connection() {
+    let eco = tiny_eco(44);
+    let metrics = MetricsRegistry::shared();
+    let handle = EcosystemHandle::start_with_metrics(
+        Arc::clone(&eco),
+        FaultConfig {
+            disconnect_gizmo_rate: 1.0,
+            ..FaultConfig::none()
+        },
+        Arc::clone(&metrics),
+    )
+    .unwrap();
+    let client = HttpClient::new(handle.addr()).with_metrics(Arc::clone(&metrics));
+    let listing = format!("https://{}/", store_host(STORES[0].0));
+    let id = eco.weeks[0].snapshot.gpts.keys().next().unwrap().clone();
+    let gizmo = format!("https://chat.openai.com/backend-api/gizmos/{id}");
+
+    // Park a healthy connection in the pool.
+    assert!(client.get(&listing).unwrap().is_success());
+    // The faulted gizmo kills the reused connection mid-body; the
+    // transparent retry hits the same deterministic fault, so the
+    // error surfaces — but both broken sockets are poisoned.
+    assert!(client.get(&gizmo).is_err());
+    // The client recovers on a fresh connection.
+    assert!(client.get(&listing).unwrap().is_success());
+    handle.shutdown();
+
+    let snap = metrics.snapshot();
+    assert_eq!(snap.counters["store.fault.disconnect"], 2);
+    assert_eq!(snap.counters["http.client.conn_retries"], 1);
+    assert_eq!(snap.counters["http.client.conn_opened"], 3);
+    assert_eq!(snap.counters["http.client.errors"], 1);
+}
+
+/// The acceptance bar for the whole feature: a pooled `crawl_week`
+/// reuses connections, opens at most (threads + stores) of them, and
+/// produces a byte-identical snapshot to the `Connection: close` path.
+#[test]
+fn crawl_week_is_byte_identical_with_pooling_on_or_off() {
+    let eco = tiny_eco(45);
+    let handle = EcosystemHandle::start(Arc::clone(&eco), FaultConfig::none()).unwrap();
+    let threads = 4usize;
+
+    let unpooled = Crawler::new(handle.addr())
+        .with_threads(threads)
+        .with_pool(0);
+    let s_off = unpooled
+        .crawl_week(0, "2024-02-08", &store_names())
+        .unwrap();
+
+    let metrics = MetricsRegistry::shared();
+    let pooled = Crawler::new(handle.addr())
+        .with_threads(threads)
+        .with_metrics(Arc::clone(&metrics));
+    let s_on = pooled.crawl_week(0, "2024-02-08", &store_names()).unwrap();
+    handle.shutdown();
+
+    let json_off = serde_json::to_string(&s_off).unwrap();
+    let json_on = serde_json::to_string(&s_on).unwrap();
+    assert_eq!(json_off, json_on, "pooling changed the crawled snapshot");
+
+    let snap = metrics.snapshot();
+    assert!(snap.counters["http.client.conn_reused"] > 0);
+    let opened = snap.counters["http.client.conn_opened"];
+    let budget = (threads + store_names().len()) as u64;
+    assert!(opened <= budget, "opened {opened} > budget {budget}");
+    assert!(opened < snap.counters["http.client.requests"]);
+}

@@ -77,7 +77,11 @@ fn ecosystem_json_round_trip_preserves_ground_truth() {
 fn weekly_success_rates_recorded_per_week() {
     let (eco, archive) = campaign(903);
     assert_eq!(archive.weekly_gizmo_success.len(), eco.weeks.len());
-    for rate in &archive.weekly_gizmo_success {
+    for (i, (week, rate)) in archive.weekly_gizmo_success.iter().enumerate() {
+        assert_eq!(
+            *week, archive.snapshots[i].week,
+            "success-rate series misaligned with snapshots"
+        );
         assert!((0.0..=1.0).contains(rate));
     }
 }
