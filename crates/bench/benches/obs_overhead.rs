@@ -7,16 +7,20 @@
 //!   `bool`, with no clock reads and no allocation.
 //! * `analyze_metrics_on` — a live registry collecting span timings and
 //!   worker-pool stats.
+//! * `analyze_traced_off` / `analyze_traced_on` — the same phase with
+//!   the hierarchical tracer detached vs recording every stage,
+//!   worker, and per-Action span.
 //! * micro-benches of the raw instrument operations (disabled counter
-//!   increment, enabled counter increment, histogram record, span), to
-//!   pin down per-call costs when the whole-phase numbers move.
+//!   increment, enabled counter increment, histogram record, span,
+//!   trace span open/close), to pin down per-call costs when the
+//!   whole-phase numbers move.
 //!
-//! The acceptance bar: `analyze_metrics_off` within noise (<1%) of the
-//! seed's un-instrumented analysis time.
+//! The acceptance bar: `analyze_metrics_off` and `analyze_traced_off`
+//! within noise (<1%) of the seed's un-instrumented analysis time.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gptx::crawler::Crawler;
-use gptx::obs::MetricsRegistry;
+use gptx::obs::{MetricsRegistry, Tracer};
 use gptx::store::{EcosystemHandle, FaultConfig};
 use gptx::synth::{Ecosystem, SynthConfig, STORES};
 use gptx::AnalysisRun;
@@ -68,6 +72,40 @@ fn bench_obs_overhead(c: &mut Criterion) {
             )
         })
     });
+
+    group.bench_function("analyze_traced_off", |b| {
+        b.iter(|| {
+            black_box(
+                AnalysisRun::analyze_traced(
+                    eco.clone(),
+                    archive.clone(),
+                    Default::default(),
+                    8,
+                    MetricsRegistry::shared_disabled(),
+                    &Tracer::shared_disabled(),
+                    None,
+                )
+                .expect("analysis"),
+            )
+        })
+    });
+
+    group.bench_function("analyze_traced_on", |b| {
+        b.iter(|| {
+            black_box(
+                AnalysisRun::analyze_traced(
+                    eco.clone(),
+                    archive.clone(),
+                    Default::default(),
+                    8,
+                    MetricsRegistry::shared_disabled(),
+                    &Tracer::shared(0x0B5),
+                    None,
+                )
+                .expect("analysis"),
+            )
+        })
+    });
     group.finish();
 
     // Instrument micro-costs.
@@ -95,6 +133,14 @@ fn bench_obs_overhead(c: &mut Criterion) {
     });
     group.bench_function("get_or_create_hit_enabled", |b| {
         b.iter(|| black_box(enabled.counter("bench.counter")))
+    });
+    let tracer_off = Tracer::shared_disabled();
+    let tracer_on = Tracer::shared(0x0B5);
+    group.bench_function("trace_span_disabled", |b| {
+        b.iter(|| black_box(tracer_off.start_trace("bench.span")))
+    });
+    group.bench_function("trace_span_enabled", |b| {
+        b.iter(|| black_box(tracer_on.start_trace("bench.span")))
     });
     group.finish();
 }

@@ -9,8 +9,8 @@
 //! gptx crawl --out archive.json      crawl a served ecosystem into an archive
 //! ```
 
-use gptx::obs::MetricsRegistry;
-use gptx::report::metrics_report;
+use gptx::obs::{MetricsRegistry, Tracer};
+use gptx::report::{metrics_report, trace_report};
 use gptx::{experiments, FaultConfig, Pipeline, SynthConfig};
 use std::io::Read;
 use std::process::ExitCode;
@@ -32,6 +32,7 @@ fn main() -> ExitCode {
         "label" => label(rest),
         "analyze" => analyze(rest),
         "report" => report(rest),
+        "trace-validate" => trace_validate(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             ExitCode::SUCCESS
@@ -49,16 +50,21 @@ USAGE:
     gptx list
     gptx reproduce <id>... | all   [--seed N] [--scale tiny|small|medium|paper] [--faults]
                                    [--threads N] [--pool N] [--metrics] [--metrics-json FILE]
+                                   [--trace FILE] [--trace-sample RATE]
     gptx generate                  [--seed N] [--scale ...] [--out FILE]
     gptx serve                     [--seed N] [--scale ...]            (runs until stdin EOF)
     gptx crawl                     [--seed N] [--scale ...] [--out FILE]
                                    [--pool N] [--metrics] [--metrics-json FILE]
+                                   [--trace FILE] [--trace-sample RATE]
     gptx label                     [--seed N] [--scale ...] [--gpt ID] [--max N]
     gptx analyze <id>... | all     --archive FILE --eco FILE [--threads N]
                                    [--metrics] [--metrics-json FILE]   (offline analysis)
+                                   [--trace FILE] [--trace-sample RATE]
     gptx report                    [--seed N] [--scale ...] [--faults] [--threads N]
                                    [--pool N] [--metrics-json FILE]
                                    (run pipeline, print metrics only)
+    gptx trace-validate FILE       structurally validate a Chrome trace JSON
+                                   written by --trace
 
 OPTIONS:
     --threads N   worker count for the analysis stages (classification,
@@ -77,6 +83,17 @@ OPTIONS:
     --metrics-json FILE
                   also write the raw metrics snapshot as JSON (implies
                   --metrics).
+    --trace FILE  record hierarchical spans during the run (pipeline
+                  stages, crawler request/retry chains, store server
+                  routes — one causal tree per request, stitched across
+                  the client/server boundary by the x-gptx-trace
+                  header), print a trace summary, and write Chrome
+                  trace-event JSON to FILE (loadable in Perfetto or
+                  chrome://tracing). Like --metrics, tracing never
+                  changes results.
+    --trace-sample RATE
+                  keep roughly RATE (0.0-1.0) of traces, decided once
+                  per trace root at the head (default 1.0).
 
 SCALES:
     tiny    ~400 GPTs, 4 weeks      (seconds)
@@ -186,6 +203,48 @@ fn metrics_from(
     (registry, json_path)
 }
 
+/// Resolve the `--trace FILE` / `--trace-sample RATE` pair: a tracer
+/// (enabled iff `--trace` is present, seeded by the run seed so span
+/// IDs are reproducible) and the Chrome JSON output path.
+fn trace_from(
+    options: &std::collections::BTreeMap<String, String>,
+    seed: u64,
+) -> Result<(Arc<Tracer>, Option<String>), String> {
+    let Some(path) = options.get("trace") else {
+        return Ok((Tracer::shared_disabled(), None));
+    };
+    if path.is_empty() {
+        return Err("--trace needs an output FILE".to_string());
+    }
+    let rate = options
+        .get("trace-sample")
+        .map(|r| match r.parse::<f64>() {
+            Ok(rate) if (0.0..=1.0).contains(&rate) => Ok(rate),
+            _ => Err(format!("bad --trace-sample {r:?} (want 0.0-1.0)")),
+        })
+        .transpose()?
+        .unwrap_or(1.0);
+    Ok((
+        Arc::new(Tracer::new(seed).with_sampling(rate)),
+        Some(path.clone()),
+    ))
+}
+
+/// Print the trace summary and write the Chrome JSON, when tracing ran.
+fn emit_trace(tracer: &Tracer, json_path: Option<&String>) -> Result<(), String> {
+    if !tracer.enabled() {
+        return Ok(());
+    }
+    let snapshot = tracer.snapshot();
+    println!("{}", trace_report(&snapshot));
+    if let Some(path) = json_path {
+        std::fs::write(path, snapshot.to_chrome_json())
+            .map_err(|e| format!("failed to write {path}: {e}"))?;
+        eprintln!("wrote Chrome trace to {path}");
+    }
+    Ok(())
+}
+
 /// Print the metrics table and/or write the JSON dump, per flags.
 fn emit_metrics(metrics: &MetricsRegistry, json_path: Option<&String>) -> Result<(), String> {
     if !metrics.enabled() {
@@ -222,6 +281,7 @@ fn reproduce(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let config_seed = config.seed;
     let mut builder = Pipeline::builder(config);
     if !options.contains_key("faults") {
         builder = builder.faults(FaultConfig::none());
@@ -243,7 +303,17 @@ fn reproduce(args: &[String]) -> ExitCode {
         }
     }
     let (metrics, metrics_json) = metrics_from(&options);
-    let pipeline = builder.metrics(Arc::clone(&metrics)).build();
+    let (tracer, trace_json) = match trace_from(&options, config_seed) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let pipeline = builder
+        .metrics(Arc::clone(&metrics))
+        .with_tracing(Arc::clone(&tracer))
+        .build();
     eprintln!(
         "running pipeline: {} GPTs, {} weeks, seed {} ...",
         pipeline.config().base_gpts,
@@ -282,6 +352,10 @@ fn reproduce(args: &[String]) -> ExitCode {
         eprintln!("wrote co-occurrence graph to {path}");
     }
     if let Err(e) = emit_metrics(&metrics, metrics_json.as_ref()) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = emit_trace(&tracer, trace_json.as_ref()) {
         eprintln!("{e}");
         return ExitCode::FAILURE;
     }
@@ -408,12 +482,22 @@ fn analyze(args: &[String]) -> ExitCode {
         archive.policies.len()
     );
     let (metrics, metrics_json) = metrics_from(&options);
-    let run = match gptx::AnalysisRun::analyze_with(
+    // Span IDs come from the seed; the generated ecosystem carries it.
+    let (tracer, trace_json) = match trace_from(&options, eco.config.seed) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let run = match gptx::AnalysisRun::analyze_traced(
         eco,
         archive,
         Default::default(),
         threads,
         Arc::clone(&metrics),
+        &tracer,
+        None,
     ) {
         Ok(r) => r,
         Err(e) => {
@@ -439,6 +523,10 @@ fn analyze(args: &[String]) -> ExitCode {
         }
     }
     if let Err(e) = emit_metrics(&metrics, metrics_json.as_ref()) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = emit_trace(&tracer, trace_json.as_ref()) {
         eprintln!("{e}");
         return ExitCode::FAILURE;
     }
@@ -567,11 +655,20 @@ fn crawl(args: &[String]) -> ExitCode {
         }
     };
     let (metrics, metrics_json) = metrics_from(&options);
+    let (tracer, trace_json) = match trace_from(&options, config.seed) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let eco = Arc::new(gptx::Ecosystem::generate(config));
-    let handle = match gptx::store::EcosystemHandle::start_with_metrics(
+    let handle = match gptx::store::EcosystemHandle::start_with_config(
         Arc::clone(&eco),
         FaultConfig::default(),
-        Arc::clone(&metrics),
+        gptx::store::ServerConfig::default()
+            .with_metrics(Arc::clone(&metrics))
+            .with_tracer(Arc::clone(&tracer)),
     ) {
         Ok(h) => h,
         Err(e) => {
@@ -579,9 +676,12 @@ fn crawl(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // No trace parent: each crawled request roots its own trace, so
+    // head sampling applies per request chain.
     let mut crawler = gptx::crawler::Crawler::new(handle.addr())
         .with_threads(8)
-        .with_metrics(Arc::clone(&metrics));
+        .with_metrics(Arc::clone(&metrics))
+        .with_tracer(Arc::clone(&tracer));
     match pool_from(&options) {
         Ok(Some(pool)) => crawler = crawler.with_pool(pool),
         Ok(None) => {}
@@ -629,7 +729,42 @@ fn crawl(args: &[String]) -> ExitCode {
         eprintln!("{e}");
         return ExitCode::FAILURE;
     }
+    if let Err(e) = emit_trace(&tracer, trace_json.as_ref()) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
+}
+
+/// Structurally validate a Chrome trace JSON file written by `--trace`:
+/// parseable envelope, complete events, and every non-root `parent_id`
+/// resolving to a span in the file.
+fn trace_validate(args: &[String]) -> ExitCode {
+    let (positional, _) = split_args(args);
+    let Some(path) = positional.first() else {
+        eprintln!("trace-validate needs a FILE\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let json = match std::fs::read_to_string(path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match gptx::obs::validate_chrome_trace(&json) {
+        Ok(stats) => {
+            println!(
+                "{path}: ok — {} events, {} traces, {} roots",
+                stats.events, stats.traces, stats.roots
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{path}: invalid trace: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 #[cfg(test)]
@@ -723,6 +858,30 @@ mod tests {
         let (registry, json) = metrics_from(&opts);
         assert!(!registry.enabled());
         assert!(json.is_none());
+    }
+
+    #[test]
+    fn trace_from_requires_file_and_validates_rate() {
+        let (_, opts) = split_args(&args(&[]));
+        let (tracer, path) = trace_from(&opts, 7).unwrap();
+        assert!(!tracer.enabled());
+        assert!(path.is_none());
+
+        let (_, opts) = split_args(&args(&["--trace", "t.json"]));
+        let (tracer, path) = trace_from(&opts, 7).unwrap();
+        assert!(tracer.enabled());
+        assert_eq!(path.as_deref(), Some("t.json"));
+
+        let (_, opts) = split_args(&args(&["--trace"]));
+        assert!(trace_from(&opts, 7).is_err());
+
+        for bad in [
+            &["--trace", "t.json", "--trace-sample", "2.0"][..],
+            &["--trace", "t.json", "--trace-sample", "lots"][..],
+        ] {
+            let (_, opts) = split_args(&args(bad));
+            assert!(trace_from(&opts, 7).is_err());
+        }
     }
 
     #[test]

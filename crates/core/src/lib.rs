@@ -33,8 +33,9 @@ pub mod experiments;
 pub mod pipeline;
 
 pub use pipeline::{
-    analyze_policy_disclosures, analyze_policy_disclosures_metered, profile_distinct_actions,
-    profile_distinct_actions_metered, AnalysisRun, Pipeline, PipelineBuilder, RunError,
+    analyze_policy_disclosures, analyze_policy_disclosures_metered,
+    analyze_policy_disclosures_traced, profile_distinct_actions, profile_distinct_actions_metered,
+    profile_distinct_actions_traced, AnalysisRun, Pipeline, PipelineBuilder, RunError,
 };
 
 /// The toolkit-wide error type ([`pipeline::RunError`] under its

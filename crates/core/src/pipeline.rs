@@ -12,7 +12,7 @@ use gptx_classifier::{ActionProfile, Classifier};
 use gptx_crawler::{CrawlArchive, CrawlStats, Crawler};
 use gptx_graph::{build_cooccurrence, CollectionMap, Graph};
 use gptx_llm::{DisclosureLabel, KbModel, LanguageModel};
-use gptx_obs::{Level, MetricsRegistry};
+use gptx_obs::{Level, MetricsRegistry, SpanContext, Tracer};
 use gptx_policy::{ActionDisclosureReport, PolicyAnalyzer};
 use gptx_store::{ClientError, EcosystemHandle, FaultConfig};
 use gptx_synth::{Ecosystem, SynthConfig, STORES};
@@ -98,6 +98,7 @@ pub struct Pipeline {
     pool_size: usize,
     analysis_threads: usize,
     metrics: Arc<MetricsRegistry>,
+    tracer: Arc<Tracer>,
 }
 
 /// Builder for [`Pipeline`] — the one place run configuration lives.
@@ -109,6 +110,7 @@ pub struct PipelineBuilder {
     pool_size: Option<usize>,
     analysis_threads: usize,
     metrics: Arc<MetricsRegistry>,
+    tracer: Arc<Tracer>,
 }
 
 impl PipelineBuilder {
@@ -152,6 +154,18 @@ impl PipelineBuilder {
         self
     }
 
+    /// Attach a tracer: the run records a `pipeline.run` root span with
+    /// every stage as a child span, the crawler's request/retry spans
+    /// nest under the crawl stage, and the server's spans join the same
+    /// traces via the propagation header. Build the tracer with
+    /// [`Tracer::with_sampling`] to keep only a fraction of request
+    /// chains. Like metrics, tracing never influences results —
+    /// artifacts are byte-identical with tracing on or off.
+    pub fn with_tracing(mut self, tracer: Arc<Tracer>) -> PipelineBuilder {
+        self.tracer = tracer;
+        self
+    }
+
     pub fn build(self) -> Pipeline {
         Pipeline {
             config: self.config,
@@ -160,6 +174,7 @@ impl PipelineBuilder {
             pool_size: self.pool_size.unwrap_or(self.crawler_threads),
             analysis_threads: self.analysis_threads,
             metrics: self.metrics,
+            tracer: self.tracer,
         }
     }
 }
@@ -175,33 +190,8 @@ impl Pipeline {
             pool_size: None,
             analysis_threads: 8,
             metrics: MetricsRegistry::shared_disabled(),
+            tracer: Tracer::shared_disabled(),
         }
-    }
-
-    /// A pipeline with the paper-like default fault profile.
-    #[deprecated(since = "0.1.0", note = "use `Pipeline::builder(config).build()`")]
-    pub fn new(config: SynthConfig) -> Pipeline {
-        Pipeline::builder(config).build()
-    }
-
-    /// Disable fault injection (exact-recovery integration tests).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Pipeline::builder(..).faults(FaultConfig::none())`"
-    )]
-    pub fn without_faults(mut self) -> Pipeline {
-        self.faults = FaultConfig::none();
-        self
-    }
-
-    /// Set the analysis-stage worker count.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Pipeline::builder(..).analysis_threads(n)`"
-    )]
-    pub fn with_analysis_threads(mut self, threads: usize) -> Pipeline {
-        self.analysis_threads = threads.max(1);
-        self
     }
 
     /// The generator configuration this pipeline runs over.
@@ -234,36 +224,58 @@ impl Pipeline {
         &self.metrics
     }
 
+    /// The tracer the run records into (the shared disabled singleton
+    /// unless one was attached via [`PipelineBuilder::with_tracing`]).
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
+    }
+
     /// Execute the full pipeline.
     pub fn run(&self) -> Result<AnalysisRun, RunError> {
         let metrics = &self.metrics;
+        let tracer = &self.tracer;
+        let mut root = tracer.start_trace("pipeline.run");
+        if root.is_recording() {
+            root.attr("weeks", self.config.weeks.to_string());
+            root.attr("base_gpts", self.config.base_gpts.to_string());
+        }
 
         // 1. Generate the ecosystem and serve it over loopback HTTP.
         let span = metrics.span("stage.generate");
+        let tspan = root.child("stage.generate");
         let eco = Arc::new(Ecosystem::generate(self.config.clone()));
+        tspan.finish();
         span.finish();
-        metrics.event(
+        metrics.event_traced(
             Level::Info,
             "pipeline",
             format!("generated ecosystem: {} weeks", eco.weeks.len()),
+            root.context(),
         );
-        let server = EcosystemHandle::start_with_metrics(
+        let server = EcosystemHandle::start_with_config(
             Arc::clone(&eco),
             self.faults,
-            Arc::clone(metrics),
+            gptx_store::ServerConfig::default()
+                .with_metrics(Arc::clone(metrics))
+                .with_tracer(Arc::clone(tracer)),
         )?;
 
-        // 2. Crawl the full campaign.
+        // 2. Crawl the full campaign. Request spans nest under the
+        // crawl-stage span, so one campaign renders as a single tree.
+        let tspan = root.child("stage.crawl");
         let crawler = Crawler::new(server.addr())
             .with_threads(self.crawler_threads)
             .with_pool(self.pool_size)
-            .with_metrics(Arc::clone(metrics));
+            .with_metrics(Arc::clone(metrics))
+            .with_tracer(Arc::clone(tracer))
+            .with_trace_parent(tspan.context());
         let store_names: Vec<&str> = STORES.iter().map(|(n, _)| *n).collect();
         let weeks: Vec<(u32, String)> =
             eco.weeks.iter().map(|w| (w.week, w.date.clone())).collect();
         let span = metrics.span("stage.crawl");
         let archive = crawler.crawl_campaign(&weeks, &store_names, |w| server.set_week(w))?;
         span.finish();
+        tspan.finish();
         let crawl_stats = crawler.stats();
         server.shutdown();
 
@@ -271,13 +283,18 @@ impl Pipeline {
         // clone of the ecosystem Arc — ours is the last one standing, so
         // the multi-megabyte corpus is never deep-copied.
         let eco = Arc::try_unwrap(eco).expect("server released its ecosystem Arc on shutdown");
-        AnalysisRun::analyze_with(
+        let parent = root.context();
+        let run = AnalysisRun::analyze_traced(
             eco,
             archive,
             crawl_stats,
             self.analysis_threads,
             Arc::clone(metrics),
-        )
+            tracer,
+            parent,
+        );
+        root.finish();
+        run
     }
 }
 
@@ -306,13 +323,43 @@ pub fn profile_distinct_actions_metered<M: LanguageModel + Sync>(
     threads: usize,
     metrics: &MetricsRegistry,
 ) -> Result<BTreeMap<String, ActionProfile>, RunError> {
+    profile_distinct_actions_traced(
+        classifier,
+        archive,
+        threads,
+        metrics,
+        &Tracer::shared_disabled(),
+        None,
+    )
+}
+
+/// [`profile_distinct_actions_metered`] with tracing: pool workers and
+/// each Action's classification record spans under `parent` (the
+/// classify-stage span). `parent: None` disables tracing for the call.
+pub fn profile_distinct_actions_traced<M: LanguageModel + Sync>(
+    classifier: &Classifier<'_, M>,
+    archive: &CrawlArchive,
+    threads: usize,
+    metrics: &MetricsRegistry,
+    tracer: &Arc<Tracer>,
+    parent: Option<SpanContext>,
+) -> Result<BTreeMap<String, ActionProfile>, RunError> {
     let actions: Vec<_> = archive.distinct_actions().into_iter().collect();
-    let profiled = gptx_par::par_try_map_metered(
+    let profiled = gptx_par::par_try_map_traced(
         threads,
         &actions,
         metrics,
         "classify",
+        tracer,
+        parent,
         |(identity, action)| {
+            let mut span = match parent {
+                Some(ctx) => tracer.start_span("classify.action", ctx),
+                None => gptx_obs::TraceSpan::detached(),
+            };
+            if span.is_recording() {
+                span.attr("action", identity.as_str());
+            }
             classifier
                 .profile_action(action)
                 .map(|profile| (identity.clone(), profile))
@@ -352,6 +399,30 @@ pub fn analyze_policy_disclosures_metered<M: LanguageModel + Sync>(
     threads: usize,
     metrics: &MetricsRegistry,
 ) -> Result<Vec<ActionDisclosureReport>, RunError> {
+    analyze_policy_disclosures_traced(
+        analyzer,
+        archive,
+        profiles,
+        threads,
+        metrics,
+        &Tracer::shared_disabled(),
+        None,
+    )
+}
+
+/// [`analyze_policy_disclosures_metered`] with tracing: pool workers
+/// and each Action's disclosure analysis record spans under `parent`
+/// (the policy-stage span). `parent: None` disables tracing for the
+/// call.
+pub fn analyze_policy_disclosures_traced<M: LanguageModel + Sync>(
+    analyzer: &PolicyAnalyzer<'_, M>,
+    archive: &CrawlArchive,
+    profiles: &BTreeMap<String, ActionProfile>,
+    threads: usize,
+    metrics: &MetricsRegistry,
+    tracer: &Arc<Tracer>,
+    parent: Option<SpanContext>,
+) -> Result<Vec<ActionDisclosureReport>, RunError> {
     let jobs: Vec<_> = archive
         .policies
         .iter()
@@ -361,12 +432,21 @@ pub fn analyze_policy_disclosures_metered<M: LanguageModel + Sync>(
             Some((identity, doc, body, profile))
         })
         .collect();
-    gptx_par::par_try_map_metered(
+    gptx_par::par_try_map_traced(
         threads,
         &jobs,
         metrics,
         "policy",
+        tracer,
+        parent,
         |&(identity, doc, body, profile)| {
+            let mut span = match parent {
+                Some(ctx) => tracer.start_span("policy.action", ctx),
+                None => gptx_obs::TraceSpan::detached(),
+            };
+            if span.is_recording() {
+                span.attr("action", identity.as_str());
+            }
             // HTML policies (JS-rendered pages, HTML-served documents)
             // are reduced to visible text before sentence tokenization.
             let is_html = doc
@@ -450,39 +530,89 @@ impl AnalysisRun {
         threads: usize,
         metrics: Arc<MetricsRegistry>,
     ) -> Result<AnalysisRun, RunError> {
+        AnalysisRun::analyze_traced(
+            eco,
+            archive,
+            crawl_stats,
+            threads,
+            metrics,
+            &Tracer::shared_disabled(),
+            None,
+        )
+    }
+
+    /// [`AnalysisRun::analyze_with`] recording the analysis stages as
+    /// trace spans too. With `parent: Some(..)` the stages nest under
+    /// the caller's span (the pipeline's `pipeline.run` root); with
+    /// `parent: None` and an enabled tracer a fresh `pipeline.analyze`
+    /// root trace is minted, so `gptx analyze` can trace standalone.
+    pub fn analyze_traced(
+        eco: Ecosystem,
+        archive: CrawlArchive,
+        crawl_stats: CrawlStats,
+        threads: usize,
+        metrics: Arc<MetricsRegistry>,
+        tracer: &Arc<Tracer>,
+        parent: Option<SpanContext>,
+    ) -> Result<AnalysisRun, RunError> {
         let threads = threads.max(1);
+        let troot = tracer.span_or_trace("pipeline.analyze", parent);
+        let tctx = troot.context();
 
         // 3. LLM static analysis of every distinct Action.
         let model = KbModel::new(KnowledgeBase::full());
         let classifier = Classifier::new(&model);
         let span = metrics.span("stage.classify");
-        let profiles = Arc::new(profile_distinct_actions_metered(
+        let tspan = troot.child("stage.classify");
+        let profiles = Arc::new(profile_distinct_actions_traced(
             &classifier,
             &archive,
             threads,
             &metrics,
+            tracer,
+            tspan.context(),
         )?);
+        tspan.finish();
         span.finish();
         metrics.add("pipeline.actions_profiled", profiles.len() as u64);
+        metrics.event_traced(
+            Level::Info,
+            "pipeline",
+            format!("classified {} distinct actions", profiles.len()),
+            tctx,
+        );
 
         // 4. Corpus aggregation over all unique GPTs. The collection
         //    shares the profile map; nothing is deep-copied.
         let span = metrics.span("stage.aggregate");
+        let tspan = troot.child("stage.aggregate");
         let unique: Vec<gptx_model::Gpt> = archive.all_unique_gpts().into_values().collect();
         let collection = CorpusCollection::assemble(unique.iter(), Arc::clone(&profiles));
+        tspan.finish();
         span.finish();
         metrics.add("pipeline.unique_gpts", unique.len() as u64);
 
         // 5. Co-occurrence graph.
         let span = metrics.span("stage.graph");
+        let tspan = troot.child("stage.graph");
         let graph = build_cooccurrence(unique.iter());
+        tspan.finish();
         span.finish();
 
         // 6. Policy disclosure analysis.
         let span = metrics.span("stage.policy");
+        let tspan = troot.child("stage.policy");
         let analyzer = PolicyAnalyzer::new(&model);
-        let reports =
-            analyze_policy_disclosures_metered(&analyzer, &archive, &profiles, threads, &metrics)?;
+        let reports = analyze_policy_disclosures_traced(
+            &analyzer,
+            &archive,
+            &profiles,
+            threads,
+            &metrics,
+            tracer,
+            tspan.context(),
+        )?;
+        tspan.finish();
         span.finish();
         metrics.add("pipeline.disclosure_reports", reports.len() as u64);
 
@@ -590,14 +720,17 @@ mod tests {
         assert_eq!(p.pool_size(), 8, "pool defaults to the worker count");
         assert_eq!(p.analysis_threads(), 8);
         assert!(!p.metrics().enabled());
+        assert!(!p.tracer().enabled());
 
         let metrics = MetricsRegistry::shared();
+        let tracer = Tracer::shared(7);
         let p = Pipeline::builder(SynthConfig::tiny(1))
             .faults(FaultConfig::none())
             .crawler_threads(0) // clamps to 1
             .pool_size(0) // pooling off is a legal explicit choice
             .analysis_threads(3)
             .metrics(Arc::clone(&metrics))
+            .with_tracing(Arc::clone(&tracer))
             .build();
         assert_eq!(p.crawler_threads(), 1);
         assert_eq!(p.pool_size(), 0);
@@ -605,24 +738,8 @@ mod tests {
         assert_eq!(p.faults().gizmo_failure_rate, 0.0);
         assert!(p.metrics().enabled());
         assert!(Arc::ptr_eq(p.metrics(), &metrics));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_configure_the_same_pipeline() {
-        let shimmed = Pipeline::new(SynthConfig::tiny(1))
-            .without_faults()
-            .with_analysis_threads(2);
-        let built = Pipeline::builder(SynthConfig::tiny(1))
-            .faults(FaultConfig::none())
-            .analysis_threads(2)
-            .build();
-        assert_eq!(shimmed.analysis_threads(), built.analysis_threads());
-        assert_eq!(
-            shimmed.faults().gizmo_failure_rate,
-            built.faults().gizmo_failure_rate
-        );
-        assert_eq!(shimmed.config().base_gpts, built.config().base_gpts);
+        assert!(p.tracer().enabled());
+        assert!(Arc::ptr_eq(p.tracer(), &tracer));
     }
 
     #[test]

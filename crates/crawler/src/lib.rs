@@ -22,7 +22,7 @@ pub use scrape::extract_gpt_ids;
 
 use gptx_model::snapshot::CrawlSnapshot;
 use gptx_model::{ActionSpec, Gpt, GptId};
-use gptx_obs::{Level, MetricsRegistry};
+use gptx_obs::{Level, MetricsRegistry, SpanContext, Tracer};
 use gptx_store::{store_host, ClientError, HttpClient, Response};
 use std::collections::BTreeMap;
 use std::net::SocketAddr;
@@ -118,6 +118,15 @@ impl Endpoint {
             Endpoint::Probe => "crawler.latency.probe",
         }
     }
+
+    fn span_name(self) -> &'static str {
+        match self {
+            Endpoint::Listing => "crawler.request.listing",
+            Endpoint::Gizmo => "crawler.request.gizmo",
+            Endpoint::Policy => "crawler.request.policy",
+            Endpoint::Probe => "crawler.request.probe",
+        }
+    }
 }
 
 /// The crawler. Cheap to clone (clones share nothing; stats are
@@ -143,7 +152,14 @@ impl Endpoint {
 ///   per-endpoint request/retry counts and latency histograms
 ///   (`crawler.requests.*`, `crawler.retries.*`, `crawler.latency.*`),
 ///   total backoff sleep (`crawler.backoff_sleep_us`), and a `Warn`
-///   event per retry.
+///   event per retry;
+/// * [`Crawler::with_tracer`] — attach a [`Tracer`]: every logical
+///   request becomes a `crawler.request.*` span parenting the
+///   per-attempt `http.request` spans, with each retry's backoff sleep
+///   visible as a `crawler.backoff` child span;
+/// * [`Crawler::with_trace_parent`] — parent all request spans under an
+///   existing span (the pipeline's crawl-stage span) instead of rooting
+///   fresh traces.
 pub struct Crawler {
     client: HttpClient,
     max_retries: usize,
@@ -151,6 +167,8 @@ pub struct Crawler {
     threads: usize,
     stats: Mutex<CrawlStats>,
     metrics: Arc<MetricsRegistry>,
+    tracer: Arc<Tracer>,
+    trace_parent: Option<SpanContext>,
 }
 
 impl Crawler {
@@ -164,6 +182,8 @@ impl Crawler {
             threads: 4,
             stats: Mutex::new(CrawlStats::default()),
             metrics: MetricsRegistry::shared_disabled(),
+            tracer: Tracer::shared_disabled(),
+            trace_parent: None,
         }
     }
 
@@ -206,6 +226,23 @@ impl Crawler {
         self
     }
 
+    /// Attach a tracer (see the type docs). The underlying
+    /// [`HttpClient`] shares it, so its `http.request` spans nest under
+    /// the crawler's request spans.
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Crawler {
+        self.client = self.client.with_tracer(Arc::clone(&tracer));
+        self.tracer = tracer;
+        self
+    }
+
+    /// Parent every request span under `parent` rather than rooting a
+    /// fresh trace per request. The pipeline sets this to its
+    /// crawl-stage span so a whole crawl renders as one tree.
+    pub fn with_trace_parent(mut self, parent: Option<SpanContext>) -> Crawler {
+        self.trace_parent = parent;
+        self
+    }
+
     /// Stats accumulated so far.
     pub fn stats(&self) -> CrawlStats {
         *self.stats.lock().expect("stats mutex")
@@ -216,25 +253,46 @@ impl Crawler {
     }
 
     /// GET with retry/backoff on transport errors and 5xx. Returns the
-    /// final response (which may still be an error status).
+    /// final response (which may still be an error status). One span
+    /// covers the whole logical request; each attempt's `http.request`
+    /// and each retry's backoff sleep are children of it.
     fn get_with_retries(&self, endpoint: Endpoint, url: &str) -> Result<Response, ClientError> {
         let metered = self.metrics.enabled();
         if metered {
             self.metrics.incr(endpoint.requests());
         }
+        let mut span = self
+            .tracer
+            .span_or_trace(endpoint.span_name(), self.trace_parent);
+        if span.is_recording() {
+            span.attr("url", url);
+        }
+        let ctx = span.context();
         let mut attempt = 0;
         loop {
             let started = metered.then(Instant::now);
-            let outcome = self.client.get(url);
+            let outcome = self.client.get_traced(url, ctx);
             if let Some(started) = started {
                 self.metrics
                     .observe_us(endpoint.latency(), started.elapsed().as_micros() as u64);
             }
             match outcome {
                 Ok(resp) if resp.status >= 500 && attempt < self.max_retries => {}
-                Ok(resp) => return Ok(resp),
+                Ok(resp) => {
+                    if span.is_recording() {
+                        span.attr("attempts", (attempt + 1).to_string());
+                        span.attr("status", resp.status.to_string());
+                    }
+                    return Ok(resp);
+                }
                 Err(_e) if attempt < self.max_retries => {}
-                Err(e) => return Err(e),
+                Err(e) => {
+                    if span.is_recording() {
+                        span.attr("attempts", (attempt + 1).to_string());
+                        span.attr("error", e.to_string());
+                    }
+                    return Err(e);
+                }
             }
             attempt += 1;
             self.bump(|s| s.retries += 1);
@@ -243,13 +301,20 @@ impl Crawler {
                 self.metrics.incr(endpoint.retries());
                 self.metrics
                     .add("crawler.backoff_sleep_us", backoff.as_micros() as u64);
-                self.metrics.event(
+                self.metrics.event_traced(
                     Level::Warn,
                     "crawler",
                     format!("retrying {url} (attempt {attempt}/{})", self.max_retries),
+                    ctx,
                 );
             }
+            let mut backoff_span = span.child("crawler.backoff");
+            if backoff_span.is_recording() {
+                backoff_span.attr("attempt", attempt.to_string());
+                backoff_span.attr("sleep_us", backoff.as_micros().to_string());
+            }
             std::thread::sleep(backoff);
+            backoff_span.finish();
         }
     }
 
@@ -657,6 +722,92 @@ mod tests {
             "http.client.requests drifted from crawler request + retry counters"
         );
         handle.shutdown();
+    }
+
+    #[test]
+    fn pool_lifecycle_counters_stay_consistent_under_disconnect_faults() {
+        // Mid-stream disconnects poison pooled sockets, forcing the
+        // full lifecycle: reuse, transparent retry, reopen. Every HTTP
+        // request acquires exactly one connection (reused or opened),
+        // plus one extra open per transparent retry — the two counter
+        // families must balance exactly.
+        let (handle, _eco) = start(
+            33,
+            FaultConfig {
+                disconnect_gizmo_rate: 0.10,
+                ..FaultConfig::none()
+            },
+        );
+        let metrics = MetricsRegistry::shared();
+        let crawler = Crawler::new(handle.addr())
+            .with_retries(3)
+            .with_metrics(Arc::clone(&metrics));
+        crawler.crawl_week(0, "2024-02-08", &store_names()).unwrap();
+        handle.shutdown();
+        let snap = metrics.snapshot();
+        let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+        let opened = counter("http.client.conn_opened");
+        let reused = counter("http.client.conn_reused");
+        let requests = counter("http.client.requests");
+        let conn_retries = counter("http.client.conn_retries");
+        assert!(requests > 0 && reused > 0);
+        assert_eq!(
+            opened + reused,
+            requests + conn_retries,
+            "connection acquisitions drifted from exchange attempts \
+             (opened {opened} + reused {reused} vs requests {requests} + retries {conn_retries})"
+        );
+    }
+
+    #[test]
+    fn retry_spans_nest_backoff_under_the_request() {
+        let (handle, _eco) = start(
+            34,
+            FaultConfig {
+                gizmo_failure_rate: 1.0,
+                ..FaultConfig::none()
+            },
+        );
+        let tracer = Tracer::shared(99);
+        let crawler = Crawler::new(handle.addr())
+            .with_retries(2)
+            .with_tracer(Arc::clone(&tracer));
+        assert_eq!(crawler.fetch_gizmo(&GptId("g-z".into())).unwrap(), None);
+        handle.shutdown();
+        let snap = tracer.snapshot();
+        let request = snap
+            .events
+            .iter()
+            .find(|e| e.name == "crawler.request.gizmo")
+            .expect("request span recorded");
+        assert_eq!(
+            request.parent_id, None,
+            "standalone request roots its trace"
+        );
+        assert!(request
+            .attrs
+            .contains(&("attempts".to_string(), "3".to_string())));
+        // Every attempt's http.request and every retry's backoff sleep
+        // are children of the one logical-request span.
+        let children = |name: &str| {
+            snap.events
+                .iter()
+                .filter(|e| e.name == name)
+                .collect::<Vec<_>>()
+        };
+        let attempts = children("http.request");
+        assert_eq!(attempts.len(), 3);
+        assert!(attempts
+            .iter()
+            .all(|a| a.parent_id == Some(request.span_id)));
+        let backoffs = children("crawler.backoff");
+        assert_eq!(backoffs.len(), 2);
+        assert!(backoffs
+            .iter()
+            .all(|b| b.parent_id == Some(request.span_id)));
+        assert!(backoffs
+            .iter()
+            .all(|b| b.attrs.iter().any(|(k, _)| k == "sleep_us")));
     }
 
     #[test]

@@ -1,0 +1,472 @@
+//! Structural validator for Chrome trace-event JSON.
+//!
+//! Backs the `trace_smoke` tier-1 check and the `gptx trace-validate`
+//! subcommand: given the bytes a `--trace` run wrote, confirm the file
+//! is parseable JSON of the expected envelope and that the span graph
+//! is well-formed — every non-root `parent_id` resolves to a span in
+//! the *same* trace, durations and timestamps are non-negative, and
+//! timestamps are monotone within each `tid` lane.
+//!
+//! The crate is dependency-free by design, so this includes a minimal
+//! recursive-descent JSON parser (objects, arrays, strings with
+//! escapes, numbers, bools, null) — a few dozen lines is all the
+//! validator needs, and it doubles as a check that our hand-rolled
+//! emitters produce real JSON.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Summary returned by a successful validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChromeTraceStats {
+    /// Span events in the file.
+    pub events: usize,
+    /// Distinct trace IDs.
+    pub traces: usize,
+    /// Spans with no `parent_id` (trace roots).
+    pub roots: usize,
+}
+
+/// Validate Chrome trace-event JSON produced by
+/// `TraceSnapshot::to_chrome_json` (or anything shaped like it).
+pub fn validate_chrome_trace(json: &str) -> Result<ChromeTraceStats, String> {
+    let value = parse_json(json)?;
+    let top = value.as_object().ok_or("top level is not an object")?;
+    let events = top
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .and_then(|(_, v)| v.as_array())
+        .ok_or("missing \"traceEvents\" array")?;
+
+    // First pass: collect every span per trace so forward parent
+    // references (a parent that finished after its child) resolve.
+    let mut spans_by_trace: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
+    let mut parsed = Vec::with_capacity(events.len());
+    for (i, event) in events.iter().enumerate() {
+        let span = parse_event(event).map_err(|e| format!("event {i}: {e}"))?;
+        spans_by_trace
+            .entry(span.trace_id)
+            .or_default()
+            .insert(span.span_id);
+        parsed.push(span);
+    }
+
+    let mut roots = 0usize;
+    let mut last_ts: BTreeMap<u64, u64> = BTreeMap::new();
+    for (i, span) in parsed.iter().enumerate() {
+        match span.parent_id {
+            None => roots += 1,
+            Some(parent) => {
+                if !spans_by_trace[&span.trace_id].contains(&parent) {
+                    return Err(format!(
+                        "event {i}: parent_id {parent:016x} not found in trace {:016x}",
+                        span.trace_id
+                    ));
+                }
+                if parent == span.span_id {
+                    return Err(format!("event {i}: span is its own parent"));
+                }
+            }
+        }
+        if let Some(&prev) = last_ts.get(&span.tid) {
+            if span.ts < prev {
+                return Err(format!(
+                    "event {i}: ts {} regresses below {prev} within tid lane {}",
+                    span.ts, span.tid
+                ));
+            }
+        }
+        last_ts.insert(span.tid, span.ts);
+    }
+
+    Ok(ChromeTraceStats {
+        events: parsed.len(),
+        traces: spans_by_trace.len(),
+        roots,
+    })
+}
+
+struct ParsedSpan {
+    trace_id: u64,
+    span_id: u64,
+    parent_id: Option<u64>,
+    tid: u64,
+    ts: u64,
+}
+
+fn parse_event(event: &Json) -> Result<ParsedSpan, String> {
+    let obj = event.as_object().ok_or("not an object")?;
+    let field = |name: &str| obj.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+
+    let ph = field("ph").and_then(Json::as_str).ok_or("missing ph")?;
+    if ph != "X" {
+        return Err(format!("ph is {ph:?}, expected \"X\""));
+    }
+    let name = field("name").and_then(Json::as_str).ok_or("missing name")?;
+    if name.is_empty() {
+        return Err("empty name".into());
+    }
+    let ts = non_negative(field("ts"), "ts")?;
+    non_negative(field("dur"), "dur")?;
+    let tid = non_negative(field("tid"), "tid")?;
+
+    let args = field("args")
+        .and_then(Json::as_object)
+        .ok_or("missing args")?;
+    let id_field = |name: &str| -> Result<Option<u64>, String> {
+        match args.iter().find(|(k, _)| k == name).map(|(_, v)| v) {
+            None => Ok(None),
+            Some(v) => {
+                let s = v.as_str().ok_or(format!("args.{name} is not a string"))?;
+                u64::from_str_radix(s, 16)
+                    .map(Some)
+                    .map_err(|_| format!("args.{name} {s:?} is not 64-bit hex"))
+            }
+        }
+    };
+    let trace_id = id_field("trace_id")?.ok_or("missing args.trace_id")?;
+    let span_id = id_field("span_id")?.ok_or("missing args.span_id")?;
+    let parent_id = id_field("parent_id")?;
+
+    Ok(ParsedSpan {
+        trace_id,
+        span_id,
+        parent_id,
+        tid,
+        ts,
+    })
+}
+
+fn non_negative(value: Option<&Json>, name: &str) -> Result<u64, String> {
+    let n = value
+        .and_then(Json::as_number)
+        .ok_or(format!("missing numeric {name}"))?;
+    if n < 0.0 {
+        return Err(format!("{name} is negative ({n})"));
+    }
+    Ok(n as u64)
+}
+
+/// A parsed JSON value (just enough for validation).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_number(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(format!("trailing bytes at offset {}", parser.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek()? != byte {
+            return Err(format!(
+                "expected {:?} at offset {}",
+                byte as char, self.pos
+            ));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at offset {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::String(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            c => Err(format!("unexpected {:?} at offset {}", c as char, self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                c => return Err(format!("expected ',' or '}}', got {:?}", c as char)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                c => return Err(format!("expected ',' or ']', got {:?}", c as char)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self
+                        .bytes
+                        .get(self.pos)
+                        .copied()
+                        .ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            self.pos += 4;
+                            // Surrogates never appear in our emitters;
+                            // map them to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        c => return Err(format!("bad escape \\{}", c as char)),
+                    }
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar (validity guaranteed by the
+                    // &str input).
+                    let rest = &self.bytes[self.pos..];
+                    let ch = std::str::from_utf8(rest)
+                        .map_err(|_| "invalid utf-8")?
+                        .chars()
+                        .next()
+                        .ok_or("unterminated string")?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Number)
+            .ok_or_else(|| format!("invalid number at offset {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(trace: &str, span: &str, parent: Option<&str>, tid: u64, ts: u64) -> String {
+        let parent = parent
+            .map(|p| format!(", \"parent_id\": \"{p}\""))
+            .unwrap_or_default();
+        format!(
+            "{{\"ph\": \"X\", \"cat\": \"gptx\", \"pid\": 1, \"tid\": {tid}, \"ts\": {ts}, \
+             \"dur\": 5, \"name\": \"s\", \"args\": {{\"trace_id\": \"{trace}\", \
+             \"span_id\": \"{span}\"{parent}}}}}"
+        )
+    }
+
+    fn envelope(events: &[String]) -> String {
+        format!("{{\"traceEvents\": [{}]}}", events.join(", "))
+    }
+
+    #[test]
+    fn valid_trace_passes_with_stats() {
+        let json = envelope(&[
+            event("aa", "01", None, 1, 0),
+            event("aa", "02", Some("01"), 1, 3),
+            event("bb", "03", None, 2, 1),
+        ]);
+        let stats = validate_chrome_trace(&json).unwrap();
+        assert_eq!(
+            stats,
+            ChromeTraceStats {
+                events: 3,
+                traces: 2,
+                roots: 2
+            }
+        );
+    }
+
+    #[test]
+    fn forward_parent_reference_resolves() {
+        // Child listed before its parent (completion order can do this).
+        let json = envelope(&[
+            event("aa", "02", Some("01"), 1, 3),
+            event("aa", "01", None, 1, 3),
+        ]);
+        assert!(validate_chrome_trace(&json).is_ok());
+    }
+
+    #[test]
+    fn unresolved_parent_is_rejected() {
+        let json = envelope(&[event("aa", "02", Some("99"), 1, 0)]);
+        let err = validate_chrome_trace(&json).unwrap_err();
+        assert!(err.contains("parent_id"), "{err}");
+    }
+
+    #[test]
+    fn parent_in_other_trace_is_rejected() {
+        let json = envelope(&[
+            event("aa", "01", None, 1, 0),
+            event("bb", "02", Some("01"), 2, 0),
+        ]);
+        assert!(validate_chrome_trace(&json).is_err());
+    }
+
+    #[test]
+    fn timestamp_regression_within_lane_is_rejected() {
+        let json = envelope(&[
+            event("aa", "01", None, 1, 10),
+            event("aa", "02", Some("01"), 1, 4),
+        ]);
+        let err = validate_chrome_trace(&json).unwrap_err();
+        assert!(err.contains("regresses"), "{err}");
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(validate_chrome_trace("{\"traceEvents\": [").is_err());
+        assert!(validate_chrome_trace("[]").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\": [{}]}").is_err());
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_numbers() {
+        let value = parse_json(
+            "{\"s\": \"a\\n\\\"b\\u0041\", \"n\": -1.5e2, \"b\": true, \"x\": null, \
+             \"a\": [1, 2]}",
+        )
+        .unwrap();
+        let obj = value.as_object().unwrap();
+        assert_eq!(obj[0].1.as_str(), Some("a\n\"bA"));
+        assert_eq!(obj[1].1.as_number(), Some(-150.0));
+        assert_eq!(obj[4].1.as_array().unwrap().len(), 2);
+    }
+}

@@ -6,6 +6,7 @@
 //! process's memory budget — and appending takes one mutex acquisition,
 //! which only instrumented (non-hot) paths pay.
 
+use crate::trace::SpanContext;
 use std::collections::VecDeque;
 
 /// Event severity, ordered: `Debug < Info < Warn < Error`.
@@ -47,6 +48,10 @@ pub struct Event {
     /// The subsystem that emitted the event ("crawler", "pipeline", …).
     pub target: String,
     pub message: String,
+    /// Trace the emitting code was inside, when it was traced at all —
+    /// joins a warn event (say, a crawler retry) to its span.
+    pub trace_id: Option<u64>,
+    pub span_id: Option<u64>,
 }
 
 /// Fixed-capacity event ring (not `Sync` by itself; the registry wraps
@@ -68,8 +73,16 @@ impl EventLog {
     }
 
     /// Append an event, evicting the oldest entry when full. Returns
-    /// the sequence number assigned.
-    pub fn push(&mut self, elapsed_us: u64, level: Level, target: &str, message: String) -> u64 {
+    /// the sequence number assigned. `ctx` correlates the event with
+    /// the span that emitted it (`None` for untraced call sites).
+    pub fn push(
+        &mut self,
+        elapsed_us: u64,
+        level: Level,
+        target: &str,
+        message: String,
+        ctx: Option<SpanContext>,
+    ) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
         if self.ring.len() == self.capacity {
@@ -81,6 +94,8 @@ impl EventLog {
             level,
             target: target.to_string(),
             message,
+            trace_id: ctx.map(|c| c.trace_id),
+            span_id: ctx.map(|c| c.span_id),
         });
         seq
     }
@@ -112,7 +127,7 @@ mod tests {
     fn ring_evicts_oldest() {
         let mut log = EventLog::new(3);
         for i in 0..5 {
-            log.push(i, Level::Info, "t", format!("event {i}"));
+            log.push(i, Level::Info, "t", format!("event {i}"), None);
         }
         let events = log.to_vec();
         assert_eq!(events.len(), 3);
@@ -124,9 +139,25 @@ mod tests {
     #[test]
     fn zero_capacity_clamps_to_one() {
         let mut log = EventLog::new(0);
-        log.push(0, Level::Error, "t", "a".into());
-        log.push(1, Level::Error, "t", "b".into());
+        log.push(0, Level::Error, "t", "a".into(), None);
+        log.push(1, Level::Error, "t", "b".into(), None);
         assert_eq!(log.to_vec().len(), 1);
         assert_eq!(log.to_vec()[0].message, "b");
+    }
+
+    #[test]
+    fn events_carry_their_span_context() {
+        let mut log = EventLog::new(4);
+        let ctx = SpanContext {
+            trace_id: 7,
+            span_id: 9,
+        };
+        log.push(0, Level::Warn, "crawler", "retry".into(), Some(ctx));
+        log.push(1, Level::Info, "crawler", "plain".into(), None);
+        let events = log.to_vec();
+        assert_eq!(events[0].trace_id, Some(7));
+        assert_eq!(events[0].span_id, Some(9));
+        assert_eq!(events[1].trace_id, None);
+        assert_eq!(events[1].span_id, None);
     }
 }

@@ -65,6 +65,12 @@ impl Histogram {
     }
 
     /// Summarize the current contents.
+    ///
+    /// Quantiles are always well-defined: an empty histogram reports 0
+    /// for every statistic, a single observation reports itself (bucket
+    /// bound clamped into `[min_us, max_us]`), and observations past
+    /// the last bucket bound (> 10 s) saturate to the observed
+    /// `max_us` — the overflow bucket has no upper bound of its own.
     pub fn summary(&self) -> HistogramSummary {
         let counts: Vec<u64> = self
             .buckets
@@ -177,6 +183,40 @@ mod tests {
         assert_eq!(s.count, 1);
         assert_eq!(s.p50_us, 99_000_000);
         assert_eq!(s.max_us, 99_000_000);
+    }
+
+    #[test]
+    fn single_observation_reports_itself_at_every_quantile() {
+        let h = Histogram::new();
+        h.record_us(37);
+        let s = h.summary();
+        assert_eq!((s.min_us, s.max_us), (37, 37));
+        assert_eq!((s.p50_us, s.p95_us, s.p99_us), (37, 37, 37));
+        assert_eq!(s.mean_us, 37.0);
+    }
+
+    #[test]
+    fn all_observations_in_overflow_saturate_to_observed_max() {
+        // Everything lands past the last bucket bound (10 s): the
+        // overflow bucket has no bound, so quantiles saturate to the
+        // observed max rather than inventing a value.
+        let h = Histogram::new();
+        for us in [11_000_000, 25_000_000, 99_000_000] {
+            h.record_us(us);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min_us, 11_000_000);
+        assert_eq!(
+            (s.p50_us, s.p95_us, s.p99_us),
+            (99_000_000, 99_000_000, 99_000_000)
+        );
+    }
+
+    #[test]
+    fn empty_quantiles_never_panic_at_extreme_probes() {
+        let s = Histogram::new().summary();
+        assert_eq!((s.p50_us, s.p95_us, s.p99_us), (0, 0, 0));
     }
 
     #[test]

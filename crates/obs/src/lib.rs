@@ -3,9 +3,11 @@
 //! The toolkit's observability layer: a lock-cheap [`MetricsRegistry`]
 //! (atomic counters, gauges, fixed-bucket latency histograms with
 //! p50/p95/p99 summaries, and named span timers) plus a bounded,
-//! structured, leveled event log. Everything is `Sync`, dependency-free,
-//! and safe to thread through every subsystem as an
-//! `Arc<MetricsRegistry>`.
+//! structured, leveled event log and a hierarchical [`Tracer`]
+//! (parent–child span trees with `x-gptx-trace` cross-process
+//! propagation and Chrome trace-event export — see [`trace`]).
+//! Everything is `Sync`, dependency-free, and safe to thread through
+//! every subsystem as an `Arc<MetricsRegistry>` / `Arc<Tracer>`.
 //!
 //! Two design constraints drive the implementation:
 //!
@@ -27,12 +29,16 @@
 //! get-or-create the instrument per call behind one `RwLock` read,
 //! which is still far below the cost of the I/O they instrument.
 
+pub mod chrome;
 pub mod events;
 pub mod histogram;
 pub mod registry;
 pub mod snapshot;
+pub mod trace;
 
+pub use chrome::{validate_chrome_trace, ChromeTraceStats};
 pub use events::{Event, Level};
 pub use histogram::{Histogram, HistogramSummary};
 pub use registry::{Counter, Gauge, HistogramHandle, MetricsRegistry, Span};
 pub use snapshot::MetricsSnapshot;
+pub use trace::{SpanContext, TraceEvent, TraceSnapshot, TraceSpan, Tracer, TRACE_HEADER};

@@ -16,6 +16,7 @@
 use crate::events::{EventLog, Level};
 use crate::histogram::Histogram;
 use crate::snapshot::MetricsSnapshot;
+use crate::trace::SpanContext;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
@@ -234,6 +235,18 @@ impl MetricsRegistry {
     /// Append a structured event (dropped when below the registry's
     /// minimum level, or when the registry is disabled).
     pub fn event(&self, level: Level, target: &str, message: impl Into<String>) {
+        self.event_traced(level, target, message, None);
+    }
+
+    /// Append a structured event correlated with the span that emitted
+    /// it, so the event can be joined back to a trace.
+    pub fn event_traced(
+        &self,
+        level: Level,
+        target: &str,
+        message: impl Into<String>,
+        ctx: Option<SpanContext>,
+    ) {
         if !self.enabled || level < self.min_level {
             return;
         }
@@ -243,6 +256,7 @@ impl MetricsRegistry {
             level,
             target,
             message.into(),
+            ctx,
         );
     }
 
@@ -380,6 +394,21 @@ mod tests {
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].level, Level::Warn);
         assert_eq!(events[0].target, "crawler");
+    }
+
+    #[test]
+    fn traced_events_record_the_span_context() {
+        let registry = MetricsRegistry::new();
+        let ctx = SpanContext {
+            trace_id: 0xabc,
+            span_id: 0xdef,
+        };
+        registry.event_traced(Level::Warn, "crawler", "retry g-1", Some(ctx));
+        registry.event(Level::Info, "pipeline", "untraced");
+        let events = registry.snapshot().events;
+        assert_eq!(events[0].trace_id, Some(0xabc));
+        assert_eq!(events[0].span_id, Some(0xdef));
+        assert_eq!(events[1].trace_id, None);
     }
 
     #[test]

@@ -101,13 +101,19 @@ impl MetricsSnapshot {
         push_entries(&mut out, self.events.iter(), |out, event| {
             out.push_str(&format!(
                 "    {{\"seq\": {}, \"elapsed_us\": {}, \"level\": {}, \"target\": {}, \
-                 \"message\": {}}}",
+                 \"message\": {}",
                 event.seq,
                 event.elapsed_us,
                 json_string(event.level.label()),
                 json_string(&event.target),
                 json_string(&event.message)
             ));
+            if let (Some(trace_id), Some(span_id)) = (event.trace_id, event.span_id) {
+                out.push_str(&format!(
+                    ", \"trace_id\": \"{trace_id:016x}\", \"span_id\": \"{span_id:016x}\""
+                ));
+            }
+            out.push('}');
         });
         out.push_str("]\n}\n");
         out
@@ -141,7 +147,9 @@ fn sanitize(name: &str) -> String {
 }
 
 /// Minimal JSON string escaping (quotes, backslash, control chars).
-fn json_string(s: &str) -> String {
+/// Shared with the trace exporter, which emits the same hand-rolled
+/// JSON dialect.
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -172,6 +180,15 @@ mod tests {
         registry.observe_us("http.latency", 120);
         registry.observe_us("http.latency", 480);
         registry.event(Level::Warn, "crawler", "retry \"g-1\"\n");
+        registry.event_traced(
+            Level::Warn,
+            "crawler",
+            "retry g-2",
+            Some(crate::trace::SpanContext {
+                trace_id: 0xab,
+                span_id: 0xcd,
+            }),
+        );
         registry.snapshot()
     }
 
@@ -194,6 +211,15 @@ mod tests {
         let opens = json.matches('{').count() + json.matches('[').count();
         let closes = json.matches('}').count() + json.matches(']').count();
         assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn traced_events_expose_their_span_ids_in_json() {
+        let json = sample().to_json();
+        assert!(json.contains("\"trace_id\": \"00000000000000ab\""));
+        assert!(json.contains("\"span_id\": \"00000000000000cd\""));
+        // The untraced event carries no trace fields.
+        assert!(json.contains("retry \\\"g-1\\\"\\n\"}"));
     }
 
     #[test]

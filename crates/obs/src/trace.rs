@@ -1,0 +1,654 @@
+//! Hierarchical tracing: parent–child span trees with cross-process
+//! propagation and Chrome trace-event export.
+//!
+//! The [`Tracer`] complements the flat [`MetricsRegistry`] histograms:
+//! where a histogram answers "what is p99 of `store.route_us`?", a trace
+//! answers "where did *this* slow request spend its time?" — as one
+//! causal chain from the crawler's retry loop through the pooled HTTP
+//! client into the store server's router.
+//!
+//! Design mirrors the registry's discipline exactly:
+//!
+//! 1. **Determinism safety.** Traces observe, they never steer. Span
+//!    IDs are minted from the run's deterministic seed (splitmix64
+//!    stream), but no analysis code path ever reads a trace, so
+//!    pipeline output is byte-identical with tracing on or off.
+//! 2. **Near-zero disabled cost.** A disabled tracer turns
+//!    [`Tracer::start_trace`] / [`Tracer::start_span`] into a single
+//!    branch returning a detached [`TraceSpan`]: no clock read, no ID
+//!    mint, no allocation. Every downstream call on a detached span is
+//!    one `Option` branch.
+//!
+//! Finished spans land in a bounded ring (one short mutex hold per span
+//! *end* — span start and attrs touch no lock), oldest evicted first.
+//! [`TraceSnapshot::to_chrome_json`] exports the ring in Chrome
+//! trace-event JSON, loadable in Perfetto or `chrome://tracing`;
+//! [`TraceSnapshot::render_tree`] prints an indented text tree.
+//!
+//! Cross-process propagation uses one header, [`TRACE_HEADER`]
+//! (`x-gptx-trace`), carrying `<trace_id>-<span_id>` as two 16-digit
+//! lowercase hex words ([`SpanContext::header_value`] /
+//! [`SpanContext::parse`]). The HTTP client injects it; the store
+//! server parses it and parents its spans under the caller's.
+
+use crate::snapshot::json_string;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// The propagation header: `x-gptx-trace: <trace_id>-<span_id>`, both
+/// 64-bit lowercase hex.
+pub const TRACE_HEADER: &str = "x-gptx-trace";
+
+/// Retained finished-span capacity (older spans are evicted; the
+/// snapshot reports how many were dropped).
+const TRACE_CAPACITY: usize = 65_536;
+
+/// Head-based sampling granularity: rates are stored in 1/10_000ths.
+const SAMPLE_DENOM: u64 = 10_000;
+
+/// The identity a span propagates: which trace it belongs to and which
+/// span new children should parent under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanContext {
+    pub trace_id: u64,
+    pub span_id: u64,
+}
+
+impl SpanContext {
+    /// The `x-gptx-trace` header value for this context.
+    pub fn header_value(&self) -> String {
+        format!("{:016x}-{:016x}", self.trace_id, self.span_id)
+    }
+
+    /// Parse a header value produced by [`SpanContext::header_value`].
+    /// Returns `None` for anything malformed — propagation is best
+    /// effort, a bad header just starts a fresh server-local span.
+    pub fn parse(value: &str) -> Option<SpanContext> {
+        let (trace, span) = value.trim().split_once('-')?;
+        let trace_id = u64::from_str_radix(trace, 16).ok()?;
+        let span_id = u64::from_str_radix(span, 16).ok()?;
+        if trace_id == 0 || span_id == 0 {
+            return None;
+        }
+        Some(SpanContext { trace_id, span_id })
+    }
+}
+
+/// One finished span as retained in the ring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    pub trace_id: u64,
+    pub span_id: u64,
+    /// `None` for trace roots (and for spans whose parent lives in
+    /// another process *and* was never joined — in-process reproduction
+    /// shares one tracer, so chains stay connected).
+    pub parent_id: Option<u64>,
+    pub name: String,
+    /// Microseconds since the tracer was created.
+    pub start_us: u64,
+    pub dur_us: u64,
+    /// Key/value annotations (`conn=reused`, `attempts=3`, …).
+    pub attrs: Vec<(String, String)>,
+}
+
+#[derive(Debug)]
+struct TraceRing {
+    ring: VecDeque<TraceEvent>,
+    capacity: usize,
+    total: u64,
+}
+
+impl TraceRing {
+    fn push(&mut self, event: TraceEvent) {
+        self.total += 1;
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(event);
+    }
+}
+
+/// Mints trace/span IDs and collects finished spans. Thread through
+/// subsystems as an `Arc<Tracer>`, exactly like `MetricsRegistry`.
+#[derive(Debug)]
+pub struct Tracer {
+    enabled: bool,
+    epoch: Instant,
+    seed: u64,
+    next: AtomicU64,
+    sample_per_10k: u64,
+    ring: Mutex<TraceRing>,
+}
+
+impl Tracer {
+    fn build(enabled: bool, seed: u64) -> Tracer {
+        Tracer {
+            enabled,
+            epoch: Instant::now(),
+            seed,
+            next: AtomicU64::new(0),
+            sample_per_10k: SAMPLE_DENOM,
+            ring: Mutex::new(TraceRing {
+                ring: VecDeque::new(),
+                capacity: TRACE_CAPACITY,
+                total: 0,
+            }),
+        }
+    }
+
+    /// An enabled tracer whose ID stream is seeded by `seed` (pass the
+    /// run's deterministic seed so IDs are reproducible run-to-run).
+    pub fn new(seed: u64) -> Tracer {
+        Tracer::build(true, seed)
+    }
+
+    /// An enabled tracer behind an `Arc`, ready to thread through a
+    /// pipeline.
+    pub fn shared(seed: u64) -> Arc<Tracer> {
+        Arc::new(Tracer::new(seed))
+    }
+
+    /// A disabled tracer: every span operation is a no-op after one
+    /// branch.
+    pub fn disabled() -> Tracer {
+        Tracer::build(false, 0)
+    }
+
+    /// The process-wide disabled singleton — the default for every
+    /// component that was not handed a real tracer.
+    pub fn shared_disabled() -> Arc<Tracer> {
+        static DISABLED: OnceLock<Arc<Tracer>> = OnceLock::new();
+        Arc::clone(DISABLED.get_or_init(|| Arc::new(Tracer::disabled())))
+    }
+
+    /// Head-based sampling: keep roughly `rate` (0.0–1.0) of *traces*.
+    /// The decision is made once, at [`Tracer::start_trace`], from the
+    /// freshly minted trace ID — children of a kept trace are always
+    /// recorded, children of a dropped trace never are (they see a
+    /// detached parent and detach too).
+    pub fn with_sampling(mut self, rate: f64) -> Tracer {
+        self.sample_per_10k = ((rate.clamp(0.0, 1.0) * SAMPLE_DENOM as f64).round()) as u64;
+        self
+    }
+
+    /// Override the retained-span capacity (tests use tiny rings to
+    /// exercise eviction).
+    pub fn with_capacity(mut self, capacity: usize) -> Tracer {
+        self.ring.get_mut().expect("trace ring mutex").capacity = capacity.max(1);
+        self
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Microseconds since the tracer was created.
+    pub fn elapsed_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Next ID in the seeded splitmix64 stream (never 0 — 0 is the
+    /// "absent" wire value).
+    fn mint(&self) -> u64 {
+        let n = self.next.fetch_add(1, Ordering::Relaxed);
+        let id = splitmix64(
+            self.seed
+                .wrapping_add(n.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        );
+        if id == 0 {
+            1
+        } else {
+            id
+        }
+    }
+
+    /// Start a new trace root. Subject to head sampling: an unsampled
+    /// trace returns a detached span, and everything parented under it
+    /// detaches too.
+    pub fn start_trace(self: &Arc<Self>, name: &str) -> TraceSpan {
+        if !self.enabled {
+            return TraceSpan(None);
+        }
+        let trace_id = self.mint();
+        if trace_id % SAMPLE_DENOM >= self.sample_per_10k {
+            return TraceSpan(None);
+        }
+        self.open(name, trace_id, None)
+    }
+
+    /// Start a span as a child of `parent` (typically a local span's
+    /// [`TraceSpan::context`] or a parsed [`TRACE_HEADER`]).
+    pub fn start_span(self: &Arc<Self>, name: &str, parent: SpanContext) -> TraceSpan {
+        if !self.enabled {
+            return TraceSpan(None);
+        }
+        self.open(name, parent.trace_id, Some(parent.span_id))
+    }
+
+    /// Child of `parent` when present, fresh root otherwise — the
+    /// common shape at subsystem entry points (a crawler request under
+    /// the pipeline's crawl stage, or standing alone under `gptx
+    /// crawl`).
+    pub fn span_or_trace(self: &Arc<Self>, name: &str, parent: Option<SpanContext>) -> TraceSpan {
+        match parent {
+            Some(ctx) => self.start_span(name, ctx),
+            None => self.start_trace(name),
+        }
+    }
+
+    fn open(self: &Arc<Self>, name: &str, trace_id: u64, parent_id: Option<u64>) -> TraceSpan {
+        TraceSpan(Some(Box::new(SpanState {
+            tracer: Arc::clone(self),
+            ctx: SpanContext {
+                trace_id,
+                span_id: self.mint(),
+            },
+            parent_id,
+            name: name.to_string(),
+            start_us: self.elapsed_us(),
+            started: Instant::now(),
+            attrs: Vec::new(),
+        })))
+    }
+
+    fn record(&self, event: TraceEvent) {
+        self.ring.lock().expect("trace ring mutex").push(event);
+    }
+
+    /// A point-in-time snapshot of the retained spans (completion
+    /// order). Cheap enough for the `GET /trace` endpoint to call per
+    /// request.
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let guard = self.ring.lock().expect("trace ring mutex");
+        TraceSnapshot {
+            enabled: self.enabled,
+            elapsed_us: self.elapsed_us(),
+            events: guard.ring.iter().cloned().collect(),
+            total_spans: guard.total,
+            dropped: guard.total - guard.ring.len() as u64,
+        }
+    }
+}
+
+/// splitmix64: the standard 64-bit mix — one round is enough to turn a
+/// sequential counter into well-spread IDs.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[derive(Debug)]
+struct SpanState {
+    tracer: Arc<Tracer>,
+    ctx: SpanContext,
+    parent_id: Option<u64>,
+    name: String,
+    start_us: u64,
+    started: Instant,
+    attrs: Vec<(String, String)>,
+}
+
+/// A live span: records wall-clock from creation to drop into the
+/// tracer's ring. Detached spans (from a disabled or unsampled tracer)
+/// never read the clock; guard expensive attr formatting with
+/// [`TraceSpan::is_recording`].
+#[derive(Debug)]
+pub struct TraceSpan(Option<Box<SpanState>>);
+
+impl TraceSpan {
+    /// A span that records nothing — what disabled tracers hand out.
+    pub fn detached() -> TraceSpan {
+        TraceSpan(None)
+    }
+
+    pub fn is_recording(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// The context children (local or cross-process) should parent
+    /// under; `None` when detached.
+    pub fn context(&self) -> Option<SpanContext> {
+        self.0.as_ref().map(|s| s.ctx)
+    }
+
+    /// Attach a key/value annotation. Callers formatting non-trivial
+    /// values should branch on [`TraceSpan::is_recording`] first so the
+    /// detached path stays allocation-free.
+    pub fn attr(&mut self, key: &str, value: impl Into<String>) {
+        if let Some(state) = &mut self.0 {
+            state.attrs.push((key.to_string(), value.into()));
+        }
+    }
+
+    /// Start a child span (detached when this span is).
+    pub fn child(&self, name: &str) -> TraceSpan {
+        match &self.0 {
+            Some(state) => state.tracer.start_span(name, state.ctx),
+            None => TraceSpan(None),
+        }
+    }
+
+    /// End the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for TraceSpan {
+    fn drop(&mut self) {
+        if let Some(state) = self.0.take() {
+            let dur_us = state.started.elapsed().as_micros() as u64;
+            state.tracer.record(TraceEvent {
+                trace_id: state.ctx.trace_id,
+                span_id: state.ctx.span_id,
+                parent_id: state.parent_id,
+                name: state.name,
+                start_us: state.start_us,
+                dur_us,
+                attrs: state.attrs,
+            });
+        }
+    }
+}
+
+/// Everything a tracer knew at one instant.
+#[derive(Debug, Clone)]
+pub struct TraceSnapshot {
+    pub enabled: bool,
+    pub elapsed_us: u64,
+    /// Retained finished spans, completion order.
+    pub events: Vec<TraceEvent>,
+    /// Spans ever finished (≥ retained count).
+    pub total_spans: u64,
+    /// Spans the ring evicted.
+    pub dropped: u64,
+}
+
+impl TraceSnapshot {
+    /// Distinct trace IDs present, sorted.
+    pub fn trace_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.events.iter().map(|e| e.trace_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Chrome trace-event JSON (the `{"traceEvents": [...]}` envelope),
+    /// loadable in Perfetto or `chrome://tracing`. Each trace gets its
+    /// own `tid` lane (1-based, ordered by trace ID) and events within
+    /// a lane are emitted in start-time order, so timestamps are
+    /// monotone per lane.
+    pub fn to_chrome_json(&self) -> String {
+        let lanes: BTreeMap<u64, usize> = self
+            .trace_ids()
+            .into_iter()
+            .enumerate()
+            .map(|(i, id)| (id, i + 1))
+            .collect();
+        let mut ordered: Vec<&TraceEvent> = self.events.iter().collect();
+        ordered.sort_by_key(|e| (lanes[&e.trace_id], e.start_us, e.span_id));
+
+        let mut out = String::with_capacity(256 + 160 * ordered.len());
+        out.push_str("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [");
+        for (i, event) in ordered.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "{{\"ph\": \"X\", \"cat\": \"gptx\", \"pid\": 1, \"tid\": {}, \"ts\": {}, \
+                 \"dur\": {}, \"name\": {}, \"args\": {{",
+                lanes[&event.trace_id],
+                event.start_us,
+                event.dur_us,
+                json_string(&event.name),
+            ));
+            out.push_str(&format!(
+                "\"trace_id\": \"{:016x}\", \"span_id\": \"{:016x}\"",
+                event.trace_id, event.span_id
+            ));
+            if let Some(parent) = event.parent_id {
+                out.push_str(&format!(", \"parent_id\": \"{parent:016x}\""));
+            }
+            for (key, value) in &event.attrs {
+                out.push_str(&format!(", {}: {}", json_string(key), json_string(value)));
+            }
+            out.push_str("}}");
+        }
+        if !ordered.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// Indented text tree, one block per trace, children under parents
+    /// in start-time order. Spans whose parent was evicted from the
+    /// ring render as roots.
+    pub fn render_tree(&self) -> String {
+        let mut out = format!(
+            "# gptx trace snapshot (enabled={}, spans={}, dropped={})\n",
+            self.enabled,
+            self.events.len(),
+            self.dropped
+        );
+        let retained: BTreeMap<u64, &TraceEvent> =
+            self.events.iter().map(|e| (e.span_id, e)).collect();
+        for trace_id in self.trace_ids() {
+            let mut spans: Vec<&TraceEvent> = self
+                .events
+                .iter()
+                .filter(|e| e.trace_id == trace_id)
+                .collect();
+            spans.sort_by_key(|e| (e.start_us, e.span_id));
+            out.push_str(&format!("trace {trace_id:016x} ({} spans)\n", spans.len()));
+            let mut children: BTreeMap<u64, Vec<&TraceEvent>> = BTreeMap::new();
+            let mut roots: Vec<&TraceEvent> = Vec::new();
+            for span in &spans {
+                match span.parent_id.filter(|p| retained.contains_key(p)) {
+                    Some(parent) => children.entry(parent).or_default().push(span),
+                    None => roots.push(span),
+                }
+            }
+            for root in roots {
+                render_subtree(&mut out, root, &children, 1);
+            }
+        }
+        out
+    }
+}
+
+fn render_subtree(
+    out: &mut String,
+    span: &TraceEvent,
+    children: &BTreeMap<u64, Vec<&TraceEvent>>,
+    depth: usize,
+) {
+    out.push_str(&"  ".repeat(depth));
+    out.push_str(&format!("{} {}us", span.name, span.dur_us));
+    if !span.attrs.is_empty() {
+        let rendered: Vec<String> = span.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        out.push_str(&format!(" [{}]", rendered.join(" ")));
+    }
+    out.push('\n');
+    if let Some(kids) = children.get(&span.span_id) {
+        for kid in kids {
+            render_subtree(out, kid, children, depth + 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trips() {
+        let ctx = SpanContext {
+            trace_id: 0x0123_4567_89ab_cdef,
+            span_id: 0xfeed_f00d_dead_beef,
+        };
+        let value = ctx.header_value();
+        assert_eq!(value, "0123456789abcdef-feedf00ddeadbeef");
+        assert_eq!(SpanContext::parse(&value), Some(ctx));
+        assert_eq!(SpanContext::parse("junk"), None);
+        assert_eq!(SpanContext::parse("12-"), None);
+        assert_eq!(SpanContext::parse(&format!("{:016x}-{:016x}", 0, 5)), None);
+    }
+
+    #[test]
+    fn spans_record_parent_child_links() {
+        let tracer = Tracer::shared(42);
+        let mut root = tracer.start_trace("pipeline.run");
+        root.attr("scale", "tiny");
+        let root_ctx = root.context().unwrap();
+        {
+            let stage = tracer.start_span("stage.crawl", root_ctx);
+            let _leaf = stage.child("crawler.request.gizmo");
+        }
+        root.finish();
+        let snap = tracer.snapshot();
+        assert_eq!(snap.events.len(), 3);
+        assert_eq!(snap.total_spans, 3);
+        let by_name: BTreeMap<&str, &TraceEvent> =
+            snap.events.iter().map(|e| (e.name.as_str(), e)).collect();
+        let root_ev = by_name["pipeline.run"];
+        let stage_ev = by_name["stage.crawl"];
+        let leaf_ev = by_name["crawler.request.gizmo"];
+        assert_eq!(root_ev.parent_id, None);
+        assert_eq!(root_ev.attrs, vec![("scale".into(), "tiny".into())]);
+        assert_eq!(stage_ev.parent_id, Some(root_ev.span_id));
+        assert_eq!(leaf_ev.parent_id, Some(stage_ev.span_id));
+        assert!(snap.events.iter().all(|e| e.trace_id == root_ev.trace_id));
+    }
+
+    #[test]
+    fn seeded_id_stream_is_deterministic() {
+        let a = Tracer::shared(7);
+        let b = Tracer::shared(7);
+        let c = Tracer::shared(8);
+        let ids = |t: &Arc<Tracer>| {
+            (0..8)
+                .map(|i| {
+                    t.start_trace(&format!("s{i}"))
+                        .context()
+                        .map(|c| c.trace_id)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(ids(&a), ids(&b));
+        assert_ne!(ids(&a), ids(&c));
+    }
+
+    #[test]
+    fn disabled_tracer_hands_out_detached_spans() {
+        let tracer = Arc::new(Tracer::disabled());
+        let mut span = tracer.start_trace("anything");
+        assert!(!span.is_recording());
+        assert_eq!(span.context(), None);
+        span.attr("k", "v");
+        assert!(!span.child("kid").is_recording());
+        span.finish();
+        let snap = tracer.snapshot();
+        assert!(!snap.enabled);
+        assert!(snap.events.is_empty());
+        assert_eq!(snap.total_spans, 0);
+    }
+
+    #[test]
+    fn shared_disabled_is_a_singleton() {
+        assert!(Arc::ptr_eq(
+            &Tracer::shared_disabled(),
+            &Tracer::shared_disabled()
+        ));
+    }
+
+    #[test]
+    fn head_sampling_drops_whole_traces() {
+        let tracer = Arc::new(Tracer::new(3).with_sampling(0.0));
+        let root = tracer.start_trace("dropped");
+        assert!(!root.is_recording());
+        assert!(!root.child("kid").is_recording());
+        drop(root);
+        assert_eq!(tracer.snapshot().total_spans, 0);
+
+        let keep_all = Arc::new(Tracer::new(3).with_sampling(1.0));
+        assert!(keep_all.start_trace("kept").is_recording());
+
+        // Roughly half the traces survive a 0.5 rate.
+        let half = Arc::new(Tracer::new(11).with_sampling(0.5));
+        let kept = (0..200)
+            .filter(|_| half.start_trace("t").is_recording())
+            .count();
+        assert!((40..=160).contains(&kept), "kept {kept}/200");
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let tracer = Arc::new(Tracer::new(1).with_capacity(2));
+        for i in 0..5 {
+            tracer.start_trace(&format!("span {i}")).finish();
+        }
+        let snap = tracer.snapshot();
+        assert_eq!(snap.events.len(), 2);
+        assert_eq!(snap.total_spans, 5);
+        assert_eq!(snap.dropped, 3);
+        assert_eq!(snap.events[1].name, "span 4");
+    }
+
+    #[test]
+    fn chrome_export_assigns_lanes_and_monotone_timestamps() {
+        let tracer = Tracer::shared(9);
+        for _ in 0..2 {
+            let root = tracer.start_trace("req");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            root.child("inner").finish();
+        }
+        let json = tracer.snapshot().to_chrome_json();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\": \"X\""));
+        assert!(json.contains("\"tid\": 1"));
+        assert!(json.contains("\"tid\": 2"));
+        assert!(json.contains("\"parent_id\""));
+        crate::chrome::validate_chrome_trace(&json).expect("structurally valid");
+    }
+
+    #[test]
+    fn tree_render_indents_children_under_parents() {
+        let tracer = Tracer::shared(5);
+        let root = tracer.start_trace("pipeline.run");
+        let mut stage = root.child("stage.crawl");
+        stage.attr("weeks", "12");
+        stage.finish();
+        root.finish();
+        let tree = tracer.snapshot().render_tree();
+        assert!(tree.contains("trace "));
+        assert!(tree.contains("\n  pipeline.run "));
+        assert!(tree.contains("\n    stage.crawl "));
+        assert!(tree.contains("[weeks=12]"));
+    }
+
+    #[test]
+    fn cross_process_shape_joins_via_header() {
+        // Client and server share one tracer in-process; the header is
+        // still the only thing that crosses the "boundary".
+        let tracer = Tracer::shared(1234);
+        let client_span = tracer.start_trace("http.request");
+        let header = client_span.context().unwrap().header_value();
+        let remote = SpanContext::parse(&header).unwrap();
+        tracer.start_span("server.request", remote).finish();
+        client_span.finish();
+        let snap = tracer.snapshot();
+        let server = snap
+            .events
+            .iter()
+            .find(|e| e.name == "server.request")
+            .unwrap();
+        let client = snap
+            .events
+            .iter()
+            .find(|e| e.name == "http.request")
+            .unwrap();
+        assert_eq!(server.parent_id, Some(client.span_id));
+        assert_eq!(server.trace_id, client.trace_id);
+    }
+}

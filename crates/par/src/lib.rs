@@ -17,9 +17,9 @@
 //! `AtomicUsize::fetch_add`, compute each chunk into a private `Vec`,
 //! and the chunks are reassembled in index order after the scope joins.
 
-use gptx_obs::MetricsRegistry;
+use gptx_obs::{MetricsRegistry, SpanContext, TraceSpan, Tracer};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Workers claim chunks of roughly `len / (workers * CHUNKS_PER_WORKER)`
@@ -51,7 +51,7 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    run_pool(threads, items, None, f)
+    run_pool(threads, items, None, None, f)
 }
 
 /// [`par_map`] with pool instrumentation: per-worker task counts, steal
@@ -72,7 +72,7 @@ where
     F: Fn(&T) -> R + Sync,
 {
     let obs = metrics.enabled().then_some(PoolObs { metrics, label });
-    run_pool(threads, items, obs, |_, item| f(item))
+    run_pool(threads, items, obs, None, |_, item| f(item))
 }
 
 /// Fallible [`par_map_metered`]: instrumentation of `par_map_metered`,
@@ -95,10 +95,78 @@ where
         .collect()
 }
 
+/// [`par_map_metered`] with worker tracing: each pool worker records a
+/// `par.<label>.worker` span under `parent` (typically the calling
+/// pipeline stage's span), annotated with its task/chunk/steal counts.
+/// `parent: None` means the caller's span was sampled out or tracing is
+/// off — no spans are created and the run is identical to
+/// [`par_map_metered`].
+pub fn par_map_traced<T, R, F>(
+    threads: usize,
+    items: &[T],
+    metrics: &MetricsRegistry,
+    label: &str,
+    tracer: &Arc<Tracer>,
+    parent: Option<SpanContext>,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let obs = metrics.enabled().then_some(PoolObs { metrics, label });
+    let trace = match (tracer.enabled(), parent) {
+        (true, Some(parent)) => Some(PoolTrace {
+            tracer,
+            parent,
+            label,
+        }),
+        _ => None,
+    };
+    run_pool(threads, items, obs, trace, |_, item| f(item))
+}
+
+/// Fallible [`par_map_traced`], error semantics of [`par_try_map`].
+pub fn par_try_map_traced<T, R, E, F>(
+    threads: usize,
+    items: &[T],
+    metrics: &MetricsRegistry,
+    label: &str,
+    tracer: &Arc<Tracer>,
+    parent: Option<SpanContext>,
+    f: F,
+) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(&T) -> Result<R, E> + Sync,
+{
+    par_map_traced(threads, items, metrics, label, tracer, parent, &f)
+        .into_iter()
+        .collect()
+}
+
 /// Instrumentation target for one pool run.
 struct PoolObs<'a> {
     metrics: &'a MetricsRegistry,
     label: &'a str,
+}
+
+/// Tracing target for one pool run: worker spans parent under the
+/// caller's span.
+struct PoolTrace<'a> {
+    tracer: &'a Arc<Tracer>,
+    parent: SpanContext,
+    label: &'a str,
+}
+
+impl PoolTrace<'_> {
+    fn worker_span(&self) -> TraceSpan {
+        self.tracer
+            .start_span(&format!("par.{}.worker", self.label), self.parent)
+    }
 }
 
 /// What one worker did during a pool run, recorded locally (no shared
@@ -109,17 +177,32 @@ struct WorkerStats {
     busy_us: u64,
 }
 
-/// The shared pool body. `obs: None` is the zero-overhead path every
-/// unmetered entry point takes — no clocks, no per-worker accounting.
-fn run_pool<T, R, F>(threads: usize, items: &[T], obs: Option<PoolObs<'_>>, f: F) -> Vec<R>
+/// The shared pool body. `obs: None` and `trace: None` are the
+/// zero-overhead paths every unmetered entry point takes — no clocks,
+/// no per-worker accounting, no spans.
+fn run_pool<T, R, F>(
+    threads: usize,
+    items: &[T],
+    obs: Option<PoolObs<'_>>,
+    trace: Option<PoolTrace<'_>>,
+    f: F,
+) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
     if threads <= 1 || items.len() <= 1 {
+        let mut wspan = trace
+            .as_ref()
+            .map_or_else(TraceSpan::detached, PoolTrace::worker_span);
         let started = obs.as_ref().map(|_| Instant::now());
         let out: Vec<R> = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        if wspan.is_recording() {
+            wspan.attr("tasks", items.len().to_string());
+            wspan.attr("chunks", "1");
+            wspan.attr("steals", "0");
+        }
         if let (Some(obs), Some(started)) = (&obs, started) {
             let busy_us = started.elapsed().as_micros() as u64;
             record_pool_run(
@@ -148,6 +231,10 @@ where
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
+                let mut wspan = trace
+                    .as_ref()
+                    .map_or_else(TraceSpan::detached, PoolTrace::worker_span);
+                let counting = metered || wspan.is_recording();
                 let mut stats = WorkerStats {
                     tasks: 0,
                     chunks: 0,
@@ -163,6 +250,8 @@ where
                     let out: Vec<R> = (start..end).map(|i| f(i, &items[i])).collect();
                     if let Some(chunk_start) = chunk_start {
                         stats.busy_us += chunk_start.elapsed().as_micros() as u64;
+                    }
+                    if counting {
                         stats.tasks += (end - start) as u64;
                         stats.chunks += 1;
                     }
@@ -171,6 +260,12 @@ where
                         .expect("par_map results mutex")
                         .push((start, out));
                 }
+                if wspan.is_recording() {
+                    wspan.attr("tasks", stats.tasks.to_string());
+                    wspan.attr("chunks", stats.chunks.to_string());
+                    wspan.attr("steals", stats.chunks.saturating_sub(1).to_string());
+                }
+                drop(wspan);
                 if metered && stats.chunks > 0 {
                     worker_stats
                         .lock()
@@ -247,6 +342,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gptx_obs::TraceEvent;
     use std::sync::atomic::AtomicUsize;
 
     #[test]
@@ -372,6 +468,58 @@ mod tests {
         .unwrap_err();
         assert_eq!(err, 9);
         assert_eq!(metrics.snapshot().counters["par.t.items"], 80);
+    }
+
+    #[test]
+    fn traced_map_records_worker_spans_with_steal_attribution() {
+        let tracer = Tracer::shared(17);
+        let root = tracer.start_trace("stage");
+        let metrics = MetricsRegistry::disabled();
+        let items: Vec<usize> = (0..300).collect();
+        let out = par_map_traced(
+            4,
+            &items,
+            &metrics,
+            "classify",
+            &tracer,
+            root.context(),
+            |&x| x + 1,
+        );
+        assert_eq!(out, (1..=300).collect::<Vec<_>>());
+        let root_ctx = root.context().unwrap();
+        root.finish();
+        let snap = tracer.snapshot();
+        let workers: Vec<_> = snap
+            .events
+            .iter()
+            .filter(|e| e.name == "par.classify.worker")
+            .collect();
+        assert_eq!(workers.len(), 4, "one span per pool worker");
+        assert!(workers
+            .iter()
+            .all(|w| w.parent_id == Some(root_ctx.span_id)));
+        let attr = |e: &TraceEvent, key: &str| {
+            e.attrs
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.parse::<u64>().unwrap())
+                .unwrap()
+        };
+        let tasks: u64 = workers.iter().map(|w| attr(w, "tasks")).sum();
+        assert_eq!(tasks, 300, "worker spans account for every item");
+        assert!(workers
+            .iter()
+            .all(|w| attr(w, "steals") == attr(w, "chunks").saturating_sub(1)));
+    }
+
+    #[test]
+    fn detached_parent_disables_pool_tracing() {
+        let tracer = Tracer::shared(18);
+        let metrics = MetricsRegistry::disabled();
+        let items: Vec<usize> = (0..50).collect();
+        let out = par_map_traced(4, &items, &metrics, "t", &tracer, None, |&x| x);
+        assert_eq!(out, items);
+        assert_eq!(tracer.snapshot().total_spans, 0);
     }
 
     #[test]

@@ -8,7 +8,9 @@
 pub mod chart;
 pub mod metrics;
 pub mod table;
+pub mod trace;
 
 pub use chart::{bar_chart, cdf_plot, heatmap, scatter_plot};
 pub use metrics::{fmt_us, histogram_table, metrics_report};
 pub use table::{num, pct, Align, Table};
+pub use trace::trace_report;

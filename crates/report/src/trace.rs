@@ -1,0 +1,185 @@
+//! Terminal rendering of a [`TraceSnapshot`] — the `--trace` summary
+//! view.
+//!
+//! Two questions a trace dump should answer before anyone opens
+//! Perfetto: *where did the run spend its time* (the per-stage critical
+//! path against the `pipeline.run` root) and *which requests hurt*
+//! (the slowest crawler request chains, each rendered as the
+//! client→server causal path the propagation header stitched together).
+
+use crate::metrics::fmt_us;
+use crate::table::{Align, Table};
+use gptx_obs::{TraceEvent, TraceSnapshot};
+use std::collections::BTreeMap;
+
+/// How many of the slowest request chains to print.
+const CHAIN_LIMIT: usize = 10;
+
+/// Render a trace summary: header, per-stage critical path, and the
+/// top slowest request chains.
+pub fn trace_report(snapshot: &TraceSnapshot) -> String {
+    let mut out = format!(
+        "Trace ({} spans retained, {} traces, {} evicted{})\n\n",
+        snapshot.events.len(),
+        snapshot.trace_ids().len(),
+        snapshot.dropped,
+        if snapshot.enabled {
+            ""
+        } else {
+            ", collection disabled"
+        },
+    );
+    if snapshot.events.is_empty() {
+        out.push_str("No spans recorded.\n");
+        return out;
+    }
+    out.push_str(&stage_table(snapshot).to_ascii());
+    let chains = slowest_request_chains(snapshot);
+    if !chains.is_empty() {
+        out.push_str(&format!(
+            "\nSlowest request chains (top {}):\n",
+            chains.len()
+        ));
+        for chain in chains {
+            out.push_str(&format!("  {chain}\n"));
+        }
+    }
+    out
+}
+
+/// The per-stage critical path: every `pipeline.*` / `stage.*` span,
+/// with its share of the enclosing `pipeline.run` root when one was
+/// retained. Stages from repeated runs aggregate by name.
+fn stage_table(snapshot: &TraceSnapshot) -> Table {
+    let run_total: u64 = snapshot
+        .events
+        .iter()
+        .filter(|e| e.name == "pipeline.run")
+        .map(|e| e.dur_us)
+        .sum();
+    let mut stages: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+    for event in &snapshot.events {
+        if event.name.starts_with("stage.") || event.name.starts_with("pipeline.") {
+            let entry = stages.entry(event.name.as_str()).or_insert((0, 0));
+            entry.0 += 1;
+            entry.1 += event.dur_us;
+        }
+    }
+    let mut table = Table::new(vec!["Span", "count", "total", "% of run"])
+        .with_title("Per-stage critical path")
+        .with_aligns(vec![Align::Left, Align::Right, Align::Right, Align::Right]);
+    for (name, (count, total)) in stages {
+        let share = if run_total > 0 {
+            format!("{:.1}%", 100.0 * total as f64 / run_total as f64)
+        } else {
+            "-".to_string()
+        };
+        table.row(vec![
+            name.to_string(),
+            count.to_string(),
+            fmt_us(total),
+            share,
+        ]);
+    }
+    table
+}
+
+/// The slowest `crawler.request.*` spans, each rendered as its
+/// critical-path chain: at every level the longest child is followed,
+/// so a line reads `crawler.request.gizmo 12.3ms → http.request 11.9ms
+/// → server.request 11.0ms → store.route 10.2ms`.
+fn slowest_request_chains(snapshot: &TraceSnapshot) -> Vec<String> {
+    let mut children: BTreeMap<u64, Vec<&TraceEvent>> = BTreeMap::new();
+    for event in &snapshot.events {
+        if let Some(parent) = event.parent_id {
+            children.entry(parent).or_default().push(event);
+        }
+    }
+    let mut requests: Vec<&TraceEvent> = snapshot
+        .events
+        .iter()
+        .filter(|e| e.name.starts_with("crawler.request."))
+        .collect();
+    requests.sort_by_key(|e| (std::cmp::Reverse(e.dur_us), e.span_id));
+    requests
+        .into_iter()
+        .take(CHAIN_LIMIT)
+        .map(|request| {
+            let mut line = format!("{} {}", request.name, fmt_us(request.dur_us));
+            if let Some(url) = attr(request, "url") {
+                line.push_str(&format!(" [{url}]"));
+            }
+            let mut cursor = request;
+            while let Some(next) = children
+                .get(&cursor.span_id)
+                .and_then(|kids| kids.iter().max_by_key(|k| (k.dur_us, k.span_id)))
+            {
+                line.push_str(&format!(" → {} {}", next.name, fmt_us(next.dur_us)));
+                cursor = next;
+            }
+            line
+        })
+        .collect()
+}
+
+fn attr<'s>(event: &'s TraceEvent, key: &str) -> Option<&'s str> {
+    event
+        .attrs
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gptx_obs::Tracer;
+
+    #[test]
+    fn report_lists_stages_and_chains() {
+        let tracer = Tracer::shared(21);
+        let root = tracer.start_trace("pipeline.run");
+        let stage = root.child("stage.crawl");
+        let mut req = stage.child("crawler.request.gizmo");
+        req.attr("url", "http://store/gizmo/1");
+        let http = req.child("http.request");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        http.child("server.request").finish();
+        http.finish();
+        req.finish();
+        stage.finish();
+        root.finish();
+
+        let report = trace_report(&tracer.snapshot());
+        assert!(report.contains("Per-stage critical path"));
+        assert!(report.contains("pipeline.run"));
+        assert!(report.contains("stage.crawl"));
+        assert!(report.contains("% of run"));
+        assert!(report.contains("Slowest request chains"));
+        assert!(report.contains("crawler.request.gizmo"));
+        assert!(report.contains("[http://store/gizmo/1]"));
+        // The chain follows the longest child path down to the server.
+        assert!(report.contains("→ http.request"));
+        assert!(report.contains("→ server.request"));
+    }
+
+    #[test]
+    fn chains_are_capped_and_sorted_slowest_first() {
+        let tracer = Tracer::shared(22);
+        for i in 0..15 {
+            let mut span = tracer.start_trace("crawler.request.gizmo");
+            span.attr("url", format!("http://store/gizmo/{i}"));
+            span.finish();
+        }
+        let report = trace_report(&tracer.snapshot());
+        assert_eq!(report.matches("crawler.request.gizmo").count(), 10);
+        assert!(report.contains("(top 10)"));
+    }
+
+    #[test]
+    fn empty_snapshot_has_a_friendly_report() {
+        let report = trace_report(&Tracer::shared_disabled().snapshot());
+        assert!(report.contains("No spans recorded."));
+        assert!(report.contains("collection disabled"));
+    }
+}

@@ -20,7 +20,7 @@
 
 use crate::http::{configure_stream, HttpError, Request, Response};
 use gptx_model::url::Url;
-use gptx_obs::MetricsRegistry;
+use gptx_obs::{MetricsRegistry, SpanContext, TraceSpan, Tracer, TRACE_HEADER};
 use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpStream};
@@ -101,6 +101,7 @@ pub struct HttpClient {
     upstream: SocketAddr,
     connect_timeout: Duration,
     metrics: Arc<MetricsRegistry>,
+    tracer: Arc<Tracer>,
     pool: Arc<Pool>,
     max_idle: usize,
 }
@@ -113,6 +114,7 @@ impl HttpClient {
             upstream,
             connect_timeout: Duration::from_secs(5),
             metrics: MetricsRegistry::shared_disabled(),
+            tracer: Tracer::shared_disabled(),
             pool: Arc::new(Pool::default()),
             max_idle: DEFAULT_POOL_SIZE,
         }
@@ -143,19 +145,77 @@ impl HttpClient {
         self
     }
 
+    /// Attach a tracer: every request becomes an `http.request` span
+    /// (a child of the caller's span when one is passed to
+    /// [`HttpClient::get_traced`], a fresh trace root otherwise), and
+    /// the span's context rides the [`TRACE_HEADER`] header so the
+    /// server can parent its own spans under it.
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> HttpClient {
+        self.tracer = tracer;
+        self
+    }
+
     /// GET a URL (any scheme/host; resolved to the upstream address).
+    /// With a tracer attached, each call roots its own `http.request`
+    /// trace (subject to head sampling).
     pub fn get(&self, url: &str) -> Result<Response, ClientError> {
         let parsed = Url::parse(url).map_err(|e| ClientError::BadUrl(format!("{url}: {e}")))?;
         let request = Request::get(parsed.host(), &parsed.path_and_query());
         self.send(request)
     }
 
+    /// GET a URL with the request span parented under `parent` (see
+    /// [`HttpClient::send_traced`]).
+    pub fn get_traced(
+        &self,
+        url: &str,
+        parent: Option<SpanContext>,
+    ) -> Result<Response, ClientError> {
+        let parsed = Url::parse(url).map_err(|e| ClientError::BadUrl(format!("{url}: {e}")))?;
+        let request = Request::get(parsed.host(), &parsed.path_and_query());
+        self.send_traced(request, parent)
+    }
+
     /// Send an arbitrary request. `http.client.requests` counts one per
     /// call — a transparent retry on a dead pooled connection is part of
     /// the same logical request, visible only as `conn_retries`.
     pub fn send(&self, request: Request) -> Result<Response, ClientError> {
+        let span = self.tracer.span_or_trace("http.request", None);
+        self.send_spanned(request, span)
+    }
+
+    /// [`HttpClient::send`] for tracing-aware callers: the request span
+    /// parents under `parent`, and `parent: None` means the caller's
+    /// own span was sampled out — no span is created at all, so one
+    /// head-sampling decision governs the whole chain.
+    pub fn send_traced(
+        &self,
+        request: Request,
+        parent: Option<SpanContext>,
+    ) -> Result<Response, ClientError> {
+        let span = match parent {
+            Some(ctx) => self.tracer.start_span("http.request", ctx),
+            None => TraceSpan::detached(),
+        };
+        self.send_spanned(request, span)
+    }
+
+    /// The shared send path. The span context (when recording) is
+    /// injected as the [`TRACE_HEADER`] header before the request
+    /// leaves the process, so the server can join the trace.
+    fn send_spanned(
+        &self,
+        mut request: Request,
+        mut span: TraceSpan,
+    ) -> Result<Response, ClientError> {
+        if let Some(ctx) = span.context() {
+            span.attr("path", request.target.as_str());
+            request
+                .headers
+                .insert(TRACE_HEADER.to_string(), ctx.header_value());
+        }
         let started = self.metrics.enabled().then(Instant::now);
-        let result = self.send_inner(request);
+        let result = self.send_inner(request, &mut span);
         if let Some(started) = started {
             self.metrics.incr("http.client.requests");
             self.metrics.observe_us(
@@ -166,16 +226,27 @@ impl HttpClient {
                 self.metrics.incr("http.client.errors");
             }
         }
+        if span.is_recording() {
+            match &result {
+                Ok(response) => span.attr("status", response.status.to_string()),
+                Err(e) => span.attr("error", e.to_string()),
+            }
+        }
         result
     }
 
-    fn send_inner(&self, mut request: Request) -> Result<Response, ClientError> {
+    fn send_inner(
+        &self,
+        mut request: Request,
+        span: &mut TraceSpan,
+    ) -> Result<Response, ClientError> {
         if self.max_idle == 0 {
             request
                 .headers
                 .entry("connection".to_string())
                 .or_insert_with(|| "close".to_string());
             let mut conn = self.open()?;
+            span.attr("conn", "opened");
             return Ok(self.exchange(&mut conn, &request)?);
         }
         request
@@ -186,6 +257,7 @@ impl HttpClient {
             if self.metrics.enabled() {
                 self.metrics.incr("http.client.conn_reused");
             }
+            span.attr("conn", "reused");
             match self.exchange(&mut conn, &request) {
                 Ok(response) => {
                     self.maybe_checkin(conn, &request, &response);
@@ -199,10 +271,12 @@ impl HttpClient {
                     if self.metrics.enabled() {
                         self.metrics.incr("http.client.conn_retries");
                     }
+                    span.attr("conn_retry", "stale-pooled-socket");
                 }
             }
         }
         let mut conn = self.open()?;
+        span.attr("conn", "opened");
         let response = self.exchange(&mut conn, &request)?;
         self.maybe_checkin(conn, &request, &response);
         Ok(response)

@@ -17,7 +17,7 @@
 
 use crate::http::{Request, Response};
 use crate::server::{serve_with, Router, ServerConfig, ServerHandle, FAULT_DISCONNECT_HEADER};
-use gptx_obs::MetricsRegistry;
+use gptx_obs::{MetricsRegistry, SpanContext, TraceSpan, Tracer, TRACE_HEADER};
 use gptx_synth::{Ecosystem, PolicyKind, STORES};
 use std::collections::HashMap;
 use std::net::SocketAddr;
@@ -97,6 +97,10 @@ struct EcosystemRouter {
     policy_urls: HashMap<String, String>,
     /// Per-route hit and fault counters; also serves `/metrics`.
     metrics: Arc<MetricsRegistry>,
+    /// `store.route` spans (parented under the connection loop's
+    /// `server.request` span via the re-stamped [`TRACE_HEADER`]); also
+    /// serves `/trace`.
+    tracer: Arc<Tracer>,
 }
 
 impl EcosystemRouter {
@@ -105,6 +109,7 @@ impl EcosystemRouter {
         week: Arc<AtomicUsize>,
         faults: FaultConfig,
         metrics: Arc<MetricsRegistry>,
+        tracer: Arc<Tracer>,
     ) -> EcosystemRouter {
         let store_hosts = STORES
             .iter()
@@ -132,6 +137,7 @@ impl EcosystemRouter {
             api_hosts,
             policy_urls,
             metrics,
+            tracer,
         }
     }
 
@@ -283,11 +289,33 @@ impl Router for EcosystemRouter {
             self.metrics.incr("store.route.metrics");
             return Response::ok_text(self.metrics.snapshot().render_text());
         }
+        // Likewise the trace endpoint: the server-side span ring as
+        // Chrome trace-event JSON, on every virtual host.
+        if request.path() == "/trace" {
+            self.metrics.incr("store.route.trace");
+            return Response::ok_json(self.tracer.snapshot().to_chrome_json());
+        }
+        // The connection loop re-stamped the propagation header with
+        // its own `server.request` span, so this nests one level under
+        // it — and two under the client's `http.request` span.
+        let mut tspan = if self.tracer.enabled() {
+            request
+                .headers
+                .get(TRACE_HEADER)
+                .map(String::as_str)
+                .and_then(SpanContext::parse)
+                .map(|parent| self.tracer.start_span("store.route", parent))
+                .unwrap_or_else(TraceSpan::detached)
+        } else {
+            TraceSpan::detached()
+        };
         // Latency injection.
         if self.faults.response_delay_ms > 0 {
+            let delay = tspan.child("store.fault.delay");
             std::thread::sleep(std::time::Duration::from_millis(
                 self.faults.response_delay_ms,
             ));
+            delay.finish();
             self.metrics.add(
                 "store.fault.delay_sleep_us",
                 self.faults.response_delay_ms * 1_000,
@@ -298,6 +326,7 @@ impl Router for EcosystemRouter {
             let c = self.request_counter.fetch_add(1, Ordering::Relaxed);
             if n > 0 && c % n == n - 1 {
                 self.metrics.incr("store.fault.transient_503");
+                tspan.attr("fault", "transient_503");
                 return Response::new(503, "text/plain", "try again");
             }
         }
@@ -305,6 +334,13 @@ impl Router for EcosystemRouter {
         let span = self.metrics.span("store.route_us");
         let (response, label) = self.dispatch(request);
         span.finish();
+        if tspan.is_recording() {
+            tspan.attr("route", label);
+            tspan.attr("status", response.status.to_string());
+            if response.headers.contains_key(FAULT_DISCONNECT_HEADER) {
+                tspan.attr("fault", "disconnect");
+            }
+        }
         if self.metrics.enabled() {
             self.metrics.add(&format!("store.route.{label}"), 1);
             if !response.is_success() {
@@ -369,7 +405,13 @@ impl EcosystemHandle {
     ) -> std::io::Result<EcosystemHandle> {
         let metrics = Arc::clone(&config.metrics);
         let week = Arc::new(AtomicUsize::new(0));
-        let router = EcosystemRouter::new(eco, Arc::clone(&week), faults, Arc::clone(&metrics));
+        let router = EcosystemRouter::new(
+            eco,
+            Arc::clone(&week),
+            faults,
+            Arc::clone(&metrics),
+            Arc::clone(&config.tracer),
+        );
         let server = serve_with(router, config)?;
         Ok(EcosystemHandle {
             server,
@@ -624,5 +666,57 @@ mod tests {
         let resp = client.get("https://unknown.example/whatever").unwrap();
         assert_eq!(resp.status, 404);
         handle.shutdown();
+    }
+
+    #[test]
+    fn propagated_trace_forms_one_connected_chain() {
+        use gptx_obs::TraceEvent;
+        use std::collections::HashMap;
+
+        let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(7)));
+        let tracer = Tracer::shared(99);
+        let handle = EcosystemHandle::start_with_config(
+            Arc::clone(&eco),
+            FaultConfig::none(),
+            ServerConfig::default().with_tracer(Arc::clone(&tracer)),
+        )
+        .unwrap();
+        let client = HttpClient::new(handle.addr()).with_tracer(Arc::clone(&tracer));
+        let id = eco.weeks[0].snapshot.gpts.keys().next().unwrap().clone();
+        client
+            .get(&format!("https://chat.openai.com/backend-api/gizmos/{id}"))
+            .unwrap();
+
+        // The /trace endpoint serves structurally valid Chrome JSON on
+        // any virtual host (by now the first request's spans are all
+        // recorded — the connection thread handles requests serially).
+        let trace_json = client.get("https://chat.openai.com/trace").unwrap();
+        assert!(trace_json.is_success());
+        gptx_obs::validate_chrome_trace(&trace_json.text()).expect("valid chrome trace");
+
+        handle.shutdown();
+        let snap = tracer.snapshot();
+        let by_id: HashMap<u64, &TraceEvent> = snap.events.iter().map(|e| (e.span_id, e)).collect();
+        // Walk parent links from the server's route span back to the
+        // client request span: route → server.request → http.request.
+        let route = snap
+            .events
+            .iter()
+            .find(|e| e.name == "store.route")
+            .expect("route span recorded");
+        assert!(route
+            .attrs
+            .contains(&("route".to_string(), "gizmo".to_string())));
+        let server = by_id[&route.parent_id.expect("route span has a parent")];
+        assert_eq!(server.name, "server.request");
+        let request = by_id[&server.parent_id.expect("server span has a parent")];
+        assert_eq!(request.name, "http.request");
+        assert_eq!(request.parent_id, None, "client span is the trace root");
+        assert!(
+            [route, server, request]
+                .iter()
+                .all(|e| e.trace_id == request.trace_id),
+            "one trace spans both processes"
+        );
     }
 }

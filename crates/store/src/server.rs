@@ -11,7 +11,7 @@
 //! listener with a loopback connect so `accept` wakes up.
 
 use crate::http::{configure_stream, HttpError, Request, Response};
-use gptx_obs::MetricsRegistry;
+use gptx_obs::{MetricsRegistry, SpanContext, TraceSpan, Tracer, TRACE_HEADER};
 use std::io::BufReader;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -53,6 +53,11 @@ pub struct ServerConfig {
     /// Registry for `store.conn_requests` (requests served per
     /// connection, observed at connection close).
     pub metrics: Arc<MetricsRegistry>,
+    /// Tracer for `server.request` spans. A request carrying the
+    /// [`TRACE_HEADER`] header gets a span parented under the caller's
+    /// span (and the router sees the server span's context in the same
+    /// header), so one crawl renders as a single client→server chain.
+    pub tracer: Arc<Tracer>,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +66,7 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(5),
             max_requests_per_conn: 1000,
             metrics: MetricsRegistry::shared_disabled(),
+            tracer: Tracer::shared_disabled(),
         }
     }
 }
@@ -69,6 +75,12 @@ impl ServerConfig {
     /// Attach a metrics registry.
     pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> ServerConfig {
         self.metrics = metrics;
+        self
+    }
+
+    /// Attach a tracer.
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> ServerConfig {
+        self.tracer = tracer;
         self
     }
 }
@@ -214,7 +226,7 @@ fn handle_connection(
     let mut stream = stream;
     let mut served = 0u64;
     loop {
-        let request = match Request::read_from(&mut reader) {
+        let mut request = match Request::read_from(&mut reader) {
             Ok(request) => request,
             // Clean close between requests, idle timeout, or a client
             // that vanished: nothing left to answer.
@@ -233,6 +245,28 @@ fn handle_connection(
         }
         count.fetch_add(1, Ordering::Relaxed);
         served += 1;
+        // Join the caller's trace: a propagated context parents this
+        // request's server span, and the router sees the server span's
+        // context in the same header so its spans nest deeper still.
+        // The span opens after the keep-alive idle wait (read) so idle
+        // time is never attributed to a request.
+        let mut span = if config.tracer.enabled() {
+            request
+                .headers
+                .get(TRACE_HEADER)
+                .map(String::as_str)
+                .and_then(SpanContext::parse)
+                .map(|remote| config.tracer.start_span("server.request", remote))
+                .unwrap_or_else(TraceSpan::detached)
+        } else {
+            TraceSpan::detached()
+        };
+        if let Some(ctx) = span.context() {
+            span.attr("conn_request", served.to_string());
+            request
+                .headers
+                .insert(TRACE_HEADER.to_string(), ctx.header_value());
+        }
         let mut response = router.route(&request);
         let keep_alive = !request.wants_close()
             && served < config.max_requests_per_conn
@@ -241,13 +275,21 @@ fn handle_connection(
             "connection".to_string(),
             if keep_alive { "keep-alive" } else { "close" }.to_string(),
         );
+        if span.is_recording() {
+            span.attr("status", response.status.to_string());
+            span.attr("keep_alive", if keep_alive { "true" } else { "false" });
+        }
         // Fault-injection hook: die mid-response (see the header docs).
         if response.headers.remove(FAULT_DISCONNECT_HEADER).is_some() {
+            span.attr("fault", "disconnect");
+            span.finish();
             let _ = response.write_truncated_to(&mut stream);
             let _ = stream.shutdown(Shutdown::Both);
             break;
         }
-        if response.write_to(&mut stream).is_err() || !keep_alive {
+        let write_failed = response.write_to(&mut stream).is_err();
+        span.finish();
+        if write_failed || !keep_alive {
             break;
         }
     }

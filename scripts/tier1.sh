@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verify loop: formatting, lints, release build, full test
-# suite, and bench compilation (benches are part of the public
-# surface — they must at least build even when nobody has time to run
-# them).
+# suite, bench compilation (benches are part of the public surface —
+# they must at least build even when nobody has time to run them), and
+# a tracing smoke test: a traced offline pipeline must emit Chrome
+# trace JSON that parses and in which every non-root parent resolves.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,3 +12,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release
 cargo test -q
 cargo bench --no-run
+
+# trace_smoke: end-to-end over the real CLI binary.
+trace_out="$(mktemp -t gptx-trace-XXXXXX.json)"
+trap 'rm -f "$trace_out"' EXIT
+cargo run --release -p gptx-cli -- reproduce t5 \
+    --scale tiny --seed 7 --trace "$trace_out" > /dev/null
+cargo run --release -p gptx-cli -- trace-validate "$trace_out"

@@ -1,0 +1,132 @@
+//! Distributed-tracing acceptance: a traced pipeline run produces one
+//! connected client↔server span tree per request, the Chrome export is
+//! structurally valid, and tracing never changes results — artifacts
+//! are byte-identical with tracing on, off, or sampled to zero.
+
+use gptx::obs::{validate_chrome_trace, TraceEvent, TraceSnapshot, Tracer};
+use gptx::report::trace_report;
+use gptx::{FaultConfig, Pipeline, SynthConfig};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn traced_run(seed: u64, tracer: Arc<Tracer>) -> (gptx::AnalysisRun, TraceSnapshot) {
+    let run = Pipeline::builder(SynthConfig::tiny(seed))
+        .faults(FaultConfig::none())
+        .with_tracing(Arc::clone(&tracer))
+        .build()
+        .run()
+        .unwrap();
+    let snapshot = tracer.snapshot();
+    (run, snapshot)
+}
+
+/// Walk `span` to its root via `parent_id` links, returning the names
+/// from the span up to (and including) the root.
+fn path_to_root<'s>(span: &'s TraceEvent, by_id: &BTreeMap<u64, &'s TraceEvent>) -> Vec<&'s str> {
+    let mut names = vec![span.name.as_str()];
+    let mut cursor = span;
+    while let Some(parent) = cursor.parent_id {
+        cursor = by_id
+            .get(&parent)
+            .unwrap_or_else(|| panic!("dangling parent {parent:016x} under {}", span.name));
+        names.push(cursor.name.as_str());
+        assert_eq!(
+            cursor.trace_id, span.trace_id,
+            "parent chain crossed traces at {}",
+            cursor.name
+        );
+    }
+    names
+}
+
+/// The tentpole acceptance test: the server's route span links all the
+/// way back through its connection handler and the client's request
+/// span to the crawler and the pipeline root — one causal chain across
+/// the process-boundary header.
+#[test]
+fn crawled_request_forms_one_connected_span_tree() {
+    let (_, snapshot) = traced_run(61, Tracer::shared(61));
+    let by_id: BTreeMap<u64, &TraceEvent> =
+        snapshot.events.iter().map(|e| (e.span_id, e)).collect();
+
+    let route = snapshot
+        .events
+        .iter()
+        .find(|e| e.name == "store.route")
+        .expect("a store.route span was retained");
+    let path = path_to_root(route, &by_id);
+    assert_eq!(path[0], "store.route");
+    assert_eq!(path[1], "server.request");
+    assert_eq!(path[2], "http.request");
+    assert!(
+        path[3].starts_with("crawler.request."),
+        "expected a crawler request span, got {path:?}"
+    );
+    assert_eq!(path[4], "stage.crawl");
+    assert_eq!(path[5], "pipeline.run");
+    assert_eq!(path.len(), 6);
+
+    // Every retained non-root span resolves to a retained parent, and
+    // the analysis stages hang off the same run root.
+    for event in &snapshot.events {
+        if let Some(parent) = event.parent_id {
+            assert!(by_id.contains_key(&parent), "dangling {}", event.name);
+        }
+    }
+    let names: Vec<&str> = snapshot.events.iter().map(|e| e.name.as_str()).collect();
+    for expected in [
+        "pipeline.analyze",
+        "stage.classify",
+        "stage.policy",
+        "classify.action",
+        "policy.action",
+        "par.classify.worker",
+    ] {
+        assert!(names.contains(&expected), "missing span {expected}");
+    }
+}
+
+/// The Chrome export of a real run passes the structural validator and
+/// the text renderers have the load-bearing sections.
+#[test]
+fn chrome_export_of_a_real_run_validates() {
+    let (_, snapshot) = traced_run(62, Tracer::shared(62));
+    let stats = validate_chrome_trace(&snapshot.to_chrome_json()).expect("valid Chrome JSON");
+    assert_eq!(stats.events, snapshot.events.len());
+    assert_eq!(stats.roots, 1, "one pipeline.run root");
+
+    let report = trace_report(&snapshot);
+    assert!(report.contains("Per-stage critical path"));
+    assert!(report.contains("pipeline.run"));
+    assert!(report.contains("Slowest request chains"));
+    assert!(report.contains("→ server.request"));
+}
+
+/// Tracing observes, it never steers: on, off, and sampled-out runs
+/// produce byte-identical artifacts.
+#[test]
+fn traced_run_is_byte_identical_to_untraced() {
+    let baseline = Pipeline::builder(SynthConfig::tiny(63))
+        .faults(FaultConfig::none())
+        .build()
+        .run()
+        .unwrap();
+    let (traced, snapshot) = traced_run(63, Tracer::shared(63));
+    let sampled_out = Arc::new(Tracer::new(63).with_sampling(0.0));
+    let (sampled, sampled_snapshot) = traced_run(63, Arc::clone(&sampled_out));
+
+    assert!(snapshot.total_spans > 0);
+    assert_eq!(
+        sampled_snapshot.total_spans, 0,
+        "zero sampling records nothing"
+    );
+    for run in [&traced, &sampled] {
+        assert_eq!(
+            serde_json::to_string(&baseline.archive.snapshots).unwrap(),
+            serde_json::to_string(&run.archive.snapshots).unwrap(),
+            "tracing changed the crawl"
+        );
+        assert_eq!(*baseline.profiles, *run.profiles);
+        assert_eq!(baseline.reports, run.reports);
+    }
+}
