@@ -11,6 +11,9 @@
 //! * `crawler_threads` — crawl throughput vs. worker-thread count;
 //! * `keepalive` — `crawl_week` with the HTTP connection pool on vs.
 //!   off (one `Connection: close` request per TCP connection);
+//! * `fault_plan` — `crawl_week` under a clean server vs. one with a
+//!   schedule of transient 5xx faults (the chaos harness's injection
+//!   hook; the delta is pure retry/backoff overhead);
 //! * `analyze_threads` — the full analysis phase (classification +
 //!   policy disclosure + aggregation) vs. `analysis_threads`;
 //! * `stemmer` — classification with and without Porter stemming of the
@@ -23,7 +26,7 @@ use gptx::llm::{KbModel, NoisyModel};
 use gptx::nlp::word_shingles;
 use gptx::policy::{ContextStrategy, PolicyAnalyzer};
 use gptx::stats::{jaccard, MinHash};
-use gptx::store::{EcosystemHandle, FaultConfig};
+use gptx::store::{EcosystemHandle, FaultConfig, FaultKind, FaultPlan, ServerConfig};
 use gptx::synth::{Ecosystem, SynthConfig, STORES};
 use gptx::taxonomy::KnowledgeBase;
 use gptx::AnalysisRun;
@@ -230,6 +233,41 @@ fn bench_ablations(c: &mut Criterion) {
                 )
             })
         });
+    }
+
+    // --- chaos fault plans: retry/backoff cost of scheduled faults. ------
+    // Same crawl, same results (planned faults are transient by
+    // construction); the delta is pure retry + reconnect overhead. The
+    // plan counter is per-server and never resets, so each iteration
+    // gets a fresh server (setup excluded from timing).
+    for (label, faults) in [("clean", 0u64), ("faulted_8", 8)] {
+        group.bench_with_input(
+            BenchmarkId::new("fault_plan", label),
+            &faults,
+            |b, &faults| {
+                b.iter_batched(
+                    || {
+                        let schedule = (0..faults).map(|i| (i * 16 + 2, FaultKind::ServerError));
+                        EcosystemHandle::start_with_plan(
+                            Arc::clone(&eco),
+                            FaultConfig::none(),
+                            FaultPlan::from_schedule(schedule),
+                            ServerConfig::default(),
+                        )
+                        .expect("serve with plan")
+                    },
+                    |faulted| {
+                        let crawler = Crawler::new(faulted.addr()).with_threads(4);
+                        let snapshot = crawler
+                            .crawl_week(0, "2024-02-08", &store_names)
+                            .expect("crawl");
+                        faulted.shutdown();
+                        black_box(snapshot)
+                    },
+                    criterion::BatchSize::PerIteration,
+                )
+            },
+        );
     }
 
     // --- analysis worker count (the ablate_analyze_threads knob). --------

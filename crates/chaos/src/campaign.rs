@@ -1,0 +1,440 @@
+//! The chaos campaign runner.
+//!
+//! A campaign sweeps a grid of schedule seeds against one synthetic
+//! ecosystem. For each seed it:
+//!
+//! 1. runs the pipeline fault-free once (the *baseline*),
+//! 2. derives a fault schedule from the seed sized to the baseline's
+//!    observed request count,
+//! 3. re-runs the pipeline with that schedule planned into the store
+//!    server, and
+//! 4. checks every invariant in [`crate::invariants`] against the
+//!    outcome.
+//!
+//! Any violation triggers [`crate::shrink::shrink`]: the failing
+//! schedule is bisected and re-run until 1-minimal, and the minimal
+//! schedule is packaged as a [`ReproFile`] for `gptx chaos --replay`.
+//!
+//! Determinism is load-bearing: campaign runs crawl single-threaded so
+//! request *arrival order* at the server is a pure function of the
+//! seeds, which is what makes shrinking sound — a subset schedule
+//! re-runs exactly as it would have run the first time.
+
+use crate::invariants::{
+    check_archive_integrity, check_artifacts_identical, check_counter_consistency,
+    check_pool_balance, check_trace_valid, RunOutcome, Violation,
+};
+use crate::repro::ReproFile;
+use crate::schedule::{derive_schedule, FaultMatrix};
+use crate::shrink::shrink;
+use gptx::obs::Tracer;
+use gptx::store::{FaultKind, FaultPlan};
+use gptx::{FaultConfig, MetricsRegistry, Pipeline, SynthConfig};
+use std::sync::Arc;
+
+/// Minimum spacing between scheduled fault arrival indices.
+///
+/// A faulted arrival consumes one crawler attempt; the crawler retries
+/// up to twice more, each retry arriving at the *next* index. Keeping
+/// scheduled faults at least this far apart guarantees no logical
+/// request can meet more than one scheduled fault across its whole
+/// retry budget, so every planned fault stays transient.
+pub const MIN_FAULT_GAP: u64 = 8;
+
+/// The experiments whose rendered text must be byte-identical to the
+/// fault-free baseline (same set the determinism suite locks).
+pub const ARTIFACT_IDS: [&str; 3] = ["t5", "t7", "t8"];
+
+/// Campaign configuration. [`ChaosConfig::new`] gives the defaults the
+/// CLI starts from: tiny corpus, every fault kind, 4 faults per run.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Seed of the synthetic ecosystem all runs crawl.
+    pub synth_seed: u64,
+    /// Corpus scale name (`tiny`, `small`, `medium`, `paper`).
+    pub scale: String,
+    /// Schedule seeds to sweep (one campaign run per seed).
+    pub schedule_seeds: Vec<u64>,
+    /// Fault kinds schedules may draw from.
+    pub matrix: FaultMatrix,
+    /// Faults per derived schedule (shrunk to fit small corpora).
+    pub faults_per_run: usize,
+    /// Stall before dropping the connection for timeout faults.
+    pub stall_ms: u64,
+    /// Analysis-stage worker count (analysis output is thread-count
+    /// invariant, so this only trades wall-clock for cores).
+    pub analysis_threads: usize,
+    /// Test-only self-check hook: treat any *injected* fault of this
+    /// kind as an invariant violation. Used to prove the shrinker and
+    /// repro pipeline work end to end.
+    pub forbid_kind: Option<FaultKind>,
+}
+
+impl ChaosConfig {
+    pub fn new() -> ChaosConfig {
+        ChaosConfig {
+            synth_seed: 7,
+            scale: "tiny".to_string(),
+            schedule_seeds: (0..4).collect(),
+            matrix: FaultMatrix::all(),
+            faults_per_run: 4,
+            stall_ms: FaultPlan::DEFAULT_STALL_MS,
+            analysis_threads: 2,
+            forbid_kind: None,
+        }
+    }
+
+    /// Sweep seeds `0..n`.
+    pub fn seeds(mut self, n: u64) -> ChaosConfig {
+        self.schedule_seeds = (0..n).collect();
+        self
+    }
+
+    fn synth_config(&self) -> Result<SynthConfig, String> {
+        scale_config(&self.scale, self.synth_seed)
+    }
+}
+
+impl Default for ChaosConfig {
+    fn default() -> ChaosConfig {
+        ChaosConfig::new()
+    }
+}
+
+/// Map a scale name to generator config — same names and parameters as
+/// the CLI's `--scale` flag, so repro files replay identically from
+/// either entry point.
+pub fn scale_config(scale: &str, seed: u64) -> Result<SynthConfig, String> {
+    match scale {
+        "tiny" => Ok(SynthConfig::tiny(seed)),
+        "small" => Ok(SynthConfig {
+            seed,
+            ..SynthConfig::default()
+        }),
+        "medium" => Ok(SynthConfig {
+            seed,
+            base_gpts: 20_000,
+            ..SynthConfig::default()
+        }),
+        "paper" => Ok(SynthConfig::paper_scale(seed)),
+        other => Err(format!("unknown scale {other:?}")),
+    }
+}
+
+/// Execute one pipeline run under `schedule` and collect everything
+/// the invariant checkers need. Fresh metrics and tracer per run; the
+/// crawl is single-threaded so arrival order is deterministic.
+pub fn execute(cfg: &ChaosConfig, schedule: &[(u64, FaultKind)]) -> Result<RunOutcome, String> {
+    let metrics = MetricsRegistry::shared();
+    let tracer = Tracer::shared(cfg.synth_seed);
+    let plan = FaultPlan::from_schedule(schedule.iter().copied()).with_stall_ms(cfg.stall_ms);
+    let run = Pipeline::builder(cfg.synth_config()?)
+        .faults(FaultConfig::none())
+        .fault_plan(plan)
+        .crawler_threads(1)
+        .pool_size(2)
+        .analysis_threads(cfg.analysis_threads)
+        .metrics(Arc::clone(&metrics))
+        .with_tracing(Arc::clone(&tracer))
+        .build()
+        .run()
+        .map_err(|e| format!("pipeline failed: {e}"))?;
+    let archive_json = run
+        .archive
+        .to_json()
+        .map_err(|e| format!("archive serialization failed: {e}"))?;
+    let artifacts = ARTIFACT_IDS
+        .iter()
+        .map(|id| {
+            gptx::experiments::render(id, &run)
+                .map(|text| (id.to_string(), text))
+                .ok_or_else(|| format!("unknown experiment id {id:?}"))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(RunOutcome {
+        artifacts,
+        archive_json,
+        archive: run.archive,
+        stats: run.crawl_stats,
+        metrics: metrics.snapshot(),
+        trace_json: tracer.snapshot().to_chrome_json(),
+    })
+}
+
+/// Run every invariant checker (plus the test-only forbid-kind hook)
+/// against one outcome.
+pub fn check_run(cfg: &ChaosConfig, baseline: &RunOutcome, run: &RunOutcome) -> Vec<Violation> {
+    let mut violations = check_artifacts_identical(baseline, run);
+    violations.extend(check_counter_consistency(run));
+    violations.extend(check_pool_balance(run));
+    violations.extend(check_trace_valid(run));
+    violations.extend(check_archive_integrity(run));
+    if let Some(kind) = cfg.forbid_kind {
+        let injected = run
+            .metrics
+            .counters
+            .get(kind.metric())
+            .copied()
+            .unwrap_or(0);
+        if injected > 0 {
+            violations.push(Violation::new(
+                &forbid_invariant(kind),
+                format!("{injected} forbidden {kind} fault(s) were injected"),
+            ));
+        }
+    }
+    violations
+}
+
+/// Invariant name recorded for the forbid-kind self-check hook.
+pub fn forbid_invariant(kind: FaultKind) -> String {
+    format!("forbid-kind:{kind}")
+}
+
+/// Re-run `schedule` and report violations; a pipeline that errors out
+/// under transient faults is itself a violation.
+fn violations_for(
+    cfg: &ChaosConfig,
+    baseline: &RunOutcome,
+    schedule: &[(u64, FaultKind)],
+) -> Vec<Violation> {
+    match execute(cfg, schedule) {
+        Ok(outcome) => check_run(cfg, baseline, &outcome),
+        Err(detail) => vec![Violation::new("pipeline-survives", detail)],
+    }
+}
+
+/// One violating seed: the full schedule that failed, its shrunk core,
+/// and a replayable repro.
+#[derive(Debug, Clone)]
+pub struct FailureCase {
+    pub schedule_seed: u64,
+    /// The originally derived (full) schedule.
+    pub schedule: Vec<(u64, FaultKind)>,
+    /// 1-minimal failing subset after shrinking.
+    pub minimal: Vec<(u64, FaultKind)>,
+    /// Violations observed when re-running the minimal schedule.
+    pub violations: Vec<Violation>,
+    /// Pipeline re-runs the shrinker spent.
+    pub shrink_runs: usize,
+    /// Self-contained repro (serialize with [`ReproFile::to_text`]).
+    pub repro: ReproFile,
+}
+
+/// Campaign result: how much was swept and every failure found.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Seeds swept.
+    pub seeds: Vec<u64>,
+    /// Arrival count of the fault-free baseline (schedules span it).
+    pub baseline_requests: u64,
+    /// Total faults scheduled across all runs.
+    pub faults_scheduled: usize,
+    pub failures: Vec<FailureCase>,
+}
+
+impl CampaignReport {
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Human-readable one-screen summary.
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "chaos: {} seed(s), {} baseline arrivals, {} fault(s) scheduled: ",
+            self.seeds.len(),
+            self.baseline_requests,
+            self.faults_scheduled
+        );
+        if self.ok() {
+            out.push_str("all invariants held\n");
+        } else {
+            out.push_str(&format!("{} FAILING seed(s)\n", self.failures.len()));
+            for case in &self.failures {
+                out.push_str(&format!(
+                    "  seed {}: {} fault(s) shrank to {} in {} re-run(s)\n",
+                    case.schedule_seed,
+                    case.schedule.len(),
+                    case.minimal.len(),
+                    case.shrink_runs
+                ));
+                for violation in &case.violations {
+                    out.push_str(&format!("    {violation}\n"));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Sweep the configured seed grid. One fault-free baseline anchors the
+/// whole campaign (corpus and crawl order are seed-fixed, so it is the
+/// same for every schedule seed); each failing schedule is shrunk to a
+/// 1-minimal repro before being reported.
+pub fn run_campaign(cfg: &ChaosConfig) -> Result<CampaignReport, String> {
+    let baseline = execute(cfg, &[])?;
+    let mut report = CampaignReport {
+        seeds: cfg.schedule_seeds.clone(),
+        baseline_requests: baseline.total_requests(),
+        faults_scheduled: 0,
+        failures: Vec::new(),
+    };
+    for &seed in &cfg.schedule_seeds {
+        let schedule = derive_schedule(
+            seed,
+            report.baseline_requests,
+            &cfg.matrix,
+            cfg.faults_per_run,
+            MIN_FAULT_GAP,
+        );
+        report.faults_scheduled += schedule.len();
+        let violations = violations_for(cfg, &baseline, &schedule);
+        if violations.is_empty() {
+            continue;
+        }
+        let (minimal, shrink_runs) = shrink(&schedule, |subset| {
+            !violations_for(cfg, &baseline, subset).is_empty()
+        });
+        let violations = violations_for(cfg, &baseline, &minimal);
+        let invariant = violations
+            .first()
+            .map(|v| v.invariant.clone())
+            .unwrap_or_default();
+        report.failures.push(FailureCase {
+            schedule_seed: seed,
+            schedule,
+            repro: ReproFile {
+                schedule_seed: seed,
+                synth_seed: cfg.synth_seed,
+                scale: cfg.scale.clone(),
+                stall_ms: cfg.stall_ms,
+                invariant,
+                schedule: minimal.clone(),
+            },
+            minimal,
+            violations,
+            shrink_runs,
+        });
+    }
+    Ok(report)
+}
+
+/// Outcome of replaying a repro file.
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    /// The invariant the repro file says was violated.
+    pub expected_invariant: String,
+    /// Violations observed on replay.
+    pub violations: Vec<Violation>,
+}
+
+impl ReplayOutcome {
+    /// Did the replay observe the recorded invariant violation again?
+    pub fn reproduced(&self) -> bool {
+        !self.expected_invariant.is_empty()
+            && self
+                .violations
+                .iter()
+                .any(|v| v.invariant == self.expected_invariant)
+    }
+}
+
+/// Replay a repro file: rebuild the run configuration it records
+/// (including the forbid-kind hook, recovered from the invariant
+/// name), re-run baseline + planned schedule, and re-check.
+pub fn replay(repro: &ReproFile) -> Result<ReplayOutcome, String> {
+    let mut cfg = ChaosConfig::new();
+    cfg.synth_seed = repro.synth_seed;
+    cfg.scale = repro.scale.clone();
+    cfg.stall_ms = repro.stall_ms;
+    cfg.forbid_kind = repro
+        .invariant
+        .strip_prefix("forbid-kind:")
+        .and_then(FaultKind::parse);
+    let baseline = execute(&cfg, &[])?;
+    Ok(ReplayOutcome {
+        expected_invariant: repro.invariant.clone(),
+        violations: violations_for(&cfg, &baseline, &repro.schedule),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gptx::crawler::{CrawlArchive, CrawlStats};
+    use gptx::obs::MetricsSnapshot;
+    use std::collections::BTreeMap;
+
+    fn outcome_with_counters(pairs: &[(&str, u64)]) -> RunOutcome {
+        RunOutcome {
+            artifacts: Vec::new(),
+            archive: CrawlArchive::default(),
+            archive_json: String::new(),
+            stats: CrawlStats::default(),
+            metrics: MetricsSnapshot {
+                enabled: true,
+                elapsed_us: 0,
+                counters: pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+                gauges: BTreeMap::new(),
+                histograms: BTreeMap::new(),
+                events: Vec::new(),
+            },
+            trace_json: "{\"traceEvents\":[]}".to_string(),
+        }
+    }
+
+    #[test]
+    fn scale_names_match_the_cli() {
+        assert_eq!(scale_config("tiny", 5).unwrap(), SynthConfig::tiny(5));
+        assert_eq!(
+            scale_config("small", 5).unwrap().base_gpts,
+            SynthConfig::default().base_gpts
+        );
+        assert_eq!(scale_config("medium", 5).unwrap().base_gpts, 20_000);
+        assert_eq!(
+            scale_config("paper", 5).unwrap(),
+            SynthConfig::paper_scale(5)
+        );
+        assert!(scale_config("galactic", 5).is_err());
+    }
+
+    #[test]
+    fn forbid_kind_hook_flags_injected_faults_only() {
+        let mut cfg = ChaosConfig::new();
+        cfg.forbid_kind = Some(FaultKind::Disconnect);
+        let baseline = outcome_with_counters(&[]);
+
+        // Scheduled but never injected: counter absent, no violation.
+        let clean = outcome_with_counters(&[]);
+        assert!(check_run(&cfg, &baseline, &clean).is_empty());
+
+        // Actually injected: the hook fires with its marker invariant.
+        let hit = outcome_with_counters(&[("store.fault.plan.disconnect", 2)]);
+        let violations = check_run(&cfg, &baseline, &hit);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].invariant, "forbid-kind:disconnect");
+    }
+
+    #[test]
+    fn replay_recovers_the_forbid_hook_from_the_invariant_name() {
+        assert_eq!(
+            "forbid-kind:timeout"
+                .strip_prefix("forbid-kind:")
+                .and_then(FaultKind::parse),
+            Some(FaultKind::Timeout)
+        );
+        assert_eq!(
+            forbid_invariant(FaultKind::SlowWrite),
+            "forbid-kind:slow-write"
+        );
+    }
+
+    #[test]
+    fn default_config_is_a_bounded_tiny_sweep() {
+        let cfg = ChaosConfig::new().seeds(16);
+        assert_eq!(cfg.schedule_seeds.len(), 16);
+        assert_eq!(cfg.scale, "tiny");
+        assert!(cfg.synth_config().is_ok());
+        assert!(cfg.forbid_kind.is_none());
+    }
+}

@@ -1,0 +1,309 @@
+//! The invariant library: what must hold after every chaos run.
+//!
+//! Each checker takes the observed [`RunOutcome`] (and, for the
+//! artifact check, the fault-free baseline) and returns the violations
+//! it found — an empty vector means the invariant held. The campaign
+//! runner concatenates all checkers; any violation triggers schedule
+//! shrinking.
+
+use gptx::crawler::{CrawlArchive, CrawlStats};
+use gptx::obs::MetricsSnapshot;
+
+/// One invariant violation: which invariant, and what was observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable invariant name (also recorded in repro files).
+    pub invariant: String,
+    /// Human-readable account of the mismatch.
+    pub detail: String,
+}
+
+impl Violation {
+    pub fn new(invariant: &str, detail: String) -> Violation {
+        Violation {
+            invariant: invariant.to_string(),
+            detail,
+        }
+    }
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.invariant, self.detail)
+    }
+}
+
+/// Everything the invariant checkers observe about one pipeline run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Rendered reproduction artifacts, `(experiment id, text)`.
+    pub artifacts: Vec<(String, String)>,
+    /// The crawl archive (also serialized for byte-comparison).
+    pub archive: CrawlArchive,
+    /// `CrawlArchive::to_json` of `archive`.
+    pub archive_json: String,
+    /// Crawl-side counters.
+    pub stats: CrawlStats,
+    /// Full metrics snapshot of the run.
+    pub metrics: MetricsSnapshot,
+    /// Chrome trace-event JSON of the run's span ring.
+    pub trace_json: String,
+}
+
+impl RunOutcome {
+    /// Total client requests issued (0 if the counter never fired).
+    pub fn total_requests(&self) -> u64 {
+        counter(&self.metrics, "http.client.requests")
+    }
+}
+
+fn counter(snapshot: &MetricsSnapshot, name: &str) -> u64 {
+    snapshot.counters.get(name).copied().unwrap_or(0)
+}
+
+fn prefixed_sum(snapshot: &MetricsSnapshot, prefix: &str) -> u64 {
+    snapshot
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with(prefix))
+        .map(|(_, &v)| v)
+        .sum()
+}
+
+/// Artifacts must be byte-identical to the fault-free baseline:
+/// planned faults are transient by construction, so a correctly
+/// retrying pipeline produces the exact same archive, tables, and
+/// figures it produces with no faults at all.
+pub fn check_artifacts_identical(baseline: &RunOutcome, run: &RunOutcome) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    if baseline.archive_json != run.archive_json {
+        violations.push(Violation::new(
+            "artifacts-identical",
+            format!(
+                "crawl archive diverged from fault-free baseline ({} vs {} bytes)",
+                baseline.archive_json.len(),
+                run.archive_json.len()
+            ),
+        ));
+    }
+    for ((id, base), (_, got)) in baseline.artifacts.iter().zip(run.artifacts.iter()) {
+        if base != got {
+            violations.push(Violation::new(
+                "artifacts-identical",
+                format!("artifact {id} diverged from fault-free baseline"),
+            ));
+        }
+    }
+    violations
+}
+
+/// Counter consistency: every HTTP request the client counted must be
+/// accounted for by the crawler as either a first attempt or a retry.
+pub fn check_counter_consistency(run: &RunOutcome) -> Vec<Violation> {
+    let requests = counter(&run.metrics, "http.client.requests");
+    let attempts = prefixed_sum(&run.metrics, "crawler.requests.");
+    let retries = prefixed_sum(&run.metrics, "crawler.retries.");
+    if requests != attempts + retries {
+        return vec![Violation::new(
+            "counter-consistency",
+            format!(
+                "http.client.requests = {requests} but crawler attempts + retries = {} + {}",
+                attempts, retries
+            ),
+        )];
+    }
+    Vec::new()
+}
+
+/// Pool balance: every request rode a connection that was either
+/// opened or reused, with transparent stale-socket retries accounted.
+pub fn check_pool_balance(run: &RunOutcome) -> Vec<Violation> {
+    let opened = counter(&run.metrics, "http.client.conn_opened");
+    let reused = counter(&run.metrics, "http.client.conn_reused");
+    let requests = counter(&run.metrics, "http.client.requests");
+    let conn_retries = counter(&run.metrics, "http.client.conn_retries");
+    if opened + reused != requests + conn_retries {
+        return vec![Violation::new(
+            "pool-balance",
+            format!(
+                "conn_opened + conn_reused = {opened} + {reused} \
+                 but requests + conn_retries = {requests} + {conn_retries}"
+            ),
+        )];
+    }
+    Vec::new()
+}
+
+/// The trace ring must always export structurally valid Chrome JSON —
+/// balanced events, resolvable parents — even under a fault storm.
+pub fn check_trace_valid(run: &RunOutcome) -> Vec<Violation> {
+    match gptx::obs::validate_chrome_trace(&run.trace_json) {
+        Ok(_) => Vec::new(),
+        Err(e) => vec![Violation::new(
+            "trace-valid",
+            format!("trace export invalid: {e}"),
+        )],
+    }
+}
+
+/// Archive integrity: every gizmo request is accounted (fetched, 404,
+/// or failed), weekly success rates align one-to-one with snapshots,
+/// and every distinct action has a policy record.
+pub fn check_archive_integrity(run: &RunOutcome) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let s = &run.stats;
+    if s.gizmos_fetched + s.gizmo_not_found + s.gizmo_failures != s.gizmo_requests {
+        violations.push(Violation::new(
+            "archive-integrity",
+            format!(
+                "gizmo accounting leaks: {} fetched + {} not-found + {} failed != {} requests",
+                s.gizmos_fetched, s.gizmo_not_found, s.gizmo_failures, s.gizmo_requests
+            ),
+        ));
+    }
+    let archive = &run.archive;
+    if archive.weekly_gizmo_success.len() != archive.snapshots.len() {
+        violations.push(Violation::new(
+            "archive-integrity",
+            format!(
+                "{} weekly success entries for {} snapshots",
+                archive.weekly_gizmo_success.len(),
+                archive.snapshots.len()
+            ),
+        ));
+    }
+    for ((week, rate), snapshot) in archive
+        .weekly_gizmo_success
+        .iter()
+        .zip(archive.snapshots.iter())
+    {
+        if *week != snapshot.week {
+            violations.push(Violation::new(
+                "archive-integrity",
+                format!(
+                    "weekly rate keyed to week {week}, snapshot is week {}",
+                    snapshot.week
+                ),
+            ));
+        }
+        if !(0.0..=1.0).contains(rate) {
+            violations.push(Violation::new(
+                "archive-integrity",
+                format!("week {week} success rate {rate} outside [0, 1]"),
+            ));
+        }
+    }
+    let actions = archive.distinct_actions().len();
+    if archive.policies.len() != actions {
+        violations.push(Violation::new(
+            "archive-integrity",
+            format!(
+                "{} policy records for {} distinct actions",
+                archive.policies.len(),
+                actions
+            ),
+        ));
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn outcome_with_counters(pairs: &[(&str, u64)]) -> RunOutcome {
+        let mut counters = BTreeMap::new();
+        for (k, v) in pairs {
+            counters.insert(k.to_string(), *v);
+        }
+        RunOutcome {
+            artifacts: Vec::new(),
+            archive: CrawlArchive::default(),
+            archive_json: String::new(),
+            stats: CrawlStats::default(),
+            metrics: MetricsSnapshot {
+                enabled: true,
+                elapsed_us: 0,
+                counters,
+                gauges: BTreeMap::new(),
+                histograms: BTreeMap::new(),
+                events: Vec::new(),
+            },
+            trace_json: "{\"traceEvents\":[]}".to_string(),
+        }
+    }
+
+    #[test]
+    fn counter_consistency_flags_unaccounted_requests() {
+        let ok = outcome_with_counters(&[
+            ("http.client.requests", 10),
+            ("crawler.requests.gizmo", 8),
+            ("crawler.retries.gizmo", 2),
+        ]);
+        assert!(check_counter_consistency(&ok).is_empty());
+        let bad = outcome_with_counters(&[
+            ("http.client.requests", 11),
+            ("crawler.requests.gizmo", 8),
+            ("crawler.retries.gizmo", 2),
+        ]);
+        assert_eq!(check_counter_consistency(&bad).len(), 1);
+    }
+
+    #[test]
+    fn pool_balance_flags_leaked_connections() {
+        let ok = outcome_with_counters(&[
+            ("http.client.conn_opened", 3),
+            ("http.client.conn_reused", 9),
+            ("http.client.requests", 11),
+            ("http.client.conn_retries", 1),
+        ]);
+        assert!(check_pool_balance(&ok).is_empty());
+        let bad =
+            outcome_with_counters(&[("http.client.conn_opened", 3), ("http.client.requests", 11)]);
+        assert_eq!(check_pool_balance(&bad).len(), 1);
+    }
+
+    #[test]
+    fn artifact_divergence_is_reported_per_artifact() {
+        let mut baseline = outcome_with_counters(&[]);
+        baseline.artifacts = vec![("t5".to_string(), "table".to_string())];
+        let mut run = baseline.clone();
+        assert!(check_artifacts_identical(&baseline, &run).is_empty());
+        run.artifacts[0].1 = "different".to_string();
+        run.archive_json = "x".to_string();
+        let violations = check_artifacts_identical(&baseline, &run);
+        assert_eq!(violations.len(), 2);
+        assert!(violations
+            .iter()
+            .all(|v| v.invariant == "artifacts-identical"));
+    }
+
+    #[test]
+    fn trace_validity_uses_the_chrome_validator() {
+        let ok = outcome_with_counters(&[]);
+        assert!(check_trace_valid(&ok).is_empty());
+        let mut bad = ok;
+        bad.trace_json = "not json".to_string();
+        assert_eq!(check_trace_valid(&bad).len(), 1);
+    }
+
+    #[test]
+    fn archive_integrity_flags_leaked_gizmos_and_misaligned_weeks() {
+        let mut run = outcome_with_counters(&[]);
+        assert!(
+            check_archive_integrity(&run).is_empty(),
+            "empty archive is consistent"
+        );
+        run.stats.gizmo_requests = 10;
+        run.stats.gizmos_fetched = 8;
+        run.stats.gizmo_not_found = 1;
+        // One request unaccounted: 8 + 1 + 0 != 10.
+        assert_eq!(check_archive_integrity(&run).len(), 1);
+        run.stats.gizmo_failures = 1;
+        assert!(check_archive_integrity(&run).is_empty());
+        run.archive.weekly_gizmo_success.push((0, 0.9));
+        // A weekly entry with no matching snapshot.
+        assert_eq!(check_archive_integrity(&run).len(), 1);
+    }
+}

@@ -1,0 +1,38 @@
+//! gptx-chaos — deterministic chaos harness for the crawl/analysis
+//! pipeline.
+//!
+//! The harness turns one `u64` seed into a full fault-injection
+//! campaign against the live loopback store server:
+//!
+//! * [`schedule`] derives per-run fault schedules — which request
+//!   arrival indices get 5xx responses, disconnects, timeouts,
+//!   slow-writes, or malformed bodies — with splitmix64, spaced so
+//!   every scheduled fault stays within the crawler's retry budget.
+//! * [`campaign`] sweeps a seed grid through the real
+//!   [`gptx::Pipeline`], re-running each schedule against the
+//!   fault-free baseline.
+//! * [`invariants`] checks each run: artifacts byte-identical to the
+//!   baseline, HTTP/crawler/pool counters mutually consistent, trace
+//!   trees structurally valid, crawl archives internally coherent.
+//! * On violation, [`shrink`] delta-debugs the schedule to a 1-minimal
+//!   failing subset and [`repro`] packages it as a self-contained
+//!   text file replayable with `gptx chaos --replay`.
+//!
+//! Everything is deterministic by construction — fixed seeds, a
+//! single-threaded crawl, index-keyed faults — so a failure found at
+//! 2 a.m. in CI replays byte-for-byte at 9 a.m. on a laptop.
+
+pub mod campaign;
+pub mod invariants;
+pub mod repro;
+pub mod schedule;
+pub mod shrink;
+
+pub use campaign::{
+    check_run, execute, replay, run_campaign, scale_config, CampaignReport, ChaosConfig,
+    FailureCase, ReplayOutcome, MIN_FAULT_GAP,
+};
+pub use invariants::{RunOutcome, Violation};
+pub use repro::{ReproFile, REPRO_MAGIC};
+pub use schedule::{derive_schedule, splitmix64, FaultMatrix};
+pub use shrink::shrink;

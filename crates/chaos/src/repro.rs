@@ -1,0 +1,167 @@
+//! Self-contained chaos repro files.
+//!
+//! A repro file captures everything needed to re-run one violating
+//! chaos run: the synthetic-corpus seed and scale, the (already
+//! shrunk) fault schedule, the timeout-stall duration, and the name of
+//! the violated invariant. The format is a deliberately plain
+//! line-based text file — human-diffable, attachable to a bug report,
+//! and parseable without a serde dependency:
+//!
+//! ```text
+//! gptx-chaos-repro v1
+//! schedule-seed 5
+//! synth-seed 7
+//! scale tiny
+//! stall-ms 25
+//! invariant artifacts-identical
+//! fault 112 5xx
+//! fault 385 disconnect
+//! ```
+//!
+//! `gptx chaos --replay FILE` parses this, re-runs the fault-free
+//! baseline plus the planned run, and reports whether the violation
+//! still reproduces.
+
+use gptx::store::FaultKind;
+
+/// The first line of every repro file (format version gate).
+pub const REPRO_MAGIC: &str = "gptx-chaos-repro v1";
+
+/// A parsed (or to-be-written) repro file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReproFile {
+    /// Seed the failing schedule was derived from (provenance only —
+    /// the `fault` lines are authoritative, since shrinking has
+    /// usually reduced the derived schedule).
+    pub schedule_seed: u64,
+    /// Seed of the synthetic ecosystem the run crawled.
+    pub synth_seed: u64,
+    /// Corpus scale name (`tiny`, `small`, `medium`, `paper`).
+    pub scale: String,
+    /// Timeout-fault stall duration in milliseconds.
+    pub stall_ms: u64,
+    /// Name of the violated invariant (`forbid-kind:<kind>` marks the
+    /// test-only self-check hook).
+    pub invariant: String,
+    /// The minimal failing schedule: `(arrival index, kind)` pairs.
+    pub schedule: Vec<(u64, FaultKind)>,
+}
+
+impl ReproFile {
+    /// Serialize to the line-based text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(REPRO_MAGIC);
+        out.push('\n');
+        out.push_str(&format!("schedule-seed {}\n", self.schedule_seed));
+        out.push_str(&format!("synth-seed {}\n", self.synth_seed));
+        out.push_str(&format!("scale {}\n", self.scale));
+        out.push_str(&format!("stall-ms {}\n", self.stall_ms));
+        out.push_str(&format!("invariant {}\n", self.invariant));
+        for (index, kind) in &self.schedule {
+            out.push_str(&format!("fault {index} {kind}\n"));
+        }
+        out
+    }
+
+    /// Parse the text format; `Err` names the offending line.
+    pub fn parse(text: &str) -> Result<ReproFile, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(line) if line.trim() == REPRO_MAGIC => {}
+            other => return Err(format!("not a chaos repro file (first line {other:?})")),
+        }
+        let mut repro = ReproFile {
+            schedule_seed: 0,
+            synth_seed: 0,
+            scale: "tiny".to_string(),
+            stall_ms: 25,
+            invariant: String::new(),
+            schedule: Vec::new(),
+        };
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once(' ')
+                .ok_or_else(|| format!("bad repro line {line:?}"))?;
+            match key {
+                "schedule-seed" => repro.schedule_seed = parse_u64(key, value)?,
+                "synth-seed" => repro.synth_seed = parse_u64(key, value)?,
+                "scale" => repro.scale = value.trim().to_string(),
+                "stall-ms" => repro.stall_ms = parse_u64(key, value)?,
+                "invariant" => repro.invariant = value.trim().to_string(),
+                "fault" => {
+                    let (index, kind) = value
+                        .trim()
+                        .split_once(' ')
+                        .ok_or_else(|| format!("bad fault line {line:?}"))?;
+                    let index = parse_u64("fault index", index)?;
+                    let kind = FaultKind::parse(kind.trim())
+                        .ok_or_else(|| format!("unknown fault kind {kind:?}"))?;
+                    repro.schedule.push((index, kind));
+                }
+                _ => return Err(format!("unknown repro key {key:?}")),
+            }
+        }
+        repro.schedule.sort_by_key(|&(index, _)| index);
+        Ok(repro)
+    }
+}
+
+fn parse_u64(key: &str, value: &str) -> Result<u64, String> {
+    value
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad {key} value {value:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ReproFile {
+        ReproFile {
+            schedule_seed: 5,
+            synth_seed: 7,
+            scale: "tiny".to_string(),
+            stall_ms: 25,
+            invariant: "artifacts-identical".to_string(),
+            schedule: vec![
+                (112, FaultKind::ServerError),
+                (385, FaultKind::Disconnect),
+                (512, FaultKind::GarbageBody),
+            ],
+        }
+    }
+
+    #[test]
+    fn text_round_trips() {
+        let repro = sample();
+        let text = repro.to_text();
+        assert!(text.starts_with(REPRO_MAGIC));
+        assert_eq!(ReproFile::parse(&text).unwrap(), repro);
+    }
+
+    #[test]
+    fn parse_sorts_fault_lines_and_skips_comments() {
+        let text = "gptx-chaos-repro v1\n# a note\nschedule-seed 9\nsynth-seed 3\n\
+                    scale small\nstall-ms 10\ninvariant counters\nfault 40 timeout\nfault 4 5xx\n";
+        let repro = ReproFile::parse(text).unwrap();
+        assert_eq!(repro.scale, "small");
+        assert_eq!(
+            repro.schedule,
+            vec![(4, FaultKind::ServerError), (40, FaultKind::Timeout)]
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(ReproFile::parse("not a repro").is_err());
+        assert!(ReproFile::parse("gptx-chaos-repro v1\nbogus-key 1\n").is_err());
+        assert!(ReproFile::parse("gptx-chaos-repro v1\nfault x 5xx\n").is_err());
+        assert!(ReproFile::parse("gptx-chaos-repro v1\nfault 3 warp\n").is_err());
+    }
+}

@@ -1,0 +1,187 @@
+//! Seeded fault-schedule derivation.
+//!
+//! A schedule is a sorted list of `(arrival index, fault kind)` pairs,
+//! derived entirely from one `u64` seed with splitmix64 — the same
+//! generator `gptx-obs` uses for trace-ID minting. Two properties make
+//! the schedules sound chaos inputs:
+//!
+//! * **Determinism** — the same `(seed, total, matrix, count)` always
+//!   yields the same schedule, so a violating run can be replayed and
+//!   shrunk faithfully.
+//! * **Minimum spacing** — consecutive fault indices are at least
+//!   `min_gap` arrivals apart. A fault consumes the crawler's retry
+//!   budget one arrival at a time (each retry is a new arrival), so
+//!   spacing greater than the retry budget guarantees no logical
+//!   request can be starved by a cascade of scheduled faults — faults
+//!   stay *transient* and the pipeline's outputs must not change.
+
+use gptx::store::FaultKind;
+
+/// splitmix64 — the tiny, high-quality step generator (same constants
+/// as the tracer's ID minting in `gptx-obs`).
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The set of fault kinds a campaign may inject (stable order, no
+/// duplicates).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultMatrix {
+    kinds: Vec<FaultKind>,
+}
+
+impl FaultMatrix {
+    /// Every kind — the mixed matrix the acceptance campaign sweeps.
+    pub fn all() -> FaultMatrix {
+        FaultMatrix {
+            kinds: FaultKind::ALL.to_vec(),
+        }
+    }
+
+    /// A matrix over the given kinds (deduplicated, stable order).
+    pub fn of<I: IntoIterator<Item = FaultKind>>(kinds: I) -> FaultMatrix {
+        let mut out = Vec::new();
+        for kind in kinds {
+            if !out.contains(&kind) {
+                out.push(kind);
+            }
+        }
+        FaultMatrix { kinds: out }
+    }
+
+    /// Parse a comma-separated kind list (`"5xx,disconnect"`); the CLI
+    /// flag format.
+    pub fn parse(spec: &str) -> Result<FaultMatrix, String> {
+        let mut kinds = Vec::new();
+        for token in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            let kind = FaultKind::parse(token)
+                .ok_or_else(|| format!("unknown fault kind {token:?} (known: {})", known()))?;
+            if !kinds.contains(&kind) {
+                kinds.push(kind);
+            }
+        }
+        if kinds.is_empty() {
+            return Err(format!("empty fault matrix (known kinds: {})", known()));
+        }
+        Ok(FaultMatrix { kinds })
+    }
+
+    pub fn kinds(&self) -> &[FaultKind] {
+        &self.kinds
+    }
+}
+
+fn known() -> String {
+    FaultKind::ALL
+        .iter()
+        .map(|k| k.as_str())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Derive a fault schedule: up to `count` faults over arrival indices
+/// `[0, total)`, consecutive indices at least `min_gap` apart, kinds
+/// drawn from `matrix` — all deterministic in `seed`.
+///
+/// The index range is partitioned into equal slots; each fault jitters
+/// inside its slot but keeps `min_gap` clearance to the next slot, so
+/// the spacing guarantee holds for every seed. When `total` is too
+/// small for `count` spaced faults, the count shrinks to fit rather
+/// than violating the spacing.
+pub fn derive_schedule(
+    seed: u64,
+    total: u64,
+    matrix: &FaultMatrix,
+    count: usize,
+    min_gap: u64,
+) -> Vec<(u64, FaultKind)> {
+    let min_gap = min_gap.max(1);
+    if total == 0 || count == 0 || matrix.kinds().is_empty() {
+        return Vec::new();
+    }
+    let count = (count as u64).min(total / min_gap).max(1).min(total) as usize;
+    let slot = (total / count as u64).max(min_gap);
+    let jitter_range = slot.saturating_sub(min_gap) + 1;
+    let mut state = seed ^ 0x6b79_7478_2d63_6861; // "kytx-cha": domain-separate from other seed users
+    let mut schedule = Vec::with_capacity(count);
+    for i in 0..count as u64 {
+        let base = i * slot;
+        if base >= total {
+            break;
+        }
+        let index = base + splitmix64(&mut state) % jitter_range;
+        let kind = matrix.kinds()[(splitmix64(&mut state) % matrix.kinds().len() as u64) as usize];
+        schedule.push((index.min(total - 1), kind));
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_deterministic_in_the_seed() {
+        let matrix = FaultMatrix::all();
+        let a = derive_schedule(42, 1000, &matrix, 8, 8);
+        let b = derive_schedule(42, 1000, &matrix, 8, 8);
+        let c = derive_schedule(43, 1000, &matrix, 8, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds should disagree somewhere");
+        assert_eq!(a.len(), 8);
+    }
+
+    #[test]
+    fn schedules_respect_min_gap_and_range() {
+        for seed in 0..200u64 {
+            let schedule = derive_schedule(seed, 500, &FaultMatrix::all(), 10, 7);
+            for window in schedule.windows(2) {
+                assert!(
+                    window[1].0 - window[0].0 >= 7,
+                    "seed {seed}: indices {} and {} too close",
+                    window[0].0,
+                    window[1].0
+                );
+            }
+            assert!(schedule.iter().all(|&(i, _)| i < 500));
+        }
+    }
+
+    #[test]
+    fn tiny_totals_shrink_the_count_instead_of_crowding() {
+        let schedule = derive_schedule(7, 20, &FaultMatrix::all(), 10, 8);
+        assert!(schedule.len() <= 2, "{schedule:?}");
+        for window in schedule.windows(2) {
+            assert!(window[1].0 - window[0].0 >= 8);
+        }
+        assert!(derive_schedule(7, 0, &FaultMatrix::all(), 10, 8).is_empty());
+        assert!(derive_schedule(7, 100, &FaultMatrix::all(), 0, 8).is_empty());
+    }
+
+    #[test]
+    fn matrix_parsing_round_trips() {
+        let m = FaultMatrix::parse("5xx, disconnect,5xx").unwrap();
+        assert_eq!(
+            m.kinds(),
+            &[FaultKind::ServerError, FaultKind::Disconnect],
+            "parse dedups and keeps order"
+        );
+        assert!(FaultMatrix::parse("bogus").is_err());
+        assert!(FaultMatrix::parse("").is_err());
+        assert_eq!(
+            FaultMatrix::parse("5xx,disconnect,timeout,slow-write,garbage-body").unwrap(),
+            FaultMatrix::all()
+        );
+    }
+
+    #[test]
+    fn schedule_kinds_come_from_the_matrix() {
+        let matrix = FaultMatrix::of([FaultKind::Timeout]);
+        let schedule = derive_schedule(11, 300, &matrix, 6, 8);
+        assert!(schedule.iter().all(|&(_, k)| k == FaultKind::Timeout));
+    }
+}

@@ -1,0 +1,117 @@
+//! Delta-debugging shrink for failing fault schedules.
+//!
+//! Classic ddmin (Zeller & Hildebrandt): given a schedule that makes
+//! an invariant fail and a predicate that re-runs a candidate subset,
+//! find a 1-minimal failing subset — removing any single remaining
+//! fault makes the run pass. Each predicate call is a full pipeline
+//! run, so the algorithm is careful to try coarse subsets (halves)
+//! before fine ones.
+
+/// Shrink `failing` to a 1-minimal subset under `still_fails`.
+///
+/// `still_fails` must be deterministic (the chaos runner guarantees
+/// this by running single-threaded crawls from fixed seeds). Returns
+/// the minimal subset and the number of predicate invocations spent.
+pub fn shrink<T: Clone>(
+    failing: &[T],
+    mut still_fails: impl FnMut(&[T]) -> bool,
+) -> (Vec<T>, usize) {
+    let mut current: Vec<T> = failing.to_vec();
+    let mut runs = 0usize;
+    if current.len() <= 1 {
+        return (current, runs);
+    }
+    let mut granularity = 2usize;
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(granularity);
+        let chunks: Vec<Vec<T>> = current.chunks(chunk).map(<[T]>::to_vec).collect();
+        let mut reduced = false;
+
+        // Try each chunk alone (fast win when one fault is to blame)…
+        for piece in &chunks {
+            runs += 1;
+            if still_fails(piece) {
+                current = piece.clone();
+                granularity = 2;
+                reduced = true;
+                break;
+            }
+        }
+        // …then each complement (drop one chunk, keep the rest).
+        if !reduced && granularity > 2 {
+            for omit in 0..chunks.len() {
+                let complement: Vec<T> = chunks
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != omit)
+                    .flat_map(|(_, c)| c.iter().cloned())
+                    .collect();
+                runs += 1;
+                if still_fails(&complement) {
+                    current = complement;
+                    granularity = (granularity - 1).max(2);
+                    reduced = true;
+                    break;
+                }
+            }
+        }
+        if !reduced {
+            if granularity >= current.len() {
+                break; // 1-minimal: no chunk or complement fails.
+            }
+            granularity = (granularity * 2).min(current.len());
+        }
+    }
+    (current, runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_the_single_culprit() {
+        let schedule: Vec<u32> = (0..16).collect();
+        let (minimal, runs) = shrink(&schedule, |subset| subset.contains(&11));
+        assert_eq!(minimal, vec![11]);
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn shrinks_to_an_interacting_pair() {
+        let schedule: Vec<u32> = (0..12).collect();
+        let (minimal, _) = shrink(&schedule, |subset| {
+            subset.contains(&2) && subset.contains(&9)
+        });
+        assert_eq!(minimal, vec![2, 9]);
+    }
+
+    #[test]
+    fn single_element_schedules_are_already_minimal() {
+        let (minimal, runs) = shrink(&[7u32], |_| true);
+        assert_eq!(minimal, vec![7]);
+        assert_eq!(runs, 0, "nothing to re-run for a single fault");
+    }
+
+    #[test]
+    fn result_is_one_minimal() {
+        // Predicate: fails iff the subset covers at least 3 even numbers.
+        let schedule: Vec<u32> = (0..20).collect();
+        let fails = |subset: &[u32]| subset.iter().filter(|x| *x % 2 == 0).count() >= 3;
+        let (minimal, _) = shrink(&schedule, fails);
+        assert!(fails(&minimal));
+        for omit in 0..minimal.len() {
+            let without: Vec<u32> = minimal
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != omit)
+                .map(|(_, &x)| x)
+                .collect();
+            assert!(
+                !fails(&without),
+                "dropping {} still fails: not 1-minimal",
+                minimal[omit]
+            );
+        }
+    }
+}

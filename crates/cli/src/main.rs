@@ -7,6 +7,7 @@
 //! gptx generate --out eco.json       generate an ecosystem to JSON
 //! gptx serve --seed 7                serve an ecosystem over HTTP until EOF
 //! gptx crawl --out archive.json      crawl a served ecosystem into an archive
+//! gptx chaos --seeds 16              sweep seeded fault schedules, check invariants
 //! ```
 
 use gptx::obs::{MetricsRegistry, Tracer};
@@ -32,6 +33,7 @@ fn main() -> ExitCode {
         "label" => label(rest),
         "analyze" => analyze(rest),
         "report" => report(rest),
+        "chaos" => chaos(rest),
         "trace-validate" => trace_validate(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -63,6 +65,13 @@ USAGE:
     gptx report                    [--seed N] [--scale ...] [--faults] [--threads N]
                                    [--pool N] [--metrics-json FILE]
                                    (run pipeline, print metrics only)
+    gptx chaos                     [--seeds N] [--seed N] [--scale ...] [--kinds LIST]
+                                   [--faults-per-run N] [--stall-ms N] [--threads N]
+                                   [--repro FILE] [--forbid-kind KIND]
+                                   (sweep seeded fault schedules, check invariants,
+                                   shrink any failure to a minimal repro)
+    gptx chaos --replay FILE       re-run a repro file written by --repro and report
+                                   whether the recorded violation reproduces
     gptx trace-validate FILE       structurally validate a Chrome trace JSON
                                    written by --trace
 
@@ -94,6 +103,25 @@ OPTIONS:
     --trace-sample RATE
                   keep roughly RATE (0.0-1.0) of traces, decided once
                   per trace root at the head (default 1.0).
+    --seeds N     chaos: sweep schedule seeds 0..N (default 4). Each seed
+                  derives one fault schedule, re-runs the pipeline under
+                  it, and checks every invariant against the fault-free
+                  baseline.
+    --kinds LIST  chaos: comma-separated fault kinds the schedules draw
+                  from (default all): 5xx, disconnect, timeout,
+                  slow-write, garbage-body.
+    --faults-per-run N
+                  chaos: faults per derived schedule (default 4; shrunk
+                  automatically when the corpus is too small to space
+                  them safely).
+    --stall-ms N  chaos: how long a timeout fault stalls before dropping
+                  the connection (default 25).
+    --repro FILE  chaos: write the first failure's minimal schedule as a
+                  self-contained repro file (replay with --replay).
+    --forbid-kind KIND
+                  chaos (self-test): treat any injected fault of KIND as
+                  an invariant violation, to exercise the shrinker and
+                  repro pipeline end to end.
 
 SCALES:
     tiny    ~400 GPTs, 4 weeks      (seconds)
@@ -736,6 +764,158 @@ fn crawl(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Parse an optional `--flag N` u64 with a nice error.
+fn u64_opt(
+    options: &std::collections::BTreeMap<String, String>,
+    name: &str,
+) -> Result<Option<u64>, String> {
+    options
+        .get(name)
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|_| format!("bad --{name} {v:?} (want an integer)"))
+        })
+        .transpose()
+}
+
+/// Build a [`gptx_chaos::ChaosConfig`] from `gptx chaos` flags.
+fn chaos_config_from(
+    options: &std::collections::BTreeMap<String, String>,
+) -> Result<gptx_chaos::ChaosConfig, String> {
+    let mut cfg = gptx_chaos::ChaosConfig::new();
+    if let Some(seed) = u64_opt(options, "seed")? {
+        cfg.synth_seed = seed;
+    }
+    if let Some(scale) = options.get("scale") {
+        // Validate the name eagerly so typos fail before any run.
+        gptx_chaos::scale_config(scale, cfg.synth_seed)?;
+        cfg.scale = scale.clone();
+    }
+    if let Some(n) = u64_opt(options, "seeds")? {
+        if n == 0 {
+            return Err("bad --seeds 0 (want at least one schedule seed)".to_string());
+        }
+        cfg = cfg.seeds(n);
+    }
+    if let Some(kinds) = options.get("kinds") {
+        cfg.matrix = gptx_chaos::FaultMatrix::parse(kinds)?;
+    }
+    if let Some(n) = u64_opt(options, "faults-per-run")? {
+        cfg.faults_per_run = n as usize;
+    }
+    if let Some(ms) = u64_opt(options, "stall-ms")? {
+        cfg.stall_ms = ms;
+    }
+    if let Some(threads) = threads_from(options)? {
+        cfg.analysis_threads = threads;
+    }
+    if let Some(kind) = options.get("forbid-kind") {
+        cfg.forbid_kind = Some(
+            gptx::FaultKind::parse(kind)
+                .ok_or_else(|| format!("unknown --forbid-kind {kind:?}"))?,
+        );
+    }
+    Ok(cfg)
+}
+
+/// Run a chaos campaign (or replay a repro file): seeded fault
+/// schedules against the live pipeline, invariant checks after every
+/// run, shrinking + repro emission on violation.
+fn chaos(args: &[String]) -> ExitCode {
+    let (_, options) = split_args(args);
+    if let Some(path) = options.get("replay") {
+        return chaos_replay(path);
+    }
+    let cfg = match chaos_config_from(&options) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "chaos: sweeping {} schedule seed(s) ({} scale, synth seed {}, {} fault(s)/run)...",
+        cfg.schedule_seeds.len(),
+        cfg.scale,
+        cfg.synth_seed,
+        cfg.faults_per_run
+    );
+    let report = match gptx_chaos::run_campaign(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("chaos campaign failed to run: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.summary());
+    if let Some(path) = options.get("repro") {
+        match report.failures.first() {
+            Some(case) => {
+                if let Err(e) = std::fs::write(path, case.repro.to_text()) {
+                    eprintln!("failed to write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote minimal repro to {path}");
+            }
+            None => eprintln!("no failures — nothing to write to {path}"),
+        }
+    }
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Replay a repro file; exit 0 iff the recorded violation reproduces.
+fn chaos_replay(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let repro = match gptx_chaos::ReproFile::parse(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "replaying {path}: {} fault(s), {} scale, synth seed {}, invariant {:?}",
+        repro.schedule.len(),
+        repro.scale,
+        repro.synth_seed,
+        repro.invariant
+    );
+    let outcome = match gptx_chaos::replay(&repro) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("replay failed to run: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for violation in &outcome.violations {
+        println!("{violation}");
+    }
+    if outcome.reproduced() {
+        println!(
+            "{path}: violation {:?} reproduced",
+            outcome.expected_invariant
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "{path}: recorded violation {:?} did NOT reproduce ({} other violation(s))",
+            outcome.expected_invariant,
+            outcome.violations.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
 /// Structurally validate a Chrome trace JSON file written by `--trace`:
 /// parseable envelope, complete events, and every non-root `parent_id`
 /// resolving to a span in the file.
@@ -881,6 +1061,58 @@ mod tests {
         ] {
             let (_, opts) = split_args(&args(bad));
             assert!(trace_from(&opts, 7).is_err());
+        }
+    }
+
+    #[test]
+    fn chaos_config_from_parses_the_full_flag_set() {
+        let (_, opts) = split_args(&args(&[
+            "--seeds",
+            "16",
+            "--seed",
+            "9",
+            "--scale",
+            "tiny",
+            "--kinds",
+            "5xx,disconnect",
+            "--faults-per-run",
+            "6",
+            "--stall-ms",
+            "10",
+            "--threads",
+            "3",
+            "--forbid-kind",
+            "disconnect",
+        ]));
+        let cfg = chaos_config_from(&opts).unwrap();
+        assert_eq!(cfg.schedule_seeds, (0..16).collect::<Vec<_>>());
+        assert_eq!(cfg.synth_seed, 9);
+        assert_eq!(cfg.scale, "tiny");
+        assert_eq!(
+            cfg.matrix,
+            gptx_chaos::FaultMatrix::of([
+                gptx::FaultKind::ServerError,
+                gptx::FaultKind::Disconnect
+            ])
+        );
+        assert_eq!(cfg.faults_per_run, 6);
+        assert_eq!(cfg.stall_ms, 10);
+        assert_eq!(cfg.analysis_threads, 3);
+        assert_eq!(cfg.forbid_kind, Some(gptx::FaultKind::Disconnect));
+    }
+
+    #[test]
+    fn chaos_config_from_rejects_bad_flags() {
+        for bad in [
+            &["--seeds", "0"][..],
+            &["--seeds", "lots"][..],
+            &["--scale", "galactic"][..],
+            &["--kinds", "warp"][..],
+            &["--forbid-kind", "warp"][..],
+            &["--stall-ms", "soon"][..],
+        ] {
+            let (_, opts) = split_args(&args(bad));
+            assert!(chaos_config_from(&opts).is_err(), "{bad:?}");
         }
     }
 

@@ -61,5 +61,5 @@ pub use gptx_taxonomy as taxonomy;
 
 // The most-used types at the top level.
 pub use gptx_obs::MetricsRegistry;
-pub use gptx_store::FaultConfig;
+pub use gptx_store::{FaultConfig, FaultKind, FaultPlan};
 pub use gptx_synth::{Ecosystem, SynthConfig};

@@ -14,7 +14,7 @@ use gptx_graph::{build_cooccurrence, CollectionMap, Graph};
 use gptx_llm::{DisclosureLabel, KbModel, LanguageModel};
 use gptx_obs::{Level, MetricsRegistry, SpanContext, Tracer};
 use gptx_policy::{ActionDisclosureReport, PolicyAnalyzer};
-use gptx_store::{ClientError, EcosystemHandle, FaultConfig};
+use gptx_store::{ClientError, EcosystemHandle, FaultConfig, FaultPlan};
 use gptx_synth::{Ecosystem, SynthConfig, STORES};
 use gptx_taxonomy::{DataType, KnowledgeBase};
 use std::collections::BTreeMap;
@@ -94,6 +94,7 @@ impl From<gptx_policy::PipelineError> for RunError {
 pub struct Pipeline {
     config: SynthConfig,
     faults: FaultConfig,
+    fault_plan: FaultPlan,
     crawler_threads: usize,
     pool_size: usize,
     analysis_threads: usize,
@@ -106,6 +107,7 @@ pub struct Pipeline {
 pub struct PipelineBuilder {
     config: SynthConfig,
     faults: FaultConfig,
+    fault_plan: FaultPlan,
     crawler_threads: usize,
     pool_size: Option<usize>,
     analysis_threads: usize,
@@ -119,6 +121,15 @@ impl PipelineBuilder {
     /// exact-recovery tests).
     pub fn faults(mut self, faults: FaultConfig) -> PipelineBuilder {
         self.faults = faults;
+        self
+    }
+
+    /// Attach a schedule-driven [`FaultPlan`] (default: empty): the
+    /// ecosystem server injects wire-level faults at the planned
+    /// request arrival indices, alongside the rate-based profile. The
+    /// chaos harness drives every campaign run through this hook.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> PipelineBuilder {
+        self.fault_plan = plan;
         self
     }
 
@@ -170,6 +181,7 @@ impl PipelineBuilder {
         Pipeline {
             config: self.config,
             faults: self.faults,
+            fault_plan: self.fault_plan,
             crawler_threads: self.crawler_threads,
             pool_size: self.pool_size.unwrap_or(self.crawler_threads),
             analysis_threads: self.analysis_threads,
@@ -186,6 +198,7 @@ impl Pipeline {
         PipelineBuilder {
             config,
             faults: FaultConfig::default(),
+            fault_plan: FaultPlan::default(),
             crawler_threads: 8,
             pool_size: None,
             analysis_threads: 8,
@@ -202,6 +215,12 @@ impl Pipeline {
     /// The fault profile injected by the ecosystem server.
     pub fn faults(&self) -> FaultConfig {
         self.faults
+    }
+
+    /// The schedule-driven fault plan the ecosystem server runs under
+    /// (empty unless attached via [`PipelineBuilder::fault_plan`]).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
     }
 
     pub fn crawler_threads(&self) -> usize {
@@ -252,9 +271,10 @@ impl Pipeline {
             format!("generated ecosystem: {} weeks", eco.weeks.len()),
             root.context(),
         );
-        let server = EcosystemHandle::start_with_config(
+        let server = EcosystemHandle::start_with_plan(
             Arc::clone(&eco),
             self.faults,
+            self.fault_plan.clone(),
             gptx_store::ServerConfig::default()
                 .with_metrics(Arc::clone(metrics))
                 .with_tracer(Arc::clone(tracer)),

@@ -1,0 +1,109 @@
+//! Regression lock for the weekly gizmo-success series.
+//!
+//! The series is stored as explicit `(week, rate)` pairs, one per
+//! crawled week, so it can never misalign with `snapshots` — the bug
+//! this locks in place was a positional `Vec<f64>` that silently
+//! drifted when a week issued no gizmo requests. Pre-fix archives
+//! (serialized before the field existed) must still load, defaulting
+//! to an empty series.
+
+use gptx_crawler::Crawler;
+use gptx_store::{EcosystemHandle, FaultConfig, FaultKind, FaultPlan, ServerConfig};
+use gptx_synth::{Ecosystem, SynthConfig, STORES};
+use std::sync::Arc;
+
+fn store_names() -> Vec<&'static str> {
+    STORES.iter().map(|(n, _)| *n).collect()
+}
+
+/// A campaign crawled with *empty* store listings issues zero gizmo
+/// requests every week — exactly the case that used to desynchronize a
+/// positional series. Every week must still get an entry, keyed by its
+/// week number, with the vacuous success rate 1.0.
+#[test]
+fn weeks_without_gizmo_requests_stay_aligned() {
+    let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(51)));
+    let handle = EcosystemHandle::start(Arc::clone(&eco), FaultConfig::none()).unwrap();
+    let crawler = Crawler::new(handle.addr()).with_threads(2);
+    let weeks: Vec<(u32, String)> = eco.weeks.iter().map(|w| (w.week, w.date.clone())).collect();
+    // No stores → no listings → no gizmo ids → zero gizmo requests.
+    let archive = crawler
+        .crawl_campaign(&weeks, &[], |w| handle.set_week(w))
+        .unwrap();
+    handle.shutdown();
+
+    let expected: Vec<(u32, f64)> = weeks.iter().map(|&(week, _)| (week, 1.0)).collect();
+    assert_eq!(archive.weekly_gizmo_success, expected);
+    assert_eq!(archive.weekly_gizmo_success.len(), archive.snapshots.len());
+    for (entry, snapshot) in archive.weekly_gizmo_success.iter().zip(&archive.snapshots) {
+        assert_eq!(entry.0, snapshot.week, "series keyed by snapshot week");
+    }
+}
+
+/// Under scheduled transient faults the rates move, but the `(week,
+/// rate)` pairing still lines up one-to-one with the snapshots and
+/// every rate stays a probability.
+#[test]
+fn faulted_campaign_keeps_weekly_rates_aligned_and_bounded() {
+    let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(52)));
+    let plan = FaultPlan::from_schedule([
+        (5, FaultKind::ServerError),
+        (30, FaultKind::ServerError),
+        (60, FaultKind::Disconnect),
+    ]);
+    let handle = EcosystemHandle::start_with_plan(
+        Arc::clone(&eco),
+        FaultConfig::none(),
+        plan,
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let crawler = Crawler::new(handle.addr()).with_threads(1).with_retries(3);
+    let weeks: Vec<(u32, String)> = eco.weeks.iter().map(|w| (w.week, w.date.clone())).collect();
+    let archive = crawler
+        .crawl_campaign(&weeks, &store_names(), |w| handle.set_week(w))
+        .unwrap();
+    handle.shutdown();
+
+    assert_eq!(archive.weekly_gizmo_success.len(), archive.snapshots.len());
+    for (entry, snapshot) in archive.weekly_gizmo_success.iter().zip(&archive.snapshots) {
+        assert_eq!(entry.0, snapshot.week);
+        assert!(
+            (0.0..=1.0).contains(&entry.1),
+            "week {} rate {} out of range",
+            entry.0,
+            entry.1
+        );
+    }
+}
+
+/// Archives written before `store_listings`/`weekly_gizmo_success`
+/// existed must still deserialize, with both fields defaulting empty.
+#[test]
+fn pre_fix_archives_load_with_empty_series() {
+    let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(53)));
+    let handle = EcosystemHandle::start(Arc::clone(&eco), FaultConfig::none()).unwrap();
+    let crawler = Crawler::new(handle.addr()).with_threads(2);
+    let weeks: Vec<(u32, String)> = eco.weeks.iter().map(|w| (w.week, w.date.clone())).collect();
+    let archive = crawler
+        .crawl_campaign(&weeks, &store_names(), |w| handle.set_week(w))
+        .unwrap();
+    handle.shutdown();
+    assert!(!archive.weekly_gizmo_success.is_empty());
+    assert!(!archive.store_listings.is_empty());
+
+    // Rewind the serialized form to the pre-fix schema by dropping the
+    // two fields a pre-fix crawler never wrote.
+    let mut value: serde_json::Value = serde_json::from_str(&archive.to_json().unwrap()).unwrap();
+    let object = value.as_object_mut().unwrap();
+    object.remove("weekly_gizmo_success").unwrap();
+    object.remove("store_listings").unwrap();
+    let fixture = serde_json::to_string(&value).unwrap();
+
+    let loaded = gptx_crawler::CrawlArchive::from_json(&fixture).expect("pre-fix archive loads");
+    assert!(loaded.weekly_gizmo_success.is_empty());
+    assert!(loaded.store_listings.is_empty());
+    // Everything else survives the round trip.
+    assert_eq!(loaded.snapshots.len(), archive.snapshots.len());
+    assert_eq!(loaded.policies.len(), archive.policies.len());
+}

@@ -15,8 +15,12 @@
 //!   (the paper could not crawl 1.1% of GPTs and 8.5% of policies), and
 //!   an optional every-Nth transient failure exercises crawler retries.
 
+use crate::fault::{FaultKind, FaultPlan};
 use crate::http::{Request, Response};
-use crate::server::{serve_with, Router, ServerConfig, ServerHandle, FAULT_DISCONNECT_HEADER};
+use crate::server::{
+    serve_with, Router, ServerConfig, ServerHandle, FAULT_DISCONNECT_HEADER, FAULT_GARBAGE_HEADER,
+    FAULT_SLOW_WRITE_HEADER, FAULT_STALL_HEADER,
+};
 use gptx_obs::{MetricsRegistry, SpanContext, TraceSpan, Tracer, TRACE_HEADER};
 use gptx_synth::{Ecosystem, PolicyKind, STORES};
 use std::collections::HashMap;
@@ -67,6 +71,74 @@ impl FaultConfig {
             disconnect_gizmo_rate: 0.0,
         }
     }
+
+    /// A validating builder over [`FaultConfig::none`] — the only
+    /// construction path that rejects out-of-range rates.
+    pub fn builder() -> FaultConfigBuilder {
+        FaultConfigBuilder {
+            config: FaultConfig::none(),
+        }
+    }
+
+    /// Check every rate field is a fraction in `[0.0, 1.0]` (NaN is
+    /// rejected too).
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, rate) in [
+            ("gizmo_failure_rate", self.gizmo_failure_rate),
+            ("malformed_gizmo_rate", self.malformed_gizmo_rate),
+            ("disconnect_gizmo_rate", self.disconnect_gizmo_rate),
+        ] {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!("{name} must be in [0.0, 1.0], got {rate}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`FaultConfig`] that validates rates at construction.
+#[derive(Debug, Clone)]
+pub struct FaultConfigBuilder {
+    config: FaultConfig,
+}
+
+impl FaultConfigBuilder {
+    /// Fraction of gizmo ids that permanently 500.
+    pub fn gizmo_failure_rate(mut self, rate: f64) -> FaultConfigBuilder {
+        self.config.gizmo_failure_rate = rate;
+        self
+    }
+
+    /// Every Nth request fails transiently with 503.
+    pub fn transient_failure_every(mut self, every: u64) -> FaultConfigBuilder {
+        self.config.transient_failure_every = Some(every);
+        self
+    }
+
+    /// Artificial per-request latency in milliseconds.
+    pub fn response_delay_ms(mut self, ms: u64) -> FaultConfigBuilder {
+        self.config.response_delay_ms = ms;
+        self
+    }
+
+    /// Fraction of gizmo ids whose JSON is served truncated.
+    pub fn malformed_gizmo_rate(mut self, rate: f64) -> FaultConfigBuilder {
+        self.config.malformed_gizmo_rate = rate;
+        self
+    }
+
+    /// Fraction of gizmo ids whose response is cut off mid-body.
+    pub fn disconnect_gizmo_rate(mut self, rate: f64) -> FaultConfigBuilder {
+        self.config.disconnect_gizmo_rate = rate;
+        self
+    }
+
+    /// Validate and produce the config; `Err` carries the offending
+    /// field and value.
+    pub fn build(self) -> Result<FaultConfig, String> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
 }
 
 /// Virtual host for a marketplace.
@@ -88,7 +160,12 @@ struct EcosystemRouter {
     eco: Arc<Ecosystem>,
     week: Arc<AtomicUsize>,
     faults: FaultConfig,
+    /// Schedule-driven faults keyed by arrival index (see `fault.rs`).
+    plan: FaultPlan,
     request_counter: AtomicU64,
+    /// Arrival counter for the plan: every routed request (metrics and
+    /// trace endpoints exempt) gets the next index.
+    plan_counter: AtomicU64,
     /// Marketplace virtual host → store name.
     store_hosts: HashMap<String, String>,
     /// Action API host → action identity.
@@ -108,6 +185,7 @@ impl EcosystemRouter {
         eco: Arc<Ecosystem>,
         week: Arc<AtomicUsize>,
         faults: FaultConfig,
+        plan: FaultPlan,
         metrics: Arc<MetricsRegistry>,
         tracer: Arc<Tracer>,
     ) -> EcosystemRouter {
@@ -132,7 +210,9 @@ impl EcosystemRouter {
             eco,
             week,
             faults,
+            plan,
             request_counter: AtomicU64::new(0),
+            plan_counter: AtomicU64::new(0),
             store_hosts,
             api_hosts,
             policy_urls,
@@ -330,9 +410,25 @@ impl Router for EcosystemRouter {
                 return Response::new(503, "text/plain", "try again");
             }
         }
+        // Schedule-driven fault injection: the plan keys on this
+        // arrival's index, so a retry (a fresh arrival) lands on a
+        // clean index and planned faults stay transient.
+        let plan_fault = if self.plan.is_empty() {
+            None
+        } else {
+            self.plan
+                .fault_at(self.plan_counter.fetch_add(1, Ordering::Relaxed))
+        };
+        if let Some(kind) = plan_fault {
+            self.metrics.incr(kind.metric());
+            tspan.attr("fault", kind.as_str());
+            if kind == FaultKind::ServerError {
+                return Response::server_error();
+            }
+        }
 
         let span = self.metrics.span("store.route_us");
-        let (response, label) = self.dispatch(request);
+        let (mut response, label) = self.dispatch(request);
         span.finish();
         if tspan.is_recording() {
             tspan.attr("route", label);
@@ -347,6 +443,32 @@ impl Router for EcosystemRouter {
                 self.metrics
                     .add(&format!("store.status.{}", response.status), 1);
             }
+        }
+        // Planned wire-level faults ride on the response as marker
+        // headers; the connection loop interprets (and strips) them.
+        match plan_fault {
+            Some(FaultKind::Disconnect) => {
+                response
+                    .headers
+                    .insert(FAULT_DISCONNECT_HEADER.to_string(), "1".to_string());
+            }
+            Some(FaultKind::Timeout) => {
+                response.headers.insert(
+                    FAULT_STALL_HEADER.to_string(),
+                    self.plan.stall_ms().to_string(),
+                );
+            }
+            Some(FaultKind::SlowWrite) => {
+                response
+                    .headers
+                    .insert(FAULT_SLOW_WRITE_HEADER.to_string(), "1".to_string());
+            }
+            Some(FaultKind::GarbageBody) => {
+                response
+                    .headers
+                    .insert(FAULT_GARBAGE_HEADER.to_string(), "1".to_string());
+            }
+            Some(FaultKind::ServerError) | None => {}
         }
         response
     }
@@ -403,12 +525,30 @@ impl EcosystemHandle {
         faults: FaultConfig,
         config: ServerConfig,
     ) -> std::io::Result<EcosystemHandle> {
+        EcosystemHandle::start_with_plan(eco, faults, FaultPlan::default(), config)
+    }
+
+    /// [`EcosystemHandle::start_with_config`] with a schedule-driven
+    /// [`FaultPlan`] alongside the rate-based faults: the plan keys
+    /// wire-level faults on request arrival indices, which keeps them
+    /// transient (a retry lands on a fresh index). Rejects a
+    /// `FaultConfig` with rates outside `[0.0, 1.0]`.
+    pub fn start_with_plan(
+        eco: Arc<Ecosystem>,
+        faults: FaultConfig,
+        plan: FaultPlan,
+        config: ServerConfig,
+    ) -> std::io::Result<EcosystemHandle> {
+        faults
+            .validate()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
         let metrics = Arc::clone(&config.metrics);
         let week = Arc::new(AtomicUsize::new(0));
         let router = EcosystemRouter::new(
             eco,
             Arc::clone(&week),
             faults,
+            plan,
             Arc::clone(&metrics),
             Arc::clone(&config.tracer),
         );
@@ -657,6 +797,113 @@ mod tests {
         let snap = handle.metrics().snapshot();
         assert_eq!(snap.counters["store.fault.transient_503"], 3);
         assert_eq!(snap.counters["store.route.listing"], 3);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn fault_config_builder_accepts_boundary_rates() {
+        let config = FaultConfig::builder()
+            .gizmo_failure_rate(0.0)
+            .malformed_gizmo_rate(1.0)
+            .disconnect_gizmo_rate(0.5)
+            .transient_failure_every(3)
+            .response_delay_ms(10)
+            .build()
+            .expect("boundary rates are valid");
+        assert_eq!(config.gizmo_failure_rate, 0.0);
+        assert_eq!(config.malformed_gizmo_rate, 1.0);
+        assert_eq!(config.transient_failure_every, Some(3));
+        assert_eq!(config.response_delay_ms, 10);
+    }
+
+    #[test]
+    fn fault_config_builder_rejects_out_of_range_rates() {
+        for (build, field) in [
+            (
+                FaultConfig::builder().gizmo_failure_rate(-0.001).build(),
+                "gizmo_failure_rate",
+            ),
+            (
+                FaultConfig::builder().malformed_gizmo_rate(1.001).build(),
+                "malformed_gizmo_rate",
+            ),
+            (
+                FaultConfig::builder()
+                    .disconnect_gizmo_rate(f64::NAN)
+                    .build(),
+                "disconnect_gizmo_rate",
+            ),
+        ] {
+            let err = build.expect_err("out-of-range rate must be rejected");
+            assert!(err.contains(field), "{err}");
+        }
+    }
+
+    #[test]
+    fn server_start_rejects_invalid_fault_rates() {
+        let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(7)));
+        let err = EcosystemHandle::start(
+            eco,
+            FaultConfig {
+                gizmo_failure_rate: 2.0,
+                ..FaultConfig::none()
+            },
+        )
+        .expect_err("invalid rate must not start a server");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn fault_plan_injects_by_arrival_index_and_is_transient() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(7)));
+        let metrics = MetricsRegistry::shared();
+        let plan = FaultPlan::from_schedule([(1, FaultKind::ServerError)]);
+        let handle = EcosystemHandle::start_with_plan(
+            Arc::clone(&eco),
+            FaultConfig::none(),
+            plan,
+            ServerConfig::default().with_metrics(Arc::clone(&metrics)),
+        )
+        .unwrap();
+        let client = HttpClient::new(handle.addr());
+        let url = format!("https://{}/", store_host(STORES[0].0));
+        let statuses: Vec<u16> = (0..4).map(|_| client.get(&url).unwrap().status).collect();
+        // Only arrival index 1 is faulted; the same URL succeeds on
+        // every other arrival — the fault is transient by construction.
+        assert_eq!(statuses, vec![200, 500, 200, 200]);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counters["store.fault.plan.5xx"], 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn fault_plan_wire_faults_are_recovered_by_the_client() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(7)));
+        let metrics = MetricsRegistry::shared();
+        // Indices 1 and 3 get wire-level faults; the pooled client's
+        // stale-socket retry hides both (the retry is a new arrival).
+        let plan = FaultPlan::from_schedule([(1, FaultKind::GarbageBody), (3, FaultKind::Timeout)])
+            .with_stall_ms(5);
+        let handle = EcosystemHandle::start_with_plan(
+            Arc::clone(&eco),
+            FaultConfig::none(),
+            plan,
+            ServerConfig::default().with_metrics(Arc::clone(&metrics)),
+        )
+        .unwrap();
+        let client = HttpClient::new(handle.addr()).with_metrics(Arc::clone(&metrics));
+        let url = format!("https://{}/", store_host(STORES[0].0));
+        // Prime the pool, then hit both faulted indices.
+        for _ in 0..5 {
+            let resp = client.get(&url).unwrap();
+            assert_eq!(resp.status, 200);
+        }
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counters["store.fault.plan.garbage_body"], 1);
+        assert_eq!(snap.counters["store.fault.plan.timeout"], 1);
+        assert_eq!(snap.counters["http.client.conn_retries"], 2);
         handle.shutdown();
     }
 

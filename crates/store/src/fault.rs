@@ -1,0 +1,199 @@
+//! Schedule-driven fault injection.
+//!
+//! [`FaultConfig`](crate::FaultConfig) assigns faults to *URLs* (a
+//! hash of the gizmo id decides its fate), which makes faults
+//! permanent: a retry of the same URL fails the same way. A
+//! [`FaultPlan`] instead assigns faults to request *arrival indices* —
+//! "the 42nd request the server routes gets a 5xx". A retry is a new
+//! arrival with a fresh index, so planned faults are naturally
+//! transient and a correct retrying client recovers completely; that
+//! is exactly the property the chaos harness checks when it asserts
+//! the pipeline's artifacts are byte-identical to a fault-free run.
+//!
+//! The module is deliberately `std`-only: the plan is plain data, and
+//! the server loop interprets it (see `server.rs` for the wire-level
+//! behavior of each [`FaultKind`]).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// What happens to a planned request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultKind {
+    /// Respond `500 Internal Server Error` — exercises the crawler's
+    /// 5xx retry path.
+    ServerError,
+    /// Write a truncated response, then drop the connection — the
+    /// server dying mid-stream (same wire behavior as the rate-based
+    /// disconnect fault).
+    Disconnect,
+    /// Stall briefly, then drop the connection without writing any
+    /// response — the client sees the request "time out" as EOF.
+    Timeout,
+    /// Write the complete, correct response, but trickled out in small
+    /// chunks — pure latency; the exchange must still succeed.
+    SlowWrite,
+    /// Write syntactically broken HTTP framing (an unparseable
+    /// `Content-Length`) — the client must surface
+    /// `HttpError::Malformed` and the crawler must retry.
+    GarbageBody,
+}
+
+impl FaultKind {
+    /// Every kind, in a stable order (the chaos matrix default).
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::ServerError,
+        FaultKind::Disconnect,
+        FaultKind::Timeout,
+        FaultKind::SlowWrite,
+        FaultKind::GarbageBody,
+    ];
+
+    /// Stable textual name (CLI flags, repro files).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::ServerError => "5xx",
+            FaultKind::Disconnect => "disconnect",
+            FaultKind::Timeout => "timeout",
+            FaultKind::SlowWrite => "slow-write",
+            FaultKind::GarbageBody => "garbage-body",
+        }
+    }
+
+    /// Inverse of [`FaultKind::as_str`].
+    pub fn parse(s: &str) -> Option<FaultKind> {
+        FaultKind::ALL.into_iter().find(|k| k.as_str() == s)
+    }
+
+    /// The counter bumped when this fault is injected from a plan.
+    pub fn metric(self) -> &'static str {
+        match self {
+            FaultKind::ServerError => "store.fault.plan.5xx",
+            FaultKind::Disconnect => "store.fault.plan.disconnect",
+            FaultKind::Timeout => "store.fault.plan.timeout",
+            FaultKind::SlowWrite => "store.fault.plan.slow_write",
+            FaultKind::GarbageBody => "store.fault.plan.garbage_body",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A schedule of faults keyed by request arrival index.
+///
+/// The ecosystem router counts every routed request (the `/metrics`
+/// and `/trace` observability endpoints are exempt) and consults the
+/// plan for the arrival's index. An empty plan costs nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: BTreeMap<u64, FaultKind>,
+    stall_ms: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan::new()
+    }
+}
+
+/// How long a [`FaultKind::Timeout`] fault stalls before dropping the
+/// connection. Well under the client's 10 s socket timeout: the point
+/// is the dropped response, not the wait.
+pub const DEFAULT_STALL_MS: u64 = 25;
+
+impl FaultPlan {
+    /// [`DEFAULT_STALL_MS`], re-exported where the plan is in scope.
+    pub const DEFAULT_STALL_MS: u64 = DEFAULT_STALL_MS;
+
+    /// An empty plan (no faults; stall defaults to
+    /// [`DEFAULT_STALL_MS`]).
+    pub fn new() -> FaultPlan {
+        FaultPlan {
+            faults: BTreeMap::new(),
+            stall_ms: DEFAULT_STALL_MS,
+        }
+    }
+
+    /// Build a plan from `(arrival index, kind)` pairs.
+    pub fn from_schedule<I: IntoIterator<Item = (u64, FaultKind)>>(schedule: I) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        for (index, kind) in schedule {
+            plan.faults.insert(index, kind);
+        }
+        plan
+    }
+
+    /// Override the timeout-fault stall duration.
+    pub fn with_stall_ms(mut self, stall_ms: u64) -> FaultPlan {
+        self.stall_ms = stall_ms;
+        self
+    }
+
+    /// Schedule `kind` for the request arriving at `index`.
+    pub fn insert(&mut self, index: u64, kind: FaultKind) {
+        self.faults.insert(index, kind);
+    }
+
+    /// The fault planned for arrival `index`, if any.
+    pub fn fault_at(&self, index: u64) -> Option<FaultKind> {
+        self.faults.get(&index).copied()
+    }
+
+    /// The planned faults in arrival order.
+    pub fn schedule(&self) -> impl Iterator<Item = (u64, FaultKind)> + '_ {
+        self.faults.iter().map(|(&i, &k)| (i, k))
+    }
+
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    pub fn stall_ms(&self) -> u64 {
+        self.stall_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in FaultKind::ALL {
+            assert_eq!(FaultKind::parse(kind.as_str()), Some(kind));
+            assert_eq!(format!("{kind}"), kind.as_str());
+        }
+        assert_eq!(FaultKind::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn plan_lookup_and_order() {
+        let plan = FaultPlan::from_schedule([
+            (40, FaultKind::Disconnect),
+            (7, FaultKind::ServerError),
+            (99, FaultKind::GarbageBody),
+        ]);
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.fault_at(7), Some(FaultKind::ServerError));
+        assert_eq!(plan.fault_at(8), None);
+        let order: Vec<u64> = plan.schedule().map(|(i, _)| i).collect();
+        assert_eq!(order, vec![7, 40, 99], "schedule is in arrival order");
+    }
+
+    #[test]
+    fn empty_plan_is_default() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert_eq!(plan, FaultPlan::default());
+        assert_eq!(plan.stall_ms(), DEFAULT_STALL_MS);
+        assert_eq!(plan.with_stall_ms(3).stall_ms(), 3);
+    }
+}

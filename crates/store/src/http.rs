@@ -20,6 +20,10 @@ const MAX_HEADER_BYTES: usize = 16 * 1024;
 /// Maximum accepted chunk-size line (a hex size plus extensions; real
 /// ones are under 20 bytes).
 const MAX_CHUNK_LINE_BYTES: usize = 256;
+/// Write granularity of [`Response::write_slow_to`]: small enough that
+/// a gizmo spec takes several flushes, large enough that the stall per
+/// response stays in the low milliseconds.
+const SLOW_WRITE_CHUNK_BYTES: usize = 512;
 /// Maximum accepted body size (gizmo specs are tens of KB; policies
 /// hundreds of KB at most).
 pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
@@ -257,6 +261,21 @@ impl Response {
         message.extend_from_slice(&self.body);
         stream.write_all(&message)?;
         stream.flush()?;
+        Ok(())
+    }
+
+    /// Fault-injection hook: write the complete, correct message, but
+    /// trickled out in small flushed chunks with a pause between them
+    /// — a slow server that nevertheless answers. The reader ends up
+    /// with a byte-identical message; only latency differs.
+    pub fn write_slow_to<W: Write>(&self, stream: &mut W) -> Result<(), HttpError> {
+        let mut message = self.head_string().into_bytes();
+        message.extend_from_slice(&self.body);
+        for chunk in message.chunks(SLOW_WRITE_CHUNK_BYTES) {
+            stream.write_all(chunk)?;
+            stream.flush()?;
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
         Ok(())
     }
 
@@ -708,6 +727,18 @@ mod tests {
             }
             other => panic!("expected unexpected-eof, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn slow_write_is_byte_identical_to_plain_write() {
+        let resp = Response::ok_text("x".repeat(SLOW_WRITE_CHUNK_BYTES * 3 + 17));
+        let mut plain = Vec::new();
+        resp.write_to(&mut plain).unwrap();
+        let mut slow = Vec::new();
+        resp.write_slow_to(&mut slow).unwrap();
+        assert_eq!(plain, slow);
+        let parsed = Response::read_from(&mut Cursor::new(slow)).unwrap();
+        assert_eq!(parsed.body, resp.body);
     }
 
     #[test]

@@ -12,10 +12,15 @@
 
 pub mod client;
 pub mod ecosystem_server;
+pub mod fault;
 pub mod http;
 pub mod server;
 
 pub use client::{ClientError, HttpClient};
-pub use ecosystem_server::{store_host, EcosystemHandle, FaultConfig};
+pub use ecosystem_server::{store_host, EcosystemHandle, FaultConfig, FaultConfigBuilder};
+pub use fault::{FaultKind, FaultPlan};
 pub use http::{HttpError, Request, Response};
-pub use server::{serve, serve_with, Router, ServerConfig, ServerHandle, FAULT_DISCONNECT_HEADER};
+pub use server::{
+    serve, serve_with, Router, ServerConfig, ServerHandle, FAULT_DISCONNECT_HEADER,
+    FAULT_GARBAGE_HEADER, FAULT_SLOW_WRITE_HEADER, FAULT_STALL_HEADER,
+};

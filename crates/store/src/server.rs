@@ -12,7 +12,7 @@
 
 use crate::http::{configure_stream, HttpError, Request, Response};
 use gptx_obs::{MetricsRegistry, SpanContext, TraceSpan, Tracer, TRACE_HEADER};
-use std::io::BufReader;
+use std::io::{BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -24,6 +24,23 @@ use std::time::Duration;
 /// fault the crawler's pooled-connection retry path is tested against.
 /// Stripped before anything hits the wire.
 pub const FAULT_DISCONNECT_HEADER: &str = "x-gptx-fault-disconnect";
+
+/// Response header a router sets (value: stall in milliseconds) to make
+/// the server stall briefly and then drop the connection without
+/// writing any response — the request "times out" from the client's
+/// point of view. Stripped before anything hits the wire.
+pub const FAULT_STALL_HEADER: &str = "x-gptx-fault-stall-ms";
+
+/// Response header a router sets to make the server write the response
+/// trickled out in small flushed chunks ([`Response::write_slow_to`]) —
+/// a slow but correct server. Stripped before anything hits the wire.
+pub const FAULT_SLOW_WRITE_HEADER: &str = "x-gptx-fault-slow-write";
+
+/// Response header a router sets to make the server emit syntactically
+/// broken HTTP framing (an unparseable `Content-Length`) and drop the
+/// connection — clients must map it to `HttpError::Malformed`. Stripped
+/// before anything hits the wire.
+pub const FAULT_GARBAGE_HEADER: &str = "x-gptx-fault-garbage";
 
 /// Request handler: maps a request to a response. Implementations must
 /// be `Send + Sync`; the server shares one instance across connections.
@@ -287,7 +304,29 @@ fn handle_connection(
             let _ = stream.shutdown(Shutdown::Both);
             break;
         }
-        let write_failed = response.write_to(&mut stream).is_err();
+        // Fault-injection hook: stall, then vanish without a response.
+        if let Some(ms) = response.headers.remove(FAULT_STALL_HEADER) {
+            span.attr("fault", "stall");
+            span.finish();
+            std::thread::sleep(Duration::from_millis(ms.parse().unwrap_or(0)));
+            let _ = stream.shutdown(Shutdown::Both);
+            break;
+        }
+        // Fault-injection hook: emit unparseable framing, then hang up.
+        if response.headers.remove(FAULT_GARBAGE_HEADER).is_some() {
+            span.attr("fault", "garbage");
+            span.finish();
+            let _ = stream.write_all(b"HTTP/1.1 200 OK\r\ncontent-length: banana\r\n\r\n");
+            let _ = stream.flush();
+            let _ = stream.shutdown(Shutdown::Both);
+            break;
+        }
+        let write_failed = if response.headers.remove(FAULT_SLOW_WRITE_HEADER).is_some() {
+            span.attr("fault", "slow_write");
+            response.write_slow_to(&mut stream).is_err()
+        } else {
+            response.write_to(&mut stream).is_err()
+        };
         span.finish();
         if write_failed || !keep_alive {
             break;
@@ -519,6 +558,82 @@ mod tests {
         assert!(
             Response::read_from(&mut reader).is_err(),
             "idle connection should have been closed"
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn stall_fault_header_drops_the_connection_without_a_response() {
+        use crate::http::HttpError;
+        let handle = serve(|_req: &Request| {
+            let mut response = Response::ok_text("never sent");
+            response
+                .headers
+                .insert(FAULT_STALL_HEADER.to_string(), "10".to_string());
+            response
+        })
+        .unwrap();
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        configure_stream(&stream).unwrap();
+        let mut write_half = stream.try_clone().unwrap();
+        Request::get("stall.client", "/")
+            .write_to(&mut write_half)
+            .unwrap();
+        let mut reader = BufReader::new(stream);
+        assert!(
+            matches!(
+                Response::read_from(&mut reader),
+                Err(HttpError::Closed) | Err(HttpError::Io(_))
+            ),
+            "a stalled request must end in EOF, not a response"
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn garbage_fault_header_emits_malformed_framing() {
+        use crate::http::HttpError;
+        let handle = serve(|_req: &Request| {
+            let mut response = Response::ok_text("replaced by garbage");
+            response
+                .headers
+                .insert(FAULT_GARBAGE_HEADER.to_string(), "1".to_string());
+            response
+        })
+        .unwrap();
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        configure_stream(&stream).unwrap();
+        let mut write_half = stream.try_clone().unwrap();
+        Request::get("garbage.client", "/")
+            .write_to(&mut write_half)
+            .unwrap();
+        let mut reader = BufReader::new(stream);
+        match Response::read_from(&mut reader) {
+            Err(HttpError::Malformed(detail)) => {
+                assert!(detail.contains("content-length"), "{detail}")
+            }
+            other => panic!("expected malformed framing, got {other:?}"),
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn slow_write_fault_header_still_delivers_the_full_response() {
+        let handle = serve(|_req: &Request| {
+            let mut response = Response::ok_text("s".repeat(2048));
+            response
+                .headers
+                .insert(FAULT_SLOW_WRITE_HEADER.to_string(), "1".to_string());
+            response
+        })
+        .unwrap();
+        let client = HttpClient::new(handle.addr());
+        let resp = client.get("http://slow.client/").unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.text(), "s".repeat(2048));
+        assert!(
+            !resp.headers.contains_key(FAULT_SLOW_WRITE_HEADER),
+            "fault marker must never reach the wire"
         );
         handle.shutdown();
     }

@@ -62,3 +62,103 @@ proptest! {
         handle.shutdown();
     }
 }
+
+// ---------------------------------------------------------------------------
+// Pure parser properties — no sockets, driven straight through `BufRead`,
+// so the case counts can afford to be much higher than the loopback suite
+// above.
+
+use gptx_store::http::wants_close;
+use gptx_store::HttpError;
+use std::collections::BTreeMap;
+use std::io::{BufReader, Cursor};
+
+/// A valid response wire image with the given body.
+fn response_bytes(status: u16, headers: &[(&str, &str)], body: &[u8]) -> Vec<u8> {
+    let mut response = Response::new(status, "text/plain", body.to_vec());
+    for (k, v) in headers {
+        response.headers.insert(k.to_string(), v.to_string());
+    }
+    let mut wire = Vec::new();
+    response.write_to(&mut wire).unwrap();
+    wire
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes never panic the parsers — every input yields
+    /// `Ok` or a typed `HttpError`, and the bounded-line budget keeps
+    /// memory finite no matter what the wire claims.
+    #[test]
+    fn parsers_never_panic_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Response::read_from(&mut Cursor::new(bytes.clone()));
+        let _ = Request::read_from(&mut Cursor::new(bytes));
+    }
+
+    /// Reading the same message through any buffer capacity — i.e. any
+    /// placement of `fill_buf` boundaries, including mid-line and
+    /// mid-header splits — parses identically to a single-shot read.
+    #[test]
+    fn header_splits_parse_identically_at_any_buffer_size(
+        body in prop::collection::vec(any::<u8>(), 0..256),
+        capacity in 1usize..64,
+        status in prop::sample::select(vec![200u16, 404, 503]),
+    ) {
+        let wire = response_bytes(status, &[("x-probe", "split-me")], &body);
+        let whole = Response::read_from(&mut Cursor::new(wire.clone())).unwrap();
+        let mut chunked = BufReader::with_capacity(capacity, Cursor::new(wire));
+        let split = Response::read_from(&mut chunked).unwrap();
+        prop_assert_eq!(whole, split);
+    }
+
+    /// `Connection` token lists: `close` is honored anywhere in a
+    /// comma-separated list, any case, any spacing — and absent
+    /// `close`, HTTP/1.1 defaults to keep-alive.
+    #[test]
+    fn connection_token_lists_detect_close(
+        mut tokens in prop::collection::vec("[a-zA-Z-]{1,10}", 0..4),
+        close in prop::sample::select(vec!["close", "Close", "CLOSE", " close "]),
+        include_close in any::<bool>(),
+        position in any::<prop::sample::Index>(),
+    ) {
+        tokens.retain(|t| !t.eq_ignore_ascii_case("close"));
+        if include_close {
+            let at = position.index(tokens.len() + 1);
+            tokens.insert(at, close.to_string());
+        }
+        let mut headers = BTreeMap::new();
+        if !tokens.is_empty() {
+            headers.insert("connection".to_string(), tokens.join(","));
+        }
+        prop_assert_eq!(wants_close(&headers), include_close && !tokens.is_empty());
+    }
+
+    /// A `Content-Length` that does not parse is a loud
+    /// [`HttpError::Malformed`] naming the header — never a silently
+    /// empty body.
+    #[test]
+    fn malformed_content_length_is_a_typed_error(garbage in "[a-zA-Z ]{1,12}") {
+        let wire = format!("HTTP/1.1 200 OK\r\ncontent-length: {garbage}\r\n\r\n");
+        match Response::read_from(&mut Cursor::new(wire.into_bytes())) {
+            Err(HttpError::Malformed(detail)) => prop_assert!(
+                detail.contains("content-length"),
+                "error should name the header: {detail}"
+            ),
+            other => prop_assert!(false, "expected Malformed, got {other:?}"),
+        }
+    }
+
+    /// Header lines beyond the 16 KiB budget are rejected as
+    /// [`HttpError::TooLarge`] without buffering the whole line.
+    #[test]
+    fn oversized_header_lines_are_too_large(extra in 1usize..16 * 1024) {
+        let mut wire = b"HTTP/1.1 200 OK\r\nx-huge: ".to_vec();
+        wire.extend(std::iter::repeat(b'a').take(16 * 1024 + extra));
+        wire.extend_from_slice(b"\r\n\r\n");
+        match Response::read_from(&mut Cursor::new(wire)) {
+            Err(HttpError::TooLarge) => {}
+            other => prop_assert!(false, "expected TooLarge, got {other:?}"),
+        }
+    }
+}

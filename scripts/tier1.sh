@@ -19,3 +19,12 @@ trap 'rm -f "$trace_out"' EXIT
 cargo run --release -p gptx-cli -- reproduce t5 \
     --scale tiny --seed 7 --trace "$trace_out" > /dev/null
 cargo run --release -p gptx-cli -- trace-validate "$trace_out"
+
+# chaos_smoke: a bounded campaign over the real CLI binary — a small
+# seed grid with mixed 5xx + disconnect faults must hold every
+# invariant (artifacts byte-identical to the fault-free baseline,
+# counters consistent, traces valid); the command exits non-zero on
+# any violation.
+cargo run --release -p gptx-cli -- chaos \
+    --seeds 4 --scale tiny --seed 7 --faults-per-run 4 \
+    --kinds 5xx,disconnect

@@ -1,0 +1,111 @@
+//! Chaos-harness acceptance: seeded fault campaigns over the live
+//! pipeline hold every invariant, and a deliberately broken invariant
+//! (the test-only forbid-kind hook) shrinks to a 1-minimal schedule
+//! that replays from its emitted repro file.
+
+use gptx::FaultKind;
+use gptx_chaos::{
+    derive_schedule, execute, replay, run_campaign, ChaosConfig, FaultMatrix, ReproFile,
+    MIN_FAULT_GAP,
+};
+
+/// The tentpole acceptance: a mixed-matrix campaign — 5xx, disconnect,
+/// timeout, slow-write, and garbage-body faults scheduled into the live
+/// store server — completes with zero invariant violations. Every
+/// scheduled fault is transient by construction, so the pipeline's
+/// artifacts stay byte-identical to the fault-free baseline and all
+/// counters balance.
+#[test]
+fn mixed_fault_campaign_holds_every_invariant() {
+    let mut cfg = ChaosConfig::new();
+    cfg.synth_seed = 41;
+    cfg.schedule_seeds = vec![0, 1];
+    cfg.matrix = FaultMatrix::all();
+    cfg.faults_per_run = 5;
+    let report = run_campaign(&cfg).expect("campaign runs");
+    assert!(
+        report.baseline_requests > 100,
+        "tiny crawl should issue hundreds of requests, saw {}",
+        report.baseline_requests
+    );
+    assert!(
+        report.faults_scheduled >= 8,
+        "expected both schedules near-full, saw {}",
+        report.faults_scheduled
+    );
+    assert!(report.ok(), "{}", report.summary());
+}
+
+/// Chaos runs are reproducible: the same schedule executed twice gives
+/// byte-identical archives, artifacts, and request counts — the
+/// property that makes shrinking sound.
+#[test]
+fn identical_schedules_give_identical_outcomes() {
+    let mut cfg = ChaosConfig::new();
+    cfg.synth_seed = 42;
+    let baseline = execute(&cfg, &[]).expect("baseline");
+    let schedule = derive_schedule(
+        3,
+        baseline.total_requests(),
+        &FaultMatrix::all(),
+        4,
+        MIN_FAULT_GAP,
+    );
+    assert!(!schedule.is_empty());
+    let a = execute(&cfg, &schedule).expect("first run");
+    let b = execute(&cfg, &schedule).expect("second run");
+    assert_eq!(a.archive_json, b.archive_json);
+    assert_eq!(a.artifacts, b.artifacts);
+    assert_eq!(a.total_requests(), b.total_requests());
+}
+
+/// The self-test hook: forbid disconnect faults, schedule only
+/// disconnects, and the campaign must (1) fail, (2) shrink the
+/// schedule to a single fault, and (3) emit a repro file that
+/// round-trips through the parser and reproduces the violation on
+/// replay.
+#[test]
+fn broken_invariant_shrinks_to_minimal_schedule_and_replays() {
+    let mut cfg = ChaosConfig::new();
+    cfg.synth_seed = 43;
+    cfg.schedule_seeds = vec![5];
+    cfg.matrix = FaultMatrix::of([FaultKind::Disconnect]);
+    cfg.faults_per_run = 4;
+    cfg.forbid_kind = Some(FaultKind::Disconnect);
+
+    let report = run_campaign(&cfg).expect("campaign runs");
+    assert!(!report.ok(), "the forbid hook must trip");
+    assert_eq!(report.failures.len(), 1);
+    let case = &report.failures[0];
+    assert!(
+        case.schedule.len() > 1,
+        "need a multi-fault schedule to make shrinking meaningful"
+    );
+    assert_eq!(
+        case.minimal.len(),
+        1,
+        "any single disconnect trips the hook, so 1-minimal means one fault: {:?}",
+        case.minimal
+    );
+    assert!(case.shrink_runs > 0);
+    assert!(
+        case.violations
+            .iter()
+            .any(|v| v.invariant == "forbid-kind:disconnect"),
+        "{:?}",
+        case.violations
+    );
+
+    // The repro file is self-contained: it round-trips through the
+    // text format and replays to the same violation.
+    let text = case.repro.to_text();
+    let parsed = ReproFile::parse(&text).expect("repro parses");
+    assert_eq!(parsed, case.repro);
+    assert_eq!(parsed.invariant, "forbid-kind:disconnect");
+    let outcome = replay(&parsed).expect("replay runs");
+    assert!(
+        outcome.reproduced(),
+        "replay must observe the recorded violation again: {:?}",
+        outcome.violations
+    );
+}
