@@ -6,6 +6,8 @@
 //! and re-produces every artifact (the rendered outputs are printed once
 //! per target).
 
+pub mod loadgen;
+
 use gptx::{AnalysisRun, FaultConfig, Pipeline, SynthConfig};
 use std::sync::OnceLock;
 

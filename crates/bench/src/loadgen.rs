@@ -1,0 +1,572 @@
+//! A wrk-style closed-loop load generator for the sharded ecosystem
+//! server (`gptx bench load`).
+//!
+//! The generator mirrors the server's own architecture: a handful of
+//! driver threads multiplex hundreds of kept-alive non-blocking
+//! connections through the same readiness [`Poller`] the store's
+//! workers use, so a single process can sustain well over a thousand
+//! concurrent connections on both ends of the wire. Each connection is
+//! closed-loop — it keeps exactly one request in flight, waits for the
+//! full response, records the latency into a `gptx-obs` histogram, and
+//! immediately issues the next request — which makes the reported
+//! percentiles service latencies, not queueing artifacts.
+//!
+//! Traffic is the paper's marketplace workload: every connection is
+//! pinned to one of the 13 stores and fetches its listing page over and
+//! over, with requests routed to the listener that owns the store's
+//! virtual host. [`run_curve`] sweeps 1×/10×/50× of paper scale and
+//! [`LoadReport::to_json`] serializes the machine-readable
+//! `BENCH_load.json` the repo pins at its root.
+
+use gptx::store::net::{Interest, PollEvent, Poller};
+use gptx::store::{shard_for_host, store_host, EcosystemHandle, ServerConfig};
+use gptx::synth::{Ecosystem, SynthConfig, STORES};
+use gptx::{FaultConfig, MetricsRegistry};
+use std::io::{Cursor, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Name of the latency histogram the generator records into.
+pub const LATENCY_METRIC: &str = "bench.load.latency_us";
+
+/// Connections per marketplace at 1× paper scale (13 stores → 26
+/// concurrent connections; 50× is 1,300).
+pub const CONNS_PER_STORE_1X: usize = 2;
+
+/// One load-generator run's knobs. Fields are public, builder-free —
+/// the CLI maps flags straight onto them.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent kept-alive client connections.
+    pub connections: usize,
+    /// Wall-clock run length.
+    pub duration: Duration,
+    /// Driver threads multiplexing the connections.
+    pub threads: usize,
+    /// Ecosystem listener shards (13 = the paper's topology).
+    pub shards: usize,
+    /// Server worker threads per listener — deliberately far fewer
+    /// than `connections`.
+    pub workers: usize,
+    /// p99 latency SLO asserted against the recorded histogram.
+    pub slo_p99_ms: u64,
+    /// Synthetic-ecosystem seed.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            connections: STORES.len() * CONNS_PER_STORE_1X,
+            duration: Duration::from_secs(2),
+            threads: 2,
+            shards: STORES.len(),
+            workers: 4,
+            slo_p99_ms: 250,
+            seed: 0x10AD,
+        }
+    }
+}
+
+impl LoadConfig {
+    /// The config at `scale`× paper scale: connections grow with the
+    /// scale factor, everything else stays fixed (that is the point —
+    /// a bounded worker pool absorbing an unbounded client count).
+    pub fn at_scale(&self, scale: usize) -> LoadConfig {
+        let mut cfg = self.clone();
+        cfg.connections = STORES.len() * CONNS_PER_STORE_1X * scale.max(1);
+        cfg
+    }
+}
+
+/// What one run measured. All latencies are microseconds from the
+/// `bench.load.latency_us` histogram.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    pub scale: usize,
+    pub connections: usize,
+    pub shards: usize,
+    pub server_workers: usize,
+    pub duration_s: f64,
+    /// Responses fully received by the generator.
+    pub requests: u64,
+    /// Transport errors + non-200 responses + reconnects.
+    pub errors: u64,
+    pub rps: f64,
+    pub p50_us: u64,
+    pub p95_us: u64,
+    pub p99_us: u64,
+    pub mean_us: f64,
+    pub max_us: u64,
+    pub slo_p99_us: u64,
+    pub slo_violated: bool,
+    /// The server's own request count (sum of the `store.conn_requests`
+    /// histogram after shutdown).
+    pub requests_served: u64,
+    /// Server-side count reconciles with the client side: every
+    /// response we read was served, and the server served at most one
+    /// extra in-flight request per connection lifetime.
+    pub counter_consistent: bool,
+}
+
+impl LoadReport {
+    /// One JSON object, hand-rolled like the rest of the repo's
+    /// artifacts (numbers and booleans only — nothing to escape).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"scale\":{},\"connections\":{},\"shards\":{},",
+                "\"server_workers\":{},\"duration_s\":{:.3},",
+                "\"requests\":{},\"errors\":{},\"rps\":{:.1},",
+                "\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},",
+                "\"mean_us\":{:.1},\"max_us\":{},\"slo_p99_us\":{},",
+                "\"slo_violated\":{},\"requests_served\":{},",
+                "\"counter_consistent\":{}}}"
+            ),
+            self.scale,
+            self.connections,
+            self.shards,
+            self.server_workers,
+            self.duration_s,
+            self.requests,
+            self.errors,
+            self.rps,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+            self.mean_us,
+            self.max_us,
+            self.slo_p99_us,
+            self.slo_violated,
+            self.requests_served,
+            self.counter_consistent,
+        )
+    }
+
+    /// Human-readable one-liner for the CLI.
+    pub fn render(&self) -> String {
+        format!(
+            "{}x: {} conns over {} shards ({} workers each): {:.0} req/s, \
+             p50 {} us, p95 {} us, p99 {} us (SLO {} us{}), {} errors, \
+             server counted {} ({})",
+            self.scale,
+            self.connections,
+            self.shards,
+            self.server_workers,
+            self.rps,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+            self.slo_p99_us,
+            if self.slo_violated {
+                " VIOLATED"
+            } else {
+                " ok"
+            },
+            self.errors,
+            self.requests_served,
+            if self.counter_consistent {
+                "consistent"
+            } else {
+                "INCONSISTENT"
+            },
+        )
+    }
+
+    /// The run passes: SLO held and the books balance.
+    pub fn passed(&self) -> bool {
+        !self.slo_violated && self.counter_consistent
+    }
+}
+
+/// Serialize a curve of reports as the `BENCH_load.json` document.
+pub fn curve_to_json(reports: &[LoadReport]) -> String {
+    let runs: Vec<String> = reports
+        .iter()
+        .map(|r| format!("  {}", r.to_json()))
+        .collect();
+    format!("{{\"runs\": [\n{}\n]}}\n", runs.join(",\n"))
+}
+
+/// One target: the listener that owns a store's virtual host, plus the
+/// serialized listing-page request to replay on it.
+struct Target {
+    addr: SocketAddr,
+    request: Arc<Vec<u8>>,
+}
+
+fn build_targets(addrs: &[SocketAddr], shards: usize) -> Vec<Target> {
+    STORES
+        .iter()
+        .map(|(name, _)| {
+            let host = store_host(name);
+            let addr = addrs[shard_for_host(&host, shards)];
+            let request = Arc::new(
+                format!("GET / HTTP/1.1\r\nhost: {host}\r\nconnection: keep-alive\r\n\r\n")
+                    .into_bytes(),
+            );
+            Target { addr, request }
+        })
+        .collect()
+}
+
+/// Incremental response parse over a growing buffer: `None` until the
+/// head *and* the declared body are fully buffered, then the consumed
+/// byte count and status.
+fn try_parse_response(buf: &[u8]) -> std::io::Result<Option<(usize, u16)>> {
+    // Cheap scan for the end of the header block before paying for a
+    // full parse attempt.
+    let mut head_end = None;
+    for i in 0..buf.len() {
+        if buf[i] == b'\n' {
+            if buf[i + 1..].starts_with(b"\r\n") {
+                head_end = Some(i + 3);
+                break;
+            }
+            if buf[i + 1..].starts_with(b"\n") {
+                head_end = Some(i + 2);
+                break;
+            }
+        }
+    }
+    if head_end.is_none() {
+        return Ok(None);
+    }
+    let mut cursor = Cursor::new(buf);
+    match gptx::store::Response::read_from(&mut cursor) {
+        Ok(response) => Ok(Some((cursor.position() as usize, response.status))),
+        Err(gptx::store::HttpError::Io(e)) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+            Ok(None) // body still in flight
+        }
+        Err(e) => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            e.to_string(),
+        )),
+    }
+}
+
+/// One kept-alive closed-loop connection.
+struct Conn {
+    stream: TcpStream,
+    target: usize,
+    outbuf: Arc<Vec<u8>>,
+    outpos: usize,
+    inbuf: Vec<u8>,
+    sent_at: Instant,
+    interest: Interest,
+}
+
+impl Conn {
+    fn open(targets: &[Target], target: usize) -> std::io::Result<Conn> {
+        let stream = TcpStream::connect(targets[target].addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_nonblocking(true)?;
+        Ok(Conn {
+            stream,
+            target,
+            outbuf: Arc::clone(&targets[target].request),
+            outpos: 0,
+            inbuf: Vec::new(),
+            sent_at: Instant::now(),
+            interest: Interest::READ_WRITE,
+        })
+    }
+}
+
+struct DriverShared {
+    metrics: Arc<MetricsRegistry>,
+    responses: AtomicU64,
+    errors: AtomicU64,
+    reconnects: AtomicU64,
+}
+
+/// Drive `conn_targets.len()` connections until `deadline`. Transport
+/// failures tear the connection down, count an error, and reconnect —
+/// a dropped request is never silently uncounted.
+fn drive_connections(
+    targets: &[Target],
+    conn_targets: &[usize],
+    deadline: Instant,
+    shared: &DriverShared,
+) -> std::io::Result<()> {
+    let poller = Poller::new()?;
+    let mut conns: Vec<Conn> = Vec::with_capacity(conn_targets.len());
+    for (token, &target) in conn_targets.iter().enumerate() {
+        let conn = Conn::open(targets, target)?;
+        poller.register(conn.stream.as_raw_fd(), token as u64, conn.interest)?;
+        conns.push(conn);
+    }
+    let mut events: Vec<PollEvent> = Vec::new();
+    while Instant::now() < deadline {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        poller.wait(&mut events, Some(remaining.min(Duration::from_millis(100))))?;
+        for event in events.drain(..) {
+            let index = event.token as usize;
+            let Some(conn) = conns.get_mut(index) else {
+                continue;
+            };
+            let healthy = !event.error && step_conn(conn, shared);
+            if healthy {
+                let desired = if conn.outpos < conn.outbuf.len() {
+                    Interest::READ_WRITE
+                } else {
+                    Interest::READ
+                };
+                if desired != conn.interest {
+                    conn.interest = desired;
+                    poller.reregister(conn.stream.as_raw_fd(), event.token, desired)?;
+                }
+            } else {
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+                shared.reconnects.fetch_add(1, Ordering::Relaxed);
+                poller.deregister(conn.stream.as_raw_fd())?;
+                *conn = Conn::open(targets, conn.target)?;
+                poller.register(conn.stream.as_raw_fd(), event.token, conn.interest)?;
+            }
+        }
+    }
+    for conn in &conns {
+        let _ = poller.deregister(conn.stream.as_raw_fd());
+    }
+    Ok(())
+}
+
+/// Pump one connection: flush the pending request, read whatever the
+/// server has, complete responses, and immediately re-arm the next
+/// request. Returns `false` when the connection is no longer usable.
+fn step_conn(conn: &mut Conn, shared: &DriverShared) -> bool {
+    if !flush_request(conn) {
+        return false;
+    }
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        match conn.stream.read(&mut buf) {
+            Ok(0) => return false,
+            Ok(n) => conn.inbuf.extend_from_slice(&buf[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    loop {
+        match try_parse_response(&conn.inbuf) {
+            Ok(None) => return true,
+            Err(_) => return false,
+            Ok(Some((consumed, status))) => {
+                let micros = conn.sent_at.elapsed().as_micros() as u64;
+                shared.metrics.observe_us(LATENCY_METRIC, micros);
+                shared.responses.fetch_add(1, Ordering::Relaxed);
+                if status != 200 {
+                    shared.errors.fetch_add(1, Ordering::Relaxed);
+                }
+                conn.inbuf.drain(..consumed);
+                // Closed loop: arm the next request right away.
+                conn.outpos = 0;
+                conn.sent_at = Instant::now();
+                if !flush_request(conn) {
+                    return false;
+                }
+            }
+        }
+    }
+}
+
+/// Write as much of the pending request as the socket accepts.
+fn flush_request(conn: &mut Conn) -> bool {
+    while conn.outpos < conn.outbuf.len() {
+        match conn.stream.write(&conn.outbuf[conn.outpos..]) {
+            Ok(0) => return false,
+            Ok(n) => conn.outpos += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    true
+}
+
+/// Run one load test at `scale`× paper scale (connections =
+/// 13 stores × 2 × scale) against a freshly generated, freshly served
+/// ecosystem; tear everything down before reporting.
+pub fn run_at_scale(config: &LoadConfig, scale: usize) -> std::io::Result<LoadReport> {
+    execute(config.at_scale(scale), scale.max(1))
+}
+
+/// Run exactly the given config — `connections` is taken literally.
+pub fn run_custom(config: &LoadConfig) -> std::io::Result<LoadReport> {
+    let scale = (config.connections / (STORES.len() * CONNS_PER_STORE_1X)).max(1);
+    execute(config.clone(), scale)
+}
+
+/// The 1×/10×/50× throughput-latency curve (`BENCH_load.json`).
+pub fn run_curve(config: &LoadConfig) -> std::io::Result<Vec<LoadReport>> {
+    [1usize, 10, 50]
+        .iter()
+        .map(|&scale| run_at_scale(config, scale))
+        .collect()
+}
+
+fn execute(config: LoadConfig, scale: usize) -> std::io::Result<LoadReport> {
+    let metrics = MetricsRegistry::shared();
+    let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(config.seed)));
+    let mut server_config = ServerConfig::default()
+        .with_metrics(Arc::clone(&metrics))
+        .with_workers(config.workers)
+        .with_max_connections(config.connections + 64);
+    // Kept-alive connections replay requests for the whole run; the
+    // per-connection cap must never be the bottleneck.
+    server_config.max_requests_per_conn = u64::MAX;
+    server_config.idle_timeout = Duration::from_secs(30);
+    let handle = EcosystemHandle::start_sharded(
+        Arc::clone(&eco),
+        FaultConfig::none(),
+        config.shards,
+        server_config,
+    )?;
+    let addrs = handle.addrs();
+    let targets = build_targets(&addrs, handle.shard_count());
+
+    let shared = Arc::new(DriverShared {
+        metrics: Arc::clone(&metrics),
+        responses: AtomicU64::new(0),
+        errors: AtomicU64::new(0),
+        reconnects: AtomicU64::new(0),
+    });
+    let threads = config.threads.clamp(1, config.connections.max(1));
+    let start = Instant::now();
+    let deadline = start + config.duration;
+    let joins: Vec<_> = (0..threads)
+        .map(|t| {
+            // Connection i hits store i % 13; threads take strided
+            // slices so every thread sees every shard.
+            let conn_targets: Vec<usize> = (0..config.connections)
+                .filter(|i| i % threads == t)
+                .map(|i| i % STORES.len())
+                .collect();
+            let targets: Vec<Target> = targets
+                .iter()
+                .map(|tg| Target {
+                    addr: tg.addr,
+                    request: Arc::clone(&tg.request),
+                })
+                .collect();
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("gptx-loadgen-{t}"))
+                .spawn(move || drive_connections(&targets, &conn_targets, deadline, &shared))
+                .expect("spawn load driver")
+        })
+        .collect();
+    for join in joins {
+        join.join().expect("load driver panicked")?;
+    }
+    let duration_s = start.elapsed().as_secs_f64();
+    // Shutdown closes every server-side connection, which flushes each
+    // one's request count into the store.conn_requests histogram — the
+    // server-side book we reconcile against.
+    handle.shutdown();
+
+    let snap = metrics.snapshot();
+    let latency = snap.histograms.get(LATENCY_METRIC);
+    let requests = shared.responses.load(Ordering::Relaxed);
+    let errors = shared.errors.load(Ordering::Relaxed);
+    let reconnects = shared.reconnects.load(Ordering::Relaxed);
+    let requests_served = snap
+        .histograms
+        .get("store.conn_requests")
+        .map(|h| h.sum_us)
+        .unwrap_or(0);
+    // Every completed response was served; the server may additionally
+    // have served one still-in-flight request per connection lifetime.
+    let counter_consistent = requests_served >= requests
+        && requests_served <= requests + (config.connections as u64) + reconnects;
+    let slo_p99_us = config.slo_p99_ms * 1000;
+    let p99_us = latency.map(|h| h.p99_us).unwrap_or(0);
+    Ok(LoadReport {
+        scale: scale.max(1),
+        connections: config.connections,
+        shards: config.shards,
+        server_workers: config.workers,
+        duration_s,
+        requests,
+        errors,
+        rps: requests as f64 / duration_s.max(f64::EPSILON),
+        p50_us: latency.map(|h| h.p50_us).unwrap_or(0),
+        p95_us: latency.map(|h| h.p95_us).unwrap_or(0),
+        p99_us,
+        mean_us: latency.map(|h| h.mean_us).unwrap_or(0.0),
+        max_us: latency.map(|h| h.max_us).unwrap_or(0),
+        slo_p99_us,
+        slo_violated: requests == 0 || p99_us > slo_p99_us,
+        requests_served,
+        counter_consistent,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_run_reconciles_and_reports() {
+        let config = LoadConfig {
+            connections: 26,
+            duration: Duration::from_millis(400),
+            threads: 2,
+            shards: 3,
+            workers: 2,
+            slo_p99_ms: 5000,
+            seed: 0x10AD,
+        };
+        let report = run_custom(&config).expect("load run");
+        assert!(report.requests > 0, "no responses completed");
+        assert_eq!(report.errors, 0, "transport errors on loopback");
+        assert!(report.counter_consistent, "server/client books disagree");
+        assert!(report.p50_us <= report.p99_us);
+        assert!(report.rps > 0.0);
+        let json = report.to_json();
+        assert!(json.contains("\"p99_us\""));
+        assert!(json.contains("\"counter_consistent\":true"));
+    }
+
+    #[test]
+    fn curve_json_is_a_runs_array() {
+        let report = LoadReport {
+            scale: 1,
+            connections: 26,
+            shards: 13,
+            server_workers: 4,
+            duration_s: 2.0,
+            requests: 1000,
+            errors: 0,
+            rps: 500.0,
+            p50_us: 100,
+            p95_us: 200,
+            p99_us: 300,
+            mean_us: 120.0,
+            max_us: 400,
+            slo_p99_us: 250_000,
+            slo_violated: false,
+            requests_served: 1000,
+            counter_consistent: true,
+        };
+        let json = curve_to_json(&[report.clone(), report]);
+        assert!(json.starts_with("{\"runs\": ["));
+        assert_eq!(json.matches("\"scale\":1").count(), 2);
+    }
+
+    #[test]
+    fn parse_handles_split_responses() {
+        let full = b"HTTP/1.1 200 OK\r\ncontent-type: text/plain\r\ncontent-length: 5\r\n\r\nhello";
+        assert!(try_parse_response(&full[..20]).unwrap().is_none());
+        assert!(try_parse_response(&full[..full.len() - 2])
+            .unwrap()
+            .is_none());
+        let (consumed, status) = try_parse_response(full).unwrap().unwrap();
+        assert_eq!(consumed, full.len());
+        assert_eq!(status, 200);
+    }
+}

@@ -132,6 +132,10 @@ pub fn execute(cfg: &ChaosConfig, schedule: &[(u64, FaultKind)]) -> Result<RunOu
         .faults(FaultConfig::none())
         .fault_plan(plan)
         .crawler_threads(1)
+        // Chaos pins one shard: arrival indices are counted per shard
+        // listener, and a schedule's index-addressed faults only stay
+        // 1-minimal if every request lands on the same counter.
+        .shards(1)
         .pool_size(2)
         .analysis_threads(cfg.analysis_threads)
         .metrics(Arc::clone(&metrics))

@@ -34,6 +34,7 @@ fn main() -> ExitCode {
         "analyze" => analyze(rest),
         "report" => report(rest),
         "chaos" => chaos(rest),
+        "bench" => bench(rest),
         "trace-validate" => trace_validate(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -72,6 +73,12 @@ USAGE:
                                    shrink any failure to a minimal repro)
     gptx chaos --replay FILE       re-run a repro file written by --repro and report
                                    whether the recorded violation reproduces
+    gptx bench load                [--connections N] [--duration-s N] [--threads N]
+                                   [--shards N] [--workers N] [--slo-p99-ms N]
+                                   [--seed N] [--curve] [--out FILE]
+                                   (closed-loop load generator against the sharded
+                                   store; exits nonzero on p99 SLO violation or
+                                   request-counter inconsistency)
     gptx trace-validate FILE       structurally validate a Chrome trace JSON
                                    written by --trace
 
@@ -122,6 +129,22 @@ OPTIONS:
                   chaos (self-test): treat any injected fault of KIND as
                   an invariant violation, to exercise the shrinker and
                   repro pipeline end to end.
+    --connections N
+                  bench load: concurrent kept-alive connections
+                  (default 26 = 2 per marketplace).
+    --duration-s N
+                  bench load: seconds per run (default 2).
+    --shards N    bench load: ecosystem listener shards (default 13, the
+                  paper's marketplace count).
+    --workers N   bench load: server worker threads per listener
+                  (default 4 — the point is workers << connections).
+    --slo-p99-ms N
+                  bench load: p99 latency SLO asserted against the
+                  gptx-obs histogram (default 250).
+    --curve       bench load: sweep 1x/10x/50x paper scale instead of a
+                  single run.
+    --out FILE    bench load: also write the machine-readable report
+                  (the BENCH_load.json format).
 
 SCALES:
     tiny    ~400 GPTs, 4 weeks      (seconds)
@@ -139,7 +162,7 @@ fn split_args(args: &[String]) -> (Vec<String>, std::collections::BTreeMap<Strin
         let a = &args[i];
         if let Some(name) = a.strip_prefix("--") {
             // Boolean flags take no value.
-            if name == "faults" || name == "metrics" {
+            if name == "faults" || name == "metrics" || name == "curve" {
                 options.insert(name.to_string(), "true".to_string());
                 i += 1;
             } else if i + 1 < args.len() {
@@ -912,6 +935,83 @@ fn chaos_replay(path: &str) -> ExitCode {
             outcome.expected_invariant,
             outcome.violations.len()
         );
+        ExitCode::FAILURE
+    }
+}
+
+/// `gptx bench load` — drive the sharded store with the closed-loop
+/// load generator and assert its p99 SLO and counter consistency.
+fn bench(args: &[String]) -> ExitCode {
+    let (positional, options) = split_args(args);
+    if positional.first().map(String::as_str) != Some("load") {
+        eprintln!("bench needs the 'load' subcommand\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    let mut config = gptx_bench::loadgen::LoadConfig::default();
+    let numeric = |name: &str, min: u64| -> Result<Option<u64>, String> {
+        options
+            .get(name)
+            .map(|v| match v.parse::<u64>() {
+                Ok(n) if n >= min => Ok(n),
+                _ => Err(format!("bad --{name} {v:?} (want an integer >= {min})")),
+            })
+            .transpose()
+    };
+    let parsed = (|| -> Result<(), String> {
+        if let Some(n) = numeric("connections", 1)? {
+            config.connections = n as usize;
+        }
+        if let Some(n) = numeric("duration-s", 1)? {
+            config.duration = std::time::Duration::from_secs(n);
+        }
+        if let Some(n) = numeric("threads", 1)? {
+            config.threads = n as usize;
+        }
+        if let Some(n) = numeric("shards", 1)? {
+            config.shards = n as usize;
+        }
+        if let Some(n) = numeric("workers", 1)? {
+            config.workers = n as usize;
+        }
+        if let Some(n) = numeric("slo-p99-ms", 1)? {
+            config.slo_p99_ms = n;
+        }
+        if let Some(n) = numeric("seed", 0)? {
+            config.seed = n;
+        }
+        Ok(())
+    })();
+    if let Err(e) = parsed {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    let result = if options.contains_key("curve") {
+        gptx_bench::loadgen::run_curve(&config)
+    } else {
+        gptx_bench::loadgen::run_custom(&config).map(|r| vec![r])
+    };
+    let reports = match result {
+        Ok(reports) => reports,
+        Err(e) => {
+            eprintln!("load run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for report in &reports {
+        println!("{}", report.render());
+    }
+    if let Some(path) = options.get("out") {
+        let json = gptx_bench::loadgen::curve_to_json(&reports);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("writing {path:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    if reports.iter().all(|r| r.passed()) {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("load SLO violated or counters inconsistent");
         ExitCode::FAILURE
     }
 }

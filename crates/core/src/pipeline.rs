@@ -14,7 +14,7 @@ use gptx_graph::{build_cooccurrence, CollectionMap, Graph};
 use gptx_llm::{DisclosureLabel, KbModel, LanguageModel};
 use gptx_obs::{Level, MetricsRegistry, SpanContext, Tracer};
 use gptx_policy::{ActionDisclosureReport, PolicyAnalyzer};
-use gptx_store::{ClientError, EcosystemHandle, FaultConfig, FaultPlan};
+use gptx_store::{ClientError, EcosystemHandle, FaultConfig, FaultPlan, ShardedEcosystemHandle};
 use gptx_synth::{Ecosystem, SynthConfig, STORES};
 use gptx_taxonomy::{DataType, KnowledgeBase};
 use std::collections::BTreeMap;
@@ -98,6 +98,7 @@ pub struct Pipeline {
     crawler_threads: usize,
     pool_size: usize,
     analysis_threads: usize,
+    shards: usize,
     metrics: Arc<MetricsRegistry>,
     tracer: Arc<Tracer>,
 }
@@ -111,6 +112,7 @@ pub struct PipelineBuilder {
     crawler_threads: usize,
     pool_size: Option<usize>,
     analysis_threads: usize,
+    shards: usize,
     metrics: Arc<MetricsRegistry>,
     tracer: Arc<Tracer>,
 }
@@ -155,6 +157,18 @@ impl PipelineBuilder {
         self
     }
 
+    /// Number of ecosystem listener shards (default 1). With `n > 1`
+    /// the virtual hosts are partitioned across `n` listeners (the
+    /// paper's 13-marketplace topology maps naturally onto 13) and the
+    /// crawler routes each request to the owning shard. Results are
+    /// byte-identical at any shard count. The schedule-driven
+    /// [`PipelineBuilder::fault_plan`] applies to shard 0; the chaos
+    /// harness pins a single shard so arrival indices stay global.
+    pub fn shards(mut self, shards: usize) -> PipelineBuilder {
+        self.shards = shards.max(1);
+        self
+    }
+
     /// Attach a metrics registry: the run records per-stage span
     /// timings (`stage.*`), and the registry is threaded through the
     /// store server, crawler, HTTP client, and analysis worker pools.
@@ -185,8 +199,39 @@ impl PipelineBuilder {
             crawler_threads: self.crawler_threads,
             pool_size: self.pool_size.unwrap_or(self.crawler_threads),
             analysis_threads: self.analysis_threads,
+            shards: self.shards,
             metrics: self.metrics,
             tracer: self.tracer,
+        }
+    }
+}
+
+/// A running ecosystem server, single-listener or sharded — the run
+/// loop drives both through the same four calls.
+enum AnyHandle {
+    Single(EcosystemHandle),
+    Sharded(ShardedEcosystemHandle),
+}
+
+impl AnyHandle {
+    fn addrs(&self) -> Vec<std::net::SocketAddr> {
+        match self {
+            AnyHandle::Single(h) => vec![h.addr()],
+            AnyHandle::Sharded(h) => h.addrs(),
+        }
+    }
+
+    fn set_week(&self, week: usize) {
+        match self {
+            AnyHandle::Single(h) => h.set_week(week),
+            AnyHandle::Sharded(h) => h.set_week(week),
+        }
+    }
+
+    fn shutdown(self) {
+        match self {
+            AnyHandle::Single(h) => h.shutdown(),
+            AnyHandle::Sharded(h) => h.shutdown(),
         }
     }
 }
@@ -202,6 +247,7 @@ impl Pipeline {
             crawler_threads: 8,
             pool_size: None,
             analysis_threads: 8,
+            shards: 1,
             metrics: MetricsRegistry::shared_disabled(),
             tracer: Tracer::shared_disabled(),
         }
@@ -235,6 +281,11 @@ impl Pipeline {
 
     pub fn analysis_threads(&self) -> usize {
         self.analysis_threads
+    }
+
+    /// The number of ecosystem listener shards the run serves from.
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// The metrics registry the run records into (the shared disabled
@@ -271,19 +322,33 @@ impl Pipeline {
             format!("generated ecosystem: {} weeks", eco.weeks.len()),
             root.context(),
         );
-        let server = EcosystemHandle::start_with_plan(
-            Arc::clone(&eco),
-            self.faults,
-            self.fault_plan.clone(),
-            gptx_store::ServerConfig::default()
-                .with_metrics(Arc::clone(metrics))
-                .with_tracer(Arc::clone(tracer)),
-        )?;
+        let server_config = gptx_store::ServerConfig::default()
+            .with_metrics(Arc::clone(metrics))
+            .with_tracer(Arc::clone(tracer));
+        let server = if self.shards > 1 {
+            // The schedule-driven plan counts arrivals per shard; pin
+            // it to shard 0 so single-shard chaos repros stay exact.
+            let mut plans = vec![FaultPlan::default(); self.shards];
+            plans[0] = self.fault_plan.clone();
+            AnyHandle::Sharded(EcosystemHandle::start_sharded_with_plans(
+                Arc::clone(&eco),
+                self.faults,
+                plans,
+                server_config,
+            )?)
+        } else {
+            AnyHandle::Single(EcosystemHandle::start_with_plan(
+                Arc::clone(&eco),
+                self.faults,
+                self.fault_plan.clone(),
+                server_config,
+            )?)
+        };
 
         // 2. Crawl the full campaign. Request spans nest under the
         // crawl-stage span, so one campaign renders as a single tree.
         let tspan = root.child("stage.crawl");
-        let crawler = Crawler::new(server.addr())
+        let crawler = Crawler::new_sharded(server.addrs())
             .with_threads(self.crawler_threads)
             .with_pool(self.pool_size)
             .with_metrics(Arc::clone(metrics))
@@ -739,6 +804,7 @@ mod tests {
         assert_eq!(p.crawler_threads(), 8);
         assert_eq!(p.pool_size(), 8, "pool defaults to the worker count");
         assert_eq!(p.analysis_threads(), 8);
+        assert_eq!(p.shards(), 1, "single listener unless sharded");
         assert!(!p.metrics().enabled());
         assert!(!p.tracer().enabled());
 
@@ -749,12 +815,14 @@ mod tests {
             .crawler_threads(0) // clamps to 1
             .pool_size(0) // pooling off is a legal explicit choice
             .analysis_threads(3)
+            .shards(13)
             .metrics(Arc::clone(&metrics))
             .with_tracing(Arc::clone(&tracer))
             .build();
         assert_eq!(p.crawler_threads(), 1);
         assert_eq!(p.pool_size(), 0);
         assert_eq!(p.analysis_threads(), 3);
+        assert_eq!(p.shards(), 13);
         assert_eq!(p.faults().gizmo_failure_rate, 0.0);
         assert!(p.metrics().enabled());
         assert!(Arc::ptr_eq(p.metrics(), &metrics));

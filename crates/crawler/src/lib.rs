@@ -175,8 +175,18 @@ impl Crawler {
     /// Crawl against the server at `upstream` with 2 retries, a 5 ms
     /// backoff base (loopback-friendly), and 4 worker threads.
     pub fn new(upstream: SocketAddr) -> Crawler {
+        Crawler::new_sharded(vec![upstream])
+    }
+
+    /// Crawl against a sharded ecosystem: one listener per shard, with
+    /// each request routed to `upstreams[shard_for_host(host)]`. The
+    /// crawl itself is topology-blind — the underlying
+    /// [`HttpClient::new_sharded`] picks the listener per request, so
+    /// `crawl_week` output is byte-identical whether the ecosystem runs
+    /// on one listener or thirteen.
+    pub fn new_sharded(upstreams: Vec<SocketAddr>) -> Crawler {
         Crawler {
-            client: HttpClient::new(upstream),
+            client: HttpClient::new_sharded(upstreams),
             max_retries: 2,
             backoff_base: Duration::from_millis(5),
             threads: 4,

@@ -95,10 +95,14 @@ impl Pool {
     }
 }
 
-/// A blocking HTTP client pinned to one upstream address.
+/// A blocking HTTP client pinned to one upstream address — or, for a
+/// sharded topology, one address per shard, selected per request by
+/// hashing the `Host` header with [`crate::shard::shard_for_host`]
+/// (the same partition the sharded server enforces).
 #[derive(Debug, Clone)]
 pub struct HttpClient {
-    upstream: SocketAddr,
+    /// One entry per shard; a single-element vec is the unsharded case.
+    upstreams: Vec<SocketAddr>,
     connect_timeout: Duration,
     metrics: Arc<MetricsRegistry>,
     tracer: Arc<Tracer>,
@@ -110,14 +114,31 @@ impl HttpClient {
     /// Dial `upstream` for every URL. Connection pooling is on by
     /// default with an idle cap of [`DEFAULT_POOL_SIZE`].
     pub fn new(upstream: SocketAddr) -> HttpClient {
+        HttpClient::new_sharded(vec![upstream])
+    }
+
+    /// Dial one of `upstreams` per URL, chosen by the host's shard.
+    /// The idle pool is already keyed by address, so each shard gets
+    /// its own pooled connections for free.
+    ///
+    /// # Panics
+    /// When `upstreams` is empty — a client needs somewhere to dial.
+    pub fn new_sharded(upstreams: Vec<SocketAddr>) -> HttpClient {
+        assert!(!upstreams.is_empty(), "need at least one upstream");
         HttpClient {
-            upstream,
+            upstreams,
             connect_timeout: Duration::from_secs(5),
             metrics: MetricsRegistry::shared_disabled(),
             tracer: Tracer::shared_disabled(),
             pool: Arc::new(Pool::default()),
             max_idle: DEFAULT_POOL_SIZE,
         }
+    }
+
+    /// The upstream address serving this request's virtual host.
+    fn upstream_for(&self, request: &Request) -> SocketAddr {
+        let host = request.host().unwrap_or("").to_ascii_lowercase();
+        self.upstreams[crate::shard::shard_for_host(&host, self.upstreams.len())]
     }
 
     /// Override the connect timeout.
@@ -240,12 +261,13 @@ impl HttpClient {
         mut request: Request,
         span: &mut TraceSpan,
     ) -> Result<Response, ClientError> {
+        let upstream = self.upstream_for(&request);
         if self.max_idle == 0 {
             request
                 .headers
                 .entry("connection".to_string())
                 .or_insert_with(|| "close".to_string());
-            let mut conn = self.open()?;
+            let mut conn = self.open(upstream)?;
             span.attr("conn", "opened");
             return Ok(self.exchange(&mut conn, &request)?);
         }
@@ -253,14 +275,14 @@ impl HttpClient {
             .headers
             .entry("connection".to_string())
             .or_insert_with(|| "keep-alive".to_string());
-        if let Some(mut conn) = self.pool.checkout(self.upstream) {
+        if let Some(mut conn) = self.pool.checkout(upstream) {
             if self.metrics.enabled() {
                 self.metrics.incr("http.client.conn_reused");
             }
             span.attr("conn", "reused");
             match self.exchange(&mut conn, &request) {
                 Ok(response) => {
-                    self.maybe_checkin(conn, &request, &response);
+                    self.maybe_checkin(upstream, conn, &request, &response);
                     return Ok(response);
                 }
                 Err(_) => {
@@ -275,16 +297,16 @@ impl HttpClient {
                 }
             }
         }
-        let mut conn = self.open()?;
+        let mut conn = self.open(upstream)?;
         span.attr("conn", "opened");
         let response = self.exchange(&mut conn, &request)?;
-        self.maybe_checkin(conn, &request, &response);
+        self.maybe_checkin(upstream, conn, &request, &response);
         Ok(response)
     }
 
-    /// Open a fresh connection to the upstream.
-    fn open(&self) -> Result<PooledConn, ClientError> {
-        let stream = TcpStream::connect_timeout(&self.upstream, self.connect_timeout)
+    /// Open a fresh connection to an upstream.
+    fn open(&self, upstream: SocketAddr) -> Result<PooledConn, ClientError> {
+        let stream = TcpStream::connect_timeout(&upstream, self.connect_timeout)
             .map_err(ClientError::Connect)?;
         configure_stream(&stream)?;
         let write = stream.try_clone().map_err(ClientError::Connect)?;
@@ -307,11 +329,17 @@ impl HttpClient {
 
     /// Pool the connection after a clean exchange, unless either side
     /// announced `Connection: close` or the pool is full (an eviction).
-    fn maybe_checkin(&self, conn: PooledConn, request: &Request, response: &Response) {
+    fn maybe_checkin(
+        &self,
+        upstream: SocketAddr,
+        conn: PooledConn,
+        request: &Request,
+        response: &Response,
+    ) {
         if request.wants_close() || response.wants_close() {
             return;
         }
-        if !self.pool.checkin(self.upstream, conn, self.max_idle) && self.metrics.enabled() {
+        if !self.pool.checkin(upstream, conn, self.max_idle) && self.metrics.enabled() {
             self.metrics.incr("http.client.pool_evictions");
         }
     }
@@ -334,6 +362,22 @@ mod tests {
         let r2 = client.get("http://adintelli.ai/privacy").unwrap();
         assert_eq!(r2.text(), "host=adintelli.ai");
         handle.shutdown();
+    }
+
+    #[test]
+    fn sharded_client_routes_hosts_to_their_shard() {
+        // Two upstreams, each echoing its identity: every host must be
+        // dialed on the shard its hash selects, and pooled per shard.
+        let shard0 = serve(|_: &Request| Resp::ok_text("shard-0")).unwrap();
+        let shard1 = serve(|_: &Request| Resp::ok_text("shard-1")).unwrap();
+        let client = HttpClient::new_sharded(vec![shard0.addr(), shard1.addr()]);
+        for host in ["a.test", "b.example", "chat.openai.com", "plugin.surf"] {
+            let expected = format!("shard-{}", crate::shard::shard_for_host(host, 2));
+            let got = client.get(&format!("https://{host}/x")).unwrap().text();
+            assert_eq!(got, expected, "host {host} dialed the wrong shard");
+        }
+        shard0.shutdown();
+        shard1.shutdown();
     }
 
     #[test]

@@ -162,9 +162,16 @@ struct EcosystemRouter {
     faults: FaultConfig,
     /// Schedule-driven faults keyed by arrival index (see `fault.rs`).
     plan: FaultPlan,
+    /// `(shard index, shard count)` when this router is one listener of
+    /// a sharded topology; `None` for a single all-hosts server. A
+    /// request whose virtual host hashes to a different shard is
+    /// answered `421 Misdirected Request` — it must never touch the
+    /// fault counters, so per-shard arrival indexing stays sound.
+    shard: Option<(usize, usize)>,
     request_counter: AtomicU64,
     /// Arrival counter for the plan: every routed request (metrics and
-    /// trace endpoints exempt) gets the next index.
+    /// trace endpoints exempt) gets the next index. Per-router, so a
+    /// sharded topology counts arrivals per shard.
     plan_counter: AtomicU64,
     /// Marketplace virtual host → store name.
     store_hosts: HashMap<String, String>,
@@ -186,6 +193,7 @@ impl EcosystemRouter {
         week: Arc<AtomicUsize>,
         faults: FaultConfig,
         plan: FaultPlan,
+        shard: Option<(usize, usize)>,
         metrics: Arc<MetricsRegistry>,
         tracer: Arc<Tracer>,
     ) -> EcosystemRouter {
@@ -211,6 +219,7 @@ impl EcosystemRouter {
             week,
             faults,
             plan,
+            shard,
             request_counter: AtomicU64::new(0),
             plan_counter: AtomicU64::new(0),
             store_hosts,
@@ -375,6 +384,16 @@ impl Router for EcosystemRouter {
             self.metrics.incr("store.route.trace");
             return Response::ok_json(self.tracer.snapshot().to_chrome_json());
         }
+        // Shard guard: a host that belongs to a different listener of
+        // the topology is misdirected. Answer before any fault counter
+        // moves, so misroutes never perturb per-shard arrival indices.
+        if let Some((index, total)) = self.shard {
+            let host = request.host().unwrap_or("").to_ascii_lowercase();
+            if crate::shard::shard_for_host(&host, total) != index {
+                self.metrics.incr("store.shard.misroute");
+                return Response::new(421, "text/plain", "misdirected request");
+            }
+        }
         // The connection loop re-stamped the propagation header with
         // its own `server.request` span, so this nests one level under
         // it — and two under the client's `http.request` span.
@@ -475,14 +494,10 @@ impl Router for EcosystemRouter {
 }
 
 /// FNV-1a over a string (stable across runs; used for deterministic
-/// fault assignment).
+/// fault assignment). Same hash the shard partition uses — see
+/// [`crate::shard`].
 fn gptx_stats_hash(s: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in s.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    }
-    h
+    crate::shard::fnv1a(s)
 }
 
 /// A running ecosystem server.
@@ -549,12 +564,74 @@ impl EcosystemHandle {
             Arc::clone(&week),
             faults,
             plan,
+            None,
             Arc::clone(&metrics),
             Arc::clone(&config.tracer),
         );
         let server = serve_with(router, config)?;
         Ok(EcosystemHandle {
             server,
+            week,
+            metrics,
+        })
+    }
+
+    /// Serve the ecosystem sharded across `shards` listeners — the
+    /// paper's 13-marketplace topology as 13 (or any n) address
+    /// spaces. Virtual hosts are partitioned by
+    /// [`crate::shard::shard_for_host`]; every listener shares one
+    /// "current week" clock and the config's metrics/tracer, but owns
+    /// its worker pool and its per-shard fault arrival counter. An
+    /// empty [`FaultPlan`] is applied to every shard; use
+    /// [`EcosystemHandle::start_sharded_with_plans`] for per-shard
+    /// schedules.
+    pub fn start_sharded(
+        eco: Arc<Ecosystem>,
+        faults: FaultConfig,
+        shards: usize,
+        config: ServerConfig,
+    ) -> std::io::Result<ShardedEcosystemHandle> {
+        let plans = vec![FaultPlan::default(); shards.max(1)];
+        EcosystemHandle::start_sharded_with_plans(eco, faults, plans, config)
+    }
+
+    /// [`EcosystemHandle::start_sharded`] with one [`FaultPlan`] per
+    /// shard (`plans.len()` is the shard count). Each shard's router
+    /// counts its own arrivals, so a schedule stays deterministic no
+    /// matter what the other shards serve.
+    pub fn start_sharded_with_plans(
+        eco: Arc<Ecosystem>,
+        faults: FaultConfig,
+        plans: Vec<FaultPlan>,
+        config: ServerConfig,
+    ) -> std::io::Result<ShardedEcosystemHandle> {
+        faults
+            .validate()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+        if plans.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "sharded topology needs at least one shard",
+            ));
+        }
+        let total = plans.len();
+        let metrics = Arc::clone(&config.metrics);
+        let week = Arc::new(AtomicUsize::new(0));
+        let mut servers = Vec::with_capacity(total);
+        for (index, plan) in plans.into_iter().enumerate() {
+            let router = EcosystemRouter::new(
+                Arc::clone(&eco),
+                Arc::clone(&week),
+                faults,
+                plan,
+                Some((index, total)),
+                Arc::clone(&metrics),
+                Arc::clone(&config.tracer),
+            );
+            servers.push(serve_with(router, config.clone())?);
+        }
+        Ok(ShardedEcosystemHandle {
+            servers,
             week,
             metrics,
         })
@@ -581,6 +658,48 @@ impl EcosystemHandle {
 
     pub fn shutdown(self) {
         self.server.shutdown();
+    }
+}
+
+/// A sharded ecosystem: one listener per shard, virtual hosts
+/// partitioned by [`crate::shard::shard_for_host`], one shared week
+/// clock.
+pub struct ShardedEcosystemHandle {
+    servers: Vec<ServerHandle>,
+    week: Arc<AtomicUsize>,
+    metrics: Arc<MetricsRegistry>,
+}
+
+impl ShardedEcosystemHandle {
+    /// The listener addresses, indexed by shard.
+    pub fn addrs(&self) -> Vec<SocketAddr> {
+        self.servers.iter().map(|s| s.addr()).collect()
+    }
+
+    /// Number of shards in the topology.
+    pub fn shard_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// The registry every shard's router records into.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Advance (or rewind) the served week on every shard at once.
+    pub fn set_week(&self, week: usize) {
+        self.week.store(week, Ordering::SeqCst);
+    }
+
+    /// Total requests served across all shards.
+    pub fn requests_served(&self) -> u64 {
+        self.servers.iter().map(|s| s.requests_served()).sum()
+    }
+
+    pub fn shutdown(self) {
+        for server in self.servers {
+            server.shutdown();
+        }
     }
 }
 
@@ -912,6 +1031,121 @@ mod tests {
         let (handle, _eco, client) = start();
         let resp = client.get("https://unknown.example/whatever").unwrap();
         assert_eq!(resp.status, 404);
+        handle.shutdown();
+    }
+
+    /// A marketplace host owned by each shard of a 2-shard topology.
+    fn host_per_shard() -> (String, String) {
+        let hosts: Vec<String> = STORES.iter().map(|(n, _)| store_host(n)).collect();
+        let for_shard = |idx: usize| {
+            hosts
+                .iter()
+                .find(|h| crate::shard::shard_for_host(h, 2) == idx)
+                .expect("13 stores cover both shards")
+                .clone()
+        };
+        (for_shard(0), for_shard(1))
+    }
+
+    #[test]
+    fn sharded_topology_answers_own_hosts_and_421s_misroutes() {
+        let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(7)));
+        let metrics = MetricsRegistry::shared();
+        let handle = EcosystemHandle::start_sharded(
+            Arc::clone(&eco),
+            FaultConfig::none(),
+            2,
+            ServerConfig::default().with_metrics(Arc::clone(&metrics)),
+        )
+        .unwrap();
+        let addrs = handle.addrs();
+        assert_eq!(handle.shard_count(), 2);
+        let (host0, host1) = host_per_shard();
+
+        // The owning shard serves the listing.
+        let on_shard0 = HttpClient::new(addrs[0]);
+        assert!(on_shard0
+            .get(&format!("https://{host0}/"))
+            .unwrap()
+            .is_success());
+        // The wrong shard answers 421 and counts the misroute.
+        let misdirected = on_shard0.get(&format!("https://{host1}/")).unwrap();
+        assert_eq!(misdirected.status, 421);
+        // Observability endpoints are shard-exempt.
+        assert!(on_shard0
+            .get(&format!("https://{host1}/metrics"))
+            .unwrap()
+            .is_success());
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counters["store.shard.misroute"], 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn per_shard_fault_plans_count_arrivals_independently() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(7)));
+        let metrics = MetricsRegistry::shared();
+        // Shard 0 faults its second arrival; shard 1 has no plan.
+        let plans = vec![
+            FaultPlan::from_schedule([(1, FaultKind::ServerError)]),
+            FaultPlan::new(),
+        ];
+        let handle = EcosystemHandle::start_sharded_with_plans(
+            Arc::clone(&eco),
+            FaultConfig::none(),
+            plans,
+            ServerConfig::default().with_metrics(Arc::clone(&metrics)),
+        )
+        .unwrap();
+        let addrs = handle.addrs();
+        let (host0, host1) = host_per_shard();
+        let on_shard0 = HttpClient::new(addrs[0]);
+        let on_shard1 = HttpClient::new(addrs[1]);
+        let url0 = format!("https://{host0}/");
+        let url1 = format!("https://{host1}/");
+
+        // Interleave shard-1 traffic between every shard-0 arrival: the
+        // shard-0 schedule must be unaffected by it.
+        let mut statuses = Vec::new();
+        for _ in 0..3 {
+            statuses.push(on_shard0.get(&url0).unwrap().status);
+            assert_eq!(on_shard1.get(&url1).unwrap().status, 200);
+        }
+        assert_eq!(statuses, vec![200, 500, 200]);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counters["store.fault.plan.5xx"], 1);
+        assert_eq!(snap.counters.get("store.shard.misroute"), None);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn sharded_week_clock_is_shared() {
+        let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(7)));
+        let handle = EcosystemHandle::start_sharded(
+            Arc::clone(&eco),
+            FaultConfig::none(),
+            2,
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let addrs = handle.addrs();
+        let (host0, host1) = host_per_shard();
+        let week0_a = HttpClient::new(addrs[0])
+            .get(&format!("https://{host0}/"))
+            .unwrap()
+            .text();
+        handle.set_week(eco.weeks.len() - 1);
+        let last_a = HttpClient::new(addrs[0])
+            .get(&format!("https://{host0}/"))
+            .unwrap()
+            .text();
+        let last_b = HttpClient::new(addrs[1])
+            .get(&format!("https://{host1}/"))
+            .unwrap()
+            .text();
+        assert!(last_a.matches("/g/").count() > week0_a.matches("/g/").count());
+        assert!(!last_b.is_empty());
         handle.shutdown();
     }
 

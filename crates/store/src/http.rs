@@ -15,8 +15,10 @@ use std::io::{BufRead, Write};
 
 /// Maximum accepted header block size (DoS guard). Also bounds the
 /// start line, each individual header line, and a chunked body's
-/// trailer block.
-const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// trailer block. `pub(crate)` so the worker/readiness server can cap
+/// how many bytes it buffers while waiting for a header block to
+/// complete.
+pub(crate) const MAX_HEADER_BYTES: usize = 16 * 1024;
 /// Maximum accepted chunk-size line (a hex size plus extensions; real
 /// ones are under 20 bytes).
 const MAX_CHUNK_LINE_BYTES: usize = 256;
@@ -236,6 +238,7 @@ impl Response {
             400 => "Bad Request",
             404 => "Not Found",
             410 => "Gone",
+            421 => "Misdirected Request",
             429 => "Too Many Requests",
             500 => "Internal Server Error",
             503 => "Service Unavailable",

@@ -14,13 +14,18 @@ pub mod client;
 pub mod ecosystem_server;
 pub mod fault;
 pub mod http;
+pub mod net;
 pub mod server;
+pub mod shard;
 
 pub use client::{ClientError, HttpClient};
-pub use ecosystem_server::{store_host, EcosystemHandle, FaultConfig, FaultConfigBuilder};
+pub use ecosystem_server::{
+    store_host, EcosystemHandle, FaultConfig, FaultConfigBuilder, ShardedEcosystemHandle,
+};
 pub use fault::{FaultKind, FaultPlan};
 pub use http::{HttpError, Request, Response};
 pub use server::{
     serve, serve_with, Router, ServerConfig, ServerHandle, FAULT_DISCONNECT_HEADER,
     FAULT_GARBAGE_HEADER, FAULT_SLOW_WRITE_HEADER, FAULT_STALL_HEADER,
 };
+pub use shard::shard_for_host;

@@ -1,0 +1,572 @@
+//! Readiness polling and raw listener setup over direct libc FFI.
+//!
+//! The worker/readiness server (`server.rs`) multiplexes many
+//! non-blocking connections per thread, which needs two things `std`
+//! does not expose: a readiness poll (epoll on Linux, `poll(2)` on
+//! other unix) and listener socket options (`SO_REUSEADDR`, an explicit
+//! accept backlog). The container this repo builds in has no cargo
+//! registry access, so rather than depending on the `libc` crate we
+//! declare the handful of symbols we need against the system libc that
+//! every Rust binary on these platforms already links.
+//!
+//! Everything here is transport-only plumbing: no HTTP, no routing, no
+//! policy. `server.rs` owns connection lifecycles; the load generator
+//! in `gptx-bench` reuses [`Poller`] from the client side.
+
+use std::io;
+use std::net::TcpListener;
+use std::os::fd::RawFd;
+
+/// Readiness interest for [`Poller::register`]/[`Poller::reregister`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    pub readable: bool,
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read readiness only (the steady state of a kept-alive
+    /// connection waiting for its next request).
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Read and write readiness (a response flush hit `WouldBlock`).
+    pub const READ_WRITE: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+/// One readiness event out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct PollEvent {
+    /// The token the file descriptor was registered under.
+    pub token: u64,
+    pub readable: bool,
+    pub writable: bool,
+    /// Error or hangup — the owner should drive the fd and observe the
+    /// failure through the normal read/write path.
+    pub error: bool,
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::{Interest, PollEvent};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::time::Duration;
+
+    // The epoll_event layout is packed on x86 (kernel ABI); other
+    // architectures use the natural layout. Mirrors the libc crate.
+    #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(C, packed))]
+    #[cfg_attr(not(any(target_arch = "x86", target_arch = "x86_64")), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    /// An epoll instance. Tokens are caller-chosen `u64`s carried in
+    /// the kernel's per-fd data word — no userspace fd map needed.
+    #[derive(Debug)]
+    pub struct Poller {
+        epfd: RawFd,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Poller { epfd })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, event: Option<EpollEvent>) -> io::Result<()> {
+            let mut event = event;
+            let ptr = event
+                .as_mut()
+                .map(|e| e as *mut EpollEvent)
+                .unwrap_or(std::ptr::null_mut());
+            if unsafe { epoll_ctl(self.epfd, op, fd, ptr) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        fn mask(interest: Interest) -> u32 {
+            let mut events = EPOLLRDHUP;
+            if interest.readable {
+                events |= EPOLLIN;
+            }
+            if interest.writable {
+                events |= EPOLLOUT;
+            }
+            events
+        }
+
+        pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let event = EpollEvent {
+                events: Self::mask(interest),
+                data: token,
+            };
+            self.ctl(EPOLL_CTL_ADD, fd, Some(event))
+        }
+
+        pub fn reregister(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let event = EpollEvent {
+                events: Self::mask(interest),
+                data: token,
+            };
+            self.ctl(EPOLL_CTL_MOD, fd, Some(event))
+        }
+
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, None)
+        }
+
+        /// Wait for readiness, appending into `out`. `None` blocks
+        /// until an event arrives.
+        pub fn wait(&self, out: &mut Vec<PollEvent>, timeout: Option<Duration>) -> io::Result<()> {
+            let mut events = [EpollEvent { events: 0, data: 0 }; 64];
+            let timeout_ms: i32 = match timeout {
+                None => -1,
+                // Round up so a 0ns-but-nonzero timeout still sleeps.
+                Some(t) => t.as_millis().min(i32::MAX as u128) as i32,
+            };
+            let n = unsafe {
+                epoll_wait(
+                    self.epfd,
+                    events.as_mut_ptr(),
+                    events.len() as i32,
+                    timeout_ms,
+                )
+            };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            for event in events.iter().take(n as usize) {
+                let bits = event.events;
+                out.push(PollEvent {
+                    token: event.data,
+                    readable: bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    error: bits & (EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod sys {
+    use super::{Interest, PollEvent};
+    use std::collections::BTreeMap;
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    }
+
+    /// `poll(2)` fallback for non-Linux unix: a registration map plus
+    /// a rebuilt pollfd array per wait. O(n) per call, which is fine
+    /// for the portability tier — Linux gets epoll.
+    #[derive(Debug)]
+    pub struct Poller {
+        registered: Mutex<BTreeMap<RawFd, (u64, Interest)>>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller {
+                registered: Mutex::new(BTreeMap::new()),
+            })
+        }
+
+        pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.registered
+                .lock()
+                .expect("poller map")
+                .insert(fd, (token, interest));
+            Ok(())
+        }
+
+        pub fn reregister(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.register(fd, token, interest)
+        }
+
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.registered.lock().expect("poller map").remove(&fd);
+            Ok(())
+        }
+
+        pub fn wait(&self, out: &mut Vec<PollEvent>, timeout: Option<Duration>) -> io::Result<()> {
+            let entries: Vec<(RawFd, u64, Interest)> = self
+                .registered
+                .lock()
+                .expect("poller map")
+                .iter()
+                .map(|(&fd, &(token, interest))| (fd, token, interest))
+                .collect();
+            let mut fds: Vec<PollFd> = entries
+                .iter()
+                .map(|&(fd, _, interest)| PollFd {
+                    fd,
+                    events: if interest.writable {
+                        POLLIN | POLLOUT
+                    } else {
+                        POLLIN
+                    },
+                    revents: 0,
+                })
+                .collect();
+            let timeout_ms: i32 = match timeout {
+                None => -1,
+                Some(t) => t.as_millis().min(i32::MAX as u128) as i32,
+            };
+            let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            for (slot, &(_, token, _)) in fds.iter().zip(entries.iter()) {
+                if slot.revents == 0 {
+                    continue;
+                }
+                out.push(PollEvent {
+                    token,
+                    readable: slot.revents & (POLLIN | POLLHUP) != 0,
+                    writable: slot.revents & POLLOUT != 0,
+                    error: slot.revents & (POLLERR | POLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+pub use sys::Poller;
+
+/// Self-pipe wakeup: the accept loop (and shutdown) writes a byte, the
+/// worker's poller sees the read end become readable. Split into a
+/// cloneable [`WakeSender`] and the worker-owned [`WakeReceiver`].
+pub fn wake_pair() -> io::Result<(WakeSender, WakeReceiver)> {
+    let (read, write) = pipe_nonblocking()?;
+    Ok((WakeSender { fd: write }, WakeReceiver { fd: read }))
+}
+
+/// The write end of a wake pipe. Cheap to clone; safe to signal from
+/// any thread.
+#[derive(Debug)]
+pub struct WakeSender {
+    fd: RawFd,
+}
+
+// The fd is only written to (atomically, one byte) — safe to share.
+unsafe impl Send for WakeSender {}
+unsafe impl Sync for WakeSender {}
+
+impl WakeSender {
+    /// Signal the paired receiver. A full pipe means a wake is already
+    /// pending, which is just as good — the error is ignored.
+    pub fn wake(&self) {
+        let byte = [1u8];
+        unsafe {
+            let _ = write(self.fd, byte.as_ptr(), 1);
+        }
+    }
+}
+
+impl Drop for WakeSender {
+    fn drop(&mut self) {
+        unsafe {
+            let _ = close_fd(self.fd);
+        }
+    }
+}
+
+/// The read end of a wake pipe; register it with a [`Poller`] and
+/// [`WakeReceiver::drain`] on readiness.
+#[derive(Debug)]
+pub struct WakeReceiver {
+    fd: RawFd,
+}
+
+unsafe impl Send for WakeReceiver {}
+
+impl WakeReceiver {
+    pub fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Consume all pending wake bytes (the pipe is non-blocking).
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        loop {
+            let n = unsafe { read(self.fd, buf.as_mut_ptr(), buf.len()) };
+            if n <= 0 {
+                break;
+            }
+        }
+    }
+}
+
+impl Drop for WakeReceiver {
+    fn drop(&mut self) {
+        unsafe {
+            let _ = close_fd(self.fd);
+        }
+    }
+}
+
+extern "C" {
+    #[link_name = "read"]
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    #[link_name = "write"]
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    #[link_name = "close"]
+    fn close_fd(fd: i32) -> i32;
+}
+
+#[cfg(target_os = "linux")]
+fn pipe_nonblocking() -> io::Result<(RawFd, RawFd)> {
+    const O_NONBLOCK: i32 = 0o4000;
+    const O_CLOEXEC: i32 = 0o2000000;
+    extern "C" {
+        fn pipe2(fds: *mut i32, flags: i32) -> i32;
+    }
+    let mut fds = [0i32; 2];
+    if unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok((fds[0], fds[1]))
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+fn pipe_nonblocking() -> io::Result<(RawFd, RawFd)> {
+    const F_SETFL: i32 = 4;
+    const O_NONBLOCK: i32 = 0x0004;
+    extern "C" {
+        fn pipe(fds: *mut i32) -> i32;
+        fn fcntl(fd: i32, cmd: i32, arg: i32) -> i32;
+    }
+    let mut fds = [0i32; 2];
+    if unsafe { pipe(fds.as_mut_ptr()) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    for fd in fds {
+        if unsafe { fcntl(fd, F_SETFL, O_NONBLOCK) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+    }
+    Ok((fds[0], fds[1]))
+}
+
+/// Bind a loopback listener with `SO_REUSEADDR` set and an explicit
+/// accept backlog — `std::net::TcpListener::bind` exposes neither (its
+/// backlog is a hardcoded 128). `SO_REUSEADDR` lets a restarted server
+/// rebind a port still cooling down in TIME_WAIT; the deep backlog
+/// absorbs the connection storm a load generator opens in one burst.
+#[cfg(target_os = "linux")]
+pub fn bind_listener(port: u16, backlog: i32) -> io::Result<TcpListener> {
+    use std::os::fd::{FromRawFd, OwnedFd};
+
+    const AF_INET: i32 = 2;
+    const SOCK_STREAM: i32 = 1;
+    const SOCK_CLOEXEC: i32 = 0o2000000;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+
+    #[repr(C)]
+    struct SockAddrIn {
+        sin_family: u16,
+        sin_port: u16,
+        sin_addr: u32,
+        sin_zero: [u8; 8],
+    }
+
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, name: i32, value: *const i32, len: u32) -> i32;
+        fn bind(fd: i32, addr: *const SockAddrIn, len: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+    }
+
+    unsafe {
+        let fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // From here any failure must close the fd: wrap it immediately.
+        let owned = OwnedFd::from_raw_fd(fd);
+        let one: i32 = 1;
+        if setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, 4) < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let addr = SockAddrIn {
+            sin_family: AF_INET as u16,
+            sin_port: port.to_be(),
+            sin_addr: u32::from(std::net::Ipv4Addr::LOCALHOST).to_be(),
+            sin_zero: [0; 8],
+        };
+        if bind(fd, &addr, std::mem::size_of::<SockAddrIn>() as u32) < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        if listen(fd, backlog) < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(TcpListener::from(owned))
+    }
+}
+
+/// Portable fallback: `std` binding (kernel-default backlog, no
+/// `SO_REUSEADDR`). The Linux build gets the real thing.
+#[cfg(not(target_os = "linux"))]
+pub fn bind_listener(port: u16, _backlog: i32) -> io::Result<TcpListener> {
+    TcpListener::bind(("127.0.0.1", port))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::TcpStream;
+    use std::os::fd::AsRawFd;
+    use std::time::Duration;
+
+    #[test]
+    fn listener_binds_ephemeral_with_backlog() {
+        let listener = bind_listener(0, 64).unwrap();
+        let addr = listener.local_addr().unwrap();
+        assert!(addr.port() != 0);
+        let t = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(b"ping").unwrap();
+        });
+        let (mut accepted, _) = listener.accept().unwrap();
+        let mut buf = [0u8; 4];
+        accepted.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn wake_pair_signals_through_poller() {
+        let poller = Poller::new().unwrap();
+        let (tx, rx) = wake_pair().unwrap();
+        poller.register(rx.fd(), 7, Interest::READ).unwrap();
+
+        // Nothing pending: a short wait returns no events.
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+
+        tx.wake();
+        tx.wake();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(1000)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+        rx.drain();
+
+        // Drained: quiet again.
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn poller_reports_socket_readability_and_writability() {
+        let listener = bind_listener(0, 8).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        client.set_nonblocking(true).unwrap();
+        let (mut served, _) = listener.accept().unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller
+            .register(client.as_raw_fd(), 1, Interest::READ_WRITE)
+            .unwrap();
+
+        // A fresh connected socket is writable but not yet readable.
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(1000)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 1 && e.writable));
+        assert!(!events.iter().any(|e| e.readable));
+
+        served.write_all(b"hi").unwrap();
+        served.flush().unwrap();
+        // Level-triggered: readable shows up once bytes arrive.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            events.clear();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(50)))
+                .unwrap();
+            if events.iter().any(|e| e.token == 1 && e.readable) {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "never readable");
+        }
+        poller.deregister(client.as_raw_fd()).unwrap();
+    }
+}

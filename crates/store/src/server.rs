@@ -1,23 +1,38 @@
-//! A threaded HTTP/1.1 server with keep-alive and graceful shutdown.
+//! A bounded worker/readiness HTTP/1.1 server with keep-alive and
+//! graceful shutdown.
 //!
-//! One accept loop, one handler thread per connection. Each connection
-//! serves multiple requests (`Connection: keep-alive` is the HTTP/1.1
-//! default) until the client asks to close, the idle timeout expires,
-//! or the per-connection request cap is reached — the server always
-//! announces its decision in the response's `Connection` header, so
-//! old `Connection: close` clients keep working unchanged. Shutdown
-//! sets a flag, tears down every tracked connection socket (waking
-//! handler threads blocked in a keep-alive read), and pokes the
-//! listener with a loopback connect so `accept` wakes up.
+//! One accept loop dispatches connections round-robin to a small fixed
+//! pool of worker threads; each worker multiplexes many kept-alive
+//! connections over non-blocking sockets and a readiness poll
+//! (`crate::net::Poller` — epoll on Linux). Workers ≪ connections: the
+//! thread count is a config knob, not a function of load. Each
+//! connection serves multiple requests (`Connection: keep-alive` is the
+//! HTTP/1.1 default) until the client asks to close, the idle timeout
+//! expires, or the per-connection request cap is reached — the server
+//! always announces its decision in the response's `Connection` header,
+//! so old `Connection: close` clients keep working unchanged.
+//!
+//! The accept loop enforces a bounded global connection count
+//! (`ServerConfig::max_connections`): at the cap it parks new sockets
+//! in the kernel backlog and backs off (`store.accept.backpressure`)
+//! instead of growing without limit. Accept errors (EMFILE,
+//! ECONNABORTED) increment `store.accept.errors` and back off
+//! exponentially instead of spinning. Shutdown sets a flag, wakes every
+//! worker through its self-pipe, pokes the listener with a loopback
+//! connect so `accept` returns, and drains: workers flush what they
+//! can, record per-connection stats, and close everything.
 
-use crate::http::{configure_stream, HttpError, Request, Response};
+use crate::http::{HttpError, Request, Response, MAX_BODY_BYTES, MAX_HEADER_BYTES};
+use crate::net::{self, Interest, PollEvent, Poller, WakeReceiver, WakeSender};
 use gptx_obs::{MetricsRegistry, SpanContext, TraceSpan, Tracer, TRACE_HEADER};
-use std::io::{BufReader, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Response header a router sets to make the server write a truncated
 /// response and then drop the connection — the mid-stream-disconnect
@@ -57,7 +72,8 @@ where
     }
 }
 
-/// Connection-handling knobs (the keep-alive policy).
+/// Connection-handling knobs (the keep-alive policy and the worker
+/// pool shape).
 #[derive(Clone)]
 pub struct ServerConfig {
     /// How long a kept-alive connection may sit idle between requests
@@ -67,8 +83,20 @@ pub struct ServerConfig {
     /// answers `Connection: close` (bounds per-connection state and
     /// spreads load across sockets).
     pub max_requests_per_conn: u64,
+    /// Worker threads multiplexing connections. A handful is plenty:
+    /// each worker holds an unbounded number of non-blocking sockets.
+    pub workers: usize,
+    /// Bounded global connection count. At the cap the accept loop
+    /// parks new sockets in the kernel backlog and backs off until a
+    /// live connection closes.
+    pub max_connections: usize,
+    /// Listen backlog passed to `listen(2)` — how many not-yet-accepted
+    /// connections the kernel queues during a connect burst.
+    pub listen_backlog: i32,
     /// Registry for `store.conn_requests` (requests served per
-    /// connection, observed at connection close).
+    /// connection, observed at connection close) and the accept-loop
+    /// counters (`store.accept.errors`, `store.accept.backpressure`,
+    /// `store.worker.<i>.conns`).
     pub metrics: Arc<MetricsRegistry>,
     /// Tracer for `server.request` spans. A request carrying the
     /// [`TRACE_HEADER`] header gets a span parented under the caller's
@@ -82,6 +110,9 @@ impl Default for ServerConfig {
         ServerConfig {
             idle_timeout: Duration::from_secs(5),
             max_requests_per_conn: 1000,
+            workers: 4,
+            max_connections: 1024,
+            listen_backlog: 1024,
             metrics: MetricsRegistry::shared_disabled(),
             tracer: Tracer::shared_disabled(),
         }
@@ -100,21 +131,28 @@ impl ServerConfig {
         self.tracer = tracer;
         self
     }
-}
 
-/// Live connection sockets keyed by connection id, tracked so shutdown
-/// can interrupt handler threads blocked in a keep-alive read. Handlers
-/// remove their own entry on exit, so the map (and its duplicated file
-/// descriptors) stays bounded by the number of live connections.
-type ConnTracker = Arc<Mutex<std::collections::HashMap<u64, TcpStream>>>;
+    /// Set the worker-thread count (clamped to at least 1).
+    pub fn with_workers(mut self, workers: usize) -> ServerConfig {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Set the bounded global connection count.
+    pub fn with_max_connections(mut self, max_connections: usize) -> ServerConfig {
+        self.max_connections = max_connections.max(1);
+        self
+    }
+}
 
 /// A running server; dropping the handle shuts it down.
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    worker_threads: Vec<JoinHandle<()>>,
+    wakes: Vec<Arc<WakeSender>>,
     requests_served: Arc<AtomicU64>,
-    connections: ConnTracker,
 }
 
 impl ServerHandle {
@@ -128,21 +166,23 @@ impl ServerHandle {
         self.requests_served.load(Ordering::Relaxed)
     }
 
-    /// Stop accepting and join the accept loop.
+    /// Stop accepting, drain the workers, and join every thread.
     pub fn shutdown(mut self) {
         self.shutdown_impl();
     }
 
     fn shutdown_impl(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // Wake handler threads blocked waiting for the next request of a
-        // kept-alive connection.
-        for (_, stream) in self.connections.lock().expect("conn tracker").drain() {
-            let _ = stream.shutdown(Shutdown::Both);
+        // Wake every worker out of its readiness wait.
+        for wake in &self.wakes {
+            wake.wake();
         }
         // Poke the listener so the blocking accept returns.
         let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.worker_threads.drain(..) {
             let _ = t.join();
         }
     }
@@ -160,54 +200,101 @@ pub fn serve<R: Router>(router: R) -> std::io::Result<ServerHandle> {
     serve_with(router, ServerConfig::default())
 }
 
+/// Connections handed from the accept loop to a worker, awaiting
+/// adoption into its poller.
+type Inbox = Arc<Mutex<VecDeque<TcpStream>>>;
+
 /// [`serve`] with an explicit [`ServerConfig`].
 pub fn serve_with<R: Router>(router: R, config: ServerConfig) -> std::io::Result<ServerHandle> {
-    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let listener = net::bind_listener(0, config.listen_backlog.max(1))?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
     let requests_served = Arc::new(AtomicU64::new(0));
-    let connections: ConnTracker = Arc::new(Mutex::new(std::collections::HashMap::new()));
-    let router = Arc::new(router);
+    let live = Arc::new(AtomicUsize::new(0));
+    let router: Arc<dyn Router> = Arc::new(router);
+    let workers = config.workers.max(1);
+
+    let mut wakes: Vec<Arc<WakeSender>> = Vec::with_capacity(workers);
+    let mut inboxes: Vec<Inbox> = Vec::with_capacity(workers);
+    let mut worker_threads = Vec::with_capacity(workers);
+    for index in 0..workers {
+        let poller = Poller::new()?;
+        let (wake_tx, wake_rx) = net::wake_pair()?;
+        let inbox: Inbox = Arc::new(Mutex::new(VecDeque::new()));
+        wakes.push(Arc::new(wake_tx));
+        inboxes.push(Arc::clone(&inbox));
+        let ctx = WorkerCtx {
+            index,
+            poller,
+            wake_rx,
+            inbox,
+            router: Arc::clone(&router),
+            config: config.clone(),
+            shutdown: Arc::clone(&shutdown),
+            count: Arc::clone(&requests_served),
+            live: Arc::clone(&live),
+        };
+        let thread = std::thread::Builder::new()
+            .name(format!("gptx-store-worker-{index}"))
+            .spawn(move || run_worker(ctx))?;
+        worker_threads.push(thread);
+    }
 
     let accept_shutdown = Arc::clone(&shutdown);
-    let accept_count = Arc::clone(&requests_served);
-    let accept_conns = Arc::clone(&connections);
+    let accept_live = Arc::clone(&live);
+    let accept_wakes: Vec<Arc<WakeSender>> = wakes.clone();
+    let metrics = Arc::clone(&config.metrics);
+    let max_connections = config.max_connections.max(1);
     let accept_thread = std::thread::Builder::new()
         .name("gptx-store-accept".into())
         .spawn(move || {
-            let mut workers: Vec<JoinHandle<()>> = Vec::new();
-            let mut next_conn_id: u64 = 0;
-            for stream in listener.incoming() {
-                if accept_shutdown.load(Ordering::SeqCst) {
-                    break;
+            let mut next = 0usize;
+            let mut backoff = Duration::from_millis(1);
+            'accept: loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        backoff = Duration::from_millis(1);
+                        if accept_shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        // Bounded global backlog: at the cap, park in
+                        // the kernel queue until a connection closes.
+                        if accept_live.load(Ordering::Acquire) >= max_connections {
+                            if metrics.enabled() {
+                                metrics.incr("store.accept.backpressure");
+                            }
+                            while accept_live.load(Ordering::Acquire) >= max_connections {
+                                if accept_shutdown.load(Ordering::SeqCst) {
+                                    break 'accept;
+                                }
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                        }
+                        accept_live.fetch_add(1, Ordering::AcqRel);
+                        if metrics.enabled() {
+                            metrics.incr(&format!("store.worker.{next}.conns"));
+                        }
+                        inboxes[next]
+                            .lock()
+                            .expect("worker inbox")
+                            .push_back(stream);
+                        accept_wakes[next].wake();
+                        next = (next + 1) % inboxes.len();
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        // EMFILE, ECONNABORTED, …: count it and back
+                        // off instead of spinning on a hot error.
+                        if accept_shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        if metrics.enabled() {
+                            metrics.incr("store.accept.errors");
+                        }
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(Duration::from_millis(100));
+                    }
                 }
-                let Ok(stream) = stream else { continue };
-                let conn_id = next_conn_id;
-                next_conn_id += 1;
-                if let Ok(clone) = stream.try_clone() {
-                    accept_conns
-                        .lock()
-                        .expect("conn tracker")
-                        .insert(conn_id, clone);
-                }
-                let router = Arc::clone(&router);
-                let count = Arc::clone(&accept_count);
-                let config = config.clone();
-                let worker_shutdown = Arc::clone(&accept_shutdown);
-                let worker_conns = Arc::clone(&accept_conns);
-                let worker = std::thread::Builder::new()
-                    .name("gptx-store-conn".into())
-                    .spawn(move || {
-                        handle_connection(stream, &*router, &count, &config, &worker_shutdown);
-                        worker_conns.lock().expect("conn tracker").remove(&conn_id);
-                    })
-                    .expect("spawn connection thread");
-                workers.push(worker);
-                // Reap finished workers so the vec doesn't grow unboundedly.
-                workers.retain(|w| !w.is_finished());
-            }
-            for w in workers {
-                let _ = w.join();
             }
         })?;
 
@@ -215,132 +302,485 @@ pub fn serve_with<R: Router>(router: R, config: ServerConfig) -> std::io::Result
         addr,
         shutdown,
         accept_thread: Some(accept_thread),
+        worker_threads,
+        wakes,
         requests_served,
-        connections,
     })
 }
 
-/// Serve one connection until it closes: read a request, route it,
-/// write the response, repeat while both sides agree to keep the
-/// connection alive.
-fn handle_connection(
+/// The wake pipe's poller token; connection tokens start at 1.
+const WAKE_TOKEN: u64 = 0;
+
+/// Everything a worker thread owns or shares.
+struct WorkerCtx {
+    #[allow(dead_code)]
+    index: usize,
+    poller: Poller,
+    wake_rx: WakeReceiver,
+    inbox: Inbox,
+    router: Arc<dyn Router>,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+    count: Arc<AtomicU64>,
+    live: Arc<AtomicUsize>,
+}
+
+/// One multiplexed connection's state.
+struct Conn {
     stream: TcpStream,
-    router: &dyn Router,
-    count: &AtomicU64,
-    config: &ServerConfig,
-    shutdown: &AtomicBool,
-) {
-    if configure_stream(&stream).is_err() {
+    token: u64,
+    inbuf: Vec<u8>,
+    outbuf: Vec<u8>,
+    outpos: usize,
+    served: u64,
+    close_after_flush: bool,
+    read_closed: bool,
+    interest: Interest,
+    last_activity: Instant,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, token: u64) -> Conn {
+        Conn {
+            stream,
+            token,
+            inbuf: Vec::new(),
+            outbuf: Vec::new(),
+            outpos: 0,
+            served: 0,
+            close_after_flush: false,
+            read_closed: false,
+            interest: Interest::READ,
+            last_activity: Instant::now(),
+        }
+    }
+
+    fn has_pending_output(&self) -> bool {
+        self.outpos < self.outbuf.len()
+    }
+
+    /// Switch the socket to blocking mode and push out any buffered
+    /// response bytes — the fault paths reuse the blocking write
+    /// helpers (`write_truncated_to`, `write_slow_to`) verbatim, and
+    /// those must not overtake responses already queued.
+    fn enter_blocking_and_flush(&mut self) -> bool {
+        if self.stream.set_nonblocking(false).is_err() {
+            return false;
+        }
+        if self.has_pending_output() {
+            let pending = self.outbuf[self.outpos..].to_vec();
+            if self.stream.write_all(&pending).is_err() {
+                return false;
+            }
+        }
+        self.outbuf.clear();
+        self.outpos = 0;
+        true
+    }
+}
+
+/// What to do with a connection after driving it.
+enum Drive {
+    Keep,
+    Close,
+}
+
+/// Control flow out of request processing.
+enum Step {
+    Continue,
+    CloseNow,
+}
+
+/// Incremental parse outcome over a connection's input buffer.
+enum Parse {
+    /// Not enough bytes for a full request yet.
+    Incomplete,
+    /// Syntactically broken (or oversized) — answer 400 and close.
+    Bad,
+    /// A complete request and the bytes it consumed.
+    Complete(Request, usize),
+}
+
+/// Locate the end of the header block (`\r\n\r\n`, or the lenient
+/// `\n\n` the line reader also tolerates). Returns the offset one past
+/// the blank line.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let limit = buf.len().min(MAX_HEADER_BYTES + 4);
+    let window = &buf[..limit];
+    for i in 0..window.len() {
+        if window[i] != b'\n' {
+            continue;
+        }
+        if i + 1 < window.len() && window[i + 1] == b'\n' {
+            return Some(i + 2);
+        }
+        if i + 2 < window.len() && window[i + 1] == b'\r' && window[i + 2] == b'\n' {
+            return Some(i + 3);
+        }
+    }
+    None
+}
+
+/// Try to parse one request from the front of `buf` without consuming
+/// on failure. The header block must be complete before the real
+/// parser runs, so a `Malformed` from it is a true syntax error, never
+/// a partial read; a short body surfaces as `Io(UnexpectedEof)` and
+/// means "wait for more bytes".
+fn try_parse_request(buf: &[u8]) -> Parse {
+    if find_head_end(buf).is_none() {
+        if buf.len() > MAX_HEADER_BYTES {
+            return Parse::Bad;
+        }
+        return Parse::Incomplete;
+    }
+    let mut cursor = std::io::Cursor::new(buf);
+    match Request::read_from(&mut cursor) {
+        Ok(request) => Parse::Complete(request, cursor.position() as usize),
+        Err(HttpError::Io(e)) if e.kind() == std::io::ErrorKind::UnexpectedEof => Parse::Incomplete,
+        Err(_) => Parse::Bad,
+    }
+}
+
+/// The next readiness-wait timeout: the soonest idle deadline across
+/// the worker's connections, capped so the loop re-checks shutdown and
+/// its inbox at a steady cadence regardless.
+fn wait_timeout(conns: &HashMap<u64, Conn>, idle: Duration) -> Duration {
+    const CAP: Duration = Duration::from_millis(500);
+    let now = Instant::now();
+    conns
+        .values()
+        .map(|c| idle.saturating_sub(now.duration_since(c.last_activity)))
+        .min()
+        .map(|d| d.min(CAP))
+        .unwrap_or(CAP)
+}
+
+fn run_worker(ctx: WorkerCtx) {
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token: u64 = WAKE_TOKEN + 1;
+    let mut events: Vec<PollEvent> = Vec::new();
+    if ctx
+        .poller
+        .register(ctx.wake_rx.fd(), WAKE_TOKEN, Interest::READ)
+        .is_err()
+    {
         return;
     }
-    // The read timeout doubles as the keep-alive idle timeout: a
-    // connection with no next request within it is torn down.
-    let _ = stream.set_read_timeout(Some(config.idle_timeout));
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut stream = stream;
-    let mut served = 0u64;
     loop {
-        let mut request = match Request::read_from(&mut reader) {
-            Ok(request) => request,
-            // Clean close between requests, idle timeout, or a client
-            // that vanished: nothing left to answer.
-            Err(HttpError::Closed) | Err(HttpError::Io(_)) => break,
-            Err(_) => {
+        let timeout = wait_timeout(&conns, ctx.config.idle_timeout);
+        events.clear();
+        if ctx.poller.wait(&mut events, Some(timeout)).is_err() {
+            break;
+        }
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        for event in &events {
+            if event.token == WAKE_TOKEN {
+                ctx.wake_rx.drain();
+                adopt_pending(&ctx, &mut conns, &mut next_token);
+                continue;
+            }
+            // A token with no connection is stale (closed earlier in
+            // this same batch) — skip it.
+            let Some(mut conn) = conns.remove(&event.token) else {
+                continue;
+            };
+            match drive_conn(
+                &ctx,
+                &mut conn,
+                event.readable || event.error,
+                event.writable,
+            ) {
+                Drive::Keep => {
+                    update_interest(&ctx, &mut conn);
+                    conns.insert(conn.token, conn);
+                }
+                Drive::Close => close_conn(&ctx, conn),
+            }
+        }
+        // Idle sweep: close connections whose keep-alive lease expired.
+        let now = Instant::now();
+        let expired: Vec<u64> = conns
+            .iter()
+            .filter(|(_, c)| now.duration_since(c.last_activity) >= ctx.config.idle_timeout)
+            .map(|(&t, _)| t)
+            .collect();
+        for token in expired {
+            if let Some(conn) = conns.remove(&token) {
+                close_conn(&ctx, conn);
+            }
+        }
+    }
+    // Graceful drain: flush what goes out without blocking, record
+    // per-connection stats, close everything.
+    for (_, mut conn) in conns.drain() {
+        let _ = flush_out(&mut conn);
+        close_conn(&ctx, conn);
+    }
+    let pending: Vec<TcpStream> = ctx.inbox.lock().expect("worker inbox").drain(..).collect();
+    for stream in pending {
+        drop(stream);
+        ctx.live.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Move connections handed over by the accept loop into the poller.
+fn adopt_pending(ctx: &WorkerCtx, conns: &mut HashMap<u64, Conn>, next_token: &mut u64) {
+    loop {
+        let stream = ctx.inbox.lock().expect("worker inbox").pop_front();
+        let Some(stream) = stream else { break };
+        if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+            ctx.live.fetch_sub(1, Ordering::AcqRel);
+            continue;
+        }
+        // Only felt by the fault paths, which flip to blocking mode:
+        // bounds how long a wedged peer can hold a worker hostage.
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+        let token = *next_token;
+        *next_token += 1;
+        if ctx
+            .poller
+            .register(stream.as_raw_fd(), token, Interest::READ)
+            .is_err()
+        {
+            ctx.live.fetch_sub(1, Ordering::AcqRel);
+            continue;
+        }
+        let mut conn = Conn::new(stream, token);
+        // Serve anything the client already sent before adoption.
+        match drive_conn(ctx, &mut conn, true, false) {
+            Drive::Keep => {
+                update_interest(ctx, &mut conn);
+                conns.insert(token, conn);
+            }
+            Drive::Close => close_conn(ctx, conn),
+        }
+    }
+}
+
+/// Keep the poller registration in sync with what the connection
+/// actually waits for.
+fn update_interest(ctx: &WorkerCtx, conn: &mut Conn) {
+    let desired = Interest {
+        readable: !conn.read_closed,
+        writable: conn.has_pending_output(),
+    };
+    if desired != conn.interest
+        && ctx
+            .poller
+            .reregister(conn.stream.as_raw_fd(), conn.token, desired)
+            .is_ok()
+    {
+        conn.interest = desired;
+    }
+}
+
+/// Tear a connection down and record how many requests it served.
+fn close_conn(ctx: &WorkerCtx, conn: Conn) {
+    let _ = ctx.poller.deregister(conn.stream.as_raw_fd());
+    if ctx.config.metrics.enabled() {
+        ctx.config
+            .metrics
+            .observe_us("store.conn_requests", conn.served);
+    }
+    ctx.live.fetch_sub(1, Ordering::AcqRel);
+}
+
+/// Pump one connection: write what's pending, read what's available,
+/// serve every complete request, decide whether it stays alive.
+fn drive_conn(ctx: &WorkerCtx, conn: &mut Conn, do_read: bool, do_write: bool) -> Drive {
+    if do_write && !flush_out(conn) {
+        return Drive::Close;
+    }
+    if do_read && !conn.read_closed {
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    conn.read_closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.inbuf.extend_from_slice(&buf[..n]);
+                    conn.last_activity = Instant::now();
+                    // A single buffered message can't legitimately
+                    // exceed the header + body bounds.
+                    if conn.inbuf.len() > MAX_HEADER_BYTES + MAX_BODY_BYTES {
+                        return Drive::Close;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return Drive::Close,
+            }
+        }
+    }
+    if let Step::CloseNow = process_inbuf(ctx, conn) {
+        return Drive::Close;
+    }
+    if !flush_out(conn) {
+        return Drive::Close;
+    }
+    if !conn.has_pending_output() && (conn.close_after_flush || conn.read_closed) {
+        return Drive::Close;
+    }
+    Drive::Keep
+}
+
+/// Parse and serve every complete request buffered on the connection
+/// (HTTP/1.1 pipelining falls out: each response is appended to the
+/// output buffer in order).
+fn process_inbuf(ctx: &WorkerCtx, conn: &mut Conn) -> Step {
+    while !conn.close_after_flush {
+        match try_parse_request(&conn.inbuf) {
+            Parse::Incomplete => break,
+            Parse::Bad => {
                 let mut response = Response::new(400, "text/plain", "bad request");
                 response
                     .headers
                     .insert("connection".to_string(), "close".to_string());
-                let _ = response.write_to(&mut stream);
+                let _ = response.write_to(&mut conn.outbuf);
+                conn.inbuf.clear();
+                conn.close_after_flush = true;
                 break;
             }
-        };
-        if shutdown.load(Ordering::SeqCst) {
-            break;
+            Parse::Complete(request, consumed) => {
+                conn.inbuf.drain(..consumed);
+                if ctx.shutdown.load(Ordering::SeqCst) {
+                    return Step::CloseNow;
+                }
+                ctx.count.fetch_add(1, Ordering::Relaxed);
+                conn.served += 1;
+                conn.last_activity = Instant::now();
+                if let Step::CloseNow = serve_one(ctx, conn, request) {
+                    return Step::CloseNow;
+                }
+            }
         }
-        count.fetch_add(1, Ordering::Relaxed);
-        served += 1;
-        // Join the caller's trace: a propagated context parents this
-        // request's server span, and the router sees the server span's
-        // context in the same header so its spans nest deeper still.
-        // The span opens after the keep-alive idle wait (read) so idle
-        // time is never attributed to a request.
-        let mut span = if config.tracer.enabled() {
-            request
-                .headers
-                .get(TRACE_HEADER)
-                .map(String::as_str)
-                .and_then(SpanContext::parse)
-                .map(|remote| config.tracer.start_span("server.request", remote))
-                .unwrap_or_else(TraceSpan::detached)
-        } else {
-            TraceSpan::detached()
-        };
-        if let Some(ctx) = span.context() {
-            span.attr("conn_request", served.to_string());
-            request
-                .headers
-                .insert(TRACE_HEADER.to_string(), ctx.header_value());
-        }
-        let mut response = router.route(&request);
-        let keep_alive = !request.wants_close()
-            && served < config.max_requests_per_conn
-            && !shutdown.load(Ordering::SeqCst);
-        response.headers.insert(
-            "connection".to_string(),
-            if keep_alive { "keep-alive" } else { "close" }.to_string(),
-        );
-        if span.is_recording() {
-            span.attr("status", response.status.to_string());
-            span.attr("keep_alive", if keep_alive { "true" } else { "false" });
-        }
-        // Fault-injection hook: die mid-response (see the header docs).
-        if response.headers.remove(FAULT_DISCONNECT_HEADER).is_some() {
-            span.attr("fault", "disconnect");
-            span.finish();
-            let _ = response.write_truncated_to(&mut stream);
-            let _ = stream.shutdown(Shutdown::Both);
-            break;
-        }
-        // Fault-injection hook: stall, then vanish without a response.
-        if let Some(ms) = response.headers.remove(FAULT_STALL_HEADER) {
-            span.attr("fault", "stall");
-            span.finish();
-            std::thread::sleep(Duration::from_millis(ms.parse().unwrap_or(0)));
-            let _ = stream.shutdown(Shutdown::Both);
-            break;
-        }
-        // Fault-injection hook: emit unparseable framing, then hang up.
-        if response.headers.remove(FAULT_GARBAGE_HEADER).is_some() {
-            span.attr("fault", "garbage");
-            span.finish();
-            let _ = stream.write_all(b"HTTP/1.1 200 OK\r\ncontent-length: banana\r\n\r\n");
-            let _ = stream.flush();
-            let _ = stream.shutdown(Shutdown::Both);
-            break;
-        }
-        let write_failed = if response.headers.remove(FAULT_SLOW_WRITE_HEADER).is_some() {
-            span.attr("fault", "slow_write");
-            response.write_slow_to(&mut stream).is_err()
-        } else {
-            response.write_to(&mut stream).is_err()
-        };
+    }
+    Step::Continue
+}
+
+/// Route one request and enqueue (or, for fault paths, directly write)
+/// its response. Mirrors the per-request semantics of the old
+/// thread-per-connection loop: trace propagation, the keep-alive
+/// decision, the `Connection` header stamp, and the four wire-fault
+/// behaviors.
+fn serve_one(ctx: &WorkerCtx, conn: &mut Conn, mut request: Request) -> Step {
+    let config = &ctx.config;
+    // Join the caller's trace: a propagated context parents this
+    // request's server span, and the router sees the server span's
+    // context in the same header so its spans nest deeper still.
+    let mut span = if config.tracer.enabled() {
+        request
+            .headers
+            .get(TRACE_HEADER)
+            .map(String::as_str)
+            .and_then(SpanContext::parse)
+            .map(|remote| config.tracer.start_span("server.request", remote))
+            .unwrap_or_else(TraceSpan::detached)
+    } else {
+        TraceSpan::detached()
+    };
+    if let Some(span_ctx) = span.context() {
+        span.attr("conn_request", conn.served.to_string());
+        request
+            .headers
+            .insert(TRACE_HEADER.to_string(), span_ctx.header_value());
+    }
+    let mut response = ctx.router.route(&request);
+    let keep_alive = !request.wants_close()
+        && conn.served < config.max_requests_per_conn
+        && !ctx.shutdown.load(Ordering::SeqCst);
+    response.headers.insert(
+        "connection".to_string(),
+        if keep_alive { "keep-alive" } else { "close" }.to_string(),
+    );
+    if span.is_recording() {
+        span.attr("status", response.status.to_string());
+        span.attr("keep_alive", if keep_alive { "true" } else { "false" });
+    }
+    // Fault-injection hook: die mid-response (see the header docs).
+    if response.headers.remove(FAULT_DISCONNECT_HEADER).is_some() {
+        span.attr("fault", "disconnect");
         span.finish();
-        if write_failed || !keep_alive {
-            break;
+        if conn.enter_blocking_and_flush() {
+            let _ = response.write_truncated_to(&mut conn.stream);
+        }
+        let _ = conn.stream.shutdown(Shutdown::Both);
+        return Step::CloseNow;
+    }
+    // Fault-injection hook: stall, then vanish without a response.
+    if let Some(ms) = response.headers.remove(FAULT_STALL_HEADER) {
+        span.attr("fault", "stall");
+        span.finish();
+        let _ = conn.enter_blocking_and_flush();
+        std::thread::sleep(Duration::from_millis(ms.parse().unwrap_or(0)));
+        let _ = conn.stream.shutdown(Shutdown::Both);
+        return Step::CloseNow;
+    }
+    // Fault-injection hook: emit unparseable framing, then hang up.
+    if response.headers.remove(FAULT_GARBAGE_HEADER).is_some() {
+        span.attr("fault", "garbage");
+        span.finish();
+        if conn.enter_blocking_and_flush() {
+            let _ = conn
+                .stream
+                .write_all(b"HTTP/1.1 200 OK\r\ncontent-length: banana\r\n\r\n");
+            let _ = conn.stream.flush();
+        }
+        let _ = conn.stream.shutdown(Shutdown::Both);
+        return Step::CloseNow;
+    }
+    // Fault-injection hook: the full correct response, trickled.
+    if response.headers.remove(FAULT_SLOW_WRITE_HEADER).is_some() {
+        span.attr("fault", "slow_write");
+        let delivered =
+            conn.enter_blocking_and_flush() && response.write_slow_to(&mut conn.stream).is_ok();
+        span.finish();
+        if !delivered || !keep_alive || conn.stream.set_nonblocking(true).is_err() {
+            return Step::CloseNow;
+        }
+        conn.last_activity = Instant::now();
+        return Step::Continue;
+    }
+    let _ = response.write_to(&mut conn.outbuf);
+    span.finish();
+    if !keep_alive {
+        conn.close_after_flush = true;
+    }
+    Step::Continue
+}
+
+/// Push buffered response bytes out without blocking. Returns false if
+/// the connection is broken.
+fn flush_out(conn: &mut Conn) -> bool {
+    while conn.outpos < conn.outbuf.len() {
+        match conn.stream.write(&conn.outbuf[conn.outpos..]) {
+            Ok(0) => return false,
+            Ok(n) => {
+                conn.outpos += n;
+                conn.last_activity = Instant::now();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
         }
     }
-    if config.metrics.enabled() {
-        config.metrics.observe_us("store.conn_requests", served);
+    if conn.outpos >= conn.outbuf.len() {
+        conn.outbuf.clear();
+        conn.outpos = 0;
     }
+    true
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::client::HttpClient;
+    use crate::http::configure_stream;
+    use std::io::BufReader;
 
     fn echo_router(req: &Request) -> Response {
         Response::ok_text(format!("{} {}", req.method, req.target))
@@ -390,7 +830,7 @@ mod tests {
     #[test]
     fn shutdown_interrupts_idle_keepalive_connections() {
         // A client parks an idle kept-alive connection; shutdown must
-        // not wait out the full idle timeout to join the handler.
+        // not wait out the full idle timeout to join the workers.
         let handle = serve_with(
             echo_router,
             ServerConfig {
@@ -438,8 +878,6 @@ mod tests {
     fn connection_close_client_is_honored() {
         // The pre-keep-alive client contract: send `Connection: close`,
         // get one response with `Connection: close`, then EOF.
-        use crate::http::HttpError;
-
         let handle = serve(echo_router).unwrap();
         let stream = TcpStream::connect(handle.addr()).unwrap();
         configure_stream(&stream).unwrap();
@@ -564,7 +1002,6 @@ mod tests {
 
     #[test]
     fn stall_fault_header_drops_the_connection_without_a_response() {
-        use crate::http::HttpError;
         let handle = serve(|_req: &Request| {
             let mut response = Response::ok_text("never sent");
             response
@@ -592,7 +1029,6 @@ mod tests {
 
     #[test]
     fn garbage_fault_header_emits_malformed_framing() {
-        use crate::http::HttpError;
         let handle = serve(|_req: &Request| {
             let mut response = Response::ok_text("replaced by garbage");
             response
@@ -640,7 +1076,6 @@ mod tests {
 
     #[test]
     fn disconnect_fault_header_truncates_the_response() {
-        use crate::http::HttpError;
         let handle = serve(|_req: &Request| {
             let mut response = Response::ok_text("full body that never arrives");
             response
@@ -660,6 +1095,120 @@ mod tests {
             Err(HttpError::Io(e)) => assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof),
             other => panic!("expected truncated body, got {other:?}"),
         }
+        handle.shutdown();
+    }
+
+    // ---- worker/readiness-model specifics -----------------------------
+
+    #[test]
+    fn few_workers_serve_many_keepalive_clients() {
+        // Workers ≪ connections: one worker thread multiplexes every
+        // kept-alive socket and nothing is dropped.
+        let handle = serve_with(
+            echo_router,
+            ServerConfig {
+                workers: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = handle.addr();
+        let threads: Vec<_> = (0..4)
+            .map(|c| {
+                std::thread::spawn(move || {
+                    let client = HttpClient::new(addr);
+                    for i in 0..5 {
+                        let resp = client.get(&format!("http://t.local/{c}/{i}")).unwrap();
+                        assert_eq!(resp.text(), format!("GET /{c}/{i}"));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(handle.requests_served(), 20);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn pipelined_requests_get_ordered_responses() {
+        // Two requests in one segment: the worker parses both from its
+        // input buffer and answers in order on the same socket.
+        let handle = serve(echo_router).unwrap();
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        configure_stream(&stream).unwrap();
+        let mut write_half = stream.try_clone().unwrap();
+        let mut wire = Vec::new();
+        Request::get("pipe.client", "/first")
+            .write_to(&mut wire)
+            .unwrap();
+        Request::get("pipe.client", "/second")
+            .write_to(&mut wire)
+            .unwrap();
+        write_half.write_all(&wire).unwrap();
+        write_half.flush().unwrap();
+        let mut reader = BufReader::new(stream);
+        let first = Response::read_from(&mut reader).unwrap();
+        let second = Response::read_from(&mut reader).unwrap();
+        assert_eq!(first.text(), "GET /first");
+        assert_eq!(second.text(), "GET /second");
+        assert_eq!(handle.requests_served(), 2);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn connection_cap_applies_backpressure_not_drops() {
+        // max_connections: 1 with a short idle timeout — the second
+        // client waits in the kernel backlog until the first idles out,
+        // then gets served. Nothing is refused or dropped.
+        let metrics = MetricsRegistry::shared();
+        let handle = serve_with(
+            echo_router,
+            ServerConfig {
+                max_connections: 1,
+                idle_timeout: Duration::from_millis(100),
+                ..ServerConfig::default()
+            }
+            .with_metrics(Arc::clone(&metrics)),
+        )
+        .unwrap();
+        // First client parks a kept-alive connection, occupying the cap.
+        let parked = TcpStream::connect(handle.addr()).unwrap();
+        configure_stream(&parked).unwrap();
+        let mut write_half = parked.try_clone().unwrap();
+        Request::get("cap.client", "/hold")
+            .write_to(&mut write_half)
+            .unwrap();
+        let mut reader = BufReader::new(parked);
+        assert!(Response::read_from(&mut reader).is_ok());
+        // Second client must still get through once the first idles out.
+        let client = HttpClient::new(handle.addr());
+        let resp = client.get("http://t.local/queued").unwrap();
+        assert_eq!(resp.text(), "GET /queued");
+        handle.shutdown();
+        let snap = metrics.snapshot();
+        assert!(
+            snap.counters.get("store.accept.backpressure").copied() >= Some(1),
+            "the capped accept loop must record backpressure"
+        );
+    }
+
+    #[test]
+    fn malformed_request_gets_400_and_close() {
+        let handle = serve(echo_router).unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        configure_stream(&stream).unwrap();
+        stream.write_all(b"NONSENSE\r\n\r\n").unwrap();
+        stream.flush().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let response = Response::read_from(&mut reader).unwrap();
+        assert_eq!(response.status, 400);
+        assert_eq!(
+            response.headers.get("connection").map(String::as_str),
+            Some("close")
+        );
+        assert!(Response::read_from(&mut reader).is_err());
         handle.shutdown();
     }
 }

@@ -1,0 +1,71 @@
+//! Virtual-host → shard assignment.
+//!
+//! The paper's ecosystem spans 13 third-party marketplaces; a sharded
+//! deployment runs one listener per shard and partitions the virtual
+//! hosts across them. Client and server must agree on the partition
+//! with zero coordination, so both sides derive it from the same pure
+//! function of the host name. The hash is FNV-1a — the same stable
+//! algorithm the rest of the repo uses for deterministic
+//! seed-independent hashing — so the assignment never moves between
+//! runs, platforms, or compiler versions.
+
+/// FNV-1a over a string: stable across platforms and releases.
+pub fn fnv1a(s: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in s.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+/// The shard a virtual host belongs to, for a topology of `shards`
+/// listeners. A topology of 0 or 1 shards puts everything on shard 0.
+pub fn shard_for_host(host: &str, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    (fnv1a(host) % shards as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_stable() {
+        // Pinned values: the partition must never move between builds.
+        assert_eq!(fnv1a(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a("a"), 0xaf74_d84c_8601_ec8c);
+    }
+
+    #[test]
+    fn single_shard_takes_everything() {
+        assert_eq!(shard_for_host("anything.example", 0), 0);
+        assert_eq!(shard_for_host("anything.example", 1), 0);
+    }
+
+    #[test]
+    fn assignment_is_deterministic_and_in_range() {
+        for shards in [2usize, 3, 13] {
+            for host in ["gpts.store", "api.example.dev", "chat.openai.com"] {
+                let a = shard_for_host(host, shards);
+                let b = shard_for_host(host, shards);
+                assert_eq!(a, b);
+                assert!(a < shards);
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_shards_are_actually_used() {
+        // 13 marketplace-like hosts over 13 shards: more than one shard
+        // must receive traffic (sanity against a degenerate hash).
+        let hosts: Vec<String> = (0..13).map(|i| format!("store-{i}.example")).collect();
+        let mut seen = std::collections::BTreeSet::new();
+        for host in &hosts {
+            seen.insert(shard_for_host(host, 13));
+        }
+        assert!(seen.len() > 1, "all hosts landed on one shard");
+    }
+}

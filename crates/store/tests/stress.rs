@@ -1,0 +1,73 @@
+//! Concurrency stress for the bounded worker/readiness server: far
+//! more kept-alive client connections than worker threads, zero
+//! dropped or misdelivered requests, and round-robin dispatch keeping
+//! the per-worker connection counts balanced.
+
+use gptx_obs::MetricsRegistry;
+use gptx_store::{serve_with, HttpClient, Request, Response, ServerConfig};
+use std::sync::Arc;
+
+#[test]
+fn hundreds_of_keepalive_clients_zero_drops_balanced_workers() {
+    const CLIENTS: usize = 160;
+    const REQUESTS_PER_CLIENT: usize = 8;
+    const WORKERS: usize = 4;
+
+    let metrics = MetricsRegistry::shared();
+    let handle = serve_with(
+        |req: &Request| Response::ok_text(format!("echo:{}", req.target)),
+        ServerConfig::default()
+            .with_metrics(Arc::clone(&metrics))
+            .with_workers(WORKERS)
+            .with_max_connections(CLIENTS + 8),
+    )
+    .unwrap();
+    let addr = handle.addr();
+
+    let threads: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let client = HttpClient::new(addr);
+                for r in 0..REQUESTS_PER_CLIENT {
+                    let resp = client.get(&format!("http://stress.test/{c}/{r}")).unwrap();
+                    assert_eq!(resp.status, 200);
+                    assert_eq!(resp.body, format!("echo:/{c}/{r}").into_bytes());
+                }
+            })
+        })
+        .collect();
+    for thread in threads {
+        thread.join().unwrap();
+    }
+
+    // Zero drops: the server counted exactly what the clients sent.
+    let total = (CLIENTS * REQUESTS_PER_CLIENT) as u64;
+    assert_eq!(handle.requests_served(), total);
+    handle.shutdown();
+
+    let snap = metrics.snapshot();
+    let conn_requests = &snap.histograms["store.conn_requests"];
+    assert_eq!(conn_requests.sum_us, total, "per-connection counts add up");
+    assert_eq!(
+        conn_requests.count, CLIENTS as u64,
+        "every client kept exactly one connection alive"
+    );
+
+    // Round-robin dispatch: worker connection counts differ by at most
+    // one, and the bounded pool really did absorb everything.
+    let per_worker: Vec<u64> = (0..WORKERS)
+        .map(|i| {
+            snap.counters
+                .get(&format!("store.worker.{i}.conns"))
+                .copied()
+                .unwrap_or(0)
+        })
+        .collect();
+    assert_eq!(per_worker.iter().sum::<u64>(), CLIENTS as u64);
+    let max = per_worker.iter().max().unwrap();
+    let min = per_worker.iter().min().unwrap();
+    assert!(
+        max - min <= 1,
+        "worker connection counts unbalanced: {per_worker:?}"
+    );
+}

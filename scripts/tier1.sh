@@ -28,3 +28,10 @@ cargo run --release -p gptx-cli -- trace-validate "$trace_out"
 cargo run --release -p gptx-cli -- chaos \
     --seeds 4 --scale tiny --seed 7 --faults-per-run 4 \
     --kinds 5xx,disconnect
+
+# load_smoke: a bounded run of the closed-loop load generator against
+# the sharded store — the command exits non-zero on a p99 SLO
+# violation or a client/server request-counter inconsistency.
+cargo run --release -p gptx-cli -- bench load \
+    --connections 64 --duration-s 2 --shards 13 --workers 4 \
+    --slo-p99-ms 500

@@ -1,0 +1,153 @@
+//! Sharded-topology integration: partitioning the ecosystem's virtual
+//! hosts across multiple listeners (the paper's 13 marketplaces, one
+//! listener each at full fan-out) must be invisible to the crawl — the
+//! archive is byte-identical to the single-listener run — while the
+//! shard guard rejects misrouted hosts and per-shard fault plans count
+//! arrivals independently.
+
+use gptx::crawler::Crawler;
+use gptx::obs::MetricsRegistry;
+use gptx::store::{
+    shard_for_host, store_host, EcosystemHandle, FaultConfig, HttpClient, ServerConfig,
+};
+use gptx::synth::{Ecosystem, SynthConfig, STORES};
+use gptx::{FaultPlan, Pipeline};
+use std::sync::Arc;
+
+fn store_names() -> Vec<&'static str> {
+    STORES.iter().map(|(name, _)| *name).collect()
+}
+
+fn tiny_eco(seed: u64) -> Arc<Ecosystem> {
+    Arc::new(Ecosystem::generate(SynthConfig::tiny(seed)))
+}
+
+/// The acceptance bar for sharding: `crawl_week` against 13 listeners
+/// is byte-identical to the same crawl against one.
+#[test]
+fn sharded_crawl_week_is_byte_identical_to_single_listener() {
+    let eco = tiny_eco(46);
+
+    let single = EcosystemHandle::start(Arc::clone(&eco), FaultConfig::none()).unwrap();
+    let crawler = Crawler::new(single.addr()).with_threads(4);
+    let s_single = crawler.crawl_week(0, "2024-02-08", &store_names()).unwrap();
+    single.shutdown();
+
+    let sharded = EcosystemHandle::start_sharded(
+        Arc::clone(&eco),
+        FaultConfig::none(),
+        STORES.len(),
+        ServerConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(sharded.shard_count(), STORES.len());
+    let crawler = Crawler::new_sharded(sharded.addrs()).with_threads(4);
+    let s_sharded = crawler.crawl_week(0, "2024-02-08", &store_names()).unwrap();
+    sharded.shutdown();
+
+    assert_eq!(
+        serde_json::to_string(&s_single).unwrap(),
+        serde_json::to_string(&s_sharded).unwrap(),
+        "sharding changed the crawled snapshot"
+    );
+}
+
+/// A request sent to the wrong listener is answered 421 and counted,
+/// never served — the partition is enforced, not advisory.
+#[test]
+fn misrouted_host_is_421_and_counted() {
+    let eco = tiny_eco(47);
+    let metrics = MetricsRegistry::shared();
+    let handle = EcosystemHandle::start_sharded(
+        Arc::clone(&eco),
+        FaultConfig::none(),
+        2,
+        ServerConfig::default().with_metrics(Arc::clone(&metrics)),
+    )
+    .unwrap();
+    let addrs = handle.addrs();
+
+    let host = store_host(store_names()[0]);
+    let owner = shard_for_host(&host, 2);
+    let wrong = addrs[1 - owner];
+    let client = HttpClient::new(wrong);
+    let resp = client.get(&format!("https://{host}/")).unwrap();
+    assert_eq!(resp.status, 421);
+
+    let right = HttpClient::new(addrs[owner]);
+    assert_eq!(right.get(&format!("https://{host}/")).unwrap().status, 200);
+    handle.shutdown();
+    assert_eq!(metrics.snapshot().counters["store.shard.misroute"], 1);
+}
+
+/// End to end through the pipeline: a sharded run produces the same
+/// analysis artifacts as the default single-listener run.
+#[test]
+fn sharded_pipeline_matches_single_listener_pipeline() {
+    let run_with_shards = |shards: usize| {
+        Pipeline::builder(SynthConfig::tiny(48))
+            .faults(FaultConfig::none())
+            .shards(shards)
+            .build()
+            .run()
+            .unwrap()
+    };
+    let single = run_with_shards(1);
+    let sharded = run_with_shards(STORES.len());
+
+    assert_eq!(
+        serde_json::to_string(&single.archive.snapshots).unwrap(),
+        serde_json::to_string(&sharded.archive.snapshots).unwrap(),
+        "sharding changed the crawl archive"
+    );
+    assert_eq!(*single.profiles, *sharded.profiles);
+    assert_eq!(single.reports, sharded.reports);
+}
+
+/// The schedule-driven fault plan rides on shard 0 and counts only that
+/// listener's arrivals: traffic on other shards never shifts the
+/// schedule, which is what keeps chaos repros minimal.
+#[test]
+fn fault_plan_arrivals_are_counted_per_shard() {
+    let eco = tiny_eco(49);
+    let metrics = MetricsRegistry::shared();
+    let plans = vec![
+        FaultPlan::from_schedule([(1, gptx::FaultKind::ServerError)]),
+        FaultPlan::default(),
+    ];
+    let handle = EcosystemHandle::start_sharded_with_plans(
+        Arc::clone(&eco),
+        FaultConfig::none(),
+        plans,
+        ServerConfig::default().with_metrics(Arc::clone(&metrics)),
+    )
+    .unwrap();
+    let addrs = handle.addrs();
+
+    // Find one host per shard so we can interleave traffic.
+    let names = store_names();
+    let host_on = |shard: usize| {
+        names
+            .iter()
+            .map(|n| store_host(n))
+            .find(|h| shard_for_host(h, 2) == shard)
+            .expect("13 stores cover both shards")
+    };
+    let (host0, host1) = (host_on(0), host_on(1));
+    let c0 = HttpClient::new(addrs[0]);
+    let c1 = HttpClient::new(addrs[1]);
+
+    // Shard-1 traffic between shard-0 arrivals must not consume the
+    // shard-0 plan's index 1.
+    assert_eq!(c0.get(&format!("https://{host0}/")).unwrap().status, 200);
+    for _ in 0..3 {
+        assert_eq!(c1.get(&format!("https://{host1}/")).unwrap().status, 200);
+    }
+    assert_eq!(c0.get(&format!("https://{host0}/")).unwrap().status, 500);
+    assert_eq!(c0.get(&format!("https://{host0}/")).unwrap().status, 200);
+    handle.shutdown();
+
+    let snap = metrics.snapshot();
+    assert_eq!(snap.counters["store.fault.plan.5xx"], 1);
+    assert!(!snap.counters.contains_key("store.shard.misroute"));
+}
