@@ -1,0 +1,21 @@
+//! # gptx-archive — append-only content-addressed snapshot archive
+//!
+//! On-disk durability layer for the longitudinal crawl: fixed-format
+//! segment files ([`segment`]) hold FNV content-hash-addressed blobs
+//! ([`hash::ContentHash`]) — gizmo records, policy texts — bound together
+//! by named manifests so each weekly snapshot is a manifest delta: an
+//! unchanged GPT across weeks is one blob referenced by many manifests.
+//! Opening an archive rebuilds the in-memory index with a sequential scan,
+//! repairing torn tails from a crash mid-append, and [`Archive::compact`]
+//! reclaims the space left by removal churn and superseded manifests.
+//!
+//! The crate is deliberately `std`-only: the format is plain bytes, and
+//! every consumer (crawler sink, analysis streaming reads, the audit
+//! service) layers its own encoding on top of blobs and manifests.
+
+pub mod hash;
+pub mod segment;
+pub mod store;
+
+pub use hash::{fnv1a64, ContentHash};
+pub use store::{Archive, ArchiveOptions, ArchiveStats, CompactionStats, Manifest, RecoveryEvent};

@@ -1,0 +1,295 @@
+//! Fixed-format segment files.
+//!
+//! A segment is a 12-byte header (`GPTXSEG1` magic + u32 LE format version)
+//! followed by back-to-back records:
+//!
+//! ```text
+//! [kind u8][payload_len u32 LE][hash 16B][payload][check u64 LE]
+//! ```
+//!
+//! where `check = fnv1a64(payload)` and `hash = ContentHash::of(payload)`.
+//! The double integrity check is deliberate: the checksum catches bit rot in
+//! the payload, while re-deriving the content hash on scan catches records
+//! whose header and payload were torn apart by a crash mid-append. A scan
+//! stops at the first record that fails either check (or runs past EOF) and
+//! reports the byte offset of the last valid record, which is exactly the
+//! truncation point crash recovery needs.
+
+use crate::hash::{fnv1a64, ContentHash};
+use std::io::{self, Read};
+
+pub const SEGMENT_MAGIC: [u8; 8] = *b"GPTXSEG1";
+pub const FORMAT_VERSION: u32 = 1;
+/// Header bytes before the first record.
+pub const SEGMENT_HEADER_LEN: u64 = 12;
+/// Per-record framing overhead: kind + len + hash + trailing checksum.
+pub const RECORD_OVERHEAD: u64 = 1 + 4 + 16 + 8;
+/// Upper bound on a single payload; anything larger in a header is treated
+/// as a corrupt tail rather than an allocation request.
+pub const MAX_PAYLOAD_BYTES: u32 = 64 * 1024 * 1024;
+
+/// What a record stores. Blobs are immutable content; manifests bind a name
+/// to a set of blob references (latest write wins); tombstones retract a
+/// manifest name.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RecordKind {
+    Blob,
+    Manifest,
+    Tombstone,
+}
+
+impl RecordKind {
+    pub fn as_byte(self) -> u8 {
+        match self {
+            RecordKind::Blob => 1,
+            RecordKind::Manifest => 2,
+            RecordKind::Tombstone => 3,
+        }
+    }
+
+    pub fn from_byte(b: u8) -> Option<RecordKind> {
+        match b {
+            1 => Some(RecordKind::Blob),
+            2 => Some(RecordKind::Manifest),
+            3 => Some(RecordKind::Tombstone),
+            _ => None,
+        }
+    }
+}
+
+/// The segment header written at offset 0.
+pub fn encode_header() -> [u8; SEGMENT_HEADER_LEN as usize] {
+    let mut out = [0u8; SEGMENT_HEADER_LEN as usize];
+    out[..8].copy_from_slice(&SEGMENT_MAGIC);
+    out[8..].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out
+}
+
+/// Frame one record. The returned bytes are what `append` writes and what
+/// the scanner validates; encoding is pure so compaction can re-frame
+/// records byte-identically.
+pub fn encode_record(kind: RecordKind, hash: ContentHash, payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() <= MAX_PAYLOAD_BYTES as usize,
+        "payload too large"
+    );
+    let mut out = Vec::with_capacity(RECORD_OVERHEAD as usize + payload.len());
+    out.push(kind.as_byte());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&hash.0);
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    out
+}
+
+/// Total on-disk length of a record with the given payload length.
+pub fn record_len(payload_len: usize) -> u64 {
+    RECORD_OVERHEAD + payload_len as u64
+}
+
+/// One validated record, as seen by a scan.
+pub struct ScannedRecord {
+    pub kind: RecordKind,
+    pub hash: ContentHash,
+    /// Offset of the *payload* within the segment file (what a later
+    /// point-read seeks to).
+    pub payload_offset: u64,
+    pub payload: Vec<u8>,
+}
+
+/// Outcome of scanning a segment to its last valid record.
+pub struct ScanOutcome {
+    /// Bytes of the file that parsed cleanly (header + whole records). If
+    /// `truncated`, everything past this offset is a torn tail.
+    pub valid_len: u64,
+    /// True when the file held bytes past the last valid record.
+    pub truncated: bool,
+}
+
+/// Scan a segment sequentially, calling `sink` for each valid record.
+///
+/// Corruption is not an `Err`: a bad header, short tail, checksum mismatch,
+/// or hash mismatch ends the scan early with `truncated = true` so the
+/// caller can recover by truncating to `valid_len`. Only real I/O failures
+/// propagate.
+pub fn scan_segment<R: Read>(
+    reader: &mut R,
+    file_len: u64,
+    mut sink: impl FnMut(ScannedRecord),
+) -> io::Result<ScanOutcome> {
+    let mut header = [0u8; SEGMENT_HEADER_LEN as usize];
+    if file_len < SEGMENT_HEADER_LEN || read_exact_or_eof(reader, &mut header)?.is_none() {
+        return Ok(ScanOutcome {
+            valid_len: 0,
+            truncated: file_len > 0,
+        });
+    }
+    if header[..8] != SEGMENT_MAGIC || header[8..] != FORMAT_VERSION.to_le_bytes() {
+        return Ok(ScanOutcome {
+            valid_len: 0,
+            truncated: true,
+        });
+    }
+
+    let mut offset = SEGMENT_HEADER_LEN;
+    loop {
+        if offset == file_len {
+            return Ok(ScanOutcome {
+                valid_len: offset,
+                truncated: false,
+            });
+        }
+        let mut head = [0u8; 21];
+        if read_exact_or_eof(reader, &mut head)?.is_none() {
+            return Ok(ScanOutcome {
+                valid_len: offset,
+                truncated: true,
+            });
+        }
+        let kind = RecordKind::from_byte(head[0]);
+        let payload_len = u32::from_le_bytes([head[1], head[2], head[3], head[4]]);
+        let mut hash = [0u8; 16];
+        hash.copy_from_slice(&head[5..21]);
+        let hash = ContentHash(hash);
+
+        let total = record_len(payload_len as usize);
+        let (Some(kind), true) = (kind, payload_len <= MAX_PAYLOAD_BYTES) else {
+            return Ok(ScanOutcome {
+                valid_len: offset,
+                truncated: true,
+            });
+        };
+        if offset + total > file_len {
+            return Ok(ScanOutcome {
+                valid_len: offset,
+                truncated: true,
+            });
+        }
+
+        let mut payload = vec![0u8; payload_len as usize];
+        if read_exact_or_eof(reader, &mut payload)?.is_none() {
+            return Ok(ScanOutcome {
+                valid_len: offset,
+                truncated: true,
+            });
+        }
+        let mut check = [0u8; 8];
+        if read_exact_or_eof(reader, &mut check)?.is_none() {
+            return Ok(ScanOutcome {
+                valid_len: offset,
+                truncated: true,
+            });
+        }
+        if u64::from_le_bytes(check) != fnv1a64(&payload) || ContentHash::of(&payload) != hash {
+            return Ok(ScanOutcome {
+                valid_len: offset,
+                truncated: true,
+            });
+        }
+
+        sink(ScannedRecord {
+            kind,
+            hash,
+            payload_offset: offset + 21,
+            payload,
+        });
+        offset += total;
+    }
+}
+
+/// `read_exact` that distinguishes clean/short EOF (`None`) from I/O errors.
+fn read_exact_or_eof<R: Read>(reader: &mut R, buf: &mut [u8]) -> io::Result<Option<()>> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => return Ok(None),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn segment_with(payloads: &[&[u8]]) -> Vec<u8> {
+        let mut bytes = encode_header().to_vec();
+        for p in payloads {
+            bytes.extend_from_slice(&encode_record(RecordKind::Blob, ContentHash::of(p), p));
+        }
+        bytes
+    }
+
+    fn scan_all(bytes: &[u8]) -> (Vec<Vec<u8>>, ScanOutcome) {
+        let mut out = Vec::new();
+        let outcome = scan_segment(&mut &bytes[..], bytes.len() as u64, |r| {
+            out.push(r.payload);
+        })
+        .unwrap();
+        (out, outcome)
+    }
+
+    #[test]
+    fn round_trips_records_in_order() {
+        let bytes = segment_with(&[b"alpha", b"", b"gamma"]);
+        let (payloads, outcome) = scan_all(&bytes);
+        assert_eq!(
+            payloads,
+            vec![b"alpha".to_vec(), Vec::new(), b"gamma".to_vec()]
+        );
+        assert!(!outcome.truncated);
+        assert_eq!(outcome.valid_len, bytes.len() as u64);
+    }
+
+    #[test]
+    fn torn_tail_stops_at_last_valid_record() {
+        let full = segment_with(&[b"alpha", b"beta"]);
+        let keep = SEGMENT_HEADER_LEN + record_len(5);
+        // Cut mid-way through the second record.
+        let torn = &full[..keep as usize + 7];
+        let (payloads, outcome) = scan_all(torn);
+        assert_eq!(payloads, vec![b"alpha".to_vec()]);
+        assert!(outcome.truncated);
+        assert_eq!(outcome.valid_len, keep);
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let mut bytes = segment_with(&[b"alpha"]);
+        let flip = SEGMENT_HEADER_LEN as usize + 21 + 2;
+        bytes[flip] ^= 0xff;
+        let (payloads, outcome) = scan_all(&bytes);
+        assert!(payloads.is_empty());
+        assert!(outcome.truncated);
+        assert_eq!(outcome.valid_len, SEGMENT_HEADER_LEN);
+    }
+
+    #[test]
+    fn bad_magic_or_kind_is_truncation_not_error() {
+        let mut bytes = segment_with(&[]);
+        bytes[0] = b'X';
+        let (_, outcome) = scan_all(&bytes);
+        assert!(outcome.truncated);
+        assert_eq!(outcome.valid_len, 0);
+
+        let mut bytes = segment_with(&[b"ok"]);
+        bytes[SEGMENT_HEADER_LEN as usize] = 99; // unknown record kind
+        let (payloads, outcome) = scan_all(&bytes);
+        assert!(payloads.is_empty());
+        assert!(outcome.truncated);
+    }
+
+    #[test]
+    fn oversized_length_header_is_rejected_without_allocating() {
+        let mut bytes = encode_header().to_vec();
+        bytes.push(RecordKind::Blob.as_byte());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 16]);
+        let (_, outcome) = scan_all(&bytes);
+        assert!(outcome.truncated);
+        assert_eq!(outcome.valid_len, SEGMENT_HEADER_LEN);
+    }
+}

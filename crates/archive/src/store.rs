@@ -1,0 +1,902 @@
+//! The archive proper: a directory of segment files plus an in-memory index
+//! rebuilt by scanning them on open.
+//!
+//! Writes are append-only. Blobs are deduplicated by content hash — putting
+//! the same bytes twice stores them once — which is what makes week-level
+//! manifest deltas cheap: an unchanged GPT across two weekly snapshots is
+//! one blob referenced by two manifests. Manifests bind a name to an ordered
+//! list of `(key, hash)` references; the latest record for a name wins, and
+//! a tombstone retracts the name. Compaction rewrites the live blobs and
+//! manifests into fresh segments, reclaiming the space left behind by
+//! removal churn and superseded manifests.
+
+use crate::hash::{fnv1a64, ContentHash};
+use crate::segment::{
+    encode_header, encode_record, record_len, scan_segment, RecordKind, ScannedRecord,
+    SEGMENT_HEADER_LEN,
+};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, BufReader, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const SEGMENT_PREFIX: &str = "seg-";
+const SEGMENT_SUFFIX: &str = ".gptx";
+
+/// Tuning knobs for an archive. The default segment cap keeps individual
+/// files small enough that compaction and scans work in bounded memory while
+/// staying large enough that a medium-scale weekly snapshot spans only a
+/// handful of files.
+#[derive(Clone, Copy, Debug)]
+pub struct ArchiveOptions {
+    pub max_segment_bytes: u64,
+}
+
+impl Default for ArchiveOptions {
+    fn default() -> Self {
+        ArchiveOptions {
+            max_segment_bytes: 8 * 1024 * 1024,
+        }
+    }
+}
+
+impl ArchiveOptions {
+    pub fn with_max_segment_bytes(mut self, bytes: u64) -> Self {
+        self.max_segment_bytes = bytes.max(SEGMENT_HEADER_LEN + 1);
+        self
+    }
+}
+
+/// A manifest binds a stable name (for example `week:000003`) to an ordered
+/// list of keyed blob references. Entry order is preserved verbatim so the
+/// encoded payload — and therefore the segment bytes — are a pure function
+/// of what the caller wrote.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Manifest {
+    pub name: String,
+    pub entries: Vec<(String, ContentHash)>,
+}
+
+impl Manifest {
+    pub fn new(name: impl Into<String>) -> Manifest {
+        Manifest {
+            name: name.into(),
+            entries: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, key: impl Into<String>, hash: ContentHash) {
+        self.entries.push((key.into(), hash));
+    }
+
+    pub fn get(&self, key: &str) -> Option<ContentHash> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, h)| *h)
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.name.len() as u16).to_le_bytes());
+        out.extend_from_slice(self.name.as_bytes());
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for (key, hash) in &self.entries {
+            out.extend_from_slice(&(key.len() as u16).to_le_bytes());
+            out.extend_from_slice(key.as_bytes());
+            out.extend_from_slice(&hash.0);
+        }
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Manifest> {
+        let mut cur = 0usize;
+        let name = take_str(bytes, &mut cur)?;
+        let count = u32::from_le_bytes(bytes.get(cur..cur + 4)?.try_into().ok()?);
+        cur += 4;
+        let mut entries = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let key = take_str(bytes, &mut cur)?;
+            let raw: [u8; 16] = bytes.get(cur..cur + 16)?.try_into().ok()?;
+            cur += 16;
+            entries.push((key, ContentHash(raw)));
+        }
+        if cur != bytes.len() {
+            return None;
+        }
+        Some(Manifest { name, entries })
+    }
+}
+
+fn take_str(bytes: &[u8], cur: &mut usize) -> Option<String> {
+    let len = u16::from_le_bytes(bytes.get(*cur..*cur + 2)?.try_into().ok()?) as usize;
+    *cur += 2;
+    let s = std::str::from_utf8(bytes.get(*cur..*cur + len)?).ok()?;
+    *cur += len;
+    Some(s.to_string())
+}
+
+/// Where a blob's payload lives on disk.
+#[derive(Clone, Copy, Debug)]
+struct BlobLocation {
+    segment: u32,
+    payload_offset: u64,
+    len: u32,
+}
+
+/// One torn tail found (and repaired) while opening the archive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryEvent {
+    pub segment: u32,
+    pub dropped_bytes: u64,
+}
+
+/// Counters summarizing the archive's current shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArchiveStats {
+    pub blobs: u64,
+    pub manifests: u64,
+    pub segments: u64,
+    pub total_bytes: u64,
+    /// `put_blob` calls answered from the index instead of disk — the
+    /// cross-week dedup count.
+    pub dedup_hits: u64,
+}
+
+/// What a compaction pass reclaimed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompactionStats {
+    pub segments_before: u64,
+    pub segments_after: u64,
+    pub bytes_before: u64,
+    pub bytes_after: u64,
+    pub blobs_kept: u64,
+    pub blobs_dropped: u64,
+}
+
+/// An open archive directory.
+pub struct Archive {
+    dir: PathBuf,
+    options: ArchiveOptions,
+    index: HashMap<ContentHash, BlobLocation>,
+    manifests: BTreeMap<String, Manifest>,
+    /// Segment id → current byte length, in append order.
+    segments: BTreeMap<u32, u64>,
+    /// Open handle to the segment new records append to (always the highest
+    /// id in `segments`).
+    writer: File,
+    recovery: Vec<RecoveryEvent>,
+    dedup_hits: u64,
+}
+
+impl Archive {
+    /// Open (or create) an archive at `dir` with default options.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Archive> {
+        Archive::open_with(dir, ArchiveOptions::default())
+    }
+
+    /// Open (or create) an archive, rebuilding the index with a sequential
+    /// scan of every segment. Torn tails from a crash mid-append are
+    /// truncated back to the last valid record and reported via
+    /// [`Archive::recovery`].
+    pub fn open_with(dir: impl AsRef<Path>, options: ArchiveOptions) -> io::Result<Archive> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+
+        let mut ids = Vec::new();
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            if let Some(id) = parse_segment_id(&entry.file_name().to_string_lossy()) {
+                ids.push(id);
+            }
+        }
+        ids.sort_unstable();
+
+        let mut index = HashMap::new();
+        let mut manifests = BTreeMap::new();
+        let mut segments = BTreeMap::new();
+        let mut recovery = Vec::new();
+        for id in ids {
+            scan_into(
+                &dir,
+                id,
+                &mut index,
+                &mut manifests,
+                &mut segments,
+                &mut recovery,
+            )?;
+        }
+        if segments.is_empty() {
+            let mut file = OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(dir.join(segment_name(0)))?;
+            file.write_all(&encode_header())?;
+            segments.insert(0, SEGMENT_HEADER_LEN);
+        }
+        let active = *segments.keys().next_back().unwrap();
+        let writer = OpenOptions::new()
+            .append(true)
+            .open(dir.join(segment_name(active)))?;
+        Ok(Archive {
+            dir,
+            options,
+            index,
+            manifests,
+            segments,
+            writer,
+            recovery,
+            dedup_hits: 0,
+        })
+    }
+
+    fn segment_path(&self, id: u32) -> PathBuf {
+        self.dir.join(segment_name(id))
+    }
+
+    fn create_segment(&mut self, id: u32) -> io::Result<()> {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(self.segment_path(id))?;
+        file.write_all(&encode_header())?;
+        self.segments.insert(id, SEGMENT_HEADER_LEN);
+        self.writer = OpenOptions::new()
+            .append(true)
+            .open(self.segment_path(id))?;
+        Ok(())
+    }
+
+    fn active_segment(&self) -> (u32, u64) {
+        let (&id, &len) = self
+            .segments
+            .iter()
+            .next_back()
+            .expect("archive has a segment");
+        (id, len)
+    }
+
+    /// Append one framed record, rotating to a new segment when the active
+    /// one is full. Returns where the payload landed.
+    fn append(
+        &mut self,
+        kind: RecordKind,
+        hash: ContentHash,
+        payload: &[u8],
+    ) -> io::Result<BlobLocation> {
+        let (mut id, mut len) = self.active_segment();
+        let total = record_len(payload.len());
+        if len + total > self.options.max_segment_bytes && len > SEGMENT_HEADER_LEN {
+            id += 1;
+            self.create_segment(id)?;
+            len = SEGMENT_HEADER_LEN;
+        }
+        self.writer.write_all(&encode_record(kind, hash, payload))?;
+        self.segments.insert(id, len + total);
+        Ok(BlobLocation {
+            segment: id,
+            payload_offset: len + 21,
+            len: payload.len() as u32,
+        })
+    }
+
+    /// Store a blob, deduplicating by content. Returns its address and
+    /// whether the bytes were actually written (`false` = already present).
+    pub fn put_blob(&mut self, payload: &[u8]) -> io::Result<(ContentHash, bool)> {
+        let hash = ContentHash::of(payload);
+        if self.index.contains_key(&hash) {
+            self.dedup_hits += 1;
+            return Ok((hash, false));
+        }
+        let loc = self.append(RecordKind::Blob, hash, payload)?;
+        self.index.insert(hash, loc);
+        Ok((hash, true))
+    }
+
+    pub fn contains_blob(&self, hash: ContentHash) -> bool {
+        self.index.contains_key(&hash)
+    }
+
+    /// Point-read one blob, verifying its checksum.
+    pub fn get_blob(&self, hash: ContentHash) -> io::Result<Option<Vec<u8>>> {
+        let Some(loc) = self.index.get(&hash).copied() else {
+            return Ok(None);
+        };
+        let mut file = File::open(self.segment_path(loc.segment))?;
+        Ok(Some(read_payload(&mut file, loc)?))
+    }
+
+    /// Batch-read blobs in one sequential pass per segment: requests are
+    /// sorted by on-disk position, each segment is opened once and walked in
+    /// ascending offset order, and results come back in the caller's order.
+    /// This is the streaming path analysis uses — the caller hands batches
+    /// to `gptx-par` workers without ever materializing the whole corpus.
+    pub fn read_blobs(&self, hashes: &[ContentHash]) -> io::Result<Vec<Vec<u8>>> {
+        let mut order: Vec<(usize, BlobLocation)> = Vec::with_capacity(hashes.len());
+        for (i, hash) in hashes.iter().enumerate() {
+            let loc = self.index.get(hash).copied().ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("blob {hash} not in archive"),
+                )
+            })?;
+            order.push((i, loc));
+        }
+        order.sort_by_key(|(_, loc)| (loc.segment, loc.payload_offset));
+
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); hashes.len()];
+        let mut open: Option<(u32, File)> = None;
+        for (slot, loc) in order {
+            let reuse = matches!(&open, Some((id, _)) if *id == loc.segment);
+            if !reuse {
+                open = Some((loc.segment, File::open(self.segment_path(loc.segment))?));
+            }
+            let (_, file) = open.as_mut().unwrap();
+            out[slot] = read_payload(file, loc)?;
+        }
+        Ok(out)
+    }
+
+    /// Write or replace a manifest. Rewriting the identical manifest is a
+    /// no-op, so callers can be idempotent for free.
+    pub fn put_manifest(&mut self, manifest: &Manifest) -> io::Result<()> {
+        if self.manifests.get(&manifest.name) == Some(manifest) {
+            return Ok(());
+        }
+        let payload = manifest.encode();
+        let hash = ContentHash::of(&payload);
+        self.append(RecordKind::Manifest, hash, &payload)?;
+        self.manifests
+            .insert(manifest.name.clone(), manifest.clone());
+        Ok(())
+    }
+
+    /// Retract a manifest name with a tombstone. Returns whether it existed.
+    pub fn remove_manifest(&mut self, name: &str) -> io::Result<bool> {
+        if !self.manifests.contains_key(name) {
+            return Ok(false);
+        }
+        let payload = name.as_bytes();
+        let hash = ContentHash::of(payload);
+        self.append(RecordKind::Tombstone, hash, payload)?;
+        self.manifests.remove(name);
+        Ok(true)
+    }
+
+    pub fn manifest(&self, name: &str) -> Option<&Manifest> {
+        self.manifests.get(name)
+    }
+
+    /// Live manifests in name order (deterministic).
+    pub fn manifests(&self) -> impl Iterator<Item = &Manifest> {
+        self.manifests.values()
+    }
+
+    pub fn manifest_names(&self) -> impl Iterator<Item = &str> {
+        self.manifests.keys().map(String::as_str)
+    }
+
+    pub fn stats(&self) -> ArchiveStats {
+        ArchiveStats {
+            blobs: self.index.len() as u64,
+            manifests: self.manifests.len() as u64,
+            segments: self.segments.len() as u64,
+            total_bytes: self.segments.values().sum(),
+            dedup_hits: self.dedup_hits,
+        }
+    }
+
+    /// Torn tails repaired while opening.
+    pub fn recovery(&self) -> &[RecoveryEvent] {
+        &self.recovery
+    }
+
+    /// Fsync the active segment.
+    pub fn sync(&self) -> io::Result<()> {
+        self.writer.sync_all()
+    }
+
+    /// Rewrite the archive keeping only blobs referenced by live manifests
+    /// (plus the manifests themselves), dropping tombstones, superseded
+    /// manifests, and unreferenced blobs. Runs in bounded memory: one
+    /// record payload in flight at a time, streamed old-segment → new.
+    ///
+    /// Not crash-atomic: a crash mid-compaction can leave both old and new
+    /// segment files behind, which wastes space but loses nothing live —
+    /// blobs are content-addressed so duplicates are harmless on reopen.
+    pub fn compact(&mut self) -> io::Result<CompactionStats> {
+        let before = self.stats();
+        let live: BTreeSet<ContentHash> = self
+            .manifests
+            .values()
+            .flat_map(|m| m.entries.iter().map(|(_, h)| *h))
+            .collect();
+
+        // Stream live blobs into temp segments in original append order.
+        let mut writer = CompactionWriter::new(&self.dir, self.options.max_segment_bytes);
+        let old_ids: Vec<u32> = self.segments.keys().copied().collect();
+        let mut kept: HashMap<ContentHash, BlobLocation> = HashMap::new();
+        for &id in &old_ids {
+            let path = self.segment_path(id);
+            let file_len = fs::metadata(&path)?.len();
+            let mut reader = BufReader::new(File::open(&path)?);
+            let mut write_err = None;
+            scan_segment(&mut reader, file_len, |rec| {
+                if write_err.is_some() || rec.kind != RecordKind::Blob {
+                    return;
+                }
+                if live.contains(&rec.hash) && !kept.contains_key(&rec.hash) {
+                    match writer.append(RecordKind::Blob, rec.hash, &rec.payload) {
+                        Ok(loc) => {
+                            kept.insert(rec.hash, loc);
+                        }
+                        Err(e) => write_err = Some(e),
+                    }
+                }
+            })?;
+            if let Some(e) = write_err {
+                return Err(e);
+            }
+        }
+        // Then the live manifests, in name order.
+        for manifest in self.manifests.values() {
+            let payload = manifest.encode();
+            writer.append(RecordKind::Manifest, ContentHash::of(&payload), &payload)?;
+        }
+        let new_segments = writer.finish()?;
+
+        // Swap: rename temps over the low segment ids, drop the rest.
+        for &id in new_segments.keys() {
+            fs::rename(self.dir.join(tmp_segment_name(id)), self.segment_path(id))?;
+        }
+        let keep_max = *new_segments.keys().next_back().unwrap();
+        for &id in &old_ids {
+            if id > keep_max {
+                fs::remove_file(self.segment_path(id))?;
+            }
+        }
+
+        let blobs_dropped = before.blobs - kept.len() as u64;
+        self.index = kept;
+        self.segments = new_segments;
+        let (active, _) = self.active_segment();
+        self.writer = OpenOptions::new()
+            .append(true)
+            .open(self.segment_path(active))?;
+        self.writer.sync_all()?;
+
+        let after = self.stats();
+        Ok(CompactionStats {
+            segments_before: before.segments,
+            segments_after: after.segments,
+            bytes_before: before.total_bytes,
+            bytes_after: after.total_bytes,
+            blobs_kept: after.blobs,
+            blobs_dropped,
+        })
+    }
+}
+
+/// Append-side of a compaction pass, writing `.tmp` segments that become
+/// `seg-NNNNNN.gptx` on success.
+struct CompactionWriter {
+    dir: PathBuf,
+    max_segment_bytes: u64,
+    segments: BTreeMap<u32, u64>,
+    file: Option<File>,
+}
+
+impl CompactionWriter {
+    fn new(dir: &Path, max_segment_bytes: u64) -> CompactionWriter {
+        CompactionWriter {
+            dir: dir.to_path_buf(),
+            max_segment_bytes,
+            segments: BTreeMap::new(),
+            file: None,
+        }
+    }
+
+    fn open_next(&mut self) -> io::Result<()> {
+        let id = self.segments.keys().next_back().map_or(0, |&id| id + 1);
+        let mut file = File::create(self.dir.join(tmp_segment_name(id)))?;
+        file.write_all(&encode_header())?;
+        self.segments.insert(id, SEGMENT_HEADER_LEN);
+        self.file = Some(file);
+        Ok(())
+    }
+
+    fn append(
+        &mut self,
+        kind: RecordKind,
+        hash: ContentHash,
+        payload: &[u8],
+    ) -> io::Result<BlobLocation> {
+        if self.file.is_none() {
+            self.open_next()?;
+        }
+        let (&id, &len) = self.segments.iter().next_back().unwrap();
+        let total = record_len(payload.len());
+        let (id, len) = if len + total > self.max_segment_bytes && len > SEGMENT_HEADER_LEN {
+            self.open_next()?;
+            (id + 1, SEGMENT_HEADER_LEN)
+        } else {
+            (id, len)
+        };
+        self.file
+            .as_mut()
+            .unwrap()
+            .write_all(&encode_record(kind, hash, payload))?;
+        self.segments.insert(id, len + total);
+        Ok(BlobLocation {
+            segment: id,
+            payload_offset: len + 21,
+            len: payload.len() as u32,
+        })
+    }
+
+    fn finish(mut self) -> io::Result<BTreeMap<u32, u64>> {
+        if self.file.is_none() {
+            self.open_next()?;
+        }
+        self.file.as_mut().unwrap().sync_all()?;
+        Ok(self.segments)
+    }
+}
+
+fn read_payload(file: &mut File, loc: BlobLocation) -> io::Result<Vec<u8>> {
+    file.seek(SeekFrom::Start(loc.payload_offset))?;
+    let mut payload = vec![0u8; loc.len as usize];
+    file.read_exact(&mut payload)?;
+    let mut check = [0u8; 8];
+    file.read_exact(&mut check)?;
+    if u64::from_le_bytes(check) != fnv1a64(&payload) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "blob checksum mismatch",
+        ));
+    }
+    Ok(payload)
+}
+
+/// Scan one segment during open: replay its records into the index and
+/// manifest map, repairing a torn tail by truncating to the last valid
+/// record (or back to a bare header if even that was damaged).
+fn scan_into(
+    dir: &Path,
+    id: u32,
+    index: &mut HashMap<ContentHash, BlobLocation>,
+    manifests: &mut BTreeMap<String, Manifest>,
+    segments: &mut BTreeMap<u32, u64>,
+    recovery: &mut Vec<RecoveryEvent>,
+) -> io::Result<()> {
+    let path = dir.join(segment_name(id));
+    let file_len = fs::metadata(&path)?.len();
+    let mut reader = BufReader::new(File::open(&path)?);
+    let outcome = scan_segment(&mut reader, file_len, |rec: ScannedRecord| {
+        apply_record(index, manifests, id, rec);
+    })?;
+    drop(reader);
+
+    let mut valid_len = outcome.valid_len;
+    if outcome.truncated {
+        let mut file = OpenOptions::new().write(true).open(&path)?;
+        if valid_len < SEGMENT_HEADER_LEN {
+            file.set_len(0)?;
+            file.write_all(&encode_header())?;
+            valid_len = SEGMENT_HEADER_LEN;
+        } else {
+            file.set_len(valid_len)?;
+        }
+        recovery.push(RecoveryEvent {
+            segment: id,
+            dropped_bytes: file_len - outcome.valid_len,
+        });
+    }
+    segments.insert(id, valid_len);
+    Ok(())
+}
+
+fn apply_record(
+    index: &mut HashMap<ContentHash, BlobLocation>,
+    manifests: &mut BTreeMap<String, Manifest>,
+    segment: u32,
+    rec: ScannedRecord,
+) {
+    match rec.kind {
+        RecordKind::Blob => {
+            index.entry(rec.hash).or_insert(BlobLocation {
+                segment,
+                payload_offset: rec.payload_offset,
+                len: rec.payload.len() as u32,
+            });
+        }
+        RecordKind::Manifest => {
+            if let Some(manifest) = Manifest::decode(&rec.payload) {
+                manifests.insert(manifest.name.clone(), manifest);
+            }
+        }
+        RecordKind::Tombstone => {
+            if let Ok(name) = std::str::from_utf8(&rec.payload) {
+                manifests.remove(name);
+            }
+        }
+    }
+}
+
+fn segment_name(id: u32) -> String {
+    format!("{SEGMENT_PREFIX}{id:06}{SEGMENT_SUFFIX}")
+}
+
+fn tmp_segment_name(id: u32) -> String {
+    format!("{SEGMENT_PREFIX}{id:06}{SEGMENT_SUFFIX}.tmp")
+}
+
+fn parse_segment_id(name: &str) -> Option<u32> {
+    let stem = name
+        .strip_prefix(SEGMENT_PREFIX)?
+        .strip_suffix(SEGMENT_SUFFIX)?;
+    if stem.len() != 6 || !stem.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    stem.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static NEXT: AtomicU32 = AtomicU32::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .subsec_nanos();
+        std::env::temp_dir().join(format!(
+            "gptx-archive-{tag}-{}-{n}-{nanos}",
+            std::process::id()
+        ))
+    }
+
+    fn cleanup(dir: &Path) {
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn blob_round_trip_and_dedup() {
+        let dir = temp_dir("roundtrip");
+        let mut archive = Archive::open(&dir).unwrap();
+        let (h1, new1) = archive.put_blob(b"gizmo one").unwrap();
+        let (h2, new2) = archive.put_blob(b"gizmo one").unwrap();
+        assert!(new1);
+        assert!(!new2);
+        assert_eq!(h1, h2);
+        assert_eq!(archive.get_blob(h1).unwrap().unwrap(), b"gizmo one");
+        assert_eq!(archive.get_blob(ContentHash::of(b"absent")).unwrap(), None);
+        let stats = archive.stats();
+        assert_eq!(stats.blobs, 1);
+        assert_eq!(stats.dedup_hits, 1);
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn reopen_rebuilds_index_and_manifests() {
+        let dir = temp_dir("reopen");
+        let hash = {
+            let mut archive = Archive::open(&dir).unwrap();
+            let (hash, _) = archive.put_blob(b"persisted").unwrap();
+            let mut m = Manifest::new("week:000001");
+            m.push("g1", hash);
+            archive.put_manifest(&m).unwrap();
+            archive.sync().unwrap();
+            hash
+        };
+        let archive = Archive::open(&dir).unwrap();
+        assert_eq!(archive.get_blob(hash).unwrap().unwrap(), b"persisted");
+        let m = archive.manifest("week:000001").unwrap();
+        assert_eq!(m.get("g1"), Some(hash));
+        assert!(archive.recovery().is_empty());
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn later_manifest_supersedes_and_tombstone_retracts() {
+        let dir = temp_dir("supersede");
+        {
+            let mut archive = Archive::open(&dir).unwrap();
+            let (a, _) = archive.put_blob(b"a").unwrap();
+            let (b, _) = archive.put_blob(b"b").unwrap();
+            let mut m = Manifest::new("latest");
+            m.push("x", a);
+            archive.put_manifest(&m).unwrap();
+            let mut m2 = Manifest::new("latest");
+            m2.push("x", b);
+            archive.put_manifest(&m2).unwrap();
+            let mut gone = Manifest::new("gone");
+            gone.push("x", a);
+            archive.put_manifest(&gone).unwrap();
+            assert!(archive.remove_manifest("gone").unwrap());
+            assert!(!archive.remove_manifest("gone").unwrap());
+        }
+        let archive = Archive::open(&dir).unwrap();
+        let b = ContentHash::of(b"b");
+        assert_eq!(archive.manifest("latest").unwrap().get("x"), Some(b));
+        assert!(archive.manifest("gone").is_none());
+        assert_eq!(archive.manifest_names().collect::<Vec<_>>(), vec!["latest"]);
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn rotation_spreads_blobs_across_segments() {
+        let dir = temp_dir("rotation");
+        let opts = ArchiveOptions::default().with_max_segment_bytes(256);
+        let mut archive = Archive::open_with(&dir, opts).unwrap();
+        let mut hashes = Vec::new();
+        for i in 0..32 {
+            let payload = format!("payload number {i} with some padding bytes");
+            hashes.push(archive.put_blob(payload.as_bytes()).unwrap().0);
+        }
+        assert!(
+            archive.stats().segments > 1,
+            "expected rotation at 256-byte cap"
+        );
+        drop(archive);
+        let archive = Archive::open_with(&dir, opts).unwrap();
+        for (i, hash) in hashes.iter().enumerate() {
+            let expect = format!("payload number {i} with some padding bytes");
+            assert_eq!(archive.get_blob(*hash).unwrap().unwrap(), expect.as_bytes());
+        }
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn read_blobs_streams_in_caller_order() {
+        let dir = temp_dir("batch");
+        let opts = ArchiveOptions::default().with_max_segment_bytes(128);
+        let mut archive = Archive::open_with(&dir, opts).unwrap();
+        let payloads: Vec<Vec<u8>> = (0..20)
+            .map(|i| format!("record {i} padded out a bit").into_bytes())
+            .collect();
+        let mut hashes: Vec<ContentHash> = payloads
+            .iter()
+            .map(|p| archive.put_blob(p).unwrap().0)
+            .collect();
+        hashes.reverse();
+        let got = archive.read_blobs(&hashes).unwrap();
+        let mut expect = payloads.clone();
+        expect.reverse();
+        assert_eq!(got, expect);
+        assert!(archive.read_blobs(&[ContentHash::of(b"missing")]).is_err());
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn truncated_tail_recovers_to_last_valid_record_and_stays_writable() {
+        let dir = temp_dir("crash");
+        let keep_hash = {
+            let mut archive = Archive::open(&dir).unwrap();
+            let (keep, _) = archive.put_blob(b"survives the crash").unwrap();
+            archive.put_blob(b"torn by the crash").unwrap();
+            keep
+        };
+        // Simulate a crash mid-append: chop bytes off the tail of the only
+        // segment so the second record is torn.
+        let seg = dir.join(segment_name(0));
+        let len = fs::metadata(&seg).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&seg)
+            .unwrap()
+            .set_len(len - 5)
+            .unwrap();
+
+        let mut archive = Archive::open(&dir).unwrap();
+        assert_eq!(archive.recovery().len(), 1);
+        assert!(archive.recovery()[0].dropped_bytes > 0);
+        assert_eq!(
+            archive.get_blob(keep_hash).unwrap().unwrap(),
+            b"survives the crash"
+        );
+        assert!(archive
+            .get_blob(ContentHash::of(b"torn by the crash"))
+            .unwrap()
+            .is_none());
+
+        // The repaired archive accepts and persists new writes.
+        let (again, new) = archive.put_blob(b"torn by the crash").unwrap();
+        assert!(new);
+        drop(archive);
+        let archive = Archive::open(&dir).unwrap();
+        assert!(archive.recovery().is_empty());
+        assert_eq!(
+            archive.get_blob(again).unwrap().unwrap(),
+            b"torn by the crash"
+        );
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn compaction_drops_dead_blobs_and_keeps_live_ones() {
+        let dir = temp_dir("compact");
+        let opts = ArchiveOptions::default().with_max_segment_bytes(512);
+        let mut archive = Archive::open_with(&dir, opts).unwrap();
+        let mut live = Vec::new();
+        for week in 0..4u32 {
+            let mut m = Manifest::new(format!("week:{week:06}"));
+            for g in 0..8u32 {
+                let payload = format!("week {week} gizmo {g} body {}", "x".repeat(24));
+                let (h, _) = archive.put_blob(payload.as_bytes()).unwrap();
+                m.push(format!("g{g}"), h);
+                live.push((h, payload));
+            }
+            archive.put_manifest(&m).unwrap();
+        }
+        // Drop the two earliest weeks; their non-shared blobs become dead.
+        archive.remove_manifest("week:000000").unwrap();
+        archive.remove_manifest("week:000001").unwrap();
+        let before = archive.stats();
+        let stats = archive.compact().unwrap();
+        assert_eq!(stats.bytes_before, before.total_bytes);
+        assert!(
+            stats.bytes_after < stats.bytes_before,
+            "compaction reclaimed nothing"
+        );
+        assert_eq!(stats.blobs_dropped, 16);
+        assert_eq!(stats.blobs_kept, 16);
+
+        // Every live blob survives — both in this handle and after reopen.
+        for (h, payload) in live.iter().skip(16) {
+            assert_eq!(archive.get_blob(*h).unwrap().unwrap(), payload.as_bytes());
+        }
+        drop(archive);
+        let archive = Archive::open_with(&dir, opts).unwrap();
+        for (h, payload) in live.iter().skip(16) {
+            assert_eq!(archive.get_blob(*h).unwrap().unwrap(), payload.as_bytes());
+        }
+        assert_eq!(archive.manifest_names().count(), 2);
+        assert_eq!(archive.stats().blobs, 16);
+        cleanup(&dir);
+    }
+
+    #[test]
+    fn identical_write_sequences_produce_identical_segment_bytes() {
+        let write_all = |dir: &Path| {
+            let mut archive =
+                Archive::open_with(dir, ArchiveOptions::default().with_max_segment_bytes(300))
+                    .unwrap();
+            for i in 0..12u32 {
+                let (h, _) = archive.put_blob(format!("blob {i}").as_bytes()).unwrap();
+                let mut m = Manifest::new(format!("m:{i:03}"));
+                m.push("only", h);
+                archive.put_manifest(&m).unwrap();
+            }
+            archive.sync().unwrap();
+        };
+        let (a, b) = (temp_dir("det-a"), temp_dir("det-b"));
+        write_all(&a);
+        write_all(&b);
+        let read_dir_bytes = |dir: &Path| {
+            let mut names: Vec<String> = fs::read_dir(dir)
+                .unwrap()
+                .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+                .collect();
+            names.sort();
+            names
+                .iter()
+                .map(|n| (n.clone(), fs::read(dir.join(n)).unwrap()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(read_dir_bytes(&a), read_dir_bytes(&b));
+        cleanup(&a);
+        cleanup(&b);
+    }
+
+    #[test]
+    fn manifest_encoding_round_trips() {
+        let mut m = Manifest::new("week:000042");
+        m.push("@week", ContentHash::of(b"42"));
+        m.push("gpt-abc", ContentHash::of(b"body"));
+        let decoded = Manifest::decode(&m.encode()).unwrap();
+        assert_eq!(decoded, m);
+        assert!(Manifest::decode(b"garbage").is_none());
+        assert!(Manifest::decode(&m.encode()[..5]).is_none());
+    }
+}

@@ -26,7 +26,7 @@ use gptx::llm::{KbModel, NoisyModel};
 use gptx::nlp::word_shingles;
 use gptx::policy::{ContextStrategy, PolicyAnalyzer};
 use gptx::stats::{jaccard, MinHash};
-use gptx::store::{EcosystemHandle, FaultConfig, FaultKind, FaultPlan, ServerConfig};
+use gptx::store::{EcosystemHandle, FaultConfig, FaultKind, FaultPlan};
 use gptx::synth::{Ecosystem, SynthConfig, STORES};
 use gptx::taxonomy::KnowledgeBase;
 use gptx::AnalysisRun;
@@ -200,7 +200,10 @@ fn bench_ablations(c: &mut Criterion) {
 
     // --- crawler threads. ------------------------------------------------
     let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(3)));
-    let server = EcosystemHandle::start(Arc::clone(&eco), FaultConfig::none()).expect("serve");
+    let server = EcosystemHandle::builder(Arc::clone(&eco))
+        .faults(FaultConfig::none())
+        .spawn()
+        .expect("serve");
     let store_names: Vec<&str> = STORES.iter().map(|(n, _)| *n).collect();
     for threads in [1usize, 4, 16] {
         group.bench_with_input(
@@ -238,36 +241,32 @@ fn bench_ablations(c: &mut Criterion) {
     // --- chaos fault plans: retry/backoff cost of scheduled faults. ------
     // Same crawl, same results (planned faults are transient by
     // construction); the delta is pure retry + reconnect overhead. The
-    // plan counter is per-server and never resets, so each iteration
-    // gets a fresh server (setup excluded from timing).
+    // plan's arrival counter is shared with the running server, so one
+    // server serves every iteration and `reset()` rewinds the schedule
+    // between runs (no per-iteration server spawn in or out of timing).
     for (label, faults) in [("clean", 0u64), ("faulted_8", 8)] {
-        group.bench_with_input(
-            BenchmarkId::new("fault_plan", label),
-            &faults,
-            |b, &faults| {
-                b.iter_batched(
-                    || {
-                        let schedule = (0..faults).map(|i| (i * 16 + 2, FaultKind::ServerError));
-                        EcosystemHandle::start_with_plan(
-                            Arc::clone(&eco),
-                            FaultConfig::none(),
-                            FaultPlan::from_schedule(schedule),
-                            ServerConfig::default(),
-                        )
-                        .expect("serve with plan")
-                    },
-                    |faulted| {
-                        let crawler = Crawler::new(faulted.addr()).with_threads(4);
-                        let snapshot = crawler
+        let schedule = (0..faults).map(|i| (i * 16 + 2, FaultKind::ServerError));
+        let plan = FaultPlan::from_schedule(schedule);
+        let faulted = EcosystemHandle::builder(Arc::clone(&eco))
+            .faults(FaultConfig::none())
+            .fault_plan(plan.clone())
+            .spawn()
+            .expect("serve with plan");
+        group.bench_with_input(BenchmarkId::new("fault_plan", label), &faults, |b, _| {
+            b.iter_batched(
+                || plan.reset(),
+                |()| {
+                    let crawler = Crawler::new(faulted.addr()).with_threads(4);
+                    black_box(
+                        crawler
                             .crawl_week(0, "2024-02-08", &store_names)
-                            .expect("crawl");
-                        faulted.shutdown();
-                        black_box(snapshot)
-                    },
-                    criterion::BatchSize::PerIteration,
-                )
-            },
-        );
+                            .expect("crawl"),
+                    )
+                },
+                criterion::BatchSize::PerIteration,
+            )
+        });
+        faulted.shutdown();
     }
 
     // --- analysis worker count (the ablate_analyze_threads knob). --------

@@ -31,7 +31,10 @@ fn bench_obs_overhead(c: &mut Criterion) {
     // One crawl, shared by both whole-phase benches (metrics must not
     // change the inputs, only possibly the timing).
     let eco = Ecosystem::generate(SynthConfig::tiny(0x0B5));
-    let server = EcosystemHandle::start(Arc::new(eco.clone()), FaultConfig::none()).expect("serve");
+    let server = EcosystemHandle::builder(Arc::new(eco.clone()))
+        .faults(FaultConfig::none())
+        .spawn()
+        .expect("serve");
     let crawler = Crawler::new(server.addr()).with_threads(8);
     let store_names: Vec<&str> = STORES.iter().map(|(n, _)| *n).collect();
     let weeks: Vec<(u32, String)> = eco.weeks.iter().map(|w| (w.week, w.date.clone())).collect();

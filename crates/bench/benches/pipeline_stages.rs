@@ -26,7 +26,10 @@ fn bench_stages(c: &mut Criterion) {
 
     // Crawl one weekly snapshot over loopback HTTP.
     let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(2)));
-    let server = EcosystemHandle::start(Arc::clone(&eco), FaultConfig::none()).expect("serve");
+    let server = EcosystemHandle::builder(Arc::clone(&eco))
+        .faults(FaultConfig::none())
+        .spawn()
+        .expect("serve");
     let store_names: Vec<&str> = STORES.iter().map(|(n, _)| *n).collect();
     group.bench_function("crawl_week_http", |b| {
         b.iter(|| {

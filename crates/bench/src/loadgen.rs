@@ -420,12 +420,11 @@ fn execute(config: LoadConfig, scale: usize) -> std::io::Result<LoadReport> {
     // per-connection cap must never be the bottleneck.
     server_config.max_requests_per_conn = u64::MAX;
     server_config.idle_timeout = Duration::from_secs(30);
-    let handle = EcosystemHandle::start_sharded(
-        Arc::clone(&eco),
-        FaultConfig::none(),
-        config.shards,
-        server_config,
-    )?;
+    let handle = EcosystemHandle::builder(Arc::clone(&eco))
+        .faults(FaultConfig::none())
+        .config(server_config)
+        .shards(config.shards)
+        .spawn()?;
     let addrs = handle.addrs();
     let targets = build_targets(&addrs, handle.shard_count());
 

@@ -6,7 +6,8 @@
 //! gptx reproduce t5 f8 --seed 7      run specific experiments
 //! gptx generate --out eco.json       generate an ecosystem to JSON
 //! gptx serve --seed 7                serve an ecosystem over HTTP until EOF
-//! gptx crawl --out archive.json      crawl a served ecosystem into an archive
+//! gptx serve --archive-dir d --eco f serve the /api/v1 audit API over a saved campaign
+//! gptx crawl --archive-dir d         crawl into an on-disk content-addressed archive
 //! gptx chaos --seeds 16              sweep seeded fault schedules, check invariants
 //! ```
 
@@ -55,12 +56,19 @@ USAGE:
                                    [--threads N] [--pool N] [--metrics] [--metrics-json FILE]
                                    [--trace FILE] [--trace-sample RATE]
     gptx generate                  [--seed N] [--scale ...] [--out FILE]
-    gptx serve                     [--seed N] [--scale ...]            (runs until stdin EOF)
-    gptx crawl                     [--seed N] [--scale ...] [--out FILE]
+    gptx serve                     [--seed N] [--scale ...] [--port N] [--addr-file FILE]
+                                   (serve the synthetic ecosystem until stdin EOF)
+    gptx serve --archive-dir DIR --eco FILE
+                                   [--threads N] [--port N] [--addr-file FILE] [--metrics]
+                                   (audit API over a persisted campaign: GET
+                                   /api/v1/reports, /api/v1/actions/<id>/exposure,
+                                   /api/v1/actions/<id>/disclosure, /api/v1/weeks)
+    gptx crawl                     [--seed N] [--scale ...] [--out FILE] [--archive-dir DIR]
                                    [--pool N] [--metrics] [--metrics-json FILE]
                                    [--trace FILE] [--trace-sample RATE]
     gptx label                     [--seed N] [--scale ...] [--gpt ID] [--max N]
-    gptx analyze <id>... | all     --archive FILE --eco FILE [--threads N]
+    gptx analyze <id>... | all     (--archive FILE | --archive-dir DIR) --eco FILE
+                                   [--threads N]
                                    [--metrics] [--metrics-json FILE]   (offline analysis)
                                    [--trace FILE] [--trace-sample RATE]
     gptx report                    [--seed N] [--scale ...] [--faults] [--threads N]
@@ -83,6 +91,17 @@ USAGE:
                                    written by --trace
 
 OPTIONS:
+    --archive-dir DIR
+                  crawl/serve/analyze: the on-disk content-addressed
+                  snapshot archive. `crawl` persists each weekly
+                  snapshot as it lands (unchanged GPTs are stored once
+                  across weeks); `analyze` and `serve` stream the
+                  campaign back out byte-identically.
+    --port N      serve: bind a fixed loopback port (default 0 =
+                  ephemeral).
+    --addr-file FILE
+                  serve: write the bound address to FILE once
+                  listening, for scripted readiness checks.
     --threads N   worker count for the analysis stages (classification,
                   policy disclosure, exposure sweep; default 8). Output
                   is identical at any thread count.
@@ -449,6 +468,9 @@ fn generate(args: &[String]) -> ExitCode {
 
 fn serve(args: &[String]) -> ExitCode {
     let (_, options) = split_args(args);
+    if options.contains_key("archive-dir") {
+        return serve_audit(&options);
+    }
     let config = match config_from(&options) {
         Ok(c) => c,
         Err(e) => {
@@ -456,8 +478,17 @@ fn serve(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let port = match port_from(&options) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let eco = Arc::new(gptx::Ecosystem::generate(config));
-    let handle = match gptx::store::EcosystemHandle::start(Arc::clone(&eco), FaultConfig::default())
+    let handle = match gptx::store::EcosystemHandle::builder(Arc::clone(&eco))
+        .config(gptx::store::ServerConfig::default().with_port(port))
+        .spawn()
     {
         Ok(h) => h,
         Err(e) => {
@@ -465,6 +496,10 @@ fn serve(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Err(e) = write_addr_file(&options, handle.addr()) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
     println!(
         "serving {} GPTs on http://{}",
         eco.final_week().snapshot.len(),
@@ -481,21 +516,66 @@ fn serve(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Print privacy labels for GPTs of a generated ecosystem (the §7
-/// user-facing extension).
-/// Offline analysis of a saved crawl archive + ecosystem (the paper's
-/// crawl-then-analyze workflow; files come from `gptx crawl --out` and
-/// `gptx generate --out`).
-fn analyze(args: &[String]) -> ExitCode {
-    let (positional, options) = split_args(args);
-    let (Some(archive_path), Some(eco_path)) = (options.get("archive"), options.get("eco")) else {
-        eprintln!("analyze needs --archive FILE and --eco FILE\n{USAGE}");
+/// Parse the optional `--port N` listener port (0 = ephemeral).
+fn port_from(options: &std::collections::BTreeMap<String, String>) -> Result<u16, String> {
+    options
+        .get("port")
+        .map(|p| {
+            p.parse::<u16>()
+                .map_err(|_| format!("bad --port {p:?} (want 0-65535)"))
+        })
+        .transpose()
+        .map(|p| p.unwrap_or(0))
+}
+
+/// Write the bound address to `--addr-file` so scripts can poll for
+/// readiness instead of parsing stdout.
+fn write_addr_file(
+    options: &std::collections::BTreeMap<String, String>,
+    addr: std::net::SocketAddr,
+) -> Result<(), String> {
+    match options.get("addr-file") {
+        Some(path) => std::fs::write(path, addr.to_string())
+            .map_err(|e| format!("failed to write {path}: {e}")),
+        None => Ok(()),
+    }
+}
+
+/// `gptx serve --archive-dir DIR --eco FILE` — the audit service: load
+/// a persisted campaign from the on-disk snapshot archive, re-run the
+/// (deterministic) analysis offline, and answer the versioned
+/// `/api/v1/*` audit endpoints until stdin EOF.
+fn serve_audit(options: &std::collections::BTreeMap<String, String>) -> ExitCode {
+    let dir = options.get("archive-dir").expect("checked by caller");
+    let Some(eco_path) = options.get("eco") else {
+        eprintln!("serve --archive-dir also needs --eco FILE\n{USAGE}");
         return ExitCode::FAILURE;
     };
-    let archive_json = match std::fs::read_to_string(archive_path) {
-        Ok(j) => j,
+    let threads = match threads_from(options) {
+        Ok(t) => t.unwrap_or(8),
         Err(e) => {
-            eprintln!("cannot read {archive_path}: {e}");
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let port = match port_from(options) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let store = match gptx::crawler::CampaignStore::open(dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot open archive dir {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let archive = match store.load(threads) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cannot load campaign from {dir}: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -506,13 +586,6 @@ fn analyze(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let archive = match gptx::crawler::CrawlArchive::from_json(&archive_json) {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("bad archive: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
     let eco: gptx::Ecosystem = match serde_json::from_str(&eco_json) {
         Ok(e) => e,
         Err(e) => {
@@ -520,10 +593,116 @@ fn analyze(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let stats = store.stats();
+    eprintln!(
+        "loaded {} weeks from {dir} ({} blobs, {} segments, {:.1}% dedup); analyzing on {threads} threads...",
+        archive.snapshots.len(),
+        stats.blobs,
+        stats.segments,
+        store.dedup_ratio() * 100.0,
+    );
+    let run =
+        match gptx::AnalysisRun::analyze_with_threads(eco, archive, Default::default(), threads) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("analysis failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    let (metrics, _) = metrics_from(options);
+    let server = match gptx::AuditService::new(Arc::new(run))
+        .config(gptx::store::ServerConfig::default().with_port(port))
+        .metrics(metrics)
+        .serve()
+    {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = write_addr_file(options, server.addr()) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    println!("audit API on http://{}", server.addr());
+    println!("example: curl http://{}/api/v1/reports", server.addr());
+    println!("reading stdin; EOF shuts down.");
+    let mut sink = String::new();
+    let _ = std::io::stdin().read_to_string(&mut sink);
+    server.shutdown();
+    ExitCode::SUCCESS
+}
+
+/// Print privacy labels for GPTs of a generated ecosystem (the §7
+/// user-facing extension).
+/// Offline analysis of a saved crawl archive + ecosystem (the paper's
+/// crawl-then-analyze workflow; files come from `gptx crawl --out` and
+/// `gptx generate --out`).
+fn analyze(args: &[String]) -> ExitCode {
+    let (positional, options) = split_args(args);
+    let Some(eco_path) = options.get("eco") else {
+        eprintln!("analyze needs --eco FILE and --archive FILE or --archive-dir DIR\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
     let threads = match threads_from(&options) {
         Ok(t) => t.unwrap_or(8),
         Err(e) => {
             eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let archive = match (options.get("archive"), options.get("archive-dir")) {
+        (Some(archive_path), _) => {
+            let archive_json = match std::fs::read_to_string(archive_path) {
+                Ok(j) => j,
+                Err(e) => {
+                    eprintln!("cannot read {archive_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match gptx::crawler::CrawlArchive::from_json(&archive_json) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("bad archive: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        (None, Some(dir)) => {
+            // Stream the campaign back out of the content-addressed
+            // snapshot archive — byte-identical to the JSON path.
+            let store = match gptx::crawler::CampaignStore::open(dir) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot open archive dir {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match store.load(threads) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("cannot load campaign from {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        (None, None) => {
+            eprintln!("analyze needs --archive FILE or --archive-dir DIR\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let eco_json = match std::fs::read_to_string(eco_path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("cannot read {eco_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let eco: gptx::Ecosystem = match serde_json::from_str(&eco_json) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("bad ecosystem: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -714,13 +893,14 @@ fn crawl(args: &[String]) -> ExitCode {
         }
     };
     let eco = Arc::new(gptx::Ecosystem::generate(config));
-    let handle = match gptx::store::EcosystemHandle::start_with_config(
-        Arc::clone(&eco),
-        FaultConfig::default(),
-        gptx::store::ServerConfig::default()
-            .with_metrics(Arc::clone(&metrics))
-            .with_tracer(Arc::clone(&tracer)),
-    ) {
+    let handle = match gptx::store::EcosystemHandle::builder(Arc::clone(&eco))
+        .config(
+            gptx::store::ServerConfig::default()
+                .with_metrics(Arc::clone(&metrics))
+                .with_tracer(Arc::clone(&tracer)),
+        )
+        .spawn()
+    {
         Ok(h) => h,
         Err(e) => {
             eprintln!("failed to bind: {e}");
@@ -743,12 +923,43 @@ fn crawl(args: &[String]) -> ExitCode {
     }
     let store_names: Vec<&str> = gptx::synth::STORES.iter().map(|(n, _)| *n).collect();
     let weeks: Vec<(u32, String)> = eco.weeks.iter().map(|w| (w.week, w.date.clone())).collect();
-    let archive = match crawler.crawl_campaign(&weeks, &store_names, |w| handle.set_week(w)) {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("crawl failed: {e}");
-            return ExitCode::FAILURE;
+    let archive = match options.get("archive-dir") {
+        Some(dir) => {
+            // Persist each weekly snapshot to the content-addressed
+            // archive as it is crawled.
+            let mut sink = match gptx::crawler::CampaignStore::open(dir) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot open archive dir {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match crawler.crawl_campaign_to(&weeks, &store_names, |w| handle.set_week(w), &mut sink)
+            {
+                Ok(a) => {
+                    let stats = sink.stats();
+                    eprintln!(
+                        "archived {} weeks to {dir} ({} blobs, {} segments, {:.1}% dedup)",
+                        sink.weeks().len(),
+                        stats.blobs,
+                        stats.segments,
+                        sink.dedup_ratio() * 100.0,
+                    );
+                    a
+                }
+                Err(e) => {
+                    eprintln!("crawl failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
         }
+        None => match crawler.crawl_campaign(&weeks, &store_names, |w| handle.set_week(w)) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("crawl failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
     };
     let stats = crawler.stats();
     handle.shutdown();

@@ -1,0 +1,302 @@
+//! The queryable audit API: a versioned read-only HTTP service over a
+//! finished [`AnalysisRun`].
+//!
+//! `gptx serve` (and any embedder via [`AuditService::serve`]) exposes
+//! the run's Section-6 artifacts without re-running analysis:
+//!
+//! | Endpoint | Answer |
+//! |---|---|
+//! | `GET /api/v1/reports` | Index of per-Action disclosure reports |
+//! | `GET /api/v1/actions/:id/exposure` | Own + co-occurrence-exposed data types (1 and 2 hops) |
+//! | `GET /api/v1/actions/:id/disclosure` | The Action's full [`ActionDisclosureReport`] as JSON |
+//! | `GET /api/v1/weeks` | The crawled weekly snapshots (week, date, GPT count) |
+//! | `GET /metrics` | Prometheus-style metrics snapshot |
+//! | `GET /trace` | Chrome-trace JSON of recorded spans |
+//!
+//! The service is built on the same [`RouteTable`] the ecosystem store
+//! serves from — handlers are plain closures over an immutable
+//! [`AnalysisRun`], so the server is lock-free and every answer is a
+//! pure function of the run. Latency is recorded in the
+//! `audit.route_us` histogram and per-route hit counts under
+//! `audit.route.<label>` when a metrics registry is attached.
+
+use crate::pipeline::AnalysisRun;
+use gptx_graph::{exposed_types, CollectionMap};
+use gptx_obs::{MetricsRegistry, Tracer};
+use gptx_policy::ActionDisclosureReport;
+use gptx_store::{
+    percent_decode, serve_with, Params, Request, Response, Route, RouteTable, Router, ServerConfig,
+    ServerHandle,
+};
+use std::sync::Arc;
+
+/// Escape a string for inclusion inside a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a set-like iterator of displayable values as a JSON array of
+/// strings.
+fn json_string_array<I: IntoIterator<Item = T>, T: std::fmt::Display>(items: I) -> String {
+    let inner: Vec<String> = items
+        .into_iter()
+        .map(|t| format!("\"{}\"", json_escape(&t.to_string())))
+        .collect();
+    format!("[{}]", inner.join(","))
+}
+
+/// The immutable query state behind every endpoint: the finished run
+/// plus the derived lookups the handlers need (per-Action collection
+/// map, report index).
+struct AuditState {
+    run: Arc<AnalysisRun>,
+    /// Action identity → collected data types, from the LLM profiles.
+    collections: CollectionMap,
+    /// Action identity → index into `run.reports`.
+    report_index: std::collections::BTreeMap<String, usize>,
+    metrics: Arc<MetricsRegistry>,
+    tracer: Arc<Tracer>,
+}
+
+impl AuditState {
+    fn report(&self, identity: &str) -> Option<&ActionDisclosureReport> {
+        self.report_index
+            .get(identity)
+            .map(|&i| &self.run.reports[i])
+    }
+
+    /// `GET /api/v1/reports` — one summary row per analyzed Action, in
+    /// identity order.
+    fn reports_index(&self) -> Response {
+        let rows: Vec<String> = self
+            .run
+            .reports
+            .iter()
+            .map(|r| {
+                let labels: Vec<String> = r
+                    .per_type_labels()
+                    .into_iter()
+                    .map(|(t, l)| format!("\"{}\":\"{}\"", json_escape(&t.to_string()), l))
+                    .collect();
+                format!(
+                    "{{\"action\":\"{}\",\"functionality\":\"{}\",\"sentences\":{},\"items\":{},\"labels\":{{{}}}}}",
+                    json_escape(&r.action_identity),
+                    json_escape(&self.run.functionality_of(&r.action_identity)),
+                    r.collection_sentences.len(),
+                    r.items.len(),
+                    labels.join(","),
+                )
+            })
+            .collect();
+        Response::ok_json(format!(
+            "{{\"count\":{},\"reports\":[{}]}}",
+            rows.len(),
+            rows.join(",")
+        ))
+    }
+
+    /// `GET /api/v1/actions/:id/exposure` — the Action's own collected
+    /// types plus what co-occurrence exposes to it at one and two hops
+    /// (the Table 7/8 neighborhood view for a single Action).
+    fn exposure(&self, identity: &str) -> Response {
+        let Some(own) = self.collections.get(identity) else {
+            return Response::not_found();
+        };
+        let one = exposed_types(&self.run.graph, &self.collections, identity, 1);
+        let two = exposed_types(&self.run.graph, &self.collections, identity, 2);
+        Response::ok_json(format!(
+            "{{\"action\":\"{}\",\"own_types\":{},\"exposed_1hop\":{},\"exposed_2hop\":{}}}",
+            json_escape(identity),
+            json_string_array(own.iter()),
+            json_string_array(one.iter()),
+            json_string_array(two.iter()),
+        ))
+    }
+
+    /// `GET /api/v1/actions/:id/disclosure` — the full per-Action
+    /// disclosure report, serialized exactly as `gptx analyze` writes
+    /// it to disk.
+    fn disclosure(&self, identity: &str) -> Response {
+        match self.report(identity) {
+            Some(report) => match serde_json::to_string(report) {
+                Ok(body) => Response::ok_json(body),
+                Err(_) => Response::server_error(),
+            },
+            None => Response::not_found(),
+        }
+    }
+
+    /// `GET /api/v1/weeks` — the crawled snapshot series.
+    fn weeks(&self) -> Response {
+        let rows: Vec<String> = self
+            .run
+            .archive
+            .snapshots
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"week\":{},\"date\":\"{}\",\"gpts\":{}}}",
+                    s.week,
+                    json_escape(&s.date),
+                    s.gpts.len()
+                )
+            })
+            .collect();
+        Response::ok_json(format!("{{\"weeks\":[{}]}}", rows.join(",")))
+    }
+}
+
+/// Decode the `:id` route parameter (identities may contain spaces,
+/// which arrive percent-encoded).
+fn decoded_id(params: &Params) -> String {
+    percent_decode(params.get("id").unwrap_or_default())
+}
+
+fn audit_routes(state: &Arc<AuditState>) -> RouteTable {
+    let s = |state: &Arc<AuditState>| Arc::clone(state);
+    let st = s(state);
+    let metrics_route = Route::get("/metrics")
+        .label("metrics")
+        .handle(move |_, _| Response::ok_text(st.metrics.snapshot().render_text()));
+    let st = s(state);
+    let trace_route = Route::get("/trace")
+        .label("trace")
+        .handle(move |_, _| Response::ok_json(st.tracer.snapshot().to_chrome_json()));
+    let st = s(state);
+    let reports = Route::get("/api/v1/reports")
+        .label("reports")
+        .handle(move |_, _| st.reports_index());
+    let st = s(state);
+    let exposure = Route::get("/api/v1/actions/:id/exposure")
+        .label("exposure")
+        .handle(move |_, params| st.exposure(&decoded_id(params)));
+    let st = s(state);
+    let disclosure = Route::get("/api/v1/actions/:id/disclosure")
+        .label("disclosure")
+        .handle(move |_, params| st.disclosure(&decoded_id(params)));
+    let st = s(state);
+    let weeks = Route::get("/api/v1/weeks")
+        .label("weeks")
+        .handle(move |_, _| st.weeks());
+
+    RouteTable::new()
+        .with(metrics_route)
+        .with(trace_route)
+        .with(reports)
+        .with(exposure)
+        .with(disclosure)
+        .with(weeks)
+}
+
+/// The audit [`Router`]: route-table dispatch plus the `audit.route_us`
+/// latency histogram and per-route hit counters.
+struct AuditRouter {
+    state: Arc<AuditState>,
+    table: RouteTable,
+}
+
+impl Router for AuditRouter {
+    fn route(&self, request: &Request) -> Response {
+        let span = self.state.metrics.span("audit.route_us");
+        let matched = self.table.resolve(request);
+        let label = matched.as_ref().map_or("not_found", |m| m.label());
+        let response = match matched {
+            Some(m) => m.run(request),
+            None => Response::not_found(),
+        };
+        span.finish();
+        if self.state.metrics.enabled() {
+            self.state.metrics.incr(&format!("audit.route.{label}"));
+            self.state
+                .metrics
+                .incr(&format!("audit.status.{}", response.status));
+        }
+        response
+    }
+}
+
+/// A read-only audit API over one finished [`AnalysisRun`].
+///
+/// ```no_run
+/// # use gptx::{audit::AuditService, Pipeline, SynthConfig};
+/// # use std::sync::Arc;
+/// let run = Pipeline::builder(SynthConfig::tiny(7)).build().run().unwrap();
+/// let server = AuditService::new(Arc::new(run)).serve().unwrap();
+/// println!("audit API on http://{}", server.addr());
+/// ```
+pub struct AuditService {
+    run: Arc<AnalysisRun>,
+    config: ServerConfig,
+    metrics: Arc<MetricsRegistry>,
+    tracer: Arc<Tracer>,
+}
+
+impl AuditService {
+    /// Build an audit service over `run` with the default server
+    /// configuration (ephemeral loopback port, metrics disabled).
+    pub fn new(run: Arc<AnalysisRun>) -> AuditService {
+        AuditService {
+            run,
+            config: ServerConfig::default(),
+            metrics: MetricsRegistry::shared_disabled(),
+            tracer: Tracer::shared_disabled(),
+        }
+    }
+
+    /// Replace the server configuration (port, worker count, limits).
+    pub fn config(mut self, config: ServerConfig) -> AuditService {
+        self.config = config;
+        self
+    }
+
+    /// Attach a metrics registry: requests record `audit.route_us` and
+    /// `audit.route.<label>` / `audit.status.<code>` counters, and
+    /// `GET /metrics` renders the registry.
+    pub fn metrics(mut self, metrics: Arc<MetricsRegistry>) -> AuditService {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Attach a tracer: `GET /trace` renders its Chrome-trace snapshot.
+    pub fn tracer(mut self, tracer: Arc<Tracer>) -> AuditService {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Bind and serve. The handle shuts the server down on drop.
+    pub fn serve(self) -> std::io::Result<ServerHandle> {
+        let collections = self.run.collection_map();
+        let report_index = self
+            .run
+            .reports
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.action_identity.clone(), i))
+            .collect();
+        let config = self
+            .config
+            .with_metrics(Arc::clone(&self.metrics))
+            .with_tracer(Arc::clone(&self.tracer));
+        let state = Arc::new(AuditState {
+            run: self.run,
+            collections,
+            report_index,
+            metrics: self.metrics,
+            tracer: self.tracer,
+        });
+        let table = audit_routes(&state);
+        serve_with(AuditRouter { state, table }, config)
+    }
+}

@@ -29,8 +29,11 @@
 //! println!("{}", gptx::experiments::render("t4", &run).unwrap());
 //! ```
 
+pub mod audit;
 pub mod experiments;
 pub mod pipeline;
+
+pub use audit::AuditService;
 
 pub use pipeline::{
     analyze_policy_disclosures, analyze_policy_disclosures_metered,
@@ -43,6 +46,7 @@ pub use pipeline::{
 pub use pipeline::RunError as Error;
 
 // Re-export the subsystem crates under stable names.
+pub use gptx_archive as archive;
 pub use gptx_census as census;
 pub use gptx_classifier as classifier;
 pub use gptx_crawler as crawler;

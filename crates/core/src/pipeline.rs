@@ -9,15 +9,16 @@
 
 use gptx_census::CorpusCollection;
 use gptx_classifier::{ActionProfile, Classifier};
-use gptx_crawler::{CrawlArchive, CrawlStats, Crawler};
+use gptx_crawler::{CampaignSinkError, CampaignStore, CrawlArchive, CrawlStats, Crawler};
 use gptx_graph::{build_cooccurrence, CollectionMap, Graph};
 use gptx_llm::{DisclosureLabel, KbModel, LanguageModel};
 use gptx_obs::{Level, MetricsRegistry, SpanContext, Tracer};
 use gptx_policy::{ActionDisclosureReport, PolicyAnalyzer};
-use gptx_store::{ClientError, EcosystemHandle, FaultConfig, FaultPlan, ShardedEcosystemHandle};
+use gptx_store::{ClientError, EcosystemHandle, FaultConfig, FaultPlan};
 use gptx_synth::{Ecosystem, SynthConfig, STORES};
 use gptx_taxonomy::{DataType, KnowledgeBase};
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Pipeline failures. Every subsystem error converts via `From`, so
@@ -65,6 +66,15 @@ impl From<ClientError> for RunError {
     }
 }
 
+impl From<CampaignSinkError> for RunError {
+    fn from(e: CampaignSinkError) -> RunError {
+        match e {
+            CampaignSinkError::Http(e) => RunError::Crawl(e),
+            CampaignSinkError::Io(e) => RunError::Io(e),
+        }
+    }
+}
+
 impl From<gptx_classifier::ClassifierError> for RunError {
     fn from(e: gptx_classifier::ClassifierError) -> RunError {
         RunError::Classify(e)
@@ -99,6 +109,7 @@ pub struct Pipeline {
     pool_size: usize,
     analysis_threads: usize,
     shards: usize,
+    archive_dir: Option<PathBuf>,
     metrics: Arc<MetricsRegistry>,
     tracer: Arc<Tracer>,
 }
@@ -113,6 +124,7 @@ pub struct PipelineBuilder {
     pool_size: Option<usize>,
     analysis_threads: usize,
     shards: usize,
+    archive_dir: Option<PathBuf>,
     metrics: Arc<MetricsRegistry>,
     tracer: Arc<Tracer>,
 }
@@ -169,6 +181,18 @@ impl PipelineBuilder {
         self
     }
 
+    /// Persist every crawled weekly snapshot to an on-disk
+    /// content-addressed [`gptx_archive::Archive`] at `dir` while the
+    /// campaign runs. Unchanged GPTs are stored once across weeks;
+    /// `gptx serve` and `gptx analyze` can later answer from the
+    /// directory without re-crawling. The analysis itself still runs
+    /// from the in-memory archive — disk and memory artifacts are
+    /// byte-identical.
+    pub fn archive_dir(mut self, dir: impl Into<PathBuf>) -> PipelineBuilder {
+        self.archive_dir = Some(dir.into());
+        self
+    }
+
     /// Attach a metrics registry: the run records per-stage span
     /// timings (`stage.*`), and the registry is threaded through the
     /// store server, crawler, HTTP client, and analysis worker pools.
@@ -200,38 +224,9 @@ impl PipelineBuilder {
             pool_size: self.pool_size.unwrap_or(self.crawler_threads),
             analysis_threads: self.analysis_threads,
             shards: self.shards,
+            archive_dir: self.archive_dir,
             metrics: self.metrics,
             tracer: self.tracer,
-        }
-    }
-}
-
-/// A running ecosystem server, single-listener or sharded — the run
-/// loop drives both through the same four calls.
-enum AnyHandle {
-    Single(EcosystemHandle),
-    Sharded(ShardedEcosystemHandle),
-}
-
-impl AnyHandle {
-    fn addrs(&self) -> Vec<std::net::SocketAddr> {
-        match self {
-            AnyHandle::Single(h) => vec![h.addr()],
-            AnyHandle::Sharded(h) => h.addrs(),
-        }
-    }
-
-    fn set_week(&self, week: usize) {
-        match self {
-            AnyHandle::Single(h) => h.set_week(week),
-            AnyHandle::Sharded(h) => h.set_week(week),
-        }
-    }
-
-    fn shutdown(self) {
-        match self {
-            AnyHandle::Single(h) => h.shutdown(),
-            AnyHandle::Sharded(h) => h.shutdown(),
         }
     }
 }
@@ -248,6 +243,7 @@ impl Pipeline {
             pool_size: None,
             analysis_threads: 8,
             shards: 1,
+            archive_dir: None,
             metrics: MetricsRegistry::shared_disabled(),
             tracer: Tracer::shared_disabled(),
         }
@@ -288,6 +284,12 @@ impl Pipeline {
         self.shards
     }
 
+    /// The on-disk snapshot archive directory, if the run persists its
+    /// campaign (attached via [`PipelineBuilder::archive_dir`]).
+    pub fn archive_dir(&self) -> Option<&std::path::Path> {
+        self.archive_dir.as_deref()
+    }
+
     /// The metrics registry the run records into (the shared disabled
     /// singleton unless one was attached via the builder).
     pub fn metrics(&self) -> &Arc<MetricsRegistry> {
@@ -325,25 +327,23 @@ impl Pipeline {
         let server_config = gptx_store::ServerConfig::default()
             .with_metrics(Arc::clone(metrics))
             .with_tracer(Arc::clone(tracer));
-        let server = if self.shards > 1 {
+        // The plan's arrival counter survives across runs of the same
+        // Pipeline (clones share it); rewind so every run replays the
+        // schedule from arrival zero.
+        self.fault_plan.reset();
+        let mut builder = EcosystemHandle::builder(Arc::clone(&eco))
+            .faults(self.faults)
+            .config(server_config);
+        builder = if self.shards > 1 {
             // The schedule-driven plan counts arrivals per shard; pin
             // it to shard 0 so single-shard chaos repros stay exact.
-            let mut plans = vec![FaultPlan::default(); self.shards];
-            plans[0] = self.fault_plan.clone();
-            AnyHandle::Sharded(EcosystemHandle::start_sharded_with_plans(
-                Arc::clone(&eco),
-                self.faults,
-                plans,
-                server_config,
-            )?)
+            builder
+                .fault_plans(vec![self.fault_plan.clone()])
+                .shards(self.shards)
         } else {
-            AnyHandle::Single(EcosystemHandle::start_with_plan(
-                Arc::clone(&eco),
-                self.faults,
-                self.fault_plan.clone(),
-                server_config,
-            )?)
+            builder.fault_plan(self.fault_plan.clone())
         };
+        let server = builder.spawn()?;
 
         // 2. Crawl the full campaign. Request spans nest under the
         // crawl-stage span, so one campaign renders as a single tree.
@@ -358,7 +358,18 @@ impl Pipeline {
         let weeks: Vec<(u32, String)> =
             eco.weeks.iter().map(|w| (w.week, w.date.clone())).collect();
         let span = metrics.span("stage.crawl");
-        let archive = crawler.crawl_campaign(&weeks, &store_names, |w| server.set_week(w))?;
+        let archive = match &self.archive_dir {
+            Some(dir) => {
+                let mut sink = CampaignStore::open(dir)?;
+                crawler.crawl_campaign_to(
+                    &weeks,
+                    &store_names,
+                    |w| server.set_week(w),
+                    &mut sink,
+                )?
+            }
+            None => crawler.crawl_campaign(&weeks, &store_names, |w| server.set_week(w))?,
+        };
         span.finish();
         tspan.finish();
         let crawl_stats = crawler.stats();
@@ -805,6 +816,7 @@ mod tests {
         assert_eq!(p.pool_size(), 8, "pool defaults to the worker count");
         assert_eq!(p.analysis_threads(), 8);
         assert_eq!(p.shards(), 1, "single listener unless sharded");
+        assert!(p.archive_dir().is_none(), "in-memory only by default");
         assert!(!p.metrics().enabled());
         assert!(!p.tracer().enabled());
 
@@ -828,6 +840,36 @@ mod tests {
         assert!(Arc::ptr_eq(p.metrics(), &metrics));
         assert!(p.tracer().enabled());
         assert!(Arc::ptr_eq(p.tracer(), &tracer));
+    }
+
+    #[test]
+    fn archive_dir_run_persists_byte_identical_campaign() {
+        let dir = std::env::temp_dir().join(format!(
+            "gptx-pipeline-archive-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .subsec_nanos()
+        ));
+        let run = Pipeline::builder(SynthConfig::tiny(35))
+            .faults(FaultConfig::none())
+            .archive_dir(&dir)
+            .build()
+            .run()
+            .unwrap();
+        let store = CampaignStore::open(&dir).unwrap();
+        let from_disk = store.load(4).unwrap();
+        assert_eq!(
+            from_disk.to_json().unwrap(),
+            run.archive.to_json().unwrap(),
+            "disk and in-memory archives must be byte-identical"
+        );
+        assert!(
+            store.dedup_ratio() > 0.0,
+            "unchanged GPTs should dedup across weeks"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,461 @@
+//! Persisting a crawl campaign through the content-addressed archive.
+//!
+//! [`CampaignStore`] maps the crawler's [`CrawlArchive`] onto
+//! `gptx-archive`'s blobs and manifests:
+//!
+//! * each weekly snapshot becomes one `week:NNNNNN` manifest whose
+//!   entries point at per-GPT JSON blobs — a GPT whose spec did not
+//!   change between weeks hashes to the same blob and is stored once
+//!   (the paper's corpus is dominated by unchanged GPTs week over
+//!   week, so this is where the dedup ratio comes from);
+//! * policies, API probes, per-store listings, and the weekly success
+//!   series become `meta:*` manifests, written once at campaign end.
+//!
+//! Loading streams blobs back in segment order ([`Archive::read_blobs`]
+//! sorts reads by on-disk position) and fans the JSON parsing out over
+//! `gptx-par` workers, so a full-corpus materialization in memory is
+//! never needed on the write path and the read path parallelizes the
+//! expensive part. Week manifests live in a `BTreeMap`, so iteration
+//! order — and every artifact derived from it — is deterministic.
+
+use crate::archive::{ApiProbe, CrawlArchive, PolicyDocument};
+use crate::ClientError;
+use gptx_archive::{Archive, ArchiveStats, CompactionStats, ContentHash, Manifest};
+use gptx_model::snapshot::CrawlSnapshot;
+use gptx_model::{Gpt, GptId};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+/// Manifest name prefix for weekly snapshots; the suffix is the
+/// zero-padded week number so lexicographic order is week order.
+pub const WEEK_PREFIX: &str = "week:";
+const META_POLICIES: &str = "meta:policies";
+const META_PROBES: &str = "meta:probes";
+const META_LISTINGS: &str = "meta:listings";
+const META_SUCCESS: &str = "meta:success";
+/// Reserved manifest keys (GPT ids are `g-…`, so no collision).
+const KEY_WEEK: &str = "@week";
+const KEY_DATE: &str = "@date";
+const KEY_SERIES: &str = "@series";
+
+/// What one [`CampaignStore::put_snapshot`] call wrote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeekWriteStats {
+    pub week: u32,
+    /// GPTs in the snapshot (manifest entries, minus the reserved keys).
+    pub gpts: usize,
+    /// Blobs actually appended to a segment.
+    pub new_blobs: usize,
+    /// Blobs already present from an earlier week (stored once).
+    pub dedup_hits: usize,
+}
+
+/// Errors from a persisted crawl: either the crawl itself failed or
+/// the archive write did.
+#[derive(Debug)]
+pub enum CampaignSinkError {
+    Http(ClientError),
+    Io(io::Error),
+}
+
+impl fmt::Display for CampaignSinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignSinkError::Http(e) => write!(f, "crawl failed: {e}"),
+            CampaignSinkError::Io(e) => write!(f, "archive write failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignSinkError {}
+
+impl From<ClientError> for CampaignSinkError {
+    fn from(e: ClientError) -> CampaignSinkError {
+        CampaignSinkError::Http(e)
+    }
+}
+
+impl From<io::Error> for CampaignSinkError {
+    fn from(e: io::Error) -> CampaignSinkError {
+        CampaignSinkError::Io(e)
+    }
+}
+
+fn json_err(e: serde_json::Error) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e)
+}
+
+/// A crawl campaign persisted in (and loadable from) a content-addressed
+/// archive directory.
+pub struct CampaignStore {
+    archive: Archive,
+}
+
+impl CampaignStore {
+    /// Open (or create) the archive directory.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<CampaignStore> {
+        Ok(CampaignStore {
+            archive: Archive::open(dir)?,
+        })
+    }
+
+    /// Wrap an already-open archive.
+    pub fn from_archive(archive: Archive) -> CampaignStore {
+        CampaignStore { archive }
+    }
+
+    /// The underlying archive (stats, compaction, recovery events).
+    pub fn archive(&self) -> &Archive {
+        &self.archive
+    }
+
+    /// Persist one weekly snapshot and fsync. Unchanged GPT specs
+    /// content-hash to blobs already written by earlier weeks and are
+    /// not stored again.
+    pub fn put_snapshot(&mut self, snapshot: &CrawlSnapshot) -> io::Result<WeekWriteStats> {
+        let mut manifest = Manifest::new(format!("{WEEK_PREFIX}{:06}", snapshot.week));
+        let (week_hash, _) = self
+            .archive
+            .put_blob(snapshot.week.to_string().as_bytes())?;
+        manifest.push(KEY_WEEK, week_hash);
+        let (date_hash, _) = self.archive.put_blob(snapshot.date.as_bytes())?;
+        manifest.push(KEY_DATE, date_hash);
+        let mut new_blobs = 0;
+        let mut dedup_hits = 0;
+        for (id, gpt) in &snapshot.gpts {
+            let json = serde_json::to_vec(gpt).map_err(json_err)?;
+            let (hash, was_new) = self.archive.put_blob(&json)?;
+            if was_new {
+                new_blobs += 1;
+            } else {
+                dedup_hits += 1;
+            }
+            manifest.push(id.as_str(), hash);
+        }
+        self.archive.put_manifest(&manifest)?;
+        self.archive.sync()?;
+        Ok(WeekWriteStats {
+            week: snapshot.week,
+            gpts: snapshot.gpts.len(),
+            new_blobs,
+            dedup_hits,
+        })
+    }
+
+    /// Persist the campaign-level results (policies, probes, listings,
+    /// weekly success series) and fsync.
+    pub fn put_meta(&mut self, campaign: &CrawlArchive) -> io::Result<()> {
+        let mut policies = Manifest::new(META_POLICIES);
+        for (identity, doc) in &campaign.policies {
+            let (hash, _) = self
+                .archive
+                .put_blob(&serde_json::to_vec(doc).map_err(json_err)?)?;
+            policies.push(identity.as_str(), hash);
+        }
+        self.archive.put_manifest(&policies)?;
+
+        let mut probes = Manifest::new(META_PROBES);
+        for (identity, probe) in &campaign.probes {
+            let (hash, _) = self
+                .archive
+                .put_blob(&serde_json::to_vec(probe).map_err(json_err)?)?;
+            probes.push(identity.as_str(), hash);
+        }
+        self.archive.put_manifest(&probes)?;
+
+        let mut listings = Manifest::new(META_LISTINGS);
+        for (store, ids) in &campaign.store_listings {
+            let (hash, _) = self
+                .archive
+                .put_blob(&serde_json::to_vec(ids).map_err(json_err)?)?;
+            listings.push(store.as_str(), hash);
+        }
+        self.archive.put_manifest(&listings)?;
+
+        let mut success = Manifest::new(META_SUCCESS);
+        let (hash, _) = self
+            .archive
+            .put_blob(&serde_json::to_vec(&campaign.weekly_gizmo_success).map_err(json_err)?)?;
+        success.push(KEY_SERIES, hash);
+        self.archive.put_manifest(&success)?;
+        self.archive.sync()
+    }
+
+    /// Persist a whole in-memory campaign: every snapshot, then the
+    /// campaign-level results.
+    pub fn put_campaign(&mut self, campaign: &CrawlArchive) -> io::Result<Vec<WeekWriteStats>> {
+        let mut stats = Vec::with_capacity(campaign.snapshots.len());
+        for snapshot in &campaign.snapshots {
+            stats.push(self.put_snapshot(snapshot)?);
+        }
+        self.put_meta(campaign)?;
+        Ok(stats)
+    }
+
+    /// The persisted week numbers, in week order.
+    pub fn weeks(&self) -> Vec<u32> {
+        self.archive
+            .manifest_names()
+            .filter_map(|name| name.strip_prefix(WEEK_PREFIX))
+            .filter_map(|suffix| suffix.parse().ok())
+            .collect()
+    }
+
+    /// Load one persisted week, parsing GPT specs on `threads` workers.
+    pub fn load_week(&self, week: u32, threads: usize) -> io::Result<CrawlSnapshot> {
+        let name = format!("{WEEK_PREFIX}{week:06}");
+        let manifest = self
+            .archive
+            .manifest(&name)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no manifest {name}")))?
+            .clone();
+        self.snapshot_from_manifest(&manifest, threads)
+    }
+
+    fn snapshot_from_manifest(
+        &self,
+        manifest: &Manifest,
+        threads: usize,
+    ) -> io::Result<CrawlSnapshot> {
+        let week: u32 = match manifest.get(KEY_WEEK) {
+            Some(hash) => read_utf8(&self.archive, hash)?
+                .parse()
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("@week: {e}")))?,
+            None => bad_manifest(&manifest.name, "missing @week")?,
+        };
+        let date = match manifest.get(KEY_DATE) {
+            Some(hash) => read_utf8(&self.archive, hash)?,
+            None => bad_manifest(&manifest.name, "missing @date")?,
+        };
+        let hashes: Vec<ContentHash> = manifest
+            .entries
+            .iter()
+            .filter(|(key, _)| !key.starts_with('@'))
+            .map(|&(_, hash)| hash)
+            .collect();
+        // One sequential-friendly disk pass, then parallel parsing: the
+        // blobs come back in manifest order regardless of thread count,
+        // so the rebuilt snapshot is deterministic.
+        let blobs = self.archive.read_blobs(&hashes)?;
+        let gpts = gptx_par::par_try_map(threads, &blobs, |blob| {
+            serde_json::from_slice::<Gpt>(blob).map_err(json_err)
+        })?;
+        let mut snapshot = CrawlSnapshot::new(week, &date);
+        for gpt in gpts {
+            snapshot.insert(gpt);
+        }
+        Ok(snapshot)
+    }
+
+    /// Load the whole campaign back into memory. The result is
+    /// equivalent to the [`CrawlArchive`] that was persisted — analyses
+    /// over it produce byte-identical artifacts.
+    pub fn load(&self, threads: usize) -> io::Result<CrawlArchive> {
+        let mut campaign = CrawlArchive::default();
+        let week_manifests: Vec<Manifest> = self
+            .archive
+            .manifests()
+            .filter(|m| m.name.starts_with(WEEK_PREFIX))
+            .cloned()
+            .collect();
+        for manifest in &week_manifests {
+            campaign
+                .snapshots
+                .push(self.snapshot_from_manifest(manifest, threads)?);
+        }
+        if let Some(manifest) = self.archive.manifest(META_POLICIES).cloned() {
+            for (identity, hash) in &manifest.entries {
+                let doc: PolicyDocument =
+                    serde_json::from_slice(&read_blob(&self.archive, *hash)?).map_err(json_err)?;
+                campaign.policies.insert(identity.clone(), doc);
+            }
+        }
+        if let Some(manifest) = self.archive.manifest(META_PROBES).cloned() {
+            for (identity, hash) in &manifest.entries {
+                let probe: ApiProbe =
+                    serde_json::from_slice(&read_blob(&self.archive, *hash)?).map_err(json_err)?;
+                campaign.probes.insert(identity.clone(), probe);
+            }
+        }
+        if let Some(manifest) = self.archive.manifest(META_LISTINGS).cloned() {
+            for (store, hash) in &manifest.entries {
+                let ids: BTreeSet<GptId> =
+                    serde_json::from_slice(&read_blob(&self.archive, *hash)?).map_err(json_err)?;
+                campaign.store_listings.insert(store.clone(), ids);
+            }
+        }
+        if let Some(manifest) = self.archive.manifest(META_SUCCESS).cloned() {
+            if let Some(hash) = manifest.get(KEY_SERIES) {
+                campaign.weekly_gizmo_success =
+                    serde_json::from_slice::<Vec<(u32, f64)>>(&read_blob(&self.archive, hash)?)
+                        .map_err(json_err)?;
+            }
+        }
+        Ok(campaign)
+    }
+
+    /// Archive shape counters (blob/manifest/segment counts, bytes,
+    /// dedup hits).
+    pub fn stats(&self) -> ArchiveStats {
+        self.archive.stats()
+    }
+
+    /// Blobs stored once but referenced by more than one week manifest,
+    /// as a fraction of all references — the paper's "unchanged GPTs
+    /// stored once" ratio. 0.0 when nothing has been written.
+    pub fn dedup_ratio(&self) -> f64 {
+        let mut references: BTreeMap<ContentHash, u64> = BTreeMap::new();
+        for manifest in self.archive.manifests() {
+            if !manifest.name.starts_with(WEEK_PREFIX) {
+                continue;
+            }
+            for (key, hash) in &manifest.entries {
+                if !key.starts_with('@') {
+                    *references.entry(*hash).or_default() += 1;
+                }
+            }
+        }
+        let total: u64 = references.values().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let duplicated: u64 = references.values().map(|&n| n - 1).sum();
+        duplicated as f64 / total as f64
+    }
+
+    /// Reclaim space from superseded manifests and unreferenced blobs
+    /// (removal churn).
+    pub fn compact(&mut self) -> io::Result<CompactionStats> {
+        self.archive.compact()
+    }
+}
+
+fn read_blob(archive: &Archive, hash: ContentHash) -> io::Result<Vec<u8>> {
+    archive
+        .get_blob(hash)?
+        .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("missing blob {hash}")))
+}
+
+fn read_utf8(archive: &Archive, hash: ContentHash) -> io::Result<String> {
+    String::from_utf8(read_blob(archive, hash)?)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+fn bad_manifest<T>(name: &str, what: &str) -> io::Result<T> {
+    Err(io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("manifest {name}: {what}"),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gptx_model::Gpt;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU32 = AtomicU32::new(0);
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .subsec_nanos();
+        let dir = std::env::temp_dir().join(format!(
+            "gptx-sink-{tag}-{}-{}-{nanos}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn campaign() -> CrawlArchive {
+        let mut s0 = CrawlSnapshot::new(0, "2024-02-08");
+        s0.insert(Gpt::minimal("g-aaaaaaaaaa", "A"));
+        s0.insert(Gpt::minimal("g-bbbbbbbbbb", "B"));
+        let mut s1 = CrawlSnapshot::new(1, "2024-02-15");
+        s1.insert(Gpt::minimal("g-aaaaaaaaaa", "A"));
+        s1.insert(Gpt::minimal("g-cccccccccc", "C"));
+        let mut campaign = CrawlArchive {
+            snapshots: vec![s0, s1],
+            ..CrawlArchive::default()
+        };
+        campaign.policies.insert(
+            "svc@api.example.com".into(),
+            PolicyDocument {
+                url: "https://api.example.com/privacy".into(),
+                body: Some("policy text".into()),
+                content_type: Some("text/plain".into()),
+            },
+        );
+        campaign.probes.insert(
+            "svc@api.example.com".into(),
+            ApiProbe {
+                status: 410,
+                body: "discontinued".into(),
+            },
+        );
+        campaign
+            .store_listings
+            .entry("OpenAI Store".into())
+            .or_default()
+            .insert(GptId("g-aaaaaaaaaa".into()));
+        campaign.weekly_gizmo_success = vec![(0, 1.0), (1, 0.5)];
+        campaign
+    }
+
+    #[test]
+    fn campaign_round_trips_through_disk() {
+        let dir = temp_dir("roundtrip");
+        let original = campaign();
+        let mut store = CampaignStore::open(&dir).unwrap();
+        store.put_campaign(&original).unwrap();
+        drop(store);
+
+        let reopened = CampaignStore::open(&dir).unwrap();
+        assert_eq!(reopened.weeks(), vec![0, 1]);
+        let loaded = reopened.load(2).unwrap();
+        // JSON equality covers every field at once.
+        assert_eq!(loaded.to_json().unwrap(), original.to_json().unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unchanged_gpts_are_stored_once_across_weeks() {
+        let dir = temp_dir("dedup");
+        let mut store = CampaignStore::open(&dir).unwrap();
+        let stats = store.put_campaign(&campaign()).unwrap();
+        // Week 0 writes A and B fresh; week 1 re-references A, writes C.
+        assert_eq!(stats[0].new_blobs, 2);
+        assert_eq!(stats[0].dedup_hits, 0);
+        assert_eq!(stats[1].new_blobs, 1);
+        assert_eq!(stats[1].dedup_hits, 1);
+        // 1 duplicated reference out of 4 total.
+        assert!((store.dedup_ratio() - 0.25).abs() < 1e-9);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_week_rebuilds_one_snapshot() {
+        let dir = temp_dir("week");
+        let original = campaign();
+        let mut store = CampaignStore::open(&dir).unwrap();
+        store.put_campaign(&original).unwrap();
+        let snapshot = store.load_week(1, 1).unwrap();
+        assert_eq!(snapshot.week, 1);
+        assert_eq!(snapshot.date, "2024-02-15");
+        assert_eq!(snapshot.gpts.len(), 2);
+        assert_eq!(
+            serde_json::to_string(&snapshot).unwrap(),
+            serde_json::to_string(&original.snapshots[1]).unwrap()
+        );
+        assert!(matches!(
+            store.load_week(9, 1),
+            Err(e) if e.kind() == io::ErrorKind::NotFound
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

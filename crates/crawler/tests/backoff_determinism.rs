@@ -9,7 +9,7 @@
 
 use gptx_crawler::Crawler;
 use gptx_obs::{MetricsRegistry, Tracer};
-use gptx_store::{EcosystemHandle, FaultConfig, FaultKind, FaultPlan, ServerConfig};
+use gptx_store::{EcosystemHandle, FaultConfig, FaultKind, FaultPlan};
 use gptx_synth::{Ecosystem, SynthConfig, STORES};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -27,13 +27,11 @@ fn crawl_observed(seed: u64, plan: FaultPlan) -> Observed {
     let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(seed)));
     let metrics = MetricsRegistry::shared();
     let tracer = Tracer::shared(9);
-    let handle = EcosystemHandle::start_with_plan(
-        Arc::clone(&eco),
-        FaultConfig::none(),
-        plan,
-        ServerConfig::default(),
-    )
-    .expect("server start");
+    let handle = EcosystemHandle::builder(Arc::clone(&eco))
+        .faults(FaultConfig::none())
+        .fault_plan(plan)
+        .spawn()
+        .expect("server start");
     let store_names: Vec<&str> = STORES.iter().map(|(n, _)| *n).collect();
     let crawler = Crawler::new(handle.addr())
         .with_threads(1)

@@ -8,7 +8,7 @@
 //! to an empty series.
 
 use gptx_crawler::Crawler;
-use gptx_store::{EcosystemHandle, FaultConfig, FaultKind, FaultPlan, ServerConfig};
+use gptx_store::{EcosystemHandle, FaultConfig, FaultKind, FaultPlan};
 use gptx_synth::{Ecosystem, SynthConfig, STORES};
 use std::sync::Arc;
 
@@ -23,7 +23,10 @@ fn store_names() -> Vec<&'static str> {
 #[test]
 fn weeks_without_gizmo_requests_stay_aligned() {
     let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(51)));
-    let handle = EcosystemHandle::start(Arc::clone(&eco), FaultConfig::none()).unwrap();
+    let handle = EcosystemHandle::builder(Arc::clone(&eco))
+        .faults(FaultConfig::none())
+        .spawn()
+        .unwrap();
     let crawler = Crawler::new(handle.addr()).with_threads(2);
     let weeks: Vec<(u32, String)> = eco.weeks.iter().map(|w| (w.week, w.date.clone())).collect();
     // No stores → no listings → no gizmo ids → zero gizmo requests.
@@ -51,13 +54,11 @@ fn faulted_campaign_keeps_weekly_rates_aligned_and_bounded() {
         (30, FaultKind::ServerError),
         (60, FaultKind::Disconnect),
     ]);
-    let handle = EcosystemHandle::start_with_plan(
-        Arc::clone(&eco),
-        FaultConfig::none(),
-        plan,
-        ServerConfig::default(),
-    )
-    .unwrap();
+    let handle = EcosystemHandle::builder(Arc::clone(&eco))
+        .faults(FaultConfig::none())
+        .fault_plan(plan)
+        .spawn()
+        .unwrap();
     let crawler = Crawler::new(handle.addr()).with_threads(1).with_retries(3);
     let weeks: Vec<(u32, String)> = eco.weeks.iter().map(|w| (w.week, w.date.clone())).collect();
     let archive = crawler
@@ -82,7 +83,10 @@ fn faulted_campaign_keeps_weekly_rates_aligned_and_bounded() {
 #[test]
 fn pre_fix_archives_load_with_empty_series() {
     let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(53)));
-    let handle = EcosystemHandle::start(Arc::clone(&eco), FaultConfig::none()).unwrap();
+    let handle = EcosystemHandle::builder(Arc::clone(&eco))
+        .faults(FaultConfig::none())
+        .spawn()
+        .unwrap();
     let crawler = Crawler::new(handle.addr()).with_threads(2);
     let weeks: Vec<(u32, String)> = eco.weeks.iter().map(|w| (w.week, w.date.clone())).collect();
     let archive = crawler

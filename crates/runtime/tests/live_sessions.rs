@@ -10,7 +10,10 @@ use std::sync::Arc;
 #[test]
 fn tool_calls_reach_the_served_apis() {
     let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(404)));
-    let handle = EcosystemHandle::start(Arc::clone(&eco), FaultConfig::none()).unwrap();
+    let handle = EcosystemHandle::builder(Arc::clone(&eco))
+        .faults(FaultConfig::none())
+        .spawn()
+        .unwrap();
 
     // Find a GPT whose Action declares a searchable field.
     let snapshot = &eco.final_week().snapshot;

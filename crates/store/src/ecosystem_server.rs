@@ -14,9 +14,18 @@
 //! * fault injection — a deterministic subset of gizmos fails with 500
 //!   (the paper could not crawl 1.1% of GPTs and 8.5% of policies), and
 //!   an optional every-Nth transient failure exercises crawler retries.
+//!
+//! Dispatch is a declarative [`RouteTable`] (see [`crate::routing`]):
+//! each route names its counter label and declares whether it is exempt
+//! from the sharded 421 misroute guard and from fault injection, instead
+//! of encoding those policies inline. Construction goes through one
+//! [`ServerBuilder`] (`EcosystemHandle::builder`) covering single and
+//! sharded topologies; the old `start*` constructors remain as thin
+//! deprecated shims for one release.
 
 use crate::fault::{FaultKind, FaultPlan};
 use crate::http::{Request, Response};
+use crate::routing::{Route, RouteTable};
 use crate::server::{
     serve_with, Router, ServerConfig, ServerHandle, FAULT_DISCONNECT_HEADER, FAULT_GARBAGE_HEADER,
     FAULT_SLOW_WRITE_HEADER, FAULT_STALL_HEADER,
@@ -155,12 +164,17 @@ pub fn store_host(store_name: &str) -> String {
     }
 }
 
-/// The router over an ecosystem.
-struct EcosystemRouter {
+/// Everything the route handlers share: the ecosystem, the week clock,
+/// fault knobs, host maps, and observability sinks. Handlers capture
+/// this behind an `Arc` so the route table owns plain closures.
+struct EcosystemState {
     eco: Arc<Ecosystem>,
     week: Arc<AtomicUsize>,
     faults: FaultConfig,
     /// Schedule-driven faults keyed by arrival index (see `fault.rs`).
+    /// The arrival counter lives *inside* the plan and is shared with
+    /// every clone, so a caller-held clone can
+    /// [`reset`](FaultPlan::reset) the schedule between runs.
     plan: FaultPlan,
     /// `(shard index, shard count)` when this router is one listener of
     /// a sharded topology; `None` for a single all-hosts server. A
@@ -169,10 +183,6 @@ struct EcosystemRouter {
     /// fault counters, so per-shard arrival indexing stays sound.
     shard: Option<(usize, usize)>,
     request_counter: AtomicU64,
-    /// Arrival counter for the plan: every routed request (metrics and
-    /// trace endpoints exempt) gets the next index. Per-router, so a
-    /// sharded topology counts arrivals per shard.
-    plan_counter: AtomicU64,
     /// Marketplace virtual host → store name.
     store_hosts: HashMap<String, String>,
     /// Action API host → action identity.
@@ -187,49 +197,7 @@ struct EcosystemRouter {
     tracer: Arc<Tracer>,
 }
 
-impl EcosystemRouter {
-    fn new(
-        eco: Arc<Ecosystem>,
-        week: Arc<AtomicUsize>,
-        faults: FaultConfig,
-        plan: FaultPlan,
-        shard: Option<(usize, usize)>,
-        metrics: Arc<MetricsRegistry>,
-        tracer: Arc<Tracer>,
-    ) -> EcosystemRouter {
-        let store_hosts = STORES
-            .iter()
-            .map(|(name, _)| (store_host(name), name.to_string()))
-            .collect();
-        let mut api_hosts = HashMap::new();
-        let mut policy_urls = HashMap::new();
-        for (identity, action) in &eco.registry {
-            if let Some(host) = action.template.server_host() {
-                api_hosts.insert(host, identity.clone());
-            }
-            if let Some(url) = &action.template.legal_info_url {
-                policy_urls.insert(url.clone(), identity.clone());
-            }
-        }
-        for (identity, policy) in &eco.policies {
-            policy_urls.insert(policy.url.clone(), identity.clone());
-        }
-        EcosystemRouter {
-            eco,
-            week,
-            faults,
-            plan,
-            shard,
-            request_counter: AtomicU64::new(0),
-            plan_counter: AtomicU64::new(0),
-            store_hosts,
-            api_hosts,
-            policy_urls,
-            metrics,
-            tracer,
-        }
-    }
-
+impl EcosystemState {
     fn current_week(&self) -> usize {
         self.week
             .load(Ordering::SeqCst)
@@ -257,6 +225,14 @@ impl EcosystemRouter {
         }
         html.push_str("</ul>\n</body></html>\n");
         Response::ok_html(html)
+    }
+
+    fn listing(&self, request: &Request) -> Response {
+        let host = lower_host(request);
+        match self.store_hosts.get(&host) {
+            Some(store_name) => self.listing_page(store_name),
+            None => Response::not_found(),
+        }
     }
 
     fn gizmo(&self, id_str: &str) -> Response {
@@ -298,8 +274,9 @@ impl EcosystemRouter {
         }
     }
 
-    fn policy(&self, url: &str) -> Response {
-        let Some(identity) = self.policy_urls.get(url) else {
+    fn policy(&self, request: &Request) -> Response {
+        let url = format!("https://{}{}", lower_host(request), request.path());
+        let Some(identity) = self.policy_urls.get(&url) else {
             return Response::not_found();
         };
         let policy = &self.eco.policies[identity];
@@ -313,7 +290,11 @@ impl EcosystemRouter {
         }
     }
 
-    fn api_probe(&self, identity: &str) -> Response {
+    fn api_probe(&self, request: &Request) -> Response {
+        let host = lower_host(request);
+        let Some(identity) = self.api_hosts.get(&host) else {
+            return Response::not_found();
+        };
         if self.eco.api_is_dead(identity) {
             Response::new(
                 410,
@@ -326,128 +307,207 @@ impl EcosystemRouter {
     }
 }
 
+fn lower_host(request: &Request) -> String {
+    request.host().unwrap_or("").to_ascii_lowercase()
+}
+
+/// The router over an ecosystem: shared state plus the declarative
+/// route table that dispatches into it.
+struct EcosystemRouter {
+    state: Arc<EcosystemState>,
+    table: RouteTable,
+}
+
 impl EcosystemRouter {
-    /// Route to a handler, returning the response plus the route label
-    /// counted under `store.route.<label>`.
-    fn dispatch(&self, request: &Request) -> (Response, &'static str) {
-        let host = request.host().unwrap_or("").to_ascii_lowercase();
-        let path = request.path().to_string();
-
-        // OpenAI backend.
-        if host == "chat.openai.com" {
-            if let Some(id) = path.strip_prefix("/backend-api/gizmos/") {
-                return (self.gizmo(id), "gizmo");
+    fn new(
+        eco: Arc<Ecosystem>,
+        week: Arc<AtomicUsize>,
+        faults: FaultConfig,
+        plan: FaultPlan,
+        shard: Option<(usize, usize)>,
+        metrics: Arc<MetricsRegistry>,
+        tracer: Arc<Tracer>,
+    ) -> EcosystemRouter {
+        let store_hosts: HashMap<String, String> = STORES
+            .iter()
+            .map(|(name, _)| (store_host(name), name.to_string()))
+            .collect();
+        let mut api_hosts = HashMap::new();
+        let mut policy_urls = HashMap::new();
+        for (identity, action) in &eco.registry {
+            if let Some(host) = action.template.server_host() {
+                api_hosts.insert(host, identity.clone());
             }
-            if path.starts_with("/g/") {
-                return (
-                    Response::ok_html("<html><body>ChatGPT</body></html>"),
-                    "gpt_page",
-                );
+            if let Some(url) = &action.template.legal_info_url {
+                policy_urls.insert(url.clone(), identity.clone());
             }
-            return (Response::not_found(), "not_found");
         }
-
-        // Marketplaces.
-        if let Some(store_name) = self.store_hosts.get(&host) {
-            if path == "/" || path == "/gpts" {
-                return (self.listing_page(store_name), "listing");
-            }
-            return (Response::not_found(), "not_found");
+        for (identity, policy) in &eco.policies {
+            policy_urls.insert(policy.url.clone(), identity.clone());
         }
-
-        // Action privacy policies — any registered legal_info_url
-        // (https://{domain}/privacy, or per-endpoint /privacy/{k} paths).
-        if path.starts_with("/privacy") {
-            return (self.policy(&format!("https://{host}{path}")), "policy");
-        }
-
-        // Action API probes.
-        if let Some(identity) = self.api_hosts.get(&host) {
-            return (self.api_probe(identity), "probe");
-        }
-
-        (Response::not_found(), "not_found")
+        let state = Arc::new(EcosystemState {
+            eco,
+            week,
+            faults,
+            plan,
+            shard,
+            request_counter: AtomicU64::new(0),
+            store_hosts,
+            api_hosts,
+            policy_urls,
+            metrics,
+            tracer,
+        });
+        let table = ecosystem_routes(&state);
+        EcosystemRouter { state, table }
     }
+}
+
+/// The store's route table. Policy lives here, per route: the
+/// observability endpoints answer on every virtual host of every shard
+/// and bypass fault injection; everything else is subject to the shard
+/// guard and the fault pipeline.
+fn ecosystem_routes(state: &Arc<EcosystemState>) -> RouteTable {
+    let store_hosts: Vec<String> = state.store_hosts.keys().cloned().collect();
+    let listing_hosts = move |host: &str| store_hosts.iter().any(|h| h == host);
+    let api_hosts: Vec<String> = state.api_hosts.keys().cloned().collect();
+    let probe_hosts = move |host: &str| api_hosts.iter().any(|h| h == host);
+
+    let s = |state: &Arc<EcosystemState>| Arc::clone(state);
+    let st = s(state);
+    let metrics_route = Route::get("/metrics")
+        .label("metrics")
+        .shard_exempt()
+        .fault_exempt()
+        .handle(move |_, _| Response::ok_text(st.metrics.snapshot().render_text()));
+    let st = s(state);
+    let trace_route = Route::get("/trace")
+        .label("trace")
+        .shard_exempt()
+        .fault_exempt()
+        .handle(move |_, _| Response::ok_json(st.tracer.snapshot().to_chrome_json()));
+    let st = s(state);
+    let gizmo = Route::get("/backend-api/gizmos/:id")
+        .on_host("chat.openai.com")
+        .label("gizmo")
+        .handle(move |_, params| st.gizmo(params.get("id").unwrap_or_default()));
+    let gpt_page = Route::get("/g/*rest")
+        .on_host("chat.openai.com")
+        .label("gpt_page")
+        .handle(|_, _| Response::ok_html("<html><body>ChatGPT</body></html>"));
+    let st = s(state);
+    let listing_root = Route::get("/")
+        .host_where(listing_hosts.clone())
+        .label("listing")
+        .handle(move |request, _| st.listing(request));
+    let st = s(state);
+    let listing_gpts = Route::get("/gpts")
+        .host_where(listing_hosts)
+        .label("listing")
+        .handle(move |request, _| st.listing(request));
+    // Action privacy policies — any registered legal_info_url
+    // (https://{domain}/privacy, or per-endpoint /privacy/{k} paths).
+    let st = s(state);
+    let policy = Route::get("/privacy/*rest")
+        .label("policy")
+        .handle(move |request, _| st.policy(request));
+    let st = s(state);
+    let probe = Route::get("/*rest")
+        .host_where(probe_hosts)
+        .label("probe")
+        .handle(move |request, _| st.api_probe(request));
+
+    RouteTable::new()
+        .with(metrics_route)
+        .with(trace_route)
+        .with(gizmo)
+        .with(gpt_page)
+        .with(listing_root)
+        .with(listing_gpts)
+        .with(policy)
+        .with(probe)
 }
 
 impl Router for EcosystemRouter {
     fn route(&self, request: &Request) -> Response {
-        // The metrics endpoint answers on every virtual host, before
-        // fault injection — observability must survive a fault storm.
-        if request.path() == "/metrics" {
-            self.metrics.incr("store.route.metrics");
-            return Response::ok_text(self.metrics.snapshot().render_text());
-        }
-        // Likewise the trace endpoint: the server-side span ring as
-        // Chrome trace-event JSON, on every virtual host.
-        if request.path() == "/trace" {
-            self.metrics.incr("store.route.trace");
-            return Response::ok_json(self.tracer.snapshot().to_chrome_json());
+        let state = &*self.state;
+        let matched = self.table.resolve(request);
+        // Fault-exempt routes (the observability endpoints) answer
+        // before the shard guard and before any fault counter moves —
+        // observability must survive a fault storm on any shard.
+        if let Some(m) = matched.as_ref().filter(|m| m.fault_exempt()) {
+            state.metrics.incr(&format!("store.route.{}", m.label()));
+            return m.run(request);
         }
         // Shard guard: a host that belongs to a different listener of
         // the topology is misdirected. Answer before any fault counter
         // moves, so misroutes never perturb per-shard arrival indices.
-        if let Some((index, total)) = self.shard {
-            let host = request.host().unwrap_or("").to_ascii_lowercase();
-            if crate::shard::shard_for_host(&host, total) != index {
-                self.metrics.incr("store.shard.misroute");
+        // Routes declared `shard_exempt` skip the guard.
+        if let Some((index, total)) = state.shard {
+            let exempt = matched.as_ref().is_some_and(|m| m.shard_exempt());
+            if !exempt && crate::shard::shard_for_host(&lower_host(request), total) != index {
+                state.metrics.incr("store.shard.misroute");
                 return Response::new(421, "text/plain", "misdirected request");
             }
         }
         // The connection loop re-stamped the propagation header with
         // its own `server.request` span, so this nests one level under
         // it — and two under the client's `http.request` span.
-        let mut tspan = if self.tracer.enabled() {
+        let mut tspan = if state.tracer.enabled() {
             request
                 .headers
                 .get(TRACE_HEADER)
                 .map(String::as_str)
                 .and_then(SpanContext::parse)
-                .map(|parent| self.tracer.start_span("store.route", parent))
+                .map(|parent| state.tracer.start_span("store.route", parent))
                 .unwrap_or_else(TraceSpan::detached)
         } else {
             TraceSpan::detached()
         };
         // Latency injection.
-        if self.faults.response_delay_ms > 0 {
+        if state.faults.response_delay_ms > 0 {
             let delay = tspan.child("store.fault.delay");
             std::thread::sleep(std::time::Duration::from_millis(
-                self.faults.response_delay_ms,
+                state.faults.response_delay_ms,
             ));
             delay.finish();
-            self.metrics.add(
+            state.metrics.add(
                 "store.fault.delay_sleep_us",
-                self.faults.response_delay_ms * 1_000,
+                state.faults.response_delay_ms * 1_000,
             );
         }
         // Transient failure injection.
-        if let Some(n) = self.faults.transient_failure_every {
-            let c = self.request_counter.fetch_add(1, Ordering::Relaxed);
+        if let Some(n) = state.faults.transient_failure_every {
+            let c = state.request_counter.fetch_add(1, Ordering::Relaxed);
             if n > 0 && c % n == n - 1 {
-                self.metrics.incr("store.fault.transient_503");
+                state.metrics.incr("store.fault.transient_503");
                 tspan.attr("fault", "transient_503");
                 return Response::new(503, "text/plain", "try again");
             }
         }
         // Schedule-driven fault injection: the plan keys on this
         // arrival's index, so a retry (a fresh arrival) lands on a
-        // clean index and planned faults stay transient.
-        let plan_fault = if self.plan.is_empty() {
+        // clean index and planned faults stay transient. The arrival
+        // counter is the plan's own, shared with caller-held clones —
+        // `FaultPlan::reset` rewinds it across (re)starts.
+        let plan_fault = if state.plan.is_empty() {
             None
         } else {
-            self.plan
-                .fault_at(self.plan_counter.fetch_add(1, Ordering::Relaxed))
+            state.plan.fault_at(state.plan.next_arrival())
         };
         if let Some(kind) = plan_fault {
-            self.metrics.incr(kind.metric());
+            state.metrics.incr(kind.metric());
             tspan.attr("fault", kind.as_str());
             if kind == FaultKind::ServerError {
                 return Response::server_error();
             }
         }
 
-        let span = self.metrics.span("store.route_us");
-        let (mut response, label) = self.dispatch(request);
+        let span = state.metrics.span("store.route_us");
+        let (mut response, label) = match matched.as_ref() {
+            Some(m) => (m.run(request), m.label()),
+            None => (Response::not_found(), "not_found"),
+        };
         span.finish();
         if tspan.is_recording() {
             tspan.attr("route", label);
@@ -456,10 +516,11 @@ impl Router for EcosystemRouter {
                 tspan.attr("fault", "disconnect");
             }
         }
-        if self.metrics.enabled() {
-            self.metrics.add(&format!("store.route.{label}"), 1);
+        if state.metrics.enabled() {
+            state.metrics.add(&format!("store.route.{label}"), 1);
             if !response.is_success() {
-                self.metrics
+                state
+                    .metrics
                     .add(&format!("store.status.{}", response.status), 1);
             }
         }
@@ -474,7 +535,7 @@ impl Router for EcosystemRouter {
             Some(FaultKind::Timeout) => {
                 response.headers.insert(
                     FAULT_STALL_HEADER.to_string(),
-                    self.plan.stall_ms().to_string(),
+                    state.plan.stall_ms().to_string(),
                 );
             }
             Some(FaultKind::SlowWrite) => {
@@ -500,198 +561,202 @@ fn gptx_stats_hash(s: &str) -> u64 {
     crate::shard::fnv1a(s)
 }
 
-/// A running ecosystem server.
-pub struct EcosystemHandle {
-    server: ServerHandle,
-    week: Arc<AtomicUsize>,
-    metrics: Arc<MetricsRegistry>,
+/// Builds an [`EcosystemHandle`] — the one construction path for both
+/// single-listener and sharded topologies.
+///
+/// ```ignore
+/// let handle = EcosystemHandle::builder(eco)
+///     .faults(FaultConfig::none())
+///     .metrics(metrics)
+///     .shards(13)
+///     .spawn()?;
+/// ```
+///
+/// `config()` replaces the whole connection-handling [`ServerConfig`]
+/// (call it before `metrics()`/`tracer()` if you use both). `shards(n)`
+/// or `fault_plans(...)` selects the sharded topology; `fault_plan(p)`
+/// on a sharded builder applies the plan to shard 0.
+pub struct ServerBuilder {
+    eco: Arc<Ecosystem>,
+    faults: FaultConfig,
+    config: ServerConfig,
+    plans: Vec<FaultPlan>,
+    shards: Option<usize>,
 }
 
-impl EcosystemHandle {
-    /// Serve an ecosystem; the "current week" starts at 0. Metrics are
-    /// off — see [`EcosystemHandle::start_with_metrics`].
-    pub fn start(eco: Arc<Ecosystem>, faults: FaultConfig) -> std::io::Result<EcosystemHandle> {
-        EcosystemHandle::start_with_metrics(eco, faults, MetricsRegistry::shared_disabled())
-    }
-
-    /// [`EcosystemHandle::start`] with a metrics registry attached: the
-    /// router counts hits per route (`store.route.*`), injected faults
-    /// (`store.fault.*`), and non-2xx statuses (`store.status.*`), and
-    /// serves the registry's text snapshot at `/metrics` on every
-    /// virtual host.
-    pub fn start_with_metrics(
-        eco: Arc<Ecosystem>,
-        faults: FaultConfig,
-        metrics: Arc<MetricsRegistry>,
-    ) -> std::io::Result<EcosystemHandle> {
-        EcosystemHandle::start_with_config(
+impl ServerBuilder {
+    fn new(eco: Arc<Ecosystem>) -> ServerBuilder {
+        ServerBuilder {
             eco,
-            faults,
-            ServerConfig::default().with_metrics(metrics),
-        )
+            faults: FaultConfig::default(),
+            config: ServerConfig::default(),
+            plans: Vec::new(),
+            shards: None,
+        }
     }
 
-    /// [`EcosystemHandle::start_with_metrics`] with full control over
-    /// the connection-handling policy (keep-alive idle timeout and
-    /// per-connection request cap); the router records into
-    /// `config.metrics`.
-    pub fn start_with_config(
-        eco: Arc<Ecosystem>,
-        faults: FaultConfig,
-        config: ServerConfig,
-    ) -> std::io::Result<EcosystemHandle> {
-        EcosystemHandle::start_with_plan(eco, faults, FaultPlan::default(), config)
+    /// Rate-based fault injection knobs (default: [`FaultConfig::default`],
+    /// the paper's ~1.1% permanent gizmo failures).
+    pub fn faults(mut self, faults: FaultConfig) -> ServerBuilder {
+        self.faults = faults;
+        self
     }
 
-    /// [`EcosystemHandle::start_with_config`] with a schedule-driven
-    /// [`FaultPlan`] alongside the rate-based faults: the plan keys
-    /// wire-level faults on request arrival indices, which keeps them
-    /// transient (a retry lands on a fresh index). Rejects a
-    /// `FaultConfig` with rates outside `[0.0, 1.0]`.
-    pub fn start_with_plan(
-        eco: Arc<Ecosystem>,
-        faults: FaultConfig,
-        plan: FaultPlan,
-        config: ServerConfig,
-    ) -> std::io::Result<EcosystemHandle> {
-        faults
+    /// Replace the connection-handling config wholesale (keep-alive
+    /// policy, worker pool, port, metrics, tracer).
+    pub fn config(mut self, config: ServerConfig) -> ServerBuilder {
+        self.config = config;
+        self
+    }
+
+    /// Attach a metrics registry: per-route hit counters
+    /// (`store.route.*`), injected faults (`store.fault.*`), non-2xx
+    /// statuses (`store.status.*`), and the `/metrics` endpoint on
+    /// every virtual host.
+    pub fn metrics(mut self, metrics: Arc<MetricsRegistry>) -> ServerBuilder {
+        self.config.metrics = metrics;
+        self
+    }
+
+    /// Attach a tracer: `store.route` spans and the `/trace` endpoint.
+    pub fn tracer(mut self, tracer: Arc<Tracer>) -> ServerBuilder {
+        self.config.tracer = tracer;
+        self
+    }
+
+    /// Schedule-driven wire faults for the first (or only) listener.
+    /// The plan's arrival counter is shared with the caller's clone, so
+    /// [`FaultPlan::reset`] replays the schedule without a restart.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> ServerBuilder {
+        if self.plans.is_empty() {
+            self.plans.push(plan);
+        } else {
+            self.plans[0] = plan;
+        }
+        self
+    }
+
+    /// One fault plan per shard; implies a sharded topology with
+    /// `plans.len()` listeners.
+    pub fn fault_plans(mut self, plans: Vec<FaultPlan>) -> ServerBuilder {
+        self.plans = plans;
+        self
+    }
+
+    /// Shard the topology across `n` listeners (virtual hosts
+    /// partitioned by [`crate::shard::shard_for_host`], misroutes
+    /// answered 421). `n` is clamped to at least 1.
+    pub fn shards(mut self, n: usize) -> ServerBuilder {
+        self.shards = Some(n.max(1));
+        self
+    }
+
+    /// Validate and start the server(s). With a fixed
+    /// [`ServerConfig::port`], shard `i` listens on `port + i`.
+    pub fn spawn(self) -> std::io::Result<EcosystemHandle> {
+        self.faults
             .validate()
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
-        let metrics = Arc::clone(&config.metrics);
-        let week = Arc::new(AtomicUsize::new(0));
-        let router = EcosystemRouter::new(
-            eco,
-            Arc::clone(&week),
-            faults,
-            plan,
-            None,
-            Arc::clone(&metrics),
-            Arc::clone(&config.tracer),
-        );
-        let server = serve_with(router, config)?;
-        Ok(EcosystemHandle {
-            server,
-            week,
-            metrics,
-        })
-    }
-
-    /// Serve the ecosystem sharded across `shards` listeners — the
-    /// paper's 13-marketplace topology as 13 (or any n) address
-    /// spaces. Virtual hosts are partitioned by
-    /// [`crate::shard::shard_for_host`]; every listener shares one
-    /// "current week" clock and the config's metrics/tracer, but owns
-    /// its worker pool and its per-shard fault arrival counter. An
-    /// empty [`FaultPlan`] is applied to every shard; use
-    /// [`EcosystemHandle::start_sharded_with_plans`] for per-shard
-    /// schedules.
-    pub fn start_sharded(
-        eco: Arc<Ecosystem>,
-        faults: FaultConfig,
-        shards: usize,
-        config: ServerConfig,
-    ) -> std::io::Result<ShardedEcosystemHandle> {
-        let plans = vec![FaultPlan::default(); shards.max(1)];
-        EcosystemHandle::start_sharded_with_plans(eco, faults, plans, config)
-    }
-
-    /// [`EcosystemHandle::start_sharded`] with one [`FaultPlan`] per
-    /// shard (`plans.len()` is the shard count). Each shard's router
-    /// counts its own arrivals, so a schedule stays deterministic no
-    /// matter what the other shards serve.
-    pub fn start_sharded_with_plans(
-        eco: Arc<Ecosystem>,
-        faults: FaultConfig,
-        plans: Vec<FaultPlan>,
-        config: ServerConfig,
-    ) -> std::io::Result<ShardedEcosystemHandle> {
-        faults
-            .validate()
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
-        if plans.is_empty() {
+        let sharded = self.shards.is_some() || self.plans.len() > 1;
+        let count = match self.shards {
+            Some(n) => n,
+            None => self.plans.len().max(1),
+        };
+        if self.plans.len() > count {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidInput,
-                "sharded topology needs at least one shard",
+                format!("{} fault plans for {count} shards", self.plans.len()),
             ));
         }
-        let total = plans.len();
-        let metrics = Arc::clone(&config.metrics);
-        let week = Arc::new(AtomicUsize::new(0));
-        let mut servers = Vec::with_capacity(total);
-        for (index, plan) in plans.into_iter().enumerate() {
-            let router = EcosystemRouter::new(
-                Arc::clone(&eco),
-                Arc::clone(&week),
-                faults,
-                plan,
-                Some((index, total)),
-                Arc::clone(&metrics),
-                Arc::clone(&config.tracer),
-            );
-            servers.push(serve_with(router, config.clone())?);
+        let mut plans = self.plans;
+        while plans.len() < count {
+            // Fresh plans, never clones: each shard owns its arrival counter.
+            plans.push(FaultPlan::new());
         }
-        Ok(ShardedEcosystemHandle {
+        let metrics = Arc::clone(&self.config.metrics);
+        let week = Arc::new(AtomicUsize::new(0));
+        let mut servers = Vec::with_capacity(count);
+        for (index, plan) in plans.into_iter().enumerate() {
+            let shard = sharded.then_some((index, count));
+            let router = EcosystemRouter::new(
+                Arc::clone(&self.eco),
+                Arc::clone(&week),
+                self.faults,
+                plan,
+                shard,
+                Arc::clone(&metrics),
+                Arc::clone(&self.config.tracer),
+            );
+            let mut config = self.config.clone();
+            if config.port != 0 {
+                config.port += index as u16;
+            }
+            servers.push(serve_with(router, config)?);
+        }
+        Ok(EcosystemHandle {
             servers,
             week,
             metrics,
         })
     }
-
-    /// The registry the router records into (the disabled singleton
-    /// unless the handle was started with metrics).
-    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
-        &self.metrics
-    }
-
-    pub fn addr(&self) -> SocketAddr {
-        self.server.addr()
-    }
-
-    /// Advance (or rewind) the served week — the test harness's clock.
-    pub fn set_week(&self, week: usize) {
-        self.week.store(week, Ordering::SeqCst);
-    }
-
-    pub fn requests_served(&self) -> u64 {
-        self.server.requests_served()
-    }
-
-    pub fn shutdown(self) {
-        self.server.shutdown();
-    }
 }
 
-/// A sharded ecosystem: one listener per shard, virtual hosts
-/// partitioned by [`crate::shard::shard_for_host`], one shared week
-/// clock.
-pub struct ShardedEcosystemHandle {
+/// A running ecosystem topology: one listener, or one per shard. The
+/// single- and sharded-handle split is gone — `addr()` is the first
+/// (only) listener, `addrs()` is all of them.
+pub struct EcosystemHandle {
     servers: Vec<ServerHandle>,
     week: Arc<AtomicUsize>,
     metrics: Arc<MetricsRegistry>,
 }
 
-impl ShardedEcosystemHandle {
-    /// The listener addresses, indexed by shard.
-    pub fn addrs(&self) -> Vec<SocketAddr> {
-        self.servers.iter().map(|s| s.addr()).collect()
+impl std::fmt::Debug for EcosystemHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EcosystemHandle")
+            .field("addrs", &self.addrs())
+            .field("week", &self.week.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+/// The sharded topology now shares [`EcosystemHandle`].
+#[deprecated(note = "sharded and single handles were unified; use EcosystemHandle")]
+pub type ShardedEcosystemHandle = EcosystemHandle;
+
+impl EcosystemHandle {
+    /// Start building a server topology over an ecosystem.
+    pub fn builder(eco: Arc<Ecosystem>) -> ServerBuilder {
+        ServerBuilder::new(eco)
     }
 
-    /// Number of shards in the topology.
-    pub fn shard_count(&self) -> usize {
-        self.servers.len()
-    }
-
-    /// The registry every shard's router records into.
+    /// The registry the routers record into (the disabled singleton
+    /// unless the handle was built with metrics).
     pub fn metrics(&self) -> &Arc<MetricsRegistry> {
         &self.metrics
     }
 
-    /// Advance (or rewind) the served week on every shard at once.
+    /// The first (or only) listener address (`127.0.0.1:<port>`).
+    pub fn addr(&self) -> SocketAddr {
+        self.servers[0].addr()
+    }
+
+    /// Every listener address, indexed by shard.
+    pub fn addrs(&self) -> Vec<SocketAddr> {
+        self.servers.iter().map(|s| s.addr()).collect()
+    }
+
+    /// Number of listeners in the topology (1 unless sharded).
+    pub fn shard_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Advance (or rewind) the served week — the test harness's clock.
+    /// Shared by every shard.
     pub fn set_week(&self, week: usize) {
         self.week.store(week, Ordering::SeqCst);
     }
 
-    /// Total requests served across all shards.
+    /// Total requests served across all listeners.
     pub fn requests_served(&self) -> u64 {
         self.servers.iter().map(|s| s.requests_served()).sum()
     }
@@ -700,6 +765,99 @@ impl ShardedEcosystemHandle {
         for server in self.servers {
             server.shutdown();
         }
+    }
+
+    // ---- deprecated constructor shims (one release) -------------------
+
+    /// Serve an ecosystem; the "current week" starts at 0.
+    #[deprecated(note = "use EcosystemHandle::builder(eco).faults(faults).spawn()")]
+    pub fn start(eco: Arc<Ecosystem>, faults: FaultConfig) -> std::io::Result<EcosystemHandle> {
+        EcosystemHandle::builder(eco).faults(faults).spawn()
+    }
+
+    /// [`EcosystemHandle::builder`] with a metrics registry.
+    #[deprecated(note = "use EcosystemHandle::builder(eco).faults(faults).metrics(m).spawn()")]
+    pub fn start_with_metrics(
+        eco: Arc<Ecosystem>,
+        faults: FaultConfig,
+        metrics: Arc<MetricsRegistry>,
+    ) -> std::io::Result<EcosystemHandle> {
+        EcosystemHandle::builder(eco)
+            .faults(faults)
+            .metrics(metrics)
+            .spawn()
+    }
+
+    /// [`EcosystemHandle::builder`] with a full [`ServerConfig`].
+    #[deprecated(note = "use EcosystemHandle::builder(eco).faults(faults).config(c).spawn()")]
+    pub fn start_with_config(
+        eco: Arc<Ecosystem>,
+        faults: FaultConfig,
+        config: ServerConfig,
+    ) -> std::io::Result<EcosystemHandle> {
+        EcosystemHandle::builder(eco)
+            .faults(faults)
+            .config(config)
+            .spawn()
+    }
+
+    /// [`EcosystemHandle::builder`] with a [`FaultPlan`].
+    #[deprecated(
+        note = "use EcosystemHandle::builder(eco).faults(faults).config(c).fault_plan(p).spawn()"
+    )]
+    pub fn start_with_plan(
+        eco: Arc<Ecosystem>,
+        faults: FaultConfig,
+        plan: FaultPlan,
+        config: ServerConfig,
+    ) -> std::io::Result<EcosystemHandle> {
+        EcosystemHandle::builder(eco)
+            .faults(faults)
+            .config(config)
+            .fault_plan(plan)
+            .spawn()
+    }
+
+    /// [`EcosystemHandle::builder`] with `.shards(n)`.
+    #[deprecated(
+        note = "use EcosystemHandle::builder(eco).faults(faults).shards(n).config(c).spawn()"
+    )]
+    pub fn start_sharded(
+        eco: Arc<Ecosystem>,
+        faults: FaultConfig,
+        shards: usize,
+        config: ServerConfig,
+    ) -> std::io::Result<EcosystemHandle> {
+        EcosystemHandle::builder(eco)
+            .faults(faults)
+            .shards(shards)
+            .config(config)
+            .spawn()
+    }
+
+    /// [`EcosystemHandle::builder`] with `.fault_plans(plans)`.
+    #[deprecated(
+        note = "use EcosystemHandle::builder(eco).faults(faults).fault_plans(plans).config(c).spawn()"
+    )]
+    pub fn start_sharded_with_plans(
+        eco: Arc<Ecosystem>,
+        faults: FaultConfig,
+        plans: Vec<FaultPlan>,
+        config: ServerConfig,
+    ) -> std::io::Result<EcosystemHandle> {
+        if plans.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "sharded topology needs at least one shard",
+            ));
+        }
+        let shards = plans.len();
+        EcosystemHandle::builder(eco)
+            .faults(faults)
+            .fault_plans(plans)
+            .shards(shards)
+            .config(config)
+            .spawn()
     }
 }
 
@@ -711,7 +869,10 @@ mod tests {
 
     fn start() -> (EcosystemHandle, Arc<Ecosystem>, HttpClient) {
         let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(7)));
-        let handle = EcosystemHandle::start(Arc::clone(&eco), FaultConfig::none()).unwrap();
+        let handle = EcosystemHandle::builder(Arc::clone(&eco))
+            .faults(FaultConfig::none())
+            .spawn()
+            .unwrap();
         let client = HttpClient::new(handle.addr());
         (handle, eco, client)
     }
@@ -804,7 +965,10 @@ mod tests {
         config.base_gpts = 3000;
         config.weekly_removal_rate = 0.02;
         let eco = Arc::new(Ecosystem::generate(config));
-        let handle = EcosystemHandle::start(Arc::clone(&eco), FaultConfig::none()).unwrap();
+        let handle = EcosystemHandle::builder(Arc::clone(&eco))
+            .faults(FaultConfig::none())
+            .spawn()
+            .unwrap();
         let client = HttpClient::new(handle.addr());
         let dead = eco.dynamics.dead_apis.iter().next();
         if let Some(identity) = dead {
@@ -824,14 +988,13 @@ mod tests {
     #[test]
     fn transient_faults_fire_every_nth() {
         let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(7)));
-        let handle = EcosystemHandle::start(
-            Arc::clone(&eco),
-            FaultConfig {
+        let handle = EcosystemHandle::builder(eco)
+            .faults(FaultConfig {
                 transient_failure_every: Some(3),
                 ..FaultConfig::none()
-            },
-        )
-        .unwrap();
+            })
+            .spawn()
+            .unwrap();
         let client = HttpClient::new(handle.addr());
         let url = format!("https://{}/", store_host(STORES[0].0));
         let statuses: Vec<u16> = (0..6).map(|_| client.get(&url).unwrap().status).collect();
@@ -842,14 +1005,13 @@ mod tests {
     #[test]
     fn latency_injection_slows_responses() {
         let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(7)));
-        let handle = EcosystemHandle::start(
-            Arc::clone(&eco),
-            FaultConfig {
+        let handle = EcosystemHandle::builder(eco)
+            .faults(FaultConfig {
                 response_delay_ms: 80,
                 ..FaultConfig::none()
-            },
-        )
-        .unwrap();
+            })
+            .spawn()
+            .unwrap();
         let client = HttpClient::new(handle.addr());
         let url = format!("https://{}/", store_host(STORES[0].0));
         let start = std::time::Instant::now();
@@ -866,9 +1028,11 @@ mod tests {
     fn route_counters_and_metrics_endpoint() {
         let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(7)));
         let metrics = MetricsRegistry::shared();
-        let handle =
-            EcosystemHandle::start_with_metrics(Arc::clone(&eco), FaultConfig::none(), metrics)
-                .unwrap();
+        let handle = EcosystemHandle::builder(Arc::clone(&eco))
+            .faults(FaultConfig::none())
+            .metrics(metrics)
+            .spawn()
+            .unwrap();
         let client = HttpClient::new(handle.addr());
 
         let listing_url = format!("https://{}/", store_host(STORES[0].0));
@@ -899,15 +1063,14 @@ mod tests {
     fn fault_injection_is_counted() {
         let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(7)));
         let metrics = MetricsRegistry::shared();
-        let handle = EcosystemHandle::start_with_metrics(
-            Arc::clone(&eco),
-            FaultConfig {
+        let handle = EcosystemHandle::builder(eco)
+            .faults(FaultConfig {
                 transient_failure_every: Some(2),
                 ..FaultConfig::none()
-            },
-            metrics,
-        )
-        .unwrap();
+            })
+            .metrics(metrics)
+            .spawn()
+            .unwrap();
         let client = HttpClient::new(handle.addr());
         let url = format!("https://{}/", store_host(STORES[0].0));
         for _ in 0..6 {
@@ -959,16 +1122,28 @@ mod tests {
     }
 
     #[test]
-    fn server_start_rejects_invalid_fault_rates() {
+    fn builder_rejects_invalid_fault_rates() {
         let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(7)));
-        let err = EcosystemHandle::start(
-            eco,
-            FaultConfig {
+        let err = EcosystemHandle::builder(eco)
+            .faults(FaultConfig {
                 gizmo_failure_rate: 2.0,
                 ..FaultConfig::none()
-            },
-        )
-        .expect_err("invalid rate must not start a server");
+            })
+            .spawn()
+            .expect_err("invalid rate must not start a server");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn builder_rejects_more_plans_than_shards() {
+        use crate::fault::FaultPlan;
+        let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(7)));
+        let err = EcosystemHandle::builder(eco)
+            .faults(FaultConfig::none())
+            .fault_plans(vec![FaultPlan::new(), FaultPlan::new()])
+            .shards(1)
+            .spawn()
+            .expect_err("plan/shard mismatch must be rejected");
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
     }
 
@@ -978,13 +1153,12 @@ mod tests {
         let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(7)));
         let metrics = MetricsRegistry::shared();
         let plan = FaultPlan::from_schedule([(1, FaultKind::ServerError)]);
-        let handle = EcosystemHandle::start_with_plan(
-            Arc::clone(&eco),
-            FaultConfig::none(),
-            plan,
-            ServerConfig::default().with_metrics(Arc::clone(&metrics)),
-        )
-        .unwrap();
+        let handle = EcosystemHandle::builder(Arc::clone(&eco))
+            .faults(FaultConfig::none())
+            .config(ServerConfig::default().with_metrics(Arc::clone(&metrics)))
+            .fault_plan(plan)
+            .spawn()
+            .unwrap();
         let client = HttpClient::new(handle.addr());
         let url = format!("https://{}/", store_host(STORES[0].0));
         let statuses: Vec<u16> = (0..4).map(|_| client.get(&url).unwrap().status).collect();
@@ -997,6 +1171,32 @@ mod tests {
     }
 
     #[test]
+    fn fault_plan_reset_replays_schedule_in_running_server() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(7)));
+        let plan = FaultPlan::from_schedule([(1, FaultKind::ServerError)]);
+        // Hand the server a clone; keep ours to rewind the schedule.
+        let handle = EcosystemHandle::builder(Arc::clone(&eco))
+            .faults(FaultConfig::none())
+            .fault_plan(plan.clone())
+            .spawn()
+            .unwrap();
+        let client = HttpClient::new(handle.addr());
+        let url = format!("https://{}/", store_host(STORES[0].0));
+        let round = |client: &HttpClient| -> Vec<u16> {
+            (0..4).map(|_| client.get(&url).unwrap().status).collect()
+        };
+        assert_eq!(round(&client), vec![200, 500, 200, 200]);
+        assert_eq!(plan.arrivals(), 4, "caller clone observes the arrivals");
+        // Without a reset the schedule is spent; with one it replays —
+        // no fresh server per iteration needed.
+        assert_eq!(round(&client), vec![200, 200, 200, 200]);
+        plan.reset();
+        assert_eq!(round(&client), vec![200, 500, 200, 200]);
+        handle.shutdown();
+    }
+
+    #[test]
     fn fault_plan_wire_faults_are_recovered_by_the_client() {
         use crate::fault::{FaultKind, FaultPlan};
         let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(7)));
@@ -1005,13 +1205,12 @@ mod tests {
         // stale-socket retry hides both (the retry is a new arrival).
         let plan = FaultPlan::from_schedule([(1, FaultKind::GarbageBody), (3, FaultKind::Timeout)])
             .with_stall_ms(5);
-        let handle = EcosystemHandle::start_with_plan(
-            Arc::clone(&eco),
-            FaultConfig::none(),
-            plan,
-            ServerConfig::default().with_metrics(Arc::clone(&metrics)),
-        )
-        .unwrap();
+        let handle = EcosystemHandle::builder(Arc::clone(&eco))
+            .faults(FaultConfig::none())
+            .config(ServerConfig::default().with_metrics(Arc::clone(&metrics)))
+            .fault_plan(plan)
+            .spawn()
+            .unwrap();
         let client = HttpClient::new(handle.addr()).with_metrics(Arc::clone(&metrics));
         let url = format!("https://{}/", store_host(STORES[0].0));
         // Prime the pool, then hit both faulted indices.
@@ -1051,13 +1250,12 @@ mod tests {
     fn sharded_topology_answers_own_hosts_and_421s_misroutes() {
         let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(7)));
         let metrics = MetricsRegistry::shared();
-        let handle = EcosystemHandle::start_sharded(
-            Arc::clone(&eco),
-            FaultConfig::none(),
-            2,
-            ServerConfig::default().with_metrics(Arc::clone(&metrics)),
-        )
-        .unwrap();
+        let handle = EcosystemHandle::builder(Arc::clone(&eco))
+            .faults(FaultConfig::none())
+            .shards(2)
+            .config(ServerConfig::default().with_metrics(Arc::clone(&metrics)))
+            .spawn()
+            .unwrap();
         let addrs = handle.addrs();
         assert_eq!(handle.shard_count(), 2);
         let (host0, host1) = host_per_shard();
@@ -1091,13 +1289,12 @@ mod tests {
             FaultPlan::from_schedule([(1, FaultKind::ServerError)]),
             FaultPlan::new(),
         ];
-        let handle = EcosystemHandle::start_sharded_with_plans(
-            Arc::clone(&eco),
-            FaultConfig::none(),
-            plans,
-            ServerConfig::default().with_metrics(Arc::clone(&metrics)),
-        )
-        .unwrap();
+        let handle = EcosystemHandle::builder(Arc::clone(&eco))
+            .faults(FaultConfig::none())
+            .fault_plans(plans)
+            .config(ServerConfig::default().with_metrics(Arc::clone(&metrics)))
+            .spawn()
+            .unwrap();
         let addrs = handle.addrs();
         let (host0, host1) = host_per_shard();
         let on_shard0 = HttpClient::new(addrs[0]);
@@ -1122,13 +1319,11 @@ mod tests {
     #[test]
     fn sharded_week_clock_is_shared() {
         let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(7)));
-        let handle = EcosystemHandle::start_sharded(
-            Arc::clone(&eco),
-            FaultConfig::none(),
-            2,
-            ServerConfig::default(),
-        )
-        .unwrap();
+        let handle = EcosystemHandle::builder(Arc::clone(&eco))
+            .faults(FaultConfig::none())
+            .shards(2)
+            .spawn()
+            .unwrap();
         let addrs = handle.addrs();
         let (host0, host1) = host_per_shard();
         let week0_a = HttpClient::new(addrs[0])
@@ -1150,18 +1345,34 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructor_shims_still_spawn() {
+        let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(7)));
+        let handle = EcosystemHandle::start(Arc::clone(&eco), FaultConfig::none()).unwrap();
+        let client = HttpClient::new(handle.addr());
+        let url = format!("https://{}/", store_host(STORES[0].0));
+        assert!(client.get(&url).unwrap().is_success());
+        handle.shutdown();
+
+        let sharded =
+            EcosystemHandle::start_sharded(eco, FaultConfig::none(), 2, ServerConfig::default())
+                .unwrap();
+        assert_eq!(sharded.shard_count(), 2);
+        sharded.shutdown();
+    }
+
+    #[test]
     fn propagated_trace_forms_one_connected_chain() {
         use gptx_obs::TraceEvent;
         use std::collections::HashMap;
 
         let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(7)));
         let tracer = Tracer::shared(99);
-        let handle = EcosystemHandle::start_with_config(
-            Arc::clone(&eco),
-            FaultConfig::none(),
-            ServerConfig::default().with_tracer(Arc::clone(&tracer)),
-        )
-        .unwrap();
+        let handle = EcosystemHandle::builder(Arc::clone(&eco))
+            .faults(FaultConfig::none())
+            .tracer(Arc::clone(&tracer))
+            .spawn()
+            .unwrap();
         let client = HttpClient::new(handle.addr()).with_tracer(Arc::clone(&tracer));
         let id = eco.weeks[0].snapshot.gpts.keys().next().unwrap().clone();
         client

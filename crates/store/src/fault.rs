@@ -10,12 +10,15 @@
 //! is exactly the property the chaos harness checks when it asserts
 //! the pipeline's artifacts are byte-identical to a fault-free run.
 //!
-//! The module is deliberately `std`-only: the plan is plain data, and
-//! the server loop interprets it (see `server.rs` for the wire-level
-//! behavior of each [`FaultKind`]).
+//! The module is deliberately `std`-only: the plan is the schedule
+//! (plain data) plus one shared arrival counter, and the server loop
+//! interprets it (see `server.rs` for the wire-level behavior of each
+//! [`FaultKind`]).
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// What happens to a planned request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -88,11 +91,27 @@ impl fmt::Display for FaultKind {
 /// The ecosystem router counts every routed request (the `/metrics`
 /// and `/trace` observability endpoints are exempt) and consults the
 /// plan for the arrival's index. An empty plan costs nothing.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The arrival counter lives in the plan itself and is *shared by
+/// clones*: handing a plan to a server and keeping a clone lets the
+/// caller [`reset`](FaultPlan::reset) the schedule between runs — the
+/// next arrival replays from index 0 — instead of spinning up a fresh
+/// server per run. Equality compares only the schedule and stall
+/// duration, never the counter position.
+#[derive(Debug, Clone)]
 pub struct FaultPlan {
     faults: BTreeMap<u64, FaultKind>,
     stall_ms: u64,
+    arrivals: Arc<AtomicU64>,
 }
+
+impl PartialEq for FaultPlan {
+    fn eq(&self, other: &FaultPlan) -> bool {
+        self.faults == other.faults && self.stall_ms == other.stall_ms
+    }
+}
+
+impl Eq for FaultPlan {}
 
 impl Default for FaultPlan {
     fn default() -> FaultPlan {
@@ -115,6 +134,7 @@ impl FaultPlan {
         FaultPlan {
             faults: BTreeMap::new(),
             stall_ms: DEFAULT_STALL_MS,
+            arrivals: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -159,6 +179,24 @@ impl FaultPlan {
     pub fn stall_ms(&self) -> u64 {
         self.stall_ms
     }
+
+    /// Claim the next arrival index (the counter all clones share).
+    /// The server calls this once per plan-eligible request.
+    pub fn next_arrival(&self) -> u64 {
+        self.arrivals.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Arrivals counted so far across every clone of this plan.
+    pub fn arrivals(&self) -> u64 {
+        self.arrivals.load(Ordering::Relaxed)
+    }
+
+    /// Rewind the arrival counter so the schedule replays from index 0.
+    /// Because clones share the counter, resetting a caller-held clone
+    /// resets the plan inside a running (or restarted) server too.
+    pub fn reset(&self) {
+        self.arrivals.store(0, Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]
@@ -195,5 +233,22 @@ mod tests {
         assert_eq!(plan, FaultPlan::default());
         assert_eq!(plan.stall_ms(), DEFAULT_STALL_MS);
         assert_eq!(plan.with_stall_ms(3).stall_ms(), 3);
+    }
+
+    #[test]
+    fn clones_share_the_arrival_counter_and_reset_rewinds_it() {
+        let plan = FaultPlan::from_schedule([(1, FaultKind::ServerError)]);
+        let server_side = plan.clone();
+        assert_eq!(server_side.next_arrival(), 0);
+        assert_eq!(server_side.next_arrival(), 1);
+        assert_eq!(plan.arrivals(), 2, "clones share one counter");
+        plan.reset();
+        assert_eq!(server_side.next_arrival(), 0, "reset replays the schedule");
+        // Equality ignores counter position: a spent plan still equals
+        // a fresh one with the same schedule.
+        assert_eq!(
+            plan,
+            FaultPlan::from_schedule([(1, FaultKind::ServerError)])
+        );
     }
 }

@@ -15,15 +15,19 @@ pub mod ecosystem_server;
 pub mod fault;
 pub mod http;
 pub mod net;
+pub mod routing;
 pub mod server;
 pub mod shard;
 
 pub use client::{ClientError, HttpClient};
+#[allow(deprecated)]
+pub use ecosystem_server::ShardedEcosystemHandle;
 pub use ecosystem_server::{
-    store_host, EcosystemHandle, FaultConfig, FaultConfigBuilder, ShardedEcosystemHandle,
+    store_host, EcosystemHandle, FaultConfig, FaultConfigBuilder, ServerBuilder,
 };
 pub use fault::{FaultKind, FaultPlan};
 pub use http::{HttpError, Request, Response};
+pub use routing::{percent_decode, Params, Route, RouteTable};
 pub use server::{
     serve, serve_with, Router, ServerConfig, ServerHandle, FAULT_DISCONNECT_HEADER,
     FAULT_GARBAGE_HEADER, FAULT_SLOW_WRITE_HEADER, FAULT_STALL_HEADER,

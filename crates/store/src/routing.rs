@@ -1,0 +1,433 @@
+//! A small typed route table: method + host + path pattern → handler.
+//!
+//! Replaces hand-rolled if/else dispatch: each route *declares* its
+//! policy — which host(s) it answers, whether it is exempt from the
+//! sharded 421 misroute guard, whether it bypasses fault injection —
+//! instead of encoding those decisions inline in one big match. The
+//! table is shared by the ecosystem store routes (`/metrics`, `/trace`,
+//! listings, gizmos, policies, probes) and the archive-backed
+//! `/api/v1/*` audit endpoints.
+//!
+//! Patterns are `/`-separated segment lists where a `:name` segment
+//! captures one segment as a typed parameter and a trailing `*name`
+//! captures the rest of the path (possibly empty). Resolution is
+//! first-match-wins in insertion order, so narrower routes go first.
+
+use crate::http::{Request, Response};
+use std::str::FromStr;
+use std::sync::Arc;
+
+/// Which hosts a route answers.
+enum HostSel {
+    /// Any host (or no `Host` header at all).
+    Any,
+    /// Exactly this host (give it lowercased; the table lowercases the
+    /// request's host before matching).
+    Exact(String),
+    /// An arbitrary predicate over the host, e.g. "any registered
+    /// marketplace host".
+    Where(Arc<dyn Fn(&str) -> bool + Send + Sync>),
+}
+
+impl HostSel {
+    fn matches(&self, host: Option<&str>) -> bool {
+        match self {
+            HostSel::Any => true,
+            HostSel::Exact(want) => host == Some(want.as_str()),
+            HostSel::Where(pred) => host.is_some_and(|h| pred(h)),
+        }
+    }
+}
+
+/// One pattern segment.
+enum Segment {
+    Literal(String),
+    /// `:name` — captures exactly one path segment.
+    Param(String),
+    /// `*name` — captures the rest of the path, possibly empty. Only
+    /// valid as the final segment.
+    Rest(String),
+}
+
+/// Captured path parameters, by name.
+pub struct Params {
+    captured: Vec<(String, String)>,
+}
+
+impl Params {
+    /// The raw captured value for `name`.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.captured
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parse the captured value for `name` into any `FromStr` type.
+    pub fn parse<T: FromStr>(&self, name: &str) -> Option<T> {
+        self.get(name)?.parse().ok()
+    }
+
+    /// The captured value for `name`, percent-decoded (`%2F` → `/`,
+    /// `+` left alone). Identifiers like `name@domain` arrive encoded
+    /// when clients are strict; accept both forms.
+    pub fn decoded(&self, name: &str) -> Option<String> {
+        self.get(name).map(percent_decode)
+    }
+}
+
+/// Decode `%xx` escapes, leaving malformed escapes as literal bytes.
+pub fn percent_decode(s: &str) -> String {
+    let raw = s.as_bytes();
+    let mut out = Vec::with_capacity(raw.len());
+    let mut i = 0;
+    while i < raw.len() {
+        if raw[i] == b'%' && i + 2 < raw.len() {
+            let hex = |b: u8| (b as char).to_digit(16);
+            if let (Some(hi), Some(lo)) = (hex(raw[i + 1]), hex(raw[i + 2])) {
+                out.push(((hi << 4) | lo) as u8);
+                i += 3;
+                continue;
+            }
+        }
+        out.push(raw[i]);
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+type Handler = Arc<dyn Fn(&Request, &Params) -> Response + Send + Sync>;
+
+/// One declared route: matching rules plus per-route policy flags.
+pub struct Route {
+    method: &'static str,
+    host: HostSel,
+    segments: Vec<Segment>,
+    label: &'static str,
+    shard_exempt: bool,
+    fault_exempt: bool,
+    handler: Handler,
+}
+
+/// Builder for a [`Route`]; finished by [`RouteBuilder::handle`].
+pub struct RouteBuilder {
+    method: &'static str,
+    host: HostSel,
+    segments: Vec<Segment>,
+    label: &'static str,
+    shard_exempt: bool,
+    fault_exempt: bool,
+}
+
+impl Route {
+    /// Start a GET route for a path pattern like `/api/v1/actions/:id/exposure`.
+    pub fn get(pattern: &str) -> RouteBuilder {
+        RouteBuilder::new("GET", pattern)
+    }
+
+    /// Start a route for an explicit method.
+    pub fn method(method: &'static str, pattern: &str) -> RouteBuilder {
+        RouteBuilder::new(method, pattern)
+    }
+}
+
+impl RouteBuilder {
+    fn new(method: &'static str, pattern: &str) -> RouteBuilder {
+        let segments: Vec<Segment> = pattern
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                if let Some(name) = s.strip_prefix(':') {
+                    Segment::Param(name.to_string())
+                } else if let Some(name) = s.strip_prefix('*') {
+                    Segment::Rest(name.to_string())
+                } else {
+                    Segment::Literal(s.to_string())
+                }
+            })
+            .collect();
+        debug_assert!(
+            !segments
+                .iter()
+                .rev()
+                .skip(1)
+                .any(|s| matches!(s, Segment::Rest(_))),
+            "a *rest segment must be last in {pattern:?}"
+        );
+        RouteBuilder {
+            method,
+            host: HostSel::Any,
+            segments,
+            label: "",
+            shard_exempt: false,
+            fault_exempt: false,
+        }
+    }
+
+    /// Restrict the route to exactly this host.
+    pub fn on_host(mut self, host: impl Into<String>) -> RouteBuilder {
+        self.host = HostSel::Exact(host.into());
+        self
+    }
+
+    /// Restrict the route by a host predicate.
+    pub fn host_where(
+        mut self,
+        pred: impl Fn(&str) -> bool + Send + Sync + 'static,
+    ) -> RouteBuilder {
+        self.host = HostSel::Where(Arc::new(pred));
+        self
+    }
+
+    /// Name the route for `store.route.<label>` counters and trace attrs.
+    pub fn label(mut self, label: &'static str) -> RouteBuilder {
+        self.label = label;
+        self
+    }
+
+    /// Answer on every shard of a sharded topology instead of 421-ing
+    /// misrouted hosts (observability endpoints want this).
+    pub fn shard_exempt(mut self) -> RouteBuilder {
+        self.shard_exempt = true;
+        self
+    }
+
+    /// Bypass delay/transient/planned fault injection entirely.
+    pub fn fault_exempt(mut self) -> RouteBuilder {
+        self.fault_exempt = true;
+        self
+    }
+
+    /// Attach the handler, finishing the route.
+    pub fn handle(
+        self,
+        handler: impl Fn(&Request, &Params) -> Response + Send + Sync + 'static,
+    ) -> Route {
+        Route {
+            method: self.method,
+            host: self.host,
+            segments: self.segments,
+            label: self.label,
+            shard_exempt: self.shard_exempt,
+            fault_exempt: self.fault_exempt,
+            handler: Arc::new(handler),
+        }
+    }
+}
+
+/// A resolved route: the matched route's policy plus captured params.
+pub struct RouteMatch<'a> {
+    route: &'a Route,
+    params: Params,
+}
+
+impl RouteMatch<'_> {
+    pub fn label(&self) -> &'static str {
+        self.route.label
+    }
+
+    pub fn shard_exempt(&self) -> bool {
+        self.route.shard_exempt
+    }
+
+    pub fn fault_exempt(&self) -> bool {
+        self.route.fault_exempt
+    }
+
+    /// Run the handler.
+    pub fn run(&self, request: &Request) -> Response {
+        (self.route.handler)(request, &self.params)
+    }
+}
+
+/// An ordered set of routes; resolution is first-match-wins.
+#[derive(Default)]
+pub struct RouteTable {
+    routes: Vec<Route>,
+}
+
+impl RouteTable {
+    pub fn new() -> RouteTable {
+        RouteTable::default()
+    }
+
+    /// Append a route. Insertion order is match priority.
+    pub fn push(&mut self, route: Route) {
+        self.routes.push(route);
+    }
+
+    /// Builder-style [`RouteTable::push`].
+    pub fn with(mut self, route: Route) -> RouteTable {
+        self.push(route);
+        self
+    }
+
+    /// Find the first route matching the request's method, host, and
+    /// path, capturing typed params. Host comparison is
+    /// case-insensitive (DNS names are); paths are case-sensitive.
+    pub fn resolve(&self, request: &Request) -> Option<RouteMatch<'_>> {
+        let host = request.host().map(|h| h.to_ascii_lowercase());
+        let host = host.as_deref();
+        let path = request.path();
+        self.routes.iter().find_map(|route| {
+            if route.method != request.method || !route.host.matches(host) {
+                return None;
+            }
+            let params = match_segments(&route.segments, path)?;
+            Some(RouteMatch { route, params })
+        })
+    }
+}
+
+/// Match a path against pattern segments, capturing params. Returns
+/// `None` on mismatch.
+fn match_segments(segments: &[Segment], path: &str) -> Option<Params> {
+    let mut captured = Vec::new();
+    let mut parts = path.split('/').filter(|s| !s.is_empty());
+    for (i, segment) in segments.iter().enumerate() {
+        match segment {
+            Segment::Literal(want) => {
+                if parts.next()? != want {
+                    return None;
+                }
+            }
+            Segment::Param(name) => {
+                captured.push((name.clone(), parts.next()?.to_string()));
+            }
+            Segment::Rest(name) => {
+                debug_assert_eq!(i, segments.len() - 1);
+                let rest: Vec<&str> = parts.collect();
+                captured.push((name.clone(), rest.join("/")));
+                return Some(Params { captured });
+            }
+        }
+    }
+    if parts.next().is_some() {
+        return None;
+    }
+    Some(Params { captured })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(method: &str, host: &str, path: &str) -> Request {
+        let mut request = Request::get(host, path);
+        request.method = method.to_string();
+        request
+    }
+
+    fn table() -> RouteTable {
+        RouteTable::new()
+            .with(
+                Route::get("/metrics")
+                    .label("metrics")
+                    .shard_exempt()
+                    .fault_exempt()
+                    .handle(|_, _| Response::ok_text("metrics")),
+            )
+            .with(
+                Route::get("/api/v1/actions/:id/exposure")
+                    .label("exposure")
+                    .handle(|_, p| Response::ok_text(format!("exp:{}", p.get("id").unwrap()))),
+            )
+            .with(
+                Route::get("/backend-api/gizmos/:id")
+                    .on_host("chat.openai.com")
+                    .label("gizmo")
+                    .handle(|_, p| Response::ok_text(format!("gizmo:{}", p.get("id").unwrap()))),
+            )
+            .with(
+                Route::get("/privacy/*rest")
+                    .host_where(|h| h.ends_with(".policy.test"))
+                    .label("policy")
+                    .handle(|_, p| Response::ok_text(format!("policy:{}", p.get("rest").unwrap()))),
+            )
+    }
+
+    #[test]
+    fn literal_and_param_routes_resolve_in_order() {
+        let t = table();
+        let m = t.resolve(&req("GET", "anything.test", "/metrics")).unwrap();
+        assert_eq!(m.label(), "metrics");
+        assert!(m.shard_exempt());
+        assert!(m.fault_exempt());
+
+        let m = t
+            .resolve(&req(
+                "GET",
+                "x.test",
+                "/api/v1/actions/weather@api.example.com/exposure",
+            ))
+            .unwrap();
+        assert_eq!(m.label(), "exposure");
+        assert!(!m.shard_exempt());
+        let resp = m.run(&req("GET", "x.test", "/api/v1/actions/a/exposure"));
+        assert_eq!(resp.text(), "exp:weather@api.example.com");
+    }
+
+    #[test]
+    fn host_selectors_gate_matching() {
+        let t = table();
+        assert!(t
+            .resolve(&req("GET", "chat.openai.com", "/backend-api/gizmos/g-1"))
+            .is_some());
+        assert!(t
+            .resolve(&req("GET", "evil.test", "/backend-api/gizmos/g-1"))
+            .is_none());
+        assert!(t
+            .resolve(&req("GET", "acme.policy.test", "/privacy/api"))
+            .is_some());
+        assert!(t
+            .resolve(&req("GET", "acme.nope.test", "/privacy/api"))
+            .is_none());
+    }
+
+    #[test]
+    fn rest_segment_captures_remainder_including_empty() {
+        let t = table();
+        let m = t
+            .resolve(&req("GET", "a.policy.test", "/privacy/deep/nested/doc"))
+            .unwrap();
+        let resp = m.run(&req("GET", "a.policy.test", "/privacy/deep/nested/doc"));
+        assert_eq!(resp.text(), "policy:deep/nested/doc");
+        // Trailing wildcard also matches the bare prefix.
+        let m = t.resolve(&req("GET", "a.policy.test", "/privacy")).unwrap();
+        assert_eq!(m.label(), "policy");
+    }
+
+    #[test]
+    fn method_and_arity_mismatches_do_not_match() {
+        let t = table();
+        assert!(t.resolve(&req("POST", "x.test", "/metrics")).is_none());
+        assert!(t
+            .resolve(&req("GET", "x.test", "/api/v1/actions/x/exposure/extra"))
+            .is_none());
+        assert!(t
+            .resolve(&req("GET", "x.test", "/api/v1/actions/x"))
+            .is_none());
+    }
+
+    #[test]
+    fn typed_and_decoded_params() {
+        let t = RouteTable::new().with(Route::get("/weeks/:n").label("week").handle(|_, p| {
+            let n: u32 = p.parse("n").unwrap();
+            Response::ok_text(format!("{}", n * 2))
+        }));
+        let r = req("GET", "h.test", "/weeks/21");
+        assert_eq!(t.resolve(&r).unwrap().run(&r).text(), "42");
+        assert!(
+            t.resolve(&req("GET", "h.test", "/weeks/xyz")).is_some(),
+            "parse is per-handler"
+        );
+
+        assert_eq!(
+            percent_decode("weather%40api.example.com"),
+            "weather@api.example.com"
+        );
+        assert_eq!(percent_decode("plain"), "plain");
+        assert_eq!(percent_decode("bad%zq"), "bad%zq");
+        assert_eq!(percent_decode("trail%4"), "trail%4");
+    }
+}

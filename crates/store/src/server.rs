@@ -93,6 +93,10 @@ pub struct ServerConfig {
     /// Listen backlog passed to `listen(2)` — how many not-yet-accepted
     /// connections the kernel queues during a connect burst.
     pub listen_backlog: i32,
+    /// TCP port to bind on loopback. `0` (the default) asks the kernel
+    /// for an ephemeral port — right for tests and embedded use; a
+    /// long-lived `gptx serve` pins a stable one.
+    pub port: u16,
     /// Registry for `store.conn_requests` (requests served per
     /// connection, observed at connection close) and the accept-loop
     /// counters (`store.accept.errors`, `store.accept.backpressure`,
@@ -113,6 +117,7 @@ impl Default for ServerConfig {
             workers: 4,
             max_connections: 1024,
             listen_backlog: 1024,
+            port: 0,
             metrics: MetricsRegistry::shared_disabled(),
             tracer: Tracer::shared_disabled(),
         }
@@ -141,6 +146,12 @@ impl ServerConfig {
     /// Set the bounded global connection count.
     pub fn with_max_connections(mut self, max_connections: usize) -> ServerConfig {
         self.max_connections = max_connections.max(1);
+        self
+    }
+
+    /// Bind a fixed loopback port instead of an ephemeral one.
+    pub fn with_port(mut self, port: u16) -> ServerConfig {
+        self.port = port;
         self
     }
 }
@@ -206,7 +217,7 @@ type Inbox = Arc<Mutex<VecDeque<TcpStream>>>;
 
 /// [`serve`] with an explicit [`ServerConfig`].
 pub fn serve_with<R: Router>(router: R, config: ServerConfig) -> std::io::Result<ServerHandle> {
-    let listener = net::bind_listener(0, config.listen_backlog.max(1))?;
+    let listener = net::bind_listener(config.port, config.listen_backlog.max(1))?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
     let requests_served = Arc::new(AtomicU64::new(0));

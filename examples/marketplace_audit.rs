@@ -17,7 +17,9 @@ use std::sync::Arc;
 fn main() {
     // Stand up the synthetic internet: 13 marketplaces + the gizmo API.
     let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(7)));
-    let server = EcosystemHandle::start(Arc::clone(&eco), FaultConfig::default())
+    let server = EcosystemHandle::builder(Arc::clone(&eco))
+        .faults(FaultConfig::default())
+        .spawn()
         .expect("start ecosystem server");
     println!("ecosystem served on {}", server.addr());
 

@@ -35,3 +35,33 @@ cargo run --release -p gptx-cli -- chaos \
 cargo run --release -p gptx-cli -- bench load \
     --connections 64 --duration-s 2 --shards 13 --workers 4 \
     --slo-p99-ms 500
+
+# archive_smoke: the on-disk snapshot archive round trip over the real
+# CLI binary — crawl a tiny campaign into a content-addressed archive
+# dir, then serve the /api/v1 audit API from it and query the report
+# index. The archive crate gets its own strict clippy pass (it is the
+# newest subsystem and must stay warning-clean on its own).
+cargo clippy -p gptx-archive --all-targets -- -D warnings
+archive_dir="$(mktemp -d -t gptx-archive-XXXXXX)"
+eco_json="$(mktemp -t gptx-eco-XXXXXX.json)"
+addr_file="$(mktemp -t gptx-addr-XXXXXX)"
+trap 'rm -rf "$trace_out" "$archive_dir" "$eco_json" "$addr_file"' EXIT
+cargo run --release -p gptx-cli -- generate \
+    --scale tiny --seed 7 --out "$eco_json"
+cargo run --release -p gptx-cli -- crawl \
+    --scale tiny --seed 7 --archive-dir "$archive_dir" --out /dev/null
+: > "$addr_file"
+(sleep 30 | cargo run --release -p gptx-cli -- serve \
+    --archive-dir "$archive_dir" --eco "$eco_json" \
+    --addr-file "$addr_file" > /dev/null) &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$addr_file" ] && break
+    sleep 0.3
+done
+[ -s "$addr_file" ] || { echo "audit server never published its address"; exit 1; }
+addr="$(cat "$addr_file")"
+curl -sf "http://$addr/api/v1/reports" | grep -q '"reports"'
+curl -sf "http://$addr/api/v1/weeks" | grep -q '"weeks"'
+kill "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true

@@ -1,0 +1,93 @@
+//! The versioned audit API end to end: a finished pipeline run served
+//! over HTTP answers every `/api/v1/*` endpoint with the run's own
+//! artifacts, 404s cleanly, decodes percent-encoded Action identities,
+//! and records its latency histogram.
+
+use gptx::obs::MetricsRegistry;
+use gptx::store::HttpClient;
+use gptx::{AuditService, FaultConfig, Pipeline, SynthConfig};
+use std::sync::Arc;
+
+#[test]
+fn audit_api_answers_every_endpoint() {
+    let run = Arc::new(
+        Pipeline::builder(SynthConfig::tiny(61))
+            .faults(FaultConfig::none())
+            .build()
+            .run()
+            .expect("pipeline"),
+    );
+    let identity = run.reports[0].action_identity.clone();
+    let disclosure_json = serde_json::to_string(&run.reports[0]).unwrap();
+    let report_count = run.reports.len();
+    let week_count = run.archive.snapshots.len();
+
+    let metrics = MetricsRegistry::shared();
+    let server = AuditService::new(Arc::clone(&run))
+        .metrics(Arc::clone(&metrics))
+        .serve()
+        .expect("bind audit server");
+    let client = HttpClient::new(server.addr());
+
+    // The report index lists every analyzed Action.
+    let resp = client.get("https://audit.local/api/v1/reports").unwrap();
+    assert_eq!(resp.status, 200);
+    let body = resp.text();
+    assert!(body.starts_with(&format!("{{\"count\":{report_count},")));
+    assert!(body.contains(&format!("\"action\":\"{identity}\"")));
+
+    // The weeks series mirrors the crawled snapshots.
+    let resp = client.get("https://audit.local/api/v1/weeks").unwrap();
+    assert_eq!(resp.status, 200);
+    let weeks = resp.text();
+    assert_eq!(weeks.matches("\"week\":").count(), week_count);
+    assert!(weeks.contains("\"date\":"));
+
+    // The disclosure endpoint returns the full report, byte-identical
+    // to its offline serialization.
+    let resp = client
+        .get(&format!(
+            "https://audit.local/api/v1/actions/{identity}/disclosure"
+        ))
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.text(), disclosure_json);
+
+    // The exposure endpoint accepts a percent-encoded identity (the
+    // `@` in `name@domain` arrives as %40) and reports both hop depths.
+    let encoded = identity.replace('@', "%40");
+    let resp = client
+        .get(&format!(
+            "https://audit.local/api/v1/actions/{encoded}/exposure"
+        ))
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    let exposure = resp.text();
+    assert!(exposure.contains(&format!("\"action\":\"{identity}\"")));
+    assert!(exposure.contains("\"own_types\":"));
+    assert!(exposure.contains("\"exposed_1hop\":"));
+    assert!(exposure.contains("\"exposed_2hop\":"));
+
+    // Unknown Actions and unknown paths both 404.
+    let resp = client
+        .get("https://audit.local/api/v1/actions/noSuchAction%40nowhere.test/disclosure")
+        .unwrap();
+    assert_eq!(resp.status, 404);
+    let resp = client.get("https://audit.local/api/v2/reports").unwrap();
+    assert_eq!(resp.status, 404);
+
+    // The service metered itself: per-route hits and the latency
+    // histogram are visible on its own /metrics endpoint.
+    let resp = client.get("https://audit.local/metrics").unwrap();
+    assert_eq!(resp.status, 200);
+    server.shutdown();
+    let snap = metrics.snapshot();
+    assert_eq!(snap.counters["audit.route.reports"], 1);
+    assert_eq!(snap.counters["audit.route.weeks"], 1);
+    assert_eq!(snap.counters["audit.route.disclosure"], 2);
+    assert_eq!(snap.counters["audit.route.exposure"], 1);
+    assert_eq!(snap.counters["audit.route.not_found"], 1);
+    assert_eq!(snap.counters["audit.status.200"], 5);
+    assert_eq!(snap.counters["audit.status.404"], 2);
+    assert_eq!(snap.histograms["audit.route_us"].count, 7);
+}

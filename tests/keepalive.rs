@@ -27,12 +27,11 @@ fn tiny_eco(seed: u64) -> Arc<Ecosystem> {
 fn connection_close_client_interops_with_keepalive_server() {
     let eco = tiny_eco(41);
     let metrics = MetricsRegistry::shared();
-    let handle = EcosystemHandle::start_with_metrics(
-        Arc::clone(&eco),
-        FaultConfig::none(),
-        Arc::clone(&metrics),
-    )
-    .unwrap();
+    let handle = EcosystemHandle::builder(Arc::clone(&eco))
+        .faults(FaultConfig::none())
+        .metrics(Arc::clone(&metrics))
+        .spawn()
+        .unwrap();
     let url = format!("https://{}/", store_host(STORES[0].0));
 
     let old_client = HttpClient::new(handle.addr()).with_pool(0);
@@ -57,7 +56,10 @@ fn connection_close_client_interops_with_keepalive_server() {
 #[test]
 fn sequential_requests_open_one_connection() {
     let eco = tiny_eco(42);
-    let handle = EcosystemHandle::start(Arc::clone(&eco), FaultConfig::none()).unwrap();
+    let handle = EcosystemHandle::builder(Arc::clone(&eco))
+        .faults(FaultConfig::none())
+        .spawn()
+        .unwrap();
     let metrics = MetricsRegistry::shared();
     let client = HttpClient::new(handle.addr()).with_metrics(Arc::clone(&metrics));
     let url = format!("https://{}/", store_host(STORES[0].0));
@@ -76,15 +78,14 @@ fn sequential_requests_open_one_connection() {
 #[test]
 fn idle_timeout_close_is_survived_by_transparent_retry() {
     let eco = tiny_eco(43);
-    let handle = EcosystemHandle::start_with_config(
-        Arc::clone(&eco),
-        FaultConfig::none(),
-        ServerConfig {
+    let handle = EcosystemHandle::builder(Arc::clone(&eco))
+        .faults(FaultConfig::none())
+        .config(ServerConfig {
             idle_timeout: Duration::from_millis(80),
             ..ServerConfig::default()
-        },
-    )
-    .unwrap();
+        })
+        .spawn()
+        .unwrap();
     let metrics = MetricsRegistry::shared();
     let client = HttpClient::new(handle.addr()).with_metrics(Arc::clone(&metrics));
     let url = format!("https://{}/", store_host(STORES[0].0));
@@ -111,15 +112,14 @@ fn idle_timeout_close_is_survived_by_transparent_retry() {
 fn midstream_disconnect_poisons_the_pooled_connection() {
     let eco = tiny_eco(44);
     let metrics = MetricsRegistry::shared();
-    let handle = EcosystemHandle::start_with_metrics(
-        Arc::clone(&eco),
-        FaultConfig {
+    let handle = EcosystemHandle::builder(Arc::clone(&eco))
+        .faults(FaultConfig {
             disconnect_gizmo_rate: 1.0,
             ..FaultConfig::none()
-        },
-        Arc::clone(&metrics),
-    )
-    .unwrap();
+        })
+        .metrics(Arc::clone(&metrics))
+        .spawn()
+        .unwrap();
     let client = HttpClient::new(handle.addr()).with_metrics(Arc::clone(&metrics));
     let listing = format!("https://{}/", store_host(STORES[0].0));
     let id = eco.weeks[0].snapshot.gpts.keys().next().unwrap().clone();
@@ -148,7 +148,10 @@ fn midstream_disconnect_poisons_the_pooled_connection() {
 #[test]
 fn crawl_week_is_byte_identical_with_pooling_on_or_off() {
     let eco = tiny_eco(45);
-    let handle = EcosystemHandle::start(Arc::clone(&eco), FaultConfig::none()).unwrap();
+    let handle = EcosystemHandle::builder(Arc::clone(&eco))
+        .faults(FaultConfig::none())
+        .spawn()
+        .unwrap();
     let threads = 4usize;
 
     let unpooled = Crawler::new(handle.addr())

@@ -10,7 +10,10 @@ use std::sync::Arc;
 
 fn campaign(seed: u64) -> (Ecosystem, CrawlArchive) {
     let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(seed)));
-    let handle = EcosystemHandle::start(Arc::clone(&eco), FaultConfig::none()).unwrap();
+    let handle = EcosystemHandle::builder(Arc::clone(&eco))
+        .faults(FaultConfig::none())
+        .spawn()
+        .unwrap();
     let crawler = Crawler::new(handle.addr()).with_threads(8);
     let store_names: Vec<&str> = STORES.iter().map(|(n, _)| *n).collect();
     let weeks: Vec<(u32, String)> = eco.weeks.iter().map(|w| (w.week, w.date.clone())).collect();

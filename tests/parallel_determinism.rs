@@ -12,7 +12,10 @@ use std::sync::Arc;
 /// thread counts analyze the exact same archive.
 fn crawl(seed: u64) -> (Ecosystem, CrawlArchive) {
     let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(seed)));
-    let server = EcosystemHandle::start(Arc::clone(&eco), FaultConfig::none()).expect("serve");
+    let server = EcosystemHandle::builder(Arc::clone(&eco))
+        .faults(FaultConfig::none())
+        .spawn()
+        .expect("serve");
     let store_names: Vec<&str> = STORES.iter().map(|(n, _)| *n).collect();
     let weeks: Vec<(u32, String)> = eco.weeks.iter().map(|w| (w.week, w.date.clone())).collect();
     let archive = gptx::crawler::Crawler::new(server.addr())

@@ -7,9 +7,7 @@
 
 use gptx::crawler::Crawler;
 use gptx::obs::MetricsRegistry;
-use gptx::store::{
-    shard_for_host, store_host, EcosystemHandle, FaultConfig, HttpClient, ServerConfig,
-};
+use gptx::store::{shard_for_host, store_host, EcosystemHandle, FaultConfig, HttpClient};
 use gptx::synth::{Ecosystem, SynthConfig, STORES};
 use gptx::{FaultPlan, Pipeline};
 use std::sync::Arc;
@@ -28,18 +26,19 @@ fn tiny_eco(seed: u64) -> Arc<Ecosystem> {
 fn sharded_crawl_week_is_byte_identical_to_single_listener() {
     let eco = tiny_eco(46);
 
-    let single = EcosystemHandle::start(Arc::clone(&eco), FaultConfig::none()).unwrap();
+    let single = EcosystemHandle::builder(Arc::clone(&eco))
+        .faults(FaultConfig::none())
+        .spawn()
+        .unwrap();
     let crawler = Crawler::new(single.addr()).with_threads(4);
     let s_single = crawler.crawl_week(0, "2024-02-08", &store_names()).unwrap();
     single.shutdown();
 
-    let sharded = EcosystemHandle::start_sharded(
-        Arc::clone(&eco),
-        FaultConfig::none(),
-        STORES.len(),
-        ServerConfig::default(),
-    )
-    .unwrap();
+    let sharded = EcosystemHandle::builder(Arc::clone(&eco))
+        .faults(FaultConfig::none())
+        .shards(STORES.len())
+        .spawn()
+        .unwrap();
     assert_eq!(sharded.shard_count(), STORES.len());
     let crawler = Crawler::new_sharded(sharded.addrs()).with_threads(4);
     let s_sharded = crawler.crawl_week(0, "2024-02-08", &store_names()).unwrap();
@@ -58,13 +57,12 @@ fn sharded_crawl_week_is_byte_identical_to_single_listener() {
 fn misrouted_host_is_421_and_counted() {
     let eco = tiny_eco(47);
     let metrics = MetricsRegistry::shared();
-    let handle = EcosystemHandle::start_sharded(
-        Arc::clone(&eco),
-        FaultConfig::none(),
-        2,
-        ServerConfig::default().with_metrics(Arc::clone(&metrics)),
-    )
-    .unwrap();
+    let handle = EcosystemHandle::builder(Arc::clone(&eco))
+        .faults(FaultConfig::none())
+        .shards(2)
+        .metrics(Arc::clone(&metrics))
+        .spawn()
+        .unwrap();
     let addrs = handle.addrs();
 
     let host = store_host(store_names()[0]);
@@ -115,13 +113,13 @@ fn fault_plan_arrivals_are_counted_per_shard() {
         FaultPlan::from_schedule([(1, gptx::FaultKind::ServerError)]),
         FaultPlan::default(),
     ];
-    let handle = EcosystemHandle::start_sharded_with_plans(
-        Arc::clone(&eco),
-        FaultConfig::none(),
-        plans,
-        ServerConfig::default().with_metrics(Arc::clone(&metrics)),
-    )
-    .unwrap();
+    let handle = EcosystemHandle::builder(Arc::clone(&eco))
+        .faults(FaultConfig::none())
+        .fault_plans(plans)
+        .shards(2)
+        .metrics(Arc::clone(&metrics))
+        .spawn()
+        .unwrap();
     let addrs = handle.addrs();
 
     // Find one host per shard so we can interleave traffic.
