@@ -121,7 +121,9 @@ struct BlobLocation {
     len: u32,
 }
 
-/// One torn tail found (and repaired) while opening the archive.
+/// One repair performed while opening the archive: a torn tail truncated
+/// back to the last valid record, or a stray `.tmp` segment left behind by
+/// a crash mid-compaction that was removed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RecoveryEvent {
     pub segment: u32,
@@ -181,18 +183,36 @@ impl Archive {
         fs::create_dir_all(&dir)?;
 
         let mut ids = Vec::new();
+        let mut stray_tmp = Vec::new();
         for entry in fs::read_dir(&dir)? {
             let entry = entry?;
-            if let Some(id) = parse_segment_id(&entry.file_name().to_string_lossy()) {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if let Some(id) = parse_segment_id(&name) {
                 ids.push(id);
+            } else if let Some(id) = parse_tmp_segment_id(&name) {
+                stray_tmp.push((id, name));
             }
         }
         ids.sort_unstable();
+        stray_tmp.sort_unstable();
 
         let mut index = HashMap::new();
         let mut manifests = BTreeMap::new();
         let mut segments = BTreeMap::new();
         let mut recovery = Vec::new();
+        // A crash between CompactionWriter::finish and the rename swap
+        // leaves `.tmp` segments behind. Nothing live is in them that the
+        // real segments don't already hold (compaction only copies), so
+        // the safe repair is to drop them and report what was reclaimed.
+        for (id, name) in stray_tmp {
+            let path = dir.join(&name);
+            let dropped_bytes = fs::metadata(&path)?.len();
+            fs::remove_file(&path)?;
+            recovery.push(RecoveryEvent {
+                segment: id,
+                dropped_bytes,
+            });
+        }
         for id in ids {
             scan_into(
                 &dir,
@@ -638,6 +658,12 @@ fn parse_segment_id(name: &str) -> Option<u32> {
     stem.parse().ok()
 }
 
+/// Recognize a compaction temp file (`seg-NNNNNN.gptx.tmp`) so open can
+/// clean up after a crash mid-rename-swap.
+fn parse_tmp_segment_id(name: &str) -> Option<u32> {
+    parse_segment_id(name.strip_suffix(".tmp")?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -887,6 +913,46 @@ mod tests {
         assert_eq!(read_dir_bytes(&a), read_dir_bytes(&b));
         cleanup(&a);
         cleanup(&b);
+    }
+
+    #[test]
+    fn stray_compaction_tmp_segments_are_removed_on_open() {
+        let dir = temp_dir("straytmp");
+        let hash = {
+            let mut archive = Archive::open(&dir).unwrap();
+            let (hash, _) = archive.put_blob(b"kept across the crash").unwrap();
+            let mut m = Manifest::new("week:000000");
+            m.push("g", hash);
+            archive.put_manifest(&m).unwrap();
+            archive.sync().unwrap();
+            hash
+        };
+        // Simulate a crash between CompactionWriter::finish and the
+        // rename swap: finished tmp segments sit next to the real ones.
+        for id in [0u32, 1u32] {
+            fs::write(dir.join(tmp_segment_name(id)), b"half-compacted junk").unwrap();
+        }
+
+        let archive = Archive::open(&dir).unwrap();
+        assert_eq!(archive.recovery().len(), 2);
+        assert_eq!(archive.recovery()[0].segment, 0);
+        assert_eq!(archive.recovery()[1].segment, 1);
+        assert!(archive.recovery().iter().all(|e| e.dropped_bytes > 0));
+        assert_eq!(
+            archive.get_blob(hash).unwrap().unwrap(),
+            b"kept across the crash"
+        );
+        let leftover: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert!(leftover.is_empty(), "tmp files linger: {leftover:?}");
+
+        // A clean reopen reports nothing.
+        drop(archive);
+        assert!(Archive::open(&dir).unwrap().recovery().is_empty());
+        cleanup(&dir);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! third-party Actions).
 
 use gptx_classifier::ActionProfile;
-use gptx_model::{classify_party, Gpt, Party};
+use gptx_model::{classify_party, Gpt, GptId, Party};
 use gptx_taxonomy::DataType;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -179,6 +179,95 @@ impl CorpusCollection {
     }
 }
 
+/// Incremental census accumulator: feed each newly observed unique GPT
+/// with [`CollectionBuilder::insert_gpt`] as week deltas arrive, then
+/// call [`CollectionBuilder::snapshot`] once profiles are final.
+///
+/// The result is identical to [`CorpusCollection::assemble`] over the
+/// same GPTs in id order, **regardless of insertion order**: parties
+/// resolve to the classification from the lowest embedding GPT id
+/// (assemble's first-wins over an id-ordered corpus), and per-GPT type
+/// unions are re-keyed by id before they become `gpt_types`.
+#[derive(Debug, Clone, Default)]
+pub struct CollectionBuilder {
+    /// Action identity → (lowest embedding GPT id, its party).
+    parties: BTreeMap<String, (GptId, Party)>,
+    embed_counts: BTreeMap<String, usize>,
+    /// Action-embedding GPT id → identities it embeds.
+    gpt_embeds: BTreeMap<GptId, BTreeSet<String>>,
+}
+
+impl CollectionBuilder {
+    pub fn new() -> CollectionBuilder {
+        CollectionBuilder::default()
+    }
+
+    /// Fold one unique GPT into the accumulators. Must be called at
+    /// most once per GPT id (the caller's unique-GPT universe is
+    /// first-seen-wins, so re-observations never reach here).
+    pub fn insert_gpt(&mut self, gpt: &Gpt) {
+        let actions = gpt.actions();
+        if actions.is_empty() {
+            return;
+        }
+        let mut seen_here: BTreeSet<String> = BTreeSet::new();
+        for action in actions {
+            let identity = action.identity();
+            match self.parties.get(&identity) {
+                // Lower embedding id than the recorded source: this GPT
+                // would have come first in an id-ordered assemble.
+                Some((src, _)) if *src > gpt.id => {
+                    self.parties.insert(
+                        identity.clone(),
+                        (gpt.id.clone(), classify_party(gpt, action)),
+                    );
+                }
+                Some(_) => {}
+                None => {
+                    self.parties.insert(
+                        identity.clone(),
+                        (gpt.id.clone(), classify_party(gpt, action)),
+                    );
+                }
+            }
+            if seen_here.insert(identity.clone()) {
+                *self.embed_counts.entry(identity).or_insert(0) += 1;
+            }
+        }
+        self.gpt_embeds.insert(gpt.id.clone(), seen_here);
+    }
+
+    /// Materialize the [`CorpusCollection`] against the (now final)
+    /// profile map. Borrows the builder, so the audit service can
+    /// snapshot the freshest week repeatedly as deltas keep arriving.
+    pub fn snapshot(&self, profiles: Arc<BTreeMap<String, ActionProfile>>) -> CorpusCollection {
+        let gpt_types = self
+            .gpt_embeds
+            .values()
+            .map(|identities| {
+                let mut union: BTreeSet<DataType> = BTreeSet::new();
+                for identity in identities {
+                    if let Some(profile) = profiles.get(identity) {
+                        union.extend(profile.succinct_types());
+                    }
+                }
+                union
+            })
+            .collect();
+        CorpusCollection {
+            profiles,
+            parties: self
+                .parties
+                .iter()
+                .map(|(identity, (_, party))| (identity.clone(), *party))
+                .collect(),
+            embed_counts: self.embed_counts.clone(),
+            action_gpts: self.gpt_embeds.len(),
+            gpt_types,
+        }
+    }
+}
+
 /// One Table 6 row.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PrevalentAction {
@@ -290,6 +379,69 @@ mod tests {
         assert_eq!(rows[0].identity, "Hub@hub.dev");
         assert!((rows[0].gpt_fraction - 2.0 / 3.0).abs() < 1e-9);
         assert!(rows.iter().all(|r| r.identity != "Own@own.dev"));
+    }
+
+    #[test]
+    fn incremental_builder_matches_assemble_in_any_insertion_order() {
+        let mut profiles = BTreeMap::new();
+        for (name, domain, types) in [
+            ("Hub", "hub.dev", vec![DataType::EmailAddress]),
+            ("Solo", "solo.dev", vec![DataType::Passwords]),
+        ] {
+            let (id, p) = profile(name, domain, &types);
+            profiles.insert(id, p);
+        }
+        let profiles = Arc::new(profiles);
+        let mk = |gpt_id: &str, website: Option<&str>, actions: &[(&str, &str)]| {
+            let mut g = Gpt::minimal(gpt_id, "G");
+            g.author.website = website.map(String::from);
+            for (name, domain) in actions {
+                g.tools.push(Tool::Action(ActionSpec::minimal(
+                    "t",
+                    name,
+                    &format!("https://api.{domain}"),
+                )));
+            }
+            g
+        };
+        // The lowest-id GPT embedding the Hub declares hub.dev as its
+        // author site, so id-ordered assemble classifies Hub first-party.
+        let gpts = vec![
+            mk(
+                "g-aaaaaaaaaa",
+                Some("https://www.hub.dev"),
+                &[("Hub", "hub.dev")],
+            ),
+            mk(
+                "g-bbbbbbbbbb",
+                None,
+                &[("Hub", "hub.dev"), ("Solo", "solo.dev")],
+            ),
+            mk("g-cccccccccc", None, &[("Solo", "solo.dev")]),
+        ];
+        let full = CorpusCollection::assemble(&gpts, Arc::clone(&profiles));
+
+        // Feed the builder in reverse order — the week a GPT first
+        // appeared in need not follow id order.
+        let mut builder = CollectionBuilder::new();
+        for gpt in gpts.iter().rev() {
+            builder.insert_gpt(gpt);
+        }
+        let inc = builder.snapshot(Arc::clone(&profiles));
+
+        assert_eq!(inc.parties, full.parties);
+        assert_eq!(inc.parties["Hub@hub.dev"], Party::First);
+        assert_eq!(inc.embed_counts, full.embed_counts);
+        assert_eq!(inc.action_gpts, full.action_gpts);
+        assert_eq!(inc.table5(), full.table5());
+        assert_eq!(
+            inc.table6(5, &|_| "F".to_string()),
+            full.table6(5, &|_| "F".to_string())
+        );
+        assert_eq!(
+            inc.prohibited_gpt_fraction(),
+            full.prohibited_gpt_fraction()
+        );
     }
 
     #[test]

@@ -18,7 +18,7 @@ pub mod removal;
 pub mod tools;
 
 pub use changes::{change_breakdown, ChangeBreakdown};
-pub use collection::{CollectionRow, CorpusCollection, PrevalentAction};
+pub use collection::{CollectionBuilder, CollectionRow, CorpusCollection, PrevalentAction};
 pub use growth::{growth_trend, GrowthPoint, GrowthTrend};
 pub use label::{is_tracker, privacy_label, ActionLabelEntry, PrivacyLabel};
 pub use removal::{classify_removal, removal_breakdown};

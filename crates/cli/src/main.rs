@@ -68,7 +68,7 @@ USAGE:
                                    [--trace FILE] [--trace-sample RATE]
     gptx label                     [--seed N] [--scale ...] [--gpt ID] [--max N]
     gptx analyze <id>... | all     (--archive FILE | --archive-dir DIR) --eco FILE
-                                   [--threads N]
+                                   [--threads N] [--incremental]
                                    [--metrics] [--metrics-json FILE]   (offline analysis)
                                    [--trace FILE] [--trace-sample RATE]
     gptx report                    [--seed N] [--scale ...] [--faults] [--threads N]
@@ -110,6 +110,12 @@ OPTIONS:
                   alive across requests; 0 disables pooling and sends
                   `Connection: close` on every request. Results are
                   byte-identical either way.
+    --incremental
+                  analyze: replay the campaign as a per-week delta
+                  series and update each analysis stage from the deltas
+                  (O(changed GPTs) per week) instead of recomputing the
+                  whole corpus. Tables and figures are byte-identical to
+                  the full recompute.
     --metrics     collect observability metrics during the run and print
                   per-stage span timings, crawler request/retry/latency
                   metrics, store per-route counters, and worker-pool
@@ -181,7 +187,7 @@ fn split_args(args: &[String]) -> (Vec<String>, std::collections::BTreeMap<Strin
         let a = &args[i];
         if let Some(name) = a.strip_prefix("--") {
             // Boolean flags take no value.
-            if name == "faults" || name == "metrics" || name == "curve" {
+            if name == "faults" || name == "metrics" || name == "curve" || name == "incremental" {
                 options.insert(name.to_string(), "true".to_string());
                 i += 1;
             } else if i + 1 < args.len() {
@@ -707,9 +713,14 @@ fn analyze(args: &[String]) -> ExitCode {
         }
     };
     eprintln!(
-        "analyzing archive ({} snapshots, {} policies) offline on {threads} threads...",
+        "analyzing archive ({} snapshots, {} policies) offline on {threads} threads{}...",
         archive.snapshots.len(),
-        archive.policies.len()
+        archive.policies.len(),
+        if options.contains_key("incremental") {
+            ", incrementally from weekly deltas"
+        } else {
+            ""
+        }
     );
     let (metrics, metrics_json) = metrics_from(&options);
     // Span IDs come from the seed; the generated ecosystem carries it.
@@ -720,15 +731,29 @@ fn analyze(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let run = match gptx::AnalysisRun::analyze_traced(
-        eco,
-        archive,
-        Default::default(),
-        threads,
-        Arc::clone(&metrics),
-        &tracer,
-        None,
-    ) {
+    let incremental = options.contains_key("incremental");
+    let analyzed = if incremental {
+        gptx::AnalysisRun::analyze_incremental_traced(
+            eco,
+            archive,
+            Default::default(),
+            threads,
+            Arc::clone(&metrics),
+            &tracer,
+            None,
+        )
+    } else {
+        gptx::AnalysisRun::analyze_traced(
+            eco,
+            archive,
+            Default::default(),
+            threads,
+            Arc::clone(&metrics),
+            &tracer,
+            None,
+        )
+    };
+    let run = match analyzed {
         Ok(r) => r,
         Err(e) => {
             eprintln!("analysis failed: {e}");
@@ -1272,6 +1297,15 @@ mod tests {
         assert_eq!(pos, vec!["t5", "f8"]);
         assert_eq!(opts.get("seed").map(String::as_str), Some("7"));
         assert_eq!(opts.get("faults").map(String::as_str), Some("true"));
+    }
+
+    #[test]
+    fn split_args_incremental_is_boolean() {
+        // `--incremental` must not swallow the next argument.
+        let (pos, opts) = split_args(&args(&["--incremental", "t2", "--threads", "4"]));
+        assert_eq!(pos, vec!["t2"]);
+        assert_eq!(opts.get("incremental").map(String::as_str), Some("true"));
+        assert_eq!(opts.get("threads").map(String::as_str), Some("4"));
     }
 
     #[test]

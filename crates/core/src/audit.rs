@@ -10,6 +10,7 @@
 //! | `GET /api/v1/actions/:id/exposure` | Own + co-occurrence-exposed data types (1 and 2 hops) |
 //! | `GET /api/v1/actions/:id/disclosure` | The Action's full [`ActionDisclosureReport`] as JSON |
 //! | `GET /api/v1/weeks` | The crawled weekly snapshots (week, date, GPT count) |
+//! | `GET /api/v1/weeks/latest` | The freshest week replayed from the campaign's delta series, with per-week churn |
 //! | `GET /metrics` | Prometheus-style metrics snapshot |
 //! | `GET /trace` | Chrome-trace JSON of recorded spans |
 //!
@@ -22,11 +23,12 @@
 
 use crate::pipeline::AnalysisRun;
 use gptx_graph::{exposed_types, CollectionMap};
+use gptx_model::WeekDelta;
 use gptx_obs::{MetricsRegistry, Tracer};
 use gptx_policy::ActionDisclosureReport;
 use gptx_store::{
-    percent_decode, serve_with, Params, Request, Response, Route, RouteTable, Router, ServerConfig,
-    ServerHandle,
+    percent_decode, serve_with, shard_for_host, Params, Request, Response, Route, RouteTable,
+    Router, ServerConfig, ServerHandle,
 };
 use std::sync::Arc;
 
@@ -66,6 +68,9 @@ struct AuditState {
     collections: CollectionMap,
     /// Action identity → index into `run.reports`.
     report_index: std::collections::BTreeMap<String, usize>,
+    /// The campaign's week-over-week churn, derived once from the
+    /// snapshot series; `/api/v1/weeks/latest` answers from this.
+    deltas: Vec<WeekDelta>,
     metrics: Arc<MetricsRegistry>,
     tracer: Arc<Tracer>,
 }
@@ -156,6 +161,41 @@ impl AuditState {
             .collect();
         Response::ok_json(format!("{{\"weeks\":[{}]}}", rows.join(",")))
     }
+
+    /// `GET /api/v1/weeks/latest` — the freshest crawled week,
+    /// reconstructed by replaying the delta series rather than touching
+    /// the full snapshots, plus the per-week churn the series carried.
+    fn weeks_latest(&self) -> Response {
+        if self.deltas.is_empty() {
+            return Response::not_found();
+        }
+        let mut live = std::collections::BTreeMap::new();
+        for delta in &self.deltas {
+            delta.apply(&mut live);
+        }
+        let last = &self.deltas[self.deltas.len() - 1];
+        let churn: Vec<String> = self
+            .deltas
+            .iter()
+            .map(|d| {
+                format!(
+                    "{{\"week\":{},\"date\":\"{}\",\"added\":{},\"changed\":{},\"removed\":{}}}",
+                    d.week,
+                    json_escape(&d.date),
+                    d.added.len(),
+                    d.changed.len(),
+                    d.removed.len()
+                )
+            })
+            .collect();
+        Response::ok_json(format!(
+            "{{\"week\":{},\"date\":\"{}\",\"gpts\":{},\"deltas\":[{}]}}",
+            last.week,
+            json_escape(&last.date),
+            live.len(),
+            churn.join(",")
+        ))
+    }
 }
 
 /// Decode the `:id` route parameter (identities may contain spaces,
@@ -164,32 +204,56 @@ fn decoded_id(params: &Params) -> String {
     percent_decode(params.get("id").unwrap_or_default())
 }
 
+/// The audit routes. Every route — observability *and* `/api/v1/*` —
+/// is declared `shard_exempt` and `fault_exempt`: the audit API is a
+/// read-only view of one immutable run, so under a sharded topology
+/// every listener must answer every query identically rather than
+/// 421-ing hosts that hash elsewhere. (The misroute guard exists for
+/// the *ecosystem* store, whose per-host state lives on one shard.)
 fn audit_routes(state: &Arc<AuditState>) -> RouteTable {
     let s = |state: &Arc<AuditState>| Arc::clone(state);
     let st = s(state);
     let metrics_route = Route::get("/metrics")
         .label("metrics")
+        .shard_exempt()
+        .fault_exempt()
         .handle(move |_, _| Response::ok_text(st.metrics.snapshot().render_text()));
     let st = s(state);
     let trace_route = Route::get("/trace")
         .label("trace")
+        .shard_exempt()
+        .fault_exempt()
         .handle(move |_, _| Response::ok_json(st.tracer.snapshot().to_chrome_json()));
     let st = s(state);
     let reports = Route::get("/api/v1/reports")
         .label("reports")
+        .shard_exempt()
+        .fault_exempt()
         .handle(move |_, _| st.reports_index());
     let st = s(state);
     let exposure = Route::get("/api/v1/actions/:id/exposure")
         .label("exposure")
+        .shard_exempt()
+        .fault_exempt()
         .handle(move |_, params| st.exposure(&decoded_id(params)));
     let st = s(state);
     let disclosure = Route::get("/api/v1/actions/:id/disclosure")
         .label("disclosure")
+        .shard_exempt()
+        .fault_exempt()
         .handle(move |_, params| st.disclosure(&decoded_id(params)));
     let st = s(state);
     let weeks = Route::get("/api/v1/weeks")
         .label("weeks")
+        .shard_exempt()
+        .fault_exempt()
         .handle(move |_, _| st.weeks());
+    let st = s(state);
+    let weeks_latest = Route::get("/api/v1/weeks/latest")
+        .label("weeks_latest")
+        .shard_exempt()
+        .fault_exempt()
+        .handle(move |_, _| st.weeks_latest());
 
     RouteTable::new()
         .with(metrics_route)
@@ -197,6 +261,7 @@ fn audit_routes(state: &Arc<AuditState>) -> RouteTable {
         .with(reports)
         .with(exposure)
         .with(disclosure)
+        .with(weeks_latest)
         .with(weeks)
 }
 
@@ -205,12 +270,32 @@ fn audit_routes(state: &Arc<AuditState>) -> RouteTable {
 struct AuditRouter {
     state: Arc<AuditState>,
     table: RouteTable,
+    /// `(listener index, listener count)` when serving a sharded
+    /// topology ([`AuditService::serve_sharded`]); `None` otherwise.
+    /// Mirrors the ecosystem store's misroute guard — but since every
+    /// audit route is `shard_exempt`, the guard can only fire for
+    /// unmatched paths, never for `/api/v1/*`.
+    shard: Option<(usize, usize)>,
 }
 
 impl Router for AuditRouter {
     fn route(&self, request: &Request) -> Response {
         let span = self.state.metrics.span("audit.route_us");
         let matched = self.table.resolve(request);
+        if let Some((index, total)) = self.shard {
+            let exempt = matched.as_ref().is_some_and(|m| m.shard_exempt());
+            let host = request
+                .host()
+                .map(|h| h.to_ascii_lowercase())
+                .unwrap_or_default();
+            if !exempt && shard_for_host(&host, total) != index {
+                span.finish();
+                if self.state.metrics.enabled() {
+                    self.state.metrics.incr("audit.shard.misroute");
+                }
+                return Response::new(421, "text/plain", "misdirected request");
+            }
+        }
         let label = matched.as_ref().map_or("not_found", |m| m.label());
         let response = match matched {
             Some(m) => m.run(request),
@@ -277,6 +362,42 @@ impl AuditService {
 
     /// Bind and serve. The handle shuts the server down on drop.
     pub fn serve(self) -> std::io::Result<ServerHandle> {
+        let (state, config) = self.into_state();
+        let table = audit_routes(&state);
+        serve_with(
+            AuditRouter {
+                state,
+                table,
+                shard: None,
+            },
+            config,
+        )
+    }
+
+    /// Serve the same run from `n` listeners, the deployment shape that
+    /// pairs with the ecosystem store's 13-shard topology. Every
+    /// listener answers every `/api/v1/*` query identically (the routes
+    /// are shard-exempt), so clients may ask any shard — no host ever
+    /// draws a `421 Misdirected Request` from the audit API. Each
+    /// listener binds its own ephemeral port.
+    pub fn serve_sharded(self, n: usize) -> std::io::Result<Vec<ServerHandle>> {
+        let n = n.max(1);
+        let (state, config) = self.into_state();
+        (0..n)
+            .map(|index| {
+                serve_with(
+                    AuditRouter {
+                        state: Arc::clone(&state),
+                        table: audit_routes(&state),
+                        shard: Some((index, n)),
+                    },
+                    config.clone(),
+                )
+            })
+            .collect()
+    }
+
+    fn into_state(self) -> (Arc<AuditState>, ServerConfig) {
         let collections = self.run.collection_map();
         let report_index = self
             .run
@@ -285,6 +406,7 @@ impl AuditService {
             .enumerate()
             .map(|(i, r)| (r.action_identity.clone(), i))
             .collect();
+        let deltas = WeekDelta::series(&self.run.archive.snapshots);
         let config = self
             .config
             .with_metrics(Arc::clone(&self.metrics))
@@ -293,10 +415,10 @@ impl AuditService {
             run: self.run,
             collections,
             report_index,
+            deltas,
             metrics: self.metrics,
             tracer: self.tracer,
         });
-        let table = audit_routes(&state);
-        serve_with(AuditRouter { state, table }, config)
+        (state, config)
     }
 }

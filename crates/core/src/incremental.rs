@@ -1,0 +1,356 @@
+//! Delta-driven analysis: the per-stage incremental operators behind
+//! `Pipeline::builder().incremental(true)` and `gptx analyze
+//! --incremental`.
+//!
+//! A full [`crate::AnalysisRun`] recomputes every stage from the whole
+//! corpus each time. But the corpus the analyses actually consume — the
+//! union of all GPTs ever observed, first sighting wins — only ever
+//! *grows*, and it grows by exactly the `added` entries of each week's
+//! [`WeekDelta`]. [`IncrementalAnalysis`] exploits that: census
+//! accumulators, the co-occurrence graph, the distinct-Action registry,
+//! and the classification/disclosure caches each fold in one week of
+//! churn at a time, so week N costs O(changed GPTs) instead of
+//! O(corpus).
+//!
+//! Byte-identity with the full recompute is a hard invariant (the
+//! `tests/incremental.rs` property test replays randomized churn
+//! schedules and compares Tables 2–8 byte for byte). Two ordering
+//! subtleties make it hold:
+//!
+//! * **Minimal-id sources.** The batch path iterates unique GPTs in id
+//!   order, so first-wins resolutions (which spec represents an Action
+//!   identity, which embedding classifies its party) pick the *lowest
+//!   GPT id*. Deltas arrive in week order instead, so the operators
+//!   track each resolution's source id and re-resolve when a
+//!   lower-id GPT shows up later.
+//! * **Re-additions.** A GPT removed in week i and re-listed in week j
+//!   is `added` in delta j, but the first-seen-wins universe keeps the
+//!   week-<i payload — re-observations of a known id are dropped.
+
+use crate::pipeline::RunError;
+use gptx_census::{CollectionBuilder, CorpusCollection};
+use gptx_classifier::{ActionProfile, Classifier};
+use gptx_crawler::CrawlArchive;
+use gptx_graph::{add_gpt_cooccurrence, Graph};
+use gptx_llm::LanguageModel;
+use gptx_model::{ActionSpec, Gpt, GptId, WeekDelta};
+use gptx_obs::{MetricsRegistry, SpanContext, Tracer};
+use gptx_policy::{ActionDisclosureReport, PolicyAnalyzer};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Where a distinct Action's representative spec came from: the lowest
+/// unique-GPT id embedding the identity (the batch path's first-wins
+/// choice over an id-ordered corpus).
+struct ActionSource {
+    src: GptId,
+    spec: ActionSpec,
+}
+
+/// Running totals of the churn a campaign's delta series carried.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChurnTotals {
+    pub weeks: usize,
+    pub added: usize,
+    pub changed: usize,
+    pub removed: usize,
+}
+
+/// The per-stage incremental state. Feed week deltas in order with
+/// [`IncrementalAnalysis::apply_week`], then classify what became dirty
+/// and read the assembled artifacts.
+pub struct IncrementalAnalysis {
+    /// The first-seen-wins unique-GPT universe.
+    unique: BTreeMap<GptId, Gpt>,
+    /// Distinct Actions with their resolution source.
+    actions: BTreeMap<String, ActionSource>,
+    /// Identities whose representative spec is new or was re-resolved
+    /// since the last classification pass.
+    dirty: BTreeSet<String>,
+    profiles: BTreeMap<String, ActionProfile>,
+    census: CollectionBuilder,
+    graph: Graph,
+    /// Disclosure-report cache; entries are invalidated when their
+    /// identity's profile is reclassified.
+    reports: BTreeMap<String, ActionDisclosureReport>,
+    churn: ChurnTotals,
+}
+
+impl Default for IncrementalAnalysis {
+    fn default() -> IncrementalAnalysis {
+        IncrementalAnalysis::new()
+    }
+}
+
+impl IncrementalAnalysis {
+    pub fn new() -> IncrementalAnalysis {
+        IncrementalAnalysis {
+            unique: BTreeMap::new(),
+            actions: BTreeMap::new(),
+            dirty: BTreeSet::new(),
+            profiles: BTreeMap::new(),
+            census: CollectionBuilder::new(),
+            graph: Graph::new(),
+            reports: BTreeMap::new(),
+            churn: ChurnTotals::default(),
+        }
+    }
+
+    /// Fold one week of churn into every operator. Only `added` GPTs
+    /// can extend the first-seen-wins universe; `changed` and `removed`
+    /// entries are counted but change no analysis state (the batch
+    /// path's `all_unique_gpts` keeps the first observation).
+    pub fn apply_week(&mut self, delta: &WeekDelta) {
+        self.churn.weeks += 1;
+        self.churn.added += delta.added.len();
+        self.churn.changed += delta.changed.len();
+        self.churn.removed += delta.removed.len();
+        for gpt in &delta.added {
+            if self.unique.contains_key(&gpt.id) {
+                // Re-added after a removal: the first sighting stands.
+                continue;
+            }
+            self.insert_unique(gpt);
+        }
+    }
+
+    fn insert_unique(&mut self, gpt: &Gpt) {
+        for action in gpt.actions() {
+            let identity = action.identity();
+            let replace = match self.actions.get(&identity) {
+                None => true,
+                // Strict '>' keeps the first occurrence within one GPT
+                // while still re-resolving when a lower id arrives.
+                Some(existing) => existing.src > gpt.id,
+            };
+            if !replace {
+                continue;
+            }
+            let changed_spec = self
+                .actions
+                .get(&identity)
+                .is_none_or(|existing| existing.spec != *action);
+            if changed_spec {
+                self.dirty.insert(identity.clone());
+            }
+            self.actions.insert(
+                identity,
+                ActionSource {
+                    src: gpt.id.clone(),
+                    spec: action.clone(),
+                },
+            );
+        }
+        self.census.insert_gpt(gpt);
+        add_gpt_cooccurrence(&mut self.graph, gpt);
+        self.unique.insert(gpt.id.clone(), gpt.clone());
+    }
+
+    /// (Re)classify every dirty identity on `threads` workers, exactly
+    /// like the batch classify stage but over the dirty set only.
+    /// Reclassified identities drop their cached disclosure report.
+    pub fn classify_dirty<M: LanguageModel + Sync>(
+        &mut self,
+        classifier: &Classifier<'_, M>,
+        threads: usize,
+        metrics: &MetricsRegistry,
+        tracer: &Arc<Tracer>,
+        parent: Option<SpanContext>,
+    ) -> Result<usize, RunError> {
+        let jobs: Vec<(String, ActionSpec)> = self
+            .dirty
+            .iter()
+            .map(|identity| (identity.clone(), self.actions[identity].spec.clone()))
+            .collect();
+        let profiled = gptx_par::par_try_map_traced(
+            threads,
+            &jobs,
+            metrics,
+            "classify",
+            tracer,
+            parent,
+            |(identity, spec)| {
+                let mut span = match parent {
+                    Some(ctx) => tracer.start_span("classify.action", ctx),
+                    None => gptx_obs::TraceSpan::detached(),
+                };
+                if span.is_recording() {
+                    span.attr("action", identity.as_str());
+                }
+                classifier
+                    .profile_action(spec)
+                    .map(|profile| (identity.clone(), profile))
+                    .map_err(RunError::Classify)
+            },
+        )?;
+        let reclassified = profiled.len();
+        for (identity, profile) in profiled {
+            self.reports.remove(&identity);
+            self.profiles.insert(identity, profile);
+        }
+        self.dirty.clear();
+        Ok(reclassified)
+    }
+
+    /// Disclosure reports in the batch path's order (sorted policy
+    /// identities), analyzing only Actions without a cached report.
+    #[allow(clippy::too_many_arguments)]
+    pub fn policy_reports<M: LanguageModel + Sync>(
+        &mut self,
+        analyzer: &PolicyAnalyzer<'_, M>,
+        archive: &CrawlArchive,
+        profiles: &BTreeMap<String, ActionProfile>,
+        threads: usize,
+        metrics: &MetricsRegistry,
+        tracer: &Arc<Tracer>,
+        parent: Option<SpanContext>,
+    ) -> Result<Vec<ActionDisclosureReport>, RunError> {
+        let jobs: Vec<_> = archive
+            .policies
+            .iter()
+            .filter_map(|(identity, doc)| {
+                if self.reports.contains_key(identity) {
+                    return None;
+                }
+                let body = doc.body.as_deref()?;
+                let profile = profiles.get(identity)?;
+                Some((identity, doc, body, profile))
+            })
+            .collect();
+        let fresh = gptx_par::par_try_map_traced(
+            threads,
+            &jobs,
+            metrics,
+            "policy",
+            tracer,
+            parent,
+            |&(identity, doc, body, profile)| {
+                let mut span = match parent {
+                    Some(ctx) => tracer.start_span("policy.action", ctx),
+                    None => gptx_obs::TraceSpan::detached(),
+                };
+                if span.is_recording() {
+                    span.attr("action", identity.as_str());
+                }
+                let is_html = doc
+                    .content_type
+                    .as_deref()
+                    .is_some_and(|ct| ct.contains("text/html"))
+                    || gptx_nlp::looks_like_html(body);
+                let text = if is_html {
+                    gptx_nlp::strip_html(body)
+                } else {
+                    body.to_string()
+                };
+                let items = profile.data_items();
+                analyzer
+                    .analyze_action(identity, &text, &items)
+                    .map_err(RunError::Policy)
+            },
+        )?;
+        for report in fresh {
+            self.reports.insert(report.action_identity.clone(), report);
+        }
+        Ok(archive
+            .policies
+            .iter()
+            .filter_map(|(identity, doc)| {
+                doc.body.as_deref()?;
+                profiles.get(identity)?;
+                self.reports.get(identity).cloned()
+            })
+            .collect())
+    }
+
+    /// Materialize the census against the (now final) profile map.
+    pub fn collection(&self, profiles: Arc<BTreeMap<String, ActionProfile>>) -> CorpusCollection {
+        self.census.snapshot(profiles)
+    }
+
+    /// The profiles classified so far.
+    pub fn profiles(&self) -> &BTreeMap<String, ActionProfile> {
+        &self.profiles
+    }
+
+    /// The co-occurrence graph built so far.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Unique GPTs observed so far.
+    pub fn unique_gpts(&self) -> usize {
+        self.unique.len()
+    }
+
+    /// Identities awaiting (re)classification.
+    pub fn dirty_actions(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Cumulative churn the applied deltas carried.
+    pub fn churn(&self) -> ChurnTotals {
+        self.churn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gptx_model::snapshot::CrawlSnapshot;
+    use gptx_model::Tool;
+
+    fn gpt_with_action(id: &str, name: &str, domain: &str, version: &str) -> Gpt {
+        let mut g = Gpt::minimal(id, name);
+        let mut spec = ActionSpec::minimal("t", name, &format!("https://api.{domain}"));
+        spec.spec.info.version = version.to_string();
+        g.tools.push(Tool::Action(spec));
+        g
+    }
+
+    #[test]
+    fn reobserved_ids_keep_their_first_payload() {
+        let mut s0 = CrawlSnapshot::new(0, "2024-02-08");
+        s0.insert(gpt_with_action("g-aaaaaaaaaa", "A", "a.dev", "v1"));
+        let s1 = CrawlSnapshot::new(1, "2024-02-15");
+        let mut s2 = CrawlSnapshot::new(2, "2024-02-22");
+        s2.insert(gpt_with_action("g-aaaaaaaaaa", "A", "a.dev", "v9"));
+
+        let mut inc = IncrementalAnalysis::new();
+        for delta in WeekDelta::series(&[s0.clone(), s1, s2]) {
+            inc.apply_week(&delta);
+        }
+        assert_eq!(inc.unique_gpts(), 1);
+        // The v1 spec (week 0's observation) is the representative one.
+        assert_eq!(
+            inc.actions["A@a.dev"].spec.spec.info.version, "v1",
+            "first sighting wins for re-added ids"
+        );
+        let churn = inc.churn();
+        assert_eq!(churn.weeks, 3);
+        assert_eq!(churn.added, 2); // week 0 and the week-2 re-add
+        assert_eq!(churn.removed, 1);
+    }
+
+    #[test]
+    fn lower_id_added_later_re_resolves_the_action_source() {
+        // Week 0 brings g-bbb carrying identity X; week 1 brings g-aaa
+        // (lower id) carrying a different spec of X. An id-ordered
+        // batch pass would have picked g-aaa's spec, so the operator
+        // must re-resolve and mark X dirty again.
+        let mut s0 = CrawlSnapshot::new(0, "2024-02-08");
+        s0.insert(gpt_with_action("g-bbbbbbbbbb", "X", "x.dev", "v-from-b"));
+        let mut s1 = s0.clone();
+        s1.week = 1;
+        s1.date = "2024-02-15".into();
+        s1.insert(gpt_with_action("g-aaaaaaaaaa", "X", "x.dev", "v-from-a"));
+
+        let mut inc = IncrementalAnalysis::new();
+        for delta in WeekDelta::series(&[s0, s1]) {
+            inc.apply_week(&delta);
+        }
+        assert_eq!(inc.unique_gpts(), 2);
+        assert_eq!(inc.actions["X@x.dev"].src.as_str(), "g-aaaaaaaaaa");
+        assert_eq!(inc.actions["X@x.dev"].spec.spec.info.version, "v-from-a");
+        assert_eq!(inc.dirty_actions(), 1, "re-resolution re-dirties X");
+    }
+}

@@ -31,9 +31,11 @@
 
 pub mod audit;
 pub mod experiments;
+pub mod incremental;
 pub mod pipeline;
 
 pub use audit::AuditService;
+pub use incremental::{ChurnTotals, IncrementalAnalysis};
 
 pub use pipeline::{
     analyze_policy_disclosures, analyze_policy_disclosures_metered,

@@ -109,6 +109,7 @@ pub struct Pipeline {
     pool_size: usize,
     analysis_threads: usize,
     shards: usize,
+    incremental: bool,
     archive_dir: Option<PathBuf>,
     metrics: Arc<MetricsRegistry>,
     tracer: Arc<Tracer>,
@@ -124,6 +125,7 @@ pub struct PipelineBuilder {
     pool_size: Option<usize>,
     analysis_threads: usize,
     shards: usize,
+    incremental: bool,
     archive_dir: Option<PathBuf>,
     metrics: Arc<MetricsRegistry>,
     tracer: Arc<Tracer>,
@@ -181,6 +183,16 @@ impl PipelineBuilder {
         self
     }
 
+    /// Run the analysis stages as delta operators over the campaign's
+    /// [`gptx_model::WeekDelta`] series instead of recomputing every
+    /// stage from the whole corpus (default off). Artifacts are
+    /// byte-identical either way; week N's analysis cost becomes
+    /// O(changed GPTs) instead of O(corpus).
+    pub fn incremental(mut self, incremental: bool) -> PipelineBuilder {
+        self.incremental = incremental;
+        self
+    }
+
     /// Persist every crawled weekly snapshot to an on-disk
     /// content-addressed [`gptx_archive::Archive`] at `dir` while the
     /// campaign runs. Unchanged GPTs are stored once across weeks;
@@ -224,6 +236,7 @@ impl PipelineBuilder {
             pool_size: self.pool_size.unwrap_or(self.crawler_threads),
             analysis_threads: self.analysis_threads,
             shards: self.shards,
+            incremental: self.incremental,
             archive_dir: self.archive_dir,
             metrics: self.metrics,
             tracer: self.tracer,
@@ -243,6 +256,7 @@ impl Pipeline {
             pool_size: None,
             analysis_threads: 8,
             shards: 1,
+            incremental: false,
             archive_dir: None,
             metrics: MetricsRegistry::shared_disabled(),
             tracer: Tracer::shared_disabled(),
@@ -282,6 +296,12 @@ impl Pipeline {
     /// The number of ecosystem listener shards the run serves from.
     pub fn shards(&self) -> usize {
         self.shards
+    }
+
+    /// Whether analysis runs through the delta operators
+    /// ([`PipelineBuilder::incremental`]).
+    pub fn incremental(&self) -> bool {
+        self.incremental
     }
 
     /// The on-disk snapshot archive directory, if the run persists its
@@ -380,15 +400,27 @@ impl Pipeline {
         // the multi-megabyte corpus is never deep-copied.
         let eco = Arc::try_unwrap(eco).expect("server released its ecosystem Arc on shutdown");
         let parent = root.context();
-        let run = AnalysisRun::analyze_traced(
-            eco,
-            archive,
-            crawl_stats,
-            self.analysis_threads,
-            Arc::clone(metrics),
-            tracer,
-            parent,
-        );
+        let run = if self.incremental {
+            AnalysisRun::analyze_incremental_traced(
+                eco,
+                archive,
+                crawl_stats,
+                self.analysis_threads,
+                Arc::clone(metrics),
+                tracer,
+                parent,
+            )
+        } else {
+            AnalysisRun::analyze_traced(
+                eco,
+                archive,
+                crawl_stats,
+                self.analysis_threads,
+                Arc::clone(metrics),
+                tracer,
+                parent,
+            )
+        };
         root.finish();
         run
     }
@@ -724,6 +756,133 @@ impl AnalysisRun {
         })
     }
 
+    /// [`AnalysisRun::analyze_with_threads`] through the delta
+    /// operators: the campaign's [`gptx_model::WeekDelta`] series is
+    /// derived from the snapshots and folded week by week into
+    /// [`crate::incremental::IncrementalAnalysis`]. Byte-identical to
+    /// the full recompute.
+    pub fn analyze_incremental(
+        eco: Ecosystem,
+        archive: CrawlArchive,
+        crawl_stats: CrawlStats,
+        threads: usize,
+    ) -> Result<AnalysisRun, RunError> {
+        AnalysisRun::analyze_incremental_traced(
+            eco,
+            archive,
+            crawl_stats,
+            threads,
+            MetricsRegistry::shared_disabled(),
+            &Tracer::shared_disabled(),
+            None,
+        )
+    }
+
+    /// The traced/metered incremental analysis behind
+    /// [`Pipeline::run`] with [`PipelineBuilder::incremental`] on and
+    /// `gptx analyze --incremental`. Stage spans mirror the batch path
+    /// (`stage.classify` / `stage.aggregate` / `stage.graph` /
+    /// `stage.policy`), with one extra `stage.delta` span covering
+    /// delta derivation and application; `pipeline.delta.*` counters
+    /// record the churn the run actually processed.
+    pub fn analyze_incremental_traced(
+        eco: Ecosystem,
+        archive: CrawlArchive,
+        crawl_stats: CrawlStats,
+        threads: usize,
+        metrics: Arc<MetricsRegistry>,
+        tracer: &Arc<Tracer>,
+        parent: Option<SpanContext>,
+    ) -> Result<AnalysisRun, RunError> {
+        use gptx_model::WeekDelta;
+
+        let threads = threads.max(1);
+        let troot = tracer.span_or_trace("pipeline.analyze", parent);
+        let tctx = troot.context();
+
+        // Delta derivation + application: every non-classification
+        // operator (unique universe, census accumulators, graph,
+        // distinct-Action resolution) folds in one week at a time.
+        let span = metrics.span("stage.delta");
+        let tspan = troot.child("stage.delta");
+        let deltas = WeekDelta::series(&archive.snapshots);
+        let mut inc = crate::incremental::IncrementalAnalysis::new();
+        for delta in &deltas {
+            inc.apply_week(delta);
+        }
+        tspan.finish();
+        span.finish();
+        let churn = inc.churn();
+        metrics.add("pipeline.delta.added", churn.added as u64);
+        metrics.add("pipeline.delta.changed", churn.changed as u64);
+        metrics.add("pipeline.delta.removed", churn.removed as u64);
+        metrics.event_traced(
+            Level::Info,
+            "pipeline",
+            format!(
+                "applied {} week deltas: {} added, {} changed, {} removed",
+                churn.weeks, churn.added, churn.changed, churn.removed
+            ),
+            tctx,
+        );
+
+        // 3. Classification, restricted to dirty identities.
+        let model = KbModel::new(KnowledgeBase::full());
+        let classifier = Classifier::new(&model);
+        let span = metrics.span("stage.classify");
+        let tspan = troot.child("stage.classify");
+        let reclassified =
+            inc.classify_dirty(&classifier, threads, &metrics, tracer, tspan.context())?;
+        tspan.finish();
+        span.finish();
+        metrics.add("pipeline.actions_profiled", inc.profiles().len() as u64);
+        metrics.add("pipeline.actions_reclassified", reclassified as u64);
+        let profiles = Arc::new(inc.profiles().clone());
+
+        // 4. Census materialization from the accumulators.
+        let span = metrics.span("stage.aggregate");
+        let tspan = troot.child("stage.aggregate");
+        let collection = inc.collection(Arc::clone(&profiles));
+        tspan.finish();
+        span.finish();
+        metrics.add("pipeline.unique_gpts", inc.unique_gpts() as u64);
+
+        // 5. The graph was folded during delta application.
+        let span = metrics.span("stage.graph");
+        let tspan = troot.child("stage.graph");
+        let graph = inc.graph().clone();
+        tspan.finish();
+        span.finish();
+
+        // 6. Policy disclosure analysis over uncached Actions only.
+        let span = metrics.span("stage.policy");
+        let tspan = troot.child("stage.policy");
+        let analyzer = PolicyAnalyzer::new(&model);
+        let reports = inc.policy_reports(
+            &analyzer,
+            &archive,
+            &profiles,
+            threads,
+            &metrics,
+            tracer,
+            tspan.context(),
+        )?;
+        tspan.finish();
+        span.finish();
+        metrics.add("pipeline.disclosure_reports", reports.len() as u64);
+
+        Ok(AnalysisRun {
+            eco,
+            archive,
+            crawl_stats,
+            profiles,
+            collection,
+            graph,
+            reports,
+            analysis_threads: threads,
+        })
+    }
+
     /// The exposure [`CollectionMap`] view of the profiles.
     pub fn collection_map(&self) -> CollectionMap {
         self.profiles
@@ -810,12 +969,35 @@ mod tests {
     }
 
     #[test]
+    fn incremental_analysis_matches_full_recompute() {
+        let run = |incremental| {
+            Pipeline::builder(SynthConfig::tiny(36))
+                .faults(FaultConfig::none())
+                .incremental(incremental)
+                .build()
+                .run()
+                .unwrap()
+        };
+        let (full, inc) = (run(false), run(true));
+        assert_eq!(*full.profiles, *inc.profiles);
+        assert_eq!(full.reports, inc.reports);
+        for id in ["t2", "t3", "t4", "t5", "t6", "t7", "t8"] {
+            assert_eq!(
+                crate::experiments::render(id, &full),
+                crate::experiments::render(id, &inc),
+                "artifact {id} must be byte-identical under --incremental"
+            );
+        }
+    }
+
+    #[test]
     fn builder_defaults_and_overrides() {
         let p = Pipeline::builder(SynthConfig::tiny(1)).build();
         assert_eq!(p.crawler_threads(), 8);
         assert_eq!(p.pool_size(), 8, "pool defaults to the worker count");
         assert_eq!(p.analysis_threads(), 8);
         assert_eq!(p.shards(), 1, "single listener unless sharded");
+        assert!(!p.incremental(), "full recompute by default");
         assert!(p.archive_dir().is_none(), "in-memory only by default");
         assert!(!p.metrics().enabled());
         assert!(!p.tracer().enabled());
@@ -828,6 +1010,7 @@ mod tests {
             .pool_size(0) // pooling off is a legal explicit choice
             .analysis_threads(3)
             .shards(13)
+            .incremental(true)
             .metrics(Arc::clone(&metrics))
             .with_tracing(Arc::clone(&tracer))
             .build();
@@ -835,6 +1018,7 @@ mod tests {
         assert_eq!(p.pool_size(), 0);
         assert_eq!(p.analysis_threads(), 3);
         assert_eq!(p.shards(), 13);
+        assert!(p.incremental());
         assert_eq!(p.faults().gizmo_failure_rate, 0.0);
         assert!(p.metrics().enabled());
         assert!(Arc::ptr_eq(p.metrics(), &metrics));

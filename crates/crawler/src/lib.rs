@@ -25,8 +25,8 @@ pub use sink::{CampaignSinkError, CampaignStore, WeekWriteStats};
 use gptx_model::snapshot::CrawlSnapshot;
 use gptx_model::{ActionSpec, Gpt, GptId};
 use gptx_obs::{Level, MetricsRegistry, SpanContext, Tracer};
-use gptx_store::{store_host, ClientError, HttpClient, Response};
-use std::collections::BTreeMap;
+use gptx_store::{etag_of, store_host, ClientError, HttpClient, Response};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -171,6 +171,21 @@ pub struct Crawler {
     metrics: Arc<MetricsRegistry>,
     tracer: Arc<Tracer>,
     trace_parent: Option<SpanContext>,
+    /// Conditional-fetch validator cache: gizmo URL → the last strong
+    /// validator seen and the body it validates. Survives across weeks,
+    /// so an unchanged GPT costs one empty 304 instead of a full body.
+    validators: Mutex<HashMap<String, CachedGizmo>>,
+    /// GPT ids revalidated via 304 in the week being crawled (cleared
+    /// at each week boundary). The campaign sink records these as
+    /// manifest refs to already-stored blobs — zero new segment bytes.
+    reused: Mutex<BTreeSet<GptId>>,
+}
+
+/// One validator cache entry: the ETag the server handed out and the
+/// parsed payload it vouches for.
+struct CachedGizmo {
+    etag: String,
+    gpt: Gpt,
 }
 
 impl Crawler {
@@ -196,6 +211,8 @@ impl Crawler {
             metrics: MetricsRegistry::shared_disabled(),
             tracer: Tracer::shared_disabled(),
             trace_parent: None,
+            validators: Mutex::new(HashMap::new()),
+            reused: Mutex::new(BTreeSet::new()),
         }
     }
 
@@ -269,6 +286,18 @@ impl Crawler {
     /// covers the whole logical request; each attempt's `http.request`
     /// and each retry's backoff sleep are children of it.
     fn get_with_retries(&self, endpoint: Endpoint, url: &str) -> Result<Response, ClientError> {
+        self.get_with_retries_conditional(endpoint, url, None)
+    }
+
+    /// [`Crawler::get_with_retries`] with an optional `If-None-Match`
+    /// validator. Retries resend the same validator; a 304 is a final
+    /// answer (it is not a 5xx), so the retry policy is untouched.
+    fn get_with_retries_conditional(
+        &self,
+        endpoint: Endpoint,
+        url: &str,
+        etag: Option<&str>,
+    ) -> Result<Response, ClientError> {
         let metered = self.metrics.enabled();
         if metered {
             self.metrics.incr(endpoint.requests());
@@ -283,7 +312,7 @@ impl Crawler {
         let mut attempt = 0;
         loop {
             let started = metered.then(Instant::now);
-            let outcome = self.client.get_traced(url, ctx);
+            let outcome = self.client.get_conditional_traced(url, etag, ctx);
             if let Some(started) = started {
                 self.metrics
                     .observe_us(endpoint.latency(), started.elapsed().as_micros() as u64);
@@ -342,16 +371,53 @@ impl Crawler {
     }
 
     /// Fetch a gizmo spec. `Ok(None)` means 404 (the GPT is gone).
+    ///
+    /// Fetches are conditional whenever the validator cache holds an
+    /// ETag for this gizmo: a `304 Not Modified` reuses the cached body
+    /// (counted as fetched, plus `crawler.conditional.hit`), a full 200
+    /// against a stale validator counts `crawler.conditional.miss`, and
+    /// every clean 200 refreshes the cache for the next week.
     pub fn fetch_gizmo(&self, id: &GptId) -> Result<Option<Gpt>, ClientError> {
         self.bump(|s| s.gizmo_requests += 1);
         let url = format!("https://chat.openai.com/backend-api/gizmos/{id}");
-        let resp = match self.get_with_retries(Endpoint::Gizmo, &url) {
+        let cached_etag = {
+            let cache = self.validators.lock().expect("validator cache");
+            cache.get(url.as_str()).map(|c| c.etag.clone())
+        };
+        let resp = match self.get_with_retries_conditional(
+            Endpoint::Gizmo,
+            &url,
+            cached_etag.as_deref(),
+        ) {
             Ok(r) => r,
             Err(e) => {
                 self.bump(|s| s.gizmo_failures += 1);
                 return Err(e);
             }
         };
+        if resp.status == 304 {
+            let cached = {
+                let cache = self.validators.lock().expect("validator cache");
+                cache.get(url.as_str()).map(|c| c.gpt.clone())
+            };
+            match cached {
+                Some(gpt) => {
+                    self.bump(|s| s.gizmos_fetched += 1);
+                    self.metrics.incr("crawler.conditional.hit");
+                    self.reused
+                        .lock()
+                        .expect("reused set")
+                        .insert(gpt.id.clone());
+                    return Ok(Some(gpt));
+                }
+                // A 304 we cannot satisfy from cache (server bug or an
+                // evicted entry): recorded as a failure, never a panic.
+                None => {
+                    self.bump(|s| s.gizmo_failures += 1);
+                    return Ok(None);
+                }
+            }
+        }
         if resp.status == 404 {
             self.bump(|s| s.gizmo_not_found += 1);
             return Ok(None);
@@ -363,6 +429,18 @@ impl Crawler {
         match serde_json::from_slice::<Gpt>(&resp.body) {
             Ok(gpt) => {
                 self.bump(|s| s.gizmos_fetched += 1);
+                if cached_etag.is_some() {
+                    self.metrics.incr("crawler.conditional.miss");
+                }
+                if let Some(etag) = resp.headers.get("etag") {
+                    self.validators.lock().expect("validator cache").insert(
+                        url,
+                        CachedGizmo {
+                            etag: etag.clone(),
+                            gpt: gpt.clone(),
+                        },
+                    );
+                }
                 Ok(Some(gpt))
             }
             Err(_) => {
@@ -370,6 +448,34 @@ impl Crawler {
                 Ok(None)
             }
         }
+    }
+
+    /// Seed the validator cache from a previously crawled snapshot (for
+    /// example the latest week loaded back from a [`CampaignStore`]),
+    /// so the very first recrawl of an unchanged corpus revalidates
+    /// with 304s instead of refetching every body. The validator is
+    /// content-addressed over the same serialized bytes the server
+    /// hashes, so priming needs no network round-trips.
+    pub fn prime_validators(&self, snapshot: &CrawlSnapshot) {
+        let mut cache = self.validators.lock().expect("validator cache");
+        for (id, gpt) in &snapshot.gpts {
+            if let Ok(bytes) = serde_json::to_vec(gpt) {
+                let url = format!("https://chat.openai.com/backend-api/gizmos/{id}");
+                cache.insert(
+                    url,
+                    CachedGizmo {
+                        etag: etag_of(&bytes),
+                        gpt: gpt.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    /// GPT ids served 304 since the last [`Crawler::take_reused`] call
+    /// (the campaign loop drains this at each week boundary).
+    pub fn take_reused(&self) -> BTreeSet<GptId> {
+        std::mem::take(&mut self.reused.lock().expect("reused set"))
     }
 
     /// Crawl one weekly snapshot: scrape every store, dedupe ids, fetch
@@ -509,6 +615,7 @@ impl Crawler {
         let mut archive = CrawlArchive::default();
         for (week, date) in weeks {
             set_week(*week as usize);
+            self.take_reused();
             let stats_before = self.stats();
             let mut ids: Vec<GptId> = Vec::new();
             let mut seen = std::collections::HashSet::new();
@@ -529,7 +636,11 @@ impl Crawler {
                 snapshot.insert(gpt);
             }
             if let Some(sink) = sink.as_deref_mut() {
-                sink.put_snapshot(&snapshot)?;
+                // Ids revalidated via 304 this week reference the blob
+                // hash already in the archive — no re-serialization, no
+                // new segment bytes.
+                let reused = self.take_reused();
+                sink.put_snapshot_reusing(&snapshot, &reused)?;
             }
             archive.snapshots.push(snapshot);
             // This week's gizmo success, from the stats delta. Every
@@ -655,6 +766,104 @@ mod tests {
         // recomputed from manifests, so it survives the reopen.)
         assert!(reopened.dedup_ratio() > 0.0, "no cross-week dedup");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recrawl_of_unchanged_week_revalidates_with_304s() {
+        let metrics = MetricsRegistry::shared();
+        let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(41)));
+        // The server shares the registry so the client- and server-side
+        // conditional counters can be cross-checked.
+        let handle = EcosystemHandle::builder(Arc::clone(&eco))
+            .faults(FaultConfig::none())
+            .config(gptx_store::ServerConfig::default().with_metrics(Arc::clone(&metrics)))
+            .spawn()
+            .unwrap();
+        let crawler = Crawler::new(handle.addr())
+            .with_threads(4)
+            .with_metrics(Arc::clone(&metrics));
+        let first = crawler.crawl_week(0, "2024-02-08", &store_names()).unwrap();
+        assert_eq!(first.gpts, eco.weeks[0].snapshot.gpts);
+        // The first pass had no validators, so nothing was conditional.
+        let snap = metrics.snapshot();
+        assert!(!snap.counters.contains_key("crawler.conditional.hit"));
+        crawler.take_reused();
+
+        // Same week again: every gizmo revalidates with an empty 304,
+        // and the cached bodies reproduce the snapshot exactly.
+        let second = crawler.crawl_week(0, "2024-02-08", &store_names()).unwrap();
+        assert_eq!(second.gpts, first.gpts);
+        let snap = metrics.snapshot();
+        assert_eq!(
+            snap.counters["crawler.conditional.hit"] as usize,
+            first.gpts.len(),
+            "every unchanged gizmo should be a 304 revalidation"
+        );
+        assert!(!snap.counters.contains_key("crawler.conditional.miss"));
+        assert_eq!(
+            snap.counters["store.conditional.304"], snap.counters["crawler.conditional.hit"],
+            "server- and client-side 304 counts drifted"
+        );
+        // The reused set names exactly the revalidated ids.
+        let reused = crawler.take_reused();
+        assert_eq!(reused.len(), first.gpts.len());
+        assert!(reused.iter().all(|id| first.gpts.contains_key(id)));
+        // Draining clears it.
+        assert!(crawler.take_reused().is_empty());
+        handle.shutdown();
+    }
+
+    #[test]
+    fn changed_gizmos_count_conditional_misses() {
+        let (handle, eco) = start(42, FaultConfig::none());
+        let metrics = MetricsRegistry::shared();
+        let crawler = Crawler::new(handle.addr())
+            .with_threads(4)
+            .with_metrics(Arc::clone(&metrics));
+        handle.set_week(0);
+        crawler.crawl_week(0, "2024-02-08", &store_names()).unwrap();
+        handle.set_week(1);
+        let second = crawler.crawl_week(1, "2024-02-15", &store_names()).unwrap();
+        assert_eq!(second.gpts, eco.weeks[1].snapshot.gpts);
+        // Ground truth from the generator: ids live in both weeks split
+        // into unchanged (revalidated, hit) and changed (refetched
+        // against a stale validator, miss); brand-new ids are neither.
+        let w0 = &eco.weeks[0].snapshot.gpts;
+        let (mut unchanged, mut changed) = (0u64, 0u64);
+        for (id, gpt) in &eco.weeks[1].snapshot.gpts {
+            match w0.get(id) {
+                Some(prev) if prev == gpt => unchanged += 1,
+                Some(_) => changed += 1,
+                None => {}
+            }
+        }
+        assert!(unchanged > 0, "week 1 shares no unchanged gizmos");
+        let snap = metrics.snapshot();
+        let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+        assert_eq!(counter("crawler.conditional.hit"), unchanged);
+        assert_eq!(counter("crawler.conditional.miss"), changed);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn primed_validators_make_the_first_recrawl_conditional() {
+        let (handle, eco) = start(43, FaultConfig::none());
+        let metrics = MetricsRegistry::shared();
+        // A brand-new crawler (fresh process) primed from the persisted
+        // snapshot revalidates everything on its very first pass.
+        let crawler = Crawler::new(handle.addr())
+            .with_threads(4)
+            .with_metrics(Arc::clone(&metrics));
+        crawler.prime_validators(&eco.weeks[0].snapshot);
+        let snapshot = crawler.crawl_week(0, "2024-02-08", &store_names()).unwrap();
+        assert_eq!(snapshot.gpts, eco.weeks[0].snapshot.gpts);
+        let snap = metrics.snapshot();
+        assert_eq!(
+            snap.counters["crawler.conditional.hit"] as usize,
+            snapshot.gpts.len(),
+            "priming should turn the whole first pass into 304s"
+        );
+        handle.shutdown();
     }
 
     #[test]

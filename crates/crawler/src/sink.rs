@@ -52,6 +52,18 @@ pub struct WeekWriteStats {
     pub dedup_hits: usize,
 }
 
+/// Week-over-week churn at the manifest layer: which GPT ids appeared,
+/// changed content hash, or vanished relative to the previous persisted
+/// week. Lists are in id order (manifest maps are sorted), so the
+/// series is deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WeekDeltaIds {
+    pub week: u32,
+    pub added: Vec<GptId>,
+    pub changed: Vec<GptId>,
+    pub removed: Vec<GptId>,
+}
+
 /// Errors from a persisted crawl: either the crawl itself failed or
 /// the archive write did.
 #[derive(Debug)]
@@ -115,6 +127,25 @@ impl CampaignStore {
     /// content-hash to blobs already written by earlier weeks and are
     /// not stored again.
     pub fn put_snapshot(&mut self, snapshot: &CrawlSnapshot) -> io::Result<WeekWriteStats> {
+        self.put_snapshot_reusing(snapshot, &BTreeSet::new())
+    }
+
+    /// [`CampaignStore::put_snapshot`] for a crawl with conditional
+    /// fetches: ids in `reused` were answered `304 Not Modified`, so
+    /// their manifest entry points at the blob hash the latest earlier
+    /// week already recorded — no re-serialization, no segment write.
+    /// An id in `reused` with no prior hash on record falls back to the
+    /// normal serialize-and-put path.
+    pub fn put_snapshot_reusing(
+        &mut self,
+        snapshot: &CrawlSnapshot,
+        reused: &BTreeSet<GptId>,
+    ) -> io::Result<WeekWriteStats> {
+        let known = if reused.is_empty() {
+            BTreeMap::new()
+        } else {
+            self.known_hashes()
+        };
         let mut manifest = Manifest::new(format!("{WEEK_PREFIX}{:06}", snapshot.week));
         let (week_hash, _) = self
             .archive
@@ -125,6 +156,15 @@ impl CampaignStore {
         let mut new_blobs = 0;
         let mut dedup_hits = 0;
         for (id, gpt) in &snapshot.gpts {
+            if reused.contains(id) {
+                if let Some(&hash) = known.get(id.as_str()) {
+                    if self.archive.contains_blob(hash) {
+                        dedup_hits += 1;
+                        manifest.push(id.as_str(), hash);
+                        continue;
+                    }
+                }
+            }
             let json = serde_json::to_vec(gpt).map_err(json_err)?;
             let (hash, was_new) = self.archive.put_blob(&json)?;
             if was_new {
@@ -142,6 +182,65 @@ impl CampaignStore {
             new_blobs,
             dedup_hits,
         })
+    }
+
+    /// The latest recorded blob hash per GPT id across all persisted
+    /// week manifests (later weeks win).
+    pub fn known_hashes(&self) -> BTreeMap<String, ContentHash> {
+        let mut known = BTreeMap::new();
+        for manifest in self.archive.manifests() {
+            if !manifest.name.starts_with(WEEK_PREFIX) {
+                continue;
+            }
+            for (key, hash) in &manifest.entries {
+                if !key.starts_with('@') {
+                    known.insert(key.clone(), *hash);
+                }
+            }
+        }
+        known
+    }
+
+    /// Id-level churn between consecutive persisted weeks, computed
+    /// from manifest blob hashes alone — no blob is read, so building
+    /// the whole series is O(manifest entries), not O(corpus bytes).
+    /// Week 0's delta is all-added relative to an empty corpus.
+    pub fn week_delta_ids(&self) -> Vec<WeekDeltaIds> {
+        let mut deltas = Vec::new();
+        let mut prev: BTreeMap<&str, ContentHash> = BTreeMap::new();
+        // `manifests()` iterates in name order and week names are
+        // zero-padded, so this walks weeks chronologically.
+        for manifest in self.archive.manifests() {
+            let Some(suffix) = manifest.name.strip_prefix(WEEK_PREFIX) else {
+                continue;
+            };
+            let Ok(week) = suffix.parse() else { continue };
+            let current: BTreeMap<&str, ContentHash> = manifest
+                .entries
+                .iter()
+                .filter(|(key, _)| !key.starts_with('@'))
+                .map(|(key, hash)| (key.as_str(), *hash))
+                .collect();
+            let mut delta = WeekDeltaIds {
+                week,
+                ..WeekDeltaIds::default()
+            };
+            for (&id, &hash) in &current {
+                match prev.get(id) {
+                    None => delta.added.push(GptId(id.to_string())),
+                    Some(&old) if old != hash => delta.changed.push(GptId(id.to_string())),
+                    Some(_) => {}
+                }
+            }
+            for &id in prev.keys() {
+                if !current.contains_key(id) {
+                    delta.removed.push(GptId(id.to_string()));
+                }
+            }
+            deltas.push(delta);
+            prev = current;
+        }
+        deltas
     }
 
     /// Persist the campaign-level results (policies, probes, listings,
@@ -435,6 +534,94 @@ mod tests {
         assert_eq!(stats[1].dedup_hits, 1);
         // 1 duplicated reference out of 4 total.
         assert!((store.dedup_ratio() - 0.25).abs() < 1e-9);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dedup_ratio_is_zero_not_nan_without_week_manifests() {
+        // Regression: an archive with no week manifests has zero blob
+        // references; the ratio must come back 0.0, not 0/0 = NaN.
+        let dir = temp_dir("nan");
+        let mut store = CampaignStore::open(&dir).unwrap();
+        assert_eq!(store.dedup_ratio(), 0.0);
+
+        // Meta-only archives (campaign-level results but no snapshots)
+        // also have no week references and must report 0.0.
+        let mut meta_only = campaign();
+        meta_only.snapshots.clear();
+        store.put_meta(&meta_only).unwrap();
+        let ratio = store.dedup_ratio();
+        assert!(ratio == 0.0 && !ratio.is_nan());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reused_ids_reference_prior_blobs_without_new_segment_bytes() {
+        let dir = temp_dir("reuse");
+        let mut store = CampaignStore::open(&dir).unwrap();
+        let weeks = campaign().snapshots;
+        store.put_snapshot(&weeks[0]).unwrap();
+        let blobs_before = store.stats().blobs;
+
+        // Recrawl of week 0 where every gizmo answered 304: same
+        // snapshot, all ids marked reused. No GPT blob is written.
+        let mut recrawl = weeks[0].clone();
+        recrawl.week = 1;
+        recrawl.date = "2024-02-15".to_string();
+        let reused: BTreeSet<GptId> = recrawl.gpts.keys().cloned().collect();
+        let stats = store.put_snapshot_reusing(&recrawl, &reused).unwrap();
+        assert_eq!(stats.new_blobs, 0);
+        assert_eq!(stats.dedup_hits, recrawl.gpts.len());
+        // Only the new week's @week/@date blobs hit a segment; no GPT
+        // payload was serialized or appended.
+        assert_eq!(store.stats().blobs - blobs_before, 2);
+
+        // An id claimed as reused with no prior hash on record falls
+        // back to the normal write path instead of corrupting the week.
+        let mut fresh = CrawlSnapshot::new(2, "2024-02-22");
+        fresh.insert(Gpt::minimal("g-zzzzzzzzzz", "Z"));
+        let reused: BTreeSet<GptId> = fresh.gpts.keys().cloned().collect();
+        let stats = store.put_snapshot_reusing(&fresh, &reused).unwrap();
+        assert_eq!(stats.new_blobs, 1);
+
+        // The reused week round-trips exactly like a written one.
+        let loaded = store.load_week(1, 1).unwrap();
+        assert_eq!(
+            serde_json::to_string(&loaded.gpts).unwrap(),
+            serde_json::to_string(&recrawl.gpts).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn week_delta_ids_track_adds_changes_and_removals() {
+        let dir = temp_dir("delta");
+        let mut store = CampaignStore::open(&dir).unwrap();
+        // Week 0: A, B. Week 1: A unchanged, B changed, C added.
+        let mut w0 = CrawlSnapshot::new(0, "2024-02-08");
+        w0.insert(Gpt::minimal("g-aaaaaaaaaa", "A"));
+        w0.insert(Gpt::minimal("g-bbbbbbbbbb", "B"));
+        let mut w1 = CrawlSnapshot::new(1, "2024-02-15");
+        w1.insert(Gpt::minimal("g-aaaaaaaaaa", "A"));
+        w1.insert(Gpt::minimal("g-bbbbbbbbbb", "B v2"));
+        w1.insert(Gpt::minimal("g-cccccccccc", "C"));
+        // Week 2: B removed, rest unchanged.
+        let mut w2 = CrawlSnapshot::new(2, "2024-02-22");
+        w2.insert(Gpt::minimal("g-aaaaaaaaaa", "A"));
+        w2.insert(Gpt::minimal("g-cccccccccc", "C"));
+        for snapshot in [&w0, &w1, &w2] {
+            store.put_snapshot(snapshot).unwrap();
+        }
+
+        let deltas = store.week_delta_ids();
+        assert_eq!(deltas.len(), 3);
+        assert_eq!(deltas[0].added.len(), 2);
+        assert!(deltas[0].changed.is_empty() && deltas[0].removed.is_empty());
+        assert_eq!(deltas[1].added, vec![GptId("g-cccccccccc".into())]);
+        assert_eq!(deltas[1].changed, vec![GptId("g-bbbbbbbbbb".into())]);
+        assert!(deltas[1].removed.is_empty());
+        assert_eq!(deltas[2].removed, vec![GptId("g-bbbbbbbbbb".into())]);
+        assert!(deltas[2].added.is_empty() && deltas[2].changed.is_empty());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -12,20 +12,29 @@ use gptx_model::Gpt;
 pub fn build_cooccurrence<'a, I: IntoIterator<Item = &'a Gpt>>(gpts: I) -> Graph {
     let mut graph = Graph::new();
     for gpt in gpts {
-        let identities: Vec<String> = {
-            let mut ids: Vec<String> = gpt.actions().iter().map(|a| a.identity()).collect();
-            ids.sort();
-            ids.dedup();
-            ids
-        };
-        let nodes: Vec<_> = identities.iter().map(|id| graph.add_node(id)).collect();
-        for i in 0..nodes.len() {
-            for j in (i + 1)..nodes.len() {
-                graph.add_edge(nodes[i], nodes[j], 1);
-            }
-        }
+        add_gpt_cooccurrence(&mut graph, gpt);
     }
     graph
+}
+
+/// Fold a single GPT into an existing co-occurrence graph — the
+/// incremental operator behind `build_cooccurrence`. Weighted degrees,
+/// components, and every label-keyed artifact come out identical to a
+/// batch build over the same GPTs in any insertion order (only internal
+/// node numbering differs).
+pub fn add_gpt_cooccurrence(graph: &mut Graph, gpt: &Gpt) {
+    let identities: Vec<String> = {
+        let mut ids: Vec<String> = gpt.actions().iter().map(|a| a.identity()).collect();
+        ids.sort();
+        ids.dedup();
+        ids
+    };
+    let nodes: Vec<_> = identities.iter().map(|id| graph.add_node(id)).collect();
+    for i in 0..nodes.len() {
+        for j in (i + 1)..nodes.len() {
+            graph.add_edge(nodes[i], nodes[j], 1);
+        }
+    }
 }
 
 /// Summary statistics of a co-occurrence graph, for Figure 5's caption
@@ -120,6 +129,31 @@ mod tests {
         let g = build_cooccurrence(&gpts);
         assert_eq!(g.node_count(), 1);
         assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn incremental_insertion_matches_batch_build() {
+        let gpts = vec![
+            gpt_with("g-aaaaaaaaaa", &[("A", "a.dev"), ("B", "b.dev")]),
+            gpt_with("g-bbbbbbbbbb", &[("A", "a.dev"), ("B", "b.dev")]),
+            gpt_with("g-cccccccccc", &[("A", "a.dev"), ("C", "c.dev")]),
+        ];
+        let batch = build_cooccurrence(&gpts);
+        let mut inc = Graph::new();
+        // Insert in reverse: first-appearance week order need not match
+        // the batch build's iteration order.
+        for gpt in gpts.iter().rev() {
+            add_gpt_cooccurrence(&mut inc, gpt);
+        }
+        assert_eq!(inc.node_count(), batch.node_count());
+        assert_eq!(inc.edge_count(), batch.edge_count());
+        for (x, y) in [("A@a.dev", "B@b.dev"), ("A@a.dev", "C@c.dev")] {
+            assert_eq!(
+                inc.weight(inc.node(x).unwrap(), inc.node(y).unwrap()),
+                batch.weight(batch.node(x).unwrap(), batch.node(y).unwrap())
+            );
+        }
+        assert_eq!(graph_stats(&inc, 3), graph_stats(&batch, 3));
     }
 
     #[test]

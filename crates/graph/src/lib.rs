@@ -11,7 +11,7 @@ pub mod exposure;
 pub mod graph;
 pub mod isolation;
 
-pub use cooccurrence::{build_cooccurrence, graph_stats, GraphStats};
+pub use cooccurrence::{add_gpt_cooccurrence, build_cooccurrence, graph_stats, GraphStats};
 pub use exposure::{
     exposed_types, exposure_sweep, top_cooccurring_exposures, type_exposure_table,
     type_exposure_table_threads, ActionExposure, CollectionMap, TypeExposureRow,

@@ -31,7 +31,7 @@ pub use action::{ActionSpec, AuthType};
 pub use gpt::{Author, Display, Gpt, GptId, Tag, Tool, UploadedFile};
 pub use openapi::{DataField, OpenApiSpec, Operation, Parameter, PathItem, SchemaObject};
 pub use removal::RemovalReason;
-pub use snapshot::{CrawlSnapshot, SnapshotDiff};
+pub use snapshot::{CrawlSnapshot, SnapshotDiff, WeekDelta};
 pub use url::{etld_plus_one, Url};
 
 /// Which party operates an Action relative to its hosting GPT.

@@ -75,6 +75,92 @@ impl CrawlSnapshot {
     }
 }
 
+/// A typed week-over-week delta: the concrete GPT payloads that appeared
+/// or changed and the ids that vanished, relative to the previous week.
+///
+/// Where [`SnapshotDiff`] classifies *which properties* changed (Table
+/// 2), a `WeekDelta` carries the *new payloads*, so incremental
+/// operators — census accumulators, the co-occurrence graph, the audit
+/// service's freshest-week view — can apply one week of churn without
+/// re-reading the corpus. Week 0's delta is all-added relative to an
+/// empty corpus.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WeekDelta {
+    pub week: u32,
+    pub date: String,
+    /// GPTs absent last week, in id order.
+    pub added: Vec<Gpt>,
+    /// New versions of GPTs whose payload changed, in id order.
+    pub changed: Vec<Gpt>,
+    /// Ids present last week but gone now, in id order.
+    pub removed: Vec<GptId>,
+}
+
+impl WeekDelta {
+    /// Diff `next` against the previous week (`None` for the first
+    /// week: everything is an addition).
+    pub fn between(prev: Option<&CrawlSnapshot>, next: &CrawlSnapshot) -> WeekDelta {
+        let empty = BTreeMap::new();
+        let before = prev.map_or(&empty, |s| &s.gpts);
+        let mut delta = WeekDelta {
+            week: next.week,
+            date: next.date.clone(),
+            added: Vec::new(),
+            changed: Vec::new(),
+            removed: Vec::new(),
+        };
+        for (id, gpt) in &next.gpts {
+            match before.get(id) {
+                None => delta.added.push(gpt.clone()),
+                Some(old) if old != gpt => delta.changed.push(gpt.clone()),
+                Some(_) => {}
+            }
+        }
+        for id in before.keys() {
+            if !next.gpts.contains_key(id) {
+                delta.removed.push(id.clone());
+            }
+        }
+        delta
+    }
+
+    /// The delta series of a whole campaign, one entry per snapshot.
+    pub fn series(snapshots: &[CrawlSnapshot]) -> Vec<WeekDelta> {
+        let mut prev = None;
+        snapshots
+            .iter()
+            .map(|snapshot| {
+                let delta = WeekDelta::between(prev, snapshot);
+                prev = Some(snapshot);
+                delta
+            })
+            .collect()
+    }
+
+    /// Replay this delta onto a live corpus view. Applying a campaign's
+    /// whole [`WeekDelta::series`] in order to an empty map reproduces
+    /// the final snapshot's `gpts` exactly.
+    pub fn apply(&self, gpts: &mut BTreeMap<GptId, Gpt>) {
+        for id in &self.removed {
+            gpts.remove(id);
+        }
+        for gpt in self.added.iter().chain(&self.changed) {
+            gpts.insert(gpt.id.clone(), gpt.clone());
+        }
+    }
+
+    /// A zero-churn week (the recrawl found nothing new).
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.changed.is_empty() && self.removed.is_empty()
+    }
+
+    /// Total churn entries, the `O(changed GPTs)` an incremental pass
+    /// actually processes.
+    pub fn churn(&self) -> usize {
+        self.added.len() + self.changed.len() + self.removed.len()
+    }
+}
+
 /// The property-level change types of Table 2, grouped the way the paper
 /// groups them (contact info / metadata / actions & files).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -359,6 +445,38 @@ mod tests {
         assert_eq!(ChangedProperty::AuthorWebsite.group(), "Contact info.");
         assert_eq!(ChangedProperty::Name.group(), "Metadata");
         assert_eq!(ChangedProperty::FileRemoval.group(), "Actions/Files");
+    }
+
+    #[test]
+    fn week_delta_series_replays_to_final_snapshot() {
+        let mut s0 = CrawlSnapshot::new(0, "2024-02-08");
+        s0.insert(gpt("g-aaaaaaaaaa"));
+        s0.insert(gpt("g-bbbbbbbbbb"));
+        let mut s1 = CrawlSnapshot::new(1, "2024-02-15");
+        let mut changed = gpt("g-aaaaaaaaaa");
+        changed.display.description = "New description.".into();
+        s1.insert(changed);
+        s1.insert(gpt("g-cccccccccc"));
+        // A zero-churn week in the middle.
+        let mut s2 = s1.clone();
+        s2.week = 2;
+        s2.date = "2024-02-22".into();
+
+        let deltas = WeekDelta::series(&[s0, s1, s2.clone()]);
+        assert_eq!(deltas.len(), 3);
+        assert_eq!(deltas[0].added.len(), 2);
+        assert_eq!(deltas[1].added.len(), 1);
+        assert_eq!(deltas[1].changed.len(), 1);
+        assert_eq!(deltas[1].removed, vec![GptId("g-bbbbbbbbbb".into())]);
+        assert!(deltas[2].is_empty());
+        assert_eq!(deltas[2].churn(), 0);
+        assert_eq!(deltas[1].churn(), 3);
+
+        let mut replayed = BTreeMap::new();
+        for delta in &deltas {
+            delta.apply(&mut replayed);
+        }
+        assert_eq!(replayed, s2.gpts);
     }
 
     #[test]

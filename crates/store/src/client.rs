@@ -197,6 +197,26 @@ impl HttpClient {
         self.send_traced(request, parent)
     }
 
+    /// Conditional GET: like [`HttpClient::get_traced`] but with an
+    /// `If-None-Match` validator attached when the caller holds one. A
+    /// server that still serves the same bytes answers `304 Not
+    /// Modified` with an empty body; it still counts as one request.
+    pub fn get_conditional_traced(
+        &self,
+        url: &str,
+        etag: Option<&str>,
+        parent: Option<SpanContext>,
+    ) -> Result<Response, ClientError> {
+        let parsed = Url::parse(url).map_err(|e| ClientError::BadUrl(format!("{url}: {e}")))?;
+        let mut request = Request::get(parsed.host(), &parsed.path_and_query());
+        if let Some(etag) = etag {
+            request
+                .headers
+                .insert("if-none-match".to_string(), etag.to_string());
+        }
+        self.send_traced(request, parent)
+    }
+
     /// Send an arbitrary request. `http.client.requests` counts one per
     /// call — a transparent retry on a dead pooled connection is part of
     /// the same logical request, visible only as `conn_retries`.

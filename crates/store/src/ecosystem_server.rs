@@ -235,18 +235,50 @@ impl EcosystemState {
         }
     }
 
-    fn gizmo(&self, id_str: &str) -> Response {
+    /// The date the served payload last changed: the earliest week of
+    /// the trailing run of weeks (ending at `week_index`) that serve
+    /// this exact GPT unchanged.
+    fn last_modified(
+        &self,
+        key: &gptx_model::GptId,
+        current: &gptx_model::Gpt,
+        week_index: usize,
+    ) -> String {
+        let mut date = self.eco.weeks[week_index].date.clone();
+        for w in (0..week_index).rev() {
+            match self.eco.weeks[w].snapshot.gpts.get(key) {
+                Some(older) if older == current => date = self.eco.weeks[w].date.clone(),
+                _ => break,
+            }
+        }
+        date
+    }
+
+    fn gizmo(&self, request: &Request, id_str: &str) -> Response {
         // Deterministic permanent failures (the paper's uncrawlable 1.1%).
         let h = gptx_stats_hash(id_str);
         if (h % 10_000) as f64 / 10_000.0 < self.faults.gizmo_failure_rate {
             self.metrics.incr("store.fault.gizmo_500");
             return Response::server_error();
         }
-        let week = &self.eco.weeks[self.current_week()];
+        let week_index = self.current_week();
+        let week = &self.eco.weeks[week_index];
         let key = gptx_model::GptId(id_str.to_string());
         match week.snapshot.gpts.get(&key) {
             Some(gpt) => match serde_json::to_string(gpt) {
                 Ok(json) => {
+                    // Conditional fetch: a client holding the current
+                    // validator gets an empty 304 instead of the body.
+                    let etag = etag_of(json.as_bytes());
+                    let last_modified = self.last_modified(&key, gpt, week_index);
+                    if request_not_modified(request, &etag, &last_modified) {
+                        self.metrics.incr("store.conditional.304");
+                        let mut response = Response::not_modified(&etag);
+                        response
+                            .headers
+                            .insert("last-modified".to_string(), last_modified);
+                        return response;
+                    }
                     // Deterministic truncation faults: valid HTTP, broken
                     // JSON — the crawler must survive parse failures.
                     let hm = gptx_stats_hash(&format!("malformed:{id_str}"));
@@ -266,7 +298,12 @@ impl EcosystemState {
                             .insert(FAULT_DISCONNECT_HEADER.to_string(), "1".to_string());
                         return response;
                     }
-                    Response::ok_json(json)
+                    let mut response = Response::ok_json(json);
+                    response.headers.insert("etag".to_string(), etag);
+                    response
+                        .headers
+                        .insert("last-modified".to_string(), last_modified);
+                    response
                 }
                 Err(_) => Response::server_error(),
             },
@@ -309,6 +346,31 @@ impl EcosystemState {
 
 fn lower_host(request: &Request) -> String {
     request.host().unwrap_or("").to_ascii_lowercase()
+}
+
+/// Strong validator for a gizmo payload: quoted FNV-1a of the exact
+/// serialized JSON bytes. Content-addressed, so it is identical across
+/// weeks (and server restarts) for as long as the GPT is unchanged.
+pub fn etag_of(body: &[u8]) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in body {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    format!("\"{hash:016x}\"")
+}
+
+/// RFC 9110 conditional-GET evaluation: `If-None-Match` takes
+/// precedence over `If-Modified-Since`; dates are the ecosystem's ISO
+/// `YYYY-MM-DD` strings, which compare lexicographically.
+fn request_not_modified(request: &Request, etag: &str, last_modified: &str) -> bool {
+    if let Some(tag) = request.headers.get("if-none-match") {
+        return tag == etag;
+    }
+    if let Some(since) = request.headers.get("if-modified-since") {
+        return last_modified <= since.as_str();
+    }
+    false
 }
 
 /// The router over an ecosystem: shared state plus the declarative
@@ -390,7 +452,7 @@ fn ecosystem_routes(state: &Arc<EcosystemState>) -> RouteTable {
     let gizmo = Route::get("/backend-api/gizmos/:id")
         .on_host("chat.openai.com")
         .label("gizmo")
-        .handle(move |_, params| st.gizmo(params.get("id").unwrap_or_default()));
+        .handle(move |request, params| st.gizmo(request, params.get("id").unwrap_or_default()));
     let gpt_page = Route::get("/g/*rest")
         .on_host("chat.openai.com")
         .label("gpt_page")
@@ -915,6 +977,90 @@ mod tests {
             .get("https://chat.openai.com/backend-api/gizmos/g-zzzzzzzzzz")
             .unwrap();
         assert_eq!(missing.status, 404);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn gizmo_conditional_fetch_answers_304_and_revalidates() {
+        let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(7)));
+        let metrics = MetricsRegistry::shared();
+        let handle = EcosystemHandle::builder(Arc::clone(&eco))
+            .faults(FaultConfig::none())
+            .metrics(Arc::clone(&metrics))
+            .spawn()
+            .unwrap();
+        let client = HttpClient::new(handle.addr());
+        let id = eco.weeks[0].snapshot.gpts.keys().next().unwrap().clone();
+        let url = format!("https://chat.openai.com/backend-api/gizmos/{id}");
+
+        // A clean 200 carries the validator pair.
+        let first = client.get(&url).unwrap();
+        assert!(first.is_success());
+        let etag = first.headers.get("etag").expect("etag on 200").clone();
+        assert_eq!(etag, etag_of(&first.body));
+        let last_modified = first
+            .headers
+            .get("last-modified")
+            .expect("last-modified on 200")
+            .clone();
+        assert_eq!(last_modified, eco.weeks[0].date);
+
+        // Matching If-None-Match: empty 304, validator echoed back.
+        let resp = client
+            .get_conditional_traced(&url, Some(&etag), None)
+            .unwrap();
+        assert_eq!(resp.status, 304);
+        assert!(resp.body.is_empty());
+        assert_eq!(resp.headers.get("etag"), Some(&etag));
+
+        // A stale validator gets the full body again.
+        let stale = client
+            .get_conditional_traced(&url, Some("\"0000000000000000\""), None)
+            .unwrap();
+        assert_eq!(stale.status, 200);
+        assert_eq!(stale.body, first.body);
+
+        // If-Modified-Since with the served date also revalidates.
+        let mut req = Request::get("chat.openai.com", &format!("/backend-api/gizmos/{id}"));
+        req.headers
+            .insert("if-modified-since".to_string(), last_modified);
+        assert_eq!(client.send(req).unwrap().status, 304);
+
+        // An earlier date means the payload changed since: full body.
+        let mut req = Request::get("chat.openai.com", &format!("/backend-api/gizmos/{id}"));
+        req.headers
+            .insert("if-modified-since".to_string(), "2000-01-01".to_string());
+        assert_eq!(client.send(req).unwrap().status, 200);
+
+        assert_eq!(metrics.snapshot().counters["store.conditional.304"], 2);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn etag_is_stable_across_weeks_for_unchanged_gpts() {
+        let (handle, eco, client) = start();
+        // A GPT present in week 0 that survives unchanged to the last
+        // week keeps its validator; last-modified stays its birth date.
+        let last = eco.weeks.len() - 1;
+        let (id, gpt) = eco.weeks[0].snapshot.gpts.iter().next().unwrap();
+        let unchanged = eco.weeks[last].snapshot.gpts.get(id) == Some(gpt);
+        let url = format!("https://chat.openai.com/backend-api/gizmos/{id}");
+        let week0 = client.get(&url).unwrap();
+        handle.set_week(last);
+        let week_n = client.get(&url).unwrap();
+        if unchanged {
+            assert_eq!(week0.headers.get("etag"), week_n.headers.get("etag"));
+            assert_eq!(
+                week_n.headers.get("last-modified"),
+                Some(&eco.weeks[0].date)
+            );
+            // The week-0 validator still revalidates weeks later.
+            let etag = week0.headers.get("etag").unwrap();
+            let resp = client
+                .get_conditional_traced(&url, Some(etag), None)
+                .unwrap();
+            assert_eq!(resp.status, 304);
+        }
         handle.shutdown();
     }
 

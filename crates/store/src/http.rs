@@ -211,6 +211,18 @@ impl Response {
         Response::new(404, "text/plain", "not found")
     }
 
+    /// An empty-body `304 Not Modified` carrying the validator that
+    /// matched, so the client can keep caching under the same tag.
+    pub fn not_modified(etag: &str) -> Response {
+        let mut headers = BTreeMap::new();
+        headers.insert("etag".to_string(), etag.to_string());
+        Response {
+            status: 304,
+            headers,
+            body: Vec::new(),
+        }
+    }
+
     pub fn server_error() -> Response {
         Response::new(500, "text/plain", "internal server error")
     }
@@ -235,6 +247,7 @@ impl Response {
             200 => "OK",
             201 => "Created",
             204 => "No Content",
+            304 => "Not Modified",
             400 => "Bad Request",
             404 => "Not Found",
             410 => "Gone",

@@ -23,7 +23,7 @@ pub use client::{ClientError, HttpClient};
 #[allow(deprecated)]
 pub use ecosystem_server::ShardedEcosystemHandle;
 pub use ecosystem_server::{
-    store_host, EcosystemHandle, FaultConfig, FaultConfigBuilder, ServerBuilder,
+    etag_of, store_host, EcosystemHandle, FaultConfig, FaultConfigBuilder, ServerBuilder,
 };
 pub use fault::{FaultKind, FaultPlan};
 pub use http::{HttpError, Request, Response};

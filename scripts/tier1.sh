@@ -63,5 +63,41 @@ done
 addr="$(cat "$addr_file")"
 curl -sf "http://$addr/api/v1/reports" | grep -q '"reports"'
 curl -sf "http://$addr/api/v1/weeks" | grep -q '"weeks"'
+curl -sf "http://$addr/api/v1/weeks/latest" | grep -q '"deltas"'
 kill "$serve_pid" 2>/dev/null || true
 wait "$serve_pid" 2>/dev/null || true
+
+# incremental_smoke: conditional fetches + delta analysis over the real
+# CLI binary. The tiny campaign is multi-week, so the crawler must
+# revalidate unchanged gizmos with 304s (`crawler.conditional.hit` > 0
+# in the metrics dump); recrawling the identical campaign into the same
+# archive adds zero new blobs (unchanged GPTs cost manifest references,
+# not segment bytes); and `analyze --incremental` must render every
+# table byte-identical to the full recompute.
+inc_dir="$(mktemp -d -t gptx-inc-XXXXXX)"
+inc_metrics="$(mktemp -t gptx-inc-metrics-XXXXXX.json)"
+inc_log1="$(mktemp -t gptx-inc-log1-XXXXXX)"
+inc_log2="$(mktemp -t gptx-inc-log2-XXXXXX)"
+inc_full="$(mktemp -t gptx-inc-full-XXXXXX)"
+inc_delta="$(mktemp -t gptx-inc-delta-XXXXXX)"
+trap 'rm -rf "$trace_out" "$archive_dir" "$eco_json" "$addr_file" \
+    "$inc_dir" "$inc_metrics" "$inc_log1" "$inc_log2" "$inc_full" "$inc_delta"' EXIT
+cargo run --release -p gptx-cli -- crawl \
+    --scale tiny --seed 7 --archive-dir "$inc_dir" \
+    --metrics-json "$inc_metrics" --out /dev/null 2> "$inc_log1"
+grep -q '"crawler.conditional.hit": [1-9]' "$inc_metrics" \
+    || { echo "multi-week crawl issued no conditional revalidations"; exit 1; }
+cargo run --release -p gptx-cli -- crawl \
+    --scale tiny --seed 7 --archive-dir "$inc_dir" \
+    --out /dev/null 2> "$inc_log2"
+blobs_first="$(sed -n 's/.*(\([0-9]*\) blobs.*/\1/p' "$inc_log1")"
+blobs_second="$(sed -n 's/.*(\([0-9]*\) blobs.*/\1/p' "$inc_log2")"
+[ -n "$blobs_first" ] && [ "$blobs_first" = "$blobs_second" ] \
+    || { echo "recrawl of an unchanged campaign grew the blob store" \
+         "($blobs_first -> $blobs_second blobs)"; exit 1; }
+cargo run --release -p gptx-cli -- analyze all \
+    --archive-dir "$inc_dir" --eco "$eco_json" > "$inc_full"
+cargo run --release -p gptx-cli -- analyze all --incremental \
+    --archive-dir "$inc_dir" --eco "$eco_json" > "$inc_delta"
+cmp "$inc_full" "$inc_delta" \
+    || { echo "--incremental analysis diverged from the full recompute"; exit 1; }

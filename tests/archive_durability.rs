@@ -109,6 +109,58 @@ fn compaction_preserves_live_blobs() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// A crash between compaction's segment rewrite and the rename swap
+/// leaves stray `seg-NNNNNN.gptx.tmp` files behind. Reopen must remove
+/// them (compaction only copies, so the live segments already hold
+/// every record), report the reclaim as a recovery event, and leave the
+/// archive fully usable — including a fresh compaction over the same
+/// segment ids the crash had claimed.
+#[test]
+fn stray_compaction_temp_is_cleaned_on_reopen() {
+    let dir = temp_dir("stray-tmp");
+    let mut archive = Archive::open(&dir).expect("open");
+    let (kept, _) = archive
+        .put_blob(b"survives the crashed compaction")
+        .unwrap();
+    let mut manifest = Manifest::new("week:000000");
+    manifest.push("kept", kept);
+    archive.put_manifest(&manifest).unwrap();
+    archive.sync().unwrap();
+    drop(archive);
+
+    // Simulate the crash window: a half-written temp segment with a
+    // valid name but arbitrary contents, never renamed into place.
+    let stray = dir.join("seg-000007.gptx.tmp");
+    std::fs::write(&stray, b"half-written compaction output").unwrap();
+
+    let mut recovered = Archive::open(&dir).expect("reopen past the stray temp");
+    assert!(!stray.exists(), "the stray temp segment must be deleted");
+    let events = recovered.recovery();
+    assert_eq!(events.len(), 1, "exactly the stray temp is reported");
+    assert_eq!(events[0].segment, 7);
+    assert_eq!(
+        events[0].dropped_bytes,
+        b"half-written compaction output".len() as u64
+    );
+    assert_eq!(
+        recovered.get_blob(kept).unwrap().as_deref(),
+        Some(&b"survives the crashed compaction"[..]),
+        "live records are untouched by the cleanup"
+    );
+    assert!(recovered.manifest("week:000000").is_some());
+
+    // The repaired archive compacts and reopens clean.
+    recovered.compact().expect("compaction after repair");
+    drop(recovered);
+    let clean = Archive::open(&dir).expect("reopen after compaction");
+    assert!(clean.recovery().is_empty(), "no repairs on a clean reopen");
+    assert_eq!(
+        clean.get_blob(kept).unwrap().as_deref(),
+        Some(&b"survives the crashed compaction"[..])
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// A crash mid-append leaves a torn record at the tail of the last
 /// segment. Reopen must detect it, report a recovery event, and keep
 /// every record written before the tear.

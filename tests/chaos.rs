@@ -36,6 +36,56 @@ fn mixed_fault_campaign_holds_every_invariant() {
     assert!(report.ok(), "{}", report.summary());
 }
 
+/// Conditional fetches are live inside chaos runs — the multi-week
+/// crawl revalidates unchanged gizmos with 304s — and a mixed fault
+/// schedule landing amid that conditional traffic still holds all five
+/// invariants: a 304 is one accounted, retryable request like any
+/// other, so archives, counters, pools, traces, and the archive's
+/// internal accounting all stay clean.
+#[test]
+fn conditional_fetches_hold_every_invariant_under_faults() {
+    use gptx_chaos::invariants::{
+        check_archive_integrity, check_artifacts_identical, check_counter_consistency,
+        check_pool_balance, check_trace_valid,
+    };
+
+    let mut cfg = ChaosConfig::new();
+    cfg.synth_seed = 44;
+    let baseline = execute(&cfg, &[]).expect("baseline");
+    let conditional_hits = |run: &gptx_chaos::RunOutcome| {
+        run.metrics
+            .counters
+            .get("crawler.conditional.hit")
+            .copied()
+            .unwrap_or(0)
+    };
+    assert!(
+        conditional_hits(&baseline) > 0,
+        "a multi-week crawl should revalidate unchanged gizmos"
+    );
+
+    let schedule = derive_schedule(
+        7,
+        baseline.total_requests(),
+        &FaultMatrix::all(),
+        5,
+        MIN_FAULT_GAP,
+    );
+    assert!(!schedule.is_empty());
+    let run = execute(&cfg, &schedule).expect("faulted run");
+    assert!(
+        conditional_hits(&run) > 0,
+        "faults must not disable conditional revalidation"
+    );
+
+    let mut violations = check_artifacts_identical(&baseline, &run);
+    violations.extend(check_counter_consistency(&run));
+    violations.extend(check_pool_balance(&run));
+    violations.extend(check_trace_valid(&run));
+    violations.extend(check_archive_integrity(&run));
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
 /// Chaos runs are reproducible: the same schedule executed twice gives
 /// byte-identical archives, artifacts, and request counts — the
 /// property that makes shrinking sound.

@@ -1,0 +1,140 @@
+//! Incremental (delta-driven) analysis acceptance: replaying a campaign
+//! as a per-week [`gptx::model::WeekDelta`] series must reproduce every
+//! analysis artifact byte-for-byte against the full recompute — across
+//! the generator's own churn profiles, hand-rolled randomized churn
+//! schedules, and the degenerate zero-change week.
+
+use gptx::crawler::CrawlArchive;
+use gptx::model::{CrawlSnapshot, Gpt, WeekDelta};
+use gptx::store::EcosystemHandle;
+use gptx::synth::STORES;
+use gptx::{AnalysisRun, Ecosystem, FaultConfig, SynthConfig};
+use std::sync::Arc;
+
+/// Generate + serve + crawl once, without the analysis stages, so both
+/// analysis paths consume the exact same archive.
+fn crawl(config: SynthConfig) -> (Ecosystem, CrawlArchive) {
+    let eco = Arc::new(Ecosystem::generate(config));
+    let server = EcosystemHandle::builder(Arc::clone(&eco))
+        .faults(FaultConfig::none())
+        .spawn()
+        .expect("serve");
+    let store_names: Vec<&str> = STORES.iter().map(|(n, _)| *n).collect();
+    let weeks: Vec<(u32, String)> = eco.weeks.iter().map(|w| (w.week, w.date.clone())).collect();
+    let archive = gptx::crawler::Crawler::new(server.addr())
+        .with_threads(4)
+        .crawl_campaign(&weeks, &store_names, |w| server.set_week(w))
+        .expect("crawl");
+    server.shutdown();
+    let eco = Arc::try_unwrap(eco).expect("server releases its ecosystem Arc on shutdown");
+    (eco, archive)
+}
+
+/// The acceptance bar: profiles, reports, and every rendered experiment
+/// artifact are byte-identical between the batch and delta paths.
+fn assert_byte_identical(eco: Ecosystem, archive: CrawlArchive) {
+    let full =
+        AnalysisRun::analyze_with_threads(eco.clone(), archive.clone(), Default::default(), 4)
+            .expect("full analysis");
+    let inc = AnalysisRun::analyze_incremental(eco, archive, Default::default(), 4)
+        .expect("incremental analysis");
+    assert_eq!(*full.profiles, *inc.profiles);
+    assert_eq!(full.reports, inc.reports);
+    for (id, _) in gptx::experiments::ALL {
+        assert_eq!(
+            gptx::experiments::render(id, &full),
+            gptx::experiments::render(id, &inc),
+            "experiment {id} differs between full and incremental analysis"
+        );
+    }
+}
+
+/// The generator's own evolution engine, with change and removal rates
+/// dialed across three regimes (change-free, change-heavy,
+/// removal-heavy).
+#[test]
+fn incremental_matches_full_recompute_across_churn_profiles() {
+    for (seed, change, removal) in [(0xC0, 0.0, 0.004), (0xC1, 0.08, 0.0), (0xC2, 0.05, 0.06)] {
+        let mut config = SynthConfig::tiny(seed);
+        config.weekly_change_rate = change;
+        config.weekly_removal_rate = removal;
+        let (eco, archive) = crawl(config);
+        assert_byte_identical(eco, archive);
+    }
+}
+
+/// A week in which nothing changed derives an empty delta and must be a
+/// complete no-op for every incremental operator.
+#[test]
+fn zero_change_week_is_a_no_op() {
+    let (eco, mut archive) = crawl(SynthConfig::tiny(0xC4));
+    let last = archive.snapshots.last().expect("crawled weeks").clone();
+    let mut dup = CrawlSnapshot::new(last.week + 1, "2024-03-14");
+    for gpt in last.gpts.values() {
+        dup.insert(gpt.clone());
+    }
+    archive.snapshots.push(dup);
+    let deltas = WeekDelta::series(&archive.snapshots);
+    let tail = deltas.last().expect("delta per week");
+    assert!(tail.is_empty(), "duplicated week derived a non-empty delta");
+    assert_eq!(tail.churn(), 0);
+    assert_byte_identical(eco, archive);
+}
+
+/// Property-style replay: seeded randomized churn schedules (adds,
+/// payload changes, removals, and re-additions of removed ids) built
+/// from the crawled corpus, each asserted byte-identical.
+#[test]
+fn randomized_churn_schedules_replay_byte_identically() {
+    let (eco, base) = crawl(SynthConfig::tiny(0xC5));
+    let pool: Vec<Gpt> = base.all_unique_gpts().into_values().collect();
+    assert!(pool.len() > 50, "corpus too small to schedule churn");
+
+    for schedule_seed in [11u64, 12, 13] {
+        // splitmix64: deterministic per-schedule randomness.
+        let mut state = schedule_seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+
+        // Week 0 starts from a prefix; later weeks add from the rest.
+        let start = pool.len() * 3 / 5;
+        let mut live: Vec<Gpt> = pool[..start].to_vec();
+        let mut pending: Vec<Gpt> = pool[start..].to_vec();
+        let mut removed: Vec<Gpt> = Vec::new();
+        let mut snapshots = Vec::new();
+        for week in 0u32..5 {
+            if week > 0 {
+                // Remove ~5%, change ~5%, re-add one removed id, then
+                // grow from the pending pool.
+                for _ in 0..live.len() / 20 {
+                    let victim = next() as usize % live.len();
+                    removed.push(live.swap_remove(victim));
+                }
+                for _ in 0..live.len() / 20 {
+                    let target = next() as usize % live.len();
+                    live[target].display.description = format!("changed in week {week}");
+                }
+                if let Some(back) = removed.pop() {
+                    live.push(back);
+                }
+                for _ in 0..pending.len().min(pool.len() / 10) {
+                    live.push(pending.pop().expect("checked non-empty"));
+                }
+            }
+            let mut snapshot = CrawlSnapshot::new(week, &format!("2024-02-{:02}", 8 + week));
+            for gpt in &live {
+                snapshot.insert(gpt.clone());
+            }
+            snapshots.push(snapshot);
+        }
+
+        let mut archive = base.clone();
+        archive.snapshots = snapshots;
+        assert_byte_identical(eco.clone(), archive);
+    }
+}

@@ -102,6 +102,99 @@ fn sharded_pipeline_matches_single_listener_pipeline() {
     assert_eq!(single.reports, sharded.reports);
 }
 
+/// The audit API under the paper's 13-shard topology: every `/api/v1/*`
+/// route is shard-exempt, so each of the 13 listeners answers every
+/// query — for hosts it would NOT own under the ecosystem partition —
+/// identically and without ever issuing `421 Misdirected Request`. The
+/// misroute guard still fires for paths outside the audit surface.
+#[test]
+fn sharded_audit_api_answers_every_route_on_every_listener() {
+    let run = Arc::new(
+        Pipeline::builder(SynthConfig::tiny(50))
+            .faults(FaultConfig::none())
+            .build()
+            .run()
+            .unwrap(),
+    );
+    let identity = run.reports[0].action_identity.clone();
+    let encoded = identity.replace('@', "%40");
+    let latest_gpts = run.archive.snapshots.last().unwrap().gpts.len();
+    let metrics = MetricsRegistry::shared();
+    let handles = gptx::AuditService::new(Arc::clone(&run))
+        .metrics(Arc::clone(&metrics))
+        .serve_sharded(STORES.len())
+        .unwrap();
+    assert_eq!(handles.len(), STORES.len());
+
+    let hosts: Vec<String> = store_names().iter().map(|n| store_host(n)).collect();
+    let paths = [
+        "/api/v1/reports".to_string(),
+        "/api/v1/weeks".to_string(),
+        "/api/v1/weeks/latest".to_string(),
+        format!("/api/v1/actions/{encoded}/exposure"),
+        format!("/api/v1/actions/{encoded}/disclosure"),
+    ];
+    let mut reference: Vec<Option<String>> = vec![None; paths.len()];
+    for (index, handle) in handles.iter().enumerate() {
+        let client = HttpClient::new(handle.addr());
+        // Deliberately query with a host this listener does NOT own, so
+        // only the shard exemption can explain a 200.
+        let foreign = hosts
+            .iter()
+            .find(|h| shard_for_host(h, handles.len()) != index)
+            .expect("13 hosts cover more than one shard");
+        for (i, path) in paths.iter().enumerate() {
+            let resp = client.get(&format!("https://{foreign}{path}")).unwrap();
+            assert_eq!(resp.status, 200, "listener {index}, path {path}");
+            let body = resp.text();
+            match &reference[i] {
+                Some(first) => {
+                    assert_eq!(&body, first, "listener {index} answered {path} differently")
+                }
+                None => reference[i] = Some(body),
+            }
+        }
+    }
+    // weeks/latest replayed the delta series up to the real final week.
+    let latest = reference[2].as_ref().unwrap();
+    assert!(
+        latest.contains(&format!("\"gpts\":{latest_gpts}")),
+        "{latest}"
+    );
+
+    // Outside the audit surface the partition is still enforced: an
+    // unmatched path with a foreign host is misdirected, not 404.
+    let client = HttpClient::new(handles[0].addr());
+    let foreign = hosts
+        .iter()
+        .find(|h| shard_for_host(h, handles.len()) != 0)
+        .unwrap();
+    let owned = hosts
+        .iter()
+        .find(|h| shard_for_host(h, handles.len()) == 0)
+        .unwrap();
+    assert_eq!(
+        client
+            .get(&format!("https://{foreign}/no/such/path"))
+            .unwrap()
+            .status,
+        421
+    );
+    assert_eq!(
+        client
+            .get(&format!("https://{owned}/no/such/path"))
+            .unwrap()
+            .status,
+        404
+    );
+    for handle in handles {
+        handle.shutdown();
+    }
+    let snap = metrics.snapshot();
+    assert_eq!(snap.counters["audit.shard.misroute"], 1);
+    assert!(!snap.counters.contains_key("audit.status.421"));
+}
+
 /// The schedule-driven fault plan rides on shard 0 and counts only that
 /// listener's arrivals: traffic on other shards never shifts the
 /// schedule, which is what keeps chaos repros minimal.
