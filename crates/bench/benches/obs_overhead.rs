@@ -145,6 +145,31 @@ fn bench_obs_overhead(c: &mut Criterion) {
     group.bench_function("trace_span_enabled", |b| {
         b.iter(|| black_box(tracer_on.start_trace("bench.span")))
     });
+
+    // Time-series costs: one sampler tick over a realistically-sized
+    // registry (the per-interval cost a live server pays), and one raw
+    // ring-buffer append (the per-series floor).
+    let sampled = MetricsRegistry::new();
+    for i in 0..64 {
+        sampled.counter(&format!("bench.sampled.c{i}")).add(i);
+    }
+    for i in 0..8 {
+        sampled
+            .histogram(&format!("bench.sampled.h{i}"))
+            .record_us(100 + i);
+    }
+    let sampler = gptx::obs::Sampler::new(Arc::new(sampled), gptx::obs::DEFAULT_SERIES_CAPACITY);
+    group.bench_function("sampler_tick_64c_8h", |b| {
+        b.iter(|| black_box(sampler.tick()))
+    });
+    let mut series = gptx::obs::Series::new(gptx::obs::DEFAULT_SERIES_CAPACITY);
+    let mut t = 0u64;
+    group.bench_function("series_append", |b| {
+        b.iter(|| {
+            t += 250_000;
+            series.push(black_box(t), black_box(42.0));
+        })
+    });
     group.finish();
 }
 

@@ -7,6 +7,7 @@
 //! per target).
 
 pub mod loadgen;
+pub mod trajectory;
 
 use gptx::{AnalysisRun, FaultConfig, Pipeline, SynthConfig};
 use std::sync::OnceLock;

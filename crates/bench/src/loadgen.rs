@@ -18,10 +18,11 @@
 //! [`LoadReport::to_json`] serializes the machine-readable
 //! `BENCH_load.json` the repo pins at its root.
 
+use gptx::obs::{shared_engine, Breach, Sampler, SloEngine, SloPolicy, DEFAULT_SERIES_CAPACITY};
 use gptx::store::net::{Interest, PollEvent, Poller};
 use gptx::store::{shard_for_host, store_host, EcosystemHandle, ServerConfig};
 use gptx::synth::{Ecosystem, SynthConfig, STORES};
-use gptx::{FaultConfig, MetricsRegistry};
+use gptx::{FaultConfig, FaultPlan, MetricsRegistry};
 use std::io::{Cursor, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::os::fd::AsRawFd;
@@ -55,6 +56,15 @@ pub struct LoadConfig {
     pub slo_p99_ms: u64,
     /// Synthetic-ecosystem seed.
     pub seed: u64,
+    /// Schedule-driven wire faults, one plan per shard (empty = clean
+    /// run). Lets a load test degrade its own server mid-run.
+    pub fault_plans: Vec<FaultPlan>,
+    /// Error-budget burn-rate policy evaluated continuously *during*
+    /// the run by a background sampler; a trip aborts the drivers
+    /// mid-run instead of waiting for the post-hoc p99 check.
+    pub burn_slo: Option<SloPolicy>,
+    /// Cadence of the burn-rate sampler.
+    pub sample_interval: Duration,
 }
 
 impl Default for LoadConfig {
@@ -67,6 +77,9 @@ impl Default for LoadConfig {
             workers: 4,
             slo_p99_ms: 250,
             seed: 0x10AD,
+            fault_plans: Vec::new(),
+            burn_slo: None,
+            sample_interval: Duration::from_millis(50),
         }
     }
 }
@@ -110,12 +123,19 @@ pub struct LoadReport {
     /// response we read was served, and the server served at most one
     /// extra in-flight request per connection lifetime.
     pub counter_consistent: bool,
+    /// Burn-rate breaches the continuous SLO engine recorded during
+    /// the run (always empty when no `burn_slo` was configured).
+    pub breaches: Vec<Breach>,
+    /// The drivers stopped before the configured duration because the
+    /// burn-rate SLO tripped.
+    pub aborted_early: bool,
 }
 
 impl LoadReport {
     /// One JSON object, hand-rolled like the rest of the repo's
-    /// artifacts (numbers and booleans only — nothing to escape).
+    /// artifacts (numbers, booleans, and `Breach::to_json` objects).
     pub fn to_json(&self) -> String {
+        let breaches: Vec<String> = self.breaches.iter().map(Breach::to_json).collect();
         format!(
             concat!(
                 "{{\"scale\":{},\"connections\":{},\"shards\":{},",
@@ -124,7 +144,8 @@ impl LoadReport {
                 "\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},",
                 "\"mean_us\":{:.1},\"max_us\":{},\"slo_p99_us\":{},",
                 "\"slo_violated\":{},\"requests_served\":{},",
-                "\"counter_consistent\":{}}}"
+                "\"counter_consistent\":{},",
+                "\"breaches\":[{}],\"aborted_early\":{}}}"
             ),
             self.scale,
             self.connections,
@@ -143,12 +164,15 @@ impl LoadReport {
             self.slo_violated,
             self.requests_served,
             self.counter_consistent,
+            breaches.join(","),
+            self.aborted_early,
         )
     }
 
-    /// Human-readable one-liner for the CLI.
+    /// Human-readable summary for the CLI: one line per run, plus one
+    /// indented line per burn-rate breach.
     pub fn render(&self) -> String {
-        format!(
+        let mut line = format!(
             "{}x: {} conns over {} shards ({} workers each): {:.0} req/s, \
              p50 {} us, p95 {} us, p99 {} us (SLO {} us{}), {} errors, \
              server counted {} ({})",
@@ -173,12 +197,21 @@ impl LoadReport {
             } else {
                 "INCONSISTENT"
             },
-        )
+        );
+        if self.aborted_early {
+            line.push_str(" [ABORTED: burn-rate SLO tripped mid-run]");
+        }
+        for breach in &self.breaches {
+            line.push_str("\n  ");
+            line.push_str(&breach.render());
+        }
+        line
     }
 
-    /// The run passes: SLO held and the books balance.
+    /// The run passes: SLO held, no burn-rate breaches, and the books
+    /// balance.
     pub fn passed(&self) -> bool {
-        !self.slo_violated && self.counter_consistent
+        !self.slo_violated && self.counter_consistent && self.breaches.is_empty()
     }
 }
 
@@ -281,6 +314,9 @@ struct DriverShared {
     responses: AtomicU64,
     errors: AtomicU64,
     reconnects: AtomicU64,
+    /// Continuous burn-rate engine; a trip aborts every driver at its
+    /// next poll round.
+    slo: Option<Arc<SloEngine>>,
 }
 
 /// Drive `conn_targets.len()` connections until `deadline`. Transport
@@ -301,6 +337,11 @@ fn drive_connections(
     }
     let mut events: Vec<PollEvent> = Vec::new();
     while Instant::now() < deadline {
+        // The burn-rate trip is sticky, so one check per poll round is
+        // enough to stop every driver within one wait timeout.
+        if shared.slo.as_ref().is_some_and(|engine| engine.tripped()) {
+            break;
+        }
         let remaining = deadline.saturating_duration_since(Instant::now());
         poller.wait(&mut events, Some(remaining.min(Duration::from_millis(100))))?;
         for event in events.drain(..) {
@@ -420,19 +461,39 @@ fn execute(config: LoadConfig, scale: usize) -> std::io::Result<LoadReport> {
     // per-connection cap must never be the bottleneck.
     server_config.max_requests_per_conn = u64::MAX;
     server_config.idle_timeout = Duration::from_secs(30);
-    let handle = EcosystemHandle::builder(Arc::clone(&eco))
+    let mut builder = EcosystemHandle::builder(Arc::clone(&eco))
         .faults(FaultConfig::none())
         .config(server_config)
-        .shards(config.shards)
-        .spawn()?;
+        .shards(config.shards);
+    if !config.fault_plans.is_empty() {
+        builder = builder.fault_plans(config.fault_plans.clone());
+    }
+    let handle = builder.spawn()?;
     let addrs = handle.addrs();
     let targets = build_targets(&addrs, handle.shard_count());
+
+    // The continuous SLO path: a background sampler scrapes the shared
+    // registry every `sample_interval` and feeds the latency histogram's
+    // good/bad deltas to the burn-rate engine, so breaches land while
+    // the drivers are still pumping requests.
+    let engine = config
+        .burn_slo
+        .clone()
+        .map(|policy| shared_engine(policy, &metrics));
+    let sampler = engine.as_ref().map(|engine| {
+        Arc::new(
+            Sampler::new(Arc::clone(&metrics), DEFAULT_SERIES_CAPACITY)
+                .with_slo(Arc::clone(engine)),
+        )
+        .spawn(config.sample_interval)
+    });
 
     let shared = Arc::new(DriverShared {
         metrics: Arc::clone(&metrics),
         responses: AtomicU64::new(0),
         errors: AtomicU64::new(0),
         reconnects: AtomicU64::new(0),
+        slo: engine.clone(),
     });
     let threads = config.threads.clamp(1, config.connections.max(1));
     let start = Instant::now();
@@ -463,6 +524,9 @@ fn execute(config: LoadConfig, scale: usize) -> std::io::Result<LoadReport> {
         join.join().expect("load driver panicked")?;
     }
     let duration_s = start.elapsed().as_secs_f64();
+    if let Some(sampler) = sampler {
+        sampler.stop();
+    }
     // Shutdown closes every server-side connection, which flushes each
     // one's request count into the store.conn_requests histogram — the
     // server-side book we reconcile against.
@@ -484,6 +548,11 @@ fn execute(config: LoadConfig, scale: usize) -> std::io::Result<LoadReport> {
         && requests_served <= requests + (config.connections as u64) + reconnects;
     let slo_p99_us = config.slo_p99_ms * 1000;
     let p99_us = latency.map(|h| h.p99_us).unwrap_or(0);
+    let tripped = engine.as_ref().is_some_and(|e| e.tripped());
+    let breaches = engine.map(|e| e.breaches()).unwrap_or_default();
+    // "Early" with half a sample interval of slack: a trip on the last
+    // tick of a full-length run is a breach, not an abort.
+    let aborted_early = tripped && duration_s < (config.duration.as_secs_f64() - 0.05).max(0.0);
     Ok(LoadReport {
         scale: scale.max(1),
         connections: config.connections,
@@ -502,6 +571,8 @@ fn execute(config: LoadConfig, scale: usize) -> std::io::Result<LoadReport> {
         slo_violated: requests == 0 || p99_us > slo_p99_us,
         requests_served,
         counter_consistent,
+        breaches,
+        aborted_early,
     })
 }
 
@@ -519,11 +590,14 @@ mod tests {
             workers: 2,
             slo_p99_ms: 5000,
             seed: 0x10AD,
+            ..LoadConfig::default()
         };
         let report = run_custom(&config).expect("load run");
         assert!(report.requests > 0, "no responses completed");
         assert_eq!(report.errors, 0, "transport errors on loopback");
         assert!(report.counter_consistent, "server/client books disagree");
+        assert!(report.breaches.is_empty(), "clean run recorded breaches");
+        assert!(!report.aborted_early);
         assert!(report.p50_us <= report.p99_us);
         assert!(report.rps > 0.0);
         let json = report.to_json();
@@ -551,10 +625,61 @@ mod tests {
             slo_violated: false,
             requests_served: 1000,
             counter_consistent: true,
+            breaches: Vec::new(),
+            aborted_early: false,
         };
         let json = curve_to_json(&[report.clone(), report]);
         assert!(json.starts_with("{\"runs\": ["));
         assert_eq!(json.matches("\"scale\":1").count(), 2);
+        assert_eq!(json.matches("\"breaches\":[]").count(), 2);
+        assert_eq!(json.matches("\"aborted_early\":false").count(), 2);
+    }
+
+    #[test]
+    fn burn_rate_slo_trips_and_aborts_mid_run() {
+        use gptx::FaultKind;
+
+        let shards = 2;
+        // From the 50th arrival on, every shard slow-writes every
+        // response: 512-byte chunks with a 1 ms sleep per chunk, so
+        // each degraded response takes well over the 1 ms threshold
+        // and the fast window's bad fraction goes to ~100%.
+        let plans: Vec<FaultPlan> = (0..shards)
+            .map(|_| FaultPlan::from_schedule((50..200_000).map(|i| (i, FaultKind::SlowWrite))))
+            .collect();
+        let config = LoadConfig {
+            connections: 26,
+            duration: Duration::from_secs(30),
+            threads: 2,
+            shards,
+            workers: 2,
+            slo_p99_ms: 60_000,
+            seed: 0x10AD,
+            fault_plans: plans,
+            burn_slo: Some(SloPolicy::latency(LATENCY_METRIC, 1_000)),
+            sample_interval: Duration::from_millis(25),
+        };
+        let start = Instant::now();
+        let report = run_custom(&config).expect("load run");
+        let elapsed = start.elapsed();
+
+        assert!(
+            !report.breaches.is_empty(),
+            "induced slow-writes never breached the burn-rate SLO"
+        );
+        assert!(report.aborted_early, "breach did not abort the run");
+        assert!(
+            elapsed < Duration::from_secs(20),
+            "abort did not cut the 30 s run short (took {elapsed:?})"
+        );
+        assert!(!report.passed());
+        // Breaches carry run-relative timestamps from the sampler clock.
+        assert!(report.breaches[0].at_us > 0);
+        assert!(report.breaches[0].total >= 50, "min_events gate ignored");
+        let json = report.to_json();
+        assert!(json.contains("\"aborted_early\":true"));
+        assert!(json.contains("\"breaches\":[{\"policy\""));
+        assert!(report.render().contains("slo breach"));
     }
 
     #[test]

@@ -1,0 +1,488 @@
+//! Benchmark trajectory: an append-only history of `gptx bench load`
+//! runs plus a regression gate over it.
+//!
+//! `BENCH_load.json` started life as a single `{"runs": [...]}`
+//! document that each run overwrote — good for pinning one curve, but
+//! useless for answering "did this commit make the server slower?".
+//! Schema 2 turns the file into a trajectory:
+//!
+//! ```json
+//! {"schema": 2, "entries": [
+//!   {"git_rev": "61dd62d", "seed": 4269, "runs": [ ... ]},
+//!   {"git_rev": "a1b2c3d", "seed": 4269, "runs": [ ... ]}
+//! ]}
+//! ```
+//!
+//! Each entry is one invocation's full scale curve (the objects are
+//! exactly [`LoadReport::to_json`]). [`append`] migrates a legacy v1
+//! document in place (its runs become the first entry, rev `legacy`),
+//! then appends. [`compare`] diffs the newest entry against the most
+//! recent earlier entry with a matching topology and flags any run
+//! whose throughput dropped or p99 rose beyond a percentage threshold
+//! — the nonzero-exit gate behind `gptx bench compare`.
+
+use crate::loadgen::LoadReport;
+use gptx::obs::{parse_json, Json};
+use std::path::Path;
+
+/// Current on-disk schema version.
+pub const TRAJECTORY_SCHEMA: u64 = 2;
+
+/// Rev recorded for runs migrated from a schema-1 document.
+pub const LEGACY_REV: &str = "legacy";
+
+/// One `gptx bench load` invocation: the repo state it measured and
+/// the scale curve it produced (raw report objects).
+#[derive(Debug, Clone)]
+pub struct TrajectoryEntry {
+    pub git_rev: String,
+    pub seed: u64,
+    pub runs: Vec<Json>,
+}
+
+/// The whole benchmark history, oldest entry first.
+#[derive(Debug, Clone, Default)]
+pub struct Trajectory {
+    pub entries: Vec<TrajectoryEntry>,
+}
+
+/// `git rev-parse --short HEAD` of the working directory, `unknown`
+/// when git is unavailable (the trajectory must not require a repo).
+pub fn current_git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .map(|out| String::from_utf8_lossy(&out.stdout).trim().to_string())
+        .filter(|rev| !rev.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Build an entry from finished reports, round-tripping each report
+/// through the JSON parser — which doubles as a self-check that the
+/// hand-rolled emitter produces real JSON.
+pub fn entry_from_reports(reports: &[LoadReport], seed: u64, git_rev: String) -> TrajectoryEntry {
+    TrajectoryEntry {
+        git_rev,
+        seed,
+        runs: reports
+            .iter()
+            .map(|r| parse_json(&r.to_json()).expect("LoadReport::to_json emits valid JSON"))
+            .collect(),
+    }
+}
+
+/// Parse a trajectory document, migrating schema 1 (`{"runs": [...]}`)
+/// into a single legacy entry.
+pub fn parse_trajectory(text: &str) -> Result<Trajectory, String> {
+    let value = parse_json(text)?;
+    if let Some(schema) = value.get_u64("schema") {
+        if schema != TRAJECTORY_SCHEMA {
+            return Err(format!("unsupported trajectory schema {schema}"));
+        }
+        let entries = value
+            .get("entries")
+            .and_then(Json::as_array)
+            .ok_or("schema 2 document without an \"entries\" array")?;
+        let entries = entries
+            .iter()
+            .enumerate()
+            .map(|(i, entry)| {
+                let runs = entry
+                    .get("runs")
+                    .and_then(Json::as_array)
+                    .ok_or(format!("entry {i} has no \"runs\" array"))?;
+                Ok(TrajectoryEntry {
+                    git_rev: entry
+                        .get("git_rev")
+                        .and_then(Json::as_str)
+                        .unwrap_or("unknown")
+                        .to_string(),
+                    seed: entry.get_u64("seed").unwrap_or(0),
+                    runs: runs.to_vec(),
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        return Ok(Trajectory { entries });
+    }
+    // Schema 1: the bare runs array becomes the first trajectory entry.
+    let runs = value
+        .get("runs")
+        .and_then(Json::as_array)
+        .ok_or("neither a schema-2 trajectory nor a v1 {\"runs\": [...]} document")?;
+    Ok(Trajectory {
+        entries: vec![TrajectoryEntry {
+            git_rev: LEGACY_REV.to_string(),
+            seed: 0,
+            runs: runs.to_vec(),
+        }],
+    })
+}
+
+/// Serialize a trajectory as the schema-2 document (one run per line,
+/// so diffs stay readable).
+pub fn trajectory_to_json(trajectory: &Trajectory) -> String {
+    let entries: Vec<String> = trajectory
+        .entries
+        .iter()
+        .map(|entry| {
+            let runs: Vec<String> = entry
+                .runs
+                .iter()
+                .map(|r| format!("    {}", render_json(r)))
+                .collect();
+            format!(
+                " {{\"git_rev\": {}, \"seed\": {}, \"runs\": [\n{}\n  ]}}",
+                render_json(&Json::String(entry.git_rev.clone())),
+                entry.seed,
+                runs.join(",\n"),
+            )
+        })
+        .collect();
+    format!(
+        "{{\"schema\": {TRAJECTORY_SCHEMA}, \"entries\": [\n{}\n]}}\n",
+        entries.join(",\n")
+    )
+}
+
+/// Append one invocation to the trajectory file, creating it (or
+/// migrating a v1 document) as needed.
+pub fn append(path: &Path, entry: TrajectoryEntry) -> std::io::Result<()> {
+    let mut trajectory = match std::fs::read_to_string(path) {
+        Ok(text) => parse_trajectory(&text).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{}: {e}", path.display()),
+            )
+        })?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Trajectory::default(),
+        Err(e) => return Err(e),
+    };
+    trajectory.entries.push(entry);
+    std::fs::write(path, trajectory_to_json(&trajectory))
+}
+
+/// One scale point of a [`CompareReport`].
+#[derive(Debug, Clone)]
+pub struct CompareRow {
+    pub scale: u64,
+    pub base_rps: f64,
+    pub latest_rps: f64,
+    pub base_p99_us: u64,
+    pub latest_p99_us: u64,
+    /// Throughput change, positive = faster.
+    pub rps_delta_pct: f64,
+    /// p99 change, positive = slower.
+    pub p99_delta_pct: f64,
+    pub regressed: bool,
+}
+
+/// The latest entry diffed against its baseline.
+#[derive(Debug, Clone)]
+pub struct CompareReport {
+    /// `None` when no earlier entry has a comparable topology — a
+    /// first run is vacuously non-regressed.
+    pub baseline_rev: Option<String>,
+    pub latest_rev: String,
+    pub threshold_pct: f64,
+    pub rows: Vec<CompareRow>,
+}
+
+impl CompareReport {
+    /// Whether any scale point regressed beyond the threshold.
+    pub fn regressed(&self) -> bool {
+        self.rows.iter().any(|row| row.regressed)
+    }
+
+    /// Human-readable diff for the CLI.
+    pub fn render(&self) -> String {
+        let Some(baseline) = &self.baseline_rev else {
+            return format!(
+                "bench compare: no comparable baseline for {} — nothing to gate",
+                self.latest_rev
+            );
+        };
+        let mut out = format!(
+            "bench compare: {} vs {} (threshold {:.0}%)",
+            self.latest_rev, baseline, self.threshold_pct
+        );
+        for row in &self.rows {
+            out.push_str(&format!(
+                "\n  {}x: rps {:.0} -> {:.0} ({:+.1}%), p99 {} us -> {} us ({:+.1}%){}",
+                row.scale,
+                row.base_rps,
+                row.latest_rps,
+                row.rps_delta_pct,
+                row.base_p99_us,
+                row.latest_p99_us,
+                row.p99_delta_pct,
+                if row.regressed { "  REGRESSED" } else { "" },
+            ));
+        }
+        out
+    }
+}
+
+/// Key under which two runs are comparable: same topology and scale.
+fn run_key(run: &Json) -> Option<(u64, u64, u64, u64)> {
+    Some((
+        run.get_u64("scale")?,
+        run.get_u64("connections")?,
+        run.get_u64("shards")?,
+        run.get_u64("server_workers")?,
+    ))
+}
+
+/// Diff the newest entry against the most recent earlier entry whose
+/// runs cover every scale point of the newest (matching topology).
+pub fn compare(trajectory: &Trajectory, threshold_pct: f64) -> Result<CompareReport, String> {
+    let latest = trajectory.entries.last().ok_or("empty trajectory")?;
+    let earlier = &trajectory.entries[..trajectory.entries.len() - 1];
+    let baseline = earlier.iter().rev().find(|candidate| {
+        latest.runs.iter().all(|run| {
+            run_key(run).is_some_and(|key| candidate.runs.iter().any(|b| run_key(b) == Some(key)))
+        })
+    });
+    let Some(baseline) = baseline else {
+        return Ok(CompareReport {
+            baseline_rev: None,
+            latest_rev: latest.git_rev.clone(),
+            threshold_pct,
+            rows: Vec::new(),
+        });
+    };
+
+    let mut rows = Vec::new();
+    for run in &latest.runs {
+        let key = run_key(run).ok_or("run object missing scale/topology fields")?;
+        let base = baseline
+            .runs
+            .iter()
+            .find(|b| run_key(b) == Some(key))
+            .expect("baseline covers every scale point");
+        let base_rps = base.get_f64("rps").unwrap_or(0.0);
+        let latest_rps = run.get_f64("rps").unwrap_or(0.0);
+        let base_p99_us = base.get_u64("p99_us").unwrap_or(0);
+        let latest_p99_us = run.get_u64("p99_us").unwrap_or(0);
+        let rps_delta_pct = if base_rps > 0.0 {
+            (latest_rps - base_rps) / base_rps * 100.0
+        } else {
+            0.0
+        };
+        let p99_delta_pct = if base_p99_us > 0 {
+            (latest_p99_us as f64 - base_p99_us as f64) / base_p99_us as f64 * 100.0
+        } else {
+            0.0
+        };
+        rows.push(CompareRow {
+            scale: key.0,
+            base_rps,
+            latest_rps,
+            base_p99_us,
+            latest_p99_us,
+            rps_delta_pct,
+            p99_delta_pct,
+            regressed: rps_delta_pct < -threshold_pct || p99_delta_pct > threshold_pct,
+        });
+    }
+    Ok(CompareReport {
+        baseline_rev: Some(baseline.git_rev.clone()),
+        latest_rev: latest.git_rev.clone(),
+        threshold_pct,
+        rows,
+    })
+}
+
+/// Serialize a parsed value back to JSON text. Numbers print via
+/// `f64`'s shortest representation, so a round trip is semantically
+/// (not byte-) identical.
+fn render_json(value: &Json) -> String {
+    match value {
+        Json::Null => "null".to_string(),
+        Json::Bool(b) => b.to_string(),
+        Json::Number(n) => {
+            if n.fract() == 0.0 && n.abs() < 9e15 {
+                format!("{}", *n as i64)
+            } else {
+                format!("{n}")
+            }
+        }
+        Json::String(s) => {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for ch in s.chars() {
+                match ch {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        }
+        Json::Array(items) => {
+            let parts: Vec<String> = items.iter().map(render_json).collect();
+            format!("[{}]", parts.join(","))
+        }
+        Json::Object(fields) => {
+            let parts: Vec<String> = fields
+                .iter()
+                .map(|(k, v)| {
+                    format!(
+                        "{}:{}",
+                        render_json(&Json::String(k.clone())),
+                        render_json(v)
+                    )
+                })
+                .collect();
+            format!("{{{}}}", parts.join(","))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const V1_DOC: &str = concat!(
+        "{\"runs\": [\n",
+        "  {\"scale\":1,\"connections\":26,\"shards\":13,\"server_workers\":4,",
+        "\"rps\":65512.0,\"p99_us\":1000},\n",
+        "  {\"scale\":10,\"connections\":260,\"shards\":13,\"server_workers\":4,",
+        "\"rps\":71741.0,\"p99_us\":10000}\n",
+        "]}\n"
+    );
+
+    fn entry(rev: &str, rps: f64, p99: u64) -> TrajectoryEntry {
+        let run = parse_json(&format!(
+            "{{\"scale\":1,\"connections\":26,\"shards\":13,\"server_workers\":4,\
+             \"rps\":{rps},\"p99_us\":{p99}}}"
+        ))
+        .unwrap();
+        TrajectoryEntry {
+            git_rev: rev.to_string(),
+            seed: 0x10AD,
+            runs: vec![run],
+        }
+    }
+
+    #[test]
+    fn v1_document_migrates_to_one_legacy_entry() {
+        let trajectory = parse_trajectory(V1_DOC).unwrap();
+        assert_eq!(trajectory.entries.len(), 1);
+        assert_eq!(trajectory.entries[0].git_rev, LEGACY_REV);
+        assert_eq!(trajectory.entries[0].runs.len(), 2);
+    }
+
+    #[test]
+    fn schema2_round_trips_through_render_and_parse() {
+        let mut trajectory = parse_trajectory(V1_DOC).unwrap();
+        trajectory.entries.push(entry("abc1234", 70000.0, 1000));
+        let text = trajectory_to_json(&trajectory);
+        let reparsed = parse_trajectory(&text).unwrap();
+        assert_eq!(reparsed.entries.len(), 2);
+        assert_eq!(reparsed.entries[0].git_rev, LEGACY_REV);
+        assert_eq!(reparsed.entries[1].git_rev, "abc1234");
+        assert_eq!(reparsed.entries[1].seed, 0x10AD);
+        assert_eq!(reparsed.entries[1].runs[0].get_f64("rps"), Some(70000.0));
+    }
+
+    #[test]
+    fn append_migrates_then_appends_on_disk() {
+        let path = std::env::temp_dir().join(format!(
+            "gptx-trajectory-append-{}.json",
+            std::process::id()
+        ));
+        std::fs::write(&path, V1_DOC).unwrap();
+        append(&path, entry("abc1234", 70000.0, 1000)).unwrap();
+        append(&path, entry("def5678", 69000.0, 1000)).unwrap();
+        let trajectory = parse_trajectory(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(trajectory.entries.len(), 3);
+        assert_eq!(trajectory.entries[0].git_rev, LEGACY_REV);
+        assert_eq!(trajectory.entries[2].git_rev, "def5678");
+    }
+
+    #[test]
+    fn compare_flags_throughput_and_latency_regressions() {
+        let trajectory = Trajectory {
+            entries: vec![entry("base", 60000.0, 1000), entry("slow", 40000.0, 1000)],
+        };
+        let report = compare(&trajectory, 20.0).unwrap();
+        assert!(report.regressed(), "33% rps drop not flagged");
+        assert!(report.render().contains("REGRESSED"));
+
+        let trajectory = Trajectory {
+            entries: vec![entry("base", 60000.0, 1000), entry("spiky", 60000.0, 5000)],
+        };
+        let report = compare(&trajectory, 20.0).unwrap();
+        assert!(report.regressed(), "5x p99 rise not flagged");
+
+        let trajectory = Trajectory {
+            entries: vec![entry("base", 60000.0, 1000), entry("same", 59000.0, 1000)],
+        };
+        assert!(!compare(&trajectory, 20.0).unwrap().regressed());
+    }
+
+    #[test]
+    fn compare_without_comparable_baseline_passes() {
+        // Single entry: nothing to gate.
+        let trajectory = Trajectory {
+            entries: vec![entry("only", 60000.0, 1000)],
+        };
+        let report = compare(&trajectory, 20.0).unwrap();
+        assert!(report.baseline_rev.is_none());
+        assert!(!report.regressed());
+
+        // Earlier entry exists but with a different topology.
+        let mut other = entry("other", 60000.0, 1000);
+        other.runs = vec![parse_json(
+            "{\"scale\":1,\"connections\":52,\"shards\":13,\"server_workers\":4,\
+             \"rps\":60000,\"p99_us\":1000}",
+        )
+        .unwrap()];
+        let trajectory = Trajectory {
+            entries: vec![other, entry("latest", 10.0, 99000)],
+        };
+        let report = compare(&trajectory, 20.0).unwrap();
+        assert!(report.baseline_rev.is_none());
+        assert!(!report.regressed());
+    }
+
+    #[test]
+    fn entry_from_reports_round_trips_the_emitter() {
+        let report = LoadReport {
+            scale: 1,
+            connections: 26,
+            shards: 13,
+            server_workers: 4,
+            duration_s: 2.0,
+            requests: 1000,
+            errors: 0,
+            rps: 500.0,
+            p50_us: 100,
+            p95_us: 200,
+            p99_us: 300,
+            mean_us: 120.0,
+            max_us: 400,
+            slo_p99_us: 250_000,
+            slo_violated: false,
+            requests_served: 1000,
+            counter_consistent: true,
+            breaches: Vec::new(),
+            aborted_early: false,
+        };
+        let entry = entry_from_reports(&[report], 0x10AD, "abc1234".to_string());
+        assert_eq!(entry.runs.len(), 1);
+        assert_eq!(entry.runs[0].get_u64("p99_us"), Some(300));
+        assert_eq!(
+            entry.runs[0].get("counter_consistent"),
+            Some(&Json::Bool(true))
+        );
+    }
+}

@@ -36,6 +36,7 @@ fn main() -> ExitCode {
         "report" => report(rest),
         "chaos" => chaos(rest),
         "bench" => bench(rest),
+        "top" => top(rest),
         "trace-validate" => trace_validate(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -57,7 +58,11 @@ USAGE:
                                    [--trace FILE] [--trace-sample RATE]
     gptx generate                  [--seed N] [--scale ...] [--out FILE]
     gptx serve                     [--seed N] [--scale ...] [--port N] [--addr-file FILE]
-                                   (serve the synthetic ecosystem until stdin EOF)
+                                   [--shards N] [--metrics]
+                                   (serve the synthetic ecosystem until stdin EOF;
+                                   --metrics adds per-shard registries, the
+                                   background sampler, and the /metrics,
+                                   /metrics/history, /metrics/cluster routes)
     gptx serve --archive-dir DIR --eco FILE
                                    [--threads N] [--port N] [--addr-file FILE] [--metrics]
                                    (audit API over a persisted campaign: GET
@@ -83,10 +88,20 @@ USAGE:
                                    whether the recorded violation reproduces
     gptx bench load                [--connections N] [--duration-s N] [--threads N]
                                    [--shards N] [--workers N] [--slo-p99-ms N]
-                                   [--seed N] [--curve] [--out FILE]
+                                   [--burn-slo-ms N] [--seed N] [--curve] [--out FILE]
                                    (closed-loop load generator against the sharded
-                                   store; exits nonzero on p99 SLO violation or
-                                   request-counter inconsistency)
+                                   store; exits nonzero on p99 SLO violation,
+                                   request-counter inconsistency, or a mid-run
+                                   burn-rate breach)
+    gptx bench compare             [--file FILE] [--threshold-pct N]
+                                   (diff the latest BENCH_load.json entry against
+                                   the most recent comparable baseline; exits
+                                   nonzero on a throughput/latency regression)
+    gptx top                       (--addr HOST:PORT | --addr-file FILE)
+                                   [--interval-ms N] [--once]
+                                   (live fleet console: merged cluster counters
+                                   with rate sparklines, latency table, event
+                                   tail; any listener serves the whole fleet)
     gptx trace-validate FILE       structurally validate a Chrome trace JSON
                                    written by --trace
 
@@ -166,10 +181,29 @@ OPTIONS:
     --slo-p99-ms N
                   bench load: p99 latency SLO asserted against the
                   gptx-obs histogram (default 250).
+    --burn-slo-ms N
+                  bench load: arm a continuous error-budget burn-rate
+                  SLO on request latency (threshold N ms). A background
+                  sampler scrapes the registry during the run; if the
+                  fast-window burn rate exceeds budget the run aborts
+                  early and exits nonzero.
     --curve       bench load: sweep 1x/10x/50x paper scale instead of a
                   single run.
-    --out FILE    bench load: also write the machine-readable report
-                  (the BENCH_load.json format).
+    --out FILE    bench load: append this run (git rev + seed + reports)
+                  as a new entry in the schema-versioned BENCH_load.json
+                  trajectory (v1 files are migrated in place).
+    --file FILE   bench compare: the trajectory to diff (default
+                  BENCH_load.json).
+    --threshold-pct N
+                  bench compare: regression threshold — fail when rps
+                  drops or p99 rises by more than N percent (default 10).
+    --addr HOST:PORT
+                  top: a listener to scrape. `/metrics/cluster/export`
+                  on any shard returns the merged fleet view, so one
+                  address sees the whole topology.
+    --interval-ms N
+                  top: refresh interval (default 1000).
+    --once        top: print a single frame and exit (scripts, CI).
 
 SCALES:
     tiny    ~400 GPTs, 4 weeks      (seconds)
@@ -187,7 +221,12 @@ fn split_args(args: &[String]) -> (Vec<String>, std::collections::BTreeMap<Strin
         let a = &args[i];
         if let Some(name) = a.strip_prefix("--") {
             // Boolean flags take no value.
-            if name == "faults" || name == "metrics" || name == "curve" || name == "incremental" {
+            if name == "faults"
+                || name == "metrics"
+                || name == "curve"
+                || name == "incremental"
+                || name == "once"
+            {
                 options.insert(name.to_string(), "true".to_string());
                 i += 1;
             } else if i + 1 < args.len() {
@@ -491,11 +530,30 @@ fn serve(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let shards: Option<usize> = match options.get("shards").map(|v| v.parse::<usize>()) {
+        None => None,
+        Some(Ok(n)) if n >= 1 => Some(n),
+        Some(_) => {
+            eprintln!("bad --shards (want an integer >= 1)");
+            return ExitCode::FAILURE;
+        }
+    };
     let eco = Arc::new(gptx::Ecosystem::generate(config));
-    let handle = match gptx::store::EcosystemHandle::builder(Arc::clone(&eco))
-        .config(gptx::store::ServerConfig::default().with_port(port))
-        .spawn()
-    {
+    let mut builder = gptx::store::EcosystemHandle::builder(Arc::clone(&eco))
+        .config(gptx::store::ServerConfig::default().with_port(port));
+    if let Some(n) = shards {
+        builder = builder.shards(n);
+    }
+    if options.contains_key("metrics") {
+        // Live observability: per-shard registries merged at
+        // /metrics/cluster, a background sampler feeding
+        // /metrics/history — the endpoints `gptx top` paints from.
+        builder = builder
+            .metrics(MetricsRegistry::shared())
+            .shard_metrics()
+            .sample_interval(std::time::Duration::from_millis(250));
+    }
+    let handle = match builder.spawn() {
         Ok(h) => h,
         Err(e) => {
             eprintln!("failed to bind: {e}");
@@ -1179,10 +1237,17 @@ fn chaos_replay(path: &str) -> ExitCode {
 /// load generator and assert its p99 SLO and counter consistency.
 fn bench(args: &[String]) -> ExitCode {
     let (positional, options) = split_args(args);
-    if positional.first().map(String::as_str) != Some("load") {
-        eprintln!("bench needs the 'load' subcommand\n{USAGE}");
-        return ExitCode::FAILURE;
+    match positional.first().map(String::as_str) {
+        Some("load") => bench_load(&options),
+        Some("compare") => bench_compare(&options),
+        _ => {
+            eprintln!("bench needs the 'load' or 'compare' subcommand\n{USAGE}");
+            ExitCode::FAILURE
+        }
     }
+}
+
+fn bench_load(options: &std::collections::BTreeMap<String, String>) -> ExitCode {
     let mut config = gptx_bench::loadgen::LoadConfig::default();
     let numeric = |name: &str, min: u64| -> Result<Option<u64>, String> {
         options
@@ -1215,6 +1280,12 @@ fn bench(args: &[String]) -> ExitCode {
         if let Some(n) = numeric("seed", 0)? {
             config.seed = n;
         }
+        if let Some(n) = numeric("burn-slo-ms", 1)? {
+            config.burn_slo = Some(gptx::obs::SloPolicy::latency(
+                gptx_bench::loadgen::LATENCY_METRIC,
+                n * 1_000,
+            ));
+        }
         Ok(())
     })();
     if let Err(e) = parsed {
@@ -1237,19 +1308,153 @@ fn bench(args: &[String]) -> ExitCode {
         println!("{}", report.render());
     }
     if let Some(path) = options.get("out") {
-        let json = gptx_bench::loadgen::curve_to_json(&reports);
-        if let Err(e) = std::fs::write(path, json) {
-            eprintln!("writing {path:?}: {e}");
+        let entry = gptx_bench::trajectory::entry_from_reports(
+            &reports,
+            config.seed,
+            gptx_bench::trajectory::current_git_rev(),
+        );
+        if let Err(e) = gptx_bench::trajectory::append(std::path::Path::new(path), entry) {
+            eprintln!("appending to {path:?}: {e}");
             return ExitCode::FAILURE;
         }
-        println!("wrote {path}");
+        println!("appended run to {path}");
     }
     if reports.iter().all(|r| r.passed()) {
         ExitCode::SUCCESS
     } else {
-        eprintln!("load SLO violated or counters inconsistent");
+        eprintln!("load SLO violated, counters inconsistent, or burn-rate breach");
         ExitCode::FAILURE
     }
+}
+
+/// `gptx bench compare`: diff the newest trajectory entry against the
+/// most recent earlier entry that covers the same run configurations.
+fn bench_compare(options: &std::collections::BTreeMap<String, String>) -> ExitCode {
+    let path = options
+        .get("file")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_load.json".to_string());
+    let threshold: f64 = match options.get("threshold-pct") {
+        Some(v) => match v.parse::<f64>() {
+            Ok(n) if n >= 0.0 => n,
+            _ => {
+                eprintln!("bad --threshold-pct {v:?} (want a number >= 0)");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => 10.0,
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trajectory = match gptx_bench::trajectory::parse_trajectory(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match gptx_bench::trajectory::compare(&trajectory, threshold) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", report.render());
+    if report.regressed() {
+        eprintln!("performance regression beyond {threshold}%");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// The virtual host the metrics routes are addressed under — any
+/// hostname works (the router matches paths), this one just reads well
+/// in logs.
+const TOP_HOST: &str = "metrics.gptx.test";
+
+/// `gptx top`: the live fleet console. One address is enough — every
+/// listener's `/metrics/cluster/export` returns the merged in-process
+/// fleet view, and `/metrics/history/export` the sampler's series.
+fn top(args: &[String]) -> ExitCode {
+    let (_, options) = split_args(args);
+    let addr_text = if let Some(addr) = options.get("addr") {
+        addr.clone()
+    } else if let Some(path) = options.get("addr-file") {
+        match std::fs::read_to_string(path) {
+            Ok(text) => text.trim().to_string(),
+            Err(e) => {
+                eprintln!("cannot read --addr-file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        eprintln!("top needs --addr HOST:PORT or --addr-file FILE\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let addr: std::net::SocketAddr = match addr_text.parse() {
+        Ok(a) => a,
+        Err(_) => {
+            eprintln!("bad address {addr_text:?} (want HOST:PORT)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let interval_ms: u64 = match options.get("interval-ms").map(|v| v.parse::<u64>()) {
+        None => 1_000,
+        Some(Ok(n)) if n >= 10 => n,
+        Some(_) => {
+            eprintln!("bad --interval-ms (want an integer >= 10)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let once = options.contains_key("once");
+    let client = gptx::store::HttpClient::new(addr).with_pool(1);
+    loop {
+        match top_frame(&client) {
+            Ok(frame) => {
+                if !once {
+                    // Clear and home between refreshes, like top(1).
+                    print!("\x1b[2J\x1b[H");
+                }
+                print!("{frame}");
+                use std::io::Write;
+                let _ = std::io::stdout().flush();
+            }
+            Err(e) => {
+                eprintln!("scrape of {addr} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if once {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
+/// Fetch the merged cluster snapshot plus series history and render one
+/// console frame.
+fn top_frame(client: &gptx::store::HttpClient) -> Result<String, String> {
+    let resp = client
+        .get(&format!("https://{TOP_HOST}/metrics/cluster/export"))
+        .map_err(|e| e.to_string())?;
+    if !resp.is_success() {
+        return Err(format!("/metrics/cluster/export: HTTP {}", resp.status));
+    }
+    let cluster = gptx::obs::parse_snapshot_wire(&resp.text())
+        .ok_or("unparseable cluster snapshot (is this a gptx listener?)")?;
+    // History is optional: a server without a sampler simply has none.
+    let history = match client.get(&format!("https://{TOP_HOST}/metrics/history/export")) {
+        Ok(resp) if resp.is_success() => gptx::obs::parse_history_wire(&resp.text()),
+        _ => Default::default(),
+    };
+    Ok(gptx::report::live::live_frame(&cluster, &history))
 }
 
 /// Structurally validate a Chrome trace JSON file written by `--trace`:

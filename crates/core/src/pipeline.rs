@@ -12,7 +12,10 @@ use gptx_classifier::{ActionProfile, Classifier};
 use gptx_crawler::{CampaignSinkError, CampaignStore, CrawlArchive, CrawlStats, Crawler};
 use gptx_graph::{build_cooccurrence, CollectionMap, Graph};
 use gptx_llm::{DisclosureLabel, KbModel, LanguageModel};
-use gptx_obs::{Level, MetricsRegistry, SpanContext, Tracer};
+use gptx_obs::{
+    shared_engine, Level, MetricsRegistry, Sampler, SeriesStore, SloEngine, SloPolicy, SpanContext,
+    Tracer, DEFAULT_SERIES_CAPACITY,
+};
 use gptx_policy::{ActionDisclosureReport, PolicyAnalyzer};
 use gptx_store::{ClientError, EcosystemHandle, FaultConfig, FaultPlan};
 use gptx_synth::{Ecosystem, SynthConfig, STORES};
@@ -20,6 +23,7 @@ use gptx_taxonomy::{DataType, KnowledgeBase};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Pipeline failures. Every subsystem error converts via `From`, so
 /// pipeline code can use `?` directly, and [`std::error::Error::source`]
@@ -113,6 +117,7 @@ pub struct Pipeline {
     archive_dir: Option<PathBuf>,
     metrics: Arc<MetricsRegistry>,
     tracer: Arc<Tracer>,
+    sampler: Option<(Arc<Sampler>, Duration)>,
 }
 
 /// Builder for [`Pipeline`] — the one place run configuration lives.
@@ -129,6 +134,8 @@ pub struct PipelineBuilder {
     archive_dir: Option<PathBuf>,
     metrics: Arc<MetricsRegistry>,
     tracer: Arc<Tracer>,
+    sample_interval: Option<Duration>,
+    slos: Vec<SloPolicy>,
 }
 
 impl PipelineBuilder {
@@ -227,7 +234,36 @@ impl PipelineBuilder {
         self
     }
 
+    /// Run a background [`Sampler`] over the attached metrics registry
+    /// for the duration of every [`Pipeline::run`], scraping counters,
+    /// gauges, and histogram percentiles into ring-buffer time series
+    /// at this cadence. Like metrics and tracing, sampling never
+    /// influences results — artifacts are byte-identical with the
+    /// sampler on or off.
+    pub fn sample_interval(mut self, interval: Duration) -> PipelineBuilder {
+        self.sample_interval = Some(interval);
+        self
+    }
+
+    /// Attach an error-budget burn-rate policy, evaluated on every
+    /// sampler tick *while the run executes* (requires
+    /// [`PipelineBuilder::sample_interval`]). Breaches land as
+    /// timestamped events in the registry's event log and are readable
+    /// afterwards via [`Pipeline::slo_engines`]; they never abort or
+    /// steer the pipeline itself.
+    pub fn slo(mut self, policy: SloPolicy) -> PipelineBuilder {
+        self.slos.push(policy);
+        self
+    }
+
     pub fn build(self) -> Pipeline {
+        let sampler = self.sample_interval.map(|interval| {
+            let mut sampler = Sampler::new(Arc::clone(&self.metrics), DEFAULT_SERIES_CAPACITY);
+            for policy in &self.slos {
+                sampler = sampler.with_slo(shared_engine(policy.clone(), &self.metrics));
+            }
+            (Arc::new(sampler), interval)
+        });
         Pipeline {
             config: self.config,
             faults: self.faults,
@@ -240,6 +276,7 @@ impl PipelineBuilder {
             archive_dir: self.archive_dir,
             metrics: self.metrics,
             tracer: self.tracer,
+            sampler,
         }
     }
 }
@@ -260,6 +297,8 @@ impl Pipeline {
             archive_dir: None,
             metrics: MetricsRegistry::shared_disabled(),
             tracer: Tracer::shared_disabled(),
+            sample_interval: None,
+            slos: Vec::new(),
         }
     }
 
@@ -322,10 +361,38 @@ impl Pipeline {
         &self.tracer
     }
 
+    /// The time-series store the run's sampler writes into, when one
+    /// was configured via [`PipelineBuilder::sample_interval`]. Series
+    /// accumulate across repeated [`Pipeline::run`] calls.
+    pub fn series(&self) -> Option<Arc<SeriesStore>> {
+        self.sampler.as_ref().map(|(sampler, _)| sampler.store())
+    }
+
+    /// The burn-rate engines attached via [`PipelineBuilder::slo`]
+    /// (empty without a sampler).
+    pub fn slo_engines(&self) -> &[Arc<SloEngine>] {
+        self.sampler
+            .as_ref()
+            .map(|(sampler, _)| sampler.slos())
+            .unwrap_or(&[])
+    }
+
+    /// Whether any attached SLO breached during a run so far.
+    pub fn any_slo_tripped(&self) -> bool {
+        self.slo_engines().iter().any(|engine| engine.tripped())
+    }
+
     /// Execute the full pipeline.
     pub fn run(&self) -> Result<AnalysisRun, RunError> {
         let metrics = &self.metrics;
         let tracer = &self.tracer;
+        // The sampler observes the same registry every stage records
+        // into; it reads snapshots on its own thread and never feeds
+        // anything back, so the run's artifacts cannot depend on it.
+        let sampler_handle = self
+            .sampler
+            .as_ref()
+            .map(|(sampler, interval)| Arc::clone(sampler).spawn(*interval));
         let mut root = tracer.start_trace("pipeline.run");
         if root.is_recording() {
             root.attr("weeks", self.config.weeks.to_string());
@@ -421,6 +488,15 @@ impl Pipeline {
                 parent,
             )
         };
+        // Take a final sample before the thread stops so the last
+        // stage's counters always land in the series (error paths stop
+        // the sampler via Drop instead).
+        if let Some(handle) = sampler_handle {
+            if let Some((sampler, _)) = self.sampler.as_ref() {
+                sampler.tick();
+            }
+            handle.stop();
+        }
         root.finish();
         run
     }

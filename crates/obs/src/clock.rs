@@ -1,0 +1,127 @@
+//! The injectable time source behind every timestamp the
+//! observability layer hands out.
+//!
+//! Two variants cover every consumer:
+//!
+//! - [`Clock::monotonic`] reads a process-local [`Instant`] epoch — the
+//!   production default. It never goes backwards and never observes
+//!   wall-clock adjustments, so event timestamps are safe to compare
+//!   within a run.
+//! - [`Clock::manual`] is a shared atomic microsecond counter that only
+//!   moves when a test (or a future virtual-time scheduler) advances
+//!   it. Two runs that advance the clock identically stamp identical
+//!   timestamps, which is what makes event logs byte-comparable across
+//!   chaos replays.
+//!
+//! The clock is shared by value: clones of a manual clock observe the
+//! same counter, so a registry, its sampler, and its SLO engines all
+//! agree on "now".
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic, injectable microsecond clock.
+#[derive(Debug, Clone)]
+pub enum Clock {
+    /// Real elapsed time since the clock was created.
+    Monotonic(Instant),
+    /// Test/virtual time: advances only when told to.
+    Manual(Arc<AtomicU64>),
+}
+
+impl Default for Clock {
+    fn default() -> Clock {
+        Clock::monotonic()
+    }
+}
+
+impl Clock {
+    /// A real-time clock starting at 0 now.
+    pub fn monotonic() -> Clock {
+        Clock::Monotonic(Instant::now())
+    }
+
+    /// A manual clock starting at 0. Clones share the counter.
+    pub fn manual() -> Clock {
+        Clock::Manual(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// A manual clock starting at `us`.
+    pub fn manual_at(us: u64) -> Clock {
+        Clock::Manual(Arc::new(AtomicU64::new(us)))
+    }
+
+    /// Microseconds since the clock's epoch.
+    pub fn now_us(&self) -> u64 {
+        match self {
+            Clock::Monotonic(epoch) => epoch.elapsed().as_micros() as u64,
+            Clock::Manual(cell) => cell.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Move a manual clock forward by `us`. No-op on a monotonic clock
+    /// (real time advances itself).
+    pub fn advance_us(&self, us: u64) {
+        if let Clock::Manual(cell) = self {
+            cell.fetch_add(us, Ordering::Relaxed);
+        }
+    }
+
+    /// Set a manual clock to an absolute reading. No-op on a monotonic
+    /// clock.
+    pub fn set_us(&self, us: u64) {
+        if let Clock::Manual(cell) = self {
+            cell.store(us, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether this clock only moves when advanced explicitly.
+    pub fn is_manual(&self) -> bool {
+        matches!(self, Clock::Manual(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_moves_forward() {
+        let clock = Clock::monotonic();
+        let a = clock.now_us();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = clock.now_us();
+        assert!(b >= a + 1_000, "2ms sleep advanced {a} -> {b}");
+    }
+
+    #[test]
+    fn manual_clock_only_moves_when_told() {
+        let clock = Clock::manual();
+        assert_eq!(clock.now_us(), 0);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        assert_eq!(clock.now_us(), 0, "manual time must not self-advance");
+        clock.advance_us(250);
+        assert_eq!(clock.now_us(), 250);
+        clock.set_us(1_000);
+        assert_eq!(clock.now_us(), 1_000);
+        assert!(clock.is_manual());
+    }
+
+    #[test]
+    fn manual_clones_share_the_counter() {
+        let a = Clock::manual_at(5);
+        let b = a.clone();
+        a.advance_us(10);
+        assert_eq!(b.now_us(), 15);
+    }
+
+    #[test]
+    fn advancing_a_monotonic_clock_is_a_noop() {
+        let clock = Clock::monotonic();
+        clock.advance_us(1_000_000_000);
+        clock.set_us(1_000_000_000);
+        assert!(clock.now_us() < 1_000_000_000);
+        assert!(!clock.is_manual());
+    }
+}

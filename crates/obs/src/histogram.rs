@@ -6,6 +6,13 @@
 //! worker thread with no coordination. Quantiles are read off the
 //! cumulative bucket counts: exact count, bucket-resolution value, which
 //! is the standard trade for lock-free multi-writer histograms.
+//!
+//! Because every histogram in the fleet shares the same fixed ladder,
+//! summaries are *mergeable*: summing bucket counts across shards and
+//! re-reading the quantiles gives exactly the quantiles of the
+//! concatenated samples, up to one bucket width — the property the
+//! cluster view ([`merge_summaries`]) and the time-series sampler
+//! ([`delta_buckets`]) are built on.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -18,7 +25,7 @@ pub const BUCKET_BOUNDS_US: [u64; 22] = [
 ];
 
 /// Bucket count including the overflow bucket.
-const BUCKETS: usize = BUCKET_BOUNDS_US.len() + 1;
+pub const BUCKETS: usize = BUCKET_BOUNDS_US.len() + 1;
 
 /// A lock-free fixed-bucket histogram over microsecond observations.
 #[derive(Debug)]
@@ -77,46 +84,112 @@ impl Histogram {
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
-        let count = self.count.load(Ordering::Relaxed);
         let sum_us = self.sum_us.load(Ordering::Relaxed);
+        let min_us = self.min_us.load(Ordering::Relaxed);
         let max_us = self.max_us.load(Ordering::Relaxed);
-        let min_us = if count == 0 {
-            0
+        summary_from_buckets(counts, sum_us, min_us, max_us)
+    }
+}
+
+/// Build a summary from raw bucket counts plus the tracked aggregates.
+/// `min_us` may be `u64::MAX` (the untouched-histogram sentinel); it is
+/// normalized away here. The total count is the bucket sum, so merged
+/// and delta'd bucket vectors summarize through the same path as live
+/// histograms.
+pub fn summary_from_buckets(
+    buckets: Vec<u64>,
+    sum_us: u64,
+    min_us: u64,
+    max_us: u64,
+) -> HistogramSummary {
+    debug_assert_eq!(buckets.len(), BUCKETS);
+    let count: u64 = buckets.iter().sum();
+    let min_us = if count == 0 { 0 } else { min_us.min(max_us) };
+    let quantile = |q: f64| -> u64 {
+        if count == 0 {
+            return 0;
+        }
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cumulative = 0u64;
+        for (i, c) in buckets.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                // The bucket's upper bound, clamped into the observed
+                // range so tiny samples don't report a whole decade.
+                let bound = BUCKET_BOUNDS_US.get(i).copied().unwrap_or(max_us);
+                return bound.clamp(min_us, max_us);
+            }
+        }
+        max_us
+    };
+    HistogramSummary {
+        count,
+        sum_us,
+        min_us,
+        max_us,
+        mean_us: if count == 0 {
+            0.0
         } else {
-            self.min_us.load(Ordering::Relaxed).min(max_us)
-        };
-        let quantile = |q: f64| -> u64 {
-            if count == 0 {
-                return 0;
-            }
-            let target = ((q * count as f64).ceil() as u64).clamp(1, count);
-            let mut cumulative = 0u64;
-            for (i, c) in counts.iter().enumerate() {
-                cumulative += c;
-                if cumulative >= target {
-                    // The bucket's upper bound, clamped into the observed
-                    // range so tiny samples don't report a whole decade.
-                    let bound = BUCKET_BOUNDS_US.get(i).copied().unwrap_or(max_us);
-                    return bound.clamp(min_us, max_us);
-                }
-            }
-            max_us
-        };
-        HistogramSummary {
-            count,
-            sum_us,
-            min_us,
-            max_us,
-            mean_us: if count == 0 {
-                0.0
-            } else {
-                sum_us as f64 / count as f64
-            },
-            p50_us: quantile(0.50),
-            p95_us: quantile(0.95),
-            p99_us: quantile(0.99),
+            sum_us as f64 / count as f64
+        },
+        p50_us: quantile(0.50),
+        p95_us: quantile(0.95),
+        p99_us: quantile(0.99),
+        buckets,
+    }
+}
+
+/// Merge per-shard summaries into the summary of the concatenated
+/// sample sets: bucket counts and sums add, extremes take the min/max
+/// over non-empty inputs, and quantiles are re-read off the merged
+/// buckets — exact to within one bucket width because every shard
+/// shares the same fixed ladder.
+pub fn merge_summaries<'a>(
+    summaries: impl IntoIterator<Item = &'a HistogramSummary>,
+) -> HistogramSummary {
+    let mut buckets = vec![0u64; BUCKETS];
+    let mut sum_us = 0u64;
+    let mut min_us = u64::MAX;
+    let mut max_us = 0u64;
+    for s in summaries {
+        for (acc, b) in buckets.iter_mut().zip(s.bucket_counts()) {
+            *acc += b;
+        }
+        sum_us += s.sum_us;
+        if s.count > 0 {
+            min_us = min_us.min(s.min_us);
+            max_us = max_us.max(s.max_us);
         }
     }
+    summary_from_buckets(buckets, sum_us, min_us, max_us)
+}
+
+/// Per-bucket reset-safe delta between two cumulative bucket vectors:
+/// a bucket that went backwards (the counter restarted at zero) reports
+/// its current value instead of a wrapped difference, so derived rates
+/// never go negative across a registry reset.
+pub fn delta_buckets(prev: &[u64], cur: &[u64]) -> Vec<u64> {
+    cur.iter()
+        .enumerate()
+        .map(|(i, &c)| {
+            let p = prev.get(i).copied().unwrap_or(0);
+            if c >= p {
+                c - p
+            } else {
+                c
+            }
+        })
+        .collect()
+}
+
+/// Observations strictly above `threshold_us` in a bucket vector — the
+/// "bad event" count a latency SLO burns budget on. Exact when the
+/// threshold is one of [`BUCKET_BOUNDS_US`] (each bucket is then
+/// entirely above or entirely at-or-below the threshold); an unaligned
+/// threshold rounds up to the next bound, undercounting conservatively.
+pub fn count_above(buckets: &[u64], threshold_us: u64) -> u64 {
+    let first_bad = BUCKET_BOUNDS_US.partition_point(|&bound| bound <= threshold_us);
+    buckets.iter().skip(first_bad).sum()
 }
 
 /// Point-in-time summary of a [`Histogram`].
@@ -130,6 +203,24 @@ pub struct HistogramSummary {
     pub p50_us: u64,
     pub p95_us: u64,
     pub p99_us: u64,
+    /// Raw per-bucket counts (length [`BUCKETS`]) — what makes the
+    /// summary mergeable and delta-able.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSummary {
+    /// An empty summary (what a never-touched histogram reports).
+    pub fn empty() -> HistogramSummary {
+        summary_from_buckets(vec![0; BUCKETS], 0, u64::MAX, 0)
+    }
+
+    /// The raw bucket counts, zero-padded to [`BUCKETS`] if the summary
+    /// was built without them (older serialized forms).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        let mut counts = self.buckets.clone();
+        counts.resize(BUCKETS, 0);
+        counts
+    }
 }
 
 #[cfg(test)]
@@ -142,6 +233,7 @@ mod tests {
         assert_eq!(s.count, 0);
         assert_eq!((s.min_us, s.max_us, s.p50_us, s.p99_us), (0, 0, 0, 0));
         assert_eq!(s.mean_us, 0.0);
+        assert_eq!(s.buckets.len(), BUCKETS);
     }
 
     #[test]
@@ -156,6 +248,7 @@ mod tests {
         assert_eq!(s.min_us, 10);
         assert_eq!(s.max_us, 40);
         assert_eq!(s.mean_us, 25.0);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 4);
     }
 
     #[test]
@@ -242,5 +335,77 @@ mod tests {
             }
         });
         assert_eq!(h.summary().count, 8_000);
+    }
+
+    #[test]
+    fn merged_p99_matches_concatenated_samples_within_one_bucket() {
+        // Two shards with very different tails. The merged p99 must
+        // land in the same bucket as the p99 of one histogram that saw
+        // every sample.
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for i in 0..400u64 {
+            let us = 30 + i % 15; // fast shard
+            a.record_us(us);
+            all.record_us(us);
+        }
+        for i in 0..100u64 {
+            let us = 8_000 + i * 13; // slow shard
+            b.record_us(us);
+            all.record_us(us);
+        }
+        let merged = merge_summaries([&a.summary(), &b.summary()]);
+        let reference = all.summary();
+        assert_eq!(merged.count, reference.count);
+        assert_eq!(merged.sum_us, reference.sum_us);
+        assert_eq!(merged.min_us, reference.min_us);
+        assert_eq!(merged.max_us, reference.max_us);
+        assert_eq!(merged.p50_us, reference.p50_us);
+        assert_eq!(merged.p99_us, reference.p99_us);
+    }
+
+    #[test]
+    fn merge_ignores_empty_shard_extremes() {
+        let a = Histogram::new();
+        a.record_us(500);
+        let empty = Histogram::new();
+        let merged = merge_summaries([&a.summary(), &empty.summary()]);
+        assert_eq!(merged.count, 1);
+        assert_eq!(merged.min_us, 500);
+        assert_eq!(merged.max_us, 500);
+    }
+
+    #[test]
+    fn merge_of_nothing_is_empty() {
+        let merged = merge_summaries([]);
+        assert_eq!(merged.count, 0);
+        assert_eq!((merged.min_us, merged.max_us, merged.p99_us), (0, 0, 0));
+    }
+
+    #[test]
+    fn delta_buckets_survive_counter_resets() {
+        let prev = vec![10, 20, 5];
+        let cur = vec![12, 3, 5]; // middle bucket restarted at 0 then saw 3
+        assert_eq!(delta_buckets(&prev, &cur), vec![2, 3, 0]);
+        // A shorter prev (new buckets appearing) treats missing as 0.
+        assert_eq!(delta_buckets(&[1], &[4, 7]), vec![3, 7]);
+    }
+
+    #[test]
+    fn count_above_splits_exactly_at_bucket_bounds() {
+        let h = Histogram::new();
+        for _ in 0..7 {
+            h.record_us(4_000); // bucket (2_500, 5_000]
+        }
+        for _ in 0..3 {
+            h.record_us(40_000); // bucket (25_000, 50_000]
+        }
+        let s = h.summary();
+        assert_eq!(count_above(&s.buckets, 5_000), 3);
+        assert_eq!(count_above(&s.buckets, 2_500), 10);
+        assert_eq!(count_above(&s.buckets, 10_000_000), 0);
+        // Unaligned thresholds round up to the next bound.
+        assert_eq!(count_above(&s.buckets, 6_000), 3);
     }
 }

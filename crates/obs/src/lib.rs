@@ -28,17 +28,41 @@
 //! ([`MetricsRegistry::incr`], [`MetricsRegistry::observe_us`], …)
 //! get-or-create the instrument per call behind one `RwLock` read,
 //! which is still far below the cost of the I/O they instrument.
+//!
+//! On top of the point-in-time instruments sits a time-series layer:
+//! a [`Sampler`] scrapes registry snapshots on a deterministic cadence
+//! (injectable [`Clock`], so tests and virtual-time harnesses drive
+//! ticks explicitly) into fixed-capacity ring-buffer [`series`] with
+//! reset-safe rate derivation; [`slo`] evaluates error-budget burn
+//! rates over fast/slow trailing windows on every tick, recording
+//! breaches as timestamped events *during* the run; and
+//! [`MetricsSnapshot::to_wire`] / [`MetricsSnapshot::merge`] give the
+//! sharded store a bucket-exact merged cluster view. All of it obeys
+//! constraint 1: samplers and SLO engines read, they never steer.
 
 pub mod chrome;
+pub mod clock;
 pub mod events;
 pub mod histogram;
+pub mod json;
 pub mod registry;
+pub mod sampler;
+pub mod series;
+pub mod slo;
 pub mod snapshot;
 pub mod trace;
 
 pub use chrome::{validate_chrome_trace, ChromeTraceStats};
+pub use clock::Clock;
 pub use events::{Event, Level};
-pub use histogram::{Histogram, HistogramSummary};
+pub use histogram::{
+    count_above, delta_buckets, merge_summaries, summary_from_buckets, Histogram, HistogramSummary,
+    BUCKET_BOUNDS_US,
+};
+pub use json::{parse_json, Json};
 pub use registry::{Counter, Gauge, HistogramHandle, MetricsRegistry, Span};
-pub use snapshot::MetricsSnapshot;
+pub use sampler::{Sampler, SamplerHandle, DEFAULT_SERIES_CAPACITY};
+pub use series::{parse_history_wire, reset_safe_delta, Series, SeriesPoint, SeriesStore};
+pub use slo::{shared_engine, Breach, BurnWindow, SloEngine, SloPolicy};
+pub use snapshot::{parse_snapshot_wire, MetricsSnapshot};
 pub use trace::{SpanContext, TraceEvent, TraceSnapshot, TraceSpan, Tracer, TRACE_HEADER};

@@ -13,6 +13,7 @@
 //! behind the "near-zero cost when off" guarantee the `obs_overhead`
 //! bench enforces.
 
+use crate::clock::Clock;
 use crate::events::{EventLog, Level};
 use crate::histogram::Histogram;
 use crate::snapshot::MetricsSnapshot;
@@ -115,7 +116,11 @@ impl Drop for Span {
 #[derive(Debug)]
 pub struct MetricsRegistry {
     enabled: bool,
-    start: Instant,
+    /// Time source for event timestamps and `elapsed_us` — monotonic by
+    /// default, injectable ([`MetricsRegistry::with_clock`]) so chaos
+    /// replays can stamp events deterministically and the sampler can
+    /// run on virtual time.
+    clock: Clock,
     counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
     gauges: RwLock<BTreeMap<String, Arc<AtomicI64>>>,
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
@@ -133,7 +138,7 @@ impl MetricsRegistry {
     fn build(enabled: bool) -> MetricsRegistry {
         MetricsRegistry {
             enabled,
-            start: Instant::now(),
+            clock: Clock::monotonic(),
             counters: RwLock::new(BTreeMap::new()),
             gauges: RwLock::new(BTreeMap::new()),
             histograms: RwLock::new(BTreeMap::new()),
@@ -170,6 +175,21 @@ impl MetricsRegistry {
     pub fn with_min_level(mut self, level: Level) -> MetricsRegistry {
         self.min_level = level;
         self
+    }
+
+    /// Replace the time source. With a [`Clock::manual`] every event
+    /// timestamp and `elapsed_us` reading is fully deterministic — two
+    /// runs that advance the clock identically produce byte-identical
+    /// event logs, which is what chaos replay comparison needs.
+    pub fn with_clock(mut self, clock: Clock) -> MetricsRegistry {
+        self.clock = clock;
+        self
+    }
+
+    /// The registry's time source (shared with samplers and SLO
+    /// engines built over this registry).
+    pub fn clock(&self) -> &Clock {
+        &self.clock
     }
 
     pub fn enabled(&self) -> bool {
@@ -250,7 +270,7 @@ impl MetricsRegistry {
         if !self.enabled || level < self.min_level {
             return;
         }
-        let elapsed_us = self.start.elapsed().as_micros() as u64;
+        let elapsed_us = self.clock.now_us();
         self.events.lock().expect("event log mutex").push(
             elapsed_us,
             level,
@@ -260,9 +280,10 @@ impl MetricsRegistry {
         );
     }
 
-    /// Microseconds since the registry was created.
+    /// Microseconds on the registry's clock (since creation for the
+    /// default monotonic clock).
     pub fn elapsed_us(&self) -> u64 {
-        self.start.elapsed().as_micros() as u64
+        self.clock.now_us()
     }
 
     /// A point-in-time snapshot of every instrument and the retained
@@ -409,6 +430,28 @@ mod tests {
         assert_eq!(events[0].trace_id, Some(0xabc));
         assert_eq!(events[0].span_id, Some(0xdef));
         assert_eq!(events[1].trace_id, None);
+    }
+
+    #[test]
+    fn manual_clock_makes_event_timestamps_deterministic() {
+        // Two registries driven through the same manual-clock schedule
+        // stamp identical event logs — the chaos-replay requirement.
+        let run = |messages: &[&str]| -> Vec<(u64, String)> {
+            let registry = MetricsRegistry::new().with_clock(Clock::manual());
+            for (i, message) in messages.iter().enumerate() {
+                registry.clock().set_us((i as u64 + 1) * 1_000);
+                registry.event(Level::Info, "replay", *message);
+            }
+            registry
+                .snapshot()
+                .events
+                .into_iter()
+                .map(|e| (e.elapsed_us, e.message))
+                .collect()
+        };
+        let msgs = ["fault injected", "retry", "recovered"];
+        assert_eq!(run(&msgs), run(&msgs));
+        assert_eq!(run(&msgs)[2], (3_000, "recovered".to_string()));
     }
 
     #[test]

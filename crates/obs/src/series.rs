@@ -1,0 +1,337 @@
+//! Fixed-capacity time series over sampled metrics.
+//!
+//! The sampler scrapes a [`crate::MetricsRegistry`] on a deterministic
+//! cadence and lands each reading here as a `(t_us, value)` point in a
+//! named ring-buffer series. Capacity is fixed at construction: old
+//! points fall off the front, memory never grows with run length, and
+//! a long-soak campaign keeps exactly the trailing window the ops
+//! console needs.
+//!
+//! Rates are derived, not stored twice: [`reset_safe_delta`] is the
+//! Prometheus counter-reset rule (a cumulative counter that went
+//! backwards restarted at zero, so the delta since the restart is the
+//! current value), which keeps derived req/s non-negative across
+//! `FaultPlan::reset()`-style registry resets between runs.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One sampled reading.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesPoint {
+    /// Sample timestamp, microseconds on the sampler's clock.
+    pub t_us: u64,
+    pub value: f64,
+}
+
+/// A fixed-capacity ring of [`SeriesPoint`]s, oldest first.
+#[derive(Debug)]
+pub struct Series {
+    ring: VecDeque<SeriesPoint>,
+    capacity: usize,
+    total: u64,
+}
+
+impl Series {
+    pub fn new(capacity: usize) -> Series {
+        Series {
+            ring: VecDeque::with_capacity(capacity.clamp(1, 4096)),
+            capacity: capacity.max(1),
+            total: 0,
+        }
+    }
+
+    /// Append a point, evicting the oldest when full.
+    pub fn push(&mut self, t_us: u64, value: f64) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(SeriesPoint { t_us, value });
+        self.total += 1;
+    }
+
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Total points ever pushed (≥ retained count).
+    pub fn total_pushed(&self) -> u64 {
+        self.total
+    }
+
+    pub fn latest(&self) -> Option<SeriesPoint> {
+        self.ring.back().copied()
+    }
+
+    /// Retained points, oldest first.
+    pub fn points(&self) -> Vec<SeriesPoint> {
+        self.ring.iter().copied().collect()
+    }
+}
+
+/// Reset-safe delta between consecutive cumulative counter samples: a
+/// counter that went backwards restarted at zero, so the visible delta
+/// is the whole current value — never a wrapped negative.
+pub fn reset_safe_delta(prev: u64, cur: u64) -> u64 {
+    if cur >= prev {
+        cur - prev
+    } else {
+        cur
+    }
+}
+
+/// A concurrent map of named ring-buffer series — what `/metrics/history`
+/// serves and `gptx top` plots.
+#[derive(Debug)]
+pub struct SeriesStore {
+    capacity: usize,
+    series: Mutex<BTreeMap<String, Series>>,
+}
+
+impl SeriesStore {
+    /// A store whose every series retains at most `capacity` points.
+    pub fn new(capacity: usize) -> SeriesStore {
+        SeriesStore {
+            capacity: capacity.max(1),
+            series: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Per-series retention.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Append one point to the named series (created on first use).
+    pub fn push(&self, name: &str, t_us: u64, value: f64) {
+        let mut map = self.series.lock().expect("series map lock");
+        map.entry(name.to_string())
+            .or_insert_with(|| Series::new(self.capacity))
+            .push(t_us, value);
+    }
+
+    /// The retained points of one series, oldest first.
+    pub fn points(&self, name: &str) -> Option<Vec<SeriesPoint>> {
+        self.series
+            .lock()
+            .expect("series map lock")
+            .get(name)
+            .map(Series::points)
+    }
+
+    /// The most recent point of one series.
+    pub fn latest(&self, name: &str) -> Option<SeriesPoint> {
+        self.series
+            .lock()
+            .expect("series map lock")
+            .get(name)
+            .and_then(Series::latest)
+    }
+
+    /// Every series name, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.series
+            .lock()
+            .expect("series map lock")
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// Every series with its retained points, sorted by name.
+    pub fn all(&self) -> BTreeMap<String, Vec<SeriesPoint>> {
+        self.series
+            .lock()
+            .expect("series map lock")
+            .iter()
+            .map(|(name, series)| (name.clone(), series.points()))
+            .collect()
+    }
+
+    /// Hand-rolled JSON for `/metrics/history`:
+    /// `{"capacity": N, "series": {"name": [[t_us, value], ...], ...}}`.
+    pub fn to_json(&self) -> String {
+        let all = self.all();
+        let mut out = String::with_capacity(1024);
+        out.push_str(&format!(
+            "{{\"capacity\": {}, \"series\": {{",
+            self.capacity
+        ));
+        let mut first = true;
+        for (name, points) in &all {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            out.push_str(&crate::snapshot::json_string(name));
+            out.push_str(": [");
+            for (i, p) in points.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("[{}, {}]", p.t_us, format_value(p.value)));
+            }
+            out.push(']');
+        }
+        out.push_str("}}\n");
+        out
+    }
+
+    /// Line-based machine exposition, parseable without a JSON parser:
+    ///
+    /// ```text
+    /// gptx-history v1
+    /// series <name> <t_us>:<value> <t_us>:<value> ...
+    /// end
+    /// ```
+    pub fn render_wire(&self) -> String {
+        let all = self.all();
+        let mut out = String::with_capacity(1024);
+        out.push_str("gptx-history v1\n");
+        for (name, points) in &all {
+            out.push_str(&format!("series {name}"));
+            for p in points {
+                out.push_str(&format!(" {}:{}", p.t_us, format_value(p.value)));
+            }
+            out.push('\n');
+        }
+        out.push_str("end\n");
+        out
+    }
+}
+
+/// Finite-decimal rendering shared by the JSON and wire forms (values
+/// are rates and quantiles — six decimals is below sampling noise).
+fn format_value(value: f64) -> String {
+    if value == value.trunc() && value.abs() < 1e15 {
+        format!("{}", value as i64)
+    } else {
+        format!("{value:.6}")
+    }
+}
+
+/// Parse [`SeriesStore::render_wire`] output back into per-series point
+/// lists. Unknown lines are skipped, so the format can grow fields
+/// without breaking old readers.
+pub fn parse_history_wire(text: &str) -> BTreeMap<String, Vec<SeriesPoint>> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some("series") {
+            continue;
+        }
+        let Some(name) = parts.next() else {
+            continue;
+        };
+        let points: Vec<SeriesPoint> = parts
+            .filter_map(|pair| {
+                let (t, v) = pair.split_once(':')?;
+                Some(SeriesPoint {
+                    t_us: t.parse().ok()?,
+                    value: v.parse().ok()?,
+                })
+            })
+            .collect();
+        out.insert(name.to_string(), points);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_wraps_around_at_capacity() {
+        let mut s = Series::new(4);
+        for i in 0..10u64 {
+            s.push(i * 1_000, i as f64);
+        }
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.total_pushed(), 10);
+        let points = s.points();
+        // Oldest six evicted: retained window is exactly the tail.
+        assert_eq!(
+            points[0],
+            SeriesPoint {
+                t_us: 6_000,
+                value: 6.0
+            }
+        );
+        assert_eq!(
+            points[3],
+            SeriesPoint {
+                t_us: 9_000,
+                value: 9.0
+            }
+        );
+        assert_eq!(s.latest().unwrap().value, 9.0);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut s = Series::new(0);
+        s.push(1, 1.0);
+        s.push(2, 2.0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.latest().unwrap().value, 2.0);
+    }
+
+    #[test]
+    fn reset_safe_delta_never_wraps() {
+        assert_eq!(reset_safe_delta(100, 150), 50);
+        assert_eq!(reset_safe_delta(100, 100), 0);
+        // Counter restarted at zero and saw 7 since.
+        assert_eq!(reset_safe_delta(100, 7), 7);
+        assert_eq!(reset_safe_delta(0, 0), 0);
+    }
+
+    #[test]
+    fn store_round_trips_through_the_wire_format() {
+        let store = SeriesStore::new(8);
+        store.push("store.requests.rate", 1_000_000, 12.5);
+        store.push("store.requests.rate", 2_000_000, 14.0);
+        store.push("pool.reuse", 1_000_000, 3.0);
+        let wire = store.render_wire();
+        assert!(wire.starts_with("gptx-history v1\n"));
+        assert!(wire.ends_with("end\n"));
+        let parsed = parse_history_wire(&wire);
+        assert_eq!(parsed.len(), 2);
+        let rate = &parsed["store.requests.rate"];
+        assert_eq!(rate.len(), 2);
+        assert_eq!(rate[0].t_us, 1_000_000);
+        assert!((rate[0].value - 12.5).abs() < 1e-9);
+        assert_eq!(parsed["pool.reuse"][0].value, 3.0);
+    }
+
+    #[test]
+    fn json_lists_points_as_pairs() {
+        let store = SeriesStore::new(4);
+        store.push("a.rate", 500, 1.0);
+        store.push("a.rate", 1_500, 2.5);
+        let json = store.to_json();
+        assert!(json.contains("\"capacity\": 4"));
+        assert!(json.contains("\"a.rate\": [[500, 1], [1500, 2.500000]]"));
+        let opens = json.matches('{').count() + json.matches('[').count();
+        let closes = json.matches('}').count() + json.matches(']').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn store_evicts_per_series_at_capacity() {
+        let store = SeriesStore::new(3);
+        for i in 0..5u64 {
+            store.push("x", i, i as f64);
+        }
+        let points = store.points("x").unwrap();
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].t_us, 2);
+        assert_eq!(store.names(), vec!["x".to_string()]);
+        assert!(store.points("missing").is_none());
+    }
+}

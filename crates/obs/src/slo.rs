@@ -1,0 +1,414 @@
+//! Continuous error-budget burn-rate evaluation (the SRE
+//! multi-window alerting pattern).
+//!
+//! A policy states an objective — "99% of requests complete within
+//! 5 ms" — which leaves an error budget of `1 - objective`. Each
+//! sampler tick feeds the engine the interval's good/bad event deltas;
+//! the engine computes the *burn rate* (observed bad fraction divided
+//! by the budget) over a fast and a slow trailing window. Burn rate 1
+//! means the budget is being spent exactly at the sustainable pace;
+//! the fast window trips quickly on acute regressions (an induced
+//! slow-write fault mid-load-run), the slow window catches sustained
+//! low-grade burn a fast window would forgive between spikes.
+//!
+//! Breaches are recorded as timestamped [`Breach`] values *and* pushed
+//! into the run's [`crate::MetricsRegistry`] event log when one is
+//! attached — so a breach is visible mid-run on `/metrics`, not only in
+//! the post-run report. Evaluation is edge-triggered: entering breach
+//! records one event, staying in breach does not spam the log, and
+//! recovering re-arms the window.
+
+use crate::clock::Clock;
+use crate::events::Level;
+use crate::registry::MetricsRegistry;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Which trailing window tripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BurnWindow {
+    Fast,
+    Slow,
+}
+
+impl BurnWindow {
+    pub fn label(self) -> &'static str {
+        match self {
+            BurnWindow::Fast => "fast",
+            BurnWindow::Slow => "slow",
+        }
+    }
+}
+
+/// One burn-rate SLO: what counts as bad, over which windows, and how
+/// fast the budget may burn before each window alerts.
+#[derive(Debug, Clone)]
+pub struct SloPolicy {
+    /// Policy name, used in events and reports ("load.latency").
+    pub name: String,
+    /// The latency histogram the policy watches
+    /// (e.g. `bench.load.latency_us`).
+    pub metric: String,
+    /// Fraction of events that must be good (0 < objective < 1).
+    pub objective: f64,
+    /// A request is bad when its latency exceeds this (align to a
+    /// [`crate::histogram::BUCKET_BOUNDS_US`] bound for exact counts).
+    pub threshold_us: u64,
+    /// Fast trailing window (acute regressions).
+    pub fast_window_us: u64,
+    /// Slow trailing window (sustained burn).
+    pub slow_window_us: u64,
+    /// Burn-rate alert threshold for the fast window.
+    pub fast_burn: f64,
+    /// Burn-rate alert threshold for the slow window.
+    pub slow_burn: f64,
+    /// Minimum events in a window before it may alert (keeps a single
+    /// slow request at startup from tripping an empty window).
+    pub min_events: u64,
+}
+
+impl SloPolicy {
+    /// A latency policy with load-test-friendly defaults: 99% of
+    /// requests under `threshold_us`, a 1 s fast window at burn 10 and
+    /// a 5 s slow window at burn 2.
+    pub fn latency(metric: impl Into<String>, threshold_us: u64) -> SloPolicy {
+        SloPolicy {
+            name: "latency".to_string(),
+            metric: metric.into(),
+            objective: 0.99,
+            threshold_us,
+            fast_window_us: 1_000_000,
+            slow_window_us: 5_000_000,
+            fast_burn: 10.0,
+            slow_burn: 2.0,
+            min_events: 50,
+        }
+    }
+
+    /// The error budget the burn rate is measured against.
+    pub fn budget(&self) -> f64 {
+        (1.0 - self.objective).max(f64::EPSILON)
+    }
+}
+
+/// One recorded burn-rate breach.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Breach {
+    /// Policy that tripped.
+    pub policy: String,
+    /// Timestamp (sampler-clock microseconds) of the evaluation that
+    /// entered breach.
+    pub at_us: u64,
+    pub window: BurnWindow,
+    /// Observed burn rate at the breach edge.
+    pub burn_rate: f64,
+    /// Bad / total events inside the tripped window.
+    pub bad: u64,
+    pub total: u64,
+}
+
+impl Breach {
+    /// Hand-rolled JSON object (numbers, fixed labels — no escaping
+    /// beyond the policy name).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"policy\": {}, \"at_us\": {}, \"window\": \"{}\", \
+             \"burn_rate\": {:.2}, \"bad\": {}, \"total\": {}}}",
+            crate::snapshot::json_string(&self.policy),
+            self.at_us,
+            self.window.label(),
+            self.burn_rate,
+            self.bad,
+            self.total,
+        )
+    }
+
+    /// Human-readable one-liner for reports and the CLI.
+    pub fn render(&self) -> String {
+        format!(
+            "slo breach [{}] {}-window burn {:.1} ({} bad / {} total) at t+{:.3}s",
+            self.policy,
+            self.window.label(),
+            self.burn_rate,
+            self.bad,
+            self.total,
+            self.at_us as f64 / 1e6,
+        )
+    }
+}
+
+#[derive(Debug)]
+struct WindowSample {
+    t_us: u64,
+    good: u64,
+    bad: u64,
+}
+
+#[derive(Debug, Default)]
+struct EngineState {
+    samples: VecDeque<WindowSample>,
+    fast_active: bool,
+    slow_active: bool,
+    breaches: Vec<Breach>,
+}
+
+/// Evaluates one [`SloPolicy`] over a stream of interval deltas.
+#[derive(Debug)]
+pub struct SloEngine {
+    policy: SloPolicy,
+    state: Mutex<EngineState>,
+    tripped: AtomicBool,
+    /// Event log the engine reports breaches into (never steers it).
+    registry: Option<Arc<MetricsRegistry>>,
+}
+
+impl SloEngine {
+    pub fn new(policy: SloPolicy) -> SloEngine {
+        SloEngine {
+            policy,
+            state: Mutex::new(EngineState::default()),
+            tripped: AtomicBool::new(false),
+            registry: None,
+        }
+    }
+
+    /// Also record breaches as `Level::Error` events in `registry`,
+    /// timestamped on the registry's own [`Clock`].
+    pub fn with_registry(mut self, registry: Arc<MetricsRegistry>) -> SloEngine {
+        self.registry = Some(registry);
+        self
+    }
+
+    pub fn policy(&self) -> &SloPolicy {
+        &self.policy
+    }
+
+    /// Whether any window has ever breached (sticky — the mid-run abort
+    /// signal load drivers poll).
+    pub fn tripped(&self) -> bool {
+        self.tripped.load(Ordering::Relaxed)
+    }
+
+    /// Every breach recorded so far, oldest first.
+    pub fn breaches(&self) -> Vec<Breach> {
+        self.state.lock().expect("slo state lock").breaches.clone()
+    }
+
+    /// Feed the good/bad event deltas for the interval ending at
+    /// `t_us`, evaluate both windows, and return any breaches that
+    /// *newly* fired on this evaluation.
+    pub fn observe(&self, t_us: u64, good: u64, bad: u64) -> Vec<Breach> {
+        let mut state = self.state.lock().expect("slo state lock");
+        state.samples.push_back(WindowSample { t_us, good, bad });
+        // Trim everything older than the widest window.
+        let horizon = self.policy.fast_window_us.max(self.policy.slow_window_us);
+        while let Some(front) = state.samples.front() {
+            if t_us.saturating_sub(front.t_us) >= horizon && state.samples.len() > 1 {
+                state.samples.pop_front();
+            } else {
+                break;
+            }
+        }
+        let mut fired = Vec::new();
+        for (window, width_us, burn_threshold, active) in [
+            (
+                BurnWindow::Fast,
+                self.policy.fast_window_us,
+                self.policy.fast_burn,
+                false,
+            ),
+            (
+                BurnWindow::Slow,
+                self.policy.slow_window_us,
+                self.policy.slow_burn,
+                true,
+            ),
+        ] {
+            let (mut bad_sum, mut total) = (0u64, 0u64);
+            for s in state.samples.iter().rev() {
+                if t_us.saturating_sub(s.t_us) >= width_us {
+                    break;
+                }
+                bad_sum += s.bad;
+                total += s.good + s.bad;
+            }
+            let burn = if total == 0 {
+                0.0
+            } else {
+                (bad_sum as f64 / total as f64) / self.policy.budget()
+            };
+            let breaching = total >= self.policy.min_events && burn >= burn_threshold;
+            let was_active = if active {
+                state.slow_active
+            } else {
+                state.fast_active
+            };
+            if breaching && !was_active {
+                let breach = Breach {
+                    policy: self.policy.name.clone(),
+                    at_us: t_us,
+                    window,
+                    burn_rate: burn,
+                    bad: bad_sum,
+                    total,
+                };
+                state.breaches.push(breach.clone());
+                fired.push(breach);
+            }
+            if active {
+                state.slow_active = breaching;
+            } else {
+                state.fast_active = breaching;
+            }
+        }
+        drop(state);
+        if !fired.is_empty() {
+            self.tripped.store(true, Ordering::Relaxed);
+            if let Some(registry) = &self.registry {
+                for breach in &fired {
+                    registry.event(Level::Error, "slo", breach.render());
+                }
+            }
+        }
+        fired
+    }
+}
+
+/// Convenience: a shared engine wired to a registry's event log.
+pub fn shared_engine(policy: SloPolicy, registry: &Arc<MetricsRegistry>) -> Arc<SloEngine> {
+    Arc::new(SloEngine::new(policy).with_registry(Arc::clone(registry)))
+}
+
+/// The clock an engine's timestamps should come from when driven
+/// outside a sampler (kept here so callers need not reach into the
+/// registry).
+pub fn engine_clock(registry: &MetricsRegistry) -> Clock {
+    registry.clock().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_policy() -> SloPolicy {
+        SloPolicy {
+            name: "test".to_string(),
+            metric: "lat".to_string(),
+            objective: 0.99,
+            threshold_us: 5_000,
+            fast_window_us: 1_000_000,
+            slow_window_us: 5_000_000,
+            fast_burn: 10.0,
+            slow_burn: 2.0,
+            min_events: 10,
+        }
+    }
+
+    #[test]
+    fn healthy_traffic_never_breaches() {
+        let engine = SloEngine::new(test_policy());
+        for i in 1..=20u64 {
+            // 1000 good, 2 bad per tick: 0.2% bad, burn 0.2 < 10.
+            let fired = engine.observe(i * 200_000, 1_000, 2);
+            assert!(fired.is_empty(), "tick {i} fired {fired:?}");
+        }
+        assert!(!engine.tripped());
+        assert!(engine.breaches().is_empty());
+    }
+
+    #[test]
+    fn acute_fault_trips_the_fast_window_once() {
+        let mut policy = test_policy();
+        policy.slow_burn = 50.0; // isolate the fast window
+        let engine = SloEngine::new(policy);
+        // Healthy warmup, one tick per second.
+        for i in 1..=5u64 {
+            engine.observe(i * 1_000_000, 1_000, 0);
+        }
+        // Fault: the 1 s fast window now holds 1000 good (t=5 s) plus
+        // this tick's 700/300 => 15% bad => burn ~15 >= 10.
+        let fired = engine.observe(5_200_000, 700, 300);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].window, BurnWindow::Fast);
+        assert!(fired[0].burn_rate >= 10.0);
+        assert_eq!(fired[0].at_us, 5_200_000);
+        assert!(engine.tripped());
+        // Still burning: edge-triggered, no second event.
+        let again = engine.observe(5_400_000, 700, 300);
+        assert!(again.is_empty(), "re-fired inside an active breach");
+        // Recovery then a second fault re-arms and re-fires.
+        for i in 0..12u64 {
+            engine.observe(5_600_000 + i * 200_000, 1_000, 0);
+        }
+        let refire = engine.observe(8_200_000, 500, 500);
+        assert_eq!(refire.len(), 1);
+        assert_eq!(refire[0].window, BurnWindow::Fast);
+        assert_eq!(engine.breaches().len(), 2);
+    }
+
+    #[test]
+    fn sustained_low_burn_trips_only_the_slow_window() {
+        let mut policy = test_policy();
+        policy.fast_burn = 50.0; // out of reach
+        let engine = SloEngine::new(policy);
+        let mut fired_windows = Vec::new();
+        for i in 1..=30u64 {
+            // 3% bad: burn 3 — above slow_burn 2, below fast_burn 50.
+            for b in engine.observe(i * 200_000, 970, 30) {
+                fired_windows.push(b.window);
+            }
+        }
+        assert_eq!(fired_windows, vec![BurnWindow::Slow]);
+    }
+
+    #[test]
+    fn min_events_gates_cold_windows() {
+        let engine = SloEngine::new(test_policy());
+        // 100% bad but only 3 events — below min_events 10.
+        let fired = engine.observe(200_000, 0, 3);
+        assert!(fired.is_empty());
+        assert!(!engine.tripped());
+    }
+
+    #[test]
+    fn old_samples_age_out_of_the_fast_window() {
+        let engine = SloEngine::new(test_policy());
+        engine.observe(200_000, 0, 100); // trips fast
+        assert!(engine.tripped());
+        // 2 s later the bad burst is outside the 1 s fast window; a
+        // healthy tick must not re-breach.
+        let fired = engine.observe(2_200_000, 1_000, 0);
+        assert!(fired.is_empty());
+    }
+
+    #[test]
+    fn breaches_land_in_the_registry_event_log() {
+        let registry = MetricsRegistry::shared();
+        let mut policy = test_policy();
+        policy.slow_burn = 1_000.0; // isolate the fast window
+        let engine = shared_engine(policy, &registry);
+        engine.observe(500_000, 0, 100);
+        let events = registry.snapshot().events;
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].level, Level::Error);
+        assert_eq!(events[0].target, "slo");
+        assert!(events[0].message.contains("fast-window burn"));
+    }
+
+    #[test]
+    fn breach_json_and_render_are_stable() {
+        let breach = Breach {
+            policy: "latency".to_string(),
+            at_us: 1_500_000,
+            window: BurnWindow::Fast,
+            burn_rate: 20.0,
+            bad: 200,
+            total: 1_000,
+        };
+        let json = breach.to_json();
+        assert!(json.contains("\"window\": \"fast\""));
+        assert!(json.contains("\"burn_rate\": 20.00"));
+        assert!(breach.render().contains("at t+1.500s"));
+    }
+}

@@ -7,7 +7,7 @@
 //! set of instrument names.
 
 use crate::events::Event;
-use crate::histogram::HistogramSummary;
+use crate::histogram::{merge_summaries, summary_from_buckets, HistogramSummary, BUCKETS};
 use std::collections::BTreeMap;
 
 /// Everything a registry knew at one instant.
@@ -118,6 +118,142 @@ impl MetricsSnapshot {
         out.push_str("]\n}\n");
         out
     }
+
+    /// Line-based machine exposition for shard-to-shard transfer —
+    /// parseable by [`parse_snapshot_wire`] with nothing but
+    /// `split_whitespace` (this crate stays dependency-free on both
+    /// ends of the wire). Histograms travel with their raw bucket
+    /// counts, which is what makes the cluster merge exact:
+    ///
+    /// ```text
+    /// gptx-metrics v1
+    /// elapsed_us 1200000
+    /// counter store.requests 4821
+    /// gauge pool.workers 4
+    /// hist store.route_us <count> <sum> <min> <max> <b0> ... <b22>
+    /// end
+    /// ```
+    ///
+    /// Events stay local; the wire form carries instruments only.
+    pub fn to_wire(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("gptx-metrics v1\n");
+        out.push_str(&format!("elapsed_us {}\n", self.elapsed_us));
+        for (name, value) in &self.counters {
+            out.push_str(&format!("counter {name} {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            out.push_str(&format!("gauge {name} {value}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "hist {name} {} {} {} {}",
+                h.count, h.sum_us, h.min_us, h.max_us
+            ));
+            for b in h.bucket_counts() {
+                out.push_str(&format!(" {b}"));
+            }
+            out.push('\n');
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Merge per-shard snapshots into one cluster view: counters and
+    /// gauges sum, histograms merge bucket-exactly (see
+    /// [`merge_summaries`]), `elapsed_us` takes the maximum, and events
+    /// are left empty (they stay on the shard that logged them).
+    pub fn merge(snapshots: &[MetricsSnapshot]) -> MetricsSnapshot {
+        let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+        let mut gauges: BTreeMap<String, i64> = BTreeMap::new();
+        let mut hist_parts: BTreeMap<String, Vec<&HistogramSummary>> = BTreeMap::new();
+        let mut elapsed_us = 0u64;
+        let mut enabled = false;
+        for snap in snapshots {
+            enabled |= snap.enabled;
+            elapsed_us = elapsed_us.max(snap.elapsed_us);
+            for (name, value) in &snap.counters {
+                *counters.entry(name.clone()).or_insert(0) += value;
+            }
+            for (name, value) in &snap.gauges {
+                *gauges.entry(name.clone()).or_insert(0) += value;
+            }
+            for (name, h) in &snap.histograms {
+                hist_parts.entry(name.clone()).or_default().push(h);
+            }
+        }
+        let histograms = hist_parts
+            .into_iter()
+            .map(|(name, parts)| (name, merge_summaries(parts)))
+            .collect();
+        MetricsSnapshot {
+            enabled,
+            elapsed_us,
+            counters,
+            gauges,
+            histograms,
+            events: Vec::new(),
+        }
+    }
+}
+
+/// Parse [`MetricsSnapshot::to_wire`] output. Returns `None` when the
+/// header is missing or truncated (`end` never seen); unknown line
+/// kinds are skipped so the format can grow.
+pub fn parse_snapshot_wire(text: &str) -> Option<MetricsSnapshot> {
+    let mut lines = text.lines();
+    if lines.next()?.trim() != "gptx-metrics v1" {
+        return None;
+    }
+    let mut snapshot = MetricsSnapshot {
+        enabled: true,
+        elapsed_us: 0,
+        counters: BTreeMap::new(),
+        gauges: BTreeMap::new(),
+        histograms: BTreeMap::new(),
+        events: Vec::new(),
+    };
+    let mut complete = false;
+    for line in lines {
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("end") => {
+                complete = true;
+                break;
+            }
+            Some("elapsed_us") => {
+                snapshot.elapsed_us = parts.next()?.parse().ok()?;
+            }
+            Some("counter") => {
+                let name = parts.next()?;
+                let value: u64 = parts.next()?.parse().ok()?;
+                snapshot.counters.insert(name.to_string(), value);
+            }
+            Some("gauge") => {
+                let name = parts.next()?;
+                let value: i64 = parts.next()?.parse().ok()?;
+                snapshot.gauges.insert(name.to_string(), value);
+            }
+            Some("hist") => {
+                let name = parts.next()?;
+                let _count: u64 = parts.next()?.parse().ok()?;
+                let sum_us: u64 = parts.next()?.parse().ok()?;
+                let min_us: u64 = parts.next()?.parse().ok()?;
+                let max_us: u64 = parts.next()?.parse().ok()?;
+                let mut buckets: Vec<u64> = Vec::with_capacity(BUCKETS);
+                for part in parts {
+                    buckets.push(part.parse().ok()?);
+                }
+                buckets.resize(BUCKETS, 0);
+                snapshot.histograms.insert(
+                    name.to_string(),
+                    summary_from_buckets(buckets, sum_us, min_us, max_us),
+                );
+            }
+            _ => {}
+        }
+    }
+    complete.then_some(snapshot)
 }
 
 /// Write a `,\n`-separated block of entries, newline-framed when
@@ -233,5 +369,63 @@ mod tests {
     fn json_string_escapes_control_chars() {
         assert_eq!(json_string("a\u{1}b"), "\"a\\u0001b\"");
         assert_eq!(json_string("q\"\\"), "\"q\\\"\\\\\"");
+    }
+
+    #[test]
+    fn wire_form_round_trips_instruments_exactly() {
+        let snap = sample();
+        let parsed = parse_snapshot_wire(&snap.to_wire()).expect("parse own wire output");
+        assert_eq!(parsed.counters, snap.counters);
+        assert_eq!(parsed.gauges, snap.gauges);
+        assert_eq!(parsed.elapsed_us, snap.elapsed_us);
+        let h = &parsed.histograms["http.latency"];
+        let orig = &snap.histograms["http.latency"];
+        assert_eq!(h.count, orig.count);
+        assert_eq!(h.sum_us, orig.sum_us);
+        assert_eq!((h.min_us, h.max_us), (orig.min_us, orig.max_us));
+        assert_eq!(h.bucket_counts(), orig.bucket_counts());
+        assert_eq!((h.p50_us, h.p99_us), (orig.p50_us, orig.p99_us));
+        assert!(parsed.events.is_empty(), "events never travel the wire");
+    }
+
+    #[test]
+    fn truncated_or_alien_wire_is_rejected() {
+        let snap = sample();
+        let wire = snap.to_wire();
+        let truncated = &wire[..wire.len() - 5]; // drop "end\n" tail
+        assert!(parse_snapshot_wire(truncated).is_none());
+        assert!(parse_snapshot_wire("HTTP/1.1 404 Not Found").is_none());
+        assert!(parse_snapshot_wire("").is_none());
+    }
+
+    #[test]
+    fn merge_sums_counters_and_merges_histograms() {
+        let a = MetricsRegistry::new();
+        a.add("store.requests", 100);
+        a.gauge("pool.workers").set(4);
+        a.observe_us("lat", 100);
+        a.observe_us("lat", 200);
+        let b = MetricsRegistry::new();
+        b.add("store.requests", 50);
+        b.add("store.errors", 7);
+        b.gauge("pool.workers").set(4);
+        b.observe_us("lat", 90_000);
+        let merged = MetricsSnapshot::merge(&[a.snapshot(), b.snapshot()]);
+        assert_eq!(merged.counters["store.requests"], 150);
+        assert_eq!(merged.counters["store.errors"], 7);
+        assert_eq!(merged.gauges["pool.workers"], 8);
+        let lat = &merged.histograms["lat"];
+        assert_eq!(lat.count, 3);
+        assert_eq!(lat.min_us, 100);
+        assert_eq!(lat.max_us, 90_000);
+        assert!(merged.events.is_empty());
+        assert!(merged.enabled);
+    }
+
+    #[test]
+    fn merge_of_nothing_is_an_empty_disabled_snapshot() {
+        let merged = MetricsSnapshot::merge(&[]);
+        assert!(!merged.enabled);
+        assert_eq!(merged.instrument_count(), 0);
     }
 }

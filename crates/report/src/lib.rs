@@ -6,11 +6,13 @@
 //! regenerating the paper's tables and figures.
 
 pub mod chart;
+pub mod live;
 pub mod metrics;
 pub mod table;
 pub mod trace;
 
 pub use chart::{bar_chart, cdf_plot, heatmap, scatter_plot};
+pub use live::{live_frame, series_sparkline, sparkline};
 pub use metrics::{fmt_us, histogram_table, metrics_report};
 pub use table::{num, pct, Align, Table};
 pub use trace::trace_report;

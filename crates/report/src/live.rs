@@ -1,0 +1,201 @@
+//! The live ops console: what `gptx top` paints every refresh.
+//!
+//! Takes the merged fleet snapshot (`/metrics/cluster/export`) and the
+//! sampler's ring-buffer history (`/metrics/history/export`) and renders
+//! one terminal frame: counters with unicode sparklines of their rate
+//! series, the latency histogram table, and the trailing event log.
+//! Pure string-in/string-out so the frame is unit-testable without a
+//! terminal or a server.
+
+use gptx_obs::{MetricsSnapshot, SeriesPoint};
+use std::collections::BTreeMap;
+
+/// The eight-level block glyphs a sparkline is drawn with, lowest first.
+const SPARK_GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Render `values` as a unicode sparkline, one glyph per value, scaled
+/// to the min..max of the window (a flat series draws at the floor).
+/// At most the trailing `width` values are drawn.
+pub fn sparkline(values: &[f64], width: usize) -> String {
+    let start = values.len().saturating_sub(width.max(1));
+    let window = &values[start..];
+    if window.is_empty() {
+        return String::new();
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for v in window {
+        lo = lo.min(*v);
+        hi = hi.max(*v);
+    }
+    let span = hi - lo;
+    window
+        .iter()
+        .map(|v| {
+            let level = if span <= f64::EPSILON {
+                0
+            } else {
+                // Top of the range maps to the last glyph, inclusive.
+                (((v - lo) / span) * (SPARK_GLYPHS.len() - 1) as f64).round() as usize
+            };
+            SPARK_GLYPHS[level.min(SPARK_GLYPHS.len() - 1)]
+        })
+        .collect()
+}
+
+/// Sparkline over [`SeriesPoint`]s — what the history endpoint returns.
+pub fn series_sparkline(points: &[SeriesPoint], width: usize) -> String {
+    let values: Vec<f64> = points.iter().map(|p| p.value).collect();
+    sparkline(&values, width)
+}
+
+/// How many trailing events the frame shows.
+const EVENT_TAIL: usize = 8;
+/// Sparkline width in glyphs.
+const SPARK_WIDTH: usize = 32;
+
+/// Render one full console frame from the merged cluster snapshot and
+/// the sampler's series history.
+///
+/// Every counter row tries to pair itself with a `<name>.rate` series
+/// from `history`; when present the row gains a sparkline and the most
+/// recent per-second rate. Gauges, the latency table, and the trailing
+/// events follow.
+pub fn live_frame(
+    cluster: &MetricsSnapshot,
+    history: &BTreeMap<String, Vec<SeriesPoint>>,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "gptx top — {} instruments, {:.1}s elapsed, {} series\n\n",
+        cluster.instrument_count(),
+        cluster.elapsed_us as f64 / 1e6,
+        history.len(),
+    ));
+
+    if !cluster.counters.is_empty() {
+        out.push_str("counters\n");
+        let name_width = cluster
+            .counters
+            .keys()
+            .map(|n| n.len())
+            .max()
+            .unwrap_or(0)
+            .max(7);
+        for (name, value) in &cluster.counters {
+            let rate = history.get(&format!("{name}.rate"));
+            match rate {
+                Some(points) if !points.is_empty() => {
+                    let latest = points.last().map(|p| p.value).unwrap_or(0.0);
+                    out.push_str(&format!(
+                        "  {name:<name_width$} {value:>12}  {}  {latest:.1}/s\n",
+                        series_sparkline(points, SPARK_WIDTH),
+                    ));
+                }
+                _ => out.push_str(&format!("  {name:<name_width$} {value:>12}\n")),
+            }
+        }
+        out.push('\n');
+    }
+
+    if !cluster.gauges.is_empty() {
+        out.push_str("gauges\n");
+        let name_width = cluster.gauges.keys().map(|n| n.len()).max().unwrap_or(0);
+        for (name, value) in &cluster.gauges {
+            out.push_str(&format!("  {name:<name_width$} {value:>12}\n"));
+        }
+        out.push('\n');
+    }
+
+    if !cluster.histograms.is_empty() {
+        out.push_str(&crate::histogram_table(&cluster.histograms).to_ascii());
+        out.push('\n');
+    }
+
+    if !cluster.events.is_empty() {
+        out.push_str("recent events\n");
+        let start = cluster.events.len().saturating_sub(EVENT_TAIL);
+        for event in &cluster.events[start..] {
+            out.push_str(&format!(
+                "  [{:>9}] {:<5} {}: {}\n",
+                crate::fmt_us(event.elapsed_us),
+                format!("{:?}", event.level).to_uppercase(),
+                event.target,
+                event.message,
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gptx_obs::MetricsRegistry;
+
+    #[test]
+    fn sparkline_scales_ramp_to_full_glyph_range() {
+        let ramp: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let line = sparkline(&ramp, 8);
+        assert_eq!(line.chars().count(), 8);
+        assert!(line.starts_with('▁'), "ramp starts at floor: {line}");
+        assert!(line.ends_with('█'), "ramp ends at ceiling: {line}");
+    }
+
+    #[test]
+    fn sparkline_flat_empty_and_window_edges_are_safe() {
+        assert_eq!(sparkline(&[], 10), "");
+        // A flat series has no range — draws at the floor, no NaN panic.
+        assert_eq!(sparkline(&[5.0, 5.0, 5.0], 10), "▁▁▁");
+        // Only the trailing `width` values are drawn.
+        let long: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert_eq!(sparkline(&long, 4).chars().count(), 4);
+        // width 0 clamps to 1 rather than slicing past the end.
+        assert_eq!(sparkline(&[1.0, 2.0], 0).chars().count(), 1);
+    }
+
+    #[test]
+    fn live_frame_pairs_counters_with_rate_series() {
+        let registry = MetricsRegistry::new();
+        registry.counter("store.requests").add(120);
+        registry.histogram("store.route_us").record_us(1_500);
+        registry.event(
+            gptx_obs::Level::Warn,
+            "slo",
+            "fast window burn 12.0 over budget",
+        );
+        let snapshot = registry.snapshot();
+
+        let mut history = BTreeMap::new();
+        history.insert(
+            "store.requests.rate".to_string(),
+            vec![
+                SeriesPoint {
+                    t_us: 0,
+                    value: 10.0,
+                },
+                SeriesPoint {
+                    t_us: 1_000_000,
+                    value: 60.0,
+                },
+            ],
+        );
+
+        let frame = live_frame(&snapshot, &history);
+        assert!(frame.contains("gptx top —"));
+        assert!(frame.contains("store.requests"), "{frame}");
+        assert!(frame.contains("60.0/s"), "latest rate shown: {frame}");
+        assert!(frame.contains('█'), "sparkline drawn: {frame}");
+        assert!(frame.contains("store.route_us"), "{frame}");
+        assert!(frame.contains("fast window burn"), "event tail: {frame}");
+    }
+
+    #[test]
+    fn live_frame_renders_without_history_or_events() {
+        let registry = MetricsRegistry::new();
+        registry.counter("a.b").add(1);
+        let frame = live_frame(&registry.snapshot(), &BTreeMap::new());
+        assert!(frame.contains("a.b"));
+        assert!(!frame.contains("recent events"));
+    }
+}

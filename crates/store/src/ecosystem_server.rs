@@ -24,18 +24,23 @@
 //! deprecated shims for one release.
 
 use crate::fault::{FaultKind, FaultPlan};
+use crate::fleet::{cluster_snapshot, spawn_cluster_sampler, ClusterSamplerHandle, FleetScraper};
 use crate::http::{Request, Response};
 use crate::routing::{Route, RouteTable};
 use crate::server::{
     serve_with, Router, ServerConfig, ServerHandle, FAULT_DISCONNECT_HEADER, FAULT_GARBAGE_HEADER,
     FAULT_SLOW_WRITE_HEADER, FAULT_STALL_HEADER,
 };
-use gptx_obs::{MetricsRegistry, SpanContext, TraceSpan, Tracer, TRACE_HEADER};
+use gptx_obs::{
+    shared_engine, MetricsRegistry, MetricsSnapshot, Sampler, SeriesStore, SloEngine, SloPolicy,
+    SpanContext, TraceSpan, Tracer, DEFAULT_SERIES_CAPACITY, TRACE_HEADER,
+};
 use gptx_synth::{Ecosystem, PolicyKind, STORES};
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Fault-injection knobs (deterministic per URL, plus a transient
 /// counter-based failure for retry testing).
@@ -191,6 +196,13 @@ struct EcosystemState {
     policy_urls: HashMap<String, String>,
     /// Per-route hit and fault counters; also serves `/metrics`.
     metrics: Arc<MetricsRegistry>,
+    /// The sampler's ring-buffer series; serves `/metrics/history`.
+    /// Empty (but still routable) when no sampler was configured.
+    series: Arc<SeriesStore>,
+    /// Every listener's registry, indexed by shard — `/metrics/cluster`
+    /// merges these in-process (duplicates of one shared registry are
+    /// deduplicated), so answering never requires HTTP to a sibling.
+    fleet: Vec<Arc<MetricsRegistry>>,
     /// `store.route` spans (parented under the connection loop's
     /// `server.request` span via the re-stamped [`TRACE_HEADER`]); also
     /// serves `/trace`.
@@ -381,6 +393,7 @@ struct EcosystemRouter {
 }
 
 impl EcosystemRouter {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         eco: Arc<Ecosystem>,
         week: Arc<AtomicUsize>,
@@ -388,6 +401,8 @@ impl EcosystemRouter {
         plan: FaultPlan,
         shard: Option<(usize, usize)>,
         metrics: Arc<MetricsRegistry>,
+        series: Arc<SeriesStore>,
+        fleet: Vec<Arc<MetricsRegistry>>,
         tracer: Arc<Tracer>,
     ) -> EcosystemRouter {
         let store_hosts: HashMap<String, String> = STORES
@@ -418,6 +433,8 @@ impl EcosystemRouter {
             api_hosts,
             policy_urls,
             metrics,
+            series,
+            fleet,
             tracer,
         });
         let table = ecosystem_routes(&state);
@@ -448,6 +465,38 @@ fn ecosystem_routes(state: &Arc<EcosystemState>) -> RouteTable {
         .shard_exempt()
         .fault_exempt()
         .handle(move |_, _| Response::ok_json(st.tracer.snapshot().to_chrome_json()));
+    // The time-series / fleet endpoints: like `/metrics` they answer on
+    // every virtual host of every shard and bypass fault injection.
+    let st = s(state);
+    let metrics_export = Route::get("/metrics/export")
+        .label("metrics_export")
+        .shard_exempt()
+        .fault_exempt()
+        .handle(move |_, _| Response::ok_text(st.metrics.snapshot().to_wire()));
+    let st = s(state);
+    let history = Route::get("/metrics/history")
+        .label("metrics_history")
+        .shard_exempt()
+        .fault_exempt()
+        .handle(move |_, _| Response::ok_json(st.series.to_json()));
+    let st = s(state);
+    let history_export = Route::get("/metrics/history/export")
+        .label("metrics_history")
+        .shard_exempt()
+        .fault_exempt()
+        .handle(move |_, _| Response::ok_text(st.series.render_wire()));
+    let st = s(state);
+    let cluster = Route::get("/metrics/cluster")
+        .label("metrics_cluster")
+        .shard_exempt()
+        .fault_exempt()
+        .handle(move |_, _| Response::ok_json(cluster_snapshot(&st.fleet).to_json()));
+    let st = s(state);
+    let cluster_export = Route::get("/metrics/cluster/export")
+        .label("metrics_cluster")
+        .shard_exempt()
+        .fault_exempt()
+        .handle(move |_, _| Response::ok_text(cluster_snapshot(&st.fleet).to_wire()));
     let st = s(state);
     let gizmo = Route::get("/backend-api/gizmos/:id")
         .on_host("chat.openai.com")
@@ -482,6 +531,11 @@ fn ecosystem_routes(state: &Arc<EcosystemState>) -> RouteTable {
     RouteTable::new()
         .with(metrics_route)
         .with(trace_route)
+        .with(metrics_export)
+        .with(history)
+        .with(history_export)
+        .with(cluster)
+        .with(cluster_export)
         .with(gizmo)
         .with(gpt_page)
         .with(listing_root)
@@ -644,6 +698,10 @@ pub struct ServerBuilder {
     config: ServerConfig,
     plans: Vec<FaultPlan>,
     shards: Option<usize>,
+    shard_metrics: bool,
+    sample_interval: Option<Duration>,
+    series_capacity: usize,
+    slos: Vec<SloPolicy>,
 }
 
 impl ServerBuilder {
@@ -654,6 +712,10 @@ impl ServerBuilder {
             config: ServerConfig::default(),
             plans: Vec::new(),
             shards: None,
+            shard_metrics: false,
+            sample_interval: None,
+            series_capacity: DEFAULT_SERIES_CAPACITY,
+            slos: Vec::new(),
         }
     }
 
@@ -713,6 +775,40 @@ impl ServerBuilder {
         self
     }
 
+    /// Give every shard its own [`MetricsRegistry`] (clocked on the
+    /// builder registry's clock) instead of the default shared one.
+    /// Per-shard `/metrics` then shows only that listener's traffic and
+    /// `/metrics/cluster` performs a real multi-registry merge. No-op
+    /// unless an enabled registry was attached via
+    /// [`ServerBuilder::metrics`] / [`ServerBuilder::config`].
+    pub fn shard_metrics(mut self) -> ServerBuilder {
+        self.shard_metrics = true;
+        self
+    }
+
+    /// Spawn a background [`Sampler`] scraping the in-process cluster
+    /// merge every `interval` into the ring-buffer series behind
+    /// `/metrics/history`. Off by default.
+    pub fn sample_interval(mut self, interval: Duration) -> ServerBuilder {
+        self.sample_interval = Some(interval);
+        self
+    }
+
+    /// Ring-buffer points retained per series (default
+    /// [`DEFAULT_SERIES_CAPACITY`]).
+    pub fn series_capacity(mut self, capacity: usize) -> ServerBuilder {
+        self.series_capacity = capacity;
+        self
+    }
+
+    /// Attach an SLO policy: the sampler feeds its burn-rate engine on
+    /// every tick and breaches land in the registry event log. Requires
+    /// [`ServerBuilder::sample_interval`] to take effect.
+    pub fn slo(mut self, policy: SloPolicy) -> ServerBuilder {
+        self.slos.push(policy);
+        self
+    }
+
     /// Validate and start the server(s). With a fixed
     /// [`ServerConfig::port`], shard `i` listens on `port + i`.
     pub fn spawn(self) -> std::io::Result<EcosystemHandle> {
@@ -737,6 +833,35 @@ impl ServerBuilder {
         }
         let metrics = Arc::clone(&self.config.metrics);
         let week = Arc::new(AtomicUsize::new(0));
+        // One registry per listener: fresh per-shard registries when
+        // `shard_metrics` is on (and recording is enabled), otherwise
+        // every entry is a clone of the shared builder registry —
+        // `cluster_snapshot` deduplicates those by pointer.
+        let registries: Vec<Arc<MetricsRegistry>> = (0..count)
+            .map(|_| {
+                if self.shard_metrics && metrics.enabled() {
+                    Arc::new(MetricsRegistry::new().with_clock(metrics.clock().clone()))
+                } else {
+                    Arc::clone(&metrics)
+                }
+            })
+            .collect();
+        // The sampler (when configured) owns the series store the
+        // history endpoints serve; otherwise they serve an empty one.
+        let mut slo_engines = Vec::new();
+        let sampler = self.sample_interval.map(|interval| {
+            let mut sampler = Sampler::new(Arc::clone(&metrics), self.series_capacity);
+            for policy in &self.slos {
+                let engine = shared_engine(policy.clone(), &metrics);
+                slo_engines.push(Arc::clone(&engine));
+                sampler = sampler.with_slo(engine);
+            }
+            (Arc::new(sampler), interval)
+        });
+        let series = match &sampler {
+            Some((sampler, _)) => sampler.store(),
+            None => Arc::new(SeriesStore::new(self.series_capacity)),
+        };
         let mut servers = Vec::with_capacity(count);
         for (index, plan) in plans.into_iter().enumerate() {
             let shard = sharded.then_some((index, count));
@@ -746,19 +871,29 @@ impl ServerBuilder {
                 self.faults,
                 plan,
                 shard,
-                Arc::clone(&metrics),
+                Arc::clone(&registries[index]),
+                Arc::clone(&series),
+                registries.clone(),
                 Arc::clone(&self.config.tracer),
             );
             let mut config = self.config.clone();
+            config.metrics = Arc::clone(&registries[index]);
             if config.port != 0 {
                 config.port += index as u16;
             }
             servers.push(serve_with(router, config)?);
         }
+        let sampler = sampler.map(|(sampler, interval)| {
+            spawn_cluster_sampler(sampler, registries.clone(), interval)
+        });
         Ok(EcosystemHandle {
             servers,
             week,
             metrics,
+            registries,
+            series,
+            sampler,
+            slos: slo_engines,
         })
     }
 }
@@ -770,6 +905,15 @@ pub struct EcosystemHandle {
     servers: Vec<ServerHandle>,
     week: Arc<AtomicUsize>,
     metrics: Arc<MetricsRegistry>,
+    /// Per-listener registries (clones of `metrics` unless the builder
+    /// asked for [`ServerBuilder::shard_metrics`]).
+    registries: Vec<Arc<MetricsRegistry>>,
+    /// Ring-buffer series behind `/metrics/history`.
+    series: Arc<SeriesStore>,
+    /// The background cluster sampler, when one was configured.
+    sampler: Option<ClusterSamplerHandle>,
+    /// Burn-rate engines attached via [`ServerBuilder::slo`].
+    slos: Vec<Arc<SloEngine>>,
 }
 
 impl std::fmt::Debug for EcosystemHandle {
@@ -792,9 +936,44 @@ impl EcosystemHandle {
     }
 
     /// The registry the routers record into (the disabled singleton
-    /// unless the handle was built with metrics).
+    /// unless the handle was built with metrics). With
+    /// [`ServerBuilder::shard_metrics`] this is the builder-level
+    /// registry, which no longer receives route counters — use
+    /// [`EcosystemHandle::cluster_snapshot`] for fleet totals.
     pub fn metrics(&self) -> &Arc<MetricsRegistry> {
         &self.metrics
+    }
+
+    /// Per-listener registries, indexed by shard.
+    pub fn shard_registries(&self) -> &[Arc<MetricsRegistry>] {
+        &self.registries
+    }
+
+    /// The merged in-process cluster view (same merge `/metrics/cluster`
+    /// serves; shared registries are counted once).
+    pub fn cluster_snapshot(&self) -> MetricsSnapshot {
+        cluster_snapshot(&self.registries)
+    }
+
+    /// The ring-buffer series behind `/metrics/history` (populated only
+    /// when the topology was built with [`ServerBuilder::sample_interval`]).
+    pub fn series(&self) -> &Arc<SeriesStore> {
+        &self.series
+    }
+
+    /// Burn-rate engines attached via [`ServerBuilder::slo`].
+    pub fn slo_engines(&self) -> &[Arc<SloEngine>] {
+        &self.slos
+    }
+
+    /// Whether any attached SLO engine has tripped since spawn.
+    pub fn any_slo_tripped(&self) -> bool {
+        self.slos.iter().any(|e| e.tripped())
+    }
+
+    /// An out-of-process scraper over this topology's listeners.
+    pub fn fleet_scraper(&self) -> FleetScraper {
+        FleetScraper::new(self.addrs())
     }
 
     /// The first (or only) listener address (`127.0.0.1:<port>`).
@@ -824,6 +1003,11 @@ impl EcosystemHandle {
     }
 
     pub fn shutdown(self) {
+        // Stop the sampler before the listeners so its final tick never
+        // races a half-torn-down registry set.
+        if let Some(sampler) = self.sampler {
+            sampler.stop();
+        }
         for server in self.servers {
             server.shutdown();
         }
@@ -1505,6 +1689,97 @@ mod tests {
                 .unwrap();
         assert_eq!(sharded.shard_count(), 2);
         sharded.shutdown();
+    }
+
+    #[test]
+    fn history_endpoints_serve_sampled_series() {
+        let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(7)));
+        let metrics = MetricsRegistry::shared();
+        let handle = EcosystemHandle::builder(Arc::clone(&eco))
+            .faults(FaultConfig::none())
+            .metrics(Arc::clone(&metrics))
+            .sample_interval(Duration::from_millis(5))
+            .spawn()
+            .unwrap();
+        let client = HttpClient::new(handle.addr());
+        let url = format!("https://{}/", store_host(STORES[0].0));
+        client.get(&url).unwrap();
+        client.get(&url).unwrap();
+        // Wait for the background sampler to land the route counter.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while handle
+            .series()
+            .latest("store.route.listing")
+            .is_none_or(|p| p.value < 2.0)
+        {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "sampler never landed the listing counter"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let json = client
+            .get("https://chat.openai.com/metrics/history")
+            .unwrap();
+        assert!(json.is_success());
+        assert!(json.text().contains("store.route.listing"));
+        let wire = client
+            .get("https://chat.openai.com/metrics/history/export")
+            .unwrap();
+        assert!(wire.is_success());
+        let series = gptx_obs::parse_history_wire(&wire.text());
+        assert_eq!(series["store.route.listing"].last().unwrap().value, 2.0);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn cluster_endpoint_merges_per_shard_registries() {
+        let eco = Arc::new(Ecosystem::generate(SynthConfig::tiny(7)));
+        let metrics = MetricsRegistry::shared();
+        let handle = EcosystemHandle::builder(Arc::clone(&eco))
+            .faults(FaultConfig::none())
+            .metrics(Arc::clone(&metrics))
+            .shards(2)
+            .shard_metrics()
+            .spawn()
+            .unwrap();
+        let addrs = handle.addrs();
+        let (host0, host1) = host_per_shard();
+        HttpClient::new(addrs[0])
+            .get(&format!("https://{host0}/"))
+            .unwrap();
+        HttpClient::new(addrs[1])
+            .get(&format!("https://{host1}/"))
+            .unwrap();
+        // Per-shard registries each saw exactly one listing request …
+        let per_shard: Vec<u64> = handle
+            .shard_registries()
+            .iter()
+            .map(|r| {
+                r.snapshot()
+                    .counters
+                    .get("store.route.listing")
+                    .copied()
+                    .unwrap_or(0)
+            })
+            .collect();
+        assert_eq!(per_shard, vec![1, 1]);
+        // … the in-process merge sees both …
+        assert_eq!(handle.cluster_snapshot().counters["store.route.listing"], 2);
+        // … and so do the HTTP cluster route and the wire scraper.
+        let wire = HttpClient::new(addrs[0])
+            .get(&format!("https://{host0}/metrics/cluster/export"))
+            .unwrap();
+        let merged = gptx_obs::parse_snapshot_wire(&wire.text()).expect("cluster wire parses");
+        assert_eq!(merged.counters["store.route.listing"], 2);
+        let view = handle.fleet_scraper().scrape();
+        assert_eq!(view.reachable(), 2);
+        assert_eq!(view.merged.counters["store.route.listing"], 2);
+        // Histograms merge bucket-exactly: each shard timed exactly one
+        // routed (non-exempt) request, so the merged count is their sum.
+        // The observability routes themselves bypass the route timer.
+        assert_eq!(view.merged.histograms["store.route_us"].count, 2);
+        handle.shutdown();
     }
 
     #[test]

@@ -1,0 +1,282 @@
+//! Fleet-wide metrics aggregation over the sharded topology.
+//!
+//! Two complementary paths produce one merged cluster view:
+//!
+//! * **In-process** — [`cluster_snapshot`] merges the registries the
+//!   listeners record into, deduplicating shared registries by pointer
+//!   (the default topology shares one registry across all 13 shards;
+//!   [`crate::ServerBuilder::shard_metrics`] gives each shard its own).
+//!   The `/metrics/cluster` route uses this path so a listener can
+//!   answer without issuing HTTP requests to its siblings — a
+//!   self-request on a bounded worker pool can deadlock.
+//! * **Out-of-process** — a [`FleetScraper`] polls every shard's
+//!   `/metrics/export` endpoint over real HTTP, parses the
+//!   `gptx-metrics v1` wire format, and merges the per-shard snapshots
+//!   with [`MetricsSnapshot::merge`]. This is what an external
+//!   dashboard (`gptx top`) and the fleet tests use: it exercises the
+//!   same wire a real scrape would.
+//!
+//! Histograms merge bucket-exactly: the merged p99 equals the p99 of
+//! the concatenated samples to within one bucket width (see
+//! `gptx_obs::merge_summaries`).
+
+use crate::client::HttpClient;
+use gptx_obs::{parse_snapshot_wire, MetricsRegistry, MetricsSnapshot, Sampler};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Virtual host stamped on scrape requests. The observability routes
+/// are shard-exempt, so any host reaches them on any listener.
+const SCRAPE_HOST: &str = "metrics.gptx.test";
+
+/// Deduplicate registries that are clones of the same allocation, in
+/// first-seen order. The default (shared-registry) topology collapses
+/// to one entry; per-shard registries pass through untouched.
+pub fn dedup_registries(registries: &[Arc<MetricsRegistry>]) -> Vec<Arc<MetricsRegistry>> {
+    let mut seen: Vec<Arc<MetricsRegistry>> = Vec::new();
+    for registry in registries {
+        if !seen.iter().any(|r| Arc::ptr_eq(r, registry)) {
+            seen.push(Arc::clone(registry));
+        }
+    }
+    seen
+}
+
+/// Merge the snapshots of a registry set into one cluster view,
+/// counting each distinct registry exactly once.
+pub fn cluster_snapshot(registries: &[Arc<MetricsRegistry>]) -> MetricsSnapshot {
+    let snaps: Vec<MetricsSnapshot> = dedup_registries(registries)
+        .iter()
+        .map(|r| r.snapshot())
+        .collect();
+    MetricsSnapshot::merge(&snaps)
+}
+
+/// One shard's contribution to a [`ClusterView`]: `None` when the
+/// scrape failed (listener down or wire truncated).
+#[derive(Debug)]
+pub struct ShardScrape {
+    pub addr: SocketAddr,
+    pub snapshot: Option<MetricsSnapshot>,
+}
+
+/// The result of one fleet poll: per-shard snapshots plus their merge.
+#[derive(Debug)]
+pub struct ClusterView {
+    pub shards: Vec<ShardScrape>,
+    pub merged: MetricsSnapshot,
+}
+
+impl ClusterView {
+    /// Shards that answered this poll.
+    pub fn reachable(&self) -> usize {
+        self.shards.iter().filter(|s| s.snapshot.is_some()).count()
+    }
+
+    /// Total shards polled.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+/// Polls every shard's `/metrics/export` over HTTP and merges the
+/// results. Stateless between polls; cheap to construct per tick.
+#[derive(Debug, Clone)]
+pub struct FleetScraper {
+    addrs: Vec<SocketAddr>,
+}
+
+impl FleetScraper {
+    pub fn new(addrs: Vec<SocketAddr>) -> FleetScraper {
+        FleetScraper { addrs }
+    }
+
+    pub fn addrs(&self) -> &[SocketAddr] {
+        &self.addrs
+    }
+
+    /// Scrape one listener; `None` on connect/HTTP failure or a
+    /// truncated wire body (the parser requires the `end` sentinel, so
+    /// a half-written scrape is rejected, never half-merged).
+    pub fn scrape_shard(&self, addr: SocketAddr) -> Option<MetricsSnapshot> {
+        let client = HttpClient::new(addr).with_pool(0);
+        let resp = client
+            .get(&format!("https://{SCRAPE_HOST}/metrics/export"))
+            .ok()?;
+        if !resp.is_success() {
+            return None;
+        }
+        parse_snapshot_wire(&resp.text())
+    }
+
+    /// Poll every shard and merge what answered.
+    pub fn scrape(&self) -> ClusterView {
+        let shards: Vec<ShardScrape> = self
+            .addrs
+            .iter()
+            .map(|&addr| ShardScrape {
+                addr,
+                snapshot: self.scrape_shard(addr),
+            })
+            .collect();
+        let snaps: Vec<MetricsSnapshot> =
+            shards.iter().filter_map(|s| s.snapshot.clone()).collect();
+        ClusterView {
+            shards,
+            merged: MetricsSnapshot::merge(&snaps),
+        }
+    }
+}
+
+/// Drives a [`Sampler`] with the in-process cluster merge of a
+/// registry set on a fixed cadence — the server-side twin of
+/// `Sampler::spawn`, feeding `Sampler::ingest` instead of per-registry
+/// `tick`. Backs the `/metrics/history` endpoint of a topology built
+/// with [`crate::ServerBuilder::sample_interval`].
+#[derive(Debug)]
+pub struct ClusterSamplerHandle {
+    stop: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Spawn the cluster sampling thread. One tick fires immediately so
+/// short-lived topologies still record a baseline sample.
+pub fn spawn_cluster_sampler(
+    sampler: Arc<Sampler>,
+    registries: Vec<Arc<MetricsRegistry>>,
+    interval: Duration,
+) -> ClusterSamplerHandle {
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let interval = interval.max(Duration::from_millis(1));
+    let join = std::thread::Builder::new()
+        .name("gptx-fleet-sampler".to_string())
+        .spawn(move || {
+            while !stop_flag.load(Ordering::Relaxed) {
+                sampler.ingest(cluster_snapshot(&registries));
+                let mut slept = Duration::ZERO;
+                while slept < interval && !stop_flag.load(Ordering::Relaxed) {
+                    let slice = (interval - slept).min(Duration::from_millis(25));
+                    std::thread::sleep(slice);
+                    slept += slice;
+                }
+            }
+        })
+        .expect("spawn fleet sampler thread");
+    ClusterSamplerHandle {
+        stop,
+        join: Some(join),
+    }
+}
+
+impl ClusterSamplerHandle {
+    /// Stop the sampling thread and wait for it to exit.
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for ClusterSamplerHandle {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_collapses_shared_registries() {
+        let shared = MetricsRegistry::shared();
+        let own = MetricsRegistry::shared();
+        let fleet = vec![Arc::clone(&shared), Arc::clone(&shared), Arc::clone(&own)];
+        assert_eq!(dedup_registries(&fleet).len(), 2);
+    }
+
+    #[test]
+    fn cluster_snapshot_counts_each_registry_once() {
+        let shared = MetricsRegistry::shared();
+        shared.add("reqs", 10);
+        let own = MetricsRegistry::shared();
+        own.add("reqs", 5);
+        // 13 listeners sharing one registry plus one private: the
+        // shared counter must not be multiplied by 13.
+        let mut fleet = vec![Arc::clone(&shared); 13];
+        fleet.push(Arc::clone(&own));
+        let merged = cluster_snapshot(&fleet);
+        assert_eq!(merged.counters["reqs"], 15);
+    }
+
+    #[test]
+    fn fleet_scraper_merges_over_http_and_tolerates_dead_shards() {
+        use crate::http::{Request, Response};
+        use crate::server::{serve_with, Router, ServerConfig};
+
+        struct WireRouter(Arc<MetricsRegistry>);
+        impl Router for WireRouter {
+            fn route(&self, request: &Request) -> Response {
+                if request.path() == "/metrics/export" {
+                    Response::ok_text(self.0.snapshot().to_wire())
+                } else {
+                    Response::not_found()
+                }
+            }
+        }
+
+        let a = MetricsRegistry::shared();
+        a.add("reqs", 7);
+        a.observe_us("lat", 100);
+        let b = MetricsRegistry::shared();
+        b.add("reqs", 3);
+        b.observe_us("lat", 9_000);
+        let sa = serve_with(WireRouter(Arc::clone(&a)), ServerConfig::default()).unwrap();
+        let sb = serve_with(WireRouter(Arc::clone(&b)), ServerConfig::default()).unwrap();
+        // Third "shard": a dead address — the scrape must survive it.
+        let dead: SocketAddr = "127.0.0.1:1".parse().unwrap();
+
+        let scraper = FleetScraper::new(vec![sa.addr(), sb.addr(), dead]);
+        let view = scraper.scrape();
+        assert_eq!(view.shard_count(), 3);
+        assert_eq!(view.reachable(), 2);
+        assert!(view.shards[2].snapshot.is_none());
+        assert_eq!(view.merged.counters["reqs"], 10);
+        let lat = &view.merged.histograms["lat"];
+        assert_eq!(lat.count, 2);
+        assert_eq!(lat.min_us, 100);
+        assert_eq!(lat.max_us, 9_000);
+        sa.shutdown();
+        sb.shutdown();
+    }
+
+    #[test]
+    fn cluster_sampler_thread_lands_series_and_stops() {
+        let a = MetricsRegistry::shared();
+        let b = MetricsRegistry::shared();
+        a.add("reqs", 7);
+        b.add("reqs", 3);
+        let sampler = Arc::new(Sampler::new(Arc::clone(&a), 64));
+        let store = sampler.store();
+        let handle = spawn_cluster_sampler(
+            sampler,
+            vec![Arc::clone(&a), Arc::clone(&b)],
+            Duration::from_millis(5),
+        );
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while store.points("reqs").map_or(0, |p| p.len()) < 2 {
+            assert!(deadline > std::time::Instant::now(), "sampler never ticked");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        handle.stop();
+        assert_eq!(store.latest("reqs").unwrap().value, 10.0);
+    }
+}

@@ -13,6 +13,7 @@
 pub mod client;
 pub mod ecosystem_server;
 pub mod fault;
+pub mod fleet;
 pub mod http;
 pub mod net;
 pub mod routing;
@@ -26,6 +27,10 @@ pub use ecosystem_server::{
     etag_of, store_host, EcosystemHandle, FaultConfig, FaultConfigBuilder, ServerBuilder,
 };
 pub use fault::{FaultKind, FaultPlan};
+pub use fleet::{
+    cluster_snapshot, dedup_registries, spawn_cluster_sampler, ClusterSamplerHandle, ClusterView,
+    FleetScraper, ShardScrape,
+};
 pub use http::{HttpError, Request, Response};
 pub use routing::{percent_decode, Params, Route, RouteTable};
 pub use server::{

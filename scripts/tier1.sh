@@ -36,6 +36,41 @@ cargo run --release -p gptx-cli -- bench load \
     --connections 64 --duration-s 2 --shards 13 --workers 4 \
     --slo-p99-ms 500
 
+# ops_smoke: the live-operations surface over the real CLI binary — a
+# sharded server with per-shard registries and the background sampler,
+# scraped three ways: the fleet-merge and history endpoints over plain
+# HTTP, and one `gptx top --once` console frame. Then `bench compare`
+# diffs the checked-in load trajectory (vacuously green when no
+# comparable baseline exists yet).
+ops_addr_file="$(mktemp -t gptx-ops-addr-XXXXXX)"
+ops_traj="$(mktemp -t gptx-ops-traj-XXXXXX.json)"
+trap 'rm -rf "$trace_out" "$archive_dir" "$eco_json" "$addr_file" \
+    "$inc_dir" "$inc_metrics" "$inc_log1" "$inc_log2" "$inc_full" "$inc_delta" \
+    "$ops_addr_file" "$ops_traj"' EXIT
+: > "$ops_addr_file"
+(sleep 30 | cargo run --release -p gptx-cli -- serve \
+    --scale tiny --seed 7 --shards 3 --metrics \
+    --addr-file "$ops_addr_file" > /dev/null) &
+ops_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$ops_addr_file" ] && break
+    sleep 0.3
+done
+[ -s "$ops_addr_file" ] || { echo "metrics server never published its address"; exit 1; }
+ops_addr="$(cat "$ops_addr_file")"
+# Let the 250 ms sampler land a few ticks before scraping history.
+sleep 1
+curl -sf -H 'Host: metrics.gptx.test' "http://$ops_addr/metrics/cluster" \
+    | grep -q '"counters"'
+curl -sf -H 'Host: metrics.gptx.test' "http://$ops_addr/metrics/history" \
+    | grep -q '"series"'
+cargo run --release -p gptx-cli -- top --once --addr "$ops_addr" \
+    | grep -q 'gptx top'
+kill "$ops_pid" 2>/dev/null || true
+wait "$ops_pid" 2>/dev/null || true
+cp BENCH_load.json "$ops_traj"
+cargo run --release -p gptx-cli -- bench compare --file "$ops_traj"
+
 # archive_smoke: the on-disk snapshot archive round trip over the real
 # CLI binary — crawl a tiny campaign into a content-addressed archive
 # dir, then serve the /api/v1 audit API from it and query the report

@@ -99,6 +99,53 @@ fn metrics_on_and_off_produce_byte_identical_analysis() {
 }
 
 #[test]
+fn sampler_and_slo_on_produce_byte_identical_artifacts() {
+    use gptx::obs::SloPolicy;
+    use gptx::{MetricsRegistry, Pipeline};
+    use std::time::Duration;
+
+    // A bare run and a fully observed run (metrics + background sampler
+    // + burn-rate SLO engine + sharded listeners) over the same seed.
+    let bare = Pipeline::builder(SynthConfig::tiny(0xD00A))
+        .faults(FaultConfig::none())
+        .build()
+        .run()
+        .expect("bare run");
+
+    let metrics = MetricsRegistry::shared();
+    let observed_pipeline = Pipeline::builder(SynthConfig::tiny(0xD00A))
+        .faults(FaultConfig::none())
+        .metrics(Arc::clone(&metrics))
+        .shards(3)
+        .sample_interval(Duration::from_millis(5))
+        .slo(SloPolicy::latency("store.route_us", 250_000))
+        .build();
+    let observed = observed_pipeline.run().expect("observed run");
+
+    // The sampler actually ran: the final tick lands every counter the
+    // crawl recorded as a time series, and the SLO engine is attached.
+    let series = observed_pipeline.series().expect("series store");
+    assert!(
+        !series.names().is_empty(),
+        "sampler recorded no series during the run"
+    );
+    assert!(series.latest("store.route.listing").is_some());
+    assert_eq!(observed_pipeline.slo_engines().len(), 1);
+
+    // …and no artifact byte moved: samplers and SLO engines observe,
+    // they never steer.
+    assert_eq!(*bare.profiles, *observed.profiles);
+    assert_eq!(bare.reports, observed.reports);
+    for id in ["t5", "t7", "t8"] {
+        assert_eq!(
+            gptx::experiments::render(id, &bare),
+            gptx::experiments::render(id, &observed),
+            "experiment {id} differs between observed/unobserved runs"
+        );
+    }
+}
+
+#[test]
 fn oversized_and_degenerate_thread_counts_are_safe() {
     let (eco, archive) = crawl(0xD008);
     // Far more workers than Actions, and a zero that clamps to one.
