@@ -100,7 +100,7 @@ impl CorpusCollection {
             .map(|&d| {
                 let mut first = 0usize;
                 let mut third = 0usize;
-                for (identity, profile) in &self.profiles {
+                for (identity, profile) in self.profiles.iter() {
                     if !profile.collects(d) {
                         continue;
                     }

@@ -11,34 +11,55 @@
 //! 4. checks every invariant in [`crate::invariants`] against the
 //!    outcome.
 //!
-//! Any violation triggers [`crate::shrink::shrink`]: the failing
-//! schedule is bisected and re-run until 1-minimal, and the minimal
-//! schedule is packaged as a [`ReproFile`] for `gptx chaos --replay`.
+//! Any violation triggers a two-dimensional shrink: the failing fault
+//! set is ddmin-bisected ([`crate::shrink::shrink`]) and re-run until
+//! 1-minimal, then the *interleaving* dimension is reduced (try the
+//! default interleave seed, try one worker) while the violation still
+//! reproduces. The minimal `(fault set, topology, interleave seed)` is
+//! packaged as a [`ReproFile`] for `gptx chaos --replay`.
 //!
-//! Determinism is load-bearing: campaign runs crawl single-threaded so
-//! request *arrival order* at the server is a pure function of the
-//! seeds, which is what makes shrinking sound — a subset schedule
-//! re-runs exactly as it would have run the first time.
+//! Determinism is load-bearing and comes from the virtual-time
+//! simulation: every run executes under a seeded
+//! [`gptx_sim::VirtualScheduler`] that serializes crawler workers at
+//! recorded yield points, so request *arrival order* at every store
+//! shard is a pure function of `(fault set, interleaving seed)` — even
+//! with multiple workers, shards, and a pooled client. That is what
+//! makes shrinking sound: a subset schedule re-runs exactly as it
+//! would have run the first time, and the recorded sim trace is the
+//! proof (see `tests/sim_determinism.rs`).
 
 use crate::invariants::{
     check_archive_integrity, check_artifacts_identical, check_counter_consistency,
     check_pool_balance, check_trace_valid, RunOutcome, Violation,
 };
 use crate::repro::ReproFile;
-use crate::schedule::{derive_schedule, FaultMatrix};
+use crate::schedule::{derive_sharded_schedules, FaultMatrix, ShardFault};
 use crate::shrink::shrink;
+use gptx::obs::hooks::SimScheduler;
 use gptx::obs::Tracer;
 use gptx::store::{FaultKind, FaultPlan};
 use gptx::{FaultConfig, MetricsRegistry, Pipeline, SynthConfig};
+use gptx_sim::VirtualScheduler;
 use std::sync::Arc;
 
-/// Minimum spacing between scheduled fault arrival indices.
+/// Minimum spacing between scheduled fault arrival indices **on the
+/// same shard**.
 ///
 /// A faulted arrival consumes one crawler attempt; the crawler retries
-/// up to twice more, each retry arriving at the *next* index. Keeping
-/// scheduled faults at least this far apart guarantees no logical
-/// request can meet more than one scheduled fault across its whole
-/// retry budget, so every planned fault stays transient.
+/// up to twice more, each retry arriving at the *next* index of the
+/// same shard's counter (a retry re-requests the same URL, and shard
+/// routing is by URL). Keeping scheduled faults at least this far
+/// apart guarantees no logical request can meet more than one
+/// scheduled fault across its whole retry budget, so every planned
+/// fault stays transient.
+///
+/// The guarantee is per shard because arrival indices are counted per
+/// shard listener: faults on different shards can never touch the same
+/// logical request, so they need no mutual spacing — and a *global*
+/// index spacing would be unsound anyway, since two globally spaced
+/// indices can be adjacent on one shard's own counter. Sharded
+/// derivation therefore spaces each shard's schedule independently
+/// (see [`derive_sharded_schedules`]).
 pub const MIN_FAULT_GAP: u64 = 8;
 
 /// The experiments whose rendered text must be byte-identical to the
@@ -64,6 +85,16 @@ pub struct ChaosConfig {
     /// Analysis-stage worker count (analysis output is thread-count
     /// invariant, so this only trades wall-clock for cores).
     pub analysis_threads: usize,
+    /// Crawler worker threads, serialized by the sim scheduler.
+    pub workers: usize,
+    /// Store shard count; fault indices address per-shard arrival
+    /// counters (see [`MIN_FAULT_GAP`]).
+    pub shards: usize,
+    /// Client connection-pool size.
+    pub pool: usize,
+    /// Seed for the sim scheduler's interleaving decisions. Together
+    /// with the fault schedule this fully determines a run.
+    pub interleave_seed: u64,
     /// Test-only self-check hook: treat any *injected* fault of this
     /// kind as an invariant violation. Used to prove the shrinker and
     /// repro pipeline work end to end.
@@ -80,6 +111,10 @@ impl ChaosConfig {
             faults_per_run: 4,
             stall_ms: FaultPlan::DEFAULT_STALL_MS,
             analysis_threads: 2,
+            workers: 1,
+            shards: 1,
+            pool: 2,
+            interleave_seed: 0,
             forbid_kind: None,
         }
     }
@@ -121,28 +156,79 @@ pub fn scale_config(scale: &str, seed: u64) -> Result<SynthConfig, String> {
     }
 }
 
+/// Soak-mode hooks threaded into a run; the default is a plain run.
+#[derive(Default)]
+pub(crate) struct ExecOverrides {
+    /// Registry to record into (soak attaches its sampler + SLO engines
+    /// to this before the run starts). Default: a fresh registry on the
+    /// sim's virtual clock.
+    pub metrics: Option<Arc<MetricsRegistry>>,
+    /// Tracer to record into (soak validates its export every week
+    /// mid-run). Default: a fresh tracer seeded with the synth seed.
+    pub tracer: Option<Arc<Tracer>>,
+    /// Week-boundary hook forwarded to the pipeline; returning `false`
+    /// aborts the run, surfaced as `Ok(None)`.
+    pub on_week: Option<Arc<dyn Fn(usize) -> bool + Send + Sync>>,
+}
+
 /// Execute one pipeline run under `schedule` and collect everything
 /// the invariant checkers need. Fresh metrics and tracer per run; the
-/// crawl is single-threaded so arrival order is deterministic.
-pub fn execute(cfg: &ChaosConfig, schedule: &[(u64, FaultKind)]) -> Result<RunOutcome, String> {
-    let metrics = MetricsRegistry::shared();
-    let tracer = Tracer::shared(cfg.synth_seed);
-    let plan = FaultPlan::from_schedule(schedule.iter().copied()).with_stall_ms(cfg.stall_ms);
-    let run = Pipeline::builder(cfg.synth_config()?)
+/// crawl — any number of workers, shards, and pooled connections —
+/// executes under a seeded [`VirtualScheduler`], so arrival order at
+/// every shard is deterministic in `(schedule, cfg.interleave_seed)`.
+pub fn execute(cfg: &ChaosConfig, schedule: &[ShardFault]) -> Result<RunOutcome, String> {
+    execute_hooked(cfg, schedule, ExecOverrides::default())?
+        .ok_or_else(|| "run aborted with no week hook installed".to_string())
+}
+
+/// [`execute`] with soak hooks. `Ok(None)` means the week hook aborted
+/// the run mid-campaign (the soak fail-fast path).
+pub(crate) fn execute_hooked(
+    cfg: &ChaosConfig,
+    schedule: &[ShardFault],
+    overrides: ExecOverrides,
+) -> Result<Option<RunOutcome>, String> {
+    let sim = VirtualScheduler::shared(cfg.interleave_seed);
+    let metrics = overrides
+        .metrics
+        .unwrap_or_else(|| Arc::new(MetricsRegistry::new().with_clock(sim.clock())));
+    let tracer = overrides
+        .tracer
+        .unwrap_or_else(|| Tracer::shared(cfg.synth_seed));
+    let shards = cfg.shards.max(1);
+    let mut plans: Vec<FaultPlan> = (0..shards)
+        .map(|_| FaultPlan::new().with_stall_ms(cfg.stall_ms))
+        .collect();
+    for fault in schedule {
+        let plan = plans.get_mut(fault.shard).ok_or_else(|| {
+            format!(
+                "fault addresses shard {} but the config has {shards} shard(s)",
+                fault.shard
+            )
+        })?;
+        plan.insert(fault.index, fault.kind);
+    }
+    // Clones share each plan's arrival counter: after the run these
+    // read off how many requests each shard routed.
+    let meters = plans.clone();
+    let mut builder = Pipeline::builder(cfg.synth_config()?)
         .faults(FaultConfig::none())
-        .fault_plan(plan)
-        .crawler_threads(1)
-        // Chaos pins one shard: arrival indices are counted per shard
-        // listener, and a schedule's index-addressed faults only stay
-        // 1-minimal if every request lands on the same counter.
-        .shards(1)
-        .pool_size(2)
+        .fault_plans(plans)
+        .crawler_threads(cfg.workers.max(1))
+        .shards(shards)
+        .pool_size(cfg.pool.max(1))
         .analysis_threads(cfg.analysis_threads)
         .metrics(Arc::clone(&metrics))
         .with_tracing(Arc::clone(&tracer))
-        .build()
-        .run()
-        .map_err(|e| format!("pipeline failed: {e}"))?;
+        .sim(Arc::clone(&sim) as Arc<dyn SimScheduler>);
+    if let Some(hook) = overrides.on_week {
+        builder = builder.on_week(hook);
+    }
+    let run = match builder.build().run() {
+        Ok(run) => run,
+        Err(gptx::RunError::Aborted) => return Ok(None),
+        Err(e) => return Err(format!("pipeline failed: {e}")),
+    };
     let archive_json = run
         .archive
         .to_json()
@@ -155,14 +241,16 @@ pub fn execute(cfg: &ChaosConfig, schedule: &[(u64, FaultKind)]) -> Result<RunOu
                 .ok_or_else(|| format!("unknown experiment id {id:?}"))
         })
         .collect::<Result<Vec<_>, String>>()?;
-    Ok(RunOutcome {
+    Ok(Some(RunOutcome {
         artifacts,
         archive_json,
         archive: run.archive,
         stats: run.crawl_stats,
         metrics: metrics.snapshot(),
         trace_json: tracer.snapshot().to_chrome_json(),
-    })
+        sim_trace: sim.take_trace(),
+        shard_arrivals: meters.iter().map(|p| p.arrivals()).collect(),
+    }))
 }
 
 /// Run every invariant checker (plus the test-only forbid-kind hook)
@@ -200,7 +288,7 @@ pub fn forbid_invariant(kind: FaultKind) -> String {
 fn violations_for(
     cfg: &ChaosConfig,
     baseline: &RunOutcome,
-    schedule: &[(u64, FaultKind)],
+    schedule: &[ShardFault],
 ) -> Vec<Violation> {
     match execute(cfg, schedule) {
         Ok(outcome) => check_run(cfg, baseline, &outcome),
@@ -214,12 +302,18 @@ fn violations_for(
 pub struct FailureCase {
     pub schedule_seed: u64,
     /// The originally derived (full) schedule.
-    pub schedule: Vec<(u64, FaultKind)>,
-    /// 1-minimal failing subset after shrinking.
-    pub minimal: Vec<(u64, FaultKind)>,
+    pub schedule: Vec<ShardFault>,
+    /// 1-minimal failing subset after shrinking the fault dimension.
+    pub minimal: Vec<ShardFault>,
+    /// The interleave seed the violation still reproduces under after
+    /// shrinking the interleaving dimension (the campaign seed, or 0
+    /// if the default interleaving suffices).
+    pub interleave_seed: u64,
+    /// Worker count the violation still reproduces under.
+    pub workers: usize,
     /// Violations observed when re-running the minimal schedule.
     pub violations: Vec<Violation>,
-    /// Pipeline re-runs the shrinker spent.
+    /// Pipeline re-runs the shrinker spent (both dimensions).
     pub shrink_runs: usize,
     /// Self-contained repro (serialize with [`ReproFile::to_text`]).
     pub repro: ReproFile,
@@ -232,6 +326,8 @@ pub struct CampaignReport {
     pub seeds: Vec<u64>,
     /// Arrival count of the fault-free baseline (schedules span it).
     pub baseline_requests: u64,
+    /// Per-shard arrival counts of the baseline, in shard order.
+    pub shard_arrivals: Vec<u64>,
     /// Total faults scheduled across all runs.
     pub faults_scheduled: usize,
     pub failures: Vec<FailureCase>,
@@ -280,13 +376,14 @@ pub fn run_campaign(cfg: &ChaosConfig) -> Result<CampaignReport, String> {
     let mut report = CampaignReport {
         seeds: cfg.schedule_seeds.clone(),
         baseline_requests: baseline.total_requests(),
+        shard_arrivals: baseline.shard_arrivals.clone(),
         faults_scheduled: 0,
         failures: Vec::new(),
     };
     for &seed in &cfg.schedule_seeds {
-        let schedule = derive_schedule(
+        let schedule = derive_sharded_schedules(
             seed,
-            report.baseline_requests,
+            &report.shard_arrivals,
             &cfg.matrix,
             cfg.faults_per_run,
             MIN_FAULT_GAP,
@@ -296,10 +393,36 @@ pub fn run_campaign(cfg: &ChaosConfig) -> Result<CampaignReport, String> {
         if violations.is_empty() {
             continue;
         }
-        let (minimal, shrink_runs) = shrink(&schedule, |subset| {
+        // Dimension 1: ddmin the fault set with topology and
+        // interleaving fixed.
+        let (minimal, mut shrink_runs) = shrink(&schedule, |subset| {
             !violations_for(cfg, &baseline, subset).is_empty()
         });
-        let violations = violations_for(cfg, &baseline, &minimal);
+        // Dimension 2: reduce the interleaving while the minimal fault
+        // set still fails — first try the default interleave seed, then
+        // a single worker. The baseline stays valid across both trials
+        // because artifacts are topology-invariant; per-run counter
+        // identities are checked against the trial's own run. Shards
+        // are never reduced: fault indices address per-shard arrival
+        // counters and are meaningless under a different shard count.
+        let mut min_cfg = cfg.clone();
+        if min_cfg.interleave_seed != 0 {
+            let mut trial = min_cfg.clone();
+            trial.interleave_seed = 0;
+            shrink_runs += 1;
+            if !violations_for(&trial, &baseline, &minimal).is_empty() {
+                min_cfg = trial;
+            }
+        }
+        if min_cfg.workers > 1 {
+            let mut trial = min_cfg.clone();
+            trial.workers = 1;
+            shrink_runs += 1;
+            if !violations_for(&trial, &baseline, &minimal).is_empty() {
+                min_cfg = trial;
+            }
+        }
+        let violations = violations_for(&min_cfg, &baseline, &minimal);
         let invariant = violations
             .first()
             .map(|v| v.invariant.clone())
@@ -312,9 +435,15 @@ pub fn run_campaign(cfg: &ChaosConfig) -> Result<CampaignReport, String> {
                 synth_seed: cfg.synth_seed,
                 scale: cfg.scale.clone(),
                 stall_ms: cfg.stall_ms,
+                workers: min_cfg.workers,
+                shards: min_cfg.shards,
+                pool: min_cfg.pool,
+                interleave_seed: min_cfg.interleave_seed,
                 invariant,
                 schedule: minimal.clone(),
             },
+            interleave_seed: min_cfg.interleave_seed,
+            workers: min_cfg.workers,
             minimal,
             violations,
             shrink_runs,
@@ -351,6 +480,10 @@ pub fn replay(repro: &ReproFile) -> Result<ReplayOutcome, String> {
     cfg.synth_seed = repro.synth_seed;
     cfg.scale = repro.scale.clone();
     cfg.stall_ms = repro.stall_ms;
+    cfg.workers = repro.workers;
+    cfg.shards = repro.shards;
+    cfg.pool = repro.pool;
+    cfg.interleave_seed = repro.interleave_seed;
     cfg.forbid_kind = repro
         .invariant
         .strip_prefix("forbid-kind:")
@@ -384,6 +517,8 @@ mod tests {
                 events: Vec::new(),
             },
             trace_json: "{\"traceEvents\":[]}".to_string(),
+            sim_trace: Vec::new(),
+            shard_arrivals: Vec::new(),
         }
     }
 
@@ -440,5 +575,20 @@ mod tests {
         assert_eq!(cfg.scale, "tiny");
         assert!(cfg.synth_config().is_ok());
         assert!(cfg.forbid_kind.is_none());
+        // Topology defaults match the historical single-threaded
+        // campaign shape, so old repro semantics are preserved.
+        assert_eq!(
+            (cfg.workers, cfg.shards, cfg.pool, cfg.interleave_seed),
+            (1, 1, 2, 0)
+        );
+    }
+
+    #[test]
+    fn execute_rejects_faults_addressed_past_the_shard_count() {
+        let mut cfg = ChaosConfig::new();
+        cfg.shards = 2;
+        let stray = [ShardFault::new(5, 10, FaultKind::ServerError)];
+        let err = execute(&cfg, &stray).unwrap_err();
+        assert!(err.contains("shard 5"), "{err}");
     }
 }

@@ -48,6 +48,13 @@ pub struct RunOutcome {
     pub metrics: MetricsSnapshot,
     /// Chrome trace-event JSON of the run's span ring.
     pub trace_json: String,
+    /// The simulation scheduler's recorded `(task, point)` interleaving
+    /// — the run's concurrency fingerprint. Two runs of the same
+    /// `(fault set, interleaving seed)` must record identical traces.
+    pub sim_trace: Vec<(String, String)>,
+    /// Arrivals each store shard counted, in shard order — the totals
+    /// sharded schedule derivation spaces faults against.
+    pub shard_arrivals: Vec<u64>,
 }
 
 impl RunOutcome {
@@ -100,9 +107,16 @@ pub fn check_artifacts_identical(baseline: &RunOutcome, run: &RunOutcome) -> Vec
 /// Counter consistency: every HTTP request the client counted must be
 /// accounted for by the crawler as either a first attempt or a retry.
 pub fn check_counter_consistency(run: &RunOutcome) -> Vec<Violation> {
-    let requests = counter(&run.metrics, "http.client.requests");
-    let attempts = prefixed_sum(&run.metrics, "crawler.requests.");
-    let retries = prefixed_sum(&run.metrics, "crawler.retries.");
+    check_counter_consistency_live(&run.metrics)
+}
+
+/// [`check_counter_consistency`] against a live snapshot — what the
+/// soak loop streams at week boundaries, when the crawler is quiescent
+/// between requests and the identity must already hold.
+pub fn check_counter_consistency_live(snapshot: &MetricsSnapshot) -> Vec<Violation> {
+    let requests = counter(snapshot, "http.client.requests");
+    let attempts = prefixed_sum(snapshot, "crawler.requests.");
+    let retries = prefixed_sum(snapshot, "crawler.retries.");
     if requests != attempts + retries {
         return vec![Violation::new(
             "counter-consistency",
@@ -118,10 +132,17 @@ pub fn check_counter_consistency(run: &RunOutcome) -> Vec<Violation> {
 /// Pool balance: every request rode a connection that was either
 /// opened or reused, with transparent stale-socket retries accounted.
 pub fn check_pool_balance(run: &RunOutcome) -> Vec<Violation> {
-    let opened = counter(&run.metrics, "http.client.conn_opened");
-    let reused = counter(&run.metrics, "http.client.conn_reused");
-    let requests = counter(&run.metrics, "http.client.requests");
-    let conn_retries = counter(&run.metrics, "http.client.conn_retries");
+    check_pool_balance_live(&run.metrics)
+}
+
+/// [`check_pool_balance`] against a live snapshot (see
+/// [`check_counter_consistency_live`] for when this is sound to
+/// stream).
+pub fn check_pool_balance_live(snapshot: &MetricsSnapshot) -> Vec<Violation> {
+    let opened = counter(snapshot, "http.client.conn_opened");
+    let reused = counter(snapshot, "http.client.conn_reused");
+    let requests = counter(snapshot, "http.client.requests");
+    let conn_retries = counter(snapshot, "http.client.conn_retries");
     if opened + reused != requests + conn_retries {
         return vec![Violation::new(
             "pool-balance",
@@ -231,6 +252,8 @@ mod tests {
                 events: Vec::new(),
             },
             trace_json: "{\"traceEvents\":[]}".to_string(),
+            sim_trace: Vec::new(),
+            shard_arrivals: Vec::new(),
         }
     }
 

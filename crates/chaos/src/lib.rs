@@ -1,38 +1,56 @@
 //! gptx-chaos — deterministic chaos harness for the crawl/analysis
 //! pipeline.
 //!
-//! The harness turns one `u64` seed into a full fault-injection
-//! campaign against the live loopback store server:
+//! The harness turns one `(u64, u64)` seed pair — fault-schedule seed
+//! and interleave seed — into a full fault-injection campaign against
+//! the live loopback store server:
 //!
 //! * [`schedule`] derives per-run fault schedules — which request
-//!   arrival indices get 5xx responses, disconnects, timeouts,
-//!   slow-writes, or malformed bodies — with splitmix64, spaced so
-//!   every scheduled fault stays within the crawler's retry budget.
+//!   arrival indices on which store shard get 5xx responses,
+//!   disconnects, timeouts, slow-writes, or malformed bodies — with
+//!   splitmix64, spaced per shard so every scheduled fault stays
+//!   within the crawler's retry budget.
 //! * [`campaign`] sweeps a seed grid through the real
 //!   [`gptx::Pipeline`], re-running each schedule against the
-//!   fault-free baseline.
+//!   fault-free baseline. Every run executes under a seeded
+//!   [`gptx_sim::VirtualScheduler`] that serializes crawler workers at
+//!   recorded yield points, so multi-worker, multi-shard,
+//!   pooled-client runs are exactly as replayable as the old
+//!   single-threaded ones — the recorded interleaving trace is part of
+//!   the run outcome.
 //! * [`invariants`] checks each run: artifacts byte-identical to the
 //!   baseline, HTTP/crawler/pool counters mutually consistent, trace
 //!   trees structurally valid, crawl archives internally coherent.
-//! * On violation, [`shrink`] delta-debugs the schedule to a 1-minimal
-//!   failing subset and [`repro`] packages it as a self-contained
-//!   text file replayable with `gptx chaos --replay`.
+//! * On violation, [`shrink`] delta-debugs the fault set to a
+//!   1-minimal failing subset, the campaign then reduces the
+//!   interleaving dimension (default seed, single worker) while the
+//!   violation reproduces, and [`repro`] packages the result as a
+//!   self-contained text file replayable with `gptx chaos --replay`.
+//! * [`soak`] runs sustained iterated campaigns (`gptx chaos --soak`)
+//!   that stream the invariant checks and an SLO burn-rate engine at
+//!   every simulated week boundary and abort mid-run on the first
+//!   violation.
 //!
 //! Everything is deterministic by construction — fixed seeds, a
-//! single-threaded crawl, index-keyed faults — so a failure found at
-//! 2 a.m. in CI replays byte-for-byte at 9 a.m. on a laptop.
+//! virtual-time serialized crawl, per-shard index-keyed faults — so a
+//! failure found at 2 a.m. in CI replays byte-for-byte at 9 a.m. on a
+//! laptop.
 
 pub mod campaign;
 pub mod invariants;
 pub mod repro;
 pub mod schedule;
 pub mod shrink;
+pub mod soak;
 
 pub use campaign::{
     check_run, execute, replay, run_campaign, scale_config, CampaignReport, ChaosConfig,
     FailureCase, ReplayOutcome, MIN_FAULT_GAP,
 };
 pub use invariants::{RunOutcome, Violation};
-pub use repro::{ReproFile, REPRO_MAGIC};
-pub use schedule::{derive_schedule, splitmix64, FaultMatrix};
+pub use repro::{ReproFile, REPRO_MAGIC, REPRO_MAGIC_V1};
+pub use schedule::{
+    derive_schedule, derive_sharded_schedules, splitmix64, FaultMatrix, ShardFault,
+};
 pub use shrink::shrink;
+pub use soak::{run_soak, SoakConfig, SoakReport};

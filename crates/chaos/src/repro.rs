@@ -2,30 +2,50 @@
 //!
 //! A repro file captures everything needed to re-run one violating
 //! chaos run: the synthetic-corpus seed and scale, the (already
-//! shrunk) fault schedule, the timeout-stall duration, and the name of
-//! the violated invariant. The format is a deliberately plain
-//! line-based text file — human-diffable, attachable to a bug report,
-//! and parseable without a serde dependency:
+//! shrunk) fault schedule, the run topology (workers, shards, pool),
+//! the interleave seed that drives the virtual-time scheduler, the
+//! timeout-stall duration, and the name of the violated invariant. The
+//! format is a deliberately plain line-based text file —
+//! human-diffable, attachable to a bug report, and parseable without a
+//! serde dependency:
 //!
 //! ```text
-//! gptx-chaos-repro v1
+//! gptx-chaos-repro v2
 //! schedule-seed 5
+//! interleave-seed 11
 //! synth-seed 7
 //! scale tiny
 //! stall-ms 25
+//! workers 4
+//! shards 4
+//! pool 4
 //! invariant artifacts-identical
-//! fault 112 5xx
-//! fault 385 disconnect
+//! fault 0 112 5xx
+//! fault 2 385 disconnect
 //! ```
+//!
+//! Fault lines are `fault <shard> <arrival index> <kind>`: arrival
+//! indices are counted per shard listener, so a fault is only
+//! addressable relative to its shard. The parser also accepts the v1
+//! format (no topology keys, two-field `fault <index> <kind>` lines)
+//! and maps it onto the v2 defaults — shard 0, one worker, one shard,
+//! pool 2, interleave seed 0 — which is exactly the topology v1
+//! campaigns ran, so old repro files replay unchanged.
 //!
 //! `gptx chaos --replay FILE` parses this, re-runs the fault-free
 //! baseline plus the planned run, and reports whether the violation
 //! still reproduces.
 
+use crate::schedule::ShardFault;
 use gptx::store::FaultKind;
 
-/// The first line of every repro file (format version gate).
-pub const REPRO_MAGIC: &str = "gptx-chaos-repro v1";
+/// The first line of every repro file written today (format version
+/// gate).
+pub const REPRO_MAGIC: &str = "gptx-chaos-repro v2";
+
+/// First line of the legacy single-shard format, still accepted by
+/// [`ReproFile::parse`].
+pub const REPRO_MAGIC_V1: &str = "gptx-chaos-repro v1";
 
 /// A parsed (or to-be-written) repro file.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,35 +60,52 @@ pub struct ReproFile {
     pub scale: String,
     /// Timeout-fault stall duration in milliseconds.
     pub stall_ms: u64,
+    /// Crawler worker threads the violation reproduces under.
+    pub workers: usize,
+    /// Store shard count (fault indices are per-shard; replay must use
+    /// the same count).
+    pub shards: usize,
+    /// Client connection-pool size.
+    pub pool: usize,
+    /// Interleave seed for the virtual-time scheduler.
+    pub interleave_seed: u64,
     /// Name of the violated invariant (`forbid-kind:<kind>` marks the
     /// test-only self-check hook).
     pub invariant: String,
-    /// The minimal failing schedule: `(arrival index, kind)` pairs.
-    pub schedule: Vec<(u64, FaultKind)>,
+    /// The minimal failing schedule, sorted `(shard, index)`.
+    pub schedule: Vec<ShardFault>,
 }
 
 impl ReproFile {
-    /// Serialize to the line-based text format.
+    /// Serialize to the (v2) line-based text format.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
         out.push_str(REPRO_MAGIC);
         out.push('\n');
         out.push_str(&format!("schedule-seed {}\n", self.schedule_seed));
+        out.push_str(&format!("interleave-seed {}\n", self.interleave_seed));
         out.push_str(&format!("synth-seed {}\n", self.synth_seed));
         out.push_str(&format!("scale {}\n", self.scale));
         out.push_str(&format!("stall-ms {}\n", self.stall_ms));
+        out.push_str(&format!("workers {}\n", self.workers));
+        out.push_str(&format!("shards {}\n", self.shards));
+        out.push_str(&format!("pool {}\n", self.pool));
         out.push_str(&format!("invariant {}\n", self.invariant));
-        for (index, kind) in &self.schedule {
-            out.push_str(&format!("fault {index} {kind}\n"));
+        for fault in &self.schedule {
+            out.push_str(&format!(
+                "fault {} {} {}\n",
+                fault.shard, fault.index, fault.kind
+            ));
         }
         out
     }
 
-    /// Parse the text format; `Err` names the offending line.
+    /// Parse the text format (v2 or legacy v1); `Err` names the
+    /// offending line.
     pub fn parse(text: &str) -> Result<ReproFile, String> {
         let mut lines = text.lines();
-        match lines.next() {
-            Some(line) if line.trim() == REPRO_MAGIC => {}
+        match lines.next().map(str::trim) {
+            Some(line) if line == REPRO_MAGIC || line == REPRO_MAGIC_V1 => {}
             other => return Err(format!("not a chaos repro file (first line {other:?})")),
         }
         let mut repro = ReproFile {
@@ -76,6 +113,10 @@ impl ReproFile {
             synth_seed: 0,
             scale: "tiny".to_string(),
             stall_ms: 25,
+            workers: 1,
+            shards: 1,
+            pool: 2,
+            interleave_seed: 0,
             invariant: String::new(),
             schedule: Vec::new(),
         };
@@ -89,24 +130,35 @@ impl ReproFile {
                 .ok_or_else(|| format!("bad repro line {line:?}"))?;
             match key {
                 "schedule-seed" => repro.schedule_seed = parse_u64(key, value)?,
+                "interleave-seed" => repro.interleave_seed = parse_u64(key, value)?,
                 "synth-seed" => repro.synth_seed = parse_u64(key, value)?,
                 "scale" => repro.scale = value.trim().to_string(),
                 "stall-ms" => repro.stall_ms = parse_u64(key, value)?,
+                "workers" => repro.workers = parse_u64(key, value)?.max(1) as usize,
+                "shards" => repro.shards = parse_u64(key, value)?.max(1) as usize,
+                "pool" => repro.pool = parse_u64(key, value)?.max(1) as usize,
                 "invariant" => repro.invariant = value.trim().to_string(),
                 "fault" => {
-                    let (index, kind) = value
-                        .trim()
-                        .split_once(' ')
-                        .ok_or_else(|| format!("bad fault line {line:?}"))?;
-                    let index = parse_u64("fault index", index)?;
-                    let kind = FaultKind::parse(kind.trim())
-                        .ok_or_else(|| format!("unknown fault kind {kind:?}"))?;
-                    repro.schedule.push((index, kind));
+                    let fields: Vec<&str> = value.split_whitespace().collect();
+                    let fault = match fields.as_slice() {
+                        // v1: `fault <index> <kind>` — always shard 0.
+                        [index, kind] => {
+                            ShardFault::new(0, parse_u64("fault index", index)?, parse_kind(kind)?)
+                        }
+                        // v2: `fault <shard> <index> <kind>`.
+                        [shard, index, kind] => ShardFault::new(
+                            parse_u64("fault shard", shard)? as usize,
+                            parse_u64("fault index", index)?,
+                            parse_kind(kind)?,
+                        ),
+                        _ => return Err(format!("bad fault line {line:?}")),
+                    };
+                    repro.schedule.push(fault);
                 }
                 _ => return Err(format!("unknown repro key {key:?}")),
             }
         }
-        repro.schedule.sort_by_key(|&(index, _)| index);
+        repro.schedule.sort();
         Ok(repro)
     }
 }
@@ -116,6 +168,10 @@ fn parse_u64(key: &str, value: &str) -> Result<u64, String> {
         .trim()
         .parse()
         .map_err(|_| format!("bad {key} value {value:?}"))
+}
+
+fn parse_kind(value: &str) -> Result<FaultKind, String> {
+    FaultKind::parse(value.trim()).ok_or_else(|| format!("unknown fault kind {value:?}"))
 }
 
 #[cfg(test)]
@@ -128,11 +184,15 @@ mod tests {
             synth_seed: 7,
             scale: "tiny".to_string(),
             stall_ms: 25,
+            workers: 4,
+            shards: 4,
+            pool: 4,
+            interleave_seed: 11,
             invariant: "artifacts-identical".to_string(),
             schedule: vec![
-                (112, FaultKind::ServerError),
-                (385, FaultKind::Disconnect),
-                (512, FaultKind::GarbageBody),
+                ShardFault::new(0, 112, FaultKind::ServerError),
+                ShardFault::new(2, 385, FaultKind::Disconnect),
+                ShardFault::new(3, 512, FaultKind::GarbageBody),
             ],
         }
     }
@@ -142,26 +202,62 @@ mod tests {
         let repro = sample();
         let text = repro.to_text();
         assert!(text.starts_with(REPRO_MAGIC));
+        assert!(text.contains("fault 2 385 disconnect"));
         assert_eq!(ReproFile::parse(&text).unwrap(), repro);
     }
 
     #[test]
     fn parse_sorts_fault_lines_and_skips_comments() {
-        let text = "gptx-chaos-repro v1\n# a note\nschedule-seed 9\nsynth-seed 3\n\
-                    scale small\nstall-ms 10\ninvariant counters\nfault 40 timeout\nfault 4 5xx\n";
+        let text = "gptx-chaos-repro v2\n# a note\nschedule-seed 9\nsynth-seed 3\n\
+                    scale small\nstall-ms 10\nworkers 2\nshards 2\npool 3\n\
+                    interleave-seed 6\ninvariant counters\n\
+                    fault 1 40 timeout\nfault 0 4 5xx\n";
         let repro = ReproFile::parse(text).unwrap();
         assert_eq!(repro.scale, "small");
+        assert_eq!((repro.workers, repro.shards, repro.pool), (2, 2, 3));
+        assert_eq!(repro.interleave_seed, 6);
         assert_eq!(
             repro.schedule,
-            vec![(4, FaultKind::ServerError), (40, FaultKind::Timeout)]
+            vec![
+                ShardFault::new(0, 4, FaultKind::ServerError),
+                ShardFault::new(1, 40, FaultKind::Timeout),
+            ]
         );
+    }
+
+    #[test]
+    fn v1_files_parse_onto_the_single_shard_defaults() {
+        let text = "gptx-chaos-repro v1\nschedule-seed 5\nsynth-seed 7\nscale tiny\n\
+                    stall-ms 25\ninvariant artifacts-identical\n\
+                    fault 112 5xx\nfault 385 disconnect\n";
+        let repro = ReproFile::parse(text).unwrap();
+        assert_eq!(
+            (
+                repro.workers,
+                repro.shards,
+                repro.pool,
+                repro.interleave_seed
+            ),
+            (1, 1, 2, 0),
+            "v1 maps onto the topology v1 campaigns actually ran"
+        );
+        assert_eq!(
+            repro.schedule,
+            vec![
+                ShardFault::new(0, 112, FaultKind::ServerError),
+                ShardFault::new(0, 385, FaultKind::Disconnect),
+            ]
+        );
+        // Re-serializing upgrades to v2.
+        assert!(repro.to_text().starts_with(REPRO_MAGIC));
     }
 
     #[test]
     fn parse_rejects_garbage() {
         assert!(ReproFile::parse("not a repro").is_err());
-        assert!(ReproFile::parse("gptx-chaos-repro v1\nbogus-key 1\n").is_err());
-        assert!(ReproFile::parse("gptx-chaos-repro v1\nfault x 5xx\n").is_err());
-        assert!(ReproFile::parse("gptx-chaos-repro v1\nfault 3 warp\n").is_err());
+        assert!(ReproFile::parse("gptx-chaos-repro v2\nbogus-key 1\n").is_err());
+        assert!(ReproFile::parse("gptx-chaos-repro v2\nfault x 5xx\n").is_err());
+        assert!(ReproFile::parse("gptx-chaos-repro v2\nfault 0 3 warp\n").is_err());
+        assert!(ReproFile::parse("gptx-chaos-repro v2\nfault 0 1 2 5xx\n").is_err());
     }
 }

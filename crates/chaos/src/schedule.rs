@@ -120,6 +120,101 @@ pub fn derive_schedule(
     schedule
 }
 
+/// One planned fault addressed to one shard's arrival counter.
+///
+/// Under a sharded store every listener counts its *own* arrivals (see
+/// `FaultPlan::next_arrival`), so a fault index is only meaningful
+/// relative to the shard that interprets it. The ordering is
+/// `(shard, index, kind)` — sorting a schedule groups it per shard in
+/// arrival order, which is also the order the repro file serializes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ShardFault {
+    pub shard: usize,
+    pub index: u64,
+    pub kind: FaultKind,
+}
+
+impl ShardFault {
+    pub fn new(shard: usize, index: u64, kind: FaultKind) -> ShardFault {
+        ShardFault { shard, index, kind }
+    }
+}
+
+/// Derive a sharded fault schedule: up to `count` faults spread across
+/// the shards in proportion to `totals` (each shard's baseline arrival
+/// count), then derived *per shard* with [`derive_schedule`] under a
+/// shard-separated sub-seed.
+///
+/// The minimum-spacing guarantee is deliberately **per shard**: fault
+/// indices address per-listener arrival counters, so two faults on
+/// different shards never compete for the same logical request's retry
+/// budget and need no mutual spacing — only faults on the *same* shard
+/// must stay `min_gap` arrivals apart. (The old global-index spacing
+/// was both too strong across shards and — worse — unsound under
+/// sharding, since a globally spaced pair could land 0 apart on one
+/// shard's counter.)
+///
+/// With a single shard this delegates to [`derive_schedule`] under the
+/// seed unchanged, so one-shard campaigns keep their historical
+/// schedules byte for byte.
+pub fn derive_sharded_schedules(
+    seed: u64,
+    totals: &[u64],
+    matrix: &FaultMatrix,
+    count: usize,
+    min_gap: u64,
+) -> Vec<ShardFault> {
+    if totals.len() <= 1 {
+        let total = totals.first().copied().unwrap_or(0);
+        return derive_schedule(seed, total, matrix, count, min_gap)
+            .into_iter()
+            .map(|(index, kind)| ShardFault::new(0, index, kind))
+            .collect();
+    }
+    let sum: u64 = totals.iter().sum();
+    if sum == 0 || count == 0 || matrix.kinds().is_empty() {
+        return Vec::new();
+    }
+    // Largest-remainder apportionment of `count` across shards by
+    // arrival share; ties broken toward lower shard numbers so the
+    // split is deterministic.
+    let mut alloc: Vec<usize> = totals
+        .iter()
+        .map(|&t| ((count as u64 * t) / sum) as usize)
+        .collect();
+    let mut remainders: Vec<(u64, usize)> = totals
+        .iter()
+        .enumerate()
+        .map(|(shard, &t)| ((count as u64 * t) % sum, shard))
+        .collect();
+    remainders.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let mut assigned: usize = alloc.iter().sum();
+    for &(_, shard) in &remainders {
+        if assigned >= count {
+            break;
+        }
+        if totals[shard] > 0 {
+            alloc[shard] += 1;
+            assigned += 1;
+        }
+    }
+    let mut schedule = Vec::new();
+    for (shard, &n) in alloc.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        // Domain-separate the per-shard sub-seed so shard schedules are
+        // independent draws, not shifted copies of each other.
+        let mut mix = seed ^ 0x6770_7478_2d73_6864 ^ (shard as u64); // "gptx-shd"
+        let sub_seed = splitmix64(&mut mix);
+        for (index, kind) in derive_schedule(sub_seed, totals[shard], matrix, n, min_gap) {
+            schedule.push(ShardFault::new(shard, index, kind));
+        }
+    }
+    schedule.sort();
+    schedule
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,5 +278,72 @@ mod tests {
         let matrix = FaultMatrix::of([FaultKind::Timeout]);
         let schedule = derive_schedule(11, 300, &matrix, 6, 8);
         assert!(schedule.iter().all(|&(_, k)| k == FaultKind::Timeout));
+    }
+
+    #[test]
+    fn sharded_min_gap_holds_per_shard_for_every_seed() {
+        // Satellite fix lock: the spacing guarantee is per shard, not
+        // over a global arrival index that no longer exists under
+        // sharded listeners. Sweep many seeds over uneven shard totals.
+        let matrix = FaultMatrix::all();
+        let totals = [400u64, 150, 90, 360];
+        for seed in 0..200u64 {
+            let schedule = derive_sharded_schedules(seed, &totals, &matrix, 12, 7);
+            assert!(!schedule.is_empty(), "seed {seed} derived nothing");
+            for shard in 0..totals.len() {
+                let mut indices: Vec<u64> = schedule
+                    .iter()
+                    .filter(|f| f.shard == shard)
+                    .map(|f| f.index)
+                    .collect();
+                indices.sort_unstable();
+                for pair in indices.windows(2) {
+                    assert!(
+                        pair[1] - pair[0] >= 7,
+                        "seed {seed} shard {shard}: indices {} and {} closer than min gap",
+                        pair[0],
+                        pair[1]
+                    );
+                }
+                assert!(
+                    indices.iter().all(|&i| i < totals[shard]),
+                    "seed {seed} shard {shard}: index out of that shard's arrival range"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_derivation_is_deterministic_and_proportional() {
+        let matrix = FaultMatrix::all();
+        let totals = [600u64, 200, 200];
+        let a = derive_sharded_schedules(9, &totals, &matrix, 10, 8);
+        let b = derive_sharded_schedules(9, &totals, &matrix, 10, 8);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10, "enough arrivals for the full count");
+        let on_big: usize = a.iter().filter(|f| f.shard == 0).count();
+        assert!(
+            on_big >= 5,
+            "the shard with most arrivals carries most faults: {a:?}"
+        );
+        // Shards with zero arrivals are never scheduled.
+        let sparse = derive_sharded_schedules(9, &[0, 300, 0], &matrix, 6, 8);
+        assert!(sparse.iter().all(|f| f.shard == 1), "{sparse:?}");
+    }
+
+    #[test]
+    fn single_shard_derivation_matches_the_unsharded_path() {
+        let matrix = FaultMatrix::all();
+        let flat = derive_schedule(42, 900, &matrix, 8, 8);
+        let sharded = derive_sharded_schedules(42, &[900], &matrix, 8, 8);
+        assert_eq!(
+            sharded,
+            flat.into_iter()
+                .map(|(i, k)| ShardFault::new(0, i, k))
+                .collect::<Vec<_>>(),
+            "one-shard campaigns keep their historical schedules"
+        );
+        assert!(derive_sharded_schedules(42, &[], &matrix, 8, 8).is_empty());
+        assert!(derive_sharded_schedules(42, &[0, 0], &matrix, 8, 8).is_empty());
     }
 }

@@ -1,0 +1,280 @@
+//! Long-soak campaign mode: sustained simulated load with *streaming*
+//! invariant checks.
+//!
+//! A normal chaos run asserts its invariants once, after the pipeline
+//! finishes. A soak instead iterates derived fault schedules under the
+//! virtual-time scheduler for a wall-clock budget, and checks as it
+//! goes, at two cadences:
+//!
+//! * **Every simulated week** (via the pipeline's week-boundary hook),
+//!   while the run is still in flight: counter consistency, pool
+//!   balance, trace validity — the invariants that are sound at a
+//!   quiescent week boundary — plus one [`Sampler::tick`] feeding the
+//!   SLO burn-rate engine, whose trip is itself a violation. A failed
+//!   week check aborts the run *mid-flight* (the hook returns `false`,
+//!   the pipeline returns `RunError::Aborted`), which is what lets
+//!   `gptx chaos --soak` exit nonzero seconds into a violation instead
+//!   of minutes later at run end.
+//! * **Every iteration end**: the full five-invariant battery of
+//!   [`check_run`] against the fault-free baseline — including the two
+//!   checks that need a finished archive (artifact byte-identity and
+//!   archive integrity).
+//!
+//! Each iteration derives a fresh schedule (`base seed + iteration`)
+//! against the baseline's per-shard arrival counts, so a long soak
+//! sweeps an unbounded family of fault sets under one topology.
+
+use crate::campaign::{
+    check_run, execute, execute_hooked, ChaosConfig, ExecOverrides, MIN_FAULT_GAP,
+};
+use crate::invariants::{check_counter_consistency_live, check_pool_balance_live, Violation};
+use crate::schedule::derive_sharded_schedules;
+use gptx::obs::{shared_engine, validate_chrome_trace_snapshot, Sampler, SloPolicy, Tracer};
+use gptx::MetricsRegistry;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Soak campaign configuration.
+#[derive(Debug, Clone)]
+pub struct SoakConfig {
+    /// The per-run configuration (topology, scale, matrix, faults per
+    /// run). The first schedule seed is the soak's base seed; iteration
+    /// `i` runs schedule seed `base + i`.
+    pub chaos: ChaosConfig,
+    /// Wall-clock budget: no new iteration starts after this elapses.
+    /// At least one iteration always runs.
+    pub duration: Duration,
+    /// Hard iteration cap (0 = unlimited within the duration).
+    pub max_iters: usize,
+    /// Latency threshold for the streamed SLO policy, in microseconds.
+    /// The policy watches `http.client.latency_us` with the standard
+    /// burn-rate windows; the default (1 s) sits far above any planned
+    /// fault's stall, so a healthy pipeline never trips it.
+    pub slo_threshold_us: u64,
+}
+
+impl SoakConfig {
+    pub fn new(chaos: ChaosConfig) -> SoakConfig {
+        SoakConfig {
+            chaos,
+            duration: Duration::from_secs(10),
+            max_iters: 0,
+            slo_threshold_us: 1_000_000,
+        }
+    }
+}
+
+/// What a soak observed; `ok()` gates the CLI exit code.
+#[derive(Debug, Clone)]
+pub struct SoakReport {
+    /// Iterations completed or aborted.
+    pub iterations: usize,
+    /// Simulated weeks that passed the streaming checks.
+    pub weeks_streamed: u64,
+    /// Faults scheduled across all iterations.
+    pub faults_scheduled: usize,
+    /// Arrival count of the fault-free baseline.
+    pub baseline_requests: u64,
+    /// The iteration that failed, if any (fail-fast: always the last).
+    pub failed_iteration: Option<usize>,
+    /// Whether the failure was caught mid-run by a streaming check
+    /// (`true`) or by the end-of-iteration battery (`false`).
+    pub failed_streaming: bool,
+    /// Violations from the failed iteration.
+    pub violations: Vec<Violation>,
+}
+
+impl SoakReport {
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Human-readable one-screen summary.
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "soak: {} iteration(s), {} week(s) streamed, {} fault(s) scheduled \
+             over {} baseline arrivals: ",
+            self.iterations, self.weeks_streamed, self.faults_scheduled, self.baseline_requests
+        );
+        if self.ok() {
+            out.push_str("all invariants held\n");
+        } else {
+            out.push_str(&format!(
+                "FAILED at iteration {} ({})\n",
+                self.failed_iteration.unwrap_or(0),
+                if self.failed_streaming {
+                    "caught mid-run by a streaming check"
+                } else {
+                    "caught at iteration end"
+                }
+            ));
+            for violation in &self.violations {
+                out.push_str(&format!("  {violation}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Run a soak campaign; see the module docs for the checking cadence.
+///
+/// Returns `Err` only for infrastructure failures (bad scale name,
+/// serialization errors). Invariant violations are reported through
+/// [`SoakReport::ok`], with the failing iteration's violations in
+/// [`SoakReport::violations`].
+pub fn run_soak(cfg: &SoakConfig) -> Result<SoakReport, String> {
+    let baseline = execute(&cfg.chaos, &[])?;
+    let base_seed = cfg.chaos.schedule_seeds.first().copied().unwrap_or(0);
+    let start = Instant::now();
+    let mut report = SoakReport {
+        iterations: 0,
+        weeks_streamed: 0,
+        faults_scheduled: 0,
+        baseline_requests: baseline.total_requests(),
+        failed_iteration: None,
+        failed_streaming: false,
+        violations: Vec::new(),
+    };
+    loop {
+        let iter = report.iterations;
+        let schedule = derive_sharded_schedules(
+            base_seed.wrapping_add(iter as u64),
+            &baseline.shard_arrivals,
+            &cfg.chaos.matrix,
+            cfg.chaos.faults_per_run,
+            MIN_FAULT_GAP,
+        );
+        report.faults_scheduled += schedule.len();
+
+        // Per-iteration observability the week hook streams against.
+        let metrics = MetricsRegistry::shared();
+        let tracer = Tracer::shared(cfg.chaos.synth_seed);
+        let engine = shared_engine(
+            SloPolicy {
+                name: "soak.latency".to_string(),
+                ..SloPolicy::latency("http.client.latency_us", cfg.slo_threshold_us)
+            },
+            &metrics,
+        );
+        let sampler =
+            Arc::new(Sampler::new(Arc::clone(&metrics), 4096).with_slo(Arc::clone(&engine)));
+        let weeks = Arc::new(AtomicU64::new(0));
+        let caught: Arc<Mutex<Vec<Violation>>> = Arc::new(Mutex::new(Vec::new()));
+        let hook = {
+            let metrics = Arc::clone(&metrics);
+            let tracer = Arc::clone(&tracer);
+            let sampler = Arc::clone(&sampler);
+            let engine = Arc::clone(&engine);
+            let weeks = Arc::clone(&weeks);
+            let caught = Arc::clone(&caught);
+            Arc::new(move |week: usize| -> bool {
+                sampler.tick();
+                let snapshot = metrics.snapshot();
+                let mut violations = check_counter_consistency_live(&snapshot);
+                violations.extend(check_pool_balance_live(&snapshot));
+                // Snapshot-tolerant validation: mid-run, finished
+                // children may reference parents still open.
+                if let Err(e) = validate_chrome_trace_snapshot(&tracer.snapshot().to_chrome_json())
+                {
+                    violations.push(Violation::new(
+                        "trace-valid",
+                        format!("trace export invalid at week {week}: {e}"),
+                    ));
+                }
+                if engine.tripped() {
+                    let detail = engine
+                        .breaches()
+                        .last()
+                        .map(|b| b.render())
+                        .unwrap_or_else(|| "burn-rate engine tripped".to_string());
+                    violations.push(Violation::new("slo-burn-rate", detail));
+                }
+                if violations.is_empty() {
+                    weeks.fetch_add(1, Ordering::Relaxed);
+                    true
+                } else {
+                    *caught.lock().expect("soak violation sink") = violations;
+                    false
+                }
+            }) as Arc<dyn Fn(usize) -> bool + Send + Sync>
+        };
+
+        let outcome = execute_hooked(
+            &cfg.chaos,
+            &schedule,
+            ExecOverrides {
+                metrics: Some(Arc::clone(&metrics)),
+                tracer: Some(tracer),
+                on_week: Some(hook),
+            },
+        )?;
+        report.iterations += 1;
+        report.weeks_streamed += weeks.load(Ordering::Relaxed);
+        match outcome {
+            None => {
+                // A streaming check failed and aborted the run
+                // mid-flight — fail fast.
+                report.failed_iteration = Some(iter);
+                report.failed_streaming = true;
+                report.violations = caught.lock().expect("soak violation sink").clone();
+                if report.violations.is_empty() {
+                    report.violations.push(Violation::new(
+                        "soak-abort",
+                        "run aborted mid-week".to_string(),
+                    ));
+                }
+                return Ok(report);
+            }
+            Some(outcome) => {
+                let violations = check_run(&cfg.chaos, &baseline, &outcome);
+                if !violations.is_empty() {
+                    report.failed_iteration = Some(iter);
+                    report.failed_streaming = false;
+                    report.violations = violations;
+                    return Ok(report);
+                }
+            }
+        }
+        if start.elapsed() >= cfg.duration
+            || (cfg.max_iters > 0 && report.iterations >= cfg.max_iters)
+        {
+            return Ok(report);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soak_defaults_are_bounded() {
+        let cfg = SoakConfig::new(ChaosConfig::new());
+        assert_eq!(cfg.duration, Duration::from_secs(10));
+        assert_eq!(cfg.max_iters, 0);
+        assert!(cfg.slo_threshold_us >= 1_000_000);
+    }
+
+    #[test]
+    fn report_summary_names_the_failure_cadence() {
+        let mut report = SoakReport {
+            iterations: 3,
+            weeks_streamed: 11,
+            faults_scheduled: 9,
+            baseline_requests: 400,
+            failed_iteration: Some(2),
+            failed_streaming: true,
+            violations: vec![Violation::new("pool-balance", "leak".to_string())],
+        };
+        assert!(!report.ok());
+        assert!(report
+            .summary()
+            .contains("caught mid-run by a streaming check"));
+        report.failed_streaming = false;
+        assert!(report.summary().contains("caught at iteration end"));
+        report.violations.clear();
+        assert!(report.ok());
+        assert!(report.summary().contains("all invariants held"));
+    }
+}

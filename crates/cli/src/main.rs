@@ -81,11 +81,20 @@ USAGE:
                                    (run pipeline, print metrics only)
     gptx chaos                     [--seeds N] [--seed N] [--scale ...] [--kinds LIST]
                                    [--faults-per-run N] [--stall-ms N] [--threads N]
+                                   [--workers N] [--shards N] [--pool N]
+                                   [--interleave-seed N]
                                    [--repro FILE] [--forbid-kind KIND]
-                                   (sweep seeded fault schedules, check invariants,
+                                   (sweep seeded fault schedules under the
+                                   virtual-time scheduler, check invariants,
                                    shrink any failure to a minimal repro)
     gptx chaos --replay FILE       re-run a repro file written by --repro and report
                                    whether the recorded violation reproduces
+    gptx chaos --soak              [--soak-duration-s N] [--soak-iters N]
+                                   [--slo-threshold-ms N] [+ any chaos flag above]
+                                   (sustained iterated campaigns streaming every
+                                   invariant and an SLO burn-rate engine at each
+                                   simulated week boundary; exits nonzero
+                                   mid-run on the first violation)
     gptx bench load                [--connections N] [--duration-s N] [--threads N]
                                    [--shards N] [--workers N] [--slo-p99-ms N]
                                    [--burn-slo-ms N] [--seed N] [--curve] [--out FILE]
@@ -124,7 +133,8 @@ OPTIONS:
                   crawler worker count). Pooled connections are kept
                   alive across requests; 0 disables pooling and sends
                   `Connection: close` on every request. Results are
-                  byte-identical either way.
+                  byte-identical either way. chaos: pool size per run
+                  (default 2, minimum 1).
     --incremental
                   analyze: replay the campaign as a per-week delta
                   series and update each analysis stage from the deltas
@@ -169,15 +179,43 @@ OPTIONS:
                   chaos (self-test): treat any injected fault of KIND as
                   an invariant violation, to exercise the shrinker and
                   repro pipeline end to end.
+    --workers N   chaos: crawler worker threads per run (default 1). Any
+                  count is deterministic: workers are serialized by the
+                  seeded virtual-time scheduler.
+                  bench load: server worker threads per listener
+                  (default 4 — the point is workers << connections).
+    --interleave-seed N
+                  chaos: seed for the virtual-time scheduler's
+                  interleaving of workers, pool slots, and store shards
+                  (default 0). Part of the repro file; shrunk toward 0
+                  alongside the fault set.
+    --soak        chaos: long-soak mode — iterate derived schedules for
+                  --soak-duration-s seconds (default 10), streaming
+                  counter-consistency, pool-balance, trace-validity, and
+                  SLO burn-rate checks at every simulated week boundary
+                  and the full five-invariant battery at each iteration
+                  end. The first failed week check aborts the run
+                  mid-flight with a nonzero exit.
+    --soak-duration-s N
+                  chaos --soak: wall-clock budget in seconds (default
+                  10). At least one iteration always runs.
+    --soak-iters N
+                  chaos --soak: hard iteration cap (default unlimited
+                  within the duration).
+    --slo-threshold-ms N
+                  chaos --soak: latency threshold for the streamed
+                  burn-rate SLO on http.client.latency_us (default
+                  1000 ms, far above any planned fault's stall).
     --connections N
                   bench load: concurrent kept-alive connections
                   (default 26 = 2 per marketplace).
     --duration-s N
                   bench load: seconds per run (default 2).
-    --shards N    bench load: ecosystem listener shards (default 13, the
+    --shards N    chaos: store listener shards per run (default 1);
+                  faults address (shard, arrival index) pairs and fault
+                  spacing is enforced per shard.
+                  bench load: ecosystem listener shards (default 13, the
                   paper's marketplace count).
-    --workers N   bench load: server worker threads per listener
-                  (default 4 — the point is workers << connections).
     --slo-p99-ms N
                   bench load: p99 latency SLO asserted against the
                   gptx-obs histogram (default 250).
@@ -226,6 +264,7 @@ fn split_args(args: &[String]) -> (Vec<String>, std::collections::BTreeMap<Strin
                 || name == "curve"
                 || name == "incremental"
                 || name == "once"
+                || name == "soak"
             {
                 options.insert(name.to_string(), "true".to_string());
                 i += 1;
@@ -1132,7 +1171,83 @@ fn chaos_config_from(
                 .ok_or_else(|| format!("unknown --forbid-kind {kind:?}"))?,
         );
     }
+    if let Some(n) = u64_opt(options, "workers")? {
+        if n == 0 {
+            return Err("bad --workers 0 (want at least one crawler worker)".to_string());
+        }
+        cfg.workers = n as usize;
+    }
+    if let Some(n) = u64_opt(options, "shards")? {
+        if n == 0 {
+            return Err("bad --shards 0 (want at least one store shard)".to_string());
+        }
+        cfg.shards = n as usize;
+    }
+    if let Some(n) = u64_opt(options, "pool")? {
+        if n == 0 {
+            return Err("bad --pool 0 (chaos runs need a pooled client)".to_string());
+        }
+        cfg.pool = n as usize;
+    }
+    if let Some(seed) = u64_opt(options, "interleave-seed")? {
+        cfg.interleave_seed = seed;
+    }
     Ok(cfg)
+}
+
+/// Build a [`gptx_chaos::SoakConfig`] from `gptx chaos --soak` flags.
+fn soak_config_from(
+    options: &std::collections::BTreeMap<String, String>,
+) -> Result<gptx_chaos::SoakConfig, String> {
+    let mut cfg = gptx_chaos::SoakConfig::new(chaos_config_from(options)?);
+    if let Some(secs) = u64_opt(options, "soak-duration-s")? {
+        cfg.duration = std::time::Duration::from_secs(secs);
+    }
+    if let Some(n) = u64_opt(options, "soak-iters")? {
+        cfg.max_iters = n as usize;
+    }
+    if let Some(ms) = u64_opt(options, "slo-threshold-ms")? {
+        if ms == 0 {
+            return Err("bad --slo-threshold-ms 0 (want a positive threshold)".to_string());
+        }
+        cfg.slo_threshold_us = ms * 1000;
+    }
+    Ok(cfg)
+}
+
+/// `gptx chaos --soak` — sustained iterated campaigns with streaming
+/// invariant + SLO burn-rate checks; fails fast mid-run.
+fn chaos_soak(options: &std::collections::BTreeMap<String, String>) -> ExitCode {
+    let cfg = match soak_config_from(options) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "chaos soak: {}s budget ({} scale, synth seed {}, {} worker(s) x {} shard(s), \
+         {} fault(s)/iteration)...",
+        cfg.duration.as_secs(),
+        cfg.chaos.scale,
+        cfg.chaos.synth_seed,
+        cfg.chaos.workers,
+        cfg.chaos.shards,
+        cfg.chaos.faults_per_run
+    );
+    let report = match gptx_chaos::run_soak(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("chaos soak failed to run: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.summary());
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 /// Run a chaos campaign (or replay a repro file): seeded fault
@@ -1143,6 +1258,9 @@ fn chaos(args: &[String]) -> ExitCode {
     if let Some(path) = options.get("replay") {
         return chaos_replay(path);
     }
+    if options.contains_key("soak") {
+        return chaos_soak(&options);
+    }
     let cfg = match chaos_config_from(&options) {
         Ok(c) => c,
         Err(e) => {
@@ -1151,11 +1269,15 @@ fn chaos(args: &[String]) -> ExitCode {
         }
     };
     eprintln!(
-        "chaos: sweeping {} schedule seed(s) ({} scale, synth seed {}, {} fault(s)/run)...",
+        "chaos: sweeping {} schedule seed(s) ({} scale, synth seed {}, {} fault(s)/run, \
+         {} worker(s) x {} shard(s), interleave seed {})...",
         cfg.schedule_seeds.len(),
         cfg.scale,
         cfg.synth_seed,
-        cfg.faults_per_run
+        cfg.faults_per_run,
+        cfg.workers,
+        cfg.shards,
+        cfg.interleave_seed
     );
     let report = match gptx_chaos::run_campaign(&cfg) {
         Ok(r) => r,
@@ -1201,10 +1323,14 @@ fn chaos_replay(path: &str) -> ExitCode {
         }
     };
     eprintln!(
-        "replaying {path}: {} fault(s), {} scale, synth seed {}, invariant {:?}",
+        "replaying {path}: {} fault(s), {} scale, synth seed {}, {} worker(s) x {} \
+         shard(s), interleave seed {}, invariant {:?}",
         repro.schedule.len(),
         repro.scale,
         repro.synth_seed,
+        repro.workers,
+        repro.shards,
+        repro.interleave_seed,
         repro.invariant
     );
     let outcome = match gptx_chaos::replay(&repro) {
@@ -1633,6 +1759,14 @@ mod tests {
             "3",
             "--forbid-kind",
             "disconnect",
+            "--workers",
+            "4",
+            "--shards",
+            "2",
+            "--pool",
+            "3",
+            "--interleave-seed",
+            "77",
         ]));
         let cfg = chaos_config_from(&opts).unwrap();
         assert_eq!(cfg.schedule_seeds, (0..16).collect::<Vec<_>>());
@@ -1649,6 +1783,40 @@ mod tests {
         assert_eq!(cfg.stall_ms, 10);
         assert_eq!(cfg.analysis_threads, 3);
         assert_eq!(cfg.forbid_kind, Some(gptx::FaultKind::Disconnect));
+        assert_eq!(cfg.workers, 4);
+        assert_eq!(cfg.shards, 2);
+        assert_eq!(cfg.pool, 3);
+        assert_eq!(cfg.interleave_seed, 77);
+    }
+
+    #[test]
+    fn soak_config_from_parses_and_rejects() {
+        let (_, opts) = split_args(&args(&[
+            "--soak",
+            "--soak-duration-s",
+            "5",
+            "--soak-iters",
+            "3",
+            "--slo-threshold-ms",
+            "200",
+            "--workers",
+            "2",
+        ]));
+        let cfg = soak_config_from(&opts).unwrap();
+        assert_eq!(cfg.duration, std::time::Duration::from_secs(5));
+        assert_eq!(cfg.max_iters, 3);
+        assert_eq!(cfg.slo_threshold_us, 200_000);
+        assert_eq!(cfg.chaos.workers, 2);
+        for bad in [
+            &["--soak-duration-s", "soon"][..],
+            &["--slo-threshold-ms", "0"][..],
+            &["--workers", "0"][..],
+            &["--shards", "0"][..],
+            &["--pool", "0"][..],
+        ] {
+            let (_, opts) = split_args(&args(bad));
+            assert!(soak_config_from(&opts).is_err(), "{bad:?}");
+        }
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub use gptx_llm as llm;
 pub use gptx_model as model;
 pub use gptx_nlp as nlp;
 pub use gptx_obs as obs;
+pub use gptx_par as par;
 pub use gptx_policy as policy;
 pub use gptx_report as report;
 pub use gptx_runtime as runtime;

@@ -12,6 +12,7 @@ use gptx_classifier::{ActionProfile, Classifier};
 use gptx_crawler::{CampaignSinkError, CampaignStore, CrawlArchive, CrawlStats, Crawler};
 use gptx_graph::{build_cooccurrence, CollectionMap, Graph};
 use gptx_llm::{DisclosureLabel, KbModel, LanguageModel};
+use gptx_obs::hooks::{shared_nosim, SimScheduler};
 use gptx_obs::{
     shared_engine, Level, MetricsRegistry, Sampler, SeriesStore, SloEngine, SloPolicy, SpanContext,
     Tracer, DEFAULT_SERIES_CAPACITY,
@@ -34,6 +35,11 @@ pub enum RunError {
     Crawl(ClientError),
     Classify(gptx_classifier::ClassifierError),
     Policy(gptx_policy::PipelineError),
+    /// The [`PipelineBuilder::on_week`] hook returned `false`: the run
+    /// stopped at a week boundary mid-campaign. The soak-mode chaos
+    /// harness uses this to fail fast on the first streamed-invariant
+    /// violation instead of finishing the campaign.
+    Aborted,
 }
 
 impl std::fmt::Display for RunError {
@@ -43,6 +49,7 @@ impl std::fmt::Display for RunError {
             RunError::Crawl(e) => write!(f, "crawl error: {e}"),
             RunError::Classify(e) => write!(f, "classification error: {e}"),
             RunError::Policy(e) => write!(f, "policy analysis error: {e}"),
+            RunError::Aborted => write!(f, "run aborted by the week-boundary hook"),
         }
     }
 }
@@ -54,6 +61,7 @@ impl std::error::Error for RunError {
             RunError::Crawl(e) => Some(e),
             RunError::Classify(e) => Some(e),
             RunError::Policy(e) => Some(e),
+            RunError::Aborted => None,
         }
     }
 }
@@ -108,7 +116,7 @@ impl From<gptx_policy::PipelineError> for RunError {
 pub struct Pipeline {
     config: SynthConfig,
     faults: FaultConfig,
-    fault_plan: FaultPlan,
+    fault_plans: Vec<FaultPlan>,
     crawler_threads: usize,
     pool_size: usize,
     analysis_threads: usize,
@@ -118,6 +126,8 @@ pub struct Pipeline {
     metrics: Arc<MetricsRegistry>,
     tracer: Arc<Tracer>,
     sampler: Option<(Arc<Sampler>, Duration)>,
+    sim: Arc<dyn SimScheduler>,
+    on_week: Option<Arc<dyn Fn(usize) -> bool + Send + Sync>>,
 }
 
 /// Builder for [`Pipeline`] — the one place run configuration lives.
@@ -125,7 +135,7 @@ pub struct Pipeline {
 pub struct PipelineBuilder {
     config: SynthConfig,
     faults: FaultConfig,
-    fault_plan: FaultPlan,
+    fault_plans: Vec<FaultPlan>,
     crawler_threads: usize,
     pool_size: Option<usize>,
     analysis_threads: usize,
@@ -136,6 +146,8 @@ pub struct PipelineBuilder {
     tracer: Arc<Tracer>,
     sample_interval: Option<Duration>,
     slos: Vec<SloPolicy>,
+    sim: Arc<dyn SimScheduler>,
+    on_week: Option<Arc<dyn Fn(usize) -> bool + Send + Sync>>,
 }
 
 impl PipelineBuilder {
@@ -150,9 +162,23 @@ impl PipelineBuilder {
     /// Attach a schedule-driven [`FaultPlan`] (default: empty): the
     /// ecosystem server injects wire-level faults at the planned
     /// request arrival indices, alongside the rate-based profile. The
-    /// chaos harness drives every campaign run through this hook.
+    /// chaos harness drives every campaign run through this hook. On a
+    /// sharded pipeline the plan applies to shard 0; use
+    /// [`PipelineBuilder::fault_plans`] to plan every shard.
     pub fn fault_plan(mut self, plan: FaultPlan) -> PipelineBuilder {
-        self.fault_plan = plan;
+        self.fault_plans = vec![plan];
+        self
+    }
+
+    /// One schedule-driven [`FaultPlan`] per shard, indexed by shard.
+    /// Arrival indices are *per shard* (each listener counts its own
+    /// arrivals), so a sharded chaos schedule addresses faults as
+    /// `(shard, arrival index)` pairs. Passing more plans than
+    /// [`PipelineBuilder::shards`] raises the shard count to match.
+    pub fn fault_plans(mut self, plans: Vec<FaultPlan>) -> PipelineBuilder {
+        if !plans.is_empty() {
+            self.fault_plans = plans;
+        }
         self
     }
 
@@ -183,8 +209,9 @@ impl PipelineBuilder {
     /// paper's 13-marketplace topology maps naturally onto 13) and the
     /// crawler routes each request to the owning shard. Results are
     /// byte-identical at any shard count. The schedule-driven
-    /// [`PipelineBuilder::fault_plan`] applies to shard 0; the chaos
-    /// harness pins a single shard so arrival indices stay global.
+    /// [`PipelineBuilder::fault_plan`] applies to shard 0;
+    /// [`PipelineBuilder::fault_plans`] addresses every shard (arrival
+    /// indices are counted per shard).
     pub fn shards(mut self, shards: usize) -> PipelineBuilder {
         self.shards = shards.max(1);
         self
@@ -256,6 +283,27 @@ impl PipelineBuilder {
         self
     }
 
+    /// Attach a virtual-time scheduler hook (default: the inert
+    /// [`shared_nosim`]). The crawler's worker pool becomes a scheduled
+    /// region, retry backoffs advance the logical clock, the HTTP
+    /// client yields at connection-pool checkout/retry/checkin, and the
+    /// store server reports its dispatch/fault events as observations.
+    /// With the no-op scheduler every hook is an empty inline call.
+    pub fn sim(mut self, sim: Arc<dyn SimScheduler>) -> PipelineBuilder {
+        self.sim = sim;
+        self
+    }
+
+    /// Run `hook(week)` after each weekly snapshot completes (a
+    /// quiescent point: no crawl requests in flight). Returning `false`
+    /// aborts the run with [`RunError::Aborted`] — the soak-mode chaos
+    /// harness streams its invariant checks through this hook so a
+    /// violation stops the campaign immediately.
+    pub fn on_week(mut self, hook: Arc<dyn Fn(usize) -> bool + Send + Sync>) -> PipelineBuilder {
+        self.on_week = Some(hook);
+        self
+    }
+
     pub fn build(self) -> Pipeline {
         let sampler = self.sample_interval.map(|interval| {
             let mut sampler = Sampler::new(Arc::clone(&self.metrics), DEFAULT_SERIES_CAPACITY);
@@ -267,7 +315,7 @@ impl PipelineBuilder {
         Pipeline {
             config: self.config,
             faults: self.faults,
-            fault_plan: self.fault_plan,
+            fault_plans: self.fault_plans,
             crawler_threads: self.crawler_threads,
             pool_size: self.pool_size.unwrap_or(self.crawler_threads),
             analysis_threads: self.analysis_threads,
@@ -277,6 +325,8 @@ impl PipelineBuilder {
             metrics: self.metrics,
             tracer: self.tracer,
             sampler,
+            sim: self.sim,
+            on_week: self.on_week,
         }
     }
 }
@@ -288,7 +338,7 @@ impl Pipeline {
         PipelineBuilder {
             config,
             faults: FaultConfig::default(),
-            fault_plan: FaultPlan::default(),
+            fault_plans: vec![FaultPlan::default()],
             crawler_threads: 8,
             pool_size: None,
             analysis_threads: 8,
@@ -299,6 +349,8 @@ impl Pipeline {
             tracer: Tracer::shared_disabled(),
             sample_interval: None,
             slos: Vec::new(),
+            sim: shared_nosim(),
+            on_week: None,
         }
     }
 
@@ -312,10 +364,16 @@ impl Pipeline {
         self.faults
     }
 
-    /// The schedule-driven fault plan the ecosystem server runs under
-    /// (empty unless attached via [`PipelineBuilder::fault_plan`]).
+    /// The schedule-driven fault plan of shard 0 (empty unless attached
+    /// via [`PipelineBuilder::fault_plan`] /
+    /// [`PipelineBuilder::fault_plans`]).
     pub fn fault_plan(&self) -> &FaultPlan {
-        &self.fault_plan
+        &self.fault_plans[0]
+    }
+
+    /// Every shard's schedule-driven fault plan, indexed by shard.
+    pub fn fault_plans(&self) -> &[FaultPlan] {
+        &self.fault_plans
     }
 
     pub fn crawler_threads(&self) -> usize {
@@ -413,22 +471,26 @@ impl Pipeline {
         );
         let server_config = gptx_store::ServerConfig::default()
             .with_metrics(Arc::clone(metrics))
-            .with_tracer(Arc::clone(tracer));
-        // The plan's arrival counter survives across runs of the same
-        // Pipeline (clones share it); rewind so every run replays the
-        // schedule from arrival zero.
-        self.fault_plan.reset();
+            .with_tracer(Arc::clone(tracer))
+            .with_sim(Arc::clone(&self.sim));
+        // The plans' arrival counters survive across runs of the same
+        // Pipeline (clones share them); rewind so every run replays the
+        // schedule from arrival zero on every shard.
+        for plan in &self.fault_plans {
+            plan.reset();
+        }
         let mut builder = EcosystemHandle::builder(Arc::clone(&eco))
             .faults(self.faults)
             .config(server_config);
-        builder = if self.shards > 1 {
-            // The schedule-driven plan counts arrivals per shard; pin
-            // it to shard 0 so single-shard chaos repros stay exact.
-            builder
-                .fault_plans(vec![self.fault_plan.clone()])
-                .shards(self.shards)
+        let shards = self.shards.max(self.fault_plans.len());
+        builder = if shards > 1 {
+            // One plan per shard; shards beyond the supplied plans get
+            // fresh empty plans from the server builder. Each listener
+            // counts its own arrivals, so schedules address faults as
+            // (shard, arrival index).
+            builder.fault_plans(self.fault_plans.clone()).shards(shards)
         } else {
-            builder.fault_plan(self.fault_plan.clone())
+            builder.fault_plan(self.fault_plans[0].clone())
         };
         let server = builder.spawn()?;
 
@@ -440,27 +502,42 @@ impl Pipeline {
             .with_pool(self.pool_size)
             .with_metrics(Arc::clone(metrics))
             .with_tracer(Arc::clone(tracer))
-            .with_trace_parent(tspan.context());
+            .with_trace_parent(tspan.context())
+            .with_sim(Arc::clone(&self.sim));
         let store_names: Vec<&str> = STORES.iter().map(|(n, _)| *n).collect();
         let weeks: Vec<(u32, String)> =
             eco.weeks.iter().map(|w| (w.week, w.date.clone())).collect();
         let span = metrics.span("stage.crawl");
+        // The week-boundary hook (None means "always continue"): a
+        // `false` answer aborts the campaign at a quiescent point.
+        let week_done = |w: usize| -> bool { self.on_week.as_ref().map_or(true, |hook| hook(w)) };
         let archive = match &self.archive_dir {
             Some(dir) => {
                 let mut sink = CampaignStore::open(dir)?;
-                crawler.crawl_campaign_to(
+                crawler.crawl_campaign_checked_to(
                     &weeks,
                     &store_names,
                     |w| server.set_week(w),
+                    week_done,
                     &mut sink,
                 )?
             }
-            None => crawler.crawl_campaign(&weeks, &store_names, |w| server.set_week(w))?,
+            None => crawler.crawl_campaign_checked(
+                &weeks,
+                &store_names,
+                |w| server.set_week(w),
+                week_done,
+            )?,
         };
         span.finish();
         tspan.finish();
         let crawl_stats = crawler.stats();
         server.shutdown();
+        let Some(archive) = archive else {
+            // Aborted by the hook: the sampler stops via Drop, like
+            // every other error path.
+            return Err(RunError::Aborted);
+        };
 
         // Shutdown joins the accept thread, which drops the server's
         // clone of the ecosystem Arc — ours is the last one standing, so

@@ -24,11 +24,11 @@ pub use sink::{CampaignSinkError, CampaignStore, WeekWriteStats};
 
 use gptx_model::snapshot::CrawlSnapshot;
 use gptx_model::{ActionSpec, Gpt, GptId};
+use gptx_obs::hooks::{shared_nosim, SimScheduler};
 use gptx_obs::{Level, MetricsRegistry, SpanContext, Tracer};
 use gptx_store::{etag_of, store_host, ClientError, HttpClient, Response};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -161,7 +161,11 @@ impl Endpoint {
 ///   visible as a `crawler.backoff` child span;
 /// * [`Crawler::with_trace_parent`] — parent all request spans under an
 ///   existing span (the pipeline's crawl-stage span) instead of rooting
-///   fresh traces.
+///   fresh traces;
+/// * [`Crawler::with_sim`] — attach a virtual-time scheduler hook: the
+///   gizmo worker pool becomes a scheduled region, retry backoffs are
+///   absorbed into the logical clock, and the shared [`HttpClient`]
+///   yields at pool checkout/retry/checkin.
 pub struct Crawler {
     client: HttpClient,
     max_retries: usize,
@@ -179,6 +183,10 @@ pub struct Crawler {
     /// at each week boundary). The campaign sink records these as
     /// manifest refs to already-stored blobs — zero new segment bytes.
     reused: Mutex<BTreeSet<GptId>>,
+    /// Virtual-time hook (default: the no-op [`shared_nosim`]). When an
+    /// enabled scheduler is attached the gizmo pool workers register as
+    /// scheduled tasks and retry backoffs advance the logical clock.
+    sim: Arc<dyn SimScheduler>,
 }
 
 /// One validator cache entry: the ETag the server handed out and the
@@ -213,6 +221,7 @@ impl Crawler {
             trace_parent: None,
             validators: Mutex::new(HashMap::new()),
             reused: Mutex::new(BTreeSet::new()),
+            sim: shared_nosim(),
         }
     }
 
@@ -269,6 +278,16 @@ impl Crawler {
     /// crawl-stage span so a whole crawl renders as one tree.
     pub fn with_trace_parent(mut self, parent: Option<SpanContext>) -> Crawler {
         self.trace_parent = parent;
+        self
+    }
+
+    /// Attach a virtual-time scheduler hook (see the type docs). The
+    /// underlying [`HttpClient`] shares it, so connection-pool
+    /// checkout/retry/checkin become yield points of the same scheduled
+    /// tasks.
+    pub fn with_sim(mut self, sim: Arc<dyn SimScheduler>) -> Crawler {
+        self.client = self.client.with_sim(Arc::clone(&sim));
+        self.sim = sim;
         self
     }
 
@@ -354,7 +373,12 @@ impl Crawler {
                 backoff_span.attr("attempt", attempt.to_string());
                 backoff_span.attr("sleep_us", backoff.as_micros().to_string());
             }
-            std::thread::sleep(backoff);
+            // Under an enabled sim the backoff advances the logical
+            // clock instead of wall time (and is itself a scheduling
+            // point — another task runs while this one "sleeps").
+            if !self.sim.sleep_us(backoff.as_micros() as u64) {
+                std::thread::sleep(backoff);
+            }
             backoff_span.finish();
         }
     }
@@ -503,27 +527,23 @@ impl Crawler {
         Ok(snapshot)
     }
 
-    /// Fan gizmo fetches out over `self.threads` workers.
+    /// Fan gizmo fetches out over `self.threads` workers (via
+    /// [`gptx_par::par_map_sim`], so under an enabled sim scheduler the
+    /// pool is a scheduled region named `crawler-<w>` and every work
+    /// claim is a yield point). Results come back in input-id order
+    /// with failures dropped — downstream snapshot assembly is a
+    /// [`BTreeMap`] insert, so order never mattered, but input order
+    /// makes the intermediate vector deterministic too.
     fn fetch_gizmos_parallel(&self, ids: &[GptId]) -> Vec<Gpt> {
         if ids.is_empty() {
             return Vec::new();
         }
-        let next = AtomicUsize::new(0);
-        let results: Mutex<Vec<Gpt>> = Mutex::new(Vec::with_capacity(ids.len()));
-        std::thread::scope(|scope| {
-            for _ in 0..self.threads.min(ids.len()) {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= ids.len() {
-                        break;
-                    }
-                    if let Ok(Some(gpt)) = self.fetch_gizmo(&ids[i]) {
-                        results.lock().expect("results mutex").push(gpt);
-                    }
-                });
-            }
-        });
-        results.into_inner().expect("results mutex")
+        gptx_par::par_map_sim(self.threads, ids, &self.sim, "crawler", |id| {
+            self.fetch_gizmo(id).ok().flatten()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
     }
 
     /// Download the privacy policy for an Action.
@@ -582,10 +602,31 @@ impl Crawler {
         store_names: &[&str],
         set_week: impl Fn(usize),
     ) -> Result<CrawlArchive, ClientError> {
-        self.campaign_impl(weeks, store_names, set_week, None)
+        self.campaign_impl(weeks, store_names, set_week, |_| true, None)
+            .map(|archive| archive.expect("hook never aborts"))
             .map_err(|e| match e {
                 sink::CampaignSinkError::Http(e) => e,
                 // No sink was given, so no archive I/O could fail.
+                sink::CampaignSinkError::Io(_) => unreachable!("no sink attached"),
+            })
+    }
+
+    /// [`Crawler::crawl_campaign`] with a week-boundary check:
+    /// `week_done(week)` runs after each weekly snapshot completes (a
+    /// quiescent point — no requests in flight), and returning `false`
+    /// aborts the campaign immediately with `Ok(None)`. The soak-mode
+    /// chaos harness hangs its streaming invariant checks here so a
+    /// violation stops the run mid-campaign instead of after it.
+    pub fn crawl_campaign_checked(
+        &self,
+        weeks: &[(u32, String)],
+        store_names: &[&str],
+        set_week: impl Fn(usize),
+        week_done: impl Fn(usize) -> bool,
+    ) -> Result<Option<CrawlArchive>, ClientError> {
+        self.campaign_impl(weeks, store_names, set_week, week_done, None)
+            .map_err(|e| match e {
+                sink::CampaignSinkError::Http(e) => e,
                 sink::CampaignSinkError::Io(_) => unreachable!("no sink attached"),
             })
     }
@@ -602,7 +643,22 @@ impl Crawler {
         set_week: impl Fn(usize),
         sink: &mut CampaignStore,
     ) -> Result<CrawlArchive, CampaignSinkError> {
-        self.campaign_impl(weeks, store_names, set_week, Some(sink))
+        self.campaign_impl(weeks, store_names, set_week, |_| true, Some(sink))
+            .map(|archive| archive.expect("hook never aborts"))
+    }
+
+    /// [`Crawler::crawl_campaign_to`] with the week-boundary check of
+    /// [`Crawler::crawl_campaign_checked`]. An abort (`Ok(None)`) still
+    /// leaves every completed week persisted and fsynced in `sink`.
+    pub fn crawl_campaign_checked_to(
+        &self,
+        weeks: &[(u32, String)],
+        store_names: &[&str],
+        set_week: impl Fn(usize),
+        week_done: impl Fn(usize) -> bool,
+        sink: &mut CampaignStore,
+    ) -> Result<Option<CrawlArchive>, CampaignSinkError> {
+        self.campaign_impl(weeks, store_names, set_week, week_done, Some(sink))
     }
 
     fn campaign_impl(
@@ -610,8 +666,9 @@ impl Crawler {
         weeks: &[(u32, String)],
         store_names: &[&str],
         set_week: impl Fn(usize),
+        week_done: impl Fn(usize) -> bool,
         mut sink: Option<&mut CampaignStore>,
-    ) -> Result<CrawlArchive, CampaignSinkError> {
+    ) -> Result<Option<CrawlArchive>, CampaignSinkError> {
         let mut archive = CrawlArchive::default();
         for (week, date) in weeks {
             set_week(*week as usize);
@@ -658,6 +715,12 @@ impl Crawler {
                 1.0
             };
             archive.weekly_gizmo_success.push((*week, rate));
+            // Week boundary: no requests in flight, so live invariant
+            // checks see a consistent counter snapshot. A `false`
+            // answer aborts mid-campaign (soak mode fails fast).
+            if !week_done(*week as usize) {
+                return Ok(None);
+            }
         }
         // Policies for every distinct Action.
         let actions = archive.distinct_actions();
@@ -682,7 +745,7 @@ impl Crawler {
         if let Some(sink) = sink {
             sink.put_meta(&archive)?;
         }
-        Ok(archive)
+        Ok(Some(archive))
     }
 }
 

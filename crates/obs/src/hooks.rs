@@ -1,0 +1,126 @@
+//! Simulation hooks: the seam a virtual-time scheduler plugs into.
+//!
+//! Production code (the crawler pool, the HTTP client's connection
+//! pool, the store's dispatch path) calls these hooks at every point
+//! where the OS scheduler could reorder concurrent work. In production
+//! the hooks are the no-op [`NoSim`] singleton — every method is an
+//! empty inline body, so the instrumented paths cost nothing. Under
+//! `gptx-sim`'s `VirtualScheduler` the same hooks become permit points:
+//! exactly one registered task runs between yields, the next runnable
+//! task is chosen by a seeded RNG, and the recorded (task, point)
+//! sequence makes a genuinely concurrent run deterministic and
+//! replayable from a single u64 seed.
+//!
+//! The trait lives here (and not in `gptx-sim`) for the same reason
+//! [`crate::clock::Clock`] does: `gptx-obs` has no dependencies and
+//! everything depends on it, so the hook seam is visible to every crate
+//! without adding a single edge to the dependency graph. The real
+//! scheduler lives in `gptx-sim`, which only test harnesses link.
+
+use std::sync::{Arc, OnceLock};
+
+/// Cooperative-scheduling hooks threaded through the concurrent paths.
+///
+/// Two kinds of call sites:
+///
+/// - **Scheduled tasks** (crawler pool workers) bracket their life with
+///   [`SimScheduler::register`] / [`SimScheduler::deregister`] and call
+///   [`SimScheduler::yield_point`] at every reordering point (work-item
+///   claims, pool checkouts/checkins). Between two yields exactly one
+///   registered task makes progress, so everything it does — including
+///   blocking loopback HTTP — is serialized against its peers.
+/// - **Environment threads** (the store's accept loop and workers,
+///   which the simulation deliberately does *not* schedule) call
+///   [`SimScheduler::observe`] / [`SimScheduler::observe_env`] so the
+///   simulation can record totally-ordered events (fault injections)
+///   and count racy ones (connection adoption) without ever blocking
+///   the server.
+///
+/// Every method is a no-op default so [`NoSim`] is a one-liner and new
+/// hook points never break existing implementations.
+pub trait SimScheduler: Send + Sync {
+    /// Whether this scheduler actually schedules. `false` (the
+    /// [`NoSim`] answer) lets hot paths skip string formatting for
+    /// point labels.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Announce that `tasks` workers are about to register. Under the
+    /// real scheduler, [`SimScheduler::register`] blocks until the
+    /// region is full, so the first scheduling decision is independent
+    /// of OS spawn timing.
+    fn open_region(&self, _tasks: usize) {}
+
+    /// Enter the scheduled region as the named task. Blocks until every
+    /// task announced by [`SimScheduler::open_region`] has registered
+    /// and this task is selected to run.
+    fn register(&self, _name: &str) {}
+
+    /// Leave the scheduled region (worker is done); hands the permit to
+    /// the next runnable task.
+    fn deregister(&self) {}
+
+    /// A reordering point: record the (task, point) pair, hand the
+    /// permit to a seeded choice of runnable task, and block until this
+    /// task is selected again. A no-op when called from a thread that
+    /// never registered (the driver thread, server threads).
+    fn yield_point(&self, _point: &str) {}
+
+    /// Record a totally-ordered environment event (e.g. a fault-plan
+    /// injection, which happens while exactly one client task is
+    /// blocked on the faulted response). Never blocks.
+    fn observe(&self, _point: &str) {}
+
+    /// Count an environment event whose position relative to task
+    /// yields is *not* deterministic (e.g. connection adoption, which
+    /// races the client's connect returning). Kept out of the recorded
+    /// trace so determinism comparisons stay exact. Never blocks.
+    fn observe_env(&self, _point: &str) {}
+
+    /// Virtualized sleep: returns `true` when the scheduler consumed
+    /// the sleep (advancing its logical clock instead of wall time), in
+    /// which case the caller must not sleep for real. The [`NoSim`]
+    /// answer is `false`: callers fall through to `std::thread::sleep`.
+    fn sleep_us(&self, _us: u64) -> bool {
+        false
+    }
+}
+
+/// The production scheduler: no scheduling at all. Every hook is an
+/// inline empty body.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoSim;
+
+impl SimScheduler for NoSim {}
+
+/// The shared [`NoSim`] singleton — the default value of every `sim`
+/// field in the toolkit, so unconfigured code paths share one
+/// allocation instead of each carrying their own.
+pub fn shared_nosim() -> Arc<dyn SimScheduler> {
+    static NOSIM: OnceLock<Arc<dyn SimScheduler>> = OnceLock::new();
+    Arc::clone(NOSIM.get_or_init(|| Arc::new(NoSim)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nosim_is_disabled_and_inert() {
+        let sim = shared_nosim();
+        assert!(!sim.enabled());
+        sim.open_region(4);
+        sim.register("w-0");
+        sim.yield_point("claim");
+        sim.observe("fault");
+        sim.observe_env("adopt");
+        assert!(!sim.sleep_us(1_000_000), "NoSim must never absorb sleeps");
+        sim.deregister();
+    }
+
+    #[test]
+    fn shared_nosim_is_a_singleton() {
+        assert!(Arc::ptr_eq(&shared_nosim(), &shared_nosim()));
+    }
+}

@@ -44,6 +44,7 @@ pub mod chrome;
 pub mod clock;
 pub mod events;
 pub mod histogram;
+pub mod hooks;
 pub mod json;
 pub mod registry;
 pub mod sampler;
@@ -52,13 +53,14 @@ pub mod slo;
 pub mod snapshot;
 pub mod trace;
 
-pub use chrome::{validate_chrome_trace, ChromeTraceStats};
+pub use chrome::{validate_chrome_trace, validate_chrome_trace_snapshot, ChromeTraceStats};
 pub use clock::Clock;
 pub use events::{Event, Level};
 pub use histogram::{
     count_above, delta_buckets, merge_summaries, summary_from_buckets, Histogram, HistogramSummary,
     BUCKET_BOUNDS_US,
 };
+pub use hooks::{shared_nosim, NoSim, SimScheduler};
 pub use json::{parse_json, Json};
 pub use registry::{Counter, Gauge, HistogramHandle, MetricsRegistry, Span};
 pub use sampler::{Sampler, SamplerHandle, DEFAULT_SERIES_CAPACITY};

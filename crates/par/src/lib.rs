@@ -17,6 +17,7 @@
 //! `AtomicUsize::fetch_add`, compute each chunk into a private `Vec`,
 //! and the chunks are reassembled in index order after the scope joins.
 
+use gptx_obs::hooks::SimScheduler;
 use gptx_obs::{MetricsRegistry, SpanContext, TraceSpan, Tracer};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -51,7 +52,30 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    run_pool(threads, items, None, None, f)
+    run_pool(threads, items, None, None, None, f)
+}
+
+/// [`par_map`] under a simulation scheduler: when `sim` is enabled, the
+/// pool opens a scheduled region of `min(threads, items.len())` tasks,
+/// each worker registers as `<label>-<w>`, and every cursor claim is a
+/// yield point — so the interleaving of worker progress is a seeded,
+/// recorded, replayable decision of the scheduler instead of the OS.
+/// With the production [`gptx_obs::hooks::NoSim`] scheduler this is
+/// identical to [`par_map`].
+pub fn par_map_sim<T, R, F>(
+    threads: usize,
+    items: &[T],
+    sim: &Arc<dyn SimScheduler>,
+    label: &str,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let simctx = sim.enabled().then_some(PoolSim { sim, label });
+    run_pool(threads, items, None, None, simctx, |_, item| f(item))
 }
 
 /// [`par_map`] with pool instrumentation: per-worker task counts, steal
@@ -72,7 +96,7 @@ where
     F: Fn(&T) -> R + Sync,
 {
     let obs = metrics.enabled().then_some(PoolObs { metrics, label });
-    run_pool(threads, items, obs, None, |_, item| f(item))
+    run_pool(threads, items, obs, None, None, |_, item| f(item))
 }
 
 /// Fallible [`par_map_metered`]: instrumentation of `par_map_metered`,
@@ -124,7 +148,7 @@ where
         }),
         _ => None,
     };
-    run_pool(threads, items, obs, trace, |_, item| f(item))
+    run_pool(threads, items, obs, trace, None, |_, item| f(item))
 }
 
 /// Fallible [`par_map_traced`], error semantics of [`par_try_map`].
@@ -169,6 +193,32 @@ impl PoolTrace<'_> {
     }
 }
 
+/// Simulation target for one pool run: workers register as
+/// `<label>-<w>` and yield before every cursor claim.
+struct PoolSim<'a> {
+    sim: &'a Arc<dyn SimScheduler>,
+    label: &'a str,
+}
+
+/// RAII registration for one simulated pool worker — deregistration on
+/// drop keeps the scheduler's region consistent even if `f` panics.
+struct SimTask<'a> {
+    sim: &'a Arc<dyn SimScheduler>,
+}
+
+impl<'a> SimTask<'a> {
+    fn enter(pool: &PoolSim<'a>, worker: usize) -> SimTask<'a> {
+        pool.sim.register(&format!("{}-{worker}", pool.label));
+        SimTask { sim: pool.sim }
+    }
+}
+
+impl Drop for SimTask<'_> {
+    fn drop(&mut self) {
+        self.sim.deregister();
+    }
+}
+
 /// What one worker did during a pool run, recorded locally (no shared
 /// atomics on the hot path) and folded into the registry after joining.
 struct WorkerStats {
@@ -185,6 +235,7 @@ fn run_pool<T, R, F>(
     items: &[T],
     obs: Option<PoolObs<'_>>,
     trace: Option<PoolTrace<'_>>,
+    sim: Option<PoolSim<'_>>,
     f: F,
 ) -> Vec<R>
 where
@@ -197,7 +248,24 @@ where
             .as_ref()
             .map_or_else(TraceSpan::detached, PoolTrace::worker_span);
         let started = obs.as_ref().map(|_| Instant::now());
-        let out: Vec<R> = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        // A degenerate one-task region: the sequential path yields at
+        // the same per-item cadence as a pool worker would, so traces
+        // stay comparable across worker counts.
+        let task = sim.as_ref().map(|s| {
+            s.sim.open_region(1);
+            SimTask::enter(s, 0)
+        });
+        let out: Vec<R> = items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                if let Some(s) = &sim {
+                    s.sim.yield_point("claim");
+                }
+                f(i, t)
+            })
+            .collect();
+        drop(task);
         if wspan.is_recording() {
             wspan.attr("tasks", items.len().to_string());
             wspan.attr("chunks", "1");
@@ -228,9 +296,19 @@ where
     let worker_stats: Mutex<Vec<WorkerStats>> = Mutex::new(Vec::new());
     let metered = obs.is_some();
     let pool_start = obs.as_ref().map(|_| Instant::now());
+    if let Some(s) = &sim {
+        s.sim.open_region(workers);
+    }
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
+        let cursor = &cursor;
+        let filled = &filled;
+        let worker_stats = &worker_stats;
+        let trace = &trace;
+        let sim = &sim;
+        let f = &f;
+        for w in 0..workers {
+            scope.spawn(move || {
+                let _task = sim.as_ref().map(|s| SimTask::enter(s, w));
                 let mut wspan = trace
                     .as_ref()
                     .map_or_else(TraceSpan::detached, PoolTrace::worker_span);
@@ -241,6 +319,9 @@ where
                     busy_us: 0,
                 };
                 loop {
+                    if let Some(s) = sim {
+                        s.sim.yield_point("claim");
+                    }
                     let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                     if start >= items.len() {
                         break;
@@ -520,6 +601,40 @@ mod tests {
         let out = par_map_traced(4, &items, &metrics, "t", &tracer, None, |&x| x);
         assert_eq!(out, items);
         assert_eq!(tracer.snapshot().total_spans, 0);
+    }
+
+    #[test]
+    fn sim_pool_matches_sequential_and_replays_its_trace() {
+        use gptx_sim::VirtualScheduler;
+        let items: Vec<usize> = (0..97).collect();
+        let expected: Vec<usize> = items.iter().map(|x| x * 7).collect();
+        for workers in [1usize, 4, 8] {
+            let run = |seed: u64| {
+                let sched = VirtualScheduler::shared(seed);
+                let sim: Arc<dyn SimScheduler> = sched.clone();
+                let out = par_map_sim(workers, &items, &sim, "t", |&x| x * 7);
+                (out, sched.take_trace())
+            };
+            let (out_a, trace_a) = run(5);
+            let (out_b, trace_b) = run(5);
+            assert_eq!(out_a, expected, "{workers} workers");
+            assert_eq!(out_b, expected, "{workers} workers");
+            assert_eq!(trace_a, trace_b, "{workers} workers: trace must replay");
+            assert!(!trace_a.is_empty());
+            assert!(trace_a.iter().all(|(task, point)| {
+                task.starts_with("t-") && (point == "claim" || point == "sleep")
+            }));
+        }
+    }
+
+    #[test]
+    fn nosim_pool_is_identical_to_par_map() {
+        let items: Vec<usize> = (0..257).collect();
+        let sim = gptx_obs::hooks::shared_nosim();
+        assert_eq!(
+            par_map_sim(8, &items, &sim, "t", |&x| x + 1),
+            par_map(8, &items, |&x| x + 1)
+        );
     }
 
     #[test]

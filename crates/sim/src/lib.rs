@@ -1,0 +1,480 @@
+//! # gptx-sim
+//!
+//! A FoundationDB-style virtual-time cooperative scheduler that makes
+//! genuinely concurrent runs deterministic, recordable, and replayable
+//! from a single u64 seed.
+//!
+//! The model is *serialized concurrency*: every instrumented worker
+//! (crawler pool tasks, via the [`gptx_obs::hooks::SimScheduler`] hooks
+//! threaded through `gptx-par` and the store's HTTP client) registers
+//! with the scheduler and then holds a global run permit between yield
+//! points. At each yield the permit is handed to a seeded choice among
+//! the runnable tasks, and the (task, point) pair is appended to a
+//! recorded trace. Because exactly one task runs at a time, everything
+//! a task does between yields — including blocking loopback HTTP — is
+//! totally ordered, so the whole run (artifacts, counters, fault
+//! arrival indices) is a pure function of (workload, interleaving
+//! seed). Same seed, same run; different seed, a genuinely different
+//! interleaving of the same workload.
+//!
+//! **What is simulated:** client-side task interleaving (work-item
+//! claims, connection-pool checkouts/checkins, retry backoffs — the
+//! backoff sleeps are absorbed into the logical clock instead of wall
+//! time) and virtual time (the scheduler owns a [`Clock::manual`];
+//! every scheduling decision ticks it, and sleeping tasks jump it to
+//! the earliest deadline when nothing is runnable).
+//!
+//! **What is not:** the store's accept loop and worker threads run
+//! free. That is sound because the serialized clients admit at most
+//! one in-flight HTTP request globally, so server-side event order is
+//! fully determined by client order; server hooks are therefore
+//! observe-only ([`SimScheduler::observe`] for fault injections, which
+//! land at a deterministic position in the trace, and
+//! [`SimScheduler::observe_env`] for connection adoption, which races
+//! the client's connect returning and is counted but kept out of the
+//! compared trace).
+
+use gptx_obs::hooks::SimScheduler;
+use gptx_obs::Clock;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::ThreadId;
+
+/// Logical microseconds each scheduling decision advances the virtual
+/// clock by — keeps timestamps strictly moving without pretending to
+/// model real latency.
+const SCHED_TICK_US: u64 = 1;
+
+/// sebastiano vigna's splitmix64 — the same generator the chaos
+/// schedule derivation uses, duplicated here so `gptx-sim` keeps a
+/// single dependency (gptx-obs).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One scheduled task's lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TaskState {
+    /// Registered, parked until the region fills.
+    Waiting,
+    /// Eligible for the run permit.
+    Runnable,
+    /// Holds the run permit.
+    Running,
+    /// Parked until the virtual clock reaches the deadline (µs).
+    Sleeping(u64),
+}
+
+#[derive(Default)]
+struct Inner {
+    rng: u64,
+    /// Tasks expected in the open region; registration blocks until
+    /// this many have arrived.
+    expected: usize,
+    /// Task states keyed by name. A `BTreeMap` so the runnable set is
+    /// enumerated in a deterministic order regardless of registration
+    /// (i.e. OS spawn) order.
+    tasks: BTreeMap<String, TaskState>,
+    /// Which task the calling thread is.
+    by_thread: HashMap<ThreadId, String>,
+    /// Recorded (task, point) pairs — the interleaving's fingerprint.
+    trace: Vec<(String, String)>,
+}
+
+/// The seeded cooperative scheduler. Share it as
+/// `Arc<dyn SimScheduler>` with every instrumented component, keep a
+/// concrete `Arc<VirtualScheduler>` to read the trace back.
+pub struct VirtualScheduler {
+    seed: u64,
+    clock: Clock,
+    inner: Mutex<Inner>,
+    cv: Condvar,
+    env_events: AtomicU64,
+}
+
+impl std::fmt::Debug for VirtualScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VirtualScheduler")
+            .field("seed", &self.seed)
+            .field("now_us", &self.clock.now_us())
+            .finish()
+    }
+}
+
+impl VirtualScheduler {
+    /// A scheduler whose every decision derives from `seed`. The
+    /// virtual clock starts at 0µs.
+    pub fn new(seed: u64) -> VirtualScheduler {
+        VirtualScheduler {
+            seed,
+            clock: Clock::manual(),
+            inner: Mutex::new(Inner {
+                // Domain-separated so seed 0 is not a degenerate state.
+                rng: seed ^ 0x6770_7478_2d73_696d, // "gptx-sim"
+                ..Inner::default()
+            }),
+            cv: Condvar::new(),
+            env_events: AtomicU64::new(0),
+        }
+    }
+
+    /// [`VirtualScheduler::new`] behind an `Arc`, ready to hand to
+    /// `with_sim`-style builders.
+    pub fn shared(seed: u64) -> Arc<VirtualScheduler> {
+        Arc::new(VirtualScheduler::new(seed))
+    }
+
+    /// The interleaving seed this scheduler was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// A handle to the scheduler's manual clock (clones share the
+    /// underlying counter) — attach it to a `MetricsRegistry` so event
+    /// timestamps are virtual-time-deterministic too.
+    pub fn clock(&self) -> Clock {
+        self.clock.clone()
+    }
+
+    /// The recorded (task, point) sequence so far, leaving it in place.
+    pub fn trace(&self) -> Vec<(String, String)> {
+        self.inner.lock().expect("sim lock").trace.clone()
+    }
+
+    /// Drain and return the recorded (task, point) sequence.
+    pub fn take_trace(&self) -> Vec<(String, String)> {
+        std::mem::take(&mut self.inner.lock().expect("sim lock").trace)
+    }
+
+    /// How many racy environment events ([`SimScheduler::observe_env`])
+    /// were counted (not traced).
+    pub fn env_events(&self) -> u64 {
+        self.env_events.load(Ordering::Relaxed)
+    }
+
+    /// Pick the next task to hold the run permit. When nothing is
+    /// runnable but something sleeps, jump the virtual clock to the
+    /// earliest deadline and wake the expired sleepers first.
+    fn schedule_locked(&self, inner: &mut Inner) {
+        loop {
+            let runnable: Vec<&String> = inner
+                .tasks
+                .iter()
+                .filter(|(_, s)| **s == TaskState::Runnable)
+                .map(|(n, _)| n)
+                .collect();
+            if !runnable.is_empty() {
+                let pick = (splitmix64(&mut inner.rng) % runnable.len() as u64) as usize;
+                let name = runnable[pick].clone();
+                inner.tasks.insert(name, TaskState::Running);
+                self.clock.advance_us(SCHED_TICK_US);
+                return;
+            }
+            let next_deadline = inner
+                .tasks
+                .values()
+                .filter_map(|s| match s {
+                    TaskState::Sleeping(d) => Some(*d),
+                    _ => None,
+                })
+                .min();
+            let Some(deadline) = next_deadline else {
+                // Region empty or still filling — nothing to run.
+                return;
+            };
+            if deadline > self.clock.now_us() {
+                self.clock.set_us(deadline);
+            }
+            let now = self.clock.now_us();
+            for state in inner.tasks.values_mut() {
+                if matches!(state, TaskState::Sleeping(d) if *d <= now) {
+                    *state = TaskState::Runnable;
+                }
+            }
+        }
+    }
+
+    /// Block the calling thread until its task holds the run permit.
+    fn wait_for_permit<'a>(
+        &self,
+        mut inner: std::sync::MutexGuard<'a, Inner>,
+        name: &str,
+    ) -> std::sync::MutexGuard<'a, Inner> {
+        while inner.tasks.get(name) != Some(&TaskState::Running) {
+            inner = self.cv.wait(inner).expect("sim lock");
+        }
+        inner
+    }
+}
+
+impl SimScheduler for VirtualScheduler {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn open_region(&self, tasks: usize) {
+        let mut inner = self.inner.lock().expect("sim lock");
+        inner.expected = tasks;
+    }
+
+    fn register(&self, name: &str) {
+        let thread = std::thread::current().id();
+        let mut inner = self.inner.lock().expect("sim lock");
+        inner.by_thread.insert(thread, name.to_string());
+        inner.tasks.insert(name.to_string(), TaskState::Waiting);
+        let waiting = inner
+            .tasks
+            .values()
+            .filter(|s| **s == TaskState::Waiting)
+            .count();
+        if inner.expected > 0 && waiting >= inner.expected {
+            // Region full: the barrier releases, every task becomes
+            // runnable, and the first permit-holder is a seeded choice
+            // — independent of the OS order the workers spawned in.
+            for state in inner.tasks.values_mut() {
+                if *state == TaskState::Waiting {
+                    *state = TaskState::Runnable;
+                }
+            }
+            inner.expected = 0;
+            self.schedule_locked(&mut inner);
+            self.cv.notify_all();
+        }
+        drop(self.wait_for_permit(inner, name));
+    }
+
+    fn deregister(&self) {
+        let thread = std::thread::current().id();
+        let mut inner = self.inner.lock().expect("sim lock");
+        let Some(name) = inner.by_thread.remove(&thread) else {
+            return;
+        };
+        inner.tasks.remove(&name);
+        self.schedule_locked(&mut inner);
+        self.cv.notify_all();
+    }
+
+    fn yield_point(&self, point: &str) {
+        let thread = std::thread::current().id();
+        let mut inner = self.inner.lock().expect("sim lock");
+        let Some(name) = inner.by_thread.get(&thread).cloned() else {
+            // Unregistered threads (the driver) pass through untraced:
+            // their position relative to scheduled tasks is already
+            // determined (regions are closed while the driver runs).
+            return;
+        };
+        inner.trace.push((name.clone(), point.to_string()));
+        inner.tasks.insert(name.clone(), TaskState::Runnable);
+        self.schedule_locked(&mut inner);
+        self.cv.notify_all();
+        drop(self.wait_for_permit(inner, &name));
+    }
+
+    fn observe(&self, point: &str) {
+        let mut inner = self.inner.lock().expect("sim lock");
+        inner.trace.push(("env".to_string(), point.to_string()));
+    }
+
+    fn observe_env(&self, _point: &str) {
+        self.env_events.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn sleep_us(&self, us: u64) -> bool {
+        let thread = std::thread::current().id();
+        let mut inner = self.inner.lock().expect("sim lock");
+        let Some(name) = inner.by_thread.get(&thread).cloned() else {
+            return false;
+        };
+        inner.trace.push((name.clone(), "sleep".to_string()));
+        let deadline = self.clock.now_us() + us;
+        inner
+            .tasks
+            .insert(name.clone(), TaskState::Sleeping(deadline));
+        self.schedule_locked(&mut inner);
+        self.cv.notify_all();
+        drop(self.wait_for_permit(inner, &name));
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicUsize};
+    use std::time::Duration;
+
+    /// Run `tasks` workers that each yield `yields` times, recording a
+    /// shared event log; return (event log, sim trace).
+    fn run_region(seed: u64, tasks: usize, yields: usize) -> (Vec<String>, Vec<(String, String)>) {
+        let sim = VirtualScheduler::shared(seed);
+        let log: Mutex<Vec<String>> = Mutex::new(Vec::new());
+        sim.open_region(tasks);
+        std::thread::scope(|scope| {
+            for w in 0..tasks {
+                let sim = Arc::clone(&sim);
+                let log = &log;
+                scope.spawn(move || {
+                    let name = format!("w-{w}");
+                    sim.register(&name);
+                    for i in 0..yields {
+                        log.lock().unwrap().push(format!("{name}:{i}"));
+                        sim.yield_point("step");
+                    }
+                    sim.deregister();
+                });
+            }
+        });
+        (log.into_inner().unwrap(), sim.take_trace())
+    }
+
+    #[test]
+    fn same_seed_same_interleaving() {
+        let (log_a, trace_a) = run_region(7, 4, 25);
+        let (log_b, trace_b) = run_region(7, 4, 25);
+        assert_eq!(log_a, log_b, "observable event order must replay");
+        assert_eq!(trace_a, trace_b, "recorded trace must replay");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (log_a, _) = run_region(1, 4, 25);
+        let (log_b, _) = run_region(2, 4, 25);
+        assert_ne!(log_a, log_b, "distinct seeds should reorder 100 events");
+    }
+
+    #[test]
+    fn seeded_choice_actually_interleaves() {
+        // With 4 workers × 25 yields, a working scheduler must not
+        // degenerate into strict round-robin or run-to-completion.
+        let (log, _) = run_region(42, 4, 25);
+        assert_eq!(log.len(), 100);
+        let first_25: Vec<&String> = log.iter().take(25).collect();
+        let one_task = first_25.iter().all(|e| e.starts_with("w-0:"))
+            || first_25.iter().all(|e| e.starts_with("w-1:"));
+        assert!(
+            !one_task,
+            "first quarter served a single task: {first_25:?}"
+        );
+    }
+
+    #[test]
+    fn exactly_one_task_runs_at_a_time() {
+        let sim = VirtualScheduler::shared(3);
+        let busy = AtomicBool::new(false);
+        let overlaps = AtomicUsize::new(0);
+        sim.open_region(4);
+        std::thread::scope(|scope| {
+            for w in 0..4 {
+                let sim = Arc::clone(&sim);
+                let busy = &busy;
+                let overlaps = &overlaps;
+                scope.spawn(move || {
+                    sim.register(&format!("w-{w}"));
+                    for _ in 0..50 {
+                        if busy.swap(true, Ordering::SeqCst) {
+                            overlaps.fetch_add(1, Ordering::SeqCst);
+                        }
+                        // Give a broken scheduler a chance to overlap.
+                        std::thread::yield_now();
+                        busy.store(false, Ordering::SeqCst);
+                        sim.yield_point("crit");
+                    }
+                    sim.deregister();
+                });
+            }
+        });
+        assert_eq!(overlaps.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn sleeps_are_virtual_not_wall_clock() {
+        let sim = VirtualScheduler::shared(9);
+        let started = std::time::Instant::now();
+        sim.open_region(2);
+        std::thread::scope(|scope| {
+            for w in 0..2 {
+                let sim = Arc::clone(&sim);
+                scope.spawn(move || {
+                    sim.register(&format!("w-{w}"));
+                    for _ in 0..3 {
+                        assert!(sim.sleep_us(10_000_000), "sim must absorb the sleep");
+                    }
+                    sim.deregister();
+                });
+            }
+        });
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "60 virtual seconds must not cost wall time"
+        );
+        assert!(
+            sim.clock().now_us() >= 30_000_000,
+            "clock must have jumped past the sleep deadlines: {}µs",
+            sim.clock().now_us()
+        );
+    }
+
+    #[test]
+    fn unregistered_threads_pass_through() {
+        let sim = VirtualScheduler::new(5);
+        sim.yield_point("driver");
+        assert!(!sim.sleep_us(1_000_000), "driver sleeps stay real");
+        assert!(sim.trace().is_empty());
+        sim.deregister(); // no-op
+    }
+
+    #[test]
+    fn observe_records_and_observe_env_only_counts() {
+        let sim = VirtualScheduler::new(5);
+        sim.observe("fault.disconnect");
+        sim.observe_env("adopt");
+        sim.observe_env("adopt");
+        assert_eq!(
+            sim.trace(),
+            vec![("env".to_string(), "fault.disconnect".to_string())]
+        );
+        assert_eq!(sim.env_events(), 2);
+    }
+
+    #[test]
+    fn registration_barrier_defeats_spawn_timing() {
+        // Stagger worker spawns heavily; the barrier must still give
+        // the same interleaving as an unstaggered run.
+        let staggered = |seed: u64| {
+            let sim = VirtualScheduler::shared(seed);
+            let log: Mutex<Vec<String>> = Mutex::new(Vec::new());
+            sim.open_region(3);
+            std::thread::scope(|scope| {
+                for w in 0..3 {
+                    let sim = Arc::clone(&sim);
+                    let log = &log;
+                    scope.spawn(move || {
+                        std::thread::sleep(Duration::from_millis(5 * w as u64));
+                        let name = format!("w-{w}");
+                        sim.register(&name);
+                        for i in 0..10 {
+                            log.lock().unwrap().push(format!("{name}:{i}"));
+                            sim.yield_point("step");
+                        }
+                        sim.deregister();
+                    });
+                }
+            });
+            log.into_inner().unwrap()
+        };
+        assert_eq!(staggered(11), run_region(11, 3, 10).0);
+    }
+
+    #[test]
+    fn single_task_region_degenerates_to_sequential() {
+        let (log, trace) = run_region(99, 1, 5);
+        assert_eq!(log, vec!["w-0:0", "w-0:1", "w-0:2", "w-0:3", "w-0:4"]);
+        assert_eq!(trace.len(), 5);
+        assert!(trace.iter().all(|(t, p)| t == "w-0" && p == "step"));
+    }
+}

@@ -20,6 +20,7 @@
 
 use crate::http::{configure_stream, HttpError, Request, Response};
 use gptx_model::url::Url;
+use gptx_obs::hooks::{shared_nosim, SimScheduler};
 use gptx_obs::{MetricsRegistry, SpanContext, TraceSpan, Tracer, TRACE_HEADER};
 use std::collections::HashMap;
 use std::io::BufReader;
@@ -99,7 +100,7 @@ impl Pool {
 /// sharded topology, one address per shard, selected per request by
 /// hashing the `Host` header with [`crate::shard::shard_for_host`]
 /// (the same partition the sharded server enforces).
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct HttpClient {
     /// One entry per shard; a single-element vec is the unsharded case.
     upstreams: Vec<SocketAddr>,
@@ -108,6 +109,21 @@ pub struct HttpClient {
     tracer: Arc<Tracer>,
     pool: Arc<Pool>,
     max_idle: usize,
+    /// Simulation hooks: pool checkouts/checkins and dead-socket
+    /// retries are yield points, so a virtual-time scheduler can
+    /// interleave pooled workers deterministically. The production
+    /// default ([`shared_nosim`]) makes every hook a no-op.
+    sim: Arc<dyn SimScheduler>,
+}
+
+impl std::fmt::Debug for HttpClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpClient")
+            .field("upstreams", &self.upstreams)
+            .field("connect_timeout", &self.connect_timeout)
+            .field("max_idle", &self.max_idle)
+            .finish_non_exhaustive()
+    }
 }
 
 impl HttpClient {
@@ -132,6 +148,7 @@ impl HttpClient {
             tracer: Tracer::shared_disabled(),
             pool: Arc::new(Pool::default()),
             max_idle: DEFAULT_POOL_SIZE,
+            sim: shared_nosim(),
         }
     }
 
@@ -163,6 +180,14 @@ impl HttpClient {
     /// pooled socket), and `pool_evictions`.
     pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> HttpClient {
         self.metrics = metrics;
+        self
+    }
+
+    /// Attach a simulation scheduler: pool checkout, checkin, and the
+    /// transparent dead-socket retry become yield points so adversarial
+    /// interleavings of pooled workers are reproducible from a seed.
+    pub fn with_sim(mut self, sim: Arc<dyn SimScheduler>) -> HttpClient {
+        self.sim = sim;
         self
     }
 
@@ -295,6 +320,7 @@ impl HttpClient {
             .headers
             .entry("connection".to_string())
             .or_insert_with(|| "keep-alive".to_string());
+        self.sim.yield_point("pool.checkout");
         if let Some(mut conn) = self.pool.checkout(upstream) {
             if self.metrics.enabled() {
                 self.metrics.incr("http.client.conn_reused");
@@ -314,6 +340,7 @@ impl HttpClient {
                         self.metrics.incr("http.client.conn_retries");
                     }
                     span.attr("conn_retry", "stale-pooled-socket");
+                    self.sim.yield_point("pool.retry");
                 }
             }
         }
@@ -359,6 +386,7 @@ impl HttpClient {
         if request.wants_close() || response.wants_close() {
             return;
         }
+        self.sim.yield_point("pool.checkin");
         if !self.pool.checkin(upstream, conn, self.max_idle) && self.metrics.enabled() {
             self.metrics.incr("http.client.pool_evictions");
         }

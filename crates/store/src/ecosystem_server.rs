@@ -31,6 +31,7 @@ use crate::server::{
     serve_with, Router, ServerConfig, ServerHandle, FAULT_DISCONNECT_HEADER, FAULT_GARBAGE_HEADER,
     FAULT_SLOW_WRITE_HEADER, FAULT_STALL_HEADER,
 };
+use gptx_obs::hooks::SimScheduler;
 use gptx_obs::{
     shared_engine, MetricsRegistry, MetricsSnapshot, Sampler, SeriesStore, SloEngine, SloPolicy,
     SpanContext, TraceSpan, Tracer, DEFAULT_SERIES_CAPACITY, TRACE_HEADER,
@@ -207,6 +208,12 @@ struct EcosystemState {
     /// `server.request` span via the re-stamped [`TRACE_HEADER`]); also
     /// serves `/trace`.
     tracer: Arc<Tracer>,
+    /// Virtual-time hook (see [`gptx_obs::hooks`]). Server threads are
+    /// *environment*, never scheduled tasks: under the simulation's
+    /// serialized clients at most one request is in flight globally, so
+    /// the router only *observes* — plan-fault injections land at
+    /// deterministic positions in the recorded interleaving trace.
+    sim: Arc<dyn SimScheduler>,
 }
 
 impl EcosystemState {
@@ -404,6 +411,7 @@ impl EcosystemRouter {
         series: Arc<SeriesStore>,
         fleet: Vec<Arc<MetricsRegistry>>,
         tracer: Arc<Tracer>,
+        sim: Arc<dyn SimScheduler>,
     ) -> EcosystemRouter {
         let store_hosts: HashMap<String, String> = STORES
             .iter()
@@ -436,6 +444,7 @@ impl EcosystemRouter {
             series,
             fleet,
             tracer,
+            sim,
         });
         let table = ecosystem_routes(&state);
         EcosystemRouter { state, table }
@@ -605,15 +614,18 @@ impl Router for EcosystemRouter {
         // arrival's index, so a retry (a fresh arrival) lands on a
         // clean index and planned faults stay transient. The arrival
         // counter is the plan's own, shared with caller-held clones —
-        // `FaultPlan::reset` rewinds it across (re)starts.
-        let plan_fault = if state.plan.is_empty() {
-            None
-        } else {
-            state.plan.fault_at(state.plan.next_arrival())
-        };
+        // `FaultPlan::reset` rewinds it across (re)starts. Arrivals
+        // are counted even for an *empty* plan so a caller-held empty
+        // clone measures this shard's arrival total (the chaos
+        // baseline derives per-shard schedules from exactly that).
+        let arrival = state.plan.next_arrival();
+        let plan_fault = state.plan.fault_at(arrival);
         if let Some(kind) = plan_fault {
             state.metrics.incr(kind.metric());
             tspan.attr("fault", kind.as_str());
+            if state.sim.enabled() {
+                state.sim.observe(&format!("fault.{}", kind.as_str()));
+            }
             if kind == FaultKind::ServerError {
                 return Response::server_error();
             }
@@ -748,6 +760,18 @@ impl ServerBuilder {
         self
     }
 
+    /// Attach a virtual-time scheduler hook (see [`gptx_obs::hooks`]).
+    /// Server threads stay *unscheduled environment*: the connection
+    /// loop reports dispatch/adopt/serve via `observe_env` and the
+    /// router reports plan-fault injections via `observe`, but nothing
+    /// on the server side ever blocks on the scheduler. Call before
+    /// [`ServerBuilder::config`] is replaced wholesale, like
+    /// `metrics()`/`tracer()`.
+    pub fn sim(mut self, sim: Arc<dyn SimScheduler>) -> ServerBuilder {
+        self.config.sim = sim;
+        self
+    }
+
     /// Schedule-driven wire faults for the first (or only) listener.
     /// The plan's arrival counter is shared with the caller's clone, so
     /// [`FaultPlan::reset`] replays the schedule without a restart.
@@ -875,6 +899,7 @@ impl ServerBuilder {
                 Arc::clone(&series),
                 registries.clone(),
                 Arc::clone(&self.config.tracer),
+                Arc::clone(&self.config.sim),
             );
             let mut config = self.config.clone();
             config.metrics = Arc::clone(&registries[index]);

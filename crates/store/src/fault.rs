@@ -90,7 +90,10 @@ impl fmt::Display for FaultKind {
 ///
 /// The ecosystem router counts every routed request (the `/metrics`
 /// and `/trace` observability endpoints are exempt) and consults the
-/// plan for the arrival's index. An empty plan costs nothing.
+/// plan for the arrival's index. An empty plan injects nothing but
+/// still counts arrivals — a caller-held empty clone therefore doubles
+/// as a per-shard arrival meter, which is how the chaos baseline
+/// learns each shard's arrival total before deriving schedules.
 ///
 /// The arrival counter lives in the plan itself and is *shared by
 /// clones*: handing a plan to a server and keeping a clone lets the

@@ -24,6 +24,7 @@
 
 use crate::http::{HttpError, Request, Response, MAX_BODY_BYTES, MAX_HEADER_BYTES};
 use crate::net::{self, Interest, PollEvent, Poller, WakeReceiver, WakeSender};
+use gptx_obs::hooks::{shared_nosim, SimScheduler};
 use gptx_obs::{MetricsRegistry, SpanContext, TraceSpan, Tracer, TRACE_HEADER};
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
@@ -107,6 +108,13 @@ pub struct ServerConfig {
     /// span (and the router sees the server span's context in the same
     /// header), so one crawl renders as a single client→server chain.
     pub tracer: Arc<Tracer>,
+    /// Simulation hooks. The server is *not* scheduled by the
+    /// simulation (its accept loop and workers run free — sound because
+    /// serialized sim clients admit one in-flight request at a time),
+    /// but it reports worker-inbox dispatch and request service through
+    /// the racy-event channel ([`SimScheduler::observe_env`]) so
+    /// harnesses can assert coverage. Defaults to the no-op singleton.
+    pub sim: Arc<dyn SimScheduler>,
 }
 
 impl Default for ServerConfig {
@@ -120,6 +128,7 @@ impl Default for ServerConfig {
             port: 0,
             metrics: MetricsRegistry::shared_disabled(),
             tracer: Tracer::shared_disabled(),
+            sim: shared_nosim(),
         }
     }
 }
@@ -128,6 +137,12 @@ impl ServerConfig {
     /// Attach a metrics registry.
     pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> ServerConfig {
         self.metrics = metrics;
+        self
+    }
+
+    /// Attach a simulation scheduler (observe-only on the server side).
+    pub fn with_sim(mut self, sim: Arc<dyn SimScheduler>) -> ServerConfig {
+        self.sim = sim;
         self
     }
 
@@ -255,6 +270,7 @@ pub fn serve_with<R: Router>(router: R, config: ServerConfig) -> std::io::Result
     let accept_live = Arc::clone(&live);
     let accept_wakes: Vec<Arc<WakeSender>> = wakes.clone();
     let metrics = Arc::clone(&config.metrics);
+    let accept_sim = Arc::clone(&config.sim);
     let max_connections = config.max_connections.max(1);
     let accept_thread = std::thread::Builder::new()
         .name("gptx-store-accept".into())
@@ -289,6 +305,7 @@ pub fn serve_with<R: Router>(router: R, config: ServerConfig) -> std::io::Result
                             .lock()
                             .expect("worker inbox")
                             .push_back(stream);
+                        accept_sim.observe_env("store.dispatch");
                         accept_wakes[next].wake();
                         next = (next + 1) % inboxes.len();
                     }
@@ -541,6 +558,7 @@ fn adopt_pending(ctx: &WorkerCtx, conns: &mut HashMap<u64, Conn>, next_token: &m
     loop {
         let stream = ctx.inbox.lock().expect("worker inbox").pop_front();
         let Some(stream) = stream else { break };
+        ctx.config.sim.observe_env("store.adopt");
         if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
             ctx.live.fetch_sub(1, Ordering::AcqRel);
             continue;
@@ -680,6 +698,7 @@ fn process_inbuf(ctx: &WorkerCtx, conn: &mut Conn) -> Step {
 /// behaviors.
 fn serve_one(ctx: &WorkerCtx, conn: &mut Conn, mut request: Request) -> Step {
     let config = &ctx.config;
+    config.sim.observe_env("store.serve");
     // Join the caller's trace: a propagated context parents this
     // request's server span, and the router sees the server span's
     // context in the same header so its spans nest deeper still.

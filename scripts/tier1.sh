@@ -29,6 +29,23 @@ cargo run --release -p gptx-cli -- chaos \
     --seeds 4 --scale tiny --seed 7 --faults-per-run 4 \
     --kinds 5xx,disconnect
 
+# sim_chaos_smoke: a concurrent campaign under the virtual-time
+# scheduler — four crawler workers against four store shards through a
+# pooled client, with a pinned interleave seed so the run is a fixed
+# point of the (fault set x interleaving) space. Exits non-zero on any
+# invariant violation.
+cargo run --release -p gptx-cli -- chaos \
+    --seeds 1 --scale tiny --seed 7 --faults-per-run 4 \
+    --workers 4 --shards 4 --pool 4 --interleave-seed 11
+
+# soak_smoke: ten seconds of sustained chaos iterations with streaming
+# week-boundary checks (counter consistency, pool balance, trace
+# validity, SLO burn rate) — the command exits non-zero the moment a
+# streaming check trips mid-run.
+cargo run --release -p gptx-cli -- chaos --soak \
+    --soak-duration-s 10 --scale tiny --seed 7 \
+    --workers 2 --shards 2 --faults-per-run 3
+
 # load_smoke: a bounded run of the closed-loop load generator against
 # the sharded store — the command exits non-zero on a p99 SLO
 # violation or a client/server request-counter inconsistency.

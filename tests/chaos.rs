@@ -5,9 +5,10 @@
 
 use gptx::FaultKind;
 use gptx_chaos::{
-    derive_schedule, execute, replay, run_campaign, ChaosConfig, FaultMatrix, ReproFile,
-    MIN_FAULT_GAP,
+    derive_sharded_schedules, execute, replay, run_campaign, run_soak, ChaosConfig, FaultMatrix,
+    ReproFile, SoakConfig, MIN_FAULT_GAP,
 };
+use std::time::Duration;
 
 /// The tentpole acceptance: a mixed-matrix campaign — 5xx, disconnect,
 /// timeout, slow-write, and garbage-body faults scheduled into the live
@@ -64,9 +65,9 @@ fn conditional_fetches_hold_every_invariant_under_faults() {
         "a multi-week crawl should revalidate unchanged gizmos"
     );
 
-    let schedule = derive_schedule(
+    let schedule = derive_sharded_schedules(
         7,
-        baseline.total_requests(),
+        &baseline.shard_arrivals,
         &FaultMatrix::all(),
         5,
         MIN_FAULT_GAP,
@@ -94,9 +95,9 @@ fn identical_schedules_give_identical_outcomes() {
     let mut cfg = ChaosConfig::new();
     cfg.synth_seed = 42;
     let baseline = execute(&cfg, &[]).expect("baseline");
-    let schedule = derive_schedule(
+    let schedule = derive_sharded_schedules(
         3,
-        baseline.total_requests(),
+        &baseline.shard_arrivals,
         &FaultMatrix::all(),
         4,
         MIN_FAULT_GAP,
@@ -107,6 +108,10 @@ fn identical_schedules_give_identical_outcomes() {
     assert_eq!(a.archive_json, b.archive_json);
     assert_eq!(a.artifacts, b.artifacts);
     assert_eq!(a.total_requests(), b.total_requests());
+    assert_eq!(
+        a.sim_trace, b.sim_trace,
+        "the recorded interleaving is part of the outcome"
+    );
 }
 
 /// The self-test hook: forbid disconnect faults, schedule only
@@ -157,5 +162,119 @@ fn broken_invariant_shrinks_to_minimal_schedule_and_replays() {
         outcome.reproduced(),
         "replay must observe the recorded violation again: {:?}",
         outcome.violations
+    );
+}
+
+/// The multi-shard regression: a campaign over four store shards, a
+/// pooled client, and two crawler workers under a non-default
+/// interleave seed still finds a planted forbid-kind violation, shrinks
+/// it across BOTH dimensions — the fault set to a single fault and the
+/// interleaving to (seed 0, one worker) — and the emitted repro file
+/// replays the violation. Shards are never reduced: fault indices
+/// address per-shard arrival counters, so the topology is part of the
+/// repro's identity.
+#[test]
+fn multi_shard_pooled_campaign_shrinks_both_dimensions_and_replays() {
+    let mut cfg = ChaosConfig::new();
+    cfg.synth_seed = 45;
+    cfg.schedule_seeds = vec![6];
+    cfg.matrix = FaultMatrix::of([FaultKind::Disconnect]);
+    cfg.faults_per_run = 4;
+    cfg.forbid_kind = Some(FaultKind::Disconnect);
+    cfg.workers = 2;
+    cfg.shards = 4;
+    cfg.pool = 3;
+    cfg.interleave_seed = 9;
+
+    let report = run_campaign(&cfg).expect("campaign runs");
+    assert_eq!(report.shard_arrivals.len(), 4);
+    assert!(
+        report.shard_arrivals.iter().all(|&a| a > 0),
+        "every shard must see baseline traffic: {:?}",
+        report.shard_arrivals
+    );
+    assert!(!report.ok(), "the planted forbid hook must trip");
+    assert_eq!(report.failures.len(), 1);
+    let case = &report.failures[0];
+    assert!(
+        case.schedule.len() > 1,
+        "need a multi-fault schedule to make shrinking meaningful: {:?}",
+        case.schedule
+    );
+    assert_eq!(
+        case.minimal.len(),
+        1,
+        "any single disconnect trips the hook: {:?}",
+        case.minimal
+    );
+    // The interleaving dimension shrank too: the hook fires under the
+    // default seed and a single worker, so the repro records both.
+    assert_eq!(case.repro.interleave_seed, 0);
+    assert_eq!(case.repro.workers, 1);
+    assert_eq!(case.repro.shards, 4, "topology is irreducible");
+    assert_eq!(case.repro.pool, 3);
+
+    let text = case.repro.to_text();
+    let parsed = ReproFile::parse(&text).expect("repro parses");
+    assert_eq!(parsed, case.repro);
+    let outcome = replay(&parsed).expect("replay runs");
+    assert!(
+        outcome.reproduced(),
+        "multi-shard repro must replay: {:?}",
+        outcome.violations
+    );
+}
+
+/// A healthy soak iteration streams its week-boundary checks (counter
+/// consistency, pool balance, trace validity, SLO burn rate) and the
+/// full five-invariant battery at iteration end, and reports clean.
+#[test]
+fn soak_streams_week_checks_and_holds_invariants() {
+    let mut chaos = ChaosConfig::new();
+    chaos.synth_seed = 46;
+    chaos.workers = 2;
+    chaos.shards = 2;
+    let mut cfg = SoakConfig::new(chaos);
+    cfg.duration = Duration::from_secs(0); // exactly one iteration
+    cfg.max_iters = 1;
+
+    let report = run_soak(&cfg).expect("soak runs");
+    assert!(report.ok(), "{}", report.summary());
+    assert_eq!(report.iterations, 1);
+    assert!(
+        report.weeks_streamed >= 2,
+        "a multi-week crawl must stream several week boundaries, saw {}",
+        report.weeks_streamed
+    );
+    assert!(report.faults_scheduled > 0);
+}
+
+/// The soak fails FAST: with an impossible SLO (1 microsecond — every
+/// real request exceeds it) the burn-rate engine trips at an early
+/// week boundary, the hook aborts the run mid-flight, and the report
+/// records a streaming failure rather than waiting for iteration end.
+#[test]
+fn soak_aborts_mid_run_when_a_streaming_check_trips() {
+    let mut chaos = ChaosConfig::new();
+    chaos.synth_seed = 47;
+    let mut cfg = SoakConfig::new(chaos);
+    cfg.duration = Duration::from_secs(0);
+    cfg.max_iters = 1;
+    cfg.slo_threshold_us = 1;
+
+    let report = run_soak(&cfg).expect("soak runs");
+    assert!(!report.ok(), "a 1us SLO must trip");
+    assert_eq!(report.failed_iteration, Some(0));
+    assert!(
+        report.failed_streaming,
+        "the violation must be caught mid-run by the week hook, not at iteration end"
+    );
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "slo-burn-rate"),
+        "{:?}",
+        report.violations
     );
 }
